@@ -1,0 +1,208 @@
+// Ablations for the design choices DESIGN.md calls out. These are not in
+// the paper; they quantify *why* the paper's phenomena look the way they do
+// by switching individual mechanisms off in the simulator:
+//
+//  A. T-states disabled       -> the scenario-IV cliff collapses into II
+//                                (duty cycling is what makes underpowering
+//                                the CPU catastrophic);
+//  B. small-memory node       -> the DRAM background term shrinks, and with
+//                                it the STREAM best/worst spread and the
+//                                "DRAM power stays near max" effect;
+//  C. GPU reclaim disabled    -> per-component budgeting without automatic
+//                                reclaim strands memory watts, CPU-style;
+//  D. COORD regime-C variants -> the paper's proportional rule vs. the
+//                                Table-1 intersection-following rule.
+#include "bench_common.hpp"
+#include "core/baselines.hpp"
+#include "core/categorize.hpp"
+#include "core/coord.hpp"
+#include "core/interpolation.hpp"
+#include "core/pack_and_cap.hpp"
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+using namespace pbc;
+
+namespace {
+
+void ablation_tstates() {
+  bench::print_section("A: disable T-states (tstate_levels = 1)");
+  auto machine = hw::ivybridge_node();
+  const sim::CpuNodeSim with(machine, workload::sra());
+  auto no_t = machine;
+  no_t.cpu.tstate_levels = 1;  // ladder = P-states only
+  const sim::CpuNodeSim without(no_t, workload::sra());
+
+  TableWriter t({"cpu_cap_W", "perf_with_tstates", "perf_without",
+                 "with_region", "without_region"});
+  for (double c : {66.0, 60.0, 56.0, 52.0, 49.0}) {
+    const auto a = with.steady_state(Watts{c}, Watts{150.0});
+    const auto b = without.steady_state(Watts{c}, Watts{150.0});
+    t.add_row({TableWriter::num(c, 0), TableWriter::num(a.perf, 3),
+               TableWriter::num(b.perf, 3), to_string(a.proc_region),
+               to_string(b.proc_region)});
+  }
+  t.render(std::cout);
+  std::cout << "(without T-states the package falls straight from the "
+               "lowest P-state to the floor: the IV cliff becomes a single "
+               "step, and caps between L3 and L2 are simply violated)\n";
+}
+
+void ablation_small_memory() {
+  bench::print_section("B: small-memory node (32 GB instead of 256 GB)");
+  auto big = hw::ivybridge_node();
+  auto small = big;
+  small.dram.capacity_gb = 32.0;  // background: 68 W -> 8.5 W
+  small.dram.floor = Watts{12.0};
+
+  TableWriter t({"node", "bg_power_W", "stream_spread@208W",
+                 "sra_mem_power_in_II_W"});
+  for (const auto* m : {&big, &small}) {
+    const sim::CpuNodeSim stream(*m, workload::stream_cpu());
+    const auto sp = bench::spread_of(sim::sweep_cpu_split(
+        stream, Watts{208.0}, {Watts{14.0}, Watts{32.0}, Watts{4.0}}));
+    const sim::CpuNodeSim sra(*m, workload::sra());
+    // Scenario II probe: CPU lightly constrained, memory generous.
+    const auto s = sra.steady_state(Watts{85.0}, Watts{200.0});
+    t.add_row({m->dram.capacity_gb == 32.0 ? "32 GB" : "256 GB",
+               TableWriter::num(m->dram.background_power().value(), 1),
+               TableWriter::num(sp.ratio(), 1) + "x",
+               TableWriter::num(s.mem_power.value(), 1)});
+  }
+  t.render(std::cout);
+  std::cout << "(the big node's DRAM background keeps scenario-II memory "
+               "power near its max and inflates the best/worst spread)\n";
+}
+
+void ablation_gpu_reclaim() {
+  bench::print_section("C: GPU automatic reclaim on/off (Titan XP, 150 W)");
+  TableWriter t({"benchmark", "mem_clock", "perf_reclaim", "perf_no_reclaim",
+                 "stranded_W"});
+  for (const auto& wl : {workload::sgemm(), workload::minife()}) {
+    const sim::GpuNodeSim node(hw::titan_xp(), wl);
+    for (std::size_t clk : {std::size_t{0},
+                            node.gpu_model().mem_clock_count() - 1}) {
+      const auto with = node.steady_state(clk, Watts{150.0});
+      const auto without = node.steady_state_no_reclaim(clk, Watts{150.0});
+      const double stranded =
+          without.mem_cap.value() - without.mem_power.value();
+      t.add_row({wl.name,
+                 TableWriter::num(
+                     node.machine().gpu.mem_clocks_mhz[clk], 0) + " MHz",
+                 TableWriter::num(with.perf, 1),
+                 TableWriter::num(without.perf, 1),
+                 TableWriter::num(stranded, 1)});
+    }
+  }
+  t.render(std::cout);
+  std::cout << "(without reclaim, memory watts reserved but not drawn are "
+               "stranded — exactly the host-side waste the paper contrasts "
+               "GPUs against)\n";
+}
+
+void ablation_coord_variants() {
+  bench::print_section("D: COORD regime-C rule, proportional vs memory-biased");
+  const auto machine = hw::ivybridge_node();
+  TableWriter t({"benchmark", "budget_W", "prop/oracle", "membias/oracle"});
+  double prop_sum = 0.0;
+  double bias_sum = 0.0;
+  int n = 0;
+  for (const auto& wl : workload::cpu_suite()) {
+    const sim::CpuNodeSim node(machine, wl);
+    const auto p = core::profile_critical_powers(node);
+    for (double b : {150.0, 160.0, 170.0}) {
+      const auto prop = core::coord_cpu(p, Watts{b});
+      if (prop.status == core::CoordStatus::kBudgetTooSmall) continue;
+      const auto bias =
+          core::coord_cpu(p, Watts{b}, core::CpuCoordVariant::kMemoryBiased);
+      sim::BudgetSweep sweep;
+      sweep.budget = Watts{b};
+      sweep.samples = sim::sweep_cpu_split(
+          node, Watts{b}, {Watts{40.0}, Watts{32.0}, Watts{2.0}});
+      const double oracle = core::oracle_best(sweep).perf;
+      const double pp = node.steady_state(prop.cpu, prop.mem).perf / oracle;
+      const double bp = node.steady_state(bias.cpu, bias.mem).perf / oracle;
+      t.add_row({wl.name, TableWriter::num(b, 0), TableWriter::num(pp, 3),
+                 TableWriter::num(bp, 3)});
+      prop_sum += pp;
+      bias_sum += bp;
+      ++n;
+    }
+  }
+  t.render(std::cout);
+  std::cout << "mean fraction of oracle at small budgets: proportional "
+            << TableWriter::num(prop_sum / n, 3) << ", memory-biased "
+            << TableWriter::num(bias_sum / n, 3)
+            << "\n(on background-dominated DRAM, following Table 1's "
+               "III|IV intersection beats Algorithm 1's proportional rule)\n";
+}
+
+void ablation_profiling_cost() {
+  bench::print_section(
+      "E: profiling cost vs accuracy — COORD (7 runs) vs interpolation "
+      "[Sarood+ 30] vs exhaustive sweep");
+  const auto machine = hw::ivybridge_node();
+  TableWriter t({"benchmark", "budget_W", "coord/oracle(7 runs)",
+                 "interp/oracle", "interp_runs", "sweep_runs"});
+  for (const auto& wl :
+       {workload::sra(), workload::dgemm(), workload::npb_mg()}) {
+    const sim::CpuNodeSim node(machine, wl);
+    const auto p = core::profile_critical_powers(node);
+    for (double b : {190.0, 220.0}) {
+      sim::BudgetSweep sweep;
+      sweep.budget = Watts{b};
+      sweep.samples = sim::sweep_cpu_split(
+          node, Watts{b}, {Watts{48.0}, Watts{40.0}, Watts{2.0}});
+      const double oracle = core::oracle_best(sweep).perf;
+      const auto c = core::coord_cpu(p, Watts{b});
+      const double coord = node.steady_state(c.cpu, c.mem).perf;
+      const auto interp = core::interpolated_best(node, Watts{b});
+      t.add_row({wl.name, TableWriter::num(b, 0),
+                 TableWriter::num(coord / oracle, 3),
+                 TableWriter::num(interp.achieved_perf / oracle, 3),
+                 std::to_string(interp.samples_used),
+                 std::to_string(sweep.samples.size())});
+    }
+  }
+  t.render(std::cout);
+  std::cout << "(COORD's seven pinned runs are budget-independent; the "
+               "interpolation baseline re-profiles per budget; the sweep "
+               "oracle costs two orders of magnitude more)\n";
+}
+
+void ablation_pack_and_cap() {
+  bench::print_section(
+      "F: thread packing (Pack & Cap [11]) vs all-cores under tight caps");
+  const auto machine = hw::ivybridge_node();
+  TableWriter t({"benchmark", "budget_W", "best_cores", "packed_perf",
+                 "all_cores_perf", "packing_gain"});
+  for (const auto& wl :
+       {workload::stream_cpu(), workload::npb_mg(), workload::dgemm()}) {
+    const sim::CpuNodeSim node(machine, wl);
+    for (double b : {140.0, 160.0, 200.0, 260.0}) {
+      const auto r = core::pack_and_cap(node, Watts{b});
+      t.add_row({wl.name, TableWriter::num(b, 0),
+                 std::to_string(r.best_cores), TableWriter::num(r.perf, 1),
+                 TableWriter::num(r.perf_all_cores, 1),
+                 TableWriter::num(r.packing_gain(), 2) + "x"});
+    }
+  }
+  t.render(std::cout);
+  std::cout << "(packing pays exactly where scenario IV lives: when the "
+               "all-cores configuration is forced into duty cycling; at "
+               "generous budgets all cores at a lower P-state dominate)\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablations", "mechanism-level what-ifs (not in paper)");
+  ablation_tstates();
+  ablation_small_memory();
+  ablation_gpu_reclaim();
+  ablation_coord_variants();
+  ablation_profiling_cost();
+  ablation_pack_and_cap();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the bench harnesses.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation: it runs the corresponding experiment on the simulated
+// platforms and prints the same rows/series the paper reports, as aligned
+// tables plus ASCII renderings of the figures. EXPERIMENTS.md records the
+// paper-claimed vs. measured values.
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+
+namespace pbc::bench {
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::cout << '\n'
+            << std::string(78, '=') << '\n'
+            << id << " — " << title << '\n'
+            << std::string(78, '=') << '\n';
+}
+
+inline void print_section(const std::string& title) {
+  std::cout << '\n' << "--- " << title << " ---\n";
+}
+
+/// Best and worst performance over a split sweep.
+struct Spread {
+  double best = 0.0;
+  double worst = 1e300;
+  [[nodiscard]] double ratio() const {
+    return worst > 0.0 ? best / worst : 0.0;
+  }
+};
+
+inline Spread spread_of(const std::vector<sim::AllocationSample>& samples) {
+  Spread s;
+  for (const auto& x : samples) {
+    s.best = std::max(s.best, x.perf);
+    s.worst = std::min(s.worst, x.perf);
+  }
+  return s;
+}
+
+}  // namespace pbc::bench

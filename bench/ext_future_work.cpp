@@ -1,0 +1,190 @@
+// Extensions — the paper's stated future work, implemented and measured:
+//
+//  §5  "online dynamic power budgeting and distribution": per-phase power
+//      shifting (core/dynamic.hpp) vs. the static COORD split and the best
+//      static split, on phase-heterogeneous workloads;
+//  §8  "multi-task and multi-tenant systems": two jobs co-scheduled on one
+//      power-bounded node (sim/shared_node.hpp + core/cotune.hpp), scored
+//      by system throughput (STP) against solo runs.
+#include "bench_common.hpp"
+#include "core/cluster_sim.hpp"
+#include "core/coord.hpp"
+#include "core/cotune.hpp"
+#include "core/critical.hpp"
+#include "core/dynamic.hpp"
+#include "core/hybrid.hpp"
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+using namespace pbc;
+
+namespace {
+
+void dynamic_shifting() {
+  bench::print_section(
+      "online power shifting vs static splits (per-phase adaptation)");
+  const auto machine = hw::ivybridge_node();
+  TableWriter t({"benchmark", "budget_W", "static_COORD", "best_static",
+                 "dynamic", "dyn/best_static", "shifts"});
+  for (const char* name : {"FT", "BT", "LU"}) {
+    const auto wl = workload::cpu_benchmark(name).value();
+    const sim::CpuNodeSim node(machine, wl);
+    const auto trace = workload::generate_trace(wl, {400.0, 2.0, 0.6, 17});
+    const auto profile = core::profile_critical_powers(node);
+    for (double b : {150.0, 170.0, 190.0, 220.0}) {
+      const auto alloc = core::coord_cpu(profile, Watts{b});
+      if (alloc.status == core::CoordStatus::kBudgetTooSmall) continue;
+      const auto fixed =
+          sim::replay_trace(node, trace, alloc.cpu, alloc.mem);
+      double best_static = 0.0;
+      for (double m = 68.0; m <= b - 48.0; m += 4.0) {
+        best_static = std::max(
+            best_static,
+            sim::replay_trace(node, trace, Watts{b - m}, Watts{m})
+                .aggregate.perf);
+      }
+      const auto dyn = core::replay_with_shifting(node, trace, Watts{b});
+      t.add_row({name, TableWriter::num(b, 0),
+                 TableWriter::num(fixed.aggregate.perf, 1),
+                 TableWriter::num(best_static, 1),
+                 TableWriter::num(dyn.replay.aggregate.perf, 1),
+                 TableWriter::num(dyn.replay.aggregate.perf / best_static,
+                                  3),
+                 std::to_string(dyn.shifts)});
+    }
+  }
+  t.render(std::cout);
+  std::cout << "(per-phase shifting beats even the best *static* split "
+               "whenever the phases want different balances — the paper's "
+               "motivation for adaptive in-application scheduling)\n";
+}
+
+void coscheduling() {
+  bench::print_section("multi-tenant co-scheduling under one node budget");
+  const auto machine = hw::ivybridge_node();
+  TableWriter t({"pair", "budget_W", "cores", "cpu/mem_W", "perf_a",
+                 "perf_b", "STP"});
+  const std::vector<std::pair<workload::Workload, workload::Workload>> pairs{
+      {workload::dgemm(), workload::stream_cpu()},
+      {workload::npb_ep(), workload::npb_mg()},
+      {workload::stream_cpu(), workload::stream_cpu()},
+      {workload::sra(), workload::npb_bt()},
+  };
+  for (const auto& [a, b] : pairs) {
+    for (double budget : {200.0, 240.0}) {
+      const auto r = core::cotune_pair(machine, a, b, Watts{budget});
+      t.add_row({a.name + "+" + b.name, TableWriter::num(budget, 0),
+                 std::to_string(r.cores_a) + "/" + std::to_string(r.cores_b),
+                 TableWriter::num(r.cpu_cap.value(), 0) + "/" +
+                     TableWriter::num(r.mem_cap.value(), 0),
+                 TableWriter::num(r.perf_a, 1), TableWriter::num(r.perf_b, 1),
+                 TableWriter::num(r.stp, 2)});
+    }
+  }
+  t.render(std::cout);
+  std::cout << "(complementary pairs — compute + bandwidth — co-run near "
+               "their solo speeds; two bandwidth hogs halve each other)\n";
+}
+
+void hybrid_nodes() {
+  bench::print_section(
+      "hybrid CPU+GPU node coordination (three components, one budget)");
+  const core::HybridNode node{hw::ivybridge_node(), hw::titan_xp(),
+                              workload::npb_sp(), workload::minife()};
+  TableWriter t({"node_budget_W", "host_cpu/mem_W", "gpu_cap_W",
+                 "host_perf", "gpu_perf", "utility", "oracle_utility",
+                 "ratio", "status"});
+  for (double b : {300.0, 350.0, 400.0, 450.0, 520.0}) {
+    const auto c = core::coord_hybrid(node, Watts{b});
+    const auto o = core::hybrid_oracle(node, Watts{b}, Watts{12.0});
+    t.add_row({TableWriter::num(b, 0),
+               TableWriter::num(c.host.cpu.value(), 0) + "/" +
+                   TableWriter::num(c.host.mem.value(), 0),
+               TableWriter::num(c.gpu_cap.value(), 0),
+               TableWriter::num(c.host_perf, 1),
+               TableWriter::num(c.gpu_perf, 1),
+               TableWriter::num(c.utility, 3), TableWriter::num(o.utility, 3),
+               TableWriter::num(c.utility / o.utility, 3),
+               to_string(c.status)});
+  }
+  t.render(std::cout);
+  std::cout << "(hierarchical COORD tracks the two-level sweep oracle once "
+               "the budget clears the combined productive band)\n";
+}
+
+void cluster_over_time() {
+  bench::print_section(
+      "power-bounded cluster over time (event simulation, FIFO + "
+      "admission control)");
+  const std::vector<core::SimJob> jobs{
+      {"dgemm-a", workload::dgemm(), Seconds{0.0}, 40000.0},
+      {"stream-a", workload::stream_cpu(), Seconds{5.0}, 800.0},
+      {"mg-a", workload::npb_mg(), Seconds{10.0}, 12000.0},
+      {"sra-a", workload::sra(), Seconds{15.0}, 80.0},
+      {"bt-a", workload::npb_bt(), Seconds{20.0}, 20000.0},
+      {"cg-a", workload::npb_cg(), Seconds{120.0}, 5000.0},
+      {"ft-a", workload::npb_ft(), Seconds{130.0}, 9000.0},
+      {"dgemm-b", workload::dgemm(), Seconds{140.0}, 40000.0},
+  };
+  TableWriter t({"global_W", "policy", "makespan_s", "mean_wait_s",
+                 "work/kJ"});
+  for (double budget : {400.0, 600.0, 900.0}) {
+    for (const auto policy :
+         {core::SplitPolicy::kCoord, core::SplitPolicy::kEvenSplit}) {
+      core::ClusterSimConfig cfg;
+      cfg.nodes = 4;
+      cfg.global_budget = Watts{budget};
+      cfg.policy = policy;
+      const auto run = simulate_cluster(hw::ivybridge_node(), jobs, cfg);
+      t.add_row({TableWriter::num(budget, 0),
+                 policy == core::SplitPolicy::kCoord ? "COORD" : "even-split",
+                 TableWriter::num(run.makespan.value(), 1),
+                 TableWriter::num(run.mean_wait.value(), 1),
+                 TableWriter::num(1000.0 * run.work_per_joule, 2)});
+    }
+  }
+  t.render(std::cout);
+  std::cout << "(per-node coordination compounds at cluster scale: shorter "
+               "makespans and more work per joule, most visibly when power "
+               "is scarce)\n";
+
+  bench::print_section("heterogeneous cluster: 4 CPU nodes + 2 Titan XPs");
+  std::vector<core::SimJob> hetero = jobs;
+  hetero.push_back({"sgemm-g", workload::sgemm(), Seconds{2.0}, 2.0e6});
+  hetero.push_back({"minife-g", workload::minife(), Seconds{8.0}, 40000.0});
+  TableWriter t2({"global_W", "queue", "makespan_s", "mean_wait_s"});
+  for (double budget : {700.0, 1100.0}) {
+    for (const auto queue_policy :
+         {core::QueuePolicy::kFifo, core::QueuePolicy::kBackfill}) {
+      core::ClusterSimConfig cfg;
+      cfg.nodes = 4;
+      cfg.gpu_nodes = 2;
+      cfg.global_budget = Watts{budget};
+      cfg.queue_policy = queue_policy;
+      const auto run = simulate_cluster(hw::ivybridge_node(), hw::titan_xp(),
+                                        hetero, cfg);
+      t2.add_row({TableWriter::num(budget, 0),
+                  queue_policy == core::QueuePolicy::kFifo ? "FIFO"
+                                                           : "backfill",
+                  TableWriter::num(run.makespan.value(), 1),
+                  TableWriter::num(run.mean_wait.value(), 1)});
+    }
+  }
+  t2.render(std::cout);
+  std::cout << "(CPU and GPU jobs draw from one power pool; backfill lets "
+               "jobs of either domain slip past a power-starved head)\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extensions",
+                      "paper future work: dynamic shifting, multi-tenancy, "
+                      "hybrid nodes, cluster over time");
+  dynamic_shifting();
+  coscheduling();
+  hybrid_nodes();
+  cluster_over_time();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 3 — Categorization of power-allocation scenarios: application
+// performance and actual component power consumption for every split of a
+// 240 W budget, SRA (RandomAccess) on the IvyBridge node.
+//
+// Paper findings this harness must reproduce:
+//  * six distinct scenario categories I-VI along the split axis;
+//  * scenario I near P_mem ∈ [120, 132] W with actual powers ~112 W (CPU)
+//    and ~116 W (DRAM);
+//  * gradual performance decline through II (DVFS), steep decline in III
+//    (bandwidth throttling), a cliff in IV (duty cycling), and hardware
+//    floors in V/VI (caps not respected).
+#include "bench_common.hpp"
+#include "core/categorize.hpp"
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+
+using namespace pbc;
+
+int main() {
+  bench::print_header("Figure 3",
+                      "Scenario categorization: SRA on IvyBridge at 240 W");
+  const auto machine = hw::ivybridge_node();
+  const sim::CpuNodeSim node(machine, workload::sra());
+
+  sim::BudgetSweep sweep;
+  sweep.budget = Watts{240.0};
+  sweep.samples = sim::sweep_cpu_split(
+      node, Watts{240.0}, {Watts{40.0}, Watts{32.0}, Watts{4.0}});
+
+  bench::print_section("(a) performance and (b) actual power per split");
+  TableWriter t({"mem_cap_W", "cpu_cap_W", "perf_GUPs", "cpu_W", "mem_W",
+                 "mechanism", "category", "blackbox"});
+  PlotSeries perf{"perf (GUP/s)", {}, {}};
+  PlotSeries cpu_power{"cpu power", {}, {}};
+  PlotSeries mem_power{"mem power", {}, {}};
+  for (std::size_t i = 0; i < sweep.samples.size(); ++i) {
+    const auto& s = sweep.samples[i];
+    const auto cat = core::categorize_cpu(s, machine);
+    const auto bb = core::categorize_cpu_blackbox(sweep, i, machine);
+    t.add_row({TableWriter::num(s.mem_cap.value(), 0),
+               TableWriter::num(s.proc_cap.value(), 0),
+               TableWriter::num(s.perf, 3),
+               TableWriter::num(s.proc_power.value(), 1),
+               TableWriter::num(s.mem_power.value(), 1),
+               std::string(to_string(s.proc_region)) + "/" +
+                   to_string(s.mem_region),
+               core::to_string(cat), core::to_string(bb)});
+    perf.x.push_back(s.mem_cap.value());
+    perf.y.push_back(s.perf);
+    cpu_power.x.push_back(s.mem_cap.value());
+    cpu_power.y.push_back(s.proc_power.value());
+    mem_power.x.push_back(s.mem_cap.value());
+    mem_power.y.push_back(s.mem_power.value());
+  }
+  t.render(std::cout);
+
+  PlotOptions opt;
+  opt.title = "(a) SRA performance vs memory allocation at 240 W";
+  opt.x_label = "memory power allocation (W)";
+  std::cout << render_plot({perf}, opt);
+  PlotOptions opt2;
+  opt2.title = "(b) actual component power vs memory allocation at 240 W";
+  opt2.x_label = "memory power allocation (W)";
+  std::cout << render_plot({cpu_power, mem_power}, opt2);
+
+  bench::print_section("category spans");
+  const auto spans = core::category_spans_cpu(sweep, machine);
+  std::cout << core::format_spans(spans) << '\n';
+  std::cout << "(paper: scenario I at P_mem in [120,132] W; actual powers "
+               "~112 W CPU / ~116 W DRAM in scenario I)\n";
+
+  // Scenario-I actual powers, for EXPERIMENTS.md.
+  for (const auto& sp : spans) {
+    if (sp.category == core::Category::kI) {
+      const auto& s = sweep.samples[(sp.first + sp.last) / 2];
+      std::cout << "scenario I measured: P_mem span [" << sp.mem_lo.value()
+                << ", " << sp.mem_hi.value() << "] W; actual cpu="
+                << TableWriter::num(s.proc_power.value(), 1)
+                << " W, mem=" << TableWriter::num(s.mem_power.value(), 1)
+                << " W\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 5 — Balanced compute and memory access for a 208 W budget:
+// component capacity vs. utilization across splits for DGEMM and STREAM on
+// the IvyBridge node.
+//
+// Paper findings this harness must reproduce:
+//  * at the optimal split both compute and memory-access utilization are
+//    close to 100% (balanced interaction);
+//  * when processors are underpowered, compute utilization is high but
+//    memory utilization is low (execution is compute-bound), and vice
+//    versa;
+//  * DGEMM's optimum allocates power proportionally to compute, STREAM's
+//    to memory access.
+#include "bench_common.hpp"
+#include "core/balance.hpp"
+#include "core/baselines.hpp"
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+
+using namespace pbc;
+
+namespace {
+
+void balance_for(const workload::Workload& wl) {
+  bench::print_section(wl.name + " on IvyBridge at 208 W");
+  const sim::CpuNodeSim node(hw::ivybridge_node(), wl);
+  const auto points = core::balance_sweep(node, Watts{208.0}, Watts{56.0},
+                                          Watts{40.0}, Watts{8.0});
+
+  TableWriter t({"cpu_W", "mem_W", "compute_cap", "mem_cap", "actual",
+                 "compute_util", "mem_util"});
+  PlotSeries cu{"compute util", {}, {}};
+  PlotSeries mu{"memory util", {}, {}};
+  for (const auto& bp : points) {
+    t.add_row({TableWriter::num(bp.proc_cap.value(), 0),
+               TableWriter::num(bp.mem_cap.value(), 0),
+               TableWriter::num(bp.compute_capacity, 2),
+               TableWriter::num(bp.mem_capacity, 2),
+               TableWriter::num(bp.actual, 2),
+               TableWriter::num(100.0 * bp.compute_utilization, 1) + "%",
+               TableWriter::num(100.0 * bp.mem_utilization, 1) + "%"});
+    cu.x.push_back(bp.mem_cap.value());
+    cu.y.push_back(bp.compute_utilization);
+    mu.x.push_back(bp.mem_cap.value());
+    mu.y.push_back(bp.mem_utilization);
+  }
+  t.render(std::cout);
+
+  PlotOptions opt;
+  opt.title = wl.name + ": capacity utilization vs memory allocation (208 W)";
+  opt.x_label = "memory power allocation (W)";
+  std::cout << render_plot({cu, mu}, opt);
+
+  // The optimal split balances both utilizations.
+  sim::BudgetSweep sweep;
+  sweep.budget = Watts{208.0};
+  sweep.samples = sim::sweep_cpu_split(
+      node, Watts{208.0}, {Watts{56.0}, Watts{40.0}, Watts{4.0}});
+  const auto& best = core::oracle_best(sweep);
+  const auto bp = core::balance_at(node, best.proc_cap, best.mem_cap);
+  std::cout << "optimal split (" << TableWriter::num(best.proc_cap.value(), 0)
+            << " W cpu, " << TableWriter::num(best.mem_cap.value(), 0)
+            << " W mem): compute util "
+            << TableWriter::num(100.0 * bp.compute_utilization, 1)
+            << "%, memory util "
+            << TableWriter::num(100.0 * bp.mem_utilization, 1)
+            << "%  (paper: both ~100% at the optimum)\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 5",
+                      "Capacity/utilization balance at 208 W (DGEMM, STREAM)");
+  balance_for(workload::dgemm());
+  balance_for(workload::stream_cpu());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 6 — Upper performance bound vs. power cap for SGEMM and MiniFE on
+// the Titan XP and Titan V cards, including the default capping policy.
+//
+// Paper findings this harness must reproduce:
+//  * Titan XP: SGEMM's bound keeps increasing through the whole supported
+//    cap range (demand > 300 W); MiniFE's bound flattens once the cap
+//    passes its demand (paper: ~180 W; our simulated card lands somewhat
+//    higher — see EXPERIMENTS.md);
+//  * Titan V: SGEMM's bound flattens near 180 W; MiniFE's bound barely
+//    changes over the studied range;
+//  * the default Nvidia capping policy fails to reach the maximum on the
+//    Titan XP (it pins memory at the nominal clock).
+#include "bench_common.hpp"
+#include "core/frontier.hpp"
+#include "hw/platforms.hpp"
+#include "workload/gpu_suite.hpp"
+
+using namespace pbc;
+
+namespace {
+
+void frontier_for(const hw::GpuMachine& card, const workload::Workload& wl) {
+  bench::print_section(wl.name + " on " + card.name);
+  const sim::GpuNodeSim node(card, wl);
+  const auto caps = sim::budget_grid(Watts{125.0}, Watts{300.0}, Watts{12.5});
+  const auto frontier = core::perf_frontier_gpu(node, caps);
+
+  TableWriter t({"cap_W", "perf_max", "default_policy", "best_mem_alloc_W",
+                 "default_gap"});
+  PlotSeries best{"best allocation", {}, {}};
+  PlotSeries dflt{"default policy", {}, {}};
+  for (const auto& fp : frontier) {
+    const double d = node.default_policy(fp.budget).perf;
+    t.add_row({TableWriter::num(fp.budget.value(), 1),
+               TableWriter::num(fp.perf_max, 1), TableWriter::num(d, 1),
+               TableWriter::num(fp.best_mem_cap.value(), 1),
+               TableWriter::num(100.0 * (1.0 - d / fp.perf_max), 1) + "%"});
+    best.x.push_back(fp.budget.value());
+    best.y.push_back(fp.perf_max);
+    dflt.x.push_back(fp.budget.value());
+    dflt.y.push_back(d);
+  }
+  t.render(std::cout);
+
+  PlotOptions opt;
+  opt.title = wl.name + " perf_max vs cap — " + card.name;
+  opt.x_label = "board power cap (W)";
+  std::cout << render_plot({best, dflt}, opt);
+
+  const Watts sat = core::saturation_budget(frontier);
+  std::cout << "bound stops growing at: "
+            << TableWriter::num(sat.value(), 0) << " W; uncapped demand: "
+            << TableWriter::num(node.uncapped_board_power().value(), 1)
+            << " W\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 6",
+                      "GPU perf_max vs power cap (SGEMM, MiniFE on both cards)");
+  for (const auto& make : {hw::titan_xp, hw::titan_v}) {
+    const auto card = make();
+    frontier_for(card, workload::sgemm());
+    frontier_for(card, workload::minife());
+  }
+  return 0;
+}

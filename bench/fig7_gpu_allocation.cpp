@@ -1,0 +1,75 @@
+// Figure 7 — Performance trends as the memory power allocation increases,
+// under various total power caps, on the Titan XP and Titan V. The x-axis
+// is the memory power *estimated* from the clock setting via the card's
+// empirical power model, exactly as in the paper.
+//
+// Paper findings this harness must reproduce (§4's three patterns):
+//  * compute-intensive (SGEMM): best at minimum memory power; curves are
+//    dispersed/diverging (categories I & II);
+//  * memory-intensive (STREAM, MiniFE, HPCG, CUFFT): rising with memory
+//    power at large caps (category III, overlapping curves), possibly
+//    falling at small caps (category II);
+//  * in between (Cloverleaf): interior optimum at small caps, rising
+//    slowly at large caps, diverging curves;
+//  * Titan V: memory-bound everywhere — performance increases with memory
+//    power allocation at every cap.
+#include "bench_common.hpp"
+#include "core/categorize.hpp"
+#include "hw/platforms.hpp"
+#include "workload/gpu_suite.hpp"
+
+using namespace pbc;
+
+namespace {
+
+void trends_for(const hw::GpuMachine& card, const workload::Workload& wl) {
+  bench::print_section(wl.name + " on " + card.name);
+  const sim::GpuNodeSim node(card, wl);
+
+  std::vector<PlotSeries> series;
+  TableWriter t({"cap_W", "perf@each_mem_clock (low->nominal)", "categories"});
+  for (double cap : {125.0, 150.0, 175.0, 200.0, 250.0, 300.0}) {
+    sim::BudgetSweep sweep;
+    sweep.budget = Watts{cap};
+    sweep.samples = sim::sweep_gpu_split(node, Watts{cap});
+
+    std::string perfs;
+    PlotSeries s{std::to_string(static_cast<int>(cap)) + "W", {}, {}};
+    for (const auto& x : sweep.samples) {
+      if (!perfs.empty()) perfs += "  ";
+      perfs += TableWriter::num(x.perf, 0);
+      s.x.push_back(x.mem_cap.value());  // estimated memory power
+      s.y.push_back(x.perf);
+    }
+    std::string cats;
+    for (const auto c :
+         core::categories_present(core::category_spans_gpu(sweep))) {
+      if (!cats.empty()) cats += ',';
+      cats += core::to_string(c);
+    }
+    t.add_row({TableWriter::num(cap, 0), perfs, cats});
+    series.push_back(std::move(s));
+  }
+  t.render(std::cout);
+
+  PlotOptions opt;
+  opt.title = wl.name + " — perf vs estimated memory power, per cap";
+  opt.x_label = "estimated memory power (W)";
+  std::cout << render_plot(series, opt);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 7",
+                      "GPU perf vs memory power allocation under various caps");
+  for (const auto& make : {hw::titan_xp, hw::titan_v}) {
+    const auto card = make();
+    for (const auto& wl :
+         {workload::sgemm(), workload::stream_gpu(), workload::minife(),
+          workload::cloverleaf()}) {
+      trends_for(card, wl);
+    }
+  }
+  return 0;
+}

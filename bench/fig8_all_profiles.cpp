@@ -1,0 +1,121 @@
+// Figure 8 — Performance profiles of all benchmarks on the experimental
+// platforms: the full characterization sweep behind §6.2's "patterns common
+// to all benchmarks" and "workload dependent variations".
+//
+// Paper findings this harness must reproduce:
+//  * every CPU benchmark exhibits the same categorical structure (up to
+//    six scenarios at a generous budget), every GPU benchmark at most
+//    three;
+//  * workload-dependent variation: per-benchmark max power demands,
+//    optimal splits, spans, and performance sensitivity differ;
+//  * actual power consumption stays between a lower and an upper bound.
+#include "bench_common.hpp"
+#include "core/categorize.hpp"
+#include "core/critical.hpp"
+#include "hw/platforms.hpp"
+#include "sim/energy.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+using namespace pbc;
+
+namespace {
+
+void cpu_platform_profiles(const hw::CpuMachine& machine, double budget) {
+  bench::print_section(machine.name + " at " +
+                       TableWriter::num(budget, 0) + " W");
+  TableWriter t({"benchmark", "metric", "perf_max", "best_cpu_W",
+                 "best_mem_W", "spread", "categories", "L1c_W", "L1m_W"});
+  for (const auto& wl : workload::cpu_suite()) {
+    const sim::CpuNodeSim node(machine, wl);
+    sim::BudgetSweep sweep;
+    sweep.budget = Watts{budget};
+    sweep.samples = sim::sweep_cpu_split(
+        node, Watts{budget}, {Watts{40.0}, Watts{32.0}, Watts{4.0}});
+    const auto sp = bench::spread_of(sweep.samples);
+    const auto* best = sweep.best();
+    const auto cp = core::profile_critical_powers(node);
+    std::string cats;
+    for (const auto c : core::categories_present(
+             core::category_spans_cpu(sweep, machine))) {
+      if (!cats.empty()) cats += ',';
+      cats += core::to_string(c);
+    }
+    t.add_row({wl.name, wl.metric_name, TableWriter::num(sp.best, 2),
+               TableWriter::num(best->proc_cap.value(), 0),
+               TableWriter::num(best->mem_cap.value(), 0),
+               TableWriter::num(sp.ratio(), 1) + "x", cats,
+               TableWriter::num(cp.cpu_l1.value(), 1),
+               TableWriter::num(cp.mem_l1.value(), 1)});
+  }
+  t.render(std::cout);
+}
+
+void gpu_platform_profiles(const hw::GpuMachine& card) {
+  bench::print_section(card.name);
+  TableWriter t({"benchmark", "cap_W", "perf_max", "best_mem_W", "spread",
+                 "categories"});
+  for (const auto& wl : workload::gpu_suite()) {
+    const sim::GpuNodeSim node(card, wl);
+    for (double cap : {150.0, 250.0}) {
+      sim::BudgetSweep sweep;
+      sweep.budget = Watts{cap};
+      sweep.samples = sim::sweep_gpu_split(node, Watts{cap});
+      const auto sp = bench::spread_of(sweep.samples);
+      const auto* best = sweep.best();
+      std::string cats;
+      for (const auto c :
+           core::categories_present(core::category_spans_gpu(sweep))) {
+        if (!cats.empty()) cats += ',';
+        cats += core::to_string(c);
+      }
+      t.add_row({wl.name, TableWriter::num(cap, 0),
+                 TableWriter::num(sp.best, 1),
+                 TableWriter::num(best->mem_cap.value(), 1),
+                 TableWriter::num(100.0 * (sp.ratio() - 1.0), 1) + "%",
+                 cats});
+    }
+  }
+  t.render(std::cout);
+}
+
+}  // namespace
+
+// §6.2 also reports how *energy efficiency* varies with the allocation:
+// perf-per-watt across the split sweep, per benchmark.
+void efficiency_profiles(const hw::CpuMachine& machine, double budget) {
+  bench::print_section("energy efficiency, " + machine.name + " at " +
+                       TableWriter::num(budget, 0) + " W");
+  TableWriter t({"benchmark", "best_eff_perf_per_W", "at_mem_W",
+                 "eff_at_perf_optimum", "worst_eff"});
+  for (const auto& wl : workload::cpu_suite()) {
+    const sim::CpuNodeSim node(machine, wl);
+    sim::BudgetSweep sweep;
+    sweep.budget = Watts{budget};
+    sweep.samples = sim::sweep_cpu_split(
+        node, Watts{budget}, {Watts{48.0}, Watts{40.0}, Watts{4.0}});
+    const auto* eff = sim::most_efficient(sweep);
+    const auto* best = sweep.best();
+    double worst = 1e300;
+    for (const auto& s : sweep.samples) worst = std::min(worst, s.efficiency());
+    t.add_row({wl.name, TableWriter::num(eff->efficiency(), 4),
+               TableWriter::num(eff->mem_cap.value(), 0),
+               TableWriter::num(best->efficiency(), 4),
+               TableWriter::num(worst, 4)});
+  }
+  t.render(std::cout);
+}
+
+int main() {
+  bench::print_header("Figure 8",
+                      "Profiles of all 11 CPU + 6 GPU benchmarks");
+  cpu_platform_profiles(hw::ivybridge_node(), 240.0);
+  cpu_platform_profiles(hw::haswell_node(), 230.0);
+  gpu_platform_profiles(hw::titan_xp());
+  gpu_platform_profiles(hw::titan_v());
+  efficiency_profiles(hw::ivybridge_node(), 240.0);
+  std::cout << "\n(paper: common categorical patterns across all "
+               "benchmarks; workload-specific demands, spans, and optimal "
+               "splits; efficiency collapses at poorly coordinated splits)\n";
+  return 0;
+}

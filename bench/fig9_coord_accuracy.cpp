@@ -1,0 +1,122 @@
+// Figure 9 — Accuracy of the COORD heuristic: COORD vs. the best split
+// found by exhaustive sweeping, the memory-first strategy [19] on the CPU
+// platform, and the default Nvidia capping policy on the GPU platforms.
+//
+// Paper findings this harness must reproduce:
+//  * CPU: COORD within ~5% of the sweep oracle for large (preferred) caps
+//    and ~9.6% on average over all accepted caps; generally ahead of
+//    memory-first at small budgets;
+//  * GPU: COORD within a few percent of the oracle and up to ~33% ahead of
+//    the default policy (which always runs memory at the nominal clock);
+//  * occasionally COORD can beat the sweep "best" (the sweep grid does not
+//    contain every allocation COORD can choose).
+#include "bench_common.hpp"
+#include "core/baselines.hpp"
+#include "core/coord.hpp"
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+using namespace pbc;
+
+namespace {
+
+void cpu_accuracy() {
+  bench::print_section("CPU: COORD vs oracle vs memory-first (IvyBridge)");
+  const auto machine = hw::ivybridge_node();
+
+  TableWriter t({"benchmark", "budget_W", "oracle", "COORD", "COORD/oracle",
+                 "mem-first/oracle"});
+  double gap_sum = 0.0;
+  int gap_n = 0;
+  double gap_large = 0.0;
+  int wins_small = 0;
+  int small_n = 0;
+  for (const auto& wl : workload::cpu_suite()) {
+    const sim::CpuNodeSim node(machine, wl);
+    const auto profile = core::profile_critical_powers(node);
+    for (double b = 145.0; b <= 265.0; b += 20.0) {
+      const auto alloc = core::coord_cpu(profile, Watts{b});
+      if (alloc.status == core::CoordStatus::kBudgetTooSmall) {
+        t.add_row({wl.name, TableWriter::num(b, 0), "-", "rejected", "-",
+                   "-"});
+        continue;
+      }
+      sim::BudgetSweep sweep;
+      sweep.budget = Watts{b};
+      sweep.samples = sim::sweep_cpu_split(
+          node, Watts{b}, {Watts{40.0}, Watts{32.0}, Watts{2.0}});
+      const double oracle = core::oracle_best(sweep).perf;
+      const double coord = node.steady_state(alloc.cpu, alloc.mem).perf;
+      const auto mf = core::memory_first(profile, Watts{b});
+      const double mfp = node.steady_state(mf.cpu, mf.mem).perf;
+      t.add_row({wl.name, TableWriter::num(b, 0),
+                 TableWriter::num(oracle, 2), TableWriter::num(coord, 2),
+                 TableWriter::num(coord / oracle, 3),
+                 TableWriter::num(mfp / oracle, 3)});
+      const double gap = std::max(0.0, 1.0 - coord / oracle);
+      gap_sum += gap;
+      ++gap_n;
+      if (b >= 200.0) gap_large = std::max(gap_large, gap);
+      if (b <= 165.0) {
+        ++small_n;
+        if (coord >= 0.999 * mfp) ++wins_small;
+      }
+    }
+  }
+  t.render(std::cout);
+  std::cout << "\nmean COORD gap over accepted budgets: "
+            << TableWriter::num(100.0 * gap_sum / gap_n, 1)
+            << "%  (paper: 9.6%)\n"
+            << "worst gap at large caps (>=200 W): "
+            << TableWriter::num(100.0 * gap_large, 1)
+            << "%  (paper: <5%)\n"
+            << "COORD >= memory-first at small budgets: " << wins_small << "/"
+            << small_n << " cases\n";
+}
+
+void gpu_accuracy(const hw::GpuMachine& card) {
+  bench::print_section("GPU: COORD vs oracle vs default policy (" +
+                       card.name + ")");
+  TableWriter t({"benchmark", "cap_W", "P_totref_W", "oracle", "COORD",
+                 "COORD/oracle", "COORD/default"});
+  double worst_gap = 0.0;
+  double best_gain = 0.0;
+  for (const auto& wl : workload::gpu_suite()) {
+    const sim::GpuNodeSim node(card, wl);
+    const auto p = core::profile_gpu_params(node);
+    for (double cap : {125.0, 150.0, 175.0, 200.0, 250.0, 300.0}) {
+      const auto samples = sim::sweep_gpu_split(node, Watts{cap});
+      double oracle = 0.0;
+      for (const auto& s : samples) oracle = std::max(oracle, s.perf);
+      const auto a = core::coord_gpu(p, node.gpu_model(), Watts{cap});
+      const double coord =
+          node.steady_state(a.mem_clock_index, Watts{cap}).perf;
+      const double dflt = node.default_policy(Watts{cap}).perf;
+      t.add_row({wl.name, TableWriter::num(cap, 0),
+                 TableWriter::num(p.tot_ref.value(), 1),
+                 TableWriter::num(oracle, 1), TableWriter::num(coord, 1),
+                 TableWriter::num(coord / oracle, 3),
+                 TableWriter::num(coord / dflt, 3)});
+      worst_gap = std::max(worst_gap, 1.0 - coord / oracle);
+      best_gain = std::max(best_gain, coord / dflt - 1.0);
+    }
+  }
+  t.render(std::cout);
+  std::cout << "worst COORD gap vs oracle: "
+            << TableWriter::num(100.0 * worst_gap, 1)
+            << "%  (paper: <2%)\n"
+            << "max gain over default policy: +"
+            << TableWriter::num(100.0 * best_gain, 1)
+            << "%  (paper: up to 33%)\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 9", "COORD accuracy vs baselines");
+  cpu_accuracy();
+  gpu_accuracy(hw::titan_xp());
+  gpu_accuracy(hw::titan_v());
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Google-benchmark microbenchmarks of the simulator itself: how fast the
+// closed-form governor fixed point, the time-stepped engine, and the
+// parallel sweep runner execute. These bound how large a budget×split grid
+// the characterization harnesses can afford.
+#include <benchmark/benchmark.h>
+
+#include "core/coord.hpp"
+#include "core/critical.hpp"
+#include "hw/platforms.hpp"
+#include "sim/engine.hpp"
+#include "sim/sweep.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+using namespace pbc;
+
+namespace {
+
+void BM_CpuSteadyState(benchmark::State& state) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::sra());
+  double cap = 80.0;
+  for (auto _ : state) {
+    cap = cap >= 160.0 ? 80.0 : cap + 1.0;
+    benchmark::DoNotOptimize(
+        node.steady_state(Watts{cap}, Watts{240.0 - cap}));
+  }
+}
+BENCHMARK(BM_CpuSteadyState);
+
+void BM_GpuSteadyState(benchmark::State& state) {
+  const sim::GpuNodeSim node(hw::titan_xp(), workload::minife());
+  std::size_t clk = 0;
+  for (auto _ : state) {
+    clk = (clk + 1) % node.gpu_model().mem_clock_count();
+    benchmark::DoNotOptimize(node.steady_state(clk, Watts{200.0}));
+  }
+}
+BENCHMARK(BM_GpuSteadyState);
+
+void BM_SplitSweep(benchmark::State& state) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_mg());
+  const Watts step{static_cast<double>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::sweep_cpu_split(
+        node, Watts{240.0}, {Watts{40.0}, Watts{32.0}, step}));
+  }
+}
+BENCHMARK(BM_SplitSweep)->Arg(8)->Arg(4)->Arg(2);
+
+void BM_BudgetSweepParallel(benchmark::State& state) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_ft());
+  const auto budgets = sim::budget_grid(Watts{140.0}, Watts{280.0},
+                                        Watts{10.0});
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::sweep_cpu_budgets(node, budgets, {}, &pool));
+  }
+}
+BENCHMARK(BM_BudgetSweepParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_TimeSteppedEngine(benchmark::State& state) {
+  sim::EngineConfig cfg;
+  cfg.duration = Seconds{0.5};
+  cfg.warmup = Seconds{0.1};
+  const sim::RaplEngine engine(hw::ivybridge_node(), workload::stream_cpu(),
+                               cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(Watts{120.0}, Watts{100.0}));
+  }
+}
+BENCHMARK(BM_TimeSteppedEngine);
+
+void BM_CriticalPowerProfiling(benchmark::State& state) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_lu());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::profile_critical_powers(node));
+  }
+}
+BENCHMARK(BM_CriticalPowerProfiling);
+
+void BM_CoordDecision(benchmark::State& state) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::dgemm());
+  const auto profile = core::profile_critical_powers(node);
+  double budget = 140.0;
+  for (auto _ : state) {
+    budget = budget >= 260.0 ? 140.0 : budget + 0.5;
+    benchmark::DoNotOptimize(core::coord_cpu(profile, Watts{budget}));
+  }
+}
+BENCHMARK(BM_CoordDecision);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,27 @@
+// The executable reproduction scorecard: every headline claim, run fresh
+// and judged against its acceptance band (EXPERIMENTS.md as code). Exits
+// non-zero if any claim drifts out of band, so scripts can gate on it.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/scorecard.hpp"
+
+int main() {
+  using namespace pbc;
+  bench::print_header("Scorecard", "headline claims, re-validated live");
+
+  const auto results = core::run_scorecard();
+  TableWriter t({"status", "id", "paper claim", "measured"});
+  for (const auto& r : results) {
+    t.add_row({r.in_band ? "PASS" : "OUT-OF-BAND", r.id, r.claim,
+               r.measured});
+  }
+  t.render(std::cout);
+
+  const bool ok = core::all_in_band(results);
+  std::cout << '\n'
+            << (ok ? "all claims in band" : "SOME CLAIMS OUT OF BAND")
+            << " (" << results.size() << " checks)\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// Research question 4 (§2.1): "What ranges of P_b are acceptable regarding
+// achievable performance and power efficiency?" — the budget-planning
+// table a higher-level power scheduler consumes, derived per benchmark
+// from the perf_max frontier and its efficiency curve.
+//
+// Paper guidance this harness instantiates (§3.1 insights):
+//  * budgets below the productive threshold should be rejected or
+//    reclaimed;
+//  * over-budgeting beyond saturation wastes power — return the surplus;
+//  * schedulers should differentiate between applications: the acceptable
+//    ranges are strongly workload-dependent.
+#include "bench_common.hpp"
+#include "core/budget_plan.hpp"
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+
+using namespace pbc;
+
+int main() {
+  bench::print_header("RQ4", "acceptable budget ranges per benchmark");
+
+  for (const auto& machine : {hw::ivybridge_node(), hw::haswell_node()}) {
+    bench::print_section(machine.name);
+    TableWriter t({"benchmark", "reject_below_W", "efficient_at_W",
+                   "diminishing_at_W", "saturation_at_W", "peak_perf",
+                   "perf/W_at_efficient"});
+    for (const auto& wl : workload::cpu_suite()) {
+      const sim::CpuNodeSim node(machine, wl);
+      const auto plan = core::plan_budget(node);
+      t.add_row({wl.name, TableWriter::num(plan.reject_below.value(), 0),
+                 TableWriter::num(plan.efficient_at.value(), 0),
+                 TableWriter::num(plan.diminishing_at.value(), 0),
+                 TableWriter::num(plan.saturation_at.value(), 0),
+                 TableWriter::num(plan.peak_perf, 1),
+                 TableWriter::num(plan.peak_efficiency, 3)});
+    }
+    t.render(std::cout);
+  }
+  std::cout << "\n(budgets below reject_below run in categories IV-VI only; "
+               "budgets past saturation_at are pure surplus to reclaim — "
+               "the paper's §3.1 scheduling insights as a lookup table)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Table 1 — Optimal allocation and critical component vs. power budget
+// (SRA on the IvyBridge node), plus the §3.4.2 shift-asymmetry example.
+//
+// Paper findings this harness must reproduce:
+//  * with a large budget all six scenarios are valid and the optimum sits
+//    inside scenario I (no critical component);
+//  * as the budget shrinks, scenario I disappears and the optimum moves to
+//    the II|III intersection (DRAM critical), then III|IV (CPU critical),
+//    then deeper;
+//  * at 224 W, shifting 24 W away from DRAM costs ~50% performance while
+//    shifting 24 W away from the CPU costs ~10%.
+#include "bench_common.hpp"
+#include "core/optimal.hpp"
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+
+using namespace pbc;
+
+int main() {
+  bench::print_header("Table 1",
+                      "Optimal allocation & critical component vs budget "
+                      "(SRA, IvyBridge)");
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::sra());
+
+  TableWriter t({"budget_W", "valid_scenarios", "intersection", "critical",
+                 "best_cpu_W", "best_mem_W", "perf_max",
+                 "loss_mem_under", "loss_cpu_under"});
+  for (double b : {300.0, 260.0, 240.0, 224.0, 208.0, 192.0, 176.0, 160.0,
+                   148.0}) {
+    const auto row = core::optimal_allocation_row(
+        node, Watts{b}, Watts{24.0}, {Watts{40.0}, Watts{32.0}, Watts{4.0}});
+    std::string valid;
+    for (const auto c : row.valid_scenarios) {
+      if (!valid.empty()) valid += ',';
+      valid += core::to_string(c);
+    }
+    const std::string inter =
+        std::string(core::to_string(row.intersection.first)) + "|" +
+        core::to_string(row.intersection.second);
+    t.add_row({TableWriter::num(b, 0), valid, inter,
+               row.critical ? hw::to_string(*row.critical) : "none",
+               TableWriter::num(row.best_proc.value(), 0),
+               TableWriter::num(row.best_mem.value(), 0),
+               TableWriter::num(row.perf_max, 3),
+               TableWriter::num(100.0 * row.loss_mem_underpowered, 1) + "%",
+               TableWriter::num(100.0 * row.loss_proc_underpowered, 1) + "%"});
+  }
+  t.render(std::cout);
+
+  bench::print_section("§3.4.2 shift example at 224 W");
+  const auto row = core::optimal_allocation_row(
+      node, Watts{224.0}, Watts{24.0}, {Watts{40.0}, Watts{32.0}, Watts{4.0}});
+  std::cout << "optimal split: (" << TableWriter::num(row.best_proc.value(), 0)
+            << " W cpu, " << TableWriter::num(row.best_mem.value(), 0)
+            << " W mem); paper: (108, 116)\n"
+            << "shift 24 W DRAM->CPU: -"
+            << TableWriter::num(100.0 * row.loss_mem_underpowered, 1)
+            << "% (paper: -50%)\n"
+            << "shift 24 W CPU->DRAM: -"
+            << TableWriter::num(100.0 * row.loss_proc_underpowered, 1)
+            << "% (paper: -10%)\n";
+  return 0;
+}

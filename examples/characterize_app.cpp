@@ -1,0 +1,120 @@
+// characterize_app: the end-to-end workflow a user follows to bring their
+// *own* application under power-bounded management:
+//
+//  1. run the application instrumented (here: one of the suite benchmarks
+//     standing in for "your app") and FIT a workload model from the probe
+//     runs (core::fit_single_phase — bandwidth, energy/byte, MLP ceiling,
+//     clock sensitivity, activity);
+//  2. WRITE the fitted descriptor to a file (workload::to_text) so later
+//     tools can load it without refitting;
+//  3. RELOAD it and derive the power-management artifacts: critical power
+//     values, the COORD allocation for a budget, and the RQ4 budget plan.
+//
+// Usage: ./build/examples/characterize_app [benchmark] [out.workload]
+#include <fstream>
+#include <iostream>
+
+#include "core/budget_plan.hpp"
+#include "core/coord.hpp"
+#include "core/model_fit.hpp"
+#include "hw/platforms.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/serialize.hpp"
+
+using namespace pbc;
+
+int main(int argc, char** argv) {
+  const auto parsed = CliArgs::parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error().to_string() << '\n';
+    return 1;
+  }
+  const std::string bench = parsed.value().positional(0, "CG");
+  const std::string out_path =
+      parsed.value().positional(1, "/tmp/myapp.workload");
+
+  const auto truth = workload::cpu_benchmark(bench);
+  if (!truth.ok()) {
+    std::cerr << truth.error().to_string() << '\n';
+    return 1;
+  }
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const sim::CpuNodeSim node(machine, truth.value());
+
+  // --- 1. fit ---
+  const core::FittedPhase fit = core::fit_single_phase(node);
+  std::cout << "fitted model of '" << bench << "' from 2 probe runs:\n"
+            << "  bytes/unit        = " << fit.bytes_per_unit << '\n'
+            << "  energy/byte scale = " << fit.mem_energy_scale << '\n'
+            << "  MLP ceiling       = " << fit.max_bw_frac << " of peak\n"
+            << "  clock exponent    = " << fit.freq_scaling << '\n'
+            << "  activity (top P)  = " << fit.activity_eff << '\n'
+            << "  intensity class   = "
+            << to_string(core::classify_intensity(fit, machine)) << "\n\n";
+
+  // --- 2. write the descriptor ---
+  workload::Workload fitted;
+  fitted.name = bench + "-fitted";
+  fitted.description = "fitted by characterize_app";
+  fitted.nominal_intensity = core::classify_intensity(fit, machine);
+  fitted.metric_name = truth.value().metric_name;
+  fitted.metric_per_gunit = truth.value().metric_per_gunit;
+  workload::Phase p;
+  p.name = "fitted";
+  p.flops_per_unit = std::max(fit.effective_flops_per_unit, 1e-3);
+  p.compute_eff = 1.0;  // folded into effective_flops_per_unit
+  p.bytes_per_unit = fit.bytes_per_unit;
+  p.mem_energy_scale = fit.mem_energy_scale;
+  p.max_bw_frac = std::max(fit.max_bw_frac, 0.05);
+  p.freq_scaling = fit.compute_bound ? 0.0 : fit.freq_scaling;
+  p.activity = fit.activity_eff;
+  fitted.phases = {p};
+
+  std::ofstream out(out_path);
+  out << workload::to_text(fitted);
+  out.close();
+  std::cout << "wrote descriptor to " << out_path << "\n\n";
+
+  // --- 3. reload and derive management artifacts ---
+  std::ifstream in(out_path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const auto reloaded = workload::from_text(text);
+  if (!reloaded.ok()) {
+    std::cerr << "reload failed: " << reloaded.error().to_string() << '\n';
+    return 1;
+  }
+  const sim::CpuNodeSim fitted_node(machine, reloaded.value());
+  const auto profile = core::profile_critical_powers(fitted_node);
+  const auto plan = core::plan_budget(fitted_node);
+
+  TableWriter t({"artifact", "value"});
+  t.add_row({"productive threshold",
+             TableWriter::num(profile.productive_threshold().value(), 1) +
+                 " W"});
+  t.add_row({"max power demand",
+             TableWriter::num(profile.max_demand().value(), 1) + " W"});
+  t.add_row({"efficiency-optimal budget",
+             TableWriter::num(plan.efficient_at.value(), 0) + " W"});
+  t.add_row({"saturation budget",
+             TableWriter::num(plan.saturation_at.value(), 0) + " W"});
+  const auto alloc = core::coord_cpu(profile, Watts{200.0});
+  t.add_row({"COORD split at 200 W",
+             TableWriter::num(alloc.cpu.value(), 1) + " W cpu / " +
+                 TableWriter::num(alloc.mem.value(), 1) + " W mem"});
+  t.render(std::cout);
+
+  // Sanity: how close is the fitted model's behaviour to the real app?
+  const auto truth_200 =
+      node.steady_state(alloc.cpu, alloc.mem);
+  const auto fitted_200 = fitted_node.steady_state(alloc.cpu, alloc.mem);
+  std::cout << "\nfitted-model perf at that split: " << fitted_200.perf
+            << " vs ground truth " << truth_200.perf << " ("
+            << TableWriter::num(
+                   100.0 * fitted_200.perf / std::max(truth_200.perf, 1e-9),
+                   1)
+            << "% of truth)\n";
+  return 0;
+}

@@ -1,0 +1,189 @@
+// power_sweep: characterize any benchmark on any platform — the same
+// methodology the paper uses for Figs. 3/4/7 — from the command line.
+//
+// Usage:
+//   power_sweep [benchmark] [platform] [budget_watts] [--step=W]
+//               [--csv=FILE]
+//
+//   benchmark: SRA STREAM DGEMM BT SP LU EP IS CG FT MG   (CPU suite)
+//              SGEMM CUFFT MiniFE Cloverleaf HPCG          (GPU suite;
+//              STREAM resolves to the CPU version unless the platform is a
+//              GPU)
+//   platform:  ivybridge | haswell | titanxp | titanv
+//   --step=W        grid step for CPU sweeps (default 4)
+//   --csv=FILE      dump the raw sweep as CSV for external plotting
+//   --workload=FILE load a custom workload descriptor (see
+//                   src/workload/serialize.hpp) instead of a suite
+//                   benchmark; the positional benchmark name is ignored
+//
+// Prints the full split sweep with actual powers, governor mechanisms, and
+// scenario categories, plus an ASCII rendering of the performance curve.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/categorize.hpp"
+#include "hw/platforms.hpp"
+#include "sim/sweep.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+#include "workload/serialize.hpp"
+
+using namespace pbc;
+
+namespace {
+
+/// Loads a workload: from a descriptor file when --workload was given,
+/// otherwise from the named suite.
+Result<workload::Workload> load_workload(const std::string& file,
+                                         const std::string& bench,
+                                         bool gpu_platform) {
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) return not_found("cannot read workload file " + file);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return workload::from_text(text);
+  }
+  return gpu_platform ? workload::gpu_benchmark(bench)
+                      : workload::cpu_benchmark(bench);
+}
+
+void dump_csv(const std::string& path, const sim::BudgetSweep& sweep) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return;
+  }
+  CsvWriter csv(out, {"mem_cap_w", "proc_cap_w", "perf", "proc_power_w",
+                      "mem_power_w", "avail_bw_gbps"});
+  for (const auto& s : sweep.samples) {
+    csv.write_row({std::to_string(s.mem_cap.value()),
+                   std::to_string(s.proc_cap.value()),
+                   std::to_string(s.perf),
+                   std::to_string(s.proc_power.value()),
+                   std::to_string(s.mem_power.value()),
+                   std::to_string(s.avail_bw.value())});
+  }
+  std::cout << "\nwrote " << csv.rows_written() << " rows to " << path
+            << '\n';
+}
+
+int run_cpu(const hw::CpuMachine& machine, const std::string& bench,
+            double budget, double step, const std::string& csv_path,
+            const std::string& workload_file) {
+  const auto wl = load_workload(workload_file, bench, /*gpu_platform=*/false);
+  if (!wl.ok()) {
+    std::cerr << wl.error().to_string() << '\n';
+    return 1;
+  }
+  const sim::CpuNodeSim node(machine, wl.value());
+  sim::BudgetSweep sweep;
+  sweep.budget = Watts{budget};
+  sweep.samples = sim::sweep_cpu_split(
+      node, Watts{budget}, {Watts{40.0}, Watts{32.0}, Watts{step}});
+
+  std::cout << wl.value().name << " on " << machine.name << " at " << budget
+            << " W\n\n";
+  TableWriter t({"mem_W", "cpu_W", "perf_" + wl.value().metric_name, "cpuW",
+                 "memW", "category"});
+  PlotSeries perf{"perf", {}, {}};
+  for (const auto& s : sweep.samples) {
+    t.add_row({TableWriter::num(s.mem_cap.value(), 0),
+               TableWriter::num(s.proc_cap.value(), 0),
+               TableWriter::num(s.perf, 3),
+               TableWriter::num(s.proc_power.value(), 1),
+               TableWriter::num(s.mem_power.value(), 1),
+               core::to_string(core::categorize_cpu(s, machine))});
+    perf.x.push_back(s.mem_cap.value());
+    perf.y.push_back(s.perf);
+  }
+  t.render(std::cout);
+  std::cout << "\nspans: "
+            << core::format_spans(core::category_spans_cpu(sweep, machine))
+            << "\n\n";
+  PlotOptions opt;
+  opt.title = "perf vs memory allocation";
+  opt.x_label = "memory power allocation (W)";
+  std::cout << render_plot({perf}, opt);
+  if (!csv_path.empty()) dump_csv(csv_path, sweep);
+  return 0;
+}
+
+int run_gpu(const hw::GpuMachine& card, const std::string& bench,
+            double budget, const std::string& csv_path,
+            const std::string& workload_file) {
+  const auto wl = load_workload(workload_file, bench, /*gpu_platform=*/true);
+  if (!wl.ok()) {
+    std::cerr << wl.error().to_string() << '\n';
+    return 1;
+  }
+  const sim::GpuNodeSim node(card, wl.value());
+  sim::BudgetSweep sweep;
+  sweep.budget = Watts{budget};
+  sweep.samples = sim::sweep_gpu_split(node, Watts{budget});
+
+  std::cout << wl.value().name << " on " << card.name << " at cap " << budget
+            << " W\n\n";
+  TableWriter t({"mem_clock_MHz", "est_mem_W", "perf_" + wl.value().metric_name,
+                 "sm_step", "totalW", "category"});
+  for (std::size_t i = 0; i < sweep.samples.size(); ++i) {
+    const auto& s = sweep.samples[i];
+    t.add_row({TableWriter::num(card.gpu.mem_clocks_mhz[s.mem_clock_index], 0),
+               TableWriter::num(s.mem_cap.value(), 1),
+               TableWriter::num(s.perf, 1), std::to_string(s.sm_step),
+               TableWriter::num(s.total_power().value(), 1),
+               core::to_string(core::categorize_gpu(sweep, i))});
+  }
+  t.render(std::cout);
+  if (!csv_path.empty()) dump_csv(csv_path, sweep);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = CliArgs::parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error().to_string() << '\n';
+    return 1;
+  }
+  const CliArgs& args = parsed.value();
+  if (const auto unknown = args.unknown_options({"step", "csv", "workload"});
+      !unknown.empty()) {
+    std::cerr << "unknown option --" << unknown.front()
+              << " (supported: --step=W, --csv=FILE, --workload=FILE)\n";
+    return 1;
+  }
+
+  const std::string bench = args.positional(0, "SRA");
+  const std::string platform = args.positional(1, "ivybridge");
+  const double budget = args.positional_num(2, 0.0);
+  const double step = args.value_num("step", 4.0);
+  const std::string csv_path = args.value("csv").value_or("");
+  const std::string wl_file = args.value("workload").value_or("");
+
+  if (platform == "ivybridge") {
+    return run_cpu(hw::ivybridge_node(), bench,
+                   budget > 0 ? budget : 240.0, step, csv_path, wl_file);
+  }
+  if (platform == "haswell") {
+    return run_cpu(hw::haswell_node(), bench, budget > 0 ? budget : 230.0,
+                   step, csv_path, wl_file);
+  }
+  if (platform == "titanxp") {
+    return run_gpu(hw::titan_xp(), bench, budget > 0 ? budget : 200.0,
+                   csv_path, wl_file);
+  }
+  if (platform == "titanv") {
+    return run_gpu(hw::titan_v(), bench, budget > 0 ? budget : 200.0,
+                   csv_path, wl_file);
+  }
+  std::cerr << "unknown platform '" << platform
+            << "' (ivybridge|haswell|titanxp|titanv)\n";
+  return 1;
+}

@@ -1,0 +1,100 @@
+// powercap_tool: drive the node the way system tooling does — through the
+// powercap-sysfs file tree and the nvidia-smi command line — rather than
+// through the library API.
+//
+//  1. program PKG/DRAM limits by writing
+//     intel-rapl:0*/constraint_0_power_limit_uw;
+//  2. run a workload under the time-stepped RAPL control loop;
+//  3. read energy back from the (register-quantized) energy_uj counters;
+//  4. drive a GPU via `nvidia-smi -pl` / `nvidia-settings` command lines.
+//
+// Usage: ./build/examples/powercap_tool [cpu_cap_w] [mem_cap_w]
+#include <cstdlib>
+#include <iostream>
+
+#include "hw/platforms.hpp"
+#include "nvml/smi.hpp"
+#include "rapl/powercap.hpp"
+#include "sim/engine.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbc;
+
+  const long cpu_uw = (argc > 1 ? std::atol(argv[1]) : 110) * 1000000L;
+  const long mem_uw = (argc > 2 ? std::atol(argv[2]) : 95) * 1000000L;
+
+  // --- CPU side: the powercap sysfs tree ---
+  rapl::RaplMsr msr;
+  rapl::PowercapFs fs(&msr);
+
+  std::cout << "powercap tree:\n";
+  for (const auto& path : fs.list()) {
+    std::cout << "  /sys/class/powercap/" << path << '\n';
+  }
+
+  auto must_write = [&](const std::string& path, const std::string& value) {
+    if (const auto r = fs.write(path, value); !r.ok()) {
+      std::cerr << "write " << path << ": " << r.error().to_string() << '\n';
+      std::exit(1);
+    }
+  };
+  must_write("intel-rapl:0/enabled", "1");
+  must_write("intel-rapl:0/constraint_0_power_limit_uw",
+             std::to_string(cpu_uw));
+  must_write("intel-rapl:0/constraint_0_time_window_us", "46000");
+  must_write("intel-rapl:0:0/enabled", "1");
+  must_write("intel-rapl:0:0/constraint_0_power_limit_uw",
+             std::to_string(mem_uw));
+
+  std::cout << "\nprogrammed limits: PKG "
+            << fs.read("intel-rapl:0/constraint_0_power_limit_uw").value()
+            << " uW, DRAM "
+            << fs.read("intel-rapl:0:0/constraint_0_power_limit_uw").value()
+            << " uW (window "
+            << fs.read("intel-rapl:0/constraint_0_time_window_us").value()
+            << " us)\n";
+
+  // --- run the control loop under the programmed limits ---
+  const auto wl = workload::npb_mg();
+  sim::EngineConfig cfg;
+  cfg.duration = Seconds{1.0};
+  cfg.warmup = Seconds{0.2};
+  const sim::RaplEngine engine(hw::ivybridge_node(), wl, cfg);
+  const auto run = engine.run(fs.power_limit(rapl::Domain::kPackage),
+                              fs.power_limit(rapl::Domain::kDram));
+
+  // Mirror the engine's metered energy into the tree's counters, the way
+  // the firmware would.
+  msr.accumulate_energy(rapl::Domain::kPackage, run.cpu_energy);
+  msr.accumulate_energy(rapl::Domain::kDram, run.mem_energy);
+
+  std::cout << "\nran " << wl.name << " for 0.8 s (post-warmup):\n"
+            << "  perf:        " << run.aggregate.perf << ' '
+            << wl.metric_name << "\n"
+            << "  avg power:   " << run.aggregate.proc_power.value()
+            << " W PKG, " << run.aggregate.mem_power.value() << " W DRAM\n"
+            << "  energy_uj:   "
+            << fs.read("intel-rapl:0/energy_uj").value() << " (PKG), "
+            << fs.read("intel-rapl:0:0/energy_uj").value() << " (DRAM)\n"
+            << "  overshoot:   " << 100.0 * run.cpu_overshoot_frac << "% / "
+            << 100.0 * run.mem_overshoot_frac << "% of ticks\n";
+
+  // --- GPU side: the command-line tools ---
+  nvml::NvmlDevice device(hw::titan_xp());
+  nvml::SmiCli cli(&device);
+  std::cout << "\nGPU via command line:\n";
+  for (const char* cmd :
+       {"nvidia-smi -pl 160",
+        "nvidia-settings -a [gpu:0]/GPUMemoryTransferRateOffset=-1192",
+        "nvidia-smi -q -d POWER"}) {
+    const auto r = cli.run(cmd);
+    std::cout << "$ " << cmd << "\n" << r.output;
+    if (r.exit_code != 0) return r.exit_code;
+  }
+  const auto s = device.run(workload::minife());
+  std::cout << "MiniFE under those settings: " << s.perf
+            << " GFLOP/s at " << s.total_power().value() << " W board\n";
+  return 0;
+}

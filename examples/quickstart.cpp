@@ -1,0 +1,73 @@
+// Quickstart: the five-minute tour of the pbc public API.
+//
+//  1. pick a platform preset and a workload;
+//  2. profile the workload's critical power values (seven pinned runs);
+//  3. ask COORD for a coordinated split of a node power budget;
+//  4. simulate the run under those caps and inspect the outcome.
+//
+// Build & run:  ./build/examples/quickstart [budget_watts]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/coord.hpp"
+#include "core/critical.hpp"
+#include "hw/platforms.hpp"
+#include "sim/cpu_node.hpp"
+#include "workload/cpu_suite.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbc;
+
+  const double budget = argc > 1 ? std::atof(argv[1]) : 208.0;
+
+  // 1. A machine and a workload.
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const workload::Workload wl = workload::stream_cpu();
+  const sim::CpuNodeSim node(machine, wl);
+  std::cout << "machine:  " << machine.name << "\n"
+            << "workload: " << wl.name << " (" << wl.description << ")\n"
+            << "budget:   " << budget << " W\n\n";
+
+  // 2. Lightweight profiling: the seven critical power values.
+  const core::CpuCriticalPowers profile = core::profile_critical_powers(node);
+  std::cout << "critical powers (W):\n"
+            << "  P_cpu,L1.." << "L4 = " << profile.cpu_l1.value() << ", "
+            << profile.cpu_l2.value() << ", " << profile.cpu_l3.value()
+            << ", " << profile.cpu_l4.value() << "\n"
+            << "  P_mem,L1..L3 = " << profile.mem_l1.value() << ", "
+            << profile.mem_l2.value() << ", " << profile.mem_l3.value()
+            << "\n"
+            << "  productive threshold = "
+            << profile.productive_threshold().value()
+            << " W, max demand = " << profile.max_demand().value() << " W\n\n";
+
+  // 3. COORD (Algorithm 1).
+  const core::CpuAllocation alloc = core::coord_cpu(profile, Watts{budget});
+  std::cout << "COORD allocation: cpu=" << alloc.cpu.value() << " W, mem="
+            << alloc.mem.value() << " W  [" << to_string(alloc.status)
+            << "]\n";
+  if (alloc.status == core::CoordStatus::kPowerSurplus) {
+    std::cout << "  surplus returned to the scheduler: "
+              << alloc.surplus.value() << " W\n";
+  }
+  if (alloc.status == core::CoordStatus::kBudgetTooSmall) {
+    std::cout << "  budget below the productive threshold — the node "
+                 "manager would reject this job.\n";
+    return 0;
+  }
+
+  // 4. Simulate the run under the coordinated caps.
+  const sim::AllocationSample run =
+      node.steady_state(alloc.cpu, alloc.mem);
+  std::cout << "\nsimulated steady state:\n"
+            << "  performance:  " << run.perf << ' ' << wl.metric_name << "\n"
+            << "  cpu power:    " << run.proc_power.value() << " W ("
+            << to_string(run.proc_region) << ", P-state "
+            << run.pstate_index << ")\n"
+            << "  dram power:   " << run.mem_power.value() << " W ("
+            << to_string(run.mem_region) << ", "
+            << run.avail_bw.value() << " GB/s granted)\n"
+            << "  total:        " << run.total_power().value() << " W (cap "
+            << budget << " W)\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "core/balance.hpp"
+
+#include <algorithm>
+
+namespace pbc::core {
+
+namespace {
+// "Excessively powered": far above any component's maximum demand.
+constexpr Watts kOverprovision{100000.0};
+}  // namespace
+
+BalancePoint balance_at(const sim::CpuNodeSim& node, Watts proc_cap,
+                        Watts mem_cap) {
+  BalancePoint bp;
+  bp.proc_cap = proc_cap;
+  bp.mem_cap = mem_cap;
+  bp.compute_capacity = node.steady_state(proc_cap, kOverprovision).perf;
+  bp.mem_capacity = node.steady_state(kOverprovision, mem_cap).perf;
+  bp.actual = node.steady_state(proc_cap, mem_cap).perf;
+  bp.compute_utilization =
+      bp.compute_capacity > 0.0
+          ? std::min(1.0, bp.actual / bp.compute_capacity)
+          : 0.0;
+  bp.mem_utilization =
+      bp.mem_capacity > 0.0 ? std::min(1.0, bp.actual / bp.mem_capacity) : 0.0;
+  return bp;
+}
+
+std::vector<BalancePoint> balance_sweep(const sim::CpuNodeSim& node,
+                                        Watts budget, Watts mem_lo,
+                                        Watts proc_lo, Watts step) {
+  std::vector<BalancePoint> points;
+  const double hi = budget.value() - proc_lo.value();
+  for (double m = mem_lo.value(); m <= hi + 1e-9; m += step.value()) {
+    points.push_back(balance_at(node, Watts{budget.value() - m}, Watts{m}));
+  }
+  return points;
+}
+
+}  // namespace pbc::core

@@ -1,0 +1,43 @@
+// Capacity/utilization balance analysis (paper §3.4.1, Fig. 5).
+//
+// The capacity of a component under a power allocation is its highest
+// achievable rate when the *other* component is excessively powered; the
+// utilization is the ratio of the actual achieved rate to that capacity.
+// At the optimal split both utilizations approach 100% — compute and
+// memory access are balanced; away from it one component's capacity goes
+// unused while the other saturates.
+#pragma once
+
+#include <vector>
+
+#include "sim/cpu_node.hpp"
+
+namespace pbc::core {
+
+struct BalancePoint {
+  Watts proc_cap{0.0};
+  Watts mem_cap{0.0};
+  /// Compute capacity: achieved rate with this processor cap and
+  /// overprovisioned memory (workload display metric).
+  double compute_capacity = 0.0;
+  /// Memory-access capacity: achieved rate with this memory cap and an
+  /// overprovisioned processor.
+  double mem_capacity = 0.0;
+  /// Rate actually achieved with both caps applied.
+  double actual = 0.0;
+  /// actual / capacity, each clipped to [0, 1].
+  double compute_utilization = 0.0;
+  double mem_utilization = 0.0;
+};
+
+/// Balance analysis for one split.
+[[nodiscard]] BalancePoint balance_at(const sim::CpuNodeSim& node,
+                                      Watts proc_cap, Watts mem_cap);
+
+/// Balance across a split sweep of one budget: mem caps from `mem_lo` to
+/// budget − proc_lo in `step` increments.
+[[nodiscard]] std::vector<BalancePoint> balance_sweep(
+    const sim::CpuNodeSim& node, Watts budget, Watts mem_lo = Watts{48.0},
+    Watts proc_lo = Watts{40.0}, Watts step = Watts{8.0});
+
+}  // namespace pbc::core

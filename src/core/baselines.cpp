@@ -1,0 +1,40 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pbc::core {
+
+const sim::AllocationSample& oracle_best(
+    const sim::BudgetSweep& sweep) noexcept {
+  assert(!sweep.samples.empty());
+  return *sweep.best();
+}
+
+CpuAllocation memory_first(const CpuCriticalPowers& p, Watts budget) noexcept {
+  CpuAllocation a;
+  const double pb = budget.value();
+  // Memory gets its full demand first (but never squeezes the CPU below its
+  // hardware floor), the CPU whatever remains.
+  a.mem = Watts{std::min(p.mem_l1.value(),
+                         std::max(pb - p.cpu_l4.value(), 0.0))};
+  a.cpu = Watts{pb - a.mem.value()};
+  if (pb >= p.max_demand().value()) {
+    a.cpu = p.cpu_l1;
+    a.status = CoordStatus::kPowerSurplus;
+    a.surplus = Watts{pb - a.total().value()};
+  } else if (pb < p.productive_threshold().value()) {
+    a.status = CoordStatus::kBudgetTooSmall;
+  }
+  return a;
+}
+
+CpuAllocation fixed_ratio_split(Watts budget, double cpu_fraction) noexcept {
+  CpuAllocation a;
+  const double f = std::clamp(cpu_fraction, 0.0, 1.0);
+  a.cpu = Watts{budget.value() * f};
+  a.mem = Watts{budget.value() * (1.0 - f)};
+  return a;
+}
+
+}  // namespace pbc::core

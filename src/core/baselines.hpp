@@ -1,0 +1,34 @@
+// Baseline allocation strategies COORD is evaluated against (paper §6.3).
+//
+//  * oracle_best        — the best split found by an exhaustive sweep (the
+//                         paper's "best identified from experiments").
+//  * memory_first       — the strategy of the ICPP'16 paper [19]:
+//                         conservatively warrant memory its full demand at
+//                         every budget and give the CPU the rest.
+//  * fixed_ratio_split  — a static, application-oblivious split (the
+//                         "poorly coordinated" reference).
+//  * The default Nvidia GPU policy (memory always at nominal clock) is
+//    exposed by sim::GpuNodeSim::default_policy.
+#pragma once
+
+#include "core/coord.hpp"
+#include "sim/sweep.hpp"
+
+namespace pbc::core {
+
+/// Best-performing sample of an exhaustive split sweep. The sweep must be
+/// non-empty.
+[[nodiscard]] const sim::AllocationSample& oracle_best(
+    const sim::BudgetSweep& sweep) noexcept;
+
+/// Memory-first strategy [19]: allocate memory its maximum demand (clipped
+/// so the CPU keeps at least its floor) and the remainder to the CPU.
+[[nodiscard]] CpuAllocation memory_first(const CpuCriticalPowers& profile,
+                                         Watts budget) noexcept;
+
+/// Static split: cpu_fraction of the budget to the processor, the rest to
+/// memory. Application-oblivious.
+[[nodiscard]] CpuAllocation fixed_ratio_split(Watts budget,
+                                              double cpu_fraction) noexcept;
+
+}  // namespace pbc::core

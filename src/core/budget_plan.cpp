@@ -1,0 +1,60 @@
+#include "core/budget_plan.hpp"
+
+#include <algorithm>
+
+namespace pbc::core {
+
+BudgetPlan plan_budget(const sim::CpuNodeSim& node,
+                       const BudgetPlanOptions& opt) {
+  BudgetPlan plan;
+  const CpuCriticalPowers profile = profile_critical_powers(node);
+  plan.reject_below = profile.productive_threshold();
+
+  // Frontier from the threshold to comfortably past the max demand.
+  const Watts lo = plan.reject_below;
+  const Watts hi{profile.max_demand().value() + 40.0};
+  const auto budgets = sim::budget_grid(lo, hi, opt.grid_step);
+  plan.frontier = perf_frontier_cpu(node, budgets, opt.sweep);
+  if (plan.frontier.empty()) return plan;
+
+  plan.saturation_at = saturation_budget(plan.frontier);
+  plan.peak_perf = plan.frontier.back().perf_max;
+
+  // Peak efficiency: perf_max per watt actually consumed at the best split.
+  double best_eff = -1.0;
+  for (const auto& fp : plan.frontier) {
+    const double consumed = fp.consumed.value();
+    const double eff = consumed > 0.0 ? fp.perf_max / consumed : 0.0;
+    if (eff > best_eff) {
+      best_eff = eff;
+      plan.efficient_at = fp.budget;
+      plan.perf_at_efficient = fp.perf_max;
+    }
+  }
+  plan.peak_efficiency = best_eff;
+
+  // Diminishing returns: first budget whose marginal perf per watt drops
+  // below knee_fraction of the largest marginal gain.
+  double max_marginal = 0.0;
+  std::vector<double> marginal(plan.frontier.size(), 0.0);
+  for (std::size_t i = 1; i < plan.frontier.size(); ++i) {
+    const double dp =
+        plan.frontier[i].perf_max - plan.frontier[i - 1].perf_max;
+    const double db = plan.frontier[i].budget.value() -
+                      plan.frontier[i - 1].budget.value();
+    marginal[i] = db > 0.0 ? dp / db : 0.0;
+    max_marginal = std::max(max_marginal, marginal[i]);
+  }
+  plan.diminishing_at = plan.frontier.back().budget;
+  for (std::size_t i = 1; i < plan.frontier.size(); ++i) {
+    // Look for the first knee *after* the steep region has been seen.
+    if (marginal[i] < opt.knee_fraction * max_marginal &&
+        plan.frontier[i].perf_max > 0.5 * plan.peak_perf) {
+      plan.diminishing_at = plan.frontier[i].budget;
+      break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace pbc::core

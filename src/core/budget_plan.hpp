@@ -1,0 +1,50 @@
+// Budget planning — the paper's research question 4: "what ranges of P_b
+// are acceptable regarding achievable performance and power efficiency?"
+//
+// For a (workload, machine) pair the planner derives the budget landmarks
+// a higher-level scheduler needs:
+//   * reject_below   — the productive threshold (categories I-III
+//                       unreachable underneath; §5.1 heuristic 1);
+//   * efficient_at   — the budget maximizing perf per consumed watt;
+//   * diminishing_at — where the marginal perf per extra budget watt falls
+//                       under a knee fraction of its peak;
+//   * saturation_at  — where perf_max stops growing (extra power is pure
+//                       surplus; §3.1 "power over-budgeting wastes power").
+#pragma once
+
+#include <vector>
+
+#include "core/critical.hpp"
+#include "core/frontier.hpp"
+#include "sim/cpu_node.hpp"
+
+namespace pbc::core {
+
+struct BudgetPlan {
+  Watts reject_below{0.0};
+  Watts efficient_at{0.0};
+  Watts diminishing_at{0.0};
+  Watts saturation_at{0.0};
+  /// perf_max at saturation (the workload's best on this machine).
+  double peak_perf = 0.0;
+  /// Best perf-per-consumed-watt observed, and the perf there.
+  double peak_efficiency = 0.0;
+  double perf_at_efficient = 0.0;
+  /// The frontier the landmarks were derived from.
+  std::vector<FrontierPoint> frontier;
+};
+
+struct BudgetPlanOptions {
+  Watts grid_step{8.0};
+  /// Marginal gain below this fraction of the peak marginal gain counts
+  /// as diminishing returns.
+  double knee_fraction = 0.25;
+  sim::CpuSweepOptions sweep{Watts{48.0}, Watts{40.0}, Watts{4.0}};
+};
+
+/// Builds the plan from a frontier sweep between the productive threshold
+/// and beyond the max demand.
+[[nodiscard]] BudgetPlan plan_budget(const sim::CpuNodeSim& node,
+                                     const BudgetPlanOptions& opt = {});
+
+}  // namespace pbc::core

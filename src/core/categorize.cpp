@@ -1,0 +1,164 @@
+#include "core/categorize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pbc::core {
+
+namespace {
+
+/// Relative slope of perf with respect to sample index, normalized by the
+/// sweep's best performance (so thresholds are scale-free).
+double local_rel_slope(const sim::BudgetSweep& sweep, std::size_t i) {
+  const auto& s = sweep.samples;
+  if (s.size() < 2) return 0.0;
+  double best = 0.0;
+  for (const auto& x : s) best = std::max(best, x.perf);
+  if (best <= 0.0) return 0.0;
+  const std::size_t lo = i > 0 ? i - 1 : i;
+  const std::size_t hi = i + 1 < s.size() ? i + 1 : i;
+  const double dx = static_cast<double>(hi - lo);
+  return dx > 0.0 ? (s[hi].perf - s[lo].perf) / dx / best : 0.0;
+}
+
+}  // namespace
+
+Category categorize_cpu(const sim::AllocationSample& s,
+                        const hw::CpuMachine& machine) noexcept {
+  // Floor violations first: these caps are not respected by hardware.
+  if (s.proc_cap.value() < machine.cpu.floor.value() ||
+      s.proc_region == sim::ProcRegion::kSleepFloor) {
+    return Category::kVI;
+  }
+  if (s.mem_cap.value() < machine.dram.floor.value() ||
+      s.mem_region == sim::MemRegion::kFloor) {
+    return Category::kV;
+  }
+  // Duty-cycle throttling = seriously constrained CPU.
+  if (s.proc_region == sim::ProcRegion::kTState) return Category::kIV;
+
+  const bool proc_top =
+      s.pstate_index + 1 == machine.cpu.pstates.size() && s.duty >= 1.0;
+  const bool mem_unthrottled = s.mem_region == sim::MemRegion::kUnthrottled;
+
+  if (proc_top && mem_unthrottled) return Category::kI;
+  if (!proc_top && mem_unthrottled) return Category::kII;
+  if (proc_top && !mem_unthrottled) return Category::kIII;
+
+  // Both constrained (only at small budgets where spans overlap): attribute
+  // the sample to the more deeply constrained component.
+  const double depth_cpu =
+      1.0 - static_cast<double>(s.pstate_index) /
+                static_cast<double>(machine.cpu.pstates.size() - 1);
+  const double span = machine.dram.peak_bw.value() - machine.dram.min_bw.value();
+  const double depth_mem =
+      span > 0.0
+          ? (machine.dram.peak_bw.value() - s.avail_bw.value()) / span
+          : 0.0;
+  return depth_cpu >= depth_mem ? Category::kII : Category::kIII;
+}
+
+Category categorize_cpu_blackbox(const sim::BudgetSweep& sweep,
+                                 std::size_t index,
+                                 const hw::CpuMachine& machine) {
+  const auto& s = sweep.samples[index];
+  constexpr double kTrackTolW = 4.0;   // "actual ≈ cap"
+  constexpr double kFloorTolW = 1.5;
+
+  // Power pinned at a hardware floor while the cap sits below it.
+  if (s.proc_power.value() <= machine.cpu.floor.value() + kFloorTolW &&
+      s.proc_cap.value() <= s.proc_power.value() + kTrackTolW) {
+    return Category::kVI;
+  }
+  if (s.mem_power.value() <= machine.dram.floor.value() + kFloorTolW &&
+      s.mem_cap.value() <= s.mem_power.value() + kTrackTolW) {
+    return Category::kV;
+  }
+
+  const bool proc_tracks =
+      s.proc_cap.value() - s.proc_power.value() < kTrackTolW;
+  const bool mem_tracks = s.mem_cap.value() - s.mem_power.value() < kTrackTolW;
+
+  if (!proc_tracks && !mem_tracks) return Category::kI;
+  if (mem_tracks && !proc_tracks) return Category::kIII;
+
+  // CPU-constrained side: distinguish the gentle DVFS region (II) from the
+  // duty-cycling cliff (IV) by slope steepness relative to the sweep median.
+  std::vector<double> slopes;
+  slopes.reserve(sweep.samples.size());
+  for (std::size_t i = 0; i < sweep.samples.size(); ++i) {
+    slopes.push_back(std::fabs(local_rel_slope(sweep, i)));
+  }
+  std::nth_element(slopes.begin(), slopes.begin() + slopes.size() / 2,
+                   slopes.end());
+  const double median_slope = slopes[slopes.size() / 2];
+  const double here = std::fabs(local_rel_slope(sweep, index));
+  return here > 3.0 * std::max(median_slope, 1e-4) ? Category::kIV
+                                                   : Category::kII;
+}
+
+Category categorize_gpu(const sim::BudgetSweep& sweep,
+                        std::size_t index) noexcept {
+  // Per-index relative slope; ±1% per clock step counts as flat.
+  constexpr double kFlatTol = 0.01;
+  const double g = local_rel_slope(sweep, index);
+  if (std::fabs(g) <= kFlatTol) return Category::kI;
+  return g > 0.0 ? Category::kIII : Category::kII;
+}
+
+namespace {
+
+template <class Classifier>
+std::vector<CategorySpan> build_spans(const sim::BudgetSweep& sweep,
+                                      Classifier&& classify) {
+  std::vector<CategorySpan> spans;
+  for (std::size_t i = 0; i < sweep.samples.size(); ++i) {
+    const Category c = classify(i);
+    if (!spans.empty() && spans.back().category == c) {
+      spans.back().last = i;
+      spans.back().mem_hi = sweep.samples[i].mem_cap;
+    } else {
+      spans.push_back(CategorySpan{c, i, i, sweep.samples[i].mem_cap,
+                                   sweep.samples[i].mem_cap});
+    }
+  }
+  return spans;
+}
+
+}  // namespace
+
+std::vector<CategorySpan> category_spans_cpu(const sim::BudgetSweep& sweep,
+                                             const hw::CpuMachine& machine) {
+  return build_spans(sweep, [&](std::size_t i) {
+    return categorize_cpu(sweep.samples[i], machine);
+  });
+}
+
+std::vector<CategorySpan> category_spans_gpu(const sim::BudgetSweep& sweep) {
+  return build_spans(sweep,
+                     [&](std::size_t i) { return categorize_gpu(sweep, i); });
+}
+
+std::vector<Category> categories_present(
+    const std::vector<CategorySpan>& spans) {
+  std::vector<Category> cats;
+  for (const auto& sp : spans) {
+    if (std::find(cats.begin(), cats.end(), sp.category) == cats.end()) {
+      cats.push_back(sp.category);
+    }
+  }
+  return cats;
+}
+
+std::string format_spans(const std::vector<CategorySpan>& spans) {
+  std::ostringstream ss;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i) ss << ' ';
+    ss << to_string(spans[i].category) << '[' << spans[i].mem_lo.value() << ','
+       << spans[i].mem_hi.value() << ']';
+  }
+  return ss.str();
+}
+
+}  // namespace pbc::core

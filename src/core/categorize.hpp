@@ -1,0 +1,91 @@
+// Scenario categorization of cross-component power allocations (paper §3.2).
+//
+// For a fixed total budget, each split of the budget between processor and
+// memory falls into one of six categories on CPU machines:
+//   I   adequate power for both components
+//   II  adequate memory power, lightly constrained CPU power (DVFS region)
+//   III adequate CPU power, constrained memory power (BW throttling)
+//   IV  adequate memory power, seriously constrained CPU power (T-states)
+//   V   adequate CPU power, minimum memory power (DRAM at its floor)
+//   VI  adequate memory power, minimum CPU power (package at its floor)
+// GPUs expose only I-III: the driver's cap clamps and automatic budget
+// reclaim remove the catastrophic configurations (§4).
+//
+// Two classifiers are provided: a mechanism-aware one that reads the
+// governor telemetry the simulator reports (which power-saving state was
+// engaged), and a black-box one that, like the paper's Fig. 3 analysis,
+// uses only the externally observable performance and actual-power curves.
+// Tests cross-validate them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "sim/sweep.hpp"
+
+namespace pbc::core {
+
+enum class Category { kI, kII, kIII, kIV, kV, kVI };
+
+[[nodiscard]] constexpr const char* to_string(Category c) noexcept {
+  switch (c) {
+    case Category::kI:
+      return "I";
+    case Category::kII:
+      return "II";
+    case Category::kIII:
+      return "III";
+    case Category::kIV:
+      return "IV";
+    case Category::kV:
+      return "V";
+    case Category::kVI:
+      return "VI";
+  }
+  return "?";
+}
+
+/// Mechanism-aware classification of one sample on a CPU machine.
+[[nodiscard]] Category categorize_cpu(const sim::AllocationSample& s,
+                                      const hw::CpuMachine& machine) noexcept;
+
+/// Black-box classification of sample `index` within a split sweep, using
+/// only perf / actual-power observations (no governor telemetry). The sweep
+/// must be in ascending mem_cap order, as produced by sweep_cpu_split.
+[[nodiscard]] Category categorize_cpu_blackbox(const sim::BudgetSweep& sweep,
+                                               std::size_t index,
+                                               const hw::CpuMachine& machine);
+
+/// GPU classification of sample `index` within a memory-clock sweep (ascending
+/// estimated memory power): flat perf → I, falling → II, rising → III.
+[[nodiscard]] Category categorize_gpu(const sim::BudgetSweep& sweep,
+                                      std::size_t index) noexcept;
+
+/// A contiguous run of samples sharing one category along the split axis.
+struct CategorySpan {
+  Category category = Category::kI;
+  std::size_t first = 0;  ///< sample indices [first, last]
+  std::size_t last = 0;
+  Watts mem_lo{0.0};      ///< mem_cap range covered
+  Watts mem_hi{0.0};
+};
+
+/// Splits a CPU budget sweep into category spans (mechanism-aware).
+[[nodiscard]] std::vector<CategorySpan> category_spans_cpu(
+    const sim::BudgetSweep& sweep, const hw::CpuMachine& machine);
+
+/// Splits a GPU memory-clock sweep into category spans.
+[[nodiscard]] std::vector<CategorySpan> category_spans_gpu(
+    const sim::BudgetSweep& sweep);
+
+/// The distinct categories present, in span order (paper: the set shrinks
+/// as the total budget shrinks).
+[[nodiscard]] std::vector<Category> categories_present(
+    const std::vector<CategorySpan>& spans);
+
+/// Renders spans like "V[40,64] III[68,116] I[120,128] II[132,188] ...".
+[[nodiscard]] std::string format_spans(const std::vector<CategorySpan>& spans);
+
+}  // namespace pbc::core

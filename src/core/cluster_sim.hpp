@@ -1,0 +1,103 @@
+// Discrete-event simulation of a power-bounded cluster over time.
+//
+// ClusterScheduler (scheduler.hpp) answers the static question — how to
+// split a global budget across a fixed job set. This module adds the
+// temporal dimension the paper's §2 premise implies ("a large-scale system
+// reconfigures itself according to its current workload"): jobs arrive
+// over time, each carries a fixed amount of work, nodes and watts are
+// claimed at start and released at completion, and freed power immediately
+// lets queued jobs start. Policies differ in how a node's budget is split
+// (COORD vs a naive fixed ratio) and whether unproductive grants are
+// refused (admission control).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/coord.hpp"
+#include "sim/cpu_node.hpp"
+
+namespace pbc::core {
+
+/// One job in the arrival trace.
+struct SimJob {
+  std::string name;
+  workload::Workload wl;
+  Seconds arrival{0.0};
+  /// Work to complete, in the workload's Gunits.
+  double work_gunits = 1.0;
+};
+
+/// How a node's budget is split for a job.
+enum class SplitPolicy {
+  kCoord,       ///< Algorithm 1 from the job's critical-power profile
+  kEvenSplit,   ///< cpu = mem = budget/2, application-oblivious
+};
+
+/// Queue discipline.
+enum class QueuePolicy {
+  kFifo,      ///< strict order; a power-starved head blocks the queue
+  kBackfill,  ///< a blocked head lets smaller queued jobs start (EASY-style)
+};
+
+struct ClusterSimConfig {
+  std::size_t nodes = 4;
+  /// GPU nodes in the cluster (0 = CPU-only). GPU jobs (workloads with
+  /// Domain::kGpu) queue for these; their grant is a board cap chosen by
+  /// Algorithm 2.
+  std::size_t gpu_nodes = 0;
+  Watts global_budget{800.0};
+  SplitPolicy policy = SplitPolicy::kCoord;
+  QueuePolicy queue_policy = QueuePolicy::kFifo;
+  /// Refuse to start a job whose grant is below its productive threshold
+  /// (paper: small budgets should not run new jobs). When false, jobs
+  /// start with whatever power is free.
+  bool admission_control = true;
+  /// Power granted per job: its max demand if free power allows, never
+  /// more.
+  Watts min_grant{100.0};  ///< absolute floor on a grant without admission
+};
+
+/// Per-job outcome.
+struct JobOutcome {
+  std::string name;
+  Seconds arrival{0.0};
+  Seconds start{0.0};
+  Seconds finish{0.0};
+  Watts budget{0.0};
+  double perf = 0.0;       ///< steady-state rate during execution
+  Joules energy{0.0};      ///< actual consumption over the run
+
+  [[nodiscard]] Seconds wait() const noexcept {
+    return Seconds{start.value() - arrival.value()};
+  }
+  [[nodiscard]] Seconds response() const noexcept {
+    return Seconds{finish.value() - arrival.value()};
+  }
+};
+
+struct ClusterRun {
+  std::vector<JobOutcome> jobs;  ///< completed jobs, in finish order
+  Seconds makespan{0.0};
+  Seconds mean_wait{0.0};
+  Seconds mean_response{0.0};
+  Joules total_energy{0.0};
+  /// Aggregate work completed per joule.
+  double work_per_joule = 0.0;
+};
+
+/// Runs the event simulation to completion (all jobs finish eventually:
+/// freed power always lets the queue head start).
+[[nodiscard]] ClusterRun simulate_cluster(const hw::CpuMachine& node_type,
+                                          std::vector<SimJob> jobs,
+                                          const ClusterSimConfig& config);
+
+/// Heterogeneous variant: CPU jobs run on `node_type`, GPU jobs on
+/// `gpu_type` cards (config.gpu_nodes of them), all drawing from the same
+/// global power budget.
+[[nodiscard]] ClusterRun simulate_cluster(const hw::CpuMachine& node_type,
+                                          const hw::GpuMachine& gpu_type,
+                                          std::vector<SimJob> jobs,
+                                          const ClusterSimConfig& config);
+
+}  // namespace pbc::core

@@ -1,0 +1,94 @@
+#include "core/coord.hpp"
+
+#include <algorithm>
+
+namespace pbc::core {
+
+CpuAllocation coord_cpu(const CpuCriticalPowers& p, Watts budget,
+                        CpuCoordVariant variant) noexcept {
+  CpuAllocation a;
+  const double pb = budget.value();
+
+  if (pb >= p.cpu_l1.value() + p.mem_l1.value()) {
+    // (A) Adequate power for both: cap each at its maximum demand and hand
+    // the remainder back.
+    a.cpu = p.cpu_l1;
+    a.mem = p.mem_l1;
+    a.status = CoordStatus::kPowerSurplus;
+    a.surplus = Watts{pb - a.total().value()};
+  } else if (pb >= p.cpu_l2.value() + p.mem_l1.value()) {
+    // (B) Adequate power for one: warrant memory its full demand — memory
+    // constraints hurt performance more than DVFS does (scenario III vs II).
+    a.mem = p.mem_l1;
+    a.cpu = Watts{pb - a.mem.value()};
+  } else if (pb >= p.cpu_l2.value() + p.mem_l2.value()) {
+    if (variant == CpuCoordVariant::kProportional) {
+      // (C) Neither component is adequate: split the headroom above the
+      // lowest-performance-state powers in proportion to the demand ranges.
+      const double pd_cpu = p.cpu_l1.value() - p.cpu_l2.value();
+      const double pd_mem = p.mem_l1.value() - p.mem_l2.value();
+      const double pct_cpu =
+          pd_cpu + pd_mem > 0.0 ? pd_cpu / (pd_cpu + pd_mem) : 0.5;
+      const double prop = pb - (p.cpu_l2.value() + p.mem_l2.value());
+      a.cpu = Watts{p.cpu_l2.value() + pct_cpu * prop};
+      a.mem = Watts{pb - a.cpu.value()};
+    } else {
+      // (C') Extension: pin the processor at the bottom of its DVFS range
+      // and spend every remaining watt on memory bandwidth.
+      a.cpu = p.cpu_l2;
+      a.mem = Watts{pb - a.cpu.value()};
+    }
+  } else {
+    // (D) Below the productive threshold: both components would have to be
+    // throttled down; reject the job (still return a best-effort split in
+    // case the caller insists on running).
+    a.status = CoordStatus::kBudgetTooSmall;
+    const double cpu_share = std::clamp(pb - p.mem_l3.value(),
+                                        p.cpu_l4.value(),
+                                        p.cpu_l3.value());
+    a.cpu = Watts{cpu_share};
+    a.mem = Watts{std::max(pb - cpu_share, p.mem_l3.value())};
+  }
+  return a;
+}
+
+std::size_t mem_clock_for_power(const hw::GpuModel& model,
+                                Watts power) noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < model.mem_clock_count(); ++i) {
+    if (model.estimated_mem_power(i).value() <= power.value() + 1e-9) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+GpuAllocation coord_gpu(const GpuProfileParams& p, const hw::GpuModel& model,
+                        Watts budget, double gamma) noexcept {
+  GpuAllocation a;
+  const double pb = budget.value();
+
+  if (pb >= p.tot_max.value()) {
+    a.status = CoordStatus::kPowerSurplus;
+    a.surplus = Watts{pb - p.tot_max.value()};
+  }
+
+  if (p.compute_intensive) {
+    // Compute intensive: starve memory, feed the SMs.
+    a.mem = p.mem_min;
+  } else if (pb >= p.tot_ref.value()) {
+    // Memory intensive with enough total power: memory at full speed.
+    a.mem = p.mem_max;
+  } else {
+    // In between: balance, splitting the headroom above the all-minimum
+    // operating point.
+    a.mem = Watts{p.mem_min.value() +
+                  gamma * std::max(pb - p.tot_min.value(), 0.0)};
+  }
+  a.mem = clamp(a.mem, p.mem_min, p.mem_max);
+  a.sm = Watts{std::max(pb - a.mem.value(), 0.0)};
+  a.mem_clock_index = mem_clock_for_power(model, a.mem);
+  return a;
+}
+
+}  // namespace pbc::core

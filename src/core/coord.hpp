@@ -1,0 +1,92 @@
+// COORD — the category-based heuristic power coordination method
+// (paper Algorithm 1 for CPU computing, Algorithm 2 for GPU computing).
+//
+// Given a total node budget and the lightweight profile (critical power
+// values / GPU parameters), COORD picks a near-optimal cross-component
+// split without any allocation sweep. It partitions budgets into four
+// regimes (§5.1): (A) both components fully powered — flag the surplus;
+// (B) only one can be fully powered — warrant memory first; (C) neither —
+// split the headroom above the components' lowest-performance-state powers
+// proportionally to their demand ranges; (D) below the productive
+// threshold — reject the job.
+#pragma once
+
+#include "core/critical.hpp"
+#include "hw/gpu.hpp"
+#include "util/units.hpp"
+
+namespace pbc::core {
+
+enum class CoordStatus {
+  kSuccess,         ///< allocation within the productive range
+  kPowerSurplus,    ///< budget exceeds the application's maximum demand
+  kBudgetTooSmall,  ///< below the productive threshold; job should not run
+};
+
+[[nodiscard]] constexpr const char* to_string(CoordStatus s) noexcept {
+  switch (s) {
+    case CoordStatus::kSuccess:
+      return "success";
+    case CoordStatus::kPowerSurplus:
+      return "power-surplus";
+    case CoordStatus::kBudgetTooSmall:
+      return "budget-too-small";
+  }
+  return "?";
+}
+
+/// A coordinated CPU/DRAM allocation.
+struct CpuAllocation {
+  Watts cpu{0.0};
+  Watts mem{0.0};
+  CoordStatus status = CoordStatus::kSuccess;
+  /// Unused budget the node manager should hand back to the higher-level
+  /// scheduler (non-zero only with kPowerSurplus).
+  Watts surplus{0.0};
+
+  [[nodiscard]] Watts total() const noexcept { return cpu + mem; }
+};
+
+/// How regime (C) — neither component can be fully powered — splits the
+/// headroom.
+enum class CpuCoordVariant {
+  /// The paper's Algorithm 1: proportional to the components' demand
+  /// ranges (L1 − L2).
+  kProportional,
+  /// Extension (see DESIGN.md ablations): hold the processor at its
+  /// lowest-P-state power and give memory every remaining watt. Better on
+  /// platforms whose DRAM power is dominated by the background term, where
+  /// marginal memory watts buy disproportionate bandwidth.
+  kMemoryBiased,
+};
+
+/// Algorithm 1: category-based heuristic power coordination for CPU nodes.
+[[nodiscard]] CpuAllocation coord_cpu(
+    const CpuCriticalPowers& profile, Watts budget,
+    CpuCoordVariant variant = CpuCoordVariant::kProportional) noexcept;
+
+/// A coordinated SM/global-memory allocation. The memory share is realized
+/// as a clock setting; the board cap delivers the SM share (with automatic
+/// reclaim of whatever memory does not use).
+struct GpuAllocation {
+  Watts sm{0.0};
+  Watts mem{0.0};
+  CoordStatus status = CoordStatus::kSuccess;
+  Watts surplus{0.0};
+  std::size_t mem_clock_index = 0;  ///< realization of the memory share
+
+  [[nodiscard]] Watts total() const noexcept { return sm + mem; }
+};
+
+/// Algorithm 2: the GPU variant. gamma balances memory vs SM power for
+/// in-between budgets (paper: 0.5 empirically).
+[[nodiscard]] GpuAllocation coord_gpu(const GpuProfileParams& profile,
+                                      const hw::GpuModel& model, Watts budget,
+                                      double gamma = 0.5) noexcept;
+
+/// Highest supported memory clock whose estimated power does not exceed
+/// `power` (index 0 when even the lowest clock exceeds it).
+[[nodiscard]] std::size_t mem_clock_for_power(const hw::GpuModel& model,
+                                              Watts power) noexcept;
+
+}  // namespace pbc::core

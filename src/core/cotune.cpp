@@ -1,0 +1,64 @@
+#include "core/cotune.hpp"
+
+#include <algorithm>
+
+#include "sim/sweep.hpp"
+
+namespace pbc::core {
+
+namespace {
+
+/// Best solo performance of a job on the whole node under the budget.
+double solo_best(const hw::CpuMachine& machine, const workload::Workload& wl,
+                 Watts budget, const CoTuneOptions& opt) {
+  const sim::CpuNodeSim node(machine, wl);
+  double best = 0.0;
+  const double hi = budget.value() - opt.proc_lo.value();
+  for (double m = opt.mem_lo.value(); m <= hi + 1e-9;
+       m += opt.mem_step.value()) {
+    best = std::max(
+        best, node.steady_state(Watts{budget.value() - m}, Watts{m}).perf);
+  }
+  return best;
+}
+
+}  // namespace
+
+CoTuneResult cotune_pair(const hw::CpuMachine& machine,
+                         const workload::Workload& job_a,
+                         const workload::Workload& job_b, Watts total_budget,
+                         const CoTuneOptions& opt) {
+  CoTuneResult best;
+  best.solo_a = solo_best(machine, job_a, total_budget, opt);
+  best.solo_b = solo_best(machine, job_b, total_budget, opt);
+  if (best.solo_a <= 0.0 || best.solo_b <= 0.0) return best;
+
+  const int total_cores = machine.cpu.total_cores();
+  for (int cores_a = opt.min_cores; cores_a <= total_cores - opt.min_cores;
+       cores_a += opt.core_step) {
+    const int cores_b = total_cores - cores_a;
+    const sim::SharedCpuNodeSim shared(
+        machine, {{job_a, cores_a}, {job_b, cores_b}});
+    const double hi = total_budget.value() - opt.proc_lo.value();
+    for (double m = opt.mem_lo.value(); m <= hi + 1e-9;
+         m += opt.mem_step.value()) {
+      const auto s = shared.steady_state(
+          Watts{total_budget.value() - m}, Watts{m});
+      ++best.configurations_searched;
+      const double stp = s.tenants[0].perf / best.solo_a +
+                         s.tenants[1].perf / best.solo_b;
+      if (stp > best.stp) {
+        best.stp = stp;
+        best.cores_a = cores_a;
+        best.cores_b = cores_b;
+        best.cpu_cap = Watts{total_budget.value() - m};
+        best.mem_cap = Watts{m};
+        best.perf_a = s.tenants[0].perf;
+        best.perf_b = s.tenants[1].perf;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace pbc::core

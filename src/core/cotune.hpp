@@ -1,0 +1,54 @@
+// Co-scheduling tuner: place two jobs on one power-bounded node and search
+// the (core split × power split) space for the best aggregate outcome.
+//
+// Implements the paper's §8 "multi-task" future work on top of
+// sim::SharedCpuNodeSim. Quality is scored with system throughput (STP):
+// the sum of each tenant's performance normalized to what it achieves
+// running the node alone under the same total budget — the standard
+// co-run metric, which rewards pairings whose bottlenecks complement each
+// other (e.g. DGEMM + STREAM).
+#pragma once
+
+#include <vector>
+
+#include "sim/cpu_node.hpp"
+#include "sim/shared_node.hpp"
+
+namespace pbc::core {
+
+struct CoTuneOptions {
+  /// Core-split granularity (cores are moved between tenants in steps).
+  int core_step = 2;
+  /// Minimum cores per tenant.
+  int min_cores = 2;
+  /// Memory-cap grid step for the power split.
+  Watts mem_step{8.0};
+  Watts mem_lo{68.0};
+  Watts proc_lo{48.0};
+};
+
+struct CoTuneResult {
+  int cores_a = 0;
+  int cores_b = 0;
+  Watts cpu_cap{0.0};
+  Watts mem_cap{0.0};
+  /// Per-tenant performance at the chosen configuration.
+  double perf_a = 0.0;
+  double perf_b = 0.0;
+  /// Solo performance of each job on the whole node, same total budget.
+  double solo_a = 0.0;
+  double solo_b = 0.0;
+  /// System throughput: perf_a/solo_a + perf_b/solo_b (max 2 in theory).
+  double stp = 0.0;
+  std::size_t configurations_searched = 0;
+};
+
+/// Exhaustive search over core and power splits for two jobs under a total
+/// node budget.
+[[nodiscard]] CoTuneResult cotune_pair(const hw::CpuMachine& machine,
+                                       const workload::Workload& job_a,
+                                       const workload::Workload& job_b,
+                                       Watts total_budget,
+                                       const CoTuneOptions& opt = {});
+
+}  // namespace pbc::core

@@ -1,0 +1,51 @@
+#include "core/critical.hpp"
+
+namespace pbc::core {
+
+CpuCriticalPowers profile_critical_powers(const sim::CpuNodeSim& node) {
+  const auto& cpu = node.machine().cpu;
+  const auto& dram = node.machine().dram;
+  const GBps peak = dram.peak_bw;
+
+  const hw::CpuOperatingPoint top{cpu.pstates.size() - 1, 1.0, false};
+  const hw::CpuOperatingPoint lowest_p{0, 1.0, false};
+  const hw::CpuOperatingPoint deepest_t{0, cpu.min_duty(), false};
+
+  CpuCriticalPowers cp;
+  const sim::AllocationSample at_top = node.pinned(top, peak);
+  cp.cpu_l1 = at_top.proc_power;
+  cp.mem_l1 = at_top.mem_power;
+  cp.cpu_l2 = node.pinned(lowest_p, peak).proc_power;
+  const sim::AllocationSample at_deepest = node.pinned(deepest_t, peak);
+  cp.cpu_l3 = at_deepest.proc_power;
+  cp.mem_l2 = at_deepest.mem_power;
+  cp.cpu_l4 = cpu.floor;   // hardware-controlled, application-independent
+  cp.mem_l3 = dram.floor;  // likewise
+  return cp;
+}
+
+GpuProfileParams profile_gpu_params(const sim::GpuNodeSim& node) {
+  const auto& gpu = node.gpu_model();
+  const std::size_t top_sm = gpu.sm_step_count() - 1;
+  const std::size_t top_mem = gpu.mem_clock_count() - 1;
+
+  // The reference SM clock is the lowest *offset-reachable* one — the "min
+  // pairing frequency" of §5.2 — not the deep clocks only the board capper
+  // can reach.
+  const std::size_t pairing_step =
+      gpu.step_for_clock(node.machine().gpu.sm_pairing_min_mhz);
+
+  GpuProfileParams p;
+  p.tot_max = node.pinned(top_sm, top_mem).total_power();
+  p.tot_ref = node.pinned(pairing_step, top_mem).total_power();
+  p.tot_min = node.pinned(pairing_step, 0).total_power();
+  p.mem_min = gpu.estimated_mem_power(0);
+  p.mem_max = gpu.estimated_mem_power(top_mem);
+  // A demand close to the hardware maximum marks a compute-intensive
+  // application (paper: P_totmax near 300 W on the Titan XP).
+  p.compute_intensive =
+      p.tot_max.value() >= 0.95 * node.machine().gpu.board_max_cap.value();
+  return p;
+}
+
+}  // namespace pbc::core

@@ -1,0 +1,65 @@
+// Critical power values — the lightweight application profile that feeds
+// COORD (paper §5.1 / §5.2).
+//
+// On CPUs there are four processor values and three memory values, each the
+// power at a transition point of RAPL's mechanism ladder:
+//   P_cpu,L1  max package power (highest P-state)
+//   P_cpu,L2  package power at the lowest P-state           (end of DVFS)
+//   P_cpu,L3  package power at the deepest T-state          (end of throttling)
+//   P_cpu,L4  hardware floor (application-independent)
+//   P_mem,L1  DRAM power with everything at full speed
+//   P_mem,L2  DRAM power when the processor sits at P_cpu,L3
+//   P_mem,L3  DRAM hardware floor (application-independent)
+// They are measured with seven pinned runs — no allocation sweep needed.
+//
+// On GPUs only two per-application parameters are required (plus two
+// card-wide constants), reflecting the narrower management range:
+//   P_totmax  board power with no cap (also classifies compute-intensity)
+//   P_totref  board power with memory at nominal clock, SMs at minimum
+//   P_memmin / P_memmax  estimated memory power range of the card
+#pragma once
+
+#include "sim/cpu_node.hpp"
+#include "sim/gpu_node.hpp"
+
+namespace pbc::core {
+
+/// The seven CPU critical power values for one (workload, machine) pair.
+struct CpuCriticalPowers {
+  Watts cpu_l1{0.0};
+  Watts cpu_l2{0.0};
+  Watts cpu_l3{0.0};
+  Watts cpu_l4{0.0};
+  Watts mem_l1{0.0};
+  Watts mem_l2{0.0};
+  Watts mem_l3{0.0};
+
+  /// The minimum productive budget: below L2c + L2m the node cannot run in
+  /// categories I-III (paper heuristic 1).
+  [[nodiscard]] Watts productive_threshold() const noexcept {
+    return cpu_l2 + mem_l2;
+  }
+  /// The maximum useful budget: beyond L1c + L1m extra power is surplus.
+  [[nodiscard]] Watts max_demand() const noexcept { return cpu_l1 + mem_l1; }
+};
+
+/// Measures the critical powers with pinned runs (the "lightweight
+/// application profiling" of contribution 4).
+[[nodiscard]] CpuCriticalPowers profile_critical_powers(
+    const sim::CpuNodeSim& node);
+
+/// The GPU profile parameters for one (workload, card) pair.
+struct GpuProfileParams {
+  Watts tot_max{0.0};   ///< board power, no cap
+  Watts tot_ref{0.0};   ///< board power, memory nominal + SM minimum
+  Watts tot_min{0.0};   ///< board power, both domains at minimum
+  Watts mem_min{0.0};   ///< card constant: lowest estimated memory power
+  Watts mem_max{0.0};   ///< card constant: highest estimated memory power
+  bool compute_intensive = false;  ///< tot_max near the hardware maximum
+};
+
+/// Measures the GPU profile parameters with two pinned runs per
+/// application plus card constants (paper §5.2).
+[[nodiscard]] GpuProfileParams profile_gpu_params(const sim::GpuNodeSim& node);
+
+}  // namespace pbc::core

@@ -1,0 +1,104 @@
+#include "core/dynamic.hpp"
+
+#include <algorithm>
+
+#include "core/coord.hpp"
+#include "core/critical.hpp"
+
+namespace pbc::core {
+
+ShiftingResult replay_with_shifting(const sim::CpuNodeSim& node,
+                                    const workload::PhaseTrace& trace,
+                                    Watts total_budget,
+                                    const ShiftingConfig& cfg) {
+  ShiftingResult out;
+  const auto& wl = node.wl();
+  const auto& machine = node.machine();
+
+  // Per-phase single-phase simulators (as in replay_trace).
+  std::vector<sim::CpuNodeSim> phase_nodes;
+  phase_nodes.reserve(wl.phases.size());
+  for (const auto& phase : wl.phases) {
+    workload::Workload single = wl;
+    single.name = wl.name + "/" + phase.name;
+    single.phases = {phase};
+    single.phases[0].weight = 1.0;
+    phase_nodes.emplace_back(machine, std::move(single));
+  }
+
+  // Start from the static heuristic's split — the shifter is an *online
+  // refinement* of COORD, not a replacement.
+  const CpuCriticalPowers profile = profile_critical_powers(node);
+  const CpuAllocation start = coord_cpu(profile, total_budget);
+  double cpu_cap =
+      std::clamp(start.cpu.value(), cfg.cpu_min.value(),
+                 total_budget.value() - cfg.mem_min.value());
+  const double step = cfg.step.value();
+
+  double total_work = 0.0;
+  for (const auto& seg : trace) {
+    if (seg.phase_index >= phase_nodes.size() || seg.work_units <= 0.0) {
+      continue;
+    }
+    const auto& pn = phase_nodes[seg.phase_index];
+
+    // Hill-climb the split on this segment's phase: try one step in each
+    // direction, commit strict improvements, stop at a local optimum. The
+    // budget invariant cpu+mem == total holds throughout.
+    sim::AllocationSample s = pn.steady_state(
+        Watts{cpu_cap}, Watts{total_budget.value() - cpu_cap});
+    for (int i = 0; i < cfg.max_steps_per_segment; ++i) {
+      double best_cpu = cpu_cap;
+      sim::AllocationSample best = s;
+      for (const double candidate_cpu : {cpu_cap - step, cpu_cap + step}) {
+        if (candidate_cpu < cfg.cpu_min.value() ||
+            total_budget.value() - candidate_cpu < cfg.mem_min.value()) {
+          continue;
+        }
+        const sim::AllocationSample candidate = pn.steady_state(
+            Watts{candidate_cpu},
+            Watts{total_budget.value() - candidate_cpu});
+        if (candidate.perf > best.perf + 1e-12) {
+          best = candidate;
+          best_cpu = candidate_cpu;
+        }
+      }
+      if (best_cpu == cpu_cap) break;
+      cpu_cap = best_cpu;
+      s = best;
+      ++out.shifts;
+    }
+
+    out.caps.push_back(SegmentCaps{seg.phase_index, Watts{cpu_cap},
+                                   Watts{total_budget.value() - cpu_cap}});
+
+    sim::SegmentResult r;
+    r.phase_index = seg.phase_index;
+    r.work_units = seg.work_units;
+    r.rate_gunits = s.rate_gunits;
+    r.duration =
+        Seconds{s.rate_gunits > 0.0 ? seg.work_units / s.rate_gunits : 0.0};
+    r.proc_power = s.proc_power;
+    r.mem_power = s.mem_power;
+    out.replay.segments.push_back(r);
+    out.replay.total_time += r.duration;
+    out.replay.proc_energy += r.proc_power * r.duration;
+    out.replay.mem_energy += r.mem_power * r.duration;
+    total_work += seg.work_units;
+  }
+
+  auto& agg = out.replay.aggregate;
+  agg.proc_cap = Watts{cpu_cap};
+  agg.mem_cap = Watts{total_budget.value() - cpu_cap};
+  if (out.replay.total_time.value() > 0.0) {
+    agg.rate_gunits = total_work / out.replay.total_time.value();
+    agg.perf = agg.rate_gunits * wl.metric_per_gunit;
+    agg.proc_power = out.replay.proc_energy / out.replay.total_time;
+    agg.mem_power = out.replay.mem_energy / out.replay.total_time;
+  }
+  agg.proc_cap_respected = true;  // total never exceeds the budget
+  agg.mem_cap_respected = true;
+  return out;
+}
+
+}  // namespace pbc::core

@@ -1,0 +1,52 @@
+// Online dynamic cross-component power shifting — the paper's §5 "future
+// work": adapt the CPU/DRAM split at runtime instead of fixing it before
+// the job starts.
+//
+// The shifter starts from COORD's static split and, on every phase
+// segment of a trace, hill-climbs the split one step at a time while
+// keeping the total at the node budget (cf. Hanson et al.'s
+// processor-memory power shifting, ref. [20]). For phase-heterogeneous
+// workloads (FT's fft/transpose, BT's solve/exchange) no single static
+// split is right for every phase, so per-phase adaptation wins at tight
+// budgets.
+#pragma once
+
+#include "sim/cpu_node.hpp"
+#include "sim/trace_replay.hpp"
+#include "workload/trace.hpp"
+
+namespace pbc::core {
+
+struct ShiftingConfig {
+  /// Watts moved per control step.
+  Watts step{4.0};
+  /// Control steps allowed per segment (the climber settles quickly).
+  int max_steps_per_segment = 8;
+  /// Per-component lower bounds (hardware floors by default).
+  Watts cpu_min{48.0};
+  Watts mem_min{68.0};
+};
+
+/// Caps chosen for one segment.
+struct SegmentCaps {
+  std::size_t phase_index = 0;
+  Watts cpu_cap{0.0};
+  Watts mem_cap{0.0};
+};
+
+struct ShiftingResult {
+  /// Trace replay under the dynamic caps.
+  sim::TraceReplayResult replay;
+  /// The split the shifter converged to in each segment.
+  std::vector<SegmentCaps> caps;
+  /// Number of watts-moves performed over the whole trace.
+  std::size_t shifts = 0;
+};
+
+/// Replays `trace` with dynamic shifting under `total_budget`, starting
+/// from an even split.
+[[nodiscard]] ShiftingResult replay_with_shifting(
+    const sim::CpuNodeSim& node, const workload::PhaseTrace& trace,
+    Watts total_budget, const ShiftingConfig& cfg = {});
+
+}  // namespace pbc::core

@@ -1,0 +1,68 @@
+#include "core/frontier.hpp"
+
+#include <algorithm>
+
+namespace pbc::core {
+
+namespace {
+FrontierPoint to_point(const sim::BudgetSweep& sweep) {
+  FrontierPoint fp;
+  fp.budget = sweep.budget;
+  if (const sim::AllocationSample* best = sweep.best()) {
+    fp.perf_max = best->perf;
+    fp.best_proc_cap = best->proc_cap;
+    fp.best_mem_cap = best->mem_cap;
+    fp.consumed = best->total_power();
+  }
+  return fp;
+}
+}  // namespace
+
+std::vector<FrontierPoint> perf_frontier_cpu(const sim::CpuNodeSim& node,
+                                             std::span<const Watts> budgets,
+                                             const sim::CpuSweepOptions& opt,
+                                             ThreadPool* pool) {
+  const auto sweeps = sim::sweep_cpu_budgets(node, budgets, opt, pool);
+  std::vector<FrontierPoint> frontier;
+  frontier.reserve(sweeps.size());
+  for (const auto& sw : sweeps) frontier.push_back(to_point(sw));
+  return frontier;
+}
+
+std::vector<FrontierPoint> perf_frontier_gpu(const sim::GpuNodeSim& node,
+                                             std::span<const Watts> board_caps,
+                                             ThreadPool* pool) {
+  const auto sweeps = sim::sweep_gpu_budgets(node, board_caps, pool);
+  std::vector<FrontierPoint> frontier;
+  frontier.reserve(sweeps.size());
+  for (const auto& sw : sweeps) frontier.push_back(to_point(sw));
+  return frontier;
+}
+
+Result<PiecewiseLinear> frontier_curve(
+    std::span<const FrontierPoint> frontier) {
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(frontier.size());
+  for (const auto& fp : frontier) {
+    pts.emplace_back(fp.budget.value(), fp.perf_max);
+  }
+  return PiecewiseLinear::from_points(std::move(pts));
+}
+
+Watts saturation_budget(std::span<const FrontierPoint> frontier,
+                        double rel_tol) {
+  auto curve = frontier_curve(frontier);
+  if (!curve.ok()) return Watts{0.0};
+  return Watts{plateau_onset(curve.value(), rel_tol)};
+}
+
+Watts productive_budget(std::span<const FrontierPoint> frontier, double frac) {
+  if (frontier.empty()) return Watts{0.0};
+  const double target = frontier.back().perf_max * frac;
+  for (const auto& fp : frontier) {
+    if (fp.perf_max >= target) return fp.budget;
+  }
+  return frontier.back().budget;
+}
+
+}  // namespace pbc::core

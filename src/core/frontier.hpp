@@ -1,0 +1,55 @@
+// The upper performance bound perf_max(P_b) and its analysis (paper §3.1,
+// research question 1; Figs. 2 and 6).
+//
+// For each total budget the frontier records the best achievable
+// performance over all splits and the split that achieves it. The curve
+// analysis locates the saturation budget (beyond which extra power is
+// waste) and the productive threshold (below which performance and
+// efficiency are unacceptably poor) — the two budgeting guardrails the
+// paper derives for higher-level schedulers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/sweep.hpp"
+#include "util/interp.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pbc::core {
+
+struct FrontierPoint {
+  Watts budget{0.0};
+  double perf_max = 0.0;
+  Watts best_proc_cap{0.0};
+  Watts best_mem_cap{0.0};
+  /// Power actually consumed at the best split (≤ budget).
+  Watts consumed{0.0};
+};
+
+/// Frontier over a budget grid for a CPU node (parallel sweep per budget).
+[[nodiscard]] std::vector<FrontierPoint> perf_frontier_cpu(
+    const sim::CpuNodeSim& node, std::span<const Watts> budgets,
+    const sim::CpuSweepOptions& opt = {}, ThreadPool* pool = nullptr);
+
+/// Frontier over board caps for a GPU node.
+[[nodiscard]] std::vector<FrontierPoint> perf_frontier_gpu(
+    const sim::GpuNodeSim& node, std::span<const Watts> board_caps,
+    ThreadPool* pool = nullptr);
+
+/// perf_max as a piecewise-linear curve of the budget.
+[[nodiscard]] Result<PiecewiseLinear> frontier_curve(
+    std::span<const FrontierPoint> frontier);
+
+/// Smallest budget whose perf_max is within rel_tol of the final value —
+/// the point where provisioning more power stops paying (Fig. 2's "finally
+/// stops growing").
+[[nodiscard]] Watts saturation_budget(std::span<const FrontierPoint> frontier,
+                                      double rel_tol = 0.02);
+
+/// Smallest budget achieving at least `frac` of the final perf_max — a
+/// productive-threshold proxy for admission control.
+[[nodiscard]] Watts productive_budget(std::span<const FrontierPoint> frontier,
+                                      double frac = 0.25);
+
+}  // namespace pbc::core

@@ -1,0 +1,153 @@
+#include "core/hybrid.hpp"
+
+#include <algorithm>
+
+namespace pbc::core {
+
+namespace {
+
+struct Solo {
+  double host = 0.0;
+  double gpu = 0.0;
+};
+
+Solo solo_performance(const HybridNode& node) {
+  Solo s;
+  const sim::CpuNodeSim host(node.host, node.host_wl);
+  s.host = host.uncapped().perf;
+  const sim::GpuNodeSim gpu(node.gpu, node.gpu_wl);
+  s.gpu = gpu.steady_state(sim::GpuNodeSim(node.gpu, node.gpu_wl)
+                               .gpu_model()
+                               .mem_clock_count() -
+                               1,
+                           node.gpu.gpu.board_max_cap)
+              .perf;
+  // The default policy at max cap is not always the GPU's best; take the
+  // best over clocks.
+  for (std::size_t clk = 0; clk + 1 < gpu.gpu_model().mem_clock_count();
+       ++clk) {
+    s.gpu = std::max(
+        s.gpu, gpu.steady_state(clk, node.gpu.gpu.board_max_cap).perf);
+  }
+  return s;
+}
+
+HybridAllocation realize(const HybridNode& node, Watts host_share,
+                         Watts gpu_share, const CpuCriticalPowers& host_prof,
+                         const GpuProfileParams& gpu_prof, const Solo& solo) {
+  HybridAllocation a;
+  const sim::CpuNodeSim host(node.host, node.host_wl);
+  const sim::GpuNodeSim gpu(node.gpu, node.gpu_wl);
+
+  a.host = coord_cpu(host_prof, host_share);
+  const GpuAllocation g =
+      coord_gpu(gpu_prof, gpu.gpu_model(), gpu_share);
+  a.gpu_cap = gpu_share;
+  a.gpu_mem_clock_index = g.mem_clock_index;
+
+  a.host_perf =
+      host.steady_state(a.host.cpu, a.host.mem).perf;
+  a.gpu_perf = gpu.steady_state(g.mem_clock_index, gpu_share).perf;
+  a.utility = (solo.host > 0.0 ? a.host_perf / solo.host : 0.0) +
+              (solo.gpu > 0.0 ? a.gpu_perf / solo.gpu : 0.0);
+  return a;
+}
+
+}  // namespace
+
+HybridAllocation coord_hybrid(const HybridNode& node, Watts node_budget) {
+  const sim::CpuNodeSim host(node.host, node.host_wl);
+  const sim::GpuNodeSim gpu(node.gpu, node.gpu_wl);
+  const CpuCriticalPowers host_prof = profile_critical_powers(host);
+  const GpuProfileParams gpu_prof = profile_gpu_params(gpu);
+  const Solo solo = solo_performance(node);
+
+  // Component demand ranges: [productive minimum, full demand].
+  const double host_min = host_prof.productive_threshold().value();
+  const double host_max = host_prof.max_demand().value();
+  const double gpu_min = node.gpu.gpu.board_min_cap.value();
+  const double gpu_max = std::min(gpu_prof.tot_max.value(),
+                                  node.gpu.gpu.board_max_cap.value());
+  const double pb = node_budget.value();
+
+  double host_share;
+  double gpu_share;
+  CoordStatus status = CoordStatus::kSuccess;
+  double surplus = 0.0;
+  if (pb >= host_max + gpu_max) {
+    host_share = host_max;
+    gpu_share = gpu_max;
+    status = CoordStatus::kPowerSurplus;
+    surplus = pb - host_max - gpu_max;
+  } else if (pb >= host_min + gpu_min) {
+    // Proportional shares of the headroom above the productive minima,
+    // weighted by each side's demand range (Algorithm 1's regime C logic,
+    // lifted one level up).
+    const double range_host = host_max - host_min;
+    const double range_gpu = gpu_max - gpu_min;
+    const double pct_host =
+        range_host + range_gpu > 0.0
+            ? range_host / (range_host + range_gpu)
+            : 0.5;
+    const double headroom = pb - host_min - gpu_min;
+    host_share = std::min(host_min + pct_host * headroom, host_max);
+    gpu_share = std::min(pb - host_share, gpu_max);
+    host_share = pb - gpu_share;  // return any GPU clamp-back to the host
+    host_share = std::min(host_share, host_max);
+  } else {
+    // Not enough for both to run productively.
+    status = CoordStatus::kBudgetTooSmall;
+    host_share = std::max(pb - gpu_min, 0.0);
+    gpu_share = pb - host_share;
+  }
+
+  HybridAllocation a =
+      realize(node, Watts{host_share}, Watts{gpu_share}, host_prof,
+              gpu_prof, solo);
+  a.status = status;
+  a.surplus = Watts{surplus};
+  return a;
+}
+
+HybridAllocation hybrid_oracle(const HybridNode& node, Watts node_budget,
+                               Watts step) {
+  const sim::CpuNodeSim host(node.host, node.host_wl);
+  const sim::GpuNodeSim gpu(node.gpu, node.gpu_wl);
+  const Solo solo = solo_performance(node);
+  const double pb = node_budget.value();
+  const double gpu_lo = node.gpu.gpu.board_min_cap.value();
+  const double gpu_hi = std::min(node.gpu.gpu.board_max_cap.value(),
+                                 pb - node.host.floor_power().value());
+
+  HybridAllocation best;
+  best.utility = -1.0;
+  for (double g = gpu_lo; g <= gpu_hi + 1e-9; g += step.value()) {
+    const double host_budget = pb - g;
+    for (std::size_t clk = 0; clk < gpu.gpu_model().mem_clock_count();
+         ++clk) {
+      const double gpu_perf = gpu.steady_state(clk, Watts{g}).perf;
+      // Host split grid.
+      for (double m = node.host.dram.floor.value();
+           m <= host_budget - node.host.cpu.floor.value() + 1e-9;
+           m += step.value()) {
+        const double host_perf =
+            host.steady_state(Watts{host_budget - m}, Watts{m}).perf;
+        const double utility =
+            (solo.host > 0.0 ? host_perf / solo.host : 0.0) +
+            (solo.gpu > 0.0 ? gpu_perf / solo.gpu : 0.0);
+        if (utility > best.utility) {
+          best.utility = utility;
+          best.host.cpu = Watts{host_budget - m};
+          best.host.mem = Watts{m};
+          best.gpu_cap = Watts{g};
+          best.gpu_mem_clock_index = clk;
+          best.host_perf = host_perf;
+          best.gpu_perf = gpu_perf;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace pbc::core

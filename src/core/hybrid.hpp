@@ -1,0 +1,62 @@
+// Hybrid-node power coordination: a host (CPU package + DRAM) and a
+// discrete GPU under one node power budget.
+//
+// §2 of the paper defers "hybrid computing" to future work; this module
+// extends COORD hierarchically to the three-component case that dominates
+// accelerated HPC nodes (the paper's Summit motivation). The node budget
+// is first divided between the host and the GPU board by the same
+// regime logic as Algorithm 1 — full demands when affordable, otherwise
+// proportional shares of the headroom above the productive minima — and
+// each side then runs its own COORD (Algorithm 1 for CPU+DRAM,
+// Algorithm 2 for SM+memory).
+//
+// Quality is scored with node utility: each side's performance normalized
+// to its unconstrained solo performance, summed (2.0 = both at full
+// speed), so the heuristic can be compared against an exhaustive
+// two-level sweep oracle.
+#pragma once
+
+#include "core/coord.hpp"
+#include "sim/cpu_node.hpp"
+#include "sim/gpu_node.hpp"
+
+namespace pbc::core {
+
+/// A host job and a GPU job sharing one node.
+struct HybridNode {
+  hw::CpuMachine host;
+  hw::GpuMachine gpu;
+  workload::Workload host_wl;
+  workload::Workload gpu_wl;
+};
+
+struct HybridAllocation {
+  CoordStatus status = CoordStatus::kSuccess;
+  Watts surplus{0.0};
+  /// Host share and its internal split.
+  CpuAllocation host;
+  /// GPU board cap and the memory clock Algorithm 2 picked.
+  Watts gpu_cap{0.0};
+  std::size_t gpu_mem_clock_index = 0;
+  /// Simulated outcomes.
+  double host_perf = 0.0;
+  double gpu_perf = 0.0;
+  /// host_perf/host_solo + gpu_perf/gpu_solo, in [0, 2].
+  double utility = 0.0;
+
+  [[nodiscard]] Watts total() const noexcept {
+    return host.total() + gpu_cap;
+  }
+};
+
+/// Hierarchical COORD across host and GPU.
+[[nodiscard]] HybridAllocation coord_hybrid(const HybridNode& node,
+                                            Watts node_budget);
+
+/// Exhaustive two-level sweep: GPU share grid × host split grid,
+/// maximizing utility. The reference COORD is compared against.
+[[nodiscard]] HybridAllocation hybrid_oracle(const HybridNode& node,
+                                             Watts node_budget,
+                                             Watts step = Watts{8.0});
+
+}  // namespace pbc::core

@@ -1,0 +1,45 @@
+#include "core/interpolation.hpp"
+
+#include <algorithm>
+
+namespace pbc::core {
+
+InterpolationResult interpolated_best(const sim::CpuNodeSim& node,
+                                      Watts budget, Watts stride,
+                                      Watts mem_lo, Watts proc_lo) {
+  InterpolationResult out;
+
+  std::vector<std::pair<double, double>> knots;
+  const double hi = budget.value() - proc_lo.value();
+  for (double m = mem_lo.value(); m <= hi + 1e-9; m += stride.value()) {
+    const auto s = node.steady_state(Watts{budget.value() - m}, Watts{m});
+    knots.emplace_back(m, s.perf);
+    ++out.samples_used;
+  }
+  if (knots.empty()) return out;
+
+  auto curve = PiecewiseLinear::from_points(std::move(knots));
+  if (!curve.ok()) return out;
+  const PiecewiseLinear& f = curve.value();
+
+  // Search the interpolant on a fine grid.
+  double best_m = f.x_min();
+  double best_perf = f(best_m);
+  for (double m = f.x_min(); m <= f.x_max() + 1e-9; m += 1.0) {
+    const double p = f(m);
+    if (p > best_perf) {
+      best_perf = p;
+      best_m = m;
+    }
+  }
+
+  out.best_mem_cap = Watts{best_m};
+  out.best_proc_cap = Watts{budget.value() - best_m};
+  out.predicted_perf = best_perf;
+  out.achieved_perf =
+      node.steady_state(out.best_proc_cap, out.best_mem_cap).perf;
+  ++out.samples_used;  // the confirmation run
+  return out;
+}
+
+}  // namespace pbc::core

@@ -1,0 +1,36 @@
+// Interpolation-based optimal-allocation search — the approach of Sarood
+// et al. [30], reproduced as a baseline.
+//
+// Instead of the exhaustive sweep (oracle) or COORD's seven-point profile,
+// this strategy samples a moderate subset of allocation points, fits a
+// piecewise-linear performance model over the split axis, and picks the
+// model's optimum. It trades profiling cost against accuracy: the paper's
+// §7 positions COORD against exactly this class of "extensive profiling"
+// methods.
+#pragma once
+
+#include "sim/cpu_node.hpp"
+#include "util/interp.hpp"
+
+namespace pbc::core {
+
+struct InterpolationResult {
+  /// The split chosen by the interpolated model.
+  Watts best_proc_cap{0.0};
+  Watts best_mem_cap{0.0};
+  /// Performance the model predicted at that split.
+  double predicted_perf = 0.0;
+  /// Performance actually achieved when running there.
+  double achieved_perf = 0.0;
+  /// Number of real profiling runs spent.
+  std::size_t samples_used = 0;
+};
+
+/// Samples every `stride` watts of memory cap in
+/// [mem_lo, budget − proc_lo], interpolates, and evaluates the model
+/// optimum (searched on a 1 W grid) with a real run.
+[[nodiscard]] InterpolationResult interpolated_best(
+    const sim::CpuNodeSim& node, Watts budget, Watts stride = Watts{16.0},
+    Watts mem_lo = Watts{48.0}, Watts proc_lo = Watts{40.0});
+
+}  // namespace pbc::core

@@ -1,0 +1,87 @@
+#include "core/model_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pbc::core {
+
+FittedPhase fit_single_phase(const sim::CpuNodeSim& node) {
+  FittedPhase fit;
+  const auto& machine = node.machine();
+  const auto& cpu = machine.cpu;
+  const auto& dram = machine.dram;
+  const GBps full = dram.peak_bw;
+
+  // Probe 1: everything unconstrained at the top P-state.
+  const hw::CpuOperatingPoint top{cpu.pstates.size() - 1, 1.0, false};
+  const sim::AllocationSample p1 = node.pinned(top, full);
+
+  if (p1.rate_gunits > 0.0) {
+    fit.bytes_per_unit = p1.achieved_bw.value() / p1.rate_gunits;
+  }
+  fit.max_bw_frac =
+      std::min(1.0, p1.achieved_bw.value() / dram.peak_bw.value());
+  fit.compute_util = p1.compute_util;
+  fit.compute_bound = p1.compute_util > 0.97;
+
+  // DRAM power inversion: P = background + e_dyn · scale · achieved_bw.
+  if (p1.achieved_bw.value() > 1e-9) {
+    const double dynamic =
+        p1.mem_power.value() - dram.background_power().value();
+    fit.mem_energy_scale = std::max(
+        1.0, dynamic / (dram.dyn_w_per_gbps * p1.achieved_bw.value()));
+  }
+
+  // Package power inversion at the top P-state:
+  // P = uncore + cores·static·V + cores·k·V²·f·act  =>  act.
+  {
+    const auto& ps = cpu.pstates.back();
+    const double cores = cpu.total_cores();
+    const double leakage = cores * cpu.static_w_per_core_per_volt * ps.voltage;
+    const double dyn_coeff = cores * cpu.dyn_coeff_w_per_ghz_v2 * ps.voltage *
+                             ps.voltage * ps.frequency.value();
+    if (dyn_coeff > 0.0) {
+      fit.activity_eff = std::clamp(
+          (p1.proc_power.value() - cpu.uncore_power.value() - leakage) /
+              dyn_coeff,
+          0.0, 1.0);
+    }
+  }
+
+  // Effective FLOPs per unit from the achieved compute rate. Exact when
+  // compute bound; otherwise a lower bound on the true ratio's reciprocal
+  // is all the data supports, so report the observed value regardless.
+  const hw::CpuModel cm(cpu);
+  const double capacity = cm.compute_capacity(top).value();
+  if (p1.rate_gunits > 0.0) {
+    fit.effective_flops_per_unit =
+        capacity * p1.compute_util / p1.rate_gunits;
+  }
+
+  // Probe 2: lowest P-state, still unconstrained — the log-ratio of
+  // achieved bandwidths identifies the ceiling's clock exponent when the
+  // ceiling binds at both points.
+  const hw::CpuOperatingPoint low{0, 1.0, false};
+  const sim::AllocationSample p2 = node.pinned(low, full);
+  const double f_ratio =
+      cpu.f_max().value() / cpu.f_min().value();
+  if (p2.achieved_bw.value() > 1e-9 && p1.achieved_bw.value() > 1e-9 &&
+      f_ratio > 1.0) {
+    fit.freq_scaling = std::max(
+        0.0, std::log(p1.achieved_bw.value() / p2.achieved_bw.value()) /
+                 std::log(f_ratio));
+  }
+  return fit;
+}
+
+workload::Intensity classify_intensity(const FittedPhase& fit,
+                                       const hw::CpuMachine& machine) {
+  (void)machine;
+  if (fit.compute_bound) return workload::Intensity::kCompute;
+  // An unconstrained run that leaves the cores mostly stalled is memory
+  // bound — whether by bandwidth (STREAM) or by latency/MLP (SRA, IS).
+  if (fit.compute_util < 0.5) return workload::Intensity::kMemory;
+  return workload::Intensity::kBalanced;
+}
+
+}  // namespace pbc::core

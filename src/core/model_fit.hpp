@@ -1,0 +1,61 @@
+// Workload-model fitting: recover the phase parameters of a *running*
+// application from a handful of instrumented runs.
+//
+// COORD needs only the seven critical power values, but richer power
+// management (the model-based allocation of Tiwari et al. [34], or the
+// compute-intensity classification Algorithm 2 branches on) needs the
+// application's characteristics. On real machines these are measurable
+// with standard counters: achieved DRAM bandwidth (uncore counters),
+// package/DRAM power (RAPL energy), effective frequency (APERF/MPERF).
+// fit_single_phase probes the node the same way — pinned runs only — and
+// inverts the power/performance model:
+//
+//   bytes/unit        = achieved_bw / rate                (unconstrained)
+//   energy/byte scale = (P_dram − background) / (e_dyn · achieved_bw)
+//   MLP ceiling       = achieved_bw / peak_bw at full grant
+//   clock exponent λ  = log-ratio of achieved bw at two P-states
+//   activity          = inverted from package power at the top P-state
+//   flops/unit ÷ eff  = capacity / rate when compute-bound
+#pragma once
+
+#include "sim/cpu_node.hpp"
+#include "workload/workload.hpp"
+
+namespace pbc::core {
+
+struct FittedPhase {
+  /// Memory traffic per work unit (cacheline bytes).
+  double bytes_per_unit = 0.0;
+  /// DRAM energy-per-byte multiplier (≥ 1 for row-buffer-hostile codes).
+  double mem_energy_scale = 1.0;
+  /// Achieved fraction of peak bandwidth with everything unconstrained.
+  double max_bw_frac = 0.0;
+  /// Clock-sensitivity exponent of the bandwidth ceiling. Only
+  /// identifiable when the ceiling binds at both probe clocks; otherwise
+  /// reported as measured but flagged via compute_bound.
+  double freq_scaling = 0.0;
+  /// Effective switching activity at the top P-state (power inversion).
+  double activity_eff = 0.0;
+  /// FLOPs per unit divided by compute efficiency — the two are not
+  /// separately identifiable from black-box rates.
+  double effective_flops_per_unit = 0.0;
+  /// Compute utilization of the unconstrained run — the stalled fraction
+  /// is what separates memory-bound codes (low) from balanced ones.
+  double compute_util = 0.0;
+  /// True when the unconstrained run saturates compute (compute_util ≈ 1):
+  /// then effective_flops_per_unit is exact and freq_scaling is not
+  /// meaningful.
+  bool compute_bound = false;
+};
+
+/// Fits from four pinned probe runs. Exact for single-phase workloads;
+/// multi-phase workloads yield time-averaged effective parameters.
+[[nodiscard]] FittedPhase fit_single_phase(const sim::CpuNodeSim& node);
+
+/// Intensity classification from a fit (the label Algorithm 2 needs),
+/// using the machine's balance point: compute-bound fits are compute
+/// intensive; fits whose bandwidth demand dominates are memory intensive.
+[[nodiscard]] workload::Intensity classify_intensity(
+    const FittedPhase& fit, const hw::CpuMachine& machine);
+
+}  // namespace pbc::core

@@ -1,0 +1,80 @@
+#include "core/optimal.hpp"
+
+#include <algorithm>
+
+namespace pbc::core {
+
+OptimalAllocationRow optimal_allocation_row(const sim::CpuNodeSim& node,
+                                            Watts budget, Watts shift,
+                                            const sim::CpuSweepOptions& opt) {
+  OptimalAllocationRow row;
+  row.budget = budget;
+
+  sim::BudgetSweep sweep;
+  sweep.budget = budget;
+  sweep.samples = sim::sweep_cpu_split(node, budget, opt);
+  if (sweep.samples.empty()) return row;
+
+  const auto spans = category_spans_cpu(sweep, node.machine());
+  row.valid_scenarios = categories_present(spans);
+
+  // Locate the optimum. In scenario I the performance curve is flat across
+  // a whole plateau; take the plateau's midpoint so the "intersection" and
+  // the shift probes are measured from the interior, not an edge.
+  std::size_t best_idx = 0;
+  for (std::size_t i = 1; i < sweep.samples.size(); ++i) {
+    if (sweep.samples[i].perf > sweep.samples[best_idx].perf) best_idx = i;
+  }
+  const double best_perf = sweep.samples[best_idx].perf;
+  std::size_t plateau_lo = best_idx;
+  std::size_t plateau_hi = best_idx;
+  while (plateau_lo > 0 &&
+         sweep.samples[plateau_lo - 1].perf >= 0.999 * best_perf) {
+    --plateau_lo;
+  }
+  while (plateau_hi + 1 < sweep.samples.size() &&
+         sweep.samples[plateau_hi + 1].perf >= 0.999 * best_perf) {
+    ++plateau_hi;
+  }
+  best_idx = (plateau_lo + plateau_hi) / 2;
+  const sim::AllocationSample& best = sweep.samples[best_idx];
+  row.best_proc = best.proc_cap;
+  row.best_mem = best.mem_cap;
+  row.perf_max = best.perf;
+
+  // Neighbouring categories at the optimum (lower mem side / higher mem
+  // side): the intersection the optimum sits on.
+  const std::size_t left = best_idx > 0 ? best_idx - 1 : best_idx;
+  const std::size_t right =
+      best_idx + 1 < sweep.samples.size() ? best_idx + 1 : best_idx;
+  row.intersection = {categorize_cpu(sweep.samples[left], node.machine()),
+                      categorize_cpu(sweep.samples[right], node.machine())};
+
+  // Probe the critical component: move `shift` watts each way.
+  const sim::AllocationSample mem_under = node.steady_state(
+      Watts{best.proc_cap.value() + shift.value()},
+      Watts{best.mem_cap.value() - shift.value()});
+  const sim::AllocationSample proc_under = node.steady_state(
+      Watts{best.proc_cap.value() - shift.value()},
+      Watts{best.mem_cap.value() + shift.value()});
+  if (row.perf_max > 0.0) {
+    row.loss_mem_underpowered =
+        std::max(0.0, 1.0 - mem_under.perf / row.perf_max);
+    row.loss_proc_underpowered =
+        std::max(0.0, 1.0 - proc_under.perf / row.perf_max);
+  }
+  // A meaningful asymmetry marks a critical component; in scenario I with
+  // slack both losses are ~0 and there is none.
+  const double lo =
+      std::min(row.loss_mem_underpowered, row.loss_proc_underpowered);
+  const double hi =
+      std::max(row.loss_mem_underpowered, row.loss_proc_underpowered);
+  if (hi > 0.02 && hi > lo + 0.01) {
+    row.critical = row.loss_mem_underpowered > row.loss_proc_underpowered
+                       ? hw::Component::kMemory
+                       : hw::Component::kProcessor;
+  }
+  return row;
+}
+
+}  // namespace pbc::core

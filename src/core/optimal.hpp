@@ -1,0 +1,44 @@
+// Optimal-allocation analysis per budget (paper §3.4.2, Table 1).
+//
+// For a budget the optimal split sits in scenario I when power is
+// plentiful, and at the intersection of two neighbouring scenarios as the
+// budget shrinks (II|III → III|IV → IV|VI → V|VI). The *critical component*
+// is the one whose underpowering costs the most performance — the paper's
+// example: shifting 24 W away from DRAM at the SRA optimum loses 50%,
+// shifting 24 W away from the CPU loses 10%, so DRAM is critical there.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "core/categorize.hpp"
+#include "sim/cpu_node.hpp"
+#include "sim/sweep.hpp"
+
+namespace pbc::core {
+
+struct OptimalAllocationRow {
+  Watts budget{0.0};
+  /// Scenario categories present across the split sweep, in span order.
+  std::vector<Category> valid_scenarios;
+  /// Categories immediately left/right of the optimum (equal in scenario I).
+  std::pair<Category, Category> intersection{Category::kI, Category::kI};
+  /// Best split and its performance.
+  Watts best_proc{0.0};
+  Watts best_mem{0.0};
+  double perf_max = 0.0;
+  /// Relative perf loss when `shift` W move from DRAM to the processor
+  /// (DRAM underpowered) and vice versa.
+  double loss_mem_underpowered = 0.0;
+  double loss_proc_underpowered = 0.0;
+  /// The critical component, when the losses differ meaningfully.
+  std::optional<hw::Component> critical;
+};
+
+/// Builds one Table-1 row from an exhaustive split sweep at `budget`.
+/// `shift` is the probe power moved each way from the optimum (paper: 24 W).
+[[nodiscard]] OptimalAllocationRow optimal_allocation_row(
+    const sim::CpuNodeSim& node, Watts budget, Watts shift = Watts{24.0},
+    const sim::CpuSweepOptions& opt = {});
+
+}  // namespace pbc::core

@@ -1,0 +1,32 @@
+#include "core/pack_and_cap.hpp"
+
+#include <algorithm>
+
+namespace pbc::core {
+
+PackAndCapResult pack_and_cap(const sim::CpuNodeSim& node, Watts budget,
+                              const PackAndCapOptions& opt) {
+  PackAndCapResult best;
+  const int total = node.machine().cpu.total_cores();
+  const double hi = budget.value() - opt.proc_lo.value();
+
+  for (int cores = opt.core_step; cores <= total; cores += opt.core_step) {
+    for (double m = opt.mem_lo.value(); m <= hi + 1e-9;
+         m += opt.mem_step.value()) {
+      const auto s = node.steady_state_packed(
+          cores, Watts{budget.value() - m}, Watts{m});
+      if (s.perf > best.perf) {
+        best.perf = s.perf;
+        best.best_cores = cores;
+        best.cpu_cap = Watts{budget.value() - m};
+        best.mem_cap = Watts{m};
+      }
+      if (cores == total) {
+        best.perf_all_cores = std::max(best.perf_all_cores, s.perf);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace pbc::core

@@ -1,0 +1,46 @@
+// Pack & Cap — the thread-packing baseline (Cochran et al., the paper's
+// ref. [11]): under a power cap, jointly choose how many cores to run on
+// and let DVFS/throttling settle, instead of always using every core.
+//
+// Packing matters exactly where the paper's scenario IV lives: when the
+// processor cap is too small for all cores even at the lowest P-state,
+// running fewer cores avoids duty-cycle throttling (whose request-issue
+// gating collapses bandwidth), often winning large factors for memory-
+// bound codes. With generous caps, all cores at low frequency dominate —
+// which is why cross-component coordination, not packing, is the paper's
+// lever at normal budgets.
+#pragma once
+
+#include "core/coord.hpp"
+#include "sim/cpu_node.hpp"
+
+namespace pbc::core {
+
+struct PackAndCapOptions {
+  /// Core-count granularity of the search.
+  int core_step = 2;
+  /// Memory-cap grid step for the split search.
+  Watts mem_step{8.0};
+  Watts mem_lo{68.0};
+  Watts proc_lo{40.0};
+};
+
+struct PackAndCapResult {
+  int best_cores = 0;
+  Watts cpu_cap{0.0};
+  Watts mem_cap{0.0};
+  double perf = 0.0;
+  /// Best performance achievable with all cores active (same split grid).
+  double perf_all_cores = 0.0;
+  /// perf / perf_all_cores: > 1 where packing pays.
+  [[nodiscard]] double packing_gain() const noexcept {
+    return perf_all_cores > 0.0 ? perf / perf_all_cores : 0.0;
+  }
+};
+
+/// Joint (cores × split) search under a total budget.
+[[nodiscard]] PackAndCapResult pack_and_cap(const sim::CpuNodeSim& node,
+                                            Watts budget,
+                                            const PackAndCapOptions& opt = {});
+
+}  // namespace pbc::core

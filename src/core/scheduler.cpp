@@ -1,0 +1,100 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+namespace pbc::core {
+
+NodePowerManager::NodePowerManager(hw::CpuMachine machine,
+                                   workload::Workload wl)
+    : node_(std::move(machine), std::move(wl)),
+      profile_(profile_critical_powers(node_)) {}
+
+NodePowerManager::Plan NodePowerManager::plan(Watts budget) const {
+  Plan plan;
+  plan.allocation = coord_cpu(profile_, budget);
+  plan.accepted = plan.allocation.status != CoordStatus::kBudgetTooSmall;
+  if (plan.accepted) {
+    plan.predicted =
+        node_.steady_state(plan.allocation.cpu, plan.allocation.mem);
+  }
+  return plan;
+}
+
+ClusterScheduler::ClusterScheduler(hw::CpuMachine node_type,
+                                   std::size_t node_count)
+    : node_type_(std::move(node_type)), node_count_(node_count) {}
+
+ScheduleResult ClusterScheduler::schedule(std::span<const JobRequest> jobs,
+                                          Watts global_budget) const {
+  ScheduleResult result;
+
+  struct Candidate {
+    const JobRequest* job;
+    NodePowerManager manager;
+    Watts budget{0.0};
+    bool placed = false;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(std::min(jobs.size(), node_count_));
+  for (const auto& job : jobs) {
+    if (candidates.size() == node_count_) {
+      result.rejected.push_back(job.name);  // no node left
+      continue;
+    }
+    candidates.push_back(Candidate{&job, {node_type_, job.wl}, Watts{0.0}});
+  }
+
+  // Pass 1 — fair share clipped to [threshold, demand]; jobs whose share
+  // cannot reach their productive threshold are denied (their power stays
+  // in the pool for the others).
+  double remaining = global_budget.value();
+  std::size_t pending = candidates.size();
+  for (auto& c : candidates) {
+    const double fair = pending > 0 ? remaining / static_cast<double>(pending)
+                                    : 0.0;
+    const double threshold = c.manager.min_productive().value();
+    const double demand = c.manager.max_demand().value();
+    --pending;
+    if (fair < threshold) {
+      result.rejected.push_back(c.job->name);
+      continue;
+    }
+    c.budget = Watts{std::min(fair, demand)};
+    c.placed = true;
+    remaining -= c.budget.value();
+  }
+
+  // Pass 2 — water-fill the leftover into placed jobs that can still use
+  // it (up to max demand).
+  for (auto& c : candidates) {
+    if (!c.placed || remaining <= 0.0) continue;
+    const double room = c.manager.max_demand().value() - c.budget.value();
+    const double extra = std::min(room, remaining);
+    if (extra > 0.0) {
+      c.budget += Watts{extra};
+      remaining -= extra;
+    }
+  }
+
+  std::size_t node_index = 0;
+  for (auto& c : candidates) {
+    if (!c.placed) continue;
+    const NodePowerManager::Plan plan = c.manager.plan(c.budget);
+    Placement p;
+    p.job = c.job->name;
+    p.node_index = node_index++;
+    p.budget = c.budget;
+    p.allocation = plan.allocation;
+    p.predicted_perf = plan.predicted.perf;
+    result.placements.push_back(std::move(p));
+    // COORD may itself report surplus inside the granted budget; that also
+    // returns to the pool.
+    remaining += plan.allocation.surplus.value();
+    result.allocated += Watts{c.budget.value() -
+                              plan.allocation.surplus.value()};
+  }
+  result.reclaimed = Watts{remaining};
+  return result;
+}
+
+}  // namespace pbc::core

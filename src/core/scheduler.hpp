@@ -1,0 +1,97 @@
+// Node-level power management and cluster-level power-bounded scheduling.
+//
+// The paper positions node-level coordination as the building block of
+// higher-level power scheduling (§2, §8): a node manager profiles the
+// application, runs COORD for its budget, rejects unproductive budgets, and
+// reports surplus; a cluster scheduler distributes a global power budget
+// across nodes/jobs with admission control and surplus reclamation.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/coord.hpp"
+#include "sim/cpu_node.hpp"
+
+namespace pbc::core {
+
+/// Per-node agent: profile once, then plan allocations for any budget.
+class NodePowerManager {
+ public:
+  NodePowerManager(hw::CpuMachine machine, workload::Workload wl);
+
+  [[nodiscard]] const CpuCriticalPowers& profile() const noexcept {
+    return profile_;
+  }
+
+  struct Plan {
+    bool accepted = false;        ///< false when the budget is unproductive
+    CpuAllocation allocation;     ///< COORD's split (valid when accepted)
+    sim::AllocationSample predicted;  ///< simulated steady state at the split
+  };
+
+  /// COORD + steady-state prediction for a budget. Budgets below the
+  /// productive threshold are rejected (paper: small budgets should not be
+  /// allocated to run new jobs).
+  [[nodiscard]] Plan plan(Watts budget) const;
+
+  /// Smallest budget the manager accepts.
+  [[nodiscard]] Watts min_productive() const noexcept {
+    return profile_.productive_threshold();
+  }
+  /// Budget beyond which power is surplus.
+  [[nodiscard]] Watts max_demand() const noexcept {
+    return profile_.max_demand();
+  }
+
+  [[nodiscard]] const sim::CpuNodeSim& node() const noexcept { return node_; }
+
+ private:
+  sim::CpuNodeSim node_;
+  CpuCriticalPowers profile_;
+};
+
+/// One job awaiting placement.
+struct JobRequest {
+  std::string name;
+  workload::Workload wl;
+};
+
+/// A scheduled job with its budget and coordinated split.
+struct Placement {
+  std::string job;
+  std::size_t node_index = 0;
+  Watts budget{0.0};
+  CpuAllocation allocation;
+  double predicted_perf = 0.0;
+};
+
+struct ScheduleResult {
+  std::vector<Placement> placements;
+  /// Jobs denied a slot (no node left, or any productive budget would not
+  /// fit the remaining global power).
+  std::vector<std::string> rejected;
+  Watts allocated{0.0};  ///< total power granted to placements
+  Watts reclaimed{0.0};  ///< global budget left over (returned upward)
+};
+
+/// Distributes a global power budget across identical nodes running one job
+/// each: fair-share water-filling clipped to each job's
+/// [productive-threshold, max-demand] range, with leftover power
+/// redistributed to jobs that can still use it and the rest reclaimed.
+class ClusterScheduler {
+ public:
+  ClusterScheduler(hw::CpuMachine node_type, std::size_t node_count);
+
+  [[nodiscard]] ScheduleResult schedule(std::span<const JobRequest> jobs,
+                                        Watts global_budget) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
+
+ private:
+  hw::CpuMachine node_type_;
+  std::size_t node_count_;
+};
+
+}  // namespace pbc::core

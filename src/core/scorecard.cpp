@@ -1,0 +1,197 @@
+#include "core/scorecard.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/baselines.hpp"
+#include "core/categorize.hpp"
+#include "core/coord.hpp"
+#include "core/critical.hpp"
+#include "core/frontier.hpp"
+#include "core/optimal.hpp"
+#include "hw/platforms.hpp"
+#include "sim/sweep.hpp"
+#include "util/table.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::core {
+
+namespace {
+
+ClaimResult judge(std::string id, std::string claim, double value,
+                  double lo, double hi, const std::string& unit) {
+  ClaimResult r;
+  r.id = std::move(id);
+  r.claim = std::move(claim);
+  r.value = value;
+  r.band_lo = lo;
+  r.band_hi = hi;
+  r.in_band = value >= lo && value <= hi;
+  std::ostringstream ss;
+  ss << TableWriter::num(value, 2) << ' ' << unit << " (band "
+     << TableWriter::num(lo, 2) << ".." << TableWriter::num(hi, 2) << ')';
+  r.measured = ss.str();
+  return r;
+}
+
+double best_of(const std::vector<sim::AllocationSample>& samples) {
+  double best = 0.0;
+  for (const auto& s : samples) best = std::max(best, s.perf);
+  return best;
+}
+
+double worst_of(const std::vector<sim::AllocationSample>& samples) {
+  double worst = 1e300;
+  for (const auto& s : samples) worst = std::min(worst, s.perf);
+  return worst;
+}
+
+}  // namespace
+
+std::vector<ClaimResult> run_scorecard() {
+  std::vector<ClaimResult> out;
+  const auto ivy = hw::ivybridge_node();
+
+  // --- Fig. 1: STREAM spread at 208 W (paper: up to ~30x). ---
+  {
+    const sim::CpuNodeSim node(ivy, workload::stream_cpu());
+    const auto samples = sim::sweep_cpu_split(
+        node, Watts{208.0}, {Watts{40.0}, Watts{32.0}, Watts{4.0}});
+    out.push_back(judge("fig1/cpu-stream-spread",
+                        "STREAM @208 W best/worst split ~30x",
+                        best_of(samples) / worst_of(samples), 20.0, 90.0,
+                        "x"));
+  }
+
+  // --- Fig. 3: SRA scenario-I powers and span (paper: 112/116 W,
+  //     P_mem in [120,132]). ---
+  {
+    const sim::CpuNodeSim node(ivy, workload::sra());
+    const auto u = node.uncapped();
+    out.push_back(judge("fig3/sra-cpu-power",
+                        "SRA unconstrained CPU power ~112 W",
+                        u.proc_power.value(), 104.0, 120.0, "W"));
+    out.push_back(judge("fig3/sra-mem-power",
+                        "SRA unconstrained DRAM power ~116 W",
+                        u.mem_power.value(), 108.0, 124.0, "W"));
+    sim::BudgetSweep sweep;
+    sweep.budget = Watts{240.0};
+    sweep.samples = sim::sweep_cpu_split(
+        node, Watts{240.0}, {Watts{40.0}, Watts{32.0}, Watts{4.0}});
+    const auto cats =
+        categories_present(category_spans_cpu(sweep, ivy));
+    out.push_back(judge("fig3/six-categories",
+                        "six scenario categories at 240 W",
+                        static_cast<double>(cats.size()), 6.0, 6.0,
+                        "categories"));
+  }
+
+  // --- Fig. 2: DGEMM frontier saturates near 240 W. ---
+  {
+    const sim::CpuNodeSim node(ivy, workload::dgemm());
+    const auto budgets =
+        sim::budget_grid(Watts{140.0}, Watts{290.0}, Watts{10.0});
+    const auto frontier = perf_frontier_cpu(
+        node, budgets, {Watts{40.0}, Watts{32.0}, Watts{4.0}});
+    out.push_back(judge("fig2/dgemm-saturation",
+                        "DGEMM perf_max flattens near 240 W",
+                        saturation_budget(frontier).value(), 200.0, 260.0,
+                        "W"));
+  }
+
+  // --- Table 1 / §3.4.2: SRA optimum at 224 W and shift asymmetry. ---
+  {
+    const sim::CpuNodeSim node(ivy, workload::sra());
+    const auto row = optimal_allocation_row(
+        node, Watts{224.0}, Watts{24.0}, {Watts{40.0}, Watts{32.0},
+                                          Watts{4.0}});
+    out.push_back(judge("tab1/sra-optimum-cpu",
+                        "optimal split at 224 W ~(108, 116)",
+                        row.best_proc.value(), 96.0, 120.0, "W cpu"));
+    out.push_back(judge("tab1/shift-mem-loss",
+                        "-50% when 24 W leave DRAM",
+                        100.0 * row.loss_mem_underpowered, 35.0, 65.0, "%"));
+    out.push_back(judge("tab1/shift-cpu-loss",
+                        "-10% when 24 W leave the CPU",
+                        100.0 * row.loss_proc_underpowered, 4.0, 22.0, "%"));
+    out.push_back(judge(
+        "tab1/critical-component",
+        "DRAM critical at 224 W",
+        row.critical && *row.critical == hw::Component::kMemory ? 1.0 : 0.0,
+        1.0, 1.0, "bool"));
+  }
+
+  // --- Fig. 9 CPU: COORD accuracy. ---
+  {
+    double gap_sum = 0.0;
+    int n = 0;
+    double large_worst = 0.0;
+    for (const auto& wl : workload::cpu_suite()) {
+      const sim::CpuNodeSim node(ivy, wl);
+      const auto profile = profile_critical_powers(node);
+      for (double b = 145.0; b <= 265.0; b += 20.0) {
+        const auto alloc = coord_cpu(profile, Watts{b});
+        if (alloc.status == CoordStatus::kBudgetTooSmall) continue;
+        sim::BudgetSweep sweep;
+        sweep.budget = Watts{b};
+        sweep.samples = sim::sweep_cpu_split(
+            node, Watts{b}, {Watts{40.0}, Watts{32.0}, Watts{4.0}});
+        const double oracle = oracle_best(sweep).perf;
+        const double coord = node.steady_state(alloc.cpu, alloc.mem).perf;
+        const double gap = std::max(0.0, 1.0 - coord / oracle);
+        gap_sum += gap;
+        ++n;
+        if (b >= 200.0) large_worst = std::max(large_worst, gap);
+      }
+    }
+    out.push_back(judge("fig9/coord-mean-gap",
+                        "COORD ~9.6% mean gap from the oracle",
+                        100.0 * gap_sum / n, 0.0, 16.0, "%"));
+    out.push_back(judge("fig9/coord-large-cap-gap",
+                        "COORD <5% from the oracle at large caps",
+                        100.0 * large_worst, 0.0, 8.0, "%"));
+  }
+
+  // --- Fig. 6/9 GPU: SGEMM demand, Titan V saturation, default-policy gain. ---
+  {
+    const sim::GpuNodeSim xp(hw::titan_xp(), workload::sgemm());
+    out.push_back(judge("fig6/sgemm-xp-demand",
+                        "SGEMM demands >300 W on the Titan XP",
+                        xp.uncapped_board_power().value(), 300.0, 400.0,
+                        "W"));
+    const sim::GpuNodeSim v(hw::titan_v(), workload::sgemm());
+    const auto caps = sim::budget_grid(Watts{125.0}, Watts{300.0},
+                                       Watts{12.5});
+    const auto frontier = perf_frontier_gpu(v, caps);
+    out.push_back(judge("fig6/sgemm-v-saturation",
+                        "SGEMM flattens near 180 W on the Titan V",
+                        saturation_budget(frontier).value(), 150.0, 210.0,
+                        "W"));
+
+    double max_gain = 0.0;
+    for (const auto& wl : workload::gpu_suite()) {
+      const sim::GpuNodeSim node(hw::titan_xp(), wl);
+      const auto p = profile_gpu_params(node);
+      for (double cap = 125.0; cap <= 300.0; cap += 25.0) {
+        const auto a = coord_gpu(p, node.gpu_model(), Watts{cap});
+        const double coord =
+            node.steady_state(a.mem_clock_index, Watts{cap}).perf;
+        const double dflt = node.default_policy(Watts{cap}).perf;
+        max_gain = std::max(max_gain, coord / dflt - 1.0);
+      }
+    }
+    out.push_back(judge("fig9/gpu-gain-over-default",
+                        "COORD up to ~33% over the default policy",
+                        100.0 * max_gain, 20.0, 45.0, "%"));
+  }
+
+  return out;
+}
+
+bool all_in_band(const std::vector<ClaimResult>& results) {
+  return std::all_of(results.begin(), results.end(),
+                     [](const ClaimResult& r) { return r.in_band; });
+}
+
+}  // namespace pbc::core

@@ -1,0 +1,33 @@
+// The reproduction scorecard: every headline claim of the paper, run as
+// code and judged against an acceptance band.
+//
+// EXPERIMENTS.md documents the paper-vs-measured comparison; this module
+// *executes* it, so a calibration or model change that silently drifts a
+// reproduced result out of band fails CI (tests/core/scorecard_test.cpp)
+// and shows up in `bench/repro_scorecard`. Bands encode "shape, not
+// absolute numbers": each one states the range within which the measured
+// value still supports the paper's qualitative claim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pbc::core {
+
+struct ClaimResult {
+  std::string id;        ///< e.g. "fig3/scenario-I-powers"
+  std::string claim;     ///< the paper's statement
+  std::string measured;  ///< what this build measures
+  double value = 0.0;    ///< the scalar judged against the band
+  double band_lo = 0.0;
+  double band_hi = 0.0;
+  bool in_band = false;
+};
+
+/// Runs every scorecard experiment (a few seconds). Deterministic.
+[[nodiscard]] std::vector<ClaimResult> run_scorecard();
+
+/// True when every claim is in band.
+[[nodiscard]] bool all_in_band(const std::vector<ClaimResult>& results);
+
+}  // namespace pbc::core

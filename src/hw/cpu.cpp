@@ -1,0 +1,104 @@
+#include "hw/cpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pbc::hw {
+
+Result<bool> CpuSpec::validate() const {
+  if (sockets <= 0 || cores_per_socket <= 0) {
+    return invalid_argument(name + ": non-positive core counts");
+  }
+  if (pstates.empty()) {
+    return invalid_argument(name + ": empty P-state table");
+  }
+  for (std::size_t i = 1; i < pstates.size(); ++i) {
+    if (!(pstates[i - 1].frequency < pstates[i].frequency)) {
+      return invalid_argument(name + ": P-states not ascending by frequency");
+    }
+  }
+  for (const auto& p : pstates) {
+    if (p.frequency.value() <= 0.0 || p.voltage <= 0.0) {
+      return invalid_argument(name + ": non-positive P-state parameters");
+    }
+  }
+  if (tstate_levels < 1) {
+    return invalid_argument(name + ": need at least one T-state level");
+  }
+  if (flops_per_cycle <= 0.0 || dyn_coeff_w_per_ghz_v2 < 0.0 ||
+      static_w_per_core_per_volt < 0.0) {
+    return invalid_argument(name + ": non-physical power coefficients");
+  }
+  return true;
+}
+
+CpuModel::CpuModel(CpuSpec spec) : spec_(std::move(spec)) {
+  assert(spec_.validate().ok());
+}
+
+Watts CpuModel::package_power(const CpuOperatingPoint& op,
+                              double activity) const noexcept {
+  if (op.sleeping) return spec_.floor;
+  const auto& ps = spec_.pstates[std::min(op.pstate_index,
+                                          spec_.pstates.size() - 1)];
+  const double cores = spec_.total_cores();
+  const double v = ps.voltage;
+  const double f = ps.frequency.value();
+  const double duty = std::clamp(op.duty, spec_.min_duty(), 1.0);
+  const double act = std::clamp(activity, 0.0, 1.0);
+
+  // Clock gating during the duty-off fraction removes dynamic power only;
+  // leakage and uncore persist (this is what makes deep throttling so much
+  // less power-proportional than DVFS, producing the paper's scenario IV
+  // performance cliff).
+  const double dynamic =
+      cores * spec_.dyn_coeff_w_per_ghz_v2 * v * v * f * act * duty;
+  const double leakage = cores * spec_.static_w_per_core_per_volt * v;
+  const double total = spec_.uncore_power.value() + leakage + dynamic;
+  return Watts{std::max(total, spec_.floor.value())};
+}
+
+Gflops CpuModel::compute_capacity(const CpuOperatingPoint& op) const noexcept {
+  if (op.sleeping) {
+    // A sleeping package makes negligible forward progress; model the OS
+    // waking it for a sliver of time.
+    const auto& ps = spec_.pstates.front();
+    return Gflops{spec_.total_cores() * spec_.flops_per_cycle *
+                  ps.frequency.value() * 0.02};
+  }
+  const auto& ps = spec_.pstates[std::min(op.pstate_index,
+                                          spec_.pstates.size() - 1)];
+  const double duty = std::clamp(op.duty, spec_.min_duty(), 1.0);
+  return Gflops{spec_.total_cores() * spec_.flops_per_cycle *
+                ps.frequency.value() * duty};
+}
+
+Watts CpuModel::max_power(double activity) const noexcept {
+  return package_power({spec_.pstates.size() - 1, 1.0, false}, activity);
+}
+
+Watts CpuModel::lowest_pstate_power(double activity) const noexcept {
+  return package_power({0, 1.0, false}, activity);
+}
+
+Watts CpuModel::deepest_tstate_power(double activity) const noexcept {
+  return package_power({0, spec_.min_duty(), false}, activity);
+}
+
+std::vector<PState> linear_vf_ladder(Gigahertz f_lo, Gigahertz f_hi,
+                                     double v_lo, double v_hi,
+                                     std::size_t steps) {
+  assert(steps >= 2);
+  std::vector<PState> ladder;
+  ladder.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(steps - 1);
+    ladder.push_back(PState{
+        Gigahertz{f_lo.value() + t * (f_hi.value() - f_lo.value())},
+        v_lo + t * (v_hi - v_lo)});
+  }
+  return ladder;
+}
+
+}  // namespace pbc::hw

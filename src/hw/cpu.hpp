@@ -1,0 +1,130 @@
+// CPU package model: P-states (DVFS), T-states (duty-cycle clock
+// throttling), C-state floor, and an activity-dependent package power model.
+//
+// This is the component model underneath the simulated RAPL PKG domain. The
+// paper (§3.3) attributes the CPU-side scenario categories to exactly these
+// mechanisms: DVFS in the lightly-constrained region (scenario II), clock
+// throttling below the lowest P-state (scenario IV), and a hardware floor
+// below which caps are not respected (scenario VI).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace pbc::hw {
+
+/// One DVFS operating point.
+struct PState {
+  Gigahertz frequency;
+  double voltage = 1.0;  ///< core voltage at this operating point (V)
+};
+
+/// Static description of a CPU package (all sockets aggregated, matching the
+/// paper's assumption (b): processor cores form one aggregated component).
+struct CpuSpec {
+  std::string name;
+  int sockets = 2;
+  int cores_per_socket = 10;
+
+  /// Ascending by frequency. The governor selects among these.
+  std::vector<PState> pstates;
+
+  /// Effective peak FLOPs per core per cycle (vector width × issue).
+  double flops_per_cycle = 8.0;
+
+  /// Dynamic power coefficient: watts per (GHz · V²) per core at activity 1.
+  double dyn_coeff_w_per_ghz_v2 = 2.2;
+
+  /// Leakage/static power per core per volt (W/V).
+  double static_w_per_core_per_volt = 0.8;
+
+  /// Package-constant power: uncore, memory controllers, IO (all sockets).
+  Watts uncore_power{30.0};
+
+  /// Hardware floor P_cpu,L4: the package consumes at least this much while
+  /// the OS runs, regardless of the cap (paper: 48 W on IvyBridge).
+  Watts floor{48.0};
+
+  /// Number of T-state duty levels (8 ⇒ duty ∈ {1/8, 2/8, …, 1}).
+  int tstate_levels = 8;
+
+  /// True when each core can run its own P-state (Haswell and later),
+  /// false when DVFS is per-processor (IvyBridge). Single-job execution is
+  /// unaffected (paper assumption (b): balanced threads share one state);
+  /// multi-tenant nodes exploit it to give each tenant its own clock.
+  bool per_core_dvfs = false;
+
+  [[nodiscard]] int total_cores() const noexcept {
+    return sockets * cores_per_socket;
+  }
+  [[nodiscard]] double min_duty() const noexcept {
+    return 1.0 / static_cast<double>(tstate_levels);
+  }
+  [[nodiscard]] Gigahertz f_min() const noexcept {
+    return pstates.front().frequency;
+  }
+  [[nodiscard]] Gigahertz f_max() const noexcept {
+    return pstates.back().frequency;
+  }
+
+  /// Validates invariants (non-empty ascending P-states, positive counts).
+  [[nodiscard]] Result<bool> validate() const;
+};
+
+/// Operating state chosen by a governor.
+struct CpuOperatingPoint {
+  std::size_t pstate_index = 0;  ///< index into CpuSpec::pstates
+  double duty = 1.0;             ///< T-state duty cycle in (0, 1]
+  bool sleeping = false;         ///< forced C-state (cap below floor)
+};
+
+/// Power/performance model over a CpuSpec. Stateless; all queries are pure.
+class CpuModel {
+ public:
+  explicit CpuModel(CpuSpec spec);
+
+  [[nodiscard]] const CpuSpec& spec() const noexcept { return spec_; }
+
+  /// Package power at an operating point for a workload activity factor
+  /// (fraction of peak switching activity, in [0, 1]). Never below the
+  /// hardware floor.
+  [[nodiscard]] Watts package_power(const CpuOperatingPoint& op,
+                                    double activity) const noexcept;
+
+  /// Aggregate compute capacity (GFLOP/s) at an operating point, before any
+  /// memory-boundedness is applied.
+  [[nodiscard]] Gflops compute_capacity(
+      const CpuOperatingPoint& op) const noexcept;
+
+  /// Maximum package power (highest P-state, full duty) at the activity.
+  [[nodiscard]] Watts max_power(double activity) const noexcept;
+
+  /// Package power at the lowest P-state, full duty — the P_cpu,L2 critical
+  /// value for a workload with the given activity.
+  [[nodiscard]] Watts lowest_pstate_power(double activity) const noexcept;
+
+  /// Package power at the deepest T-state (lowest P-state, min duty) — the
+  /// P_cpu,L3 critical value.
+  [[nodiscard]] Watts deepest_tstate_power(double activity) const noexcept;
+
+  /// The number of P-states.
+  [[nodiscard]] std::size_t pstate_count() const noexcept {
+    return spec_.pstates.size();
+  }
+
+ private:
+  CpuSpec spec_;
+};
+
+/// Builds a linear voltage-frequency ladder: `steps` P-states from f_lo to
+/// f_hi with voltage from v_lo to v_hi. Convenience for platform presets.
+[[nodiscard]] std::vector<PState> linear_vf_ladder(Gigahertz f_lo,
+                                                   Gigahertz f_hi,
+                                                   double v_lo, double v_hi,
+                                                   std::size_t steps);
+
+}  // namespace pbc::hw

@@ -1,0 +1,61 @@
+#include "hw/dram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pbc::hw {
+
+Result<bool> DramSpec::validate() const {
+  if (capacity_gb <= 0.0) {
+    return invalid_argument(name + ": non-positive DRAM capacity");
+  }
+  if (background_w_per_gb < 0.0 || dyn_w_per_gbps < 0.0) {
+    return invalid_argument(name + ": negative power coefficients");
+  }
+  if (!(GBps{0.0} < min_bw) || !(min_bw < peak_bw)) {
+    return invalid_argument(name + ": need 0 < min_bw < peak_bw");
+  }
+  if (throttle_levels < 2) {
+    return invalid_argument(name + ": need at least two throttle levels");
+  }
+  if (floor.value() < 0.0) {
+    return invalid_argument(name + ": negative floor");
+  }
+  return true;
+}
+
+DramModel::DramModel(DramSpec spec) : spec_(std::move(spec)) {
+  assert(spec_.validate().ok());
+}
+
+Watts DramModel::power(GBps effective_bw) const noexcept {
+  const double bw = std::clamp(effective_bw.value(), 0.0,
+                               spec_.peak_bw.value());
+  const double p =
+      spec_.background_power().value() + spec_.dyn_w_per_gbps * bw;
+  return Watts{std::max(p, spec_.floor.value())};
+}
+
+GBps DramModel::bw_budget_for_cap(Watts cap) const noexcept {
+  const double effective_cap = std::max(cap.value(), spec_.floor.value());
+  const double headroom = effective_cap - spec_.background_power().value();
+  if (headroom <= 0.0) return spec_.min_bw;
+  const double bw = headroom / spec_.dyn_w_per_gbps;
+  return clamp(GBps{bw}, spec_.min_bw, spec_.peak_bw);
+}
+
+GBps DramModel::quantize_throttle(GBps bw) const noexcept {
+  const double lo = spec_.min_bw.value();
+  const double hi = spec_.peak_bw.value();
+  const double step =
+      (hi - lo) / static_cast<double>(spec_.throttle_levels - 1);
+  const double clamped = std::clamp(bw.value(), lo, hi);
+  // Round *down* to the nearest state: the governor must not exceed the cap.
+  const double level = std::floor((clamped - lo) / step);
+  return GBps{lo + level * step};
+}
+
+Watts DramModel::max_power() const noexcept { return power(spec_.peak_bw); }
+
+}  // namespace pbc::hw

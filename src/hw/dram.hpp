@@ -1,0 +1,85 @@
+// DRAM subsystem model: background (refresh/standby) power plus a dynamic
+// term proportional to effective transferred bandwidth, with discrete
+// bandwidth-throttle states.
+//
+// This is the component model underneath the simulated RAPL DRAM domain.
+// Two properties matter for reproducing the paper:
+//  * Big-memory nodes (256 GB) have a large constant background term, so
+//    actual DRAM power "stays near the maximum" even when achieved
+//    bandwidth falls (scenario II) and the DRAM floor P_mem,L3 is high.
+//  * Bandwidth throttling reduces power roughly proportionally to access
+//    rate, so memory-bound application performance tracks the DRAM cap
+//    linearly (scenario III).
+#pragma once
+
+#include <string>
+
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace pbc::hw {
+
+/// Static description of an aggregated DRAM subsystem (all DIMMs; paper
+/// assumption (c)).
+struct DramSpec {
+  std::string name;
+  double capacity_gb = 256.0;
+
+  /// Refresh + standby power per GB of installed memory.
+  double background_w_per_gb = 0.266;
+
+  /// Dynamic power per GB/s of *effective* transferred bandwidth. Workloads
+  /// with poor row locality (random access) pay an energy multiplier on top
+  /// of this (see workload::Phase::mem_energy_scale).
+  double dyn_w_per_gbps = 0.6;
+
+  /// Peak sustainable bandwidth with no throttling.
+  GBps peak_bw{80.0};
+
+  /// Bandwidth at the deepest throttle state the hardware supports.
+  GBps min_bw{2.5};
+
+  /// Number of discrete throttle states between min_bw and peak_bw
+  /// (inclusive); RAPL picks the deepest state meeting the cap.
+  int throttle_levels = 32;
+
+  /// Hardware floor P_mem,L3: DRAM consumes at least this much on a running
+  /// system; lower caps are disregarded (paper §3.3 / scenario V footnote).
+  Watts floor{68.0};
+
+  [[nodiscard]] Watts background_power() const noexcept {
+    return Watts{background_w_per_gb * capacity_gb};
+  }
+
+  [[nodiscard]] Result<bool> validate() const;
+};
+
+/// Power/bandwidth model over a DramSpec. Stateless.
+class DramModel {
+ public:
+  explicit DramModel(DramSpec spec);
+
+  [[nodiscard]] const DramSpec& spec() const noexcept { return spec_; }
+
+  /// Power drawn when the workload moves `effective_bw` of energy-weighted
+  /// bandwidth. Never below the hardware floor.
+  [[nodiscard]] Watts power(GBps effective_bw) const noexcept;
+
+  /// The maximum effective bandwidth the subsystem may move under a power
+  /// cap, before quantization to throttle states. Caps below the floor are
+  /// treated as the floor (hardware disregards them).
+  [[nodiscard]] GBps bw_budget_for_cap(Watts cap) const noexcept;
+
+  /// Quantizes a bandwidth budget down to the nearest supported throttle
+  /// state (throttle states are evenly spaced in bandwidth between min_bw
+  /// and peak_bw).
+  [[nodiscard]] GBps quantize_throttle(GBps bw) const noexcept;
+
+  /// Power at peak bandwidth — the subsystem's maximum demand ceiling.
+  [[nodiscard]] Watts max_power() const noexcept;
+
+ private:
+  DramSpec spec_;
+};
+
+}  // namespace pbc::hw

@@ -1,0 +1,96 @@
+#include "hw/gpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pbc::hw {
+
+Result<bool> GpuSpec::validate() const {
+  if (sm_min_mhz <= 0.0 || sm_max_mhz <= sm_min_mhz) {
+    return invalid_argument(name + ": need 0 < sm_min < sm_max");
+  }
+  if (sm_steps < 2) {
+    return invalid_argument(name + ": need at least two SM DVFS steps");
+  }
+  if (mem_clocks_mhz.size() < 2) {
+    return invalid_argument(name + ": need at least two memory clocks");
+  }
+  for (std::size_t i = 1; i < mem_clocks_mhz.size(); ++i) {
+    if (mem_clocks_mhz[i] <= mem_clocks_mhz[i - 1]) {
+      return invalid_argument(name + ": memory clocks not ascending");
+    }
+  }
+  if (bw_per_mhz <= 0.0 || peak_gflops <= 0.0) {
+    return invalid_argument(name + ": non-positive throughput parameters");
+  }
+  if (!(board_min_cap < board_max_cap) ||
+      board_default_cap > board_max_cap || board_default_cap < board_min_cap) {
+    return invalid_argument(name + ": inconsistent board cap range");
+  }
+  return true;
+}
+
+GpuModel::GpuModel(GpuSpec spec) : spec_(std::move(spec)) {
+  assert(spec_.validate().ok());
+}
+
+double GpuModel::sm_clock_mhz(std::size_t sm_step) const noexcept {
+  const std::size_t step = std::min(sm_step, spec_.sm_steps - 1);
+  const double t = static_cast<double>(step) /
+                   static_cast<double>(spec_.sm_steps - 1);
+  return spec_.sm_min_mhz + t * (spec_.sm_max_mhz - spec_.sm_min_mhz);
+}
+
+std::size_t GpuModel::step_for_clock(double mhz) const noexcept {
+  for (std::size_t step = 0; step < spec_.sm_steps; ++step) {
+    if (sm_clock_mhz(step) >= mhz) return step;
+  }
+  return spec_.sm_steps - 1;
+}
+
+Watts GpuModel::sm_power(std::size_t sm_step,
+                         double utilization) const noexcept {
+  const double rel = sm_clock_mhz(sm_step) / spec_.sm_max_mhz;
+  const double util = std::clamp(utilization, 0.0, 1.0);
+  // V scales roughly linearly with f on the DVFS ladder, so dynamic power
+  // ~ f·V² ~ f³ relative to the top step.
+  return Watts{spec_.sm_idle.value() +
+               spec_.sm_max_dyn.value() * util * rel * rel * rel};
+}
+
+Watts GpuModel::mem_power(std::size_t mem_clock_index,
+                          GBps achieved_bw) const noexcept {
+  const std::size_t idx =
+      std::min(mem_clock_index, spec_.mem_clocks_mhz.size() - 1);
+  const double clock = spec_.mem_clocks_mhz[idx];
+  const double bw = std::clamp(achieved_bw.value(), 0.0,
+                               mem_bandwidth(idx).value());
+  return Watts{spec_.mem_idle.value() + spec_.mem_w_per_mhz * clock +
+               spec_.mem_dyn_w_per_gbps * bw};
+}
+
+Watts GpuModel::estimated_mem_power(
+    std::size_t mem_clock_index) const noexcept {
+  const std::size_t idx =
+      std::min(mem_clock_index, spec_.mem_clocks_mhz.size() - 1);
+  return mem_power(idx, mem_bandwidth(idx));
+}
+
+GBps GpuModel::mem_bandwidth(std::size_t mem_clock_index) const noexcept {
+  const std::size_t idx =
+      std::min(mem_clock_index, spec_.mem_clocks_mhz.size() - 1);
+  return GBps{spec_.bw_per_mhz * spec_.mem_clocks_mhz[idx]};
+}
+
+Gflops GpuModel::compute_capacity(std::size_t sm_step) const noexcept {
+  return Gflops{spec_.peak_gflops * sm_clock_mhz(sm_step) / spec_.sm_max_mhz};
+}
+
+Watts GpuModel::board_power(const GpuOperatingPoint& op, double sm_utilization,
+                            GBps achieved_bw) const noexcept {
+  return sm_power(op.sm_step, sm_utilization) +
+         mem_power(op.mem_clock_index, achieved_bw) + spec_.other_power;
+}
+
+}  // namespace pbc::hw

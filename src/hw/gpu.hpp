@@ -1,0 +1,119 @@
+// Discrete GPU model: an SM clock domain and a global-memory clock domain
+// under a single board power cap.
+//
+// Unlike the host, a GPU exposes no per-component power limit registers;
+// power is steered by setting the memory clock (nvidia-settings offsets)
+// and letting the board-level capper DVFS the SMs into the remaining
+// budget. That mechanism is what the paper (§4) credits for the GPU's
+// "automatic reclaim" of unused memory budget and for the absence of the
+// catastrophic scenario categories IV–VI.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace pbc::hw {
+
+/// Static description of a discrete GPU card.
+struct GpuSpec {
+  std::string name;
+
+  // --- SM clock domain ---
+  double sm_min_mhz = 1400.0;
+  double sm_max_mhz = 1900.0;
+  std::size_t sm_steps = 11;  ///< discrete DVFS points, min..max inclusive
+  /// Lowest SM clock reachable through user-facing frequency offsets (the
+  /// paper's management knob); the board capper itself can throttle further
+  /// down to sm_min_mhz. Used as the "min pairing frequency" when profiling
+  /// P_totref for Algorithm 2.
+  double sm_pairing_min_mhz = 1400.0;
+  Watts sm_idle{25.0};        ///< SM domain power at min clock, idle
+  Watts sm_max_dyn{220.0};    ///< additional dynamic power at max clock, util 1
+  /// Peak SM compute throughput at sm_max_mhz (GFLOP/s; metric-generic).
+  double peak_gflops = 12000.0;
+
+  // --- memory clock domain ---
+  /// Supported memory clock settings in MHz, ascending; the last entry is
+  /// the nominal (highest stable) clock the default driver policy uses.
+  std::vector<double> mem_clocks_mhz;
+  double bw_per_mhz = 0.0842;     ///< GB/s of peak bandwidth per MHz
+  Watts mem_idle{8.0};            ///< memory domain floor
+  double mem_w_per_mhz = 0.004;   ///< clock-proportional (IO/PHY) power
+  double mem_dyn_w_per_gbps = 0.065;  ///< access-proportional power
+
+  // --- board ---
+  Watts other_power{15.0};  ///< fans, VRM losses, host interface
+  Watts board_min_cap{125.0};     ///< driver rejects caps below this
+  Watts board_default_cap{250.0};
+  Watts board_max_cap{300.0};
+
+  [[nodiscard]] double nominal_mem_clock() const noexcept {
+    return mem_clocks_mhz.empty() ? 0.0 : mem_clocks_mhz.back();
+  }
+  [[nodiscard]] double min_mem_clock() const noexcept {
+    return mem_clocks_mhz.empty() ? 0.0 : mem_clocks_mhz.front();
+  }
+
+  [[nodiscard]] Result<bool> validate() const;
+};
+
+/// Operating state of the card: one SM DVFS step and one memory clock.
+struct GpuOperatingPoint {
+  std::size_t sm_step = 0;         ///< 0 = sm_min_mhz … sm_steps-1 = sm_max_mhz
+  std::size_t mem_clock_index = 0; ///< index into GpuSpec::mem_clocks_mhz
+};
+
+/// Power/performance model over a GpuSpec. Stateless.
+class GpuModel {
+ public:
+  explicit GpuModel(GpuSpec spec);
+
+  [[nodiscard]] const GpuSpec& spec() const noexcept { return spec_; }
+
+  [[nodiscard]] double sm_clock_mhz(std::size_t sm_step) const noexcept;
+
+  /// Lowest DVFS step whose clock is at least `mhz` (last step if none).
+  [[nodiscard]] std::size_t step_for_clock(double mhz) const noexcept;
+
+  /// SM-domain power at the step for the given utilization (in [0,1]).
+  /// Cubic in relative clock — DVFS scales voltage with frequency.
+  [[nodiscard]] Watts sm_power(std::size_t sm_step,
+                               double utilization) const noexcept;
+
+  /// Memory-domain power at the clock index when the workload achieves
+  /// `achieved_bw` of effective bandwidth.
+  [[nodiscard]] Watts mem_power(std::size_t mem_clock_index,
+                                GBps achieved_bw) const noexcept;
+
+  /// The paper's Fig. 7 x-axis: memory power *estimated* from the clock
+  /// setting via an empirical model (full-utilization power at that clock).
+  [[nodiscard]] Watts estimated_mem_power(
+      std::size_t mem_clock_index) const noexcept;
+
+  /// Peak bandwidth available at a memory clock index.
+  [[nodiscard]] GBps mem_bandwidth(std::size_t mem_clock_index) const noexcept;
+
+  /// SM compute capacity (GFLOP/s) at a step.
+  [[nodiscard]] Gflops compute_capacity(std::size_t sm_step) const noexcept;
+
+  /// Total board power for an operating point, utilization, and bandwidth.
+  [[nodiscard]] Watts board_power(const GpuOperatingPoint& op,
+                                  double sm_utilization,
+                                  GBps achieved_bw) const noexcept;
+
+  [[nodiscard]] std::size_t sm_step_count() const noexcept {
+    return spec_.sm_steps;
+  }
+  [[nodiscard]] std::size_t mem_clock_count() const noexcept {
+    return spec_.mem_clocks_mhz.size();
+  }
+
+ private:
+  GpuSpec spec_;
+};
+
+}  // namespace pbc::hw

@@ -1,0 +1,50 @@
+// Node-level machine descriptors: a CPU host (package + DRAM) or a discrete
+// GPU card (SMs + global memory). These are the machines `M` in the paper's
+// problem statement (§2.2), each with exactly two power-boundable
+// components.
+#pragma once
+
+#include <string>
+
+#include "hw/cpu.hpp"
+#include "hw/dram.hpp"
+#include "hw/gpu.hpp"
+
+namespace pbc::hw {
+
+/// Which component a power value refers to. "Processor" covers both CPU
+/// packages and GPU SMs; "Memory" covers host DRAM and GPU global memory.
+enum class Component { kProcessor, kMemory };
+
+[[nodiscard]] constexpr const char* to_string(Component c) noexcept {
+  return c == Component::kProcessor ? "processor" : "memory";
+}
+
+/// A CPU-based compute node: one aggregated processor component and one
+/// aggregated DRAM component (paper assumptions (a)-(c)).
+struct CpuMachine {
+  std::string name;
+  CpuSpec cpu;
+  DramSpec dram;
+
+  /// Sum of component maximum demands at full activity — above this total
+  /// budget scenario I always exists.
+  [[nodiscard]] Watts peak_power() const {
+    const CpuModel cm{cpu};
+    const DramModel dm{dram};
+    return cm.max_power(1.0) + dm.max_power();
+  }
+
+  /// Sum of component hardware floors — the least the node can draw while
+  /// running (caps below per-component floors are not respected).
+  [[nodiscard]] Watts floor_power() const { return cpu.floor + dram.floor; }
+};
+
+/// A GPU accelerator treated as a node: SM component and global-memory
+/// component under one board cap.
+struct GpuMachine {
+  std::string name;
+  GpuSpec gpu;
+};
+
+}  // namespace pbc::hw

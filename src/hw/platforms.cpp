@@ -1,0 +1,118 @@
+#include "hw/platforms.hpp"
+
+namespace pbc::hw {
+
+CpuMachine ivybridge_node() {
+  CpuSpec cpu;
+  cpu.name = "2x Xeon IvyBridge 10-core";
+  cpu.sockets = 2;
+  cpu.cores_per_socket = 10;
+  // Per-processor DVFS, 1.2-2.5 GHz in 100 MHz steps (14 P-states). The
+  // voltage floor keeps the lowest P-state near 65-68 W for typical loads,
+  // matching the paper's scenario II lower boundary (P_cpu ≈ 68 W).
+  cpu.pstates = linear_vf_ladder(Gigahertz{1.2}, Gigahertz{2.5}, 0.78, 1.0, 14);
+  cpu.flops_per_cycle = 8.0;  // AVX double precision
+  cpu.dyn_coeff_w_per_ghz_v2 = 2.2;
+  cpu.static_w_per_core_per_volt = 0.8;
+  cpu.uncore_power = Watts{30.0};
+  cpu.floor = Watts{48.0};  // paper: 48 W hardware-determined minimum
+  cpu.tstate_levels = 8;
+
+  DramSpec dram;
+  dram.name = "256 GB DDR3-1600";
+  dram.capacity_gb = 256.0;
+  dram.background_w_per_gb = 0.266;  // => 68.1 W background on 256 GB
+  dram.dyn_w_per_gbps = 0.60;
+  dram.peak_bw = GBps{80.0};
+  dram.min_bw = GBps{2.5};
+  dram.throttle_levels = 32;
+  dram.floor = Watts{68.0};  // paper: DRAM floor around 68 W
+
+  return CpuMachine{"CPU Platform I (IvyBridge + DDR3)", std::move(cpu),
+                    std::move(dram)};
+}
+
+CpuMachine haswell_node() {
+  CpuSpec cpu;
+  cpu.name = "2x Xeon Haswell 12-core";
+  cpu.sockets = 2;
+  cpu.cores_per_socket = 12;
+  // Per-core DVFS, 1.2-2.3 GHz (12 P-states).
+  cpu.pstates = linear_vf_ladder(Gigahertz{1.2}, Gigahertz{2.3}, 0.76, 0.95, 12);
+  cpu.flops_per_cycle = 16.0;  // AVX2 FMA double precision
+  cpu.dyn_coeff_w_per_ghz_v2 = 2.0;
+  cpu.static_w_per_core_per_volt = 0.65;
+  cpu.uncore_power = Watts{32.0};
+  cpu.floor = Watts{50.0};
+  cpu.tstate_levels = 8;
+  cpu.per_core_dvfs = true;  // paper Table 2: per-core DVFS on Haswell
+
+  DramSpec dram;
+  dram.name = "256 GB DDR4-2133";
+  dram.capacity_gb = 256.0;
+  // DDR4 refreshes less often and runs at lower voltage: the background
+  // term drops by ~40% versus DDR3, which is what gives Haswell its edge
+  // at small total budgets in Fig. 2.
+  dram.background_w_per_gb = 0.17;  // => 43.5 W background
+  dram.dyn_w_per_gbps = 0.33;
+  dram.peak_bw = GBps{120.0};
+  dram.min_bw = GBps{3.5};
+  dram.throttle_levels = 32;
+  dram.floor = Watts{44.0};
+
+  return CpuMachine{"CPU Platform II (Haswell + DDR4)", std::move(cpu),
+                    std::move(dram)};
+}
+
+GpuMachine titan_xp() {
+  GpuSpec gpu;
+  gpu.name = "Nvidia Titan XP (GDDR5X)";
+  // Under a power cap the board DVFSes well below the gaming clock range.
+  gpu.sm_min_mhz = 607.0;
+  gpu.sm_max_mhz = 1911.0;
+  gpu.sm_steps = 20;
+  gpu.sm_pairing_min_mhz = 1404.0;  // lowest offset-reachable gaming clock
+  gpu.sm_idle = Watts{15.0};
+  gpu.sm_max_dyn = Watts{235.0};
+  gpu.peak_gflops = 12150.0;  // FP32
+  // nvidia-settings memory transfer-rate offsets map to these points.
+  gpu.mem_clocks_mhz = {4006.0, 4513.0, 5005.0, 5508.0, 5705.0};
+  gpu.bw_per_mhz = 0.0842;  // 480 GB/s at the nominal 5705 MHz
+  // GDDR5X has a wide clock-dependent power range (the paper's Fig. 7 left
+  // column spans tens of watts of estimated memory power).
+  gpu.mem_idle = Watts{8.0};
+  gpu.mem_w_per_mhz = 0.012;
+  gpu.mem_dyn_w_per_gbps = 0.040;
+  gpu.other_power = Watts{10.0};
+  gpu.board_min_cap = Watts{125.0};
+  gpu.board_default_cap = Watts{250.0};
+  gpu.board_max_cap = Watts{300.0};
+  return GpuMachine{"GPU Platform I (Titan XP)", std::move(gpu)};
+}
+
+GpuMachine titan_v() {
+  GpuSpec gpu;
+  gpu.name = "Nvidia Titan V (HBM2)";
+  gpu.sm_min_mhz = 607.0;
+  gpu.sm_max_mhz = 1455.0;
+  gpu.sm_steps = 16;
+  gpu.sm_pairing_min_mhz = 912.0;
+  // 12 nm SMs: noticeably more efficient than the Titan XP's — compute
+  // demand saturates near 180 W (paper Fig. 6 right).
+  gpu.sm_idle = Watts{15.0};
+  gpu.sm_max_dyn = Watts{130.0};
+  gpu.peak_gflops = 13800.0;  // FP32
+  // HBM2 stacks: narrow clock range and a compressed power range.
+  gpu.mem_clocks_mhz = {500.0, 600.0, 700.0, 800.0, 850.0};
+  gpu.bw_per_mhz = 0.767;  // 652 GB/s at the nominal 850 MHz
+  gpu.mem_idle = Watts{6.0};
+  gpu.mem_w_per_mhz = 0.012;
+  gpu.mem_dyn_w_per_gbps = 0.025;
+  gpu.other_power = Watts{10.0};
+  gpu.board_min_cap = Watts{100.0};
+  gpu.board_default_cap = Watts{250.0};
+  gpu.board_max_cap = Watts{300.0};
+  return GpuMachine{"GPU Platform II (Titan V)", std::move(gpu)};
+}
+
+}  // namespace pbc::hw

@@ -1,0 +1,35 @@
+// The four experimental platforms of the paper (Table 2), as calibrated
+// presets:
+//
+//   CPU Platform I  — 2× Xeon 10-core IvyBridge, 256 GB DDR3-1600
+//   CPU Platform II — 2× Xeon 12-core Haswell,   256 GB DDR4-2133
+//   GPU Platform I  — Nvidia Titan XP, 12 GB GDDR5X
+//   GPU Platform II — Nvidia Titan V,  12 GB HBM2
+//
+// Calibration constants are chosen to match power figures quoted in the
+// paper text (CPU hardware floor 48 W, DRAM floor ≈ 68 W, SRA actual
+// power 112 W CPU / 116 W DRAM, DDR4 lower background power, Titan V's
+// compressed memory-power range); see DESIGN.md §2.
+#pragma once
+
+#include "hw/machine.hpp"
+
+namespace pbc::hw {
+
+/// 2× Intel Xeon IvyBridge 10-core, per-processor DVFS 1.2–2.5 GHz,
+/// 256 GB DDR3-1600.
+[[nodiscard]] CpuMachine ivybridge_node();
+
+/// 2× Intel Xeon Haswell 12-core, per-core DVFS 1.2–2.3 GHz,
+/// 256 GB DDR4-2133 (lower background power, higher bandwidth).
+[[nodiscard]] CpuMachine haswell_node();
+
+/// Nvidia Titan XP: GDDR5X with a wide memory clock/power range,
+/// 250 W default cap, 300 W max.
+[[nodiscard]] GpuMachine titan_xp();
+
+/// Nvidia Titan V: HBM2 with a narrow memory power range and more
+/// efficient SMs.
+[[nodiscard]] GpuMachine titan_v();
+
+}  // namespace pbc::hw

@@ -1,0 +1,65 @@
+#include "nvml/device.hpp"
+
+#include <algorithm>
+
+namespace pbc::nvml {
+
+NvmlDevice::NvmlDevice(hw::GpuMachine machine)
+    : machine_(std::move(machine)),
+      model_(machine_.gpu),
+      power_limit_(machine_.gpu.board_default_cap),
+      mem_clock_index_(machine_.gpu.mem_clocks_mhz.size() - 1) {}
+
+PowerConstraints NvmlDevice::power_constraints() const noexcept {
+  return {machine_.gpu.board_min_cap, machine_.gpu.board_default_cap,
+          machine_.gpu.board_max_cap};
+}
+
+Result<bool> NvmlDevice::set_power_limit(Watts limit) {
+  const auto c = power_constraints();
+  if (limit < c.min_limit || c.max_limit < limit) {
+    return out_of_range("power limit " + std::to_string(limit.value()) +
+                        " W outside [" + std::to_string(c.min_limit.value()) +
+                        ", " + std::to_string(c.max_limit.value()) + "] W");
+  }
+  power_limit_ = limit;
+  return true;
+}
+
+Result<bool> NvmlDevice::set_mem_clock(double mhz) {
+  const auto& clocks = machine_.gpu.mem_clocks_mhz;
+  if (mhz < clocks.front()) {
+    return out_of_range("memory clock " + std::to_string(mhz) +
+                        " MHz below the lowest supported clock");
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < clocks.size(); ++i) {
+    if (clocks[i] <= mhz) best = i;
+  }
+  mem_clock_index_ = best;
+  return true;
+}
+
+void NvmlDevice::reset_mem_clock() noexcept {
+  mem_clock_index_ = machine_.gpu.mem_clocks_mhz.size() - 1;
+}
+
+double NvmlDevice::mem_clock_mhz() const noexcept {
+  return machine_.gpu.mem_clocks_mhz[mem_clock_index_];
+}
+
+Watts NvmlDevice::estimated_mem_power() const noexcept {
+  return model_.estimated_mem_power(mem_clock_index_);
+}
+
+sim::AllocationSample NvmlDevice::run(const workload::Workload& wl) const {
+  const sim::GpuNodeSim node(machine_, wl);
+  return node.steady_state(mem_clock_index_, power_limit_);
+}
+
+Watts NvmlDevice::uncapped_power(const workload::Workload& wl) const {
+  const sim::GpuNodeSim node(machine_, wl);
+  return node.uncapped_board_power();
+}
+
+}  // namespace pbc::nvml

@@ -1,0 +1,85 @@
+// NVML-style device façade over the simulated GPU.
+//
+// Mirrors the two knobs the paper's GPU experiments drive: the board power
+// limit (`nvidia-smi -pl`, clamped to the card's [min, max] constraint
+// range) and the memory clock offset (`nvidia-settings`, restricted to the
+// card's supported transfer rates). Running a workload under the current
+// settings yields one AllocationSample, exactly like one experiment run.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "hw/machine.hpp"
+#include "sim/gpu_node.hpp"
+#include "sim/measurement.hpp"
+#include "workload/workload.hpp"
+
+namespace pbc::nvml {
+
+/// Driver-reported power-limit constraints (nvidia-smi -q -d POWER).
+struct PowerConstraints {
+  Watts min_limit{0.0};
+  Watts default_limit{0.0};
+  Watts max_limit{0.0};
+};
+
+class NvmlDevice {
+ public:
+  explicit NvmlDevice(hw::GpuMachine machine);
+
+  [[nodiscard]] const hw::GpuMachine& machine() const noexcept {
+    return machine_;
+  }
+  [[nodiscard]] const hw::GpuModel& model() const noexcept { return model_; }
+
+  // --- power limit (nvidia-smi -pl) ---
+
+  [[nodiscard]] PowerConstraints power_constraints() const noexcept;
+
+  /// Rejects limits outside the constraint range, like the real driver.
+  Result<bool> set_power_limit(Watts limit);
+
+  [[nodiscard]] Watts power_limit() const noexcept { return power_limit_; }
+
+  // --- memory clock (nvidia-settings transfer-rate offset) ---
+
+  [[nodiscard]] std::span<const double> supported_mem_clocks() const noexcept {
+    return machine_.gpu.mem_clocks_mhz;
+  }
+
+  /// Selects the highest supported clock that does not exceed `mhz`;
+  /// rejects values below the lowest supported clock.
+  Result<bool> set_mem_clock(double mhz);
+
+  /// Back to the nominal clock (the default driver policy's setting).
+  void reset_mem_clock() noexcept;
+
+  [[nodiscard]] std::size_t mem_clock_index() const noexcept {
+    return mem_clock_index_;
+  }
+  [[nodiscard]] double mem_clock_mhz() const noexcept;
+
+  /// Empirical-model estimate of memory power at the current clock — the
+  /// quantity the paper plots on the x-axis of Fig. 7.
+  [[nodiscard]] Watts estimated_mem_power() const noexcept;
+
+  // --- execution ---
+
+  /// Runs a workload to steady state under the current power limit and
+  /// memory clock.
+  [[nodiscard]] sim::AllocationSample run(
+      const workload::Workload& wl) const;
+
+  /// Board power the workload would draw with no cap (max clocks) — the
+  /// P_totmax profiling parameter of Algorithm 2.
+  [[nodiscard]] Watts uncapped_power(const workload::Workload& wl) const;
+
+ private:
+  hw::GpuMachine machine_;
+  hw::GpuModel model_;
+  Watts power_limit_;
+  std::size_t mem_clock_index_;
+};
+
+}  // namespace pbc::nvml

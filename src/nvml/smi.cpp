@@ -1,0 +1,116 @@
+#include "nvml/smi.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace pbc::nvml {
+
+std::vector<std::string> split_args(const std::string& line) {
+  std::vector<std::string> args;
+  std::istringstream ss(line);
+  std::string tok;
+  while (ss >> tok) args.push_back(tok);
+  return args;
+}
+
+CliResult SmiCli::run(const std::string& command_line) {
+  const auto args = split_args(command_line);
+  if (args.empty()) return {1, "usage: nvidia-smi|nvidia-settings ...\n"};
+  if (args[0] == "nvidia-smi") return smi(args);
+  if (args[0] == "nvidia-settings") return settings(args);
+  return {1, "unknown command: " + args[0] + "\n"};
+}
+
+std::string SmiCli::power_query() const {
+  const auto c = device_->power_constraints();
+  std::ostringstream out;
+  out << "==============NVSMI LOG==============\n"
+      << "GPU 00000000:01:00.0\n"
+      << "    Product Name                    : "
+      << device_->machine().name << "\n"
+      << "    Power Readings\n"
+      << "        Power Management            : Supported\n"
+      << "        Power Limit                 : "
+      << device_->power_limit().value() << " W\n"
+      << "        Default Power Limit         : " << c.default_limit.value()
+      << " W\n"
+      << "        Min Power Limit             : " << c.min_limit.value()
+      << " W\n"
+      << "        Max Power Limit             : " << c.max_limit.value()
+      << " W\n"
+      << "    Clocks\n"
+      << "        Memory                      : "
+      << device_->mem_clock_mhz() << " MHz\n";
+  return out.str();
+}
+
+CliResult SmiCli::smi(const std::vector<std::string>& args) {
+  // nvidia-smi -q -d POWER
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "-q") {
+      return {0, power_query()};
+    }
+    if (args[i] == "-pl" || args[i] == "--power-limit") {
+      if (i + 1 >= args.size()) {
+        return {1, "option requires an argument: -pl\n"};
+      }
+      char* end = nullptr;
+      const double watts = std::strtod(args[i + 1].c_str(), &end);
+      if (end == args[i + 1].c_str() || *end != '\0') {
+        return {1, "invalid power limit: " + args[i + 1] + "\n"};
+      }
+      const auto r = device_->set_power_limit(Watts{watts});
+      if (!r.ok()) {
+        return {1, "Provided power limit is not a valid power limit "
+                   "which should be between " +
+                       std::to_string(
+                           device_->power_constraints().min_limit.value()) +
+                       " W and " +
+                       std::to_string(
+                           device_->power_constraints().max_limit.value()) +
+                       " W for GPU 00000000:01:00.0\n"};
+      }
+      std::ostringstream out;
+      out << "Power limit for GPU 00000000:01:00.0 was set to " << watts
+          << ".00 W from " << watts << ".00 W.\n";
+      return {0, out.str()};
+    }
+  }
+  return {1, "usage: nvidia-smi [-q -d POWER] [-pl <watts>]\n"};
+}
+
+CliResult SmiCli::settings(const std::vector<std::string>& args) {
+  // nvidia-settings -a [gpu:0]/GPUMemoryTransferRateOffset=<offset>
+  // The offset is relative to the nominal transfer rate in MHz; negative
+  // offsets select lower memory clocks.
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] != "-a" || i + 1 >= args.size()) continue;
+    const std::string& assignment = args[i + 1];
+    const std::string key = "GPUMemoryTransferRateOffset";
+    const auto key_pos = assignment.find(key);
+    const auto eq = assignment.find('=');
+    if (key_pos == std::string::npos || eq == std::string::npos) {
+      return {1, "unsupported attribute: " + assignment + "\n"};
+    }
+    char* end = nullptr;
+    const double offset = std::strtod(assignment.c_str() + eq + 1, &end);
+    if (end == assignment.c_str() + eq + 1) {
+      return {1, "invalid offset in: " + assignment + "\n"};
+    }
+    const double target =
+        device_->machine().gpu.nominal_mem_clock() + offset;
+    const auto r = device_->set_mem_clock(target);
+    if (!r.ok()) return {1, r.error().to_string() + "\n"};
+    std::ostringstream out;
+    out << "  Attribute 'GPUMemoryTransferRateOffset' ([gpu:0]) assigned "
+           "value "
+        << offset << ".\n  Effective memory clock: "
+        << device_->mem_clock_mhz() << " MHz.\n";
+    return {0, out.str()};
+  }
+  return {1,
+          "usage: nvidia-settings -a "
+          "[gpu:0]/GPUMemoryTransferRateOffset=<offset>\n"};
+}
+
+}  // namespace pbc::nvml

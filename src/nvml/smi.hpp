@@ -1,0 +1,47 @@
+// nvidia-smi / nvidia-settings style command front-end over NvmlDevice.
+//
+// The paper drives its GPU experiments through exactly two commands:
+//   nvidia-smi -pl <watts>                      (board power limit)
+//   nvidia-settings -a "[gpu:0]/GPUMemoryTransferRateOffset[3]=<offset>"
+// plus `nvidia-smi -q -d POWER` to read the constraint block back.
+// SmiCli parses those command lines against a simulated device so scripts
+// and examples can be written verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nvml/device.hpp"
+
+namespace pbc::nvml {
+
+/// Outcome of one command invocation.
+struct CliResult {
+  int exit_code = 0;   ///< 0 on success, like the real tools
+  std::string output;  ///< stdout text
+};
+
+class SmiCli {
+ public:
+  explicit SmiCli(NvmlDevice* device) : device_(device) {}
+
+  /// Executes one command line, e.g.
+  ///   "nvidia-smi -pl 200"
+  ///   "nvidia-smi -q -d POWER"
+  ///   "nvidia-settings -a [gpu:0]/GPUMemoryTransferRateOffset=-3398"
+  /// Unknown commands/flags fail with exit code 1 and a usage message.
+  CliResult run(const std::string& command_line);
+
+ private:
+  CliResult smi(const std::vector<std::string>& args);
+  CliResult settings(const std::vector<std::string>& args);
+  [[nodiscard]] std::string power_query() const;
+
+  NvmlDevice* device_;
+};
+
+/// Splits a command line on whitespace (no quoting — the supported
+/// commands never need it).
+[[nodiscard]] std::vector<std::string> split_args(const std::string& line);
+
+}  // namespace pbc::nvml

@@ -1,0 +1,26 @@
+#include "rapl/feedback.hpp"
+
+#include <algorithm>
+
+namespace pbc::rapl {
+
+FeedbackController::FeedbackController(Seconds tick, Seconds window) noexcept
+    : alpha_(std::min(1.0, tick.value() / std::max(window.value(), 1e-9))) {}
+
+void FeedbackController::observe(Watts instantaneous) noexcept {
+  if (!initialized_) {
+    ema_ = instantaneous.value();
+    initialized_ = true;
+  } else {
+    ema_ += alpha_ * (instantaneous.value() - ema_);
+  }
+}
+
+StepDecision FeedbackController::decide(Watts cap,
+                                        Watts predicted_up) const noexcept {
+  if (ema_ > cap.value()) return StepDecision::kDown;
+  if (predicted_up.value() <= cap.value()) return StepDecision::kUp;
+  return StepDecision::kHold;
+}
+
+}  // namespace pbc::rapl

@@ -1,0 +1,43 @@
+// Running-average power-limit feedback, one instance per RAPL domain.
+//
+// Real RAPL enforces a limit on power averaged over a configurable time
+// window. FeedbackController keeps that running average (an EMA with the
+// window as its horizon) and answers the only question the firmware asks
+// each control period: step the power-saving notch down, hold, or step up?
+#pragma once
+
+#include "util/units.hpp"
+
+namespace pbc::rapl {
+
+enum class StepDecision { kDown, kHold, kUp };
+
+class FeedbackController {
+ public:
+  /// `tick` is the control period; `window` the averaging horizon.
+  FeedbackController(Seconds tick, Seconds window) noexcept;
+
+  /// Feeds one instantaneous power sample into the running average.
+  void observe(Watts instantaneous) noexcept;
+
+  /// Current running-average power (0 before the first observation).
+  [[nodiscard]] Watts average() const noexcept { return Watts{ema_}; }
+
+  /// Control decision against a cap. `predicted_up` is the instantaneous
+  /// power expected at the next shallower notch; stepping up is only
+  /// allowed when that prediction also fits the cap (anti-windup).
+  [[nodiscard]] StepDecision decide(Watts cap,
+                                    Watts predicted_up) const noexcept;
+
+  void reset() noexcept {
+    ema_ = 0.0;
+    initialized_ = false;
+  }
+
+ private:
+  double alpha_;
+  double ema_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace pbc::rapl

@@ -1,0 +1,18 @@
+#include "rapl/ladder.hpp"
+
+#include <algorithm>
+
+namespace pbc::rapl {
+
+hw::CpuOperatingPoint NotchLadder::op(std::size_t notch) const noexcept {
+  notch = std::min(notch, count() - 1);
+  const std::size_t tstates = first_pstate_notch();
+  if (notch >= tstates) {
+    return {notch - tstates, 1.0, false};
+  }
+  const double duty = static_cast<double>(notch + 1) /
+                      static_cast<double>(spec_->tstate_levels);
+  return {0, duty, false};
+}
+
+}  // namespace pbc::rapl

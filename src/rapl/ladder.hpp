@@ -1,0 +1,45 @@
+// The package power-saving escalation ladder.
+//
+// RAPL meets a falling PKG cap by escalating mechanisms in a fixed order
+// (§3.3): P-states (DVFS) first, then T-states (duty-cycle clock
+// throttling) at the lowest P-state, and finally the package floor.
+// NotchLadder linearizes that order into a single index so both the
+// closed-form governor (sim::CpuNodeSim) and the feedback controller
+// (sim::RaplEngine) walk the exact same states.
+#pragma once
+
+#include <cstddef>
+
+#include "hw/cpu.hpp"
+
+namespace pbc::rapl {
+
+/// Notch 0 is the deepest throttle (lowest P-state, minimum duty);
+/// count()-1 is the top P-state at full duty.
+class NotchLadder {
+ public:
+  explicit NotchLadder(const hw::CpuSpec& spec) noexcept : spec_(&spec) {}
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    return spec_->pstates.size() +
+           static_cast<std::size_t>(spec_->tstate_levels - 1);
+  }
+
+  /// Operating point for a notch (clamped to the valid range).
+  [[nodiscard]] hw::CpuOperatingPoint op(std::size_t notch) const noexcept;
+
+  /// First notch that is a pure P-state (duty 1).
+  [[nodiscard]] std::size_t first_pstate_notch() const noexcept {
+    return static_cast<std::size_t>(spec_->tstate_levels - 1);
+  }
+
+  /// True if the notch uses duty-cycle throttling (a T-state).
+  [[nodiscard]] bool is_tstate(std::size_t notch) const noexcept {
+    return notch < first_pstate_notch();
+  }
+
+ private:
+  const hw::CpuSpec* spec_;
+};
+
+}  // namespace pbc::rapl

@@ -1,0 +1,106 @@
+#include "rapl/msr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pbc::rapl {
+
+namespace {
+constexpr std::uint64_t kPowerMask = 0x7fffULL;       // [14:0]
+constexpr std::uint64_t kEnableBit = 1ULL << 15;      // [15]
+constexpr unsigned kWindowYShift = 17;                // [21:17]
+constexpr std::uint64_t kWindowYMask = 0x1fULL;
+constexpr unsigned kWindowFShift = 22;                // [23:22]
+constexpr std::uint64_t kWindowFMask = 0x3ULL;
+}  // namespace
+
+std::uint64_t encode_power_limit(const PowerLimit& pl,
+                                 const RaplUnits& units) noexcept {
+  const double lsb = units.power_lsb();
+  const auto power_field = static_cast<std::uint64_t>(std::min(
+      std::max(pl.limit.value() / lsb, 0.0), static_cast<double>(kPowerMask)));
+
+  // window = 2^Y · (1 + F/4) · time_lsb. Choose the largest encodable value
+  // not exceeding the requested window (hardware rounds down).
+  const double target = std::max(pl.window.value(), units.time_lsb());
+  std::uint64_t best_y = 0;
+  std::uint64_t best_f = 0;
+  double best = units.time_lsb();
+  for (std::uint64_t y = 0; y <= kWindowYMask; ++y) {
+    for (std::uint64_t f = 0; f <= kWindowFMask; ++f) {
+      const double w = std::ldexp(1.0, static_cast<int>(y)) *
+                       (1.0 + static_cast<double>(f) / 4.0) * units.time_lsb();
+      if (w <= target + 1e-12 && w > best) {
+        best = w;
+        best_y = y;
+        best_f = f;
+      }
+    }
+  }
+
+  std::uint64_t raw = power_field;
+  if (pl.enabled) raw |= kEnableBit;
+  raw |= (best_y & kWindowYMask) << kWindowYShift;
+  raw |= (best_f & kWindowFMask) << kWindowFShift;
+  return raw;
+}
+
+PowerLimit decode_power_limit(std::uint64_t raw,
+                              const RaplUnits& units) noexcept {
+  PowerLimit pl;
+  pl.limit = Watts{static_cast<double>(raw & kPowerMask) * units.power_lsb()};
+  pl.enabled = (raw & kEnableBit) != 0;
+  const auto y = (raw >> kWindowYShift) & kWindowYMask;
+  const auto f = (raw >> kWindowFShift) & kWindowFMask;
+  pl.window = Seconds{std::ldexp(1.0, static_cast<int>(y)) *
+                      (1.0 + static_cast<double>(f) / 4.0) *
+                      units.time_lsb()};
+  return pl;
+}
+
+Result<bool> RaplMsr::set_power_limit(Domain d, const PowerLimit& pl) {
+  if (pl.limit.value() <= 0.0) {
+    return invalid_argument("RAPL power limit must be positive");
+  }
+  if (pl.window.value() <= 0.0) {
+    return invalid_argument("RAPL window must be positive");
+  }
+  limit_regs_[idx(d)] = encode_power_limit(pl, units_);
+  return true;
+}
+
+PowerLimit RaplMsr::power_limit(Domain d) const noexcept {
+  return decode_power_limit(limit_regs_[idx(d)], units_);
+}
+
+std::uint64_t RaplMsr::raw_power_limit(Domain d) const noexcept {
+  return limit_regs_[idx(d)];
+}
+
+void RaplMsr::accumulate_energy(Domain d, Joules e) noexcept {
+  if (e.value() <= 0.0) return;
+  const std::size_t i = idx(d);
+  energy_acc_[i] += e.value() / units_.energy_lsb();
+  const double whole = std::floor(energy_acc_[i]);
+  energy_acc_[i] -= whole;
+  // 32-bit wrap-around, as on hardware.
+  energy_regs_[i] = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(energy_regs_[i]) +
+       static_cast<std::uint64_t>(whole)) &
+      0xffffffffULL);
+}
+
+std::uint32_t RaplMsr::energy_status(Domain d) const noexcept {
+  return energy_regs_[idx(d)];
+}
+
+Joules RaplMsr::energy_delta(std::uint32_t before,
+                             std::uint32_t after) const noexcept {
+  const std::uint64_t delta =
+      after >= before
+          ? static_cast<std::uint64_t>(after - before)
+          : (1ULL << 32) - before + after;  // one wrap
+  return Joules{static_cast<double>(delta) * units_.energy_lsb()};
+}
+
+}  // namespace pbc::rapl

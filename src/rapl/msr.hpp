@@ -1,0 +1,104 @@
+// MSR-level RAPL register façade.
+//
+// Mirrors the Intel SDM Vol. 3B encodings the paper's tooling programs
+// (reference [22]): MSR_RAPL_POWER_UNIT fixes the power/energy/time units;
+// MSR_PKG_POWER_LIMIT / MSR_DRAM_POWER_LIMIT hold the enable bit, the
+// power limit in power units, and the Y/F-encoded averaging window; the
+// *_ENERGY_STATUS counters accumulate energy in energy units and wrap at
+// 32 bits. The simulators use this façade so that cap programming and
+// energy metering round-trip through the same quantization a real machine
+// imposes.
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace pbc::rapl {
+
+/// RAPL domains exposed by the simulated package.
+enum class Domain { kPackage, kDram };
+
+[[nodiscard]] constexpr const char* to_string(Domain d) noexcept {
+  return d == Domain::kPackage ? "PKG" : "DRAM";
+}
+
+/// Unit definitions from MSR_RAPL_POWER_UNIT (default Intel encodings:
+/// power in 1/8 W, energy in 1/2^16 J, time in 1/2^10 s — SDM table 14-10).
+struct RaplUnits {
+  unsigned power_unit_bits = 3;    ///< power LSB = 2^-3 W
+  unsigned energy_unit_bits = 16;  ///< energy LSB = 2^-16 J
+  unsigned time_unit_bits = 10;    ///< time LSB = 2^-10 s
+
+  [[nodiscard]] double power_lsb() const noexcept {
+    return 1.0 / static_cast<double>(1u << power_unit_bits);
+  }
+  [[nodiscard]] double energy_lsb() const noexcept {
+    return 1.0 / static_cast<double>(1ull << energy_unit_bits);
+  }
+  [[nodiscard]] double time_lsb() const noexcept {
+    return 1.0 / static_cast<double>(1u << time_unit_bits);
+  }
+};
+
+/// A decoded POWER_LIMIT register (limit #1 fields only; the simulated
+/// parts expose a single constraint per domain).
+struct PowerLimit {
+  bool enabled = false;
+  Watts limit{0.0};
+  Seconds window{0.046};
+};
+
+/// Encodes a power limit into the low 24 bits of a *_POWER_LIMIT MSR:
+/// [14:0] power in power units, [15] enable, [22:17] window (Y in [21:17],
+/// F in [23:22] — we use the common 5+2 split). Out-of-range limits are
+/// saturated, mirroring hardware behaviour.
+[[nodiscard]] std::uint64_t encode_power_limit(const PowerLimit& pl,
+                                               const RaplUnits& units) noexcept;
+
+/// Decodes the register format produced by encode_power_limit.
+[[nodiscard]] PowerLimit decode_power_limit(std::uint64_t raw,
+                                            const RaplUnits& units) noexcept;
+
+/// The simulated MSR file: power-limit programming and wrapping energy
+/// counters for both domains.
+class RaplMsr {
+ public:
+  explicit RaplMsr(RaplUnits units = {}) noexcept : units_(units) {}
+
+  [[nodiscard]] const RaplUnits& units() const noexcept { return units_; }
+
+  /// Programs a domain's power limit. Rejects non-positive limits.
+  Result<bool> set_power_limit(Domain d, const PowerLimit& pl);
+
+  /// Reads back the decoded limit (after register quantization).
+  [[nodiscard]] PowerLimit power_limit(Domain d) const noexcept;
+
+  /// Raw register contents (for tests and tooling).
+  [[nodiscard]] std::uint64_t raw_power_limit(Domain d) const noexcept;
+
+  /// Accumulates consumed energy into a domain's ENERGY_STATUS counter
+  /// (wraps at 32 bits, like hardware).
+  void accumulate_energy(Domain d, Joules e) noexcept;
+
+  /// Current counter value in energy units.
+  [[nodiscard]] std::uint32_t energy_status(Domain d) const noexcept;
+
+  /// Difference between two counter readings as energy, handling a single
+  /// wrap.
+  [[nodiscard]] Joules energy_delta(std::uint32_t before,
+                                    std::uint32_t after) const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t idx(Domain d) const noexcept {
+    return d == Domain::kPackage ? 0 : 1;
+  }
+
+  RaplUnits units_;
+  std::uint64_t limit_regs_[2] = {0, 0};
+  double energy_acc_[2] = {0.0, 0.0};  ///< fractional energy-unit remainder
+  std::uint32_t energy_regs_[2] = {0, 0};
+};
+
+}  // namespace pbc::rapl

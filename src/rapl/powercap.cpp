@@ -1,0 +1,141 @@
+#include "rapl/powercap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace pbc::rapl {
+
+namespace {
+
+constexpr const char* kPkgDir = "intel-rapl:0";
+constexpr const char* kDramDir = "intel-rapl:0:0";
+
+/// Parses a non-negative integer exactly (full match), like the kernel's
+/// kstrtoull on sysfs writes.
+Result<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty()) return invalid_argument("empty value");
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return invalid_argument("not a non-negative integer: '" + s + "'");
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+PowercapFs::PowercapFs(RaplMsr* msr) : msr_(msr) {}
+
+std::vector<std::string> PowercapFs::list() const {
+  std::vector<std::string> paths;
+  for (const char* dir : {kPkgDir, kDramDir}) {
+    for (const char* file :
+         {"name", "enabled", "energy_uj", "max_energy_range_uj",
+          "constraint_0_name", "constraint_0_power_limit_uw",
+          "constraint_0_time_window_us"}) {
+      paths.push_back(std::string(dir) + "/" + file);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+Result<Domain> PowercapFs::domain_of(const std::string& path,
+                                     std::string* file) {
+  const auto slash = path.find('/');
+  if (slash == std::string::npos) {
+    return not_found("no such powercap path: " + path);
+  }
+  const std::string dir = path.substr(0, slash);
+  *file = path.substr(slash + 1);
+  if (dir == kPkgDir) return Domain::kPackage;
+  if (dir == kDramDir) return Domain::kDram;
+  return not_found("no such powercap domain: " + dir);
+}
+
+Result<std::string> PowercapFs::read(const std::string& path) const {
+  std::string file;
+  const auto domain = domain_of(path, &file);
+  if (!domain.ok()) return domain.error();
+  const Domain d = domain.value();
+
+  if (file == "name") {
+    return std::string(d == Domain::kPackage ? "package-0" : "dram");
+  }
+  if (file == "enabled") {
+    return std::string(enabled_[d == Domain::kPackage ? 0 : 1] ? "1" : "0");
+  }
+  if (file == "energy_uj") {
+    const double joules = static_cast<double>(msr_->energy_status(d)) *
+                          msr_->units().energy_lsb();
+    return std::to_string(
+        static_cast<std::uint64_t>(std::llround(joules * 1e6)));
+  }
+  if (file == "max_energy_range_uj") {
+    const double range = 4294967296.0 * msr_->units().energy_lsb() * 1e6;
+    return std::to_string(static_cast<std::uint64_t>(range));
+  }
+  if (file == "constraint_0_name") return std::string("long_term");
+  if (file == "constraint_0_power_limit_uw") {
+    return std::to_string(static_cast<std::uint64_t>(
+        std::llround(msr_->power_limit(d).limit.value() * 1e6)));
+  }
+  if (file == "constraint_0_time_window_us") {
+    return std::to_string(static_cast<std::uint64_t>(
+        std::llround(msr_->power_limit(d).window.value() * 1e6)));
+  }
+  return not_found("no such powercap file: " + path);
+}
+
+Result<bool> PowercapFs::write(const std::string& path,
+                               const std::string& value) {
+  std::string file;
+  const auto domain = domain_of(path, &file);
+  if (!domain.ok()) return domain.error();
+  const Domain d = domain.value();
+
+  if (file == "enabled") {
+    if (value != "0" && value != "1") {
+      return invalid_argument("enabled takes 0 or 1");
+    }
+    enabled_[d == Domain::kPackage ? 0 : 1] = value == "1";
+    // The enable bit also lives in the limit register.
+    PowerLimit pl = msr_->power_limit(d);
+    pl.enabled = value == "1";
+    if (pl.limit.value() > 0.0) return msr_->set_power_limit(d, pl);
+    return true;
+  }
+  if (file == "constraint_0_power_limit_uw") {
+    const auto uw = parse_u64(value);
+    if (!uw.ok()) return uw.error();
+    PowerLimit pl = msr_->power_limit(d);
+    pl.limit = Watts{static_cast<double>(uw.value()) / 1e6};
+    pl.enabled = enabled_[d == Domain::kPackage ? 0 : 1];
+    if (pl.window.value() <= 0.0) pl.window = Seconds{0.046};
+    return msr_->set_power_limit(d, pl);
+  }
+  if (file == "constraint_0_time_window_us") {
+    const auto us = parse_u64(value);
+    if (!us.ok()) return us.error();
+    PowerLimit pl = msr_->power_limit(d);
+    pl.window = Seconds{static_cast<double>(us.value()) / 1e6};
+    if (pl.limit.value() <= 0.0) {
+      return failed_precondition("set a power limit before the window");
+    }
+    return msr_->set_power_limit(d, pl);
+  }
+  if (file == "name" || file == "energy_uj" || file == "max_energy_range_uj" ||
+      file == "constraint_0_name") {
+    return failed_precondition("read-only powercap file: " + path);
+  }
+  return not_found("no such powercap file: " + path);
+}
+
+Watts PowercapFs::power_limit(Domain d) const {
+  return msr_->power_limit(d).limit;
+}
+
+}  // namespace pbc::rapl

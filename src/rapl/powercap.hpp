@@ -1,0 +1,58 @@
+// Linux powercap-sysfs façade over the simulated RAPL registers.
+//
+// Real power-capping tooling (powercap-set, GEOPM, Slurm plugins) talks to
+// /sys/class/powercap/intel-rapl:0/... rather than raw MSRs. This module
+// exposes the same file tree in memory — names, µW/µJ integer units,
+// write-validation behaviour — backed by a RaplMsr, so tooling-level code
+// (and the examples) can be written exactly as it would be against a real
+// node.
+//
+// Supported files, per domain directory `intel-rapl:0` (package) and
+// `intel-rapl:0:0` (DRAM subdomain):
+//   name                          r   "package-0" / "dram"
+//   enabled                       rw  "0" / "1"
+//   energy_uj                     r   cumulative energy, wraps with the MSR
+//   max_energy_range_uj           r   wrap range
+//   constraint_0_name             r   "long_term"
+//   constraint_0_power_limit_uw   rw  integer microwatts
+//   constraint_0_time_window_us   rw  integer microseconds
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rapl/msr.hpp"
+#include "util/status.hpp"
+
+namespace pbc::rapl {
+
+/// An in-memory /sys/class/powercap tree backed by a RaplMsr.
+class PowercapFs {
+ public:
+  explicit PowercapFs(RaplMsr* msr);
+
+  /// All exposed paths, relative to the powercap root, sorted.
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  /// Reads a file; values render exactly as sysfs would (integer strings,
+  /// no trailing newline).
+  [[nodiscard]] Result<std::string> read(const std::string& path) const;
+
+  /// Writes a file. Read-only files and malformed values are rejected with
+  /// the same failure mode the kernel gives (-EINVAL / -EACCES analogues).
+  Result<bool> write(const std::string& path, const std::string& value);
+
+  /// Convenience: current power limit of a domain in watts.
+  [[nodiscard]] Watts power_limit(Domain d) const;
+
+ private:
+  [[nodiscard]] static Result<Domain> domain_of(const std::string& path,
+                                                std::string* file);
+
+  RaplMsr* msr_;
+  bool enabled_[2] = {false, false};
+};
+
+}  // namespace pbc::rapl

@@ -1,0 +1,180 @@
+#include "sim/cpu_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rapl/ladder.hpp"
+
+namespace pbc::sim {
+
+namespace {
+// Governors honour a cap if measured power is within this absolute slack;
+// keeps discrete-state selection stable at exact boundaries.
+constexpr double kCapSlackW = 0.01;
+constexpr int kMaxRelaxationIters = 24;
+}  // namespace
+
+CpuNodeSim::CpuNodeSim(hw::CpuMachine machine, workload::Workload wl)
+    : machine_(std::move(machine)),
+      wl_(std::move(wl)),
+      cpu_(machine_.cpu),
+      dram_(machine_.dram) {
+  assert(wl_.validate().ok());
+  assert(wl_.domain == workload::Domain::kCpu);
+}
+
+AllocationSample CpuNodeSim::evaluate_state(const hw::CpuOperatingPoint& op,
+                                            GBps avail_bw,
+                                            int active_cores) const noexcept {
+  const auto& spec = machine_.cpu;
+  const int total_cores = spec.total_cores();
+  const int cores = std::clamp(active_cores, 1, total_cores);
+  const auto& ps =
+      spec.pstates[std::min(op.pstate_index, spec.pstates.size() - 1)];
+  const double f = ps.frequency.value();
+  const double duty =
+      op.sleeping ? 0.02 : std::clamp(op.duty, spec.min_duty(), 1.0);
+
+  workload::PhaseOperands operands;
+  operands.compute_capacity =
+      Gflops{cores * spec.flops_per_cycle * f *
+             (op.sleeping ? 0.02 : std::clamp(op.duty, spec.min_duty(), 1.0))};
+  operands.avail_bw = avail_bw;
+  operands.peak_bw = machine_.dram.peak_bw;
+  operands.rel_clock = f / spec.f_max().value();
+  operands.duty = duty;
+  operands.core_fraction =
+      static_cast<double>(cores) / static_cast<double>(total_cores);
+
+  const workload::WorkloadResult res = workload::evaluate(wl_, operands);
+
+  AllocationSample s;
+  s.perf = res.metric;
+  s.rate_gunits = res.rate_gunits;
+  if (cores == total_cores) {
+    s.proc_power = cpu_.package_power(op, res.activity_eff);
+  } else {
+    // Packed execution: active cores switch and leak; parked cores sit in
+    // a core C-state retaining ~20% of their leakage.
+    const double leakage =
+        (cores + 0.2 * (total_cores - cores)) *
+        spec.static_w_per_core_per_volt * ps.voltage;
+    const double dynamic = op.sleeping
+                               ? 0.0
+                               : cores * spec.dyn_coeff_w_per_ghz_v2 *
+                                     ps.voltage * ps.voltage * f *
+                                     res.activity_eff * duty;
+    s.proc_power = Watts{std::max(
+        spec.uncore_power.value() + leakage + dynamic, spec.floor.value())};
+  }
+  s.mem_power = dram_.power(res.effective_bw);
+  s.pstate_index = op.pstate_index;
+  s.duty = op.duty;
+  s.compute_util = res.compute_util;
+  s.mem_util = res.mem_util;
+  s.avail_bw = avail_bw;
+  s.achieved_bw = res.achieved_bw;
+  s.proc_region = op.sleeping ? ProcRegion::kSleepFloor
+                  : op.duty < 1.0 ? ProcRegion::kTState
+                                  : ProcRegion::kPState;
+  return s;
+}
+
+hw::CpuOperatingPoint CpuNodeSim::proc_best_response(
+    Watts cap, GBps avail_bw, int active_cores) const noexcept {
+  // Walk the escalation ladder from the top P-state toward the deepest
+  // T-state — the order in which RAPL engages mechanisms (§3.3) — and take
+  // the shallowest state that fits the cap.
+  const rapl::NotchLadder ladder(machine_.cpu);
+  for (std::size_t notch = ladder.count(); notch-- > 0;) {
+    const hw::CpuOperatingPoint op = ladder.op(notch);
+    if (evaluate_state(op, avail_bw, active_cores).proc_power.value() <=
+        cap.value() + kCapSlackW) {
+      return op;
+    }
+  }
+  // Even the deepest throttle exceeds the cap: the package idles at its
+  // hardware floor and the cap goes unmet (scenario VI).
+  return hw::CpuOperatingPoint{0, machine_.cpu.min_duty(),
+                               cap.value() < machine_.cpu.floor.value()};
+}
+
+GBps CpuNodeSim::mem_best_response(Watts cap, const hw::CpuOperatingPoint& op,
+                                   int active_cores) const noexcept {
+  const auto& spec = machine_.dram;
+  const double effective_cap = std::max(cap.value(), spec.floor.value());
+  const double lo = spec.min_bw.value();
+  const double hi = spec.peak_bw.value();
+  const double step =
+      (hi - lo) / static_cast<double>(spec.throttle_levels - 1);
+  for (int level = spec.throttle_levels - 1; level >= 0; --level) {
+    const GBps bw{lo + static_cast<double>(level) * step};
+    if (evaluate_state(op, bw, active_cores).mem_power.value() <=
+        effective_cap + kCapSlackW) {
+      return bw;
+    }
+  }
+  return spec.min_bw;
+}
+
+AllocationSample CpuNodeSim::solve(Watts cpu_cap, Watts mem_cap,
+                                   int active_cores) const noexcept {
+  hw::CpuOperatingPoint op{machine_.cpu.pstates.size() - 1, 1.0, false};
+  GBps bw = machine_.dram.peak_bw;
+
+  for (int iter = 0; iter < kMaxRelaxationIters; ++iter) {
+    const GBps next_bw = mem_best_response(mem_cap, op, active_cores);
+    const hw::CpuOperatingPoint next_op =
+        proc_best_response(cpu_cap, next_bw, active_cores);
+    const bool stable = next_bw == bw &&
+                        next_op.pstate_index == op.pstate_index &&
+                        next_op.duty == op.duty &&
+                        next_op.sleeping == op.sleeping;
+    op = next_op;
+    bw = next_bw;
+    if (stable) break;
+  }
+
+  AllocationSample s = evaluate_state(op, bw, active_cores);
+  s.proc_cap = cpu_cap;
+  s.mem_cap = mem_cap;
+  s.proc_cap_respected =
+      s.proc_power.value() <= cpu_cap.value() + kCapSlackW;
+  s.mem_cap_respected = s.mem_power.value() <= mem_cap.value() + kCapSlackW;
+  s.mem_region = mem_cap.value() < machine_.dram.floor.value()
+                     ? MemRegion::kFloor
+                 : bw.value() < machine_.dram.peak_bw.value() - 1e-9
+                     ? MemRegion::kThrottled
+                     : MemRegion::kUnthrottled;
+  return s;
+}
+
+AllocationSample CpuNodeSim::steady_state(Watts cpu_cap,
+                                          Watts mem_cap) const noexcept {
+  return solve(cpu_cap, mem_cap, machine_.cpu.total_cores());
+}
+
+AllocationSample CpuNodeSim::steady_state_packed(int active_cores,
+                                                 Watts cpu_cap,
+                                                 Watts mem_cap)
+    const noexcept {
+  return solve(cpu_cap, mem_cap, active_cores);
+}
+
+AllocationSample CpuNodeSim::pinned(const hw::CpuOperatingPoint& op,
+                                    GBps avail_bw) const noexcept {
+  AllocationSample s = evaluate_state(op, avail_bw,
+                                      machine_.cpu.total_cores());
+  s.proc_cap = s.proc_power;
+  s.mem_cap = s.mem_power;
+  s.mem_region = avail_bw.value() < machine_.dram.peak_bw.value() - 1e-9
+                     ? MemRegion::kThrottled
+                     : MemRegion::kUnthrottled;
+  return s;
+}
+
+AllocationSample CpuNodeSim::uncapped() const noexcept {
+  return steady_state(Watts{1e6}, Watts{1e6});
+}
+
+}  // namespace pbc::sim

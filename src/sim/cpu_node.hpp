@@ -1,0 +1,84 @@
+// Steady-state simulator for a CPU node under per-component power caps.
+//
+// Reproduces what Intel RAPL converges to (§3.3): each power-limit domain
+// (PKG, DRAM) independently picks the shallowest power-saving state that
+// keeps its measured power under its cap — DVFS first, then clock
+// throttling, then the floor for the package; bandwidth throttle states for
+// DRAM. Because the domains interact through the workload (a throttled CPU
+// issues fewer memory requests; throttled DRAM stalls the CPU), the steady
+// state is the fixed point of the two governors' best responses, found by
+// alternating relaxation.
+#pragma once
+
+#include "hw/machine.hpp"
+#include "sim/measurement.hpp"
+#include "workload/workload.hpp"
+
+namespace pbc::sim {
+
+/// Closed-form steady-state evaluation of (workload × machine × caps).
+class CpuNodeSim {
+ public:
+  CpuNodeSim(hw::CpuMachine machine, workload::Workload wl);
+
+  [[nodiscard]] const hw::CpuMachine& machine() const noexcept {
+    return machine_;
+  }
+  [[nodiscard]] const workload::Workload& wl() const noexcept { return wl_; }
+
+  /// Steady state reached under the given caps. Caps below the hardware
+  /// floors are accepted but will be reported as not respected.
+  [[nodiscard]] AllocationSample steady_state(Watts cpu_cap,
+                                              Watts mem_cap) const noexcept;
+
+  /// Steady state with the processor pinned to an operating point and DRAM
+  /// granted the given bandwidth. Mirrors userspace DVFS pinning, which is
+  /// how the lightweight profiler measures critical power values without a
+  /// full sweep.
+  [[nodiscard]] AllocationSample pinned(
+      const hw::CpuOperatingPoint& op, GBps avail_bw) const noexcept;
+
+  /// Steady state with the workload packed onto `active_cores` of the
+  /// package (the remaining cores idle and contribute leakage only), under
+  /// the usual caps. The thread-packing knob of Pack & Cap (Cochran et
+  /// al., the paper's ref. [11]): fewer cores under a cap can afford a
+  /// higher clock. active_cores is clamped to [1, total_cores].
+  [[nodiscard]] AllocationSample steady_state_packed(
+      int active_cores, Watts cpu_cap, Watts mem_cap) const noexcept;
+
+  /// Convenience: run completely uncapped (both components at maximum).
+  [[nodiscard]] AllocationSample uncapped() const noexcept;
+
+  [[nodiscard]] const hw::CpuModel& cpu_model() const noexcept { return cpu_; }
+  [[nodiscard]] const hw::DramModel& dram_model() const noexcept {
+    return dram_;
+  }
+
+ private:
+  /// Evaluates workload + power at a fully specified hardware state with
+  /// `active_cores` of the package running the workload (the rest idle).
+  [[nodiscard]] AllocationSample evaluate_state(
+      const hw::CpuOperatingPoint& op, GBps avail_bw,
+      int active_cores) const noexcept;
+
+  /// Processor governor best response: shallowest state with power ≤ cap.
+  [[nodiscard]] hw::CpuOperatingPoint proc_best_response(
+      Watts cap, GBps avail_bw, int active_cores) const noexcept;
+
+  /// Memory governor best response: highest throttle bandwidth with
+  /// power ≤ cap, given the processor state.
+  [[nodiscard]] GBps mem_best_response(
+      Watts cap, const hw::CpuOperatingPoint& op,
+      int active_cores) const noexcept;
+
+  /// Shared fixed-point loop.
+  [[nodiscard]] AllocationSample solve(Watts cpu_cap, Watts mem_cap,
+                                       int active_cores) const noexcept;
+
+  hw::CpuMachine machine_;
+  workload::Workload wl_;
+  hw::CpuModel cpu_;
+  hw::DramModel dram_;
+};
+
+}  // namespace pbc::sim

@@ -1,0 +1,50 @@
+#include "sim/energy.hpp"
+
+#include <algorithm>
+
+namespace pbc::sim {
+
+EnergyReport energy_to_solution(const AllocationSample& s,
+                                double work_gunits) {
+  EnergyReport r;
+  if (s.rate_gunits <= 0.0 || work_gunits <= 0.0) return r;
+  r.duration = Seconds{work_gunits / s.rate_gunits};
+  r.proc_energy = s.proc_power * r.duration;
+  r.mem_energy = s.mem_power * r.duration;
+  r.energy_per_gunit = r.total_energy().value() / work_gunits;
+  r.edp = r.total_energy().value() * r.duration.value();
+  return r;
+}
+
+std::vector<EfficiencyPoint> efficiency_curve(const BudgetSweep& sweep) {
+  std::vector<EfficiencyPoint> curve;
+  curve.reserve(sweep.samples.size());
+  for (const auto& s : sweep.samples) {
+    EfficiencyPoint p;
+    p.mem_cap = s.mem_cap;
+    p.perf = s.perf;
+    const double consumed = s.total_power().value();
+    const double budget = sweep.budget.value() > 0.0
+                              ? sweep.budget.value()
+                              : s.total_cap().value();
+    p.perf_per_watt = consumed > 0.0 ? s.perf / consumed : 0.0;
+    p.perf_per_budget_watt = budget > 0.0 ? s.perf / budget : 0.0;
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+const AllocationSample* most_efficient(const BudgetSweep& sweep) noexcept {
+  const AllocationSample* best = nullptr;
+  double best_eff = -1.0;
+  for (const auto& s : sweep.samples) {
+    const double eff = s.efficiency();
+    if (eff > best_eff) {
+      best_eff = eff;
+      best = &s;
+    }
+  }
+  return best;
+}
+
+}  // namespace pbc::sim

@@ -1,0 +1,56 @@
+// Energy and power-efficiency accounting over measurements and sweeps.
+//
+// The paper's motivation is watts, not just speed: poor splits burn the
+// full budget for a fraction of the performance (Fig. 1 finding 4), and
+// its scheduling guidance ("small budgets should not be accepted") is an
+// efficiency argument. These helpers quantify that: energy-to-solution for
+// a fixed amount of work, energy-delay product, and perf-per-watt curves
+// over allocation sweeps.
+#pragma once
+
+#include <vector>
+
+#include "sim/sweep.hpp"
+#include "util/units.hpp"
+
+namespace pbc::sim {
+
+/// Energy accounting for completing `work_gunits` of work at the sample's
+/// steady state.
+struct EnergyReport {
+  Seconds duration{0.0};
+  Joules proc_energy{0.0};
+  Joules mem_energy{0.0};
+  /// Joules per work unit (energy-to-solution density).
+  double energy_per_gunit = 0.0;
+  /// Energy-delay product in J·s (lower is better).
+  double edp = 0.0;
+
+  [[nodiscard]] Joules total_energy() const noexcept {
+    return proc_energy + mem_energy;
+  }
+};
+
+/// Computes the report; zero-rate samples yield an empty report.
+[[nodiscard]] EnergyReport energy_to_solution(const AllocationSample& s,
+                                              double work_gunits);
+
+/// One point of a perf-per-watt curve.
+struct EfficiencyPoint {
+  Watts mem_cap{0.0};
+  double perf = 0.0;
+  /// Performance per watt of *actual* consumption.
+  double perf_per_watt = 0.0;
+  /// Performance per watt of *allocated* budget — exposes stranded power.
+  double perf_per_budget_watt = 0.0;
+};
+
+/// Efficiency across a split sweep, in sweep order.
+[[nodiscard]] std::vector<EfficiencyPoint> efficiency_curve(
+    const BudgetSweep& sweep);
+
+/// The sample with the best perf-per-consumed-watt (nullptr if empty).
+[[nodiscard]] const AllocationSample* most_efficient(
+    const BudgetSweep& sweep) noexcept;
+
+}  // namespace pbc::sim

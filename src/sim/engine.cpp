@@ -1,0 +1,227 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "rapl/feedback.hpp"
+#include "rapl/ladder.hpp"
+#include "rapl/msr.hpp"
+#include "util/stats.hpp"
+
+namespace pbc::sim {
+
+namespace {
+
+struct PhaseCursor {
+  const workload::Workload* wl;
+  std::size_t index = 0;
+  double remaining;  ///< work units left in the current phase slice
+
+  explicit PhaseCursor(const workload::Workload& w)
+      : wl(&w), remaining(w.phases.front().weight) {}
+
+  [[nodiscard]] const workload::Phase& current() const noexcept {
+    return wl->phases[index];
+  }
+
+  /// Consume `units` of work, advancing through phase slices cyclically.
+  void advance(double units) noexcept {
+    remaining -= units;
+    while (remaining <= 0.0) {
+      index = (index + 1) % wl->phases.size();
+      remaining += wl->phases[index].weight;
+    }
+  }
+};
+
+}  // namespace
+
+RaplEngine::RaplEngine(hw::CpuMachine machine, workload::Workload wl,
+                       EngineConfig config)
+    : machine_(std::move(machine)),
+      wl_(std::move(wl)),
+      cpu_(machine_.cpu),
+      dram_(machine_.dram),
+      config_(config) {
+  assert(wl_.validate().ok());
+}
+
+TimedRun RaplEngine::run(Watts cpu_cap, Watts mem_cap) const {
+  const rapl::NotchLadder ladder(machine_.cpu);
+  const auto& dspec = machine_.dram;
+  const double bw_lo = dspec.min_bw.value();
+  const double bw_step = (dspec.peak_bw.value() - bw_lo) /
+                         static_cast<double>(dspec.throttle_levels - 1);
+
+  std::size_t notch = ladder.count() - 1;
+  int mem_level = dspec.throttle_levels - 1;
+
+  const double dt = config_.tick.value();
+  const auto total_ticks =
+      static_cast<std::size_t>(config_.duration.value() / dt);
+  const auto warmup_ticks =
+      static_cast<std::size_t>(config_.warmup.value() / dt);
+
+  // Scale the work cycle so the whole phase list repeats ~10×/second:
+  // fast enough to average, slow enough that the controller sees real
+  // phase changes.
+  workload::PhaseOperands probe;
+  probe.compute_capacity = cpu_.compute_capacity(ladder.op(notch));
+  probe.avail_bw = dspec.peak_bw;
+  probe.peak_bw = dspec.peak_bw;
+  probe.rel_clock = 1.0;
+  const double free_rate = workload::evaluate(wl_, probe).rate_gunits;
+  double weight_sum = 0.0;
+  for (const auto& p : wl_.phases) weight_sum += p.weight;
+  const double work_scale =
+      free_rate > 0.0 ? (free_rate * 0.1) / weight_sum : 1.0;
+
+  PhaseCursor cursor(wl_);
+  rapl::FeedbackController ctrl_cpu(config_.tick, config_.window);
+  rapl::FeedbackController ctrl_mem(config_.tick, config_.window);
+  // Meter post-warmup energy through the RAPL counter encoding, exactly as
+  // userspace tooling would read it.
+  rapl::RaplMsr msr;
+  std::uint32_t cpu_energy_start = 0;
+  std::uint32_t mem_energy_start = 0;
+
+  TimedRun out;
+  OnlineStats cpu_power_stats;
+  OnlineStats mem_power_stats;
+  OnlineStats util_c;
+  OnlineStats util_m;
+  OnlineStats bw_stats;
+  double work_done = 0.0;
+  std::size_t cpu_over = 0;
+  std::size_t mem_over = 0;
+
+  const Watts effective_mem_cap{
+      std::max(mem_cap.value(), dspec.floor.value())};
+
+  for (std::size_t t = 0; t < total_ticks; ++t) {
+    const hw::CpuOperatingPoint op = ladder.op(notch);
+    const GBps bw{bw_lo + static_cast<double>(mem_level) * bw_step};
+
+    workload::PhaseOperands operands;
+    operands.compute_capacity = cpu_.compute_capacity(op);
+    operands.avail_bw = bw;
+    operands.peak_bw = dspec.peak_bw;
+    const auto& ps = machine_.cpu.pstates[op.pstate_index];
+    operands.rel_clock =
+        ps.frequency.value() / machine_.cpu.f_max().value();
+    operands.duty = op.duty;
+
+    const workload::PhaseResult res =
+        workload::evaluate_phase(cursor.current(), operands);
+    const Watts p_cpu = cpu_.package_power(op, res.activity_eff);
+    const Watts p_mem = dram_.power(res.effective_bw);
+
+    ctrl_cpu.observe(p_cpu);
+    ctrl_mem.observe(p_mem);
+
+    msr.accumulate_energy(rapl::Domain::kPackage, p_cpu * config_.tick);
+    msr.accumulate_energy(rapl::Domain::kDram, p_mem * config_.tick);
+    if (t == warmup_ticks) {
+      cpu_energy_start = msr.energy_status(rapl::Domain::kPackage);
+      mem_energy_start = msr.energy_status(rapl::Domain::kDram);
+    }
+    if (t >= warmup_ticks) {
+      cpu_power_stats.add(p_cpu.value());
+      mem_power_stats.add(p_mem.value());
+      util_c.add(res.compute_util);
+      util_m.add(res.mem_util);
+      bw_stats.add(res.achieved_bw.value());
+      work_done += res.rate_gunits * dt;  // Gunits/s × s
+      if (ctrl_cpu.average().value() > cpu_cap.value() + 1.0) ++cpu_over;
+      if (ctrl_mem.average().value() > effective_mem_cap.value() + 1.0) {
+        ++mem_over;
+      }
+      if (config_.record_timeline && t % config_.timeline_stride == 0) {
+        out.timeline.push_back(TickSample{
+            Seconds{static_cast<double>(t) * dt}, p_cpu, p_mem,
+            res.rate_gunits, op.pstate_index, op.duty, bw});
+      }
+    }
+    cursor.advance(res.rate_gunits * dt / work_scale);
+
+    // --- controller step ---
+    // Package: step down when the running average breaches the cap; step up
+    // when there is headroom and the instantaneous power at the next notch
+    // is predicted to fit.
+    {
+      const Watts predicted_up =
+          notch + 1 < ladder.count()
+              ? cpu_.package_power(ladder.op(notch + 1), res.activity_eff)
+              : Watts{1e12};  // already at the top; never step up
+      switch (ctrl_cpu.decide(cpu_cap, predicted_up)) {
+        case rapl::StepDecision::kDown:
+          if (notch > 0) --notch;
+          break;
+        case rapl::StepDecision::kUp:
+          ++notch;
+          break;
+        case rapl::StepDecision::kHold:
+          break;
+      }
+    }
+    // DRAM throttle: predict power if the workload used the next level's
+    // extra bandwidth fully.
+    {
+      Watts predicted_up{1e12};
+      if (mem_level + 1 < dspec.throttle_levels) {
+        const GBps up_bw{bw_lo + static_cast<double>(mem_level + 1) * bw_step};
+        const double extra_eff_bw =
+            std::min(up_bw.value(),
+                     res.effective_bw.value() +
+                         (up_bw.value() - bw.value()) *
+                             cursor.current().mem_energy_scale);
+        predicted_up = dram_.power(GBps{extra_eff_bw});
+      }
+      switch (ctrl_mem.decide(effective_mem_cap, predicted_up)) {
+        case rapl::StepDecision::kDown:
+          if (mem_level > 0) --mem_level;
+          break;
+        case rapl::StepDecision::kUp:
+          ++mem_level;
+          break;
+        case rapl::StepDecision::kHold:
+          break;
+      }
+    }
+  }
+
+  const double measured =
+      static_cast<double>(total_ticks - warmup_ticks) * dt;
+  AllocationSample& agg = out.aggregate;
+  agg.proc_cap = cpu_cap;
+  agg.mem_cap = mem_cap;
+  agg.proc_power = Watts{cpu_power_stats.mean()};
+  agg.mem_power = Watts{mem_power_stats.mean()};
+  agg.rate_gunits = measured > 0.0 ? work_done / measured : 0.0;
+  agg.perf = agg.rate_gunits * wl_.metric_per_gunit;
+  agg.compute_util = util_c.mean();
+  agg.mem_util = util_m.mean();
+  agg.achieved_bw = GBps{bw_stats.mean()};
+  agg.pstate_index = ladder.op(notch).pstate_index;
+  agg.duty = ladder.op(notch).duty;
+  agg.proc_cap_respected = agg.proc_power.value() <= cpu_cap.value() + 1.0;
+  agg.mem_cap_respected = agg.mem_power.value() <= mem_cap.value() + 1.0;
+  agg.proc_region = agg.duty < 1.0 ? ProcRegion::kTState : ProcRegion::kPState;
+  agg.mem_region = mem_cap.value() < dspec.floor.value()
+                       ? MemRegion::kFloor
+                   : mem_level + 1 < dspec.throttle_levels
+                       ? MemRegion::kThrottled
+                       : MemRegion::kUnthrottled;
+
+  const double post = static_cast<double>(total_ticks - warmup_ticks);
+  out.cpu_overshoot_frac = post > 0.0 ? static_cast<double>(cpu_over) / post : 0.0;
+  out.mem_overshoot_frac = post > 0.0 ? static_cast<double>(mem_over) / post : 0.0;
+  out.cpu_energy = msr.energy_delta(
+      cpu_energy_start, msr.energy_status(rapl::Domain::kPackage));
+  out.mem_energy = msr.energy_delta(
+      mem_energy_start, msr.energy_status(rapl::Domain::kDram));
+  return out;
+}
+
+}  // namespace pbc::sim

@@ -1,0 +1,75 @@
+// Discrete-time co-simulation of workload × power-capping firmware.
+//
+// Where CpuNodeSim jumps straight to the governors' fixed point, RaplEngine
+// plays the control loop out in time: every tick it measures instantaneous
+// component power, updates a running average over a RAPL-style window, and
+// steps the package notch (P-states, then T-states) and the DRAM throttle
+// level up or down to keep the averages under the caps. Phases alternate in
+// work space, so multi-phase workloads (BT, FT, …) exercise the controller
+// with the load changes that make their paper profiles less regular (§6.2).
+//
+// The steady-state and time-stepped paths are validated against each other
+// in tests/sim/engine_test.cpp: long-run averages must converge to the
+// fixed point.
+#pragma once
+
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "sim/measurement.hpp"
+#include "workload/workload.hpp"
+
+namespace pbc::sim {
+
+struct EngineConfig {
+  Seconds tick{0.001};
+  Seconds window{0.046};   ///< running-average horizon (RAPL PL1-like)
+  Seconds duration{1.5};
+  Seconds warmup{0.3};     ///< excluded from the aggregate
+  bool record_timeline = false;
+  std::size_t timeline_stride = 16;  ///< keep every Nth tick when recording
+};
+
+/// One recorded tick (decimated when timeline_stride > 1).
+struct TickSample {
+  Seconds t{0.0};
+  Watts cpu_power{0.0};
+  Watts mem_power{0.0};
+  double rate_gunits = 0.0;
+  std::size_t pstate_index = 0;
+  double duty = 1.0;
+  GBps avail_bw{0.0};
+};
+
+/// Outcome of a timed run.
+struct TimedRun {
+  AllocationSample aggregate;  ///< time-averaged powers, total-work perf
+  std::vector<TickSample> timeline;
+  /// Fraction of post-warmup ticks whose window-average power exceeded the
+  /// cap by more than 1 W (transient overshoot of the feedback loop).
+  double cpu_overshoot_frac = 0.0;
+  double mem_overshoot_frac = 0.0;
+  /// Post-warmup energy as metered through the RAPL ENERGY_STATUS counters
+  /// (i.e. after register quantization and wrap handling).
+  Joules cpu_energy{0.0};
+  Joules mem_energy{0.0};
+};
+
+class RaplEngine {
+ public:
+  RaplEngine(hw::CpuMachine machine, workload::Workload wl,
+             EngineConfig config = {});
+
+  [[nodiscard]] TimedRun run(Watts cpu_cap, Watts mem_cap) const;
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+ private:
+  hw::CpuMachine machine_;
+  workload::Workload wl_;
+  hw::CpuModel cpu_;
+  hw::DramModel dram_;
+  EngineConfig config_;
+};
+
+}  // namespace pbc::sim

@@ -1,0 +1,136 @@
+#include "sim/gpu_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rapl/feedback.hpp"
+#include "util/stats.hpp"
+
+namespace pbc::sim {
+
+GpuBoardEngine::GpuBoardEngine(hw::GpuMachine machine, workload::Workload wl,
+                               GpuEngineConfig config)
+    : machine_(std::move(machine)),
+      wl_(std::move(wl)),
+      gpu_(machine_.gpu),
+      config_(config) {
+  assert(wl_.validate().ok());
+  assert(wl_.domain == workload::Domain::kGpu);
+}
+
+GpuTimedRun GpuBoardEngine::run(std::size_t mem_clock_index,
+                                Watts board_cap) const {
+  const auto& spec = machine_.gpu;
+  const Watts cap = clamp(board_cap, spec.board_min_cap, spec.board_max_cap);
+  const std::size_t mem_idx =
+      std::min(mem_clock_index, gpu_.mem_clock_count() - 1);
+
+  const double dt = config_.tick.value();
+  const auto total_ticks =
+      static_cast<std::size_t>(config_.duration.value() / dt);
+  const auto warmup_ticks =
+      static_cast<std::size_t>(config_.warmup.value() / dt);
+
+  std::size_t sm_step = gpu_.sm_step_count() - 1;
+  rapl::FeedbackController ctrl(config_.tick, config_.window);
+
+  // Work cycles through phases by weight, as in the CPU engine.
+  std::size_t phase_idx = 0;
+  double phase_remaining = wl_.phases.front().weight;
+
+  GpuTimedRun out;
+  OnlineStats board_power;
+  OnlineStats sm_power;
+  OnlineStats mem_power;
+  OnlineStats util;
+  OnlineStats bw;
+  double work_done = 0.0;
+  std::size_t over = 0;
+  std::size_t last_step = sm_step;
+
+  // Scale so the phase list cycles ~10x/second at full speed.
+  workload::PhaseOperands probe;
+  probe.compute_capacity = gpu_.compute_capacity(sm_step);
+  probe.avail_bw = gpu_.mem_bandwidth(mem_idx);
+  probe.peak_bw = gpu_.mem_bandwidth(gpu_.mem_clock_count() - 1);
+  probe.rel_clock = 1.0;
+  const double free_rate = workload::evaluate(wl_, probe).rate_gunits;
+  double weight_sum = 0.0;
+  for (const auto& p : wl_.phases) weight_sum += p.weight;
+  const double work_scale =
+      free_rate > 0.0 ? (free_rate * 0.1) / weight_sum : 1.0;
+
+  for (std::size_t t = 0; t < total_ticks; ++t) {
+    workload::PhaseOperands operands;
+    operands.compute_capacity = gpu_.compute_capacity(sm_step);
+    operands.avail_bw = gpu_.mem_bandwidth(mem_idx);
+    operands.peak_bw = gpu_.mem_bandwidth(gpu_.mem_clock_count() - 1);
+    operands.rel_clock = gpu_.sm_clock_mhz(sm_step) / spec.sm_max_mhz;
+
+    const workload::PhaseResult res =
+        workload::evaluate_phase(wl_.phases[phase_idx], operands);
+    const Watts p_sm = gpu_.sm_power(sm_step, res.activity_eff);
+    const Watts p_mem = gpu_.mem_power(mem_idx, res.achieved_bw);
+    const Watts p_board = p_sm + p_mem + spec.other_power;
+
+    ctrl.observe(p_board);
+    if (t >= warmup_ticks) {
+      board_power.add(p_board.value());
+      sm_power.add(p_sm.value() + spec.other_power.value());
+      mem_power.add(p_mem.value());
+      util.add(res.compute_util);
+      bw.add(res.achieved_bw.value());
+      work_done += res.rate_gunits * dt;
+      if (ctrl.average().value() > cap.value() + 1.0) ++over;
+      if (sm_step != last_step) {
+        ++out.sm_transitions;
+        last_step = sm_step;
+      }
+    }
+
+    // Advance phase work.
+    phase_remaining -= res.rate_gunits * dt / work_scale;
+    while (phase_remaining <= 0.0) {
+      phase_idx = (phase_idx + 1) % wl_.phases.size();
+      phase_remaining += wl_.phases[phase_idx].weight;
+    }
+
+    // Board capper control step.
+    const Watts predicted_up =
+        sm_step + 1 < gpu_.sm_step_count()
+            ? gpu_.sm_power(sm_step + 1, res.activity_eff) + p_mem +
+                  spec.other_power
+            : Watts{1e12};
+    switch (ctrl.decide(cap, predicted_up)) {
+      case rapl::StepDecision::kDown:
+        if (sm_step > 0) --sm_step;
+        break;
+      case rapl::StepDecision::kUp:
+        ++sm_step;
+        break;
+      case rapl::StepDecision::kHold:
+        break;
+    }
+  }
+
+  const double measured =
+      static_cast<double>(total_ticks - warmup_ticks) * dt;
+  AllocationSample& agg = out.aggregate;
+  agg.mem_clock_index = mem_idx;
+  agg.sm_step = sm_step;
+  agg.proc_power = Watts{sm_power.mean()};
+  agg.mem_power = Watts{mem_power.mean()};
+  agg.mem_cap = gpu_.estimated_mem_power(mem_idx);
+  agg.proc_cap = Watts{std::max(cap.value() - agg.mem_cap.value(), 0.0)};
+  agg.rate_gunits = measured > 0.0 ? work_done / measured : 0.0;
+  agg.perf = agg.rate_gunits * wl_.metric_per_gunit;
+  agg.compute_util = util.mean();
+  agg.achieved_bw = GBps{bw.mean()};
+  agg.proc_cap_respected = true;
+  agg.mem_cap_respected = true;
+  const double post = static_cast<double>(total_ticks - warmup_ticks);
+  out.overshoot_frac = post > 0.0 ? static_cast<double>(over) / post : 0.0;
+  return out;
+}
+
+}  // namespace pbc::sim

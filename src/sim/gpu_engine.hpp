@@ -1,0 +1,52 @@
+// Time-stepped simulation of the GPU board power capper.
+//
+// The board firmware samples power continuously and DVFSes the SMs to keep
+// the running average at the limit (Nvidia's power capping acts on ~100 ms
+// horizons). GpuBoardEngine plays that loop out tick by tick at a fixed
+// memory clock, cross-validating sim::GpuNodeSim's fixed point the same
+// way sim::RaplEngine validates sim::CpuNodeSim.
+#pragma once
+
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "sim/measurement.hpp"
+#include "workload/workload.hpp"
+
+namespace pbc::sim {
+
+struct GpuEngineConfig {
+  Seconds tick{0.001};
+  Seconds window{0.1};  ///< board capper averaging horizon
+  Seconds duration{1.5};
+  Seconds warmup{0.3};
+};
+
+struct GpuTimedRun {
+  AllocationSample aggregate;
+  /// Fraction of post-warmup ticks whose window-average board power
+  /// exceeded the cap by more than 1 W.
+  double overshoot_frac = 0.0;
+  /// SM DVFS steps taken (residency changes) after warmup — a dithering
+  /// indicator.
+  std::size_t sm_transitions = 0;
+};
+
+class GpuBoardEngine {
+ public:
+  GpuBoardEngine(hw::GpuMachine machine, workload::Workload wl,
+                 GpuEngineConfig config = {});
+
+  /// Runs at a fixed memory clock under a board cap (clamped to the
+  /// driver range, like the steady-state simulator).
+  [[nodiscard]] GpuTimedRun run(std::size_t mem_clock_index,
+                                Watts board_cap) const;
+
+ private:
+  hw::GpuMachine machine_;
+  workload::Workload wl_;
+  hw::GpuModel gpu_;
+  GpuEngineConfig config_;
+};
+
+}  // namespace pbc::sim

@@ -1,0 +1,127 @@
+#include "sim/gpu_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pbc::sim {
+
+namespace {
+constexpr double kCapSlackW = 0.01;
+}
+
+GpuNodeSim::GpuNodeSim(hw::GpuMachine machine, workload::Workload wl)
+    : machine_(std::move(machine)), wl_(std::move(wl)), gpu_(machine_.gpu) {
+  assert(wl_.validate().ok());
+  assert(wl_.domain == workload::Domain::kGpu);
+}
+
+AllocationSample GpuNodeSim::evaluate_state(
+    std::size_t sm_step, std::size_t mem_clock_index) const noexcept {
+  workload::PhaseOperands operands;
+  operands.compute_capacity = gpu_.compute_capacity(sm_step);
+  operands.avail_bw = gpu_.mem_bandwidth(mem_clock_index);
+  // The latency ceiling references the card's best bandwidth at nominal
+  // memory clock; lowering the SM clock reduces issue capability.
+  operands.peak_bw = gpu_.mem_bandwidth(gpu_.mem_clock_count() - 1);
+  operands.rel_clock =
+      gpu_.sm_clock_mhz(sm_step) / machine_.gpu.sm_max_mhz;
+
+  const workload::WorkloadResult res = workload::evaluate(wl_, operands);
+
+  AllocationSample s;
+  s.perf = res.metric;
+  s.rate_gunits = res.rate_gunits;
+  // proc_* covers SMs plus board overhead so component powers sum to board
+  // power; mem_* is the memory domain alone.
+  s.proc_power = gpu_.sm_power(sm_step, res.activity_eff) +
+                 machine_.gpu.other_power;
+  s.mem_power = gpu_.mem_power(mem_clock_index, res.achieved_bw);
+  s.sm_step = sm_step;
+  s.mem_clock_index = mem_clock_index;
+  s.compute_util = res.compute_util;
+  s.mem_util = res.mem_util;
+  s.avail_bw = operands.avail_bw;
+  s.achieved_bw = res.achieved_bw;
+  s.proc_region = ProcRegion::kPState;  // GPUs only DVFS; no T/C analogue
+  s.mem_region = mem_clock_index + 1 == gpu_.mem_clock_count()
+                     ? MemRegion::kUnthrottled
+                     : MemRegion::kThrottled;
+  return s;
+}
+
+AllocationSample GpuNodeSim::steady_state(std::size_t mem_clock_index,
+                                          Watts board_cap) const noexcept {
+  const auto& spec = machine_.gpu;
+  const Watts cap = clamp(board_cap, spec.board_min_cap, spec.board_max_cap);
+  const std::size_t mem_idx =
+      std::min(mem_clock_index, gpu_.mem_clock_count() - 1);
+
+  // Board capper: highest SM step whose total board power fits the cap.
+  AllocationSample chosen = evaluate_state(0, mem_idx);
+  for (std::size_t step = gpu_.sm_step_count(); step-- > 0;) {
+    AllocationSample s = evaluate_state(step, mem_idx);
+    if (s.total_power().value() <= cap.value() + kCapSlackW) {
+      chosen = s;
+      break;
+    }
+    if (step == 0) chosen = s;  // lowest step even if over (rare: min caps
+                                // are set above this point by the driver)
+  }
+
+  const Watts est_mem = gpu_.estimated_mem_power(mem_idx);
+  chosen.mem_cap = est_mem;
+  chosen.proc_cap = Watts{std::max(cap.value() - est_mem.value(), 0.0)};
+  chosen.proc_cap_respected = true;  // board capper always converges
+  chosen.mem_cap_respected =
+      chosen.mem_power.value() <= est_mem.value() + kCapSlackW;
+  return chosen;
+}
+
+AllocationSample GpuNodeSim::default_policy(Watts board_cap) const noexcept {
+  return steady_state(gpu_.mem_clock_count() - 1, board_cap);
+}
+
+AllocationSample GpuNodeSim::steady_state_no_reclaim(
+    std::size_t mem_clock_index, Watts board_cap) const noexcept {
+  const auto& spec = machine_.gpu;
+  const Watts cap = clamp(board_cap, spec.board_min_cap, spec.board_max_cap);
+  const std::size_t mem_idx =
+      std::min(mem_clock_index, gpu_.mem_clock_count() - 1);
+  const Watts est_mem = gpu_.estimated_mem_power(mem_idx);
+  // The SM domain may only use the budget left after the *worst-case*
+  // memory power — unused memory watts are simply stranded.
+  const double sm_budget = cap.value() - est_mem.value();
+
+  AllocationSample chosen = evaluate_state(0, mem_idx);
+  for (std::size_t step = gpu_.sm_step_count(); step-- > 0;) {
+    AllocationSample s = evaluate_state(step, mem_idx);
+    if (s.proc_power.value() <= sm_budget + kCapSlackW) {
+      chosen = s;
+      break;
+    }
+    if (step == 0) chosen = s;
+  }
+  chosen.mem_cap = est_mem;
+  chosen.proc_cap = Watts{std::max(sm_budget, 0.0)};
+  chosen.proc_cap_respected =
+      chosen.proc_power.value() <= std::max(sm_budget, 0.0) + kCapSlackW;
+  chosen.mem_cap_respected =
+      chosen.mem_power.value() <= est_mem.value() + kCapSlackW;
+  return chosen;
+}
+
+AllocationSample GpuNodeSim::pinned(std::size_t sm_step,
+                                    std::size_t mem_clock_index)
+    const noexcept {
+  AllocationSample s = evaluate_state(sm_step, mem_clock_index);
+  s.proc_cap = s.proc_power;
+  s.mem_cap = s.mem_power;
+  return s;
+}
+
+Watts GpuNodeSim::uncapped_board_power() const noexcept {
+  return evaluate_state(gpu_.sm_step_count() - 1, gpu_.mem_clock_count() - 1)
+      .total_power();
+}
+
+}  // namespace pbc::sim

@@ -1,0 +1,67 @@
+// Steady-state simulator for a discrete GPU under a board power cap and a
+// memory clock setting.
+//
+// Power is allocated to the memory domain *implicitly* by choosing its
+// clock (nvidia-settings offsets); the board-level capper then DVFSes the
+// SMs into whatever budget remains. Unused memory budget therefore flows to
+// the SMs automatically — the "reclaim" behaviour the paper contrasts with
+// the host's independent RAPL domains (§4). The driver also clamps caps to
+// [board_min_cap, board_max_cap], which is why the catastrophic scenario
+// categories IV-VI never appear on GPUs.
+#pragma once
+
+#include "hw/machine.hpp"
+#include "sim/measurement.hpp"
+#include "workload/workload.hpp"
+
+namespace pbc::sim {
+
+class GpuNodeSim {
+ public:
+  GpuNodeSim(hw::GpuMachine machine, workload::Workload wl);
+
+  [[nodiscard]] const hw::GpuMachine& machine() const noexcept {
+    return machine_;
+  }
+  [[nodiscard]] const workload::Workload& wl() const noexcept { return wl_; }
+  [[nodiscard]] const hw::GpuModel& gpu_model() const noexcept { return gpu_; }
+
+  /// Steady state at a memory clock and board cap. The cap is clamped to
+  /// the driver-supported range. proc_cap/mem_cap in the sample report the
+  /// implied allocation: estimated memory power at the clock, and the
+  /// remainder of the board cap.
+  [[nodiscard]] AllocationSample steady_state(std::size_t mem_clock_index,
+                                              Watts board_cap) const noexcept;
+
+  /// The default Nvidia policy: memory at the nominal (highest) clock
+  /// regardless of cap or application (§6.3).
+  [[nodiscard]] AllocationSample default_policy(Watts board_cap) const noexcept;
+
+  /// Ablation variant: per-component budgeting *without* automatic reclaim,
+  /// like the host's independent RAPL domains — the SM domain is limited to
+  /// (cap − estimated memory power) even when memory actually draws less.
+  /// Used by bench/ablation_mechanisms to quantify how much of the GPU's
+  /// benign behaviour (§4) comes from reclaim.
+  [[nodiscard]] AllocationSample steady_state_no_reclaim(
+      std::size_t mem_clock_index, Watts board_cap) const noexcept;
+
+  /// Steady state with both domains pinned (profiling aid).
+  [[nodiscard]] AllocationSample pinned(std::size_t sm_step,
+                                        std::size_t mem_clock_index)
+      const noexcept;
+
+  /// Board power with no cap imposed (max clocks) — the P_totmax profile
+  /// parameter of Algorithm 2.
+  [[nodiscard]] Watts uncapped_board_power() const noexcept;
+
+ private:
+  [[nodiscard]] AllocationSample evaluate_state(std::size_t sm_step,
+                                                std::size_t mem_clock_index)
+      const noexcept;
+
+  hw::GpuMachine machine_;
+  workload::Workload wl_;
+  hw::GpuModel gpu_;
+};
+
+}  // namespace pbc::sim

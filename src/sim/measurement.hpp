@@ -1,0 +1,105 @@
+// Measurement records shared by the simulators and the analysis layer.
+//
+// An AllocationSample is one row of the paper's sweep data: the power
+// allocation that was set (caps), what the components actually consumed,
+// the achieved performance, and governor telemetry explaining *how* the
+// caps were met (which power-saving mechanism was engaged) — the
+// information §3.3 uses to explain the scenario categories.
+#pragma once
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace pbc::sim {
+
+/// Which mechanism the processor-side governor is using to honour its cap.
+enum class ProcRegion {
+  kPState,     ///< DVFS only (possibly at the top state)
+  kTState,     ///< duty-cycle clock throttling below the lowest P-state
+  kSleepFloor, ///< cap below the hardware floor; floor power drawn
+};
+
+[[nodiscard]] constexpr const char* to_string(ProcRegion r) noexcept {
+  switch (r) {
+    case ProcRegion::kPState:
+      return "p-state";
+    case ProcRegion::kTState:
+      return "t-state";
+    case ProcRegion::kSleepFloor:
+      return "sleep/floor";
+  }
+  return "?";
+}
+
+/// Which mechanism the memory-side governor is using.
+enum class MemRegion {
+  kUnthrottled, ///< full bandwidth available
+  kThrottled,   ///< bandwidth throttling engaged
+  kFloor,       ///< cap below the hardware floor; floor power drawn
+};
+
+[[nodiscard]] constexpr const char* to_string(MemRegion r) noexcept {
+  switch (r) {
+    case MemRegion::kUnthrottled:
+      return "unthrottled";
+    case MemRegion::kThrottled:
+      return "throttled";
+    case MemRegion::kFloor:
+      return "floor";
+  }
+  return "?";
+}
+
+/// One measured (allocation → behaviour) point.
+///
+/// For GPU machines, `proc_*` covers the SM domain plus board overhead and
+/// `mem_*` the global-memory domain; `proc_cap`/`mem_cap` are the implied
+/// allocation (board cap minus estimated memory power, and the estimated
+/// memory power at the chosen clock, respectively).
+struct AllocationSample {
+  // Allocation (what the coordinator set).
+  Watts proc_cap{0.0};
+  Watts mem_cap{0.0};
+
+  // Actual consumption.
+  Watts proc_power{0.0};
+  Watts mem_power{0.0};
+
+  // Achieved performance in the workload's display metric.
+  double perf = 0.0;
+  double rate_gunits = 0.0;
+
+  // Did the hardware honour each cap? (floors can force violations —
+  // the paper's scenarios V/VI).
+  bool proc_cap_respected = true;
+  bool mem_cap_respected = true;
+
+  // Governor telemetry.
+  ProcRegion proc_region = ProcRegion::kPState;
+  MemRegion mem_region = MemRegion::kUnthrottled;
+  std::size_t pstate_index = 0;   ///< CPU machines
+  double duty = 1.0;              ///< CPU machines
+  std::size_t sm_step = 0;        ///< GPU machines
+  std::size_t mem_clock_index = 0;///< GPU machines
+
+  // Workload-side telemetry.
+  double compute_util = 0.0;
+  double mem_util = 0.0;
+  GBps avail_bw{0.0};
+  GBps achieved_bw{0.0};
+
+  [[nodiscard]] Watts total_power() const noexcept {
+    return proc_power + mem_power;
+  }
+  [[nodiscard]] Watts total_cap() const noexcept {
+    return proc_cap + mem_cap;
+  }
+  /// Performance per watt actually consumed.
+  [[nodiscard]] double efficiency() const noexcept {
+    const double p = total_power().value();
+    return p > 0.0 ? perf / p : 0.0;
+  }
+};
+
+}  // namespace pbc::sim

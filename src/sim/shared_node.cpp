@@ -1,0 +1,351 @@
+#include "sim/shared_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "rapl/ladder.hpp"
+
+namespace pbc::sim {
+
+namespace {
+constexpr double kCapSlackW = 0.01;
+constexpr int kMaxRelaxationIters = 24;
+}  // namespace
+
+std::vector<double> max_min_fair_share(const std::vector<double>& demands,
+                                       double capacity) {
+  std::vector<double> share(demands.size(), 0.0);
+  std::vector<bool> satisfied(demands.size(), false);
+  double remaining = std::max(capacity, 0.0);
+  std::size_t open = demands.size();
+
+  // Repeatedly grant the equal share; demands below it are satisfied
+  // exactly and release the difference back to the pool.
+  while (open > 0 && remaining > 1e-12) {
+    const double fair = remaining / static_cast<double>(open);
+    bool anyone_satisfied = false;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      if (satisfied[i]) continue;
+      if (demands[i] <= fair + 1e-12) {
+        share[i] = demands[i];
+        remaining -= demands[i];
+        satisfied[i] = true;
+        --open;
+        anyone_satisfied = true;
+      }
+    }
+    if (!anyone_satisfied) {
+      for (std::size_t i = 0; i < demands.size(); ++i) {
+        if (!satisfied[i]) share[i] = fair;
+      }
+      remaining = 0.0;
+      break;
+    }
+  }
+  return share;
+}
+
+SharedCpuNodeSim::SharedCpuNodeSim(hw::CpuMachine machine,
+                                   std::vector<TenantConfig> tenants)
+    : machine_(std::move(machine)),
+      tenants_(std::move(tenants)),
+      cpu_(machine_.cpu),
+      dram_(machine_.dram) {
+  int total = 0;
+  for (const auto& t : tenants_) {
+    assert(t.wl.validate().ok());
+    assert(t.cores > 0);
+    total += t.cores;
+  }
+  assert(total <= machine_.cpu.total_cores());
+  (void)total;
+}
+
+SharedSample SharedCpuNodeSim::evaluate_state_per_core(
+    const std::vector<std::size_t>& pstates, double duty,
+    GBps total_bw) const noexcept {
+  const auto& spec = machine_.cpu;
+  duty = std::clamp(duty, spec.min_duty(), 1.0);
+
+  auto evaluate_tenant = [&](std::size_t i, GBps avail) {
+    const auto& t = tenants_[i];
+    const auto& ps = spec.pstates[std::min(pstates[i],
+                                           spec.pstates.size() - 1)];
+    workload::PhaseOperands operands;
+    operands.compute_capacity =
+        Gflops{t.cores * spec.flops_per_cycle * ps.frequency.value() * duty};
+    operands.avail_bw = avail;
+    operands.peak_bw = machine_.dram.peak_bw;
+    operands.rel_clock = ps.frequency.value() / spec.f_max().value();
+    operands.duty = duty;
+    operands.core_fraction = static_cast<double>(t.cores) /
+                             static_cast<double>(spec.total_cores());
+    return workload::evaluate(t.wl, operands);
+  };
+
+  // Pass 1: demands at the full level; pass 2: max-min fair shares.
+  std::vector<double> demands;
+  demands.reserve(tenants_.size());
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    demands.push_back(evaluate_tenant(i, total_bw).achieved_bw.value());
+  }
+  const std::vector<double> shares =
+      max_min_fair_share(demands, total_bw.value());
+
+  SharedSample s;
+  s.duty = duty;
+  s.total_bw = total_bw;
+  s.tenant_pstates = pstates;
+  s.pstate_index = *std::max_element(pstates.begin(), pstates.end());
+  double dynamic_w = 0.0;
+  double leakage = 0.0;
+  double effective_bw = 0.0;
+  int assigned = 0;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const auto& t = tenants_[i];
+    const auto& ps = spec.pstates[std::min(pstates[i],
+                                           spec.pstates.size() - 1)];
+    const auto r = evaluate_tenant(i, GBps{std::max(shares[i], 1e-9)});
+    TenantResult tr;
+    tr.perf = r.metric;
+    tr.rate_gunits = r.rate_gunits;
+    tr.granted_bw = GBps{shares[i]};
+    tr.achieved_bw = r.achieved_bw;
+    tr.compute_util = r.compute_util;
+    s.tenants.push_back(tr);
+
+    dynamic_w += t.cores * spec.dyn_coeff_w_per_ghz_v2 * ps.voltage *
+                 ps.voltage * ps.frequency.value() * r.activity_eff * duty;
+    leakage += t.cores * spec.static_w_per_core_per_volt * ps.voltage;
+    effective_bw += r.effective_bw.value();
+    assigned += t.cores;
+  }
+  // Unassigned cores idle at the lowest voltage.
+  leakage += (spec.total_cores() - assigned) *
+             spec.static_w_per_core_per_volt * spec.pstates.front().voltage;
+  const double pkg = spec.uncore_power.value() + leakage + dynamic_w;
+  s.proc_power = Watts{std::max(pkg, spec.floor.value())};
+  s.mem_power = dram_.power(GBps{effective_bw});
+  return s;
+}
+
+SharedSample SharedCpuNodeSim::evaluate_state(
+    const hw::CpuOperatingPoint& op, GBps total_bw) const noexcept {
+  const auto& spec = machine_.cpu;
+  const auto& ps = spec.pstates[std::min(op.pstate_index,
+                                         spec.pstates.size() - 1)];
+  const double duty =
+      op.sleeping ? 0.02 : std::clamp(op.duty, spec.min_duty(), 1.0);
+  const double rel_clock = ps.frequency.value() / spec.f_max().value();
+
+  auto evaluate_tenant = [&](const TenantConfig& t, GBps avail) {
+    workload::PhaseOperands operands;
+    operands.compute_capacity =
+        Gflops{t.cores * spec.flops_per_cycle * ps.frequency.value() * duty};
+    operands.avail_bw = avail;
+    operands.peak_bw = machine_.dram.peak_bw;
+    operands.rel_clock = rel_clock;
+    operands.duty = duty;
+    operands.core_fraction = static_cast<double>(t.cores) /
+                             static_cast<double>(spec.total_cores());
+    return workload::evaluate(t.wl, operands);
+  };
+
+  // Pass 1: each tenant's bandwidth demand if it had the whole level.
+  std::vector<double> demands;
+  demands.reserve(tenants_.size());
+  for (const auto& t : tenants_) {
+    demands.push_back(evaluate_tenant(t, total_bw).achieved_bw.value());
+  }
+  const std::vector<double> shares =
+      max_min_fair_share(demands, total_bw.value());
+
+  // Pass 2: run each tenant within its fair share.
+  SharedSample s;
+  s.pstate_index = op.pstate_index;
+  s.duty = op.duty;
+  s.tenant_pstates.assign(tenants_.size(), op.pstate_index);
+  s.total_bw = total_bw;
+  double dynamic_w = 0.0;
+  double effective_bw = 0.0;
+  int busy_cores = 0;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const auto& t = tenants_[i];
+    const auto r = evaluate_tenant(t, GBps{std::max(shares[i], 1e-9)});
+    TenantResult tr;
+    tr.perf = r.metric;
+    tr.rate_gunits = r.rate_gunits;
+    tr.granted_bw = GBps{shares[i]};
+    tr.achieved_bw = r.achieved_bw;
+    tr.compute_util = r.compute_util;
+    s.tenants.push_back(tr);
+
+    dynamic_w += t.cores * spec.dyn_coeff_w_per_ghz_v2 * ps.voltage *
+                 ps.voltage * ps.frequency.value() * r.activity_eff *
+                 (op.sleeping ? 0.02 : duty);
+    effective_bw += r.effective_bw.value();
+    busy_cores += t.cores;
+  }
+  // All cores leak; idle (unassigned) cores contribute leakage only.
+  const double leakage =
+      spec.total_cores() * spec.static_w_per_core_per_volt * ps.voltage;
+  (void)busy_cores;
+  const double pkg =
+      spec.uncore_power.value() + leakage + (op.sleeping ? 0.0 : dynamic_w);
+  s.proc_power = Watts{std::max(pkg, spec.floor.value())};
+  s.mem_power = dram_.power(GBps{effective_bw});
+  return s;
+}
+
+SharedSample SharedCpuNodeSim::steady_state_per_core(
+    Watts cpu_cap, Watts mem_cap) const noexcept {
+  const auto& spec = machine_.cpu;
+  const auto& dspec = machine_.dram;
+  const double bw_lo = dspec.min_bw.value();
+  const double bw_step = (dspec.peak_bw.value() - bw_lo) /
+                         static_cast<double>(dspec.throttle_levels - 1);
+  const double mem_effective_cap =
+      std::max(mem_cap.value(), dspec.floor.value());
+  const std::size_t top = spec.pstates.size() - 1;
+
+  // Normalization for the greedy trade-off: each tenant's rate at top
+  // states with the full bandwidth level.
+  const SharedSample reference = evaluate_state_per_core(
+      std::vector<std::size_t>(tenants_.size(), top), 1.0, dspec.peak_bw);
+
+  // Greedy package best response for a bandwidth level: from all-top,
+  // repeatedly downgrade the tenant whose normalized throughput loss per
+  // watt saved is smallest, falling back to duty cycling.
+  auto pkg_best_response = [&](GBps bw, std::vector<std::size_t>* pstates,
+                               double* duty) {
+    pstates->assign(tenants_.size(), top);
+    *duty = 1.0;
+    SharedSample current = evaluate_state_per_core(*pstates, *duty, bw);
+    while (current.proc_power.value() > cpu_cap.value() + kCapSlackW) {
+      double best_score = -1.0;
+      std::size_t best_tenant = tenants_.size();
+      SharedSample best_sample;
+      for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        if ((*pstates)[i] == 0) continue;
+        auto candidate = *pstates;
+        --candidate[i];
+        SharedSample s = evaluate_state_per_core(candidate, *duty, bw);
+        const double saved =
+            current.proc_power.value() - s.proc_power.value();
+        double loss = 0.0;
+        for (std::size_t j = 0; j < tenants_.size(); ++j) {
+          const double base = reference.tenants[j].rate_gunits;
+          if (base > 0.0) {
+            loss += (current.tenants[j].rate_gunits -
+                     s.tenants[j].rate_gunits) /
+                    base;
+          }
+        }
+        const double score = saved / (std::max(loss, 0.0) + 1e-6);
+        if (score > best_score) {
+          best_score = score;
+          best_tenant = i;
+          best_sample = std::move(s);
+        }
+      }
+      if (best_tenant < tenants_.size()) {
+        --(*pstates)[best_tenant];
+        current = std::move(best_sample);
+        continue;
+      }
+      // All tenants at the lowest P-state: duty-cycle the package.
+      const double next_duty =
+          *duty - 1.0 / static_cast<double>(spec.tstate_levels);
+      if (next_duty < spec.min_duty() - 1e-9) break;  // floor reached
+      *duty = next_duty;
+      current = evaluate_state_per_core(*pstates, *duty, bw);
+    }
+    return current;
+  };
+
+  std::vector<std::size_t> pstates(tenants_.size(), top);
+  double duty = 1.0;
+  GBps bw = dspec.peak_bw;
+  SharedSample s = pkg_best_response(bw, &pstates, &duty);
+  for (int iter = 0; iter < 8; ++iter) {
+    // DRAM best response given the package configuration.
+    GBps next_bw = dspec.min_bw;
+    for (int level = dspec.throttle_levels - 1; level >= 0; --level) {
+      const GBps candidate{bw_lo + static_cast<double>(level) * bw_step};
+      if (evaluate_state_per_core(pstates, duty, candidate)
+              .mem_power.value() <= mem_effective_cap + kCapSlackW) {
+        next_bw = candidate;
+        break;
+      }
+    }
+    const bool stable = next_bw == bw;
+    bw = next_bw;
+    s = pkg_best_response(bw, &pstates, &duty);
+    if (stable) break;
+  }
+
+  s.proc_cap = cpu_cap;
+  s.mem_cap = mem_cap;
+  s.proc_cap_respected = s.proc_power.value() <= cpu_cap.value() + kCapSlackW;
+  s.mem_cap_respected = s.mem_power.value() <= mem_cap.value() + kCapSlackW;
+  return s;
+}
+
+SharedSample SharedCpuNodeSim::steady_state(Watts cpu_cap,
+                                            Watts mem_cap) const noexcept {
+  if (machine_.cpu.per_core_dvfs) {
+    return steady_state_per_core(cpu_cap, mem_cap);
+  }
+  const rapl::NotchLadder ladder(machine_.cpu);
+  const auto& dspec = machine_.dram;
+  const double bw_lo = dspec.min_bw.value();
+  const double bw_step = (dspec.peak_bw.value() - bw_lo) /
+                         static_cast<double>(dspec.throttle_levels - 1);
+  const double mem_effective_cap =
+      std::max(mem_cap.value(), dspec.floor.value());
+
+  hw::CpuOperatingPoint op = ladder.op(ladder.count() - 1);
+  GBps bw = dspec.peak_bw;
+
+  for (int iter = 0; iter < kMaxRelaxationIters; ++iter) {
+    // DRAM best response.
+    GBps next_bw = dspec.min_bw;
+    for (int level = dspec.throttle_levels - 1; level >= 0; --level) {
+      const GBps candidate{bw_lo + static_cast<double>(level) * bw_step};
+      if (evaluate_state(op, candidate).mem_power.value() <=
+          mem_effective_cap + kCapSlackW) {
+        next_bw = candidate;
+        break;
+      }
+    }
+    // Package best response.
+    hw::CpuOperatingPoint next_op{
+        0, machine_.cpu.min_duty(),
+        cpu_cap.value() < machine_.cpu.floor.value()};
+    for (std::size_t notch = ladder.count(); notch-- > 0;) {
+      const hw::CpuOperatingPoint candidate = ladder.op(notch);
+      if (evaluate_state(candidate, next_bw).proc_power.value() <=
+          cpu_cap.value() + kCapSlackW) {
+        next_op = candidate;
+        break;
+      }
+    }
+    const bool stable = next_bw == bw &&
+                        next_op.pstate_index == op.pstate_index &&
+                        next_op.duty == op.duty &&
+                        next_op.sleeping == op.sleeping;
+    op = next_op;
+    bw = next_bw;
+    if (stable) break;
+  }
+
+  SharedSample s = evaluate_state(op, bw);
+  s.proc_cap = cpu_cap;
+  s.mem_cap = mem_cap;
+  s.proc_cap_respected = s.proc_power.value() <= cpu_cap.value() + kCapSlackW;
+  s.mem_cap_respected = s.mem_power.value() <= mem_cap.value() + kCapSlackW;
+  return s;
+}
+
+}  // namespace pbc::sim

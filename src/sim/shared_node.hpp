@@ -1,0 +1,102 @@
+// Multi-tenant CPU node: several jobs share one package and one DRAM
+// subsystem under common PKG/DRAM power caps.
+//
+// The paper's §8 defers "multi-task and multi-tenant systems" to future
+// work; this module implements the natural extension of its model:
+//  * cores are partitioned between tenants (space sharing);
+//  * the package runs one common P/T-state (RAPL's PKG domain is package
+//    wide), chosen as the shallowest state whose *total* power fits the
+//    PKG cap;
+//  * DRAM bandwidth is a shared resource: each tenant's demand is served
+//    max-min fairly out of the throttle level's bandwidth, and the DRAM
+//    cap constrains the sum of the tenants' energy-weighted traffic.
+#pragma once
+
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "sim/measurement.hpp"
+#include "workload/workload.hpp"
+
+namespace pbc::sim {
+
+/// One tenant: a workload pinned to a subset of the cores.
+struct TenantConfig {
+  workload::Workload wl;
+  int cores = 0;
+};
+
+/// Per-tenant outcome.
+struct TenantResult {
+  double perf = 0.0;          ///< in the tenant's display metric
+  double rate_gunits = 0.0;
+  GBps granted_bw{0.0};       ///< max-min fair share
+  GBps achieved_bw{0.0};
+  double compute_util = 0.0;
+};
+
+/// Node-level outcome of a shared run.
+struct SharedSample {
+  std::vector<TenantResult> tenants;
+  Watts proc_cap{0.0};
+  Watts mem_cap{0.0};
+  Watts proc_power{0.0};
+  Watts mem_power{0.0};
+  bool proc_cap_respected = true;
+  bool mem_cap_respected = true;
+  /// Package-wide state (per-processor DVFS), or the *highest* tenant
+  /// state when the machine has per-core DVFS.
+  std::size_t pstate_index = 0;
+  double duty = 1.0;
+  /// Per-tenant P-states (all equal on per-processor-DVFS machines).
+  std::vector<std::size_t> tenant_pstates;
+  GBps total_bw{0.0};  ///< throttle level granted by the DRAM governor
+
+  [[nodiscard]] Watts total_power() const noexcept {
+    return proc_power + mem_power;
+  }
+};
+
+class SharedCpuNodeSim {
+ public:
+  /// Tenants' core counts must fit the machine; validation is asserted.
+  SharedCpuNodeSim(hw::CpuMachine machine, std::vector<TenantConfig> tenants);
+
+  [[nodiscard]] const hw::CpuMachine& machine() const noexcept {
+    return machine_;
+  }
+  [[nodiscard]] const std::vector<TenantConfig>& tenants() const noexcept {
+    return tenants_;
+  }
+
+  /// Governor fixed point under common caps. On machines with per-core
+  /// DVFS (CpuSpec::per_core_dvfs) each tenant receives its own P-state,
+  /// chosen greedily to maximize normalized throughput under the package
+  /// cap; otherwise one package-wide state is used.
+  [[nodiscard]] SharedSample steady_state(Watts cpu_cap,
+                                          Watts mem_cap) const noexcept;
+
+ private:
+  [[nodiscard]] SharedSample evaluate_state(const hw::CpuOperatingPoint& op,
+                                            GBps total_bw) const noexcept;
+
+  /// Per-core-DVFS evaluation: tenant i runs at pstates[i] (duty shared).
+  [[nodiscard]] SharedSample evaluate_state_per_core(
+      const std::vector<std::size_t>& pstates, double duty,
+      GBps total_bw) const noexcept;
+
+  [[nodiscard]] SharedSample steady_state_per_core(
+      Watts cpu_cap, Watts mem_cap) const noexcept;
+
+  hw::CpuMachine machine_;
+  std::vector<TenantConfig> tenants_;
+  hw::CpuModel cpu_;
+  hw::DramModel dram_;
+};
+
+/// Max-min fair allocation of `capacity` across `demands`; the result sums
+/// to at most `capacity` and never exceeds any demand.
+[[nodiscard]] std::vector<double> max_min_fair_share(
+    const std::vector<double>& demands, double capacity);
+
+}  // namespace pbc::sim

@@ -1,0 +1,72 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+
+namespace pbc::sim {
+
+std::vector<AllocationSample> sweep_cpu_split(const CpuNodeSim& node,
+                                              Watts budget,
+                                              const CpuSweepOptions& opt) {
+  std::vector<AllocationSample> samples;
+  const double hi = budget.value() - opt.proc_lo.value();
+  for (double m = opt.mem_lo.value(); m <= hi + 1e-9; m += opt.step.value()) {
+    samples.push_back(
+        node.steady_state(Watts{budget.value() - m}, Watts{m}));
+  }
+  return samples;
+}
+
+std::vector<AllocationSample> sweep_gpu_split(const GpuNodeSim& node,
+                                              Watts board_cap) {
+  std::vector<AllocationSample> samples;
+  const std::size_t clocks = node.gpu_model().mem_clock_count();
+  samples.reserve(clocks);
+  for (std::size_t i = 0; i < clocks; ++i) {
+    samples.push_back(node.steady_state(i, board_cap));
+  }
+  return samples;
+}
+
+const AllocationSample* BudgetSweep::best() const noexcept {
+  if (samples.empty()) return nullptr;
+  return &*std::max_element(samples.begin(), samples.end(),
+                            [](const AllocationSample& a,
+                               const AllocationSample& b) {
+                              return a.perf < b.perf;
+                            });
+}
+
+std::vector<BudgetSweep> sweep_cpu_budgets(const CpuNodeSim& node,
+                                           std::span<const Watts> budgets,
+                                           const CpuSweepOptions& opt,
+                                           ThreadPool* pool) {
+  std::vector<BudgetSweep> out(budgets.size());
+  ThreadPool& tp = pool ? *pool : global_pool();
+  tp.parallel_for_index(budgets.size(), [&](std::size_t i) {
+    out[i].budget = budgets[i];
+    out[i].samples = sweep_cpu_split(node, budgets[i], opt);
+  });
+  return out;
+}
+
+std::vector<BudgetSweep> sweep_gpu_budgets(const GpuNodeSim& node,
+                                           std::span<const Watts> board_caps,
+                                           ThreadPool* pool) {
+  std::vector<BudgetSweep> out(board_caps.size());
+  ThreadPool& tp = pool ? *pool : global_pool();
+  tp.parallel_for_index(board_caps.size(), [&](std::size_t i) {
+    out[i].budget = board_caps[i];
+    out[i].samples = sweep_gpu_split(node, board_caps[i]);
+  });
+  return out;
+}
+
+std::vector<Watts> budget_grid(Watts lo, Watts hi, Watts step) {
+  std::vector<Watts> grid;
+  for (double b = lo.value(); b <= hi.value() + 1e-9; b += step.value()) {
+    grid.push_back(Watts{b});
+  }
+  return grid;
+}
+
+}  // namespace pbc::sim

@@ -1,0 +1,60 @@
+// Allocation-space sweeps — the experimental methodology of the paper.
+//
+// For a fixed total budget P_b, a CPU sweep walks the split
+// (P_cpu, P_mem) = (P_b − m, m) over a grid of memory caps; a GPU sweep
+// walks the supported memory clocks under a board cap. Budget sweeps repeat
+// this over many totals. Grids are embarrassingly parallel and run on the
+// shared thread pool.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/cpu_node.hpp"
+#include "sim/gpu_node.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pbc::sim {
+
+struct CpuSweepOptions {
+  /// Lowest memory cap probed (the paper sweeps from below the DRAM floor).
+  Watts mem_lo{40.0};
+  /// Lowest processor cap probed (mem_hi = budget − proc_lo).
+  Watts proc_lo{32.0};
+  /// Grid stepping between successive memory caps.
+  Watts step{4.0};
+};
+
+/// All split samples for one total budget, in ascending mem_cap order.
+[[nodiscard]] std::vector<AllocationSample> sweep_cpu_split(
+    const CpuNodeSim& node, Watts budget, const CpuSweepOptions& opt = {});
+
+/// One memory-clock sample per supported clock under the board cap, in
+/// ascending clock (== ascending estimated memory power) order.
+[[nodiscard]] std::vector<AllocationSample> sweep_gpu_split(
+    const GpuNodeSim& node, Watts board_cap);
+
+/// A full split sweep at one budget.
+struct BudgetSweep {
+  Watts budget{0.0};
+  std::vector<AllocationSample> samples;
+
+  /// The best-performing sample (the paper's "best found in the
+  /// experimental dataset" oracle).
+  [[nodiscard]] const AllocationSample* best() const noexcept;
+};
+
+/// Sweeps several budgets in parallel on `pool` (global pool if null).
+[[nodiscard]] std::vector<BudgetSweep> sweep_cpu_budgets(
+    const CpuNodeSim& node, std::span<const Watts> budgets,
+    const CpuSweepOptions& opt = {}, ThreadPool* pool = nullptr);
+
+[[nodiscard]] std::vector<BudgetSweep> sweep_gpu_budgets(
+    const GpuNodeSim& node, std::span<const Watts> board_caps,
+    ThreadPool* pool = nullptr);
+
+/// Evenly spaced budget grid [lo, hi] with the given step (inclusive of hi
+/// when it lands on the grid).
+[[nodiscard]] std::vector<Watts> budget_grid(Watts lo, Watts hi, Watts step);
+
+}  // namespace pbc::sim

@@ -1,0 +1,69 @@
+#include "sim/trace_replay.hpp"
+
+#include <algorithm>
+
+namespace pbc::sim {
+
+TraceReplayResult replay_trace(const CpuNodeSim& node,
+                               const workload::PhaseTrace& trace,
+                               Watts cpu_cap, Watts mem_cap) {
+  TraceReplayResult out;
+  const auto& wl = node.wl();
+
+  // Build one single-phase node simulator per phase; the governors settle
+  // per segment (RAPL's window is milliseconds, segments are much longer).
+  std::vector<CpuNodeSim> phase_nodes;
+  phase_nodes.reserve(wl.phases.size());
+  for (const auto& phase : wl.phases) {
+    workload::Workload single = wl;
+    single.name = wl.name + "/" + phase.name;
+    single.phases = {phase};
+    single.phases[0].weight = 1.0;
+    phase_nodes.emplace_back(node.machine(), std::move(single));
+  }
+
+  double total_work = 0.0;
+  double weighted_proc_util = 0.0;
+  double weighted_mem_util = 0.0;
+  for (const auto& seg : trace) {
+    if (seg.phase_index >= phase_nodes.size() || seg.work_units <= 0.0) {
+      continue;
+    }
+    const AllocationSample s =
+        phase_nodes[seg.phase_index].steady_state(cpu_cap, mem_cap);
+    SegmentResult r;
+    r.phase_index = seg.phase_index;
+    r.work_units = seg.work_units;
+    r.rate_gunits = s.rate_gunits;
+    r.duration = Seconds{s.rate_gunits > 0.0
+                             ? seg.work_units / s.rate_gunits
+                             : 0.0};
+    r.proc_power = s.proc_power;
+    r.mem_power = s.mem_power;
+    out.segments.push_back(r);
+
+    out.total_time += r.duration;
+    out.proc_energy += r.proc_power * r.duration;
+    out.mem_energy += r.mem_power * r.duration;
+    total_work += seg.work_units;
+    weighted_proc_util += s.compute_util * r.duration.value();
+    weighted_mem_util += s.mem_util * r.duration.value();
+  }
+
+  AllocationSample& agg = out.aggregate;
+  agg.proc_cap = cpu_cap;
+  agg.mem_cap = mem_cap;
+  if (out.total_time.value() > 0.0) {
+    agg.rate_gunits = total_work / out.total_time.value();
+    agg.perf = agg.rate_gunits * wl.metric_per_gunit;
+    agg.proc_power = out.proc_energy / out.total_time;
+    agg.mem_power = out.mem_energy / out.total_time;
+    agg.compute_util = weighted_proc_util / out.total_time.value();
+    agg.mem_util = weighted_mem_util / out.total_time.value();
+  }
+  agg.proc_cap_respected = agg.proc_power.value() <= cpu_cap.value() + 0.1;
+  agg.mem_cap_respected = agg.mem_power.value() <= mem_cap.value() + 0.1;
+  return out;
+}
+
+}  // namespace pbc::sim

@@ -1,0 +1,46 @@
+// Trace-driven evaluation: replay a PhaseTrace against a capped node.
+//
+// Each trace segment runs one phase to its governor steady state under the
+// caps (power management reacts to every phase change, as real RAPL does),
+// and the replay aggregates time-weighted performance and power. For long
+// traces the aggregate converges to the mixed-workload steady state; for
+// short, irregular traces it exposes the per-phase variability behind the
+// paper's "less regular curves" observation (§6.2).
+#pragma once
+
+#include <vector>
+
+#include "sim/cpu_node.hpp"
+#include "workload/trace.hpp"
+
+namespace pbc::sim {
+
+/// Per-segment outcome.
+struct SegmentResult {
+  std::size_t phase_index = 0;
+  double work_units = 0.0;
+  Seconds duration{0.0};
+  Watts proc_power{0.0};
+  Watts mem_power{0.0};
+  double rate_gunits = 0.0;
+};
+
+struct TraceReplayResult {
+  std::vector<SegmentResult> segments;
+  /// Time-weighted aggregate over the whole trace.
+  AllocationSample aggregate;
+  Seconds total_time{0.0};
+  Joules proc_energy{0.0};
+  Joules mem_energy{0.0};
+
+  [[nodiscard]] Joules total_energy() const noexcept {
+    return proc_energy + mem_energy;
+  }
+};
+
+/// Replays `trace` (built from node.wl()) under the given caps.
+[[nodiscard]] TraceReplayResult replay_trace(
+    const CpuNodeSim& node, const workload::PhaseTrace& trace, Watts cpu_cap,
+    Watts mem_cap);
+
+}  // namespace pbc::sim

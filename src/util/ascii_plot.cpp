@@ -1,0 +1,148 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace pbc {
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+struct Bounds {
+  double x_lo = std::numeric_limits<double>::max();
+  double x_hi = std::numeric_limits<double>::lowest();
+  double y_lo = std::numeric_limits<double>::max();
+  double y_hi = std::numeric_limits<double>::lowest();
+};
+
+Bounds compute_bounds(const std::vector<PlotSeries>& series) {
+  Bounds b;
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      b.x_lo = std::min(b.x_lo, s.x[i]);
+      b.x_hi = std::max(b.x_hi, s.x[i]);
+      b.y_lo = std::min(b.y_lo, s.y[i]);
+      b.y_hi = std::max(b.y_hi, s.y[i]);
+    }
+  }
+  if (b.x_lo > b.x_hi) {  // no finite points
+    b = Bounds{0.0, 1.0, 0.0, 1.0};
+  }
+  if (b.x_lo == b.x_hi) {
+    b.x_lo -= 0.5;
+    b.x_hi += 0.5;
+  }
+  if (b.y_lo == b.y_hi) {
+    b.y_lo -= 0.5;
+    b.y_hi += 0.5;
+  }
+  return b;
+}
+
+std::string fmt(double v) {
+  std::ostringstream ss;
+  if (std::fabs(v) >= 1000.0 || (v != 0.0 && std::fabs(v) < 0.01)) {
+    ss << std::scientific << std::setprecision(1) << v;
+  } else {
+    ss << std::fixed << std::setprecision(std::fabs(v) < 10 ? 2 : 1) << v;
+  }
+  return ss.str();
+}
+
+}  // namespace
+
+std::string render_plot(const std::vector<PlotSeries>& series,
+                        const PlotOptions& options) {
+  const int w = std::max(options.width, 16);
+  const int h = std::max(options.height, 6);
+  const Bounds b = compute_bounds(series);
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
+
+  auto to_col = [&](double x) {
+    return static_cast<int>(std::lround((x - b.x_lo) / (b.x_hi - b.x_lo) *
+                                        static_cast<double>(w - 1)));
+  };
+  auto to_row = [&](double y) {
+    // Row 0 is the top of the canvas.
+    return (h - 1) - static_cast<int>(std::lround(
+                         (y - b.y_lo) / (b.y_hi - b.y_lo) *
+                         static_cast<double>(h - 1)));
+  };
+  auto put = [&](int col, int row, char g) {
+    if (col < 0 || col >= w || row < 0 || row >= h) return;
+    canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = g;
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % std::size(kGlyphs)];
+    const auto& s = series[si];
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+
+    if (options.connect && n >= 2) {
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (!std::isfinite(s.y[i]) || !std::isfinite(s.y[i + 1])) continue;
+        const int c0 = to_col(s.x[i]);
+        const int c1 = to_col(s.x[i + 1]);
+        const int r0 = to_row(s.y[i]);
+        const int r1 = to_row(s.y[i + 1]);
+        const int steps = std::max({std::abs(c1 - c0), std::abs(r1 - r0), 1});
+        for (int t = 0; t <= steps; ++t) {
+          const double frac = static_cast<double>(t) / steps;
+          put(c0 + static_cast<int>(std::lround(frac * (c1 - c0))),
+              r0 + static_cast<int>(std::lround(frac * (r1 - r0))), glyph);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!std::isfinite(s.y[i])) continue;
+        put(to_col(s.x[i]), to_row(s.y[i]), glyph);
+      }
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+
+  const std::string y_hi_label = fmt(b.y_hi);
+  const std::string y_lo_label = fmt(b.y_lo);
+  const std::size_t label_w = std::max(y_hi_label.size(), y_lo_label.size());
+
+  for (int r = 0; r < h; ++r) {
+    std::string label;
+    if (r == 0) {
+      label = y_hi_label;
+    } else if (r == h - 1) {
+      label = y_lo_label;
+    }
+    out << std::right << std::setw(static_cast<int>(label_w)) << label << " |"
+        << canvas[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(label_w + 1, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+      << '\n';
+  out << std::string(label_w + 2, ' ') << fmt(b.x_lo);
+  const std::string x_hi_label = fmt(b.x_hi);
+  const int pad = w - static_cast<int>(fmt(b.x_lo).size()) -
+                  static_cast<int>(x_hi_label.size());
+  out << std::string(static_cast<std::size_t>(std::max(pad, 1)), ' ')
+      << x_hi_label << '\n';
+  if (!options.x_label.empty()) {
+    out << std::string(label_w + 2, ' ') << options.x_label << '\n';
+  }
+
+  out << "legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  [" << kGlyphs[si % std::size(kGlyphs)] << "] "
+        << series[si].name;
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace pbc

@@ -1,0 +1,36 @@
+// Terminal line/scatter plots for bench output.
+//
+// The paper's evaluation is figures; the bench harnesses render the same
+// series as ASCII so a reviewer can see curve shapes (knees, plateaus,
+// category boundaries) directly in the captured bench_output.txt.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pbc {
+
+/// One named series of (x, y) points.
+struct PlotSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Options controlling the character canvas.
+struct PlotOptions {
+  int width = 72;        ///< plot area columns (excluding axis labels)
+  int height = 20;       ///< plot area rows
+  std::string title;     ///< printed above the canvas
+  std::string x_label;   ///< printed below the canvas
+  std::string y_label;   ///< printed beside the y axis extremes
+  bool connect = true;   ///< draw line segments between consecutive points
+};
+
+/// Renders up to 8 series on a shared canvas; each series uses its own glyph
+/// ('*', '+', 'o', 'x', '#', '@', '%', '&') and a legend line maps glyphs to
+/// names. Returns the complete multi-line string.
+[[nodiscard]] std::string render_plot(const std::vector<PlotSeries>& series,
+                                      const PlotOptions& options);
+
+}  // namespace pbc

@@ -1,0 +1,85 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace pbc {
+
+Result<CliArgs> CliArgs::parse(int argc, const char* const* argv) {
+  CliArgs args;
+  if (argc < 1 || argv == nullptr) {
+    return invalid_argument("empty argv");
+  }
+  args.program_ = argv[0];
+  bool options_done = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    if (!options_done && tok == "--") {
+      options_done = true;
+      continue;
+    }
+    if (!options_done && tok.rfind("--", 0) == 0) {
+      const std::string body = tok.substr(2);
+      if (body.empty()) {
+        return invalid_argument("malformed option '--'");
+      }
+      const auto eq = body.find('=');
+      if (eq == std::string::npos) {
+        args.names_.push_back(body);
+        args.values_.emplace_back(std::nullopt);
+      } else {
+        if (eq == 0) return invalid_argument("option with empty name");
+        args.names_.push_back(body.substr(0, eq));
+        args.values_.emplace_back(body.substr(eq + 1));
+      }
+    } else {
+      args.positional_.push_back(tok);
+    }
+  }
+  return args;
+}
+
+std::string CliArgs::positional(std::size_t i, std::string fallback) const {
+  return i < positional_.size() ? positional_[i] : std::move(fallback);
+}
+
+double CliArgs::positional_num(std::size_t i, double fallback) const noexcept {
+  if (i >= positional_.size()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(positional_[i].c_str(), &end);
+  return end != positional_[i].c_str() && *end == '\0' ? v : fallback;
+}
+
+bool CliArgs::has(const std::string& name) const noexcept {
+  return std::find(names_.begin(), names_.end(), name) != names_.end();
+}
+
+std::optional<std::string> CliArgs::value(const std::string& name) const {
+  for (std::size_t i = names_.size(); i-- > 0;) {
+    if (names_[i] == name) return values_[i];  // last occurrence wins
+  }
+  return std::nullopt;
+}
+
+double CliArgs::value_num(const std::string& name,
+                          double fallback) const noexcept {
+  const auto v = value(name);
+  if (!v || v->empty()) return fallback;
+  char* end = nullptr;
+  const double num = std::strtod(v->c_str(), &end);
+  return end != v->c_str() && *end == '\0' ? num : fallback;
+}
+
+std::vector<std::string> CliArgs::unknown_options(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& name : names_) {
+    if (std::find(known.begin(), known.end(), name) == known.end() &&
+        std::find(unknown.begin(), unknown.end(), name) == unknown.end()) {
+      unknown.push_back(name);
+    }
+  }
+  return unknown;
+}
+
+}  // namespace pbc

@@ -1,0 +1,64 @@
+// Minimal command-line parsing for the examples and bench harnesses.
+//
+// Supports the two shapes those binaries need: positional arguments with
+// defaults (`power_sweep SRA ivybridge 240`) and --key=value / --flag
+// options (`--csv=out.csv`, `--verbose`). No dependencies, no global
+// state; unknown options are reported rather than ignored so typos in
+// experiment scripts fail loudly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace pbc {
+
+class CliArgs {
+ public:
+  /// Parses argv. Options start with "--"; everything else is positional,
+  /// in order. "--" alone ends option parsing.
+  static Result<CliArgs> parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& program() const noexcept {
+    return program_;
+  }
+
+  // --- positional ---
+  [[nodiscard]] std::size_t positional_count() const noexcept {
+    return positional_.size();
+  }
+  /// i-th positional argument, or `fallback` when absent.
+  [[nodiscard]] std::string positional(std::size_t i,
+                                       std::string fallback = "") const;
+  /// i-th positional parsed as double; `fallback` when absent or
+  /// non-numeric.
+  [[nodiscard]] double positional_num(std::size_t i,
+                                      double fallback) const noexcept;
+
+  // --- options ---
+  /// True if --name or --name=value was given.
+  [[nodiscard]] bool has(const std::string& name) const noexcept;
+  /// The value of --name=value (nullopt for bare --name or absent).
+  [[nodiscard]] std::optional<std::string> value(
+      const std::string& name) const;
+  [[nodiscard]] double value_num(const std::string& name,
+                                 double fallback) const noexcept;
+
+  /// All option names seen, in order (for unknown-option checks).
+  [[nodiscard]] const std::vector<std::string>& option_names() const noexcept {
+    return names_;
+  }
+  /// Names not in `known` (empty vector means everything was recognized).
+  [[nodiscard]] std::vector<std::string> unknown_options(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::string program_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> names_;
+  std::vector<std::optional<std::string>> values_;
+};
+
+}  // namespace pbc

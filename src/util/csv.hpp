@@ -1,0 +1,34 @@
+// Minimal CSV emission for sweep results.
+//
+// Bench harnesses optionally dump raw sweep grids as CSV so results can be
+// re-plotted outside the repo; CsvWriter handles quoting and row shape
+// validation.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pbc {
+
+/// Streams CSV rows to an ostream. The header fixes the column count; rows
+/// with mismatched arity are rejected.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, std::vector<std::string> header);
+
+  /// Writes one row. Returns false (and writes nothing) on arity mismatch.
+  bool write_row(const std::vector<std::string>& cells);
+
+  /// Quotes a cell per RFC 4180 if it contains comma, quote, or newline.
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream& os_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace pbc

@@ -1,0 +1,88 @@
+#include "util/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pbc {
+
+Result<PiecewiseLinear> PiecewiseLinear::from_points(
+    std::vector<std::pair<double, double>> pts) {
+  if (pts.empty()) {
+    return invalid_argument("PiecewiseLinear requires at least one knot");
+  }
+  std::sort(pts.begin(), pts.end());
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i].first == pts[i - 1].first) {
+      return invalid_argument("duplicate x knot in PiecewiseLinear");
+    }
+  }
+  PiecewiseLinear f;
+  f.knots_ = std::move(pts);
+  return f;
+}
+
+double PiecewiseLinear::operator()(double x) const noexcept {
+  if (knots_.empty()) return 0.0;
+  if (x <= knots_.front().first) return knots_.front().second;
+  if (x >= knots_.back().first) return knots_.back().second;
+  const auto it = std::lower_bound(
+      knots_.begin(), knots_.end(), x,
+      [](const auto& knot, double v) { return knot.first < v; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double t = (x - lo.first) / (hi.first - lo.first);
+  return lo.second + t * (hi.second - lo.second);
+}
+
+double PiecewiseLinear::slope_at(double x) const noexcept {
+  if (knots_.size() < 2) return 0.0;
+  if (x < knots_.front().first || x > knots_.back().first) return 0.0;
+  auto it = std::lower_bound(
+      knots_.begin(), knots_.end(), x,
+      [](const auto& knot, double v) { return knot.first < v; });
+  if (it == knots_.begin()) ++it;
+  if (it == knots_.end()) --it;
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  return (hi.second - lo.second) / (hi.first - lo.first);
+}
+
+double plateau_onset(const PiecewiseLinear& f, double rel_tol) noexcept {
+  const auto& knots = f.knots();
+  if (knots.empty()) return 0.0;
+  const double final_y = knots.back().second;
+  const double tol = std::fabs(final_y) * rel_tol;
+  double onset = knots.back().first;
+  for (std::size_t i = knots.size(); i-- > 0;) {
+    if (std::fabs(knots[i].second - final_y) > tol) break;
+    onset = knots[i].first;
+  }
+  return onset;
+}
+
+std::vector<double> slope_breaks(const PiecewiseLinear& f,
+                                 double min_slope_jump) {
+  std::vector<double> breaks;
+  const auto& knots = f.knots();
+  if (knots.size() < 3) return breaks;
+
+  std::vector<double> seg_slopes(knots.size() - 1);
+  double mean_abs = 0.0;
+  for (std::size_t i = 0; i + 1 < knots.size(); ++i) {
+    seg_slopes[i] = (knots[i + 1].second - knots[i].second) /
+                    (knots[i + 1].first - knots[i].first);
+    mean_abs += std::fabs(seg_slopes[i]);
+  }
+  mean_abs /= static_cast<double>(seg_slopes.size());
+  if (mean_abs == 0.0) return breaks;
+
+  for (std::size_t i = 0; i + 1 < seg_slopes.size(); ++i) {
+    if (std::fabs(seg_slopes[i + 1] - seg_slopes[i]) >
+        min_slope_jump * mean_abs) {
+      breaks.push_back(knots[i + 1].first);
+    }
+  }
+  return breaks;
+}
+
+}  // namespace pbc

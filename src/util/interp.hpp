@@ -1,0 +1,63 @@
+// Piecewise-linear curves and curve analysis.
+//
+// Power/performance profiles in pbc are sampled at discrete allocation
+// points; PiecewiseLinear gives continuous evaluation between them, and the
+// knee/plateau finders implement the curve-shape analysis the paper does
+// visually (locating inflection points of perf_max(P_b) and scenario
+// boundaries).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace pbc {
+
+/// A piecewise-linear function defined by sorted (x, y) knots.
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// Builds from knots; sorts by x and rejects duplicate x values.
+  static Result<PiecewiseLinear> from_points(
+      std::vector<std::pair<double, double>> pts);
+
+  /// Evaluate with flat extrapolation beyond the domain.
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// Left derivative-style local slope at x (slope of the containing
+  /// segment; 0 outside the domain).
+  [[nodiscard]] double slope_at(double x) const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return knots_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return knots_.size(); }
+  [[nodiscard]] double x_min() const noexcept {
+    return knots_.empty() ? 0.0 : knots_.front().first;
+  }
+  [[nodiscard]] double x_max() const noexcept {
+    return knots_.empty() ? 0.0 : knots_.back().first;
+  }
+  [[nodiscard]] const std::vector<std::pair<double, double>>& knots()
+      const noexcept {
+    return knots_;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> knots_;
+};
+
+/// Finds the x beyond which the curve is flat: the smallest knot x such that
+/// for all later knots the y value stays within rel_tol of the final y.
+/// Used to locate "performance stops growing" points (paper Fig. 2/6).
+[[nodiscard]] double plateau_onset(const PiecewiseLinear& f,
+                                   double rel_tol = 0.02) noexcept;
+
+/// Finds interior points where the segment slope changes by more than
+/// min_slope_jump (relative to the curve's mean absolute slope). Returns
+/// knot x positions; these are candidate scenario-boundary locations.
+[[nodiscard]] std::vector<double> slope_breaks(const PiecewiseLinear& f,
+                                               double min_slope_jump = 0.5);
+
+}  // namespace pbc

@@ -1,0 +1,20 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace pbc {
+
+double Xoshiro256::normal() noexcept {
+  // Marsaglia polar method; caches nothing so consecutive calls from
+  // different call sites stay independent of call interleaving.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace pbc

@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation.
+//
+// Simulation runs must be reproducible bit-for-bit across platforms and
+// thread counts, so the library uses its own xoshiro256** generator rather
+// than implementation-defined std::default_random_engine, and every consumer
+// derives an independent stream from a (seed, stream-id) pair via SplitMix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pbc {
+
+/// SplitMix64: used to seed / derive streams. Passes BigCrush as a 64-bit
+/// mixer; the standard way to initialize xoshiro state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed with a (seed, stream) pair; distinct streams are statistically
+  /// independent for our purposes.
+  constexpr explicit Xoshiro256(std::uint64_t seed,
+                                std::uint64_t stream = 0) noexcept {
+    std::uint64_t sm = seed ^ (0x632be59bd9b4e019ULL * (stream + 1));
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless bounded generation (biased variant is
+    // fine: n << 2^64 in all library uses).
+    __extension__ using u128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<u128>((*this)()) * n) >>
+                                      64);
+  }
+
+  /// Standard normal via Marsaglia polar method (deterministic, no libm
+  /// trig dependence).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace pbc

@@ -1,0 +1,55 @@
+// Descriptive statistics helpers for sweep results and measurements.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pbc {
+
+/// Streaming mean/variance via Welford's algorithm. Numerically stable for
+/// long accumulations (e.g. per-tick power samples over millions of steps).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+[[nodiscard]] double min_of(std::span<const double> xs) noexcept;
+[[nodiscard]] double max_of(std::span<const double> xs) noexcept;
+
+/// Geometric mean; all inputs must be positive. Returns 0 for empty input.
+[[nodiscard]] double geomean(std::span<const double> xs) noexcept;
+
+/// p in [0, 100]; linear interpolation between order statistics. Copies and
+/// sorts internally.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Index of the maximum element; npos (=size) for empty input.
+[[nodiscard]] std::size_t argmax(std::span<const double> xs) noexcept;
+
+/// Simple linear regression slope of y over x (least squares). Returns 0 if
+/// x has no variance.
+[[nodiscard]] double slope(std::span<const double> x,
+                           std::span<const double> y) noexcept;
+
+}  // namespace pbc

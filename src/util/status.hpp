@@ -1,0 +1,112 @@
+// Lightweight status / expected-value vocabulary used across pbc.
+//
+// The library is exception-free on hot paths: fallible operations return
+// Result<T> (value or Error), and policy decisions that carry advisory
+// information (e.g. "power surplus") use CoordStatus-style enums defined by
+// the owning module.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pbc {
+
+/// Machine-readable error categories.
+enum class ErrorCode {
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kUnavailable,
+  kInternal,
+};
+
+/// Human-readable name for an ErrorCode.
+[[nodiscard]] constexpr const char* to_string(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kOutOfRange:
+      return "out_of_range";
+    case ErrorCode::kFailedPrecondition:
+      return "failed_precondition";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+/// An error with a category and a context message.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(pbc::to_string(code)) + ": " + message;
+  }
+};
+
+/// Value-or-error result. Inspired by std::expected (not yet available on
+/// every toolchain this library targets).
+template <class T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(storage_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] const Error& error() const& {
+    assert(!ok());
+    return std::get<Error>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Convenience factory helpers.
+[[nodiscard]] inline Error invalid_argument(std::string msg) {
+  return Error{ErrorCode::kInvalidArgument, std::move(msg)};
+}
+[[nodiscard]] inline Error out_of_range(std::string msg) {
+  return Error{ErrorCode::kOutOfRange, std::move(msg)};
+}
+[[nodiscard]] inline Error failed_precondition(std::string msg) {
+  return Error{ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+[[nodiscard]] inline Error not_found(std::string msg) {
+  return Error{ErrorCode::kNotFound, std::move(msg)};
+}
+[[nodiscard]] inline Error unavailable(std::string msg) {
+  return Error{ErrorCode::kUnavailable, std::move(msg)};
+}
+
+}  // namespace pbc

@@ -1,0 +1,40 @@
+// Fixed-width text table rendering for bench harness output.
+//
+// Bench binaries print paper-style tables; TableWriter handles column
+// sizing, alignment, and numeric formatting so every harness reports rows
+// the same way.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pbc {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends a row; it may have fewer cells than headers (padded blank).
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (fixed notation).
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+  /// Renders the table with a header rule, e.g.
+  ///   budget  perf   category
+  ///   ------  -----  --------
+  ///   208     12.4   II
+  void render(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pbc

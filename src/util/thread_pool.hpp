@@ -1,0 +1,60 @@
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// Sweep experiments evaluate thousands of independent (budget, allocation)
+// grid points; parallel_for_index partitions them across worker threads.
+// The pool is deliberately simple (single mutex-protected queue): tasks in
+// this library are coarse (a whole simulation run), so queue contention is
+// negligible and determinism is easy to reason about.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pbc {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (0 means hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until done.
+  /// fn must not submit to the same pool. Exceptions from fn terminate (the
+  /// library's simulation kernels are noexcept by design).
+  void parallel_for_index(std::size_t n,
+                          const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool for sweep runners that don't carry their own.
+[[nodiscard]] ThreadPool& global_pool();
+
+}  // namespace pbc

@@ -1,0 +1,156 @@
+// Strong quantity types for the pbc library.
+//
+// Power-management code mixes watts, gigahertz, bandwidths, and ratios
+// constantly; a mixed-up operand order silently produces garbage allocations.
+// Quantity<Tag> is a zero-overhead wrapper that permits only dimensionally
+// meaningful arithmetic (add/sub same unit, scale by dimensionless factors,
+// ratio of same unit yields a plain double).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <ostream>
+
+namespace pbc {
+
+/// A strongly typed scalar quantity. Tag distinguishes units at compile time.
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() noexcept = default;
+  constexpr explicit Quantity(double v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+
+  constexpr auto operator<=>(const Quantity&) const noexcept = default;
+
+  constexpr Quantity& operator+=(Quantity o) noexcept {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) noexcept {
+    value_ -= o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) noexcept {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) noexcept {
+    value_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) noexcept {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) noexcept {
+    return Quantity{a.value_ - b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a) noexcept {
+    return Quantity{-a.value_};
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) noexcept {
+    return Quantity{a.value_ * s};
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) noexcept {
+    return Quantity{s * a.value_};
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) noexcept {
+    return Quantity{a.value_ / s};
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) noexcept {
+    return a.value_ / b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Quantity q) {
+    return os << q.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+struct WattsTag {};
+struct GigahertzTag {};
+struct GBperSecTag {};
+struct SecondsTag {};
+struct JoulesTag {};
+struct GflopsTag {};
+
+/// Electrical power.
+using Watts = Quantity<WattsTag>;
+/// Clock frequency.
+using Gigahertz = Quantity<GigahertzTag>;
+/// Memory bandwidth.
+using GBps = Quantity<GBperSecTag>;
+/// Time.
+using Seconds = Quantity<SecondsTag>;
+/// Energy.
+using Joules = Quantity<JoulesTag>;
+/// Compute rate (used generically for "operations per second" metrics).
+using Gflops = Quantity<GflopsTag>;
+
+inline namespace literals {
+constexpr Watts operator""_W(long double v) {
+  return Watts{static_cast<double>(v)};
+}
+constexpr Watts operator""_W(unsigned long long v) {
+  return Watts{static_cast<double>(v)};
+}
+constexpr Gigahertz operator""_GHz(long double v) {
+  return Gigahertz{static_cast<double>(v)};
+}
+constexpr Gigahertz operator""_GHz(unsigned long long v) {
+  return Gigahertz{static_cast<double>(v)};
+}
+constexpr GBps operator""_GBps(long double v) {
+  return GBps{static_cast<double>(v)};
+}
+constexpr GBps operator""_GBps(unsigned long long v) {
+  return GBps{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds{static_cast<double>(v)};
+}
+}  // namespace literals
+
+/// Energy accumulated by power over time.
+constexpr Joules operator*(Watts p, Seconds t) noexcept {
+  return Joules{p.value() * t.value()};
+}
+constexpr Joules operator*(Seconds t, Watts p) noexcept { return p * t; }
+
+/// Average power from energy over time.
+constexpr Watts operator/(Joules e, Seconds t) noexcept {
+  return Watts{e.value() / t.value()};
+}
+
+/// Clamp a quantity to [lo, hi].
+template <class Tag>
+[[nodiscard]] constexpr Quantity<Tag> clamp(Quantity<Tag> v, Quantity<Tag> lo,
+                                            Quantity<Tag> hi) noexcept {
+  return v < lo ? lo : (hi < v ? hi : v);
+}
+
+/// Approximate equality with absolute tolerance.
+template <class Tag>
+[[nodiscard]] constexpr bool near(Quantity<Tag> a, Quantity<Tag> b,
+                                  double abs_tol) noexcept {
+  return std::fabs(a.value() - b.value()) <= abs_tol;
+}
+
+}  // namespace pbc
+
+template <class Tag>
+struct std::hash<pbc::Quantity<Tag>> {
+  std::size_t operator()(pbc::Quantity<Tag> q) const noexcept {
+    return std::hash<double>{}(q.value());
+  }
+};

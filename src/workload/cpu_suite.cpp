@@ -1,0 +1,221 @@
+#include "workload/cpu_suite.hpp"
+
+namespace pbc::workload {
+
+namespace {
+Workload make(std::string name, std::string description, Intensity intensity,
+              std::string metric, double metric_per_gunit,
+              std::vector<Phase> phases) {
+  Workload w;
+  w.name = std::move(name);
+  w.description = std::move(description);
+  w.domain = Domain::kCpu;
+  w.nominal_intensity = intensity;
+  w.metric_name = std::move(metric);
+  w.metric_per_gunit = metric_per_gunit;
+  w.phases = std::move(phases);
+  return w;
+}
+}  // namespace
+
+Workload sra() {
+  Phase p;
+  p.name = "updates";
+  p.flops_per_unit = 10.0;   // index generation + XOR, FLOP-equivalents
+  p.bytes_per_unit = 64.0;   // one cacheline per update
+  p.compute_eff = 0.15;      // scalar integer pipeline
+  p.overlap = 0.7;
+  p.max_bw_frac = 0.50;      // MLP-limited random access
+  p.freq_scaling = 0.55;     // OoO window turns over slower at low clock
+  p.activity = 0.75;
+  p.mem_energy_scale = 2.0;  // row-buffer hostile
+  return make("SRA", "Embarrassingly parallel, random memory access",
+              Intensity::kMemory, "GUP/s", 1.0, {p});
+}
+
+Workload stream_cpu() {
+  Phase p;
+  p.name = "triad";
+  p.flops_per_unit = 2.0;    // a[i] = b[i] + s*c[i]
+  p.bytes_per_unit = 32.0;   // 2 reads + 1 write + RFO
+  p.compute_eff = 0.50;
+  p.overlap = 0.9;
+  p.max_bw_frac = 1.0;
+  p.freq_scaling = 0.12;     // prefetchers keep BW up at low clock
+  p.activity = 0.55;
+  p.mem_energy_scale = 1.0;
+  return make("STREAM", "Synthetic, measuring memory bandwidth",
+              Intensity::kMemory, "GB/s", 32.0, {p});
+}
+
+Workload dgemm() {
+  Phase p;
+  p.name = "gemm";
+  p.flops_per_unit = 1.0;
+  p.bytes_per_unit = 1.0 / 24.0;  // blocked: high operational intensity
+  p.compute_eff = 0.80;
+  p.overlap = 0.95;
+  p.max_bw_frac = 1.0;
+  p.freq_scaling = 0.0;
+  p.activity = 0.95;
+  p.mem_energy_scale = 1.0;
+  return make("DGEMM", "Matrix multiplication, compute intensive",
+              Intensity::kCompute, "GFLOP/s", 1.0, {p});
+}
+
+Workload npb_bt() {
+  Phase solve;
+  solve.name = "block-solve";
+  solve.weight = 0.75;
+  solve.flops_per_unit = 1.0;
+  solve.bytes_per_unit = 1.0 / 9.0;
+  solve.compute_eff = 0.45;
+  solve.overlap = 0.9;
+  solve.activity = 0.85;
+
+  Phase exchange;
+  exchange.name = "rhs-exchange";
+  exchange.weight = 0.25;
+  exchange.flops_per_unit = 1.0;
+  exchange.bytes_per_unit = 1.0 / 1.6;
+  exchange.compute_eff = 0.40;
+  exchange.overlap = 0.85;
+  exchange.freq_scaling = 0.1;
+  exchange.activity = 0.70;
+
+  return make("BT", "Block tri-diagonal solver, compute intensive",
+              Intensity::kCompute, "GFLOP/s", 1.0, {solve, exchange});
+}
+
+Workload npb_sp() {
+  Phase p;
+  p.name = "penta-solve";
+  p.flops_per_unit = 1.0;
+  p.bytes_per_unit = 1.0 / 3.5;
+  p.compute_eff = 0.40;
+  p.overlap = 0.88;
+  p.freq_scaling = 0.1;
+  p.activity = 0.80;
+  return make("SP", "Scalar penta-diagonal solver, compute/memory",
+              Intensity::kBalanced, "GFLOP/s", 1.0, {p});
+}
+
+Workload npb_lu() {
+  Phase ssor;
+  ssor.name = "ssor";
+  ssor.weight = 0.65;
+  ssor.flops_per_unit = 1.0;
+  ssor.bytes_per_unit = 1.0 / 4.5;
+  ssor.compute_eff = 0.42;
+  ssor.overlap = 0.85;
+  ssor.activity = 0.80;
+
+  Phase rhs;
+  rhs.name = "rhs";
+  rhs.weight = 0.35;
+  rhs.flops_per_unit = 1.0;
+  rhs.bytes_per_unit = 1.0 / 2.0;
+  rhs.compute_eff = 0.38;
+  rhs.overlap = 0.85;
+  rhs.freq_scaling = 0.15;
+  rhs.activity = 0.72;
+
+  return make("LU", "Lower-Upper Gauss-Seidel solver, compute/memory",
+              Intensity::kBalanced, "GFLOP/s", 1.0, {ssor, rhs});
+}
+
+Workload npb_ep() {
+  Phase p;
+  p.name = "prng";
+  p.flops_per_unit = 1.0;
+  p.bytes_per_unit = 1.0 / 120.0;  // effectively no memory traffic
+  p.compute_eff = 0.35;            // transcendental-heavy
+  p.overlap = 0.98;
+  p.activity = 0.90;
+  return make("EP", "Embarrassingly Parallel, compute intensive",
+              Intensity::kCompute, "GFLOP/s", 1.0, {p});
+}
+
+Workload npb_is() {
+  Phase p;
+  p.name = "bucket-scatter";
+  p.flops_per_unit = 6.0;    // integer key ops, FLOP-equivalents
+  p.bytes_per_unit = 48.0;
+  p.compute_eff = 0.20;
+  p.overlap = 0.75;
+  p.max_bw_frac = 0.60;
+  p.freq_scaling = 0.50;
+  p.activity = 0.65;
+  p.mem_energy_scale = 1.6;
+  return make("IS", "Integer Sort, random memory access", Intensity::kMemory,
+              "Mop/s", 1000.0, {p});
+}
+
+Workload npb_cg() {
+  Phase p;
+  p.name = "spmv";
+  p.flops_per_unit = 1.0;
+  p.bytes_per_unit = 1.0 / 0.6;  // sparse: OI ~0.6 flop/byte
+  p.compute_eff = 0.30;
+  p.overlap = 0.8;
+  p.max_bw_frac = 0.75;
+  p.freq_scaling = 0.30;
+  p.activity = 0.60;
+  p.mem_energy_scale = 1.3;
+  return make("CG", "Conjugate Gradient, irregular memory access",
+              Intensity::kMemory, "GFLOP/s", 1.0, {p});
+}
+
+Workload npb_ft() {
+  Phase fft;
+  fft.name = "fft";
+  fft.weight = 0.6;
+  fft.flops_per_unit = 1.0;
+  fft.bytes_per_unit = 1.0 / 5.0;
+  fft.compute_eff = 0.45;
+  fft.overlap = 0.9;
+  fft.activity = 0.80;
+
+  Phase transpose;
+  transpose.name = "transpose";
+  transpose.weight = 0.4;
+  transpose.flops_per_unit = 1.0;
+  transpose.bytes_per_unit = 1.0 / 0.8;
+  transpose.compute_eff = 0.40;
+  transpose.overlap = 0.85;
+  transpose.max_bw_frac = 0.85;
+  transpose.freq_scaling = 0.2;
+  transpose.activity = 0.60;
+  transpose.mem_energy_scale = 1.2;
+
+  return make("FT", "Discrete 3D fast Fourier Transform, compute/memory",
+              Intensity::kBalanced, "GFLOP/s", 1.0, {fft, transpose});
+}
+
+Workload npb_mg() {
+  Phase p;
+  p.name = "relax";
+  p.flops_per_unit = 1.0;
+  p.bytes_per_unit = 1.0;  // OI ~1 flop/byte
+  p.compute_eff = 0.40;
+  p.overlap = 0.88;
+  p.freq_scaling = 0.15;
+  p.activity = 0.60;
+  p.mem_energy_scale = 1.1;
+  return make("MG", "Multi-Grid operation, compute/memory",
+              Intensity::kMemory, "GFLOP/s", 1.0, {p});
+}
+
+std::vector<Workload> cpu_suite() {
+  return {sra(),    stream_cpu(), dgemm(), npb_bt(), npb_sp(), npb_lu(),
+          npb_ep(), npb_is(),     npb_cg(), npb_ft(), npb_mg()};
+}
+
+Result<Workload> cpu_benchmark(std::string_view name) {
+  for (auto& w : cpu_suite()) {
+    if (w.name == name) return w;
+  }
+  return not_found("no CPU benchmark named '" + std::string(name) + "'");
+}
+
+}  // namespace pbc::workload

@@ -1,0 +1,49 @@
+// The 11 CPU benchmarks of the paper's Table 3 (HPC Challenge, NPB, and
+// UVA STREAM), expressed as calibrated Workload descriptors.
+//
+// Each descriptor's phase parameters (operational intensity, compute
+// efficiency, activity, latency ceiling, DRAM energy scale) are chosen so
+// the simulated IvyBridge node reproduces the power/performance figures the
+// paper quotes: SRA draws ≈112 W CPU / ≈116 W DRAM unconstrained, DGEMM's
+// perf_max(P_b) flattens in the 220-240 W region, STREAM shows a ~30×
+// best-to-worst spread at a 208 W budget, etc.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "util/status.hpp"
+#include "workload/workload.hpp"
+
+namespace pbc::workload {
+
+/// Star RandomAccess (HPCC): embarrassingly parallel random memory access.
+[[nodiscard]] Workload sra();
+/// UVA/HPCC STREAM: streaming memory bandwidth (triad-dominated).
+[[nodiscard]] Workload stream_cpu();
+/// EP-DGEMM (HPCC): dense matrix multiply, compute intensive.
+[[nodiscard]] Workload dgemm();
+/// NPB BT: block tri-diagonal solver, compute intensive.
+[[nodiscard]] Workload npb_bt();
+/// NPB SP: scalar penta-diagonal solver, mixed compute/memory.
+[[nodiscard]] Workload npb_sp();
+/// NPB LU: lower-upper Gauss-Seidel solver, mixed compute/memory.
+[[nodiscard]] Workload npb_lu();
+/// NPB EP: embarrassingly parallel random-number kernel, compute intensive.
+[[nodiscard]] Workload npb_ep();
+/// NPB IS: integer sort, random memory access.
+[[nodiscard]] Workload npb_is();
+/// NPB CG: conjugate gradient, irregular memory access.
+[[nodiscard]] Workload npb_cg();
+/// NPB FT: 3-D FFT, mixed compute/memory with a transpose phase.
+[[nodiscard]] Workload npb_ft();
+/// NPB MG: multigrid, memory intensive.
+[[nodiscard]] Workload npb_mg();
+
+/// All 11 CPU benchmarks in the paper's Table 3 order.
+[[nodiscard]] std::vector<Workload> cpu_suite();
+
+/// Case-sensitive lookup by benchmark name (e.g. "SRA", "DGEMM", "MG").
+[[nodiscard]] Result<Workload> cpu_benchmark(std::string_view name);
+
+}  // namespace pbc::workload

@@ -1,0 +1,135 @@
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::workload {
+
+namespace {
+Workload make(std::string name, std::string description, Intensity intensity,
+              std::string metric, double metric_per_gunit,
+              std::vector<Phase> phases) {
+  Workload w;
+  w.name = std::move(name);
+  w.description = std::move(description);
+  w.domain = Domain::kGpu;
+  w.nominal_intensity = intensity;
+  w.metric_name = std::move(metric);
+  w.metric_per_gunit = metric_per_gunit;
+  w.phases = std::move(phases);
+  return w;
+}
+}  // namespace
+
+Workload sgemm() {
+  Phase p;
+  p.name = "gemm";
+  p.flops_per_unit = 1.0;
+  p.bytes_per_unit = 1.0 / 60.0;  // tiled: very high operational intensity
+  p.compute_eff = 0.85;
+  p.overlap = 0.98;
+  p.max_bw_frac = 1.0;
+  p.freq_scaling = 0.0;
+  p.activity = 0.95;
+  return make("SGEMM", "Compute intensive, CUBLAS implementation",
+              Intensity::kCompute, "GFLOP/s", 1.0, {p});
+}
+
+Workload stream_gpu() {
+  Phase p;
+  p.name = "triad";
+  p.flops_per_unit = 2.0;
+  p.bytes_per_unit = 24.0;
+  p.compute_eff = 0.50;
+  p.overlap = 0.95;
+  p.max_bw_frac = 0.92;
+  p.freq_scaling = 0.70;  // achieved BW needs SMs issuing loads
+  p.activity = 0.55;
+  return make("STREAM", "Memory intensive, CUDA version of STREAM",
+              Intensity::kMemory, "GB/s", 24.0, {p});
+}
+
+Workload cufft() {
+  Phase butterfly;
+  butterfly.name = "butterfly";
+  butterfly.weight = 0.55;
+  butterfly.flops_per_unit = 1.0;
+  butterfly.bytes_per_unit = 1.0 / 2.2;
+  butterfly.compute_eff = 0.45;
+  butterfly.overlap = 0.92;
+  butterfly.max_bw_frac = 0.9;
+  butterfly.freq_scaling = 0.60;
+  butterfly.activity = 0.70;
+
+  Phase transpose;
+  transpose.name = "transpose";
+  transpose.weight = 0.45;
+  transpose.flops_per_unit = 1.0;
+  transpose.bytes_per_unit = 1.0 / 0.6;
+  transpose.compute_eff = 0.40;
+  transpose.overlap = 0.9;
+  transpose.max_bw_frac = 0.8;
+  transpose.freq_scaling = 0.70;
+  transpose.activity = 0.60;
+  transpose.mem_energy_scale = 1.15;
+
+  return make("CUFFT", "Memory intensive, CUDA example", Intensity::kMemory,
+              "GFLOP/s", 1.0, {butterfly, transpose});
+}
+
+Workload minife() {
+  Phase p;
+  p.name = "cg-spmv";
+  p.flops_per_unit = 1.0;
+  p.bytes_per_unit = 2.5;  // OI 0.4 flop/byte
+  p.compute_eff = 0.50;
+  p.overlap = 0.92;
+  p.max_bw_frac = 0.88;
+  p.freq_scaling = 0.70;
+  p.activity = 0.55;
+  p.mem_energy_scale = 1.1;
+  return make("MiniFE", "Memory intensive, ECP proxy", Intensity::kMemory,
+              "GFLOP/s", 1.0, {p});
+}
+
+Workload cloverleaf() {
+  Phase p;
+  p.name = "hydro";
+  p.flops_per_unit = 1.0;
+  p.bytes_per_unit = 1.0 / 4.5;
+  // Modest efficiency puts the compute roofline and the bandwidth roofline
+  // within reach of each other — the paper's "in between" pattern where a
+  // balanced SM/memory allocation wins.
+  p.compute_eff = 0.20;
+  p.overlap = 0.92;
+  p.max_bw_frac = 0.9;
+  p.freq_scaling = 0.50;
+  p.activity = 0.75;
+  return make("Cloverleaf", "compute/memory, ECP proxy", Intensity::kBalanced,
+              "GFLOP/s", 1.0, {p});
+}
+
+Workload hpcg() {
+  Phase p;
+  p.name = "mg-spmv";
+  p.flops_per_unit = 1.0;
+  p.bytes_per_unit = 1.0 / 0.26;
+  p.compute_eff = 0.30;
+  p.overlap = 0.9;
+  p.max_bw_frac = 0.8;
+  p.freq_scaling = 0.70;
+  p.activity = 0.50;
+  p.mem_energy_scale = 1.2;
+  return make("HPCG", "Memory intensive, HPL benchmark", Intensity::kMemory,
+              "GFLOP/s", 1.0, {p});
+}
+
+std::vector<Workload> gpu_suite() {
+  return {sgemm(), stream_gpu(), cufft(), minife(), cloverleaf(), hpcg()};
+}
+
+Result<Workload> gpu_benchmark(std::string_view name) {
+  for (auto& w : gpu_suite()) {
+    if (w.name == name) return w;
+  }
+  return not_found("no GPU benchmark named '" + std::string(name) + "'");
+}
+
+}  // namespace pbc::workload

@@ -1,0 +1,38 @@
+// The 6 GPU benchmarks of the paper's Table 3 (CUDA examples and exascale
+// computing proxies), expressed as calibrated Workload descriptors.
+//
+// Calibration targets from the paper: SGEMM on the Titan XP demands more
+// than the 300 W maximum cap and prefers minimum memory power; MiniFE's
+// perf_max flattens near a 180 W cap; Cloverleaf sits "in between" and
+// wants a balanced SM/memory split; performance spread across allocations
+// at a fixed budget is ≈25-35%.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+#include "workload/workload.hpp"
+
+namespace pbc::workload {
+
+/// CUBLAS-style dense matrix multiply, compute intensive.
+[[nodiscard]] Workload sgemm();
+/// GPU-STREAM triad, memory intensive.
+[[nodiscard]] Workload stream_gpu();
+/// CUFFT batched 3-D FFT, memory intensive.
+[[nodiscard]] Workload cufft();
+/// MiniFE finite-element proxy (ECP), memory intensive.
+[[nodiscard]] Workload minife();
+/// Cloverleaf hydrodynamics proxy (ECP), mixed compute/memory.
+[[nodiscard]] Workload cloverleaf();
+/// HPCG conjugate-gradient benchmark, memory intensive.
+[[nodiscard]] Workload hpcg();
+
+/// All 6 GPU benchmarks in the paper's Table 3 order.
+[[nodiscard]] std::vector<Workload> gpu_suite();
+
+/// Case-sensitive lookup by benchmark name (e.g. "SGEMM", "MiniFE").
+[[nodiscard]] Result<Workload> gpu_benchmark(std::string_view name);
+
+}  // namespace pbc::workload

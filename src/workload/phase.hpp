@@ -1,0 +1,98 @@
+// Phase-level analytic performance model.
+//
+// A phase is a homogeneous stretch of execution characterized by its
+// compute work, memory traffic, overlap, and latency behaviour. Given the
+// component capacities the power governors grant (compute GFLOP/s and
+// memory GB/s), evaluate_phase returns the achieved rate and the
+// utilization/activity figures the power models need. This is the roofline
+// argument the paper itself makes in §3.4.1 (Fig. 5: balanced capacity vs
+// utilization), extended with:
+//   * partial compute/memory overlap,
+//   * a latency/MLP bandwidth ceiling with clock sensitivity (random-access
+//     codes lose achievable bandwidth when the core/SM clock drops), and
+//   * an energy-per-byte multiplier (poor row locality costs the DRAM more
+//     energy per transferred byte).
+#pragma once
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace pbc::workload {
+
+/// Static description of one execution phase.
+struct Phase {
+  std::string name;
+
+  /// Share of the workload's total work units carried by this phase.
+  double weight = 1.0;
+
+  /// Compute work per work unit (FLOPs; integer-dominated codes express
+  /// their op count in FLOP-equivalents).
+  double flops_per_unit = 1.0;
+
+  /// Memory traffic per work unit (bytes at cacheline granularity).
+  double bytes_per_unit = 1.0;
+
+  /// Fraction of peak compute capacity this phase can extract
+  /// (vectorization/ILP quality).
+  double compute_eff = 0.8;
+
+  /// Compute/memory overlap in [0, 1]: 1 = perfectly overlapped
+  /// (time = max of the two), 0 = fully serialized (time = sum).
+  double overlap = 0.9;
+
+  /// Latency/MLP ceiling on achievable bandwidth, as a fraction of the
+  /// machine's peak bandwidth (1 = streaming, prefetch-friendly;
+  /// ~0.5 = pointer-chasing random access).
+  double max_bw_frac = 1.0;
+
+  /// Sensitivity of the latency ceiling to the relative processor clock
+  /// (exponent λ: ceiling ∝ (f/f_max)^λ). Random access ≈ 0.5, streaming
+  /// ≈ 0.1: out-of-order/issue resources turn over slower at low clocks.
+  double freq_scaling = 0.0;
+
+  /// Peak switching-activity factor of busy processor logic in [0, 1].
+  double activity = 0.7;
+
+  /// DRAM energy multiplier per transferred byte (row-buffer-hostile
+  /// access patterns pay more than streaming; ≥ 1).
+  double mem_energy_scale = 1.0;
+};
+
+/// Component capacities granted to the phase by the power governors.
+struct PhaseOperands {
+  Gflops compute_capacity;  ///< aggregate processor capacity at the op point
+  GBps avail_bw;            ///< memory bandwidth after throttling
+  GBps peak_bw;             ///< untrottled machine peak (for max_bw_frac)
+  double rel_clock = 1.0;   ///< processor clock relative to maximum (DVFS only)
+  /// T-state duty cycle. Clock gating stops request issue entirely during
+  /// the off fraction, so the achievable-bandwidth ceiling scales linearly
+  /// with duty (unlike DVFS, which only slows issue — hence the exponent
+  /// freq_scaling < 1 on rel_clock). This asymmetry is what makes the
+  /// paper's scenario IV cliff so much steeper than scenario II's slope.
+  double duty = 1.0;
+  /// Fraction of the package's cores running the workload (thread
+  /// packing). Outstanding-miss capacity scales with cores, but roughly
+  /// half the cores already saturate the memory system, so the ceiling
+  /// factor is min(1, 2·core_fraction).
+  double core_fraction = 1.0;
+};
+
+/// What a phase achieves under the granted capacities.
+struct PhaseResult {
+  double rate_gunits = 0.0;       ///< work units per ns (== Gunits/s)
+  double time_per_unit = 0.0;     ///< ns per work unit
+  GBps achieved_bw{0.0};          ///< real transferred bandwidth
+  GBps effective_bw{0.0};         ///< energy-weighted bandwidth (DRAM power)
+  double compute_util = 0.0;      ///< achieved compute rate / capacity
+  double mem_util = 0.0;          ///< achieved bw / available bw
+  double compute_time_frac = 0.0; ///< compute share of critical path
+  double activity_eff = 0.0;      ///< effective switching activity for power
+};
+
+/// Pure evaluation: no state, no allocation.
+[[nodiscard]] PhaseResult evaluate_phase(const Phase& phase,
+                                         const PhaseOperands& op) noexcept;
+
+}  // namespace pbc::workload

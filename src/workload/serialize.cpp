@@ -1,0 +1,155 @@
+#include "workload/serialize.hpp"
+
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace pbc::workload {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+Result<double> parse_double(const std::string& key, const std::string& v) {
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    return invalid_argument("non-numeric value for " + key + ": '" + v + "'");
+  }
+  return x;
+}
+
+}  // namespace
+
+std::string to_text(const Workload& w) {
+  std::ostringstream out;
+  // Round-trip exactness: shortest representation that restores the bits.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "name = " << w.name << '\n'
+      << "description = " << w.description << '\n'
+      << "domain = " << to_string(w.domain) << '\n'
+      << "intensity = " << to_string(w.nominal_intensity) << '\n'
+      << "metric = " << w.metric_name << '\n'
+      << "metric_per_gunit = " << w.metric_per_gunit << '\n';
+  for (const auto& p : w.phases) {
+    out << "[phase]\n"
+        << "name = " << p.name << '\n'
+        << "weight = " << p.weight << '\n'
+        << "flops_per_unit = " << p.flops_per_unit << '\n'
+        << "bytes_per_unit = " << p.bytes_per_unit << '\n'
+        << "compute_eff = " << p.compute_eff << '\n'
+        << "overlap = " << p.overlap << '\n'
+        << "max_bw_frac = " << p.max_bw_frac << '\n'
+        << "freq_scaling = " << p.freq_scaling << '\n'
+        << "activity = " << p.activity << '\n'
+        << "mem_energy_scale = " << p.mem_energy_scale << '\n';
+  }
+  return out.str();
+}
+
+Result<Workload> from_text(const std::string& text) {
+  Workload w;
+  Phase* phase = nullptr;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    if (stripped == "[phase]") {
+      w.phases.emplace_back();
+      phase = &w.phases.back();
+      continue;
+    }
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      return invalid_argument("line " + std::to_string(line_no) +
+                              ": expected key = value");
+    }
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+
+    if (phase == nullptr) {
+      // Workload header.
+      if (key == "name") {
+        w.name = value;
+      } else if (key == "description") {
+        w.description = value;
+      } else if (key == "domain") {
+        if (value == "cpu") {
+          w.domain = Domain::kCpu;
+        } else if (value == "gpu") {
+          w.domain = Domain::kGpu;
+        } else {
+          return invalid_argument("unknown domain '" + value + "'");
+        }
+      } else if (key == "intensity") {
+        if (value == "compute") {
+          w.nominal_intensity = Intensity::kCompute;
+        } else if (value == "memory") {
+          w.nominal_intensity = Intensity::kMemory;
+        } else if (value == "balanced") {
+          w.nominal_intensity = Intensity::kBalanced;
+        } else {
+          return invalid_argument("unknown intensity '" + value + "'");
+        }
+      } else if (key == "metric") {
+        w.metric_name = value;
+      } else if (key == "metric_per_gunit") {
+        const auto x = parse_double(key, value);
+        if (!x.ok()) return x.error();
+        w.metric_per_gunit = x.value();
+      } else {
+        return invalid_argument("line " + std::to_string(line_no) +
+                                ": unknown workload key '" + key + "'");
+      }
+      continue;
+    }
+
+    // Phase section.
+    auto set = [&](double Phase::*field, const std::string& v) -> Result<bool> {
+      const auto x = parse_double(key, v);
+      if (!x.ok()) return x.error();
+      phase->*field = x.value();
+      return true;
+    };
+    Result<bool> r = true;
+    if (key == "name") {
+      phase->name = value;
+    } else if (key == "weight") {
+      r = set(&Phase::weight, value);
+    } else if (key == "flops_per_unit") {
+      r = set(&Phase::flops_per_unit, value);
+    } else if (key == "bytes_per_unit") {
+      r = set(&Phase::bytes_per_unit, value);
+    } else if (key == "compute_eff") {
+      r = set(&Phase::compute_eff, value);
+    } else if (key == "overlap") {
+      r = set(&Phase::overlap, value);
+    } else if (key == "max_bw_frac") {
+      r = set(&Phase::max_bw_frac, value);
+    } else if (key == "freq_scaling") {
+      r = set(&Phase::freq_scaling, value);
+    } else if (key == "activity") {
+      r = set(&Phase::activity, value);
+    } else if (key == "mem_energy_scale") {
+      r = set(&Phase::mem_energy_scale, value);
+    } else {
+      return invalid_argument("line " + std::to_string(line_no) +
+                              ": unknown phase key '" + key + "'");
+    }
+    if (!r.ok()) return r.error();
+  }
+
+  if (const auto valid = w.validate(); !valid.ok()) return valid.error();
+  return w;
+}
+
+}  // namespace pbc::workload

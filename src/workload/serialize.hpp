@@ -1,0 +1,45 @@
+// Text serialization of workload descriptors.
+//
+// Downstream users characterize their own applications (by measurement or
+// via core::fit_single_phase) and want to run the harnesses on them
+// without recompiling. The format is a minimal line-oriented key=value
+// dialect with one `[phase]` section per phase:
+//
+//     name = MYAPP
+//     description = my solver
+//     domain = cpu
+//     metric = GFLOP/s
+//     metric_per_gunit = 1.0
+//     [phase]
+//     name = sweep
+//     weight = 0.7
+//     flops_per_unit = 1.0
+//     bytes_per_unit = 0.25
+//     compute_eff = 0.45
+//     overlap = 0.9
+//     max_bw_frac = 1.0
+//     freq_scaling = 0.1
+//     activity = 0.8
+//     mem_energy_scale = 1.0
+//     [phase]
+//     ...
+//
+// Unknown keys are rejected (typos fail loudly); omitted keys keep their
+// defaults. Round-trip is exact for every suite benchmark
+// (tests/workload/serialize_test.cpp).
+#pragma once
+
+#include <string>
+
+#include "util/status.hpp"
+#include "workload/workload.hpp"
+
+namespace pbc::workload {
+
+/// Renders a workload in the format above.
+[[nodiscard]] std::string to_text(const Workload& w);
+
+/// Parses the format above and validates the result.
+[[nodiscard]] Result<Workload> from_text(const std::string& text);
+
+}  // namespace pbc::workload

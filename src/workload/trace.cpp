@@ -1,0 +1,98 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pbc::workload {
+
+PhaseTrace generate_trace(const Workload& w, const TraceOptions& opt) {
+  PhaseTrace trace;
+  const std::size_t n = w.phases.size();
+  if (n == 0 || opt.total_units <= 0.0 || opt.segment_units <= 0.0) {
+    return trace;
+  }
+
+  std::vector<double> weights(n);
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = w.phases[i].weight;
+    weight_sum += weights[i];
+  }
+
+  Xoshiro256 rng(opt.seed, 0x7261636521ULL);
+  const double irregularity = std::clamp(opt.irregularity, 0.0, 1.0);
+
+  // Deficit round-robin keeps long-run shares on the weights; the
+  // irregularity knob decides how often we instead jump to a
+  // weight-proportional random phase.
+  std::vector<double> deficit(n, 0.0);
+  double emitted = 0.0;
+  std::size_t current = 0;
+  while (emitted < opt.total_units - 1e-12) {
+    // Accrue credit proportional to weights.
+    for (std::size_t i = 0; i < n; ++i) {
+      deficit[i] += opt.segment_units * weights[i] / weight_sum;
+    }
+    std::size_t next;
+    if (rng.uniform() < irregularity) {
+      // Random weight-proportional pick.
+      double r = rng.uniform() * weight_sum;
+      next = n - 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (r < weights[i]) {
+          next = i;
+          break;
+        }
+        r -= weights[i];
+      }
+    } else {
+      // Largest accumulated deficit.
+      next = static_cast<std::size_t>(
+          std::distance(deficit.begin(),
+                        std::max_element(deficit.begin(), deficit.end())));
+    }
+
+    // Segment length: nominal, with ±50% jitter when irregular.
+    double units = opt.segment_units;
+    if (irregularity > 0.0) {
+      units *= 1.0 + irregularity * rng.uniform(-0.5, 0.5);
+    }
+    units = std::min(units, opt.total_units - emitted);
+    deficit[next] -= units;
+    emitted += units;
+
+    if (!trace.empty() && trace.back().phase_index == next) {
+      trace.back().work_units += units;  // merge adjacent same-phase runs
+    } else {
+      trace.push_back(TraceSegment{next, units});
+      current = next;
+    }
+  }
+  (void)current;
+  return trace;
+}
+
+std::vector<double> phase_shares(const Workload& w, const PhaseTrace& trace) {
+  std::vector<double> shares(w.phases.size(), 0.0);
+  double total = 0.0;
+  for (const auto& seg : trace) {
+    if (seg.phase_index < shares.size()) {
+      shares[seg.phase_index] += seg.work_units;
+    }
+    total += seg.work_units;
+  }
+  if (total > 0.0) {
+    for (double& s : shares) s /= total;
+  }
+  return shares;
+}
+
+std::size_t switch_count(const PhaseTrace& trace) {
+  std::size_t switches = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].phase_index != trace[i - 1].phase_index) ++switches;
+  }
+  return switches;
+}
+
+}  // namespace pbc::workload

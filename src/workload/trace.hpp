@@ -1,0 +1,53 @@
+// Synthetic execution traces: timed phase sequences with controlled
+// irregularity.
+//
+// The paper observes (§6.2) that multi-phase pseudo-applications (BT, MG,
+// FT) produce less regular performance-power curves than single-phase
+// kernels, and suggests adaptive in-application scheduling. A PhaseTrace
+// turns a Workload's weight mix into an explicit, reproducible sequence of
+// phase segments — either round-robin (regular) or Markov-switched with a
+// deterministic RNG (irregular) — so trace-driven evaluation and the
+// control-loop engine can be exercised with realistic phase churn.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace pbc::workload {
+
+/// One contiguous stretch of a single phase, measured in work units.
+struct TraceSegment {
+  std::size_t phase_index = 0;
+  double work_units = 0.0;
+};
+
+using PhaseTrace = std::vector<TraceSegment>;
+
+struct TraceOptions {
+  /// Total work units in the trace.
+  double total_units = 100.0;
+  /// Work units per segment before jitter.
+  double segment_units = 1.0;
+  /// 0 = strict round-robin by weight; 1 = fully random phase choice
+  /// (weight-proportional). Values in between interpolate via sticky
+  /// Markov switching.
+  double irregularity = 0.5;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a trace whose per-phase work shares converge to the
+/// workload's weights. Deterministic for a given (workload, options).
+[[nodiscard]] PhaseTrace generate_trace(const Workload& w,
+                                        const TraceOptions& opt = {});
+
+/// Fraction of total work spent in each phase.
+[[nodiscard]] std::vector<double> phase_shares(const Workload& w,
+                                               const PhaseTrace& trace);
+
+/// Number of phase switches (adjacent segments with different phases).
+[[nodiscard]] std::size_t switch_count(const PhaseTrace& trace);
+
+}  // namespace pbc::workload

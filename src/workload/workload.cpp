@@ -1,0 +1,82 @@
+#include "workload/workload.hpp"
+
+namespace pbc::workload {
+
+Result<bool> Workload::validate() const {
+  if (name.empty()) return invalid_argument("workload has no name");
+  if (phases.empty()) return invalid_argument(name + ": no phases");
+  for (const auto& p : phases) {
+    if (p.weight <= 0.0) {
+      return invalid_argument(name + "/" + p.name + ": non-positive weight");
+    }
+    if (p.flops_per_unit < 0.0 || p.bytes_per_unit < 0.0 ||
+        (p.flops_per_unit == 0.0 && p.bytes_per_unit == 0.0)) {
+      return invalid_argument(name + "/" + p.name + ": no work");
+    }
+    if (p.compute_eff <= 0.0 || p.compute_eff > 1.0) {
+      return invalid_argument(name + "/" + p.name + ": compute_eff not in (0,1]");
+    }
+    if (p.max_bw_frac <= 0.0 || p.max_bw_frac > 1.0) {
+      return invalid_argument(name + "/" + p.name + ": max_bw_frac not in (0,1]");
+    }
+    if (p.mem_energy_scale < 1.0) {
+      return invalid_argument(name + "/" + p.name + ": mem_energy_scale < 1");
+    }
+    if (p.activity < 0.0 || p.activity > 1.0) {
+      return invalid_argument(name + "/" + p.name + ": activity not in [0,1]");
+    }
+  }
+  if (metric_per_gunit <= 0.0) {
+    return invalid_argument(name + ": non-positive metric factor");
+  }
+  return true;
+}
+
+WorkloadResult evaluate(const Workload& w, const PhaseOperands& op) noexcept {
+  WorkloadResult agg;
+  double total_time = 0.0;
+  double total_units = 0.0;
+  double total_bytes = 0.0;
+  double total_eff_bytes = 0.0;
+  double t_compute_util = 0.0;
+  double t_mem_util = 0.0;
+  double t_compute_frac = 0.0;
+  double t_activity = 0.0;
+
+  for (const auto& phase : w.phases) {
+    const PhaseResult r = evaluate_phase(phase, op);
+    const double t = phase.weight * r.time_per_unit;
+    total_time += t;
+    total_units += phase.weight;
+    total_bytes += phase.weight * phase.bytes_per_unit;
+    total_eff_bytes +=
+        phase.weight * phase.bytes_per_unit * phase.mem_energy_scale;
+    t_compute_util += t * r.compute_util;
+    t_mem_util += t * r.mem_util;
+    t_compute_frac += t * r.compute_time_frac;
+    t_activity += t * r.activity_eff;
+  }
+
+  if (total_time <= 0.0) return agg;
+  agg.rate_gunits = total_units / total_time;
+  agg.metric = agg.rate_gunits * w.metric_per_gunit;
+  agg.achieved_bw = GBps{total_bytes / total_time};
+  agg.effective_bw = GBps{total_eff_bytes / total_time};
+  agg.compute_util = t_compute_util / total_time;
+  agg.mem_util = t_mem_util / total_time;
+  agg.compute_time_frac = t_compute_frac / total_time;
+  agg.activity_eff = t_activity / total_time;
+  return agg;
+}
+
+double operational_intensity(const Workload& w) noexcept {
+  double flops = 0.0;
+  double bytes = 0.0;
+  for (const auto& p : w.phases) {
+    flops += p.weight * p.flops_per_unit;
+    bytes += p.weight * p.bytes_per_unit;
+  }
+  return bytes > 0.0 ? flops / bytes : 0.0;
+}
+
+}  // namespace pbc::workload

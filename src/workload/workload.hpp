@@ -1,0 +1,76 @@
+// Workload: a named, weighted sequence of phases plus display metadata.
+//
+// The benchmarks of the paper's Table 3 are instances of this type (see
+// cpu_suite.hpp / gpu_suite.hpp). Aggregation follows execution semantics:
+// per aggregate work unit, phase i contributes weight_i units, so aggregate
+// time is the weighted sum of phase times and bandwidth/utilization figures
+// are time-weighted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+#include "workload/phase.hpp"
+
+namespace pbc::workload {
+
+/// Which machine type the workload targets.
+enum class Domain { kCpu, kGpu };
+
+[[nodiscard]] constexpr const char* to_string(Domain d) noexcept {
+  return d == Domain::kCpu ? "cpu" : "gpu";
+}
+
+/// How compute-hungry a workload is; the paper's §4 GPU patterns and
+/// Algorithm 2 branch on this. Derived from profiling (core/Profiler), but
+/// suites also carry the a-priori label for tests.
+enum class Intensity { kCompute, kMemory, kBalanced };
+
+[[nodiscard]] constexpr const char* to_string(Intensity i) noexcept {
+  switch (i) {
+    case Intensity::kCompute:
+      return "compute";
+    case Intensity::kMemory:
+      return "memory";
+    case Intensity::kBalanced:
+      return "balanced";
+  }
+  return "?";
+}
+
+struct Workload {
+  std::string name;
+  std::string description;
+  Domain domain = Domain::kCpu;
+  Intensity nominal_intensity = Intensity::kBalanced;
+
+  /// Display metric: reported value = rate_gunits × metric_per_gunit.
+  std::string metric_name = "Gop/s";
+  double metric_per_gunit = 1.0;
+
+  std::vector<Phase> phases;
+
+  [[nodiscard]] Result<bool> validate() const;
+};
+
+/// Aggregate result over all phases.
+struct WorkloadResult {
+  double rate_gunits = 0.0;  ///< aggregate work units per second (G)
+  double metric = 0.0;       ///< rate in the workload's display metric
+  GBps achieved_bw{0.0};
+  GBps effective_bw{0.0};
+  double compute_util = 0.0;      ///< time-weighted
+  double mem_util = 0.0;          ///< time-weighted
+  double compute_time_frac = 0.0; ///< time-weighted
+  double activity_eff = 0.0;      ///< time-weighted
+};
+
+/// Evaluates the whole workload under granted capacities.
+[[nodiscard]] WorkloadResult evaluate(const Workload& w,
+                                      const PhaseOperands& op) noexcept;
+
+/// Mean operational intensity (FLOPs per byte) over phases, work-weighted.
+[[nodiscard]] double operational_intensity(const Workload& w) noexcept;
+
+}  // namespace pbc::workload

@@ -1,0 +1,90 @@
+#include "core/balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "hw/platforms.hpp"
+#include "sim/sweep.hpp"
+#include "workload/cpu_suite.hpp"
+
+namespace pbc::core {
+namespace {
+
+TEST(Balance, UtilizationsAreFractions) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::dgemm());
+  for (const auto& bp : balance_sweep(node, Watts{208.0})) {
+    EXPECT_GE(bp.compute_utilization, 0.0);
+    EXPECT_LE(bp.compute_utilization, 1.0);
+    EXPECT_GE(bp.mem_utilization, 0.0);
+    EXPECT_LE(bp.mem_utilization, 1.0);
+  }
+}
+
+TEST(Balance, ActualNeverExceedsEitherCapacityMaterially) {
+  // A small overshoot (<2%) over the measured capacity is possible: the
+  // overpowered-run's DRAM governor can pick a deeper quantized throttle
+  // level than the constrained run needs (its faster CPU generates more
+  // traffic at the probed cap).
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_ft());
+  for (const auto& bp : balance_sweep(node, Watts{200.0})) {
+    EXPECT_LE(bp.actual, bp.compute_capacity * 1.02 + 1e-9);
+    EXPECT_LE(bp.actual, bp.mem_capacity * 1.02 + 1e-9);
+  }
+}
+
+TEST(Balance, OptimalSplitBalancesBothUtilizations) {
+  // Paper Fig. 5: at the optimal allocation both compute and memory-access
+  // utilization are high (close to 100%).
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::dgemm());
+  sim::BudgetSweep sweep;
+  sweep.budget = Watts{208.0};
+  sweep.samples = sim::sweep_cpu_split(node, Watts{208.0}, {});
+  const auto& best = oracle_best(sweep);
+  const auto bp = balance_at(node, best.proc_cap, best.mem_cap);
+  EXPECT_GT(bp.compute_utilization, 0.85);
+  EXPECT_GT(bp.mem_utilization, 0.85);
+}
+
+TEST(Balance, UnderpoweredProcessorBoundsExecution) {
+  // Paper §3.4.1: when processors are underpowered, processor capacity
+  // utilization is high but memory capacity utilization is low.
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::dgemm());
+  const auto bp = balance_at(node, Watts{80.0}, Watts{128.0});
+  EXPECT_GT(bp.compute_utilization, 0.9);
+  EXPECT_LT(bp.mem_utilization, 0.6);
+}
+
+TEST(Balance, UnderpoweredMemoryBoundsExecution) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::stream_cpu());
+  const auto bp = balance_at(node, Watts{120.0}, Watts{80.0});
+  EXPECT_GT(bp.mem_utilization, 0.9);
+  EXPECT_LT(bp.compute_utilization, 0.6);
+}
+
+TEST(Balance, CapacitiesMonotoneInTheirCaps) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_mg());
+  double prev_c = 0.0;
+  double prev_m = 0.0;
+  for (double w = 60.0; w <= 140.0; w += 10.0) {
+    const auto c = balance_at(node, Watts{w}, Watts{300.0});
+    const auto m = balance_at(node, Watts{300.0}, Watts{w});
+    EXPECT_GE(c.compute_capacity, prev_c - 1e-9);
+    EXPECT_GE(m.mem_capacity, prev_m - 1e-9);
+    prev_c = c.compute_capacity;
+    prev_m = m.mem_capacity;
+  }
+}
+
+TEST(Balance, SweepCoversRequestedGrid) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::sra());
+  const auto points = balance_sweep(node, Watts{200.0}, Watts{48.0},
+                                    Watts{40.0}, Watts{16.0});
+  ASSERT_FALSE(points.empty());
+  EXPECT_DOUBLE_EQ(points.front().mem_cap.value(), 48.0);
+  for (const auto& bp : points) {
+    EXPECT_NEAR((bp.proc_cap + bp.mem_cap).value(), 200.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pbc::core

@@ -1,0 +1,65 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+
+namespace pbc::core {
+namespace {
+
+TEST(OracleBest, ReturnsMaximumPerfSample) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::stream_cpu());
+  sim::BudgetSweep sweep;
+  sweep.budget = Watts{208.0};
+  sweep.samples = sim::sweep_cpu_split(node, Watts{208.0}, {});
+  const auto& best = oracle_best(sweep);
+  for (const auto& s : sweep.samples) EXPECT_LE(s.perf, best.perf);
+}
+
+TEST(MemoryFirst, GrantsMemoryItsFullDemandWhenAffordable) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::sra());
+  const auto p = profile_critical_powers(node);
+  const auto a = memory_first(p, Watts{200.0});
+  EXPECT_EQ(a.mem, p.mem_l1);
+  EXPECT_NEAR(a.cpu.value(), 200.0 - p.mem_l1.value(), 1e-9);
+}
+
+TEST(MemoryFirst, NeverSqueezesCpuBelowFloor) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::sra());
+  const auto p = profile_critical_powers(node);
+  const auto a = memory_first(p, Watts{130.0});
+  EXPECT_GE(a.cpu, p.cpu_l4);
+  EXPECT_NEAR(a.total().value(), 130.0, 1e-9);
+}
+
+TEST(MemoryFirst, SurplusAboveMaxDemand) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::sra());
+  const auto p = profile_critical_powers(node);
+  const auto a = memory_first(p, Watts{p.max_demand().value() + 25.0});
+  EXPECT_EQ(a.status, CoordStatus::kPowerSurplus);
+  EXPECT_NEAR(a.surplus.value(), 25.0, 1e-9);
+  EXPECT_EQ(a.cpu, p.cpu_l1);
+}
+
+TEST(MemoryFirst, FlagsTooSmallBudgets) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::sra());
+  const auto p = profile_critical_powers(node);
+  const auto a =
+      memory_first(p, Watts{p.productive_threshold().value() - 10.0});
+  EXPECT_EQ(a.status, CoordStatus::kBudgetTooSmall);
+}
+
+TEST(FixedRatio, SplitsByFraction) {
+  const auto a = fixed_ratio_split(Watts{200.0}, 0.6);
+  EXPECT_DOUBLE_EQ(a.cpu.value(), 120.0);
+  EXPECT_DOUBLE_EQ(a.mem.value(), 80.0);
+}
+
+TEST(FixedRatio, ClampsFraction) {
+  EXPECT_DOUBLE_EQ(fixed_ratio_split(Watts{100.0}, 1.7).cpu.value(), 100.0);
+  EXPECT_DOUBLE_EQ(fixed_ratio_split(Watts{100.0}, -0.5).cpu.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace pbc::core

@@ -1,0 +1,68 @@
+#include "core/budget_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+
+namespace pbc::core {
+namespace {
+
+TEST(BudgetPlan, LandmarksAreOrdered) {
+  for (const auto& wl :
+       {workload::dgemm(), workload::stream_cpu(), workload::sra()}) {
+    const sim::CpuNodeSim node(hw::ivybridge_node(), wl);
+    const auto plan = plan_budget(node);
+    EXPECT_LE(plan.reject_below.value(), plan.diminishing_at.value())
+        << wl.name;
+    EXPECT_LE(plan.diminishing_at.value(), plan.saturation_at.value() + 8.0)
+        << wl.name;
+    EXPECT_GT(plan.peak_perf, 0.0) << wl.name;
+  }
+}
+
+TEST(BudgetPlan, DgemmSaturationMatchesFrontierAnalysis) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::dgemm());
+  const auto plan = plan_budget(node);
+  EXPECT_GT(plan.saturation_at.value(), 190.0);
+  EXPECT_LT(plan.saturation_at.value(), 250.0);
+}
+
+TEST(BudgetPlan, EfficiencyOptimumIsBelowSaturation) {
+  // Past saturation extra budget adds power headroom but no performance:
+  // the efficiency optimum cannot sit above it.
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_mg());
+  const auto plan = plan_budget(node);
+  EXPECT_LE(plan.efficient_at.value(), plan.saturation_at.value() + 8.0);
+  EXPECT_GT(plan.peak_efficiency, 0.0);
+  EXPECT_GT(plan.perf_at_efficient, 0.0);
+}
+
+TEST(BudgetPlan, RejectThresholdMatchesProfile) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_bt());
+  const auto plan = plan_budget(node);
+  const auto profile = profile_critical_powers(node);
+  EXPECT_EQ(plan.reject_below.value(),
+            profile.productive_threshold().value());
+}
+
+TEST(BudgetPlan, FrontierCoversThresholdToPastDemand) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_ft());
+  const auto plan = plan_budget(node);
+  const auto profile = profile_critical_powers(node);
+  ASSERT_FALSE(plan.frontier.empty());
+  EXPECT_NEAR(plan.frontier.front().budget.value(),
+              profile.productive_threshold().value(), 1e-9);
+  EXPECT_GT(plan.frontier.back().budget.value(),
+            profile.max_demand().value());
+}
+
+TEST(BudgetPlan, MemoryBoundSaturatesBelowComputeBound) {
+  const sim::CpuNodeSim stream(hw::ivybridge_node(), workload::stream_cpu());
+  const sim::CpuNodeSim dgemm(hw::ivybridge_node(), workload::dgemm());
+  EXPECT_LT(plan_budget(stream).saturation_at.value(),
+            plan_budget(dgemm).saturation_at.value());
+}
+
+}  // namespace
+}  // namespace pbc::core

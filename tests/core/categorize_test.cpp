@@ -1,0 +1,192 @@
+#include "core/categorize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::core {
+namespace {
+
+sim::BudgetSweep sra_sweep(double budget) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::sra());
+  sim::BudgetSweep sweep;
+  sweep.budget = Watts{budget};
+  sweep.samples = sim::sweep_cpu_split(node, Watts{budget},
+                                       {Watts{40.0}, Watts{32.0}, Watts{4.0}});
+  return sweep;
+}
+
+TEST(Categorize, SraAt240ShowsAllSixCategories) {
+  // Paper Fig. 3: at P_b = 240 W, SRA on IvyBridge exhibits scenarios I-VI.
+  const auto machine = hw::ivybridge_node();
+  const auto spans = category_spans_cpu(sra_sweep(240.0), machine);
+  const auto cats = categories_present(spans);
+  for (Category c : {Category::kI, Category::kII, Category::kIII,
+                     Category::kIV, Category::kV, Category::kVI}) {
+    EXPECT_NE(std::find(cats.begin(), cats.end(), c), cats.end())
+        << "missing category " << to_string(c) << " in "
+        << format_spans(spans);
+  }
+}
+
+TEST(Categorize, SraSpansOrderedAlongSplitAxis) {
+  // Low mem caps sit in V/III, the optimum in I, then II, IV, VI as the
+  // CPU is starved (Fig. 3's left-to-right structure).
+  const auto machine = hw::ivybridge_node();
+  const auto spans = category_spans_cpu(sra_sweep(240.0), machine);
+  ASSERT_GE(spans.size(), 5u);
+  EXPECT_EQ(spans.front().category, Category::kV);
+  EXPECT_EQ(spans.back().category, Category::kVI);
+  // Category I must appear between III and II.
+  std::size_t i_pos = 0;
+  std::size_t iii_pos = 0;
+  std::size_t ii_pos = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].category == Category::kI) i_pos = i;
+    if (spans[i].category == Category::kIII) iii_pos = i;
+    if (spans[i].category == Category::kII) ii_pos = i;
+  }
+  EXPECT_GT(i_pos, iii_pos);
+  EXPECT_LT(i_pos, ii_pos);
+}
+
+TEST(Categorize, CategoryIRangeMatchesPaper) {
+  // Paper: scenario I at P_mem ∈ [120, 132] W (we require overlap with a
+  // widened band, not exact endpoints).
+  const auto machine = hw::ivybridge_node();
+  const auto spans = category_spans_cpu(sra_sweep(240.0), machine);
+  for (const auto& sp : spans) {
+    if (sp.category == Category::kI) {
+      EXPECT_GT(sp.mem_hi.value(), 115.0);
+      EXPECT_LT(sp.mem_lo.value(), 135.0);
+      return;
+    }
+  }
+  FAIL() << "no category I span";
+}
+
+TEST(Categorize, ScenarioIDisappearsWhenBudgetTooSmall) {
+  // Paper §3.2: if the budget is below the sum of the component demands,
+  // scenario I does not appear.
+  const auto machine = hw::ivybridge_node();
+  const auto cats =
+      categories_present(category_spans_cpu(sra_sweep(180.0), machine));
+  EXPECT_EQ(std::find(cats.begin(), cats.end(), Category::kI), cats.end());
+}
+
+TEST(Categorize, FewerScenariosAtSmallerBudgets) {
+  const auto machine = hw::ivybridge_node();
+  const auto big =
+      categories_present(category_spans_cpu(sra_sweep(240.0), machine));
+  const auto small =
+      categories_present(category_spans_cpu(sra_sweep(150.0), machine));
+  EXPECT_LT(small.size(), big.size());
+}
+
+TEST(Categorize, MechanismRules) {
+  const auto machine = hw::ivybridge_node();
+  const sim::CpuNodeSim node(machine, workload::sra());
+  // Both generous: scenario I.
+  EXPECT_EQ(categorize_cpu(node.steady_state(Watts{150.0}, Watts{150.0}),
+                           machine),
+            Category::kI);
+  // CPU lightly constrained (DVFS): II.
+  EXPECT_EQ(categorize_cpu(node.steady_state(Watts{85.0}, Watts{150.0}),
+                           machine),
+            Category::kII);
+  // Memory constrained: III.
+  EXPECT_EQ(categorize_cpu(node.steady_state(Watts{150.0}, Watts{95.0}),
+                           machine),
+            Category::kIII);
+  // CPU duty-cycled: IV.
+  EXPECT_EQ(categorize_cpu(node.steady_state(Watts{55.0}, Watts{150.0}),
+                           machine),
+            Category::kIV);
+  // Memory cap below its floor: V.
+  EXPECT_EQ(categorize_cpu(node.steady_state(Watts{150.0}, Watts{50.0}),
+                           machine),
+            Category::kV);
+  // CPU cap below its floor: VI.
+  EXPECT_EQ(categorize_cpu(node.steady_state(Watts{40.0}, Watts{150.0}),
+                           machine),
+            Category::kVI);
+}
+
+TEST(Categorize, BlackboxAgreesWithMechanismOnInteriorPoints) {
+  // The observational classifier must reproduce the telemetry-based one on
+  // the vast majority of samples (span boundaries may disagree by one).
+  const auto machine = hw::ivybridge_node();
+  const auto sweep = sra_sweep(240.0);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < sweep.samples.size(); ++i) {
+    if (categorize_cpu_blackbox(sweep, i, machine) ==
+        categorize_cpu(sweep.samples[i], machine)) {
+      ++agree;
+    }
+  }
+  EXPECT_GE(static_cast<double>(agree) /
+                static_cast<double>(sweep.samples.size()),
+            0.70)
+      << format_spans(category_spans_cpu(sweep, machine));
+}
+
+TEST(Categorize, GpuShowsOnlyCategoriesIThroughIII) {
+  // Paper §4: GPU hardware excludes IV/V/VI.
+  for (const auto& make :
+       {hw::titan_xp, hw::titan_v}) {
+    const auto card = make();
+    for (const auto& w : workload::gpu_suite()) {
+      const sim::GpuNodeSim node(card, w);
+      for (double cap : {125.0, 160.0, 200.0, 250.0}) {
+        sim::BudgetSweep sweep;
+        sweep.budget = Watts{cap};
+        sweep.samples = sim::sweep_gpu_split(node, Watts{cap});
+        for (const auto& c :
+             categories_present(category_spans_gpu(sweep))) {
+          EXPECT_TRUE(c == Category::kI || c == Category::kII ||
+                      c == Category::kIII)
+              << w.name << " on " << card.name << " cap " << cap;
+        }
+      }
+    }
+  }
+}
+
+TEST(Categorize, GpuComputeIntensivePrefersLowMemClock) {
+  // SGEMM at a small cap: performance falls as the memory clock rises —
+  // category II readings dominate.
+  const sim::GpuNodeSim node(hw::titan_xp(), workload::sgemm());
+  sim::BudgetSweep sweep;
+  sweep.budget = Watts{125.0};
+  sweep.samples = sim::sweep_gpu_split(node, Watts{125.0});
+  const auto cats = categories_present(category_spans_gpu(sweep));
+  EXPECT_NE(std::find(cats.begin(), cats.end(), Category::kII), cats.end());
+}
+
+TEST(Categorize, GpuMemoryIntensiveShowsCategoryIIIAtLargeCap) {
+  const sim::GpuNodeSim node(hw::titan_xp(), workload::stream_gpu());
+  sim::BudgetSweep sweep;
+  sweep.budget = Watts{250.0};
+  sweep.samples = sim::sweep_gpu_split(node, Watts{250.0});
+  const auto cats = categories_present(category_spans_gpu(sweep));
+  EXPECT_NE(std::find(cats.begin(), cats.end(), Category::kIII), cats.end());
+}
+
+TEST(Categorize, FormatSpansIsReadable) {
+  const auto machine = hw::ivybridge_node();
+  const auto spans = category_spans_cpu(sra_sweep(240.0), machine);
+  const std::string text = format_spans(spans);
+  EXPECT_NE(text.find('['), std::string::npos);
+  EXPECT_NE(text.find("I"), std::string::npos);
+}
+
+TEST(Categorize, CategoryToString) {
+  EXPECT_STREQ(to_string(Category::kI), "I");
+  EXPECT_STREQ(to_string(Category::kIV), "IV");
+  EXPECT_STREQ(to_string(Category::kVI), "VI");
+}
+
+}  // namespace
+}  // namespace pbc::core

@@ -1,0 +1,218 @@
+#include "core/coord.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::core {
+namespace {
+
+CpuCriticalPowers sra_profile() {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::sra());
+  return profile_critical_powers(node);
+}
+
+TEST(CoordCpu, RegimeAHandsBackSurplus) {
+  const auto p = sra_profile();
+  const Watts budget{p.max_demand().value() + 50.0};
+  const auto a = coord_cpu(p, budget);
+  EXPECT_EQ(a.status, CoordStatus::kPowerSurplus);
+  EXPECT_EQ(a.cpu, p.cpu_l1);
+  EXPECT_EQ(a.mem, p.mem_l1);
+  EXPECT_NEAR(a.surplus.value(), 50.0, 1e-9);
+}
+
+TEST(CoordCpu, RegimeBWarrantsMemoryFirst) {
+  const auto p = sra_profile();
+  // Between L2c+L1m and L1c+L1m: memory gets its full demand.
+  const Watts budget{(p.cpu_l2 + p.mem_l1).value() + 10.0};
+  const auto a = coord_cpu(p, budget);
+  EXPECT_EQ(a.status, CoordStatus::kSuccess);
+  EXPECT_EQ(a.mem, p.mem_l1);
+  EXPECT_NEAR(a.cpu.value(), budget.value() - p.mem_l1.value(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.surplus.value(), 0.0);
+}
+
+TEST(CoordCpu, RegimeCSplitsProportionally) {
+  const auto p = sra_profile();
+  const double base = p.productive_threshold().value();
+  const Watts budget{base + 20.0};
+  const auto a = coord_cpu(p, budget);
+  EXPECT_EQ(a.status, CoordStatus::kSuccess);
+  const double pd_cpu = (p.cpu_l1 - p.cpu_l2).value();
+  const double pd_mem = (p.mem_l1 - p.mem_l2).value();
+  const double expected_cpu =
+      p.cpu_l2.value() + 20.0 * pd_cpu / (pd_cpu + pd_mem);
+  EXPECT_NEAR(a.cpu.value(), expected_cpu, 1e-9);
+  EXPECT_NEAR(a.total().value(), budget.value(), 1e-9);
+  EXPECT_GE(a.cpu, p.cpu_l2);
+  EXPECT_GE(a.mem, p.mem_l2);
+}
+
+TEST(CoordCpu, MemoryBiasedVariantPinsCpuAtL2) {
+  const auto p = sra_profile();
+  const Watts budget{p.productive_threshold().value() + 20.0};
+  const auto a = coord_cpu(p, budget, CpuCoordVariant::kMemoryBiased);
+  EXPECT_EQ(a.cpu, p.cpu_l2);
+  EXPECT_NEAR(a.mem.value(), budget.value() - p.cpu_l2.value(), 1e-9);
+}
+
+TEST(CoordCpu, VariantsAgreeOutsideRegimeC) {
+  const auto p = sra_profile();
+  for (double b : {p.max_demand().value() + 30.0,
+                   (p.cpu_l2 + p.mem_l1).value() + 5.0}) {
+    const auto prop = coord_cpu(p, Watts{b});
+    const auto bias = coord_cpu(p, Watts{b}, CpuCoordVariant::kMemoryBiased);
+    EXPECT_EQ(prop.cpu.value(), bias.cpu.value()) << b;
+    EXPECT_EQ(prop.mem.value(), bias.mem.value()) << b;
+  }
+}
+
+TEST(CoordCpu, RejectsBudgetBelowThreshold) {
+  const auto p = sra_profile();
+  const auto a = coord_cpu(p, Watts{p.productive_threshold().value() - 5.0});
+  EXPECT_EQ(a.status, CoordStatus::kBudgetTooSmall);
+}
+
+TEST(CoordCpu, AllocationNeverExceedsBudget) {
+  const auto p = sra_profile();
+  for (double b = 120.0; b <= 300.0; b += 7.0) {
+    const auto a = coord_cpu(p, Watts{b});
+    if (a.status == CoordStatus::kBudgetTooSmall) continue;
+    EXPECT_LE(a.total().value(), b + 1e-9) << "budget " << b;
+  }
+}
+
+TEST(CoordCpu, MemoryShareMonotoneInBudget) {
+  // More budget never reduces memory's share. (The CPU share is NOT
+  // monotone for the paper's Algorithm 1: crossing from regime C into
+  // regime B re-prioritizes memory to its full demand, which steps the
+  // CPU share down — a documented discontinuity of the printed algorithm.)
+  const auto p = sra_profile();
+  double prev_mem = 0.0;
+  for (double b = p.productive_threshold().value(); b <= 260.0; b += 4.0) {
+    const auto a = coord_cpu(p, Watts{b});
+    EXPECT_GE(a.mem.value(), prev_mem - 1e-9) << b;
+    prev_mem = a.mem.value();
+  }
+}
+
+TEST(CoordCpu, RegimeABBoundaryIsContinuous) {
+  const auto p = sra_profile();
+  const double boundary = p.max_demand().value();
+  const auto below = coord_cpu(p, Watts{boundary - 0.01});
+  const auto above = coord_cpu(p, Watts{boundary + 0.01});
+  EXPECT_NEAR(below.cpu.value(), above.cpu.value(), 0.5);
+  EXPECT_NEAR(below.mem.value(), above.mem.value(), 0.5);
+}
+
+TEST(CoordCpu, MemoryBiasedVariantIsContinuousEverywhere) {
+  // The Table-1 intersection-following variant removes Algorithm 1's B/C
+  // discontinuity: both shares are continuous in the budget.
+  const auto p = sra_profile();
+  for (double boundary : {(p.cpu_l2 + p.mem_l1).value(),
+                          p.max_demand().value()}) {
+    const auto below = coord_cpu(p, Watts{boundary - 0.01},
+                                 CpuCoordVariant::kMemoryBiased);
+    const auto above = coord_cpu(p, Watts{boundary + 0.01},
+                                 CpuCoordVariant::kMemoryBiased);
+    EXPECT_NEAR(below.cpu.value(), above.cpu.value(), 0.5) << boundary;
+    EXPECT_NEAR(below.mem.value(), above.mem.value(), 0.5) << boundary;
+  }
+}
+
+TEST(CoordStatusNames, ToString) {
+  EXPECT_STREQ(to_string(CoordStatus::kSuccess), "success");
+  EXPECT_STREQ(to_string(CoordStatus::kPowerSurplus), "power-surplus");
+  EXPECT_STREQ(to_string(CoordStatus::kBudgetTooSmall), "budget-too-small");
+}
+
+// ---------------------------------------------------------------- GPU ----
+
+TEST(CoordGpu, ComputeIntensiveGetsMinimumMemory) {
+  const sim::GpuNodeSim node(hw::titan_xp(), workload::sgemm());
+  const auto p = profile_gpu_params(node);
+  ASSERT_TRUE(p.compute_intensive);
+  const auto a = coord_gpu(p, node.gpu_model(), Watts{200.0});
+  EXPECT_EQ(a.mem, p.mem_min);
+  EXPECT_EQ(a.mem_clock_index, 0u);
+  EXPECT_NEAR(a.sm.value(), 200.0 - p.mem_min.value(), 1e-9);
+}
+
+TEST(CoordGpu, MemoryIntensiveGetsMaximumMemoryWhenBudgetSuffices) {
+  const sim::GpuNodeSim node(hw::titan_xp(), workload::stream_gpu());
+  const auto p = profile_gpu_params(node);
+  const Watts budget{p.tot_ref.value() + 20.0};
+  const auto a = coord_gpu(p, node.gpu_model(), budget);
+  EXPECT_EQ(a.mem, p.mem_max);
+  EXPECT_EQ(a.mem_clock_index, node.gpu_model().mem_clock_count() - 1);
+}
+
+TEST(CoordGpu, BalancedBelowReference) {
+  const sim::GpuNodeSim node(hw::titan_xp(), workload::stream_gpu());
+  const auto p = profile_gpu_params(node);
+  const Watts budget{p.tot_ref.value() - 20.0};
+  const auto a = coord_gpu(p, node.gpu_model(), budget, 0.5);
+  EXPECT_GT(a.mem, p.mem_min);
+  EXPECT_LT(a.mem, p.mem_max);
+  EXPECT_NEAR(a.mem.value(),
+              p.mem_min.value() + 0.5 * (budget.value() - p.tot_min.value()),
+              1e-9);
+}
+
+TEST(CoordGpu, GammaShiftsBalance) {
+  const sim::GpuNodeSim node(hw::titan_xp(), workload::stream_gpu());
+  const auto p = profile_gpu_params(node);
+  const Watts budget{p.tot_ref.value() - 20.0};
+  const auto lo = coord_gpu(p, node.gpu_model(), budget, 0.25);
+  const auto hi = coord_gpu(p, node.gpu_model(), budget, 0.75);
+  EXPECT_LT(lo.mem, hi.mem);
+}
+
+TEST(CoordGpu, SurplusFlaggedAboveMaxDemand) {
+  const sim::GpuNodeSim node(hw::titan_xp(), workload::minife());
+  const auto p = profile_gpu_params(node);
+  const auto a =
+      coord_gpu(p, node.gpu_model(), Watts{p.tot_max.value() + 40.0});
+  EXPECT_EQ(a.status, CoordStatus::kPowerSurplus);
+  EXPECT_NEAR(a.surplus.value(), 40.0, 1e-9);
+}
+
+TEST(CoordGpu, MemShareClampedToCardRange) {
+  const sim::GpuNodeSim node(hw::titan_xp(), workload::stream_gpu());
+  const auto p = profile_gpu_params(node);
+  const auto a = coord_gpu(p, node.gpu_model(), Watts{125.0}, 5.0);
+  EXPECT_LE(a.mem, p.mem_max);
+  EXPECT_GE(a.mem, p.mem_min);
+}
+
+TEST(CoordGpu, TitanVReducesToMemoryMaximization) {
+  // Paper §5.2: on the Titan V the algorithm degenerates to "max memory,
+  // rest to SMs" for every application studied.
+  const auto card = hw::titan_v();
+  for (const auto& w : workload::gpu_suite()) {
+    const sim::GpuNodeSim node(card, w);
+    const auto p = profile_gpu_params(node);
+    const auto a = coord_gpu(p, node.gpu_model(), Watts{200.0});
+    EXPECT_EQ(a.mem, p.mem_max) << w.name;
+  }
+}
+
+TEST(MemClockForPower, PicksHighestAffordableClock) {
+  const hw::GpuModel model(hw::titan_xp().gpu);
+  for (std::size_t i = 0; i < model.mem_clock_count(); ++i) {
+    const Watts exact = model.estimated_mem_power(i);
+    EXPECT_EQ(mem_clock_for_power(model, exact), i);
+    EXPECT_EQ(mem_clock_for_power(model, Watts{exact.value() + 0.5}), i);
+  }
+}
+
+TEST(MemClockForPower, BelowLowestClockYieldsIndexZero) {
+  const hw::GpuModel model(hw::titan_xp().gpu);
+  EXPECT_EQ(mem_clock_for_power(model, Watts{1.0}), 0u);
+}
+
+}  // namespace
+}  // namespace pbc::core

@@ -1,0 +1,73 @@
+#include "core/cotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+
+namespace pbc::core {
+namespace {
+
+TEST(CoTune, ComplementaryPairCoRunsWell) {
+  // DGEMM (compute) + STREAM (bandwidth) stress different resources:
+  // co-running on a 240 W node must retain a large fraction of both solo
+  // throughputs (STP well above 1).
+  const auto r = cotune_pair(hw::ivybridge_node(), workload::dgemm(),
+                             workload::stream_cpu(), Watts{240.0});
+  EXPECT_GT(r.stp, 1.3);
+  EXPECT_GT(r.perf_a, 0.0);
+  EXPECT_GT(r.perf_b, 0.0);
+  EXPECT_GT(r.configurations_searched, 50u);
+}
+
+TEST(CoTune, BandwidthJobKeepsItsSaturationCores) {
+  const auto r = cotune_pair(hw::ivybridge_node(), workload::dgemm(),
+                             workload::stream_cpu(), Watts{240.0});
+  // STREAM needs ~half the package to generate full memory-level
+  // parallelism; DGEMM takes at least the other half (compute scales with
+  // cores, bandwidth does not beyond the saturation point).
+  EXPECT_GE(r.cores_a, r.cores_b);
+  EXPECT_GE(r.cores_b, 8);
+}
+
+TEST(CoTune, CoreSplitIsValid) {
+  const auto machine = hw::ivybridge_node();
+  const auto r = cotune_pair(machine, workload::npb_bt(), workload::npb_mg(),
+                             Watts{220.0});
+  EXPECT_GE(r.cores_a, 2);
+  EXPECT_GE(r.cores_b, 2);
+  EXPECT_EQ(r.cores_a + r.cores_b, machine.cpu.total_cores());
+}
+
+TEST(CoTune, PowerSplitSumsToBudget) {
+  const auto r = cotune_pair(hw::ivybridge_node(), workload::npb_cg(),
+                             workload::npb_ep(), Watts{230.0});
+  EXPECT_NEAR((r.cpu_cap + r.mem_cap).value(), 230.0, 1e-9);
+}
+
+TEST(CoTune, StpNeverExceedsTwo) {
+  for (const auto& pair :
+       std::vector<std::pair<workload::Workload, workload::Workload>>{
+           {workload::dgemm(), workload::stream_cpu()},
+           {workload::sra(), workload::sra()},
+           {workload::npb_ep(), workload::npb_mg()}}) {
+    const auto r = cotune_pair(hw::ivybridge_node(), pair.first, pair.second,
+                               Watts{240.0});
+    EXPECT_LE(r.stp, 2.0 + 1e-6) << pair.first.name << "+" << pair.second.name;
+  }
+}
+
+TEST(CoTune, TwoBandwidthHogsInterfere) {
+  // STREAM + STREAM fight over the same bandwidth: their combined STP must
+  // sit clearly below a compute/memory pairing's.
+  const auto hogs = cotune_pair(hw::ivybridge_node(), workload::stream_cpu(),
+                                workload::stream_cpu(), Watts{240.0});
+  const auto mixed = cotune_pair(hw::ivybridge_node(), workload::npb_ep(),
+                                 workload::stream_cpu(), Watts{240.0});
+  EXPECT_LT(hogs.stp, mixed.stp);
+  // Two identical bandwidth-bound jobs split the bandwidth: ~0.5 each.
+  EXPECT_NEAR(hogs.stp, 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace pbc::core

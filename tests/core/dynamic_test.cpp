@@ -1,0 +1,105 @@
+#include "core/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/coord.hpp"
+#include "core/critical.hpp"
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+
+namespace pbc::core {
+namespace {
+
+workload::PhaseTrace ft_trace() {
+  return workload::generate_trace(workload::npb_ft(),
+                                  {300.0, 2.0, 0.6, 17});
+}
+
+TEST(DynamicShifting, BeatsStaticCoordOnPhaseHeterogeneousWorkload) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_ft());
+  const auto trace = ft_trace();
+  const Watts budget{170.0};
+  const auto dynamic = replay_with_shifting(node, trace, budget);
+  const auto profile = profile_critical_powers(node);
+  const auto alloc = coord_cpu(profile, budget);
+  const auto fixed = sim::replay_trace(node, trace, alloc.cpu, alloc.mem);
+  EXPECT_GT(dynamic.replay.aggregate.perf, fixed.aggregate.perf);
+}
+
+TEST(DynamicShifting, BeatsEveryStaticSplitWhenPhasesDiverge) {
+  // No single static split is right for both of FT's phases at a tight
+  // budget; the shifter's per-phase splits beat the best static one.
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_ft());
+  const auto trace = ft_trace();
+  const Watts budget{170.0};
+  const auto dynamic = replay_with_shifting(node, trace, budget);
+  double best_static = 0.0;
+  for (double m = 68.0; m <= budget.value() - 48.0; m += 4.0) {
+    const auto r = sim::replay_trace(node, trace,
+                                     Watts{budget.value() - m}, Watts{m});
+    best_static = std::max(best_static, r.aggregate.perf);
+  }
+  EXPECT_GT(dynamic.replay.aggregate.perf, best_static);
+}
+
+TEST(DynamicShifting, TotalNeverExceedsBudget) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_bt());
+  const auto trace =
+      workload::generate_trace(workload::npb_bt(), {200.0, 2.0, 0.5, 3});
+  const Watts budget{180.0};
+  const auto r = replay_with_shifting(node, trace, budget);
+  for (const auto& caps : r.caps) {
+    EXPECT_NEAR((caps.cpu_cap + caps.mem_cap).value(), 180.0, 1e-9);
+    EXPECT_GE(caps.cpu_cap.value(), 48.0);
+    EXPECT_GE(caps.mem_cap.value(), 68.0);
+  }
+  for (const auto& seg : r.replay.segments) {
+    EXPECT_LE(seg.proc_power.value() + seg.mem_power.value(), 180.1);
+  }
+}
+
+TEST(DynamicShifting, CapsDifferAcrossPhases) {
+  // The whole point: the converged split is phase-specific.
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_ft());
+  const auto r = replay_with_shifting(node, ft_trace(), Watts{170.0});
+  double cpu_for_fft = -1.0;
+  double cpu_for_transpose = -1.0;
+  for (const auto& caps : r.caps) {
+    (caps.phase_index == 0 ? cpu_for_fft : cpu_for_transpose) =
+        caps.cpu_cap.value();
+  }
+  ASSERT_GE(cpu_for_fft, 0.0);
+  ASSERT_GE(cpu_for_transpose, 0.0);
+  // fft is compute-leaning, transpose bandwidth-leaning.
+  EXPECT_GT(cpu_for_fft, cpu_for_transpose);
+}
+
+TEST(DynamicShifting, NoShiftsForSinglePhaseAtGenerousBudget) {
+  // With plenty of power and one phase, COORD's start is already optimal;
+  // the climber settles immediately.
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::dgemm());
+  const auto trace =
+      workload::generate_trace(workload::dgemm(), {100.0, 5.0, 0.0, 1});
+  const auto r = replay_with_shifting(node, trace, Watts{260.0});
+  EXPECT_LE(r.shifts, 2u);
+  EXPECT_GT(r.replay.aggregate.perf, 300.0);
+}
+
+TEST(DynamicShifting, EmptyTraceIsEmptyResult) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::dgemm());
+  const auto r = replay_with_shifting(node, {}, Watts{200.0});
+  EXPECT_TRUE(r.replay.segments.empty());
+  EXPECT_EQ(r.shifts, 0u);
+}
+
+TEST(DynamicShifting, Deterministic) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_ft());
+  const auto trace = ft_trace();
+  const auto a = replay_with_shifting(node, trace, Watts{160.0});
+  const auto b = replay_with_shifting(node, trace, Watts{160.0});
+  EXPECT_EQ(a.replay.aggregate.perf, b.replay.aggregate.perf);
+  EXPECT_EQ(a.shifts, b.shifts);
+}
+
+}  // namespace
+}  // namespace pbc::core

@@ -1,0 +1,111 @@
+#include "core/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::core {
+namespace {
+
+std::vector<FrontierPoint> dgemm_frontier() {
+  // Budgets start above the node's floor power: below it, caps cannot be
+  // respected and "consumed ≤ budget" does not hold (paper scenario VI).
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::dgemm());
+  const auto budgets = sim::budget_grid(Watts{140.0}, Watts{280.0},
+                                        Watts{10.0});
+  return perf_frontier_cpu(node, budgets);
+}
+
+TEST(Frontier, PerfMaxMonotoneNonDecreasing) {
+  const auto frontier = dgemm_frontier();
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GE(frontier[i].perf_max, frontier[i - 1].perf_max - 1e-9)
+        << "budget " << frontier[i].budget.value();
+  }
+}
+
+TEST(Frontier, ConsumedNeverExceedsBudget) {
+  for (const auto& fp : dgemm_frontier()) {
+    EXPECT_LE(fp.consumed.value(), fp.budget.value() + 0.1);
+  }
+}
+
+TEST(Frontier, BestSplitSumsToBudget) {
+  for (const auto& fp : dgemm_frontier()) {
+    EXPECT_NEAR((fp.best_proc_cap + fp.best_mem_cap).value(),
+                fp.budget.value(), 1e-6);
+  }
+}
+
+TEST(Frontier, DgemmSaturatesNearItsMaxDemand) {
+  // Paper Fig. 2: DGEMM stops growing once P_b reaches ~220-240 W.
+  const auto frontier = dgemm_frontier();
+  const Watts sat = saturation_budget(frontier);
+  EXPECT_GT(sat.value(), 190.0);
+  EXPECT_LT(sat.value(), 250.0);
+}
+
+TEST(Frontier, GrowthIsNonlinearWithSegments) {
+  // Slow below 125 W, fast after: the 125->145 gain dwarfs 105->125.
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::dgemm());
+  const std::vector<Watts> budgets{Watts{105.0}, Watts{125.0}, Watts{145.0}};
+  const auto f = perf_frontier_cpu(node, budgets);
+  const double early_gain = f[1].perf_max - f[0].perf_max;
+  const double later_gain = f[2].perf_max - f[1].perf_max;
+  EXPECT_GT(later_gain, 3.0 * std::max(early_gain, 1.0));
+}
+
+TEST(Frontier, CurveEvaluates) {
+  const auto frontier = dgemm_frontier();
+  const auto curve = frontier_curve(frontier);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_GT(curve.value()(200.0), curve.value()(150.0));
+}
+
+TEST(Frontier, ProductiveBudgetBelowSaturation) {
+  const auto frontier = dgemm_frontier();
+  EXPECT_LT(productive_budget(frontier, 0.25).value(),
+            saturation_budget(frontier).value());
+}
+
+TEST(Frontier, GpuFrontierMonotone) {
+  for (const auto& w : workload::gpu_suite()) {
+    const sim::GpuNodeSim node(hw::titan_xp(), w);
+    const auto caps = sim::budget_grid(Watts{125.0}, Watts{300.0},
+                                       Watts{25.0});
+    const auto frontier = perf_frontier_gpu(node, caps);
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+      EXPECT_GE(frontier[i].perf_max, frontier[i - 1].perf_max - 1e-9)
+          << w.name;
+    }
+  }
+}
+
+TEST(Frontier, SgemmXpNeverSaturatesInCapRange) {
+  // Paper Fig. 6 left: SGEMM's bound keeps growing through 300 W.
+  const sim::GpuNodeSim node(hw::titan_xp(), workload::sgemm());
+  const auto caps = sim::budget_grid(Watts{125.0}, Watts{300.0}, Watts{25.0});
+  const auto frontier = perf_frontier_gpu(node, caps);
+  EXPECT_GT(frontier.back().perf_max,
+            1.02 * frontier[frontier.size() - 2].perf_max);
+}
+
+TEST(Frontier, MinifeXpSaturatesWithinRange) {
+  const sim::GpuNodeSim node(hw::titan_xp(), workload::minife());
+  const auto caps = sim::budget_grid(Watts{125.0}, Watts{300.0}, Watts{5.0});
+  const auto frontier = perf_frontier_gpu(node, caps);
+  const double sat = saturation_budget(frontier).value();
+  EXPECT_LT(sat, 260.0);
+  EXPECT_GT(sat, 150.0);
+}
+
+TEST(Frontier, EmptyInputsHandled) {
+  EXPECT_EQ(saturation_budget({}).value(), 0.0);
+  EXPECT_EQ(productive_budget({}).value(), 0.0);
+  EXPECT_FALSE(frontier_curve({}).ok());
+}
+
+}  // namespace
+}  // namespace pbc::core

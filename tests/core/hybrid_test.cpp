@@ -1,0 +1,89 @@
+#include "core/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::core {
+namespace {
+
+HybridNode sp_minife_node() {
+  return HybridNode{hw::ivybridge_node(), hw::titan_xp(), workload::npb_sp(),
+                    workload::minife()};
+}
+
+TEST(Hybrid, AllocationStaysWithinBudget) {
+  const auto node = sp_minife_node();
+  for (double b : {320.0, 400.0, 480.0}) {
+    const auto a = coord_hybrid(node, Watts{b});
+    EXPECT_LE(a.total().value(), b + 1e-6) << b;
+    EXPECT_GT(a.host_perf, 0.0) << b;
+    EXPECT_GT(a.gpu_perf, 0.0) << b;
+  }
+}
+
+TEST(Hybrid, SurplusAboveCombinedDemand) {
+  const auto node = sp_minife_node();
+  const auto a = coord_hybrid(node, Watts{600.0});
+  EXPECT_EQ(a.status, CoordStatus::kPowerSurplus);
+  EXPECT_GT(a.surplus.value(), 50.0);
+  EXPECT_NEAR(a.utility, 2.0, 0.05);  // both near solo speed
+}
+
+TEST(Hybrid, TooSmallBudgetFlagged) {
+  const auto node = sp_minife_node();
+  const auto a = coord_hybrid(node, Watts{200.0});
+  EXPECT_EQ(a.status, CoordStatus::kBudgetTooSmall);
+}
+
+TEST(Hybrid, UtilityWithinRange) {
+  const auto node = sp_minife_node();
+  for (double b : {300.0, 400.0, 500.0}) {
+    const auto a = coord_hybrid(node, Watts{b});
+    EXPECT_GE(a.utility, 0.0);
+    EXPECT_LE(a.utility, 2.0 + 1e-6);
+  }
+}
+
+TEST(Hybrid, UtilityMonotoneInBudget) {
+  const auto node = sp_minife_node();
+  double prev = 0.0;
+  for (double b = 280.0; b <= 520.0; b += 40.0) {
+    const auto a = coord_hybrid(node, Watts{b});
+    EXPECT_GE(a.utility, prev - 0.02) << b;
+    prev = a.utility;
+  }
+}
+
+TEST(Hybrid, CoordTracksOracleAtModerateBudgets) {
+  // Same shape as the single-device result: near-oracle once the budget
+  // clears the productive band, a gap right above the threshold.
+  const auto node = sp_minife_node();
+  for (double b : {380.0, 440.0, 500.0}) {
+    const auto c = coord_hybrid(node, Watts{b});
+    const auto o = hybrid_oracle(node, Watts{b}, Watts{12.0});
+    EXPECT_GT(c.utility, 0.88 * o.utility) << b;
+  }
+}
+
+TEST(Hybrid, OracleRespectsBudget) {
+  const auto node = sp_minife_node();
+  const auto o = hybrid_oracle(node, Watts{400.0}, Watts{16.0});
+  EXPECT_LE((o.host.cpu + o.host.mem + o.gpu_cap).value(), 400.0 + 1e-6);
+  EXPECT_GT(o.utility, 1.0);
+}
+
+TEST(Hybrid, GpuHeavyPairShiftsShareToGpu) {
+  // SGEMM demands >300 W of board power; EP barely needs DRAM. The GPU
+  // share must dominate for (EP, SGEMM) relative to (SP, MiniFE).
+  const HybridNode gpu_heavy{hw::ivybridge_node(), hw::titan_xp(),
+                             workload::npb_ep(), workload::sgemm()};
+  const auto a = coord_hybrid(gpu_heavy, Watts{420.0});
+  const auto b = coord_hybrid(sp_minife_node(), Watts{420.0});
+  EXPECT_GT(a.gpu_cap.value(), b.gpu_cap.value());
+}
+
+}  // namespace
+}  // namespace pbc::core

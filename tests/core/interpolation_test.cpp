@@ -1,0 +1,64 @@
+#include "core/interpolation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+
+namespace pbc::core {
+namespace {
+
+TEST(Interpolation, FindsNearOracleSplit) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::sra());
+  sim::BudgetSweep sweep;
+  sweep.budget = Watts{224.0};
+  sweep.samples = sim::sweep_cpu_split(
+      node, Watts{224.0}, {Watts{48.0}, Watts{40.0}, Watts{2.0}});
+  const double oracle = oracle_best(sweep).perf;
+  const auto r = interpolated_best(node, Watts{224.0}, Watts{16.0});
+  EXPECT_GT(r.achieved_perf, 0.9 * oracle);
+}
+
+TEST(Interpolation, UsesFewerSamplesThanFineSweep) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_mg());
+  const auto r = interpolated_best(node, Watts{208.0}, Watts{16.0});
+  // (208-40-48)/16 + 1 samples + 1 confirmation.
+  EXPECT_LE(r.samples_used, 10u);
+  EXPECT_GE(r.samples_used, 5u);
+}
+
+TEST(Interpolation, FinerStrideIsAtLeastAsGood) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::stream_cpu());
+  const auto coarse = interpolated_best(node, Watts{208.0}, Watts{32.0});
+  const auto fine = interpolated_best(node, Watts{208.0}, Watts{8.0});
+  EXPECT_GE(fine.achieved_perf, 0.95 * coarse.achieved_perf);
+  EXPECT_GT(fine.samples_used, coarse.samples_used);
+}
+
+TEST(Interpolation, SplitSumsToBudget) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_cg());
+  const auto r = interpolated_best(node, Watts{200.0});
+  EXPECT_NEAR((r.best_proc_cap + r.best_mem_cap).value(), 200.0, 1e-9);
+}
+
+TEST(Interpolation, PredictionCloseToAchievedOnSmoothRegions) {
+  // Piecewise-linear interpolation between real samples cannot overshoot
+  // badly when the underlying curve is piecewise-linear itself.
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::stream_cpu());
+  const auto r = interpolated_best(node, Watts{208.0}, Watts{8.0});
+  EXPECT_NEAR(r.achieved_perf, r.predicted_perf,
+              0.15 * std::max(r.predicted_perf, 1.0));
+}
+
+TEST(Interpolation, WorksAcrossTheSuite) {
+  const auto machine = hw::ivybridge_node();
+  for (const auto& wl : workload::cpu_suite()) {
+    const sim::CpuNodeSim node(machine, wl);
+    const auto r = interpolated_best(node, Watts{220.0});
+    EXPECT_GT(r.achieved_perf, 0.0) << wl.name;
+  }
+}
+
+}  // namespace
+}  // namespace pbc::core

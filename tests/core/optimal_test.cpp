@@ -1,0 +1,88 @@
+#include "core/optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+
+namespace pbc::core {
+namespace {
+
+sim::CpuNodeSim sra_node() {
+  return sim::CpuNodeSim(hw::ivybridge_node(), workload::sra());
+}
+
+TEST(Optimal, LargeBudgetSitsInScenarioI) {
+  // Paper Table 1 row 1: with a large budget all six scenarios are valid
+  // and the optimum sits inside scenario I with no critical component
+  // (the scenario-I plateau must be wide enough that a ±24 W shift stays
+  // inside it, hence 300 W here).
+  const auto row = optimal_allocation_row(sra_node(), Watts{300.0});
+  EXPECT_EQ(row.intersection.first, Category::kI);
+  EXPECT_EQ(row.intersection.second, Category::kI);
+  EXPECT_FALSE(row.critical.has_value());
+  EXPECT_EQ(row.valid_scenarios.size(), 6u);
+}
+
+TEST(Optimal, At224DramIsCritical) {
+  // Paper §3.4.2: for SRA at 224 W, shifting 24 W away from DRAM loses far
+  // more performance (≈50%) than shifting 24 W away from the CPU (≈10%) —
+  // DRAM is the critical component.
+  const auto row = optimal_allocation_row(sra_node(), Watts{224.0});
+  ASSERT_TRUE(row.critical.has_value());
+  EXPECT_EQ(*row.critical, hw::Component::kMemory);
+  EXPECT_GT(row.loss_mem_underpowered, 0.3);
+  EXPECT_LT(row.loss_proc_underpowered, 0.2);
+}
+
+TEST(Optimal, At224OptimumNearPaperSplit) {
+  // Paper: optimal allocation at 224 W is about (108 cpu, 116 mem).
+  const auto row = optimal_allocation_row(sra_node(), Watts{224.0});
+  EXPECT_NEAR(row.best_proc.value(), 108.0, 14.0);
+  EXPECT_NEAR(row.best_mem.value(), 116.0, 14.0);
+}
+
+TEST(Optimal, CriticalComponentSwitchesToCpuAtSmallerBudget) {
+  // Paper: DRAM critical at 224 W, CPU critical at 176 W.
+  const auto row = optimal_allocation_row(sra_node(), Watts{176.0});
+  ASSERT_TRUE(row.critical.has_value());
+  EXPECT_EQ(*row.critical, hw::Component::kProcessor);
+}
+
+TEST(Optimal, IntersectionMovesThroughScenariosAsBudgetShrinks) {
+  // Table 1: the optimum's neighbourhood progresses I -> II|III -> deeper
+  // categories as the budget falls.
+  const auto at_240 = optimal_allocation_row(sra_node(), Watts{240.0});
+  EXPECT_EQ(at_240.intersection.first, Category::kI);
+  const auto at_200 = optimal_allocation_row(sra_node(), Watts{200.0});
+  // No scenario I left: neighbours are working categories II/III.
+  EXPECT_NE(at_200.intersection.first, Category::kI);
+  const auto cats_200 = at_200.valid_scenarios;
+  EXPECT_EQ(std::find(cats_200.begin(), cats_200.end(), Category::kI),
+            cats_200.end());
+}
+
+TEST(Optimal, ValidScenarioCountShrinksWithBudget) {
+  const auto big = optimal_allocation_row(sra_node(), Watts{260.0});
+  const auto small = optimal_allocation_row(sra_node(), Watts{170.0});
+  EXPECT_LE(small.valid_scenarios.size(), big.valid_scenarios.size());
+}
+
+TEST(Optimal, LossesAreNonNegativeFractions) {
+  for (double b : {170.0, 200.0, 240.0}) {
+    const auto row = optimal_allocation_row(sra_node(), Watts{b});
+    EXPECT_GE(row.loss_mem_underpowered, 0.0);
+    EXPECT_LE(row.loss_mem_underpowered, 1.0);
+    EXPECT_GE(row.loss_proc_underpowered, 0.0);
+    EXPECT_LE(row.loss_proc_underpowered, 1.0);
+  }
+}
+
+TEST(Optimal, PerfMaxPositiveAndSplitSumsToBudget) {
+  const auto row = optimal_allocation_row(sra_node(), Watts{208.0});
+  EXPECT_GT(row.perf_max, 0.0);
+  EXPECT_NEAR((row.best_proc + row.best_mem).value(), 208.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace pbc::core

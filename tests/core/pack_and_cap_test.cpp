@@ -1,0 +1,77 @@
+#include "core/pack_and_cap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+
+namespace pbc::core {
+namespace {
+
+TEST(PackedExecution, FewerCoresDrawLessPower) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::dgemm());
+  const auto all = node.steady_state_packed(20, Watts{500.0}, Watts{500.0});
+  const auto half = node.steady_state_packed(10, Watts{500.0}, Watts{500.0});
+  EXPECT_LT(half.proc_power.value(), all.proc_power.value());
+  EXPECT_LT(half.perf, all.perf);  // compute-bound: cores are throughput
+}
+
+TEST(PackedExecution, CoreCountClamped) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::dgemm());
+  const auto zero = node.steady_state_packed(0, Watts{300.0}, Watts{300.0});
+  const auto one = node.steady_state_packed(1, Watts{300.0}, Watts{300.0});
+  EXPECT_EQ(zero.perf, one.perf);
+  const auto over = node.steady_state_packed(99, Watts{300.0}, Watts{300.0});
+  const auto all = node.steady_state(Watts{300.0}, Watts{300.0});
+  EXPECT_EQ(over.perf, all.perf);
+}
+
+TEST(PackedExecution, HalfTheCoresKeepFullBandwidth) {
+  // ~Half the cores saturate the memory system: STREAM at 10/20 cores with
+  // generous power matches the full-package bandwidth.
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::stream_cpu());
+  const auto all = node.steady_state_packed(20, Watts{500.0}, Watts{500.0});
+  const auto half = node.steady_state_packed(10, Watts{500.0}, Watts{500.0});
+  EXPECT_NEAR(half.perf, all.perf, 0.02 * all.perf);
+  // A couple of cores cannot.
+  const auto two = node.steady_state_packed(2, Watts{500.0}, Watts{500.0});
+  EXPECT_LT(two.perf, 0.5 * all.perf);
+}
+
+TEST(PackAndCap, PackingWinsUnderTightCpuCaps) {
+  // At a budget that forces all-cores execution into duty cycling, packing
+  // onto fewer cores avoids the scenario-IV cliff (the Pack & Cap
+  // result [11]).
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::stream_cpu());
+  const auto r = pack_and_cap(node, Watts{150.0});
+  EXPECT_LT(r.best_cores, 20);
+  EXPECT_GT(r.packing_gain(), 1.1);
+}
+
+TEST(PackAndCap, AllCoresWinAtGenerousBudgets) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::dgemm());
+  const auto r = pack_and_cap(node, Watts{260.0});
+  EXPECT_EQ(r.best_cores, 20);
+  EXPECT_NEAR(r.packing_gain(), 1.0, 1e-9);
+}
+
+TEST(PackAndCap, SplitSumsToBudget) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_cg());
+  const auto r = pack_and_cap(node, Watts{180.0});
+  EXPECT_NEAR((r.cpu_cap + r.mem_cap).value(), 180.0, 1e-9);
+  EXPECT_GT(r.perf, 0.0);
+  EXPECT_GE(r.perf, r.perf_all_cores);
+}
+
+TEST(PackAndCap, GainNeverBelowOne) {
+  // The all-cores configuration is inside the search space, so packing can
+  // only help.
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_mg());
+  for (double b : {150.0, 180.0, 220.0}) {
+    const auto r = pack_and_cap(node, Watts{b});
+    EXPECT_GE(r.packing_gain(), 1.0 - 1e-9) << b;
+  }
+}
+
+}  // namespace
+}  // namespace pbc::core

@@ -1,0 +1,115 @@
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+
+namespace pbc::core {
+namespace {
+
+TEST(NodePowerManager, AcceptsProductiveBudget) {
+  const NodePowerManager mgr(hw::ivybridge_node(), workload::dgemm());
+  const auto plan = mgr.plan(Watts{200.0});
+  EXPECT_TRUE(plan.accepted);
+  EXPECT_GT(plan.predicted.perf, 0.0);
+  EXPECT_LE(plan.allocation.total().value(), 200.0 + 1e-9);
+}
+
+TEST(NodePowerManager, RejectsUnproductiveBudget) {
+  const NodePowerManager mgr(hw::ivybridge_node(), workload::dgemm());
+  const auto plan = mgr.plan(Watts{mgr.min_productive().value() - 5.0});
+  EXPECT_FALSE(plan.accepted);
+}
+
+TEST(NodePowerManager, PredictionRespectsAllocation) {
+  const NodePowerManager mgr(hw::ivybridge_node(), workload::npb_cg());
+  const auto plan = mgr.plan(Watts{190.0});
+  ASSERT_TRUE(plan.accepted);
+  EXPECT_LE(plan.predicted.proc_power.value(),
+            plan.allocation.cpu.value() + 0.1);
+  EXPECT_LE(plan.predicted.mem_power.value(),
+            plan.allocation.mem.value() + 0.1);
+}
+
+TEST(NodePowerManager, BoundsAreOrdered) {
+  const NodePowerManager mgr(hw::ivybridge_node(), workload::stream_cpu());
+  EXPECT_LT(mgr.min_productive(), mgr.max_demand());
+}
+
+std::vector<JobRequest> three_jobs() {
+  return {{"dgemm-job", workload::dgemm()},
+          {"stream-job", workload::stream_cpu()},
+          {"mg-job", workload::npb_mg()}};
+}
+
+TEST(ClusterScheduler, PlacesJobsWithinGlobalBudget) {
+  const ClusterScheduler sched(hw::ivybridge_node(), 4);
+  const auto jobs = three_jobs();
+  const auto result = sched.schedule(jobs, Watts{700.0});
+  EXPECT_EQ(result.placements.size(), 3u);
+  EXPECT_TRUE(result.rejected.empty());
+  double total = 0.0;
+  for (const auto& p : result.placements) total += p.budget.value();
+  EXPECT_LE(total, 700.0 + 1e-6);
+}
+
+TEST(ClusterScheduler, RejectsJobsBeyondNodeCount) {
+  const ClusterScheduler sched(hw::ivybridge_node(), 2);
+  const auto result = sched.schedule(three_jobs(), Watts{700.0});
+  EXPECT_EQ(result.placements.size(), 2u);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.rejected[0], "mg-job");
+}
+
+TEST(ClusterScheduler, RejectsWhenFairShareUnproductive) {
+  // 3 jobs with ~130-140 W thresholds cannot all run on 300 W total.
+  const ClusterScheduler sched(hw::ivybridge_node(), 4);
+  const auto result = sched.schedule(three_jobs(), Watts{300.0});
+  EXPECT_LT(result.placements.size(), 3u);
+  EXPECT_FALSE(result.rejected.empty());
+}
+
+TEST(ClusterScheduler, ReclaimsSurplusAboveDemand) {
+  // One job, enormous global budget: everything beyond the job's max
+  // demand must be reclaimed.
+  const ClusterScheduler sched(hw::ivybridge_node(), 4);
+  const std::vector<JobRequest> jobs{{"solo", workload::stream_cpu()}};
+  const auto result = sched.schedule(jobs, Watts{1000.0});
+  ASSERT_EQ(result.placements.size(), 1u);
+  EXPECT_GT(result.reclaimed.value(), 700.0);
+  EXPECT_LT(result.allocated.value(), 300.0);
+}
+
+TEST(ClusterScheduler, WaterFillingUsesLeftoverFromRejectedJob) {
+  // With 420 W and three jobs, the fair share (140 W) is productive for
+  // some jobs only; power from denied jobs flows to the placed ones.
+  const ClusterScheduler sched(hw::ivybridge_node(), 4);
+  const auto result = sched.schedule(three_jobs(), Watts{430.0});
+  EXPECT_GE(result.placements.size(), 2u);
+  for (const auto& p : result.placements) {
+    EXPECT_GE(p.budget.value(), 130.0);
+  }
+}
+
+TEST(ClusterScheduler, PlacementsCarryCoordinatedAllocations) {
+  const ClusterScheduler sched(hw::ivybridge_node(), 4);
+  const auto result = sched.schedule(three_jobs(), Watts{700.0});
+  for (const auto& p : result.placements) {
+    EXPECT_GT(p.allocation.cpu.value(), 0.0) << p.job;
+    EXPECT_GT(p.allocation.mem.value(), 0.0) << p.job;
+    EXPECT_GT(p.predicted_perf, 0.0) << p.job;
+    EXPECT_LE(p.allocation.total().value(), p.budget.value() + 1e-9)
+        << p.job;
+  }
+}
+
+TEST(ClusterScheduler, EmptyJobListIsAllReclaim) {
+  const ClusterScheduler sched(hw::ivybridge_node(), 2);
+  const auto result = sched.schedule({}, Watts{500.0});
+  EXPECT_TRUE(result.placements.empty());
+  EXPECT_DOUBLE_EQ(result.reclaimed.value(), 500.0);
+}
+
+}  // namespace
+}  // namespace pbc::core

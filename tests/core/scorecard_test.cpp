@@ -1,0 +1,46 @@
+#include "core/scorecard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbc::core {
+namespace {
+
+TEST(Scorecard, EveryHeadlineClaimStaysInBand) {
+  // The full EXPERIMENTS.md comparison, as one assertion: calibration or
+  // model drift that silently breaks a reproduced result fails here.
+  const auto results = run_scorecard();
+  ASSERT_GE(results.size(), 12u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.in_band) << r.id << ": " << r.claim << " — measured "
+                           << r.measured;
+  }
+  EXPECT_TRUE(all_in_band(results));
+}
+
+TEST(Scorecard, ResultsAreFullyPopulated) {
+  for (const auto& r : run_scorecard()) {
+    EXPECT_FALSE(r.id.empty());
+    EXPECT_FALSE(r.claim.empty());
+    EXPECT_FALSE(r.measured.empty());
+    EXPECT_LE(r.band_lo, r.band_hi) << r.id;
+  }
+}
+
+TEST(Scorecard, Deterministic) {
+  const auto a = run_scorecard();
+  const auto b = run_scorecard();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].value, b[i].value) << a[i].id;
+  }
+}
+
+TEST(Scorecard, AllInBandDetectsFailures) {
+  auto results = run_scorecard();
+  ASSERT_FALSE(results.empty());
+  results[0].in_band = false;
+  EXPECT_FALSE(all_in_band(results));
+}
+
+}  // namespace
+}  // namespace pbc::core

@@ -1,0 +1,140 @@
+#include "hw/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+
+namespace pbc::hw {
+namespace {
+
+CpuSpec small_spec() {
+  CpuSpec spec;
+  spec.name = "test-cpu";
+  spec.sockets = 1;
+  spec.cores_per_socket = 4;
+  spec.pstates = linear_vf_ladder(Gigahertz{1.0}, Gigahertz{2.0}, 0.7, 1.0, 6);
+  spec.flops_per_cycle = 4.0;
+  spec.uncore_power = Watts{10.0};
+  spec.floor = Watts{12.0};
+  return spec;
+}
+
+TEST(LinearVfLadder, ProducesAscendingPoints) {
+  const auto ladder =
+      linear_vf_ladder(Gigahertz{1.2}, Gigahertz{2.5}, 0.7, 1.0, 14);
+  ASSERT_EQ(ladder.size(), 14u);
+  EXPECT_DOUBLE_EQ(ladder.front().frequency.value(), 1.2);
+  EXPECT_DOUBLE_EQ(ladder.back().frequency.value(), 2.5);
+  EXPECT_DOUBLE_EQ(ladder.front().voltage, 0.7);
+  EXPECT_DOUBLE_EQ(ladder.back().voltage, 1.0);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i].frequency, ladder[i - 1].frequency);
+    EXPECT_GE(ladder[i].voltage, ladder[i - 1].voltage);
+  }
+}
+
+TEST(CpuSpec, ValidatesGoodSpec) {
+  EXPECT_TRUE(small_spec().validate().ok());
+}
+
+TEST(CpuSpec, RejectsEmptyPstates) {
+  auto spec = small_spec();
+  spec.pstates.clear();
+  EXPECT_FALSE(spec.validate().ok());
+}
+
+TEST(CpuSpec, RejectsNonAscendingPstates) {
+  auto spec = small_spec();
+  std::swap(spec.pstates[0], spec.pstates[1]);
+  EXPECT_FALSE(spec.validate().ok());
+}
+
+TEST(CpuSpec, RejectsNonPositiveCores) {
+  auto spec = small_spec();
+  spec.cores_per_socket = 0;
+  EXPECT_FALSE(spec.validate().ok());
+}
+
+TEST(CpuSpec, RejectsBadTstateLevels) {
+  auto spec = small_spec();
+  spec.tstate_levels = 0;
+  EXPECT_FALSE(spec.validate().ok());
+}
+
+TEST(CpuSpec, RejectsNegativeCoefficients) {
+  auto spec = small_spec();
+  spec.dyn_coeff_w_per_ghz_v2 = -1.0;
+  EXPECT_FALSE(spec.validate().ok());
+}
+
+TEST(CpuSpec, DerivedQuantities) {
+  const auto spec = small_spec();
+  EXPECT_EQ(spec.total_cores(), 4);
+  EXPECT_DOUBLE_EQ(spec.min_duty(), 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(spec.f_min().value(), 1.0);
+  EXPECT_DOUBLE_EQ(spec.f_max().value(), 2.0);
+}
+
+TEST(CpuModel, PowerIncreasesWithPstate) {
+  const CpuModel model(small_spec());
+  double prev = 0.0;
+  for (std::size_t i = 0; i < model.pstate_count(); ++i) {
+    const double p = model.package_power({i, 1.0, false}, 0.8).value();
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(CpuModel, PowerIncreasesWithActivity) {
+  const CpuModel model(small_spec());
+  const CpuOperatingPoint op{3, 1.0, false};
+  EXPECT_LT(model.package_power(op, 0.2), model.package_power(op, 0.9));
+}
+
+TEST(CpuModel, PowerIncreasesWithDuty) {
+  const CpuModel model(small_spec());
+  EXPECT_LT(model.package_power({0, 0.25, false}, 0.8),
+            model.package_power({0, 1.0, false}, 0.8));
+}
+
+TEST(CpuModel, PowerNeverBelowFloor) {
+  const CpuModel model(small_spec());
+  EXPECT_GE(model.package_power({0, 1.0 / 8.0, false}, 0.0),
+            model.spec().floor);
+  EXPECT_EQ(model.package_power({0, 1.0, true}, 0.9), model.spec().floor);
+}
+
+TEST(CpuModel, CapacityScalesWithFrequencyAndDuty) {
+  const CpuModel model(small_spec());
+  const double full =
+      model.compute_capacity({model.pstate_count() - 1, 1.0, false}).value();
+  EXPECT_DOUBLE_EQ(full, 4 * 4.0 * 2.0);  // cores × flops/cyc × GHz
+  const double half_duty =
+      model.compute_capacity({model.pstate_count() - 1, 0.5, false}).value();
+  EXPECT_DOUBLE_EQ(half_duty, full / 2.0);
+}
+
+TEST(CpuModel, SleepingCapacityIsTiny) {
+  const CpuModel model(small_spec());
+  const double sleeping = model.compute_capacity({0, 1.0, true}).value();
+  const double awake = model.compute_capacity({0, 1.0, false}).value();
+  EXPECT_LT(sleeping, awake * 0.05);
+  EXPECT_GT(sleeping, 0.0);
+}
+
+TEST(CpuModel, CriticalPowerHelpersAreOrdered) {
+  const CpuModel model(small_spec());
+  const double act = 0.8;
+  EXPECT_GT(model.max_power(act), model.lowest_pstate_power(act));
+  EXPECT_GT(model.lowest_pstate_power(act), model.deepest_tstate_power(act));
+  EXPECT_GE(model.deepest_tstate_power(act), model.spec().floor);
+}
+
+TEST(CpuModel, OutOfRangePstateIndexIsClamped) {
+  const CpuModel model(small_spec());
+  EXPECT_EQ(model.package_power({999, 1.0, false}, 0.5),
+            model.package_power({model.pstate_count() - 1, 1.0, false}, 0.5));
+}
+
+}  // namespace
+}  // namespace pbc::hw

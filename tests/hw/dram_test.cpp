@@ -1,0 +1,110 @@
+#include "hw/dram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbc::hw {
+namespace {
+
+DramSpec small_spec() {
+  DramSpec spec;
+  spec.name = "test-dram";
+  spec.capacity_gb = 64.0;
+  spec.background_w_per_gb = 0.25;  // 16 W background
+  spec.dyn_w_per_gbps = 0.5;
+  spec.peak_bw = GBps{40.0};
+  spec.min_bw = GBps{2.0};
+  spec.throttle_levels = 20;
+  spec.floor = Watts{16.0};
+  return spec;
+}
+
+TEST(DramSpec, ValidatesGoodSpec) { EXPECT_TRUE(small_spec().validate().ok()); }
+
+TEST(DramSpec, RejectsBadBandwidthOrdering) {
+  auto spec = small_spec();
+  spec.min_bw = GBps{50.0};
+  EXPECT_FALSE(spec.validate().ok());
+}
+
+TEST(DramSpec, RejectsTooFewThrottleLevels) {
+  auto spec = small_spec();
+  spec.throttle_levels = 1;
+  EXPECT_FALSE(spec.validate().ok());
+}
+
+TEST(DramSpec, RejectsNegativeCapacity) {
+  auto spec = small_spec();
+  spec.capacity_gb = -1.0;
+  EXPECT_FALSE(spec.validate().ok());
+}
+
+TEST(DramSpec, BackgroundPowerScalesWithCapacity) {
+  auto spec = small_spec();
+  EXPECT_DOUBLE_EQ(spec.background_power().value(), 16.0);
+  spec.capacity_gb = 128.0;
+  EXPECT_DOUBLE_EQ(spec.background_power().value(), 32.0);
+}
+
+TEST(DramModel, PowerIsBackgroundPlusDynamic) {
+  const DramModel model(small_spec());
+  EXPECT_DOUBLE_EQ(model.power(GBps{10.0}).value(), 16.0 + 5.0);
+}
+
+TEST(DramModel, PowerMonotoneInBandwidth) {
+  const DramModel model(small_spec());
+  double prev = 0.0;
+  for (double bw = 0.0; bw <= 40.0; bw += 5.0) {
+    const double p = model.power(GBps{bw}).value();
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(DramModel, PowerClampsAtPeakBandwidth) {
+  const DramModel model(small_spec());
+  EXPECT_EQ(model.power(GBps{500.0}), model.power(GBps{40.0}));
+}
+
+TEST(DramModel, PowerNeverBelowFloor) {
+  const DramModel model(small_spec());
+  EXPECT_GE(model.power(GBps{0.0}), model.spec().floor);
+}
+
+TEST(DramModel, BwBudgetInvertsPower) {
+  const DramModel model(small_spec());
+  // Cap of 26 W leaves 10 W of dynamic headroom => 20 GB/s.
+  EXPECT_DOUBLE_EQ(model.bw_budget_for_cap(Watts{26.0}).value(), 20.0);
+}
+
+TEST(DramModel, BwBudgetClampsToRange) {
+  const DramModel model(small_spec());
+  EXPECT_EQ(model.bw_budget_for_cap(Watts{1000.0}), model.spec().peak_bw);
+  EXPECT_EQ(model.bw_budget_for_cap(Watts{0.0}), model.spec().min_bw);
+}
+
+TEST(DramModel, CapsBelowFloorTreatedAsFloor) {
+  const DramModel model(small_spec());
+  EXPECT_EQ(model.bw_budget_for_cap(Watts{1.0}),
+            model.bw_budget_for_cap(Watts{16.0}));
+}
+
+TEST(DramModel, QuantizeRoundsDown) {
+  const DramModel model(small_spec());
+  // Levels are evenly spaced: step = 38/19 = 2 GB/s, states at 2,4,...,40.
+  EXPECT_DOUBLE_EQ(model.quantize_throttle(GBps{5.9}).value(), 4.0);
+  EXPECT_DOUBLE_EQ(model.quantize_throttle(GBps{6.0}).value(), 6.0);
+}
+
+TEST(DramModel, QuantizeClampsToRange) {
+  const DramModel model(small_spec());
+  EXPECT_EQ(model.quantize_throttle(GBps{0.1}), model.spec().min_bw);
+  EXPECT_EQ(model.quantize_throttle(GBps{99.0}), model.spec().peak_bw);
+}
+
+TEST(DramModel, MaxPowerAtPeakBandwidth) {
+  const DramModel model(small_spec());
+  EXPECT_DOUBLE_EQ(model.max_power().value(), 16.0 + 0.5 * 40.0);
+}
+
+}  // namespace
+}  // namespace pbc::hw

@@ -1,0 +1,150 @@
+#include "hw/gpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbc::hw {
+namespace {
+
+GpuSpec small_spec() {
+  GpuSpec spec;
+  spec.name = "test-gpu";
+  spec.sm_min_mhz = 600.0;
+  spec.sm_max_mhz = 1800.0;
+  spec.sm_steps = 7;
+  spec.sm_idle = Watts{10.0};
+  spec.sm_max_dyn = Watts{100.0};
+  spec.peak_gflops = 6000.0;
+  spec.mem_clocks_mhz = {2000.0, 3000.0, 4000.0};
+  spec.bw_per_mhz = 0.1;
+  spec.mem_idle = Watts{5.0};
+  spec.mem_w_per_mhz = 0.005;
+  spec.mem_dyn_w_per_gbps = 0.05;
+  spec.other_power = Watts{8.0};
+  spec.board_min_cap = Watts{80.0};
+  spec.board_default_cap = Watts{150.0};
+  spec.board_max_cap = Watts{200.0};
+  return spec;
+}
+
+TEST(GpuSpec, ValidatesGoodSpec) { EXPECT_TRUE(small_spec().validate().ok()); }
+
+TEST(GpuSpec, RejectsBadSmRange) {
+  auto spec = small_spec();
+  spec.sm_max_mhz = spec.sm_min_mhz;
+  EXPECT_FALSE(spec.validate().ok());
+}
+
+TEST(GpuSpec, RejectsSingleMemClock) {
+  auto spec = small_spec();
+  spec.mem_clocks_mhz = {2000.0};
+  EXPECT_FALSE(spec.validate().ok());
+}
+
+TEST(GpuSpec, RejectsNonAscendingMemClocks) {
+  auto spec = small_spec();
+  spec.mem_clocks_mhz = {3000.0, 2000.0, 4000.0};
+  EXPECT_FALSE(spec.validate().ok());
+}
+
+TEST(GpuSpec, RejectsInconsistentCapRange) {
+  auto spec = small_spec();
+  spec.board_default_cap = Watts{500.0};
+  EXPECT_FALSE(spec.validate().ok());
+}
+
+TEST(GpuSpec, ClockAccessors) {
+  const auto spec = small_spec();
+  EXPECT_DOUBLE_EQ(spec.nominal_mem_clock(), 4000.0);
+  EXPECT_DOUBLE_EQ(spec.min_mem_clock(), 2000.0);
+}
+
+TEST(GpuModel, SmClockSpansRange) {
+  const GpuModel model(small_spec());
+  EXPECT_DOUBLE_EQ(model.sm_clock_mhz(0), 600.0);
+  EXPECT_DOUBLE_EQ(model.sm_clock_mhz(6), 1800.0);
+  EXPECT_DOUBLE_EQ(model.sm_clock_mhz(3), 1200.0);
+}
+
+TEST(GpuModel, StepForClock) {
+  const GpuModel model(small_spec());
+  EXPECT_EQ(model.step_for_clock(600.0), 0u);
+  EXPECT_EQ(model.step_for_clock(601.0), 1u);
+  EXPECT_EQ(model.step_for_clock(1800.0), 6u);
+  EXPECT_EQ(model.step_for_clock(99999.0), 6u);
+}
+
+TEST(GpuModel, SmPowerMonotoneInStepAndUtil) {
+  const GpuModel model(small_spec());
+  double prev = 0.0;
+  for (std::size_t s = 0; s < model.sm_step_count(); ++s) {
+    const double p = model.sm_power(s, 0.8).value();
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  EXPECT_LT(model.sm_power(3, 0.2), model.sm_power(3, 0.9));
+}
+
+TEST(GpuModel, SmPowerCubicInRelativeClock) {
+  const GpuModel model(small_spec());
+  // Step 3 is exactly 2/3 of max clock: dyn term scales by (2/3)^3.
+  const double expected = 10.0 + 100.0 * 1.0 * (2.0 / 3.0) * (2.0 / 3.0) *
+                                     (2.0 / 3.0);
+  EXPECT_NEAR(model.sm_power(3, 1.0).value(), expected, 1e-9);
+}
+
+TEST(GpuModel, MemBandwidthTracksClock) {
+  const GpuModel model(small_spec());
+  EXPECT_DOUBLE_EQ(model.mem_bandwidth(0).value(), 200.0);
+  EXPECT_DOUBLE_EQ(model.mem_bandwidth(2).value(), 400.0);
+}
+
+TEST(GpuModel, MemPowerMonotoneInClockAndBw) {
+  const GpuModel model(small_spec());
+  EXPECT_LT(model.mem_power(0, GBps{100.0}), model.mem_power(2, GBps{100.0}));
+  EXPECT_LT(model.mem_power(1, GBps{50.0}), model.mem_power(1, GBps{200.0}));
+}
+
+TEST(GpuModel, MemPowerClampsBwToClockLimit) {
+  const GpuModel model(small_spec());
+  EXPECT_EQ(model.mem_power(0, GBps{1000.0}), model.mem_power(0, GBps{200.0}));
+}
+
+TEST(GpuModel, EstimatedMemPowerIsFullUtilization) {
+  const GpuModel model(small_spec());
+  for (std::size_t i = 0; i < model.mem_clock_count(); ++i) {
+    EXPECT_EQ(model.estimated_mem_power(i),
+              model.mem_power(i, model.mem_bandwidth(i)));
+  }
+}
+
+TEST(GpuModel, EstimatedMemPowerMonotone) {
+  const GpuModel model(small_spec());
+  for (std::size_t i = 1; i < model.mem_clock_count(); ++i) {
+    EXPECT_GT(model.estimated_mem_power(i), model.estimated_mem_power(i - 1));
+  }
+}
+
+TEST(GpuModel, ComputeCapacityScalesWithClock) {
+  const GpuModel model(small_spec());
+  EXPECT_DOUBLE_EQ(model.compute_capacity(6).value(), 6000.0);
+  EXPECT_NEAR(model.compute_capacity(3).value(), 6000.0 * 1200.0 / 1800.0,
+              1e-9);
+}
+
+TEST(GpuModel, BoardPowerSumsDomains) {
+  const GpuModel model(small_spec());
+  const GpuOperatingPoint op{4, 1};
+  const double total = model.board_power(op, 0.7, GBps{150.0}).value();
+  const double parts = model.sm_power(4, 0.7).value() +
+                       model.mem_power(1, GBps{150.0}).value() + 8.0;
+  EXPECT_DOUBLE_EQ(total, parts);
+}
+
+TEST(GpuModel, OutOfRangeIndicesClamped) {
+  const GpuModel model(small_spec());
+  EXPECT_EQ(model.mem_bandwidth(99), model.mem_bandwidth(2));
+  EXPECT_DOUBLE_EQ(model.sm_clock_mhz(99), 1800.0);
+}
+
+}  // namespace
+}  // namespace pbc::hw

@@ -1,0 +1,90 @@
+#include "hw/platforms.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbc::hw {
+namespace {
+
+TEST(Platforms, IvyBridgeMatchesPaperTable2) {
+  const CpuMachine m = ivybridge_node();
+  EXPECT_TRUE(m.cpu.validate().ok());
+  EXPECT_TRUE(m.dram.validate().ok());
+  EXPECT_EQ(m.cpu.total_cores(), 20);
+  EXPECT_DOUBLE_EQ(m.cpu.f_min().value(), 1.2);
+  EXPECT_DOUBLE_EQ(m.cpu.f_max().value(), 2.5);
+  EXPECT_DOUBLE_EQ(m.dram.capacity_gb, 256.0);
+  // Paper: 48 W CPU hardware floor, ~68 W DRAM floor on this node.
+  EXPECT_DOUBLE_EQ(m.cpu.floor.value(), 48.0);
+  EXPECT_NEAR(m.dram.floor.value(), 68.0, 1.0);
+}
+
+TEST(Platforms, HaswellMatchesPaperTable2) {
+  const CpuMachine m = haswell_node();
+  EXPECT_TRUE(m.cpu.validate().ok());
+  EXPECT_TRUE(m.dram.validate().ok());
+  EXPECT_EQ(m.cpu.total_cores(), 24);
+  EXPECT_DOUBLE_EQ(m.cpu.f_max().value(), 2.3);
+}
+
+TEST(Platforms, Ddr4BackgroundBelowDdr3) {
+  // The paper attributes Haswell's small-budget advantage to DDR4's lower
+  // (refresh) power and higher bandwidth.
+  const CpuMachine ivy = ivybridge_node();
+  const CpuMachine has = haswell_node();
+  EXPECT_LT(has.dram.background_power(), ivy.dram.background_power());
+  EXPECT_GT(has.dram.peak_bw, ivy.dram.peak_bw);
+}
+
+TEST(Platforms, CpuNodePeakAndFloorOrdering) {
+  for (const CpuMachine& m : {ivybridge_node(), haswell_node()}) {
+    EXPECT_GT(m.peak_power(), m.floor_power()) << m.name;
+    EXPECT_GT(m.floor_power().value(), 0.0) << m.name;
+  }
+}
+
+TEST(Platforms, TitanXpMatchesPaperSpec) {
+  const GpuMachine m = titan_xp();
+  EXPECT_TRUE(m.gpu.validate().ok());
+  // Paper §6.1: 250 W default cap, settable up to 300 W.
+  EXPECT_DOUBLE_EQ(m.gpu.board_default_cap.value(), 250.0);
+  EXPECT_DOUBLE_EQ(m.gpu.board_max_cap.value(), 300.0);
+}
+
+TEST(Platforms, TitanVMatchesPaperSpec) {
+  const GpuMachine m = titan_v();
+  EXPECT_TRUE(m.gpu.validate().ok());
+  EXPECT_DOUBLE_EQ(m.gpu.board_default_cap.value(), 250.0);
+}
+
+TEST(Platforms, TitanVMemoryRangeNarrowerThanXp) {
+  // Paper: "Titan V has a smaller total and DRAM power range than Titan XP"
+  // thanks to HBM2.
+  const GpuModel xp{titan_xp().gpu};
+  const GpuModel v{titan_v().gpu};
+  const double xp_range = xp.estimated_mem_power(xp.mem_clock_count() - 1)
+                              .value() -
+                          xp.estimated_mem_power(0).value();
+  const double v_range =
+      v.estimated_mem_power(v.mem_clock_count() - 1).value() -
+      v.estimated_mem_power(0).value();
+  EXPECT_LT(v_range, xp_range);
+  EXPECT_LT(v.estimated_mem_power(v.mem_clock_count() - 1),
+            xp.estimated_mem_power(xp.mem_clock_count() - 1));
+}
+
+TEST(Platforms, TitanVSmsMoreEfficient) {
+  const GpuMachine xp = titan_xp();
+  const GpuMachine v = titan_v();
+  EXPECT_LT(v.gpu.sm_max_dyn, xp.gpu.sm_max_dyn);
+  EXPECT_GT(v.gpu.peak_gflops, xp.gpu.peak_gflops);
+}
+
+TEST(Platforms, PairingClockWithinSmRange) {
+  for (const GpuMachine& m : {titan_xp(), titan_v()}) {
+    EXPECT_GE(m.gpu.sm_pairing_min_mhz, m.gpu.sm_min_mhz) << m.name;
+    EXPECT_LT(m.gpu.sm_pairing_min_mhz, m.gpu.sm_max_mhz) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace pbc::hw

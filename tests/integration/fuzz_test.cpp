@@ -1,0 +1,128 @@
+// Deterministic fuzzing: random (but valid) workloads and caps must never
+// violate the simulator's contracts. Catches interactions the hand-picked
+// suites miss — extreme operational intensities, near-degenerate overlaps,
+// pathological phase mixes.
+#include <gtest/gtest.h>
+
+#include "core/categorize.hpp"
+#include "core/coord.hpp"
+#include "core/critical.hpp"
+#include "hw/platforms.hpp"
+#include "sim/sweep.hpp"
+#include "util/rng.hpp"
+#include "workload/serialize.hpp"
+
+namespace pbc {
+namespace {
+
+workload::Workload random_workload(std::uint64_t seed) {
+  Xoshiro256 rng(seed, 0xf00d);
+  workload::Workload w;
+  w.name = "fuzz-" + std::to_string(seed);
+  w.description = "generated";
+  w.metric_name = "Gop/s";
+  w.metric_per_gunit = rng.uniform(0.5, 100.0);
+  const std::size_t phases = 1 + rng.below(3);
+  for (std::size_t i = 0; i < phases; ++i) {
+    workload::Phase p;
+    p.name = "p" + std::to_string(i);
+    p.weight = rng.uniform(0.1, 3.0);
+    p.flops_per_unit = rng.uniform(0.5, 50.0);
+    p.bytes_per_unit = rng.uniform(0.01, 64.0);
+    p.compute_eff = rng.uniform(0.1, 1.0);
+    p.overlap = rng.uniform(0.0, 1.0);
+    p.max_bw_frac = rng.uniform(0.3, 1.0);
+    p.freq_scaling = rng.uniform(0.0, 0.8);
+    p.activity = rng.uniform(0.3, 1.0);
+    p.mem_energy_scale = rng.uniform(1.0, 2.5);
+    w.phases.push_back(p);
+  }
+  return w;
+}
+
+TEST(Fuzz, RandomWorkloadsRespectCapsAndInvariants) {
+  const auto machine = hw::ivybridge_node();
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const auto wl = random_workload(seed);
+    ASSERT_TRUE(wl.validate().ok()) << seed;
+    const sim::CpuNodeSim node(machine, wl);
+    Xoshiro256 rng(seed, 0xcaf3);
+    for (int i = 0; i < 6; ++i) {
+      const double c = rng.uniform(machine.cpu.floor.value() + 5.0, 200.0);
+      const double m = rng.uniform(machine.dram.floor.value() + 3.0, 160.0);
+      const auto s = node.steady_state(Watts{c}, Watts{m});
+      EXPECT_LE(s.proc_power.value(), c + 0.1) << seed << " " << c;
+      EXPECT_LE(s.mem_power.value(), m + 0.1) << seed << " " << m;
+      EXPECT_GE(s.perf, 0.0) << seed;
+      EXPECT_TRUE(std::isfinite(s.perf)) << seed;
+      EXPECT_GE(s.compute_util, 0.0);
+      EXPECT_LE(s.compute_util, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Fuzz, RandomWorkloadsHaveOrderedCriticalPowers) {
+  const auto machine = hw::ivybridge_node();
+  for (std::uint64_t seed = 50; seed <= 80; ++seed) {
+    const auto wl = random_workload(seed);
+    const sim::CpuNodeSim node(machine, wl);
+    const auto cp = core::profile_critical_powers(node);
+    EXPECT_GT(cp.cpu_l1.value(), cp.cpu_l2.value()) << seed;
+    EXPECT_GT(cp.cpu_l2.value(), cp.cpu_l3.value()) << seed;
+    EXPECT_GE(cp.mem_l1.value(), cp.mem_l2.value()) << seed;
+    EXPECT_LT(cp.productive_threshold().value(), cp.max_demand().value())
+        << seed;
+  }
+}
+
+TEST(Fuzz, CoordNeverOverspendsOnRandomWorkloads) {
+  const auto machine = hw::ivybridge_node();
+  for (std::uint64_t seed = 100; seed <= 130; ++seed) {
+    const auto wl = random_workload(seed);
+    const sim::CpuNodeSim node(machine, wl);
+    const auto cp = core::profile_critical_powers(node);
+    Xoshiro256 rng(seed, 0xb00);
+    for (int i = 0; i < 4; ++i) {
+      const Watts b{rng.uniform(120.0, 280.0)};
+      const auto a = core::coord_cpu(cp, b);
+      if (a.status == core::CoordStatus::kBudgetTooSmall) continue;
+      EXPECT_LE(a.total().value(), b.value() + 1e-9) << seed;
+      const auto s = node.steady_state(a.cpu, a.mem);
+      EXPECT_LE(s.total_power().value(), b.value() + 0.2) << seed;
+    }
+  }
+}
+
+TEST(Fuzz, CategorizerCoversEveryRandomSweep) {
+  const auto machine = hw::ivybridge_node();
+  for (std::uint64_t seed = 200; seed <= 215; ++seed) {
+    const auto wl = random_workload(seed);
+    const sim::CpuNodeSim node(machine, wl);
+    sim::BudgetSweep sweep;
+    sweep.budget = Watts{220.0};
+    sweep.samples = sim::sweep_cpu_split(node, Watts{220.0}, {});
+    const auto spans = core::category_spans_cpu(sweep, machine);
+    std::size_t covered = 0;
+    for (const auto& sp : spans) covered += sp.last - sp.first + 1;
+    EXPECT_EQ(covered, sweep.samples.size()) << seed;
+  }
+}
+
+TEST(Fuzz, SerializationRoundTripsRandomWorkloads) {
+  for (std::uint64_t seed = 300; seed <= 340; ++seed) {
+    const auto wl = random_workload(seed);
+    const auto back = workload::from_text(workload::to_text(wl));
+    ASSERT_TRUE(back.ok()) << seed << ": " << back.error().to_string();
+    EXPECT_EQ(back.value().name, wl.name);
+    ASSERT_EQ(back.value().phases.size(), wl.phases.size());
+    for (std::size_t i = 0; i < wl.phases.size(); ++i) {
+      EXPECT_NEAR(back.value().phases[i].bytes_per_unit,
+                  wl.phases[i].bytes_per_unit,
+                  1e-4 * wl.phases[i].bytes_per_unit)
+          << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pbc

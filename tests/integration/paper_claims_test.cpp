@@ -1,0 +1,218 @@
+// End-to-end reproduction checks of the paper's headline claims, run
+// against the full stack (workload models × hardware models × governors ×
+// analysis × heuristics). EXPERIMENTS.md records the measured values next
+// to the paper's.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/baselines.hpp"
+#include "core/categorize.hpp"
+#include "core/coord.hpp"
+#include "core/critical.hpp"
+#include "hw/platforms.hpp"
+#include "sim/sweep.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc {
+namespace {
+
+// Fig. 1(a) right: at a 208 W budget, STREAM's best split beats the worst
+// by well over an order of magnitude (paper: up to ~30x).
+TEST(PaperClaims, CpuStreamSpreadAt208WIsHuge) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::stream_cpu());
+  const auto samples =
+      sim::sweep_cpu_split(node, Watts{208.0},
+                           {Watts{40.0}, Watts{32.0}, Watts{4.0}});
+  double best = 0.0;
+  double worst = 1e300;
+  for (const auto& s : samples) {
+    best = std::max(best, s.perf);
+    worst = std::min(worst, s.perf);
+  }
+  EXPECT_GT(best / worst, 20.0);
+}
+
+// Fig. 1: component power capping keeps total power within the budget for
+// every split whose caps are above the hardware floors.
+TEST(PaperClaims, TotalPowerStaysUnderBudget) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::stream_cpu());
+  const auto machine = node.machine();
+  for (const auto& s : sim::sweep_cpu_split(node, Watts{208.0}, {})) {
+    if (s.proc_cap >= machine.cpu.floor && s.mem_cap >= machine.dram.floor &&
+        s.mem_power.value() >
+            machine.dram.background_power().value() + 4.0) {
+      EXPECT_LE(s.total_power().value(), 208.0 + 0.2)
+          << "mem cap " << s.mem_cap.value();
+    }
+  }
+}
+
+// Fig. 1(b): at a 140 W GPU cap the best allocation beats the worst by a
+// double-digit percentage; at larger caps the spread reaches 25-35%.
+TEST(PaperClaims, GpuStreamAllocationSpread) {
+  const sim::GpuNodeSim node(hw::titan_xp(), workload::stream_gpu());
+  auto spread = [&](double cap) {
+    const auto samples = sim::sweep_gpu_split(node, Watts{cap});
+    double best = 0.0;
+    double worst = 1e300;
+    for (const auto& s : samples) {
+      best = std::max(best, s.perf);
+      worst = std::min(worst, s.perf);
+    }
+    return best / worst;
+  };
+  EXPECT_GT(spread(140.0), 1.06);
+  EXPECT_GT(spread(220.0), 1.25);
+}
+
+// §1 contribution 1: cross-component coordination improves GPU performance
+// by ~35% for some applications/budgets.
+TEST(PaperClaims, GpuCoordinationGainReaches25Percent) {
+  double max_spread = 0.0;
+  for (const auto& w : workload::gpu_suite()) {
+    const sim::GpuNodeSim node(hw::titan_xp(), w);
+    for (double cap = 125.0; cap <= 300.0; cap += 25.0) {
+      const auto samples = sim::sweep_gpu_split(node, Watts{cap});
+      double best = 0.0;
+      double worst = 1e300;
+      for (const auto& s : samples) {
+        best = std::max(best, s.perf);
+        worst = std::min(worst, s.perf);
+      }
+      max_spread = std::max(max_spread, best / worst);
+    }
+  }
+  EXPECT_GT(max_spread, 1.25);
+}
+
+// §6.3: COORD within ~5% of the sweep oracle for large caps and ~10% on
+// average over all accepted caps on the CPU platform.
+TEST(PaperClaims, CoordAccuracyCpu) {
+  const auto machine = hw::ivybridge_node();
+  double gap_sum = 0.0;
+  int gap_count = 0;
+  double large_cap_worst = 0.0;
+  for (const auto& w : workload::cpu_suite()) {
+    const sim::CpuNodeSim node(machine, w);
+    const auto profile = core::profile_critical_powers(node);
+    for (double b = 145.0; b <= 265.0; b += 15.0) {
+      const auto alloc = core::coord_cpu(profile, Watts{b});
+      if (alloc.status == core::CoordStatus::kBudgetTooSmall) continue;
+      sim::BudgetSweep sweep;
+      sweep.budget = Watts{b};
+      sweep.samples = sim::sweep_cpu_split(
+          node, Watts{b}, {Watts{40.0}, Watts{32.0}, Watts{2.0}});
+      const double oracle = core::oracle_best(sweep).perf;
+      const double coord =
+          node.steady_state(alloc.cpu, alloc.mem).perf;
+      const double gap = std::max(0.0, 1.0 - coord / oracle);
+      gap_sum += gap;
+      ++gap_count;
+      if (b >= 200.0) large_cap_worst = std::max(large_cap_worst, gap);
+    }
+  }
+  ASSERT_GT(gap_count, 50);
+  EXPECT_LT(gap_sum / gap_count, 0.15);  // paper: 9.6% average
+  EXPECT_LT(large_cap_worst, 0.08);      // paper: <5% for large caps
+}
+
+// §6.3: COORD generally outperforms the memory-first strategy [19] at
+// small budgets.
+TEST(PaperClaims, CoordBeatsMemoryFirstAtSmallBudgets) {
+  const auto machine = hw::ivybridge_node();
+  int coord_wins = 0;
+  int total = 0;
+  for (const auto& w : workload::cpu_suite()) {
+    const sim::CpuNodeSim node(machine, w);
+    const auto profile = core::profile_critical_powers(node);
+    for (double b : {145.0, 155.0, 165.0}) {
+      const auto c = core::coord_cpu(profile, Watts{b});
+      if (c.status == core::CoordStatus::kBudgetTooSmall) continue;
+      const auto m = core::memory_first(profile, Watts{b});
+      const double pc = node.steady_state(c.cpu, c.mem).perf;
+      const double pm = node.steady_state(m.cpu, m.mem).perf;
+      ++total;
+      if (pc >= pm * 0.999) ++coord_wins;
+    }
+  }
+  ASSERT_GT(total, 10);
+  EXPECT_GT(static_cast<double>(coord_wins) / total, 0.6);
+}
+
+// §6.3: on GPUs COORD lands within a few percent of the oracle.
+TEST(PaperClaims, CoordAccuracyGpu) {
+  for (const auto& make : {hw::titan_xp, hw::titan_v}) {
+    const auto card = make();
+    for (const auto& w : workload::gpu_suite()) {
+      const sim::GpuNodeSim node(card, w);
+      const auto p = core::profile_gpu_params(node);
+      for (double cap = 125.0; cap <= 300.0; cap += 25.0) {
+        const auto samples = sim::sweep_gpu_split(node, Watts{cap});
+        double oracle = 0.0;
+        for (const auto& s : samples) oracle = std::max(oracle, s.perf);
+        const auto a = core::coord_gpu(p, node.gpu_model(), Watts{cap});
+        const double coord =
+            node.steady_state(a.mem_clock_index, Watts{cap}).perf;
+        EXPECT_GT(coord, 0.89 * oracle)
+            << w.name << " on " << card.name << " cap " << cap;
+      }
+    }
+  }
+}
+
+// §6.3: COORD outperforms the default Nvidia capping policy by up to ~33%.
+TEST(PaperClaims, CoordBeatsDefaultGpuPolicy) {
+  double max_gain = 0.0;
+  for (const auto& w : workload::gpu_suite()) {
+    const sim::GpuNodeSim node(hw::titan_xp(), w);
+    const auto p = core::profile_gpu_params(node);
+    for (double cap = 125.0; cap <= 300.0; cap += 25.0) {
+      const auto a = core::coord_gpu(p, node.gpu_model(), Watts{cap});
+      const double coord =
+          node.steady_state(a.mem_clock_index, Watts{cap}).perf;
+      const double dflt = node.default_policy(Watts{cap}).perf;
+      // COORD may lose a few percent on "in between" apps near P_totref
+      // (the γ-balance slightly misallocates there); the paper's claim is
+      // the headline gain, not strict dominance.
+      EXPECT_GT(coord, 0.95 * dflt) << w.name << " cap " << cap;
+      max_gain = std::max(max_gain, coord / dflt - 1.0);
+    }
+  }
+  EXPECT_GT(max_gain, 0.20);
+  EXPECT_LT(max_gain, 0.50);
+}
+
+// §3.1: perf_max grows with the budget and flattens; both CPU platforms
+// consume similar power at their maxima, but Haswell wins at small budgets.
+TEST(PaperClaims, FrontierShapeAcrossPlatforms) {
+  const workload::Workload wl = workload::dgemm();
+  const sim::CpuNodeSim ivy(hw::ivybridge_node(), wl);
+  const sim::CpuNodeSim has(hw::haswell_node(), wl);
+  auto best_at = [](const sim::CpuNodeSim& node, double b) {
+    const auto samples = sim::sweep_cpu_split(node, Watts{b}, {});
+    double best = 0.0;
+    for (const auto& s : samples) best = std::max(best, s.perf);
+    return best;
+  };
+  EXPECT_GT(best_at(has, 140.0), best_at(ivy, 140.0));
+  // Flattening: last 40 W of budget adds (almost) nothing.
+  EXPECT_NEAR(best_at(ivy, 280.0), best_at(ivy, 240.0),
+              0.02 * best_at(ivy, 280.0));
+}
+
+// Full-stack determinism: identical runs give identical results.
+TEST(PaperClaims, EndToEndDeterminism) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_lu());
+  const auto a = sim::sweep_cpu_split(node, Watts{200.0}, {});
+  const auto b = sim::sweep_cpu_split(node, Watts{200.0}, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].perf, b[i].perf);
+    EXPECT_EQ(a[i].proc_power.value(), b[i].proc_power.value());
+  }
+}
+
+}  // namespace
+}  // namespace pbc

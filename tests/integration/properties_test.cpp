@@ -1,0 +1,239 @@
+// Property-based sweeps: invariants that must hold for EVERY benchmark on
+// EVERY platform, exercised via parameterized suites. These are the
+// contracts the analysis layer (categorization, COORD, frontiers) builds
+// on; a calibration change that breaks one of them silently breaks the
+// reproduction.
+#include <gtest/gtest.h>
+
+#include "core/categorize.hpp"
+#include "core/coord.hpp"
+#include "core/critical.hpp"
+#include "hw/platforms.hpp"
+#include "sim/sweep.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc {
+namespace {
+
+// ------------------------------------------------------------ CPU ------
+
+struct CpuCase {
+  const char* platform;
+  workload::Workload wl;
+};
+
+class CpuProperty : public ::testing::TestWithParam<CpuCase> {
+ protected:
+  [[nodiscard]] hw::CpuMachine machine() const {
+    return std::string(GetParam().platform) == "ivy" ? hw::ivybridge_node()
+                                                     : hw::haswell_node();
+  }
+};
+
+TEST_P(CpuProperty, CapsRespectedAboveFloors) {
+  const sim::CpuNodeSim node(machine(), GetParam().wl);
+  const auto& m = node.machine();
+  for (double c : {m.cpu.floor.value() + 15.0, 100.0, 140.0}) {
+    for (double mcap : {m.dram.floor.value() + 10.0, 100.0, 120.0}) {
+      const auto s = node.steady_state(Watts{c}, Watts{mcap});
+      EXPECT_LE(s.proc_power.value(), c + 0.1)
+          << GetParam().wl.name << " " << c << "/" << mcap;
+      EXPECT_LE(s.mem_power.value(), mcap + 0.1)
+          << GetParam().wl.name << " " << c << "/" << mcap;
+    }
+  }
+}
+
+TEST_P(CpuProperty, PerfMonotoneInEachCap) {
+  const sim::CpuNodeSim node(machine(), GetParam().wl);
+  double prev = 0.0;
+  for (double c = 52.0; c <= 170.0; c += 6.0) {
+    const double p = node.steady_state(Watts{c}, Watts{400.0}).perf;
+    EXPECT_GE(p, prev - 1e-9) << GetParam().wl.name << " cpu cap " << c;
+    prev = p;
+  }
+  prev = 0.0;
+  for (double m = 70.0; m <= 130.0; m += 4.0) {
+    const double p = node.steady_state(Watts{400.0}, Watts{m}).perf;
+    EXPECT_GE(p, prev - 1e-9) << GetParam().wl.name << " mem cap " << m;
+    prev = p;
+  }
+}
+
+TEST_P(CpuProperty, CriticalPowersOrderedAndWithinHardwareRange) {
+  const sim::CpuNodeSim node(machine(), GetParam().wl);
+  const auto cp = core::profile_critical_powers(node);
+  EXPECT_GT(cp.cpu_l1, cp.cpu_l2) << GetParam().wl.name;
+  EXPECT_GT(cp.cpu_l2, cp.cpu_l3) << GetParam().wl.name;
+  EXPECT_GE(cp.cpu_l3, cp.cpu_l4) << GetParam().wl.name;
+  EXPECT_GE(cp.mem_l1, cp.mem_l2) << GetParam().wl.name;
+  EXPECT_GE(cp.mem_l2, cp.mem_l3) << GetParam().wl.name;
+  // Demands cannot exceed what the hardware model can draw.
+  const hw::CpuModel cm(node.machine().cpu);
+  const hw::DramModel dm(node.machine().dram);
+  EXPECT_LE(cp.cpu_l1.value(), cm.max_power(1.0).value() + 0.1);
+  EXPECT_LE(cp.mem_l1.value(), dm.max_power().value() + 0.1);
+}
+
+TEST_P(CpuProperty, CoordNeverExceedsBudgetAndRespectsProfileBounds) {
+  const sim::CpuNodeSim node(machine(), GetParam().wl);
+  const auto cp = core::profile_critical_powers(node);
+  for (double b = 130.0; b <= 300.0; b += 10.0) {
+    for (const auto variant : {core::CpuCoordVariant::kProportional,
+                               core::CpuCoordVariant::kMemoryBiased}) {
+      const auto a = core::coord_cpu(cp, Watts{b}, variant);
+      if (a.status == core::CoordStatus::kBudgetTooSmall) continue;
+      EXPECT_LE(a.total().value(), b + 1e-9) << GetParam().wl.name;
+      EXPECT_GE(a.cpu, cp.cpu_l2) << GetParam().wl.name;
+      EXPECT_GE(a.mem, cp.mem_l2) << GetParam().wl.name;
+      EXPECT_LE(a.cpu.value(), cp.cpu_l1.value() + 1e-9)
+          << GetParam().wl.name << " budget " << b;
+    }
+  }
+}
+
+TEST_P(CpuProperty, CategorizerAssignsEverySampleALegalCategory) {
+  const sim::CpuNodeSim node(machine(), GetParam().wl);
+  sim::BudgetSweep sweep;
+  sweep.budget = Watts{230.0};
+  sweep.samples = sim::sweep_cpu_split(node, Watts{230.0}, {});
+  const auto spans = core::category_spans_cpu(sweep, node.machine());
+  std::size_t covered = 0;
+  for (const auto& sp : spans) covered += sp.last - sp.first + 1;
+  EXPECT_EQ(covered, sweep.samples.size()) << GetParam().wl.name;
+}
+
+TEST_P(CpuProperty, BestSplitIsNeverAtAFloorViolation) {
+  const sim::CpuNodeSim node(machine(), GetParam().wl);
+  for (double b : {180.0, 220.0, 260.0}) {
+    sim::BudgetSweep sweep;
+    sweep.budget = Watts{b};
+    sweep.samples = sim::sweep_cpu_split(node, Watts{b}, {});
+    const auto* best = sweep.best();
+    ASSERT_NE(best, nullptr);
+    EXPECT_TRUE(best->proc_cap_respected) << GetParam().wl.name << " " << b;
+  }
+}
+
+std::string cpu_name(const ::testing::TestParamInfo<CpuCase>& info) {
+  return std::string(info.param.platform) + "_" + info.param.wl.name;
+}
+
+std::vector<CpuCase> cpu_cases() {
+  std::vector<CpuCase> cases;
+  for (const char* platform : {"ivy", "haswell"}) {
+    for (const auto& wl : workload::cpu_suite()) {
+      cases.push_back(CpuCase{platform, wl});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatformsAllBenchmarks, CpuProperty,
+                         ::testing::ValuesIn(cpu_cases()), cpu_name);
+
+// ------------------------------------------------------------ GPU ------
+
+struct GpuCase {
+  const char* card;
+  workload::Workload wl;
+};
+
+class GpuProperty : public ::testing::TestWithParam<GpuCase> {
+ protected:
+  [[nodiscard]] hw::GpuMachine machine() const {
+    return std::string(GetParam().card) == "xp" ? hw::titan_xp()
+                                                : hw::titan_v();
+  }
+};
+
+TEST_P(GpuProperty, BoardCapAlwaysHonoured) {
+  const sim::GpuNodeSim node(machine(), GetParam().wl);
+  for (double cap = 125.0; cap <= 300.0; cap += 25.0) {
+    for (std::size_t clk = 0; clk < node.gpu_model().mem_clock_count();
+         ++clk) {
+      EXPECT_LE(node.steady_state(clk, Watts{cap}).total_power().value(),
+                cap + 0.1)
+          << GetParam().wl.name << " cap " << cap << " clk " << clk;
+    }
+  }
+}
+
+TEST_P(GpuProperty, PerfMonotoneInCapAtFixedClock) {
+  const sim::GpuNodeSim node(machine(), GetParam().wl);
+  for (std::size_t clk : {std::size_t{0}, std::size_t{2}}) {
+    double prev = 0.0;
+    for (double cap = 125.0; cap <= 300.0; cap += 12.5) {
+      const double p = node.steady_state(clk, Watts{cap}).perf;
+      EXPECT_GE(p, prev - 1e-9)
+          << GetParam().wl.name << " clk " << clk << " cap " << cap;
+      prev = p;
+    }
+  }
+}
+
+TEST_P(GpuProperty, OnlyBenignCategoriesAppear) {
+  const sim::GpuNodeSim node(machine(), GetParam().wl);
+  for (double cap : {125.0, 175.0, 250.0}) {
+    sim::BudgetSweep sweep;
+    sweep.budget = Watts{cap};
+    sweep.samples = sim::sweep_gpu_split(node, Watts{cap});
+    for (const auto c :
+         core::categories_present(core::category_spans_gpu(sweep))) {
+      EXPECT_TRUE(c == core::Category::kI || c == core::Category::kII ||
+                  c == core::Category::kIII)
+          << GetParam().wl.name << " cap " << cap;
+    }
+  }
+}
+
+TEST_P(GpuProperty, CoordWithinTenPercentOfSweepOracle) {
+  const sim::GpuNodeSim node(machine(), GetParam().wl);
+  const auto p = core::profile_gpu_params(node);
+  for (double cap = 125.0; cap <= 300.0; cap += 25.0) {
+    const auto samples = sim::sweep_gpu_split(node, Watts{cap});
+    double oracle = 0.0;
+    for (const auto& s : samples) oracle = std::max(oracle, s.perf);
+    const auto a = core::coord_gpu(p, node.gpu_model(), Watts{cap});
+    const double coord =
+        node.steady_state(a.mem_clock_index, Watts{cap}).perf;
+    EXPECT_GT(coord, 0.89 * oracle)
+        << GetParam().wl.name << " cap " << cap;
+  }
+}
+
+TEST_P(GpuProperty, ReclaimNeverHurts) {
+  // Automatic reclaim dominates independent budgeting pointwise.
+  const sim::GpuNodeSim node(machine(), GetParam().wl);
+  for (double cap : {140.0, 200.0, 280.0}) {
+    for (std::size_t clk = 0; clk < node.gpu_model().mem_clock_count();
+         ++clk) {
+      const double with = node.steady_state(clk, Watts{cap}).perf;
+      const double without =
+          node.steady_state_no_reclaim(clk, Watts{cap}).perf;
+      EXPECT_GE(with, without - 1e-9)
+          << GetParam().wl.name << " cap " << cap << " clk " << clk;
+    }
+  }
+}
+
+std::string gpu_name(const ::testing::TestParamInfo<GpuCase>& info) {
+  return std::string(info.param.card) + "_" + info.param.wl.name;
+}
+
+std::vector<GpuCase> gpu_cases() {
+  std::vector<GpuCase> cases;
+  for (const char* card : {"xp", "v"}) {
+    for (const auto& wl : workload::gpu_suite()) {
+      cases.push_back(GpuCase{card, wl});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCardsAllBenchmarks, GpuProperty,
+                         ::testing::ValuesIn(gpu_cases()), gpu_name);
+
+}  // namespace
+}  // namespace pbc

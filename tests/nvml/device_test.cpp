@@ -1,0 +1,97 @@
+#include "nvml/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::nvml {
+namespace {
+
+TEST(NvmlDevice, DefaultsToDriverDefaults) {
+  const NvmlDevice dev(hw::titan_xp());
+  EXPECT_EQ(dev.power_limit(), dev.machine().gpu.board_default_cap);
+  EXPECT_DOUBLE_EQ(dev.mem_clock_mhz(), 5705.0);  // nominal
+}
+
+TEST(NvmlDevice, PowerConstraintsMatchSpec) {
+  const NvmlDevice dev(hw::titan_xp());
+  const auto c = dev.power_constraints();
+  EXPECT_DOUBLE_EQ(c.min_limit.value(), 125.0);
+  EXPECT_DOUBLE_EQ(c.default_limit.value(), 250.0);
+  EXPECT_DOUBLE_EQ(c.max_limit.value(), 300.0);
+}
+
+TEST(NvmlDevice, SetPowerLimitWithinRange) {
+  NvmlDevice dev(hw::titan_xp());
+  EXPECT_TRUE(dev.set_power_limit(Watts{180.0}).ok());
+  EXPECT_DOUBLE_EQ(dev.power_limit().value(), 180.0);
+}
+
+TEST(NvmlDevice, RejectsOutOfRangeLimits) {
+  NvmlDevice dev(hw::titan_xp());
+  EXPECT_FALSE(dev.set_power_limit(Watts{100.0}).ok());
+  EXPECT_FALSE(dev.set_power_limit(Watts{350.0}).ok());
+  // Limit unchanged after rejections.
+  EXPECT_DOUBLE_EQ(dev.power_limit().value(), 250.0);
+}
+
+TEST(NvmlDevice, SetMemClockSnapsDown) {
+  NvmlDevice dev(hw::titan_xp());
+  EXPECT_TRUE(dev.set_mem_clock(5100.0).ok());
+  EXPECT_DOUBLE_EQ(dev.mem_clock_mhz(), 5005.0);
+  EXPECT_EQ(dev.mem_clock_index(), 2u);
+}
+
+TEST(NvmlDevice, SetMemClockExactMatch) {
+  NvmlDevice dev(hw::titan_xp());
+  EXPECT_TRUE(dev.set_mem_clock(4513.0).ok());
+  EXPECT_DOUBLE_EQ(dev.mem_clock_mhz(), 4513.0);
+}
+
+TEST(NvmlDevice, RejectsClockBelowMinimum) {
+  NvmlDevice dev(hw::titan_xp());
+  EXPECT_FALSE(dev.set_mem_clock(1000.0).ok());
+}
+
+TEST(NvmlDevice, ResetRestoresNominalClock) {
+  NvmlDevice dev(hw::titan_xp());
+  ASSERT_TRUE(dev.set_mem_clock(4006.0).ok());
+  dev.reset_mem_clock();
+  EXPECT_DOUBLE_EQ(dev.mem_clock_mhz(), 5705.0);
+}
+
+TEST(NvmlDevice, EstimatedMemPowerTracksClock) {
+  NvmlDevice dev(hw::titan_xp());
+  const double nominal = dev.estimated_mem_power().value();
+  ASSERT_TRUE(dev.set_mem_clock(4006.0).ok());
+  EXPECT_LT(dev.estimated_mem_power().value(), nominal);
+}
+
+TEST(NvmlDevice, RunHonoursCurrentSettings) {
+  NvmlDevice dev(hw::titan_xp());
+  ASSERT_TRUE(dev.set_power_limit(Watts{160.0}).ok());
+  ASSERT_TRUE(dev.set_mem_clock(4513.0).ok());
+  const auto s = dev.run(workload::minife());
+  EXPECT_EQ(s.mem_clock_index, 1u);
+  EXPECT_LE(s.total_power().value(), 160.1);
+}
+
+TEST(NvmlDevice, LowerCapLowersPerformance) {
+  NvmlDevice dev(hw::titan_xp());
+  ASSERT_TRUE(dev.set_power_limit(Watts{130.0}).ok());
+  const double capped = dev.run(workload::sgemm()).perf;
+  ASSERT_TRUE(dev.set_power_limit(Watts{300.0}).ok());
+  const double open = dev.run(workload::sgemm()).perf;
+  EXPECT_LT(capped, open);
+}
+
+TEST(NvmlDevice, UncappedPowerMatchesNodeSim) {
+  const NvmlDevice dev(hw::titan_v());
+  const sim::GpuNodeSim node(hw::titan_v(), workload::cloverleaf());
+  EXPECT_DOUBLE_EQ(dev.uncapped_power(workload::cloverleaf()).value(),
+                   node.uncapped_board_power().value());
+}
+
+}  // namespace
+}  // namespace pbc::nvml

@@ -1,0 +1,100 @@
+#include "nvml/smi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::nvml {
+namespace {
+
+class SmiTest : public ::testing::Test {
+ protected:
+  NvmlDevice device_{hw::titan_xp()};
+  SmiCli cli_{&device_};
+};
+
+TEST_F(SmiTest, PowerQueryReportsConstraints) {
+  const auto r = cli_.run("nvidia-smi -q -d POWER");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("Power Limit                 : 250"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("Min Power Limit             : 125"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("Max Power Limit             : 300"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("Memory                      : 5705"),
+            std::string::npos);
+}
+
+TEST_F(SmiTest, SetPowerLimitSucceeds) {
+  const auto r = cli_.run("nvidia-smi -pl 200");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_DOUBLE_EQ(device_.power_limit().value(), 200.0);
+  EXPECT_NE(r.output.find("was set to 200"), std::string::npos);
+}
+
+TEST_F(SmiTest, SetPowerLimitOutOfRangeFails) {
+  const auto r = cli_.run("nvidia-smi -pl 400");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("not a valid power limit"), std::string::npos);
+  EXPECT_DOUBLE_EQ(device_.power_limit().value(), 250.0);  // unchanged
+}
+
+TEST_F(SmiTest, SetPowerLimitRejectsGarbage) {
+  EXPECT_EQ(cli_.run("nvidia-smi -pl lots").exit_code, 1);
+  EXPECT_EQ(cli_.run("nvidia-smi -pl").exit_code, 1);
+}
+
+TEST_F(SmiTest, MemoryOffsetSelectsClock) {
+  // Nominal is 5705 MHz; an offset of -1699 targets 4006 -> snaps to 4006.
+  const auto r = cli_.run(
+      "nvidia-settings -a [gpu:0]/GPUMemoryTransferRateOffset=-1699");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_DOUBLE_EQ(device_.mem_clock_mhz(), 4006.0);
+}
+
+TEST_F(SmiTest, MemoryOffsetSnapsDownBetweenClocks) {
+  const auto r = cli_.run(
+      "nvidia-settings -a [gpu:0]/GPUMemoryTransferRateOffset=-300");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_DOUBLE_EQ(device_.mem_clock_mhz(), 5005.0);  // 5405 snaps to 5005
+}
+
+TEST_F(SmiTest, MemoryOffsetBelowRangeFails) {
+  const auto r = cli_.run(
+      "nvidia-settings -a [gpu:0]/GPUMemoryTransferRateOffset=-5000");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST_F(SmiTest, UnknownCommandsFail) {
+  EXPECT_EQ(cli_.run("").exit_code, 1);
+  EXPECT_EQ(cli_.run("rocm-smi -q").exit_code, 1);
+  EXPECT_EQ(cli_.run("nvidia-smi --frobnicate").exit_code, 1);
+  EXPECT_EQ(cli_.run("nvidia-settings -a [gpu:0]/FanSpeed=50").exit_code, 1);
+}
+
+TEST(SplitArgs, SplitsOnWhitespace) {
+  const auto args = split_args("  nvidia-smi   -pl  200 ");
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_EQ(args[0], "nvidia-smi");
+  EXPECT_EQ(args[2], "200");
+  EXPECT_TRUE(split_args("").empty());
+}
+
+TEST(SmiScript, PaperExperimentScriptRunsVerbatim) {
+  // The exact command pair the paper's methodology uses per data point.
+  NvmlDevice device(hw::titan_xp());
+  SmiCli cli(&device);
+  EXPECT_EQ(cli.run("nvidia-smi -pl 140").exit_code, 0);
+  EXPECT_EQ(
+      cli.run("nvidia-settings -a [gpu:0]/GPUMemoryTransferRateOffset=-700")
+          .exit_code,
+      0);
+  const auto s = device.run(workload::gpu_benchmark("STREAM").value());
+  EXPECT_LE(s.total_power().value(), 140.1);
+  EXPECT_EQ(s.mem_clock_index, 2u);  // 5005 MHz
+}
+
+}  // namespace
+}  // namespace pbc::nvml

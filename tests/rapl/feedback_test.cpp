@@ -1,0 +1,69 @@
+#include "rapl/feedback.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbc::rapl {
+namespace {
+
+TEST(Feedback, FirstObservationInitializesAverage) {
+  FeedbackController ctrl(Seconds{0.001}, Seconds{0.05});
+  EXPECT_DOUBLE_EQ(ctrl.average().value(), 0.0);
+  ctrl.observe(Watts{100.0});
+  EXPECT_DOUBLE_EQ(ctrl.average().value(), 100.0);
+}
+
+TEST(Feedback, AverageConvergesToConstantInput) {
+  FeedbackController ctrl(Seconds{0.001}, Seconds{0.02});
+  ctrl.observe(Watts{0.0});
+  for (int i = 0; i < 500; ++i) ctrl.observe(Watts{80.0});
+  EXPECT_NEAR(ctrl.average().value(), 80.0, 0.1);
+}
+
+TEST(Feedback, WindowControlsSmoothingSpeed) {
+  FeedbackController fast(Seconds{0.001}, Seconds{0.005});
+  FeedbackController slow(Seconds{0.001}, Seconds{0.5});
+  fast.observe(Watts{0.0});
+  slow.observe(Watts{0.0});
+  for (int i = 0; i < 20; ++i) {
+    fast.observe(Watts{100.0});
+    slow.observe(Watts{100.0});
+  }
+  EXPECT_GT(fast.average().value(), slow.average().value());
+}
+
+TEST(Feedback, DecideStepsDownWhenOverCap) {
+  FeedbackController ctrl(Seconds{0.001}, Seconds{0.001});
+  ctrl.observe(Watts{150.0});
+  EXPECT_EQ(ctrl.decide(Watts{100.0}, Watts{140.0}), StepDecision::kDown);
+}
+
+TEST(Feedback, DecideStepsUpWhenPredictionFits) {
+  FeedbackController ctrl(Seconds{0.001}, Seconds{0.001});
+  ctrl.observe(Watts{60.0});
+  EXPECT_EQ(ctrl.decide(Watts{100.0}, Watts{90.0}), StepDecision::kUp);
+}
+
+TEST(Feedback, DecideHoldsWhenUpWouldOvershoot) {
+  FeedbackController ctrl(Seconds{0.001}, Seconds{0.001});
+  ctrl.observe(Watts{60.0});
+  EXPECT_EQ(ctrl.decide(Watts{100.0}, Watts{120.0}), StepDecision::kHold);
+}
+
+TEST(Feedback, ResetClearsState) {
+  FeedbackController ctrl(Seconds{0.001}, Seconds{0.05});
+  ctrl.observe(Watts{100.0});
+  ctrl.reset();
+  EXPECT_DOUBLE_EQ(ctrl.average().value(), 0.0);
+  ctrl.observe(Watts{10.0});
+  EXPECT_DOUBLE_EQ(ctrl.average().value(), 10.0);
+}
+
+TEST(Feedback, TickLargerThanWindowClampsAlpha) {
+  FeedbackController ctrl(Seconds{1.0}, Seconds{0.01});
+  ctrl.observe(Watts{50.0});
+  ctrl.observe(Watts{90.0});
+  EXPECT_DOUBLE_EQ(ctrl.average().value(), 90.0);  // alpha clamped to 1
+}
+
+}  // namespace
+}  // namespace pbc::rapl

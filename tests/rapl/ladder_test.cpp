@@ -1,0 +1,84 @@
+#include "rapl/ladder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+
+namespace pbc::rapl {
+namespace {
+
+hw::CpuSpec spec() { return hw::ivybridge_node().cpu; }
+
+TEST(NotchLadder, CountIsPstatesPlusTstates) {
+  const auto s = spec();
+  const NotchLadder ladder(s);
+  EXPECT_EQ(ladder.count(),
+            s.pstates.size() + static_cast<std::size_t>(s.tstate_levels - 1));
+}
+
+TEST(NotchLadder, TopNotchIsTopPstate) {
+  const auto s = spec();
+  const NotchLadder ladder(s);
+  const auto op = ladder.op(ladder.count() - 1);
+  EXPECT_EQ(op.pstate_index, s.pstates.size() - 1);
+  EXPECT_DOUBLE_EQ(op.duty, 1.0);
+  EXPECT_FALSE(op.sleeping);
+}
+
+TEST(NotchLadder, BottomNotchIsDeepestTstate) {
+  const auto s = spec();
+  const NotchLadder ladder(s);
+  const auto op = ladder.op(0);
+  EXPECT_EQ(op.pstate_index, 0u);
+  EXPECT_DOUBLE_EQ(op.duty, 1.0 / s.tstate_levels);
+}
+
+TEST(NotchLadder, FirstPstateNotchBoundary) {
+  const auto s = spec();
+  const NotchLadder ladder(s);
+  const std::size_t boundary = ladder.first_pstate_notch();
+  EXPECT_TRUE(ladder.is_tstate(boundary - 1));
+  EXPECT_FALSE(ladder.is_tstate(boundary));
+  const auto below = ladder.op(boundary - 1);
+  const auto at = ladder.op(boundary);
+  EXPECT_EQ(below.pstate_index, 0u);
+  EXPECT_LT(below.duty, 1.0);
+  EXPECT_EQ(at.pstate_index, 0u);
+  EXPECT_DOUBLE_EQ(at.duty, 1.0);
+}
+
+TEST(NotchLadder, PowerMonotoneAlongLadder) {
+  // Walking up the ladder must never decrease package power: that ordering
+  // is what lets the governor scan for the shallowest fitting state.
+  const auto s = spec();
+  const hw::CpuModel model(s);
+  const NotchLadder ladder(s);
+  double prev = 0.0;
+  for (std::size_t n = 0; n < ladder.count(); ++n) {
+    const double p = model.package_power(ladder.op(n), 0.8).value();
+    EXPECT_GE(p, prev - 1e-9) << "notch " << n;
+    prev = p;
+  }
+}
+
+TEST(NotchLadder, CapacityMonotoneAlongLadder) {
+  const auto s = spec();
+  const hw::CpuModel model(s);
+  const NotchLadder ladder(s);
+  double prev = 0.0;
+  for (std::size_t n = 0; n < ladder.count(); ++n) {
+    const double c = model.compute_capacity(ladder.op(n)).value();
+    EXPECT_GE(c, prev - 1e-9) << "notch " << n;
+    prev = c;
+  }
+}
+
+TEST(NotchLadder, OutOfRangeNotchClamped) {
+  const auto s = spec();
+  const NotchLadder ladder(s);
+  const auto op = ladder.op(10000);
+  EXPECT_EQ(op.pstate_index, s.pstates.size() - 1);
+}
+
+}  // namespace
+}  // namespace pbc::rapl

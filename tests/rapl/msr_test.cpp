@@ -1,0 +1,131 @@
+#include "rapl/msr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbc::rapl {
+namespace {
+
+TEST(RaplUnits, DefaultLsbsMatchIntelEncoding) {
+  const RaplUnits u;
+  EXPECT_DOUBLE_EQ(u.power_lsb(), 0.125);
+  EXPECT_DOUBLE_EQ(u.energy_lsb(), 1.0 / 65536.0);
+  EXPECT_DOUBLE_EQ(u.time_lsb(), 1.0 / 1024.0);
+}
+
+TEST(PowerLimit, EncodeDecodeRoundTripsToQuantum) {
+  const RaplUnits u;
+  PowerLimit pl;
+  pl.enabled = true;
+  pl.limit = Watts{208.0};  // multiple of 1/8 W: exact
+  pl.window = Seconds{0.046};
+  const auto raw = encode_power_limit(pl, u);
+  const auto back = decode_power_limit(raw, u);
+  EXPECT_TRUE(back.enabled);
+  EXPECT_DOUBLE_EQ(back.limit.value(), 208.0);
+  EXPECT_LE(back.window.value(), 0.046 + 1e-12);
+  EXPECT_GT(back.window.value(), 0.02);
+}
+
+TEST(PowerLimit, NonMultipleQuantizesDown) {
+  const RaplUnits u;
+  PowerLimit pl;
+  pl.limit = Watts{100.07};
+  const auto back = decode_power_limit(encode_power_limit(pl, u), u);
+  EXPECT_DOUBLE_EQ(back.limit.value(), 100.0);
+}
+
+TEST(PowerLimit, EnableBitIndependent) {
+  const RaplUnits u;
+  PowerLimit pl;
+  pl.limit = Watts{50.0};
+  pl.enabled = false;
+  EXPECT_FALSE(decode_power_limit(encode_power_limit(pl, u), u).enabled);
+  pl.enabled = true;
+  EXPECT_TRUE(decode_power_limit(encode_power_limit(pl, u), u).enabled);
+}
+
+TEST(PowerLimit, SaturatesAtFieldMaximum) {
+  const RaplUnits u;
+  PowerLimit pl;
+  pl.limit = Watts{1e9};
+  const auto back = decode_power_limit(encode_power_limit(pl, u), u);
+  EXPECT_DOUBLE_EQ(back.limit.value(), 32767.0 * 0.125);
+}
+
+TEST(PowerLimit, WindowEncodingNeverExceedsRequest) {
+  const RaplUnits u;
+  for (double w : {0.001, 0.01, 0.046, 0.1, 1.0, 10.0}) {
+    PowerLimit pl;
+    pl.limit = Watts{100.0};
+    pl.window = Seconds{w};
+    const auto back = decode_power_limit(encode_power_limit(pl, u), u);
+    EXPECT_LE(back.window.value(), w + 1e-12) << "request " << w;
+    EXPECT_GE(back.window.value(), u.time_lsb());
+  }
+}
+
+TEST(RaplMsr, SetAndReadBackLimit) {
+  RaplMsr msr;
+  PowerLimit pl;
+  pl.enabled = true;
+  pl.limit = Watts{120.0};
+  ASSERT_TRUE(msr.set_power_limit(Domain::kPackage, pl).ok());
+  EXPECT_DOUBLE_EQ(msr.power_limit(Domain::kPackage).limit.value(), 120.0);
+  // Domains are independent.
+  EXPECT_DOUBLE_EQ(msr.power_limit(Domain::kDram).limit.value(), 0.0);
+}
+
+TEST(RaplMsr, RejectsNonPositiveLimit) {
+  RaplMsr msr;
+  PowerLimit pl;
+  pl.limit = Watts{0.0};
+  EXPECT_FALSE(msr.set_power_limit(Domain::kPackage, pl).ok());
+  pl.limit = Watts{10.0};
+  pl.window = Seconds{-1.0};
+  EXPECT_FALSE(msr.set_power_limit(Domain::kPackage, pl).ok());
+}
+
+TEST(RaplMsr, EnergyAccumulates) {
+  RaplMsr msr;
+  const auto before = msr.energy_status(Domain::kPackage);
+  msr.accumulate_energy(Domain::kPackage, Joules{2.0});
+  const auto after = msr.energy_status(Domain::kPackage);
+  EXPECT_EQ(after - before, 2u * 65536u);
+}
+
+TEST(RaplMsr, FractionalEnergyCarriesOver) {
+  RaplMsr msr;
+  // Half an energy unit twice must tick the counter once.
+  const double half_unit = 0.5 / 65536.0;
+  msr.accumulate_energy(Domain::kDram, Joules{half_unit});
+  EXPECT_EQ(msr.energy_status(Domain::kDram), 0u);
+  msr.accumulate_energy(Domain::kDram, Joules{half_unit});
+  EXPECT_EQ(msr.energy_status(Domain::kDram), 1u);
+}
+
+TEST(RaplMsr, EnergyDeltaHandlesWrap) {
+  RaplMsr msr;
+  const std::uint32_t before = 0xffffff00u;
+  const std::uint32_t after = 0x00000100u;
+  const Joules d = msr.energy_delta(before, after);
+  EXPECT_NEAR(d.value(), (0x100u + 0x100u) / 65536.0, 1e-9);
+}
+
+TEST(RaplMsr, EnergyDeltaNoWrap) {
+  RaplMsr msr;
+  EXPECT_NEAR(msr.energy_delta(1000, 66536).value(), 65536.0 / 65536.0, 1e-9);
+}
+
+TEST(RaplMsr, IgnoresNonPositiveEnergy) {
+  RaplMsr msr;
+  msr.accumulate_energy(Domain::kPackage, Joules{-5.0});
+  EXPECT_EQ(msr.energy_status(Domain::kPackage), 0u);
+}
+
+TEST(RaplDomain, ToString) {
+  EXPECT_STREQ(to_string(Domain::kPackage), "PKG");
+  EXPECT_STREQ(to_string(Domain::kDram), "DRAM");
+}
+
+}  // namespace
+}  // namespace pbc::rapl

@@ -1,0 +1,117 @@
+#include "rapl/powercap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbc::rapl {
+namespace {
+
+class PowercapTest : public ::testing::Test {
+ protected:
+  RaplMsr msr_;
+  PowercapFs fs_{&msr_};
+};
+
+TEST_F(PowercapTest, ListsBothDomains) {
+  const auto paths = fs_.list();
+  EXPECT_EQ(paths.size(), 14u);
+  EXPECT_NE(std::find(paths.begin(), paths.end(),
+                      "intel-rapl:0/constraint_0_power_limit_uw"),
+            paths.end());
+  EXPECT_NE(std::find(paths.begin(), paths.end(), "intel-rapl:0:0/energy_uj"),
+            paths.end());
+}
+
+TEST_F(PowercapTest, DomainNames) {
+  EXPECT_EQ(fs_.read("intel-rapl:0/name").value(), "package-0");
+  EXPECT_EQ(fs_.read("intel-rapl:0:0/name").value(), "dram");
+}
+
+TEST_F(PowercapTest, WriteAndReadBackPowerLimit) {
+  ASSERT_TRUE(
+      fs_.write("intel-rapl:0/constraint_0_power_limit_uw", "120000000")
+          .ok());
+  EXPECT_EQ(fs_.read("intel-rapl:0/constraint_0_power_limit_uw").value(),
+            "120000000");
+  EXPECT_DOUBLE_EQ(fs_.power_limit(Domain::kPackage).value(), 120.0);
+}
+
+TEST_F(PowercapTest, LimitQuantizedToRegisterUnits) {
+  // 100.07 W quantizes down to 100.0 W (1/8 W power units).
+  ASSERT_TRUE(
+      fs_.write("intel-rapl:0/constraint_0_power_limit_uw", "100070000")
+          .ok());
+  EXPECT_EQ(fs_.read("intel-rapl:0/constraint_0_power_limit_uw").value(),
+            "100000000");
+}
+
+TEST_F(PowercapTest, TimeWindowRequiresLimitFirst) {
+  EXPECT_FALSE(
+      fs_.write("intel-rapl:0/constraint_0_time_window_us", "46000").ok());
+  ASSERT_TRUE(
+      fs_.write("intel-rapl:0/constraint_0_power_limit_uw", "100000000")
+          .ok());
+  EXPECT_TRUE(
+      fs_.write("intel-rapl:0/constraint_0_time_window_us", "46000").ok());
+  // Window reads back ≤ request (hardware rounds down).
+  const auto us =
+      std::stoull(fs_.read("intel-rapl:0/constraint_0_time_window_us")
+                      .value());
+  EXPECT_LE(us, 46000u);
+  EXPECT_GT(us, 10000u);
+}
+
+TEST_F(PowercapTest, EnabledToggles) {
+  EXPECT_EQ(fs_.read("intel-rapl:0:0/enabled").value(), "0");
+  ASSERT_TRUE(fs_.write("intel-rapl:0:0/enabled", "1").ok());
+  EXPECT_EQ(fs_.read("intel-rapl:0:0/enabled").value(), "1");
+  EXPECT_FALSE(fs_.write("intel-rapl:0:0/enabled", "yes").ok());
+}
+
+TEST_F(PowercapTest, EnergyCounterTracksMsr) {
+  msr_.accumulate_energy(Domain::kPackage, Joules{3.5});
+  const auto uj = std::stoull(fs_.read("intel-rapl:0/energy_uj").value());
+  EXPECT_NEAR(static_cast<double>(uj), 3.5e6, 20.0);
+}
+
+TEST_F(PowercapTest, MaxEnergyRange) {
+  const auto range =
+      std::stoull(fs_.read("intel-rapl:0/max_energy_range_uj").value());
+  // 2^32 counts × (1/2^16) J × 1e6 µJ/J = 65536e6.
+  EXPECT_EQ(range, 65536000000ull);
+}
+
+TEST_F(PowercapTest, ReadOnlyFilesRejectWrites) {
+  EXPECT_FALSE(fs_.write("intel-rapl:0/name", "x").ok());
+  EXPECT_FALSE(fs_.write("intel-rapl:0/energy_uj", "0").ok());
+  EXPECT_FALSE(fs_.write("intel-rapl:0/constraint_0_name", "x").ok());
+}
+
+TEST_F(PowercapTest, RejectsMalformedValues) {
+  EXPECT_FALSE(
+      fs_.write("intel-rapl:0/constraint_0_power_limit_uw", "12e6").ok());
+  EXPECT_FALSE(
+      fs_.write("intel-rapl:0/constraint_0_power_limit_uw", "-5").ok());
+  EXPECT_FALSE(
+      fs_.write("intel-rapl:0/constraint_0_power_limit_uw", "").ok());
+}
+
+TEST_F(PowercapTest, UnknownPathsAreNotFound) {
+  EXPECT_FALSE(fs_.read("intel-rapl:1/name").ok());
+  EXPECT_FALSE(fs_.read("intel-rapl:0/bogus").ok());
+  EXPECT_FALSE(fs_.read("no-slash").ok());
+  EXPECT_FALSE(fs_.write("intel-rapl:0/bogus", "1").ok());
+}
+
+TEST_F(PowercapTest, DomainsAreIndependent) {
+  ASSERT_TRUE(
+      fs_.write("intel-rapl:0/constraint_0_power_limit_uw", "150000000")
+          .ok());
+  ASSERT_TRUE(
+      fs_.write("intel-rapl:0:0/constraint_0_power_limit_uw", "90000000")
+          .ok());
+  EXPECT_DOUBLE_EQ(fs_.power_limit(Domain::kPackage).value(), 150.0);
+  EXPECT_DOUBLE_EQ(fs_.power_limit(Domain::kDram).value(), 90.0);
+}
+
+}  // namespace
+}  // namespace pbc::rapl

@@ -1,0 +1,176 @@
+#include "sim/cpu_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+
+namespace pbc::sim {
+namespace {
+
+CpuNodeSim sra_node() {
+  return CpuNodeSim(hw::ivybridge_node(), workload::sra());
+}
+
+TEST(CpuNode, UncappedMatchesPaperSraPowers) {
+  // Paper (scenario I discussion): SRA draws ~112 W on processors and
+  // ~116 W on memory when unconstrained.
+  const auto s = sra_node().uncapped();
+  EXPECT_NEAR(s.proc_power.value(), 112.0, 8.0);
+  EXPECT_NEAR(s.mem_power.value(), 116.0, 8.0);
+  EXPECT_TRUE(s.proc_cap_respected);
+  EXPECT_TRUE(s.mem_cap_respected);
+  EXPECT_EQ(s.proc_region, ProcRegion::kPState);
+  EXPECT_EQ(s.mem_region, MemRegion::kUnthrottled);
+}
+
+TEST(CpuNode, UncappedRunsAtTopPstate) {
+  const auto node = sra_node();
+  const auto s = node.uncapped();
+  EXPECT_EQ(s.pstate_index, node.machine().cpu.pstates.size() - 1);
+  EXPECT_DOUBLE_EQ(s.duty, 1.0);
+}
+
+TEST(CpuNode, CapsAreRespectedInValidRange) {
+  // Memory caps start at 75 W: the minimum achievable DRAM power for SRA
+  // (background + deepest-throttle traffic at 2× energy/byte) is ~71 W, so
+  // caps below that are legitimately unmeetable.
+  const auto node = sra_node();
+  for (double c : {70.0, 90.0, 110.0, 150.0}) {
+    for (double m : {75.0, 90.0, 110.0, 130.0}) {
+      const auto s = node.steady_state(Watts{c}, Watts{m});
+      EXPECT_LE(s.proc_power.value(), c + 0.1)
+          << "cpu cap " << c << " mem cap " << m;
+      EXPECT_LE(s.mem_power.value(), m + 0.1)
+          << "cpu cap " << c << " mem cap " << m;
+      EXPECT_TRUE(s.proc_cap_respected);
+      EXPECT_TRUE(s.mem_cap_respected);
+    }
+  }
+}
+
+TEST(CpuNode, CapBelowFloorIsViolatedAndFlagged) {
+  const auto node = sra_node();
+  const double floor = node.machine().cpu.floor.value();
+  const auto s = node.steady_state(Watts{floor - 10.0}, Watts{200.0});
+  EXPECT_FALSE(s.proc_cap_respected);
+  EXPECT_NEAR(s.proc_power.value(), floor, 0.5);
+  EXPECT_EQ(s.proc_region, ProcRegion::kSleepFloor);
+}
+
+TEST(CpuNode, MemCapBelowFloorDrawsFloor) {
+  const auto node = sra_node();
+  const double floor = node.machine().dram.floor.value();
+  const auto s = node.steady_state(Watts{200.0}, Watts{floor - 20.0});
+  EXPECT_GE(s.mem_power.value(), floor - 0.5);
+  EXPECT_FALSE(s.mem_cap_respected);
+  EXPECT_EQ(s.mem_region, MemRegion::kFloor);
+}
+
+TEST(CpuNode, PerfMonotoneInCpuCap) {
+  const auto node = sra_node();
+  double prev = 0.0;
+  for (double c = 50.0; c <= 160.0; c += 10.0) {
+    const double perf = node.steady_state(Watts{c}, Watts{300.0}).perf;
+    EXPECT_GE(perf, prev - 1e-9) << "cap " << c;
+    prev = perf;
+  }
+}
+
+TEST(CpuNode, PerfMonotoneInMemCap) {
+  const auto node = sra_node();
+  double prev = 0.0;
+  for (double m = 60.0; m <= 130.0; m += 5.0) {
+    const double perf = node.steady_state(Watts{300.0}, Watts{m}).perf;
+    EXPECT_GE(perf, prev - 1e-9) << "cap " << m;
+    prev = perf;
+  }
+}
+
+TEST(CpuNode, TightCpuCapEngagesDvfsThenThrottling) {
+  const auto node = sra_node();
+  // Light constraint: still a P-state, below the top one.
+  const auto light = node.steady_state(Watts{85.0}, Watts{300.0});
+  EXPECT_EQ(light.proc_region, ProcRegion::kPState);
+  EXPECT_LT(light.pstate_index, node.machine().cpu.pstates.size() - 1);
+  // Serious constraint: clock throttling.
+  const auto heavy = node.steady_state(Watts{55.0}, Watts{300.0});
+  EXPECT_EQ(heavy.proc_region, ProcRegion::kTState);
+  EXPECT_LT(heavy.duty, 1.0);
+  EXPECT_LT(heavy.perf, light.perf);
+}
+
+TEST(CpuNode, TightMemCapEngagesThrottling) {
+  const auto node = sra_node();
+  const auto s = node.steady_state(Watts{300.0}, Watts{90.0});
+  EXPECT_EQ(s.mem_region, MemRegion::kThrottled);
+  EXPECT_LT(s.avail_bw, node.machine().dram.peak_bw);
+}
+
+TEST(CpuNode, ScenarioIVMemoryUnderusesItsAllocation) {
+  // Paper scenario IV: with the CPU seriously constrained, memory consumes
+  // much less than its (generous) allocation because the CPU makes fewer
+  // requests.
+  const auto node = sra_node();
+  const auto s = node.steady_state(Watts{52.0}, Watts{130.0});
+  EXPECT_EQ(s.proc_region, ProcRegion::kTState);
+  EXPECT_LT(s.mem_power.value(), 100.0);
+}
+
+TEST(CpuNode, SteadyStateIsDeterministic) {
+  const auto node = sra_node();
+  const auto a = node.steady_state(Watts{97.0}, Watts{103.0});
+  const auto b = node.steady_state(Watts{97.0}, Watts{103.0});
+  EXPECT_EQ(a.perf, b.perf);
+  EXPECT_EQ(a.proc_power.value(), b.proc_power.value());
+  EXPECT_EQ(a.pstate_index, b.pstate_index);
+}
+
+TEST(CpuNode, PinnedReportsRequestedState) {
+  const auto node = sra_node();
+  const hw::CpuOperatingPoint op{3, 1.0, false};
+  const auto s = node.pinned(op, GBps{40.0});
+  EXPECT_EQ(s.pstate_index, 3u);
+  EXPECT_DOUBLE_EQ(s.duty, 1.0);
+  EXPECT_DOUBLE_EQ(s.avail_bw.value(), 40.0);
+  EXPECT_EQ(s.proc_cap, s.proc_power);
+}
+
+TEST(CpuNode, PinnedPowerOrderedByState) {
+  const auto node = sra_node();
+  const auto hi = node.pinned({13, 1.0, false}, node.machine().dram.peak_bw);
+  const auto lo = node.pinned({0, 1.0, false}, node.machine().dram.peak_bw);
+  EXPECT_GT(hi.proc_power, lo.proc_power);
+  EXPECT_GT(hi.perf, lo.perf);
+}
+
+TEST(CpuNode, WorksForEveryBenchmarkInSuite) {
+  const auto machine = hw::ivybridge_node();
+  for (const auto& w : workload::cpu_suite()) {
+    const CpuNodeSim node(machine, w);
+    const auto s = node.steady_state(Watts{120.0}, Watts{90.0});
+    EXPECT_GT(s.perf, 0.0) << w.name;
+    EXPECT_LE(s.proc_power.value(), 120.1) << w.name;
+    EXPECT_LE(s.mem_power.value(), 90.1) << w.name;
+  }
+}
+
+TEST(CpuNode, HaswellOutperformsIvyBridgeAtSmallBudgetForStream) {
+  // Paper Fig. 2: the Haswell/DDR4 node delivers better performance at
+  // small total budgets.
+  const CpuNodeSim ivy(hw::ivybridge_node(), workload::stream_cpu());
+  const CpuNodeSim has(hw::haswell_node(), workload::stream_cpu());
+  const double b = 140.0;
+  double best_ivy = 0.0;
+  double best_has = 0.0;
+  for (double m = 40.0; m <= b - 40.0; m += 4.0) {
+    best_ivy = std::max(best_ivy,
+                        ivy.steady_state(Watts{b - m}, Watts{m}).perf);
+    best_has = std::max(best_has,
+                        has.steady_state(Watts{b - m}, Watts{m}).perf);
+  }
+  EXPECT_GT(best_has, best_ivy);
+}
+
+}  // namespace
+}  // namespace pbc::sim

@@ -1,0 +1,97 @@
+#include "sim/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "sim/cpu_node.hpp"
+#include "workload/cpu_suite.hpp"
+
+namespace pbc::sim {
+namespace {
+
+BudgetSweep stream_sweep(double budget) {
+  const CpuNodeSim node(hw::ivybridge_node(), workload::stream_cpu());
+  BudgetSweep sweep;
+  sweep.budget = Watts{budget};
+  sweep.samples = sweep_cpu_split(node, Watts{budget},
+                                  {Watts{48.0}, Watts{40.0}, Watts{8.0}});
+  return sweep;
+}
+
+TEST(Energy, ReportFollowsPowerAndRate) {
+  const CpuNodeSim node(hw::ivybridge_node(), workload::dgemm());
+  const auto s = node.steady_state(Watts{150.0}, Watts{90.0});
+  const auto r = energy_to_solution(s, 1000.0);
+  EXPECT_NEAR(r.duration.value(), 1000.0 / s.rate_gunits, 1e-9);
+  EXPECT_NEAR(r.total_energy().value(),
+              s.total_power().value() * r.duration.value(), 1e-6);
+  EXPECT_NEAR(r.energy_per_gunit, r.total_energy().value() / 1000.0, 1e-9);
+  EXPECT_NEAR(r.edp, r.total_energy().value() * r.duration.value(), 1e-6);
+}
+
+TEST(Energy, ZeroWorkOrRateYieldsEmptyReport) {
+  AllocationSample s;
+  s.rate_gunits = 0.0;
+  EXPECT_EQ(energy_to_solution(s, 100.0).total_energy().value(), 0.0);
+  s.rate_gunits = 5.0;
+  EXPECT_EQ(energy_to_solution(s, 0.0).duration.value(), 0.0);
+}
+
+TEST(Energy, BetterSplitUsesLessEnergyForSameWork) {
+  // Paper finding 4 (Fig. 1): poor splits burn the budget for little
+  // performance — energy-to-solution explodes.
+  const auto sweep = stream_sweep(208.0);
+  const auto& best = *sweep.best();
+  double worst_perf = 1e300;
+  const AllocationSample* worst = nullptr;
+  for (const auto& s : sweep.samples) {
+    if (s.perf < worst_perf) {
+      worst_perf = s.perf;
+      worst = &s;
+    }
+  }
+  ASSERT_NE(worst, nullptr);
+  const auto e_best = energy_to_solution(best, 100.0);
+  const auto e_worst = energy_to_solution(*worst, 100.0);
+  EXPECT_GT(e_worst.energy_per_gunit, 5.0 * e_best.energy_per_gunit);
+}
+
+TEST(Energy, EfficiencyCurveShapeMatchesSweep) {
+  const auto sweep = stream_sweep(208.0);
+  const auto curve = efficiency_curve(sweep);
+  ASSERT_EQ(curve.size(), sweep.samples.size());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_EQ(curve[i].mem_cap, sweep.samples[i].mem_cap);
+    EXPECT_EQ(curve[i].perf, sweep.samples[i].perf);
+    EXPECT_GE(curve[i].perf_per_watt, curve[i].perf_per_budget_watt - 1e-12);
+  }
+}
+
+TEST(Energy, MostEfficientBeatsEveryOtherSample) {
+  const auto sweep = stream_sweep(208.0);
+  const AllocationSample* eff = most_efficient(sweep);
+  ASSERT_NE(eff, nullptr);
+  for (const auto& s : sweep.samples) {
+    EXPECT_GE(eff->efficiency(), s.efficiency());
+  }
+}
+
+TEST(Energy, MostEfficientOfEmptySweepIsNull) {
+  BudgetSweep empty;
+  EXPECT_EQ(most_efficient(empty), nullptr);
+}
+
+TEST(Energy, EfficiencyOptimumNearPerformanceOptimum) {
+  // With actual power tracking perf loosely, the efficiency optimum sits
+  // at or near the performance optimum for memory-bound codes (both avoid
+  // the wasteful scenarios).
+  const auto sweep = stream_sweep(208.0);
+  const AllocationSample* eff = most_efficient(sweep);
+  const AllocationSample* best = sweep.best();
+  ASSERT_NE(eff, nullptr);
+  ASSERT_NE(best, nullptr);
+  EXPECT_GT(eff->perf, 0.5 * best->perf);
+}
+
+}  // namespace
+}  // namespace pbc::sim

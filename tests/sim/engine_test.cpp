@@ -1,0 +1,137 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "sim/cpu_node.hpp"
+#include "workload/cpu_suite.hpp"
+
+namespace pbc::sim {
+namespace {
+
+EngineConfig fast_config() {
+  EngineConfig cfg;
+  cfg.duration = Seconds{0.8};
+  cfg.warmup = Seconds{0.2};
+  return cfg;
+}
+
+TEST(Engine, ConvergesToClosedFormSteadyState) {
+  // The time-stepped control loop and the fixed-point solver must agree on
+  // long-run power and performance. This is the core cross-validation of
+  // the two simulation paths.
+  const auto machine = hw::ivybridge_node();
+  for (const char* name : {"SRA", "STREAM", "DGEMM", "MG"}) {
+    const auto wl = workload::cpu_benchmark(name).value();
+    const CpuNodeSim node(machine, wl);
+    const RaplEngine engine(machine, wl, fast_config());
+    for (const auto& caps : std::vector<std::pair<double, double>>{
+             {300.0, 300.0}, {100.0, 100.0}, {80.0, 110.0}, {130.0, 85.0}}) {
+      const auto exact =
+          node.steady_state(Watts{caps.first}, Watts{caps.second});
+      const auto timed = engine.run(Watts{caps.first}, Watts{caps.second});
+      // The feedback loop dithers between adjacent discrete states, so its
+      // long-run average can sit slightly above the conservative quantized
+      // fixed point (real RAPL behaves the same way).
+      EXPECT_NEAR(timed.aggregate.perf, exact.perf,
+                  std::max(0.16 * exact.perf, 1e-3))
+          << name << " caps " << caps.first << "/" << caps.second;
+      EXPECT_NEAR(timed.aggregate.proc_power.value(),
+                  exact.proc_power.value(), 8.0)
+          << name;
+      EXPECT_NEAR(timed.aggregate.mem_power.value(), exact.mem_power.value(),
+                  8.0)
+          << name;
+    }
+  }
+}
+
+TEST(Engine, RunningAverageRespectsCaps) {
+  const auto machine = hw::ivybridge_node();
+  const RaplEngine engine(machine, workload::sra(), fast_config());
+  const auto run = engine.run(Watts{100.0}, Watts{100.0});
+  EXPECT_LT(run.cpu_overshoot_frac, 0.05);
+  EXPECT_LT(run.mem_overshoot_frac, 0.05);
+  EXPECT_LE(run.aggregate.proc_power.value(), 101.5);
+  EXPECT_LE(run.aggregate.mem_power.value(), 101.5);
+}
+
+TEST(Engine, UncappedRunsAtTopState) {
+  const auto machine = hw::ivybridge_node();
+  const RaplEngine engine(machine, workload::dgemm(), fast_config());
+  const auto run = engine.run(Watts{1000.0}, Watts{1000.0});
+  EXPECT_EQ(run.aggregate.pstate_index, machine.cpu.pstates.size() - 1);
+  EXPECT_DOUBLE_EQ(run.aggregate.duty, 1.0);
+  EXPECT_EQ(run.aggregate.mem_region, MemRegion::kUnthrottled);
+}
+
+TEST(Engine, RecordsDecimatedTimeline) {
+  auto cfg = fast_config();
+  cfg.record_timeline = true;
+  cfg.timeline_stride = 10;
+  const auto machine = hw::ivybridge_node();
+  const RaplEngine engine(machine, workload::stream_cpu(), cfg);
+  const auto run = engine.run(Watts{120.0}, Watts{100.0});
+  ASSERT_FALSE(run.timeline.empty());
+  // Post-warmup ticks / stride, within one.
+  const auto expected =
+      static_cast<std::size_t>((0.8 - 0.2) / 0.001 / 10.0);
+  EXPECT_NEAR(static_cast<double>(run.timeline.size()),
+              static_cast<double>(expected), 2.0);
+  // Timeline is time-ordered.
+  for (std::size_t i = 1; i < run.timeline.size(); ++i) {
+    EXPECT_GT(run.timeline[i].t.value(), run.timeline[i - 1].t.value());
+  }
+}
+
+TEST(Engine, NoTimelineByDefault) {
+  const auto machine = hw::ivybridge_node();
+  const RaplEngine engine(machine, workload::stream_cpu(), fast_config());
+  EXPECT_TRUE(engine.run(Watts{120.0}, Watts{100.0}).timeline.empty());
+}
+
+TEST(Engine, MultiPhaseWorkloadConverges) {
+  // BT has two phases with different memory behaviour; the controller must
+  // still keep average power under the caps.
+  const auto machine = hw::ivybridge_node();
+  const RaplEngine engine(machine, workload::npb_bt(), fast_config());
+  const auto run = engine.run(Watts{110.0}, Watts{85.0});
+  EXPECT_LE(run.aggregate.proc_power.value(), 112.0);
+  EXPECT_LE(run.aggregate.mem_power.value(), 87.0);
+  EXPECT_GT(run.aggregate.perf, 0.0);
+}
+
+TEST(Engine, CapBelowFloorReportsViolation) {
+  const auto machine = hw::ivybridge_node();
+  const RaplEngine engine(machine, workload::sra(), fast_config());
+  const auto run = engine.run(Watts{30.0}, Watts{30.0});
+  EXPECT_FALSE(run.aggregate.proc_cap_respected);
+  EXPECT_FALSE(run.aggregate.mem_cap_respected);
+}
+
+TEST(Engine, EnergyCountersMatchAveragePower) {
+  // The MSR-metered energy must equal mean power × measured duration,
+  // up to counter quantization (1/2^16 J — far below tolerance).
+  const auto machine = hw::ivybridge_node();
+  const RaplEngine engine(machine, workload::npb_cg(), fast_config());
+  const auto run = engine.run(Watts{110.0}, Watts{95.0});
+  const double measured_s = 0.8 - 0.2;
+  EXPECT_NEAR(run.cpu_energy.value(),
+              run.aggregate.proc_power.value() * measured_s,
+              0.02 * run.cpu_energy.value() + 0.1);
+  EXPECT_NEAR(run.mem_energy.value(),
+              run.aggregate.mem_power.value() * measured_s,
+              0.02 * run.mem_energy.value() + 0.1);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const auto machine = hw::ivybridge_node();
+  const RaplEngine engine(machine, workload::npb_ft(), fast_config());
+  const auto a = engine.run(Watts{105.0}, Watts{95.0});
+  const auto b = engine.run(Watts{105.0}, Watts{95.0});
+  EXPECT_EQ(a.aggregate.perf, b.aggregate.perf);
+  EXPECT_EQ(a.aggregate.proc_power.value(), b.aggregate.proc_power.value());
+}
+
+}  // namespace
+}  // namespace pbc::sim

@@ -1,0 +1,88 @@
+#include "sim/gpu_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "sim/gpu_node.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::sim {
+namespace {
+
+GpuEngineConfig fast_config() {
+  GpuEngineConfig cfg;
+  cfg.duration = Seconds{0.8};
+  cfg.warmup = Seconds{0.2};
+  return cfg;
+}
+
+TEST(GpuEngine, ConvergesToSteadyStateSolver) {
+  const auto card = hw::titan_xp();
+  for (const char* name : {"SGEMM", "MiniFE", "Cloverleaf"}) {
+    const auto wl = workload::gpu_benchmark(name).value();
+    const GpuNodeSim node(card, wl);
+    const GpuBoardEngine engine(card, wl, fast_config());
+    for (double cap : {140.0, 200.0, 300.0}) {
+      for (std::size_t clk : {std::size_t{0}, std::size_t{4}}) {
+        const auto exact = node.steady_state(clk, Watts{cap});
+        const auto timed = engine.run(clk, Watts{cap});
+        EXPECT_NEAR(timed.aggregate.perf, exact.perf, 0.12 * exact.perf)
+            << name << " cap " << cap << " clk " << clk;
+        // The capper dithers between adjacent DVFS steps and averages up
+        // to the cap, while the fixed point conservatively picks the step
+        // below it — allow one step's worth of board power.
+        EXPECT_NEAR(timed.aggregate.total_power().value(),
+                    exact.total_power().value(), 16.0)
+            << name << " cap " << cap << " clk " << clk;
+      }
+    }
+  }
+}
+
+TEST(GpuEngine, RunningAverageRespectsCap) {
+  const auto card = hw::titan_xp();
+  const GpuBoardEngine engine(card, workload::sgemm(), fast_config());
+  const auto run = engine.run(0, Watts{160.0});
+  EXPECT_LT(run.overshoot_frac, 0.05);
+  EXPECT_LE(run.aggregate.total_power().value(), 163.0);
+}
+
+TEST(GpuEngine, UncappedRunsNearTopStep) {
+  const auto card = hw::titan_v();
+  const GpuBoardEngine engine(card, workload::minife(), fast_config());
+  const auto run = engine.run(card.gpu.mem_clocks_mhz.size() - 1,
+                              Watts{300.0});
+  // MiniFE's demand on the Titan V is ~110 W: no throttling at 300 W.
+  EXPECT_GE(run.aggregate.sm_step, card.gpu.sm_steps - 2);
+  EXPECT_LE(run.sm_transitions, 2u);
+}
+
+TEST(GpuEngine, TightCapCausesDithering) {
+  // At a cap between two DVFS steps, the capper oscillates — that
+  // dithering is what real boards show on power traces.
+  const auto card = hw::titan_xp();
+  const GpuBoardEngine engine(card, workload::sgemm(), fast_config());
+  const auto run = engine.run(0, Watts{170.0});
+  EXPECT_GT(run.sm_transitions, 0u);
+}
+
+TEST(GpuEngine, CapClampedToDriverRange) {
+  const auto card = hw::titan_xp();
+  const GpuBoardEngine engine(card, workload::hpcg(), fast_config());
+  const auto below = engine.run(2, Watts{50.0});
+  const auto at_min = engine.run(2, card.gpu.board_min_cap);
+  EXPECT_NEAR(below.aggregate.perf, at_min.aggregate.perf,
+              0.03 * at_min.aggregate.perf);
+}
+
+TEST(GpuEngine, Deterministic) {
+  const auto card = hw::titan_xp();
+  const GpuBoardEngine engine(card, workload::cufft(), fast_config());
+  const auto a = engine.run(1, Watts{180.0});
+  const auto b = engine.run(1, Watts{180.0});
+  EXPECT_EQ(a.aggregate.perf, b.aggregate.perf);
+  EXPECT_EQ(a.sm_transitions, b.sm_transitions);
+}
+
+}  // namespace
+}  // namespace pbc::sim

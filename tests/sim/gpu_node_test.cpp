@@ -1,0 +1,149 @@
+#include "sim/gpu_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::sim {
+namespace {
+
+GpuNodeSim xp(const workload::Workload& w) {
+  return GpuNodeSim(hw::titan_xp(), w);
+}
+
+TEST(GpuNode, BoardCapIsHonoured) {
+  const auto node = xp(workload::sgemm());
+  for (double cap : {125.0, 150.0, 200.0, 250.0, 300.0}) {
+    for (std::size_t clk = 0; clk < node.gpu_model().mem_clock_count();
+         ++clk) {
+      const auto s = node.steady_state(clk, Watts{cap});
+      EXPECT_LE(s.total_power().value(), cap + 0.1)
+          << "cap " << cap << " clk " << clk;
+    }
+  }
+}
+
+TEST(GpuNode, CapIsClampedToDriverRange) {
+  const auto node = xp(workload::sgemm());
+  const auto below = node.steady_state(0, Watts{10.0});
+  const auto at_min = node.steady_state(0, node.machine().gpu.board_min_cap);
+  EXPECT_EQ(below.sm_step, at_min.sm_step);
+  const auto above = node.steady_state(0, Watts{9999.0});
+  const auto at_max = node.steady_state(0, node.machine().gpu.board_max_cap);
+  EXPECT_EQ(above.sm_step, at_max.sm_step);
+}
+
+TEST(GpuNode, UnusedMemoryBudgetFlowsToSms) {
+  // Paper §4: GPU capping automatically reclaims unused memory budget. At a
+  // fixed board cap, a lower memory clock leaves more power for the SMs, so
+  // the chosen SM step must not decrease.
+  const auto node = xp(workload::sgemm());
+  const auto low_clk = node.steady_state(0, Watts{160.0});
+  const auto high_clk = node.steady_state(
+      node.gpu_model().mem_clock_count() - 1, Watts{160.0});
+  EXPECT_GE(low_clk.sm_step, high_clk.sm_step);
+  EXPECT_GT(low_clk.perf, high_clk.perf);  // SGEMM is compute intensive
+}
+
+TEST(GpuNode, TotalPowerTracksCapUnlessDemandBelowIt) {
+  // Paper §4: "the actual total power consumption always matches the set
+  // power cap, unless the cap exceeds the application's demand."
+  const auto node = xp(workload::minife());
+  const double demand = node.uncapped_board_power().value();
+  const auto constrained = node.steady_state(
+      node.gpu_model().mem_clock_count() - 1, Watts{150.0});
+  EXPECT_GT(constrained.total_power().value(), 150.0 - 18.0);
+  const auto plentiful = node.steady_state(
+      node.gpu_model().mem_clock_count() - 1, Watts{300.0});
+  EXPECT_LT(plentiful.total_power().value(), 300.0 - 10.0);
+  EXPECT_NEAR(plentiful.total_power().value(), demand, 1.0);
+}
+
+TEST(GpuNode, DefaultPolicyUsesNominalClock) {
+  const auto node = xp(workload::stream_gpu());
+  const auto s = node.default_policy(Watts{200.0});
+  EXPECT_EQ(s.mem_clock_index, node.gpu_model().mem_clock_count() - 1);
+}
+
+TEST(GpuNode, PerfMonotoneInBoardCap) {
+  for (const auto& w : workload::gpu_suite()) {
+    const auto node = xp(w);
+    double prev = 0.0;
+    for (double cap = 125.0; cap <= 300.0; cap += 25.0) {
+      const double perf = node.default_policy(Watts{cap}).perf;
+      EXPECT_GE(perf, prev - 1e-9) << w.name << " cap " << cap;
+      prev = perf;
+    }
+  }
+}
+
+TEST(GpuNode, MemCapFieldsReportImpliedAllocation) {
+  const auto node = xp(workload::minife());
+  const auto s = node.steady_state(1, Watts{200.0});
+  EXPECT_EQ(s.mem_cap, node.gpu_model().estimated_mem_power(1));
+  EXPECT_NEAR(s.proc_cap.value(), 200.0 - s.mem_cap.value(), 1e-9);
+}
+
+TEST(GpuNode, ComponentPowersSumToBoardPower) {
+  const auto node = xp(workload::cloverleaf());
+  const auto s = node.steady_state(2, Watts{220.0});
+  // proc_power includes SM + board overhead; mem_power the memory domain.
+  EXPECT_GT(s.proc_power.value(),
+            node.machine().gpu.other_power.value());
+  EXPECT_GT(s.mem_power.value(), 0.0);
+}
+
+TEST(GpuNode, PinnedReportsRequestedState) {
+  const auto node = xp(workload::sgemm());
+  const auto s = node.pinned(3, 1);
+  EXPECT_EQ(s.sm_step, 3u);
+  EXPECT_EQ(s.mem_clock_index, 1u);
+}
+
+TEST(GpuNode, UncappedPowerIsMaxOverStates) {
+  const auto node = xp(workload::sgemm());
+  const double uncapped = node.uncapped_board_power().value();
+  for (std::size_t clk = 0; clk < node.gpu_model().mem_clock_count(); ++clk) {
+    EXPECT_GE(uncapped + 1e-9,
+              node.steady_state(clk, Watts{300.0}).total_power().value() -
+                  35.0);
+  }
+}
+
+TEST(GpuNode, SgemmOnXpDemandsMoreThanMaxCap) {
+  // Paper Fig. 6: SGEMM's performance keeps growing through the entire
+  // supported cap range on the Titan XP — demand exceeds 300 W.
+  const auto node = xp(workload::sgemm());
+  EXPECT_GT(node.uncapped_board_power().value(), 300.0);
+  EXPECT_GT(node.default_policy(Watts{300.0}).perf,
+            node.default_policy(Watts{260.0}).perf);
+}
+
+TEST(GpuNode, SgemmOnTitanVFlattensNear180) {
+  const GpuNodeSim node(hw::titan_v(), workload::sgemm());
+  const double at180 = node.default_policy(Watts{185.0}).perf;
+  const double at300 = node.default_policy(Watts{300.0}).perf;
+  EXPECT_NEAR(at180, at300, 0.02 * at300);
+  EXPECT_LT(node.default_policy(Watts{150.0}).perf, 0.99 * at300);
+}
+
+TEST(GpuNode, MiniFeFlatInTitanVStudyRange) {
+  // Paper Fig. 6: MiniFE's bound does not change over the studied range on
+  // the Titan V.
+  const GpuNodeSim node(hw::titan_v(), workload::minife());
+  const double lo = node.default_policy(Watts{125.0}).perf;
+  const double hi = node.default_policy(Watts{300.0}).perf;
+  EXPECT_NEAR(lo, hi, 0.02 * hi);
+}
+
+TEST(GpuNode, DeterministicSteadyState) {
+  const auto node = xp(workload::hpcg());
+  const auto a = node.steady_state(2, Watts{170.0});
+  const auto b = node.steady_state(2, Watts{170.0});
+  EXPECT_EQ(a.perf, b.perf);
+  EXPECT_EQ(a.sm_step, b.sm_step);
+}
+
+}  // namespace
+}  // namespace pbc::sim

@@ -1,0 +1,198 @@
+#include "sim/shared_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "sim/cpu_node.hpp"
+#include "workload/cpu_suite.hpp"
+
+namespace pbc::sim {
+namespace {
+
+TEST(MaxMinFair, SatisfiesAllWhenCapacitySuffices) {
+  const auto share = max_min_fair_share({10.0, 20.0, 5.0}, 100.0);
+  EXPECT_DOUBLE_EQ(share[0], 10.0);
+  EXPECT_DOUBLE_EQ(share[1], 20.0);
+  EXPECT_DOUBLE_EQ(share[2], 5.0);
+}
+
+TEST(MaxMinFair, EqualSplitWhenAllDemandMore) {
+  const auto share = max_min_fair_share({50.0, 60.0, 70.0}, 30.0);
+  EXPECT_DOUBLE_EQ(share[0], 10.0);
+  EXPECT_DOUBLE_EQ(share[1], 10.0);
+  EXPECT_DOUBLE_EQ(share[2], 10.0);
+}
+
+TEST(MaxMinFair, SmallDemandReleasesSurplus) {
+  // Demands {2, 40, 40}, capacity 42: tenant 0 takes 2, the rest split 40.
+  const auto share = max_min_fair_share({2.0, 40.0, 40.0}, 42.0);
+  EXPECT_DOUBLE_EQ(share[0], 2.0);
+  EXPECT_DOUBLE_EQ(share[1], 20.0);
+  EXPECT_DOUBLE_EQ(share[2], 20.0);
+}
+
+TEST(MaxMinFair, NeverExceedsCapacityOrDemand) {
+  const auto share = max_min_fair_share({7.0, 13.0, 29.0, 3.0}, 25.0);
+  double total = 0.0;
+  const std::vector<double> demands{7.0, 13.0, 29.0, 3.0};
+  for (std::size_t i = 0; i < share.size(); ++i) {
+    EXPECT_LE(share[i], demands[i] + 1e-12);
+    total += share[i];
+  }
+  EXPECT_LE(total, 25.0 + 1e-9);
+}
+
+TEST(MaxMinFair, ZeroCapacity) {
+  for (double s : max_min_fair_share({5.0, 5.0}, 0.0)) EXPECT_EQ(s, 0.0);
+}
+
+SharedCpuNodeSim dgemm_stream_node(int dgemm_cores) {
+  const auto machine = hw::ivybridge_node();
+  return SharedCpuNodeSim(
+      machine, {{workload::dgemm(), dgemm_cores},
+                {workload::stream_cpu(), 20 - dgemm_cores}});
+}
+
+TEST(SharedNode, CapsAreRespected) {
+  const auto node = dgemm_stream_node(10);
+  for (double c : {90.0, 120.0, 150.0}) {
+    for (double m : {80.0, 100.0, 120.0}) {
+      const auto s = node.steady_state(Watts{c}, Watts{m});
+      EXPECT_LE(s.proc_power.value(), c + 0.1) << c << "/" << m;
+      EXPECT_LE(s.mem_power.value(), m + 0.1) << c << "/" << m;
+    }
+  }
+}
+
+TEST(SharedNode, BothTenantsMakeProgress) {
+  const auto node = dgemm_stream_node(10);
+  const auto s = node.steady_state(Watts{140.0}, Watts{110.0});
+  ASSERT_EQ(s.tenants.size(), 2u);
+  EXPECT_GT(s.tenants[0].perf, 0.0);
+  EXPECT_GT(s.tenants[1].perf, 0.0);
+}
+
+TEST(SharedNode, MoreCoresMoreComputePerf) {
+  const auto few = dgemm_stream_node(6).steady_state(Watts{300.0},
+                                                     Watts{300.0});
+  const auto many = dgemm_stream_node(14).steady_state(Watts{300.0},
+                                                       Watts{300.0});
+  EXPECT_GT(many.tenants[0].perf, few.tenants[0].perf);  // DGEMM scales
+  EXPECT_LE(many.tenants[1].perf, few.tenants[1].perf + 1e-9);
+}
+
+TEST(SharedNode, TenantPerfBoundedBySoloRun) {
+  // A tenant sharing the node can never beat the whole machine to itself
+  // under the same caps.
+  const auto machine = hw::ivybridge_node();
+  const CpuNodeSim solo(machine, workload::stream_cpu());
+  const auto shared = dgemm_stream_node(10);
+  const auto s = shared.steady_state(Watts{150.0}, Watts{116.0});
+  const auto alone = solo.steady_state(Watts{150.0}, Watts{116.0});
+  EXPECT_LE(s.tenants[1].perf, alone.perf * 1.01);
+}
+
+TEST(SharedNode, BandwidthSharesRespectTotal) {
+  const auto node = dgemm_stream_node(8);
+  const auto s = node.steady_state(Watts{130.0}, Watts{100.0});
+  double total_granted = 0.0;
+  for (const auto& t : s.tenants) total_granted += t.granted_bw.value();
+  EXPECT_LE(total_granted, s.total_bw.value() + 1e-9);
+}
+
+TEST(SharedNode, MemoryHogYieldsToLightTenant) {
+  // EP barely touches memory; sharing with STREAM, EP's tiny demand is
+  // fully satisfied while STREAM absorbs the rest.
+  const auto machine = hw::ivybridge_node();
+  const SharedCpuNodeSim node(
+      machine, {{workload::npb_ep(), 10}, {workload::stream_cpu(), 10}});
+  const auto s = node.steady_state(Watts{300.0}, Watts{300.0});
+  EXPECT_NEAR(s.tenants[0].granted_bw.value(),
+              s.tenants[0].achieved_bw.value(), 1.0);
+  EXPECT_GT(s.tenants[1].granted_bw.value(),
+            10.0 * s.tenants[0].granted_bw.value());
+}
+
+TEST(SharedNode, PackageThrottlesUnderTightCap) {
+  const auto node = dgemm_stream_node(10);
+  const auto tight = node.steady_state(Watts{80.0}, Watts{120.0});
+  const auto loose = node.steady_state(Watts{200.0}, Watts{120.0});
+  EXPECT_LT(tight.pstate_index, loose.pstate_index);
+  EXPECT_LT(tight.tenants[0].perf, loose.tenants[0].perf);
+}
+
+// ------------------------------------------------ per-core DVFS ------
+
+SharedCpuNodeSim haswell_pair(bool per_core) {
+  auto machine = hw::haswell_node();
+  machine.cpu.per_core_dvfs = per_core;
+  return SharedCpuNodeSim(
+      machine,
+      {{workload::dgemm(), 12}, {workload::stream_cpu(), 12}});
+}
+
+TEST(SharedNodePerCore, CapStillRespected) {
+  const auto node = haswell_pair(true);
+  for (double c : {90.0, 110.0, 130.0}) {
+    const auto s = node.steady_state(Watts{c}, Watts{100.0});
+    EXPECT_LE(s.proc_power.value(), c + 0.1) << c;
+    EXPECT_LE(s.mem_power.value(), 100.1) << c;
+  }
+}
+
+TEST(SharedNodePerCore, TenantsGetDifferentClocksUnderTightCap) {
+  // The greedy parks the bandwidth-bound tenant's cores (whose perf barely
+  // depends on clock) and keeps the compute tenant fast.
+  const auto s = haswell_pair(true).steady_state(Watts{100.0}, Watts{100.0});
+  ASSERT_EQ(s.tenant_pstates.size(), 2u);
+  EXPECT_GT(s.tenant_pstates[0], s.tenant_pstates[1]);  // DGEMM > STREAM
+}
+
+TEST(SharedNodePerCore, BeatsPackageWideDvfsForMixedTenants) {
+  const auto per_core =
+      haswell_pair(true).steady_state(Watts{100.0}, Watts{100.0});
+  const auto pkg_wide =
+      haswell_pair(false).steady_state(Watts{100.0}, Watts{100.0});
+  // The compute tenant gains materially; the memory tenant loses (almost)
+  // nothing.
+  EXPECT_GT(per_core.tenants[0].perf, 1.08 * pkg_wide.tenants[0].perf);
+  EXPECT_GT(per_core.tenants[1].perf, 0.95 * pkg_wide.tenants[1].perf);
+}
+
+TEST(SharedNodePerCore, MatchesPackageWideWhenUnconstrained) {
+  const auto per_core =
+      haswell_pair(true).steady_state(Watts{300.0}, Watts{300.0});
+  const auto pkg_wide =
+      haswell_pair(false).steady_state(Watts{300.0}, Watts{300.0});
+  EXPECT_NEAR(per_core.tenants[0].perf, pkg_wide.tenants[0].perf,
+              0.01 * pkg_wide.tenants[0].perf);
+  EXPECT_NEAR(per_core.tenants[1].perf, pkg_wide.tenants[1].perf,
+              0.01 * pkg_wide.tenants[1].perf);
+}
+
+TEST(SharedNodePerCore, PackageWidePathKeepsUniformStates) {
+  const auto s = haswell_pair(false).steady_state(Watts{110.0}, Watts{100.0});
+  ASSERT_EQ(s.tenant_pstates.size(), 2u);
+  EXPECT_EQ(s.tenant_pstates[0], s.tenant_pstates[1]);
+}
+
+TEST(SharedNodePerCore, IvyBridgeStaysPackageWide) {
+  // Paper Table 2: IvyBridge has per-processor DVFS only.
+  const auto machine = hw::ivybridge_node();
+  EXPECT_FALSE(machine.cpu.per_core_dvfs);
+  const SharedCpuNodeSim node(
+      machine, {{workload::dgemm(), 10}, {workload::stream_cpu(), 10}});
+  const auto s = node.steady_state(Watts{100.0}, Watts{100.0});
+  EXPECT_EQ(s.tenant_pstates[0], s.tenant_pstates[1]);
+}
+
+TEST(SharedNode, Deterministic) {
+  const auto node = dgemm_stream_node(12);
+  const auto a = node.steady_state(Watts{140.0}, Watts{100.0});
+  const auto b = node.steady_state(Watts{140.0}, Watts{100.0});
+  EXPECT_EQ(a.tenants[0].perf, b.tenants[0].perf);
+  EXPECT_EQ(a.tenants[1].perf, b.tenants[1].perf);
+}
+
+}  // namespace
+}  // namespace pbc::sim

@@ -1,0 +1,94 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/platforms.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::sim {
+namespace {
+
+TEST(Sweep, CpuSplitGridShapeAndOrder) {
+  const CpuNodeSim node(hw::ivybridge_node(), workload::sra());
+  const CpuSweepOptions opt{Watts{40.0}, Watts{32.0}, Watts{8.0}};
+  const auto samples = sweep_cpu_split(node, Watts{200.0}, opt);
+  ASSERT_FALSE(samples.empty());
+  // mem caps 40, 48, ..., 168 => 17 points.
+  EXPECT_EQ(samples.size(), 17u);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(samples[i].mem_cap.value(),
+                     40.0 + 8.0 * static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(samples[i].total_cap().value(), 200.0);
+  }
+}
+
+TEST(Sweep, GpuSplitCoversAllMemClocks) {
+  const GpuNodeSim node(hw::titan_xp(), workload::minife());
+  const auto samples = sweep_gpu_split(node, Watts{200.0});
+  EXPECT_EQ(samples.size(), node.gpu_model().mem_clock_count());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].mem_clock_index, i);
+  }
+  // Ascending estimated memory power.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i].mem_cap, samples[i - 1].mem_cap);
+  }
+}
+
+TEST(Sweep, BestReturnsMaxPerf) {
+  const CpuNodeSim node(hw::ivybridge_node(), workload::stream_cpu());
+  BudgetSweep sweep;
+  sweep.budget = Watts{208.0};
+  sweep.samples = sweep_cpu_split(node, Watts{208.0}, {});
+  const AllocationSample* best = sweep.best();
+  ASSERT_NE(best, nullptr);
+  for (const auto& s : sweep.samples) {
+    EXPECT_LE(s.perf, best->perf);
+  }
+}
+
+TEST(Sweep, BestOfEmptyIsNull) {
+  BudgetSweep sweep;
+  EXPECT_EQ(sweep.best(), nullptr);
+}
+
+TEST(Sweep, ParallelBudgetsMatchSerial) {
+  const CpuNodeSim node(hw::ivybridge_node(), workload::npb_mg());
+  const auto budgets = budget_grid(Watts{150.0}, Watts{240.0}, Watts{30.0});
+  ThreadPool pool(4);
+  const auto parallel = sweep_cpu_budgets(node, budgets, {}, &pool);
+  ASSERT_EQ(parallel.size(), budgets.size());
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    const auto serial = sweep_cpu_split(node, budgets[i], {});
+    ASSERT_EQ(parallel[i].samples.size(), serial.size());
+    for (std::size_t j = 0; j < serial.size(); ++j) {
+      EXPECT_EQ(parallel[i].samples[j].perf, serial[j].perf);
+    }
+  }
+}
+
+TEST(Sweep, GpuBudgetsParallel) {
+  const GpuNodeSim node(hw::titan_v(), workload::stream_gpu());
+  const auto caps = budget_grid(Watts{125.0}, Watts{250.0}, Watts{25.0});
+  const auto sweeps = sweep_gpu_budgets(node, caps);
+  ASSERT_EQ(sweeps.size(), caps.size());
+  for (const auto& sw : sweeps) {
+    EXPECT_EQ(sw.samples.size(), node.gpu_model().mem_clock_count());
+  }
+}
+
+TEST(Sweep, BudgetGridInclusiveOfEndpointOnGrid) {
+  const auto grid = budget_grid(Watts{100.0}, Watts{120.0}, Watts{10.0});
+  ASSERT_EQ(grid.size(), 3u);
+  EXPECT_DOUBLE_EQ(grid[0].value(), 100.0);
+  EXPECT_DOUBLE_EQ(grid[2].value(), 120.0);
+}
+
+TEST(Sweep, BudgetGridExcludesOffGridEndpoint) {
+  const auto grid = budget_grid(Watts{100.0}, Watts{125.0}, Watts{10.0});
+  EXPECT_EQ(grid.size(), 3u);  // 100, 110, 120
+}
+
+}  // namespace
+}  // namespace pbc::sim

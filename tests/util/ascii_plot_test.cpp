@@ -1,0 +1,74 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbc {
+namespace {
+
+TEST(AsciiPlot, RendersTitleAxesAndLegend) {
+  PlotSeries s{"perf", {0.0, 1.0, 2.0}, {0.0, 5.0, 10.0}};
+  PlotOptions opt;
+  opt.title = "perf vs budget";
+  opt.x_label = "budget (W)";
+  const std::string out = render_plot({s}, opt);
+  EXPECT_NE(out.find("perf vs budget"), std::string::npos);
+  EXPECT_NE(out.find("budget (W)"), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("[*] perf"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesUseDistinctGlyphs) {
+  PlotSeries a{"a", {0.0, 1.0}, {0.0, 1.0}};
+  PlotSeries b{"b", {0.0, 1.0}, {1.0, 0.0}};
+  const std::string out = render_plot({a, b}, {});
+  EXPECT_NE(out.find("[*] a"), std::string::npos);
+  EXPECT_NE(out.find("[+] b"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, HandlesEmptySeries) {
+  PlotSeries s{"empty", {}, {}};
+  EXPECT_NO_FATAL_FAILURE(render_plot({s}, {}));
+}
+
+TEST(AsciiPlot, HandlesSinglePoint) {
+  PlotSeries s{"pt", {5.0}, {3.0}};
+  const std::string out = render_plot({s}, {});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, HandlesConstantSeries) {
+  PlotSeries s{"flat", {0.0, 1.0, 2.0}, {4.0, 4.0, 4.0}};
+  EXPECT_NO_FATAL_FAILURE(render_plot({s}, {}));
+}
+
+TEST(AsciiPlot, SkipsNonFiniteValues) {
+  PlotSeries s{"nan",
+               {0.0, 1.0, 2.0},
+               {1.0, std::numeric_limits<double>::quiet_NaN(), 3.0}};
+  EXPECT_NO_FATAL_FAILURE(render_plot({s}, {}));
+}
+
+TEST(AsciiPlot, RespectsCanvasSizeFloor) {
+  PlotSeries s{"s", {0.0, 1.0}, {0.0, 1.0}};
+  PlotOptions opt;
+  opt.width = 1;   // clamped up to 16
+  opt.height = 1;  // clamped up to 6
+  const std::string out = render_plot({s}, opt);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(AsciiPlot, ScatterModeWhenNotConnected) {
+  PlotSeries s{"s", {0.0, 10.0}, {0.0, 10.0}};
+  PlotOptions opt;
+  opt.connect = false;
+  const std::string out = render_plot({s}, opt);
+  // Two isolated points, no line in between: count glyphs.
+  const auto stars = std::count(out.begin(), out.end(), '*');
+  EXPECT_GE(stars, 2);
+  EXPECT_LE(stars, 3);  // legend shows one more
+}
+
+}  // namespace
+}  // namespace pbc

@@ -1,0 +1,89 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbc {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv) {
+  auto r = CliArgs::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(r.ok());
+  return r.value();
+}
+
+TEST(Cli, ProgramNameAndEmptyRest) {
+  const auto args = parse({"prog"});
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_EQ(args.positional_count(), 0u);
+}
+
+TEST(Cli, PositionalArgumentsInOrder) {
+  const auto args = parse({"prog", "SRA", "ivybridge", "240"});
+  ASSERT_EQ(args.positional_count(), 3u);
+  EXPECT_EQ(args.positional(0), "SRA");
+  EXPECT_EQ(args.positional(1), "ivybridge");
+  EXPECT_DOUBLE_EQ(args.positional_num(2, 0.0), 240.0);
+}
+
+TEST(Cli, PositionalFallbacks) {
+  const auto args = parse({"prog", "x"});
+  EXPECT_EQ(args.positional(5, "default"), "default");
+  EXPECT_DOUBLE_EQ(args.positional_num(5, 7.5), 7.5);
+  EXPECT_DOUBLE_EQ(args.positional_num(0, 7.5), 7.5);  // non-numeric
+}
+
+TEST(Cli, FlagsAndValues) {
+  const auto args = parse({"prog", "--verbose", "--csv=out.csv",
+                           "--budget=208.5"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.value("verbose").has_value());
+  EXPECT_EQ(args.value("csv").value(), "out.csv");
+  EXPECT_DOUBLE_EQ(args.value_num("budget", 0.0), 208.5);
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_DOUBLE_EQ(args.value_num("missing", 3.0), 3.0);
+}
+
+TEST(Cli, MixedPositionalAndOptions) {
+  const auto args = parse({"prog", "SRA", "--step=4", "haswell"});
+  ASSERT_EQ(args.positional_count(), 2u);
+  EXPECT_EQ(args.positional(0), "SRA");
+  EXPECT_EQ(args.positional(1), "haswell");
+  EXPECT_DOUBLE_EQ(args.value_num("step", 0.0), 4.0);
+}
+
+TEST(Cli, DoubleDashEndsOptions) {
+  const auto args = parse({"prog", "--flag", "--", "--not-a-flag"});
+  EXPECT_TRUE(args.has("flag"));
+  ASSERT_EQ(args.positional_count(), 1u);
+  EXPECT_EQ(args.positional(0), "--not-a-flag");
+}
+
+TEST(Cli, LastOccurrenceWins) {
+  const auto args = parse({"prog", "--n=1", "--n=2"});
+  EXPECT_DOUBLE_EQ(args.value_num("n", 0.0), 2.0);
+}
+
+TEST(Cli, UnknownOptionDetection) {
+  const auto args = parse({"prog", "--csv=x", "--oops", "--csv=y"});
+  const auto unknown = args.unknown_options({"csv"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "oops");
+  EXPECT_TRUE(args.unknown_options({"csv", "oops"}).empty());
+}
+
+TEST(Cli, RejectsMalformedOptions) {
+  const char* argv1[] = {"prog", "--=value"};
+  EXPECT_FALSE(CliArgs::parse(2, argv1).ok());
+}
+
+TEST(Cli, RejectsEmptyArgv) {
+  EXPECT_FALSE(CliArgs::parse(0, nullptr).ok());
+}
+
+TEST(Cli, NonNumericOptionValueFallsBack) {
+  const auto args = parse({"prog", "--budget=lots"});
+  EXPECT_DOUBLE_EQ(args.value_num("budget", 42.0), 42.0);
+}
+
+}  // namespace
+}  // namespace pbc

@@ -1,0 +1,96 @@
+#include "util/interp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbc {
+namespace {
+
+PiecewiseLinear make(std::vector<std::pair<double, double>> pts) {
+  auto r = PiecewiseLinear::from_points(std::move(pts));
+  EXPECT_TRUE(r.ok());
+  return r.value();
+}
+
+TEST(PiecewiseLinear, RejectsEmpty) {
+  EXPECT_FALSE(PiecewiseLinear::from_points({}).ok());
+}
+
+TEST(PiecewiseLinear, RejectsDuplicateX) {
+  EXPECT_FALSE(
+      PiecewiseLinear::from_points({{1.0, 2.0}, {1.0, 3.0}}).ok());
+}
+
+TEST(PiecewiseLinear, SortsKnots) {
+  const auto f = make({{3.0, 30.0}, {1.0, 10.0}, {2.0, 20.0}});
+  EXPECT_DOUBLE_EQ(f.x_min(), 1.0);
+  EXPECT_DOUBLE_EQ(f.x_max(), 3.0);
+  EXPECT_DOUBLE_EQ(f(1.5), 15.0);
+}
+
+TEST(PiecewiseLinear, InterpolatesBetweenKnots) {
+  const auto f = make({{0.0, 0.0}, {10.0, 100.0}});
+  EXPECT_DOUBLE_EQ(f(5.0), 50.0);
+  EXPECT_DOUBLE_EQ(f(2.5), 25.0);
+}
+
+TEST(PiecewiseLinear, FlatExtrapolation) {
+  const auto f = make({{1.0, 5.0}, {2.0, 9.0}});
+  EXPECT_DOUBLE_EQ(f(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 9.0);
+}
+
+TEST(PiecewiseLinear, EvaluatesExactlyAtKnots) {
+  const auto f = make({{1.0, 5.0}, {2.0, 9.0}, {4.0, 1.0}});
+  EXPECT_DOUBLE_EQ(f(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 9.0);
+  EXPECT_DOUBLE_EQ(f(4.0), 1.0);
+}
+
+TEST(PiecewiseLinear, SlopeAt) {
+  const auto f = make({{0.0, 0.0}, {1.0, 2.0}, {2.0, 2.0}});
+  EXPECT_DOUBLE_EQ(f.slope_at(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(f.slope_at(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(f.slope_at(-1.0), 0.0);  // outside domain
+}
+
+TEST(PiecewiseLinear, EmptyDefault) {
+  PiecewiseLinear f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f(3.0), 0.0);
+}
+
+TEST(PlateauOnset, FindsFlatteningPoint) {
+  // Rises to 100 at x=200 and stays flat after.
+  const auto f = make({{0.0, 0.0},
+                       {100.0, 50.0},
+                       {200.0, 100.0},
+                       {240.0, 100.0},
+                       {300.0, 100.0}});
+  EXPECT_DOUBLE_EQ(plateau_onset(f, 0.02), 200.0);
+}
+
+TEST(PlateauOnset, WholeCurveFlat) {
+  const auto f = make({{0.0, 7.0}, {1.0, 7.0}, {2.0, 7.0}});
+  EXPECT_DOUBLE_EQ(plateau_onset(f), 0.0);
+}
+
+TEST(PlateauOnset, NeverFlattens) {
+  const auto f = make({{0.0, 0.0}, {1.0, 10.0}, {2.0, 20.0}});
+  EXPECT_DOUBLE_EQ(plateau_onset(f), 2.0);
+}
+
+TEST(SlopeBreaks, DetectsKnee) {
+  // Steep then flat: one break at x=1.
+  const auto f = make({{0.0, 0.0}, {1.0, 10.0}, {2.0, 10.5}, {3.0, 11.0}});
+  const auto breaks = slope_breaks(f);
+  ASSERT_EQ(breaks.size(), 1u);
+  EXPECT_DOUBLE_EQ(breaks[0], 1.0);
+}
+
+TEST(SlopeBreaks, NoBreaksOnStraightLine) {
+  const auto f = make({{0.0, 0.0}, {1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}});
+  EXPECT_TRUE(slope_breaks(f).empty());
+}
+
+}  // namespace
+}  // namespace pbc

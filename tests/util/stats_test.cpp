@@ -1,0 +1,127 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace pbc {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  const std::array<double, 6> xs{2.0, 4.0, 4.0, 4.0, 5.0, 7.0};
+  OnlineStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_NEAR(s.mean(), 26.0 / 6.0, 1e-12);
+  // Sample variance with n-1 denominator.
+  double m = 26.0 / 6.0;
+  double v = 0.0;
+  for (double x : xs) v += (x - m) * (x - m);
+  v /= 5.0;
+  EXPECT_NEAR(s.variance(), v, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Stats, MeanAndExtremes) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 6.0);
+}
+
+TEST(Stats, EmptySpansAreZero) {
+  std::span<const double> empty;
+  EXPECT_EQ(mean(empty), 0.0);
+  EXPECT_EQ(stddev(empty), 0.0);
+  EXPECT_EQ(min_of(empty), 0.0);
+  EXPECT_EQ(max_of(empty), 0.0);
+  EXPECT_EQ(geomean(empty), 0.0);
+}
+
+TEST(Stats, Geomean) {
+  const std::array<double, 3> xs{1.0, 10.0, 100.0};
+  EXPECT_NEAR(geomean(xs), 10.0, 1e-10);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::array<double, 5> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 62.5), 35.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::array<double, 5> xs{50.0, 10.0, 40.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+}
+
+TEST(Stats, Argmax) {
+  const std::array<double, 4> xs{3.0, 9.0, 1.0, 9.0};
+  EXPECT_EQ(argmax(xs), 1u);  // first maximum
+}
+
+TEST(Stats, SlopeOfLine) {
+  const std::array<double, 4> x{1.0, 2.0, 3.0, 4.0};
+  const std::array<double, 4> y{3.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(slope(x, y), 2.0, 1e-12);
+}
+
+TEST(Stats, SlopeDegenerateX) {
+  const std::array<double, 3> x{2.0, 2.0, 2.0};
+  const std::array<double, 3> y{1.0, 5.0, 9.0};
+  EXPECT_EQ(slope(x, y), 0.0);
+}
+
+}  // namespace
+}  // namespace pbc

@@ -1,0 +1,65 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbc {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = invalid_argument("bad input");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(r.error().message, "bad input");
+}
+
+TEST(Result, ValueOrFallsBack) {
+  Result<int> ok = 7;
+  Result<int> err = not_found("x");
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(Result, MovableValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Result, MutableValueAccess) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2};
+  r.value().push_back(3);
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+TEST(ErrorFactories, ProduceMatchingCodes) {
+  EXPECT_EQ(invalid_argument("m").code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(out_of_range("m").code, ErrorCode::kOutOfRange);
+  EXPECT_EQ(failed_precondition("m").code, ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(not_found("m").code, ErrorCode::kNotFound);
+  EXPECT_EQ(unavailable("m").code, ErrorCode::kUnavailable);
+}
+
+TEST(ErrorToString, IncludesCodeAndMessage) {
+  const Error e = out_of_range("power limit 500 W");
+  EXPECT_EQ(e.to_string(), "out_of_range: power limit 500 W");
+}
+
+TEST(ErrorCodeToString, CoversAllCodes) {
+  EXPECT_STREQ(to_string(ErrorCode::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(to_string(ErrorCode::kOutOfRange), "out_of_range");
+  EXPECT_STREQ(to_string(ErrorCode::kFailedPrecondition),
+               "failed_precondition");
+  EXPECT_STREQ(to_string(ErrorCode::kNotFound), "not_found");
+  EXPECT_STREQ(to_string(ErrorCode::kUnavailable), "unavailable");
+  EXPECT_STREQ(to_string(ErrorCode::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace pbc

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace pbc {
+namespace {
+
+TEST(TableWriter, RendersAlignedColumns) {
+  TableWriter t({"name", "watts"});
+  t.add_row({"cpu", "112"});
+  t.add_row({"memory", "116"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name    watts"), std::string::npos);
+  EXPECT_NE(out.find("------  -----"), std::string::npos);
+  EXPECT_NE(out.find("cpu     112"), std::string::npos);
+  EXPECT_NE(out.find("memory  116"), std::string::npos);
+}
+
+TEST(TableWriter, PadsShortRows) {
+  TableWriter t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TableWriter, ColumnWidthFollowsWidestCell) {
+  TableWriter t({"h"});
+  t.add_row({"wide-cell-content"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find(std::string(17, '-')), std::string::npos);
+}
+
+TEST(TableWriter, NumFormatsFixed) {
+  EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::num(3.0, 0), "3");
+  EXPECT_EQ(TableWriter::num(-1.5, 1), "-1.5");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::ostringstream ss;
+  CsvWriter csv(ss, {"budget", "perf"});
+  EXPECT_TRUE(csv.write_row({"208", "79.8"}));
+  EXPECT_EQ(ss.str(), "budget,perf\n208,79.8\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(CsvWriter, RejectsArityMismatch) {
+  std::ostringstream ss;
+  CsvWriter csv(ss, {"a", "b"});
+  EXPECT_FALSE(csv.write_row({"1"}));
+  EXPECT_FALSE(csv.write_row({"1", "2", "3"}));
+  EXPECT_EQ(csv.rows_written(), 0u);
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, EscapedCellsRoundTripThroughRow) {
+  std::ostringstream ss;
+  CsvWriter csv(ss, {"x"});
+  EXPECT_TRUE(csv.write_row({"a,b"}));
+  EXPECT_EQ(ss.str(), "x\n\"a,b\"\n");
+}
+
+}  // namespace
+}  // namespace pbc

@@ -1,0 +1,89 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace pbc {
+namespace {
+
+TEST(ThreadPool, CreatesRequestedThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for_index(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for_index(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForSmallerThanThreadCount) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  pool.parallel_for_index(3, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForRunsConcurrently) {
+  ThreadPool pool(4);
+  const auto start = std::chrono::steady_clock::now();
+  pool.parallel_for_index(8, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Serial execution would take ≥200 ms; four workers need ~50 ms. Allow
+  // generous scheduling slack but require clear overlap.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            160);
+}
+
+TEST(ThreadPool, SequentialParallelForCalls) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for_index(10, [&](std::size_t) { counter.fetch_add(1); });
+  pool.parallel_for_index(10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasks) {
+  ThreadPool pool(2);
+  EXPECT_NO_FATAL_FAILURE(pool.wait_idle());
+}
+
+TEST(GlobalPool, IsSingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+}
+
+}  // namespace
+}  // namespace pbc

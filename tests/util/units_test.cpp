@@ -1,0 +1,98 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace pbc {
+namespace {
+
+TEST(Units, DefaultConstructedIsZero) {
+  Watts w;
+  EXPECT_EQ(w.value(), 0.0);
+}
+
+TEST(Units, LiteralsProduceExpectedValues) {
+  EXPECT_DOUBLE_EQ((208_W).value(), 208.0);
+  EXPECT_DOUBLE_EQ((2.5_GHz).value(), 2.5);
+  EXPECT_DOUBLE_EQ((80_GBps).value(), 80.0);
+  EXPECT_DOUBLE_EQ((1.5_s).value(), 1.5);
+}
+
+TEST(Units, AdditionAndSubtraction) {
+  EXPECT_DOUBLE_EQ((100_W + 40_W).value(), 140.0);
+  EXPECT_DOUBLE_EQ((100_W - 40_W).value(), 60.0);
+  EXPECT_DOUBLE_EQ((-(40_W)).value(), -40.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Watts w{100.0};
+  w += 20_W;
+  EXPECT_DOUBLE_EQ(w.value(), 120.0);
+  w -= 60_W;
+  EXPECT_DOUBLE_EQ(w.value(), 60.0);
+  w *= 2.0;
+  EXPECT_DOUBLE_EQ(w.value(), 120.0);
+  w /= 4.0;
+  EXPECT_DOUBLE_EQ(w.value(), 30.0);
+}
+
+TEST(Units, ScalarMultiplicationBothSides) {
+  EXPECT_DOUBLE_EQ((0.5 * 100_W).value(), 50.0);
+  EXPECT_DOUBLE_EQ((100_W * 0.5).value(), 50.0);
+  EXPECT_DOUBLE_EQ((100_W / 4.0).value(), 25.0);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless) {
+  const double ratio = 150_W / 300_W;
+  EXPECT_DOUBLE_EQ(ratio, 0.5);
+}
+
+TEST(Units, ComparisonOperators) {
+  EXPECT_LT(100_W, 200_W);
+  EXPECT_GT(200_W, 100_W);
+  EXPECT_EQ(100_W, 100_W);
+  EXPECT_LE(100_W, 100_W);
+}
+
+TEST(Units, EnergyFromPowerAndTime) {
+  const Joules e = 100_W * 2_s;
+  EXPECT_DOUBLE_EQ(e.value(), 200.0);
+  const Joules e2 = 2_s * 100_W;
+  EXPECT_DOUBLE_EQ(e2.value(), 200.0);
+}
+
+TEST(Units, PowerFromEnergyOverTime) {
+  const Watts p = Joules{500.0} / 10_s;
+  EXPECT_DOUBLE_EQ(p.value(), 50.0);
+}
+
+TEST(Units, ClampWithinBounds) {
+  EXPECT_EQ(clamp(150_W, 100_W, 200_W), 150_W);
+  EXPECT_EQ(clamp(50_W, 100_W, 200_W), 100_W);
+  EXPECT_EQ(clamp(250_W, 100_W, 200_W), 200_W);
+}
+
+TEST(Units, NearWithTolerance) {
+  EXPECT_TRUE(near(100_W, 100.5_W, 1.0));
+  EXPECT_FALSE(near(100_W, 102_W, 1.0));
+  EXPECT_TRUE(near(100_W, 100_W, 0.0));
+}
+
+TEST(Units, StreamOutput) {
+  std::ostringstream ss;
+  ss << 42_W;
+  EXPECT_EQ(ss.str(), "42");
+}
+
+TEST(Units, Hashable) {
+  std::unordered_set<Watts> set;
+  set.insert(100_W);
+  set.insert(100_W);
+  set.insert(200_W);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pbc

@@ -1,0 +1,153 @@
+#include "workload/phase.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbc::workload {
+namespace {
+
+Phase basic_phase() {
+  Phase p;
+  p.name = "p";
+  p.flops_per_unit = 10.0;
+  p.bytes_per_unit = 5.0;
+  p.compute_eff = 0.5;
+  p.overlap = 1.0;
+  p.max_bw_frac = 1.0;
+  p.freq_scaling = 0.0;
+  p.activity = 0.8;
+  return p;
+}
+
+PhaseOperands operands(double cap_gflops, double bw) {
+  PhaseOperands op;
+  op.compute_capacity = Gflops{cap_gflops};
+  op.avail_bw = GBps{bw};
+  op.peak_bw = GBps{100.0};
+  op.rel_clock = 1.0;
+  op.duty = 1.0;
+  return op;
+}
+
+TEST(Phase, ComputeBoundRateMatchesRoofline) {
+  // Effective capacity 50 GFLOP/s and 10 FLOPs/unit => 5 Gunits/s when
+  // memory is plentiful.
+  const auto r = evaluate_phase(basic_phase(), operands(100.0, 1000.0));
+  EXPECT_NEAR(r.rate_gunits, 5.0, 1e-9);
+  EXPECT_NEAR(r.compute_util, 1.0, 1e-9);
+  EXPECT_LT(r.mem_util, 1.0);
+}
+
+TEST(Phase, MemoryBoundRateMatchesRoofline) {
+  // 4 GB/s and 5 bytes/unit => 0.8 Gunits/s when compute is plentiful.
+  const auto r = evaluate_phase(basic_phase(), operands(10000.0, 4.0));
+  EXPECT_NEAR(r.rate_gunits, 0.8, 1e-9);
+  EXPECT_NEAR(r.mem_util, 1.0, 1e-9);
+  EXPECT_LT(r.compute_util, 0.1);
+}
+
+TEST(Phase, FullOverlapTakesMax) {
+  auto p = basic_phase();
+  p.overlap = 1.0;
+  // t_c = 10/50 = 0.2; t_m = 5/10 = 0.5 => rate 2.0
+  const auto r = evaluate_phase(p, operands(100.0, 10.0));
+  EXPECT_NEAR(r.rate_gunits, 2.0, 1e-9);
+}
+
+TEST(Phase, NoOverlapTakesSum) {
+  auto p = basic_phase();
+  p.overlap = 0.0;
+  // t = 0.2 + 0.5 = 0.7 => rate 1/0.7
+  const auto r = evaluate_phase(p, operands(100.0, 10.0));
+  EXPECT_NEAR(r.rate_gunits, 1.0 / 0.7, 1e-9);
+}
+
+TEST(Phase, PartialOverlapBetweenExtremes) {
+  auto p = basic_phase();
+  p.overlap = 0.5;
+  const auto r = evaluate_phase(p, operands(100.0, 10.0));
+  EXPECT_GT(r.rate_gunits, 1.0 / 0.7);
+  EXPECT_LT(r.rate_gunits, 2.0);
+}
+
+TEST(Phase, LatencyCeilingLimitsBandwidth) {
+  auto p = basic_phase();
+  p.max_bw_frac = 0.3;  // ceiling = 30 GB/s out of peak 100
+  const auto r = evaluate_phase(p, operands(100000.0, 1000.0));
+  EXPECT_NEAR(r.achieved_bw.value(), 30.0, 1e-6);
+}
+
+TEST(Phase, FreqScalingDegradesCeiling) {
+  auto p = basic_phase();
+  p.max_bw_frac = 1.0;
+  p.freq_scaling = 0.5;
+  auto op = operands(100000.0, 1000.0);
+  op.rel_clock = 0.25;
+  const auto r = evaluate_phase(p, op);
+  // ceiling = 100 * 0.25^0.5 = 50 GB/s
+  EXPECT_NEAR(r.achieved_bw.value(), 50.0, 1e-6);
+}
+
+TEST(Phase, ZeroFreqScalingIgnoresClock) {
+  auto p = basic_phase();
+  auto op = operands(100000.0, 1000.0);
+  op.rel_clock = 0.3;
+  const auto r = evaluate_phase(p, op);
+  EXPECT_NEAR(r.achieved_bw.value(), 100.0, 1e-6);
+}
+
+TEST(Phase, DutyGatesBandwidthLinearly) {
+  // A duty-cycled core issues no requests during the off fraction: the
+  // ceiling must scale linearly with duty even when freq_scaling is small.
+  auto p = basic_phase();
+  p.freq_scaling = 0.1;
+  auto op = operands(100000.0, 1000.0);
+  op.duty = 0.25;
+  const auto r = evaluate_phase(p, op);
+  EXPECT_NEAR(r.achieved_bw.value(), 25.0 * std::pow(1.0, 0.1), 1e-6);
+}
+
+TEST(Phase, EffectiveBwCarriesEnergyScale) {
+  auto p = basic_phase();
+  p.mem_energy_scale = 2.0;
+  const auto r = evaluate_phase(p, operands(100.0, 10.0));
+  EXPECT_NEAR(r.effective_bw.value(), 2.0 * r.achieved_bw.value(), 1e-9);
+}
+
+TEST(Phase, ActivityHasStallFloor) {
+  // Fully memory-bound: compute_util ~ 0, but activity stays within the
+  // stall floor of the configured activity.
+  const auto r = evaluate_phase(basic_phase(), operands(100000.0, 1.0));
+  EXPECT_GT(r.activity_eff, 0.8 * 0.70);
+  EXPECT_LT(r.activity_eff, 0.8);
+}
+
+TEST(Phase, ActivityFullWhenComputeBound) {
+  const auto r = evaluate_phase(basic_phase(), operands(10.0, 10000.0));
+  EXPECT_NEAR(r.activity_eff, 0.8, 1e-6);
+}
+
+TEST(Phase, ComputeTimeFracOrdering) {
+  const auto compute_bound =
+      evaluate_phase(basic_phase(), operands(10.0, 10000.0));
+  const auto memory_bound =
+      evaluate_phase(basic_phase(), operands(10000.0, 1.0));
+  EXPECT_GT(compute_bound.compute_time_frac, 0.9);
+  EXPECT_LT(memory_bound.compute_time_frac, 0.1);
+}
+
+TEST(Phase, RateMonotoneInBothCapacities) {
+  const auto base = evaluate_phase(basic_phase(), operands(100.0, 10.0));
+  const auto more_compute =
+      evaluate_phase(basic_phase(), operands(200.0, 10.0));
+  const auto more_bw = evaluate_phase(basic_phase(), operands(100.0, 20.0));
+  EXPECT_GE(more_compute.rate_gunits, base.rate_gunits);
+  EXPECT_GE(more_bw.rate_gunits, base.rate_gunits);
+}
+
+TEST(Phase, TimeAndRateAreReciprocal) {
+  const auto r = evaluate_phase(basic_phase(), operands(123.0, 7.0));
+  EXPECT_NEAR(r.rate_gunits * r.time_per_unit, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pbc::workload

@@ -1,0 +1,119 @@
+#include "workload/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::workload {
+namespace {
+
+void expect_equal(const Workload& a, const Workload& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.description, b.description);
+  EXPECT_EQ(a.domain, b.domain);
+  EXPECT_EQ(a.nominal_intensity, b.nominal_intensity);
+  EXPECT_EQ(a.metric_name, b.metric_name);
+  EXPECT_DOUBLE_EQ(a.metric_per_gunit, b.metric_per_gunit);
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    const auto& pa = a.phases[i];
+    const auto& pb = b.phases[i];
+    EXPECT_EQ(pa.name, pb.name);
+    EXPECT_DOUBLE_EQ(pa.weight, pb.weight);
+    EXPECT_DOUBLE_EQ(pa.flops_per_unit, pb.flops_per_unit);
+    EXPECT_DOUBLE_EQ(pa.bytes_per_unit, pb.bytes_per_unit);
+    EXPECT_DOUBLE_EQ(pa.compute_eff, pb.compute_eff);
+    EXPECT_DOUBLE_EQ(pa.overlap, pb.overlap);
+    EXPECT_DOUBLE_EQ(pa.max_bw_frac, pb.max_bw_frac);
+    EXPECT_DOUBLE_EQ(pa.freq_scaling, pb.freq_scaling);
+    EXPECT_DOUBLE_EQ(pa.activity, pb.activity);
+    EXPECT_DOUBLE_EQ(pa.mem_energy_scale, pb.mem_energy_scale);
+  }
+}
+
+TEST(Serialize, RoundTripsEverySuiteBenchmark) {
+  for (const auto& w : cpu_suite()) {
+    const auto back = from_text(to_text(w));
+    ASSERT_TRUE(back.ok()) << w.name << ": " << back.error().to_string();
+    expect_equal(w, back.value());
+  }
+  for (const auto& w : gpu_suite()) {
+    const auto back = from_text(to_text(w));
+    ASSERT_TRUE(back.ok()) << w.name;
+    expect_equal(w, back.value());
+  }
+}
+
+TEST(Serialize, ParsesHandWrittenDescriptor) {
+  const std::string text = R"(
+# my custom solver
+name = MYAPP
+description = a custom solver
+domain = cpu
+metric = GFLOP/s
+metric_per_gunit = 1.0
+[phase]
+name = sweep
+weight = 0.7
+flops_per_unit = 1.0
+bytes_per_unit = 0.25
+compute_eff = 0.45
+[phase]
+name = exchange
+weight = 0.3
+flops_per_unit = 1.0
+bytes_per_unit = 0.8
+compute_eff = 0.35
+activity = 0.6
+)";
+  const auto w = from_text(text);
+  ASSERT_TRUE(w.ok()) << w.error().to_string();
+  EXPECT_EQ(w.value().name, "MYAPP");
+  ASSERT_EQ(w.value().phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.value().phases[0].weight, 0.7);
+  EXPECT_DOUBLE_EQ(w.value().phases[1].bytes_per_unit, 0.8);
+  // Omitted keys keep defaults.
+  EXPECT_DOUBLE_EQ(w.value().phases[0].overlap, 0.9);
+}
+
+TEST(Serialize, RejectsUnknownKeys) {
+  EXPECT_FALSE(from_text("name = X\nbogus = 1\n[phase]\nweight = 1\n").ok());
+  EXPECT_FALSE(
+      from_text("name = X\n[phase]\nweight = 1\ntypo_key = 2\n").ok());
+}
+
+TEST(Serialize, RejectsMalformedLines) {
+  const auto r = from_text("name = X\n[phase]\nno equals sign here\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("line 3"), std::string::npos);
+}
+
+TEST(Serialize, RejectsNonNumericValues) {
+  EXPECT_FALSE(
+      from_text("name = X\n[phase]\nweight = heavy\n").ok());
+}
+
+TEST(Serialize, RejectsUnknownDomainOrIntensity) {
+  EXPECT_FALSE(from_text("name = X\ndomain = fpga\n[phase]\n").ok());
+  EXPECT_FALSE(from_text("name = X\nintensity = extreme\n[phase]\n").ok());
+}
+
+TEST(Serialize, ValidationStillApplies) {
+  // Parses fine but violates workload invariants (no phases).
+  EXPECT_FALSE(from_text("name = X\n").ok());
+  // Negative weight.
+  EXPECT_FALSE(from_text("name = X\n[phase]\nweight = -1\n").ok());
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored)
+{
+  const auto w = from_text(
+      "# header comment\n\nname = Y\n\n[phase]\n# phase comment\nweight = "
+      "2\n");
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ(w.value().phases[0].weight, 2.0);
+}
+
+}  // namespace
+}  // namespace pbc::workload

@@ -1,0 +1,111 @@
+// Parameterized checks over the full benchmark suites (paper Table 3).
+#include <gtest/gtest.h>
+
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::workload {
+namespace {
+
+class SuiteTest : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(SuiteTest, Validates) {
+  EXPECT_TRUE(GetParam().validate().ok()) << GetParam().name;
+}
+
+TEST_P(SuiteTest, HasDescriptionAndMetric) {
+  const auto& w = GetParam();
+  EXPECT_FALSE(w.description.empty());
+  EXPECT_FALSE(w.metric_name.empty());
+  EXPECT_GT(w.metric_per_gunit, 0.0);
+}
+
+TEST_P(SuiteTest, IntensityLabelConsistentWithOperationalIntensity) {
+  const auto& w = GetParam();
+  const double oi = operational_intensity(w);
+  switch (w.nominal_intensity) {
+    case Intensity::kCompute:
+      EXPECT_GT(oi, 3.0) << w.name;
+      break;
+    case Intensity::kMemory:
+      EXPECT_LT(oi, 1.5) << w.name;
+      break;
+    case Intensity::kBalanced:
+      EXPECT_GT(oi, 0.2) << w.name;
+      EXPECT_LT(oi, 10.0) << w.name;
+      break;
+  }
+}
+
+TEST_P(SuiteTest, ProducesFinitePositiveRate) {
+  const auto& w = GetParam();
+  PhaseOperands op;
+  op.compute_capacity = Gflops{w.domain == Domain::kCpu ? 400.0 : 12000.0};
+  op.avail_bw = GBps{w.domain == Domain::kCpu ? 80.0 : 480.0};
+  op.peak_bw = op.avail_bw;
+  const auto r = evaluate(w, op);
+  EXPECT_GT(r.rate_gunits, 0.0) << w.name;
+  EXPECT_TRUE(std::isfinite(r.rate_gunits)) << w.name;
+  EXPECT_GT(r.metric, 0.0) << w.name;
+}
+
+std::string param_name(const ::testing::TestParamInfo<Workload>& info) {
+  std::string n = info.param.name;
+  for (char& c : n) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(CpuSuite, SuiteTest,
+                         ::testing::ValuesIn(cpu_suite()), param_name);
+INSTANTIATE_TEST_SUITE_P(GpuSuite, SuiteTest,
+                         ::testing::ValuesIn(gpu_suite()), param_name);
+
+TEST(CpuSuite, HasElevenBenchmarksInTableOrder) {
+  const auto suite = cpu_suite();
+  ASSERT_EQ(suite.size(), 11u);
+  EXPECT_EQ(suite[0].name, "SRA");
+  EXPECT_EQ(suite[1].name, "STREAM");
+  EXPECT_EQ(suite[2].name, "DGEMM");
+  EXPECT_EQ(suite[10].name, "MG");
+  for (const auto& w : suite) EXPECT_EQ(w.domain, Domain::kCpu);
+}
+
+TEST(GpuSuite, HasSixBenchmarksInTableOrder) {
+  const auto suite = gpu_suite();
+  ASSERT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0].name, "SGEMM");
+  EXPECT_EQ(suite[5].name, "HPCG");
+  for (const auto& w : suite) EXPECT_EQ(w.domain, Domain::kGpu);
+}
+
+TEST(SuiteLookup, FindsByName) {
+  EXPECT_TRUE(cpu_benchmark("DGEMM").ok());
+  EXPECT_TRUE(gpu_benchmark("MiniFE").ok());
+}
+
+TEST(SuiteLookup, UnknownNameIsNotFound) {
+  const auto r = cpu_benchmark("NOPE");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  EXPECT_FALSE(gpu_benchmark("DGEMM").ok());  // DGEMM is CPU-only
+}
+
+TEST(SuiteCharacteristics, DgemmMoreComputeIntenseThanStream) {
+  EXPECT_GT(operational_intensity(dgemm()),
+            100.0 * operational_intensity(stream_cpu()));
+}
+
+TEST(SuiteCharacteristics, RandomAccessPaysDramEnergyPremium) {
+  EXPECT_GT(sra().phases[0].mem_energy_scale, 1.5);
+  EXPECT_DOUBLE_EQ(stream_cpu().phases[0].mem_energy_scale, 1.0);
+}
+
+TEST(SuiteCharacteristics, RandomAccessIsLatencyLimited) {
+  EXPECT_LT(sra().phases[0].max_bw_frac, 0.7);
+  EXPECT_GT(sra().phases[0].freq_scaling, 0.3);
+}
+
+}  // namespace
+}  // namespace pbc::workload

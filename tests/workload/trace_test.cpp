@@ -1,0 +1,125 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/cpu_suite.hpp"
+
+namespace pbc::workload {
+namespace {
+
+TEST(Trace, TotalWorkMatchesRequest) {
+  const auto wl = npb_bt();
+  const auto trace = generate_trace(wl, {200.0, 1.0, 0.5, 7});
+  double total = 0.0;
+  for (const auto& seg : trace) total += seg.work_units;
+  EXPECT_NEAR(total, 200.0, 1e-9);
+}
+
+TEST(Trace, SharesConvergeToWeights) {
+  const auto wl = npb_ft();  // weights 0.6 / 0.4
+  TraceOptions opt;
+  opt.total_units = 5000.0;
+  opt.segment_units = 1.0;
+  opt.irregularity = 0.6;
+  const auto trace = generate_trace(wl, opt);
+  const auto shares = phase_shares(wl, trace);
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_NEAR(shares[0], 0.6, 0.05);
+  EXPECT_NEAR(shares[1], 0.4, 0.05);
+}
+
+TEST(Trace, RegularModeAlternatesDeterministically) {
+  const auto wl = npb_ft();
+  TraceOptions opt;
+  opt.total_units = 100.0;
+  opt.irregularity = 0.0;
+  const auto a = generate_trace(wl, opt);
+  const auto b = generate_trace(wl, opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].phase_index, b[i].phase_index);
+    EXPECT_EQ(a[i].work_units, b[i].work_units);
+  }
+  // Regular mode still hits the weight shares exactly-ish.
+  const auto shares = phase_shares(wl, a);
+  EXPECT_NEAR(shares[0], 0.6, 0.02);
+}
+
+TEST(Trace, SeedChangesIrregularTrace) {
+  const auto wl = npb_bt();
+  TraceOptions a;
+  a.irregularity = 1.0;
+  a.seed = 1;
+  TraceOptions b = a;
+  b.seed = 2;
+  const auto ta = generate_trace(wl, a);
+  const auto tb = generate_trace(wl, b);
+  bool differs = ta.size() != tb.size();
+  for (std::size_t i = 0; !differs && i < ta.size(); ++i) {
+    differs = ta[i].phase_index != tb[i].phase_index ||
+              ta[i].work_units != tb[i].work_units;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Trace, SameSeedReproduces) {
+  const auto wl = npb_lu();
+  TraceOptions opt;
+  opt.irregularity = 0.9;
+  opt.seed = 99;
+  const auto a = generate_trace(wl, opt);
+  const auto b = generate_trace(wl, opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].work_units, b[i].work_units);
+  }
+}
+
+TEST(Trace, IrregularityVariesSegmentLengths) {
+  // Regular mode produces a periodic pattern with few distinct segment
+  // lengths; irregular mode jitters lengths and merges random repeats,
+  // producing many distinct lengths (the "less regular" execution §6.2
+  // attributes pseudo-applications' curves to).
+  const auto wl = npb_ft();
+  TraceOptions regular;
+  regular.total_units = 1000.0;
+  regular.irregularity = 0.0;
+  TraceOptions irregular = regular;
+  irregular.irregularity = 1.0;
+  auto distinct_lengths = [](const PhaseTrace& trace) {
+    std::set<double> lengths;
+    for (const auto& seg : trace) lengths.insert(seg.work_units);
+    return lengths.size();
+  };
+  EXPECT_GT(distinct_lengths(generate_trace(wl, irregular)),
+            4 * distinct_lengths(generate_trace(wl, regular)));
+}
+
+TEST(Trace, AdjacentSegmentsNeverShareAPhase) {
+  const auto trace = generate_trace(npb_bt(), {500.0, 1.0, 1.0, 3});
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_NE(trace[i].phase_index, trace[i - 1].phase_index);
+  }
+}
+
+TEST(Trace, SinglePhaseWorkloadYieldsOneSegment) {
+  const auto trace = generate_trace(dgemm(), {50.0, 1.0, 0.8, 5});
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].phase_index, 0u);
+  EXPECT_NEAR(trace[0].work_units, 50.0, 1e-9);
+}
+
+TEST(Trace, DegenerateOptionsYieldEmptyTrace) {
+  EXPECT_TRUE(generate_trace(dgemm(), {0.0, 1.0, 0.5, 1}).empty());
+  EXPECT_TRUE(generate_trace(dgemm(), {10.0, 0.0, 0.5, 1}).empty());
+}
+
+TEST(Trace, PhaseSharesOfEmptyTrace) {
+  const auto shares = phase_shares(npb_bt(), {});
+  for (double s : shares) EXPECT_EQ(s, 0.0);
+}
+
+}  // namespace
+}  // namespace pbc::workload

@@ -1,0 +1,146 @@
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbc::workload {
+namespace {
+
+Workload two_phase() {
+  Workload w;
+  w.name = "two-phase";
+  w.metric_name = "Gunit/s";
+  w.metric_per_gunit = 1.0;
+  Phase a;
+  a.name = "a";
+  a.weight = 1.0;
+  a.flops_per_unit = 10.0;
+  a.bytes_per_unit = 1.0;
+  a.compute_eff = 1.0;
+  a.overlap = 1.0;
+  Phase b = a;
+  b.name = "b";
+  b.weight = 3.0;
+  b.flops_per_unit = 1.0;
+  b.bytes_per_unit = 10.0;
+  w.phases = {a, b};
+  return w;
+}
+
+PhaseOperands ops(double cap, double bw) {
+  PhaseOperands op;
+  op.compute_capacity = Gflops{cap};
+  op.avail_bw = GBps{bw};
+  op.peak_bw = GBps{bw};
+  return op;
+}
+
+TEST(Workload, ValidatesGood) { EXPECT_TRUE(two_phase().validate().ok()); }
+
+TEST(Workload, RejectsNoName) {
+  auto w = two_phase();
+  w.name.clear();
+  EXPECT_FALSE(w.validate().ok());
+}
+
+TEST(Workload, RejectsNoPhases) {
+  auto w = two_phase();
+  w.phases.clear();
+  EXPECT_FALSE(w.validate().ok());
+}
+
+TEST(Workload, RejectsNonPositiveWeight) {
+  auto w = two_phase();
+  w.phases[0].weight = 0.0;
+  EXPECT_FALSE(w.validate().ok());
+}
+
+TEST(Workload, RejectsWorklessPhase) {
+  auto w = two_phase();
+  w.phases[0].flops_per_unit = 0.0;
+  w.phases[0].bytes_per_unit = 0.0;
+  EXPECT_FALSE(w.validate().ok());
+}
+
+TEST(Workload, RejectsBadComputeEff) {
+  auto w = two_phase();
+  w.phases[0].compute_eff = 1.5;
+  EXPECT_FALSE(w.validate().ok());
+}
+
+TEST(Workload, RejectsBadBwFrac) {
+  auto w = two_phase();
+  w.phases[0].max_bw_frac = 0.0;
+  EXPECT_FALSE(w.validate().ok());
+}
+
+TEST(Workload, RejectsEnergyScaleBelowOne) {
+  auto w = two_phase();
+  w.phases[0].mem_energy_scale = 0.5;
+  EXPECT_FALSE(w.validate().ok());
+}
+
+TEST(Workload, RejectsBadMetricFactor) {
+  auto w = two_phase();
+  w.metric_per_gunit = 0.0;
+  EXPECT_FALSE(w.validate().ok());
+}
+
+TEST(Workload, AggregateRateIsWeightedHarmonic) {
+  const auto w = two_phase();
+  const auto op = ops(100.0, 10.0);
+  // Phase a: t_c = 10/100 = 0.1, t_m = 1/10 = 0.1 => t = 0.1 (overlap 1).
+  // Phase b: t_c = 1/100 = 0.01, t_m = 10/10 = 1.0 => t = 1.0.
+  // Aggregate: total units 4, total time 1*0.1 + 3*1.0 = 3.1.
+  const auto r = evaluate(w, op);
+  EXPECT_NEAR(r.rate_gunits, 4.0 / 3.1, 1e-9);
+}
+
+TEST(Workload, AggregateBandwidthIsBytesOverTime) {
+  const auto w = two_phase();
+  const auto r = evaluate(w, ops(100.0, 10.0));
+  // Total bytes = 1*1 + 3*10 = 31 over 3.1 time units.
+  EXPECT_NEAR(r.achieved_bw.value(), 31.0 / 3.1, 1e-9);
+}
+
+TEST(Workload, MetricScalesRate) {
+  auto w = two_phase();
+  w.metric_per_gunit = 32.0;
+  const auto r = evaluate(w, ops(100.0, 10.0));
+  EXPECT_NEAR(r.metric, r.rate_gunits * 32.0, 1e-12);
+}
+
+TEST(Workload, SinglePhaseAggregationMatchesPhase) {
+  auto w = two_phase();
+  w.phases.resize(1);
+  const auto op = ops(100.0, 10.0);
+  const auto agg = evaluate(w, op);
+  const auto ph = evaluate_phase(w.phases[0], op);
+  EXPECT_NEAR(agg.rate_gunits, ph.rate_gunits, 1e-12);
+  EXPECT_NEAR(agg.compute_util, ph.compute_util, 1e-12);
+  EXPECT_NEAR(agg.activity_eff, ph.activity_eff, 1e-12);
+}
+
+TEST(Workload, OperationalIntensityIsWorkWeighted) {
+  const auto w = two_phase();
+  // flops = 1*10 + 3*1 = 13; bytes = 1*1 + 3*10 = 31.
+  EXPECT_NEAR(operational_intensity(w), 13.0 / 31.0, 1e-12);
+}
+
+TEST(Workload, UtilizationsAreTimeWeightedAverages) {
+  const auto r = evaluate(two_phase(), ops(100.0, 10.0));
+  EXPECT_GE(r.compute_util, 0.0);
+  EXPECT_LE(r.compute_util, 1.0);
+  EXPECT_GE(r.mem_util, 0.0);
+  EXPECT_LE(r.mem_util, 1.0);
+}
+
+TEST(Workload, DomainAndIntensityToString) {
+  EXPECT_STREQ(to_string(Domain::kCpu), "cpu");
+  EXPECT_STREQ(to_string(Domain::kGpu), "gpu");
+  EXPECT_STREQ(to_string(Intensity::kCompute), "compute");
+  EXPECT_STREQ(to_string(Intensity::kMemory), "memory");
+  EXPECT_STREQ(to_string(Intensity::kBalanced), "balanced");
+}
+
+}  // namespace
+}  // namespace pbc::workload
