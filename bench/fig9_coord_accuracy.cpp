@@ -10,10 +10,20 @@
 //    the default policy (which always runs memory at the nominal clock);
 //  * occasionally COORD can beat the sweep "best" (the sweep grid does not
 //    contain every allocation COORD can choose).
+// With --csv=FILE the harness additionally dumps every (benchmark,
+// budget) data point at full precision — the golden-file regression
+// tests (tests/golden/) diff that dump against a committed snapshot.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
 #include "bench_common.hpp"
 #include "core/baselines.hpp"
 #include "core/coord.hpp"
 #include "hw/platforms.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
 #include "workload/cpu_suite.hpp"
 #include "workload/gpu_suite.hpp"
 
@@ -21,7 +31,15 @@ using namespace pbc;
 
 namespace {
 
-void cpu_accuracy() {
+/// Full-precision rendering for golden files: every digit a double can
+/// round-trip, so the tolerance lives in the comparator, not the dump.
+[[nodiscard]] std::string g(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void cpu_accuracy(CsvWriter* csv) {
   bench::print_section("CPU: COORD vs oracle vs memory-first (IvyBridge)");
   const auto machine = hw::ivybridge_node();
 
@@ -40,6 +58,10 @@ void cpu_accuracy() {
       if (alloc.status == core::CoordStatus::kBudgetTooSmall) {
         t.add_row({wl.name, TableWriter::num(b, 0), "-", "rejected", "-",
                    "-"});
+        if (csv) {
+          csv->write_row({"cpu_ivybridge", wl.name, g(b), "rejected", "0",
+                          "0", "0"});
+        }
         continue;
       }
       sim::BudgetSweep sweep;
@@ -54,6 +76,10 @@ void cpu_accuracy() {
                  TableWriter::num(oracle, 2), TableWriter::num(coord, 2),
                  TableWriter::num(coord / oracle, 3),
                  TableWriter::num(mfp / oracle, 3)});
+      if (csv) {
+        csv->write_row({"cpu_ivybridge", wl.name, g(b), "accepted",
+                        g(oracle), g(coord), g(mfp)});
+      }
       const double gap = std::max(0.0, 1.0 - coord / oracle);
       gap_sum += gap;
       ++gap_n;
@@ -75,7 +101,7 @@ void cpu_accuracy() {
             << small_n << " cases\n";
 }
 
-void gpu_accuracy(const hw::GpuMachine& card) {
+void gpu_accuracy(const hw::GpuMachine& card, CsvWriter* csv) {
   bench::print_section("GPU: COORD vs oracle vs default policy (" +
                        card.name + ")");
   TableWriter t({"benchmark", "cap_W", "P_totref_W", "oracle", "COORD",
@@ -98,6 +124,10 @@ void gpu_accuracy(const hw::GpuMachine& card) {
                  TableWriter::num(oracle, 1), TableWriter::num(coord, 1),
                  TableWriter::num(coord / oracle, 3),
                  TableWriter::num(coord / dflt, 3)});
+      if (csv) {
+        csv->write_row({"gpu_" + card.name, wl.name, g(cap), "accepted",
+                        g(oracle), g(coord), g(dflt)});
+      }
       worst_gap = std::max(worst_gap, 1.0 - coord / oracle);
       best_gain = std::max(best_gain, coord / dflt - 1.0);
     }
@@ -113,10 +143,40 @@ void gpu_accuracy(const hw::GpuMachine& card) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto parsed = CliArgs::parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error().to_string() << '\n';
+    return 2;
+  }
+  const CliArgs& args = parsed.value();
+  if (const auto unknown = args.unknown_options({"csv"}); !unknown.empty()) {
+    std::cerr << "unknown option --" << unknown.front()
+              << " (supported: --csv=FILE)\n";
+    return 2;
+  }
+
+  std::ofstream csv_out;
+  std::unique_ptr<CsvWriter> csv;
+  if (const auto path = args.value("csv")) {
+    csv_out.open(*path);
+    if (!csv_out) {
+      std::cerr << "cannot open " << *path << " for writing\n";
+      return 1;
+    }
+    csv = std::make_unique<CsvWriter>(
+        csv_out, std::vector<std::string>{"section", "benchmark", "budget_w",
+                                          "status", "oracle", "coord",
+                                          "baseline"});
+  }
+
   bench::print_header("Figure 9", "COORD accuracy vs baselines");
-  cpu_accuracy();
-  gpu_accuracy(hw::titan_xp());
-  gpu_accuracy(hw::titan_v());
+  cpu_accuracy(csv.get());
+  gpu_accuracy(hw::titan_xp(), csv.get());
+  gpu_accuracy(hw::titan_v(), csv.get());
+  if (csv) {
+    std::cout << "\nwrote " << csv->rows_written() << " rows to "
+              << *args.value("csv") << '\n';
+  }
   return 0;
 }

@@ -9,14 +9,61 @@
 //    then deeper;
 //  * at 224 W, shifting 24 W away from DRAM costs ~50% performance while
 //    shifting 24 W away from the CPU costs ~10%.
+// With --csv=FILE the harness additionally dumps every row at full
+// precision for the golden-file regression tests (tests/golden/);
+// multi-valued cells (the valid-scenario list) are joined with ';'.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
 #include "bench_common.hpp"
 #include "core/optimal.hpp"
 #include "hw/platforms.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
 #include "workload/cpu_suite.hpp"
 
 using namespace pbc;
 
-int main() {
+namespace {
+
+[[nodiscard]] std::string g(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = CliArgs::parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error().to_string() << '\n';
+    return 2;
+  }
+  const CliArgs& args = parsed.value();
+  if (const auto unknown = args.unknown_options({"csv"}); !unknown.empty()) {
+    std::cerr << "unknown option --" << unknown.front()
+              << " (supported: --csv=FILE)\n";
+    return 2;
+  }
+  std::ofstream csv_out;
+  std::unique_ptr<CsvWriter> csv;
+  if (const auto path = args.value("csv")) {
+    csv_out.open(*path);
+    if (!csv_out) {
+      std::cerr << "cannot open " << *path << " for writing\n";
+      return 1;
+    }
+    csv = std::make_unique<CsvWriter>(
+        csv_out,
+        std::vector<std::string>{"budget_w", "valid_scenarios", "intersection",
+                                 "critical", "best_cpu_w", "best_mem_w",
+                                 "perf_max", "loss_mem_under",
+                                 "loss_cpu_under"});
+  }
+
   bench::print_header("Table 1",
                       "Optimal allocation & critical component vs budget "
                       "(SRA, IvyBridge)");
@@ -30,20 +77,30 @@ int main() {
     const auto row = core::optimal_allocation_row(
         node, Watts{b}, Watts{24.0}, {Watts{40.0}, Watts{32.0}, Watts{4.0}});
     std::string valid;
+    std::string valid_csv;
     for (const auto c : row.valid_scenarios) {
       if (!valid.empty()) valid += ',';
+      if (!valid_csv.empty()) valid_csv += ';';
       valid += core::to_string(c);
+      valid_csv += core::to_string(c);
     }
     const std::string inter =
         std::string(core::to_string(row.intersection.first)) + "|" +
         core::to_string(row.intersection.second);
-    t.add_row({TableWriter::num(b, 0), valid, inter,
-               row.critical ? hw::to_string(*row.critical) : "none",
+    const std::string critical =
+        row.critical ? hw::to_string(*row.critical) : "none";
+    t.add_row({TableWriter::num(b, 0), valid, inter, critical,
                TableWriter::num(row.best_proc.value(), 0),
                TableWriter::num(row.best_mem.value(), 0),
                TableWriter::num(row.perf_max, 3),
                TableWriter::num(100.0 * row.loss_mem_underpowered, 1) + "%",
                TableWriter::num(100.0 * row.loss_proc_underpowered, 1) + "%"});
+    if (csv) {
+      csv->write_row({g(b), valid_csv, inter, critical,
+                      g(row.best_proc.value()), g(row.best_mem.value()),
+                      g(row.perf_max), g(row.loss_mem_underpowered),
+                      g(row.loss_proc_underpowered)});
+    }
   }
   t.render(std::cout);
 
@@ -59,5 +116,9 @@ int main() {
             << "shift 24 W CPU->DRAM: -"
             << TableWriter::num(100.0 * row.loss_proc_underpowered, 1)
             << "% (paper: -10%)\n";
+  if (csv) {
+    std::cout << "\nwrote " << csv->rows_written() << " rows to "
+              << *args.value("csv") << '\n';
+  }
   return 0;
 }

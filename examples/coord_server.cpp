@@ -1,0 +1,145 @@
+// coord_server: a node-manager front end for the coordination query
+// engine. It loads a user workload descriptor, answers budget questions
+// for it through svc::QueryEngine, derives the frontier-backed budgeting
+// guardrails (saturation / productive budgets), then replays a mixed
+// CPU+GPU request stream from several client threads against one shared
+// engine — the deployment shape the service layer is built for: many
+// concurrent requesters, few distinct (machine, workload) descriptors.
+//
+// Usage: ./build/examples/coord_server WORKLOAD_FILE [clients] [requests]
+//   WORKLOAD_FILE  descriptor in the serialize.hpp dialect
+//                  (e.g. examples/sample.workload)
+//   clients        concurrent client threads       (default 4)
+//   requests       requests issued per client      (default 5000)
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/frontier.hpp"
+#include "hw/platforms.hpp"
+#include "sim/sweep.hpp"
+#include "svc/engine.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+#include "workload/serialize.hpp"
+
+using namespace pbc;
+
+namespace {
+
+Result<workload::Workload> load_workload(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) return not_found("cannot read workload file " + file);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return workload::from_text(text);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: coord_server WORKLOAD_FILE [clients] [requests]\n";
+    return 2;
+  }
+  const auto loaded = load_workload(argv[1]);
+  if (!loaded.ok()) {
+    std::cerr << loaded.error().to_string() << '\n';
+    return 1;
+  }
+  const workload::Workload custom = loaded.value();
+  const int clients = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int requests = argc > 3 ? std::atoi(argv[3]) : 5000;
+  if (clients <= 0 || requests <= 0) {
+    std::cerr << "clients and requests must be positive\n";
+    return 2;
+  }
+
+  svc::QueryEngine engine;
+  const hw::CpuMachine node = hw::ivybridge_node();
+
+  // --- 1. Budget questions for the loaded workload. ---
+  std::cout << "serving " << custom.name << " on " << node.name << ":\n";
+  TableWriter table({"budget_w", "cpu_w", "mem_w", "status", "surplus_w"});
+  for (const double b : {120.0, 150.0, 180.0, 210.0, 240.0, 270.0}) {
+    const auto a = engine.query_cpu(node, custom, Watts{b});
+    table.add_row({TableWriter::num(b, 0), TableWriter::num(a.cpu.value(), 1),
+                   TableWriter::num(a.mem.value(), 1), to_string(a.status),
+                   TableWriter::num(a.surplus.value(), 1)});
+  }
+  table.render(std::cout);
+
+  // --- 2. Frontier-backed guardrails (cached: asking twice is free). ---
+  const auto grid = sim::budget_grid(Watts{110.0}, Watts{280.0}, Watts{10.0});
+  const auto frontier = engine.cpu_frontier(node, custom, grid);
+  std::cout << "\nguardrails from the cached frontier ("
+            << frontier->size() << " budgets):\n"
+            << "  saturation budget: "
+            << core::saturation_budget(*frontier).value() << " W\n"
+            << "  productive budget: "
+            << core::productive_budget(*frontier).value() << " W\n";
+
+  // --- 3. The request stream: every client replays a random mix of the
+  // custom workload and both suites over both CPU nodes and a GPU. ---
+  std::vector<workload::Workload> cpu_mix = workload::cpu_suite();
+  cpu_mix.push_back(custom);
+  const std::vector<hw::CpuMachine> cpu_nodes{hw::ivybridge_node(),
+                                              hw::haswell_node()};
+  const auto gpu_mix = workload::gpu_suite();
+  const hw::GpuMachine gpu_node = hw::titan_xp();
+
+  std::mutex mu;
+  double perf_proxy = 0.0;  // accumulated cpu watts, to keep work observable
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Xoshiro256 rng(2016, static_cast<std::uint64_t>(c));
+      double local = 0.0;
+      for (int i = 0; i < requests; ++i) {
+        const Watts budget{rng.uniform(110.0, 280.0)};
+        if (i % 4 == 3) {  // every fourth request is a GPU question
+          const auto& wl = gpu_mix[rng.below(gpu_mix.size())];
+          local += engine.query_gpu(gpu_node, wl, budget).sm.value();
+        } else {
+          const auto& wl = cpu_mix[rng.below(cpu_mix.size())];
+          const auto& machine = cpu_nodes[rng.below(cpu_nodes.size())];
+          local += engine.query_cpu(machine, wl, budget).cpu.value();
+        }
+      }
+      const std::lock_guard lock(mu);
+      perf_proxy += local;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // --- 4. Service counters. ---
+  const auto s = engine.stats();
+  std::cout << "\nreplayed " << s.queries << " queries from " << clients
+            << " clients (mean allocated cpu+sm "
+            << TableWriter::num(perf_proxy / static_cast<double>(s.queries), 1)
+            << " W):\n";
+  TableWriter stats_table({"queries", "hits", "misses", "coalesced",
+                           "computes", "hit_rate", "p50_us", "p99_us"});
+  stats_table.add_row(
+      {std::to_string(s.queries), std::to_string(s.hits),
+       std::to_string(s.misses), std::to_string(s.coalesced),
+       std::to_string(s.computes), TableWriter::num(s.hit_rate(), 3),
+       TableWriter::num(s.p50_us, 2), TableWriter::num(s.p99_us, 2)});
+  stats_table.render(std::cout);
+
+  // Frontier/profile requests count as cache traffic but not queries, so
+  // hits+misses can exceed queries by the number of planning-path calls.
+  if (s.hits + s.misses < s.queries || s.misses != s.computes + s.coalesced) {
+    std::cerr << "counter invariants violated\n";
+    return 1;
+  }
+  return 0;
+}

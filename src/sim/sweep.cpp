@@ -63,9 +63,15 @@ std::vector<BudgetSweep> sweep_gpu_budgets(const GpuNodeSim& node,
 
 std::vector<Watts> budget_grid(Watts lo, Watts hi, Watts step) {
   std::vector<Watts> grid;
+  // Degenerate inputs yield an empty grid rather than an infinite loop
+  // (step <= 0) or a silently reversed range (hi < lo).
+  if (step.value() <= 0.0 || hi.value() < lo.value()) return grid;
   for (double b = lo.value(); b <= hi.value() + 1e-9; b += step.value()) {
     grid.push_back(Watts{b});
   }
+  // hi is always part of the grid: callers sweep [lo, hi] and expect the
+  // upper endpoint to be sampled even when the step does not land on it.
+  if (grid.back().value() < hi.value() - 1e-9) grid.push_back(hi);
   return grid;
 }
 

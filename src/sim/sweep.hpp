@@ -53,8 +53,10 @@ struct BudgetSweep {
     const GpuNodeSim& node, std::span<const Watts> board_caps,
     ThreadPool* pool = nullptr);
 
-/// Evenly spaced budget grid [lo, hi] with the given step (inclusive of hi
-/// when it lands on the grid).
+/// Evenly spaced budget grid over [lo, hi]. Both endpoints are always
+/// included: when the step does not land on hi, hi is appended as a final
+/// (shorter) interval. Degenerate requests (step <= 0, hi < lo) return an
+/// empty grid.
 [[nodiscard]] std::vector<Watts> budget_grid(Watts lo, Watts hi, Watts step);
 
 }  // namespace pbc::sim

@@ -1,0 +1,130 @@
+// Sharded LRU cache for computed profiles and frontiers.
+//
+// Lookups under load come from many threads at once (the engine serves
+// one node-manager query per request), so the cache is split into shards
+// each guarded by its own mutex: a lookup locks only the shard its key
+// maps to, and shard selection reuses the key's already-mixed high word.
+// Within a shard, recency is a doubly linked list (front = most recent)
+// with an index map; eviction pops the tail once the shard exceeds its
+// slice of the total capacity. Values are shared_ptr<const V>, so an
+// entry evicted mid-use stays alive for the readers that hold it.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "svc/key.hpp"
+
+namespace pbc::svc {
+
+template <class Value>
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget across all shards; each shard
+  /// gets an equal slice (at least one entry). The shard count is clamped
+  /// so no shard would have zero capacity.
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shard_count = 8) {
+    if (capacity == 0) capacity = 1;
+    if (shard_count == 0) shard_count = 1;
+    shard_count = std::min(shard_count, capacity);
+    const std::size_t per_shard = (capacity + shard_count - 1) / shard_count;
+    capacity_ = per_shard * shard_count;
+    shards_.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+      shards_.back()->capacity = per_shard;
+    }
+  }
+
+  /// Returns the cached value and refreshes its recency, or nullptr.
+  [[nodiscard]] std::shared_ptr<const Value> get(const CacheKey& key) {
+    Shard& s = shard_for(key);
+    std::lock_guard lock(s.mu);
+    const auto it = s.index.find(key);
+    if (it == s.index.end()) return nullptr;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or refreshes an entry, evicting the shard's least recently
+  /// used entries as needed.
+  void put(const CacheKey& key, std::shared_ptr<const Value> value) {
+    Shard& s = shard_for(key);
+    std::lock_guard lock(s.mu);
+    const auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      it->second->second = std::move(value);
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return;
+    }
+    s.lru.emplace_front(key, std::move(value));
+    s.index.emplace(key, s.lru.begin());
+    while (s.lru.size() > s.capacity) {
+      s.index.erase(s.lru.back().first);
+      s.lru.pop_back();
+      ++s.evictions;
+    }
+  }
+
+  /// Total entries across shards (O(shards); approximate under load).
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard lock(s->mu);
+      n += s->lru.size();
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  [[nodiscard]] std::uint64_t evictions() const {
+    std::uint64_t n = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard lock(s->mu);
+      n += s->evictions;
+    }
+    return n;
+  }
+
+  void clear() {
+    for (const auto& s : shards_) {
+      std::lock_guard lock(s->mu);
+      s->lru.clear();
+      s->index.clear();
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::pair<CacheKey, std::shared_ptr<const Value>>> lru;
+    std::unordered_map<
+        CacheKey,
+        typename std::list<
+            std::pair<CacheKey, std::shared_ptr<const Value>>>::iterator,
+        CacheKeyHash>
+        index;
+    std::size_t capacity = 1;
+    std::uint64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(const CacheKey& key) noexcept {
+    return *shards_[key.hi % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace pbc::svc

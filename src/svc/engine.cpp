@@ -1,0 +1,256 @@
+#include "svc/engine.hpp"
+
+#include <unordered_map>
+
+#include "sim/cpu_node.hpp"
+#include "sim/gpu_node.hpp"
+
+namespace pbc::svc {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+[[nodiscard]] std::uint64_t elapsed_ns(
+    std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(EngineOptions opt)
+    : opt_(opt),
+      cpu_profiles_(opt.profile_cache_capacity, opt.shards),
+      gpu_profiles_(opt.profile_cache_capacity, opt.shards),
+      frontiers_(opt.frontier_cache_capacity, opt.shards),
+      latency_(opt.latency_window) {}
+
+void QueryEngine::record_latency_from(
+    std::chrono::steady_clock::time_point t0, std::uint64_t queries) {
+  if (queries == 0) return;
+  const std::uint64_t per_query = elapsed_ns(t0) / queries;
+  for (std::uint64_t i = 0; i < queries; ++i) latency_.record(per_query);
+}
+
+std::shared_ptr<const core::CpuCriticalPowers> QueryEngine::resolve_cpu(
+    const CacheKey& key, const hw::CpuMachine& machine,
+    const workload::Workload& wl) {
+  if (auto cached = cpu_profiles_.get(key)) {
+    counters_.hits.fetch_add(1, kRelaxed);
+    return cached;
+  }
+  counters_.misses.fetch_add(1, kRelaxed);
+  bool computed = false;
+  auto outcome = cpu_inflight_.run(key, [&] {
+    // Double-check: a leader that finished between our probe and this
+    // point has already published — reuse its entry instead of leading a
+    // second compute for the same key.
+    if (auto published = cpu_profiles_.get(key)) return published;
+    computed = true;
+    const sim::CpuNodeSim node(machine, wl);
+    auto profile = std::make_shared<const core::CpuCriticalPowers>(
+        core::profile_critical_powers(node));
+    cpu_profiles_.put(key, profile);
+    return std::shared_ptr<const core::CpuCriticalPowers>(profile);
+  });
+  if (outcome.led && computed) {
+    counters_.computes.fetch_add(1, kRelaxed);
+  } else {
+    counters_.coalesced.fetch_add(1, kRelaxed);
+  }
+  return outcome.value;
+}
+
+std::shared_ptr<const GpuProfileEntry> QueryEngine::resolve_gpu(
+    const CacheKey& key, const hw::GpuMachine& machine,
+    const workload::Workload& wl) {
+  if (auto cached = gpu_profiles_.get(key)) {
+    counters_.hits.fetch_add(1, kRelaxed);
+    return cached;
+  }
+  counters_.misses.fetch_add(1, kRelaxed);
+  bool computed = false;
+  auto outcome = gpu_inflight_.run(key, [&] {
+    if (auto published = gpu_profiles_.get(key)) return published;
+    computed = true;
+    const sim::GpuNodeSim node(machine, wl);
+    auto entry = std::make_shared<const GpuProfileEntry>(
+        GpuProfileEntry{core::profile_gpu_params(node), node.gpu_model()});
+    gpu_profiles_.put(key, entry);
+    return std::shared_ptr<const GpuProfileEntry>(entry);
+  });
+  if (outcome.led && computed) {
+    counters_.computes.fetch_add(1, kRelaxed);
+  } else {
+    counters_.coalesced.fetch_add(1, kRelaxed);
+  }
+  return outcome.value;
+}
+
+core::CpuAllocation QueryEngine::query_cpu(const hw::CpuMachine& machine,
+                                           const workload::Workload& wl,
+                                           Watts budget,
+                                           core::CpuCoordVariant variant) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const CacheKey key = cpu_profile_key(machine, wl);
+  const auto profile = resolve_cpu(key, machine, wl);
+  const auto alloc = core::coord_cpu(*profile, budget, variant);
+  counters_.queries.fetch_add(1, kRelaxed);
+  latency_.record(elapsed_ns(t0));
+  return alloc;
+}
+
+core::GpuAllocation QueryEngine::query_gpu(const hw::GpuMachine& machine,
+                                           const workload::Workload& wl,
+                                           Watts budget, double gamma) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const CacheKey key = gpu_profile_key(machine, wl);
+  const auto entry = resolve_gpu(key, machine, wl);
+  const auto alloc =
+      core::coord_gpu(entry->params, entry->model, budget, gamma);
+  counters_.queries.fetch_add(1, kRelaxed);
+  latency_.record(elapsed_ns(t0));
+  return alloc;
+}
+
+std::vector<core::CpuAllocation> QueryEngine::query_cpu_batch(
+    std::span<const CpuQuery> queries) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = queries.size();
+  std::vector<core::CpuAllocation> answers(n);
+  if (n == 0) return answers;
+
+  // Phase 1: hash every descriptor, probe the cache once per distinct
+  // key. Entries repeating a key already seen in this batch are served
+  // from the batch-local table and count as hits (by answer time the
+  // first occurrence has populated the cache).
+  std::vector<CacheKey> keys(n);
+  std::unordered_map<CacheKey, std::shared_ptr<const core::CpuCriticalPowers>,
+                     CacheKeyHash>
+      resolved;
+  struct Miss {
+    CacheKey key;
+    std::size_t first_index;
+  };
+  std::vector<Miss> missing;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = cpu_profile_key(queries[i].machine, queries[i].wl);
+    const auto [it, fresh] = resolved.try_emplace(keys[i], nullptr);
+    if (!fresh) {
+      counters_.hits.fetch_add(1, kRelaxed);
+      continue;
+    }
+    it->second = cpu_profiles_.get(keys[i]);
+    if (it->second != nullptr) {
+      counters_.hits.fetch_add(1, kRelaxed);
+    } else {
+      counters_.misses.fetch_add(1, kRelaxed);
+      missing.push_back({keys[i], i});
+    }
+  }
+
+  // Phase 2: fan the distinct misses out over the pool; each goes
+  // through the single-flight table so concurrent engine users still
+  // coalesce with us.
+  if (!missing.empty()) {
+    std::vector<std::shared_ptr<const core::CpuCriticalPowers>> computed(
+        missing.size());
+    pool().parallel_for_index(missing.size(), [&](std::size_t i) {
+      const CpuQuery& q = queries[missing[i].first_index];
+      bool fresh_compute = false;
+      auto outcome = cpu_inflight_.run(missing[i].key, [&] {
+        if (auto published = cpu_profiles_.get(missing[i].key)) {
+          return published;
+        }
+        fresh_compute = true;
+        const sim::CpuNodeSim node(q.machine, q.wl);
+        auto profile = std::make_shared<const core::CpuCriticalPowers>(
+            core::profile_critical_powers(node));
+        cpu_profiles_.put(missing[i].key, profile);
+        return std::shared_ptr<const core::CpuCriticalPowers>(profile);
+      });
+      if (outcome.led && fresh_compute) {
+        counters_.computes.fetch_add(1, kRelaxed);
+      } else {
+        counters_.coalesced.fetch_add(1, kRelaxed);
+      }
+      computed[i] = outcome.value;
+    });
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      resolved[missing[i].key] = computed[i];
+    }
+  }
+
+  // Phase 3: the per-query closed-form answers.
+  for (std::size_t i = 0; i < n; ++i) {
+    answers[i] = core::coord_cpu(*resolved[keys[i]], queries[i].budget,
+                                 queries[i].variant);
+  }
+  counters_.queries.fetch_add(n, kRelaxed);
+  record_latency_from(t0, n);
+  return answers;
+}
+
+std::shared_ptr<const core::CpuCriticalPowers> QueryEngine::cpu_profile(
+    const hw::CpuMachine& machine, const workload::Workload& wl) {
+  return resolve_cpu(cpu_profile_key(machine, wl), machine, wl);
+}
+
+std::shared_ptr<const GpuProfileEntry> QueryEngine::gpu_profile(
+    const hw::GpuMachine& machine, const workload::Workload& wl) {
+  return resolve_gpu(gpu_profile_key(machine, wl), machine, wl);
+}
+
+std::shared_ptr<const std::vector<core::FrontierPoint>>
+QueryEngine::cpu_frontier(const hw::CpuMachine& machine,
+                          const workload::Workload& wl,
+                          std::span<const Watts> budgets,
+                          const sim::CpuSweepOptions& sweep_opt) {
+  const CacheKey key = cpu_frontier_key(machine, wl, budgets, sweep_opt);
+  if (auto cached = frontiers_.get(key)) {
+    counters_.hits.fetch_add(1, kRelaxed);
+    return cached;
+  }
+  counters_.misses.fetch_add(1, kRelaxed);
+  bool computed = false;
+  auto outcome = frontier_inflight_.run(key, [&] {
+    if (auto published = frontiers_.get(key)) return published;
+    computed = true;
+    const sim::CpuNodeSim node(machine, wl);
+    auto frontier = std::make_shared<const std::vector<core::FrontierPoint>>(
+        core::perf_frontier_cpu(node, budgets, sweep_opt, &pool()));
+    frontiers_.put(key, frontier);
+    return std::shared_ptr<const std::vector<core::FrontierPoint>>(frontier);
+  });
+  if (outcome.led && computed) {
+    counters_.computes.fetch_add(1, kRelaxed);
+  } else {
+    counters_.coalesced.fetch_add(1, kRelaxed);
+  }
+  return outcome.value;
+}
+
+EngineStats QueryEngine::stats() const {
+  EngineStats s;
+  s.queries = counters_.queries.load(kRelaxed);
+  s.hits = counters_.hits.load(kRelaxed);
+  s.misses = counters_.misses.load(kRelaxed);
+  s.coalesced = counters_.coalesced.load(kRelaxed);
+  s.computes = counters_.computes.load(kRelaxed);
+  s.evictions = cpu_profiles_.evictions() + gpu_profiles_.evictions() +
+                frontiers_.evictions();
+  s.profile_cache_size = cpu_profiles_.size() + gpu_profiles_.size();
+  s.frontier_cache_size = frontiers_.size();
+  latency_.snapshot_into(s);
+  return s;
+}
+
+void QueryEngine::clear() {
+  cpu_profiles_.clear();
+  gpu_profiles_.clear();
+  frontiers_.clear();
+}
+
+}  // namespace pbc::svc

@@ -1,0 +1,141 @@
+// Coordination query engine: (machine, workload, budget) → allocation,
+// served at high throughput from cached lightweight profiles.
+//
+// COORD's whole point (paper §5) is that once the critical power values /
+// GPU profile parameters of a (machine, workload) pair are known, any
+// budget question is answered in closed form. The engine exploits exactly
+// that split: the expensive part — profiling via pinned simulator runs,
+// or a full perf_max frontier sweep — is computed once, deduplicated
+// across concurrent requesters (single-flight), and kept in a sharded
+// LRU cache keyed by a canonical 128-bit hash of the descriptor; the
+// cheap part (Algorithm 1/2 arithmetic) runs per query. Results are
+// bit-identical to calling core::profile_* + core::coord_* directly —
+// tests/svc/engine_diff_test.cpp holds the engine to that contract.
+//
+// Thread safety: every public method may be called concurrently. Batch
+// queries fan cache misses out over the configured ThreadPool; do not
+// call batch methods from inside a task running on that same pool (the
+// pool's parallel_for would deadlock waiting on itself).
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/coord.hpp"
+#include "core/frontier.hpp"
+#include "svc/cache.hpp"
+#include "svc/single_flight.hpp"
+#include "svc/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pbc::svc {
+
+struct EngineOptions {
+  /// Total cached (machine, workload) profiles, CPU and GPU each.
+  std::size_t profile_cache_capacity = 1024;
+  /// Total cached frontiers (each one is a full budget sweep's result).
+  std::size_t frontier_cache_capacity = 128;
+  /// Lock shards per cache.
+  std::size_t shards = 8;
+  /// Ring size of the service-latency window.
+  std::size_t latency_window = 4096;
+  /// Pool for batch-miss fan-out and frontier sweeps (null = global_pool).
+  ThreadPool* pool = nullptr;
+};
+
+/// One CPU allocation request, for the batch API.
+struct CpuQuery {
+  hw::CpuMachine machine;
+  workload::Workload wl;
+  Watts budget{0.0};
+  core::CpuCoordVariant variant = core::CpuCoordVariant::kProportional;
+};
+
+/// Cached GPU profile: Algorithm 2's parameters plus the card model that
+/// realizes the memory share as a clock index.
+struct GpuProfileEntry {
+  core::GpuProfileParams params;
+  hw::GpuModel model;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineOptions opt = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Algorithm 1 behind the cache. Equivalent to profiling the node and
+  /// calling core::coord_cpu, at warm-cache cost of a hash + lookup.
+  [[nodiscard]] core::CpuAllocation query_cpu(
+      const hw::CpuMachine& machine, const workload::Workload& wl,
+      Watts budget,
+      core::CpuCoordVariant variant = core::CpuCoordVariant::kProportional);
+
+  /// Algorithm 2 behind the cache.
+  [[nodiscard]] core::GpuAllocation query_gpu(const hw::GpuMachine& machine,
+                                              const workload::Workload& wl,
+                                              Watts budget,
+                                              double gamma = 0.5);
+
+  /// Answers a batch, deduplicating repeated descriptors and fanning the
+  /// distinct cache misses out over the pool. answers[i] corresponds to
+  /// queries[i].
+  [[nodiscard]] std::vector<core::CpuAllocation> query_cpu_batch(
+      std::span<const CpuQuery> queries);
+
+  /// The cached critical-power profile (computing it on a miss).
+  [[nodiscard]] std::shared_ptr<const core::CpuCriticalPowers> cpu_profile(
+      const hw::CpuMachine& machine, const workload::Workload& wl);
+
+  /// The cached GPU profile entry (computing it on a miss).
+  [[nodiscard]] std::shared_ptr<const GpuProfileEntry> gpu_profile(
+      const hw::GpuMachine& machine, const workload::Workload& wl);
+
+  /// The cached perf_max frontier for a budget grid (computing it on a
+  /// miss; the sweep itself parallelizes over the engine pool). Not
+  /// counted as a query — frontier requests are a planning-path call.
+  [[nodiscard]] std::shared_ptr<const std::vector<core::FrontierPoint>>
+  cpu_frontier(const hw::CpuMachine& machine, const workload::Workload& wl,
+               std::span<const Watts> budgets,
+               const sim::CpuSweepOptions& sweep_opt = {});
+
+  /// Counter + latency snapshot (eventually consistent across counters).
+  [[nodiscard]] EngineStats stats() const;
+
+  /// Drops every cached entry. Counters are preserved.
+  void clear();
+
+  [[nodiscard]] const EngineOptions& options() const noexcept { return opt_; }
+
+ private:
+  [[nodiscard]] ThreadPool& pool() const noexcept {
+    return opt_.pool ? *opt_.pool : global_pool();
+  }
+
+  /// Probe-then-compute with miss coalescing; updates hit/miss/compute/
+  /// coalesce counters.
+  [[nodiscard]] std::shared_ptr<const core::CpuCriticalPowers> resolve_cpu(
+      const CacheKey& key, const hw::CpuMachine& machine,
+      const workload::Workload& wl);
+  [[nodiscard]] std::shared_ptr<const GpuProfileEntry> resolve_gpu(
+      const CacheKey& key, const hw::GpuMachine& machine,
+      const workload::Workload& wl);
+
+  void record_latency_from(
+      std::chrono::steady_clock::time_point t0, std::uint64_t queries);
+
+  EngineOptions opt_;
+  ShardedLruCache<core::CpuCriticalPowers> cpu_profiles_;
+  ShardedLruCache<GpuProfileEntry> gpu_profiles_;
+  ShardedLruCache<std::vector<core::FrontierPoint>> frontiers_;
+  SingleFlight<core::CpuCriticalPowers> cpu_inflight_;
+  SingleFlight<GpuProfileEntry> gpu_inflight_;
+  SingleFlight<std::vector<core::FrontierPoint>> frontier_inflight_;
+  Counters counters_;
+  LatencyRecorder latency_;
+};
+
+}  // namespace pbc::svc

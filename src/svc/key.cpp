@@ -1,0 +1,161 @@
+#include "svc/key.hpp"
+
+namespace pbc::svc {
+namespace {
+
+// Record tags keep structurally similar descriptors (e.g. a CpuSpec and a
+// GpuSpec that happen to share a field prefix) from ever colliding.
+enum class Tag : std::uint8_t {
+  kCpuProfile = 1,
+  kGpuProfile = 2,
+  kCpuFrontier = 3,
+  kWorkload = 10,
+  kPhase = 11,
+  kCpuSpec = 12,
+  kDramSpec = 13,
+  kGpuSpec = 14,
+};
+
+void tag(Fnv1a64& h, Tag t) { h.byte(static_cast<std::uint8_t>(t)); }
+
+void hash_phase(Fnv1a64& h, const workload::Phase& p) {
+  tag(h, Tag::kPhase);
+  h.str(p.name);
+  h.f64(p.weight);
+  h.f64(p.flops_per_unit);
+  h.f64(p.bytes_per_unit);
+  h.f64(p.compute_eff);
+  h.f64(p.overlap);
+  h.f64(p.max_bw_frac);
+  h.f64(p.freq_scaling);
+  h.f64(p.activity);
+  h.f64(p.mem_energy_scale);
+}
+
+void hash_workload(Fnv1a64& h, const workload::Workload& w) {
+  tag(h, Tag::kWorkload);
+  h.str(w.name);
+  h.byte(static_cast<std::uint8_t>(w.domain));
+  h.byte(static_cast<std::uint8_t>(w.nominal_intensity));
+  h.str(w.metric_name);
+  h.f64(w.metric_per_gunit);
+  h.size(w.phases.size());
+  for (const auto& p : w.phases) hash_phase(h, p);
+}
+
+void hash_cpu_spec(Fnv1a64& h, const hw::CpuSpec& s) {
+  tag(h, Tag::kCpuSpec);
+  h.str(s.name);
+  h.i64(s.sockets);
+  h.i64(s.cores_per_socket);
+  h.size(s.pstates.size());
+  for (const auto& ps : s.pstates) {
+    h.f64(ps.frequency.value());
+    h.f64(ps.voltage);
+  }
+  h.f64(s.flops_per_cycle);
+  h.f64(s.dyn_coeff_w_per_ghz_v2);
+  h.f64(s.static_w_per_core_per_volt);
+  h.f64(s.uncore_power.value());
+  h.f64(s.floor.value());
+  h.i64(s.tstate_levels);
+  h.boolean(s.per_core_dvfs);
+}
+
+void hash_dram_spec(Fnv1a64& h, const hw::DramSpec& s) {
+  tag(h, Tag::kDramSpec);
+  h.str(s.name);
+  h.f64(s.capacity_gb);
+  h.f64(s.background_w_per_gb);
+  h.f64(s.dyn_w_per_gbps);
+  h.f64(s.peak_bw.value());
+  h.f64(s.min_bw.value());
+  h.i64(s.throttle_levels);
+  h.f64(s.floor.value());
+}
+
+void hash_gpu_spec(Fnv1a64& h, const hw::GpuSpec& s) {
+  tag(h, Tag::kGpuSpec);
+  h.str(s.name);
+  h.f64(s.sm_min_mhz);
+  h.f64(s.sm_max_mhz);
+  h.size(s.sm_steps);
+  h.f64(s.sm_pairing_min_mhz);
+  h.f64(s.sm_idle.value());
+  h.f64(s.sm_max_dyn.value());
+  h.f64(s.peak_gflops);
+  h.size(s.mem_clocks_mhz.size());
+  for (const double c : s.mem_clocks_mhz) h.f64(c);
+  h.f64(s.bw_per_mhz);
+  h.f64(s.mem_idle.value());
+  h.f64(s.mem_w_per_mhz);
+  h.f64(s.mem_dyn_w_per_gbps);
+  h.f64(s.other_power.value());
+  h.f64(s.board_min_cap.value());
+  h.f64(s.board_default_cap.value());
+  h.f64(s.board_max_cap.value());
+}
+
+void hash_cpu_machine(Fnv1a64& h, const hw::CpuMachine& m) {
+  h.str(m.name);
+  hash_cpu_spec(h, m.cpu);
+  hash_dram_spec(h, m.dram);
+}
+
+void hash_gpu_machine(Fnv1a64& h, const hw::GpuMachine& m) {
+  h.str(m.name);
+  hash_gpu_spec(h, m.gpu);
+}
+
+/// Runs `fill` over two independently seeded streams; the pair of digests
+/// is the 128-bit key.
+template <class Fill>
+CacheKey key_of(Tag t, const Fill& fill) {
+  CacheKey k;
+  // Distinct seeds decorrelate the two words; any fixed pair works.
+  Fnv1a64 a(0x5bd1e995u);
+  Fnv1a64 b(0xc2b2ae3d27d4eb4fULL);
+  for (Fnv1a64* h : {&a, &b}) {
+    h->byte(kKeySchemaVersion);
+    tag(*h, t);
+    fill(*h);
+  }
+  k.hi = a.digest();
+  k.lo = b.digest();
+  return k;
+}
+
+}  // namespace
+
+CacheKey cpu_profile_key(const hw::CpuMachine& machine,
+                         const workload::Workload& wl) {
+  return key_of(Tag::kCpuProfile, [&](Fnv1a64& h) {
+    hash_cpu_machine(h, machine);
+    hash_workload(h, wl);
+  });
+}
+
+CacheKey gpu_profile_key(const hw::GpuMachine& machine,
+                         const workload::Workload& wl) {
+  return key_of(Tag::kGpuProfile, [&](Fnv1a64& h) {
+    hash_gpu_machine(h, machine);
+    hash_workload(h, wl);
+  });
+}
+
+CacheKey cpu_frontier_key(const hw::CpuMachine& machine,
+                          const workload::Workload& wl,
+                          std::span<const Watts> budgets,
+                          const sim::CpuSweepOptions& opt) {
+  return key_of(Tag::kCpuFrontier, [&](Fnv1a64& h) {
+    hash_cpu_machine(h, machine);
+    hash_workload(h, wl);
+    h.size(budgets.size());
+    for (const Watts b : budgets) h.f64(b.value());
+    h.f64(opt.mem_lo.value());
+    h.f64(opt.proc_lo.value());
+    h.f64(opt.step.value());
+  });
+}
+
+}  // namespace pbc::svc

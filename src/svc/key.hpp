@@ -1,0 +1,61 @@
+// Cache keys for the coordination query engine.
+//
+// A key is a 128-bit digest (two independently seeded FNV-1a 64 streams)
+// of the canonical byte encoding of the full request descriptor: machine
+// spec + workload + (for frontiers) the budget grid and sweep options.
+// 128 bits make accidental collisions negligible at any realistic cache
+// population, so the engine treats key equality as descriptor equality
+// and never stores the descriptors themselves.
+//
+// Every hashed record starts with a schema-version tag: bumping
+// kKeySchemaVersion invalidates all previously computed keys whenever the
+// encoding (or the meaning of a hashed field) changes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "hw/machine.hpp"
+#include "sim/sweep.hpp"
+#include "util/hash.hpp"
+#include "workload/workload.hpp"
+
+namespace pbc::svc {
+
+/// Version of the canonical encoding below.
+inline constexpr std::uint8_t kKeySchemaVersion = 1;
+
+/// 128-bit cache key. Value-comparable; shard/bucket selection uses `hi`
+/// and `lo` as independent well-mixed words.
+struct CacheKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend constexpr bool operator==(const CacheKey&,
+                                   const CacheKey&) noexcept = default;
+};
+
+struct CacheKeyHash {
+  [[nodiscard]] std::size_t operator()(const CacheKey& k) const noexcept {
+    // hi and lo are already uniformly mixed; fold them.
+    return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Key for the CPU critical-power profile of (machine, workload).
+[[nodiscard]] CacheKey cpu_profile_key(const hw::CpuMachine& machine,
+                                       const workload::Workload& wl);
+
+/// Key for the GPU profile parameters of (card, workload).
+[[nodiscard]] CacheKey gpu_profile_key(const hw::GpuMachine& machine,
+                                       const workload::Workload& wl);
+
+/// Key for a CPU perf_max frontier of (machine, workload, budget grid,
+/// sweep options).
+[[nodiscard]] CacheKey cpu_frontier_key(const hw::CpuMachine& machine,
+                                        const workload::Workload& wl,
+                                        std::span<const Watts> budgets,
+                                        const sim::CpuSweepOptions& opt);
+
+}  // namespace pbc::svc

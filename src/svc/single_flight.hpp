@@ -1,0 +1,86 @@
+// Single-flight deduplication of in-flight computations.
+//
+// When many concurrent queries miss the cache on the same key, computing
+// the profile once and handing the result to every waiter both cuts
+// latency and keeps a thundering herd from monopolising the thread pool.
+// The first thread to arrive on a key becomes the leader and runs the
+// computation; threads arriving while it runs block on a shared_future
+// and are counted as coalesced. The in-flight table holds only keys
+// currently being computed — completed entries move to the LRU cache and
+// are erased here, so the table stays tiny.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "svc/key.hpp"
+
+namespace pbc::svc {
+
+template <class Value>
+class SingleFlight {
+ public:
+  /// Outcome of one run() call, for the engine's counters.
+  struct Outcome {
+    std::shared_ptr<const Value> value;
+    bool led = false;  ///< this call executed the computation itself
+  };
+
+  /// Returns fn()'s result for `key`, computing it at most once across
+  /// all concurrent callers. fn runs on the leader's thread; exceptions
+  /// propagate to every waiter.
+  template <class Fn>
+  Outcome run(const CacheKey& key, Fn&& fn) {
+    std::shared_ptr<Slot> slot;
+    {
+      std::unique_lock lock(mu_);
+      const auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        // Copy the future under the lock but wait outside it: blocking
+        // here would serialize every key behind one computation.
+        auto future = it->second->future;
+        lock.unlock();
+        Outcome o;
+        o.value = future.get();
+        o.led = false;
+        return o;
+      }
+      slot = std::make_shared<Slot>();
+      slot->future = slot->promise.get_future().share();
+      inflight_.emplace(key, slot);
+    }
+
+    Outcome o;
+    o.led = true;
+    try {
+      o.value = fn();
+    } catch (...) {
+      slot->promise.set_exception(std::current_exception());
+      erase(key);
+      throw;
+    }
+    slot->promise.set_value(o.value);
+    erase(key);
+    return o;
+  }
+
+ private:
+  struct Slot {
+    std::promise<std::shared_ptr<const Value>> promise;
+    std::shared_future<std::shared_ptr<const Value>> future;
+  };
+
+  void erase(const CacheKey& key) {
+    std::lock_guard lock(mu_);
+    inflight_.erase(key);
+  }
+
+  std::mutex mu_;
+  std::unordered_map<CacheKey, std::shared_ptr<Slot>, CacheKeyHash> inflight_;
+};
+
+}  // namespace pbc::svc

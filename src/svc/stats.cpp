@@ -1,0 +1,40 @@
+#include "svc/stats.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace pbc::svc {
+
+LatencyRecorder::LatencyRecorder(std::size_t window)
+    : ring_(std::max<std::size_t>(1, window), 0) {}
+
+void LatencyRecorder::record(std::uint64_t ns) {
+  std::lock_guard lock(mu_);
+  ring_[next_] = ns;
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+}
+
+void LatencyRecorder::snapshot_into(EngineStats& out) const {
+  std::vector<double> us;
+  {
+    std::lock_guard lock(mu_);
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(total_, ring_.size()));
+    us.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      us.push_back(static_cast<double>(ring_[i]) * 1e-3);
+    }
+  }
+  out.latency_samples = us.size();
+  if (us.empty()) {
+    out.p50_us = out.p99_us = out.max_us = 0.0;
+    return;
+  }
+  out.p50_us = percentile(us, 50.0);
+  out.p99_us = percentile(us, 99.0);
+  out.max_us = max_of(us);
+}
+
+}  // namespace pbc::svc

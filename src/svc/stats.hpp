@@ -1,0 +1,66 @@
+// Lightweight service counters and latency tracking for the query engine.
+//
+// Counters are relaxed atomics — they feed dashboards and the bench
+// harness, not control flow, so cross-counter snapshots only need to be
+// eventually consistent. Latencies go into a fixed-size ring of the most
+// recent samples; percentiles are computed on demand from a copy so the
+// record path stays a mutex-protected store into a preallocated slot.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace pbc::svc {
+
+/// One coherent-enough snapshot of the engine's counters.
+struct EngineStats {
+  std::uint64_t queries = 0;       ///< total query() / batch entries served
+  std::uint64_t hits = 0;          ///< answered from the profile cache
+  std::uint64_t misses = 0;        ///< required a profile computation
+  std::uint64_t coalesced = 0;     ///< misses that joined an in-flight compute
+  std::uint64_t computes = 0;      ///< profile computations actually executed
+  std::uint64_t evictions = 0;     ///< LRU entries dropped (all caches)
+  std::size_t profile_cache_size = 0;
+  std::size_t frontier_cache_size = 0;
+
+  std::uint64_t latency_samples = 0;  ///< samples inside the current window
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t n = hits + misses;
+    return n ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+/// Ring buffer of the most recent service latencies, in nanoseconds.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t window = 4096);
+
+  void record(std::uint64_t ns);
+
+  /// Fills the latency fields of `out` (percentiles over the window).
+  void snapshot_into(EngineStats& out) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// The engine's counter block (shared across threads; relaxed order).
+struct Counters {
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> coalesced{0};
+  std::atomic<std::uint64_t> computes{0};
+};
+
+}  // namespace pbc::svc

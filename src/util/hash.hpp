@@ -1,0 +1,83 @@
+// Canonical structural hashing for descriptor types.
+//
+// The service layer (src/svc) keys its caches by a hash of the full
+// machine + workload descriptor, so two requests describing the same
+// configuration — however they were constructed — must hash identically
+// and two different configurations must practically never collide. The
+// building block is a streaming FNV-1a 64 over a canonical byte encoding:
+// every field is fed in a fixed order, floating-point values are
+// normalized (-0.0 folds onto +0.0, NaNs onto one bit pattern), and
+// variable-length data is length-prefixed so adjacent fields cannot alias.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pbc {
+
+/// Streaming FNV-1a 64-bit hasher with canonical field encoders.
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  /// `seed` perturbs the starting state so independent hash streams over
+  /// the same bytes produce independent digests (used for 128-bit keys).
+  constexpr explicit Fnv1a64(std::uint64_t seed = 0) noexcept
+      : h_(kOffsetBasis ^ seed) {}
+
+  constexpr void byte(std::uint8_t b) noexcept {
+    h_ ^= b;
+    h_ *= kPrime;
+  }
+
+  constexpr void u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<std::uint8_t>(v & 0xffU));
+      v >>= 8;
+    }
+  }
+
+  constexpr void i64(std::int64_t v) noexcept {
+    u64(static_cast<std::uint64_t>(v));
+  }
+
+  constexpr void size(std::size_t v) noexcept {
+    u64(static_cast<std::uint64_t>(v));
+  }
+
+  constexpr void boolean(bool v) noexcept { byte(v ? 1 : 0); }
+
+  /// Canonical double: -0.0 and +0.0 hash identically, every NaN hashes
+  /// as one quiet-NaN pattern.
+  constexpr void f64(double v) noexcept {
+    if (v != v) {
+      u64(0x7ff8000000000000ULL);
+      return;
+    }
+    if (v == 0.0) v = 0.0;  // fold -0.0 onto +0.0
+    u64(std::bit_cast<std::uint64_t>(v));
+  }
+
+  /// Length-prefixed string content ("ab","c" never aliases "a","bc").
+  constexpr void str(std::string_view s) noexcept {
+    size(s.size());
+    for (const char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_;
+};
+
+/// Single-shot convenience for small inputs.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  Fnv1a64 h;
+  h.str(s);
+  return h.digest();
+}
+
+}  // namespace pbc

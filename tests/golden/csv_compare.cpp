@@ -1,0 +1,106 @@
+// csv_compare GOLDEN ACTUAL [RTOL] — golden-file comparator for the
+// bench CSV dumps. Cells that parse as numbers are compared with a
+// relative tolerance (plus a matching absolute floor for values near
+// zero); everything else must match exactly. Exit 0 on match, 1 with a
+// cell-level report otherwise, 2 on usage/IO errors.
+//
+// The dumps are written at %.17g, so RTOL only has to absorb legitimate
+// floating-point drift (compiler/flag differences), not formatting.
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using Table = std::vector<std::vector<std::string>>;
+
+bool read_csv(const std::string& path, Table* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream row(line);
+    while (std::getline(row, cell, ',')) cells.push_back(cell);
+    if (!line.empty() && line.back() == ',') cells.emplace_back();
+    out->push_back(std::move(cells));
+  }
+  return true;
+}
+
+bool as_number(const std::string& s, double* v) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *v = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool cells_match(const std::string& golden, const std::string& actual,
+                 double rtol) {
+  double g = 0.0;
+  double a = 0.0;
+  if (as_number(golden, &g) && as_number(actual, &a)) {
+    const double scale = std::max(std::abs(g), std::abs(a));
+    return std::abs(g - a) <= rtol * std::max(scale, 1.0);
+  }
+  return golden == actual;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::cerr << "usage: csv_compare GOLDEN ACTUAL [RTOL]\n";
+    return 2;
+  }
+  const double rtol = argc == 4 ? std::atof(argv[3]) : 1e-6;
+
+  Table golden;
+  Table actual;
+  if (!read_csv(argv[1], &golden)) {
+    std::cerr << "cannot read golden file " << argv[1] << '\n';
+    return 2;
+  }
+  if (!read_csv(argv[2], &actual)) {
+    std::cerr << "cannot read actual file " << argv[2] << '\n';
+    return 2;
+  }
+
+  int mismatches = 0;
+  if (golden.size() != actual.size()) {
+    std::cerr << "row count differs: golden " << golden.size() << ", actual "
+              << actual.size() << '\n';
+    ++mismatches;
+  }
+  const std::size_t rows = std::min(golden.size(), actual.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (golden[r].size() != actual[r].size()) {
+      std::cerr << "row " << r + 1 << ": column count differs (golden "
+                << golden[r].size() << ", actual " << actual[r].size()
+                << ")\n";
+      ++mismatches;
+      continue;
+    }
+    for (std::size_t c = 0; c < golden[r].size(); ++c) {
+      if (!cells_match(golden[r][c], actual[r][c], rtol)) {
+        std::cerr << "row " << r + 1 << " col " << c + 1 << ": golden '"
+                  << golden[r][c] << "' vs actual '" << actual[r][c]
+                  << "' (rtol " << rtol << ")\n";
+        ++mismatches;
+      }
+    }
+  }
+  if (mismatches != 0) {
+    std::cerr << mismatches << " mismatch(es); to re-baseline, regenerate "
+              << "the golden with the bench's --csv option and commit it\n";
+    return 1;
+  }
+  std::cout << "ok: " << rows << " rows match within rtol " << rtol << '\n';
+  return 0;
+}

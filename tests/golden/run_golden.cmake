@@ -1,0 +1,27 @@
+# Runs a bench harness with --csv=OUT and diffs the dump against the
+# committed golden via csv_compare. Invoked by the golden_* ctest entries
+# (see bench/CMakeLists.txt):
+#   cmake -DBENCH=... -DCOMPARE=... -DGOLDEN=... -DOUT=... -DRTOL=...
+#         -P tests/golden/run_golden.cmake
+foreach(var BENCH COMPARE GOLDEN OUT RTOL)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_golden.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${BENCH} --csv=${OUT}
+  RESULT_VARIABLE bench_rc
+  OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} failed with exit code ${bench_rc}")
+endif()
+
+execute_process(
+  COMMAND ${COMPARE} ${GOLDEN} ${OUT} ${RTOL}
+  RESULT_VARIABLE compare_rc)
+if(NOT compare_rc EQUAL 0)
+  message(FATAL_ERROR
+          "golden mismatch for ${BENCH} (exit ${compare_rc}); regenerate "
+          "with --csv= and commit if the change is intended")
+endif()

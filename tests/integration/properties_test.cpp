@@ -5,11 +5,14 @@
 // reproduction.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/categorize.hpp"
 #include "core/coord.hpp"
 #include "core/critical.hpp"
 #include "hw/platforms.hpp"
 #include "sim/sweep.hpp"
+#include "svc/engine.hpp"
 #include "workload/cpu_suite.hpp"
 #include "workload/gpu_suite.hpp"
 
@@ -114,6 +117,113 @@ TEST_P(CpuProperty, BestSplitIsNeverAtAFloorViolation) {
     ASSERT_NE(best, nullptr);
     EXPECT_TRUE(best->proc_cap_respected) << GetParam().wl.name << " " << b;
   }
+}
+
+// COORD accuracy vs the exhaustive sweep oracle, aggregated over every
+// benchmark on this platform (the Fig. 9 methodology). The paper reports
+// a 9.6% mean gap on real hardware; this reproduction measures 13.5%
+// over accepted budgets (the extra gap sits in the narrow regime-C band
+// — see EXPERIMENTS.md), with a 7.2% worst case at large (>= 200 W)
+// caps. The bounds below are those measured values plus margin, so a
+// calibration change that degrades COORD accuracy fails here. The
+// allocations are served through svc::QueryEngine, which the diff tests
+// pin to the direct core:: path — so this doubles as an end-to-end check
+// of the service layer against the oracle.
+TEST_P(CpuProperty, CoordServedByEngineTracksSweepOracle) {
+  const auto m = machine();
+  const auto& wl = GetParam().wl;
+  const sim::CpuNodeSim node(m, wl);
+  svc::QueryEngine engine;
+
+  const auto budgets =
+      sim::budget_grid(Watts{145.0}, Watts{265.0}, Watts{20.0});
+  const auto sweeps = sim::sweep_cpu_budgets(
+      node, budgets, {Watts{40.0}, Watts{32.0}, Watts{2.0}});
+
+  double gap_sum = 0.0;
+  int accepted = 0;
+  double gap_large = 0.0;
+  for (const auto& sweep : sweeps) {
+    const auto alloc = engine.query_cpu(m, wl, sweep.budget);
+    if (alloc.status == core::CoordStatus::kBudgetTooSmall) continue;
+    const auto* best = sweep.best();
+    ASSERT_NE(best, nullptr) << wl.name;
+    const double coord = node.steady_state(alloc.cpu, alloc.mem).perf;
+    const double gap = std::max(0.0, 1.0 - coord / best->perf);
+    gap_sum += gap;
+    ++accepted;
+    if (sweep.budget.value() >= 200.0) gap_large = std::max(gap_large, gap);
+  }
+  ASSERT_GT(accepted, 0) << wl.name;
+  // Worst per-benchmark mean across the suite measures ~0.30 (FT on
+  // haswell, regime-C dominated); the suite-wide mean assertion below
+  // carries the 13.5% headline. Per-benchmark we bound the tail.
+  EXPECT_LE(gap_sum / accepted, 0.35) << wl.name;
+  EXPECT_LE(gap_large, 0.15) << wl.name << " at large caps";
+}
+
+// The suite-wide mean — the paper's actual 9.6% headline (measured here:
+// 13.5% on IvyBridge over accepted budgets 145-265 W).
+TEST(CoordAccuracyAggregate, MeanGapOverSuiteWithinMeasuredBound) {
+  for (const auto& m : {hw::ivybridge_node(), hw::haswell_node()}) {
+    svc::QueryEngine engine;
+    double gap_sum = 0.0;
+    int accepted = 0;
+    for (const auto& wl : workload::cpu_suite()) {
+      const sim::CpuNodeSim node(m, wl);
+      const auto budgets =
+          sim::budget_grid(Watts{145.0}, Watts{265.0}, Watts{20.0});
+      const auto sweeps = sim::sweep_cpu_budgets(
+          node, budgets, {Watts{40.0}, Watts{32.0}, Watts{2.0}});
+      for (const auto& sweep : sweeps) {
+        const auto alloc = engine.query_cpu(m, wl, sweep.budget);
+        if (alloc.status == core::CoordStatus::kBudgetTooSmall) continue;
+        const auto* best = sweep.best();
+        ASSERT_NE(best, nullptr);
+        const double coord = node.steady_state(alloc.cpu, alloc.mem).perf;
+        gap_sum += std::max(0.0, 1.0 - coord / best->perf);
+        ++accepted;
+      }
+    }
+    ASSERT_GT(accepted, 0);
+    EXPECT_LE(gap_sum / accepted, 0.16) << m.name;
+  }
+}
+
+// In the regime-C band just above the productive threshold, the
+// memory-biased variant must keep its measured edge over the paper's
+// proportional rule (0.926 vs 0.638 of oracle at 150-170 W — the
+// DESIGN.md ablation this repo ships as CpuCoordVariant::kMemoryBiased).
+TEST(CoordAccuracyAggregate, MemoryBiasedBeatsProportionalInRegimeC) {
+  const auto m = hw::ivybridge_node();
+  svc::QueryEngine engine;
+  double prop_ratio_sum = 0.0;
+  double biased_ratio_sum = 0.0;
+  int n = 0;
+  for (const auto& wl : workload::cpu_suite()) {
+    const sim::CpuNodeSim node(m, wl);
+    for (const double b : {150.0, 160.0, 170.0}) {
+      const auto prop = engine.query_cpu(m, wl, Watts{b},
+                                         core::CpuCoordVariant::kProportional);
+      if (prop.status == core::CoordStatus::kBudgetTooSmall) continue;
+      const auto biased = engine.query_cpu(
+          m, wl, Watts{b}, core::CpuCoordVariant::kMemoryBiased);
+      sim::BudgetSweep sweep;
+      sweep.budget = Watts{b};
+      sweep.samples = sim::sweep_cpu_split(
+          node, Watts{b}, {Watts{40.0}, Watts{32.0}, Watts{2.0}});
+      const auto* best = sweep.best();
+      ASSERT_NE(best, nullptr);
+      prop_ratio_sum +=
+          node.steady_state(prop.cpu, prop.mem).perf / best->perf;
+      biased_ratio_sum +=
+          node.steady_state(biased.cpu, biased.mem).perf / best->perf;
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_GE(biased_ratio_sum / n, prop_ratio_sum / n);
+  EXPECT_GE(biased_ratio_sum / n, 0.85);  // measured 0.926
 }
 
 std::string cpu_name(const ::testing::TestParamInfo<CpuCase>& info) {

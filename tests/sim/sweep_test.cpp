@@ -85,9 +85,33 @@ TEST(Sweep, BudgetGridInclusiveOfEndpointOnGrid) {
   EXPECT_DOUBLE_EQ(grid[2].value(), 120.0);
 }
 
-TEST(Sweep, BudgetGridExcludesOffGridEndpoint) {
+TEST(Sweep, BudgetGridIncludesOffGridEndpoint) {
   const auto grid = budget_grid(Watts{100.0}, Watts{125.0}, Watts{10.0});
-  EXPECT_EQ(grid.size(), 3u);  // 100, 110, 120
+  ASSERT_EQ(grid.size(), 4u);  // 100, 110, 120, 125
+  EXPECT_DOUBLE_EQ(grid[2].value(), 120.0);
+  EXPECT_DOUBLE_EQ(grid[3].value(), 125.0);
+}
+
+TEST(Sweep, BudgetGridRejectsNonPositiveStep) {
+  EXPECT_TRUE(budget_grid(Watts{100.0}, Watts{120.0}, Watts{0.0}).empty());
+  EXPECT_TRUE(budget_grid(Watts{100.0}, Watts{120.0}, Watts{-5.0}).empty());
+}
+
+TEST(Sweep, BudgetGridRejectsReversedRange) {
+  EXPECT_TRUE(budget_grid(Watts{120.0}, Watts{100.0}, Watts{10.0}).empty());
+}
+
+TEST(Sweep, BudgetGridSinglePointWhenLoEqualsHi) {
+  const auto grid = budget_grid(Watts{150.0}, Watts{150.0}, Watts{10.0});
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_DOUBLE_EQ(grid[0].value(), 150.0);
+}
+
+TEST(Sweep, BudgetGridOffGridEndpointNotDuplicatedWithinTolerance) {
+  // hi within 1e-9 of the last grid point must not be appended twice.
+  const auto grid = budget_grid(Watts{100.0}, Watts{120.0 + 1e-10},
+                                Watts{10.0});
+  EXPECT_EQ(grid.size(), 3u);
 }
 
 }  // namespace

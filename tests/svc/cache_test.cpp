@@ -1,0 +1,222 @@
+// Unit tests for the svc building blocks: the sharded LRU cache, the
+// single-flight table, and the canonical 128-bit descriptor keys.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "svc/cache.hpp"
+#include "svc/key.hpp"
+#include "svc/single_flight.hpp"
+#include "svc_test_util.hpp"
+#include "util/hash.hpp"
+
+namespace pbc {
+namespace {
+
+using svc::CacheKey;
+
+[[nodiscard]] CacheKey key_at(std::uint64_t hi, std::uint64_t lo) {
+  return CacheKey{hi, lo};
+}
+
+[[nodiscard]] std::shared_ptr<const int> boxed(int v) {
+  return std::make_shared<const int>(v);
+}
+
+// ------------------------------------------------- ShardedLruCache ------
+
+TEST(ShardedLruCache, PutGetAndLruEvictionOrder) {
+  svc::ShardedLruCache<int> cache(/*capacity=*/2, /*shard_count=*/1);
+  cache.put(key_at(1, 0), boxed(10));
+  cache.put(key_at(2, 0), boxed(20));
+  ASSERT_NE(cache.get(key_at(1, 0)), nullptr);  // 1 is now most-recent
+  cache.put(key_at(3, 0), boxed(30));           // evicts 2, not 1
+  EXPECT_NE(cache.get(key_at(1, 0)), nullptr);
+  EXPECT_EQ(cache.get(key_at(2, 0)), nullptr);
+  EXPECT_NE(cache.get(key_at(3, 0)), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedLruCache, PutSameKeyRefreshesInsteadOfGrowing) {
+  svc::ShardedLruCache<int> cache(4, 1);
+  cache.put(key_at(7, 7), boxed(1));
+  cache.put(key_at(7, 7), boxed(2));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.get(key_at(7, 7)), 2);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(ShardedLruCache, HeldValueSurvivesEviction) {
+  svc::ShardedLruCache<int> cache(1, 1);
+  cache.put(key_at(1, 1), boxed(41));
+  const auto held = cache.get(key_at(1, 1));
+  cache.put(key_at(2, 2), boxed(42));  // evicts key 1
+  EXPECT_EQ(cache.get(key_at(1, 1)), nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(*held, 41);  // shared_ptr keeps the evicted value alive
+}
+
+TEST(ShardedLruCache, ShardCountClampedToCapacity) {
+  svc::ShardedLruCache<int> cache(/*capacity=*/3, /*shard_count=*/16);
+  EXPECT_LE(cache.shard_count(), 3u);
+  EXPECT_GE(cache.capacity(), 3u);
+  // Keys landing on every shard still fit and are retrievable.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    cache.put(key_at(i, i), boxed(static_cast<int>(i)));
+  }
+  std::size_t found = 0;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    if (cache.get(key_at(i, i)) != nullptr) ++found;
+  }
+  EXPECT_GE(found, 1u);
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(ShardedLruCache, SizeStaysBoundedUnderConcurrentChurn) {
+  svc::ShardedLruCache<int> cache(8, 4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(3, static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 2000; ++i) {
+        const auto k = key_at(rng.below(64), rng.below(4));
+        if (auto v = cache.get(k)) {
+          EXPECT_GE(*v, 0);
+        } else {
+          cache.put(k, boxed(static_cast<int>(k.hi)));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(cache.size(), cache.capacity());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ----------------------------------------------------- SingleFlight ------
+
+TEST(SingleFlight, ConcurrentCallersShareOneComputation) {
+  svc::SingleFlight<int> flight;
+  std::atomic<int> computes{0};
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<int> leaders{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1);
+      while (!go.load()) {
+      }
+      const auto out = flight.run(key_at(5, 5), [&] {
+        computes.fetch_add(1);
+        // Widen the in-flight window so followers actually coalesce.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return std::make_shared<const int>(99);
+      });
+      if (out.led) leaders.fetch_add(1);
+      EXPECT_EQ(*out.value, 99);
+    });
+  }
+  while (ready.load() < 8) {
+  }
+  go.store(true);
+  for (auto& th : threads) th.join();
+  // Every caller that arrived during the 20 ms window coalesced; callers
+  // arriving after completion would lead again, so >= 1 compute and every
+  // compute had a leader.
+  EXPECT_GE(computes.load(), 1);
+  EXPECT_EQ(computes.load(), leaders.load());
+}
+
+TEST(SingleFlight, LeaderExceptionPropagatesAndTableRecovers) {
+  svc::SingleFlight<int> flight;
+  EXPECT_THROW(
+      (void)flight.run(key_at(1, 2),
+                       []() -> std::shared_ptr<const int> {
+                         throw std::runtime_error("profiling failed");
+                       }),
+      std::runtime_error);
+  // The failed slot must be gone: the next caller runs fresh.
+  const auto out = flight.run(key_at(1, 2), [] { return boxed(7); });
+  EXPECT_TRUE(out.led);
+  EXPECT_EQ(*out.value, 7);
+}
+
+// ------------------------------------------------------------ keys ------
+
+TEST(CacheKeys, DeterministicAcrossCallsAndSensitiveToEveryDescriptor) {
+  Xoshiro256 rng(77, 0);
+  const auto machine = svc_test::random_cpu_machine(rng);
+  const auto wl = svc_test::random_cpu_workload(rng, 0);
+
+  const auto k1 = svc::cpu_profile_key(machine, wl);
+  const auto k2 = svc::cpu_profile_key(machine, wl);
+  EXPECT_EQ(k1, k2);
+
+  auto wl2 = wl;
+  wl2.phases[0].bytes_per_unit *= 1.0 + 1e-12;  // tiniest numeric change
+  EXPECT_FALSE(k1 == svc::cpu_profile_key(machine, wl2));
+
+  auto machine2 = machine;
+  machine2.dram.peak_bw = GBps{machine2.dram.peak_bw.value() + 1e-9};
+  EXPECT_FALSE(k1 == svc::cpu_profile_key(machine2, wl));
+
+  auto renamed = wl;
+  renamed.name += "x";
+  EXPECT_FALSE(k1 == svc::cpu_profile_key(machine, renamed));
+}
+
+TEST(CacheKeys, FrontierKeyCoversGridAndSweepOptions) {
+  Xoshiro256 rng(77, 1);
+  const auto machine = svc_test::random_cpu_machine(rng);
+  const auto wl = svc_test::random_cpu_workload(rng, 0);
+  const std::vector<Watts> grid{Watts{150.0}, Watts{200.0}, Watts{250.0}};
+  const sim::CpuSweepOptions opt{};
+
+  const auto base = svc::cpu_frontier_key(machine, wl, grid, opt);
+  EXPECT_EQ(base, svc::cpu_frontier_key(machine, wl, grid, opt));
+
+  std::vector<Watts> grid2 = grid;
+  grid2.back() = Watts{251.0};
+  EXPECT_FALSE(base == svc::cpu_frontier_key(machine, wl, grid2, opt));
+
+  sim::CpuSweepOptions opt2 = opt;
+  opt2.step = Watts{opt.step.value() * 2.0};
+  EXPECT_FALSE(base == svc::cpu_frontier_key(machine, wl, grid, opt2));
+
+  // Profile and frontier keys for the same descriptor never collide
+  // (distinct record tags).
+  EXPECT_FALSE(base == svc::cpu_profile_key(machine, wl));
+}
+
+TEST(CacheKeys, CanonicalFloatEncodingFoldsSignedZero) {
+  Fnv1a64 a;
+  Fnv1a64 b;
+  a.f64(0.0);
+  b.f64(-0.0);
+  EXPECT_EQ(a.digest(), b.digest());
+
+  Fnv1a64 c;
+  Fnv1a64 d;
+  c.f64(1.0);
+  d.f64(-1.0);
+  EXPECT_NE(c.digest(), d.digest());
+}
+
+TEST(CacheKeys, SeededStreamsAreIndependent) {
+  Fnv1a64 s0(0);
+  Fnv1a64 s1(1);
+  s0.str("same input");
+  s1.str("same input");
+  EXPECT_NE(s0.digest(), s1.digest());
+}
+
+}  // namespace
+}  // namespace pbc

@@ -1,0 +1,222 @@
+// Differential tests: svc::QueryEngine must be an *exact* drop-in for
+// the direct core:: call chain — profile + coord, or frontier sweep —
+// bit-for-bit, cached or not, from one thread or many. The engine adds a
+// cache and a hash in front of deterministic pure functions, so there is
+// no tolerance to grant: any difference is a bug in the key (two
+// descriptors collided) or in the cache (a stale or torn value).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/coord.hpp"
+#include "core/critical.hpp"
+#include "core/frontier.hpp"
+#include "sim/cpu_node.hpp"
+#include "sim/gpu_node.hpp"
+#include "sim/sweep.hpp"
+#include "svc/engine.hpp"
+#include "svc_test_util.hpp"
+
+namespace pbc {
+namespace {
+
+void expect_same(const core::CpuAllocation& got,
+                 const core::CpuAllocation& want, const std::string& ctx) {
+  EXPECT_EQ(got.cpu.value(), want.cpu.value()) << ctx;
+  EXPECT_EQ(got.mem.value(), want.mem.value()) << ctx;
+  EXPECT_EQ(got.status, want.status) << ctx;
+  EXPECT_EQ(got.surplus.value(), want.surplus.value()) << ctx;
+}
+
+void expect_same(const core::GpuAllocation& got,
+                 const core::GpuAllocation& want, const std::string& ctx) {
+  EXPECT_EQ(got.sm.value(), want.sm.value()) << ctx;
+  EXPECT_EQ(got.mem.value(), want.mem.value()) << ctx;
+  EXPECT_EQ(got.status, want.status) << ctx;
+  EXPECT_EQ(got.surplus.value(), want.surplus.value()) << ctx;
+  EXPECT_EQ(got.mem_clock_index, want.mem_clock_index) << ctx;
+}
+
+// >= 1000 randomized CPU cases: 250 distinct (machine, workload)
+// descriptors x 5 budgets, both regime-C variants, each asked twice (the
+// second answer comes from the cache and must not drift).
+TEST(EngineDiff, CpuAnswersBitIdenticalToDirectPath) {
+  Xoshiro256 rng(20160814, 1);
+  svc::QueryEngine engine;
+  int cases = 0;
+  for (int i = 0; i < 250; ++i) {
+    const auto machine = svc_test::random_cpu_machine(rng);
+    const auto wl = svc_test::random_cpu_workload(rng, i);
+    const sim::CpuNodeSim node(machine, wl);
+    const auto profile = core::profile_critical_powers(node);
+    for (int b = 0; b < 5; ++b) {
+      const Watts budget{rng.uniform(100.0, 310.0)};
+      const auto variant = (b % 2 == 0)
+                               ? core::CpuCoordVariant::kProportional
+                               : core::CpuCoordVariant::kMemoryBiased;
+      const auto want = core::coord_cpu(profile, budget, variant);
+      const std::string ctx =
+          wl.name + " on " + machine.name + " @ " +
+          std::to_string(budget.value());
+      expect_same(engine.query_cpu(machine, wl, budget, variant), want, ctx);
+      expect_same(engine.query_cpu(machine, wl, budget, variant), want,
+                  ctx + " (cached)");
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 1000);
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, 2u * static_cast<std::uint64_t>(cases));
+  EXPECT_EQ(s.computes, 250u);  // one profiling run per descriptor
+}
+
+TEST(EngineDiff, GpuAnswersBitIdenticalToDirectPath) {
+  Xoshiro256 rng(20160814, 2);
+  svc::QueryEngine engine;
+  for (int i = 0; i < 60; ++i) {
+    const auto machine = svc_test::random_gpu_machine(rng);
+    const auto wl = svc_test::random_gpu_workload(rng, i);
+    const sim::GpuNodeSim node(machine, wl);
+    const auto params = core::profile_gpu_params(node);
+    for (int b = 0; b < 4; ++b) {
+      const Watts cap{rng.uniform(120.0, 300.0)};
+      const double gamma = (b % 2 == 0) ? 0.5 : rng.uniform(0.2, 0.8);
+      const auto want = core::coord_gpu(params, node.gpu_model(), cap, gamma);
+      const std::string ctx = wl.name + " on " + machine.name + " @ " +
+                              std::to_string(cap.value());
+      expect_same(engine.query_gpu(machine, wl, cap, gamma), want, ctx);
+      expect_same(engine.query_gpu(machine, wl, cap, gamma), want,
+                  ctx + " (cached)");
+    }
+  }
+}
+
+// The batch API must agree with the scalar API entry by entry, including
+// batches whose descriptors repeat (batch-local dedup must not reorder or
+// cross-wire answers).
+TEST(EngineDiff, BatchMatchesScalarAnswers) {
+  Xoshiro256 rng(20160814, 3);
+  std::vector<svc::CpuQuery> batch;
+  for (int i = 0; i < 40; ++i) {
+    const auto machine = svc_test::random_cpu_machine(rng);
+    const auto wl = svc_test::random_cpu_workload(rng, i);
+    for (int b = 0; b < 3; ++b) {
+      batch.push_back({machine, wl, Watts{rng.uniform(110.0, 300.0)},
+                       (b % 2 == 0) ? core::CpuCoordVariant::kProportional
+                                    : core::CpuCoordVariant::kMemoryBiased});
+    }
+  }
+  // Shuffle-ish: interleave duplicates of earlier entries.
+  const std::size_t original = batch.size();
+  for (int d = 0; d < 30; ++d) {
+    batch.push_back(batch[static_cast<std::size_t>(rng.below(original))]);
+  }
+
+  svc::QueryEngine engine;
+  const auto answers = engine.query_cpu_batch(batch);
+  ASSERT_EQ(answers.size(), batch.size());
+
+  svc::QueryEngine scalar;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& q = batch[i];
+    expect_same(answers[i],
+                scalar.query_cpu(q.machine, q.wl, q.budget, q.variant),
+                "batch index " + std::to_string(i));
+  }
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, batch.size());
+  EXPECT_EQ(s.hits + s.misses, s.queries);
+  EXPECT_EQ(s.misses, s.computes + s.coalesced);
+}
+
+// Cached frontiers must be the exact vector perf_frontier_cpu returns.
+TEST(EngineDiff, FrontierBitIdenticalToDirectSweep) {
+  Xoshiro256 rng(20160814, 4);
+  svc::QueryEngine engine;
+  const auto grid = sim::budget_grid(Watts{140.0}, Watts{260.0}, Watts{40.0});
+  for (int i = 0; i < 3; ++i) {
+    const auto machine = svc_test::random_cpu_machine(rng);
+    const auto wl = svc_test::random_cpu_workload(rng, i);
+    const sim::CpuNodeSim node(machine, wl);
+    const auto want = core::perf_frontier_cpu(node, grid);
+    for (int pass = 0; pass < 2; ++pass) {  // miss, then hit
+      const auto got = engine.cpu_frontier(machine, wl, grid);
+      ASSERT_EQ(got->size(), want.size()) << wl.name;
+      for (std::size_t p = 0; p < want.size(); ++p) {
+        EXPECT_EQ((*got)[p].budget.value(), want[p].budget.value());
+        EXPECT_EQ((*got)[p].perf_max, want[p].perf_max) << wl.name;
+        EXPECT_EQ((*got)[p].best_proc_cap.value(),
+                  want[p].best_proc_cap.value());
+        EXPECT_EQ((*got)[p].best_mem_cap.value(),
+                  want[p].best_mem_cap.value());
+        EXPECT_EQ((*got)[p].consumed.value(), want[p].consumed.value());
+      }
+    }
+  }
+  // Different sweep options must be a different cache entry, not a stale
+  // hit on the same (machine, workload).
+  const auto machine = svc_test::random_cpu_machine(rng);
+  const auto wl = svc_test::random_cpu_workload(rng, 99);
+  const auto coarse = engine.cpu_frontier(machine, wl, grid,
+                                          {Watts{40.0}, Watts{32.0},
+                                           Watts{8.0}});
+  const auto fine = engine.cpu_frontier(machine, wl, grid,
+                                        {Watts{40.0}, Watts{32.0},
+                                         Watts{2.0}});
+  EXPECT_NE(coarse.get(), fine.get());
+}
+
+// Many threads hammer one shared engine with a fixed query set; every
+// thread must see exactly the single-threaded answers. This is the "no
+// torn or cross-wired cache entries under concurrency" contract.
+TEST(EngineDiff, ConcurrentAnswersMatchSerialAnswers) {
+  Xoshiro256 rng(20160814, 5);
+  std::vector<svc::CpuQuery> queries;
+  std::vector<core::CpuAllocation> want;
+  for (int i = 0; i < 30; ++i) {
+    const auto machine = svc_test::random_cpu_machine(rng);
+    const auto wl = svc_test::random_cpu_workload(rng, i);
+    const sim::CpuNodeSim node(machine, wl);
+    const auto profile = core::profile_critical_powers(node);
+    for (int b = 0; b < 3; ++b) {
+      const Watts budget{rng.uniform(110.0, 300.0)};
+      queries.push_back({machine, wl, budget,
+                         core::CpuCoordVariant::kProportional});
+      want.push_back(core::coord_cpu(profile, budget,
+                                     core::CpuCoordVariant::kProportional));
+    }
+  }
+
+  svc::QueryEngine engine;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 order(7, static_cast<std::uint64_t>(t));
+      for (int rep = 0; rep < 200; ++rep) {
+        const auto i = static_cast<std::size_t>(order.below(queries.size()));
+        const auto& q = queries[i];
+        const auto got =
+            engine.query_cpu(q.machine, q.wl, q.budget, q.variant);
+        if (got.cpu.value() != want[i].cpu.value() ||
+            got.mem.value() != want[i].mem.value() ||
+            got.status != want[i].status ||
+            got.surplus.value() != want[i].surplus.value()) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, 8u * 200u);
+  EXPECT_EQ(s.hits + s.misses, s.queries);
+  EXPECT_EQ(s.misses, s.computes + s.coalesced);
+  EXPECT_LE(s.computes, 30u);  // one per distinct descriptor at most
+}
+
+}  // namespace
+}  // namespace pbc

@@ -1,0 +1,211 @@
+// Concurrency and capacity stress for svc::QueryEngine: single-flight
+// coalescing under a synchronized miss storm, LRU invariants under
+// eviction pressure, and counter bookkeeping that has to stay consistent
+// no matter how the races resolve. Run under the `tsan` preset these are
+// also the data-race probes for the whole svc layer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/coord.hpp"
+#include "core/critical.hpp"
+#include "sim/cpu_node.hpp"
+#include "svc/engine.hpp"
+#include "svc_test_util.hpp"
+
+namespace pbc {
+namespace {
+
+// All threads released at once onto the same cold keys: the engine must
+// profile each descriptor exactly once, however the storm interleaves.
+TEST(EngineStress, MissStormComputesEachDescriptorOnce) {
+  Xoshiro256 rng(1701, 0);
+  constexpr int kDescriptors = 4;
+  constexpr int kThreads = 8;
+  std::vector<hw::CpuMachine> machines;
+  std::vector<workload::Workload> wls;
+  for (int i = 0; i < kDescriptors; ++i) {
+    machines.push_back(svc_test::random_cpu_machine(rng));
+    wls.push_back(svc_test::random_cpu_workload(rng, i));
+  }
+
+  svc::QueryEngine engine;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1);
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kDescriptors; ++i) {
+        const auto a = engine.query_cpu(machines[static_cast<std::size_t>(i)],
+                                        wls[static_cast<std::size_t>(i)],
+                                        Watts{200.0});
+        EXPECT_GT(a.total().value(), 0.0);
+      }
+    });
+  }
+  while (ready.load() < kThreads) {
+  }
+  go.store(true);
+  for (auto& th : threads) th.join();
+
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, static_cast<std::uint64_t>(kThreads * kDescriptors));
+  EXPECT_EQ(s.computes, static_cast<std::uint64_t>(kDescriptors));
+  EXPECT_EQ(s.hits + s.misses, s.queries);
+  EXPECT_EQ(s.misses, s.computes + s.coalesced);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.profile_cache_size, static_cast<std::size_t>(kDescriptors));
+}
+
+// A cache far smaller than the key universe: size stays bounded,
+// evictions are counted, and — because profiling is deterministic —
+// recomputed entries answer exactly like the evicted ones did.
+TEST(EngineStress, EvictionKeepsSizeBoundedAndAnswersExact) {
+  svc::EngineOptions opt;
+  opt.profile_cache_capacity = 8;
+  opt.shards = 2;
+  svc::QueryEngine engine(opt);
+
+  Xoshiro256 rng(1701, 1);
+  std::vector<hw::CpuMachine> machines;
+  std::vector<workload::Workload> wls;
+  std::vector<core::CpuAllocation> want;
+  constexpr int kDescriptors = 64;
+  for (int i = 0; i < kDescriptors; ++i) {
+    machines.push_back(svc_test::random_cpu_machine(rng));
+    wls.push_back(svc_test::random_cpu_workload(rng, i));
+    const sim::CpuNodeSim node(machines.back(), wls.back());
+    want.push_back(core::coord_cpu(core::profile_critical_powers(node),
+                                   Watts{210.0}));
+  }
+
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < kDescriptors; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const auto got =
+          engine.query_cpu(machines[idx], wls[idx], Watts{210.0});
+      EXPECT_EQ(got.cpu.value(), want[idx].cpu.value()) << i;
+      EXPECT_EQ(got.mem.value(), want[idx].mem.value()) << i;
+      const auto s = engine.stats();
+      EXPECT_LE(s.profile_cache_size, opt.profile_cache_capacity);
+    }
+  }
+  const auto s = engine.stats();
+  // 64 distinct keys through an 8-entry cache, three rounds: nearly every
+  // access recomputes, and every recompute past the first fill evicts.
+  EXPECT_GE(s.evictions, static_cast<std::uint64_t>(
+                             3 * kDescriptors - opt.profile_cache_capacity));
+  EXPECT_EQ(s.misses, s.computes + s.coalesced);
+  EXPECT_EQ(s.hits + s.misses, s.queries);
+}
+
+// Threads race over an overlapping key set while eviction is active.
+// Exact compute counts are timing-dependent here; the bookkeeping
+// invariants and the size bound are not.
+TEST(EngineStress, ContentionWithEvictionKeepsInvariants) {
+  svc::EngineOptions opt;
+  opt.profile_cache_capacity = 6;
+  opt.shards = 3;
+  svc::QueryEngine engine(opt);
+
+  Xoshiro256 seed_rng(1701, 2);
+  constexpr int kDescriptors = 18;
+  std::vector<hw::CpuMachine> machines;
+  std::vector<workload::Workload> wls;
+  for (int i = 0; i < kDescriptors; ++i) {
+    machines.push_back(svc_test::random_cpu_machine(seed_rng));
+    wls.push_back(svc_test::random_cpu_workload(seed_rng, i));
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(9, static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 300; ++i) {
+        const auto d = static_cast<std::size_t>(rng.below(kDescriptors));
+        const auto a = engine.query_cpu(machines[d], wls[d],
+                                        Watts{rng.uniform(140.0, 280.0)});
+        EXPECT_GE(a.total().value(), 0.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, 6u * 300u);
+  EXPECT_EQ(s.hits + s.misses, s.queries);
+  EXPECT_EQ(s.misses, s.computes + s.coalesced);
+  EXPECT_LE(s.profile_cache_size, opt.profile_cache_capacity);
+  EXPECT_GT(s.hits, 0u);
+  const double rate = s.hit_rate();
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+}
+
+// clear() drops entries (forcing recomputes) but keeps history counters.
+TEST(EngineStress, ClearDropsEntriesKeepsCounters) {
+  Xoshiro256 rng(1701, 3);
+  const auto machine = svc_test::random_cpu_machine(rng);
+  const auto wl = svc_test::random_cpu_workload(rng, 0);
+
+  svc::QueryEngine engine;
+  const auto first = engine.query_cpu(machine, wl, Watts{220.0});
+  EXPECT_EQ(engine.stats().computes, 1u);
+  engine.clear();
+  EXPECT_EQ(engine.stats().profile_cache_size, 0u);
+  EXPECT_EQ(engine.stats().queries, 1u);  // history survives clear()
+
+  const auto again = engine.query_cpu(machine, wl, Watts{220.0});
+  EXPECT_EQ(again.cpu.value(), first.cpu.value());
+  EXPECT_EQ(engine.stats().computes, 2u);  // recomputed after the drop
+}
+
+// Batch submission under a tiny pool-fanned miss set, interleaved with
+// scalar queries from other threads on the same engine.
+TEST(EngineStress, BatchAndScalarInterleaveSafely) {
+  Xoshiro256 rng(1701, 4);
+  std::vector<svc::CpuQuery> batch;
+  for (int i = 0; i < 24; ++i) {
+    batch.push_back({svc_test::random_cpu_machine(rng),
+                     svc_test::random_cpu_workload(rng, i),
+                     Watts{rng.uniform(130.0, 290.0)},
+                     core::CpuCoordVariant::kProportional});
+  }
+
+  svc::QueryEngine engine;
+  std::thread scalar([&] {
+    Xoshiro256 pick(11, 0);
+    for (int i = 0; i < 400; ++i) {
+      const auto& q = batch[static_cast<std::size_t>(
+          pick.below(batch.size()))];
+      (void)engine.query_cpu(q.machine, q.wl, q.budget, q.variant);
+    }
+  });
+  std::vector<core::CpuAllocation> answers;
+  for (int rep = 0; rep < 3; ++rep) {
+    answers = engine.query_cpu_batch(batch);
+  }
+  scalar.join();
+
+  ASSERT_EQ(answers.size(), batch.size());
+  svc::QueryEngine reference;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& q = batch[i];
+    const auto want =
+        reference.query_cpu(q.machine, q.wl, q.budget, q.variant);
+    EXPECT_EQ(answers[i].cpu.value(), want.cpu.value()) << i;
+    EXPECT_EQ(answers[i].mem.value(), want.mem.value()) << i;
+  }
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, 400u + 3u * batch.size());
+  EXPECT_EQ(s.misses, s.computes + s.coalesced);
+  EXPECT_LE(s.computes, batch.size());
+}
+
+}  // namespace
+}  // namespace pbc

@@ -1,0 +1,73 @@
+// Shared randomized-descriptor helpers for the svc differential and
+// stress tests. Every generator is a pure function of the RNG, so a test
+// seeded with Xoshiro256(seed, stream) replays the exact same machines
+// and workloads on every run and platform.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "hw/platforms.hpp"
+#include "util/rng.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+#include "workload/workload.hpp"
+
+namespace pbc::svc_test {
+
+/// A suite workload with every phase's numeric knobs nudged by a few
+/// percent — a distinct application profile (hence a distinct cache key)
+/// that still satisfies Workload::validate().
+[[nodiscard]] inline workload::Workload perturb_workload(
+    const workload::Workload& base, Xoshiro256& rng, int tag) {
+  workload::Workload w = base;
+  w.name += "@" + std::to_string(tag);
+  for (auto& ph : w.phases) {
+    ph.flops_per_unit *= rng.uniform(0.85, 1.15);
+    ph.bytes_per_unit *= rng.uniform(0.85, 1.15);
+    ph.compute_eff = std::clamp(ph.compute_eff * rng.uniform(0.9, 1.1),
+                                0.05, 1.0);
+    ph.overlap = std::clamp(ph.overlap * rng.uniform(0.9, 1.1), 0.0, 1.0);
+    ph.max_bw_frac = std::clamp(ph.max_bw_frac * rng.uniform(0.9, 1.1),
+                                0.1, 1.0);
+    ph.activity = std::clamp(ph.activity * rng.uniform(0.9, 1.1), 0.1, 1.0);
+    ph.mem_energy_scale = std::max(1.0, ph.mem_energy_scale *
+                                            rng.uniform(1.0, 1.1));
+  }
+  return w;
+}
+
+[[nodiscard]] inline workload::Workload random_cpu_workload(Xoshiro256& rng,
+                                                            int tag) {
+  static const std::vector<workload::Workload> suite = workload::cpu_suite();
+  const auto& base = suite[static_cast<std::size_t>(rng.below(suite.size()))];
+  return perturb_workload(base, rng, tag);
+}
+
+[[nodiscard]] inline workload::Workload random_gpu_workload(Xoshiro256& rng,
+                                                            int tag) {
+  static const std::vector<workload::Workload> suite = workload::gpu_suite();
+  const auto& base = suite[static_cast<std::size_t>(rng.below(suite.size()))];
+  return perturb_workload(base, rng, tag);
+}
+
+/// One of the two paper platforms with mild calibration drift applied to
+/// the power-model coefficients — enough to change every critical power
+/// value (and the cache key) without leaving the model's valid range.
+[[nodiscard]] inline hw::CpuMachine random_cpu_machine(Xoshiro256& rng) {
+  hw::CpuMachine m =
+      rng.below(2) == 0 ? hw::ivybridge_node() : hw::haswell_node();
+  m.cpu.dyn_coeff_w_per_ghz_v2 *= rng.uniform(0.95, 1.05);
+  m.cpu.uncore_power = Watts{m.cpu.uncore_power.value() *
+                             rng.uniform(0.95, 1.05)};
+  m.dram.dyn_w_per_gbps *= rng.uniform(0.95, 1.05);
+  m.dram.peak_bw = GBps{m.dram.peak_bw.value() * rng.uniform(0.95, 1.05)};
+  return m;
+}
+
+[[nodiscard]] inline hw::GpuMachine random_gpu_machine(Xoshiro256& rng) {
+  return rng.below(2) == 0 ? hw::titan_xp() : hw::titan_v();
+}
+
+}  // namespace pbc::svc_test

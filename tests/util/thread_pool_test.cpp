@@ -54,6 +54,32 @@ TEST(ThreadPool, ParallelForSmallerThanThreadCount) {
   EXPECT_EQ(counter.load(), 3);
 }
 
+TEST(ThreadPool, ParallelForSingleIndex) {
+  ThreadPool pool(4);
+  std::atomic<int> seen{-1};
+  pool.parallel_for_index(1, [&](std::size_t i) {
+    seen.store(static_cast<int>(i));
+  });
+  EXPECT_EQ(seen.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForSmallerThanThreadCountCoversEachIndexOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for_index(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, PoolUsableAfterZeroLengthParallelFor) {
+  ThreadPool pool(2);
+  pool.parallel_for_index(0, [&](std::size_t) {});
+  std::atomic<int> counter{0};
+  pool.parallel_for_index(5, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 5);
+}
+
 TEST(ThreadPool, ParallelForRunsConcurrently) {
   ThreadPool pool(4);
   const auto start = std::chrono::steady_clock::now();
