@@ -1,11 +1,31 @@
-// Google-benchmark microbenchmarks of the simulator itself: how fast the
-// closed-form governor fixed point, the time-stepped engine, and the
-// parallel sweep runner execute. These bound how large a budget×split grid
-// the characterization harnesses can afford.
+// Microbenchmarks of the simulator itself: how fast the closed-form
+// governor fixed point, the time-stepped engine, and the parallel sweep
+// runner execute. These bound how large a budget×split grid the
+// characterization harnesses can afford.
+//
+// Two modes:
+//   * default: the google-benchmark suite below (BM_*).
+//   * --json[=path] (default BENCH_sim.json): a self-timed perf-trajectory
+//     record — ops/sec for single solves, warm sweeps, and the frontier,
+//     on both solver paths — plus the warm-sweep speedup gate. The gate
+//     fails the process (exit 1) when the fast path is not at least
+//     --min-speedup (default 5) times the reference path on
+//     sweep_cpu_budgets; --min-speedup=0 turns the run into a smoke test.
+//     CI runs this mode on a Release build; ctest runs it with the gate
+//     disabled so debug/sanitizer configurations stay meaningful.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "core/coord.hpp"
 #include "core/critical.hpp"
+#include "core/frontier.hpp"
 #include "hw/platforms.hpp"
 #include "sim/engine.hpp"
 #include "sim/sweep.hpp"
@@ -18,6 +38,7 @@ namespace {
 
 void BM_CpuSteadyState(benchmark::State& state) {
   const sim::CpuNodeSim node(hw::ivybridge_node(), workload::sra());
+  node.prepare();
   double cap = 80.0;
   for (auto _ : state) {
     cap = cap >= 160.0 ? 80.0 : cap + 1.0;
@@ -27,8 +48,20 @@ void BM_CpuSteadyState(benchmark::State& state) {
 }
 BENCHMARK(BM_CpuSteadyState);
 
+void BM_CpuSteadyStateReference(benchmark::State& state) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::sra());
+  double cap = 80.0;
+  for (auto _ : state) {
+    cap = cap >= 160.0 ? 80.0 : cap + 1.0;
+    benchmark::DoNotOptimize(
+        node.reference_steady_state(Watts{cap}, Watts{240.0 - cap}));
+  }
+}
+BENCHMARK(BM_CpuSteadyStateReference);
+
 void BM_GpuSteadyState(benchmark::State& state) {
   const sim::GpuNodeSim node(hw::titan_xp(), workload::minife());
+  node.prepare();
   std::size_t clk = 0;
   for (auto _ : state) {
     clk = (clk + 1) % node.gpu_model().mem_clock_count();
@@ -39,6 +72,7 @@ BENCHMARK(BM_GpuSteadyState);
 
 void BM_SplitSweep(benchmark::State& state) {
   const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_mg());
+  node.prepare();
   const Watts step{static_cast<double>(state.range(0))};
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim::sweep_cpu_split(
@@ -46,6 +80,17 @@ void BM_SplitSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SplitSweep)->Arg(8)->Arg(4)->Arg(2);
+
+void BM_SplitSweepReference(benchmark::State& state) {
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_mg());
+  const Watts step{static_cast<double>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::sweep_cpu_split(
+        node, Watts{240.0},
+        {Watts{40.0}, Watts{32.0}, step, sim::SolverPath::kReference}));
+  }
+}
+BENCHMARK(BM_SplitSweepReference)->Arg(8)->Arg(4);
 
 void BM_BudgetSweepParallel(benchmark::State& state) {
   const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_ft());
@@ -90,6 +135,210 @@ void BM_CoordDecision(benchmark::State& state) {
 }
 BENCHMARK(BM_CoordDecision);
 
+// ---------------------------------------------------------------------------
+// --json gate mode
+// ---------------------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+template <class F>
+[[nodiscard]] double time_once_s(F&& f) {
+  const auto t0 = Clock::now();
+  f();
+  const auto dt = Clock::now() - t0;
+  return std::chrono::duration_cast<std::chrono::duration<double>>(dt)
+      .count();
+}
+
+/// Best-of-reps wall time, in seconds.
+template <class F>
+[[nodiscard]] double time_best_s(int reps, F&& f) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) best = std::min(best, time_once_s(f));
+  return best;
+}
+
+struct GateRecord {
+  double min_speedup = 0.0;
+  double actual = 0.0;
+  [[nodiscard]] bool pass() const noexcept {
+    return actual + 1e-12 >= min_speedup;
+  }
+};
+
+int run_gate_mode(const std::string& json_path, double min_speedup,
+                  int reps) {
+  const hw::CpuMachine cpu_machine = hw::ivybridge_node();
+  const workload::Workload cpu_wl = workload::npb_mg();
+  const auto budgets =
+      sim::budget_grid(Watts{140.0}, Watts{280.0}, Watts{4.0});
+  // Single-threaded pool: the gate measures the algorithmic speedup, not
+  // core count.
+  ThreadPool pool(1);
+  sim::CpuSweepOptions fast_opt;
+  fast_opt.path = sim::SolverPath::kFast;
+  sim::CpuSweepOptions ref_opt;
+  ref_opt.path = sim::SolverPath::kReference;
+
+  std::size_t sweep_solves = 0;
+  for (const Watts b : budgets) {
+    sweep_solves += sim::cpu_split_grid(b, fast_opt).size();
+  }
+
+  const sim::CpuNodeSim node(cpu_machine, cpu_wl);
+  double perf_sink = 0.0;
+
+  // Reference sweep: one timed pass (it is the slow baseline).
+  const double sweep_ref_s = time_once_s([&] {
+    const auto sweeps = sim::sweep_cpu_budgets(node, budgets, ref_opt, &pool);
+    perf_sink += sweeps.front().samples.front().perf;
+  });
+
+  // Warm fast sweep: table built once up front, then best-of-reps — the
+  // steady-state cost the query service actually pays.
+  node.prepare();
+  const double sweep_fast_s = time_best_s(reps, [&] {
+    const auto sweeps =
+        sim::sweep_cpu_budgets(node, budgets, fast_opt, &pool);
+    perf_sink += sweeps.front().samples.front().perf;
+  });
+
+  // Single-solve throughput on both paths over a cap schedule.
+  constexpr int kSolveIters = 2000;
+  const auto solve_loop = [&](bool fast) {
+    double cap = 80.0;
+    for (int i = 0; i < kSolveIters; ++i) {
+      cap = cap >= 160.0 ? 80.0 : cap + 1.0;
+      const auto s =
+          fast ? node.steady_state(Watts{cap}, Watts{240.0 - cap})
+               : node.reference_steady_state(Watts{cap}, Watts{240.0 - cap});
+      perf_sink += s.perf;
+    }
+  };
+  const double solve_fast_s = time_best_s(reps, [&] { solve_loop(true); });
+  const double solve_ref_s = time_once_s([&] { solve_loop(false); });
+
+  // Frontier throughput (budgets per second, fast path, warm).
+  const double frontier_s = time_best_s(reps, [&] {
+    const auto frontier =
+        core::perf_frontier_cpu(node, budgets, fast_opt, &pool);
+    perf_sink += frontier.front().perf_max;
+  });
+
+  // GPU solves, both paths.
+  const sim::GpuNodeSim gpu_node(hw::titan_xp(), workload::minife());
+  gpu_node.prepare();
+  std::vector<Watts> gpu_caps;
+  for (double c = 125.0; c <= 250.0; c += 1.0) gpu_caps.push_back(Watts{c});
+  const double gpu_fast_s = time_best_s(reps, [&] {
+    for (std::size_t clk = 0; clk < gpu_node.gpu_model().mem_clock_count();
+         ++clk) {
+      const auto out = gpu_node.steady_state_batch(clk, gpu_caps);
+      perf_sink += out.front().perf;
+    }
+  });
+  const double gpu_ref_s = time_once_s([&] {
+    for (std::size_t clk = 0; clk < gpu_node.gpu_model().mem_clock_count();
+         ++clk) {
+      for (const Watts c : gpu_caps) {
+        perf_sink += gpu_node.reference_steady_state(clk, c).perf;
+      }
+    }
+  });
+  const std::size_t gpu_solves =
+      gpu_caps.size() * gpu_node.gpu_model().mem_clock_count();
+
+  const auto ops = [](std::size_t n, double s) {
+    return s > 0.0 ? static_cast<double>(n) / s : 0.0;
+  };
+  GateRecord gate;
+  gate.min_speedup = min_speedup;
+  gate.actual = sweep_fast_s > 0.0 ? sweep_ref_s / sweep_fast_s : 0.0;
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "perf_sim_microbench: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  out << "{\n"
+      << "  \"bench\": \"perf_sim_microbench\",\n"
+      << "  \"mode\": \"gate\",\n"
+      << "  \"metrics\": {\n"
+      << "    \"cpu_solve_fast_ops_per_sec\": "
+      << ops(kSolveIters, solve_fast_s) << ",\n"
+      << "    \"cpu_solve_ref_ops_per_sec\": "
+      << ops(kSolveIters, solve_ref_s) << ",\n"
+      << "    \"cpu_sweep_fast_solves_per_sec\": "
+      << ops(sweep_solves, sweep_fast_s) << ",\n"
+      << "    \"cpu_sweep_ref_solves_per_sec\": "
+      << ops(sweep_solves, sweep_ref_s) << ",\n"
+      << "    \"cpu_sweep_speedup\": " << gate.actual << ",\n"
+      << "    \"frontier_budgets_per_sec\": "
+      << ops(budgets.size(), frontier_s) << ",\n"
+      << "    \"gpu_solve_fast_ops_per_sec\": " << ops(gpu_solves, gpu_fast_s)
+      << ",\n"
+      << "    \"gpu_solve_ref_ops_per_sec\": " << ops(gpu_solves, gpu_ref_s)
+      << ",\n"
+      << "    \"gpu_solve_speedup\": "
+      << (gpu_fast_s > 0.0 ? gpu_ref_s / gpu_fast_s : 0.0) << "\n"
+      << "  },\n"
+      << "  \"gate\": {\n"
+      << "    \"name\": \"warm_sweep_speedup\",\n"
+      << "    \"min\": " << gate.min_speedup << ",\n"
+      << "    \"actual\": " << gate.actual << ",\n"
+      << "    \"pass\": " << (gate.pass() ? "true" : "false") << "\n"
+      << "  },\n"
+      << "  \"sink\": " << perf_sink << "\n"
+      << "}\n";
+  out.close();
+
+  std::printf(
+      "perf_sim_microbench --json: sweep speedup %.1fx "
+      "(fast %.0f solves/s, ref %.0f solves/s), solve %.0f/s vs %.0f/s, "
+      "frontier %.0f budgets/s, gpu speedup %.1fx -> %s\n",
+      gate.actual, ops(sweep_solves, sweep_fast_s),
+      ops(sweep_solves, sweep_ref_s), ops(kSolveIters, solve_fast_s),
+      ops(kSolveIters, solve_ref_s), ops(budgets.size(), frontier_s),
+      gpu_fast_s > 0.0 ? gpu_ref_s / gpu_fast_s : 0.0, json_path.c_str());
+
+  if (!gate.pass()) {
+    std::fprintf(stderr,
+                 "perf_sim_microbench: GATE FAILED — warm sweep speedup "
+                 "%.2fx < required %.2fx\n",
+                 gate.actual, gate.min_speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json_mode = false;
+  std::string json_path = "BENCH_sim.json";
+  double min_speedup = 5.0;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      json_mode = true;
+    } else if (a.rfind("--json=", 0) == 0) {
+      json_mode = true;
+      json_path = a.substr(7);
+    } else if (a.rfind("--min-speedup=", 0) == 0) {
+      min_speedup = std::stod(a.substr(14));
+    } else if (a.rfind("--reps=", 0) == 0) {
+      reps = std::max(1, std::stoi(a.substr(7)));
+    }
+  }
+  if (json_mode) return run_gate_mode(json_path, min_speedup, reps);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -22,17 +22,31 @@ std::vector<FrontierPoint> perf_frontier_cpu(const sim::CpuNodeSim& node,
                                              std::span<const Watts> budgets,
                                              const sim::CpuSweepOptions& opt,
                                              ThreadPool* pool) {
-  const auto sweeps = sim::sweep_cpu_budgets(node, budgets, opt, pool);
-  std::vector<FrontierPoint> frontier;
-  frontier.reserve(sweeps.size());
-  for (const auto& sw : sweeps) frontier.push_back(to_point(sw));
+  // Build the node's operating-point table once up front, then reduce each
+  // budget to its best split directly — the frontier never needs the full
+  // per-budget sample vectors materialized.
+  if (opt.path == sim::SolverPath::kFast) node.prepare();
+  std::vector<FrontierPoint> frontier(budgets.size());
+  ThreadPool& tp = pool ? *pool : global_pool();
+  tp.parallel_for_index(budgets.size(), [&](std::size_t i) {
+    FrontierPoint fp;
+    fp.budget = budgets[i];
+    if (const auto best = sim::sweep_cpu_split_best(node, budgets[i], opt)) {
+      fp.perf_max = best->perf;
+      fp.best_proc_cap = best->proc_cap;
+      fp.best_mem_cap = best->mem_cap;
+      fp.consumed = best->total_power();
+    }
+    frontier[i] = fp;
+  });
   return frontier;
 }
 
 std::vector<FrontierPoint> perf_frontier_gpu(const sim::GpuNodeSim& node,
                                              std::span<const Watts> board_caps,
                                              ThreadPool* pool) {
-  const auto sweeps = sim::sweep_gpu_budgets(node, board_caps, pool);
+  const auto sweeps =
+      sim::sweep_gpu_budgets(node, board_caps, sim::SolverPath::kFast, pool);
   std::vector<FrontierPoint> frontier;
   frontier.reserve(sweeps.size());
   for (const auto& sw : sweeps) frontier.push_back(to_point(sw));

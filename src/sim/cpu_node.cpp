@@ -2,8 +2,21 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <mutex>
+#include <utility>
 
 #include "rapl/ladder.hpp"
+
+// Both solver paths must feed bit-identical operands to the workload model.
+// Keeping the state evaluator and the throttle-bandwidth formula out of line
+// pins each to a single instantiation, so the compiler cannot contract or
+// reassociate them differently per call site (e.g. FMA under -march=native).
+#if defined(__GNUC__) || defined(__clang__)
+#define PBC_NOINLINE __attribute__((noinline))
+#else
+#define PBC_NOINLINE
+#endif
 
 namespace pbc::sim {
 
@@ -14,18 +27,28 @@ constexpr double kCapSlackW = 0.01;
 constexpr int kMaxRelaxationIters = 24;
 }  // namespace
 
+namespace detail {
+/// Lazily built operating-point tables, keyed by (clamped) active-core
+/// count. Shared across copies of the node; guarded by `mu`.
+struct CpuSolverCache {
+  std::mutex mu;
+  std::map<int, std::unique_ptr<const CpuOpTable>> by_cores;
+};
+}  // namespace detail
+
 CpuNodeSim::CpuNodeSim(hw::CpuMachine machine, workload::Workload wl)
     : machine_(std::move(machine)),
       wl_(std::move(wl)),
       cpu_(machine_.cpu),
-      dram_(machine_.dram) {
+      dram_(machine_.dram),
+      solver_cache_(std::make_shared<detail::CpuSolverCache>()) {
   assert(wl_.validate().ok());
   assert(wl_.domain == workload::Domain::kCpu);
 }
 
-AllocationSample CpuNodeSim::evaluate_state(const hw::CpuOperatingPoint& op,
-                                            GBps avail_bw,
-                                            int active_cores) const noexcept {
+PBC_NOINLINE AllocationSample CpuNodeSim::evaluate_state(
+    const hw::CpuOperatingPoint& op, GBps avail_bw,
+    int active_cores) const noexcept {
   const auto& spec = machine_.cpu;
   const int total_cores = spec.total_cores();
   const int cores = std::clamp(active_cores, 1, total_cores);
@@ -37,8 +60,7 @@ AllocationSample CpuNodeSim::evaluate_state(const hw::CpuOperatingPoint& op,
 
   workload::PhaseOperands operands;
   operands.compute_capacity =
-      Gflops{cores * spec.flops_per_cycle * f *
-             (op.sleeping ? 0.02 : std::clamp(op.duty, spec.min_duty(), 1.0))};
+      Gflops{cores * spec.flops_per_cycle * f * duty};
   operands.avail_bw = avail_bw;
   operands.peak_bw = machine_.dram.peak_bw;
   operands.rel_clock = f / spec.f_max().value();
@@ -80,6 +102,15 @@ AllocationSample CpuNodeSim::evaluate_state(const hw::CpuOperatingPoint& op,
   return s;
 }
 
+PBC_NOINLINE GBps CpuNodeSim::throttle_bw(int level) const noexcept {
+  const auto& spec = machine_.dram;
+  const double lo = spec.min_bw.value();
+  const double hi = spec.peak_bw.value();
+  const double step =
+      (hi - lo) / static_cast<double>(spec.throttle_levels - 1);
+  return GBps{lo + static_cast<double>(level) * step};
+}
+
 hw::CpuOperatingPoint CpuNodeSim::proc_best_response(
     Watts cap, GBps avail_bw, int active_cores) const noexcept {
   // Walk the escalation ladder from the top P-state toward the deepest
@@ -103,12 +134,8 @@ GBps CpuNodeSim::mem_best_response(Watts cap, const hw::CpuOperatingPoint& op,
                                    int active_cores) const noexcept {
   const auto& spec = machine_.dram;
   const double effective_cap = std::max(cap.value(), spec.floor.value());
-  const double lo = spec.min_bw.value();
-  const double hi = spec.peak_bw.value();
-  const double step =
-      (hi - lo) / static_cast<double>(spec.throttle_levels - 1);
   for (int level = spec.throttle_levels - 1; level >= 0; --level) {
-    const GBps bw{lo + static_cast<double>(level) * step};
+    const GBps bw = throttle_bw(level);
     if (evaluate_state(op, bw, active_cores).mem_power.value() <=
         effective_cap + kCapSlackW) {
       return bw;
@@ -117,8 +144,9 @@ GBps CpuNodeSim::mem_best_response(Watts cap, const hw::CpuOperatingPoint& op,
   return spec.min_bw;
 }
 
-AllocationSample CpuNodeSim::solve(Watts cpu_cap, Watts mem_cap,
-                                   int active_cores) const noexcept {
+AllocationSample CpuNodeSim::solve_reference(Watts cpu_cap, Watts mem_cap,
+                                             int active_cores)
+    const noexcept {
   hw::CpuOperatingPoint op{machine_.cpu.pstates.size() - 1, 1.0, false};
   GBps bw = machine_.dram.peak_bw;
 
@@ -149,16 +177,146 @@ AllocationSample CpuNodeSim::solve(Watts cpu_cap, Watts mem_cap,
   return s;
 }
 
+AllocationSample CpuNodeSim::solve_fast(const CpuOpTable& table, Watts cpu_cap,
+                                        Watts mem_cap,
+                                        [[maybe_unused]] int active_cores,
+                                        SolveHint* hint) const noexcept {
+  const double proc_thr = cpu_cap.value() + kCapSlackW;
+  const double mem_thr =
+      std::max(mem_cap.value(), machine_.dram.floor.value()) + kCapSlackW;
+
+  // Replays solve_reference's relaxation trajectory exactly: same initial
+  // iterate (top P-state, untracked peak bandwidth), same per-iteration
+  // best responses (a state index equals an operating point bit for bit),
+  // same stability predicate. Only the walks are replaced by bisections.
+  std::size_t state = table.ladder_states() - 1;
+  std::size_t level = table.level_count() - 1;
+  double bw = machine_.dram.peak_bw.value();
+  int proc_hint = hint != nullptr ? hint->state : -1;
+  int mem_hint = hint != nullptr ? hint->level : -1;
+
+  for (int iter = 0; iter < kMaxRelaxationIters; ++iter) {
+    const int ml = table.mem_response(mem_thr, state, mem_hint);
+    const std::size_t next_level = ml < 0 ? 0 : static_cast<std::size_t>(ml);
+    mem_hint = static_cast<int>(next_level);
+    const double next_bw = table.level_bw(next_level);
+
+    const int ps = table.proc_response(proc_thr, next_level, proc_hint);
+    // No ladder state fits: the reference fallback op is bit-identical to
+    // ladder state 0 when the cap sits at/above the floor (min_duty is the
+    // notch-0 duty), and to the forced-sleep row below the floor.
+    const std::size_t next_state =
+        ps >= 0 ? static_cast<std::size_t>(ps)
+        : cpu_cap.value() < machine_.cpu.floor.value() ? table.sleep_state()
+                                                       : 0;
+    proc_hint = ps >= 0 ? ps : 0;
+
+    const bool stable = next_bw == bw && next_state == state;
+    state = next_state;
+    level = next_level;
+    bw = next_bw;
+    if (stable) break;
+  }
+
+  AllocationSample s = table.sample(state, level);
+  s.proc_cap = cpu_cap;
+  s.mem_cap = mem_cap;
+  s.proc_cap_respected =
+      s.proc_power.value() <= cpu_cap.value() + kCapSlackW;
+  s.mem_cap_respected = s.mem_power.value() <= mem_cap.value() + kCapSlackW;
+  s.mem_region = mem_cap.value() < machine_.dram.floor.value()
+                     ? MemRegion::kFloor
+                 : bw < machine_.dram.peak_bw.value() - 1e-9
+                     ? MemRegion::kThrottled
+                     : MemRegion::kUnthrottled;
+  assert(s == solve_reference(cpu_cap, mem_cap, active_cores));
+  if (hint != nullptr) {
+    hint->state =
+        static_cast<int>(std::min(state, table.ladder_states() - 1));
+    hint->level = static_cast<int>(level);
+  }
+  return s;
+}
+
+std::unique_ptr<const CpuOpTable> CpuNodeSim::build_table(
+    int active_cores) const {
+  const int cores = std::clamp(active_cores, 1, machine_.cpu.total_cores());
+  const rapl::NotchLadder ladder(machine_.cpu);
+  const std::size_t states = ladder.count();
+  const std::size_t levels =
+      static_cast<std::size_t>(machine_.dram.throttle_levels);
+  std::vector<double> level_bw(levels);
+  for (std::size_t l = 0; l < levels; ++l) {
+    level_bw[l] = throttle_bw(static_cast<int>(l)).value();
+  }
+  const hw::CpuOperatingPoint sleep_op{0, machine_.cpu.min_duty(), true};
+  const auto sampler = [&](std::size_t state, std::size_t level) {
+    const hw::CpuOperatingPoint op =
+        state < states ? ladder.op(state) : sleep_op;
+    return evaluate_state(op, GBps{level_bw[level]}, cores);
+  };
+  // The ctor invokes `sampler`, which reads `level_bw`; hand it a separate
+  // copy so argument evaluation cannot interleave with the move.
+  std::vector<double> level_bw_arg = level_bw;
+  return std::make_unique<const CpuOpTable>(states, std::move(level_bw_arg),
+                                            sampler);
+}
+
+const CpuOpTable& CpuNodeSim::table_for(int active_cores) const {
+  const int cores = std::clamp(active_cores, 1, machine_.cpu.total_cores());
+  std::lock_guard<std::mutex> lock(solver_cache_->mu);
+  std::unique_ptr<const CpuOpTable>& slot = solver_cache_->by_cores[cores];
+  if (slot == nullptr) {
+    slot = build_table(cores);
+  }
+  return *slot;
+}
+
+const CpuOpTable& CpuNodeSim::prepare(int active_cores) const {
+  return table_for(active_cores <= 0 ? machine_.cpu.total_cores()
+                                     : active_cores);
+}
+
 AllocationSample CpuNodeSim::steady_state(Watts cpu_cap,
                                           Watts mem_cap) const noexcept {
-  return solve(cpu_cap, mem_cap, machine_.cpu.total_cores());
+  const int cores = machine_.cpu.total_cores();
+  return solve_fast(table_for(cores), cpu_cap, mem_cap, cores, nullptr);
 }
 
 AllocationSample CpuNodeSim::steady_state_packed(int active_cores,
                                                  Watts cpu_cap,
                                                  Watts mem_cap)
     const noexcept {
-  return solve(cpu_cap, mem_cap, active_cores);
+  return solve_fast(table_for(active_cores), cpu_cap, mem_cap, active_cores,
+                    nullptr);
+}
+
+std::vector<AllocationSample> CpuNodeSim::steady_state_batch(
+    std::span<const CapPair> caps) const {
+  return steady_state_packed_batch(machine_.cpu.total_cores(), caps);
+}
+
+std::vector<AllocationSample> CpuNodeSim::steady_state_packed_batch(
+    int active_cores, std::span<const CapPair> caps) const {
+  const CpuOpTable& table = table_for(active_cores);
+  std::vector<AllocationSample> out;
+  out.reserve(caps.size());
+  SolveHint hint;
+  for (const CapPair& c : caps) {
+    out.push_back(
+        solve_fast(table, c.cpu_cap, c.mem_cap, active_cores, &hint));
+  }
+  return out;
+}
+
+AllocationSample CpuNodeSim::reference_steady_state(
+    Watts cpu_cap, Watts mem_cap) const noexcept {
+  return solve_reference(cpu_cap, mem_cap, machine_.cpu.total_cores());
+}
+
+AllocationSample CpuNodeSim::reference_steady_state_packed(
+    int active_cores, Watts cpu_cap, Watts mem_cap) const noexcept {
+  return solve_reference(cpu_cap, mem_cap, active_cores);
 }
 
 AllocationSample CpuNodeSim::pinned(const hw::CpuOperatingPoint& op,

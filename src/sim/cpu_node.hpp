@@ -8,13 +8,31 @@
 // issues fewer memory requests; throttled DRAM stalls the CPU), the steady
 // state is the fixed point of the two governors' best responses, found by
 // alternating relaxation.
+//
+// Two solver paths produce bit-identical results (docs/solver.md):
+//  * the fast path (default) precomputes an operating-point table per
+//    (node, active_cores) — every (ladder notch, throttle level) cell
+//    evaluated once — and replaces the governors' linear walks with
+//    bisection over the monotone power-vs-state curves;
+//  * the reference path (reference_steady_state*) re-evaluates the
+//    workload model along every walk, exactly as the hardware would, and
+//    is retained for differential coverage and as the bench baseline.
 #pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
 
 #include "hw/machine.hpp"
 #include "sim/measurement.hpp"
+#include "sim/solver_table.hpp"
 #include "workload/workload.hpp"
 
 namespace pbc::sim {
+
+namespace detail {
+struct CpuSolverCache;
+}  // namespace detail
 
 /// Closed-form steady-state evaluation of (workload × machine × caps).
 class CpuNodeSim {
@@ -46,6 +64,33 @@ class CpuNodeSim {
   [[nodiscard]] AllocationSample steady_state_packed(
       int active_cores, Watts cpu_cap, Watts mem_cap) const noexcept;
 
+  /// Batched solves over many (cpu_cap, mem_cap) splits: fetches the
+  /// operating-point table once and warm-starts each solve's bisections
+  /// from the previous fixed point. out[i] is bit-identical to
+  /// steady_state(caps[i]...).
+  [[nodiscard]] std::vector<AllocationSample> steady_state_batch(
+      std::span<const CapPair> caps) const;
+
+  /// The packed-execution batch variant.
+  [[nodiscard]] std::vector<AllocationSample> steady_state_packed_batch(
+      int active_cores, std::span<const CapPair> caps) const;
+
+  /// Reference solver: the original O(ladder x levels) linear-walk
+  /// relaxation with a fresh workload evaluation per probed state. The
+  /// fast path must match it bit for bit; differential tests and the
+  /// perf_sim_microbench speedup gate call it directly.
+  [[nodiscard]] AllocationSample reference_steady_state(
+      Watts cpu_cap, Watts mem_cap) const noexcept;
+
+  [[nodiscard]] AllocationSample reference_steady_state_packed(
+      int active_cores, Watts cpu_cap, Watts mem_cap) const noexcept;
+
+  /// Forces construction of the operating-point table for `active_cores`
+  /// (all cores when <= 0) and returns it. Sweep drivers call this once
+  /// before fanning solves out across threads so workers never contend on
+  /// the build lock.
+  const CpuOpTable& prepare(int active_cores = 0) const;
+
   /// Convenience: run completely uncapped (both components at maximum).
   [[nodiscard]] AllocationSample uncapped() const noexcept;
 
@@ -71,14 +116,35 @@ class CpuNodeSim {
       Watts cap, const hw::CpuOperatingPoint& op,
       int active_cores) const noexcept;
 
-  /// Shared fixed-point loop.
-  [[nodiscard]] AllocationSample solve(Watts cpu_cap, Watts mem_cap,
-                                       int active_cores) const noexcept;
+  /// Bandwidth of one DRAM throttle level — the single definition both
+  /// solver paths share, so table cells and reference walks see exactly
+  /// the same operands.
+  [[nodiscard]] GBps throttle_bw(int level) const noexcept;
+
+  /// Reference fixed-point loop (linear walks, fresh evaluations).
+  [[nodiscard]] AllocationSample solve_reference(
+      Watts cpu_cap, Watts mem_cap, int active_cores) const noexcept;
+
+  /// Fast fixed-point loop over the precomputed table. Replays the exact
+  /// reference trajectory; `hint` only warm-starts the bisections.
+  [[nodiscard]] AllocationSample solve_fast(const CpuOpTable& table,
+                                            Watts cpu_cap, Watts mem_cap,
+                                            int active_cores,
+                                            SolveHint* hint) const noexcept;
+
+  /// The lazily built, thread-shared table for an active-core count.
+  [[nodiscard]] const CpuOpTable& table_for(int active_cores) const;
+
+  [[nodiscard]] std::unique_ptr<const CpuOpTable> build_table(
+      int active_cores) const;
 
   hw::CpuMachine machine_;
   workload::Workload wl_;
   hw::CpuModel cpu_;
   hw::DramModel dram_;
+  /// Shared (not copied) across copies of the node: the cache is keyed
+  /// only by immutable state set at construction.
+  std::shared_ptr<detail::CpuSolverCache> solver_cache_;
 };
 
 }  // namespace pbc::sim

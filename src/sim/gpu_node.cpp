@@ -2,6 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
+#include <utility>
+
+// Pin the state evaluator to one instantiation so both solver paths feed
+// bit-identical operands to the workload model (see cpu_node.cpp).
+#if defined(__GNUC__) || defined(__clang__)
+#define PBC_NOINLINE __attribute__((noinline))
+#else
+#define PBC_NOINLINE
+#endif
 
 namespace pbc::sim {
 
@@ -9,13 +19,25 @@ namespace {
 constexpr double kCapSlackW = 0.01;
 }
 
+namespace detail {
+/// The lazily built operating-point table; shared across copies of the
+/// node and guarded by `mu`.
+struct GpuSolverCache {
+  std::mutex mu;
+  std::unique_ptr<const GpuOpTable> table;
+};
+}  // namespace detail
+
 GpuNodeSim::GpuNodeSim(hw::GpuMachine machine, workload::Workload wl)
-    : machine_(std::move(machine)), wl_(std::move(wl)), gpu_(machine_.gpu) {
+    : machine_(std::move(machine)),
+      wl_(std::move(wl)),
+      gpu_(machine_.gpu),
+      solver_cache_(std::make_shared<detail::GpuSolverCache>()) {
   assert(wl_.validate().ok());
   assert(wl_.domain == workload::Domain::kGpu);
 }
 
-AllocationSample GpuNodeSim::evaluate_state(
+PBC_NOINLINE AllocationSample GpuNodeSim::evaluate_state(
     std::size_t sm_step, std::size_t mem_clock_index) const noexcept {
   workload::PhaseOperands operands;
   operands.compute_capacity = gpu_.compute_capacity(sm_step);
@@ -49,8 +71,99 @@ AllocationSample GpuNodeSim::evaluate_state(
   return s;
 }
 
+const GpuOpTable& GpuNodeSim::table() const {
+  std::lock_guard<std::mutex> lock(solver_cache_->mu);
+  if (solver_cache_->table == nullptr) {
+    const std::size_t steps = gpu_.sm_step_count();
+    const std::size_t clocks = gpu_.mem_clock_count();
+    std::vector<Watts> est_mem(clocks);
+    for (std::size_t c = 0; c < clocks; ++c) {
+      est_mem[c] = gpu_.estimated_mem_power(c);
+    }
+    solver_cache_->table = std::make_unique<const GpuOpTable>(
+        steps, clocks,
+        [this](std::size_t step, std::size_t clock) {
+          return evaluate_state(step, clock);
+        },
+        std::move(est_mem));
+  }
+  return *solver_cache_->table;
+}
+
+const GpuOpTable& GpuNodeSim::prepare() const { return table(); }
+
+AllocationSample GpuNodeSim::solve_fast(const GpuOpTable& t,
+                                        std::size_t mem_clock_index,
+                                        Watts board_cap, bool reclaim,
+                                        SolveHint* hint) const noexcept {
+  const auto& spec = machine_.gpu;
+  const Watts cap = clamp(board_cap, spec.board_min_cap, spec.board_max_cap);
+  const std::size_t mem_idx =
+      std::min(mem_clock_index, t.clock_count() - 1);
+  const Watts est_mem = t.est_mem(mem_idx);
+  const int seed = hint != nullptr ? hint->state : -1;
+
+  double sm_budget = 0.0;
+  int idx;
+  if (reclaim) {
+    idx = t.board_response(cap.value() + kCapSlackW, mem_idx, seed);
+  } else {
+    // The SM domain may only use the budget left after the *worst-case*
+    // memory power — unused memory watts are simply stranded.
+    sm_budget = cap.value() - est_mem.value();
+    idx = t.sm_response(sm_budget + kCapSlackW, mem_idx, seed);
+  }
+  // No step fits: the reference walk falls through to the lowest step
+  // (rare: min caps are set above this point by the driver).
+  const std::size_t step = idx < 0 ? 0 : static_cast<std::size_t>(idx);
+
+  AllocationSample s = t.sample(step, mem_idx);
+  s.mem_cap = est_mem;
+  if (reclaim) {
+    s.proc_cap = Watts{std::max(cap.value() - est_mem.value(), 0.0)};
+    s.proc_cap_respected = true;  // board capper always converges
+  } else {
+    s.proc_cap = Watts{std::max(sm_budget, 0.0)};
+    s.proc_cap_respected =
+        s.proc_power.value() <= std::max(sm_budget, 0.0) + kCapSlackW;
+  }
+  s.mem_cap_respected =
+      s.mem_power.value() <= est_mem.value() + kCapSlackW;
+  assert(s == (reclaim
+                   ? reference_steady_state(mem_clock_index, board_cap)
+                   : reference_steady_state_no_reclaim(mem_clock_index,
+                                                       board_cap)));
+  if (hint != nullptr) hint->state = static_cast<int>(step);
+  return s;
+}
+
 AllocationSample GpuNodeSim::steady_state(std::size_t mem_clock_index,
                                           Watts board_cap) const noexcept {
+  return solve_fast(table(), mem_clock_index, board_cap, /*reclaim=*/true,
+                    nullptr);
+}
+
+AllocationSample GpuNodeSim::steady_state_no_reclaim(
+    std::size_t mem_clock_index, Watts board_cap) const noexcept {
+  return solve_fast(table(), mem_clock_index, board_cap, /*reclaim=*/false,
+                    nullptr);
+}
+
+std::vector<AllocationSample> GpuNodeSim::steady_state_batch(
+    std::size_t mem_clock_index, std::span<const Watts> caps) const {
+  const GpuOpTable& t = table();
+  std::vector<AllocationSample> out;
+  out.reserve(caps.size());
+  SolveHint hint;
+  for (const Watts cap : caps) {
+    out.push_back(
+        solve_fast(t, mem_clock_index, cap, /*reclaim=*/true, &hint));
+  }
+  return out;
+}
+
+AllocationSample GpuNodeSim::reference_steady_state(
+    std::size_t mem_clock_index, Watts board_cap) const noexcept {
   const auto& spec = machine_.gpu;
   const Watts cap = clamp(board_cap, spec.board_min_cap, spec.board_max_cap);
   const std::size_t mem_idx =
@@ -81,7 +194,7 @@ AllocationSample GpuNodeSim::default_policy(Watts board_cap) const noexcept {
   return steady_state(gpu_.mem_clock_count() - 1, board_cap);
 }
 
-AllocationSample GpuNodeSim::steady_state_no_reclaim(
+AllocationSample GpuNodeSim::reference_steady_state_no_reclaim(
     std::size_t mem_clock_index, Watts board_cap) const noexcept {
   const auto& spec = machine_.gpu;
   const Watts cap = clamp(board_cap, spec.board_min_cap, spec.board_max_cap);

@@ -8,13 +8,27 @@
 // the host's independent RAPL domains (§4). The driver also clamps caps to
 // [board_min_cap, board_max_cap], which is why the catastrophic scenario
 // categories IV-VI never appear on GPUs.
+//
+// Like CpuNodeSim, two solver paths produce bit-identical samples: the
+// fast path bisects precomputed power-vs-SM-step curves (one per memory
+// clock), the reference path (reference_*) re-walks the DVFS ladder with a
+// fresh workload evaluation per probed step.
 #pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
 
 #include "hw/machine.hpp"
 #include "sim/measurement.hpp"
+#include "sim/solver_table.hpp"
 #include "workload/workload.hpp"
 
 namespace pbc::sim {
+
+namespace detail {
+struct GpuSolverCache;
+}  // namespace detail
 
 class GpuNodeSim {
  public:
@@ -45,6 +59,25 @@ class GpuNodeSim {
   [[nodiscard]] AllocationSample steady_state_no_reclaim(
       std::size_t mem_clock_index, Watts board_cap) const noexcept;
 
+  /// Batched solves at one memory clock over many board caps, sharing the
+  /// operating-point table and warm-starting each bisection from the
+  /// previous answer. out[i] is bit-identical to
+  /// steady_state(mem_clock_index, caps[i]).
+  [[nodiscard]] std::vector<AllocationSample> steady_state_batch(
+      std::size_t mem_clock_index, std::span<const Watts> caps) const;
+
+  /// Reference solvers: the original top-down linear walks with a fresh
+  /// workload evaluation per probed SM step. The fast path must match them
+  /// bit for bit.
+  [[nodiscard]] AllocationSample reference_steady_state(
+      std::size_t mem_clock_index, Watts board_cap) const noexcept;
+
+  [[nodiscard]] AllocationSample reference_steady_state_no_reclaim(
+      std::size_t mem_clock_index, Watts board_cap) const noexcept;
+
+  /// Forces construction of the operating-point table and returns it.
+  const GpuOpTable& prepare() const;
+
   /// Steady state with both domains pinned (profiling aid).
   [[nodiscard]] AllocationSample pinned(std::size_t sm_step,
                                         std::size_t mem_clock_index)
@@ -59,9 +92,20 @@ class GpuNodeSim {
                                                 std::size_t mem_clock_index)
       const noexcept;
 
+  /// Fast board-capper solve over the table; `hint` only warm-starts the
+  /// bisection. `reclaim` selects total-power vs SM-power curves.
+  [[nodiscard]] AllocationSample solve_fast(const GpuOpTable& table,
+                                            std::size_t mem_clock_index,
+                                            Watts board_cap, bool reclaim,
+                                            SolveHint* hint) const noexcept;
+
+  [[nodiscard]] const GpuOpTable& table() const;
+
   hw::GpuMachine machine_;
   workload::Workload wl_;
   hw::GpuModel gpu_;
+  /// Shared (not copied) across copies of the node: immutable once built.
+  std::shared_ptr<detail::GpuSolverCache> solver_cache_;
 };
 
 }  // namespace pbc::sim

@@ -13,6 +13,15 @@
 
 namespace pbc::sim {
 
+/// Which solver implementation a sweep/driver should run. Both produce
+/// bit-identical samples; kReference re-evaluates the workload model along
+/// every governor walk and exists for differential coverage and as the
+/// perf-gate baseline.
+enum class SolverPath {
+  kFast,
+  kReference,
+};
+
 /// Which mechanism the processor-side governor is using to honour its cap.
 enum class ProcRegion {
   kPState,     ///< DVFS only (possibly at the top state)
@@ -100,6 +109,11 @@ struct AllocationSample {
     const double p = total_power().value();
     return p > 0.0 ? perf / p : 0.0;
   }
+
+  /// Exact field-wise equality — the contract the fast solver path is held
+  /// to against the reference path (bit-identical, not approximately equal).
+  [[nodiscard]] bool operator==(const AllocationSample&) const noexcept =
+      default;
 };
 
 }  // namespace pbc::sim

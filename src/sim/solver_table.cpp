@@ -1,0 +1,209 @@
+#include "sim/solver_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace pbc::sim {
+
+ResponseCurve::ResponseCurve(std::vector<double> power)
+    : power_(std::move(power)) {
+  for (std::size_t i = 1; i < power_.size(); ++i) {
+    if (power_[i] < power_[i - 1]) {
+      monotone_ = false;
+      break;
+    }
+  }
+  if (!monotone_) {
+    order_.resize(power_.size());
+    std::iota(order_.begin(), order_.end(), 0);
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](std::int32_t a, std::int32_t b) {
+                       return power_[static_cast<std::size_t>(a)] <
+                              power_[static_cast<std::size_t>(b)];
+                     });
+    sorted_power_.reserve(order_.size());
+    prefix_max_.reserve(order_.size());
+    std::int32_t running = -1;
+    for (const std::int32_t idx : order_) {
+      sorted_power_.push_back(power_[static_cast<std::size_t>(idx)]);
+      running = std::max(running, idx);
+      prefix_max_.push_back(running);
+    }
+  }
+}
+
+int ResponseCurve::linear_walk(double threshold) const noexcept {
+  for (std::size_t i = power_.size(); i-- > 0;) {
+    if (power_[i] <= threshold) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int ResponseCurve::max_index_within(double threshold) const noexcept {
+  int result;
+  if (monotone_) {
+    // Bisect for the first index whose power exceeds the threshold; the
+    // answer is the index before it. Ties are harmless: the predicate
+    // "power <= threshold" is downward closed on a non-decreasing curve.
+    std::size_t lo = 0;
+    std::size_t hi = power_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (power_[mid] <= threshold) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    result = static_cast<int>(lo) - 1;
+  } else {
+    const auto it = std::upper_bound(sorted_power_.begin(),
+                                     sorted_power_.end(), threshold);
+    result = it == sorted_power_.begin()
+                 ? -1
+                 : prefix_max_[static_cast<std::size_t>(
+                       it - sorted_power_.begin() - 1)];
+  }
+  assert(result == linear_walk(threshold));
+  return result;
+}
+
+int ResponseCurve::max_index_within(double threshold,
+                                    int hint) const noexcept {
+  const std::size_t n = power_.size();
+  if (!monotone_ || hint < 0 || static_cast<std::size_t>(hint) >= n) {
+    return max_index_within(threshold);
+  }
+  int result;
+  if (power_[static_cast<std::size_t>(hint)] <= threshold) {
+    // Boundary is at or above the hint: gallop upward to bracket it.
+    std::size_t lo = static_cast<std::size_t>(hint);  // satisfied
+    std::size_t step = 1;
+    std::size_t hi = lo + 1;
+    while (hi < n && power_[hi] <= threshold) {
+      lo = hi;
+      step *= 2;
+      hi = lo + step;
+    }
+    hi = std::min(hi, n);  // power_[hi] > threshold, or hi == n
+    while (lo + 1 < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (power_[mid] <= threshold) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    result = static_cast<int>(lo);
+  } else {
+    // Boundary is below the hint: gallop downward.
+    std::size_t hi = static_cast<std::size_t>(hint);  // exceeds threshold
+    std::size_t step = 1;
+    std::size_t lo = 0;
+    bool found = false;
+    while (hi > 0) {
+      const std::size_t probe = hi >= step ? hi - step : 0;
+      if (power_[probe] <= threshold) {
+        lo = probe;
+        found = true;
+        break;
+      }
+      hi = probe;
+      step *= 2;
+    }
+    if (!found) {
+      result = -1;
+    } else {
+      while (lo + 1 < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (power_[mid] <= threshold) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      result = static_cast<int>(lo);
+    }
+  }
+  assert(result == linear_walk(threshold));
+  return result;
+}
+
+CpuOpTable::CpuOpTable(std::size_t ladder_states,
+                       std::vector<double> level_bw, const Sampler& sample)
+    : states_(ladder_states), level_bw_(std::move(level_bw)) {
+  const std::size_t levels = level_bw_.size();
+  cells_.reserve((states_ + 1) * levels);
+  for (std::size_t s = 0; s <= states_; ++s) {
+    for (std::size_t l = 0; l < levels; ++l) {
+      cells_.push_back(sample(s, l));
+    }
+  }
+  proc_curves_.reserve(levels);
+  for (std::size_t l = 0; l < levels; ++l) {
+    std::vector<double> powers(states_);
+    for (std::size_t s = 0; s < states_; ++s) {
+      powers[s] = this->sample(s, l).proc_power.value();
+    }
+    proc_curves_.emplace_back(std::move(powers));
+    fully_monotone_ &= proc_curves_.back().monotone();
+  }
+  mem_curves_.reserve(states_ + 1);
+  for (std::size_t s = 0; s <= states_; ++s) {
+    std::vector<double> powers(levels);
+    for (std::size_t l = 0; l < levels; ++l) {
+      powers[l] = this->sample(s, l).mem_power.value();
+    }
+    mem_curves_.emplace_back(std::move(powers));
+    fully_monotone_ &= mem_curves_.back().monotone();
+  }
+}
+
+int CpuOpTable::proc_response(double threshold, std::size_t level,
+                              int hint) const noexcept {
+  return proc_curves_[level].max_index_within(threshold, hint);
+}
+
+int CpuOpTable::mem_response(double threshold, std::size_t state,
+                             int hint) const noexcept {
+  return mem_curves_[state].max_index_within(threshold, hint);
+}
+
+GpuOpTable::GpuOpTable(std::size_t sm_steps, std::size_t mem_clocks,
+                       const Sampler& sample, std::vector<Watts> est_mem)
+    : steps_(sm_steps), est_mem_(std::move(est_mem)) {
+  assert(est_mem_.size() == mem_clocks);
+  cells_.reserve(steps_ * mem_clocks);
+  for (std::size_t s = 0; s < steps_; ++s) {
+    for (std::size_t c = 0; c < mem_clocks; ++c) {
+      cells_.push_back(sample(s, c));
+    }
+  }
+  total_curves_.reserve(mem_clocks);
+  sm_curves_.reserve(mem_clocks);
+  for (std::size_t c = 0; c < mem_clocks; ++c) {
+    std::vector<double> total(steps_);
+    std::vector<double> sm(steps_);
+    for (std::size_t s = 0; s < steps_; ++s) {
+      total[s] = this->sample(s, c).total_power().value();
+      sm[s] = this->sample(s, c).proc_power.value();
+    }
+    total_curves_.emplace_back(std::move(total));
+    sm_curves_.emplace_back(std::move(sm));
+    fully_monotone_ &= total_curves_.back().monotone();
+    fully_monotone_ &= sm_curves_.back().monotone();
+  }
+}
+
+int GpuOpTable::board_response(double threshold, std::size_t clock,
+                               int hint) const noexcept {
+  return total_curves_[clock].max_index_within(threshold, hint);
+}
+
+int GpuOpTable::sm_response(double threshold, std::size_t clock,
+                            int hint) const noexcept {
+  return sm_curves_[clock].max_index_within(threshold, hint);
+}
+
+}  // namespace pbc::sim

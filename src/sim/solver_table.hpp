@@ -1,0 +1,203 @@
+// Precomputed operating-point tables and monotone best-response curves —
+// the fast evaluation layer behind CpuNodeSim / GpuNodeSim.
+//
+// The steady-state governors (§3.3) pick, per component, the shallowest
+// power-saving state whose measured power fits the cap. The reference
+// implementation re-evaluates the full workload model for every ladder
+// notch / throttle level it walks past, on every relaxation iteration,
+// at every grid point. But for a fixed (machine, workload, active_cores)
+// the set of reachable hardware states is a small finite grid: every
+// (notch, throttle-level) pair. This module precomputes the full
+// AllocationSample at each grid cell once, and turns each governor's
+// linear walk into a bisection over the cell powers:
+//
+//   * A top-down first-fit walk ("shallowest state with power <= cap")
+//     returns exactly max{ i : power[i] <= threshold } — independent of
+//     whether the curve is monotone. Power is monotone non-decreasing in
+//     the escalation index for physical models (FastCap's observation),
+//     so the max-index query is a plain bisection; the rare non-monotone
+//     curve (checked at build time) falls back to a sorted-order +
+//     prefix-max index with identical exact semantics.
+//   * Warm starts ("the neighbouring grid point's fixed point") enter the
+//     bisection as a gallop hint: they bracket the boundary faster but can
+//     never change the answer, so fast results stay bit-identical to the
+//     reference walk (docs/solver.md: the warm-start invariant).
+//
+// Tables are built lazily, once per node (per active-core count on the
+// CPU side), and shared by all threads sweeping that node.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/measurement.hpp"
+#include "util/units.hpp"
+
+namespace pbc::sim {
+
+/// One power-vs-state curve with an exact max-index-under-threshold query:
+/// answers max{ i : power[i] <= threshold } (or -1 when no index fits),
+/// bit-identically to a top-down linear first-fit walk over the same
+/// values. Monotone (non-decreasing) curves — the physical case — use
+/// bisection; non-monotone curves use a sorted order + prefix-max index
+/// that preserves the exact semantics.
+class ResponseCurve {
+ public:
+  ResponseCurve() = default;
+  explicit ResponseCurve(std::vector<double> power);
+
+  /// max{ i : power[i] <= threshold }, or -1.
+  [[nodiscard]] int max_index_within(double threshold) const noexcept;
+
+  /// Same query, warm-started: `hint` (a previously returned index) seeds
+  /// an exponential gallop that brackets the boundary before bisecting.
+  /// Returns exactly what the unhinted query returns for every input.
+  [[nodiscard]] int max_index_within(double threshold,
+                                     int hint) const noexcept;
+
+  [[nodiscard]] bool monotone() const noexcept { return monotone_; }
+  [[nodiscard]] std::size_t size() const noexcept { return power_.size(); }
+  [[nodiscard]] double power_at(std::size_t i) const noexcept {
+    return power_[i];
+  }
+
+ private:
+  /// The literal top-down first-fit walk; debug builds cross-check every
+  /// bisection answer against it.
+  [[nodiscard]] int linear_walk(double threshold) const noexcept;
+
+  std::vector<double> power_;
+  bool monotone_ = true;
+  // Non-monotone fallback: indices sorted ascending by power, and the
+  // running max of those indices; max_index_within(thr) is then
+  // prefix_max_[upper_bound(sorted_power_, thr) - 1].
+  std::vector<std::int32_t> order_;
+  std::vector<std::int32_t> prefix_max_;
+  std::vector<double> sorted_power_;
+};
+
+/// Warm-start carry between consecutive solves of a batch/sweep: the
+/// previous fixed point's state and throttle level, used purely as gallop
+/// hints (never as an alternate starting iterate).
+struct SolveHint {
+  int state = -1;
+  int level = -1;
+};
+
+/// A (cpu_cap, mem_cap) pair for the batched steady-state entry points.
+struct CapPair {
+  Watts cpu_cap{0.0};
+  Watts mem_cap{0.0};
+};
+
+/// Precomputed CPU operating-point table for one (machine, workload,
+/// active_cores): the full AllocationSample at every (escalation-ladder
+/// state, DRAM throttle level) cell, plus one forced-sleep row (ladder
+/// fallback when the cap sits below the package floor), plus the
+/// best-response curves both governors bisect.
+///
+/// Layout: row-major cells_[state * level_count + level] with
+/// state in [0, ladder_states()] — state == sleep_state() is the sleep
+/// row — and level in [0, level_count()).
+class CpuOpTable {
+ public:
+  /// `sample(state, level)` must evaluate the node at ladder state
+  /// `state` (or forced sleep when state == ladder_states) under the
+  /// throttle bandwidth of `level`; `level_bw[level]` must be the exact
+  /// bandwidth value the reference governor computes for that level.
+  using Sampler =
+      std::function<AllocationSample(std::size_t state, std::size_t level)>;
+
+  CpuOpTable(std::size_t ladder_states, std::vector<double> level_bw,
+             const Sampler& sample);
+
+  [[nodiscard]] std::size_t ladder_states() const noexcept { return states_; }
+  [[nodiscard]] std::size_t sleep_state() const noexcept { return states_; }
+  [[nodiscard]] std::size_t level_count() const noexcept {
+    return level_bw_.size();
+  }
+  [[nodiscard]] double level_bw(std::size_t level) const noexcept {
+    return level_bw_[level];
+  }
+  [[nodiscard]] const AllocationSample& sample(
+      std::size_t state, std::size_t level) const noexcept {
+    return cells_[state * level_count() + level];
+  }
+
+  /// Processor governor: max ladder state (sleep row excluded) whose
+  /// proc_power fits the threshold at this level, or -1.
+  [[nodiscard]] int proc_response(double threshold, std::size_t level,
+                                  int hint = -1) const noexcept;
+
+  /// Memory governor: max throttle level whose mem_power fits the
+  /// threshold in this state's row, or -1.
+  [[nodiscard]] int mem_response(double threshold, std::size_t state,
+                                 int hint = -1) const noexcept;
+
+  /// True when every best-response curve was monotone at build time (the
+  /// expected case; non-monotone curves still answer exactly).
+  [[nodiscard]] bool fully_monotone() const noexcept {
+    return fully_monotone_;
+  }
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return cells_.size();
+  }
+
+ private:
+  std::size_t states_ = 0;
+  std::vector<double> level_bw_;
+  std::vector<AllocationSample> cells_;     // (states_ + 1) x levels
+  std::vector<ResponseCurve> proc_curves_;  // one per level, over states
+  std::vector<ResponseCurve> mem_curves_;   // one per state (incl. sleep)
+  bool fully_monotone_ = true;
+};
+
+/// Precomputed GPU operating-point table: the full AllocationSample at
+/// every (SM DVFS step, memory clock) cell, the board capper's
+/// total-power curves, the no-reclaim SM-power curves, and the estimated
+/// memory power per clock.
+class GpuOpTable {
+ public:
+  using Sampler =
+      std::function<AllocationSample(std::size_t step, std::size_t clock)>;
+
+  GpuOpTable(std::size_t sm_steps, std::size_t mem_clocks,
+             const Sampler& sample, std::vector<Watts> est_mem);
+
+  [[nodiscard]] std::size_t step_count() const noexcept { return steps_; }
+  [[nodiscard]] std::size_t clock_count() const noexcept {
+    return est_mem_.size();
+  }
+  [[nodiscard]] const AllocationSample& sample(
+      std::size_t step, std::size_t clock) const noexcept {
+    return cells_[step * clock_count() + clock];
+  }
+  [[nodiscard]] Watts est_mem(std::size_t clock) const noexcept {
+    return est_mem_[clock];
+  }
+
+  /// Board capper: max SM step whose total board power fits, or -1.
+  [[nodiscard]] int board_response(double threshold, std::size_t clock,
+                                   int hint = -1) const noexcept;
+
+  /// No-reclaim ablation: max SM step whose SM-domain power fits, or -1.
+  [[nodiscard]] int sm_response(double threshold, std::size_t clock,
+                                int hint = -1) const noexcept;
+
+  [[nodiscard]] bool fully_monotone() const noexcept {
+    return fully_monotone_;
+  }
+
+ private:
+  std::size_t steps_ = 0;
+  std::vector<AllocationSample> cells_;      // steps x clocks
+  std::vector<ResponseCurve> total_curves_;  // one per clock, over steps
+  std::vector<ResponseCurve> sm_curves_;     // one per clock, over steps
+  std::vector<Watts> est_mem_;
+  bool fully_monotone_ = true;
+};
+
+}  // namespace pbc::sim

@@ -4,25 +4,54 @@
 
 namespace pbc::sim {
 
+std::vector<CapPair> cpu_split_grid(Watts budget,
+                                    const CpuSweepOptions& opt) {
+  std::vector<CapPair> caps;
+  const double hi = budget.value() - opt.proc_lo.value();
+  for (double m = opt.mem_lo.value(); m <= hi + 1e-9; m += opt.step.value()) {
+    caps.push_back(CapPair{Watts{budget.value() - m}, Watts{m}});
+  }
+  return caps;
+}
+
 std::vector<AllocationSample> sweep_cpu_split(const CpuNodeSim& node,
                                               Watts budget,
                                               const CpuSweepOptions& opt) {
+  const std::vector<CapPair> caps = cpu_split_grid(budget, opt);
+  if (opt.path == SolverPath::kFast) {
+    return node.steady_state_batch(caps);
+  }
   std::vector<AllocationSample> samples;
-  const double hi = budget.value() - opt.proc_lo.value();
-  for (double m = opt.mem_lo.value(); m <= hi + 1e-9; m += opt.step.value()) {
-    samples.push_back(
-        node.steady_state(Watts{budget.value() - m}, Watts{m}));
+  samples.reserve(caps.size());
+  for (const CapPair& c : caps) {
+    samples.push_back(node.reference_steady_state(c.cpu_cap, c.mem_cap));
   }
   return samples;
 }
 
+std::optional<AllocationSample> sweep_cpu_split_best(
+    const CpuNodeSim& node, Watts budget, const CpuSweepOptions& opt) {
+  const std::vector<AllocationSample> samples =
+      sweep_cpu_split(node, budget, opt);
+  std::optional<AllocationSample> best;
+  for (const AllocationSample& s : samples) {
+    // Strict > keeps the first of equal-perf splits, matching
+    // BudgetSweep::best()'s max_element semantics.
+    if (!best || s.perf > best->perf) best = s;
+  }
+  return best;
+}
+
 std::vector<AllocationSample> sweep_gpu_split(const GpuNodeSim& node,
-                                              Watts board_cap) {
+                                              Watts board_cap,
+                                              SolverPath path) {
   std::vector<AllocationSample> samples;
   const std::size_t clocks = node.gpu_model().mem_clock_count();
   samples.reserve(clocks);
   for (std::size_t i = 0; i < clocks; ++i) {
-    samples.push_back(node.steady_state(i, board_cap));
+    samples.push_back(path == SolverPath::kFast
+                          ? node.steady_state(i, board_cap)
+                          : node.reference_steady_state(i, board_cap));
   }
   return samples;
 }
@@ -40,6 +69,9 @@ std::vector<BudgetSweep> sweep_cpu_budgets(const CpuNodeSim& node,
                                            std::span<const Watts> budgets,
                                            const CpuSweepOptions& opt,
                                            ThreadPool* pool) {
+  // Build the operating-point table before fanning out, so workers start
+  // solving immediately instead of serializing on the build lock.
+  if (opt.path == SolverPath::kFast) node.prepare();
   std::vector<BudgetSweep> out(budgets.size());
   ThreadPool& tp = pool ? *pool : global_pool();
   tp.parallel_for_index(budgets.size(), [&](std::size_t i) {
@@ -51,12 +83,14 @@ std::vector<BudgetSweep> sweep_cpu_budgets(const CpuNodeSim& node,
 
 std::vector<BudgetSweep> sweep_gpu_budgets(const GpuNodeSim& node,
                                            std::span<const Watts> board_caps,
+                                           SolverPath path,
                                            ThreadPool* pool) {
+  if (path == SolverPath::kFast) node.prepare();
   std::vector<BudgetSweep> out(board_caps.size());
   ThreadPool& tp = pool ? *pool : global_pool();
   tp.parallel_for_index(board_caps.size(), [&](std::size_t i) {
     out[i].budget = board_caps[i];
-    out[i].samples = sweep_gpu_split(node, board_caps[i]);
+    out[i].samples = sweep_gpu_split(node, board_caps[i], path);
   });
   return out;
 }

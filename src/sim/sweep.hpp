@@ -5,8 +5,14 @@
 // walks the supported memory clocks under a board cap. Budget sweeps repeat
 // this over many totals. Grids are embarrassingly parallel and run on the
 // shared thread pool.
+//
+// Sweeps run on the fast table-driven solver by default, with each split's
+// solve warm-started from the previous grid point's fixed point; selecting
+// SolverPath::kReference routes every solve through the retained reference
+// implementation instead. Both paths yield bit-identical samples.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -23,16 +29,31 @@ struct CpuSweepOptions {
   Watts proc_lo{32.0};
   /// Grid stepping between successive memory caps.
   Watts step{4.0};
+  /// Which solver implementation runs the splits.
+  SolverPath path = SolverPath::kFast;
 };
+
+/// The (cpu_cap, mem_cap) split grid a CPU sweep probes for one budget, in
+/// ascending mem_cap order. Exposed so batched drivers and the query
+/// service can solve the exact sweep grid without materializing samples.
+[[nodiscard]] std::vector<CapPair> cpu_split_grid(
+    Watts budget, const CpuSweepOptions& opt = {});
 
 /// All split samples for one total budget, in ascending mem_cap order.
 [[nodiscard]] std::vector<AllocationSample> sweep_cpu_split(
     const CpuNodeSim& node, Watts budget, const CpuSweepOptions& opt = {});
 
+/// The best-performing split for one budget (ties resolved to the lowest
+/// mem_cap, matching BudgetSweep::best() on the full sweep), without
+/// keeping the whole sweep alive. nullopt for an empty grid.
+[[nodiscard]] std::optional<AllocationSample> sweep_cpu_split_best(
+    const CpuNodeSim& node, Watts budget, const CpuSweepOptions& opt = {});
+
 /// One memory-clock sample per supported clock under the board cap, in
 /// ascending clock (== ascending estimated memory power) order.
 [[nodiscard]] std::vector<AllocationSample> sweep_gpu_split(
-    const GpuNodeSim& node, Watts board_cap);
+    const GpuNodeSim& node, Watts board_cap,
+    SolverPath path = SolverPath::kFast);
 
 /// A full split sweep at one budget.
 struct BudgetSweep {
@@ -51,7 +72,7 @@ struct BudgetSweep {
 
 [[nodiscard]] std::vector<BudgetSweep> sweep_gpu_budgets(
     const GpuNodeSim& node, std::span<const Watts> board_caps,
-    ThreadPool* pool = nullptr);
+    SolverPath path = SolverPath::kFast, ThreadPool* pool = nullptr);
 
 /// Evenly spaced budget grid over [lo, hi]. Both endpoints are always
 /// included: when the step does not land on hi, hi is appended as a final

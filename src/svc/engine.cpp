@@ -25,6 +25,8 @@ QueryEngine::QueryEngine(EngineOptions opt)
       cpu_profiles_(opt.profile_cache_capacity, opt.shards),
       gpu_profiles_(opt.profile_cache_capacity, opt.shards),
       frontiers_(opt.frontier_cache_capacity, opt.shards),
+      cpu_sims_(opt.sim_cache_capacity, opt.shards),
+      gpu_sims_(opt.sim_cache_capacity, opt.shards),
       latency_(opt.latency_window) {}
 
 void QueryEngine::record_latency_from(
@@ -193,6 +195,78 @@ std::vector<core::CpuAllocation> QueryEngine::query_cpu_batch(
   return answers;
 }
 
+std::shared_ptr<const sim::CpuNodeSim> QueryEngine::cpu_sim(
+    const hw::CpuMachine& machine, const workload::Workload& wl) {
+  const CacheKey key = cpu_profile_key(machine, wl);
+  if (auto cached = cpu_sims_.get(key)) {
+    counters_.sim_hits.fetch_add(1, kRelaxed);
+    return cached;
+  }
+  counters_.sim_misses.fetch_add(1, kRelaxed);
+  auto outcome = cpu_sim_inflight_.run(key, [&] {
+    if (auto published = cpu_sims_.get(key)) return published;
+    auto node = std::make_shared<const sim::CpuNodeSim>(machine, wl);
+    // Build the operating-point table before publishing, so every
+    // subsequent user starts at full speed.
+    node->prepare();
+    cpu_sims_.put(key, node);
+    return std::shared_ptr<const sim::CpuNodeSim>(node);
+  });
+  return outcome.value;
+}
+
+std::shared_ptr<const sim::GpuNodeSim> QueryEngine::gpu_sim(
+    const hw::GpuMachine& machine, const workload::Workload& wl) {
+  const CacheKey key = gpu_profile_key(machine, wl);
+  if (auto cached = gpu_sims_.get(key)) {
+    counters_.sim_hits.fetch_add(1, kRelaxed);
+    return cached;
+  }
+  counters_.sim_misses.fetch_add(1, kRelaxed);
+  auto outcome = gpu_sim_inflight_.run(key, [&] {
+    if (auto published = gpu_sims_.get(key)) return published;
+    auto node = std::make_shared<const sim::GpuNodeSim>(machine, wl);
+    node->prepare();
+    gpu_sims_.put(key, node);
+    return std::shared_ptr<const sim::GpuNodeSim>(node);
+  });
+  return outcome.value;
+}
+
+sim::AllocationSample QueryEngine::sample_cpu(const hw::CpuMachine& machine,
+                                              const workload::Workload& wl,
+                                              Watts cpu_cap, Watts mem_cap) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto node = cpu_sim(machine, wl);
+  const sim::AllocationSample s = node->steady_state(cpu_cap, mem_cap);
+  counters_.queries.fetch_add(1, kRelaxed);
+  latency_.record(elapsed_ns(t0));
+  return s;
+}
+
+std::vector<sim::AllocationSample> QueryEngine::sample_cpu_batch(
+    const hw::CpuMachine& machine, const workload::Workload& wl,
+    std::span<const sim::CapPair> caps) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto node = cpu_sim(machine, wl);
+  std::vector<sim::AllocationSample> out = node->steady_state_batch(caps);
+  counters_.queries.fetch_add(caps.size(), kRelaxed);
+  record_latency_from(t0, caps.size());
+  return out;
+}
+
+std::vector<sim::AllocationSample> QueryEngine::sample_gpu_batch(
+    const hw::GpuMachine& machine, const workload::Workload& wl,
+    std::size_t mem_clock_index, std::span<const Watts> board_caps) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto node = gpu_sim(machine, wl);
+  std::vector<sim::AllocationSample> out =
+      node->steady_state_batch(mem_clock_index, board_caps);
+  counters_.queries.fetch_add(board_caps.size(), kRelaxed);
+  record_latency_from(t0, board_caps.size());
+  return out;
+}
+
 std::shared_ptr<const core::CpuCriticalPowers> QueryEngine::cpu_profile(
     const hw::CpuMachine& machine, const workload::Workload& wl) {
   return resolve_cpu(cpu_profile_key(machine, wl), machine, wl);
@@ -218,9 +292,12 @@ QueryEngine::cpu_frontier(const hw::CpuMachine& machine,
   auto outcome = frontier_inflight_.run(key, [&] {
     if (auto published = frontiers_.get(key)) return published;
     computed = true;
-    const sim::CpuNodeSim node(machine, wl);
+    // Route the sweep through the cached, table-prepared simulator: repeat
+    // frontier requests for the same pair (different grids) reuse the node
+    // and its tables instead of rebuilding both.
+    const auto node = cpu_sim(machine, wl);
     auto frontier = std::make_shared<const std::vector<core::FrontierPoint>>(
-        core::perf_frontier_cpu(node, budgets, sweep_opt, &pool()));
+        core::perf_frontier_cpu(*node, budgets, sweep_opt, &pool()));
     frontiers_.put(key, frontier);
     return std::shared_ptr<const std::vector<core::FrontierPoint>>(frontier);
   });
@@ -241,8 +318,11 @@ EngineStats QueryEngine::stats() const {
   s.computes = counters_.computes.load(kRelaxed);
   s.evictions = cpu_profiles_.evictions() + gpu_profiles_.evictions() +
                 frontiers_.evictions();
+  s.sim_hits = counters_.sim_hits.load(kRelaxed);
+  s.sim_misses = counters_.sim_misses.load(kRelaxed);
   s.profile_cache_size = cpu_profiles_.size() + gpu_profiles_.size();
   s.frontier_cache_size = frontiers_.size();
+  s.sim_cache_size = cpu_sims_.size() + gpu_sims_.size();
   latency_.snapshot_into(s);
   return s;
 }
@@ -251,6 +331,8 @@ void QueryEngine::clear() {
   cpu_profiles_.clear();
   gpu_profiles_.clear();
   frontiers_.clear();
+  cpu_sims_.clear();
+  gpu_sims_.clear();
 }
 
 }  // namespace pbc::svc

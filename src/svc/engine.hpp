@@ -37,6 +37,11 @@ struct EngineOptions {
   std::size_t profile_cache_capacity = 1024;
   /// Total cached frontiers (each one is a full budget sweep's result).
   std::size_t frontier_cache_capacity = 128;
+  /// Total cached prepared simulator instances (CPU and GPU each). Each
+  /// entry holds a node with its operating-point tables already built, so
+  /// repeat sample/sweep traffic for a (machine, workload) pair skips both
+  /// construction and table building.
+  std::size_t sim_cache_capacity = 256;
   /// Lock shards per cache.
   std::size_t shards = 8;
   /// Ring size of the service-latency window.
@@ -86,6 +91,32 @@ class QueryEngine {
   [[nodiscard]] std::vector<core::CpuAllocation> query_cpu_batch(
       std::span<const CpuQuery> queries);
 
+  /// One steady-state sample through the cached, table-prepared simulator.
+  /// Bit-identical to sim::CpuNodeSim(machine, wl).steady_state(...).
+  [[nodiscard]] sim::AllocationSample sample_cpu(const hw::CpuMachine& machine,
+                                                 const workload::Workload& wl,
+                                                 Watts cpu_cap, Watts mem_cap);
+
+  /// Batched steady-state samples for one (machine, workload) pair, routed
+  /// through the simulator's warm-started batch solver. answers[i] is
+  /// bit-identical to steady_state(caps[i]); the whole batch shares one
+  /// cached operating-point table.
+  [[nodiscard]] std::vector<sim::AllocationSample> sample_cpu_batch(
+      const hw::CpuMachine& machine, const workload::Workload& wl,
+      std::span<const sim::CapPair> caps);
+
+  /// The GPU analogue: batched board-cap samples at one memory clock.
+  [[nodiscard]] std::vector<sim::AllocationSample> sample_gpu_batch(
+      const hw::GpuMachine& machine, const workload::Workload& wl,
+      std::size_t mem_clock_index, std::span<const Watts> board_caps);
+
+  /// The cached prepared simulator for a pair (building it on a miss).
+  [[nodiscard]] std::shared_ptr<const sim::CpuNodeSim> cpu_sim(
+      const hw::CpuMachine& machine, const workload::Workload& wl);
+
+  [[nodiscard]] std::shared_ptr<const sim::GpuNodeSim> gpu_sim(
+      const hw::GpuMachine& machine, const workload::Workload& wl);
+
   /// The cached critical-power profile (computing it on a miss).
   [[nodiscard]] std::shared_ptr<const core::CpuCriticalPowers> cpu_profile(
       const hw::CpuMachine& machine, const workload::Workload& wl);
@@ -131,9 +162,13 @@ class QueryEngine {
   ShardedLruCache<core::CpuCriticalPowers> cpu_profiles_;
   ShardedLruCache<GpuProfileEntry> gpu_profiles_;
   ShardedLruCache<std::vector<core::FrontierPoint>> frontiers_;
+  ShardedLruCache<sim::CpuNodeSim> cpu_sims_;
+  ShardedLruCache<sim::GpuNodeSim> gpu_sims_;
   SingleFlight<core::CpuCriticalPowers> cpu_inflight_;
   SingleFlight<GpuProfileEntry> gpu_inflight_;
   SingleFlight<std::vector<core::FrontierPoint>> frontier_inflight_;
+  SingleFlight<sim::CpuNodeSim> cpu_sim_inflight_;
+  SingleFlight<sim::GpuNodeSim> gpu_sim_inflight_;
   Counters counters_;
   LatencyRecorder latency_;
 };

@@ -1,0 +1,207 @@
+// Differential coverage for the fast table-driven solver: over randomized
+// (machine, workload, caps) cases, the fast path must reproduce the
+// retained reference solver bit for bit — every AllocationSample field,
+// single solves, packed variants, warm-started batches, and multi-threaded
+// sweeps alike. (Debug builds additionally self-check every fast solve
+// inside the solver; this test holds the contract on release builds too.)
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/platforms.hpp"
+#include "sim/cpu_node.hpp"
+#include "sim/gpu_node.hpp"
+#include "sim/sweep.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "../svc/svc_test_util.hpp"
+
+namespace pbc::sim {
+namespace {
+
+using svc_test::random_cpu_machine;
+using svc_test::random_cpu_workload;
+using svc_test::random_gpu_machine;
+using svc_test::random_gpu_workload;
+
+Watts random_cpu_cap(Xoshiro256& rng) {
+  // Spans every scenario category: far below the package floor up to
+  // effectively uncapped.
+  return Watts{rng.uniform(20.0, 320.0)};
+}
+
+Watts random_mem_cap(Xoshiro256& rng) {
+  return Watts{rng.uniform(10.0, 220.0)};
+}
+
+TEST(FastSolverDiff, CpuBitIdenticalOnRandomizedCases) {
+  Xoshiro256 rng(0xF457, 1);
+  int cases = 0;
+  for (int pair = 0; pair < 50; ++pair) {
+    const hw::CpuMachine machine = random_cpu_machine(rng);
+    const workload::Workload wl = random_cpu_workload(rng, pair);
+    const CpuNodeSim node(machine, wl);
+    for (int probe = 0; probe < 25; ++probe) {
+      const Watts cpu_cap = random_cpu_cap(rng);
+      const Watts mem_cap = random_mem_cap(rng);
+      const AllocationSample fast = node.steady_state(cpu_cap, mem_cap);
+      const AllocationSample ref =
+          node.reference_steady_state(cpu_cap, mem_cap);
+      ASSERT_TRUE(fast == ref)
+          << wl.name << " cpu_cap=" << cpu_cap << " mem_cap=" << mem_cap
+          << " perf " << fast.perf << " vs " << ref.perf;
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 1000);
+}
+
+TEST(FastSolverDiff, CpuPackedBitIdentical) {
+  Xoshiro256 rng(0xF457, 2);
+  for (int pair = 0; pair < 20; ++pair) {
+    const hw::CpuMachine machine = random_cpu_machine(rng);
+    const workload::Workload wl = random_cpu_workload(rng, pair);
+    const CpuNodeSim node(machine, wl);
+    const int total = machine.cpu.total_cores();
+    for (int probe = 0; probe < 10; ++probe) {
+      // Deliberately includes out-of-range core counts (0 and total+2):
+      // both paths clamp identically.
+      const int cores = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(total) + 3));
+      const Watts cpu_cap = random_cpu_cap(rng);
+      const Watts mem_cap = random_mem_cap(rng);
+      ASSERT_TRUE(node.steady_state_packed(cores, cpu_cap, mem_cap) ==
+                  node.reference_steady_state_packed(cores, cpu_cap, mem_cap))
+          << wl.name << " cores=" << cores;
+    }
+  }
+}
+
+TEST(FastSolverDiff, BatchMatchesSinglesRegardlessOfOrder) {
+  Xoshiro256 rng(0xF457, 3);
+  const hw::CpuMachine machine = random_cpu_machine(rng);
+  const workload::Workload wl = random_cpu_workload(rng, 99);
+  const CpuNodeSim node(machine, wl);
+
+  std::vector<CapPair> caps;
+  for (int i = 0; i < 300; ++i) {
+    caps.push_back(CapPair{random_cpu_cap(rng), random_mem_cap(rng)});
+  }
+  const auto batch = node.steady_state_batch(caps);
+  ASSERT_EQ(batch.size(), caps.size());
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    // The warm-start hint carried between batch entries must never change
+    // an answer: every element equals its standalone solve.
+    ASSERT_TRUE(batch[i] ==
+                node.steady_state(caps[i].cpu_cap, caps[i].mem_cap))
+        << "batch index " << i;
+  }
+
+  // A different visiting order produces the same per-cap answers.
+  std::vector<CapPair> reversed(caps.rbegin(), caps.rend());
+  const auto rev_batch = node.steady_state_batch(reversed);
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    ASSERT_TRUE(rev_batch[caps.size() - 1 - i] == batch[i]);
+  }
+}
+
+TEST(FastSolverDiff, PackedBatchMatchesSingles) {
+  Xoshiro256 rng(0xF457, 4);
+  const hw::CpuMachine machine = random_cpu_machine(rng);
+  const workload::Workload wl = random_cpu_workload(rng, 5);
+  const CpuNodeSim node(machine, wl);
+  const int cores = machine.cpu.total_cores() / 2;
+
+  std::vector<CapPair> caps;
+  for (int i = 0; i < 100; ++i) {
+    caps.push_back(CapPair{random_cpu_cap(rng), random_mem_cap(rng)});
+  }
+  const auto batch = node.steady_state_packed_batch(cores, caps);
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    ASSERT_TRUE(batch[i] == node.steady_state_packed(
+                                cores, caps[i].cpu_cap, caps[i].mem_cap));
+  }
+}
+
+TEST(FastSolverDiff, ParallelFastSweepMatchesSerialReferenceSweep) {
+  Xoshiro256 rng(0xF457, 5);
+  const hw::CpuMachine machine = random_cpu_machine(rng);
+  const workload::Workload wl = random_cpu_workload(rng, 11);
+  const CpuNodeSim node(machine, wl);
+  const auto budgets =
+      budget_grid(Watts{140.0}, Watts{280.0}, Watts{8.0});
+
+  ThreadPool pool(4);
+  CpuSweepOptions fast_opt;
+  fast_opt.path = SolverPath::kFast;
+  const auto fast = sweep_cpu_budgets(node, budgets, fast_opt, &pool);
+
+  CpuSweepOptions ref_opt;
+  ref_opt.path = SolverPath::kReference;
+  ASSERT_EQ(fast.size(), budgets.size());
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    const auto ref = sweep_cpu_split(node, budgets[i], ref_opt);
+    ASSERT_EQ(fast[i].samples.size(), ref.size()) << "budget " << budgets[i];
+    for (std::size_t j = 0; j < ref.size(); ++j) {
+      ASSERT_TRUE(fast[i].samples[j] == ref[j])
+          << "budget " << budgets[i] << " split " << j;
+    }
+  }
+}
+
+TEST(FastSolverDiff, SweepBestMatchesFullSweepBest) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const CpuNodeSim node(machine, workload::npb_mg());
+  for (double b = 150.0; b <= 270.0; b += 12.0) {
+    BudgetSweep sweep;
+    sweep.budget = Watts{b};
+    sweep.samples = sweep_cpu_split(node, Watts{b}, {});
+    const auto best = sweep_cpu_split_best(node, Watts{b}, {});
+    ASSERT_EQ(best.has_value(), sweep.best() != nullptr);
+    if (best) {
+      ASSERT_TRUE(*best == *sweep.best()) << "budget " << b;
+    }
+  }
+}
+
+TEST(FastSolverDiff, GpuBitIdenticalOnRandomizedCases) {
+  Xoshiro256 rng(0xF457, 6);
+  for (int pair = 0; pair < 20; ++pair) {
+    const hw::GpuMachine machine = random_gpu_machine(rng);
+    const workload::Workload wl = random_gpu_workload(rng, pair);
+    const GpuNodeSim node(machine, wl);
+    const std::size_t clocks = node.gpu_model().mem_clock_count();
+    for (int probe = 0; probe < 25; ++probe) {
+      const std::size_t clk =
+          static_cast<std::size_t>(rng.below(clocks + 1));  // incl. clamped
+      const Watts cap{rng.uniform(80.0, 320.0)};  // spans the clamp range
+      ASSERT_TRUE(node.steady_state(clk, cap) ==
+                  node.reference_steady_state(clk, cap))
+          << wl.name << " clk=" << clk << " cap=" << cap;
+      ASSERT_TRUE(node.steady_state_no_reclaim(clk, cap) ==
+                  node.reference_steady_state_no_reclaim(clk, cap))
+          << wl.name << " clk=" << clk << " cap=" << cap << " (no reclaim)";
+    }
+  }
+}
+
+TEST(FastSolverDiff, GpuBatchMatchesSingles) {
+  Xoshiro256 rng(0xF457, 7);
+  const hw::GpuMachine machine = random_gpu_machine(rng);
+  const workload::Workload wl = random_gpu_workload(rng, 3);
+  const GpuNodeSim node(machine, wl);
+
+  std::vector<Watts> caps;
+  for (int i = 0; i < 200; ++i) caps.push_back(Watts{rng.uniform(80.0, 320.0)});
+  for (std::size_t clk = 0; clk < node.gpu_model().mem_clock_count(); ++clk) {
+    const auto batch = node.steady_state_batch(clk, caps);
+    ASSERT_EQ(batch.size(), caps.size());
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      ASSERT_TRUE(batch[i] == node.steady_state(clk, caps[i]))
+          << "clk " << clk << " cap " << caps[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pbc::sim

@@ -1,0 +1,149 @@
+// Unit tests for the fast-solver support layer: ResponseCurve's exact
+// max-index-under-threshold query (bisection, gallop hints, non-monotone
+// fallback) and the operating-point tables' shape invariants.
+#include "sim/solver_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/platforms.hpp"
+#include "rapl/ladder.hpp"
+#include "sim/cpu_node.hpp"
+#include "sim/gpu_node.hpp"
+#include "util/rng.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::sim {
+namespace {
+
+/// The ground truth every query must reproduce: a literal top-down
+/// first-fit walk.
+int brute_force(const std::vector<double>& power, double thr) {
+  for (std::size_t i = power.size(); i-- > 0;) {
+    if (power[i] <= thr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<double> probe_thresholds(const std::vector<double>& power) {
+  std::vector<double> t{-1e9, 0.0, 1e9};
+  for (const double p : power) {
+    t.push_back(p);
+    t.push_back(p - 1e-9);
+    t.push_back(p + 1e-9);
+  }
+  return t;
+}
+
+TEST(ResponseCurve, MonotoneMatchesBruteForceEverywhere) {
+  const std::vector<double> power{10.0, 12.5, 12.5, 14.0, 21.0, 36.5};
+  const ResponseCurve curve{std::vector<double>(power)};
+  EXPECT_TRUE(curve.monotone());
+  for (const double thr : probe_thresholds(power)) {
+    EXPECT_EQ(curve.max_index_within(thr), brute_force(power, thr))
+        << "threshold " << thr;
+  }
+}
+
+TEST(ResponseCurve, HintNeverChangesTheAnswer) {
+  const std::vector<double> power{1.0, 2.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0};
+  const ResponseCurve curve{std::vector<double>(power)};
+  for (const double thr : probe_thresholds(power)) {
+    const int expect = curve.max_index_within(thr);
+    for (int hint = -3; hint <= static_cast<int>(power.size()) + 2; ++hint) {
+      EXPECT_EQ(curve.max_index_within(thr, hint), expect)
+          << "threshold " << thr << " hint " << hint;
+    }
+  }
+}
+
+TEST(ResponseCurve, NonMonotoneFallbackIsExact) {
+  // A dip (index 3) and a spike (index 5): the prefix-max fallback must
+  // still return exactly what the top-down walk returns.
+  const std::vector<double> power{5.0, 9.0, 12.0, 7.0, 13.0, 30.0, 14.0};
+  const ResponseCurve curve{std::vector<double>(power)};
+  EXPECT_FALSE(curve.monotone());
+  for (const double thr : probe_thresholds(power)) {
+    EXPECT_EQ(curve.max_index_within(thr), brute_force(power, thr))
+        << "threshold " << thr;
+    // Hints fall back to the unhinted query on non-monotone curves.
+    EXPECT_EQ(curve.max_index_within(thr, 2), curve.max_index_within(thr));
+  }
+}
+
+TEST(ResponseCurve, RandomizedCurvesAgainstBruteForce) {
+  Xoshiro256 rng(0xC0FFEE, 7);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.below(40));
+    const bool shuffle = rng.below(4) == 0;
+    std::vector<double> power(n);
+    double acc = rng.uniform(0.0, 5.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += rng.uniform(0.0, 3.0);
+      power[i] = acc;
+    }
+    if (shuffle && n > 2) {
+      // Swap a random pair to (usually) break monotonicity.
+      const std::size_t a = static_cast<std::size_t>(rng.below(n));
+      const std::size_t b = static_cast<std::size_t>(rng.below(n));
+      std::swap(power[a], power[b]);
+    }
+    const ResponseCurve curve{std::vector<double>(power)};
+    for (int probe = 0; probe < 16; ++probe) {
+      const double thr = rng.uniform(-2.0, acc + 2.0);
+      const int expect = brute_force(power, thr);
+      EXPECT_EQ(curve.max_index_within(thr), expect);
+      const int hint = static_cast<int>(rng.below(n + 2)) - 1;
+      EXPECT_EQ(curve.max_index_within(thr, hint), expect);
+    }
+  }
+}
+
+TEST(ResponseCurve, EmptyCurveAnswersNone) {
+  const ResponseCurve curve{std::vector<double>{}};
+  EXPECT_EQ(curve.max_index_within(100.0), -1);
+  EXPECT_EQ(curve.max_index_within(100.0, 3), -1);
+}
+
+TEST(CpuOpTable, ShapeMatchesMachineAndBandwidthsMatchGovernor) {
+  const hw::CpuMachine m = hw::ivybridge_node();
+  const CpuNodeSim node(m, workload::stream_cpu());
+  const CpuOpTable& t = node.prepare();
+  const rapl::NotchLadder ladder(m.cpu);
+  EXPECT_EQ(t.ladder_states(), ladder.count());
+  EXPECT_EQ(t.level_count(),
+            static_cast<std::size_t>(m.dram.throttle_levels));
+  EXPECT_EQ(t.cell_count(), (ladder.count() + 1) * t.level_count());
+  // Level 0 is exactly min_bw and the top level exactly the governor's
+  // lo + (L-1)*step — the values the reference walk compares against.
+  EXPECT_EQ(t.level_bw(0), m.dram.min_bw.value());
+  const double step = (m.dram.peak_bw.value() - m.dram.min_bw.value()) /
+                      static_cast<double>(m.dram.throttle_levels - 1);
+  EXPECT_EQ(t.level_bw(t.level_count() - 1),
+            m.dram.min_bw.value() +
+                static_cast<double>(m.dram.throttle_levels - 1) * step);
+  // The sleep row really is asleep.
+  EXPECT_EQ(t.sample(t.sleep_state(), 0).proc_region,
+            ProcRegion::kSleepFloor);
+  // Physical power models give monotone escalation curves.
+  EXPECT_TRUE(t.fully_monotone());
+  // prepare() is idempotent and returns the same table object.
+  EXPECT_EQ(&t, &node.prepare());
+}
+
+TEST(GpuOpTable, ShapeMatchesCard) {
+  const GpuNodeSim node(hw::titan_xp(), workload::minife());
+  const GpuOpTable& t = node.prepare();
+  EXPECT_EQ(t.step_count(), node.gpu_model().sm_step_count());
+  EXPECT_EQ(t.clock_count(), node.gpu_model().mem_clock_count());
+  for (std::size_t c = 0; c < t.clock_count(); ++c) {
+    EXPECT_EQ(t.est_mem(c).value(),
+              node.gpu_model().estimated_mem_power(c).value());
+  }
+  EXPECT_TRUE(t.fully_monotone());
+}
+
+}  // namespace
+}  // namespace pbc::sim

@@ -1,0 +1,209 @@
+// The engine's sample paths route through a cached, table-prepared
+// simulator; they must be bit-identical to constructing the node directly
+// and running the retained reference solver, and the sim cache must behave
+// like the other engine caches (counted hits/misses, single-flight builds,
+// stable shared_ptr identity, clear()). Suite name matches the TSan preset
+// filter so the whole file runs under the race detector too.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/frontier.hpp"
+#include "sim/cpu_node.hpp"
+#include "sim/gpu_node.hpp"
+#include "sim/sweep.hpp"
+#include "svc/engine.hpp"
+#include "svc_test_util.hpp"
+
+namespace pbc {
+namespace {
+
+TEST(EngineSample, CpuSamplesBitIdenticalToReferenceSolver) {
+  Xoshiro256 rng(20260805, 1);
+  svc::QueryEngine engine;
+  for (int i = 0; i < 10; ++i) {
+    const auto machine = svc_test::random_cpu_machine(rng);
+    const auto wl = svc_test::random_cpu_workload(rng, i);
+    const sim::CpuNodeSim direct(machine, wl);
+    for (int probe = 0; probe < 12; ++probe) {
+      const Watts cpu_cap{rng.uniform(30.0, 300.0)};
+      const Watts mem_cap{rng.uniform(15.0, 200.0)};
+      ASSERT_TRUE(engine.sample_cpu(machine, wl, cpu_cap, mem_cap) ==
+                  direct.reference_steady_state(cpu_cap, mem_cap))
+          << wl.name << " cpu_cap=" << cpu_cap << " mem_cap=" << mem_cap;
+    }
+  }
+  const auto s = engine.stats();
+  EXPECT_EQ(s.queries, 10u * 12u);
+}
+
+TEST(EngineSample, CpuBatchMatchesScalarAndCountsEveryCap) {
+  Xoshiro256 rng(20260805, 2);
+  const auto machine = svc_test::random_cpu_machine(rng);
+  const auto wl = svc_test::random_cpu_workload(rng, 0);
+
+  std::vector<sim::CapPair> caps;
+  for (int i = 0; i < 64; ++i) {
+    caps.push_back(sim::CapPair{Watts{rng.uniform(30.0, 300.0)},
+                                Watts{rng.uniform(15.0, 200.0)}});
+  }
+  svc::QueryEngine engine;
+  const auto batch = engine.sample_cpu_batch(machine, wl, caps);
+  ASSERT_EQ(batch.size(), caps.size());
+
+  const sim::CpuNodeSim direct(machine, wl);
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    ASSERT_TRUE(batch[i] ==
+                direct.steady_state(caps[i].cpu_cap, caps[i].mem_cap))
+        << "batch index " << i;
+  }
+  // Every cap in the batch counts as a query; the whole batch costs one
+  // sim-cache miss and subsequent traffic for the same pair is a hit.
+  auto s = engine.stats();
+  EXPECT_EQ(s.queries, caps.size());
+  EXPECT_EQ(s.sim_misses, 1u);
+  EXPECT_EQ(s.sim_hits, 0u);
+  EXPECT_EQ(s.sim_cache_size, 1u);
+  (void)engine.sample_cpu(machine, wl, Watts{120.0}, Watts{80.0});
+  s = engine.stats();
+  EXPECT_EQ(s.sim_misses, 1u);
+  EXPECT_EQ(s.sim_hits, 1u);
+}
+
+TEST(EngineSample, GpuBatchMatchesDirectNode) {
+  Xoshiro256 rng(20260805, 3);
+  svc::QueryEngine engine;
+  for (int i = 0; i < 4; ++i) {
+    const auto machine = svc_test::random_gpu_machine(rng);
+    const auto wl = svc_test::random_gpu_workload(rng, i);
+    const sim::GpuNodeSim direct(machine, wl);
+    std::vector<Watts> caps;
+    for (int c = 0; c < 24; ++c) caps.push_back(Watts{rng.uniform(100.0, 300.0)});
+    const std::size_t clk =
+        static_cast<std::size_t>(rng.below(direct.gpu_model().mem_clock_count()));
+    const auto batch = engine.sample_gpu_batch(machine, wl, clk, caps);
+    ASSERT_EQ(batch.size(), caps.size());
+    for (std::size_t c = 0; c < caps.size(); ++c) {
+      ASSERT_TRUE(batch[c] == direct.reference_steady_state(clk, caps[c]))
+          << wl.name << " clk=" << clk << " cap=" << caps[c];
+    }
+  }
+}
+
+TEST(EngineSample, SimCacheSharesOnePreparedNodePerDescriptor) {
+  Xoshiro256 rng(20260805, 4);
+  const auto machine = svc_test::random_cpu_machine(rng);
+  const auto wl = svc_test::random_cpu_workload(rng, 0);
+  svc::QueryEngine engine;
+
+  const auto a = engine.cpu_sim(machine, wl);
+  const auto b = engine.cpu_sim(machine, wl);
+  EXPECT_EQ(a.get(), b.get());  // same cached instance, not a rebuild
+
+  // A different workload is a different entry.
+  const auto other = engine.cpu_sim(machine, svc_test::random_cpu_workload(rng, 1));
+  EXPECT_NE(a.get(), other.get());
+
+  auto s = engine.stats();
+  EXPECT_EQ(s.sim_misses, 2u);
+  EXPECT_EQ(s.sim_hits, 1u);
+  EXPECT_EQ(s.sim_cache_size, 2u);
+
+  // clear() drops the entries; the next lookup rebuilds.
+  engine.clear();
+  s = engine.stats();
+  EXPECT_EQ(s.sim_cache_size, 0u);
+  const auto rebuilt = engine.cpu_sim(machine, wl);
+  EXPECT_TRUE(rebuilt->steady_state(Watts{150.0}, Watts{90.0}) ==
+              a->steady_state(Watts{150.0}, Watts{90.0}));
+  EXPECT_EQ(engine.stats().sim_misses, 3u);
+}
+
+TEST(EngineSample, FrontierRoutedThroughCachedSimMatchesDirectSweep) {
+  Xoshiro256 rng(20260805, 5);
+  const auto machine = svc_test::random_cpu_machine(rng);
+  const auto wl = svc_test::random_cpu_workload(rng, 0);
+  const auto grid = sim::budget_grid(Watts{140.0}, Watts{260.0}, Watts{24.0});
+
+  const sim::CpuNodeSim direct(machine, wl);
+  const auto want = core::perf_frontier_cpu(direct, grid);
+
+  svc::QueryEngine engine;
+  for (int pass = 0; pass < 2; ++pass) {  // miss, then frontier-cache hit
+    const auto got = engine.cpu_frontier(machine, wl, grid);
+    ASSERT_EQ(got->size(), want.size());
+    for (std::size_t p = 0; p < want.size(); ++p) {
+      EXPECT_EQ((*got)[p].perf_max, want[p].perf_max);
+      EXPECT_EQ((*got)[p].best_proc_cap.value(), want[p].best_proc_cap.value());
+      EXPECT_EQ((*got)[p].best_mem_cap.value(), want[p].best_mem_cap.value());
+      EXPECT_EQ((*got)[p].consumed.value(), want[p].consumed.value());
+    }
+  }
+  // The frontier sweep ran through the cached simulator entry.
+  EXPECT_EQ(engine.stats().sim_cache_size, 1u);
+}
+
+// Concurrent sample traffic on one shared engine: answers must match the
+// serial reference and the node must be built exactly once per descriptor.
+// Plain std::threads, not the engine pool — batch entry points must not be
+// called from the pool they fan out on.
+TEST(EngineSample, ConcurrentBatchesMatchSerialAnswers) {
+  Xoshiro256 rng(20260805, 6);
+  struct Case {
+    hw::CpuMachine machine;
+    workload::Workload wl;
+    std::vector<sim::CapPair> caps;
+    std::vector<sim::AllocationSample> want;
+  };
+  std::vector<Case> cases;
+  for (int i = 0; i < 6; ++i) {
+    Case c{svc_test::random_cpu_machine(rng),
+           svc_test::random_cpu_workload(rng, i), {}, {}};
+    for (int p = 0; p < 16; ++p) {
+      c.caps.push_back(sim::CapPair{Watts{rng.uniform(30.0, 300.0)},
+                                    Watts{rng.uniform(15.0, 200.0)}});
+    }
+    const sim::CpuNodeSim direct(c.machine, c.wl);
+    for (const auto& cp : c.caps) {
+      c.want.push_back(direct.reference_steady_state(cp.cpu_cap, cp.mem_cap));
+    }
+    cases.push_back(std::move(c));
+  }
+
+  svc::QueryEngine engine;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 order(11, static_cast<std::uint64_t>(t));
+      for (int rep = 0; rep < 20; ++rep) {
+        const auto& c = cases[static_cast<std::size_t>(order.below(cases.size()))];
+        const auto got = engine.sample_cpu_batch(c.machine, c.wl, c.caps);
+        if (got.size() != c.want.size()) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          if (!(got[i] == c.want[i])) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const auto s = engine.stats();
+  // Every batch probes the sim cache exactly once. Concurrent misses for a
+  // descriptor coalesce onto one single-flight build (each waiter still
+  // counts a miss), so the cache holds exactly one node per descriptor.
+  EXPECT_EQ(s.sim_hits + s.sim_misses, 8u * 20u);
+  EXPECT_GE(s.sim_misses, cases.size());
+  EXPECT_EQ(s.sim_cache_size, cases.size());
+  EXPECT_EQ(s.queries, 8u * 20u * 16u);
+}
+
+}  // namespace
+}  // namespace pbc
