@@ -1,0 +1,379 @@
+// Cluster-scale throughput of the discrete-event coordination engine:
+// how fast core::simulate_cluster chews through thousands of nodes and
+// tens of thousands of jobs, fast path vs the retained reference path.
+//
+// Three modes:
+//   * default: a fast-path scaling table over cluster sizes from 64 nodes
+//     / 5k jobs up to 4096 nodes / 50k jobs (CPU+GPU mix, backfill,
+//     admission control).
+//   * --json[=path] (default BENCH_cluster.json): the CI perf record. On
+//     a 256-node / 10k-job trace it times the reference path once and the
+//     fast path best-of---reps (profiling pool pinned to one thread so the
+//     gate measures the algorithmic speedup, not core count), verifies
+//     the two runs are identical, and fails the process (exit 1) when the
+//     end-to-end speedup falls below --min-speedup (default 10;
+//     --min-speedup=0 turns the run into a smoke test). --smoke shrinks
+//     every trace so debug/sanitizer ctest configurations stay quick.
+//   * --csv=FILE: dumps the per-job outcomes of a fixed 16-node trace at
+//     full precision for the golden-file regression
+//     (tests/golden/cluster_throughput.csv).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/cluster_sim.hpp"
+#include "hw/platforms.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+using namespace pbc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <class F>
+[[nodiscard]] double time_once_s(F&& f) {
+  const auto t0 = Clock::now();
+  f();
+  const auto dt = Clock::now() - t0;
+  return std::chrono::duration_cast<std::chrono::duration<double>>(dt)
+      .count();
+}
+
+template <class F>
+[[nodiscard]] double time_best_s(int reps, F&& f) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) best = std::min(best, time_once_s(f));
+  return best;
+}
+
+[[nodiscard]] std::string g17(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Deterministic arrival trace over the full CPU+GPU suites. Work is
+/// scaled by each workload's uncapped rate so every job targets a
+/// duration in [20, 200) s; arrivals span half the zero-wait makespan, so
+/// the cluster runs saturated (queues form, backfill matters) for the
+/// bulk of the trace.
+[[nodiscard]] std::vector<core::SimJob> make_trace(
+    const hw::CpuMachine& cpu_machine, const hw::GpuMachine& gpu_machine,
+    std::size_t n_jobs, std::size_t nodes, double gpu_fraction,
+    std::uint64_t seed) {
+  const auto cpu_wls = workload::cpu_suite();
+  const auto gpu_wls = workload::gpu_suite();
+  std::vector<double> cpu_rate(cpu_wls.size());
+  for (std::size_t i = 0; i < cpu_wls.size(); ++i) {
+    cpu_rate[i] =
+        sim::CpuNodeSim(cpu_machine, cpu_wls[i]).uncapped().rate_gunits;
+  }
+  std::vector<double> gpu_rate(gpu_wls.size());
+  for (std::size_t i = 0; i < gpu_wls.size(); ++i) {
+    gpu_rate[i] = sim::GpuNodeSim(gpu_machine, gpu_wls[i])
+                      .default_policy(gpu_machine.gpu.board_max_cap)
+                      .rate_gunits;
+  }
+
+  Xoshiro256 rng(seed, /*stream=*/7);
+  const double mean_duration = 110.0;
+  const double span = 0.5 * mean_duration * static_cast<double>(n_jobs) /
+                      static_cast<double>(nodes);
+  std::vector<core::SimJob> jobs;
+  jobs.reserve(n_jobs);
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    const bool gpu = rng.uniform() < gpu_fraction;
+    core::SimJob job;
+    if (gpu) {
+      const std::size_t w = rng.below(gpu_wls.size());
+      job.wl = gpu_wls[w];
+      job.work_gunits = gpu_rate[w] * rng.uniform(20.0, 200.0);
+    } else {
+      const std::size_t w = rng.below(cpu_wls.size());
+      job.wl = cpu_wls[w];
+      job.work_gunits = cpu_rate[w] * rng.uniform(20.0, 200.0);
+    }
+    job.name = (gpu ? "g" : "c") + std::to_string(j);
+    job.arrival = Seconds{rng.uniform(0.0, span)};
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+/// Saturating but feasible budget: ~70% of every node drawing a typical
+/// full demand at once, so power (not node count) is the contended
+/// resource.
+[[nodiscard]] core::ClusterSimConfig make_config(std::size_t nodes,
+                                                 std::size_t gpu_nodes) {
+  core::ClusterSimConfig config;
+  config.nodes = nodes;
+  config.gpu_nodes = gpu_nodes;
+  config.global_budget =
+      Watts{0.7 * (static_cast<double>(nodes) * 220.0 +
+                   static_cast<double>(gpu_nodes) * 230.0)};
+  config.queue_policy = core::QueuePolicy::kBackfill;
+  config.admission_control = true;
+  return config;
+}
+
+struct ScalePoint {
+  std::size_t nodes;
+  std::size_t gpu_nodes;
+  std::size_t jobs;
+  double wall_s = 0.0;
+  double jobs_per_sec = 0.0;
+  double makespan_s = 0.0;
+  double work_per_joule = 0.0;
+};
+
+[[nodiscard]] ScalePoint run_scale_point(std::size_t nodes,
+                                         std::size_t gpu_nodes,
+                                         std::size_t n_jobs) {
+  const hw::CpuMachine cpu_machine = hw::ivybridge_node();
+  const hw::GpuMachine gpu_machine = hw::titan_xp();
+  const auto jobs =
+      make_trace(cpu_machine, gpu_machine, n_jobs, nodes, 0.15, 42);
+  const auto config = make_config(nodes, gpu_nodes);
+
+  ScalePoint p{nodes, gpu_nodes, n_jobs};
+  core::ClusterRun run;
+  p.wall_s = time_once_s([&] {
+    run = core::simulate_cluster(cpu_machine, gpu_machine, jobs, config);
+  });
+  p.jobs_per_sec =
+      p.wall_s > 0.0 ? static_cast<double>(n_jobs) / p.wall_s : 0.0;
+  p.makespan_s = run.makespan.value();
+  p.work_per_joule = run.work_per_joule;
+  return p;
+}
+
+[[nodiscard]] bool runs_identical(const core::ClusterRun& a,
+                                  const core::ClusterRun& b) {
+  if (a.jobs.size() != b.jobs.size()) return false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const auto& x = a.jobs[i];
+    const auto& y = b.jobs[i];
+    if (x.name != y.name || x.arrival.value() != y.arrival.value() ||
+        x.start.value() != y.start.value() ||
+        x.finish.value() != y.finish.value() ||
+        x.budget.value() != y.budget.value() || x.perf != y.perf ||
+        x.energy.value() != y.energy.value()) {
+      return false;
+    }
+  }
+  return a.makespan.value() == b.makespan.value() &&
+         a.mean_wait.value() == b.mean_wait.value() &&
+         a.mean_response.value() == b.mean_response.value() &&
+         a.total_energy.value() == b.total_energy.value() &&
+         a.work_per_joule == b.work_per_joule;
+}
+
+int run_gate_mode(const std::string& json_path, double min_speedup, int reps,
+                  bool smoke) {
+  const hw::CpuMachine cpu_machine = hw::ivybridge_node();
+  const hw::GpuMachine gpu_machine = hw::titan_xp();
+
+  const std::size_t nodes = smoke ? 24 : 256;
+  const std::size_t gpu_nodes = smoke ? 4 : 32;
+  const std::size_t n_jobs = smoke ? 400 : 10000;
+  const auto jobs =
+      make_trace(cpu_machine, gpu_machine, n_jobs, nodes, 0.15, 42);
+  auto config = make_config(nodes, gpu_nodes);
+
+  // One profiling thread: the gate certifies the algorithmic speedup
+  // (prepared-node reuse + incremental queue index), not the machine's
+  // core count. The parallel-profiling win is reported separately below.
+  ThreadPool single(1);
+
+  core::ClusterRun ref_run;
+  config.path = core::ClusterPath::kReference;
+  const double ref_s = time_once_s([&] {
+    ref_run = core::simulate_cluster(cpu_machine, gpu_machine, jobs, config);
+  });
+
+  core::ClusterRun fast_run;
+  config.path = core::ClusterPath::kFast;
+  config.pool = &single;
+  const double fast_s = time_best_s(reps, [&] {
+    fast_run = core::simulate_cluster(cpu_machine, gpu_machine, jobs, config);
+  });
+
+  const bool identical = runs_identical(ref_run, fast_run);
+
+  // Full-pool fast run: adds the parallel pre-profiling on top.
+  config.pool = nullptr;
+  const double fast_mt_s = time_best_s(reps, [&] {
+    fast_run = core::simulate_cluster(cpu_machine, gpu_machine, jobs, config);
+  });
+
+  const double speedup = fast_s > 0.0 ? ref_s / fast_s : 0.0;
+  const bool gate_pass = identical && speedup + 1e-12 >= min_speedup;
+
+  // Fast-path scaling sweep for the record.
+  std::vector<ScalePoint> scaling;
+  if (smoke) {
+    scaling.push_back(run_scale_point(16, 2, 200));
+    scaling.push_back(run_scale_point(64, 8, 800));
+  } else {
+    scaling.push_back(run_scale_point(64, 8, 5000));
+    scaling.push_back(run_scale_point(256, 32, 10000));
+    scaling.push_back(run_scale_point(1024, 128, 20000));
+    scaling.push_back(run_scale_point(4096, 512, 50000));
+  }
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cluster_throughput: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  out << "{\n"
+      << "  \"bench\": \"cluster_throughput\",\n"
+      << "  \"mode\": \"gate\",\n"
+      << "  \"trace\": {\n"
+      << "    \"nodes\": " << nodes << ",\n"
+      << "    \"gpu_nodes\": " << gpu_nodes << ",\n"
+      << "    \"jobs\": " << n_jobs << ",\n"
+      << "    \"queue_policy\": \"backfill\",\n"
+      << "    \"admission_control\": true\n"
+      << "  },\n"
+      << "  \"metrics\": {\n"
+      << "    \"reference_wall_s\": " << ref_s << ",\n"
+      << "    \"fast_wall_s\": " << fast_s << ",\n"
+      << "    \"fast_parallel_profile_wall_s\": " << fast_mt_s << ",\n"
+      << "    \"reference_jobs_per_sec\": "
+      << (ref_s > 0.0 ? static_cast<double>(n_jobs) / ref_s : 0.0) << ",\n"
+      << "    \"fast_jobs_per_sec\": "
+      << (fast_s > 0.0 ? static_cast<double>(n_jobs) / fast_s : 0.0) << ",\n"
+      << "    \"end_to_end_speedup\": " << speedup << ",\n"
+      << "    \"paths_identical\": " << (identical ? "true" : "false")
+      << "\n"
+      << "  },\n"
+      << "  \"scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const ScalePoint& p = scaling[i];
+    out << "    {\"nodes\": " << p.nodes << ", \"gpu_nodes\": " << p.gpu_nodes
+        << ", \"jobs\": " << p.jobs << ", \"wall_s\": " << p.wall_s
+        << ", \"jobs_per_sec\": " << p.jobs_per_sec
+        << ", \"makespan_s\": " << p.makespan_s << "}"
+        << (i + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"gate\": {\n"
+      << "    \"name\": \"cluster_end_to_end_speedup\",\n"
+      << "    \"min\": " << min_speedup << ",\n"
+      << "    \"actual\": " << speedup << ",\n"
+      << "    \"identical\": " << (identical ? "true" : "false") << ",\n"
+      << "    \"pass\": " << (gate_pass ? "true" : "false") << "\n"
+      << "  }\n"
+      << "}\n";
+  out.close();
+
+  std::printf(
+      "cluster_throughput --json: %zu nodes / %zu jobs, ref %.2fs vs fast "
+      "%.3fs -> %.1fx speedup (parallel profiling: %.3fs), paths %s -> %s\n",
+      nodes, n_jobs, ref_s, fast_s, speedup, fast_mt_s,
+      identical ? "identical" : "DIVERGED", json_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "cluster_throughput: GATE FAILED — fast and reference runs "
+                 "diverged\n");
+    return 1;
+  }
+  if (!gate_pass) {
+    std::fprintf(stderr,
+                 "cluster_throughput: GATE FAILED — end-to-end speedup "
+                 "%.2fx < required %.2fx\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+int run_csv_mode(const std::string& path) {
+  const hw::CpuMachine cpu_machine = hw::ivybridge_node();
+  const hw::GpuMachine gpu_machine = hw::titan_xp();
+  const auto jobs = make_trace(cpu_machine, gpu_machine, /*n_jobs=*/220,
+                               /*nodes=*/16, /*gpu_fraction=*/0.2,
+                               /*seed=*/42);
+  auto config = make_config(16, 4);
+  ThreadPool single(1);
+  config.pool = &single;
+  const core::ClusterRun run =
+      core::simulate_cluster(cpu_machine, gpu_machine, jobs, config);
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return 1;
+  }
+  CsvWriter csv(os, {"name", "arrival_s", "start_s", "finish_s", "budget_w",
+                     "perf", "energy_j"});
+  for (const auto& o : run.jobs) {
+    csv.write_row({o.name, g17(o.arrival.value()), g17(o.start.value()),
+                   g17(o.finish.value()), g17(o.budget.value()), g17(o.perf),
+                   g17(o.energy.value())});
+  }
+  std::cout << "wrote " << csv.rows_written() << " rows to " << path << '\n';
+  return 0;
+}
+
+int run_scaling_table() {
+  std::printf("%7s %9s %7s %9s %12s %12s %14s\n", "nodes", "gpu_nodes",
+              "jobs", "wall_s", "jobs/s", "makespan_s", "work_per_joule");
+  for (const auto& [nodes, gpus, n_jobs] :
+       std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>{
+           {64, 8, 5000}, {256, 32, 10000}, {1024, 128, 20000},
+           {4096, 512, 50000}}) {
+    const ScalePoint p = run_scale_point(nodes, gpus, n_jobs);
+    std::printf("%7zu %9zu %7zu %9.3f %12.0f %12.0f %14.4f\n", p.nodes,
+                p.gpu_nodes, p.jobs, p.wall_s, p.jobs_per_sec, p.makespan_s,
+                p.work_per_joule);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = CliArgs::parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error().to_string() << '\n';
+    return 2;
+  }
+  const CliArgs& args = parsed.value();
+  if (const auto unknown = args.unknown_options(
+          {"json", "csv", "min-speedup", "reps", "smoke"});
+      !unknown.empty()) {
+    std::cerr << "unknown option --" << unknown.front()
+              << " (supported: --json[=FILE] --csv=FILE --min-speedup=N "
+                 "--reps=N --smoke)\n";
+    return 2;
+  }
+
+  if (const auto csv_path = args.value("csv")) return run_csv_mode(*csv_path);
+  if (args.has("json")) {
+    const std::string json_path =
+        args.value("json").value_or("BENCH_cluster.json");
+    const double min_speedup = args.value_num("min-speedup", 10.0);
+    const int reps =
+        std::max(1, static_cast<int>(args.value_num("reps", 3.0)));
+    return run_gate_mode(json_path, min_speedup, reps, args.has("smoke"));
+  }
+  return run_scaling_table();
+}

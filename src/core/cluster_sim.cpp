@@ -1,21 +1,34 @@
 #include "core/cluster_sim.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <deque>
+#include <limits>
+#include <map>
+#include <optional>
 #include <queue>
+#include <set>
+#include <unordered_map>
+#include <utility>
 
 #include "core/baselines.hpp"
-#include "sim/gpu_node.hpp"
+#include "core/critical.hpp"
+#include "workload/serialize.hpp"
 
 namespace pbc::core {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
 
 struct Running {
   std::size_t job_index;
   Seconds finish{0.0};
   Watts budget{0.0};
   bool gpu = false;
+  std::size_t ledger_slot = 0;
   JobOutcome outcome;
 };
 
@@ -25,196 +38,589 @@ struct FinishOrder {
   }
 };
 
-ClusterRun run_simulation(const hw::CpuMachine& node_type,
-                          const hw::GpuMachine* gpu_type,
-                          std::vector<SimJob> jobs,
-                          const ClusterSimConfig& config) {
-  std::stable_sort(jobs.begin(), jobs.end(),
-                   [](const SimJob& a, const SimJob& b) {
-                     return a.arrival.value() < b.arrival.value();
-                   });
+/// Tracks the free share of the global budget as budget − Σ(held grants)
+/// instead of a running add/subtract balance. The old accumulator drifted:
+/// every start/finish pair contributed one rounding error, and over tens of
+/// thousands of jobs the "free" figure wandered away from what the held
+/// grants actually implied (occasionally below zero, admitting or refusing
+/// jobs the exact balance would not). Recomputing from the held slots on
+/// every release bounds the error by one summation regardless of trace
+/// length. Slots are summed in index order so both engine paths — which
+/// perform identical hold/release sequences — see bit-identical balances.
+class GrantLedger {
+ public:
+  explicit GrantLedger(double budget) : budget_(budget), free_(budget) {}
 
-  // Pre-profile each job once (lightweight, as COORD intends).
-  std::vector<CpuCriticalPowers> cpu_profiles(jobs.size());
-  std::vector<GpuProfileParams> gpu_profiles(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (jobs[i].wl.domain == workload::Domain::kGpu) {
-      if (gpu_type == nullptr) continue;  // such jobs will never start
-      gpu_profiles[i] =
-          profile_gpu_params(sim::GpuNodeSim(*gpu_type, jobs[i].wl));
+  [[nodiscard]] double free_power() const noexcept { return free_; }
+
+  /// Records a grant and returns the slot to release it with. The caller
+  /// guarantees watts <= free_power(), so the subtraction cannot go
+  /// negative.
+  [[nodiscard]] std::size_t hold(double watts) {
+    std::size_t slot;
+    if (!spare_slots_.empty()) {
+      slot = spare_slots_.back();
+      spare_slots_.pop_back();
+      held_[slot] = watts;
     } else {
-      cpu_profiles[i] =
-          profile_critical_powers(sim::CpuNodeSim(node_type, jobs[i].wl));
+      slot = held_.size();
+      held_.push_back(watts);
+    }
+    free_ -= watts;
+    return slot;
+  }
+
+  void release(std::size_t slot) {
+    held_[slot] = 0.0;
+    spare_slots_.push_back(slot);
+    double in_use = 0.0;
+    for (const double h : held_) in_use += h;
+    free_ = budget_ - in_use;
+    // One summation's worth of rounding at most; anything larger is a
+    // bookkeeping bug, not float drift.
+    assert(free_ >= -1e-7 * std::max(1.0, budget_));
+    if (free_ < 0.0) free_ = 0.0;
+  }
+
+ private:
+  double budget_;
+  double free_;
+  std::vector<double> held_;           ///< active grants, 0 when released
+  std::vector<std::size_t> spare_slots_;
+};
+
+/// One discrete-event run. Both paths share the event loop, the grant
+/// ledger, and try_start_job's decision sequence; they differ only in how
+/// profiles and simulator nodes are obtained (prepared + deduped + parallel
+/// vs per-job fresh + serial) and how the queue is scanned after an event
+/// (threshold-indexed vs linear). The fast/reference bit-identical contract
+/// rests on two facts proven by tests/core/cluster_engine_test.cpp:
+/// profiles depend only on (machine, workload), and a job's pre-solve
+/// start checks pass exactly when free_power >= its precomputed threshold
+/// and a node of its domain is free.
+class ClusterEngine {
+ public:
+  ClusterEngine(const hw::CpuMachine& node_type, const hw::GpuMachine* gpu_type,
+                std::vector<SimJob> jobs, const ClusterSimConfig& config,
+                const ClusterNodeProvider* provider)
+      : node_type_(node_type),
+        gpu_type_(gpu_type),
+        jobs_(std::move(jobs)),
+        config_(config),
+        provider_(provider),
+        fast_(config.path == ClusterPath::kFast),
+        ledger_(config.global_budget.value()) {}
+
+  ClusterRun run() {
+    std::stable_sort(jobs_.begin(), jobs_.end(),
+                     [](const SimJob& a, const SimJob& b) {
+                       return a.arrival.value() < b.arrival.value();
+                     });
+    if (fast_) {
+      profile_fast();
+    } else {
+      profile_reference();
+    }
+    event_loop();
+    finalize_stats();
+    return std::move(run_);
+  }
+
+ private:
+  struct JobMeta {
+    bool gpu = false;
+    std::size_t slot = kNoSlot;  ///< distinct-workload slot (fast path)
+    /// Minimum free power at which the pre-solve start checks pass; +inf
+    /// when they never can (GPU job without GPU nodes, demand below the
+    /// admission floor).
+    double threshold = kInf;
+  };
+
+  /// One distinct (domain, workload) pair: its prepared node and profile,
+  /// built once per run and shared by every job carrying that workload.
+  struct DistinctSlot {
+    bool gpu = false;
+    std::size_t first_job = 0;
+    sim::PreparedCpuNode cpu_node;
+    sim::PreparedGpuNode gpu_node;
+    CpuCriticalPowers cpu_profile;
+    GpuProfileParams gpu_profile;
+  };
+
+  // --- profiling -----------------------------------------------------
+
+  /// The original per-job serial pass: a fresh simulator per job, even for
+  /// repeated workloads (lightweight, as COORD intends).
+  void profile_reference() {
+    ref_cpu_profiles_.resize(jobs_.size());
+    ref_gpu_profiles_.resize(jobs_.size());
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      if (jobs_[i].wl.domain == workload::Domain::kGpu) {
+        if (gpu_type_ == nullptr) continue;  // such jobs will never start
+        ref_gpu_profiles_[i] =
+            profile_gpu_params(sim::GpuNodeSim(*gpu_type_, jobs_[i].wl));
+      } else {
+        ref_cpu_profiles_[i] =
+            profile_critical_powers(sim::CpuNodeSim(node_type_, jobs_[i].wl));
+      }
+    }
+    meta_.resize(jobs_.size());
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      meta_[i].gpu = jobs_[i].wl.domain == workload::Domain::kGpu;
     }
   }
 
-  ClusterRun run;
-  std::priority_queue<Running, std::vector<Running>, FinishOrder> running;
-  std::deque<std::size_t> queue;  // FIFO job indices
-  std::size_t next_arrival = 0;
-  double free_power = config.global_budget.value();
-  std::size_t free_cpu_nodes = config.nodes;
-  std::size_t free_gpu_nodes = gpu_type ? config.gpu_nodes : 0;
-  double now = 0.0;
+  /// Deduplicates workloads by their exact text form (to_text round-trips
+  /// every double, so equal text ⟺ equal workload), then builds one
+  /// prepared node and one profile per distinct pair, fanned out across
+  /// the pool. Profiles use pinned solves only, so a shared prepared node
+  /// yields bit-identical profiles to the reference path's fresh nodes.
+  void profile_fast() {
+    meta_.resize(jobs_.size());
+    std::unordered_map<std::string, std::size_t> seen[2];
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      const bool gpu = jobs_[i].wl.domain == workload::Domain::kGpu;
+      meta_[i].gpu = gpu;
+      if (gpu && gpu_type_ == nullptr) continue;  // never starts; no slot
+      auto [it, inserted] =
+          seen[gpu ? 1 : 0].try_emplace(workload::to_text(jobs_[i].wl),
+                                        slots_.size());
+      if (inserted) {
+        DistinctSlot slot;
+        slot.gpu = gpu;
+        slot.first_job = i;
+        slots_.push_back(std::move(slot));
+      }
+      meta_[i].slot = it->second;
+    }
 
-  auto start_running = [&](std::size_t j, Watts held, double rate,
-                           double perf, Watts actual_power, bool gpu) {
+    const auto build = [this](std::size_t s) {
+      DistinctSlot& slot = slots_[s];
+      const workload::Workload& wl = jobs_[slot.first_job].wl;
+      if (slot.gpu) {
+        slot.gpu_node = provider_ != nullptr && provider_->gpu
+                            ? provider_->gpu(*gpu_type_, wl)
+                            : sim::make_prepared_gpu_node(*gpu_type_, wl);
+        slot.gpu_profile = profile_gpu_params(*slot.gpu_node);
+      } else {
+        slot.cpu_node = provider_ != nullptr && provider_->cpu
+                            ? provider_->cpu(node_type_, wl)
+                            : sim::make_prepared_cpu_node(node_type_, wl);
+        slot.cpu_profile = profile_critical_powers(*slot.cpu_node);
+      }
+    };
+    ThreadPool& pool =
+        config_.pool != nullptr ? *config_.pool : global_pool();
+    // Serial fallback when already on a pool worker (an svc engine solving
+    // a cluster query from its own pool): a nested parallel_for_index
+    // against the same pool would deadlock.
+    if (slots_.size() < 2 || pool.is_worker_thread()) {
+      for (std::size_t s = 0; s < slots_.size(); ++s) build(s);
+    } else {
+      pool.parallel_for_index(slots_.size(), build);
+    }
+
+    // Start thresholds: free_power >= threshold ⟺ the grant check in
+    // try_start_job passes (grant = min(demand, free)), so the queue index
+    // can skip jobs that would deterministically be refused.
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      JobMeta& m = meta_[i];
+      if (m.slot == kNoSlot) continue;  // threshold stays +inf
+      if (m.gpu) {
+        const auto& p = slots_[m.slot].gpu_profile;
+        const double demand = std::min(p.tot_max.value(),
+                                       gpu_type_->gpu.board_max_cap.value());
+        const double floor = gpu_type_->gpu.board_min_cap.value();
+        m.threshold = demand >= floor ? floor : kInf;
+      } else {
+        const auto& p = slots_[m.slot].cpu_profile;
+        const double demand = p.max_demand().value();
+        const double floor = config_.admission_control
+                                 ? p.productive_threshold().value()
+                                 : config_.min_grant.value();
+        m.threshold = demand >= floor ? floor : kInf;
+      }
+    }
+  }
+
+  [[nodiscard]] const CpuCriticalPowers& cpu_profile(std::size_t j) const {
+    return fast_ ? slots_[meta_[j].slot].cpu_profile : ref_cpu_profiles_[j];
+  }
+  [[nodiscard]] const GpuProfileParams& gpu_profile(std::size_t j) const {
+    return fast_ ? slots_[meta_[j].slot].gpu_profile : ref_gpu_profiles_[j];
+  }
+
+  // --- job starts ----------------------------------------------------
+
+  void start_running(std::size_t j, Watts held, double rate, double perf,
+                     Watts actual_power, bool gpu) {
     Running r;
     r.job_index = j;
     r.gpu = gpu;
     r.budget = held;
-    const double duration = jobs[j].work_gunits / rate;
-    r.finish = Seconds{now + duration};
-    r.outcome.name = jobs[j].name;
-    r.outcome.arrival = jobs[j].arrival;
-    r.outcome.start = Seconds{now};
+    const double duration = jobs_[j].work_gunits / rate;
+    r.finish = Seconds{now_ + duration};
+    r.outcome.name = jobs_[j].name;
+    r.outcome.arrival = jobs_[j].arrival;
+    r.outcome.start = Seconds{now_};
     r.outcome.finish = r.finish;
     r.outcome.budget = held;
     r.outcome.perf = perf;
     r.outcome.energy = actual_power * Seconds{duration};
-    free_power -= held.value();
+    r.ledger_slot = ledger_.hold(held.value());
     if (gpu) {
-      --free_gpu_nodes;
+      --free_gpu_nodes_;
     } else {
-      --free_cpu_nodes;
+      --free_cpu_nodes_;
     }
-    running.push(std::move(r));
-  };
+    running_.push(std::move(r));
+  }
 
-  // Attempts to start job index `j`; returns true if it started.
-  auto try_start_job = [&](std::size_t j) {
-    if (jobs[j].wl.domain == workload::Domain::kGpu) {
-      if (gpu_type == nullptr || free_gpu_nodes == 0) return false;
-      const auto& profile = gpu_profiles[j];
+  /// Attempts to start job index `j`; returns true if it started. Checks,
+  /// grant arithmetic, and solves are path-independent; only where the
+  /// simulator node comes from differs (shared prepared node vs a fresh
+  /// construction whose operating-point table is rebuilt on the spot —
+  /// the dominant cost the fast path eliminates).
+  bool try_start_job(std::size_t j) {
+    if (jobs_[j].wl.domain == workload::Domain::kGpu) {
+      if (gpu_type_ == nullptr || free_gpu_nodes_ == 0) return false;
+      const GpuProfileParams& profile = gpu_profile(j);
       const double demand = std::min(profile.tot_max.value(),
-                                     gpu_type->gpu.board_max_cap.value());
-      const double threshold = gpu_type->gpu.board_min_cap.value();
-      const double grant = std::min(demand, free_power);
+                                     gpu_type_->gpu.board_max_cap.value());
+      const double threshold = gpu_type_->gpu.board_min_cap.value();
+      const double grant = std::min(demand, ledger_.free_power());
       if (grant < threshold) return false;  // driver rejects lower caps
 
-      const sim::GpuNodeSim node(*gpu_type, jobs[j].wl);
-      const auto alloc =
-          coord_gpu(profile, node.gpu_model(), Watts{grant});
-      const auto s = node.steady_state(alloc.mem_clock_index, Watts{grant});
+      GpuAllocation alloc;
+      sim::AllocationSample s;
+      if (fast_) {
+        const sim::GpuNodeSim& node = *slots_[meta_[j].slot].gpu_node;
+        alloc = coord_gpu(profile, node.gpu_model(), Watts{grant});
+        s = node.steady_state(alloc.mem_clock_index, Watts{grant});
+      } else {
+        const sim::GpuNodeSim node(*gpu_type_, jobs_[j].wl);
+        alloc = coord_gpu(profile, node.gpu_model(), Watts{grant});
+        s = node.steady_state(alloc.mem_clock_index, Watts{grant});
+      }
       if (s.rate_gunits <= 0.0) return false;
       start_running(j, Watts{grant - alloc.surplus.value()}, s.rate_gunits,
                     s.perf, s.total_power(), /*gpu=*/true);
       return true;
     }
 
-    if (free_cpu_nodes == 0) return false;
-    const auto& profile = cpu_profiles[j];
+    if (free_cpu_nodes_ == 0) return false;
+    const CpuCriticalPowers& profile = cpu_profile(j);
     const double demand = profile.max_demand().value();
     const double threshold = profile.productive_threshold().value();
-    const double grant = std::min(demand, free_power);
-    if (config.admission_control) {
+    const double grant = std::min(demand, ledger_.free_power());
+    if (config_.admission_control) {
       if (grant < threshold) return false;
     } else {
-      if (grant < config.min_grant.value()) return false;
+      if (grant < config_.min_grant.value()) return false;
     }
 
     CpuAllocation alloc;
-    if (config.policy == SplitPolicy::kCoord) {
+    if (config_.policy == SplitPolicy::kCoord) {
       alloc = coord_cpu(profile, Watts{grant});
     } else {
       alloc = fixed_ratio_split(Watts{grant}, 0.5);
     }
-    const sim::CpuNodeSim node(node_type, jobs[j].wl);
-    const sim::AllocationSample s = node.steady_state(alloc.cpu, alloc.mem);
+    sim::AllocationSample s;
+    if (fast_) {
+      s = slots_[meta_[j].slot].cpu_node->steady_state(alloc.cpu, alloc.mem);
+    } else {
+      const sim::CpuNodeSim node(node_type_, jobs_[j].wl);
+      s = node.steady_state(alloc.cpu, alloc.mem);
+    }
     if (s.rate_gunits <= 0.0) return false;
     // Only the power COORD actually allocated is held; surplus stays in
     // the pool.
     start_running(j, Watts{grant - alloc.surplus.value()}, s.rate_gunits,
                   s.perf, s.total_power(), /*gpu=*/false);
     return true;
-  };
-
-  auto try_start_queue_head = [&]() {
-    // FIFO pass: start jobs strictly in order until the head blocks.
-    while (!queue.empty() && try_start_job(queue.front())) {
-      queue.pop_front();
-    }
-    if (config.queue_policy != QueuePolicy::kBackfill) return;
-    // Backfill pass: the head is starved; let later jobs whose demands fit
-    // the leftover run ahead of it (EASY-style, without a reservation —
-    // jobs are short relative to power churn here).
-    for (auto it = queue.begin(); it != queue.end();) {
-      if (it != queue.begin() && try_start_job(*it)) {
-        it = queue.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-
-  while (next_arrival < jobs.size() || !running.empty() || !queue.empty()) {
-    // Next event: arrival or completion.
-    const double t_arrive = next_arrival < jobs.size()
-                                ? jobs[next_arrival].arrival.value()
-                                : 1e300;
-    const double t_finish =
-        !running.empty() ? running.top().finish.value() : 1e300;
-
-    if (t_arrive <= t_finish && next_arrival < jobs.size()) {
-      now = t_arrive;
-      queue.push_back(next_arrival);
-      ++next_arrival;
-    } else if (!running.empty()) {
-      now = t_finish;
-      Running done = running.top();
-      running.pop();
-      free_power += done.budget.value();
-      if (done.gpu) {
-        ++free_gpu_nodes;
-      } else {
-        ++free_cpu_nodes;
-      }
-      run.jobs.push_back(done.outcome);
-      run.total_energy += done.outcome.energy;
-    } else {
-      // Queue non-empty but nothing running and no arrivals: the head can
-      // never start (e.g. a GPU job with no GPU nodes). Drop it so the
-      // rest of the queue can drain.
-      queue.pop_front();
-    }
-    try_start_queue_head();
   }
 
-  if (!run.jobs.empty()) {
+  // --- queue ---------------------------------------------------------
+  //
+  // The reference path keeps the original deque and rescans it linearly.
+  // The fast path mirrors the queue into an ordered index set (job indices
+  // are enqueued in increasing order, so set order == FIFO order) plus
+  // per-domain buckets keyed by start threshold; the backfill pass reads
+  // only the buckets whose thresholds fit the current free power instead
+  // of probing every queued job.
+
+  [[nodiscard]] bool queue_empty() const {
+    return fast_ ? fast_queue_.empty() : ref_queue_.empty();
+  }
+
+  void queue_push(std::size_t j) {
+    if (!fast_) {
+      ref_queue_.push_back(j);
+      return;
+    }
+    fast_queue_.insert(j);
+    const JobMeta& m = meta_[j];
+    if (std::isfinite(m.threshold)) {
+      buckets_[m.gpu ? 1 : 0][m.threshold].insert(j);
+    }
+  }
+
+  void bucket_remove(std::size_t j) {
+    const JobMeta& m = meta_[j];
+    if (!std::isfinite(m.threshold)) return;
+    auto& domain = buckets_[m.gpu ? 1 : 0];
+    const auto it = domain.find(m.threshold);
+    it->second.erase(j);
+    if (it->second.empty()) domain.erase(it);
+  }
+
+  /// Fast-path removal (start or drop) from the set and its bucket.
+  void queue_erase(std::size_t j) {
+    fast_queue_.erase(j);
+    bucket_remove(j);
+  }
+
+  /// Lowest-indexed queued job whose pre-solve start checks pass right
+  /// now, or kNoSlot. O(#buckets): each bucket is ordered, so its minimum
+  /// is its first element, and there are only as many buckets as distinct
+  /// thresholds (≈ distinct workloads).
+  [[nodiscard]] std::size_t min_eligible() const {
+    const double free = ledger_.free_power();
+    std::size_t best = kNoSlot;
+    for (int d = 0; d < 2; ++d) {
+      if ((d == 1 ? free_gpu_nodes_ : free_cpu_nodes_) == 0) continue;
+      for (const auto& [threshold, members] : buckets_[d]) {
+        if (threshold > free) break;
+        best = std::min(best, *members.begin());
+      }
+    }
+    return best;
+  }
+
+  void drop_queue_head() {
+    if (fast_) {
+      queue_erase(*fast_queue_.begin());
+    } else {
+      ref_queue_.pop_front();
+    }
+  }
+
+  void try_start_queue_head() {
+    if (!fast_) {
+      // FIFO pass: start jobs strictly in order until the head blocks.
+      while (!ref_queue_.empty() && try_start_job(ref_queue_.front())) {
+        ref_queue_.pop_front();
+      }
+      if (config_.queue_policy != QueuePolicy::kBackfill) return;
+      // Backfill pass: the head is starved; let later jobs whose demands
+      // fit the leftover run ahead of it (EASY-style, without a
+      // reservation — jobs are short relative to power churn here).
+      for (auto it = ref_queue_.begin(); it != ref_queue_.end();) {
+        if (it != ref_queue_.begin() && try_start_job(*it)) {
+          it = ref_queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      return;
+    }
+
+    while (!fast_queue_.empty()) {
+      const std::size_t head = *fast_queue_.begin();
+      if (!try_start_job(head)) break;
+      queue_erase(head);
+    }
+    if (config_.queue_policy != QueuePolicy::kBackfill) return;
+    if (fast_queue_.size() < 2) return;
+    const std::size_t head = *fast_queue_.begin();
+
+    // Backfill: repeatedly start the lowest-indexed eligible job. This
+    // reproduces the linear rescan's start sequence exactly — eligibility
+    // only shrinks as grants land, so a job the rescan would have passed
+    // over (ineligible at its turn) can never become eligible later in
+    // the pass, and the minimum over eligible jobs is always the next job
+    // the rescan would start. The blocked head and jobs whose solve
+    // refuses to run (rate <= 0, which the rescan also skips without
+    // removing) are parked outside the buckets until the pass ends.
+    std::vector<std::size_t> parked;
+    for (;;) {
+      const std::size_t j = min_eligible();
+      if (j == kNoSlot) break;
+      if (j == head) {  // the blocked head keeps its place
+        bucket_remove(j);
+        parked.push_back(j);
+        continue;
+      }
+      if (try_start_job(j)) {
+        queue_erase(j);
+      } else {
+        bucket_remove(j);
+        parked.push_back(j);
+      }
+    }
+    for (const std::size_t j : parked) {
+      const JobMeta& m = meta_[j];
+      buckets_[m.gpu ? 1 : 0][m.threshold].insert(j);
+    }
+  }
+
+  // --- event loop ----------------------------------------------------
+
+  void event_loop() {
+    free_cpu_nodes_ = config_.nodes;
+    free_gpu_nodes_ = gpu_type_ != nullptr ? config_.gpu_nodes : 0;
+
+    while (next_arrival_ < jobs_.size() || !running_.empty() ||
+           !queue_empty()) {
+      // Next event: arrival or completion.
+      const double t_arrive = next_arrival_ < jobs_.size()
+                                  ? jobs_[next_arrival_].arrival.value()
+                                  : 1e300;
+      const double t_finish =
+          !running_.empty() ? running_.top().finish.value() : 1e300;
+
+      if (t_arrive <= t_finish && next_arrival_ < jobs_.size()) {
+        now_ = t_arrive;
+        queue_push(next_arrival_);
+        ++next_arrival_;
+      } else if (!running_.empty()) {
+        now_ = t_finish;
+        Running done = running_.top();
+        running_.pop();
+        ledger_.release(done.ledger_slot);
+        if (done.gpu) {
+          ++free_gpu_nodes_;
+        } else {
+          ++free_cpu_nodes_;
+        }
+        run_.jobs.push_back(done.outcome);
+        run_.total_energy += done.outcome.energy;
+      } else {
+        // Queue non-empty but nothing running and no arrivals: the head
+        // can never start (e.g. a GPU job with no GPU nodes). Drop it so
+        // the rest of the queue can drain.
+        drop_queue_head();
+      }
+      try_start_queue_head();
+    }
+  }
+
+  void finalize_stats() {
+    if (run_.jobs.empty()) return;
     double wait = 0.0;
     double response = 0.0;
     double work = 0.0;
     double makespan = 0.0;
-    for (const auto& o : run.jobs) {
+    for (const auto& o : run_.jobs) {
       wait += o.wait().value();
       response += o.response().value();
       makespan = std::max(makespan, o.finish.value());
     }
-    for (const auto& job : jobs) work += job.work_gunits;
-    const auto n = static_cast<double>(run.jobs.size());
-    run.mean_wait = Seconds{wait / n};
-    run.mean_response = Seconds{response / n};
-    run.makespan = Seconds{makespan};
-    run.work_per_joule = run.total_energy.value() > 0.0
-                             ? work / run.total_energy.value()
-                             : 0.0;
+    for (const auto& job : jobs_) work += job.work_gunits;
+    const auto n = static_cast<double>(run_.jobs.size());
+    run_.mean_wait = Seconds{wait / n};
+    run_.mean_response = Seconds{response / n};
+    run_.makespan = Seconds{makespan};
+    run_.work_per_joule = run_.total_energy.value() > 0.0
+                              ? work / run_.total_energy.value()
+                              : 0.0;
   }
-  return run;
+
+  const hw::CpuMachine& node_type_;
+  const hw::GpuMachine* gpu_type_;
+  std::vector<SimJob> jobs_;
+  const ClusterSimConfig& config_;
+  const ClusterNodeProvider* provider_;
+  const bool fast_;
+
+  std::vector<JobMeta> meta_;
+  std::vector<DistinctSlot> slots_;            // fast path
+  std::vector<CpuCriticalPowers> ref_cpu_profiles_;  // reference path
+  std::vector<GpuProfileParams> ref_gpu_profiles_;
+
+  GrantLedger ledger_;
+  std::priority_queue<Running, std::vector<Running>, FinishOrder> running_;
+  std::deque<std::size_t> ref_queue_;
+  std::set<std::size_t> fast_queue_;
+  /// threshold → queued job indices, per domain (0 = CPU, 1 = GPU). Jobs
+  /// whose threshold is +inf are never power-eligible and stay out of the
+  /// buckets entirely (they only leave via the drop-head path).
+  std::map<double, std::set<std::size_t>> buckets_[2];
+  std::size_t next_arrival_ = 0;
+  std::size_t free_cpu_nodes_ = 0;
+  std::size_t free_gpu_nodes_ = 0;
+  double now_ = 0.0;
+  ClusterRun run_;
+};
+
+[[nodiscard]] std::optional<Error> validate(const hw::GpuMachine* gpu_type,
+                                            const std::vector<SimJob>& jobs,
+                                            const ClusterSimConfig& config) {
+  if (config.nodes == 0) {
+    return invalid_argument("cluster has no CPU nodes (config.nodes == 0)");
+  }
+  if (!(config.global_budget.value() > 0.0)) {
+    return invalid_argument("global power budget must be positive, got " +
+                            std::to_string(config.global_budget.value()) +
+                            " W");
+  }
+  if (!config.admission_control &&
+      config.min_grant.value() > config.global_budget.value()) {
+    return invalid_argument(
+        "min_grant (" + std::to_string(config.min_grant.value()) +
+        " W) exceeds the global budget (" +
+        std::to_string(config.global_budget.value()) +
+        " W) with admission control off — no CPU job could ever start");
+  }
+  for (const SimJob& job : jobs) {
+    if (job.wl.domain != workload::Domain::kGpu) continue;
+    if (gpu_type == nullptr) {
+      return invalid_argument("GPU job '" + job.name +
+                              "' submitted to a cluster with no GPU machine");
+    }
+    if (config.gpu_nodes == 0) {
+      return invalid_argument("GPU job '" + job.name +
+                              "' submitted but config.gpu_nodes == 0");
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace
 
 ClusterRun simulate_cluster(const hw::CpuMachine& node_type,
                             std::vector<SimJob> jobs,
-                            const ClusterSimConfig& config) {
-  return run_simulation(node_type, nullptr, std::move(jobs), config);
+                            const ClusterSimConfig& config,
+                            const ClusterNodeProvider* provider) {
+  return ClusterEngine(node_type, nullptr, std::move(jobs), config, provider)
+      .run();
 }
 
 ClusterRun simulate_cluster(const hw::CpuMachine& node_type,
                             const hw::GpuMachine& gpu_type,
                             std::vector<SimJob> jobs,
-                            const ClusterSimConfig& config) {
-  return run_simulation(node_type, &gpu_type, std::move(jobs), config);
+                            const ClusterSimConfig& config,
+                            const ClusterNodeProvider* provider) {
+  return ClusterEngine(node_type, &gpu_type, std::move(jobs), config, provider)
+      .run();
+}
+
+Result<ClusterRun> simulate_cluster_checked(const hw::CpuMachine& node_type,
+                                            std::vector<SimJob> jobs,
+                                            const ClusterSimConfig& config,
+                                            const ClusterNodeProvider* provider) {
+  if (auto err = validate(nullptr, jobs, config)) return *std::move(err);
+  return simulate_cluster(node_type, std::move(jobs), config, provider);
+}
+
+Result<ClusterRun> simulate_cluster_checked(const hw::CpuMachine& node_type,
+                                            const hw::GpuMachine& gpu_type,
+                                            std::vector<SimJob> jobs,
+                                            const ClusterSimConfig& config,
+                                            const ClusterNodeProvider* provider) {
+  if (auto err = validate(&gpu_type, jobs, config)) return *std::move(err);
+  return simulate_cluster(node_type, gpu_type, std::move(jobs), config,
+                          provider);
 }
 
 }  // namespace pbc::core

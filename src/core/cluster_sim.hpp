@@ -9,13 +9,31 @@
 // lets queued jobs start. Policies differ in how a node's budget is split
 // (COORD vs a naive fixed ratio) and whether unproductive grants are
 // refused (admission control).
+//
+// Two engine paths produce bit-identical runs (docs/cluster.md):
+//  * the fast path (default) builds one prepared simulator per distinct
+//    (machine, workload) pair — reused across every job-start attempt —
+//    pre-profiles distinct workloads in parallel over a ThreadPool, and
+//    replaces the full-queue rescan after each event with an incremental
+//    admission index bucketed by (domain, power threshold);
+//  * the reference path (ClusterPath::kReference) retains the original
+//    serial implementation — per-job profiling, a fresh node constructed
+//    on every attempt, a linear queue scan — and is the baseline the
+//    bench/cluster_throughput speedup gate measures against.
+// Both paths share one event loop, one grant ledger, and one job-start
+// decision procedure; tests/core/cluster_engine_test.cpp holds them to
+// the bit-identical contract over randomized traces.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/coord.hpp"
 #include "sim/cpu_node.hpp"
+#include "sim/gpu_node.hpp"
+#include "util/status.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pbc::core {
 
@@ -40,6 +58,12 @@ enum class QueuePolicy {
   kBackfill,  ///< a blocked head lets smaller queued jobs start (EASY-style)
 };
 
+/// Which engine implementation runs the trace.
+enum class ClusterPath {
+  kFast,       ///< prepared-node reuse + parallel profiling + admission index
+  kReference,  ///< the retained serial implementation (bench baseline)
+};
+
 struct ClusterSimConfig {
   std::size_t nodes = 4;
   /// GPU nodes in the cluster (0 = CPU-only). GPU jobs (workloads with
@@ -55,7 +79,20 @@ struct ClusterSimConfig {
   bool admission_control = true;
   /// Power granted per job: its max demand if free power allows, never
   /// more.
+  ///
+  /// min_grant is consulted ONLY when admission_control is false: it is
+  /// the absolute floor a grant must reach for a job to start at all
+  /// (without it, a job could start on epsilon watts and never finish).
+  /// With admission control on, the job's own productive threshold is the
+  /// floor and min_grant is ignored. A min_grant above the global budget
+  /// therefore deadlocks every CPU job when admission is off —
+  /// simulate_cluster_checked rejects that configuration.
   Watts min_grant{100.0};  ///< absolute floor on a grant without admission
+  /// Engine selection; both paths are bit-identical (see header comment).
+  ClusterPath path = ClusterPath::kFast;
+  /// Pool for the fast path's parallel pre-profiling (null = global_pool()).
+  /// The reference path is serial by construction and ignores it.
+  ThreadPool* pool = nullptr;
 };
 
 /// Per-job outcome.
@@ -86,18 +123,53 @@ struct ClusterRun {
   double work_per_joule = 0.0;
 };
 
+/// Supplies prepared simulator nodes to the fast path. The svc query
+/// engine routes these through its cross-run sim-node cache so repeated
+/// cluster queries for overlapping workload mixes skip construction and
+/// table building entirely; when absent, the engine keeps a per-run cache.
+/// Callbacks must be thread-safe: the fast path invokes them from the
+/// profiling ThreadPool.
+struct ClusterNodeProvider {
+  std::function<sim::PreparedCpuNode(const hw::CpuMachine&,
+                                     const workload::Workload&)>
+      cpu;
+  std::function<sim::PreparedGpuNode(const hw::GpuMachine&,
+                                     const workload::Workload&)>
+      gpu;
+};
+
 /// Runs the event simulation to completion (all jobs finish eventually:
-/// freed power always lets the queue head start).
-[[nodiscard]] ClusterRun simulate_cluster(const hw::CpuMachine& node_type,
-                                          std::vector<SimJob> jobs,
-                                          const ClusterSimConfig& config);
+/// freed power always lets the queue head start). Jobs that can never
+/// start (GPU jobs without GPU nodes, grants permanently below the
+/// admission floor) are silently dropped once the cluster idles — use
+/// simulate_cluster_checked to surface them as errors instead.
+[[nodiscard]] ClusterRun simulate_cluster(
+    const hw::CpuMachine& node_type, std::vector<SimJob> jobs,
+    const ClusterSimConfig& config,
+    const ClusterNodeProvider* provider = nullptr);
 
 /// Heterogeneous variant: CPU jobs run on `node_type`, GPU jobs on
 /// `gpu_type` cards (config.gpu_nodes of them), all drawing from the same
 /// global power budget.
-[[nodiscard]] ClusterRun simulate_cluster(const hw::CpuMachine& node_type,
-                                          const hw::GpuMachine& gpu_type,
-                                          std::vector<SimJob> jobs,
-                                          const ClusterSimConfig& config);
+[[nodiscard]] ClusterRun simulate_cluster(
+    const hw::CpuMachine& node_type, const hw::GpuMachine& gpu_type,
+    std::vector<SimJob> jobs, const ClusterSimConfig& config,
+    const ClusterNodeProvider* provider = nullptr);
+
+/// Validating entry points: reject configurations that silently drop or
+/// deadlock jobs instead of running them. Errors (ErrorCode
+/// kInvalidArgument) cover: nodes == 0; non-positive global_budget;
+/// min_grant > global_budget while admission_control is off (no CPU job
+/// could ever start); GPU jobs submitted to a cluster with gpu_nodes == 0
+/// or no GPU machine. On success the run is identical to simulate_cluster.
+[[nodiscard]] Result<ClusterRun> simulate_cluster_checked(
+    const hw::CpuMachine& node_type, std::vector<SimJob> jobs,
+    const ClusterSimConfig& config,
+    const ClusterNodeProvider* provider = nullptr);
+
+[[nodiscard]] Result<ClusterRun> simulate_cluster_checked(
+    const hw::CpuMachine& node_type, const hw::GpuMachine& gpu_type,
+    std::vector<SimJob> jobs, const ClusterSimConfig& config,
+    const ClusterNodeProvider* provider = nullptr);
 
 }  // namespace pbc::core

@@ -1,13 +1,20 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "workload/serialize.hpp"
 
 namespace pbc::core {
 
 NodePowerManager::NodePowerManager(hw::CpuMachine machine,
                                    workload::Workload wl)
-    : node_(std::move(machine), std::move(wl)),
-      profile_(profile_critical_powers(node_)) {}
+    : node_(sim::make_prepared_cpu_node(std::move(machine), std::move(wl))),
+      profile_(profile_critical_powers(*node_)) {}
+
+NodePowerManager::NodePowerManager(sim::PreparedCpuNode node)
+    : node_(std::move(node)), profile_(profile_critical_powers(*node_)) {}
 
 NodePowerManager::Plan NodePowerManager::plan(Watts budget) const {
   Plan plan;
@@ -15,7 +22,7 @@ NodePowerManager::Plan NodePowerManager::plan(Watts budget) const {
   plan.accepted = plan.allocation.status != CoordStatus::kBudgetTooSmall;
   if (plan.accepted) {
     plan.predicted =
-        node_.steady_state(plan.allocation.cpu, plan.allocation.mem);
+        node_->steady_state(plan.allocation.cpu, plan.allocation.mem);
   }
   return plan;
 }
@@ -25,8 +32,44 @@ ClusterScheduler::ClusterScheduler(hw::CpuMachine node_type,
     : node_type_(std::move(node_type)), node_count_(node_count) {}
 
 ScheduleResult ClusterScheduler::schedule(std::span<const JobRequest> jobs,
-                                          Watts global_budget) const {
+                                          Watts global_budget,
+                                          ThreadPool* pool) const {
   ScheduleResult result;
+
+  // Candidate jobs: one node each, first come first served.
+  std::vector<const JobRequest*> cand_jobs;
+  cand_jobs.reserve(std::min(jobs.size(), node_count_));
+  for (const auto& job : jobs) {
+    if (cand_jobs.size() == node_count_) {
+      result.rejected.push_back(job.name);  // no node left
+      continue;
+    }
+    cand_jobs.push_back(&job);
+  }
+
+  // One prepared node per distinct workload (exact text form ⟺ exact
+  // workload), built in parallel when a pool is supplied. Candidates with
+  // equal workloads share the node — and hence one operating-point table.
+  std::unordered_map<std::string, std::size_t> seen;
+  std::vector<std::size_t> representative;  // distinct slot → candidate
+  std::vector<std::size_t> slot_of(cand_jobs.size());
+  for (std::size_t i = 0; i < cand_jobs.size(); ++i) {
+    auto [it, inserted] = seen.try_emplace(
+        workload::to_text(cand_jobs[i]->wl), representative.size());
+    if (inserted) representative.push_back(i);
+    slot_of[i] = it->second;
+  }
+  std::vector<sim::PreparedCpuNode> nodes(representative.size());
+  const auto build = [&](std::size_t s) {
+    nodes[s] =
+        sim::make_prepared_cpu_node(node_type_, cand_jobs[representative[s]]->wl);
+  };
+  if (pool != nullptr && representative.size() >= 2 &&
+      !pool->is_worker_thread()) {
+    pool->parallel_for_index(representative.size(), build);
+  } else {
+    for (std::size_t s = 0; s < representative.size(); ++s) build(s);
+  }
 
   struct Candidate {
     const JobRequest* job;
@@ -35,13 +78,11 @@ ScheduleResult ClusterScheduler::schedule(std::span<const JobRequest> jobs,
     bool placed = false;
   };
   std::vector<Candidate> candidates;
-  candidates.reserve(std::min(jobs.size(), node_count_));
-  for (const auto& job : jobs) {
-    if (candidates.size() == node_count_) {
-      result.rejected.push_back(job.name);  // no node left
-      continue;
-    }
-    candidates.push_back(Candidate{&job, {node_type_, job.wl}, Watts{0.0}});
+  candidates.reserve(cand_jobs.size());
+  for (std::size_t i = 0; i < cand_jobs.size(); ++i) {
+    candidates.push_back(
+        Candidate{cand_jobs[i], NodePowerManager(nodes[slot_of[i]]),
+                  Watts{0.0}});
   }
 
   // Pass 1 — fair share clipped to [threshold, demand]; jobs whose share

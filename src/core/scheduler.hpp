@@ -13,6 +13,7 @@
 
 #include "core/coord.hpp"
 #include "sim/cpu_node.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pbc::core {
 
@@ -20,6 +21,12 @@ namespace pbc::core {
 class NodePowerManager {
  public:
   NodePowerManager(hw::CpuMachine machine, workload::Workload wl);
+
+  /// Wraps an already-prepared simulator node. Managers for identical
+  /// (machine, workload) pairs can share one handle — the operating-point
+  /// table is built once instead of per manager; plans are bit-identical
+  /// to the constructing overload's.
+  explicit NodePowerManager(sim::PreparedCpuNode node);
 
   [[nodiscard]] const CpuCriticalPowers& profile() const noexcept {
     return profile_;
@@ -45,10 +52,10 @@ class NodePowerManager {
     return profile_.max_demand();
   }
 
-  [[nodiscard]] const sim::CpuNodeSim& node() const noexcept { return node_; }
+  [[nodiscard]] const sim::CpuNodeSim& node() const noexcept { return *node_; }
 
  private:
-  sim::CpuNodeSim node_;
+  sim::PreparedCpuNode node_;
   CpuCriticalPowers profile_;
 };
 
@@ -84,8 +91,13 @@ class ClusterScheduler {
  public:
   ClusterScheduler(hw::CpuMachine node_type, std::size_t node_count);
 
+  /// Plans the distribution. One prepared simulator node is built per
+  /// distinct workload in `jobs` and shared by every manager running that
+  /// workload; with a pool, those builds (profiling included) fan out in
+  /// parallel. The result is identical for any pool size, including none.
   [[nodiscard]] ScheduleResult schedule(std::span<const JobRequest> jobs,
-                                        Watts global_budget) const;
+                                        Watts global_budget,
+                                        ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
 

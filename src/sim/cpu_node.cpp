@@ -335,4 +335,12 @@ AllocationSample CpuNodeSim::uncapped() const noexcept {
   return steady_state(Watts{1e6}, Watts{1e6});
 }
 
+PreparedCpuNode make_prepared_cpu_node(hw::CpuMachine machine,
+                                       workload::Workload wl) {
+  auto node =
+      std::make_shared<const CpuNodeSim>(std::move(machine), std::move(wl));
+  node->prepare();
+  return node;
+}
+
 }  // namespace pbc::sim

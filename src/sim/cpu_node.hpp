@@ -147,4 +147,16 @@ class CpuNodeSim {
   std::shared_ptr<detail::CpuSolverCache> solver_cache_;
 };
 
+/// Shared handle to an immutable, table-prepared node. The cluster engine
+/// and the svc sim-node cache pass these around so one (machine, workload)
+/// pair is constructed and table-built exactly once per scope, however many
+/// job-start attempts or queries touch it.
+using PreparedCpuNode = std::shared_ptr<const CpuNodeSim>;
+
+/// Builds a node and forces its default operating-point table, returning
+/// the shared handle. Solves through the handle are bit-identical to
+/// solves on a freshly constructed node.
+[[nodiscard]] PreparedCpuNode make_prepared_cpu_node(hw::CpuMachine machine,
+                                                     workload::Workload wl);
+
 }  // namespace pbc::sim

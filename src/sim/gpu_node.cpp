@@ -237,4 +237,12 @@ Watts GpuNodeSim::uncapped_board_power() const noexcept {
       .total_power();
 }
 
+PreparedGpuNode make_prepared_gpu_node(hw::GpuMachine machine,
+                                       workload::Workload wl) {
+  auto node =
+      std::make_shared<const GpuNodeSim>(std::move(machine), std::move(wl));
+  node->prepare();
+  return node;
+}
+
 }  // namespace pbc::sim

@@ -108,4 +108,12 @@ class GpuNodeSim {
   std::shared_ptr<detail::GpuSolverCache> solver_cache_;
 };
 
+/// Shared handle to an immutable, table-prepared node (see PreparedCpuNode).
+using PreparedGpuNode = std::shared_ptr<const GpuNodeSim>;
+
+/// Builds a node and forces its operating-point table, returning the
+/// shared handle.
+[[nodiscard]] PreparedGpuNode make_prepared_gpu_node(hw::GpuMachine machine,
+                                                     workload::Workload wl);
+
 }  // namespace pbc::sim

@@ -233,6 +233,47 @@ std::shared_ptr<const sim::GpuNodeSim> QueryEngine::gpu_sim(
   return outcome.value;
 }
 
+core::ClusterNodeProvider QueryEngine::cluster_provider() {
+  core::ClusterNodeProvider provider;
+  provider.cpu = [this](const hw::CpuMachine& machine,
+                        const workload::Workload& wl) {
+    return cpu_sim(machine, wl);
+  };
+  provider.gpu = [this](const hw::GpuMachine& machine,
+                        const workload::Workload& wl) {
+    return gpu_sim(machine, wl);
+  };
+  return provider;
+}
+
+core::ClusterRun QueryEngine::simulate_cluster(const hw::CpuMachine& node_type,
+                                               std::vector<core::SimJob> jobs,
+                                               core::ClusterSimConfig config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (config.pool == nullptr) config.pool = &pool();
+  const core::ClusterNodeProvider provider = cluster_provider();
+  core::ClusterRun run =
+      core::simulate_cluster(node_type, std::move(jobs), config, &provider);
+  counters_.queries.fetch_add(1, kRelaxed);
+  latency_.record(elapsed_ns(t0));
+  return run;
+}
+
+core::ClusterRun QueryEngine::simulate_cluster(const hw::CpuMachine& node_type,
+                                               const hw::GpuMachine& gpu_type,
+                                               std::vector<core::SimJob> jobs,
+                                               core::ClusterSimConfig config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (config.pool == nullptr) config.pool = &pool();
+  const core::ClusterNodeProvider provider = cluster_provider();
+  core::ClusterRun run = core::simulate_cluster(node_type, gpu_type,
+                                                std::move(jobs), config,
+                                                &provider);
+  counters_.queries.fetch_add(1, kRelaxed);
+  latency_.record(elapsed_ns(t0));
+  return run;
+}
+
 sim::AllocationSample QueryEngine::sample_cpu(const hw::CpuMachine& machine,
                                               const workload::Workload& wl,
                                               Watts cpu_cap, Watts mem_cap) {

@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cluster_sim.hpp"
 #include "core/coord.hpp"
 #include "core/frontier.hpp"
 #include "svc/cache.hpp"
@@ -110,6 +111,21 @@ class QueryEngine {
       const hw::GpuMachine& machine, const workload::Workload& wl,
       std::size_t mem_clock_index, std::span<const Watts> board_caps);
 
+  /// Runs a cluster trace with the engine's sim-node cache as the fast
+  /// path's node provider: distinct (machine, workload) pairs hit the
+  /// cross-run cache, so repeated cluster queries over overlapping
+  /// workload mixes skip simulator construction and table building
+  /// entirely. config.pool defaults to the engine pool when unset; the
+  /// run itself counts as one query. Results are bit-identical to
+  /// core::simulate_cluster with the same config.
+  [[nodiscard]] core::ClusterRun simulate_cluster(
+      const hw::CpuMachine& node_type, std::vector<core::SimJob> jobs,
+      core::ClusterSimConfig config);
+
+  [[nodiscard]] core::ClusterRun simulate_cluster(
+      const hw::CpuMachine& node_type, const hw::GpuMachine& gpu_type,
+      std::vector<core::SimJob> jobs, core::ClusterSimConfig config);
+
   /// The cached prepared simulator for a pair (building it on a miss).
   [[nodiscard]] std::shared_ptr<const sim::CpuNodeSim> cpu_sim(
       const hw::CpuMachine& machine, const workload::Workload& wl);
@@ -145,6 +161,9 @@ class QueryEngine {
   [[nodiscard]] ThreadPool& pool() const noexcept {
     return opt_.pool ? *opt_.pool : global_pool();
   }
+
+  /// Node provider backed by cpu_sim/gpu_sim (the cross-run sim cache).
+  [[nodiscard]] core::ClusterNodeProvider cluster_provider();
 
   /// Probe-then-compute with miss coalescing; updates hit/miss/compute/
   /// coalesce counters.

@@ -5,6 +5,16 @@
 
 namespace pbc {
 
+namespace {
+/// Set for the lifetime of each worker; lets is_worker_thread() answer
+/// without any synchronization.
+thread_local const ThreadPool* tl_current_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::is_worker_thread() const noexcept {
+  return tl_current_pool == this;
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -70,6 +80,7 @@ void ThreadPool::parallel_for_index(
 }
 
 void ThreadPool::worker_loop() {
+  tl_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {

@@ -42,6 +42,12 @@ class ThreadPool {
   void parallel_for_index(std::size_t n,
                           const std::function<void(std::size_t)>& fn);
 
+  /// True when the calling thread is one of this pool's workers. Fan-out
+  /// helpers (engine batch misses, cluster pre-profiling) consult this to
+  /// fall back to serial execution instead of deadlocking on a nested
+  /// parallel_for_index against their own pool.
+  [[nodiscard]] bool is_worker_thread() const noexcept;
+
  private:
   void worker_loop();
 

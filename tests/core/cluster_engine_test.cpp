@@ -1,0 +1,382 @@
+// The cluster engine's fast-path contract: bit-identical runs to the
+// retained reference implementation over randomized traces (every queue
+// policy × admission × domain-mix combination), prepared-node providers,
+// up-front config validation, grant-ledger conservation, and the backfill
+// edge cases the incremental queue index must preserve.
+#include "core/cluster_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "hw/platforms.hpp"
+#include "svc/engine.hpp"
+#include "util/rng.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::core {
+namespace {
+
+/// Exact (bitwise) equality of two runs — the fast/reference contract.
+void expect_identical(const ClusterRun& a, const ClusterRun& b,
+                      const std::string& context) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size()) << context;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const JobOutcome& x = a.jobs[i];
+    const JobOutcome& y = b.jobs[i];
+    EXPECT_EQ(x.name, y.name) << context << " job " << i;
+    EXPECT_EQ(x.arrival.value(), y.arrival.value()) << context << " " << x.name;
+    EXPECT_EQ(x.start.value(), y.start.value()) << context << " " << x.name;
+    EXPECT_EQ(x.finish.value(), y.finish.value()) << context << " " << x.name;
+    EXPECT_EQ(x.budget.value(), y.budget.value()) << context << " " << x.name;
+    EXPECT_EQ(x.perf, y.perf) << context << " " << x.name;
+    EXPECT_EQ(x.energy.value(), y.energy.value()) << context << " " << x.name;
+  }
+  EXPECT_EQ(a.makespan.value(), b.makespan.value()) << context;
+  EXPECT_EQ(a.mean_wait.value(), b.mean_wait.value()) << context;
+  EXPECT_EQ(a.mean_response.value(), b.mean_response.value()) << context;
+  EXPECT_EQ(a.total_energy.value(), b.total_energy.value()) << context;
+  EXPECT_EQ(a.work_per_joule, b.work_per_joule) << context;
+}
+
+/// A small random trace drawing from the full suites. Workloads repeat
+/// across jobs (the dedupe path matters) and arrivals interleave with
+/// completions.
+std::vector<SimJob> random_trace(Xoshiro256& rng, bool with_gpu) {
+  static const std::vector<workload::Workload> cpu_wls = workload::cpu_suite();
+  static const std::vector<workload::Workload> gpu_wls = workload::gpu_suite();
+  const std::size_t n = 3 + rng.below(16);
+  std::vector<SimJob> jobs;
+  jobs.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    SimJob job;
+    const bool gpu = with_gpu && rng.uniform() < 0.4;
+    if (gpu) {
+      job.wl = gpu_wls[rng.below(gpu_wls.size())];
+      job.work_gunits = rng.uniform(100.0, 50000.0);
+    } else {
+      job.wl = cpu_wls[rng.below(cpu_wls.size())];
+      job.work_gunits = rng.uniform(1.0, 3000.0);
+    }
+    job.name = (gpu ? "g" : "c") + std::to_string(j);
+    job.arrival = Seconds{rng.uniform(0.0, 50.0)};
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+ClusterSimConfig random_config(Xoshiro256& rng, bool with_gpu,
+                               QueuePolicy queue_policy, bool admission) {
+  ClusterSimConfig config;
+  config.nodes = 1 + rng.below(5);
+  config.gpu_nodes = with_gpu ? 1 + rng.below(3) : 0;
+  config.global_budget = Watts{rng.uniform(150.0, 1200.0)};
+  config.queue_policy = queue_policy;
+  config.admission_control = admission;
+  config.policy =
+      rng.uniform() < 0.5 ? SplitPolicy::kCoord : SplitPolicy::kEvenSplit;
+  return config;
+}
+
+// 2 domain mixes × 2 queue policies × 2 admission settings × 64 seeds =
+// 512 randomized traces, each run on both paths and compared bitwise.
+TEST(ClusterDiff, FastMatchesReferenceOnRandomTraces) {
+  const hw::CpuMachine cpu_machine = hw::ivybridge_node();
+  const hw::GpuMachine gpu_machine = hw::titan_xp();
+  int traces = 0;
+  for (const bool with_gpu : {false, true}) {
+    for (const QueuePolicy qp : {QueuePolicy::kFifo, QueuePolicy::kBackfill}) {
+      for (const bool admission : {true, false}) {
+        for (std::uint64_t seed = 0; seed < 64; ++seed) {
+          Xoshiro256 rng(seed, /*stream=*/with_gpu ? 11 : 3);
+          const auto jobs = random_trace(rng, with_gpu);
+          auto config = random_config(rng, with_gpu, qp, admission);
+          const std::string context =
+              "seed=" + std::to_string(seed) +
+              " gpu=" + std::to_string(with_gpu) +
+              " backfill=" + std::to_string(qp == QueuePolicy::kBackfill) +
+              " admission=" + std::to_string(admission);
+
+          config.path = ClusterPath::kFast;
+          const ClusterRun fast =
+              with_gpu
+                  ? simulate_cluster(cpu_machine, gpu_machine, jobs, config)
+                  : simulate_cluster(cpu_machine, jobs, config);
+          config.path = ClusterPath::kReference;
+          const ClusterRun ref =
+              with_gpu
+                  ? simulate_cluster(cpu_machine, gpu_machine, jobs, config)
+                  : simulate_cluster(cpu_machine, jobs, config);
+          expect_identical(fast, ref, context);
+          ++traces;
+          if (HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(traces, 512);
+}
+
+TEST(ClusterPrepared, ProviderNodesAreUsedOncePerDistinctWorkload) {
+  // Three jobs share one workload, two share another: the provider must
+  // be consulted exactly once per distinct (machine, workload) pair, and
+  // the run must match the provider-less one exactly.
+  std::vector<SimJob> jobs{
+      {"a0", workload::dgemm(), Seconds{0.0}, 1000.0},
+      {"a1", workload::dgemm(), Seconds{1.0}, 800.0},
+      {"a2", workload::dgemm(), Seconds{2.0}, 600.0},
+      {"b0", workload::stream_cpu(), Seconds{3.0}, 50.0},
+      {"b1", workload::stream_cpu(), Seconds{4.0}, 70.0},
+  };
+  ClusterSimConfig config;
+  config.nodes = 2;
+  config.global_budget = Watts{500.0};
+
+  std::atomic<int> cpu_calls{0};
+  ClusterNodeProvider provider;
+  provider.cpu = [&](const hw::CpuMachine& machine,
+                     const workload::Workload& wl) {
+    cpu_calls.fetch_add(1);
+    return sim::make_prepared_cpu_node(machine, wl);
+  };
+
+  const auto with_provider =
+      simulate_cluster(hw::ivybridge_node(), jobs, config, &provider);
+  const auto without = simulate_cluster(hw::ivybridge_node(), jobs, config);
+  EXPECT_EQ(cpu_calls.load(), 2);
+  expect_identical(with_provider, without, "provider");
+}
+
+TEST(ClusterService, QueryEngineRoutesThroughSimCache) {
+  std::vector<SimJob> jobs{
+      {"c0", workload::npb_mg(), Seconds{0.0}, 500.0},
+      {"c1", workload::npb_mg(), Seconds{1.0}, 400.0},
+      {"g0", workload::minife(), Seconds{2.0}, 30000.0},
+  };
+  ClusterSimConfig config;
+  config.nodes = 2;
+  config.gpu_nodes = 1;
+  config.global_budget = Watts{700.0};
+
+  svc::QueryEngine engine;
+  const auto first = engine.simulate_cluster(hw::ivybridge_node(),
+                                             hw::titan_xp(), jobs, config);
+  const auto direct =
+      simulate_cluster(hw::ivybridge_node(), hw::titan_xp(), jobs, config);
+  expect_identical(first, direct, "svc-vs-core");
+
+  // A second identical query reuses the cached prepared nodes: misses do
+  // not grow.
+  const auto misses_after_first = engine.stats().sim_misses;
+  const auto second = engine.simulate_cluster(hw::ivybridge_node(),
+                                              hw::titan_xp(), jobs, config);
+  expect_identical(second, direct, "svc-second-run");
+  EXPECT_EQ(engine.stats().sim_misses, misses_after_first);
+  EXPECT_GT(engine.stats().sim_hits, 0u);
+}
+
+TEST(ClusterChecked, RejectsZeroNodes) {
+  ClusterSimConfig config;
+  config.nodes = 0;
+  const auto result = simulate_cluster_checked(
+      hw::ivybridge_node(), {{"j", workload::sra(), Seconds{0.0}, 1.0}},
+      config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(ClusterChecked, RejectsNonPositiveBudget) {
+  ClusterSimConfig config;
+  config.global_budget = Watts{0.0};
+  const auto result = simulate_cluster_checked(
+      hw::ivybridge_node(), {{"j", workload::sra(), Seconds{0.0}, 1.0}},
+      config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(ClusterChecked, RejectsMinGrantAboveBudgetWithoutAdmission) {
+  ClusterSimConfig config;
+  config.global_budget = Watts{300.0};
+  config.admission_control = false;
+  config.min_grant = Watts{400.0};
+  const auto result = simulate_cluster_checked(
+      hw::ivybridge_node(), {{"j", workload::sra(), Seconds{0.0}, 1.0}},
+      config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kInvalidArgument);
+  // With admission control the same floor is fine (min_grant is ignored).
+  config.admission_control = true;
+  EXPECT_TRUE(simulate_cluster_checked(
+                  hw::ivybridge_node(),
+                  {{"j", workload::sra(), Seconds{0.0}, 1.0}}, config)
+                  .ok());
+}
+
+TEST(ClusterChecked, RejectsGpuJobsWithoutGpuNodes) {
+  ClusterSimConfig config;
+  config.gpu_nodes = 0;
+  const std::vector<SimJob> jobs{
+      {"c", workload::sra(), Seconds{0.0}, 1.0},
+      {"g", workload::minife(), Seconds{1.0}, 100.0},
+  };
+  // CPU-only overload: no GPU machine at all.
+  const auto no_machine =
+      simulate_cluster_checked(hw::ivybridge_node(), jobs, config);
+  ASSERT_FALSE(no_machine.ok());
+  EXPECT_NE(no_machine.error().message.find("'g'"), std::string::npos);
+  // Heterogeneous overload with zero GPU nodes.
+  const auto no_nodes = simulate_cluster_checked(hw::ivybridge_node(),
+                                                 hw::titan_xp(), jobs, config);
+  ASSERT_FALSE(no_nodes.ok());
+  EXPECT_NE(no_nodes.error().message.find("'g'"), std::string::npos);
+}
+
+TEST(ClusterChecked, AcceptsAndMatchesUncheckedRun) {
+  std::vector<SimJob> jobs{
+      {"c0", workload::dgemm(), Seconds{0.0}, 1000.0},
+      {"g0", workload::sgemm(), Seconds{1.0}, 200000.0},
+  };
+  ClusterSimConfig config;
+  config.nodes = 2;
+  config.gpu_nodes = 1;
+  config.global_budget = Watts{600.0};
+  const auto checked = simulate_cluster_checked(
+      hw::ivybridge_node(), hw::titan_xp(), jobs, config);
+  ASSERT_TRUE(checked.ok());
+  const auto plain =
+      simulate_cluster(hw::ivybridge_node(), hw::titan_xp(), jobs, config);
+  expect_identical(checked.value(), plain, "checked");
+}
+
+TEST(ClusterLedger, LongTracePowerStaysConserved) {
+  // Hundreds of start/finish pairs over a tight budget: the ledger must
+  // keep the implied free power consistent with the outcomes' timeline —
+  // no oversubscription at any instant on either path.
+  Xoshiro256 rng(99, 5);
+  std::vector<SimJob> jobs;
+  for (int j = 0; j < 200; ++j) {
+    SimJob job;
+    job.wl = j % 3 == 0 ? workload::stream_cpu()
+                        : (j % 3 == 1 ? workload::dgemm() : workload::sra());
+    job.name = "j" + std::to_string(j);
+    job.work_gunits = rng.uniform(1.0, 1500.0);
+    job.arrival = Seconds{rng.uniform(0.0, 2000.0)};
+    jobs.push_back(std::move(job));
+  }
+  ClusterSimConfig config;
+  config.nodes = 4;
+  config.global_budget = Watts{520.0};
+  config.queue_policy = QueuePolicy::kBackfill;
+
+  for (const ClusterPath path :
+       {ClusterPath::kFast, ClusterPath::kReference}) {
+    config.path = path;
+    const auto run = simulate_cluster(hw::ivybridge_node(), jobs, config);
+    EXPECT_EQ(run.jobs.size(), 200u);
+    for (const auto& probe : run.jobs) {
+      const double t = probe.start.value();
+      double in_use = 0.0;
+      for (const auto& o : run.jobs) {
+        if (o.start.value() <= t + 1e-9 && t < o.finish.value() - 1e-9) {
+          in_use += o.budget.value();
+        }
+      }
+      EXPECT_LE(in_use, config.global_budget.value() + 1e-6)
+          << "t=" << t << " path=" << static_cast<int>(path);
+    }
+  }
+}
+
+TEST(ClusterBackfillEdge, BackfilledJobFinishesBeforeBlockedHeadStarts) {
+  // After the first DGEMM claims its ~226 W demand, ~136 W remain: below
+  // the second DGEMM's ~142 W threshold (head blocks) but above SRA's
+  // ~133 W threshold. SRA backfills, and being short, finishes before the
+  // blocked head ever gets power.
+  std::vector<SimJob> jobs{
+      {"big-0", workload::dgemm(), Seconds{0.0}, 30000.0},
+      {"big-1", workload::dgemm(), Seconds{1.0}, 30000.0},
+      {"small", workload::sra(), Seconds{2.0}, 1.0},
+  };
+  ClusterSimConfig config;
+  config.nodes = 3;
+  config.global_budget = Watts{362.0};
+  config.queue_policy = QueuePolicy::kBackfill;
+  for (const ClusterPath path :
+       {ClusterPath::kFast, ClusterPath::kReference}) {
+    config.path = path;
+    const auto run = simulate_cluster(hw::ivybridge_node(), jobs, config);
+    ASSERT_EQ(run.jobs.size(), 3u);
+    const auto find = [&](const std::string& name) -> const JobOutcome& {
+      for (const auto& o : run.jobs) {
+        if (o.name == name) return o;
+      }
+      ADD_FAILURE() << name << " missing";
+      return run.jobs.front();
+    };
+    EXPECT_LT(find("small").finish.value(), find("big-1").start.value());
+    // The head still runs eventually — backfill must not starve it.
+    EXPECT_GT(find("big-1").perf, 0.0);
+  }
+}
+
+TEST(ClusterBackfillEdge, EqualCandidatesStartInArrivalOrder) {
+  // Behind a blocked head, two identical backfill candidates must start
+  // in arrival order — the incremental index scans its buckets in job
+  // order, exactly like the linear rescan.
+  std::vector<SimJob> jobs{
+      {"head", workload::dgemm(), Seconds{0.0}, 30000.0},
+      {"blocked", workload::dgemm(), Seconds{1.0}, 30000.0},
+      {"fill-a", workload::sra(), Seconds{2.0}, 400.0},
+      {"fill-b", workload::sra(), Seconds{2.5}, 400.0},
+  };
+  ClusterSimConfig config;
+  config.nodes = 4;
+  config.global_budget = Watts{362.0};
+  config.queue_policy = QueuePolicy::kBackfill;
+  for (const ClusterPath path :
+       {ClusterPath::kFast, ClusterPath::kReference}) {
+    config.path = path;
+    const auto run = simulate_cluster(hw::ivybridge_node(), jobs, config);
+    ASSERT_EQ(run.jobs.size(), 4u);
+    double start_a = -1.0;
+    double start_b = -1.0;
+    for (const auto& o : run.jobs) {
+      if (o.name == "fill-a") start_a = o.start.value();
+      if (o.name == "fill-b") start_b = o.start.value();
+    }
+    EXPECT_LE(start_a, start_b) << "path=" << static_cast<int>(path);
+  }
+}
+
+TEST(ClusterDeterminism, IdenticalAcrossPoolSizes) {
+  // Parallel pre-profiling writes disjoint slots; the run must not depend
+  // on how many workers filled them.
+  std::vector<SimJob> jobs;
+  const auto wls = workload::cpu_suite();
+  for (std::size_t j = 0; j < 24; ++j) {
+    jobs.push_back({"j" + std::to_string(j), wls[j % wls.size()],
+                    Seconds{static_cast<double>(j)}, 500.0});
+  }
+  ClusterSimConfig config;
+  config.nodes = 3;
+  config.global_budget = Watts{500.0};
+  config.queue_policy = QueuePolicy::kBackfill;
+
+  ThreadPool one(1);
+  ThreadPool many(4);
+  config.pool = &one;
+  const auto run_one = simulate_cluster(hw::ivybridge_node(), jobs, config);
+  config.pool = &many;
+  const auto run_many = simulate_cluster(hw::ivybridge_node(), jobs, config);
+  config.pool = nullptr;  // global pool
+  const auto run_global = simulate_cluster(hw::ivybridge_node(), jobs, config);
+  expect_identical(run_one, run_many, "pool-1-vs-4");
+  expect_identical(run_one, run_global, "pool-1-vs-global");
+}
+
+}  // namespace
+}  // namespace pbc::core
