@@ -1,0 +1,413 @@
+// Throughput of the trace-replay / dynamic-shifting engine: how fast
+// replay_trace_batch and shifting_batch chew through (trace × budget)
+// grids, fast path vs the retained reference path (docs/dynamic.md).
+//
+// Three modes:
+//   * default: a fast-path scaling table over trace lengths and budget
+//     counts (warm phase-node set, full pool).
+//   * --json[=path] (default BENCH_replay.json): the CI perf record. On a
+//     4-trace × 16-budget npb_ft grid it times the reference path once
+//     (fresh per-call phase nodes, a full solve per candidate) and the
+//     warm batched fast path best-of---reps on a one-thread pool (so the
+//     gate certifies the algorithmic speedup — prepared nodes + split /
+//     climb memoization — not core count), verifies replay and shifting
+//     grids are bit-identical across the paths, and exits 1 when the
+//     smaller of the two speedups falls below --min-speedup (default 10;
+//     --min-speedup=0 turns the run into a smoke test). --smoke shrinks
+//     the traces so debug/sanitizer ctest configurations stay quick.
+//   * --csv=FILE: per-segment dump of a fixed shifting run at full
+//     precision for the golden-file regression
+//     (tests/golden/replay_throughput.csv).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/dynamic.hpp"
+#include "hw/platforms.hpp"
+#include "sim/phase_nodes.hpp"
+#include "sim/trace_replay.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/trace.hpp"
+
+using namespace pbc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <class F>
+[[nodiscard]] double time_once_s(F&& f) {
+  const auto t0 = Clock::now();
+  f();
+  const auto dt = Clock::now() - t0;
+  return std::chrono::duration_cast<std::chrono::duration<double>>(dt)
+      .count();
+}
+
+template <class F>
+[[nodiscard]] double time_best_s(int reps, F&& f) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) best = std::min(best, time_once_s(f));
+  return best;
+}
+
+[[nodiscard]] std::string g17(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+[[nodiscard]] std::vector<workload::PhaseTrace> make_traces(
+    const workload::Workload& wl, std::size_t count, double total_units) {
+  std::vector<workload::PhaseTrace> traces;
+  traces.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workload::TraceOptions opt;
+    opt.total_units = total_units;
+    opt.segment_units = 1.0;
+    opt.irregularity = 0.6;
+    opt.seed = 1000 + i;
+    traces.push_back(workload::generate_trace(wl, opt));
+  }
+  return traces;
+}
+
+[[nodiscard]] std::vector<Watts> make_budgets(std::size_t count) {
+  // Tight-to-comfortable node budgets on ivybridge (floors 48 + 68 W).
+  std::vector<Watts> budgets;
+  budgets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    budgets.push_back(Watts{130.0 + 10.0 * static_cast<double>(i)});
+  }
+  return budgets;
+}
+
+[[nodiscard]] std::vector<sim::CapPair> budgets_to_caps(
+    std::span<const Watts> budgets) {
+  // A fixed 55/45 split of each budget, for the fixed-cap replay grid.
+  std::vector<sim::CapPair> caps;
+  caps.reserve(budgets.size());
+  for (const Watts b : budgets) {
+    caps.push_back(sim::CapPair{Watts{0.55 * b.value()},
+                                Watts{0.45 * b.value()}});
+  }
+  return caps;
+}
+
+[[nodiscard]] bool replays_identical(const sim::TraceReplayResult& a,
+                                     const sim::TraceReplayResult& b) {
+  if (a.segments.size() != b.segments.size()) return false;
+  for (std::size_t i = 0; i < a.segments.size(); ++i) {
+    const auto& x = a.segments[i];
+    const auto& y = b.segments[i];
+    if (x.phase_index != y.phase_index || x.work_units != y.work_units ||
+        x.duration.value() != y.duration.value() ||
+        x.proc_power.value() != y.proc_power.value() ||
+        x.mem_power.value() != y.mem_power.value() ||
+        x.rate_gunits != y.rate_gunits) {
+      return false;
+    }
+  }
+  return a.aggregate == b.aggregate &&
+         a.total_time.value() == b.total_time.value() &&
+         a.proc_energy.value() == b.proc_energy.value() &&
+         a.mem_energy.value() == b.mem_energy.value();
+}
+
+[[nodiscard]] bool shifts_identical(const core::ShiftingResult& a,
+                                    const core::ShiftingResult& b) {
+  if (a.shifts != b.shifts || a.caps.size() != b.caps.size()) return false;
+  for (std::size_t i = 0; i < a.caps.size(); ++i) {
+    if (a.caps[i].phase_index != b.caps[i].phase_index ||
+        a.caps[i].cpu_cap.value() != b.caps[i].cpu_cap.value() ||
+        a.caps[i].mem_cap.value() != b.caps[i].mem_cap.value()) {
+      return false;
+    }
+  }
+  return replays_identical(a.replay, b.replay);
+}
+
+struct ScalePoint {
+  std::size_t segments;
+  std::size_t traces;
+  std::size_t budgets;
+  double wall_s = 0.0;
+  double cells_per_sec = 0.0;
+  double seg_solves_per_sec = 0.0;
+};
+
+[[nodiscard]] ScalePoint run_scale_point(const sim::PhaseNodeSet& nodes,
+                                         double total_units,
+                                         std::size_t n_traces,
+                                         std::size_t n_budgets) {
+  const auto traces = make_traces(nodes.wl(), n_traces, total_units);
+  const auto budgets = make_budgets(n_budgets);
+  std::size_t segments = 0;
+  for (const auto& t : traces) segments += t.size();
+
+  ScalePoint p{segments / std::max<std::size_t>(n_traces, 1), n_traces,
+               n_budgets};
+  std::vector<core::ShiftingResult> out;
+  p.wall_s = time_once_s(
+      [&] { out = core::shifting_batch(nodes, traces, budgets); });
+  const double cells = static_cast<double>(n_traces * n_budgets);
+  const double seg_solves =
+      static_cast<double>(segments) * static_cast<double>(n_budgets);
+  p.cells_per_sec = p.wall_s > 0.0 ? cells / p.wall_s : 0.0;
+  p.seg_solves_per_sec = p.wall_s > 0.0 ? seg_solves / p.wall_s : 0.0;
+  return p;
+}
+
+int run_gate_mode(const std::string& json_path, double min_speedup, int reps,
+                  bool smoke) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const workload::Workload wl = workload::npb_ft();
+
+  const std::size_t n_traces = smoke ? 2 : 4;
+  const std::size_t n_budgets = smoke ? 4 : 16;
+  const double total_units = smoke ? 60.0 : 600.0;
+  const auto traces = make_traces(wl, n_traces, total_units);
+  const auto budgets = make_budgets(n_budgets);
+  const auto caps = budgets_to_caps(budgets);
+  std::size_t segments = 0;
+  for (const auto& t : traces) segments += t.size();
+  const std::size_t cells = n_traces * n_budgets;
+
+  // The reference baseline: the retained original implementation, called
+  // per grid cell the way pre-engine code had to — fresh per-call phase
+  // nodes, one full steady-state solve per segment / climb candidate.
+  const sim::CpuNodeSim node(machine, wl);
+  core::ShiftingConfig ref_cfg;
+  ref_cfg.path = sim::ReplayPath::kReference;
+
+  std::vector<sim::TraceReplayResult> ref_replays(cells);
+  std::vector<core::ShiftingResult> ref_shifts(cells);
+  const double ref_replay_s = time_once_s([&] {
+    for (std::size_t i = 0; i < cells; ++i) {
+      ref_replays[i] = sim::replay_trace(node, traces[i / n_budgets],
+                                         caps[i % n_budgets].cpu_cap,
+                                         caps[i % n_budgets].mem_cap,
+                                         sim::ReplayPath::kReference);
+    }
+  });
+  const double ref_shift_s = time_once_s([&] {
+    for (std::size_t i = 0; i < cells; ++i) {
+      ref_shifts[i] = core::replay_with_shifting(
+          node, traces[i / n_budgets], budgets[i % n_budgets], ref_cfg);
+    }
+  });
+
+  // The warm batched fast path: phase-node set prepared up front (the
+  // "warm" in the gate's name), pool pinned to one thread so the gate
+  // certifies the algorithmic speedup, not core count.
+  ThreadPool single(1);
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+
+  std::vector<sim::TraceReplayResult> fast_replays;
+  const double fast_replay_s = time_best_s(reps, [&] {
+    fast_replays = sim::replay_trace_batch(*nodes, traces, caps, &single);
+  });
+  std::vector<core::ShiftingResult> fast_shifts;
+  const double fast_shift_s = time_best_s(reps, [&] {
+    fast_shifts = core::shifting_batch(*nodes, traces, budgets, {}, &single);
+  });
+
+  // Full-pool timing: adds grid-level parallelism on top.
+  std::vector<core::ShiftingResult> mt_shifts;
+  const double fast_shift_mt_s = time_best_s(reps, [&] {
+    mt_shifts = core::shifting_batch(*nodes, traces, budgets, {});
+  });
+
+  bool identical = fast_replays.size() == cells && fast_shifts.size() == cells;
+  if (identical) {
+    for (std::size_t i = 0; i < cells; ++i) {
+      if (!replays_identical(ref_replays[i], fast_replays[i]) ||
+          !shifts_identical(ref_shifts[i], fast_shifts[i]) ||
+          !shifts_identical(fast_shifts[i], mt_shifts[i])) {
+        identical = false;
+        break;
+      }
+    }
+  }
+
+  const double replay_speedup =
+      fast_replay_s > 0.0 ? ref_replay_s / fast_replay_s : 0.0;
+  const double shift_speedup =
+      fast_shift_s > 0.0 ? ref_shift_s / fast_shift_s : 0.0;
+  const double speedup = std::min(replay_speedup, shift_speedup);
+  const bool gate_pass = identical && speedup + 1e-12 >= min_speedup;
+
+  // Fast-path scaling sweep for the record (warm set, full pool).
+  std::vector<ScalePoint> scaling;
+  if (smoke) {
+    scaling.push_back(run_scale_point(*nodes, 60.0, 2, 4));
+  } else {
+    scaling.push_back(run_scale_point(*nodes, 200.0, 4, 8));
+    scaling.push_back(run_scale_point(*nodes, 600.0, 4, 16));
+    scaling.push_back(run_scale_point(*nodes, 2000.0, 8, 16));
+    scaling.push_back(run_scale_point(*nodes, 6000.0, 8, 32));
+  }
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "replay_throughput: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  out.setf(std::ios::fixed);
+  out.precision(4);
+  out << "{\n"
+      << "  \"bench\": \"replay_throughput\",\n"
+      << "  \"mode\": \"gate\",\n"
+      << "  \"grid\": {\n"
+      << "    \"workload\": \"" << wl.name << "\",\n"
+      << "    \"traces\": " << n_traces << ",\n"
+      << "    \"segments_total\": " << segments << ",\n"
+      << "    \"budgets\": " << n_budgets << ",\n"
+      << "    \"cells\": " << cells << "\n"
+      << "  },\n"
+      << "  \"metrics\": {\n"
+      << "    \"reference_replay_wall_s\": " << ref_replay_s << ",\n"
+      << "    \"fast_replay_wall_s\": " << fast_replay_s << ",\n"
+      << "    \"replay_speedup\": " << replay_speedup << ",\n"
+      << "    \"reference_shifting_wall_s\": " << ref_shift_s << ",\n"
+      << "    \"fast_shifting_wall_s\": " << fast_shift_s << ",\n"
+      << "    \"fast_shifting_parallel_wall_s\": " << fast_shift_mt_s
+      << ",\n"
+      << "    \"shifting_speedup\": " << shift_speedup << ",\n"
+      << "    \"paths_identical\": " << (identical ? "true" : "false")
+      << "\n"
+      << "  },\n"
+      << "  \"scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const ScalePoint& p = scaling[i];
+    out << "    {\"segments_per_trace\": " << p.segments
+        << ", \"traces\": " << p.traces << ", \"budgets\": " << p.budgets
+        << ", \"wall_s\": " << p.wall_s
+        << ", \"cells_per_sec\": " << p.cells_per_sec
+        << ", \"segment_solves_per_sec\": " << p.seg_solves_per_sec << "}"
+        << (i + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"gate\": {\n"
+      << "    \"name\": \"replay_warm_batched_speedup\",\n"
+      << "    \"min\": " << min_speedup << ",\n"
+      << "    \"actual\": " << speedup << ",\n"
+      << "    \"identical\": " << (identical ? "true" : "false") << ",\n"
+      << "    \"pass\": " << (gate_pass ? "true" : "false") << "\n"
+      << "  }\n"
+      << "}\n";
+  out.close();
+
+  std::printf(
+      "replay_throughput --json: %zu cells (%zu segs), replay ref %.3fs vs "
+      "fast %.4fs (%.1fx), shifting ref %.3fs vs fast %.4fs (%.1fx, "
+      "parallel %.4fs), paths %s -> %s\n",
+      cells, segments, ref_replay_s, fast_replay_s, replay_speedup,
+      ref_shift_s, fast_shift_s, shift_speedup, fast_shift_mt_s,
+      identical ? "identical" : "DIVERGED", json_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "replay_throughput: GATE FAILED — fast and reference runs "
+                 "diverged\n");
+    return 1;
+  }
+  if (!gate_pass) {
+    std::fprintf(stderr,
+                 "replay_throughput: GATE FAILED — warm batched speedup "
+                 "%.2fx < required %.2fx\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+int run_csv_mode(const std::string& path) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const workload::Workload wl = workload::npb_bt();
+  workload::TraceOptions opt;
+  opt.total_units = 200.0;
+  opt.segment_units = 1.0;
+  opt.irregularity = 0.6;
+  opt.seed = 42;
+  const auto trace = workload::generate_trace(wl, opt);
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+  const core::ShiftingResult run =
+      core::replay_with_shifting(*nodes, trace, Watts{170.0});
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return 1;
+  }
+  CsvWriter csv(os, {"segment", "phase_index", "cpu_cap_w", "mem_cap_w",
+                     "duration_s", "proc_power_w", "mem_power_w",
+                     "rate_gunits"});
+  for (std::size_t i = 0; i < run.replay.segments.size(); ++i) {
+    const auto& seg = run.replay.segments[i];
+    const auto& c = run.caps[i];
+    csv.write_row({std::to_string(i), std::to_string(seg.phase_index),
+                   g17(c.cpu_cap.value()), g17(c.mem_cap.value()),
+                   g17(seg.duration.value()), g17(seg.proc_power.value()),
+                   g17(seg.mem_power.value()), g17(seg.rate_gunits)});
+  }
+  std::cout << "wrote " << csv.rows_written() << " rows to " << path << '\n';
+  return 0;
+}
+
+int run_scaling_table() {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto nodes =
+      sim::make_prepared_phase_nodes(machine, workload::npb_ft());
+  std::printf("%10s %7s %8s %9s %12s %18s\n", "segs/trace", "traces",
+              "budgets", "wall_s", "cells/s", "segment_solves/s");
+  for (const auto& [units, n_traces, n_budgets] :
+       std::vector<std::tuple<double, std::size_t, std::size_t>>{
+           {200.0, 4, 8}, {600.0, 4, 16}, {2000.0, 8, 16},
+           {6000.0, 8, 32}}) {
+    const ScalePoint p =
+        run_scale_point(*nodes, units, n_traces, n_budgets);
+    std::printf("%10zu %7zu %8zu %9.3f %12.0f %18.0f\n", p.segments,
+                p.traces, p.budgets, p.wall_s, p.cells_per_sec,
+                p.seg_solves_per_sec);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = CliArgs::parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error().to_string() << '\n';
+    return 2;
+  }
+  const CliArgs& args = parsed.value();
+  if (const auto unknown = args.unknown_options(
+          {"json", "csv", "min-speedup", "reps", "smoke"});
+      !unknown.empty()) {
+    std::cerr << "unknown option --" << unknown.front()
+              << " (supported: --json[=FILE] --csv=FILE --min-speedup=N "
+                 "--reps=N --smoke)\n";
+    return 2;
+  }
+
+  if (const auto csv_path = args.value("csv")) return run_csv_mode(*csv_path);
+  if (args.has("json")) {
+    const std::string json_path =
+        args.value("json").value_or("BENCH_replay.json");
+    const double min_speedup = args.value_num("min-speedup", 10.0);
+    const int reps =
+        std::max(1, static_cast<int>(args.value_num("reps", 3.0)));
+    return run_gate_mode(json_path, min_speedup, reps, args.has("smoke"));
+  }
+  return run_scaling_table();
+}

@@ -1,96 +1,174 @@
 #include "core/dynamic.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
 
 #include "core/coord.hpp"
 #include "core/critical.hpp"
 
 namespace pbc::core {
 
-ShiftingResult replay_with_shifting(const sim::CpuNodeSim& node,
-                                    const workload::PhaseTrace& trace,
-                                    Watts total_budget,
-                                    const ShiftingConfig& cfg) {
-  ShiftingResult out;
-  const auto& wl = node.wl();
-  const auto& machine = node.machine();
+namespace {
 
-  // Per-phase single-phase simulators (as in replay_trace).
-  std::vector<sim::CpuNodeSim> phase_nodes;
-  phase_nodes.reserve(wl.phases.size());
-  for (const auto& phase : wl.phases) {
-    workload::Workload single = wl;
-    single.name = wl.name + "/" + phase.name;
-    single.phases = {phase};
-    single.phases[0].weight = 1.0;
-    phase_nodes.emplace_back(machine, std::move(single));
+/// One segment's climb: where it settled, the steady state there, and how
+/// many one-step moves it committed.
+struct ClimbOutcome {
+  double cpu_cap = 0.0;
+  sim::AllocationSample sample;
+  std::size_t steps = 0;
+};
+
+// One segment's hill climb, shared verbatim by both engines: evaluate the
+// entry split, then try one step in each direction, committing strict
+// improvements, stopping at a local optimum. `eval(cpu_cap)` supplies the
+// phase's steady state at (cpu_cap, total - cpu_cap). The budget
+// invariant cpu + mem == total holds throughout.
+template <class Eval>
+ClimbOutcome climb_segment(double entry_cpu, double total, double step,
+                           double cpu_min, double mem_min, int max_steps,
+                           Eval&& eval) {
+  ClimbOutcome out;
+  double cpu_cap = entry_cpu;
+  sim::AllocationSample s = eval(cpu_cap);
+  for (int i = 0; i < max_steps; ++i) {
+    double best_cpu = cpu_cap;
+    sim::AllocationSample best = s;
+    for (const double candidate_cpu : {cpu_cap - step, cpu_cap + step}) {
+      if (candidate_cpu < cpu_min || total - candidate_cpu < mem_min) {
+        continue;
+      }
+      const sim::AllocationSample candidate = eval(candidate_cpu);
+      if (candidate.perf > best.perf + 1e-12) {
+        best = candidate;
+        best_cpu = candidate_cpu;
+      }
+    }
+    if (best_cpu == cpu_cap) break;
+    cpu_cap = best_cpu;
+    s = best;
+    ++out.steps;
+  }
+  out.cpu_cap = cpu_cap;
+  out.sample = s;
+  return out;
+}
+
+// Fast-engine working state for one (trace, budget, config) run: an
+// exact-bit split memo and a whole-climb memo per phase, plus one solver
+// warm-start hint per phase. Every split the climber can visit lies on
+// the lattice {start ± k·step} reached through identical FP operations,
+// so the exact bit pattern of cpu_cap is a sound memo key: a hit returns
+// the very sample the reference engine would recompute, and the climb
+// memo replays a whole segment's deterministic climb from cache. Hints
+// only seed the bisection gallops (the warm-start invariant), so the
+// engine stays bit-identical to the reference path.
+class FastClimber {
+ public:
+  FastClimber(const sim::PhaseNodeSet& nodes, double total)
+      : nodes_(nodes),
+        total_(total),
+        splits_(nodes.phase_count()),
+        climbs_(nodes.phase_count()),
+        hints_(nodes.phase_count()) {}
+
+  ClimbOutcome climb(std::size_t phase, double entry_cpu, double step,
+                     double cpu_min, double mem_min, int max_steps) {
+    auto& memo = climbs_[phase];
+    const std::uint64_t key = std::bit_cast<std::uint64_t>(entry_cpu);
+    if (const auto it = memo.find(key); it != memo.end()) {
+      return it->second;
+    }
+    ClimbOutcome out = climb_segment(
+        entry_cpu, total_, step, cpu_min, mem_min, max_steps,
+        [&](double cpu_cap) { return solve(phase, cpu_cap); });
+    memo.emplace(key, out);
+    return out;
   }
 
-  // Start from the static heuristic's split — the shifter is an *online
-  // refinement* of COORD, not a replacement.
-  const CpuCriticalPowers profile = profile_critical_powers(node);
-  const CpuAllocation start = coord_cpu(profile, total_budget);
-  double cpu_cap =
-      std::clamp(start.cpu.value(), cfg.cpu_min.value(),
-                 total_budget.value() - cfg.mem_min.value());
-  const double step = cfg.step.value();
+ private:
+  sim::AllocationSample solve(std::size_t phase, double cpu_cap) {
+    auto& memo = splits_[phase];
+    const std::uint64_t key = std::bit_cast<std::uint64_t>(cpu_cap);
+    if (const auto it = memo.find(key); it != memo.end()) {
+      return it->second;
+    }
+    const sim::AllocationSample s = nodes_.phase(phase).steady_state_hinted(
+        Watts{cpu_cap}, Watts{total_ - cpu_cap}, &hints_[phase]);
+    memo.emplace(key, s);
+    return s;
+  }
 
+  const sim::PhaseNodeSet& nodes_;
+  double total_;
+  std::vector<std::unordered_map<std::uint64_t, sim::AllocationSample>>
+      splits_;
+  std::vector<std::unordered_map<std::uint64_t, ClimbOutcome>> climbs_;
+  std::vector<sim::SolveHint> hints_;
+};
+
+// COORD's split clamped into the feasible band. Written as min(max(...))
+// instead of std::clamp so an infeasible budget (total < cpu_min +
+// mem_min — rejected by the checked API, tolerated by the unchecked one)
+// degrades deterministically instead of hitting std::clamp's hi < lo
+// precondition.
+double start_split(const CpuCriticalPowers& profile, Watts total_budget,
+                   double cpu_min, double mem_min) {
+  const CpuAllocation start = coord_cpu(profile, total_budget);
+  return std::min(std::max(start.cpu.value(), cpu_min),
+                  total_budget.value() - mem_min);
+}
+
+// The trace loop both engines share: the committed split carries across
+// segments (the shifter is an online controller), and the aggregate
+// reports time-weighted mean caps — the split varies per segment, so a
+// single final split would misreport the trace (out.caps is the source
+// of truth). `climb(phase, entry_cpu)` supplies one segment's outcome.
+template <class Climb>
+ShiftingResult shifting_loop(const workload::Workload& wl,
+                             const workload::PhaseTrace& trace,
+                             std::size_t phase_count, Watts total_budget,
+                             double start_cpu, Climb&& climb) {
+  ShiftingResult out;
+  double cpu_cap = start_cpu;
   double total_work = 0.0;
+  double weighted_cpu_cap = 0.0;
+  double weighted_mem_cap = 0.0;
   for (const auto& seg : trace) {
-    if (seg.phase_index >= phase_nodes.size() || seg.work_units <= 0.0) {
+    if (seg.phase_index >= phase_count || seg.work_units <= 0.0) {
       continue;
     }
-    const auto& pn = phase_nodes[seg.phase_index];
-
-    // Hill-climb the split on this segment's phase: try one step in each
-    // direction, commit strict improvements, stop at a local optimum. The
-    // budget invariant cpu+mem == total holds throughout.
-    sim::AllocationSample s = pn.steady_state(
-        Watts{cpu_cap}, Watts{total_budget.value() - cpu_cap});
-    for (int i = 0; i < cfg.max_steps_per_segment; ++i) {
-      double best_cpu = cpu_cap;
-      sim::AllocationSample best = s;
-      for (const double candidate_cpu : {cpu_cap - step, cpu_cap + step}) {
-        if (candidate_cpu < cfg.cpu_min.value() ||
-            total_budget.value() - candidate_cpu < cfg.mem_min.value()) {
-          continue;
-        }
-        const sim::AllocationSample candidate = pn.steady_state(
-            Watts{candidate_cpu},
-            Watts{total_budget.value() - candidate_cpu});
-        if (candidate.perf > best.perf + 1e-12) {
-          best = candidate;
-          best_cpu = candidate_cpu;
-        }
-      }
-      if (best_cpu == cpu_cap) break;
-      cpu_cap = best_cpu;
-      s = best;
-      ++out.shifts;
-    }
-
+    const ClimbOutcome c = climb(seg.phase_index, cpu_cap);
+    cpu_cap = c.cpu_cap;
+    out.shifts += c.steps;
     out.caps.push_back(SegmentCaps{seg.phase_index, Watts{cpu_cap},
                                    Watts{total_budget.value() - cpu_cap}});
 
     sim::SegmentResult r;
     r.phase_index = seg.phase_index;
     r.work_units = seg.work_units;
-    r.rate_gunits = s.rate_gunits;
-    r.duration =
-        Seconds{s.rate_gunits > 0.0 ? seg.work_units / s.rate_gunits : 0.0};
-    r.proc_power = s.proc_power;
-    r.mem_power = s.mem_power;
+    r.rate_gunits = c.sample.rate_gunits;
+    r.duration = Seconds{c.sample.rate_gunits > 0.0
+                             ? seg.work_units / c.sample.rate_gunits
+                             : 0.0};
+    r.proc_power = c.sample.proc_power;
+    r.mem_power = c.sample.mem_power;
     out.replay.segments.push_back(r);
     out.replay.total_time += r.duration;
     out.replay.proc_energy += r.proc_power * r.duration;
     out.replay.mem_energy += r.mem_power * r.duration;
     total_work += seg.work_units;
+    weighted_cpu_cap += cpu_cap * r.duration.value();
+    weighted_mem_cap +=
+        (total_budget.value() - cpu_cap) * r.duration.value();
   }
 
   auto& agg = out.replay.aggregate;
-  agg.proc_cap = Watts{cpu_cap};
-  agg.mem_cap = Watts{total_budget.value() - cpu_cap};
   if (out.replay.total_time.value() > 0.0) {
+    agg.proc_cap = Watts{weighted_cpu_cap / out.replay.total_time.value()};
+    agg.mem_cap = Watts{weighted_mem_cap / out.replay.total_time.value()};
     agg.rate_gunits = total_work / out.replay.total_time.value();
     agg.perf = agg.rate_gunits * wl.metric_per_gunit;
     agg.proc_power = out.replay.proc_energy / out.replay.total_time;
@@ -98,6 +176,170 @@ ShiftingResult replay_with_shifting(const sim::CpuNodeSim& node,
   }
   agg.proc_cap_respected = true;  // total never exceeds the budget
   agg.mem_cap_respected = true;
+  return out;
+}
+
+// The retained original implementation: fresh per-phase simulators, one
+// full steady-state solve per candidate per segment.
+ShiftingResult shift_reference(const hw::CpuMachine& machine,
+                               const workload::Workload& wl,
+                               const workload::PhaseTrace& trace,
+                               Watts total_budget, const ShiftingConfig& cfg,
+                               const CpuCriticalPowers& profile) {
+  // Per-phase single-phase simulators (as in replay_trace).
+  std::vector<sim::CpuNodeSim> phase_nodes;
+  phase_nodes.reserve(wl.phases.size());
+  for (std::size_t i = 0; i < wl.phases.size(); ++i) {
+    phase_nodes.emplace_back(machine, sim::single_phase_workload(wl, i));
+  }
+
+  const auto [cpu_min_w, mem_min_w] = shifting_floors(cfg, machine);
+  const double cpu_min = cpu_min_w.value();
+  const double mem_min = mem_min_w.value();
+  const double step = cfg.step.value();
+  const double start = start_split(profile, total_budget, cpu_min, mem_min);
+
+  return shifting_loop(
+      wl, trace, phase_nodes.size(), total_budget, start,
+      [&](std::size_t phase, double entry_cpu) {
+        return climb_segment(
+            entry_cpu, total_budget.value(), step, cpu_min, mem_min,
+            cfg.max_steps_per_segment, [&](double cpu_cap) {
+              return phase_nodes[phase].steady_state(
+                  Watts{cpu_cap}, Watts{total_budget.value() - cpu_cap});
+            });
+      });
+}
+
+ShiftingResult shift_fast(const sim::PhaseNodeSet& nodes,
+                          const workload::PhaseTrace& trace,
+                          Watts total_budget, const ShiftingConfig& cfg,
+                          const CpuCriticalPowers& profile) {
+  const auto [cpu_min_w, mem_min_w] = shifting_floors(cfg, nodes.machine());
+  const double cpu_min = cpu_min_w.value();
+  const double mem_min = mem_min_w.value();
+  const double step = cfg.step.value();
+  const double start = start_split(profile, total_budget, cpu_min, mem_min);
+
+  FastClimber climber(nodes, total_budget.value());
+  return shifting_loop(nodes.wl(), trace, nodes.phase_count(), total_budget,
+                       start, [&](std::size_t phase, double entry_cpu) {
+                         return climber.climb(phase, entry_cpu, step,
+                                              cpu_min, mem_min,
+                                              cfg.max_steps_per_segment);
+                       });
+}
+
+std::optional<Error> validate_shifting(const workload::PhaseTrace& trace,
+                                       std::size_t phase_count,
+                                       Watts total_budget,
+                                       const ShiftingConfig& cfg,
+                                       const hw::CpuMachine& machine) {
+  if (!(cfg.step.value() > 0.0)) {
+    return invalid_argument("shifting step must be > 0 W, got " +
+                            std::to_string(cfg.step.value()));
+  }
+  if (cfg.max_steps_per_segment < 0) {
+    return invalid_argument("max_steps_per_segment must be >= 0, got " +
+                            std::to_string(cfg.max_steps_per_segment));
+  }
+  const auto [cpu_min, mem_min] = shifting_floors(cfg, machine);
+  if (total_budget.value() < cpu_min.value() + mem_min.value()) {
+    return failed_precondition(
+        "total budget " + std::to_string(total_budget.value()) +
+        " W below cpu_min + mem_min = " +
+        std::to_string(cpu_min.value() + mem_min.value()) + " W");
+  }
+  return sim::validate_trace(trace, phase_count);
+}
+
+}  // namespace
+
+std::pair<Watts, Watts> shifting_floors(
+    const ShiftingConfig& cfg, const hw::CpuMachine& machine) noexcept {
+  const auto resolve = [](const std::optional<Watts>& explicit_floor,
+                          Watts machine_floor, double fallback) {
+    if (explicit_floor.has_value()) return *explicit_floor;
+    if (machine_floor.value() > 0.0) return machine_floor;
+    return Watts{fallback};
+  };
+  return {resolve(cfg.cpu_min, machine.cpu.floor, 48.0),
+          resolve(cfg.mem_min, machine.dram.floor, 68.0)};
+}
+
+ShiftingResult replay_with_shifting(const sim::CpuNodeSim& node,
+                                    const workload::PhaseTrace& trace,
+                                    Watts total_budget,
+                                    const ShiftingConfig& cfg) {
+  // Start from the static heuristic's split — the shifter is an *online
+  // refinement* of COORD, not a replacement.
+  const CpuCriticalPowers profile = profile_critical_powers(node);
+  if (cfg.path == sim::ReplayPath::kReference) {
+    return shift_reference(node.machine(), node.wl(), trace, total_budget,
+                           cfg, profile);
+  }
+  const sim::PhaseNodeSet nodes(node.machine(), node.wl());
+  return shift_fast(nodes, trace, total_budget, cfg, profile);
+}
+
+ShiftingResult replay_with_shifting(const sim::PhaseNodeSet& nodes,
+                                    const workload::PhaseTrace& trace,
+                                    Watts total_budget,
+                                    const ShiftingConfig& cfg) {
+  const CpuCriticalPowers profile = profile_critical_powers(nodes.full());
+  if (cfg.path == sim::ReplayPath::kReference) {
+    return shift_reference(nodes.machine(), nodes.wl(), trace, total_budget,
+                           cfg, profile);
+  }
+  return shift_fast(nodes, trace, total_budget, cfg, profile);
+}
+
+Result<ShiftingResult> replay_with_shifting_checked(
+    const sim::CpuNodeSim& node, const workload::PhaseTrace& trace,
+    Watts total_budget, const ShiftingConfig& cfg) {
+  if (auto err = validate_shifting(trace, node.wl().phases.size(),
+                                   total_budget, cfg, node.machine())) {
+    return *std::move(err);
+  }
+  return replay_with_shifting(node, trace, total_budget, cfg);
+}
+
+Result<ShiftingResult> replay_with_shifting_checked(
+    const sim::PhaseNodeSet& nodes, const workload::PhaseTrace& trace,
+    Watts total_budget, const ShiftingConfig& cfg) {
+  if (auto err = validate_shifting(trace, nodes.phase_count(), total_budget,
+                                   cfg, nodes.machine())) {
+    return *std::move(err);
+  }
+  return replay_with_shifting(nodes, trace, total_budget, cfg);
+}
+
+std::vector<ShiftingResult> shifting_batch(
+    const sim::PhaseNodeSet& nodes,
+    std::span<const workload::PhaseTrace> traces,
+    std::span<const Watts> budgets, const ShiftingConfig& cfg,
+    ThreadPool* pool) {
+  const std::size_t n = traces.size() * budgets.size();
+  std::vector<ShiftingResult> out(n);
+  if (n == 0) return out;
+  // One profile for the whole grid: it depends only on (machine,
+  // workload), and profiling is the per-call fixed cost the batch exists
+  // to amortize.
+  const CpuCriticalPowers profile = profile_critical_powers(nodes.full());
+  const auto run = [&](std::size_t i) {
+    const std::size_t t = i / budgets.size();
+    const std::size_t b = i % budgets.size();
+    out[i] = cfg.path == sim::ReplayPath::kReference
+                 ? shift_reference(nodes.machine(), nodes.wl(), traces[t],
+                                   budgets[b], cfg, profile)
+                 : shift_fast(nodes, traces[t], budgets[b], cfg, profile);
+  };
+  ThreadPool& p = pool != nullptr ? *pool : global_pool();
+  if (n < 2 || p.is_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) run(i);
+  } else {
+    p.parallel_for_index(n, run);
+  }
   return out;
 }
 

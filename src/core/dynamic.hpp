@@ -9,10 +9,26 @@
 // workloads (FT's fft/transpose, BT's solve/exchange) no single static
 // split is right for every phase, so per-phase adaptation wins at tight
 // budgets.
+//
+// Two engines produce bit-identical ShiftingResults (docs/dynamic.md):
+//  * ReplayPath::kFast (default) runs over a shared PhaseNodeSet and
+//    memoizes the climb — one split-memo per (phase, exact cpu_cap) and
+//    one climb-memo per (phase, entry cpu_cap), so segments that re-enter
+//    a phase at a split seen before replay the whole climb from cache;
+//  * ReplayPath::kReference retains the original implementation (fresh
+//    phase nodes, a full steady-state solve per candidate per segment).
 #pragma once
 
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
 #include "sim/cpu_node.hpp"
+#include "sim/phase_nodes.hpp"
 #include "sim/trace_replay.hpp"
+#include "util/status.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/trace.hpp"
 
 namespace pbc::core {
@@ -22,10 +38,20 @@ struct ShiftingConfig {
   Watts step{4.0};
   /// Control steps allowed per segment (the climber settles quickly).
   int max_steps_per_segment = 8;
-  /// Per-component lower bounds (hardware floors by default).
-  Watts cpu_min{48.0};
-  Watts mem_min{68.0};
+  /// Per-component lower bounds. Unset (the default) derives them from
+  /// the node machine's hardware floors (cpu.floor / dram.floor), falling
+  /// back to the paper's 48 W / 68 W Sandy Bridge-class values when the
+  /// machine provides no positive floor. Set explicitly to override.
+  std::optional<Watts> cpu_min;
+  std::optional<Watts> mem_min;
+  /// Engine selection; both paths are bit-identical.
+  sim::ReplayPath path = sim::ReplayPath::kFast;
 };
+
+/// The (cpu_min, mem_min) floors a config resolves to on a machine:
+/// explicit overrides win, then positive machine floors, then 48 W / 68 W.
+[[nodiscard]] std::pair<Watts, Watts> shifting_floors(
+    const ShiftingConfig& cfg, const hw::CpuMachine& machine) noexcept;
 
 /// Caps chosen for one segment.
 struct SegmentCaps {
@@ -35,7 +61,9 @@ struct SegmentCaps {
 };
 
 struct ShiftingResult {
-  /// Trace replay under the dynamic caps.
+  /// Trace replay under the dynamic caps. The aggregate's proc_cap /
+  /// mem_cap report the *time-weighted mean* caps over the trace (the
+  /// split varies per segment; `caps` below is the source of truth).
   sim::TraceReplayResult replay;
   /// The split the shifter converged to in each segment.
   std::vector<SegmentCaps> caps;
@@ -44,9 +72,38 @@ struct ShiftingResult {
 };
 
 /// Replays `trace` with dynamic shifting under `total_budget`, starting
-/// from an even split.
+/// from COORD's static split.
 [[nodiscard]] ShiftingResult replay_with_shifting(
     const sim::CpuNodeSim& node, const workload::PhaseTrace& trace,
     Watts total_budget, const ShiftingConfig& cfg = {});
+
+/// Shifting over a prepared phase-node set; callers shifting the same
+/// (machine, workload) more than once should build the set (or query
+/// through svc::QueryEngine) and use this overload.
+[[nodiscard]] ShiftingResult replay_with_shifting(
+    const sim::PhaseNodeSet& nodes, const workload::PhaseTrace& trace,
+    Watts total_budget, const ShiftingConfig& cfg = {});
+
+/// Checked variants: validate the trace, the step size, and that the
+/// budget clears cpu_min + mem_min, returning a descriptive Error instead
+/// of silently skipping segments or clamping into an empty range.
+[[nodiscard]] Result<ShiftingResult> replay_with_shifting_checked(
+    const sim::CpuNodeSim& node, const workload::PhaseTrace& trace,
+    Watts total_budget, const ShiftingConfig& cfg = {});
+
+[[nodiscard]] Result<ShiftingResult> replay_with_shifting_checked(
+    const sim::PhaseNodeSet& nodes, const workload::PhaseTrace& trace,
+    Watts total_budget, const ShiftingConfig& cfg = {});
+
+/// Batched shifting over a (trace × budget) grid: the critical-power
+/// profile is computed once and the grid fans out across `pool`
+/// (global_pool() when null; serial when nested on a pool worker).
+/// out[t * budgets.size() + b] is bit-identical to
+/// replay_with_shifting(nodes, traces[t], budgets[b], cfg) for every cell.
+[[nodiscard]] std::vector<ShiftingResult> shifting_batch(
+    const sim::PhaseNodeSet& nodes,
+    std::span<const workload::PhaseTrace> traces,
+    std::span<const Watts> budgets, const ShiftingConfig& cfg = {},
+    ThreadPool* pool = nullptr);
 
 }  // namespace pbc::core

@@ -291,6 +291,13 @@ AllocationSample CpuNodeSim::steady_state_packed(int active_cores,
                     nullptr);
 }
 
+AllocationSample CpuNodeSim::steady_state_hinted(Watts cpu_cap, Watts mem_cap,
+                                                 SolveHint* hint)
+    const noexcept {
+  const int cores = machine_.cpu.total_cores();
+  return solve_fast(table_for(cores), cpu_cap, mem_cap, cores, hint);
+}
+
 std::vector<AllocationSample> CpuNodeSim::steady_state_batch(
     std::span<const CapPair> caps) const {
   return steady_state_packed_batch(machine_.cpu.total_cores(), caps);

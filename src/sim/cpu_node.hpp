@@ -64,6 +64,13 @@ class CpuNodeSim {
   [[nodiscard]] AllocationSample steady_state_packed(
       int active_cores, Watts cpu_cap, Watts mem_cap) const noexcept;
 
+  /// steady_state with a caller-carried warm-start hint, for callers that
+  /// interleave solves on several nodes (the trace-replay engine keeps one
+  /// hint per phase node across segments). The hint only seeds the
+  /// bisection gallops; the result is bit-identical to steady_state.
+  [[nodiscard]] AllocationSample steady_state_hinted(
+      Watts cpu_cap, Watts mem_cap, SolveHint* hint) const noexcept;
+
   /// Batched solves over many (cpu_cap, mem_cap) splits: fetches the
   /// operating-point table once and warm-starts each solve's bisections
   /// from the previous fixed point. out[i] is bit-identical to

@@ -1,0 +1,40 @@
+#include "sim/phase_nodes.hpp"
+
+#include <utility>
+
+namespace pbc::sim {
+
+workload::Workload single_phase_workload(const workload::Workload& wl,
+                                         std::size_t index) {
+  workload::Workload single = wl;
+  single.name = wl.name + "/" + wl.phases[index].name;
+  single.phases = {wl.phases[index]};
+  single.phases[0].weight = 1.0;
+  return single;
+}
+
+PhaseNodeSet::PhaseNodeSet(hw::CpuMachine machine, workload::Workload wl)
+    : full_(make_prepared_cpu_node(std::move(machine), std::move(wl))) {
+  build_phase_nodes();
+}
+
+PhaseNodeSet::PhaseNodeSet(PreparedCpuNode full) : full_(std::move(full)) {
+  build_phase_nodes();
+}
+
+void PhaseNodeSet::build_phase_nodes() {
+  const auto& wl = full_->wl();
+  phases_.reserve(wl.phases.size());
+  for (std::size_t i = 0; i < wl.phases.size(); ++i) {
+    phases_.push_back(make_prepared_cpu_node(full_->machine(),
+                                             single_phase_workload(wl, i)));
+  }
+}
+
+PreparedPhaseNodes make_prepared_phase_nodes(hw::CpuMachine machine,
+                                             workload::Workload wl) {
+  return std::make_shared<const PhaseNodeSet>(std::move(machine),
+                                              std::move(wl));
+}
+
+}  // namespace pbc::sim

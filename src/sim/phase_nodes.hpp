@@ -1,0 +1,74 @@
+// Shared prepared phase-node sets for trace-driven evaluation.
+//
+// Trace replay and dynamic shifting evaluate one phase at a time: every
+// trace segment runs a single-phase variant of the workload to its
+// governor steady state. Historically each replay_trace /
+// replay_with_shifting call rebuilt those single-phase CpuNodeSim
+// instances — and their operating-point tables — from scratch. A
+// PhaseNodeSet hoists that work into an immutable object built once per
+// (machine, workload): the full-workload node plus one table-prepared
+// single-phase node per phase, shared across replays, shifting runs,
+// batched grids, and repeated svc queries. It is the prepared-node
+// pattern of the cluster engine (docs/cluster.md) applied to the time
+// dimension (docs/dynamic.md).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/cpu_node.hpp"
+#include "workload/workload.hpp"
+
+namespace pbc::sim {
+
+/// The single-phase variant of `wl` that trace evaluation runs for phase
+/// `index`: one phase at full weight, named "workload/phase". Both the
+/// fast and the reference replay paths construct exactly this workload,
+/// so their solves see bit-identical operands.
+[[nodiscard]] workload::Workload single_phase_workload(
+    const workload::Workload& wl, std::size_t index);
+
+/// Immutable set of prepared single-phase simulators for one
+/// (machine, workload), plus the prepared full-workload node (used for
+/// critical-power profiling by the shifting engine). All operating-point
+/// tables are built eagerly at construction, so concurrent users never
+/// contend on the build lock.
+class PhaseNodeSet {
+ public:
+  PhaseNodeSet(hw::CpuMachine machine, workload::Workload wl);
+
+  /// Reuses an already prepared full-workload node (e.g. the svc
+  /// engine's sim-node cache entry) and builds only the per-phase nodes.
+  explicit PhaseNodeSet(PreparedCpuNode full);
+
+  [[nodiscard]] const CpuNodeSim& full() const noexcept { return *full_; }
+  [[nodiscard]] const hw::CpuMachine& machine() const noexcept {
+    return full_->machine();
+  }
+  [[nodiscard]] const workload::Workload& wl() const noexcept {
+    return full_->wl();
+  }
+  [[nodiscard]] std::size_t phase_count() const noexcept {
+    return phases_.size();
+  }
+  [[nodiscard]] const CpuNodeSim& phase(std::size_t i) const noexcept {
+    return *phases_[i];
+  }
+
+ private:
+  void build_phase_nodes();
+
+  PreparedCpuNode full_;
+  std::vector<PreparedCpuNode> phases_;
+};
+
+/// Shared handle to an immutable phase-node set, mirroring
+/// PreparedCpuNode: one set per (machine, workload) per scope, however
+/// many traces, budgets, or queries touch it.
+using PreparedPhaseNodes = std::shared_ptr<const PhaseNodeSet>;
+
+[[nodiscard]] PreparedPhaseNodes make_prepared_phase_nodes(
+    hw::CpuMachine machine, workload::Workload wl);
+
+}  // namespace pbc::sim

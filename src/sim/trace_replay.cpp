@@ -1,36 +1,30 @@
 #include "sim/trace_replay.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace pbc::sim {
 
-TraceReplayResult replay_trace(const CpuNodeSim& node,
-                               const workload::PhaseTrace& trace,
-                               Watts cpu_cap, Watts mem_cap) {
+namespace {
+
+// The segment loop both engines share: `eval(phase_index)` supplies the
+// steady state for a segment's phase under the fixed caps. Because the
+// loop body — skip rule, accumulation order, aggregation — is this one
+// function, identical samples imply bit-identical replays.
+template <class Eval>
+TraceReplayResult replay_loop(const workload::Workload& wl,
+                              const workload::PhaseTrace& trace,
+                              std::size_t phase_count, Watts cpu_cap,
+                              Watts mem_cap, Eval&& eval) {
   TraceReplayResult out;
-  const auto& wl = node.wl();
-
-  // Build one single-phase node simulator per phase; the governors settle
-  // per segment (RAPL's window is milliseconds, segments are much longer).
-  std::vector<CpuNodeSim> phase_nodes;
-  phase_nodes.reserve(wl.phases.size());
-  for (const auto& phase : wl.phases) {
-    workload::Workload single = wl;
-    single.name = wl.name + "/" + phase.name;
-    single.phases = {phase};
-    single.phases[0].weight = 1.0;
-    phase_nodes.emplace_back(node.machine(), std::move(single));
-  }
-
   double total_work = 0.0;
   double weighted_proc_util = 0.0;
   double weighted_mem_util = 0.0;
   for (const auto& seg : trace) {
-    if (seg.phase_index >= phase_nodes.size() || seg.work_units <= 0.0) {
+    if (seg.phase_index >= phase_count || seg.work_units <= 0.0) {
       continue;
     }
-    const AllocationSample s =
-        phase_nodes[seg.phase_index].steady_state(cpu_cap, mem_cap);
+    const AllocationSample s = eval(seg.phase_index);
     SegmentResult r;
     r.phase_index = seg.phase_index;
     r.work_units = seg.work_units;
@@ -63,6 +57,132 @@ TraceReplayResult replay_trace(const CpuNodeSim& node,
   }
   agg.proc_cap_respected = agg.proc_power.value() <= cpu_cap.value() + 0.1;
   agg.mem_cap_respected = agg.mem_power.value() <= mem_cap.value() + 0.1;
+  return out;
+}
+
+// The retained original implementation: one fresh single-phase simulator
+// per phase per call, one full steady-state solve per segment.
+TraceReplayResult replay_reference(const CpuNodeSim& node,
+                                   const workload::PhaseTrace& trace,
+                                   Watts cpu_cap, Watts mem_cap) {
+  const auto& wl = node.wl();
+
+  // Build one single-phase node simulator per phase; the governors settle
+  // per segment (RAPL's window is milliseconds, segments are much longer).
+  std::vector<CpuNodeSim> phase_nodes;
+  phase_nodes.reserve(wl.phases.size());
+  for (std::size_t i = 0; i < wl.phases.size(); ++i) {
+    phase_nodes.emplace_back(node.machine(), single_phase_workload(wl, i));
+  }
+
+  return replay_loop(wl, trace, phase_nodes.size(), cpu_cap, mem_cap,
+                     [&](std::size_t p) {
+                       return phase_nodes[p].steady_state(cpu_cap, mem_cap);
+                     });
+}
+
+}  // namespace
+
+std::optional<Error> validate_trace(const workload::PhaseTrace& trace,
+                                    std::size_t phase_count) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& seg = trace[i];
+    if (seg.phase_index >= phase_count) {
+      return out_of_range(
+          "trace segment " + std::to_string(i) + ": phase_index " +
+          std::to_string(seg.phase_index) +
+          " out of range (workload has " + std::to_string(phase_count) +
+          " phases)");
+    }
+    if (!(seg.work_units > 0.0)) {
+      return invalid_argument("trace segment " + std::to_string(i) +
+                              ": work_units must be > 0, got " +
+                              std::to_string(seg.work_units));
+    }
+  }
+  return std::nullopt;
+}
+
+TraceReplayResult replay_trace(const CpuNodeSim& node,
+                               const workload::PhaseTrace& trace,
+                               Watts cpu_cap, Watts mem_cap,
+                               ReplayPath path) {
+  if (path == ReplayPath::kReference) {
+    return replay_reference(node, trace, cpu_cap, mem_cap);
+  }
+  return replay_trace(PhaseNodeSet(node.machine(), node.wl()), trace,
+                      cpu_cap, mem_cap);
+}
+
+TraceReplayResult replay_trace(const PhaseNodeSet& nodes,
+                               const workload::PhaseTrace& trace,
+                               Watts cpu_cap, Watts mem_cap) {
+  // Under fixed caps a phase's steady state is segment-independent, so
+  // each distinct phase is solved exactly once; repeat segments are memo
+  // hits. One SolveHint carries the previous fixed point across phases —
+  // neighbouring phases usually land on nearby operating points, and
+  // hints can only speed the bisection up, never change its answer.
+  std::vector<std::optional<AllocationSample>> memo(nodes.phase_count());
+  SolveHint hint;
+  return replay_loop(nodes.wl(), trace, nodes.phase_count(), cpu_cap,
+                     mem_cap, [&](std::size_t p) {
+                       if (!memo[p]) {
+                         memo[p] = nodes.phase(p).steady_state_hinted(
+                             cpu_cap, mem_cap, &hint);
+                       }
+                       return *memo[p];
+                     });
+}
+
+Result<TraceReplayResult> replay_trace_checked(const CpuNodeSim& node,
+                                               const workload::PhaseTrace&
+                                                   trace,
+                                               Watts cpu_cap, Watts mem_cap,
+                                               ReplayPath path) {
+  if (cpu_cap.value() <= 0.0 || mem_cap.value() <= 0.0) {
+    return invalid_argument("replay caps must be > 0 W, got cpu_cap=" +
+                            std::to_string(cpu_cap.value()) + " mem_cap=" +
+                            std::to_string(mem_cap.value()));
+  }
+  if (auto err = validate_trace(trace, node.wl().phases.size())) {
+    return *std::move(err);
+  }
+  return replay_trace(node, trace, cpu_cap, mem_cap, path);
+}
+
+Result<TraceReplayResult> replay_trace_checked(const PhaseNodeSet& nodes,
+                                               const workload::PhaseTrace&
+                                                   trace,
+                                               Watts cpu_cap, Watts mem_cap) {
+  if (cpu_cap.value() <= 0.0 || mem_cap.value() <= 0.0) {
+    return invalid_argument("replay caps must be > 0 W, got cpu_cap=" +
+                            std::to_string(cpu_cap.value()) + " mem_cap=" +
+                            std::to_string(mem_cap.value()));
+  }
+  if (auto err = validate_trace(trace, nodes.phase_count())) {
+    return *std::move(err);
+  }
+  return replay_trace(nodes, trace, cpu_cap, mem_cap);
+}
+
+std::vector<TraceReplayResult> replay_trace_batch(
+    const PhaseNodeSet& nodes, std::span<const workload::PhaseTrace> traces,
+    std::span<const CapPair> caps, ThreadPool* pool) {
+  const std::size_t n = traces.size() * caps.size();
+  std::vector<TraceReplayResult> out(n);
+  if (n == 0) return out;
+  const auto run = [&](std::size_t i) {
+    const std::size_t t = i / caps.size();
+    const std::size_t c = i % caps.size();
+    out[i] = replay_trace(nodes, traces[t], caps[c].cpu_cap,
+                          caps[c].mem_cap);
+  };
+  ThreadPool& p = pool != nullptr ? *pool : global_pool();
+  if (n < 2 || p.is_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) run(i);
+  } else {
+    p.parallel_for_index(n, run);
+  }
   return out;
 }
 

@@ -6,14 +6,35 @@
 // traces the aggregate converges to the mixed-workload steady state; for
 // short, irregular traces it exposes the per-phase variability behind the
 // paper's "less regular curves" observation (§6.2).
+//
+// Two engines produce bit-identical results (docs/dynamic.md):
+//  * ReplayPath::kFast (default) evaluates through a shared PhaseNodeSet —
+//    prepared single-phase simulators with precomputed operating-point
+//    tables — and solves each distinct phase once per (caps, trace)
+//    instead of once per segment;
+//  * ReplayPath::kReference retains the original implementation: fresh
+//    per-call phase nodes and one steady-state solve per segment. It is
+//    the differential-test oracle and the bench baseline.
 #pragma once
 
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "sim/cpu_node.hpp"
+#include "sim/phase_nodes.hpp"
+#include "util/status.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/trace.hpp"
 
 namespace pbc::sim {
+
+/// Engine selection for trace replay and dynamic shifting; both paths
+/// are bit-identical (same contract as SolverPath / ClusterPath).
+enum class ReplayPath {
+  kFast,
+  kReference,
+};
 
 /// Per-segment outcome.
 struct SegmentResult {
@@ -38,9 +59,48 @@ struct TraceReplayResult {
   }
 };
 
-/// Replays `trace` (built from node.wl()) under the given caps.
-[[nodiscard]] TraceReplayResult replay_trace(
+/// Validates a trace against a workload's phase count: every segment must
+/// name an existing phase and carry positive work. Returns the first
+/// violation, or nullopt for a well-formed trace. The unchecked replay
+/// entry points silently skip violating segments instead (retained
+/// behaviour); the *_checked variants reject the whole trace.
+[[nodiscard]] std::optional<Error> validate_trace(
+    const workload::PhaseTrace& trace, std::size_t phase_count);
+
+/// Replays `trace` (built from node.wl()) under the given caps. The fast
+/// path builds a transient PhaseNodeSet; callers replaying more than once
+/// should build the set themselves (or query through svc::QueryEngine)
+/// and use the overload below.
+[[nodiscard]] TraceReplayResult replay_trace(const CpuNodeSim& node,
+                                             const workload::PhaseTrace& trace,
+                                             Watts cpu_cap, Watts mem_cap,
+                                             ReplayPath path =
+                                                 ReplayPath::kFast);
+
+/// Replays against a prepared phase-node set (always the fast engine —
+/// the set is the fast engine's working state). Bit-identical to the
+/// node-based overload for nodes with the same (machine, workload).
+[[nodiscard]] TraceReplayResult replay_trace(const PhaseNodeSet& nodes,
+                                             const workload::PhaseTrace& trace,
+                                             Watts cpu_cap, Watts mem_cap);
+
+/// Checked variants: validate caps (> 0) and the trace up front and
+/// return a descriptive Error instead of silently skipping malformed
+/// segments. Mirrors simulate_cluster_checked.
+[[nodiscard]] Result<TraceReplayResult> replay_trace_checked(
     const CpuNodeSim& node, const workload::PhaseTrace& trace, Watts cpu_cap,
-    Watts mem_cap);
+    Watts mem_cap, ReplayPath path = ReplayPath::kFast);
+
+[[nodiscard]] Result<TraceReplayResult> replay_trace_checked(
+    const PhaseNodeSet& nodes, const workload::PhaseTrace& trace,
+    Watts cpu_cap, Watts mem_cap);
+
+/// Batched replay over a (trace × caps) grid, parallelized across `pool`
+/// (global_pool() when null; serial when nested on a pool worker or when
+/// the grid is trivial). out[t * caps.size() + c] is bit-identical to
+/// replay_trace(nodes, traces[t], caps[c]...) for every cell.
+[[nodiscard]] std::vector<TraceReplayResult> replay_trace_batch(
+    const PhaseNodeSet& nodes, std::span<const workload::PhaseTrace> traces,
+    std::span<const CapPair> caps, ThreadPool* pool = nullptr);
 
 }  // namespace pbc::sim

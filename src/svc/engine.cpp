@@ -27,6 +27,9 @@ QueryEngine::QueryEngine(EngineOptions opt)
       frontiers_(opt.frontier_cache_capacity, opt.shards),
       cpu_sims_(opt.sim_cache_capacity, opt.shards),
       gpu_sims_(opt.sim_cache_capacity, opt.shards),
+      phase_sets_(opt.sim_cache_capacity, opt.shards),
+      replays_(opt.replay_cache_capacity, opt.shards),
+      shifts_(opt.replay_cache_capacity, opt.shards),
       latency_(opt.latency_window) {}
 
 void QueryEngine::record_latency_from(
@@ -308,6 +311,188 @@ std::vector<sim::AllocationSample> QueryEngine::sample_gpu_batch(
   return out;
 }
 
+sim::PreparedPhaseNodes QueryEngine::phase_nodes(
+    const hw::CpuMachine& machine, const workload::Workload& wl) {
+  const CacheKey key = cpu_profile_key(machine, wl);
+  if (auto cached = phase_sets_.get(key)) {
+    counters_.sim_hits.fetch_add(1, kRelaxed);
+    return cached;
+  }
+  counters_.sim_misses.fetch_add(1, kRelaxed);
+  auto outcome = phase_set_inflight_.run(key, [&] {
+    if (auto published = phase_sets_.get(key)) return published;
+    // The cached full-workload simulator is the set's base node, so only
+    // the per-phase nodes (and their tables) are built here.
+    auto set = std::make_shared<const sim::PhaseNodeSet>(cpu_sim(machine, wl));
+    phase_sets_.put(key, set);
+    return std::shared_ptr<const sim::PhaseNodeSet>(set);
+  });
+  return outcome.value;
+}
+
+sim::TraceReplayResult QueryEngine::replay_trace(
+    const hw::CpuMachine& machine, const workload::Workload& wl,
+    const workload::PhaseTrace& trace, Watts cpu_cap, Watts mem_cap) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const CacheKey key = replay_key(machine, wl, trace, cpu_cap, mem_cap);
+  auto result = replays_.get(key);
+  if (result != nullptr) {
+    counters_.replay_hits.fetch_add(1, kRelaxed);
+  } else {
+    counters_.replay_misses.fetch_add(1, kRelaxed);
+    auto outcome = replay_inflight_.run(key, [&] {
+      if (auto published = replays_.get(key)) return published;
+      const auto nodes = phase_nodes(machine, wl);
+      auto r = std::make_shared<const sim::TraceReplayResult>(
+          sim::replay_trace(*nodes, trace, cpu_cap, mem_cap));
+      replays_.put(key, r);
+      return std::shared_ptr<const sim::TraceReplayResult>(r);
+    });
+    result = outcome.value;
+  }
+  counters_.queries.fetch_add(1, kRelaxed);
+  latency_.record(elapsed_ns(t0));
+  return *result;
+}
+
+std::vector<sim::TraceReplayResult> QueryEngine::replay_trace_batch(
+    const hw::CpuMachine& machine, const workload::Workload& wl,
+    std::span<const workload::PhaseTrace> traces,
+    std::span<const sim::CapPair> caps) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = traces.size() * caps.size();
+  std::vector<sim::TraceReplayResult> out(n);
+  if (n == 0) return out;
+  // Resolve the shared phase-node set before fanning out, so workers
+  // never contend on its construction.
+  const auto nodes = phase_nodes(machine, wl);
+
+  std::vector<CacheKey> keys(n);
+  std::vector<std::shared_ptr<const sim::TraceReplayResult>> got(n);
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t t = i / caps.size();
+    const std::size_t c = i % caps.size();
+    keys[i] = replay_key(machine, wl, traces[t], caps[c].cpu_cap,
+                         caps[c].mem_cap);
+    got[i] = replays_.get(keys[i]);
+    if (got[i] != nullptr) {
+      counters_.replay_hits.fetch_add(1, kRelaxed);
+    } else {
+      counters_.replay_misses.fetch_add(1, kRelaxed);
+      missing.push_back(i);
+    }
+  }
+
+  if (!missing.empty()) {
+    const auto run_miss = [&](std::size_t mi) {
+      const std::size_t i = missing[mi];
+      const std::size_t t = i / caps.size();
+      const std::size_t c = i % caps.size();
+      auto outcome = replay_inflight_.run(keys[i], [&] {
+        if (auto published = replays_.get(keys[i])) return published;
+        auto r = std::make_shared<const sim::TraceReplayResult>(
+            sim::replay_trace(*nodes, traces[t], caps[c].cpu_cap,
+                              caps[c].mem_cap));
+        replays_.put(keys[i], r);
+        return std::shared_ptr<const sim::TraceReplayResult>(r);
+      });
+      got[i] = outcome.value;
+    };
+    ThreadPool& p = pool();
+    if (missing.size() < 2 || p.is_worker_thread()) {
+      for (std::size_t mi = 0; mi < missing.size(); ++mi) run_miss(mi);
+    } else {
+      p.parallel_for_index(missing.size(), run_miss);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) out[i] = *got[i];
+  counters_.queries.fetch_add(n, kRelaxed);
+  record_latency_from(t0, n);
+  return out;
+}
+
+core::ShiftingResult QueryEngine::replay_with_shifting(
+    const hw::CpuMachine& machine, const workload::Workload& wl,
+    const workload::PhaseTrace& trace, Watts total_budget,
+    const core::ShiftingConfig& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const CacheKey key = shift_key(machine, wl, trace, total_budget, cfg);
+  auto result = shifts_.get(key);
+  if (result != nullptr) {
+    counters_.replay_hits.fetch_add(1, kRelaxed);
+  } else {
+    counters_.replay_misses.fetch_add(1, kRelaxed);
+    auto outcome = shift_inflight_.run(key, [&] {
+      if (auto published = shifts_.get(key)) return published;
+      const auto nodes = phase_nodes(machine, wl);
+      auto r = std::make_shared<const core::ShiftingResult>(
+          core::replay_with_shifting(*nodes, trace, total_budget, cfg));
+      shifts_.put(key, r);
+      return std::shared_ptr<const core::ShiftingResult>(r);
+    });
+    result = outcome.value;
+  }
+  counters_.queries.fetch_add(1, kRelaxed);
+  latency_.record(elapsed_ns(t0));
+  return *result;
+}
+
+std::vector<core::ShiftingResult> QueryEngine::shifting_batch(
+    const hw::CpuMachine& machine, const workload::Workload& wl,
+    std::span<const workload::PhaseTrace> traces,
+    std::span<const Watts> budgets, const core::ShiftingConfig& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = traces.size() * budgets.size();
+  std::vector<core::ShiftingResult> out(n);
+  if (n == 0) return out;
+  const auto nodes = phase_nodes(machine, wl);
+
+  std::vector<CacheKey> keys(n);
+  std::vector<std::shared_ptr<const core::ShiftingResult>> got(n);
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t t = i / budgets.size();
+    const std::size_t b = i % budgets.size();
+    keys[i] = shift_key(machine, wl, traces[t], budgets[b], cfg);
+    got[i] = shifts_.get(keys[i]);
+    if (got[i] != nullptr) {
+      counters_.replay_hits.fetch_add(1, kRelaxed);
+    } else {
+      counters_.replay_misses.fetch_add(1, kRelaxed);
+      missing.push_back(i);
+    }
+  }
+
+  if (!missing.empty()) {
+    const auto run_miss = [&](std::size_t mi) {
+      const std::size_t i = missing[mi];
+      const std::size_t t = i / budgets.size();
+      const std::size_t b = i % budgets.size();
+      auto outcome = shift_inflight_.run(keys[i], [&] {
+        if (auto published = shifts_.get(keys[i])) return published;
+        auto r = std::make_shared<const core::ShiftingResult>(
+            core::replay_with_shifting(*nodes, traces[t], budgets[b], cfg));
+        shifts_.put(keys[i], r);
+        return std::shared_ptr<const core::ShiftingResult>(r);
+      });
+      got[i] = outcome.value;
+    };
+    ThreadPool& p = pool();
+    if (missing.size() < 2 || p.is_worker_thread()) {
+      for (std::size_t mi = 0; mi < missing.size(); ++mi) run_miss(mi);
+    } else {
+      p.parallel_for_index(missing.size(), run_miss);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) out[i] = *got[i];
+  counters_.queries.fetch_add(n, kRelaxed);
+  record_latency_from(t0, n);
+  return out;
+}
+
 std::shared_ptr<const core::CpuCriticalPowers> QueryEngine::cpu_profile(
     const hw::CpuMachine& machine, const workload::Workload& wl) {
   return resolve_cpu(cpu_profile_key(machine, wl), machine, wl);
@@ -358,12 +543,16 @@ EngineStats QueryEngine::stats() const {
   s.coalesced = counters_.coalesced.load(kRelaxed);
   s.computes = counters_.computes.load(kRelaxed);
   s.evictions = cpu_profiles_.evictions() + gpu_profiles_.evictions() +
-                frontiers_.evictions();
+                frontiers_.evictions() + phase_sets_.evictions() +
+                replays_.evictions() + shifts_.evictions();
   s.sim_hits = counters_.sim_hits.load(kRelaxed);
   s.sim_misses = counters_.sim_misses.load(kRelaxed);
+  s.replay_hits = counters_.replay_hits.load(kRelaxed);
+  s.replay_misses = counters_.replay_misses.load(kRelaxed);
   s.profile_cache_size = cpu_profiles_.size() + gpu_profiles_.size();
   s.frontier_cache_size = frontiers_.size();
-  s.sim_cache_size = cpu_sims_.size() + gpu_sims_.size();
+  s.sim_cache_size = cpu_sims_.size() + gpu_sims_.size() + phase_sets_.size();
+  s.replay_cache_size = replays_.size() + shifts_.size();
   latency_.snapshot_into(s);
   return s;
 }
@@ -374,6 +563,9 @@ void QueryEngine::clear() {
   frontiers_.clear();
   cpu_sims_.clear();
   gpu_sims_.clear();
+  phase_sets_.clear();
+  replays_.clear();
+  shifts_.clear();
 }
 
 }  // namespace pbc::svc

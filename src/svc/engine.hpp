@@ -25,7 +25,9 @@
 
 #include "core/cluster_sim.hpp"
 #include "core/coord.hpp"
+#include "core/dynamic.hpp"
 #include "core/frontier.hpp"
+#include "sim/phase_nodes.hpp"
 #include "svc/cache.hpp"
 #include "svc/single_flight.hpp"
 #include "svc/stats.hpp"
@@ -43,6 +45,9 @@ struct EngineOptions {
   /// repeat sample/sweep traffic for a (machine, workload) pair skips both
   /// construction and table building.
   std::size_t sim_cache_capacity = 256;
+  /// Total cached trace-replay and shifting results (one entry per
+  /// distinct (machine, workload, trace, caps/budget, config) request).
+  std::size_t replay_cache_capacity = 512;
   /// Lock shards per cache.
   std::size_t shards = 8;
   /// Ring size of the service-latency window.
@@ -126,6 +131,43 @@ class QueryEngine {
       const hw::CpuMachine& node_type, const hw::GpuMachine& gpu_type,
       std::vector<core::SimJob> jobs, core::ClusterSimConfig config);
 
+  /// The cached prepared phase-node set for a pair (building it on a
+  /// miss; the cached full-workload simulator is reused as its base).
+  /// Trace replay and dynamic shifting run through this set.
+  [[nodiscard]] sim::PreparedPhaseNodes phase_nodes(
+      const hw::CpuMachine& machine, const workload::Workload& wl);
+
+  /// Trace replay through the cached phase-node set, with the result
+  /// memoized per (machine, workload, trace, caps). Bit-identical to
+  /// sim::replay_trace on a fresh node.
+  [[nodiscard]] sim::TraceReplayResult replay_trace(
+      const hw::CpuMachine& machine, const workload::Workload& wl,
+      const workload::PhaseTrace& trace, Watts cpu_cap, Watts mem_cap);
+
+  /// Batched replay over a (trace × caps) grid: one phase-node set, a
+  /// cache probe per cell, distinct misses fanned out over the pool.
+  /// out[t * caps.size() + c] matches replay_trace(traces[t], caps[c]).
+  [[nodiscard]] std::vector<sim::TraceReplayResult> replay_trace_batch(
+      const hw::CpuMachine& machine, const workload::Workload& wl,
+      std::span<const workload::PhaseTrace> traces,
+      std::span<const sim::CapPair> caps);
+
+  /// Dynamic shifting through the cached phase-node set, memoized per
+  /// (machine, workload, trace, budget, config). Bit-identical to
+  /// core::replay_with_shifting on a fresh node.
+  [[nodiscard]] core::ShiftingResult replay_with_shifting(
+      const hw::CpuMachine& machine, const workload::Workload& wl,
+      const workload::PhaseTrace& trace, Watts total_budget,
+      const core::ShiftingConfig& cfg = {});
+
+  /// Batched shifting over a (trace × budget) grid, mirroring
+  /// replay_trace_batch. out[t * budgets.size() + b] matches
+  /// replay_with_shifting(traces[t], budgets[b]).
+  [[nodiscard]] std::vector<core::ShiftingResult> shifting_batch(
+      const hw::CpuMachine& machine, const workload::Workload& wl,
+      std::span<const workload::PhaseTrace> traces,
+      std::span<const Watts> budgets, const core::ShiftingConfig& cfg = {});
+
   /// The cached prepared simulator for a pair (building it on a miss).
   [[nodiscard]] std::shared_ptr<const sim::CpuNodeSim> cpu_sim(
       const hw::CpuMachine& machine, const workload::Workload& wl);
@@ -183,11 +225,17 @@ class QueryEngine {
   ShardedLruCache<std::vector<core::FrontierPoint>> frontiers_;
   ShardedLruCache<sim::CpuNodeSim> cpu_sims_;
   ShardedLruCache<sim::GpuNodeSim> gpu_sims_;
+  ShardedLruCache<sim::PhaseNodeSet> phase_sets_;
+  ShardedLruCache<sim::TraceReplayResult> replays_;
+  ShardedLruCache<core::ShiftingResult> shifts_;
   SingleFlight<core::CpuCriticalPowers> cpu_inflight_;
   SingleFlight<GpuProfileEntry> gpu_inflight_;
   SingleFlight<std::vector<core::FrontierPoint>> frontier_inflight_;
   SingleFlight<sim::CpuNodeSim> cpu_sim_inflight_;
   SingleFlight<sim::GpuNodeSim> gpu_sim_inflight_;
+  SingleFlight<sim::PhaseNodeSet> phase_set_inflight_;
+  SingleFlight<sim::TraceReplayResult> replay_inflight_;
+  SingleFlight<core::ShiftingResult> shift_inflight_;
   Counters counters_;
   LatencyRecorder latency_;
 };

@@ -9,11 +9,15 @@ enum class Tag : std::uint8_t {
   kCpuProfile = 1,
   kGpuProfile = 2,
   kCpuFrontier = 3,
+  kReplay = 4,
+  kShift = 5,
   kWorkload = 10,
   kPhase = 11,
   kCpuSpec = 12,
   kDramSpec = 13,
   kGpuSpec = 14,
+  kTrace = 15,
+  kShiftCfg = 16,
 };
 
 void tag(Fnv1a64& h, Tag t) { h.byte(static_cast<std::uint8_t>(t)); }
@@ -107,6 +111,28 @@ void hash_gpu_machine(Fnv1a64& h, const hw::GpuMachine& m) {
   hash_gpu_spec(h, m.gpu);
 }
 
+void hash_trace(Fnv1a64& h, const workload::PhaseTrace& trace) {
+  tag(h, Tag::kTrace);
+  h.size(trace.size());
+  for (const auto& seg : trace) {
+    h.size(seg.phase_index);
+    h.f64(seg.work_units);
+  }
+}
+
+void hash_shift_cfg(Fnv1a64& h, const core::ShiftingConfig& cfg) {
+  tag(h, Tag::kShiftCfg);
+  h.f64(cfg.step.value());
+  h.i64(cfg.max_steps_per_segment);
+  // Optional floors: presence bit + value, so "unset" (machine-derived)
+  // never aliases an explicit 0 W floor. cfg.path is not hashed — the
+  // fast and reference engines are bit-identical by contract.
+  h.boolean(cfg.cpu_min.has_value());
+  h.f64(cfg.cpu_min.value_or(Watts{0.0}).value());
+  h.boolean(cfg.mem_min.has_value());
+  h.f64(cfg.mem_min.value_or(Watts{0.0}).value());
+}
+
 /// Runs `fill` over two independently seeded streams; the pair of digests
 /// is the 128-bit key.
 template <class Fill>
@@ -155,6 +181,31 @@ CacheKey cpu_frontier_key(const hw::CpuMachine& machine,
     h.f64(opt.mem_lo.value());
     h.f64(opt.proc_lo.value());
     h.f64(opt.step.value());
+  });
+}
+
+CacheKey replay_key(const hw::CpuMachine& machine,
+                    const workload::Workload& wl,
+                    const workload::PhaseTrace& trace, Watts cpu_cap,
+                    Watts mem_cap) {
+  return key_of(Tag::kReplay, [&](Fnv1a64& h) {
+    hash_cpu_machine(h, machine);
+    hash_workload(h, wl);
+    hash_trace(h, trace);
+    h.f64(cpu_cap.value());
+    h.f64(mem_cap.value());
+  });
+}
+
+CacheKey shift_key(const hw::CpuMachine& machine, const workload::Workload& wl,
+                   const workload::PhaseTrace& trace, Watts total_budget,
+                   const core::ShiftingConfig& cfg) {
+  return key_of(Tag::kShift, [&](Fnv1a64& h) {
+    hash_cpu_machine(h, machine);
+    hash_workload(h, wl);
+    hash_trace(h, trace);
+    h.f64(total_budget.value());
+    hash_shift_cfg(h, cfg);
   });
 }
 

@@ -16,9 +16,11 @@
 #include <cstdint>
 #include <span>
 
+#include "core/dynamic.hpp"
 #include "hw/machine.hpp"
 #include "sim/sweep.hpp"
 #include "util/hash.hpp"
+#include "workload/trace.hpp"
 #include "workload/workload.hpp"
 
 namespace pbc::svc {
@@ -57,5 +59,21 @@ struct CacheKeyHash {
                                         const workload::Workload& wl,
                                         std::span<const Watts> budgets,
                                         const sim::CpuSweepOptions& opt);
+
+/// Key for a trace replay of (machine, workload, trace, caps).
+[[nodiscard]] CacheKey replay_key(const hw::CpuMachine& machine,
+                                  const workload::Workload& wl,
+                                  const workload::PhaseTrace& trace,
+                                  Watts cpu_cap, Watts mem_cap);
+
+/// Key for a dynamic-shifting run of (machine, workload, trace, budget,
+/// shifting config). The config's ReplayPath is deliberately excluded
+/// from the encoding: both engines are bit-identical, so path selection
+/// must not split the cache.
+[[nodiscard]] CacheKey shift_key(const hw::CpuMachine& machine,
+                                 const workload::Workload& wl,
+                                 const workload::PhaseTrace& trace,
+                                 Watts total_budget,
+                                 const core::ShiftingConfig& cfg);
 
 }  // namespace pbc::svc

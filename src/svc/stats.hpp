@@ -25,9 +25,12 @@ struct EngineStats {
   std::uint64_t evictions = 0;     ///< LRU entries dropped (all caches)
   std::uint64_t sim_hits = 0;      ///< simulator-cache hits (sample path)
   std::uint64_t sim_misses = 0;    ///< simulator instances built on demand
+  std::uint64_t replay_hits = 0;   ///< replay/shift results served from cache
+  std::uint64_t replay_misses = 0; ///< replay/shift runs actually executed
   std::size_t profile_cache_size = 0;
   std::size_t frontier_cache_size = 0;
   std::size_t sim_cache_size = 0;  ///< cached prepared simulators (CPU+GPU)
+  std::size_t replay_cache_size = 0;  ///< cached replay + shifting results
 
   std::uint64_t latency_samples = 0;  ///< samples inside the current window
   double p50_us = 0.0;
@@ -66,6 +69,8 @@ struct Counters {
   std::atomic<std::uint64_t> computes{0};
   std::atomic<std::uint64_t> sim_hits{0};
   std::atomic<std::uint64_t> sim_misses{0};
+  std::atomic<std::uint64_t> replay_hits{0};
+  std::atomic<std::uint64_t> replay_misses{0};
 };
 
 }  // namespace pbc::svc

@@ -1,0 +1,403 @@
+// Differential layer for the trace-replay / dynamic-shifting engine: the
+// fast path (shared PhaseNodeSet, split/climb memoization, warm-started
+// solves) must be bit-identical to the retained reference path over
+// randomized traces, budgets, and configs; plus batch determinism,
+// warm-start invariance, checked-variant errors, machine-derived floors,
+// and the aggregate-cap / shifting-beats-static contracts.
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/coord.hpp"
+#include "core/critical.hpp"
+#include "core/dynamic.hpp"
+#include "hw/platforms.hpp"
+#include "sim/phase_nodes.hpp"
+#include "sim/trace_replay.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/trace.hpp"
+
+namespace pbc {
+namespace {
+
+void expect_replays_equal(const sim::TraceReplayResult& a,
+                          const sim::TraceReplayResult& b) {
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (std::size_t i = 0; i < a.segments.size(); ++i) {
+    const auto& x = a.segments[i];
+    const auto& y = b.segments[i];
+    EXPECT_EQ(x.phase_index, y.phase_index) << "segment " << i;
+    EXPECT_EQ(x.work_units, y.work_units) << "segment " << i;
+    EXPECT_EQ(x.duration.value(), y.duration.value()) << "segment " << i;
+    EXPECT_EQ(x.proc_power.value(), y.proc_power.value()) << "segment " << i;
+    EXPECT_EQ(x.mem_power.value(), y.mem_power.value()) << "segment " << i;
+    EXPECT_EQ(x.rate_gunits, y.rate_gunits) << "segment " << i;
+  }
+  EXPECT_EQ(a.aggregate, b.aggregate);
+  EXPECT_EQ(a.total_time.value(), b.total_time.value());
+  EXPECT_EQ(a.proc_energy.value(), b.proc_energy.value());
+  EXPECT_EQ(a.mem_energy.value(), b.mem_energy.value());
+}
+
+void expect_shifts_equal(const core::ShiftingResult& a,
+                         const core::ShiftingResult& b) {
+  EXPECT_EQ(a.shifts, b.shifts);
+  ASSERT_EQ(a.caps.size(), b.caps.size());
+  for (std::size_t i = 0; i < a.caps.size(); ++i) {
+    EXPECT_EQ(a.caps[i].phase_index, b.caps[i].phase_index) << "seg " << i;
+    EXPECT_EQ(a.caps[i].cpu_cap.value(), b.caps[i].cpu_cap.value())
+        << "seg " << i;
+    EXPECT_EQ(a.caps[i].mem_cap.value(), b.caps[i].mem_cap.value())
+        << "seg " << i;
+  }
+  expect_replays_equal(a.replay, b.replay);
+}
+
+/// Runs `count` randomized traces of `wl` through both engines — replay
+/// under a random static split and shifting under a random budget/config —
+/// and requires exact equality throughout.
+void run_differential(const workload::Workload& wl, std::size_t count,
+                      std::uint64_t seed) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const sim::CpuNodeSim node(machine, wl);
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+  Xoshiro256 rng(seed);
+
+  for (std::size_t t = 0; t < count; ++t) {
+    workload::TraceOptions opt;
+    opt.total_units = rng.uniform(10.0, 80.0);
+    opt.segment_units = rng.uniform(0.5, 3.0);
+    opt.irregularity = rng.uniform();
+    opt.seed = seed * 1000 + t;
+    const auto trace = workload::generate_trace(wl, opt);
+
+    const Watts cpu_cap{rng.uniform(40.0, 160.0)};
+    const Watts mem_cap{rng.uniform(40.0, 120.0)};
+    const auto ref = sim::replay_trace(node, trace, cpu_cap, mem_cap,
+                                       sim::ReplayPath::kReference);
+    const auto fast = sim::replay_trace(*nodes, trace, cpu_cap, mem_cap);
+    expect_replays_equal(ref, fast);
+
+    core::ShiftingConfig cfg;
+    cfg.step = Watts{rng.uniform(1.0, 8.0)};
+    cfg.max_steps_per_segment = static_cast<int>(rng.uniform(1.0, 12.0));
+    const Watts budget{rng.uniform(120.0, 280.0)};
+    core::ShiftingConfig ref_cfg = cfg;
+    ref_cfg.path = sim::ReplayPath::kReference;
+    const auto sref = core::replay_with_shifting(node, trace, budget, ref_cfg);
+    const auto sfast = core::replay_with_shifting(*nodes, trace, budget, cfg);
+    expect_shifts_equal(sref, sfast);
+  }
+}
+
+// 4 × 128 = 512 randomized traces, each checked on both the replay and
+// the shifting path.
+TEST(ReplayDifferential, FastMatchesReferenceOnNpbFt) {
+  run_differential(workload::npb_ft(), 128, 11);
+}
+
+TEST(ReplayDifferential, FastMatchesReferenceOnNpbBt) {
+  run_differential(workload::npb_bt(), 128, 23);
+}
+
+TEST(ReplayDifferential, FastMatchesReferenceOnNpbSp) {
+  run_differential(workload::npb_sp(), 128, 37);
+}
+
+TEST(ReplayDifferential, FastMatchesReferenceOnDgemm) {
+  run_differential(workload::dgemm(), 128, 53);
+}
+
+TEST(ReplayDifferential, NodeOverloadFastPathMatchesPreparedSet) {
+  // The node-based overload's default kFast builds a transient set; it
+  // must agree with a caller-prepared set and with the reference path.
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::npb_ft();
+  const sim::CpuNodeSim node(machine, wl);
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+  const auto trace = workload::generate_trace(wl, {60.0, 1.0, 0.7, 5});
+  const auto via_node = sim::replay_trace(node, trace, Watts{90.0},
+                                          Watts{80.0});
+  const auto via_set = sim::replay_trace(*nodes, trace, Watts{90.0},
+                                         Watts{80.0});
+  expect_replays_equal(via_node, via_set);
+}
+
+TEST(ReplayBatch, ReplayGridMatchesSingles) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::npb_bt();
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+  std::vector<workload::PhaseTrace> traces;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    traces.push_back(workload::generate_trace(wl, {50.0, 1.0, 0.6, 100 + s}));
+  }
+  const std::vector<sim::CapPair> caps = {
+      {Watts{80.0}, Watts{70.0}}, {Watts{100.0}, Watts{80.0}},
+      {Watts{120.0}, Watts{70.0}}, {Watts{60.0}, Watts{90.0}}};
+  const auto batch = sim::replay_trace_batch(*nodes, traces, caps);
+  ASSERT_EQ(batch.size(), traces.size() * caps.size());
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    for (std::size_t c = 0; c < caps.size(); ++c) {
+      const auto single = sim::replay_trace(*nodes, traces[t],
+                                            caps[c].cpu_cap, caps[c].mem_cap);
+      expect_replays_equal(batch[t * caps.size() + c], single);
+    }
+  }
+}
+
+TEST(ReplayBatch, ShiftingGridMatchesSinglesAcrossPoolSizes) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::npb_ft();
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+  std::vector<workload::PhaseTrace> traces;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    traces.push_back(workload::generate_trace(wl, {40.0, 1.0, 0.5, 200 + s}));
+  }
+  const std::vector<Watts> budgets = {Watts{150.0}, Watts{170.0},
+                                      Watts{200.0}, Watts{240.0}};
+
+  std::vector<core::ShiftingResult> singles;
+  for (const auto& trace : traces) {
+    for (const Watts b : budgets) {
+      singles.push_back(core::replay_with_shifting(*nodes, trace, b));
+    }
+  }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{7}}) {
+    ThreadPool pool(threads);
+    const auto batch = core::shifting_batch(*nodes, traces, budgets, {},
+                                            &pool);
+    ASSERT_EQ(batch.size(), singles.size()) << threads << " threads";
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      expect_shifts_equal(batch[i], singles[i]);
+    }
+  }
+}
+
+TEST(ReplayBatch, NestedOnPoolWorkerFallsBackToSerial) {
+  // Calling a batch from inside a pool task must not deadlock; it runs
+  // serially and still matches.
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::dgemm();
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+  const std::vector<workload::PhaseTrace> traces = {
+      workload::generate_trace(wl, {30.0, 1.0, 0.3, 7})};
+  const std::vector<Watts> budgets = {Watts{160.0}, Watts{200.0}};
+  const auto direct = core::shifting_batch(*nodes, traces, budgets);
+
+  ThreadPool pool(2);
+  std::vector<core::ShiftingResult> nested;
+  pool.parallel_for_index(1, [&](std::size_t) {
+    nested = core::shifting_batch(*nodes, traces, budgets, {}, &pool);
+  });
+  ASSERT_EQ(nested.size(), direct.size());
+  for (std::size_t i = 0; i < nested.size(); ++i) {
+    expect_shifts_equal(nested[i], direct[i]);
+  }
+}
+
+TEST(ReplayWarmStart, RepeatedRunsOnSharedSetAreInvariant) {
+  // The fast engine memoizes within a run and warm-starts solves via
+  // hints; neither may leak across calls — the Nth run of any (trace,
+  // budget) on a shared set must equal the first, in any order.
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::npb_ft();
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+  const auto t1 = workload::generate_trace(wl, {50.0, 1.0, 0.6, 31});
+  const auto t2 = workload::generate_trace(wl, {50.0, 1.0, 0.6, 32});
+
+  const auto first = core::replay_with_shifting(*nodes, t1, Watts{170.0});
+  const auto other = core::replay_with_shifting(*nodes, t2, Watts{150.0});
+  const auto again = core::replay_with_shifting(*nodes, t1, Watts{170.0});
+  (void)other;
+  expect_shifts_equal(first, again);
+
+  const auto r1 = sim::replay_trace(*nodes, t1, Watts{95.0}, Watts{75.0});
+  const auto rx = sim::replay_trace(*nodes, t2, Watts{60.0}, Watts{110.0});
+  const auto r2 = sim::replay_trace(*nodes, t1, Watts{95.0}, Watts{75.0});
+  (void)rx;
+  expect_replays_equal(r1, r2);
+}
+
+TEST(ReplayWarmStart, HintedSteadyStateMatchesUnhinted) {
+  // Hints only seed the governor bisection's starting gallop; the solve
+  // they return must be bit-identical to the cold one, whatever was
+  // solved before them.
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_sp());
+  sim::SolveHint hint;
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 64; ++i) {
+    const Watts cpu{rng.uniform(40.0, 160.0)};
+    const Watts mem{rng.uniform(40.0, 120.0)};
+    const auto hinted = node.steady_state_hinted(cpu, mem, &hint);
+    const auto cold = node.steady_state(cpu, mem);
+    EXPECT_EQ(hinted, cold) << "solve " << i;
+  }
+}
+
+TEST(ReplayChecked, RejectsOutOfRangePhaseIndex) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::npb_ft();
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+  workload::PhaseTrace trace = {{0, 5.0}, {wl.phases.size(), 5.0}};
+  const auto r = sim::replay_trace_checked(*nodes, trace, Watts{90.0},
+                                           Watts{80.0});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kOutOfRange);
+  EXPECT_NE(r.error().message.find("phase_index"), std::string::npos);
+}
+
+TEST(ReplayChecked, RejectsNonPositiveWorkAndCaps) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::npb_ft();
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+  const workload::PhaseTrace bad_work = {{0, 0.0}};
+  const auto r1 = sim::replay_trace_checked(*nodes, bad_work, Watts{90.0},
+                                            Watts{80.0});
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.error().code, ErrorCode::kInvalidArgument);
+
+  const workload::PhaseTrace good = {{0, 5.0}};
+  const auto r2 = sim::replay_trace_checked(*nodes, good, Watts{0.0},
+                                            Watts{80.0});
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(ReplayChecked, AcceptsWellFormedTraceAndMatchesUnchecked) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::npb_bt();
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+  const auto trace = workload::generate_trace(wl, {40.0, 1.0, 0.5, 9});
+  const auto checked = sim::replay_trace_checked(*nodes, trace, Watts{100.0},
+                                                 Watts{80.0});
+  ASSERT_TRUE(checked.ok());
+  expect_replays_equal(checked.value(),
+                       sim::replay_trace(*nodes, trace, Watts{100.0},
+                                         Watts{80.0}));
+}
+
+TEST(ReplayChecked, ShiftingRejectsBadConfigAndInfeasibleBudget) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::npb_ft();
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+  const auto trace = workload::generate_trace(wl, {30.0, 1.0, 0.5, 4});
+
+  core::ShiftingConfig bad_step;
+  bad_step.step = Watts{0.0};
+  const auto r1 = core::replay_with_shifting_checked(*nodes, trace,
+                                                     Watts{170.0}, bad_step);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.error().code, ErrorCode::kInvalidArgument);
+
+  core::ShiftingConfig bad_steps;
+  bad_steps.max_steps_per_segment = -1;
+  const auto r2 = core::replay_with_shifting_checked(*nodes, trace,
+                                                     Watts{170.0}, bad_steps);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.error().code, ErrorCode::kInvalidArgument);
+
+  // ivybridge floors are 48 + 68 = 116 W; a 100 W budget can't clear them.
+  const auto r3 = core::replay_with_shifting_checked(*nodes, trace,
+                                                     Watts{100.0});
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.error().code, ErrorCode::kFailedPrecondition);
+
+  const auto ok = core::replay_with_shifting_checked(*nodes, trace,
+                                                     Watts{170.0});
+  ASSERT_TRUE(ok.ok());
+  expect_shifts_equal(ok.value(),
+                      core::replay_with_shifting(*nodes, trace, Watts{170.0}));
+}
+
+TEST(ReplayFloors, DerivedFromMachineThenFallbackThenOverride) {
+  const core::ShiftingConfig cfg;
+  const auto ivy = core::shifting_floors(cfg, hw::ivybridge_node());
+  EXPECT_EQ(ivy.first.value(), 48.0);
+  EXPECT_EQ(ivy.second.value(), 68.0);
+
+  const auto has = core::shifting_floors(cfg, hw::haswell_node());
+  EXPECT_EQ(has.first.value(), 50.0);
+  EXPECT_EQ(has.second.value(), 44.0);
+
+  hw::CpuMachine floorless = hw::ivybridge_node();
+  floorless.cpu.floor = Watts{0.0};
+  floorless.dram.floor = Watts{0.0};
+  const auto fb = core::shifting_floors(cfg, floorless);
+  EXPECT_EQ(fb.first.value(), 48.0);
+  EXPECT_EQ(fb.second.value(), 68.0);
+
+  core::ShiftingConfig explicit_cfg;
+  explicit_cfg.cpu_min = Watts{55.0};
+  explicit_cfg.mem_min = Watts{60.0};
+  const auto ov = core::shifting_floors(explicit_cfg, hw::haswell_node());
+  EXPECT_EQ(ov.first.value(), 55.0);
+  EXPECT_EQ(ov.second.value(), 60.0);
+}
+
+TEST(ReplayFloors, HaswellShiftsRespectItsOwnFloors) {
+  // Haswell's DRAM floor (44 W) is below the old hard-coded 68 W; derived
+  // floors let the shifter move power the old default forbade.
+  const hw::CpuMachine machine = hw::haswell_node();
+  const auto wl = workload::npb_ft();
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+  const auto trace = workload::generate_trace(wl, {60.0, 1.0, 0.6, 13});
+  const auto r = core::replay_with_shifting(*nodes, trace, Watts{150.0});
+  for (const auto& caps : r.caps) {
+    EXPECT_GE(caps.cpu_cap.value(), 50.0 - 1e-9);
+    EXPECT_GE(caps.mem_cap.value(), 44.0 - 1e-9);
+  }
+}
+
+TEST(ReplayAggregate, ShiftingAggregateCapsAreTimeWeightedMeans) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::npb_ft();
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+  const auto trace = workload::generate_trace(wl, {60.0, 1.0, 0.6, 21});
+  const auto r = core::replay_with_shifting(*nodes, trace, Watts{170.0});
+  ASSERT_EQ(r.caps.size(), r.replay.segments.size());
+  ASSERT_GT(r.replay.total_time.value(), 0.0);
+
+  double cpu_weighted = 0.0;
+  double mem_weighted = 0.0;
+  for (std::size_t i = 0; i < r.caps.size(); ++i) {
+    cpu_weighted += r.caps[i].cpu_cap.value() *
+                    r.replay.segments[i].duration.value();
+    mem_weighted += r.caps[i].mem_cap.value() *
+                    r.replay.segments[i].duration.value();
+  }
+  const double total = r.replay.total_time.value();
+  EXPECT_DOUBLE_EQ(r.replay.aggregate.proc_cap.value(), cpu_weighted / total);
+  EXPECT_DOUBLE_EQ(r.replay.aggregate.mem_cap.value(), mem_weighted / total);
+  // And the mean caps still sum to the budget (each segment's pair does).
+  EXPECT_NEAR(r.replay.aggregate.proc_cap.value() +
+                  r.replay.aggregate.mem_cap.value(),
+              170.0, 1e-9);
+}
+
+TEST(ReplayProperty, ShiftingNeverLosesToStaticCoordAtTightBudgets) {
+  for (const auto& wl : {workload::npb_ft(), workload::npb_bt()}) {
+    const hw::CpuMachine machine = hw::ivybridge_node();
+    const sim::CpuNodeSim node(machine, wl);
+    const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+    const auto profile = core::profile_critical_powers(node);
+    const auto trace = workload::generate_trace(wl, {80.0, 1.0, 0.6, 29});
+    for (const Watts budget : {Watts{140.0}, Watts{170.0}, Watts{200.0}}) {
+      const auto dyn = core::replay_with_shifting(*nodes, trace, budget);
+      const auto alloc = core::coord_cpu(profile, budget);
+      const auto fixed = sim::replay_trace(*nodes, trace, alloc.cpu,
+                                           alloc.mem);
+      // The climb starts at COORD's split and only commits strict
+      // improvements, so it can never end below the static baseline.
+      EXPECT_GE(dyn.replay.aggregate.perf, fixed.aggregate.perf)
+          << wl.name << " @ " << budget.value() << " W";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pbc

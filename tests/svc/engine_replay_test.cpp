@@ -1,0 +1,174 @@
+// Engine replay/shifting queries: bit-identical to the direct sim/core
+// calls, cached (replay_hits/replay_misses counters), batch == singles,
+// clear() drops the cached results, and concurrent identical queries
+// coalesce onto one compute.
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic.hpp"
+#include "hw/platforms.hpp"
+#include "sim/phase_nodes.hpp"
+#include "sim/trace_replay.hpp"
+#include "svc/engine.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/trace.hpp"
+
+namespace pbc::svc {
+namespace {
+
+workload::PhaseTrace ft_trace(std::uint64_t seed) {
+  return workload::generate_trace(workload::npb_ft(), {40.0, 1.0, 0.6, seed});
+}
+
+TEST(EngineReplay, SingleQueriesMatchDirectCalls) {
+  QueryEngine engine;
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::npb_ft();
+  const auto trace = ft_trace(3);
+
+  const auto via_engine =
+      engine.replay_trace(machine, wl, trace, Watts{95.0}, Watts{75.0});
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+  const auto direct = sim::replay_trace(*nodes, trace, Watts{95.0},
+                                        Watts{75.0});
+  EXPECT_EQ(via_engine.aggregate, direct.aggregate);
+  EXPECT_EQ(via_engine.total_time.value(), direct.total_time.value());
+  ASSERT_EQ(via_engine.segments.size(), direct.segments.size());
+
+  const auto shift_engine =
+      engine.replay_with_shifting(machine, wl, trace, Watts{170.0});
+  const auto shift_direct =
+      core::replay_with_shifting(*nodes, trace, Watts{170.0});
+  EXPECT_EQ(shift_engine.shifts, shift_direct.shifts);
+  EXPECT_EQ(shift_engine.replay.aggregate, shift_direct.replay.aggregate);
+  ASSERT_EQ(shift_engine.caps.size(), shift_direct.caps.size());
+  for (std::size_t i = 0; i < shift_engine.caps.size(); ++i) {
+    EXPECT_EQ(shift_engine.caps[i].cpu_cap.value(),
+              shift_direct.caps[i].cpu_cap.value());
+    EXPECT_EQ(shift_engine.caps[i].mem_cap.value(),
+              shift_direct.caps[i].mem_cap.value());
+  }
+}
+
+TEST(EngineReplay, RepeatQueriesHitTheCache) {
+  QueryEngine engine;
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::npb_bt();
+  const auto trace =
+      workload::generate_trace(wl, {30.0, 1.0, 0.5, 8});
+
+  const auto a =
+      engine.replay_with_shifting(machine, wl, trace, Watts{180.0});
+  const auto s1 = engine.stats();
+  EXPECT_EQ(s1.replay_misses, 1u);
+  EXPECT_EQ(s1.replay_hits, 0u);
+
+  const auto b =
+      engine.replay_with_shifting(machine, wl, trace, Watts{180.0});
+  const auto s2 = engine.stats();
+  EXPECT_EQ(s2.replay_misses, 1u);
+  EXPECT_EQ(s2.replay_hits, 1u);
+  EXPECT_EQ(a.replay.aggregate, b.replay.aggregate);
+  EXPECT_GT(s2.replay_cache_size, 0u);
+
+  // A different budget is a different key.
+  (void)engine.replay_with_shifting(machine, wl, trace, Watts{200.0});
+  EXPECT_EQ(engine.stats().replay_misses, 2u);
+
+  // The config's engine selection must NOT split the cache: both paths
+  // are bit-identical by contract, so kReference hits the kFast entry.
+  core::ShiftingConfig ref_cfg;
+  ref_cfg.path = sim::ReplayPath::kReference;
+  (void)engine.replay_with_shifting(machine, wl, trace, Watts{180.0},
+                                    ref_cfg);
+  EXPECT_EQ(engine.stats().replay_misses, 2u);
+}
+
+TEST(EngineReplay, BatchMatchesSinglesAndCountsQueries) {
+  QueryEngine engine;
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::npb_ft();
+  const std::vector<workload::PhaseTrace> traces = {ft_trace(1), ft_trace(2)};
+  const std::vector<Watts> budgets = {Watts{150.0}, Watts{180.0},
+                                      Watts{210.0}};
+  const std::vector<sim::CapPair> caps = {{Watts{90.0}, Watts{70.0}},
+                                          {Watts{110.0}, Watts{80.0}}};
+
+  const auto shift_batch =
+      engine.shifting_batch(machine, wl, traces, budgets);
+  ASSERT_EQ(shift_batch.size(), traces.size() * budgets.size());
+  const auto replay_batch =
+      engine.replay_trace_batch(machine, wl, traces, caps);
+  ASSERT_EQ(replay_batch.size(), traces.size() * caps.size());
+
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    for (std::size_t b = 0; b < budgets.size(); ++b) {
+      const auto single = engine.replay_with_shifting(machine, wl, traces[t],
+                                                      budgets[b]);
+      EXPECT_EQ(shift_batch[t * budgets.size() + b].replay.aggregate,
+                single.replay.aggregate);
+    }
+    for (std::size_t c = 0; c < caps.size(); ++c) {
+      const auto single = engine.replay_trace(machine, wl, traces[t],
+                                              caps[c].cpu_cap,
+                                              caps[c].mem_cap);
+      EXPECT_EQ(replay_batch[t * caps.size() + c].aggregate,
+                single.aggregate);
+    }
+  }
+  // The batch entries were all cache misses; the single re-asks hit.
+  const auto s = engine.stats();
+  EXPECT_EQ(s.replay_misses, shift_batch.size() + replay_batch.size());
+  EXPECT_EQ(s.replay_hits, shift_batch.size() + replay_batch.size());
+  EXPECT_GE(s.queries, shift_batch.size() + replay_batch.size());
+}
+
+TEST(EngineReplay, ClearDropsCachedResults) {
+  QueryEngine engine;
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::npb_ft();
+  const auto trace = ft_trace(6);
+  (void)engine.replay_trace(machine, wl, trace, Watts{90.0}, Watts{80.0});
+  EXPECT_GT(engine.stats().replay_cache_size, 0u);
+  engine.clear();
+  EXPECT_EQ(engine.stats().replay_cache_size, 0u);
+  (void)engine.replay_trace(machine, wl, trace, Watts{90.0}, Watts{80.0});
+  EXPECT_EQ(engine.stats().replay_misses, 2u);
+}
+
+TEST(EngineReplay, ConcurrentIdenticalQueriesAgree) {
+  QueryEngine engine;
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::npb_bt();
+  const auto trace = workload::generate_trace(wl, {30.0, 1.0, 0.5, 14});
+
+  constexpr std::size_t kThreads = 4;
+  std::vector<core::ShiftingResult> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&, i] {
+        results[i] =
+            engine.replay_with_shifting(machine, wl, trace, Watts{180.0});
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (std::size_t i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(results[i].replay.aggregate, results[0].replay.aggregate);
+    EXPECT_EQ(results[i].shifts, results[0].shifts);
+  }
+  // Every caller either hit the cache or registered a (possibly
+  // coalesced) miss; misses that raced the first compute joined its
+  // single-flight rather than recomputing.
+  const auto s = engine.stats();
+  EXPECT_EQ(s.replay_hits + s.replay_misses, kThreads);
+  EXPECT_GE(s.replay_misses, 1u);
+}
+
+}  // namespace
+}  // namespace pbc::svc
