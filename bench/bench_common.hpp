@@ -8,10 +8,13 @@
 #pragma once
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
 #include "sim/sweep.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/table.hpp"
@@ -45,6 +48,26 @@ inline Spread spread_of(const std::vector<sim::AllocationSample>& samples) {
     s.worst = std::min(s.worst, x.perf);
   }
   return s;
+}
+
+/// Writes the given registry's JSON snapshot next to a bench's --json
+/// record (at `<json_path>.metrics.json`), so every gate run ships the
+/// counters behind its numbers (sim table builds, cluster admission, svc
+/// cache traffic). Failure to write is reported but never fails the run —
+/// metrics are a side record, not part of the gate.
+inline void dump_metrics_json(const std::string& json_path,
+                              const obs::MetricsRegistry& registry) {
+  const std::string path = json_path + ".metrics.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench: cannot write metrics snapshot " << path << '\n';
+    return;
+  }
+  out << obs::render_json(registry.snapshot());
+}
+
+inline void dump_global_metrics_json(const std::string& json_path) {
+  dump_metrics_json(json_path, obs::global_registry());
 }
 
 }  // namespace pbc::bench

@@ -28,6 +28,7 @@
 #include <tuple>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/cluster_sim.hpp"
 #include "hw/platforms.hpp"
 #include "util/cli.hpp"
@@ -282,6 +283,9 @@ int run_gate_mode(const std::string& json_path, double min_speedup, int reps,
       << "  }\n"
       << "}\n";
   out.close();
+  // Side record: sim/cluster counters behind this run, next to the gate
+  // JSON (see docs/observability.md).
+  bench::dump_global_metrics_json(json_path);
 
   std::printf(
       "cluster_throughput --json: %zu nodes / %zu jobs, ref %.2fs vs fast "

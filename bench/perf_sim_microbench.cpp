@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/coord.hpp"
 #include "core/critical.hpp"
 #include "core/frontier.hpp"
@@ -294,6 +295,9 @@ int run_gate_mode(const std::string& json_path, double min_speedup,
       << "  \"sink\": " << perf_sink << "\n"
       << "}\n";
   out.close();
+  // Side record: the sim-layer counters behind this run (table builds and
+  // their build-time histograms), machine-readable next to the gate JSON.
+  bench::dump_global_metrics_json(json_path);
 
   std::printf(
       "perf_sim_microbench --json: sweep speedup %.1fx "

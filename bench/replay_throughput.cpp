@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/dynamic.hpp"
 #include "hw/platforms.hpp"
 #include "sim/phase_nodes.hpp"
@@ -305,6 +306,9 @@ int run_gate_mode(const std::string& json_path, double min_speedup, int reps,
       << "  }\n"
       << "}\n";
   out.close();
+  // Side record: sim/cluster counters behind this run, next to the gate
+  // JSON (see docs/observability.md).
+  bench::dump_global_metrics_json(json_path);
 
   std::printf(
       "replay_throughput --json: %zu cells (%zu segs), replay ref %.3fs vs "

@@ -243,6 +243,20 @@ int main() {
   const auto cs = contended.stats();
   print_stats(cs);
 
+  // --- Observability: the same numbers, scraped the way an operator
+  // would (informational — exercises exposition with metrics compiled
+  // in on the perf path). ---
+  bench::print_section("metrics exposition (contended engine)");
+  const obs::MetricsSnapshot snap = contended.metrics_snapshot();
+  const std::string prom = obs::render_prometheus(snap);
+  std::cout << "render_prometheus: " << prom.size() << " bytes, "
+            << snap.metrics.size() << " series; latency histogram count = "
+            << snap.counter("pbc_svc_queries_total") << " queries\n";
+  std::size_t slow_total = contended.slow_queries().total();
+  std::cout << "slow queries over "
+            << contended.options().slow_query_us / 1000.0
+            << " ms threshold: " << slow_total << "\n";
+
   // --- The acceptance gates. ---
   bench::print_section("verdict");
   const double frontier_speedup = frontier_uncached_us / frontier_warm_us;

@@ -22,6 +22,7 @@
 
 #include "core/frontier.hpp"
 #include "hw/platforms.hpp"
+#include "obs/exposition.hpp"
 #include "sim/sweep.hpp"
 #include "svc/engine.hpp"
 #include "util/rng.hpp"
@@ -140,6 +141,18 @@ int main(int argc, char** argv) {
   if (s.hits + s.misses < s.queries || s.misses != s.computes + s.coalesced) {
     std::cerr << "counter invariants violated\n";
     return 1;
+  }
+
+  // --- 5. The scrape endpoint's payload: what a Prometheus collector
+  // pointed at this server would ingest (docs/observability.md). ---
+  std::cout << "\n# metrics (Prometheus text format 0.0.4)\n"
+            << obs::render_prometheus(engine.metrics_snapshot());
+  const auto slow = engine.slow_queries().snapshot();
+  if (!slow.empty()) {
+    std::cout << "# slow queries (> "
+              << engine.options().slow_query_us / 1000.0 << " ms): "
+              << slow.size() << " retained of "
+              << engine.slow_queries().total() << " total\n";
   }
   return 0;
 }

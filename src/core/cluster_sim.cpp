@@ -14,6 +14,7 @@
 
 #include "core/baselines.hpp"
 #include "core/critical.hpp"
+#include "obs/metrics.hpp"
 #include "workload/serialize.hpp"
 
 namespace pbc::core {
@@ -22,6 +23,30 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+
+/// Scheduler admission counters, shared by both engine paths so the
+/// bit-identity contract between them also covers the metrics. Resolved
+/// once per process; observation is a relaxed add.
+struct SchedulerCounters {
+  obs::Counter& attempts;
+  obs::Counter& rejects;
+  obs::Counter& starts;
+};
+
+[[nodiscard]] SchedulerCounters& scheduler_counters() {
+  static SchedulerCounters c{
+      obs::global_registry().counter(
+          "pbc_cluster_start_attempts_total",
+          "Job-start attempts considered by the scheduler"),
+      obs::global_registry().counter(
+          "pbc_cluster_admission_rejects_total",
+          "Start attempts rejected by power admission (grant below "
+          "threshold or min_grant)"),
+      obs::global_registry().counter("pbc_cluster_jobs_started_total",
+                                     "Jobs granted power and started"),
+  };
+  return c;
+}
 
 struct Running {
   std::size_t job_index;
@@ -282,6 +307,8 @@ class ClusterEngine {
   /// construction whose operating-point table is rebuilt on the spot —
   /// the dominant cost the fast path eliminates).
   bool try_start_job(std::size_t j) {
+    SchedulerCounters& counters = scheduler_counters();
+    counters.attempts.add(1);
     if (jobs_[j].wl.domain == workload::Domain::kGpu) {
       if (gpu_type_ == nullptr || free_gpu_nodes_ == 0) return false;
       const GpuProfileParams& profile = gpu_profile(j);
@@ -289,7 +316,10 @@ class ClusterEngine {
                                      gpu_type_->gpu.board_max_cap.value());
       const double threshold = gpu_type_->gpu.board_min_cap.value();
       const double grant = std::min(demand, ledger_.free_power());
-      if (grant < threshold) return false;  // driver rejects lower caps
+      if (grant < threshold) {  // driver rejects lower caps
+        counters.rejects.add(1);
+        return false;
+      }
 
       GpuAllocation alloc;
       sim::AllocationSample s;
@@ -305,6 +335,7 @@ class ClusterEngine {
       if (s.rate_gunits <= 0.0) return false;
       start_running(j, Watts{grant - alloc.surplus.value()}, s.rate_gunits,
                     s.perf, s.total_power(), /*gpu=*/true);
+      counters.starts.add(1);
       return true;
     }
 
@@ -314,9 +345,13 @@ class ClusterEngine {
     const double threshold = profile.productive_threshold().value();
     const double grant = std::min(demand, ledger_.free_power());
     if (config_.admission_control) {
-      if (grant < threshold) return false;
-    } else {
-      if (grant < config_.min_grant.value()) return false;
+      if (grant < threshold) {
+        counters.rejects.add(1);
+        return false;
+      }
+    } else if (grant < config_.min_grant.value()) {
+      counters.rejects.add(1);
+      return false;
     }
 
     CpuAllocation alloc;
@@ -337,6 +372,7 @@ class ClusterEngine {
     // the pool.
     start_running(j, Watts{grant - alloc.surplus.value()}, s.rate_gunits,
                   s.perf, s.total_power(), /*gpu=*/false);
+    counters.starts.add(1);
     return true;
   }
 
@@ -553,9 +589,9 @@ class ClusterEngine {
   ClusterRun run_;
 };
 
-[[nodiscard]] std::optional<Error> validate(const hw::GpuMachine* gpu_type,
-                                            const std::vector<SimJob>& jobs,
-                                            const ClusterSimConfig& config) {
+[[nodiscard]] Status validate(const hw::GpuMachine* gpu_type,
+                              const std::vector<SimJob>& jobs,
+                              const ClusterSimConfig& config) {
   if (config.nodes == 0) {
     return invalid_argument("cluster has no CPU nodes (config.nodes == 0)");
   }
@@ -583,7 +619,7 @@ class ClusterEngine {
                               "' submitted but config.gpu_nodes == 0");
     }
   }
-  return std::nullopt;
+  return Status{};
 }
 
 }  // namespace
@@ -609,7 +645,7 @@ Result<ClusterRun> simulate_cluster_checked(const hw::CpuMachine& node_type,
                                             std::vector<SimJob> jobs,
                                             const ClusterSimConfig& config,
                                             const ClusterNodeProvider* provider) {
-  if (auto err = validate(nullptr, jobs, config)) return *std::move(err);
+  if (Status s = validate(nullptr, jobs, config); !s.ok()) return s.error();
   return simulate_cluster(node_type, std::move(jobs), config, provider);
 }
 
@@ -618,7 +654,7 @@ Result<ClusterRun> simulate_cluster_checked(const hw::CpuMachine& node_type,
                                             std::vector<SimJob> jobs,
                                             const ClusterSimConfig& config,
                                             const ClusterNodeProvider* provider) {
-  if (auto err = validate(&gpu_type, jobs, config)) return *std::move(err);
+  if (Status s = validate(&gpu_type, jobs, config); !s.ok()) return s.error();
   return simulate_cluster(node_type, gpu_type, std::move(jobs), config,
                           provider);
 }

@@ -230,11 +230,10 @@ ShiftingResult shift_fast(const sim::PhaseNodeSet& nodes,
                        });
 }
 
-std::optional<Error> validate_shifting(const workload::PhaseTrace& trace,
-                                       std::size_t phase_count,
-                                       Watts total_budget,
-                                       const ShiftingConfig& cfg,
-                                       const hw::CpuMachine& machine) {
+Status validate_shifting(const workload::PhaseTrace& trace,
+                         std::size_t phase_count, Watts total_budget,
+                         const ShiftingConfig& cfg,
+                         const hw::CpuMachine& machine) {
   if (!(cfg.step.value() > 0.0)) {
     return invalid_argument("shifting step must be > 0 W, got " +
                             std::to_string(cfg.step.value()));
@@ -250,7 +249,7 @@ std::optional<Error> validate_shifting(const workload::PhaseTrace& trace,
         " W below cpu_min + mem_min = " +
         std::to_string(cpu_min.value() + mem_min.value()) + " W");
   }
-  return sim::validate_trace(trace, phase_count);
+  return sim::check_trace(trace, phase_count);
 }
 
 }  // namespace
@@ -297,9 +296,10 @@ ShiftingResult replay_with_shifting(const sim::PhaseNodeSet& nodes,
 Result<ShiftingResult> replay_with_shifting_checked(
     const sim::CpuNodeSim& node, const workload::PhaseTrace& trace,
     Watts total_budget, const ShiftingConfig& cfg) {
-  if (auto err = validate_shifting(trace, node.wl().phases.size(),
-                                   total_budget, cfg, node.machine())) {
-    return *std::move(err);
+  if (Status s = validate_shifting(trace, node.wl().phases.size(),
+                                   total_budget, cfg, node.machine());
+      !s.ok()) {
+    return s.error();
   }
   return replay_with_shifting(node, trace, total_budget, cfg);
 }
@@ -307,9 +307,10 @@ Result<ShiftingResult> replay_with_shifting_checked(
 Result<ShiftingResult> replay_with_shifting_checked(
     const sim::PhaseNodeSet& nodes, const workload::PhaseTrace& trace,
     Watts total_budget, const ShiftingConfig& cfg) {
-  if (auto err = validate_shifting(trace, nodes.phase_count(), total_budget,
-                                   cfg, nodes.machine())) {
-    return *std::move(err);
+  if (Status s = validate_shifting(trace, nodes.phase_count(), total_budget,
+                                   cfg, nodes.machine());
+      !s.ok()) {
+    return s.error();
   }
   return replay_with_shifting(nodes, trace, total_budget, cfg);
 }

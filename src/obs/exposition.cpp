@@ -1,0 +1,199 @@
+#include "obs/exposition.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace pbc::obs {
+
+namespace {
+
+/// Escapes a label value (backslash, double quote, newline) per the
+/// Prometheus text-format spec.
+[[nodiscard]] std::string escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Escapes a HELP string (backslash and newline only; quotes are legal).
+[[nodiscard]] std::string escape_help(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Shortest faithful decimal: integers render without a fraction, other
+/// values with enough digits to be useful in dashboards.
+[[nodiscard]] std::string format_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// `{k1="v1",k2="v2"}`, or "" when there are no labels. `extra` appends
+/// one more pair (used for histogram `le`).
+[[nodiscard]] std::string label_block(const Labels& labels,
+                                      const std::string& extra_key = "",
+                                      const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + escape_label(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + escape_label(extra_value) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  const std::string* prev_family = nullptr;
+  for (const auto& m : snapshot.metrics) {
+    if (prev_family == nullptr || *prev_family != m.name) {
+      out << "# HELP " << m.name << ' ' << escape_help(m.help) << '\n';
+      out << "# TYPE " << m.name << ' ' << to_string(m.type) << '\n';
+      prev_family = &m.name;
+    }
+    switch (m.type) {
+      case MetricType::kCounter:
+        out << m.name << label_block(m.labels) << ' ' << m.counter_value
+            << '\n';
+        break;
+      case MetricType::kGauge:
+        out << m.name << label_block(m.labels) << ' '
+            << format_double(m.gauge_value) << '\n';
+        break;
+      case MetricType::kHistogram: {
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < m.hist.bounds.size(); ++i) {
+          cum += m.hist.buckets[i];
+          out << m.name << "_bucket"
+              << label_block(m.labels, "le", format_double(m.hist.bounds[i]))
+              << ' ' << cum << '\n';
+        }
+        out << m.name << "_bucket" << label_block(m.labels, "le", "+Inf")
+            << ' ' << m.hist.count << '\n';
+        out << m.name << "_sum" << label_block(m.labels) << ' '
+            << format_double(m.hist.sum) << '\n';
+        out << m.name << "_count" << label_block(m.labels) << ' '
+            << m.hist.count << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+[[nodiscard]] std::string json_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string json_key(const MetricsSnapshot::Metric& m) {
+  return json_escape(m.name + label_block(m.labels));
+}
+
+}  // namespace
+
+std::string render_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream counters, gauges, hists;
+  bool c_first = true, g_first = true, h_first = true;
+  for (const auto& m : snapshot.metrics) {
+    switch (m.type) {
+      case MetricType::kCounter:
+        counters << (c_first ? "" : ",") << "\n    \"" << json_key(m)
+                 << "\": " << m.counter_value;
+        c_first = false;
+        break;
+      case MetricType::kGauge:
+        gauges << (g_first ? "" : ",") << "\n    \"" << json_key(m)
+               << "\": " << format_double(m.gauge_value);
+        g_first = false;
+        break;
+      case MetricType::kHistogram: {
+        hists << (h_first ? "" : ",") << "\n    \"" << json_key(m)
+              << "\": {\"count\": " << m.hist.count
+              << ", \"sum\": " << format_double(m.hist.sum)
+              << ", \"max\": " << format_double(m.hist.max)
+              << ", \"buckets\": [";
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < m.hist.bounds.size(); ++i) {
+          cum += m.hist.buckets[i];
+          hists << (i == 0 ? "" : ", ") << "{\"le\": "
+                << format_double(m.hist.bounds[i]) << ", \"count\": " << cum
+                << "}";
+        }
+        hists << "]}";
+        h_first = false;
+        break;
+      }
+    }
+  }
+  std::ostringstream out;
+  out << "{\n  \"counters\": {" << counters.str()
+      << (c_first ? "" : "\n  ") << "},\n  \"gauges\": {" << gauges.str()
+      << (g_first ? "" : "\n  ") << "},\n  \"histograms\": {" << hists.str()
+      << (h_first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+}  // namespace pbc::obs

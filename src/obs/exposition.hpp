@@ -1,0 +1,26 @@
+// Text exposition of a MetricsSnapshot: Prometheus text format 0.0.4 and
+// a JSON snapshot for the bench harnesses' machine-readable records.
+//
+// Output is deterministic for a given snapshot: metrics are emitted in
+// (name, labels) order (the snapshot is pre-sorted), HELP/TYPE headers
+// once per metric family, label values escaped per the Prometheus spec
+// (backslash, double quote, newline). Histograms expose cumulative
+// `_bucket{le=...}` series plus `_sum` and `_count`, exactly as a scraper
+// expects.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace pbc::obs {
+
+/// Prometheus text format (content type text/plain; version=0.0.4).
+[[nodiscard]] std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+/// JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}
+/// keyed by `name{label="v",...}` strings; histogram values carry count,
+/// sum, max, and the cumulative bucket array.
+[[nodiscard]] std::string render_json(const MetricsSnapshot& snapshot);
+
+}  // namespace pbc::obs

@@ -1,0 +1,278 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pbc::obs {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+[[nodiscard]] bool labels_equal(const Labels& a, const Labels& b) noexcept {
+  return a == b;
+}
+
+[[nodiscard]] bool metric_less(const MetricsSnapshot::Metric& a,
+                               const MetricsSnapshot::Metric& b) noexcept {
+  if (a.name != b.name) return a.name < b.name;
+  return a.labels < b.labels;
+}
+
+}  // namespace
+
+// --- HistogramSnapshot ---
+
+std::uint64_t HistogramSnapshot::cumulative(std::size_t i) const noexcept {
+  std::uint64_t n = 0;
+  for (std::size_t k = 0; k <= i && k < buckets.size(); ++k) n += buckets[k];
+  return n;
+}
+
+double HistogramSnapshot::percentile(double p) const noexcept {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Target rank matches pbc::percentile over the sorted sample list:
+  // rank = p/100 * (n-1), interpolated between order statistics — here
+  // approximated by interpolating inside the bucket holding the rank.
+  const double rank = p / 100.0 * static_cast<double>(count - 1);
+  std::uint64_t before = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    const double last_rank = static_cast<double>(before + in_bucket - 1);
+    if (rank <= last_rank) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : max;
+      const double frac =
+          (rank - static_cast<double>(before)) /
+          static_cast<double>(in_bucket);
+      const double v = lo + (hi - lo) * frac;
+      // Never report beyond the exactly tracked maximum.
+      return max > 0.0 ? std::min(v, max) : v;
+    }
+    before += in_bucket;
+  }
+  return max;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (bounds.empty()) {
+    *this = other;
+    return;
+  }
+  if (other.count == 0) return;
+  assert(bounds == other.bounds && "histogram merge requires equal bounds");
+  for (std::size_t i = 0; i < buckets.size() && i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+// --- Histogram ---
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  assert(validate_bucket_bounds(bounds_).ok());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) noexcept {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, kRelaxed);
+  count_.fetch_add(1, kRelaxed);
+  double s = sum_.load(kRelaxed);
+  while (!sum_.compare_exchange_weak(s, s + v, kRelaxed, kRelaxed)) {
+  }
+  double m = max_.load(kRelaxed);
+  while (v > m && !max_.compare_exchange_weak(m, v, kRelaxed, kRelaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.buckets.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.buckets[i] = buckets_[i].load(kRelaxed);
+  }
+  s.count = count_.load(kRelaxed);
+  s.sum = sum_.load(kRelaxed);
+  s.max = max_.load(kRelaxed);
+  return s;
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double v = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+Status validate_bucket_bounds(std::span<const double> bounds) {
+  if (bounds.empty()) {
+    return invalid_argument("histogram needs at least one bucket bound");
+  }
+  double prev = 0.0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const double b = bounds[i];
+    if (!std::isfinite(b) || b <= 0.0) {
+      return invalid_argument("histogram bound " + std::to_string(i) +
+                              " must be finite and positive");
+    }
+    if (i > 0 && b <= prev) {
+      return invalid_argument("histogram bounds must be strictly ascending "
+                              "(bound " + std::to_string(i) + ")");
+    }
+    prev = b;
+  }
+  return Status{};
+}
+
+const std::vector<double>& default_latency_bounds_us() {
+  static const std::vector<double> bounds =
+      Histogram::exponential_bounds(0.5, 2.0, 22);  // 0.5 us .. ~1 s
+  return bounds;
+}
+
+// --- MetricsSnapshot ---
+
+const MetricsSnapshot::Metric* MetricsSnapshot::find(
+    std::string_view name, const Labels& labels) const noexcept {
+  for (const auto& m : metrics) {
+    if (m.name == name && labels_equal(m.labels, labels)) return &m;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name,
+                                       const Labels& labels) const noexcept {
+  const Metric* m = find(name, labels);
+  return m != nullptr && m->type == MetricType::kCounter ? m->counter_value
+                                                         : 0;
+}
+
+double MetricsSnapshot::gauge(std::string_view name,
+                              const Labels& labels) const noexcept {
+  const Metric* m = find(name, labels);
+  return m != nullptr && m->type == MetricType::kGauge ? m->gauge_value : 0.0;
+}
+
+// --- MetricsRegistry ---
+
+MetricsRegistry::Entry* MetricsRegistry::find_locked(std::string_view name,
+                                                     const Labels& labels) {
+  for (const auto& e : entries_) {
+    if (e->name == name && labels_equal(e->labels, labels)) return e.get();
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                  Labels labels) {
+  std::lock_guard lock(mu_);
+  if (Entry* e = find_locked(name, labels)) {
+    assert(e->type == MetricType::kCounter);
+    return *e->c;
+  }
+  auto e = std::make_unique<Entry>();
+  e->type = MetricType::kCounter;
+  e->name = std::string(name);
+  e->help = std::string(help);
+  e->labels = std::move(labels);
+  e->c = std::make_unique<Counter>();
+  Counter& ref = *e->c;
+  entries_.push_back(std::move(e));
+  return ref;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              Labels labels) {
+  std::lock_guard lock(mu_);
+  if (Entry* e = find_locked(name, labels)) {
+    assert(e->type == MetricType::kGauge);
+    return *e->g;
+  }
+  auto e = std::make_unique<Entry>();
+  e->type = MetricType::kGauge;
+  e->name = std::string(name);
+  e->help = std::string(help);
+  e->labels = std::move(labels);
+  e->g = std::make_unique<Gauge>();
+  Gauge& ref = *e->g;
+  entries_.push_back(std::move(e));
+  return ref;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help,
+                                      std::vector<double> bounds,
+                                      Labels labels) {
+  std::lock_guard lock(mu_);
+  if (Entry* e = find_locked(name, labels)) {
+    assert(e->type == MetricType::kHistogram);
+    return *e->h;
+  }
+  assert(validate_bucket_bounds(bounds).ok());
+  auto e = std::make_unique<Entry>();
+  e->type = MetricType::kHistogram;
+  e->name = std::string(name);
+  e->help = std::string(help);
+  e->labels = std::move(labels);
+  e->h = std::make_unique<Histogram>(std::move(bounds));
+  Histogram& ref = *e->h;
+  entries_.push_back(std::move(e));
+  return ref;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  {
+    std::lock_guard lock(mu_);
+    s.metrics.reserve(entries_.size());
+    for (const auto& e : entries_) {
+      MetricsSnapshot::Metric m;
+      m.name = e->name;
+      m.help = e->help;
+      m.type = e->type;
+      m.labels = e->labels;
+      switch (e->type) {
+        case MetricType::kCounter:
+          m.counter_value = e->c->value();
+          break;
+        case MetricType::kGauge:
+          m.gauge_value = e->g->value();
+          break;
+        case MetricType::kHistogram:
+          m.hist = e->h->snapshot();
+          break;
+      }
+      s.metrics.push_back(std::move(m));
+    }
+  }
+  std::sort(s.metrics.begin(), s.metrics.end(), metric_less);
+  return s;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+MetricsRegistry& global_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace pbc::obs

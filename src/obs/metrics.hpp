@@ -1,0 +1,227 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// The hot path is a relaxed atomic add (counters, histogram buckets) or a
+// relaxed atomic store (gauges) — the same discipline the engine's old
+// hand-rolled counter block used, generalized so every layer (svc, sim,
+// core, benches) can publish through one vocabulary. Reads are snapshots:
+// eventually consistent across metrics, exact per metric. Registration is
+// get-or-create under a mutex and returns a reference that stays stable
+// for the registry's lifetime, so instrumented code resolves its metrics
+// once (often via a function-local static) and pays zero lookups per
+// event afterwards.
+//
+// Exposition lives in obs/exposition.hpp (Prometheus text + JSON);
+// tracing in obs/trace.hpp. docs/observability.md catalogs every metric
+// this repository registers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace pbc::obs {
+
+/// Metric labels, e.g. {{"kind", "query_cpu"}}. Order is preserved and
+/// significant: (name, labels) identifies a metric.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// One coherent read of a histogram. `buckets[i]` counts observations in
+/// (bounds[i-1], bounds[i]]; the last slot (buckets.size() == bounds.size()
+/// + 1) is the +Inf overflow bucket. Percentiles follow the recorded-
+/// samples-only contract of svc::LatencyRecorder: they are computed over
+/// the `count` observations actually made — an empty histogram reports 0,
+/// never a value synthesized from empty buckets.
+struct HistogramSnapshot {
+  std::vector<double> bounds;         ///< ascending upper bounds
+  std::vector<std::uint64_t> buckets; ///< per-bucket counts (not cumulative)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;  ///< largest observation (exact), 0 when empty
+
+  /// Cumulative count through bucket `i` (Prometheus `le` semantics).
+  [[nodiscard]] std::uint64_t cumulative(std::size_t i) const noexcept;
+
+  /// Estimated percentile (p in [0, 100]) by linear interpolation inside
+  /// the bucket holding the target rank, clamped to [0, max]. Computed
+  /// over recorded samples only; 0 when `count` is 0.
+  [[nodiscard]] double percentile(double p) const noexcept;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+
+  /// Accumulates another snapshot taken with identical bounds.
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Fixed-bucket histogram. Observation is two relaxed adds plus a CAS max;
+/// bucket search is a branchless-ish linear scan (bucket counts are small
+/// — latency histograms here use ~2 dozen bounds).
+class Histogram {
+ public:
+  /// `upper_bounds` must satisfy validate_bucket_bounds().
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] std::span<const double> bounds() const noexcept {
+    return bounds_;
+  }
+
+  /// `count` bounds: start, start*factor, start*factor^2, ...
+  [[nodiscard]] static std::vector<double> exponential_bounds(double start,
+                                                              double factor,
+                                                              std::size_t count);
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_+1 slots
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Unified-Status validation for histogram bucket configuration: bounds
+/// must be non-empty, finite, positive, and strictly ascending. The
+/// registry and Histogram constructor enforce this; config layers (e.g.
+/// engine options) can call it up front for a descriptive error.
+[[nodiscard]] Status validate_bucket_bounds(std::span<const double> bounds);
+
+/// The default latency bucket ladder used across the repository:
+/// 0.5 us .. ~1 s in powers of two (22 bounds + overflow).
+[[nodiscard]] const std::vector<double>& default_latency_bounds_us();
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] constexpr const char* to_string(MetricType t) noexcept {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+/// One coherent-enough read of every registered metric, sorted by
+/// (name, labels) so exposition output is stable across runs.
+struct MetricsSnapshot {
+  struct Metric {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    Labels labels;
+    std::uint64_t counter_value = 0;  ///< kCounter
+    double gauge_value = 0.0;         ///< kGauge
+    HistogramSnapshot hist;           ///< kHistogram
+  };
+  std::vector<Metric> metrics;
+
+  /// First metric matching (name, labels), or nullptr.
+  [[nodiscard]] const Metric* find(std::string_view name,
+                                   const Labels& labels = {}) const noexcept;
+  /// Counter value of (name, labels), or 0 when absent.
+  [[nodiscard]] std::uint64_t counter(std::string_view name,
+                                      const Labels& labels = {}) const noexcept;
+  /// Gauge value of (name, labels), or 0 when absent.
+  [[nodiscard]] double gauge(std::string_view name,
+                             const Labels& labels = {}) const noexcept;
+};
+
+/// Named-metric registry. register-once / read-many: counter(), gauge()
+/// and histogram() get-or-create under a mutex and return a stable
+/// reference; snapshot() walks every metric. Re-registering an existing
+/// (name, labels) with a different type is a programming error (asserted;
+/// the existing metric wins in release builds).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name, std::string_view help,
+                                 Labels labels = {});
+  [[nodiscard]] Gauge& gauge(std::string_view name, std::string_view help,
+                             Labels labels = {});
+  /// `bounds` must satisfy validate_bucket_bounds(); asserted here and
+  /// rejected (existing-metric fallback / first registration wins) when
+  /// violated. On a get of an existing histogram the bounds are ignored.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::string_view help,
+                                     std::vector<double> bounds,
+                                     Labels labels = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    MetricType type;
+    std::string name;
+    std::string help;
+    Labels labels;
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+
+  [[nodiscard]] Entry* find_locked(std::string_view name,
+                                   const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// Process-wide registry used by layers without an obvious owner (sim
+/// table builds, cluster scheduler admission counters, benches).
+/// svc::QueryEngine defaults to a private registry instead, so per-engine
+/// stats stay isolated; see EngineOptions::registry.
+[[nodiscard]] MetricsRegistry& global_registry();
+
+}  // namespace pbc::obs

@@ -1,0 +1,191 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+#include <utility>
+
+namespace pbc::obs {
+
+namespace {
+
+constexpr std::size_t kFlushBatch = 64;
+
+[[nodiscard]] std::uint32_t thread_ordinal() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+struct Tracer::Central {
+  explicit Central(std::size_t cap) : capacity(std::max<std::size_t>(1, cap)) {}
+
+  std::size_t capacity;
+  mutable std::mutex ring_mu;
+  std::deque<Span> ring;
+  std::atomic<std::uint64_t> recorded{0};
+
+  mutable std::mutex bufs_mu;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+
+  void push(std::vector<Span>&& batch) {
+    std::lock_guard lock(ring_mu);
+    for (Span& s : batch) ring.push_back(s);
+    while (ring.size() > capacity) ring.pop_front();
+  }
+};
+
+struct Tracer::ThreadBuf {
+  // weak, not shared: Central holds shared_ptr<ThreadBuf> in `bufs`, so a
+  // shared back-edge would form a cycle and leak every destroyed Tracer.
+  std::weak_ptr<Central> central;
+  mutable std::mutex mu;
+  std::vector<Span> pending;
+  std::atomic<bool> retired{false};
+
+  void flush_locked_batch() {
+    // Called with mu held just long enough to steal the batch; the ring
+    // lock is taken outside the buffer lock (fixed order: buf -> ring).
+    std::vector<Span> batch;
+    {
+      std::lock_guard lock(mu);
+      if (pending.empty()) return;
+      batch.swap(pending);
+    }
+    if (const auto c = central.lock()) c->push(std::move(batch));
+  }
+};
+
+namespace {
+
+/// Per-thread buffer table, keyed by process-unique tracer id so a
+/// recycled Tracer address can never alias a dead entry. The destructor
+/// (thread exit) flushes whatever the thread still holds.
+struct TlBufs {
+  std::unordered_map<std::uint64_t, std::shared_ptr<Tracer::ThreadBuf>> map;
+
+  ~TlBufs() {
+    for (auto& [id, buf] : map) buf->flush_locked_batch();
+  }
+
+  void prune_retired() {
+    for (auto it = map.begin(); it != map.end();) {
+      if (it->second->retired.load(std::memory_order_relaxed)) {
+        it = map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+};
+
+[[nodiscard]] TlBufs& tl_bufs() {
+  thread_local TlBufs bufs;
+  return bufs;
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      central_(std::make_shared<Central>(capacity)) {
+  static std::atomic<std::uint64_t> next_id{1};
+  id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::~Tracer() {
+  std::lock_guard lock(central_->bufs_mu);
+  for (const auto& buf : central_->bufs) {
+    buf->retired.store(true, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Tracer::now_ns() const noexcept {
+  const auto dt = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+}
+
+Tracer::ThreadBuf& Tracer::local_buf() {
+  TlBufs& tl = tl_bufs();
+  const auto it = tl.map.find(id_);
+  if (it != tl.map.end()) return *it->second;
+  if (tl.map.size() >= 16) tl.prune_retired();
+  auto buf = std::make_shared<ThreadBuf>();
+  buf->central = central_;
+  {
+    std::lock_guard lock(central_->bufs_mu);
+    central_->bufs.push_back(buf);
+  }
+  ThreadBuf& ref = *buf;
+  tl.map.emplace(id_, std::move(buf));
+  return ref;
+}
+
+void Tracer::record(const Span& span) {
+  ThreadBuf& buf = local_buf();
+  central_->recorded.fetch_add(1, std::memory_order_relaxed);
+  bool flush = false;
+  {
+    std::lock_guard lock(buf.mu);
+    buf.pending.push_back(span);
+    buf.pending.back().thread = thread_ordinal();
+    flush = buf.pending.size() >= kFlushBatch;
+  }
+  if (flush) buf.flush_locked_batch();
+}
+
+std::vector<Span> Tracer::snapshot() const {
+  std::vector<Span> out;
+  {
+    std::lock_guard lock(central_->ring_mu);
+    out.assign(central_->ring.begin(), central_->ring.end());
+  }
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard lock(central_->bufs_mu);
+    bufs = central_->bufs;
+  }
+  for (const auto& buf : bufs) {
+    std::lock_guard lock(buf->mu);
+    out.insert(out.end(), buf->pending.begin(), buf->pending.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Span& a, const Span& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const noexcept {
+  return central_->recorded.load(std::memory_order_relaxed);
+}
+
+// --- SlowQueryLog ---
+
+SlowQueryLog::SlowQueryLog(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void SlowQueryLog::record(std::uint64_t descriptor_hash, const char* kind,
+                          double total_us,
+                          std::initializer_list<SlowQuery::Stage> stages) {
+  total_.fetch_add(1, std::memory_order_relaxed);
+  SlowQuery q;
+  q.descriptor_hash = descriptor_hash;
+  q.kind = kind;
+  q.total_us = total_us;
+  q.stages.assign(stages.begin(), stages.end());
+  std::lock_guard lock(mu_);
+  ring_.push_back(std::move(q));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<SlowQuery> SlowQueryLog::snapshot() const {
+  std::lock_guard lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+}  // namespace pbc::obs

@@ -1,0 +1,178 @@
+// Lightweight span tracing and the slow-query log.
+//
+// A span is one timed scope on the engine's miss path (profile compute,
+// table build, single-flight wait, pool fan-out, ...). Scopes are opened
+// with the PBC_TRACE_SPAN macro, which compiles to nothing when the build
+// sets PBC_TRACING_ENABLED=0 (CMake option PBC_TRACING=OFF) and to an
+// RAII SpanScope otherwise. Completed spans land in a per-thread buffer
+// (one uncontended mutex each — the only contention is a snapshot reader)
+// and are flushed in batches to a bounded central ring, so a hot thread
+// never serializes against other tracing threads.
+//
+// The slow-query log is the operator-facing tail complement: any query
+// whose end-to-end latency crosses a configurable threshold records its
+// descriptor hash and per-stage timings into a bounded ring, so "what was
+// slow, and in which stage" survives until scraped without keeping every
+// span of every query.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Compile-time switch: CMake defines PBC_TRACING_ENABLED=0 when the
+// PBC_TRACING option is OFF; default is on. The Tracer type always
+// exists (so code holding one compiles either way) — only the macro's
+// expansion changes, keeping traced TUs ODR-consistent.
+#ifndef PBC_TRACING_ENABLED
+#define PBC_TRACING_ENABLED 1
+#endif
+
+namespace pbc::obs {
+
+/// One completed scope. `name` must be a string literal (spans store the
+/// pointer, never a copy). Times are nanoseconds on the steady clock:
+/// start relative to the tracer's construction, duration absolute.
+struct Span {
+  const char* name = "";
+  std::uint64_t descriptor_hash = 0;  ///< 0 when the scope has no subject
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint32_t thread = 0;  ///< small per-process thread ordinal
+};
+
+/// Bounded multi-producer span sink. Thread-safe; record() is wait-free
+/// against other recording threads (each thread owns its buffer) and only
+/// briefly locks the shared ring every kFlushBatch spans.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 4096);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Runtime switch consulted by SpanScope; flipping it off makes every
+  /// scope a no-op without recompiling.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void record(const Span& span);
+
+  /// Every retained span — the central ring plus all unflushed per-thread
+  /// buffers — oldest first. Bounded by `capacity` plus one flush batch
+  /// per recording thread.
+  [[nodiscard]] std::vector<Span> snapshot() const;
+
+  /// Total spans ever recorded (including ones the ring has dropped).
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+
+  /// Nanoseconds since the tracer's epoch (spans' start_ns timebase).
+  [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+  /// Implementation types, public only so the .cpp's thread-local buffer
+  /// table can name them; opaque to callers.
+  struct ThreadBuf;
+  struct Central;
+
+ private:
+  [[nodiscard]] ThreadBuf& local_buf();
+
+  std::atomic<bool> enabled_{true};
+  std::uint64_t id_ = 0;  ///< process-unique, guards thread-local reuse
+  std::chrono::steady_clock::time_point epoch_;
+  std::shared_ptr<Central> central_;
+};
+
+#if PBC_TRACING_ENABLED
+
+/// RAII scope recorded into a Tracer on destruction. Null tracer = no-op.
+class SpanScope {
+ public:
+  SpanScope(Tracer* tracer, const char* name,
+            std::uint64_t descriptor_hash = 0) noexcept
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        name_(name),
+        hash_(descriptor_hash) {
+    if (tracer_ != nullptr) start_ns_ = tracer_->now_ns();
+  }
+  ~SpanScope() {
+    if (tracer_ == nullptr) return;
+    Span s;
+    s.name = name_;
+    s.descriptor_hash = hash_;
+    s.start_ns = start_ns_;
+    s.duration_ns = tracer_->now_ns() - start_ns_;
+    tracer_->record(s);
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  std::uint64_t hash_;
+  std::uint64_t start_ns_ = 0;
+};
+
+#define PBC_OBS_CONCAT_INNER(a, b) a##b
+#define PBC_OBS_CONCAT(a, b) PBC_OBS_CONCAT_INNER(a, b)
+/// Opens a span covering the rest of the enclosing scope.
+/// Usage: PBC_TRACE_SPAN(&tracer_, "svc.profile_compute", key.hi);
+#define PBC_TRACE_SPAN(tracer, ...)                       \
+  ::pbc::obs::SpanScope PBC_OBS_CONCAT(pbc_trace_span_,   \
+                                       __LINE__)((tracer), __VA_ARGS__)
+
+#else  // !PBC_TRACING_ENABLED
+
+#define PBC_TRACE_SPAN(tracer, ...) ((void)(tracer))
+
+#endif
+
+/// One over-threshold query: which descriptor, how long, where the time
+/// went. Stage names are string literals (pointers are stored).
+struct SlowQuery {
+  std::uint64_t descriptor_hash = 0;
+  const char* kind = "";
+  double total_us = 0.0;
+  struct Stage {
+    const char* name = "";
+    double us = 0.0;
+  };
+  std::vector<Stage> stages;
+};
+
+/// Bounded ring of the most recent slow queries.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(std::size_t capacity = 128);
+
+  void record(std::uint64_t descriptor_hash, const char* kind, double total_us,
+              std::initializer_list<SlowQuery::Stage> stages);
+
+  [[nodiscard]] std::vector<SlowQuery> snapshot() const;
+  /// Total slow queries ever recorded (including dropped entries).
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<SlowQuery> ring_;
+  std::size_t capacity_;
+  std::atomic<std::uint64_t> total_{0};
+};
+
+}  // namespace pbc::obs

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <utility>
 
 #include "rapl/ladder.hpp"
+#include "sim/instrumentation.hpp"
 
 // Both solver paths must feed bit-identical operands to the workload model.
 // Keeping the state evaluator and the throttle-bandwidth formula out of line
@@ -267,7 +269,9 @@ const CpuOpTable& CpuNodeSim::table_for(int active_cores) const {
   std::lock_guard<std::mutex> lock(solver_cache_->mu);
   std::unique_ptr<const CpuOpTable>& slot = solver_cache_->by_cores[cores];
   if (slot == nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
     slot = build_table(cores);
+    detail::record_table_build("cpu", t0);
   }
   return *slot;
 }

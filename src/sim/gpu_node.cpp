@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <mutex>
 #include <utility>
+
+#include "sim/instrumentation.hpp"
 
 // Pin the state evaluator to one instantiation so both solver paths feed
 // bit-identical operands to the workload model (see cpu_node.cpp).
@@ -74,6 +77,7 @@ PBC_NOINLINE AllocationSample GpuNodeSim::evaluate_state(
 const GpuOpTable& GpuNodeSim::table() const {
   std::lock_guard<std::mutex> lock(solver_cache_->mu);
   if (solver_cache_->table == nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
     const std::size_t steps = gpu_.sm_step_count();
     const std::size_t clocks = gpu_.mem_clock_count();
     std::vector<Watts> est_mem(clocks);
@@ -86,6 +90,7 @@ const GpuOpTable& GpuNodeSim::table() const {
           return evaluate_state(step, clock);
         },
         std::move(est_mem));
+    detail::record_table_build("gpu", t0);
   }
   return *solver_cache_->table;
 }

@@ -1,0 +1,52 @@
+// Internal observability hooks for the simulators' cold paths.
+//
+// Table and phase-node builds are the expensive, rare events the caches
+// exist to amortize, so these helpers resolve their metrics in the
+// process-wide registry on every call — a mutex-guarded lookup is noise
+// next to the build itself, and keeping registration here means the
+// build sites stay one line. Hot-path simulator code must not call these.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace pbc::sim::detail {
+
+[[nodiscard]] inline double elapsed_us(
+    std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                 .count()) *
+         1e-3;
+}
+
+/// Records one operating-point table build (component: "cpu" or "gpu").
+inline void record_table_build(const char* component,
+                               std::chrono::steady_clock::time_point t0) {
+  obs::MetricsRegistry& reg = obs::global_registry();
+  reg.counter("pbc_sim_table_builds_total",
+              "Operating-point tables built on demand",
+              {{"component", component}})
+      .add(1);
+  reg.histogram("pbc_sim_table_build_us",
+                "Operating-point table build time, microseconds",
+                obs::default_latency_bounds_us(), {{"component", component}})
+      .observe(elapsed_us(t0));
+}
+
+/// Records one PhaseNodeSet build (per-phase prepared nodes).
+inline void record_phase_nodes_build(
+    std::chrono::steady_clock::time_point t0) {
+  obs::MetricsRegistry& reg = obs::global_registry();
+  reg.counter("pbc_sim_phase_sets_built_total",
+              "Phase-node sets built on demand")
+      .add(1);
+  reg.histogram("pbc_sim_phase_nodes_build_us",
+                "Phase-node set build time, microseconds",
+                obs::default_latency_bounds_us())
+      .observe(elapsed_us(t0));
+}
+
+}  // namespace pbc::sim::detail

@@ -1,6 +1,9 @@
 #include "sim/phase_nodes.hpp"
 
+#include <chrono>
 #include <utility>
+
+#include "sim/instrumentation.hpp"
 
 namespace pbc::sim {
 
@@ -23,12 +26,14 @@ PhaseNodeSet::PhaseNodeSet(PreparedCpuNode full) : full_(std::move(full)) {
 }
 
 void PhaseNodeSet::build_phase_nodes() {
+  const auto t0 = std::chrono::steady_clock::now();
   const auto& wl = full_->wl();
   phases_.reserve(wl.phases.size());
   for (std::size_t i = 0; i < wl.phases.size(); ++i) {
     phases_.push_back(make_prepared_cpu_node(full_->machine(),
                                              single_phase_workload(wl, i)));
   }
+  detail::record_phase_nodes_build(t0);
 }
 
 PreparedPhaseNodes make_prepared_phase_nodes(hw::CpuMachine machine,

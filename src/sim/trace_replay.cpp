@@ -83,8 +83,8 @@ TraceReplayResult replay_reference(const CpuNodeSim& node,
 
 }  // namespace
 
-std::optional<Error> validate_trace(const workload::PhaseTrace& trace,
-                                    std::size_t phase_count) {
+Status check_trace(const workload::PhaseTrace& trace,
+                   std::size_t phase_count) {
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const auto& seg = trace[i];
     if (seg.phase_index >= phase_count) {
@@ -99,6 +99,14 @@ std::optional<Error> validate_trace(const workload::PhaseTrace& trace,
                               ": work_units must be > 0, got " +
                               std::to_string(seg.work_units));
     }
+  }
+  return Status{};
+}
+
+std::optional<Error> validate_trace(const workload::PhaseTrace& trace,
+                                    std::size_t phase_count) {
+  if (Status s = check_trace(trace, phase_count); !s.ok()) {
+    return s.error();
   }
   return std::nullopt;
 }
@@ -144,8 +152,8 @@ Result<TraceReplayResult> replay_trace_checked(const CpuNodeSim& node,
                             std::to_string(cpu_cap.value()) + " mem_cap=" +
                             std::to_string(mem_cap.value()));
   }
-  if (auto err = validate_trace(trace, node.wl().phases.size())) {
-    return *std::move(err);
+  if (Status s = check_trace(trace, node.wl().phases.size()); !s.ok()) {
+    return s.error();
   }
   return replay_trace(node, trace, cpu_cap, mem_cap, path);
 }
@@ -159,8 +167,8 @@ Result<TraceReplayResult> replay_trace_checked(const PhaseNodeSet& nodes,
                             std::to_string(cpu_cap.value()) + " mem_cap=" +
                             std::to_string(mem_cap.value()));
   }
-  if (auto err = validate_trace(trace, nodes.phase_count())) {
-    return *std::move(err);
+  if (Status s = check_trace(trace, nodes.phase_count()); !s.ok()) {
+    return s.error();
   }
   return replay_trace(nodes, trace, cpu_cap, mem_cap);
 }

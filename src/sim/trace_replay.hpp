@@ -61,9 +61,15 @@ struct TraceReplayResult {
 
 /// Validates a trace against a workload's phase count: every segment must
 /// name an existing phase and carry positive work. Returns the first
-/// violation, or nullopt for a well-formed trace. The unchecked replay
-/// entry points silently skip violating segments instead (retained
-/// behaviour); the *_checked variants reject the whole trace.
+/// violation, or ok for a well-formed trace. The unchecked replay entry
+/// points silently skip violating segments instead (retained behaviour);
+/// the *_checked variants reject the whole trace.
+[[nodiscard]] Status check_trace(const workload::PhaseTrace& trace,
+                                 std::size_t phase_count);
+
+/// Deprecated spelling of check_trace from before the unified
+/// Status/Result vocabulary; returns the error as an optional instead.
+[[deprecated("use check_trace, which returns pbc::Status")]]
 [[nodiscard]] std::optional<Error> validate_trace(
     const workload::PhaseTrace& trace, std::size_t phase_count);
 

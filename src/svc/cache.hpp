@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "svc/key.hpp"
 
 namespace pbc::svc {
@@ -29,8 +30,12 @@ class ShardedLruCache {
  public:
   /// `capacity` is the total entry budget across all shards; each shard
   /// gets an equal slice (at least one entry). The shard count is clamped
-  /// so no shard would have zero capacity.
-  explicit ShardedLruCache(std::size_t capacity, std::size_t shard_count = 8) {
+  /// so no shard would have zero capacity. When `eviction_counter` is
+  /// set, every evicted entry also increments it (the per-shard count
+  /// behind evictions() is kept either way).
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shard_count = 8,
+                           obs::Counter* eviction_counter = nullptr)
+      : eviction_counter_(eviction_counter) {
     if (capacity == 0) capacity = 1;
     if (shard_count == 0) shard_count = 1;
     shard_count = std::min(shard_count, capacity);
@@ -70,6 +75,7 @@ class ShardedLruCache {
       s.index.erase(s.lru.back().first);
       s.lru.pop_back();
       ++s.evictions;
+      if (eviction_counter_ != nullptr) eviction_counter_->add(1);
     }
   }
 
@@ -125,6 +131,7 @@ class ShardedLruCache {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t capacity_ = 0;
+  obs::Counter* eviction_counter_ = nullptr;
 };
 
 }  // namespace pbc::svc

@@ -9,8 +9,6 @@ namespace pbc::svc {
 
 namespace {
 
-constexpr auto kRelaxed = std::memory_order_relaxed;
-
 [[nodiscard]] std::uint64_t elapsed_ns(
     std::chrono::steady_clock::time_point t0) {
   const auto dt = std::chrono::steady_clock::now() - t0;
@@ -22,38 +20,62 @@ constexpr auto kRelaxed = std::memory_order_relaxed;
 
 QueryEngine::QueryEngine(EngineOptions opt)
     : opt_(opt),
-      cpu_profiles_(opt.profile_cache_capacity, opt.shards),
-      gpu_profiles_(opt.profile_cache_capacity, opt.shards),
-      frontiers_(opt.frontier_cache_capacity, opt.shards),
-      cpu_sims_(opt.sim_cache_capacity, opt.shards),
-      gpu_sims_(opt.sim_cache_capacity, opt.shards),
-      phase_sets_(opt.sim_cache_capacity, opt.shards),
-      replays_(opt.replay_cache_capacity, opt.shards),
-      shifts_(opt.replay_cache_capacity, opt.shards),
-      latency_(opt.latency_window) {}
+      owned_registry_(opt.registry != nullptr
+                          ? nullptr
+                          : std::make_unique<obs::MetricsRegistry>()),
+      registry_(opt.registry != nullptr ? opt.registry
+                                        : owned_registry_.get()),
+      metrics_(*registry_),
+      cpu_profiles_(opt.profile_cache_capacity, opt.shards,
+                    metrics_.profile_evictions),
+      gpu_profiles_(opt.profile_cache_capacity, opt.shards,
+                    metrics_.profile_evictions),
+      frontiers_(opt.frontier_cache_capacity, opt.shards,
+                 metrics_.frontier_evictions),
+      cpu_sims_(opt.sim_cache_capacity, opt.shards, metrics_.sim_evictions),
+      gpu_sims_(opt.sim_cache_capacity, opt.shards, metrics_.sim_evictions),
+      phase_sets_(opt.sim_cache_capacity, opt.shards,
+                  metrics_.phase_evictions),
+      replays_(opt.replay_cache_capacity, opt.shards,
+               metrics_.replay_evictions),
+      shifts_(opt.replay_cache_capacity, opt.shards,
+              metrics_.replay_evictions),
+      tracer_(opt.trace_capacity) {
+  tracer_.set_enabled(opt.tracing);
+}
 
-void QueryEngine::record_latency_from(
-    std::chrono::steady_clock::time_point t0, std::uint64_t queries) {
+void QueryEngine::record_latency(QueryKind kind,
+                                 std::uint64_t descriptor_hash,
+                                 std::chrono::steady_clock::time_point t0,
+                                 std::uint64_t queries) {
   if (queries == 0) return;
-  const std::uint64_t per_query = elapsed_ns(t0) / queries;
-  for (std::uint64_t i = 0; i < queries; ++i) latency_.record(per_query);
+  const double per_query_us = static_cast<double>(elapsed_ns(t0)) * 1e-3 /
+                              static_cast<double>(queries);
+  obs::Histogram& hist = metrics_.latency_for(kind);
+  for (std::uint64_t i = 0; i < queries; ++i) hist.observe(per_query_us);
+  if (opt_.slow_query_us > 0.0 && per_query_us >= opt_.slow_query_us) {
+    slow_log_.record(descriptor_hash, to_string(kind), per_query_us,
+                     {{"total", per_query_us}});
+  }
 }
 
 std::shared_ptr<const core::CpuCriticalPowers> QueryEngine::resolve_cpu(
     const CacheKey& key, const hw::CpuMachine& machine,
     const workload::Workload& wl) {
   if (auto cached = cpu_profiles_.get(key)) {
-    counters_.hits.fetch_add(1, kRelaxed);
+    metrics_.profile_hits->add(1);
     return cached;
   }
-  counters_.misses.fetch_add(1, kRelaxed);
+  metrics_.profile_misses->add(1);
   bool computed = false;
+  PBC_TRACE_SPAN(&tracer_, "svc.single_flight", key.hi);
   auto outcome = cpu_inflight_.run(key, [&] {
     // Double-check: a leader that finished between our probe and this
     // point has already published — reuse its entry instead of leading a
     // second compute for the same key.
     if (auto published = cpu_profiles_.get(key)) return published;
     computed = true;
+    PBC_TRACE_SPAN(&tracer_, "svc.profile_compute", key.hi);
     const sim::CpuNodeSim node(machine, wl);
     auto profile = std::make_shared<const core::CpuCriticalPowers>(
         core::profile_critical_powers(node));
@@ -61,9 +83,9 @@ std::shared_ptr<const core::CpuCriticalPowers> QueryEngine::resolve_cpu(
     return std::shared_ptr<const core::CpuCriticalPowers>(profile);
   });
   if (outcome.led && computed) {
-    counters_.computes.fetch_add(1, kRelaxed);
+    metrics_.computes->add(1);
   } else {
-    counters_.coalesced.fetch_add(1, kRelaxed);
+    metrics_.coalesced->add(1);
   }
   return outcome.value;
 }
@@ -72,14 +94,16 @@ std::shared_ptr<const GpuProfileEntry> QueryEngine::resolve_gpu(
     const CacheKey& key, const hw::GpuMachine& machine,
     const workload::Workload& wl) {
   if (auto cached = gpu_profiles_.get(key)) {
-    counters_.hits.fetch_add(1, kRelaxed);
+    metrics_.profile_hits->add(1);
     return cached;
   }
-  counters_.misses.fetch_add(1, kRelaxed);
+  metrics_.profile_misses->add(1);
   bool computed = false;
+  PBC_TRACE_SPAN(&tracer_, "svc.single_flight", key.hi);
   auto outcome = gpu_inflight_.run(key, [&] {
     if (auto published = gpu_profiles_.get(key)) return published;
     computed = true;
+    PBC_TRACE_SPAN(&tracer_, "svc.profile_compute", key.hi);
     const sim::GpuNodeSim node(machine, wl);
     auto entry = std::make_shared<const GpuProfileEntry>(
         GpuProfileEntry{core::profile_gpu_params(node), node.gpu_model()});
@@ -87,9 +111,9 @@ std::shared_ptr<const GpuProfileEntry> QueryEngine::resolve_gpu(
     return std::shared_ptr<const GpuProfileEntry>(entry);
   });
   if (outcome.led && computed) {
-    counters_.computes.fetch_add(1, kRelaxed);
+    metrics_.computes->add(1);
   } else {
-    counters_.coalesced.fetch_add(1, kRelaxed);
+    metrics_.coalesced->add(1);
   }
   return outcome.value;
 }
@@ -102,8 +126,8 @@ core::CpuAllocation QueryEngine::query_cpu(const hw::CpuMachine& machine,
   const CacheKey key = cpu_profile_key(machine, wl);
   const auto profile = resolve_cpu(key, machine, wl);
   const auto alloc = core::coord_cpu(*profile, budget, variant);
-  counters_.queries.fetch_add(1, kRelaxed);
-  latency_.record(elapsed_ns(t0));
+  metrics_.queries->add(1);
+  record_latency(QueryKind::kQueryCpu, key.hi, t0);
   return alloc;
 }
 
@@ -115,8 +139,8 @@ core::GpuAllocation QueryEngine::query_gpu(const hw::GpuMachine& machine,
   const auto entry = resolve_gpu(key, machine, wl);
   const auto alloc =
       core::coord_gpu(entry->params, entry->model, budget, gamma);
-  counters_.queries.fetch_add(1, kRelaxed);
-  latency_.record(elapsed_ns(t0));
+  metrics_.queries->add(1);
+  record_latency(QueryKind::kQueryGpu, key.hi, t0);
   return alloc;
 }
 
@@ -144,14 +168,14 @@ std::vector<core::CpuAllocation> QueryEngine::query_cpu_batch(
     keys[i] = cpu_profile_key(queries[i].machine, queries[i].wl);
     const auto [it, fresh] = resolved.try_emplace(keys[i], nullptr);
     if (!fresh) {
-      counters_.hits.fetch_add(1, kRelaxed);
+      metrics_.profile_hits->add(1);
       continue;
     }
     it->second = cpu_profiles_.get(keys[i]);
     if (it->second != nullptr) {
-      counters_.hits.fetch_add(1, kRelaxed);
+      metrics_.profile_hits->add(1);
     } else {
-      counters_.misses.fetch_add(1, kRelaxed);
+      metrics_.profile_misses->add(1);
       missing.push_back({keys[i], i});
     }
   }
@@ -160,6 +184,7 @@ std::vector<core::CpuAllocation> QueryEngine::query_cpu_batch(
   // through the single-flight table so concurrent engine users still
   // coalesce with us.
   if (!missing.empty()) {
+    PBC_TRACE_SPAN(&tracer_, "svc.pool_fanout");
     std::vector<std::shared_ptr<const core::CpuCriticalPowers>> computed(
         missing.size());
     pool().parallel_for_index(missing.size(), [&](std::size_t i) {
@@ -170,6 +195,7 @@ std::vector<core::CpuAllocation> QueryEngine::query_cpu_batch(
           return published;
         }
         fresh_compute = true;
+        PBC_TRACE_SPAN(&tracer_, "svc.profile_compute", missing[i].key.hi);
         const sim::CpuNodeSim node(q.machine, q.wl);
         auto profile = std::make_shared<const core::CpuCriticalPowers>(
             core::profile_critical_powers(node));
@@ -177,9 +203,9 @@ std::vector<core::CpuAllocation> QueryEngine::query_cpu_batch(
         return std::shared_ptr<const core::CpuCriticalPowers>(profile);
       });
       if (outcome.led && fresh_compute) {
-        counters_.computes.fetch_add(1, kRelaxed);
+        metrics_.computes->add(1);
       } else {
-        counters_.coalesced.fetch_add(1, kRelaxed);
+        metrics_.coalesced->add(1);
       }
       computed[i] = outcome.value;
     });
@@ -193,8 +219,8 @@ std::vector<core::CpuAllocation> QueryEngine::query_cpu_batch(
     answers[i] = core::coord_cpu(*resolved[keys[i]], queries[i].budget,
                                  queries[i].variant);
   }
-  counters_.queries.fetch_add(n, kRelaxed);
-  record_latency_from(t0, n);
+  metrics_.queries->add(n);
+  record_latency(QueryKind::kQueryCpu, 0, t0, n);
   return answers;
 }
 
@@ -202,12 +228,13 @@ std::shared_ptr<const sim::CpuNodeSim> QueryEngine::cpu_sim(
     const hw::CpuMachine& machine, const workload::Workload& wl) {
   const CacheKey key = cpu_profile_key(machine, wl);
   if (auto cached = cpu_sims_.get(key)) {
-    counters_.sim_hits.fetch_add(1, kRelaxed);
+    metrics_.sim_hits->add(1);
     return cached;
   }
-  counters_.sim_misses.fetch_add(1, kRelaxed);
+  metrics_.sim_misses->add(1);
   auto outcome = cpu_sim_inflight_.run(key, [&] {
     if (auto published = cpu_sims_.get(key)) return published;
+    PBC_TRACE_SPAN(&tracer_, "svc.table_build", key.hi);
     auto node = std::make_shared<const sim::CpuNodeSim>(machine, wl);
     // Build the operating-point table before publishing, so every
     // subsequent user starts at full speed.
@@ -222,12 +249,13 @@ std::shared_ptr<const sim::GpuNodeSim> QueryEngine::gpu_sim(
     const hw::GpuMachine& machine, const workload::Workload& wl) {
   const CacheKey key = gpu_profile_key(machine, wl);
   if (auto cached = gpu_sims_.get(key)) {
-    counters_.sim_hits.fetch_add(1, kRelaxed);
+    metrics_.sim_hits->add(1);
     return cached;
   }
-  counters_.sim_misses.fetch_add(1, kRelaxed);
+  metrics_.sim_misses->add(1);
   auto outcome = gpu_sim_inflight_.run(key, [&] {
     if (auto published = gpu_sims_.get(key)) return published;
+    PBC_TRACE_SPAN(&tracer_, "svc.table_build", key.hi);
     auto node = std::make_shared<const sim::GpuNodeSim>(machine, wl);
     node->prepare();
     gpu_sims_.put(key, node);
@@ -257,8 +285,8 @@ core::ClusterRun QueryEngine::simulate_cluster(const hw::CpuMachine& node_type,
   const core::ClusterNodeProvider provider = cluster_provider();
   core::ClusterRun run =
       core::simulate_cluster(node_type, std::move(jobs), config, &provider);
-  counters_.queries.fetch_add(1, kRelaxed);
-  latency_.record(elapsed_ns(t0));
+  metrics_.queries->add(1);
+  record_latency(QueryKind::kCluster, 0, t0);
   return run;
 }
 
@@ -272,8 +300,8 @@ core::ClusterRun QueryEngine::simulate_cluster(const hw::CpuMachine& node_type,
   core::ClusterRun run = core::simulate_cluster(node_type, gpu_type,
                                                 std::move(jobs), config,
                                                 &provider);
-  counters_.queries.fetch_add(1, kRelaxed);
-  latency_.record(elapsed_ns(t0));
+  metrics_.queries->add(1);
+  record_latency(QueryKind::kCluster, 0, t0);
   return run;
 }
 
@@ -283,8 +311,8 @@ sim::AllocationSample QueryEngine::sample_cpu(const hw::CpuMachine& machine,
   const auto t0 = std::chrono::steady_clock::now();
   const auto node = cpu_sim(machine, wl);
   const sim::AllocationSample s = node->steady_state(cpu_cap, mem_cap);
-  counters_.queries.fetch_add(1, kRelaxed);
-  latency_.record(elapsed_ns(t0));
+  metrics_.queries->add(1);
+  record_latency(QueryKind::kSample, cpu_profile_key(machine, wl).hi, t0);
   return s;
 }
 
@@ -294,8 +322,8 @@ std::vector<sim::AllocationSample> QueryEngine::sample_cpu_batch(
   const auto t0 = std::chrono::steady_clock::now();
   const auto node = cpu_sim(machine, wl);
   std::vector<sim::AllocationSample> out = node->steady_state_batch(caps);
-  counters_.queries.fetch_add(caps.size(), kRelaxed);
-  record_latency_from(t0, caps.size());
+  metrics_.queries->add(caps.size());
+  record_latency(QueryKind::kSample, 0, t0, caps.size());
   return out;
 }
 
@@ -306,8 +334,8 @@ std::vector<sim::AllocationSample> QueryEngine::sample_gpu_batch(
   const auto node = gpu_sim(machine, wl);
   std::vector<sim::AllocationSample> out =
       node->steady_state_batch(mem_clock_index, board_caps);
-  counters_.queries.fetch_add(board_caps.size(), kRelaxed);
-  record_latency_from(t0, board_caps.size());
+  metrics_.queries->add(board_caps.size());
+  record_latency(QueryKind::kSample, 0, t0, board_caps.size());
   return out;
 }
 
@@ -315,12 +343,13 @@ sim::PreparedPhaseNodes QueryEngine::phase_nodes(
     const hw::CpuMachine& machine, const workload::Workload& wl) {
   const CacheKey key = cpu_profile_key(machine, wl);
   if (auto cached = phase_sets_.get(key)) {
-    counters_.sim_hits.fetch_add(1, kRelaxed);
+    metrics_.sim_hits->add(1);
     return cached;
   }
-  counters_.sim_misses.fetch_add(1, kRelaxed);
+  metrics_.sim_misses->add(1);
   auto outcome = phase_set_inflight_.run(key, [&] {
     if (auto published = phase_sets_.get(key)) return published;
+    PBC_TRACE_SPAN(&tracer_, "svc.phase_nodes_build", key.hi);
     // The cached full-workload simulator is the set's base node, so only
     // the per-phase nodes (and their tables) are built here.
     auto set = std::make_shared<const sim::PhaseNodeSet>(cpu_sim(machine, wl));
@@ -337,9 +366,9 @@ sim::TraceReplayResult QueryEngine::replay_trace(
   const CacheKey key = replay_key(machine, wl, trace, cpu_cap, mem_cap);
   auto result = replays_.get(key);
   if (result != nullptr) {
-    counters_.replay_hits.fetch_add(1, kRelaxed);
+    metrics_.replay_hits->add(1);
   } else {
-    counters_.replay_misses.fetch_add(1, kRelaxed);
+    metrics_.replay_misses->add(1);
     auto outcome = replay_inflight_.run(key, [&] {
       if (auto published = replays_.get(key)) return published;
       const auto nodes = phase_nodes(machine, wl);
@@ -350,8 +379,8 @@ sim::TraceReplayResult QueryEngine::replay_trace(
     });
     result = outcome.value;
   }
-  counters_.queries.fetch_add(1, kRelaxed);
-  latency_.record(elapsed_ns(t0));
+  metrics_.queries->add(1);
+  record_latency(QueryKind::kReplay, key.hi, t0);
   return *result;
 }
 
@@ -377,14 +406,15 @@ std::vector<sim::TraceReplayResult> QueryEngine::replay_trace_batch(
                          caps[c].mem_cap);
     got[i] = replays_.get(keys[i]);
     if (got[i] != nullptr) {
-      counters_.replay_hits.fetch_add(1, kRelaxed);
+      metrics_.replay_hits->add(1);
     } else {
-      counters_.replay_misses.fetch_add(1, kRelaxed);
+      metrics_.replay_misses->add(1);
       missing.push_back(i);
     }
   }
 
   if (!missing.empty()) {
+    PBC_TRACE_SPAN(&tracer_, "svc.pool_fanout");
     const auto run_miss = [&](std::size_t mi) {
       const std::size_t i = missing[mi];
       const std::size_t t = i / caps.size();
@@ -408,8 +438,8 @@ std::vector<sim::TraceReplayResult> QueryEngine::replay_trace_batch(
   }
 
   for (std::size_t i = 0; i < n; ++i) out[i] = *got[i];
-  counters_.queries.fetch_add(n, kRelaxed);
-  record_latency_from(t0, n);
+  metrics_.queries->add(n);
+  record_latency(QueryKind::kReplay, 0, t0, n);
   return out;
 }
 
@@ -421,9 +451,9 @@ core::ShiftingResult QueryEngine::replay_with_shifting(
   const CacheKey key = shift_key(machine, wl, trace, total_budget, cfg);
   auto result = shifts_.get(key);
   if (result != nullptr) {
-    counters_.replay_hits.fetch_add(1, kRelaxed);
+    metrics_.replay_hits->add(1);
   } else {
-    counters_.replay_misses.fetch_add(1, kRelaxed);
+    metrics_.replay_misses->add(1);
     auto outcome = shift_inflight_.run(key, [&] {
       if (auto published = shifts_.get(key)) return published;
       const auto nodes = phase_nodes(machine, wl);
@@ -434,8 +464,8 @@ core::ShiftingResult QueryEngine::replay_with_shifting(
     });
     result = outcome.value;
   }
-  counters_.queries.fetch_add(1, kRelaxed);
-  latency_.record(elapsed_ns(t0));
+  metrics_.queries->add(1);
+  record_latency(QueryKind::kShift, key.hi, t0);
   return *result;
 }
 
@@ -458,14 +488,15 @@ std::vector<core::ShiftingResult> QueryEngine::shifting_batch(
     keys[i] = shift_key(machine, wl, traces[t], budgets[b], cfg);
     got[i] = shifts_.get(keys[i]);
     if (got[i] != nullptr) {
-      counters_.replay_hits.fetch_add(1, kRelaxed);
+      metrics_.replay_hits->add(1);
     } else {
-      counters_.replay_misses.fetch_add(1, kRelaxed);
+      metrics_.replay_misses->add(1);
       missing.push_back(i);
     }
   }
 
   if (!missing.empty()) {
+    PBC_TRACE_SPAN(&tracer_, "svc.pool_fanout");
     const auto run_miss = [&](std::size_t mi) {
       const std::size_t i = missing[mi];
       const std::size_t t = i / budgets.size();
@@ -488,8 +519,8 @@ std::vector<core::ShiftingResult> QueryEngine::shifting_batch(
   }
 
   for (std::size_t i = 0; i < n; ++i) out[i] = *got[i];
-  counters_.queries.fetch_add(n, kRelaxed);
-  record_latency_from(t0, n);
+  metrics_.queries->add(n);
+  record_latency(QueryKind::kShift, 0, t0, n);
   return out;
 }
 
@@ -508,16 +539,19 @@ QueryEngine::cpu_frontier(const hw::CpuMachine& machine,
                           const workload::Workload& wl,
                           std::span<const Watts> budgets,
                           const sim::CpuSweepOptions& sweep_opt) {
+  const auto t0 = std::chrono::steady_clock::now();
   const CacheKey key = cpu_frontier_key(machine, wl, budgets, sweep_opt);
   if (auto cached = frontiers_.get(key)) {
-    counters_.hits.fetch_add(1, kRelaxed);
+    metrics_.frontier_hits->add(1);
+    record_latency(QueryKind::kFrontier, key.hi, t0);
     return cached;
   }
-  counters_.misses.fetch_add(1, kRelaxed);
+  metrics_.frontier_misses->add(1);
   bool computed = false;
   auto outcome = frontier_inflight_.run(key, [&] {
     if (auto published = frontiers_.get(key)) return published;
     computed = true;
+    PBC_TRACE_SPAN(&tracer_, "svc.frontier_sweep", key.hi);
     // Route the sweep through the cached, table-prepared simulator: repeat
     // frontier requests for the same pair (different grids) reuse the node
     // and its tables instead of rebuilding both.
@@ -528,33 +562,32 @@ QueryEngine::cpu_frontier(const hw::CpuMachine& machine,
     return std::shared_ptr<const std::vector<core::FrontierPoint>>(frontier);
   });
   if (outcome.led && computed) {
-    counters_.computes.fetch_add(1, kRelaxed);
+    metrics_.computes->add(1);
   } else {
-    counters_.coalesced.fetch_add(1, kRelaxed);
+    metrics_.coalesced->add(1);
   }
+  record_latency(QueryKind::kFrontier, key.hi, t0);
   return outcome.value;
 }
 
+void QueryEngine::refresh_gauges() const {
+  metrics_.profile_entries->set(
+      static_cast<double>(cpu_profiles_.size() + gpu_profiles_.size()));
+  metrics_.frontier_entries->set(static_cast<double>(frontiers_.size()));
+  metrics_.sim_entries->set(static_cast<double>(
+      cpu_sims_.size() + gpu_sims_.size() + phase_sets_.size()));
+  metrics_.replay_entries->set(
+      static_cast<double>(replays_.size() + shifts_.size()));
+}
+
 EngineStats QueryEngine::stats() const {
-  EngineStats s;
-  s.queries = counters_.queries.load(kRelaxed);
-  s.hits = counters_.hits.load(kRelaxed);
-  s.misses = counters_.misses.load(kRelaxed);
-  s.coalesced = counters_.coalesced.load(kRelaxed);
-  s.computes = counters_.computes.load(kRelaxed);
-  s.evictions = cpu_profiles_.evictions() + gpu_profiles_.evictions() +
-                frontiers_.evictions() + phase_sets_.evictions() +
-                replays_.evictions() + shifts_.evictions();
-  s.sim_hits = counters_.sim_hits.load(kRelaxed);
-  s.sim_misses = counters_.sim_misses.load(kRelaxed);
-  s.replay_hits = counters_.replay_hits.load(kRelaxed);
-  s.replay_misses = counters_.replay_misses.load(kRelaxed);
-  s.profile_cache_size = cpu_profiles_.size() + gpu_profiles_.size();
-  s.frontier_cache_size = frontiers_.size();
-  s.sim_cache_size = cpu_sims_.size() + gpu_sims_.size() + phase_sets_.size();
-  s.replay_cache_size = replays_.size() + shifts_.size();
-  latency_.snapshot_into(s);
-  return s;
+  refresh_gauges();
+  return engine_stats_from(registry_->snapshot());
+}
+
+obs::MetricsSnapshot QueryEngine::metrics_snapshot() const {
+  refresh_gauges();
+  return registry_->snapshot();
 }
 
 void QueryEngine::clear() {

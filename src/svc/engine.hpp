@@ -27,6 +27,8 @@
 #include "core/coord.hpp"
 #include "core/dynamic.hpp"
 #include "core/frontier.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/phase_nodes.hpp"
 #include "svc/cache.hpp"
 #include "svc/single_flight.hpp"
@@ -50,10 +52,20 @@ struct EngineOptions {
   std::size_t replay_cache_capacity = 512;
   /// Lock shards per cache.
   std::size_t shards = 8;
-  /// Ring size of the service-latency window.
-  std::size_t latency_window = 4096;
   /// Pool for batch-miss fan-out and frontier sweeps (null = global_pool).
   ThreadPool* pool = nullptr;
+  /// Registry to publish metrics into. Null (the default) gives the
+  /// engine a private registry, so its stats stay isolated; point several
+  /// engines (or the process) at one registry to aggregate, at the cost
+  /// of shared counters.
+  obs::MetricsRegistry* registry = nullptr;
+  /// Runtime switch for span tracing (the compile-time switch is the
+  /// PBC_TRACING CMake option).
+  bool tracing = true;
+  /// Bounded central ring of retained spans.
+  std::size_t trace_capacity = 4096;
+  /// Queries slower than this land in the slow-query log; 0 disables.
+  double slow_query_us = 10000.0;
 };
 
 /// One CPU allocation request, for the batch API.
@@ -191,8 +203,27 @@ class QueryEngine {
                std::span<const Watts> budgets,
                const sim::CpuSweepOptions& sweep_opt = {});
 
-  /// Counter + latency snapshot (eventually consistent across counters).
+  /// Counter + latency snapshot (eventually consistent across counters),
+  /// computed from the metrics registry — see engine_stats_from().
   [[nodiscard]] EngineStats stats() const;
+
+  /// The registry this engine publishes into (private unless
+  /// EngineOptions::registry was set).
+  [[nodiscard]] obs::MetricsRegistry& metrics() const noexcept {
+    return *registry_;
+  }
+
+  /// Registry snapshot with the cache-entry gauges freshly refreshed —
+  /// feed this to obs::render_prometheus / obs::render_json.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
+  /// Miss-path span sink (svc.profile_compute, svc.table_build, ...).
+  [[nodiscard]] obs::Tracer& tracer() const noexcept { return tracer_; }
+
+  /// Queries that crossed EngineOptions::slow_query_us.
+  [[nodiscard]] const obs::SlowQueryLog& slow_queries() const noexcept {
+    return slow_log_;
+  }
 
   /// Drops every cached entry. Counters are preserved.
   void clear();
@@ -216,10 +247,22 @@ class QueryEngine {
       const CacheKey& key, const hw::GpuMachine& machine,
       const workload::Workload& wl);
 
-  void record_latency_from(
-      std::chrono::steady_clock::time_point t0, std::uint64_t queries);
+  /// Records one query's latency (or a batch's per-query average) into
+  /// the kind's histogram, and the slow-query log when over threshold.
+  void record_latency(QueryKind kind, std::uint64_t descriptor_hash,
+                      std::chrono::steady_clock::time_point t0,
+                      std::uint64_t queries = 1);
+
+  /// Refreshes the cache-entry gauges from the live cache sizes.
+  void refresh_gauges() const;
 
   EngineOptions opt_;
+  /// Backing storage for the default private registry; registry_ points
+  /// here or at opt_.registry. Declared before metrics_ and the caches,
+  /// which hold references into it.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_;
+  EngineMetrics metrics_;
   ShardedLruCache<core::CpuCriticalPowers> cpu_profiles_;
   ShardedLruCache<GpuProfileEntry> gpu_profiles_;
   ShardedLruCache<std::vector<core::FrontierPoint>> frontiers_;
@@ -236,8 +279,8 @@ class QueryEngine {
   SingleFlight<sim::PhaseNodeSet> phase_set_inflight_;
   SingleFlight<sim::TraceReplayResult> replay_inflight_;
   SingleFlight<core::ShiftingResult> shift_inflight_;
-  Counters counters_;
-  LatencyRecorder latency_;
+  mutable obs::Tracer tracer_;
+  obs::SlowQueryLog slow_log_;
 };
 
 }  // namespace pbc::svc

@@ -1,10 +1,117 @@
 #include "svc/stats.hpp"
 
 #include <algorithm>
+#include <string_view>
 
 #include "util/stats.hpp"
 
 namespace pbc::svc {
+
+namespace {
+
+constexpr std::string_view kQueries = "pbc_svc_queries_total";
+constexpr std::string_view kCoalesced = "pbc_svc_coalesced_total";
+constexpr std::string_view kComputes = "pbc_svc_computes_total";
+constexpr std::string_view kHits = "pbc_svc_cache_hits_total";
+constexpr std::string_view kMisses = "pbc_svc_cache_misses_total";
+constexpr std::string_view kEvictions = "pbc_svc_cache_evictions_total";
+constexpr std::string_view kEntries = "pbc_svc_cache_entries";
+constexpr std::string_view kLatency = "pbc_svc_query_latency_us";
+
+[[nodiscard]] obs::Labels cache_label(const char* which) {
+  return {{"cache", which}};
+}
+
+}  // namespace
+
+EngineMetrics::EngineMetrics(obs::MetricsRegistry& registry) {
+  const auto& bounds = obs::default_latency_bounds_us();
+  queries = &registry.counter(kQueries, "Queries served (all kinds)");
+  coalesced = &registry.counter(
+      kCoalesced, "Misses that joined an in-flight compute");
+  computes = &registry.counter(
+      kComputes, "Profile/frontier computations actually executed");
+  const auto hit_counter = [&](const char* which) {
+    return &registry.counter(kHits, "Cache hits by cache",
+                             cache_label(which));
+  };
+  const auto miss_counter = [&](const char* which) {
+    return &registry.counter(kMisses, "Cache misses by cache",
+                             cache_label(which));
+  };
+  const auto evict_counter = [&](const char* which) {
+    return &registry.counter(kEvictions, "LRU evictions by cache",
+                             cache_label(which));
+  };
+  profile_hits = hit_counter("profile");
+  profile_misses = miss_counter("profile");
+  frontier_hits = hit_counter("frontier");
+  frontier_misses = miss_counter("frontier");
+  sim_hits = hit_counter("sim");
+  sim_misses = miss_counter("sim");
+  replay_hits = hit_counter("replay");
+  replay_misses = miss_counter("replay");
+  profile_evictions = evict_counter("profile");
+  frontier_evictions = evict_counter("frontier");
+  sim_evictions = evict_counter("sim");
+  phase_evictions = evict_counter("phase");
+  replay_evictions = evict_counter("replay");
+  const auto entries_gauge = [&](const char* which) {
+    return &registry.gauge(kEntries, "Current cached entries by cache",
+                           cache_label(which));
+  };
+  profile_entries = entries_gauge("profile");
+  frontier_entries = entries_gauge("frontier");
+  sim_entries = entries_gauge("sim");
+  replay_entries = entries_gauge("replay");
+  for (std::size_t i = 0; i < kQueryKindCount; ++i) {
+    latency[i] = &registry.histogram(
+        kLatency, "Service latency by query kind, microseconds", bounds,
+        {{"kind", to_string(static_cast<QueryKind>(i))}});
+  }
+}
+
+EngineStats engine_stats_from(const obs::MetricsSnapshot& snapshot) {
+  EngineStats s;
+  s.queries = snapshot.counter(kQueries);
+  s.coalesced = snapshot.counter(kCoalesced);
+  s.computes = snapshot.counter(kComputes);
+  // `hits`/`misses` historically covered the profile and frontier caches
+  // through one counter; the labeled metrics split them, the view sums.
+  s.hits = snapshot.counter(kHits, cache_label("profile")) +
+           snapshot.counter(kHits, cache_label("frontier"));
+  s.misses = snapshot.counter(kMisses, cache_label("profile")) +
+             snapshot.counter(kMisses, cache_label("frontier"));
+  s.sim_hits = snapshot.counter(kHits, cache_label("sim"));
+  s.sim_misses = snapshot.counter(kMisses, cache_label("sim"));
+  s.replay_hits = snapshot.counter(kHits, cache_label("replay"));
+  s.replay_misses = snapshot.counter(kMisses, cache_label("replay"));
+  // The sim caches never fed the aggregate evictions field (their entries
+  // are cheap to rebuild and the field predates them); keep that set.
+  s.evictions = snapshot.counter(kEvictions, cache_label("profile")) +
+                snapshot.counter(kEvictions, cache_label("frontier")) +
+                snapshot.counter(kEvictions, cache_label("phase")) +
+                snapshot.counter(kEvictions, cache_label("replay"));
+  s.profile_cache_size =
+      static_cast<std::size_t>(snapshot.gauge(kEntries, cache_label("profile")));
+  s.frontier_cache_size = static_cast<std::size_t>(
+      snapshot.gauge(kEntries, cache_label("frontier")));
+  s.sim_cache_size =
+      static_cast<std::size_t>(snapshot.gauge(kEntries, cache_label("sim")));
+  s.replay_cache_size =
+      static_cast<std::size_t>(snapshot.gauge(kEntries, cache_label("replay")));
+
+  obs::HistogramSnapshot merged;
+  for (const auto& m : snapshot.metrics) {
+    if (m.name != kLatency || m.type != obs::MetricType::kHistogram) continue;
+    merged.merge(m.hist);
+  }
+  s.latency_samples = merged.count;
+  s.p50_us = merged.percentile(50.0);
+  s.p99_us = merged.percentile(99.0);
+  s.max_us = merged.max;
+  return s;
+}
 
 LatencyRecorder::LatencyRecorder(std::size_t window)
     : ring_(std::max<std::size_t>(1, window), 0) {}
@@ -20,6 +127,9 @@ void LatencyRecorder::snapshot_into(EngineStats& out) const {
   std::vector<double> us;
   {
     std::lock_guard lock(mu_);
+    // Only slots that have actually been written: the first min(total_,
+    // window) entries. A partially filled ring must never feed its
+    // zero-initialized tail into the percentiles.
     const std::size_t n = static_cast<std::size_t>(
         std::min<std::uint64_t>(total_, ring_.size()));
     us.reserve(n);

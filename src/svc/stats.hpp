@@ -1,17 +1,24 @@
-// Lightweight service counters and latency tracking for the query engine.
+// Engine statistics: a compatibility view over the obs metrics registry.
 //
-// Counters are relaxed atomics — they feed dashboards and the bench
-// harness, not control flow, so cross-counter snapshots only need to be
-// eventually consistent. Latencies go into a fixed-size ring of the most
-// recent samples; percentiles are computed on demand from a copy so the
-// record path stays a mutex-protected store into a preallocated slot.
+// The engine's counters and latencies live in an obs::MetricsRegistry
+// (src/obs/metrics.hpp) — relaxed-atomic counters, per-cache gauges, and
+// one latency histogram per query kind. EngineStats is the historical
+// flat snapshot shape, now *computed from* a registry snapshot by
+// engine_stats_from(): same field names, same counter semantics, so
+// dashboards and tests written against it keep working while Prometheus
+// and JSON exposition read the registry directly.
+//
+// LatencyRecorder (a windowed percentile ring) predates the histograms
+// and remains for callers that want exact percentiles over a recent
+// window rather than bucket-estimated all-time ones.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace pbc::svc {
 
@@ -32,7 +39,8 @@ struct EngineStats {
   std::size_t sim_cache_size = 0;  ///< cached prepared simulators (CPU+GPU)
   std::size_t replay_cache_size = 0;  ///< cached replay + shifting results
 
-  std::uint64_t latency_samples = 0;  ///< samples inside the current window
+  /// All-time latency observations (was: samples in the ring window).
+  std::uint64_t latency_samples = 0;
   double p50_us = 0.0;
   double p99_us = 0.0;
   double max_us = 0.0;
@@ -43,7 +51,89 @@ struct EngineStats {
   }
 };
 
+/// Query kinds with their own latency histogram
+/// (pbc_svc_query_latency_us{kind=...}).
+enum class QueryKind {
+  kQueryCpu,
+  kQueryGpu,
+  kSample,
+  kFrontier,
+  kReplay,
+  kShift,
+  kCluster,
+};
+inline constexpr std::size_t kQueryKindCount = 7;
+
+[[nodiscard]] constexpr const char* to_string(QueryKind k) noexcept {
+  switch (k) {
+    case QueryKind::kQueryCpu:
+      return "query_cpu";
+    case QueryKind::kQueryGpu:
+      return "query_gpu";
+    case QueryKind::kSample:
+      return "sample";
+    case QueryKind::kFrontier:
+      return "frontier";
+    case QueryKind::kReplay:
+      return "replay";
+    case QueryKind::kShift:
+      return "shift";
+    case QueryKind::kCluster:
+      return "cluster";
+  }
+  return "unknown";
+}
+
+/// The engine's resolved metric handles — registered once at construction
+/// so the hot path is a pointer deref plus a relaxed add. One EngineMetrics
+/// per registry; metric names are shared, so two engines on one registry
+/// aggregate.
+struct EngineMetrics {
+  explicit EngineMetrics(obs::MetricsRegistry& registry);
+
+  obs::Counter* queries;           ///< pbc_svc_queries_total
+  obs::Counter* coalesced;         ///< pbc_svc_coalesced_total
+  obs::Counter* computes;          ///< pbc_svc_computes_total
+  /// pbc_svc_cache_{hits,misses}_total{cache=...}. `frontier` splits out
+  /// of the historical shared profile counter; EngineStats sums them back.
+  obs::Counter* profile_hits;
+  obs::Counter* profile_misses;
+  obs::Counter* frontier_hits;
+  obs::Counter* frontier_misses;
+  obs::Counter* sim_hits;
+  obs::Counter* sim_misses;
+  obs::Counter* replay_hits;
+  obs::Counter* replay_misses;
+  /// pbc_svc_cache_evictions_total{cache=...}; EngineStats.evictions sums
+  /// profile+frontier+phase+replay (the sim caches were never counted).
+  obs::Counter* profile_evictions;
+  obs::Counter* frontier_evictions;
+  obs::Counter* sim_evictions;
+  obs::Counter* phase_evictions;
+  obs::Counter* replay_evictions;
+  /// pbc_svc_cache_entries{cache=...}, refreshed at snapshot time.
+  obs::Gauge* profile_entries;
+  obs::Gauge* frontier_entries;
+  obs::Gauge* sim_entries;
+  obs::Gauge* replay_entries;
+  /// pbc_svc_query_latency_us{kind=...}, indexed by QueryKind.
+  obs::Histogram* latency[kQueryKindCount];
+
+  [[nodiscard]] obs::Histogram& latency_for(QueryKind k) noexcept {
+    return *latency[static_cast<std::size_t>(k)];
+  }
+};
+
+/// Computes the flat compatibility view from a registry snapshot taken
+/// from an EngineMetrics-instrumented registry. Latency fields merge the
+/// per-kind histograms (estimated percentiles, exact max); counters keep
+/// their historical meaning exactly.
+[[nodiscard]] EngineStats engine_stats_from(
+    const obs::MetricsSnapshot& snapshot);
+
 /// Ring buffer of the most recent service latencies, in nanoseconds.
+/// Percentiles are computed over the recorded samples only — a partially
+/// filled window never reads its zero-initialized tail.
 class LatencyRecorder {
  public:
   explicit LatencyRecorder(std::size_t window = 4096);
@@ -58,19 +148,6 @@ class LatencyRecorder {
   std::vector<std::uint64_t> ring_;
   std::size_t next_ = 0;
   std::uint64_t total_ = 0;
-};
-
-/// The engine's counter block (shared across threads; relaxed order).
-struct Counters {
-  std::atomic<std::uint64_t> queries{0};
-  std::atomic<std::uint64_t> hits{0};
-  std::atomic<std::uint64_t> misses{0};
-  std::atomic<std::uint64_t> coalesced{0};
-  std::atomic<std::uint64_t> computes{0};
-  std::atomic<std::uint64_t> sim_hits{0};
-  std::atomic<std::uint64_t> sim_misses{0};
-  std::atomic<std::uint64_t> replay_hits{0};
-  std::atomic<std::uint64_t> replay_misses{0};
 };
 
 }  // namespace pbc::svc

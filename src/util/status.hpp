@@ -1,9 +1,16 @@
 // Lightweight status / expected-value vocabulary used across pbc.
 //
 // The library is exception-free on hot paths: fallible operations return
-// Result<T> (value or Error), and policy decisions that carry advisory
-// information (e.g. "power surplus") use CoordStatus-style enums defined by
-// the owning module.
+// Result<T> (value or Error) or Status (ok or Error) — ONE error-code
+// enum, ONE shape, across every layer's `*_checked` entry point
+// (replay_trace_checked, replay_with_shifting_checked,
+// simulate_cluster_checked, obs configuration validation, workload
+// parsing, hardware interfaces). Policy decisions that carry advisory
+// information (e.g. "power surplus") use CoordStatus-style enums defined
+// by the owning module — those are outcomes, not errors.
+//
+// docs/api.md documents the contract: which code each validation class
+// maps to, and how to consume Result/Status without exceptions.
 #pragma once
 
 #include <cassert>
@@ -14,8 +21,11 @@
 
 namespace pbc {
 
-/// Machine-readable error categories.
+/// Machine-readable error categories — the single enum shared by every
+/// checked API in the library. kOk exists so Status/Result can expose a
+/// uniform code() accessor; an Error never carries it.
 enum class ErrorCode {
+  kOk,
   kInvalidArgument,
   kOutOfRange,
   kFailedPrecondition,
@@ -27,6 +37,8 @@ enum class ErrorCode {
 /// Human-readable name for an ErrorCode.
 [[nodiscard]] constexpr const char* to_string(ErrorCode c) noexcept {
   switch (c) {
+    case ErrorCode::kOk:
+      return "ok";
     case ErrorCode::kInvalidArgument:
       return "invalid_argument";
     case ErrorCode::kOutOfRange:
@@ -51,6 +63,39 @@ struct Error {
   [[nodiscard]] std::string to_string() const {
     return std::string(pbc::to_string(code)) + ": " + message;
   }
+};
+
+/// Success-or-error outcome for operations with no value to return —
+/// the Result<void> of the vocabulary. Default-constructed Status is ok;
+/// an Error converts implicitly, so `return invalid_argument(...)` works
+/// in a Status-returning function exactly as it does for Result<T>.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error)  // NOLINT(google-explicit-constructor)
+      : error_(std::move(error)) {}
+
+  [[nodiscard]] bool is_ok() const noexcept { return !error_.has_value(); }
+  // Named ok() for symmetry with Result<T>.
+  [[nodiscard]] bool ok() const noexcept { return is_ok(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// kOk when ok, the error's category otherwise.
+  [[nodiscard]] ErrorCode code() const noexcept {
+    return error_ ? error_->code : ErrorCode::kOk;
+  }
+
+  [[nodiscard]] const Error& error() const& {
+    assert(!is_ok());
+    return *error_;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return error_ ? error_->to_string() : std::string("ok");
+  }
+
+ private:
+  std::optional<Error> error_;
 };
 
 /// Value-or-error result. Inspired by std::expected (not yet available on
@@ -86,6 +131,17 @@ class Result {
 
   [[nodiscard]] T value_or(T fallback) const& {
     return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+  /// kOk when holding a value, the error's category otherwise — the same
+  /// accessor Status exposes, so call sites branch on one vocabulary.
+  [[nodiscard]] ErrorCode code() const noexcept {
+    return ok() ? ErrorCode::kOk : std::get<Error>(storage_).code;
+  }
+
+  /// The outcome with the value dropped.
+  [[nodiscard]] Status status() const& {
+    return ok() ? Status{} : Status(std::get<Error>(storage_));
   }
 
  private:

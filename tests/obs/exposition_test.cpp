@@ -1,0 +1,147 @@
+// Golden-text tests for the Prometheus and JSON exposition: exact output
+// for a small registry (family ordering, HELP/TYPE headers, label
+// escaping, cumulative buckets) plus structural checks on larger ones.
+#include "obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace pbc::obs {
+namespace {
+
+TEST(ObsExposition, GoldenPrometheusText) {
+  MetricsRegistry r;
+  r.counter("pbc_events_total", "Total events").add(3);
+  r.counter("pbc_hits_total", "Hits by cache", {{"cache", "frontier"}})
+      .add(2);
+  r.counter("pbc_hits_total", "Hits by cache", {{"cache", "profile"}}).add(9);
+  r.gauge("pbc_entries", "Current entries").set(4);
+  Histogram& h = r.histogram("pbc_latency_us", "Latency", {1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(1.5);
+  h.observe(100.0);
+
+  const std::string expected =
+      "# HELP pbc_entries Current entries\n"
+      "# TYPE pbc_entries gauge\n"
+      "pbc_entries 4\n"
+      "# HELP pbc_events_total Total events\n"
+      "# TYPE pbc_events_total counter\n"
+      "pbc_events_total 3\n"
+      "# HELP pbc_hits_total Hits by cache\n"
+      "# TYPE pbc_hits_total counter\n"
+      "pbc_hits_total{cache=\"frontier\"} 2\n"
+      "pbc_hits_total{cache=\"profile\"} 9\n"
+      "# HELP pbc_latency_us Latency\n"
+      "# TYPE pbc_latency_us histogram\n"
+      "pbc_latency_us_bucket{le=\"1\"} 1\n"
+      "pbc_latency_us_bucket{le=\"2\"} 3\n"
+      "pbc_latency_us_bucket{le=\"4\"} 3\n"
+      "pbc_latency_us_bucket{le=\"+Inf\"} 4\n"
+      "pbc_latency_us_sum 103.5\n"
+      "pbc_latency_us_count 4\n";
+  EXPECT_EQ(render_prometheus(r.snapshot()), expected);
+}
+
+TEST(ObsExposition, HelpAndLabelEscaping) {
+  MetricsRegistry r;
+  r.counter("pbc_esc_total", "line1\nline2 back\\slash",
+            {{"path", "a\\b \"quoted\"\nnl"}})
+      .add(1);
+  const std::string text = render_prometheus(r.snapshot());
+  // HELP escapes backslash and newline (quotes stay literal).
+  EXPECT_NE(text.find("# HELP pbc_esc_total line1\\nline2 back\\\\slash\n"),
+            std::string::npos);
+  // Label values escape backslash, double quote, and newline.
+  EXPECT_NE(
+      text.find("pbc_esc_total{path=\"a\\\\b \\\"quoted\\\"\\nnl\"} 1\n"),
+      std::string::npos);
+}
+
+TEST(ObsExposition, HelpTypeHeaderOncePerFamily) {
+  MetricsRegistry r;
+  for (const char* kind : {"a", "b", "c"}) {
+    r.counter("pbc_family_total", "One family", {{"kind", kind}}).add(1);
+  }
+  const std::string text = render_prometheus(r.snapshot());
+  std::size_t headers = 0;
+  for (std::size_t pos = text.find("# HELP pbc_family_total");
+       pos != std::string::npos;
+       pos = text.find("# HELP pbc_family_total", pos + 1)) {
+    ++headers;
+  }
+  EXPECT_EQ(headers, 1u);
+}
+
+TEST(ObsExposition, HistogramBucketsAreCumulativeAndEndAtCount) {
+  MetricsRegistry r;
+  Histogram& h =
+      r.histogram("pbc_cum_us", "c", Histogram::exponential_bounds(1, 2, 6));
+  for (int i = 1; i <= 50; ++i) h.observe(static_cast<double>(i));
+  const MetricsSnapshot snap = r.snapshot();
+  const auto* m = snap.find("pbc_cum_us");
+  ASSERT_NE(m, nullptr);
+
+  // Bucket lines in the rendered text must be non-decreasing, and the
+  // +Inf bucket must equal _count.
+  const std::string text = render_prometheus(snap);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < m->hist.bounds.size(); ++i) {
+    const std::uint64_t cum = m->hist.cumulative(i);
+    EXPECT_GE(cum, prev);
+    prev = cum;
+  }
+  EXPECT_NE(text.find("pbc_cum_us_bucket{le=\"+Inf\"} 50\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pbc_cum_us_count 50\n"), std::string::npos);
+}
+
+TEST(ObsExposition, GaugeFormatting) {
+  MetricsRegistry r;
+  r.gauge("pbc_int_gauge", "i").set(1234.0);
+  r.gauge("pbc_frac_gauge", "f").set(0.125);
+  const std::string text = render_prometheus(r.snapshot());
+  EXPECT_NE(text.find("pbc_int_gauge 1234\n"), std::string::npos);
+  EXPECT_NE(text.find("pbc_frac_gauge 0.125\n"), std::string::npos);
+}
+
+TEST(ObsExposition, EmptySnapshotRendersEmpty) {
+  MetricsRegistry r;
+  EXPECT_EQ(render_prometheus(r.snapshot()), "");
+  EXPECT_EQ(render_json(r.snapshot()),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+}
+
+TEST(ObsExposition, GoldenJson) {
+  MetricsRegistry r;
+  r.counter("pbc_c_total", "c").add(5);
+  r.counter("pbc_l_total", "l", {{"cache", "profile"}}).add(2);
+  r.gauge("pbc_g", "g").set(1.5);
+  Histogram& h = r.histogram("pbc_h_us", "h", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(3.0);
+
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"pbc_c_total\": 5,\n"
+      "    \"pbc_l_total{cache=\\\"profile\\\"}\": 2\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"pbc_g\": 1.5\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"pbc_h_us\": {\"count\": 2, \"sum\": 3.5, \"max\": 3, "
+      "\"buckets\": [{\"le\": 1, \"count\": 1}, {\"le\": 2, \"count\": 1}]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(render_json(r.snapshot()), expected);
+}
+
+}  // namespace
+}  // namespace pbc::obs

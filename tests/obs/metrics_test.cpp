@@ -1,0 +1,276 @@
+// Unit tests for the metrics registry: counter/gauge/histogram behavior,
+// bucket-bound validation, the recorded-samples-only percentile contract,
+// snapshot merging, and registry identity/ordering rules.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace pbc::obs {
+namespace {
+
+TEST(ObsCounter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_EQ(g.value(), 1.5);
+  g.set(7.0);
+  EXPECT_EQ(g.value(), 7.0);
+}
+
+TEST(ObsHistogram, ExponentialBounds) {
+  const auto b = Histogram::exponential_bounds(0.5, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0.5);
+  EXPECT_EQ(b[1], 1.0);
+  EXPECT_EQ(b[2], 2.0);
+  EXPECT_EQ(b[3], 4.0);
+  EXPECT_TRUE(validate_bucket_bounds(b).ok());
+}
+
+TEST(ObsHistogram, ValidateBucketBounds) {
+  EXPECT_TRUE(validate_bucket_bounds(std::vector<double>{1.0}).ok());
+  EXPECT_TRUE(validate_bucket_bounds(std::vector<double>{0.5, 1.0, 8.0}).ok());
+
+  const Status empty = validate_bucket_bounds(std::vector<double>{});
+  EXPECT_FALSE(empty.ok());
+  EXPECT_EQ(empty.code(), ErrorCode::kInvalidArgument);
+
+  EXPECT_FALSE(validate_bucket_bounds(std::vector<double>{0.0, 1.0}).ok());
+  EXPECT_FALSE(validate_bucket_bounds(std::vector<double>{-1.0}).ok());
+  EXPECT_FALSE(validate_bucket_bounds(std::vector<double>{1.0, 1.0}).ok());
+  EXPECT_FALSE(validate_bucket_bounds(std::vector<double>{2.0, 1.0}).ok());
+  EXPECT_FALSE(validate_bucket_bounds(
+                   std::vector<double>{1.0,
+                                       std::numeric_limits<double>::infinity()})
+                   .ok());
+  EXPECT_FALSE(
+      validate_bucket_bounds(
+          std::vector<double>{std::numeric_limits<double>::quiet_NaN()})
+          .ok());
+}
+
+TEST(ObsHistogram, ObserveFillsCorrectBuckets) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // bucket 0 (le 1)
+  h.observe(1.0);   // bucket 0 (le is inclusive)
+  h.observe(1.5);   // bucket 1
+  h.observe(4.0);   // bucket 2
+  h.observe(100.0); // overflow bucket
+
+  const HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.buckets.size(), 4u);
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 107.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 107.0 / 5.0);
+
+  // Cumulative counts follow Prometheus `le` semantics.
+  EXPECT_EQ(s.cumulative(0), 2u);
+  EXPECT_EQ(s.cumulative(1), 3u);
+  EXPECT_EQ(s.cumulative(2), 4u);
+  EXPECT_EQ(s.cumulative(3), 5u);
+}
+
+TEST(ObsHistogram, EmptyPercentileIsZero) {
+  Histogram h({1.0, 2.0});
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  // Recorded-samples-only contract: an empty histogram never synthesizes
+  // a value from its (empty) buckets.
+  EXPECT_EQ(s.percentile(50.0), 0.0);
+  EXPECT_EQ(s.percentile(99.0), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(ObsHistogram, PercentileSingleSample) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(1.5);
+  const HistogramSnapshot s = h.snapshot();
+  // Every percentile of one sample lands in its bucket, clamped to the
+  // exact max.
+  EXPECT_GT(s.percentile(0.0), 0.0);
+  EXPECT_LE(s.percentile(0.0), 1.5);
+  EXPECT_LE(s.percentile(50.0), 1.5);
+  EXPECT_LE(s.percentile(100.0), 1.5);
+}
+
+TEST(ObsHistogram, PercentileMonotoneAndClampedToMax) {
+  Histogram h(Histogram::exponential_bounds(0.5, 2.0, 12));
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  const HistogramSnapshot s = h.snapshot();
+  double prev = -1.0;
+  for (double p = 0.0; p <= 100.0; p += 5.0) {
+    const double v = s.percentile(p);
+    EXPECT_GE(v, prev) << "percentile must be monotone in p (p=" << p << ")";
+    EXPECT_LE(v, s.max) << "percentile must never exceed the exact max";
+    prev = v;
+  }
+  // The top percentile reaches the overflow/last occupied bucket and is
+  // clamped to the exact max.
+  EXPECT_EQ(s.percentile(100.0), 100.0);
+  // A mid percentile must land within a factor-2 bucket of the true value
+  // (50 for this uniform ladder).
+  const double p50 = s.percentile(50.0);
+  EXPECT_GE(p50, 25.0);
+  EXPECT_LE(p50, 100.0);
+}
+
+TEST(ObsHistogram, PercentileOutOfRangePIsClamped) {
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.percentile(-10.0), s.percentile(0.0));
+  EXPECT_EQ(s.percentile(500.0), s.percentile(100.0));
+}
+
+TEST(ObsHistogram, MergeAccumulates) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  a.observe(0.5);
+  a.observe(5.0);
+  b.observe(1.5);
+  b.observe(9.0);
+
+  HistogramSnapshot m = a.snapshot();
+  m.merge(b.snapshot());
+  EXPECT_EQ(m.count, 4u);
+  EXPECT_DOUBLE_EQ(m.sum, 16.0);
+  EXPECT_EQ(m.max, 9.0);
+  EXPECT_EQ(m.buckets[0], 1u);
+  EXPECT_EQ(m.buckets[1], 1u);
+  EXPECT_EQ(m.buckets[2], 2u);
+}
+
+TEST(ObsHistogram, MergeIntoEmptyAdoptsOther) {
+  Histogram b({1.0, 2.0});
+  b.observe(1.5);
+  HistogramSnapshot m;  // default: no bounds
+  m.merge(b.snapshot());
+  EXPECT_EQ(m.count, 1u);
+  ASSERT_EQ(m.bounds.size(), 2u);
+  EXPECT_EQ(m.buckets[1], 1u);
+}
+
+TEST(ObsHistogram, MergeEmptyOtherIsNoop) {
+  Histogram a({1.0});
+  a.observe(0.5);
+  Histogram empty({4.0});  // different bounds, but count 0 → ignored
+  HistogramSnapshot m = a.snapshot();
+  m.merge(empty.snapshot());
+  EXPECT_EQ(m.count, 1u);
+  EXPECT_EQ(m.bounds.size(), 1u);
+}
+
+TEST(ObsRegistry, GetOrCreateReturnsStableReferences) {
+  MetricsRegistry r;
+  Counter& c1 = r.counter("pbc_test_total", "help");
+  Counter& c2 = r.counter("pbc_test_total", "other help ignored");
+  EXPECT_EQ(&c1, &c2);
+  c1.add(3);
+  EXPECT_EQ(c2.value(), 3u);
+  EXPECT_EQ(r.size(), 1u);
+
+  Gauge& g1 = r.gauge("pbc_test_gauge", "help");
+  Gauge& g2 = r.gauge("pbc_test_gauge", "help");
+  EXPECT_EQ(&g1, &g2);
+
+  Histogram& h1 = r.histogram("pbc_test_us", "help", {1.0, 2.0});
+  Histogram& h2 = r.histogram("pbc_test_us", "help", {8.0});  // bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(ObsRegistry, LabelsDistinguishMetrics) {
+  MetricsRegistry r;
+  Counter& a = r.counter("pbc_hits_total", "h", {{"cache", "profile"}});
+  Counter& b = r.counter("pbc_hits_total", "h", {{"cache", "frontier"}});
+  EXPECT_NE(&a, &b);
+  a.add(2);
+  b.add(5);
+  EXPECT_EQ(r.size(), 2u);
+
+  const MetricsSnapshot s = r.snapshot();
+  EXPECT_EQ(s.counter("pbc_hits_total", {{"cache", "profile"}}), 2u);
+  EXPECT_EQ(s.counter("pbc_hits_total", {{"cache", "frontier"}}), 5u);
+  EXPECT_EQ(s.counter("pbc_hits_total", {{"cache", "nope"}}), 0u);
+  EXPECT_EQ(s.counter("pbc_absent_total"), 0u);
+}
+
+TEST(ObsRegistry, SnapshotSortedByNameThenLabels) {
+  MetricsRegistry r;
+  // Registered deliberately out of order.
+  (void)r.counter("pbc_z_total", "z");
+  (void)r.gauge("pbc_a_gauge", "a");
+  (void)r.counter("pbc_m_total", "m", {{"kind", "b"}});
+  (void)r.counter("pbc_m_total", "m", {{"kind", "a"}});
+
+  const MetricsSnapshot s = r.snapshot();
+  ASSERT_EQ(s.metrics.size(), 4u);
+  EXPECT_EQ(s.metrics[0].name, "pbc_a_gauge");
+  EXPECT_EQ(s.metrics[1].name, "pbc_m_total");
+  EXPECT_EQ(s.metrics[1].labels, (Labels{{"kind", "a"}}));
+  EXPECT_EQ(s.metrics[2].name, "pbc_m_total");
+  EXPECT_EQ(s.metrics[2].labels, (Labels{{"kind", "b"}}));
+  EXPECT_EQ(s.metrics[3].name, "pbc_z_total");
+}
+
+TEST(ObsRegistry, SnapshotCarriesValuesAndTypes) {
+  MetricsRegistry r;
+  r.counter("pbc_c_total", "c").add(7);
+  r.gauge("pbc_g", "g").set(1.25);
+  r.histogram("pbc_h_us", "h", {1.0, 2.0}).observe(1.5);
+
+  const MetricsSnapshot s = r.snapshot();
+  const auto* c = s.find("pbc_c_total");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->type, MetricType::kCounter);
+  EXPECT_EQ(c->counter_value, 7u);
+
+  const auto* g = s.find("pbc_g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->type, MetricType::kGauge);
+  EXPECT_EQ(g->gauge_value, 1.25);
+  EXPECT_EQ(s.gauge("pbc_g"), 1.25);
+
+  const auto* h = s.find("pbc_h_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->type, MetricType::kHistogram);
+  EXPECT_EQ(h->hist.count, 1u);
+  EXPECT_EQ(h->hist.buckets[1], 1u);
+}
+
+TEST(ObsRegistry, DefaultLatencyBoundsAreValid) {
+  const auto& b = default_latency_bounds_us();
+  EXPECT_TRUE(validate_bucket_bounds(b).ok());
+  EXPECT_EQ(b.size(), 22u);
+  EXPECT_EQ(b.front(), 0.5);
+  EXPECT_GT(b.back(), 1e6);  // ladder reaches ~1 s (in microseconds)
+}
+
+TEST(ObsRegistry, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&global_registry(), &global_registry());
+}
+
+}  // namespace
+}  // namespace pbc::obs

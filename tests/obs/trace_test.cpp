@@ -1,0 +1,170 @@
+// Tests for the span tracer and slow-query log: recording via the RAII
+// scope, the runtime enable switch, ring capacity bounds, and snapshot
+// ordering.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace pbc::obs {
+namespace {
+
+TEST(ObsTracer, RecordAndSnapshot) {
+  Tracer t(16);
+  Span s;
+  s.name = "test.span";
+  s.descriptor_hash = 42;
+  s.start_ns = 10;
+  s.duration_ns = 5;
+  t.record(s);
+
+  const std::vector<Span> spans = t.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "test.span");
+  EXPECT_EQ(spans[0].descriptor_hash, 42u);
+  EXPECT_EQ(spans[0].start_ns, 10u);
+  EXPECT_EQ(spans[0].duration_ns, 5u);
+  EXPECT_EQ(t.recorded(), 1u);
+}
+
+TEST(ObsTracer, SpanScopeRecordsOnDestruction) {
+  Tracer t;
+  {
+    PBC_TRACE_SPAN(&t, "scope.outer", 7);
+    PBC_TRACE_SPAN(&t, "scope.inner");
+    EXPECT_TRUE(t.snapshot().empty()) << "spans record on scope exit";
+  }
+#if PBC_TRACING_ENABLED
+  const std::vector<Span> spans = t.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const auto find = [&](const char* name) -> const Span* {
+    for (const Span& s : spans) {
+      if (std::string(s.name) == name) return &s;
+    }
+    return nullptr;
+  };
+  const Span* outer = find("scope.outer");
+  const Span* inner = find("scope.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->descriptor_hash, 7u);
+  EXPECT_EQ(inner->descriptor_hash, 0u);
+  // The outer scope opens no later and encloses the inner one.
+  EXPECT_LE(outer->start_ns, inner->start_ns);
+  EXPECT_GE(outer->duration_ns, inner->duration_ns);
+#else
+  EXPECT_TRUE(t.snapshot().empty());
+#endif
+}
+
+#if PBC_TRACING_ENABLED
+TEST(ObsTracer, NullTracerScopeIsNoop) {
+  // Must not crash; PBC_TRACE_SPAN(nullptr, ...) is legal.
+  PBC_TRACE_SPAN(static_cast<Tracer*>(nullptr), "scope.null");
+  SUCCEED();
+}
+#endif
+
+TEST(ObsTracer, DisabledTracerDropsScopes) {
+  Tracer t;
+  t.set_enabled(false);
+  EXPECT_FALSE(t.enabled());
+  {
+    PBC_TRACE_SPAN(&t, "scope.dropped");
+  }
+  EXPECT_TRUE(t.snapshot().empty());
+  EXPECT_EQ(t.recorded(), 0u);
+
+  t.set_enabled(true);
+  {
+    PBC_TRACE_SPAN(&t, "scope.kept");
+  }
+#if PBC_TRACING_ENABLED
+  EXPECT_EQ(t.snapshot().size(), 1u);
+#endif
+}
+
+TEST(ObsTracer, CapacityBoundsRetainedSpans) {
+  constexpr std::size_t kCapacity = 32;
+  Tracer t(kCapacity);
+  constexpr std::uint64_t kTotal = 500;
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    Span s;
+    s.name = "bulk";
+    s.start_ns = i;
+    t.record(s);
+  }
+  EXPECT_EQ(t.recorded(), kTotal);
+  const std::vector<Span> spans = t.snapshot();
+  // Bounded by capacity plus at most one unflushed per-thread batch.
+  EXPECT_LE(spans.size(), kCapacity + 64);
+  EXPECT_FALSE(spans.empty());
+  // The ring drops oldest-first: the newest span must survive.
+  const bool has_newest =
+      std::any_of(spans.begin(), spans.end(),
+                  [&](const Span& s) { return s.start_ns == kTotal - 1; });
+  EXPECT_TRUE(has_newest);
+}
+
+TEST(ObsTracer, SnapshotIsOldestFirst) {
+  Tracer t(64);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Span s;
+    s.name = "ordered";
+    s.start_ns = i;
+    t.record(s);
+  }
+  const std::vector<Span> spans = t.snapshot();
+  ASSERT_EQ(spans.size(), 10u);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].start_ns, spans[i].start_ns);
+  }
+}
+
+TEST(ObsTracer, NowNsIsMonotone) {
+  Tracer t;
+  const std::uint64_t a = t.now_ns();
+  const std::uint64_t b = t.now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(ObsSlowQueryLog, RecordAndSnapshot) {
+  SlowQueryLog log(8);
+  log.record(0xabcd, "query_cpu", 12345.0,
+             {{"single_flight", 11000.0}, {"compute", 1300.0}});
+  const std::vector<SlowQuery> q = log.snapshot();
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q[0].descriptor_hash, 0xabcdu);
+  EXPECT_STREQ(q[0].kind, "query_cpu");
+  EXPECT_EQ(q[0].total_us, 12345.0);
+  ASSERT_EQ(q[0].stages.size(), 2u);
+  EXPECT_STREQ(q[0].stages[0].name, "single_flight");
+  EXPECT_EQ(q[0].stages[0].us, 11000.0);
+  EXPECT_EQ(log.total(), 1u);
+}
+
+TEST(ObsSlowQueryLog, CapacityKeepsMostRecent) {
+  SlowQueryLog log(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    log.record(i, "replay", static_cast<double>(i), {});
+  }
+  EXPECT_EQ(log.total(), 10u);
+  const std::vector<SlowQuery> q = log.snapshot();
+  ASSERT_EQ(q.size(), 4u);
+  // Oldest entries dropped: the survivors are 6..9 in order.
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_EQ(q[i].descriptor_hash, 6u + i);
+  }
+}
+
+TEST(ObsSlowQueryLog, EmptySnapshot) {
+  SlowQueryLog log;
+  EXPECT_TRUE(log.snapshot().empty());
+  EXPECT_EQ(log.total(), 0u);
+}
+
+}  // namespace
+}  // namespace pbc::obs

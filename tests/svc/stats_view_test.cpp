@@ -1,0 +1,291 @@
+// Tests for the EngineStats compatibility view over the metrics registry,
+// the LatencyRecorder partial-window regression, engine-level Prometheus
+// exposition, registry sharing/isolation, and the deprecated
+// validate_trace wrapper's equivalence to check_trace.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "sim/trace_replay.hpp"
+#include "svc/engine.hpp"
+#include "svc/stats.hpp"
+#include "svc_test_util.hpp"
+
+namespace pbc {
+namespace {
+
+// Regression: a partially filled window must compute percentiles over the
+// recorded samples only, never diluting them with the ring's
+// zero-initialized tail (3 samples in a window of 8 used to read 5 zeros
+// and report p50 == 0).
+TEST(ObsLatencyRecorder, PartialWindowUsesRecordedSamplesOnly) {
+  svc::LatencyRecorder rec(8);
+  rec.record(1000);  // 1 us
+  rec.record(2000);  // 2 us
+  rec.record(3000);  // 3 us
+
+  svc::EngineStats s;
+  rec.snapshot_into(s);
+  EXPECT_EQ(s.latency_samples, 3u);
+  // pbc::percentile interpolates between order statistics: the median of
+  // {1, 2, 3} us is exactly 2.
+  EXPECT_DOUBLE_EQ(s.p50_us, 2.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 3.0);
+  EXPECT_GT(s.p99_us, 2.0);
+  EXPECT_LE(s.p99_us, 3.0);
+}
+
+TEST(ObsLatencyRecorder, EmptyWindowReportsZero) {
+  svc::LatencyRecorder rec(16);
+  svc::EngineStats s;
+  s.p50_us = s.p99_us = s.max_us = 99.0;  // must be overwritten
+  rec.snapshot_into(s);
+  EXPECT_EQ(s.latency_samples, 0u);
+  EXPECT_EQ(s.p50_us, 0.0);
+  EXPECT_EQ(s.p99_us, 0.0);
+  EXPECT_EQ(s.max_us, 0.0);
+}
+
+TEST(ObsLatencyRecorder, WrappedWindowKeepsNewestSamples) {
+  svc::LatencyRecorder rec(4);
+  for (std::uint64_t v = 1; v <= 8; ++v) rec.record(v * 1000);
+  svc::EngineStats s;
+  rec.snapshot_into(s);
+  // Window caps the sample count; the survivors are the newest four.
+  EXPECT_EQ(s.latency_samples, 4u);
+  EXPECT_DOUBLE_EQ(s.max_us, 8.0);
+  EXPECT_GE(s.p50_us, 5.0);
+}
+
+// The recorded-samples-only contract ported to the histogram snapshot:
+// engine latency percentiles come from real observations.
+TEST(ObsStatsView, WarmedEngineCountersMatchHistoricalSemantics) {
+  Xoshiro256 rng(2024, 0);
+  const auto machine = svc_test::random_cpu_machine(rng);
+  const auto wl = svc_test::random_cpu_workload(rng, 0);
+
+  svc::QueryEngine engine;
+  (void)engine.query_cpu(machine, wl, Watts{200.0});  // cold: miss+compute
+  (void)engine.query_cpu(machine, wl, Watts{200.0});  // warm: hit
+
+  const svc::EngineStats s = engine.stats();
+  EXPECT_EQ(s.queries, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.computes, 1u);
+  EXPECT_EQ(s.coalesced, 0u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.profile_cache_size, 1u);
+  EXPECT_EQ(s.latency_samples, 2u);
+  EXPECT_GT(s.max_us, 0.0);
+  EXPECT_GE(s.p99_us, s.p50_us);
+  EXPECT_LE(s.p99_us, s.max_us);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+}
+
+TEST(ObsStatsView, PerKindLatencyHistogramsSplitTraffic) {
+  Xoshiro256 rng(2024, 1);
+  const auto machine = svc_test::random_cpu_machine(rng);
+  const auto wl = svc_test::random_cpu_workload(rng, 0);
+
+  svc::QueryEngine engine;
+  (void)engine.query_cpu(machine, wl, Watts{200.0});
+  (void)engine.sample_cpu(machine, wl, Watts{60.0}, Watts{30.0});
+  (void)engine.sample_cpu(machine, wl, Watts{70.0}, Watts{35.0});
+
+  const obs::MetricsSnapshot snap = engine.metrics_snapshot();
+  const auto* cpu = snap.find("pbc_svc_query_latency_us",
+                              {{"kind", "query_cpu"}});
+  const auto* sample = snap.find("pbc_svc_query_latency_us",
+                                 {{"kind", "sample"}});
+  const auto* gpu = snap.find("pbc_svc_query_latency_us",
+                              {{"kind", "query_gpu"}});
+  ASSERT_NE(cpu, nullptr);
+  ASSERT_NE(sample, nullptr);
+  ASSERT_NE(gpu, nullptr);
+  EXPECT_EQ(cpu->hist.count, 1u);
+  EXPECT_EQ(sample->hist.count, 2u);
+  EXPECT_EQ(gpu->hist.count, 0u);
+
+  // The flat view merges every kind.
+  EXPECT_EQ(engine.stats().latency_samples, 3u);
+}
+
+// Acceptance: rendering a warmed engine's snapshot yields counters,
+// gauges, and per-kind histogram series a Prometheus scraper would accept.
+TEST(ObsStatsView, WarmedEnginePrometheusExposition) {
+  Xoshiro256 rng(2024, 2);
+  const auto machine = svc_test::random_cpu_machine(rng);
+  const auto wl = svc_test::random_cpu_workload(rng, 0);
+
+  svc::QueryEngine engine;
+  (void)engine.query_cpu(machine, wl, Watts{180.0});
+  (void)engine.query_cpu(machine, wl, Watts{180.0});
+
+  const std::string text =
+      obs::render_prometheus(engine.metrics_snapshot());
+  EXPECT_NE(text.find("# TYPE pbc_svc_queries_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pbc_svc_queries_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("pbc_svc_cache_hits_total{cache=\"profile\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pbc_svc_cache_misses_total{cache=\"profile\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pbc_svc_cache_entries{cache=\"profile\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pbc_svc_query_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("pbc_svc_query_latency_us_bucket{kind=\"query_cpu\",le=\"+Inf\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("pbc_svc_query_latency_us_count{kind=\"query_cpu\"} 2\n"),
+            std::string::npos);
+
+  const std::string json = obs::render_json(engine.metrics_snapshot());
+  EXPECT_NE(json.find("\"pbc_svc_queries_total\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// Engines default to private registries: one engine's traffic must not
+// leak into another's stats.
+TEST(ObsStatsView, PrivateRegistriesIsolateEngines) {
+  Xoshiro256 rng(2024, 3);
+  const auto machine = svc_test::random_cpu_machine(rng);
+  const auto wl = svc_test::random_cpu_workload(rng, 0);
+
+  svc::QueryEngine a;
+  svc::QueryEngine b;
+  (void)a.query_cpu(machine, wl, Watts{200.0});
+  EXPECT_EQ(a.stats().queries, 1u);
+  EXPECT_EQ(b.stats().queries, 0u);
+  EXPECT_NE(&a.metrics(), &b.metrics());
+}
+
+// EngineOptions::registry points several engines at one registry; the
+// shared counters aggregate.
+TEST(ObsStatsView, SharedRegistryAggregates) {
+  Xoshiro256 rng(2024, 4);
+  const auto machine = svc_test::random_cpu_machine(rng);
+  const auto wl = svc_test::random_cpu_workload(rng, 0);
+
+  obs::MetricsRegistry shared;
+  svc::EngineOptions opt;
+  opt.registry = &shared;
+  svc::QueryEngine a(opt);
+  svc::QueryEngine b(opt);
+  EXPECT_EQ(&a.metrics(), &shared);
+  EXPECT_EQ(&b.metrics(), &shared);
+
+  (void)a.query_cpu(machine, wl, Watts{200.0});
+  (void)b.query_cpu(machine, wl, Watts{210.0});
+  // Both engines publish into the same counters (each engine has its own
+  // caches, so the second engine's first query is its own miss).
+  EXPECT_EQ(a.stats().queries, 2u);
+  EXPECT_EQ(b.stats().queries, 2u);
+  EXPECT_EQ(shared.snapshot().counter("pbc_svc_queries_total"), 2u);
+}
+
+TEST(ObsStatsView, SlowQueryLogCapturesEverythingAtZeroishThreshold) {
+  Xoshiro256 rng(2024, 5);
+  const auto machine = svc_test::random_cpu_machine(rng);
+  const auto wl = svc_test::random_cpu_workload(rng, 0);
+
+  svc::EngineOptions opt;
+  opt.slow_query_us = 1e-9;  // everything is "slow"
+  svc::QueryEngine engine(opt);
+  (void)engine.query_cpu(machine, wl, Watts{200.0});
+  EXPECT_EQ(engine.slow_queries().total(), 1u);
+  const auto slow = engine.slow_queries().snapshot();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_STREQ(slow[0].kind, "query_cpu");
+  EXPECT_GT(slow[0].total_us, 0.0);
+
+  svc::EngineOptions off;
+  off.slow_query_us = 0.0;  // disabled
+  svc::QueryEngine quiet(off);
+  (void)quiet.query_cpu(machine, wl, Watts{200.0});
+  EXPECT_EQ(quiet.slow_queries().total(), 0u);
+}
+
+TEST(ObsStatsView, TracerCapturesMissPathSpans) {
+  Xoshiro256 rng(2024, 6);
+  const auto machine = svc_test::random_cpu_machine(rng);
+  const auto wl = svc_test::random_cpu_workload(rng, 0);
+
+  svc::QueryEngine engine;
+  (void)engine.query_cpu(machine, wl, Watts{200.0});
+#if PBC_TRACING_ENABLED
+  const auto spans = engine.tracer().snapshot();
+  bool saw_compute = false;
+  for (const auto& s : spans) {
+    if (std::string(s.name) == "svc.profile_compute") saw_compute = true;
+  }
+  EXPECT_TRUE(saw_compute);
+#endif
+
+  // Runtime off-switch: a second engine with tracing disabled records
+  // nothing, warm or cold.
+  svc::EngineOptions opt;
+  opt.tracing = false;
+  svc::QueryEngine silent(opt);
+  (void)silent.query_cpu(machine, wl, Watts{200.0});
+  EXPECT_TRUE(silent.tracer().snapshot().empty());
+}
+
+// The deprecated optional<Error> wrapper must agree with check_trace on
+// every input class: ok, out-of-range phase, non-positive work.
+TEST(ObsStatsView, DeprecatedValidateTraceMatchesCheckTrace) {
+  const workload::PhaseTrace good = {{0, 1.0}, {1, 2.5}};
+  const workload::PhaseTrace bad_phase = {{0, 1.0}, {7, 1.0}};
+  const workload::PhaseTrace bad_work = {{0, 0.0}};
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto diff = [](const workload::PhaseTrace& trace,
+                       std::size_t phases) {
+    const Status s = sim::check_trace(trace, phases);
+    const std::optional<Error> legacy = sim::validate_trace(trace, phases);
+    EXPECT_EQ(s.ok(), !legacy.has_value());
+    if (!s.ok() && legacy.has_value()) {
+      EXPECT_EQ(s.error().code, legacy->code);
+      EXPECT_EQ(s.error().message, legacy->message);
+    }
+    return s;
+  };
+#pragma GCC diagnostic pop
+
+  EXPECT_TRUE(diff(good, 2).ok());
+  EXPECT_EQ(diff(bad_phase, 2).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(diff(bad_work, 2).code(), ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(diff({}, 0).ok());  // empty trace is trivially valid
+}
+
+// Sim-layer instrumentation publishes to the global registry: preparing a
+// fresh simulator through the engine bumps the cpu table-build counter.
+TEST(ObsStatsView, SimTableBuildsReachGlobalRegistry) {
+  Xoshiro256 rng(2024, 7);
+  const auto machine = svc_test::random_cpu_machine(rng);
+  const auto wl = svc_test::random_cpu_workload(rng, 0);
+
+  const obs::Labels cpu_label = {{"component", "cpu"}};
+  const std::uint64_t before = obs::global_registry().snapshot().counter(
+      "pbc_sim_table_builds_total", cpu_label);
+
+  svc::QueryEngine engine;
+  (void)engine.sample_cpu(machine, wl, Watts{60.0}, Watts{30.0});
+
+  const obs::MetricsSnapshot after = obs::global_registry().snapshot();
+  EXPECT_GE(after.counter("pbc_sim_table_builds_total", cpu_label),
+            before + 1);
+  const auto* build_us =
+      after.find("pbc_sim_table_build_us", cpu_label);
+  ASSERT_NE(build_us, nullptr);
+  EXPECT_GE(build_us->hist.count, 1u);
+}
+
+}  // namespace
+}  // namespace pbc

@@ -38,6 +38,56 @@ TEST(Result, MutableValueAccess) {
   EXPECT_EQ(r.value().size(), 3u);
 }
 
+TEST(Result, CodeMatchesOutcome) {
+  Result<int> ok = 3;
+  Result<int> err = out_of_range("x");
+  EXPECT_EQ(ok.code(), ErrorCode::kOk);
+  EXPECT_EQ(err.code(), ErrorCode::kOutOfRange);
+}
+
+TEST(Result, StatusDropsTheValue) {
+  Result<int> ok = 3;
+  Result<int> err = unavailable("rapl not present");
+  EXPECT_TRUE(ok.status().ok());
+  const Status s = err.status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(s.error().message, "rapl not present");
+}
+
+TEST(Status, DefaultConstructedIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, ImplicitErrorConversion) {
+  // `return invalid_argument(...)` in a Status-returning function.
+  const auto fail = []() -> Status { return invalid_argument("nope"); };
+  const Status s = fail();
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(s.error().message, "nope");
+  EXPECT_EQ(s.to_string(), "invalid_argument: nope");
+}
+
+TEST(Status, UsableInIfInitializer) {
+  const auto check = [](bool good) -> Status {
+    if (!good) return failed_precondition("bad state");
+    return Status{};
+  };
+  if (Status s = check(false); !s.ok()) {
+    EXPECT_EQ(s.code(), ErrorCode::kFailedPrecondition);
+  } else {
+    FAIL() << "expected failure path";
+  }
+  EXPECT_TRUE(check(true).ok());
+}
+
 TEST(ErrorFactories, ProduceMatchingCodes) {
   EXPECT_EQ(invalid_argument("m").code, ErrorCode::kInvalidArgument);
   EXPECT_EQ(out_of_range("m").code, ErrorCode::kOutOfRange);
@@ -52,6 +102,7 @@ TEST(ErrorToString, IncludesCodeAndMessage) {
 }
 
 TEST(ErrorCodeToString, CoversAllCodes) {
+  EXPECT_STREQ(to_string(ErrorCode::kOk), "ok");
   EXPECT_STREQ(to_string(ErrorCode::kInvalidArgument), "invalid_argument");
   EXPECT_STREQ(to_string(ErrorCode::kOutOfRange), "out_of_range");
   EXPECT_STREQ(to_string(ErrorCode::kFailedPrecondition),
