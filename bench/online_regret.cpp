@@ -1,0 +1,404 @@
+// Convergence and regret of the online closed-loop controller
+// (src/ctrl) against the offline COORD oracle — the profiled split the
+// controller has to discover from telemetry alone (docs/online.md).
+//
+// Two modes:
+//   * default: a per-case convergence table (stationary + square-wave).
+//   * --json[=path] (default BENCH_online.json): the CI record. On a
+//     stationary set (single-phase traces over the npb_ft / npb_bt
+//     phases at several budgets) it measures cumulative regret — the
+//     relative wall-time lost vs replaying the same trace at the
+//     offline COORD split for that phase — and gates on the mean
+//     staying within --max-regret (default 5%). On two-phase
+//     square-wave traces it measures, per dwell after the first two
+//     learning cycles, how many segments the controller needs to get
+//     back within one lattice step of the dwell's settled split, and
+//     gates on the worst dwell staying within --recovery-limit
+//     (default 16 segments — roughly half a dwell; at generous budgets
+//     the perf surface plateaus and near-tie arms keep the split
+//     drifting a few steps after the jump-to-best). Both gates are
+//     behaviour gates on a fully
+//     deterministic run (seeded controller RNG), so they are enforced
+//     in every build configuration, sanitizers included. --smoke
+//     shrinks the case set for debug/sanitizer ctest runs; --seed
+//     reseeds the controller stream.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/coord.hpp"
+#include "core/critical.hpp"
+#include "ctrl/closed_loop.hpp"
+#include "hw/platforms.hpp"
+#include "sim/phase_nodes.hpp"
+#include "sim/trace_replay.hpp"
+#include "util/cli.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/trace.hpp"
+
+using namespace pbc;
+
+namespace {
+
+struct CaseResult {
+  std::string label;
+  double budget_w = 0.0;
+  double controller_s = 0.0;
+  double oracle_s = 0.0;
+  double regret = 0.0;        ///< max(0, controller/oracle - 1)
+  std::size_t settle_segments = 0;
+  std::size_t moves = 0;
+  std::size_t explorations = 0;
+};
+
+struct RecoveryResult {
+  std::string label;
+  double budget_w = 0.0;
+  double regret = 0.0;
+  std::size_t dwells_measured = 0;
+  std::size_t max_recovery = 0;  ///< worst dwell, in segments
+  std::size_t phase_changes = 0;
+};
+
+[[nodiscard]] workload::PhaseTrace stationary_trace(std::size_t phase,
+                                                    std::size_t segments) {
+  workload::PhaseTrace t;
+  t.reserve(segments);
+  for (std::size_t i = 0; i < segments; ++i) {
+    t.push_back(workload::TraceSegment{phase, 1.0});
+  }
+  return t;
+}
+
+[[nodiscard]] workload::PhaseTrace square_wave_trace(std::size_t phase_a,
+                                                     std::size_t phase_b,
+                                                     std::size_t dwell,
+                                                     std::size_t segments) {
+  workload::PhaseTrace t;
+  t.reserve(segments);
+  for (std::size_t i = 0; i < segments; ++i) {
+    t.push_back(workload::TraceSegment{
+        (i / dwell) % 2 == 0 ? phase_a : phase_b, 1.0});
+  }
+  return t;
+}
+
+/// The offline COORD oracle split for one phase of `wl`: profile the
+/// single-phase workload with full offline access, run Algorithm 1, and
+/// clamp into the controller's feasible band so both sides play under
+/// the same floors.
+[[nodiscard]] sim::CapPair oracle_split(const hw::CpuMachine& machine,
+                                        const workload::Workload& wl,
+                                        std::size_t phase, Watts budget) {
+  const sim::CpuNodeSim node(machine,
+                             sim::single_phase_workload(wl, phase));
+  const core::CpuCriticalPowers profile =
+      core::profile_critical_powers(node);
+  const core::CpuAllocation a = core::coord_cpu(profile, budget);
+  const auto [cpu_min, mem_min] = ctrl::controller_floors({}, machine);
+  const double cpu =
+      std::min(std::max(a.cpu.value(), cpu_min.value()),
+               budget.value() - mem_min.value());
+  return sim::CapPair{Watts{cpu}, Watts{budget.value() - cpu}};
+}
+
+/// Index after which every segment's cpu cap stays within one lattice
+/// step of the final cap. Exploration probes move exactly one step, so a
+/// settled controller never trips this; jumps and climbs do.
+[[nodiscard]] std::size_t settle_index(
+    const std::vector<ctrl::ClosedLoopSegment>& caps, double step) {
+  if (caps.empty()) return 0;
+  const double final_cpu = caps.back().cpu_cap.value();
+  std::size_t settle = 0;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    if (std::abs(caps[i].cpu_cap.value() - final_cpu) > step + 1e-9) {
+      settle = i + 1;
+    }
+  }
+  return settle;
+}
+
+[[nodiscard]] CaseResult run_stationary_case(
+    const sim::PhaseNodeSet& nodes, std::size_t phase, Watts budget,
+    std::size_t segments, const ctrl::ControllerConfig& cfg) {
+  CaseResult out;
+  out.label = nodes.wl().name + "/" +
+              nodes.wl().phases[phase].name;
+  out.budget_w = budget.value();
+  const workload::PhaseTrace trace = stationary_trace(phase, segments);
+
+  const ctrl::ClosedLoopResult run =
+      ctrl::run_closed_loop(nodes, trace, budget, cfg);
+  const sim::CapPair oracle =
+      oracle_split(nodes.machine(), nodes.wl(), phase, budget);
+  const sim::TraceReplayResult ref =
+      sim::replay_trace(nodes, trace, oracle.cpu_cap, oracle.mem_cap);
+
+  out.controller_s = run.replay.total_time.value();
+  out.oracle_s = ref.total_time.value();
+  out.regret = out.oracle_s > 0.0
+                   ? std::max(0.0, out.controller_s / out.oracle_s - 1.0)
+                   : 0.0;
+  out.settle_segments = settle_index(run.caps, cfg.step.value());
+  out.moves = run.stats.moves;
+  out.explorations = run.stats.explorations;
+  return out;
+}
+
+[[nodiscard]] RecoveryResult run_square_wave_case(
+    const sim::PhaseNodeSet& nodes, std::size_t phase_a, std::size_t phase_b,
+    Watts budget, std::size_t dwell, std::size_t segments,
+    const ctrl::ControllerConfig& cfg) {
+  RecoveryResult out;
+  out.label = nodes.wl().name + "/" + nodes.wl().phases[phase_a].name +
+              "<->" + nodes.wl().phases[phase_b].name;
+  out.budget_w = budget.value();
+  const workload::PhaseTrace trace =
+      square_wave_trace(phase_a, phase_b, dwell, segments);
+
+  const ctrl::ClosedLoopResult run =
+      ctrl::run_closed_loop(nodes, trace, budget, cfg);
+  out.phase_changes = run.stats.phase_changes;
+
+  // Offline dynamic oracle: each segment at its phase's COORD split.
+  const sim::CapPair split_a =
+      oracle_split(nodes.machine(), nodes.wl(), phase_a, budget);
+  const sim::CapPair split_b =
+      oracle_split(nodes.machine(), nodes.wl(), phase_b, budget);
+  double oracle_s = 0.0;
+  const sim::AllocationSample sample_a =
+      nodes.phase(phase_a).steady_state(split_a.cpu_cap, split_a.mem_cap);
+  const sim::AllocationSample sample_b =
+      nodes.phase(phase_b).steady_state(split_b.cpu_cap, split_b.mem_cap);
+  for (const auto& seg : trace) {
+    const auto& s = seg.phase_index == phase_a ? sample_a : sample_b;
+    if (s.rate_gunits > 0.0) oracle_s += seg.work_units / s.rate_gunits;
+  }
+  const double ctrl_s = run.replay.total_time.value();
+  out.regret = oracle_s > 0.0 ? std::max(0.0, ctrl_s / oracle_s - 1.0) : 0.0;
+
+  // Per-dwell recovery: after the first two full cycles (the controller
+  // is allowed to *learn* both phases once), every re-entry must get
+  // back within one step of the dwell's settled split quickly.
+  const double step = cfg.step.value();
+  const std::size_t skip = 4 * dwell;  // two full A/B cycles
+  for (std::size_t start = skip; start + dwell <= run.caps.size();
+       start += dwell) {
+    const double settled = run.caps[start + dwell - 1].cpu_cap.value();
+    std::size_t rec = dwell;
+    for (std::size_t k = 0; k < dwell; ++k) {
+      if (std::abs(run.caps[start + k].cpu_cap.value() - settled) <=
+          step + 1e-9) {
+        rec = k;
+        break;
+      }
+    }
+    out.max_recovery = std::max(out.max_recovery, rec);
+    ++out.dwells_measured;
+  }
+  return out;
+}
+
+struct Suite {
+  std::vector<CaseResult> stationary;
+  std::vector<RecoveryResult> recovery;
+};
+
+[[nodiscard]] Suite run_suite(bool smoke, std::uint64_t seed) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  ctrl::ControllerConfig cfg;
+  cfg.seed = seed;
+
+  const std::size_t segments = smoke ? 150 : 600;
+  const std::size_t dwell = smoke ? 25 : 30;
+  const std::vector<Watts> budgets =
+      smoke ? std::vector<Watts>{Watts{150.0}}
+            : std::vector<Watts>{Watts{140.0}, Watts{170.0}, Watts{200.0}};
+  const std::vector<workload::Workload> wls =
+      smoke ? std::vector<workload::Workload>{workload::npb_ft()}
+            : std::vector<workload::Workload>{workload::npb_ft(),
+                                              workload::npb_bt()};
+
+  Suite suite;
+  for (const auto& wl : wls) {
+    const sim::PhaseNodeSet nodes(machine, wl);
+    const std::size_t phases = std::min<std::size_t>(wl.phases.size(), 3);
+    for (std::size_t p = 0; p < phases; ++p) {
+      for (const Watts b : budgets) {
+        suite.stationary.push_back(
+            run_stationary_case(nodes, p, b, segments, cfg));
+      }
+    }
+    if (phases >= 2) {
+      for (const Watts b : budgets) {
+        suite.recovery.push_back(run_square_wave_case(
+            nodes, 0, 1, b, dwell, segments, cfg));
+      }
+    }
+  }
+  return suite;
+}
+
+int run_gate_mode(const std::string& json_path, double max_regret,
+                  std::size_t recovery_limit, bool smoke,
+                  std::uint64_t seed) {
+  const Suite suite = run_suite(smoke, seed);
+
+  double regret_sum = 0.0;
+  double regret_max = 0.0;
+  double settle_sum = 0.0;
+  for (const CaseResult& c : suite.stationary) {
+    regret_sum += c.regret;
+    regret_max = std::max(regret_max, c.regret);
+    settle_sum += static_cast<double>(c.settle_segments);
+  }
+  const double n_stationary =
+      static_cast<double>(std::max<std::size_t>(suite.stationary.size(), 1));
+  const double mean_regret = regret_sum / n_stationary;
+  const double mean_settle = settle_sum / n_stationary;
+
+  std::size_t max_recovery = 0;
+  double pc_regret_max = 0.0;
+  for (const RecoveryResult& r : suite.recovery) {
+    max_recovery = std::max(max_recovery, r.max_recovery);
+    pc_regret_max = std::max(pc_regret_max, r.regret);
+  }
+
+  const bool regret_pass = mean_regret <= max_regret + 1e-12;
+  const bool recovery_pass = max_recovery <= recovery_limit;
+  const bool gate_pass = regret_pass && recovery_pass;
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "online_regret: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  out.setf(std::ios::fixed);
+  out.precision(6);
+  out << "{\n"
+      << "  \"bench\": \"online_regret\",\n"
+      << "  \"mode\": \"gate\",\n"
+      << "  \"seed\": " << seed << ",\n"
+      << "  \"stationary\": [\n";
+  for (std::size_t i = 0; i < suite.stationary.size(); ++i) {
+    const CaseResult& c = suite.stationary[i];
+    out << "    {\"case\": \"" << c.label << "\", \"budget_w\": "
+        << c.budget_w << ", \"controller_s\": " << c.controller_s
+        << ", \"oracle_s\": " << c.oracle_s << ", \"regret\": " << c.regret
+        << ", \"settle_segments\": " << c.settle_segments
+        << ", \"moves\": " << c.moves << ", \"explorations\": "
+        << c.explorations << "}"
+        << (i + 1 < suite.stationary.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"phase_change\": [\n";
+  for (std::size_t i = 0; i < suite.recovery.size(); ++i) {
+    const RecoveryResult& r = suite.recovery[i];
+    out << "    {\"case\": \"" << r.label << "\", \"budget_w\": "
+        << r.budget_w << ", \"regret\": " << r.regret
+        << ", \"dwells_measured\": " << r.dwells_measured
+        << ", \"max_recovery_segments\": " << r.max_recovery
+        << ", \"phase_changes\": " << r.phase_changes << "}"
+        << (i + 1 < suite.recovery.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"metrics\": {\n"
+      << "    \"stationary_cases\": " << suite.stationary.size() << ",\n"
+      << "    \"mean_regret\": " << mean_regret << ",\n"
+      << "    \"max_regret\": " << regret_max << ",\n"
+      << "    \"mean_settle_segments\": " << mean_settle << ",\n"
+      << "    \"phase_change_cases\": " << suite.recovery.size() << ",\n"
+      << "    \"max_recovery_segments\": " << max_recovery << ",\n"
+      << "    \"phase_change_max_regret\": " << pc_regret_max << "\n"
+      << "  },\n"
+      << "  \"gate\": {\n"
+      << "    \"name\": \"online_regret_bound\",\n"
+      << "    \"max_mean_regret\": " << max_regret << ",\n"
+      << "    \"actual_mean_regret\": " << mean_regret << ",\n"
+      << "    \"recovery_limit_segments\": " << recovery_limit << ",\n"
+      << "    \"actual_max_recovery_segments\": " << max_recovery << ",\n"
+      << "    \"pass\": " << (gate_pass ? "true" : "false") << "\n"
+      << "  }\n"
+      << "}\n";
+  out.close();
+  bench::dump_global_metrics_json(json_path);
+
+  std::printf(
+      "online_regret --json: %zu stationary cases (mean regret %.4f, max "
+      "%.4f, mean settle %.1f segs), %zu square-wave cases (max recovery "
+      "%zu segs) -> %s\n",
+      suite.stationary.size(), mean_regret, regret_max, mean_settle,
+      suite.recovery.size(), max_recovery, json_path.c_str());
+
+  if (!regret_pass) {
+    std::fprintf(stderr,
+                 "online_regret: GATE FAILED — mean stationary regret "
+                 "%.4f > allowed %.4f\n",
+                 mean_regret, max_regret);
+    return 1;
+  }
+  if (!recovery_pass) {
+    std::fprintf(stderr,
+                 "online_regret: GATE FAILED — max recovery %zu segments "
+                 "> allowed %zu\n",
+                 max_recovery, recovery_limit);
+    return 1;
+  }
+  return 0;
+}
+
+int run_table(std::uint64_t seed) {
+  const Suite suite = run_suite(/*smoke=*/false, seed);
+  std::printf("%-28s %8s %10s %10s %8s %8s %7s\n", "stationary case",
+              "budget", "ctrl_s", "oracle_s", "regret", "settle", "moves");
+  for (const CaseResult& c : suite.stationary) {
+    std::printf("%-28s %8.0f %10.4f %10.4f %7.2f%% %8zu %7zu\n",
+                c.label.c_str(), c.budget_w, c.controller_s, c.oracle_s,
+                100.0 * c.regret, c.settle_segments, c.moves);
+  }
+  std::printf("\n%-28s %8s %8s %9s %10s\n", "square-wave case", "budget",
+              "regret", "recovery", "pchanges");
+  for (const RecoveryResult& r : suite.recovery) {
+    std::printf("%-28s %8.0f %7.2f%% %9zu %10zu\n", r.label.c_str(),
+                r.budget_w, 100.0 * r.regret, r.max_recovery,
+                r.phase_changes);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = CliArgs::parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error().to_string() << '\n';
+    return 2;
+  }
+  const CliArgs& args = parsed.value();
+  if (const auto unknown = args.unknown_options(
+          {"json", "max-regret", "recovery-limit", "smoke", "seed"});
+      !unknown.empty()) {
+    std::cerr << "unknown option --" << unknown.front()
+              << " (supported: --json[=FILE] --max-regret=X "
+                 "--recovery-limit=N --smoke --seed=N)\n";
+    return 2;
+  }
+  const auto seed =
+      static_cast<std::uint64_t>(args.value_num("seed", 2016.0));
+  if (args.has("json")) {
+    const std::string json_path =
+        args.value("json").value_or("BENCH_online.json");
+    const double max_regret = args.value_num("max-regret", 0.05);
+    const auto recovery_limit = static_cast<std::size_t>(
+        args.value_num("recovery-limit", 16.0));
+    return run_gate_mode(json_path, max_regret, recovery_limit,
+                         args.has("smoke"), seed);
+  }
+  return run_table(seed);
+}

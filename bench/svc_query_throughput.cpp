@@ -29,6 +29,7 @@
 #include "hw/platforms.hpp"
 #include "sim/sweep.hpp"
 #include "svc/engine.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "workload/cpu_suite.hpp"
 
@@ -104,7 +105,22 @@ void print_stats(const svc::EngineStats& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto parsed = CliArgs::parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error().to_string() << '\n';
+    return 2;
+  }
+  const CliArgs& args = parsed.value();
+  if (const auto unknown = args.unknown_options({"seed"});
+      !unknown.empty()) {
+    std::cerr << "unknown option --" << unknown.front()
+              << " (supported: --seed=N)\n";
+    return 2;
+  }
+  // Base seed for the contended clients' request streams; each thread
+  // derives its own stream, so runs reproduce per (seed, thread count).
+  const auto seed = static_cast<std::uint64_t>(args.value_num("seed", 42.0));
   bench::print_header("svc throughput",
                       "coordination query engine: cold / warm / contended");
   // Under TSan everything is ~10x slower; shrink the corpus so the smoke
@@ -220,7 +236,7 @@ int main() {
     threads.reserve(static_cast<std::size_t>(contended_threads));
     for (int t = 0; t < contended_threads; ++t) {
       threads.emplace_back([&, t] {
-        Xoshiro256 rng(42, static_cast<std::uint64_t>(t));
+        Xoshiro256 rng(seed, static_cast<std::uint64_t>(t));
         double local = 0.0;
         for (int i = 0; i < contended_iters; ++i) {
           const auto& q = corpus[rng.below(corpus.size())];

@@ -7,10 +7,15 @@
 // concurrent requesters, few distinct (machine, workload) descriptors.
 //
 // Usage: ./build/examples/coord_server WORKLOAD_FILE [clients] [requests]
+//                                        [--seed=N]
 //   WORKLOAD_FILE  descriptor in the serialize.hpp dialect
 //                  (e.g. examples/sample.workload)
 //   clients        concurrent client threads       (default 4)
 //   requests       requests issued per client      (default 5000)
+//   --seed=N       base seed for the client request streams (default
+//                  2016); each client derives its own stream from it,
+//                  so a run is reproducible for a given (seed, clients,
+//                  requests) triple
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -25,6 +30,7 @@
 #include "obs/exposition.hpp"
 #include "sim/sweep.hpp"
 #include "svc/engine.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "workload/cpu_suite.hpp"
@@ -46,18 +52,33 @@ Result<workload::Workload> load_workload(const std::string& file) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: coord_server WORKLOAD_FILE [clients] [requests]\n";
+  const auto parsed = CliArgs::parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error().to_string() << '\n';
     return 2;
   }
-  const auto loaded = load_workload(argv[1]);
+  const CliArgs& args = parsed.value();
+  if (const auto unknown = args.unknown_options({"seed"});
+      !unknown.empty()) {
+    std::cerr << "unknown option --" << unknown.front()
+              << " (supported: --seed=N)\n";
+    return 2;
+  }
+  if (args.positional_count() < 1) {
+    std::cerr << "usage: coord_server WORKLOAD_FILE [clients] [requests]"
+                 " [--seed=N]\n";
+    return 2;
+  }
+  const auto loaded = load_workload(args.positional(0));
   if (!loaded.ok()) {
     std::cerr << loaded.error().to_string() << '\n';
     return 1;
   }
   const workload::Workload custom = loaded.value();
-  const int clients = argc > 2 ? std::atoi(argv[2]) : 4;
-  const int requests = argc > 3 ? std::atoi(argv[3]) : 5000;
+  const int clients = static_cast<int>(args.positional_num(1, 4));
+  const int requests = static_cast<int>(args.positional_num(2, 5000));
+  const auto seed =
+      static_cast<std::uint64_t>(args.value_num("seed", 2016.0));
   if (clients <= 0 || requests <= 0) {
     std::cerr << "clients and requests must be positive\n";
     return 2;
@@ -102,7 +123,7 @@ int main(int argc, char** argv) {
   threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      Xoshiro256 rng(2016, static_cast<std::uint64_t>(c));
+      Xoshiro256 rng(seed, static_cast<std::uint64_t>(c));
       double local = 0.0;
       for (int i = 0; i < requests; ++i) {
         const Watts budget{rng.uniform(110.0, 280.0)};

@@ -1,0 +1,144 @@
+#include "ctrl/closed_loop.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+namespace pbc::ctrl {
+
+namespace {
+
+ClosedLoopResult closed_loop(const sim::PhaseNodeSet& nodes,
+                             const workload::PhaseTrace& trace,
+                             Watts total_budget,
+                             const ControllerConfig& cfg) {
+  PBC_TRACE_SPAN(cfg.tracer, "ctrl.closed_loop");
+  ClosedLoopResult out;
+  OnlineController controller(nodes.machine(), total_budget, cfg);
+
+  // The controller revisits the same few lattice splits constantly, so
+  // memoize solves per (phase, exact cpu_cap bit pattern) — the same
+  // sound key the offline fast climber uses: every visited split is
+  // reached through identical FP operations.
+  const std::size_t phase_count = nodes.phase_count();
+  std::vector<std::unordered_map<std::uint64_t, sim::AllocationSample>>
+      split_memo(phase_count);
+  std::vector<sim::SolveHint> hints(phase_count);
+
+  double total_work = 0.0;
+  double weighted_cpu_cap = 0.0;
+  double weighted_mem_cap = 0.0;
+  for (const auto& seg : trace) {
+    if (seg.phase_index >= phase_count || seg.work_units <= 0.0) {
+      continue;  // unchecked contract: skip malformed segments
+    }
+    const SplitDecision d = controller.decision();
+    const double cpu_cap = d.cpu_cap.value();
+
+    auto& memo = split_memo[seg.phase_index];
+    const std::uint64_t key = std::bit_cast<std::uint64_t>(cpu_cap);
+    sim::AllocationSample s;
+    if (const auto it = memo.find(key); it != memo.end()) {
+      s = it->second;
+    } else {
+      s = nodes.phase(seg.phase_index)
+              .steady_state_hinted(d.cpu_cap, d.mem_cap,
+                                   &hints[seg.phase_index]);
+      memo.emplace(key, s);
+    }
+
+    out.caps.push_back(ClosedLoopSegment{seg.phase_index, d.cpu_cap,
+                                         d.mem_cap, d.explored,
+                                         d.phase_change});
+
+    sim::SegmentResult r;
+    r.phase_index = seg.phase_index;
+    r.work_units = seg.work_units;
+    r.rate_gunits = s.rate_gunits;
+    r.duration = Seconds{
+        s.rate_gunits > 0.0 ? seg.work_units / s.rate_gunits : 0.0};
+    r.proc_power = s.proc_power;
+    r.mem_power = s.mem_power;
+    out.replay.segments.push_back(r);
+    out.replay.total_time += r.duration;
+    out.replay.proc_energy += r.proc_power * r.duration;
+    out.replay.mem_energy += r.mem_power * r.duration;
+    total_work += seg.work_units;
+    weighted_cpu_cap += cpu_cap * r.duration.value();
+    weighted_mem_cap += d.mem_cap.value() * r.duration.value();
+
+    // Close the loop: this segment's telemetry decides the next split.
+    Observation o;
+    o.work_units = seg.work_units;
+    o.rate_gunits = s.rate_gunits;
+    o.proc_power = s.proc_power;
+    o.mem_power = s.mem_power;
+    o.achieved_bw = s.achieved_bw;
+    controller.observe(o);
+  }
+
+  auto& agg = out.replay.aggregate;
+  if (out.replay.total_time.value() > 0.0) {
+    agg.proc_cap = Watts{weighted_cpu_cap / out.replay.total_time.value()};
+    agg.mem_cap = Watts{weighted_mem_cap / out.replay.total_time.value()};
+    agg.rate_gunits = total_work / out.replay.total_time.value();
+    agg.perf = agg.rate_gunits * nodes.wl().metric_per_gunit;
+    agg.proc_power = out.replay.proc_energy / out.replay.total_time;
+    agg.mem_power = out.replay.mem_energy / out.replay.total_time;
+  }
+  agg.proc_cap_respected = true;  // cpu + mem == budget by construction
+  agg.mem_cap_respected = true;
+  out.stats = controller.stats();
+  return out;
+}
+
+Status validate_closed_loop(const sim::PhaseNodeSet& nodes,
+                            const workload::PhaseTrace& trace,
+                            Watts total_budget,
+                            const ControllerConfig& cfg) {
+  // make_checked owns the knob and floor validation; probe it without
+  // keeping the controller (construction is cheap).
+  if (auto made = OnlineController::make_checked(nodes.machine(),
+                                                 total_budget, cfg);
+      !made.ok()) {
+    return made.status();
+  }
+  return sim::check_trace(trace, nodes.phase_count());
+}
+
+}  // namespace
+
+ClosedLoopResult run_closed_loop(const sim::PhaseNodeSet& nodes,
+                                 const workload::PhaseTrace& trace,
+                                 Watts total_budget,
+                                 const ControllerConfig& cfg) {
+  return closed_loop(nodes, trace, total_budget, cfg);
+}
+
+ClosedLoopResult run_closed_loop(const sim::CpuNodeSim& node,
+                                 const workload::PhaseTrace& trace,
+                                 Watts total_budget,
+                                 const ControllerConfig& cfg) {
+  const sim::PhaseNodeSet nodes(node.machine(), node.wl());
+  return closed_loop(nodes, trace, total_budget, cfg);
+}
+
+Result<ClosedLoopResult> run_closed_loop_checked(
+    const sim::PhaseNodeSet& nodes, const workload::PhaseTrace& trace,
+    Watts total_budget, const ControllerConfig& cfg) {
+  if (Status s = validate_closed_loop(nodes, trace, total_budget, cfg);
+      !s.ok()) {
+    return s.error();
+  }
+  return closed_loop(nodes, trace, total_budget, cfg);
+}
+
+Result<ClosedLoopResult> run_closed_loop_checked(
+    const sim::CpuNodeSim& node, const workload::PhaseTrace& trace,
+    Watts total_budget, const ControllerConfig& cfg) {
+  const sim::PhaseNodeSet nodes(node.machine(), node.wl());
+  return run_closed_loop_checked(nodes, trace, total_budget, cfg);
+}
+
+}  // namespace pbc::ctrl

@@ -1,0 +1,77 @@
+// Controller-in-the-loop trace replay: the closed-loop third replay mode.
+//
+// sim::replay_trace holds the split fixed; core::replay_with_shifting
+// climbs from COORD's profiled start. run_closed_loop is the third mode
+// in that family: no profile at all — an OnlineController starts blind at
+// the middle of the feasible band, and every segment's telemetry feeds
+// the next segment's split. The loop's accounting (time-weighted
+// aggregate, skip-invalid-segment tolerance, energy integration) matches
+// the shifter's loop exactly, so results are comparable row-for-row and
+// the offline paths remain the convergence oracle (bench/online_regret).
+//
+// The sim layer cannot depend on ctrl (ctrl consumes sim's telemetry),
+// so this mode lives here rather than as a sim::ReplayPath enumerator;
+// svc::QueryEngine::run_online serves it cached like the other two.
+#pragma once
+
+#include <vector>
+
+#include "ctrl/controller.hpp"
+#include "sim/cpu_node.hpp"
+#include "sim/phase_nodes.hpp"
+#include "sim/trace_replay.hpp"
+#include "util/status.hpp"
+#include "workload/trace.hpp"
+
+namespace pbc::ctrl {
+
+/// The split the controller applied to one segment, plus the decision
+/// flags that produced it.
+struct ClosedLoopSegment {
+  std::size_t phase_index = 0;
+  Watts cpu_cap{0.0};
+  Watts mem_cap{0.0};
+  /// This split was an exploration probe (not an exploit/jump move).
+  bool explored = false;
+  /// The controller detected a phase-signature change entering this
+  /// segment.
+  bool phase_change = false;
+};
+
+struct ClosedLoopResult {
+  /// Trace replay under the controller's dynamic caps. As with the
+  /// shifter, the aggregate's proc_cap / mem_cap are time-weighted mean
+  /// caps; `caps` is the per-segment source of truth.
+  sim::TraceReplayResult replay;
+  std::vector<ClosedLoopSegment> caps;
+  /// The controller's final counters for this run.
+  ControllerStats stats;
+};
+
+/// Replays `trace` with the online controller steering the split under
+/// `total_budget`. Malformed segments (bad phase index, non-positive
+/// work) are skipped, matching the unchecked replay/shifting contract.
+[[nodiscard]] ClosedLoopResult run_closed_loop(
+    const sim::PhaseNodeSet& nodes, const workload::PhaseTrace& trace,
+    Watts total_budget, const ControllerConfig& cfg = {});
+
+/// Convenience overload building a transient PhaseNodeSet; callers
+/// running more than once should build the set (or go through
+/// svc::QueryEngine::run_online) and use the overload above.
+[[nodiscard]] ClosedLoopResult run_closed_loop(
+    const sim::CpuNodeSim& node, const workload::PhaseTrace& trace,
+    Watts total_budget, const ControllerConfig& cfg = {});
+
+/// Checked variants: validate the controller config, that the budget
+/// clears the resolved floors, and the trace, returning a descriptive
+/// Error instead of degrading — the same contract (and error codes) as
+/// replay_with_shifting_checked.
+[[nodiscard]] Result<ClosedLoopResult> run_closed_loop_checked(
+    const sim::PhaseNodeSet& nodes, const workload::PhaseTrace& trace,
+    Watts total_budget, const ControllerConfig& cfg = {});
+
+[[nodiscard]] Result<ClosedLoopResult> run_closed_loop_checked(
+    const sim::CpuNodeSim& node, const workload::PhaseTrace& trace,
+    Watts total_budget, const ControllerConfig& cfg = {});
+
+}  // namespace pbc::ctrl

@@ -1,0 +1,292 @@
+#include "ctrl/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace pbc::ctrl {
+
+namespace {
+
+/// Quantization base for the bytes-per-unit phase fingerprint: buckets
+/// are half-open intervals [1.5^k, 1.5^(k+1)). Coarse enough that the
+/// same phase lands in one bucket under any caps (the ratio is a
+/// workload property, not an allocation property), fine enough that the
+/// suite's compute-bound and memory-bound phases never share one.
+constexpr double kSignatureBase = 1.5;
+
+[[nodiscard]] bool finite_nonneg(double v) noexcept {
+  return std::isfinite(v) && v >= 0.0;
+}
+
+}  // namespace
+
+std::pair<Watts, Watts> controller_floors(
+    const ControllerConfig& cfg, const hw::CpuMachine& machine) noexcept {
+  const auto resolve = [](const std::optional<Watts>& explicit_floor,
+                          Watts machine_floor, double fallback) {
+    if (explicit_floor.has_value()) return *explicit_floor;
+    if (machine_floor.value() > 0.0) return machine_floor;
+    return Watts{fallback};
+  };
+  return {resolve(cfg.cpu_min, machine.cpu.floor, 48.0),
+          resolve(cfg.mem_min, machine.dram.floor, 68.0)};
+}
+
+OnlineController::OnlineController(const hw::CpuMachine& machine,
+                                   Watts total_budget, ControllerConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed, /*stream=*/0) {
+  const auto [cpu_floor, mem_floor] = controller_floors(cfg_, machine);
+  cpu_min_ = cpu_floor.value();
+  mem_min_ = mem_floor.value();
+  budget_ = total_budget.value();
+  const double band = budget_ - cpu_min_ - mem_min_;
+  const double step = cfg_.step.value();
+  if (band >= 0.0 && step > 0.0) {
+    // Arms at cpu_min + i*step for every i that keeps mem above its
+    // floor. The +1e-9 absorbs FP slop so an exactly-divisible band
+    // includes its last lattice point.
+    arm_count_ = 1 + static_cast<std::size_t>(band / step + 1e-9);
+  } else {
+    arm_count_ = 1;  // infeasible budget: pinned at cpu_min (tolerated)
+  }
+  // Uninformed start: the middle of the feasible band. No profile exists
+  // yet, so there is nothing better to anchor on.
+  const int mid = static_cast<int>(
+      std::lround(std::max(band, 0.0) / (2.0 * step)));
+  cur_arm_ = std::clamp(mid, 0, static_cast<int>(arm_count_) - 1);
+
+  obs::MetricsRegistry& reg =
+      cfg_.registry != nullptr ? *cfg_.registry : obs::global_registry();
+  observations_total_ = &reg.counter("pbc_ctrl_observations_total",
+                                     "Telemetry observations consumed");
+  explorations_total_ = &reg.counter("pbc_ctrl_explorations_total",
+                                     "Decisions that probed a neighbor arm");
+  moves_total_ =
+      &reg.counter("pbc_ctrl_moves_total", "Decisions that changed the split");
+  phase_changes_total_ = &reg.counter("pbc_ctrl_phase_changes_total",
+                                      "Phase-signature transitions observed");
+}
+
+Result<OnlineController> OnlineController::make_checked(
+    const hw::CpuMachine& machine, Watts total_budget, ControllerConfig cfg) {
+  if (!(cfg.step.value() > 0.0)) {
+    return invalid_argument("controller step must be > 0 W, got " +
+                            std::to_string(cfg.step.value()));
+  }
+  if (!(cfg.explore_rate >= 0.0 && cfg.explore_rate <= 1.0)) {
+    return invalid_argument("explore_rate must be in [0, 1], got " +
+                            std::to_string(cfg.explore_rate));
+  }
+  if (!(cfg.explore_floor >= 0.0 && cfg.explore_floor <= 1.0)) {
+    return invalid_argument("explore_floor must be in [0, 1], got " +
+                            std::to_string(cfg.explore_floor));
+  }
+  if (!(cfg.explore_decay > 0.0)) {
+    return invalid_argument("explore_decay must be > 0, got " +
+                            std::to_string(cfg.explore_decay));
+  }
+  if (!(cfg.ema_alpha > 0.0 && cfg.ema_alpha <= 1.0)) {
+    return invalid_argument("ema_alpha must be in (0, 1], got " +
+                            std::to_string(cfg.ema_alpha));
+  }
+  if (!(cfg.hysteresis_margin >= 0.0)) {
+    return invalid_argument("hysteresis_margin must be >= 0, got " +
+                            std::to_string(cfg.hysteresis_margin));
+  }
+  const auto [cpu_min, mem_min] = controller_floors(cfg, machine);
+  if (total_budget.value() < cpu_min.value() + mem_min.value()) {
+    return failed_precondition(
+               "total budget " + std::to_string(total_budget.value()) +
+               " W below cpu_min + mem_min = " +
+               std::to_string(cpu_min.value() + mem_min.value()) + " W");
+  }
+  return OnlineController(machine, total_budget, std::move(cfg));
+}
+
+double OnlineController::arm_cpu(int arm) const noexcept {
+  return cpu_min_ + static_cast<double>(arm) * cfg_.step.value();
+}
+
+SplitDecision OnlineController::decision() const noexcept {
+  SplitDecision d;
+  const double cpu = arm_cpu(cur_arm_);
+  d.cpu_cap = Watts{cpu};
+  // mem is the exact complement, so cpu_cap + mem_cap == budget always.
+  d.mem_cap = Watts{budget_ - cpu};
+  d.explored = last_explored_;
+  d.phase_change = last_phase_change_;
+  return d;
+}
+
+int OnlineController::signature_of(const Observation& o) const noexcept {
+  if (!(o.rate_gunits > 0.0) || !(o.achieved_bw.value() > 0.0)) {
+    // No fingerprint in this sample (e.g. a floor-stalled segment):
+    // attribute it to the current phase rather than inventing a new one.
+    return cur_sig_;
+  }
+  const double bpu = o.achieved_bw.value() / o.rate_gunits;
+  const double bucket = std::floor(std::log(bpu) / std::log(kSignatureBase));
+  return static_cast<int>(std::clamp(bucket, -512.0, 512.0));
+}
+
+void OnlineController::credit(PhaseState& ps, int arm, const Observation& o) {
+  if (ps.arms.empty()) ps.arms.resize(arm_count_);
+  ArmStat& st = ps.arms[static_cast<std::size_t>(arm)];
+  const double a = cfg_.ema_alpha;
+  const double reward = o.rate_gunits;
+  st.reward_ema =
+      st.count == 0 ? reward : a * reward + (1.0 - a) * st.reward_ema;
+  ++st.count;
+  ++ps.visits;
+
+  PhaseEstimate& est = ps.est;
+  const auto ema = [&](double cur, double sample) {
+    return est.observations == 0 ? sample : a * sample + (1.0 - a) * cur;
+  };
+  if (o.rate_gunits > 0.0) {
+    est.bytes_per_unit =
+        ema(est.bytes_per_unit, o.achieved_bw.value() / o.rate_gunits);
+  }
+  est.rate_gunits = ema(est.rate_gunits, o.rate_gunits);
+  est.proc_power = Watts{ema(est.proc_power.value(), o.proc_power.value())};
+  est.mem_power = Watts{ema(est.mem_power.value(), o.mem_power.value())};
+  ++est.observations;
+
+  // Refresh the cached argmax by full scan: the lattice is small (tens of
+  // arms) and a stale best would mask a genuinely better split.
+  int best = -1;
+  double best_ema = 0.0;
+  for (std::size_t i = 0; i < ps.arms.size(); ++i) {
+    if (ps.arms[i].count == 0) continue;
+    if (best < 0 || ps.arms[i].reward_ema > best_ema) {
+      best = static_cast<int>(i);
+      best_ema = ps.arms[i].reward_ema;
+    }
+  }
+  ps.best_arm = best;
+}
+
+int OnlineController::choose_next(PhaseState& ps, bool phase_change, double u,
+                                  bool* explored) const {
+  *explored = false;
+  // Re-entering a known phase: jump straight to its remembered best arm.
+  // This is the hysteresis guarantee on alternating traces — one move per
+  // phase boundary instead of a fresh climb.
+  if (phase_change && ps.best_arm >= 0 && ps.best_arm != cur_arm_) {
+    return ps.best_arm;
+  }
+  const double eps = std::max(
+      cfg_.explore_floor,
+      cfg_.explore_rate /
+          (1.0 + static_cast<double>(ps.visits) / cfg_.explore_decay));
+  if (arm_count_ > 1 && u < eps) {
+    // Probe the less-visited valid neighbor; break ties with the draw's
+    // low half so both directions get probed.
+    const int lo = cur_arm_ - 1;
+    const int hi = cur_arm_ + 1;
+    const bool lo_ok = lo >= 0;
+    const bool hi_ok = hi < static_cast<int>(arm_count_);
+    int probe = cur_arm_;
+    if (lo_ok && hi_ok) {
+      const std::uint64_t lo_n = ps.arms[static_cast<std::size_t>(lo)].count;
+      const std::uint64_t hi_n = ps.arms[static_cast<std::size_t>(hi)].count;
+      if (lo_n != hi_n) {
+        probe = lo_n < hi_n ? lo : hi;
+      } else {
+        probe = u < eps * 0.5 ? lo : hi;
+      }
+    } else if (lo_ok) {
+      probe = lo;
+    } else if (hi_ok) {
+      probe = hi;
+    }
+    if (probe != cur_arm_) {
+      *explored = true;
+      return probe;
+    }
+    return cur_arm_;
+  }
+  // Exploit: step toward the best-known arm, but only when it clears the
+  // hysteresis margin over where we already are.
+  const int best = ps.best_arm;
+  if (best >= 0 && best != cur_arm_) {
+    const double best_ema = ps.arms[static_cast<std::size_t>(best)].reward_ema;
+    const double cur_ema =
+        ps.arms[static_cast<std::size_t>(cur_arm_)].reward_ema;
+    if (best_ema > cur_ema * (1.0 + cfg_.hysteresis_margin)) {
+      return cur_arm_ + (best > cur_arm_ ? 1 : -1);
+    }
+  }
+  return cur_arm_;
+}
+
+void OnlineController::observe(const Observation& o) {
+  // One draw per observation on every path keeps the RNG stream aligned
+  // with the observation count — replaying a prefix replays decisions.
+  const double u = rng_.uniform();
+  const int sig = signature_of(o);
+  const bool phase_change = have_sig_ && sig != cur_sig_;
+
+  PhaseState& ps = phases_[sig];
+  if (ps.arms.empty()) ps.arms.resize(arm_count_);
+  credit(ps, cur_arm_, o);
+
+  bool explored = false;
+  const int next = choose_next(ps, phase_change, u, &explored);
+
+  ++stats_.observations;
+  observations_total_->add(1);
+  if (phase_change) {
+    ++stats_.phase_changes;
+    phase_changes_total_->add(1);
+  }
+  if (explored) {
+    ++stats_.explorations;
+    explorations_total_->add(1);
+  }
+  if (next != cur_arm_) {
+    ++stats_.moves;
+    moves_total_->add(1);
+  }
+  stats_.signatures = phases_.size();
+
+  cur_arm_ = next;
+  cur_sig_ = sig;
+  have_sig_ = true;
+  last_explored_ = explored;
+  last_phase_change_ = phase_change;
+}
+
+Status OnlineController::observe_checked(const Observation& o) {
+  if (!std::isfinite(o.work_units) || o.work_units <= 0.0) {
+    return invalid_argument("observation work_units must be > 0, got " +
+                            std::to_string(o.work_units));
+  }
+  if (!finite_nonneg(o.rate_gunits)) {
+    return invalid_argument("observation rate_gunits must be finite and "
+                            ">= 0, got " +
+                            std::to_string(o.rate_gunits));
+  }
+  if (!finite_nonneg(o.proc_power.value()) ||
+      !finite_nonneg(o.mem_power.value())) {
+    return invalid_argument("observation power draws must be finite and "
+                            ">= 0");
+  }
+  if (!finite_nonneg(o.achieved_bw.value())) {
+    return invalid_argument("observation achieved_bw must be finite and "
+                            ">= 0, got " +
+                            std::to_string(o.achieved_bw.value()));
+  }
+  observe(o);
+  return Status{};
+}
+
+std::vector<PhaseEstimate> OnlineController::estimates() const {
+  std::vector<PhaseEstimate> out;
+  out.reserve(phases_.size());
+  for (const auto& [sig, ps] : phases_) out.push_back(ps.est);
+  return out;
+}
+
+}  // namespace pbc::ctrl

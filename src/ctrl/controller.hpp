@@ -1,0 +1,207 @@
+// Online closed-loop power controller — COORD without offline profiling.
+//
+// Every coordination path in the repository (coord_cpu, the shifter, the
+// cluster engine) starts from a profiled workload descriptor: critical
+// powers measured by pinned simulator runs before the job starts. The
+// paper's own motivation, though, is dynamic phase-changing workloads
+// under a fixed bound — where no offline profile exists. OnlineController
+// closes that gap: it consumes the telemetry the simulators already emit
+// (achieved rate, per-component power, achieved bandwidth) one
+// observation at a time and steers the CPU/DRAM split at runtime.
+//
+// Mechanism, in one paragraph: candidate splits live on a watt lattice
+// {cpu_min + i·step} spanning the feasible band, exactly the lattice the
+// offline shifter climbs. Each observation is fingerprinted by its
+// bytes-per-unit ratio (achieved_bw / rate — the same inversion
+// core/model_fit.hpp uses), quantized into a phase *signature*; the
+// controller keeps one incremental model fit and one per-arm reward
+// estimate (EMA of achieved rate) per signature. Decisions are
+// epsilon-greedy with a decaying exploration rate: explore moves probe a
+// neighboring arm, exploit moves step toward the best-known arm only when
+// it beats the current one by a relative hysteresis margin (phase noise
+// never pays a move), and a signature change jumps straight to that
+// signature's remembered best arm — revisiting a known phase costs one
+// move, not a fresh climb. All randomness is a seeded Xoshiro256 stream,
+// so a controller run is bit-reproducible.
+//
+// The closed replay loop lives in ctrl/closed_loop.hpp; docs/online.md
+// covers tuning and when the offline paths are still the right tool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace pbc::ctrl {
+
+struct ControllerConfig {
+  /// Watts between adjacent candidate splits (the arm lattice pitch).
+  Watts step{4.0};
+  /// Per-component lower bounds, resolved exactly like the offline
+  /// shifter's (core::shifting_floors): explicit override wins, then the
+  /// machine's positive hardware floors, then the paper's 48 W / 68 W.
+  std::optional<Watts> cpu_min;
+  std::optional<Watts> mem_min;
+  /// Initial exploration probability. Per signature it decays as
+  /// explore_rate / (1 + visits / explore_decay), floored at
+  /// explore_floor; 0 (the default floor) means exploration dies out on
+  /// stationary phases and the split pins to the learned optimum.
+  double explore_rate = 0.25;
+  double explore_decay = 24.0;
+  double explore_floor = 0.0;
+  /// Weight of the newest reward in the per-arm EMA.
+  double ema_alpha = 0.35;
+  /// Relative improvement the best-known arm must show over the current
+  /// one before an exploit move is paid. This is the hysteresis band:
+  /// arms within the margin are treated as equal and the split stays put.
+  double hysteresis_margin = 0.02;
+  /// Seed for the controller's private RNG stream.
+  std::uint64_t seed = 2016;
+  /// Registry for the pbc_ctrl_* counters; null uses obs::global_registry().
+  obs::MetricsRegistry* registry = nullptr;
+  /// Span sink for closed-loop runs; null disables spans.
+  obs::Tracer* tracer = nullptr;
+};
+
+/// The (cpu_min, mem_min) floors a config resolves to on a machine.
+/// Mirrors core::shifting_floors so the online and offline controllers
+/// agree on the feasible band (the fuzz suite holds them to equality).
+[[nodiscard]] std::pair<Watts, Watts> controller_floors(
+    const ControllerConfig& cfg, const hw::CpuMachine& machine) noexcept;
+
+/// One telemetry sample, as emitted per trace segment by the simulators:
+/// how much work ran, how fast, what each component drew, and the
+/// achieved memory bandwidth (the phase fingerprint's numerator).
+struct Observation {
+  double work_units = 0.0;
+  double rate_gunits = 0.0;
+  Watts proc_power{0.0};
+  Watts mem_power{0.0};
+  GBps achieved_bw{0.0};
+};
+
+/// The split the controller wants applied to the next segment.
+/// cpu_cap + mem_cap always equals the budget exactly.
+struct SplitDecision {
+  Watts cpu_cap{0.0};
+  Watts mem_cap{0.0};
+  /// The previous observe() chose this split as an exploration probe.
+  bool explored = false;
+  /// The previous observe() saw the phase signature change.
+  bool phase_change = false;
+};
+
+/// Incrementally fitted per-signature workload estimate — the online
+/// counterpart of core/model_fit.hpp's FittedPhase, built from partial
+/// observations instead of a pinned profiling run.
+struct PhaseEstimate {
+  double bytes_per_unit = 0.0;   ///< EMA of achieved_bw / rate
+  double rate_gunits = 0.0;      ///< EMA of achieved rate (any arm)
+  Watts proc_power{0.0};         ///< EMA of processor draw
+  Watts mem_power{0.0};          ///< EMA of memory draw
+  std::uint64_t observations = 0;
+};
+
+/// Counters over a controller's lifetime (also published as
+/// pbc_ctrl_*_total in the configured registry).
+struct ControllerStats {
+  std::uint64_t observations = 0;
+  std::uint64_t explorations = 0;  ///< decisions that probed a neighbor
+  std::uint64_t moves = 0;         ///< decisions that changed the split
+  std::uint64_t phase_changes = 0; ///< signature transitions observed
+  std::size_t signatures = 0;      ///< distinct phase signatures seen
+};
+
+class OnlineController {
+ public:
+  /// Unchecked: an infeasible budget (below cpu_min + mem_min) degrades
+  /// deterministically to a single arm pinned at cpu_min, mirroring the
+  /// offline shifter's tolerated-clamp behaviour.
+  OnlineController(const hw::CpuMachine& machine, Watts total_budget,
+                   ControllerConfig cfg = {});
+
+  /// Checked: validates every knob (step > 0, rates in range, EMA weight
+  /// in (0, 1]) and that the budget clears the resolved floors, returning
+  /// a descriptive Error instead of degrading.
+  [[nodiscard]] static Result<OnlineController> make_checked(
+      const hw::CpuMachine& machine, Watts total_budget,
+      ControllerConfig cfg = {});
+
+  /// The split to apply next. Stable between observe() calls.
+  [[nodiscard]] SplitDecision decision() const noexcept;
+
+  /// Feeds one telemetry sample back and advances the policy. Exactly one
+  /// RNG draw per call, on every code path, so runs with the same seed
+  /// and observation sequence are bit-identical.
+  void observe(const Observation& o);
+
+  /// Checked variant: rejects non-finite or negative telemetry with
+  /// kInvalidArgument and leaves the controller state untouched.
+  [[nodiscard]] Status observe_checked(const Observation& o);
+
+  [[nodiscard]] Watts budget() const noexcept { return Watts{budget_}; }
+  [[nodiscard]] Watts cpu_min() const noexcept { return Watts{cpu_min_}; }
+  [[nodiscard]] Watts mem_min() const noexcept { return Watts{mem_min_}; }
+  /// Number of candidate splits on the lattice (>= 1).
+  [[nodiscard]] std::size_t arm_count() const noexcept { return arm_count_; }
+
+  [[nodiscard]] const ControllerStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// The incremental model fits, one per signature seen, in signature
+  /// order. Deterministic for a deterministic observation sequence.
+  [[nodiscard]] std::vector<PhaseEstimate> estimates() const;
+
+  [[nodiscard]] const ControllerConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  struct ArmStat {
+    std::uint64_t count = 0;
+    double reward_ema = 0.0;
+  };
+  struct PhaseState {
+    std::uint64_t visits = 0;
+    int best_arm = -1;  ///< argmax reward_ema over arms with data
+    std::vector<ArmStat> arms;
+    PhaseEstimate est;
+  };
+
+  [[nodiscard]] double arm_cpu(int arm) const noexcept;
+  [[nodiscard]] int signature_of(const Observation& o) const noexcept;
+  void credit(PhaseState& ps, int arm, const Observation& o);
+  [[nodiscard]] int choose_next(PhaseState& ps, bool phase_change, double u,
+                                bool* explored) const;
+
+  ControllerConfig cfg_;
+  double budget_ = 0.0;
+  double cpu_min_ = 0.0;
+  double mem_min_ = 0.0;
+  std::size_t arm_count_ = 1;
+  int cur_arm_ = 0;
+  int cur_sig_ = 0;
+  bool have_sig_ = false;
+  bool last_explored_ = false;
+  bool last_phase_change_ = false;
+  Xoshiro256 rng_;
+  /// Ordered so estimates() iterates signatures deterministically.
+  std::map<int, PhaseState> phases_;
+  ControllerStats stats_;
+  obs::Counter* observations_total_;
+  obs::Counter* explorations_total_;
+  obs::Counter* moves_total_;
+  obs::Counter* phase_changes_total_;
+};
+
+}  // namespace pbc::ctrl

@@ -40,6 +40,8 @@ QueryEngine::QueryEngine(EngineOptions opt)
                metrics_.replay_evictions),
       shifts_(opt.replay_cache_capacity, opt.shards,
               metrics_.replay_evictions),
+      onlines_(opt.replay_cache_capacity, opt.shards,
+               metrics_.online_evictions),
       tracer_(opt.trace_capacity) {
   tracer_.set_enabled(opt.tracing);
 }
@@ -524,6 +526,33 @@ std::vector<core::ShiftingResult> QueryEngine::shifting_batch(
   return out;
 }
 
+ctrl::ClosedLoopResult QueryEngine::run_online(
+    const hw::CpuMachine& machine, const workload::Workload& wl,
+    const workload::PhaseTrace& trace, Watts total_budget,
+    const ctrl::ControllerConfig& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const CacheKey key = online_key(machine, wl, trace, total_budget, cfg);
+  auto result = onlines_.get(key);
+  if (result != nullptr) {
+    metrics_.online_hits->add(1);
+  } else {
+    metrics_.online_misses->add(1);
+    auto outcome = online_inflight_.run(key, [&] {
+      if (auto published = onlines_.get(key)) return published;
+      const auto nodes = phase_nodes(machine, wl);
+      PBC_TRACE_SPAN(&tracer_, "svc.online_run", key.hi);
+      auto r = std::make_shared<const ctrl::ClosedLoopResult>(
+          ctrl::run_closed_loop(*nodes, trace, total_budget, cfg));
+      onlines_.put(key, r);
+      return std::shared_ptr<const ctrl::ClosedLoopResult>(r);
+    });
+    result = outcome.value;
+  }
+  metrics_.queries->add(1);
+  record_latency(QueryKind::kOnline, key.hi, t0);
+  return *result;
+}
+
 std::shared_ptr<const core::CpuCriticalPowers> QueryEngine::cpu_profile(
     const hw::CpuMachine& machine, const workload::Workload& wl) {
   return resolve_cpu(cpu_profile_key(machine, wl), machine, wl);
@@ -576,8 +605,8 @@ void QueryEngine::refresh_gauges() const {
   metrics_.frontier_entries->set(static_cast<double>(frontiers_.size()));
   metrics_.sim_entries->set(static_cast<double>(
       cpu_sims_.size() + gpu_sims_.size() + phase_sets_.size()));
-  metrics_.replay_entries->set(
-      static_cast<double>(replays_.size() + shifts_.size()));
+  metrics_.replay_entries->set(static_cast<double>(
+      replays_.size() + shifts_.size() + onlines_.size()));
 }
 
 EngineStats QueryEngine::stats() const {
@@ -599,6 +628,7 @@ void QueryEngine::clear() {
   phase_sets_.clear();
   replays_.clear();
   shifts_.clear();
+  onlines_.clear();
 }
 
 }  // namespace pbc::svc

@@ -27,6 +27,7 @@
 #include "core/coord.hpp"
 #include "core/dynamic.hpp"
 #include "core/frontier.hpp"
+#include "ctrl/closed_loop.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/phase_nodes.hpp"
@@ -180,6 +181,17 @@ class QueryEngine {
       std::span<const workload::PhaseTrace> traces,
       std::span<const Watts> budgets, const core::ShiftingConfig& cfg = {});
 
+  /// Closed-loop online-controller run through the cached phase-node
+  /// set, memoized per (machine, workload, trace, budget, controller
+  /// config). Bit-identical to ctrl::run_closed_loop on a fresh node.
+  /// The config's registry/tracer sinks are not part of the cache key,
+  /// so controller counters are only published by the run that computes
+  /// a given entry — cache hits replay the stored result silently.
+  [[nodiscard]] ctrl::ClosedLoopResult run_online(
+      const hw::CpuMachine& machine, const workload::Workload& wl,
+      const workload::PhaseTrace& trace, Watts total_budget,
+      const ctrl::ControllerConfig& cfg = {});
+
   /// The cached prepared simulator for a pair (building it on a miss).
   [[nodiscard]] std::shared_ptr<const sim::CpuNodeSim> cpu_sim(
       const hw::CpuMachine& machine, const workload::Workload& wl);
@@ -271,6 +283,7 @@ class QueryEngine {
   ShardedLruCache<sim::PhaseNodeSet> phase_sets_;
   ShardedLruCache<sim::TraceReplayResult> replays_;
   ShardedLruCache<core::ShiftingResult> shifts_;
+  ShardedLruCache<ctrl::ClosedLoopResult> onlines_;
   SingleFlight<core::CpuCriticalPowers> cpu_inflight_;
   SingleFlight<GpuProfileEntry> gpu_inflight_;
   SingleFlight<std::vector<core::FrontierPoint>> frontier_inflight_;
@@ -279,6 +292,7 @@ class QueryEngine {
   SingleFlight<sim::PhaseNodeSet> phase_set_inflight_;
   SingleFlight<sim::TraceReplayResult> replay_inflight_;
   SingleFlight<core::ShiftingResult> shift_inflight_;
+  SingleFlight<ctrl::ClosedLoopResult> online_inflight_;
   mutable obs::Tracer tracer_;
   obs::SlowQueryLog slow_log_;
 };

@@ -11,6 +11,7 @@ enum class Tag : std::uint8_t {
   kCpuFrontier = 3,
   kReplay = 4,
   kShift = 5,
+  kOnline = 6,
   kWorkload = 10,
   kPhase = 11,
   kCpuSpec = 12,
@@ -18,6 +19,7 @@ enum class Tag : std::uint8_t {
   kGpuSpec = 14,
   kTrace = 15,
   kShiftCfg = 16,
+  kCtrlCfg = 17,
 };
 
 void tag(Fnv1a64& h, Tag t) { h.byte(static_cast<std::uint8_t>(t)); }
@@ -133,6 +135,23 @@ void hash_shift_cfg(Fnv1a64& h, const core::ShiftingConfig& cfg) {
   h.f64(cfg.mem_min.value_or(Watts{0.0}).value());
 }
 
+void hash_ctrl_cfg(Fnv1a64& h, const ctrl::ControllerConfig& cfg) {
+  tag(h, Tag::kCtrlCfg);
+  h.f64(cfg.step.value());
+  h.boolean(cfg.cpu_min.has_value());
+  h.f64(cfg.cpu_min.value_or(Watts{0.0}).value());
+  h.boolean(cfg.mem_min.has_value());
+  h.f64(cfg.mem_min.value_or(Watts{0.0}).value());
+  h.f64(cfg.explore_rate);
+  h.f64(cfg.explore_decay);
+  h.f64(cfg.explore_floor);
+  h.f64(cfg.ema_alpha);
+  h.f64(cfg.hysteresis_margin);
+  h.u64(cfg.seed);
+  // cfg.registry and cfg.tracer are not hashed: observability sinks
+  // never change the run's result.
+}
+
 /// Runs `fill` over two independently seeded streams; the pair of digests
 /// is the 128-bit key.
 template <class Fill>
@@ -206,6 +225,19 @@ CacheKey shift_key(const hw::CpuMachine& machine, const workload::Workload& wl,
     hash_trace(h, trace);
     h.f64(total_budget.value());
     hash_shift_cfg(h, cfg);
+  });
+}
+
+CacheKey online_key(const hw::CpuMachine& machine,
+                    const workload::Workload& wl,
+                    const workload::PhaseTrace& trace, Watts total_budget,
+                    const ctrl::ControllerConfig& cfg) {
+  return key_of(Tag::kOnline, [&](Fnv1a64& h) {
+    hash_cpu_machine(h, machine);
+    hash_workload(h, wl);
+    hash_trace(h, trace);
+    h.f64(total_budget.value());
+    hash_ctrl_cfg(h, cfg);
   });
 }
 

@@ -17,6 +17,7 @@
 #include <span>
 
 #include "core/dynamic.hpp"
+#include "ctrl/controller.hpp"
 #include "hw/machine.hpp"
 #include "sim/sweep.hpp"
 #include "util/hash.hpp"
@@ -75,5 +76,16 @@ struct CacheKeyHash {
                                  const workload::PhaseTrace& trace,
                                  Watts total_budget,
                                  const core::ShiftingConfig& cfg);
+
+/// Key for a closed-loop controller run of (machine, workload, trace,
+/// budget, controller config). Every numeric knob and the seed are
+/// hashed; the config's registry and tracer pointers are deliberately
+/// excluded — they affect where telemetry is published, never the
+/// result, so observability wiring must not split the cache.
+[[nodiscard]] CacheKey online_key(const hw::CpuMachine& machine,
+                                  const workload::Workload& wl,
+                                  const workload::PhaseTrace& trace,
+                                  Watts total_budget,
+                                  const ctrl::ControllerConfig& cfg);
 
 }  // namespace pbc::svc

@@ -51,11 +51,14 @@ EngineMetrics::EngineMetrics(obs::MetricsRegistry& registry) {
   sim_misses = miss_counter("sim");
   replay_hits = hit_counter("replay");
   replay_misses = miss_counter("replay");
+  online_hits = hit_counter("online");
+  online_misses = miss_counter("online");
   profile_evictions = evict_counter("profile");
   frontier_evictions = evict_counter("frontier");
   sim_evictions = evict_counter("sim");
   phase_evictions = evict_counter("phase");
   replay_evictions = evict_counter("replay");
+  online_evictions = evict_counter("online");
   const auto entries_gauge = [&](const char* which) {
     return &registry.gauge(kEntries, "Current cached entries by cache",
                            cache_label(which));
@@ -84,14 +87,19 @@ EngineStats engine_stats_from(const obs::MetricsSnapshot& snapshot) {
              snapshot.counter(kMisses, cache_label("frontier"));
   s.sim_hits = snapshot.counter(kHits, cache_label("sim"));
   s.sim_misses = snapshot.counter(kMisses, cache_label("sim"));
-  s.replay_hits = snapshot.counter(kHits, cache_label("replay"));
-  s.replay_misses = snapshot.counter(kMisses, cache_label("replay"));
+  // Online (closed-loop controller) runs are replay-shaped results and
+  // fold into the replay view fields, as shift results always have.
+  s.replay_hits = snapshot.counter(kHits, cache_label("replay")) +
+                  snapshot.counter(kHits, cache_label("online"));
+  s.replay_misses = snapshot.counter(kMisses, cache_label("replay")) +
+                    snapshot.counter(kMisses, cache_label("online"));
   // The sim caches never fed the aggregate evictions field (their entries
   // are cheap to rebuild and the field predates them); keep that set.
   s.evictions = snapshot.counter(kEvictions, cache_label("profile")) +
                 snapshot.counter(kEvictions, cache_label("frontier")) +
                 snapshot.counter(kEvictions, cache_label("phase")) +
-                snapshot.counter(kEvictions, cache_label("replay"));
+                snapshot.counter(kEvictions, cache_label("replay")) +
+                snapshot.counter(kEvictions, cache_label("online"));
   s.profile_cache_size =
       static_cast<std::size_t>(snapshot.gauge(kEntries, cache_label("profile")));
   s.frontier_cache_size = static_cast<std::size_t>(

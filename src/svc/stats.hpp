@@ -61,8 +61,9 @@ enum class QueryKind {
   kReplay,
   kShift,
   kCluster,
+  kOnline,
 };
-inline constexpr std::size_t kQueryKindCount = 7;
+inline constexpr std::size_t kQueryKindCount = 8;
 
 [[nodiscard]] constexpr const char* to_string(QueryKind k) noexcept {
   switch (k) {
@@ -80,6 +81,8 @@ inline constexpr std::size_t kQueryKindCount = 7;
       return "shift";
     case QueryKind::kCluster:
       return "cluster";
+    case QueryKind::kOnline:
+      return "online";
   }
   return "unknown";
 }
@@ -104,6 +107,10 @@ struct EngineMetrics {
   obs::Counter* sim_misses;
   obs::Counter* replay_hits;
   obs::Counter* replay_misses;
+  /// Closed-loop controller runs (cache=online); EngineStats folds them
+  /// into the replay hit/miss sums alongside replay and shift results.
+  obs::Counter* online_hits;
+  obs::Counter* online_misses;
   /// pbc_svc_cache_evictions_total{cache=...}; EngineStats.evictions sums
   /// profile+frontier+phase+replay (the sim caches were never counted).
   obs::Counter* profile_evictions;
@@ -111,6 +118,7 @@ struct EngineMetrics {
   obs::Counter* sim_evictions;
   obs::Counter* phase_evictions;
   obs::Counter* replay_evictions;
+  obs::Counter* online_evictions;
   /// pbc_svc_cache_entries{cache=...}, refreshed at snapshot time.
   obs::Gauge* profile_entries;
   obs::Gauge* frontier_entries;

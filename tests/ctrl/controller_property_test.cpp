@@ -1,0 +1,401 @@
+// Property tests for the online closed-loop controller (src/ctrl): the
+// behavioural contracts docs/online.md documents, checked on fully
+// deterministic (seeded) runs so every bound asserted here is exact and
+// reproducible — no flaky tolerances hiding real regressions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/dynamic.hpp"
+#include "ctrl/closed_loop.hpp"
+#include "ctrl/controller.hpp"
+#include "hw/platforms.hpp"
+#include "obs/metrics.hpp"
+#include "sim/phase_nodes.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/trace.hpp"
+
+namespace pbc {
+namespace {
+
+workload::PhaseTrace stationary_trace(std::size_t phase,
+                                      std::size_t segments) {
+  workload::PhaseTrace t;
+  for (std::size_t i = 0; i < segments; ++i) {
+    t.push_back(workload::TraceSegment{phase, 1.0});
+  }
+  return t;
+}
+
+workload::PhaseTrace square_wave(std::size_t phase_a, std::size_t phase_b,
+                                 std::size_t dwell, std::size_t segments) {
+  workload::PhaseTrace t;
+  for (std::size_t i = 0; i < segments; ++i) {
+    t.push_back(workload::TraceSegment{
+        (i / dwell) % 2 == 0 ? phase_a : phase_b, 1.0});
+  }
+  return t;
+}
+
+/// The best split on the controller's own lattice for one phase, by
+/// exhaustive sweep — the oracle the regret/convergence properties
+/// compare against.
+struct LatticeOracle {
+  double cpu = 0.0;
+  double rate = 0.0;
+};
+
+LatticeOracle lattice_oracle(const sim::PhaseNodeSet& nodes,
+                             std::size_t phase, Watts budget,
+                             const ctrl::ControllerConfig& cfg) {
+  const auto [cpu_min, mem_min] =
+      ctrl::controller_floors(cfg, nodes.machine());
+  LatticeOracle best;
+  for (double cpu = cpu_min.value();
+       cpu <= budget.value() - mem_min.value() + 1e-9;
+       cpu += cfg.step.value()) {
+    const auto s = nodes.phase(phase).steady_state(
+        Watts{cpu}, Watts{budget.value() - cpu});
+    if (s.rate_gunits > best.rate) {
+      best.rate = s.rate_gunits;
+      best.cpu = cpu;
+    }
+  }
+  return best;
+}
+
+TEST(CtrlController, FloorsMatchOfflineShifter) {
+  for (const auto& machine : {hw::ivybridge_node(), hw::haswell_node()}) {
+    const auto online = ctrl::controller_floors({}, machine);
+    const auto offline = core::shifting_floors({}, machine);
+    EXPECT_DOUBLE_EQ(online.first.value(), offline.first.value())
+        << machine.name;
+    EXPECT_DOUBLE_EQ(online.second.value(), offline.second.value())
+        << machine.name;
+  }
+  // Explicit overrides win identically on both sides.
+  ctrl::ControllerConfig ccfg;
+  ccfg.cpu_min = Watts{60.0};
+  ccfg.mem_min = Watts{70.0};
+  core::ShiftingConfig scfg;
+  scfg.cpu_min = Watts{60.0};
+  scfg.mem_min = Watts{70.0};
+  const auto machine = hw::ivybridge_node();
+  EXPECT_DOUBLE_EQ(ctrl::controller_floors(ccfg, machine).first.value(),
+                   core::shifting_floors(scfg, machine).first.value());
+  EXPECT_DOUBLE_EQ(ctrl::controller_floors(ccfg, machine).second.value(),
+                   core::shifting_floors(scfg, machine).second.value());
+}
+
+TEST(CtrlController, CheckedRejectsBadKnobs) {
+  const auto machine = hw::ivybridge_node();
+  const Watts budget{170.0};
+
+  ctrl::ControllerConfig cfg;
+  cfg.step = Watts{0.0};
+  EXPECT_EQ(ctrl::OnlineController::make_checked(machine, budget, cfg)
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+
+  cfg = {};
+  cfg.explore_rate = 1.5;
+  EXPECT_EQ(ctrl::OnlineController::make_checked(machine, budget, cfg)
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+
+  cfg = {};
+  cfg.ema_alpha = 0.0;
+  EXPECT_EQ(ctrl::OnlineController::make_checked(machine, budget, cfg)
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+
+  cfg = {};
+  cfg.hysteresis_margin = -0.1;
+  EXPECT_EQ(ctrl::OnlineController::make_checked(machine, budget, cfg)
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+
+  cfg = {};
+  cfg.explore_decay = 0.0;
+  EXPECT_EQ(ctrl::OnlineController::make_checked(machine, budget, cfg)
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+
+  // Budget below the resolved floors is a precondition failure, matching
+  // replay_with_shifting_checked's contract.
+  const auto infeasible =
+      ctrl::OnlineController::make_checked(machine, Watts{50.0}, {});
+  EXPECT_EQ(infeasible.status().code(), ErrorCode::kFailedPrecondition);
+
+  const auto ok = ctrl::OnlineController::make_checked(machine, budget, {});
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+}
+
+TEST(CtrlController, ObserveCheckedRejectsBadTelemetryWithoutStateChange) {
+  const auto machine = hw::ivybridge_node();
+  auto made = ctrl::OnlineController::make_checked(machine, Watts{170.0}, {});
+  ASSERT_TRUE(made.ok());
+  ctrl::OnlineController& c = made.value();
+
+  ctrl::Observation o;
+  o.work_units = 1.0;
+  o.rate_gunits = 2.0;
+  o.proc_power = Watts{80.0};
+  o.mem_power = Watts{70.0};
+  o.achieved_bw = GBps{20.0};
+  ASSERT_TRUE(c.observe_checked(o).ok());
+  const auto before = c.stats();
+  const auto split_before = c.decision();
+
+  ctrl::Observation bad = o;
+  bad.work_units = 0.0;
+  EXPECT_EQ(c.observe_checked(bad).code(), ErrorCode::kInvalidArgument);
+  bad = o;
+  bad.rate_gunits = -1.0;
+  EXPECT_EQ(c.observe_checked(bad).code(), ErrorCode::kInvalidArgument);
+  bad = o;
+  bad.proc_power = Watts{std::nan("")};
+  EXPECT_EQ(c.observe_checked(bad).code(), ErrorCode::kInvalidArgument);
+  bad = o;
+  bad.achieved_bw = GBps{-3.0};
+  EXPECT_EQ(c.observe_checked(bad).code(), ErrorCode::kInvalidArgument);
+
+  // Rejected telemetry leaves the policy untouched: same stats, same
+  // split, and the RNG stream has not advanced (next valid observation
+  // behaves as if the bad ones never happened).
+  EXPECT_EQ(c.stats().observations, before.observations);
+  EXPECT_DOUBLE_EQ(c.decision().cpu_cap.value(),
+                   split_before.cpu_cap.value());
+}
+
+TEST(CtrlController, EveryDecisionSumsToBudgetAndClearsFloors) {
+  const auto machine = hw::ivybridge_node();
+  const sim::PhaseNodeSet nodes(machine, workload::npb_ft());
+  ctrl::ControllerConfig cfg;
+  cfg.explore_floor = 0.05;  // keep probing forever: stress the bounds
+  const Watts budget{170.0};
+  const auto trace = workload::generate_trace(
+      nodes.wl(), {/*total_units=*/300.0, /*segment_units=*/1.0,
+                   /*irregularity=*/0.7, /*seed=*/7});
+  const auto run = ctrl::run_closed_loop(nodes, trace, budget, cfg);
+  const auto [cpu_min, mem_min] = ctrl::controller_floors(cfg, machine);
+  ASSERT_FALSE(run.caps.empty());
+  for (const auto& c : run.caps) {
+    EXPECT_DOUBLE_EQ(c.cpu_cap.value() + c.mem_cap.value(), budget.value());
+    EXPECT_GE(c.cpu_cap.value(), cpu_min.value() - 1e-9);
+    EXPECT_GE(c.mem_cap.value(), mem_min.value() - 1e-9);
+  }
+}
+
+TEST(CtrlController, SameSeedSameTraceIsBitReproducible) {
+  const auto machine = hw::ivybridge_node();
+  const sim::PhaseNodeSet nodes(machine, workload::npb_bt());
+  const auto trace = workload::generate_trace(
+      nodes.wl(), {/*total_units=*/200.0, /*segment_units=*/1.0,
+                   /*irregularity=*/0.6, /*seed=*/11});
+  const auto a = ctrl::run_closed_loop(nodes, trace, Watts{160.0}, {});
+  const auto b = ctrl::run_closed_loop(nodes, trace, Watts{160.0}, {});
+  ASSERT_EQ(a.caps.size(), b.caps.size());
+  for (std::size_t i = 0; i < a.caps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.caps[i].cpu_cap.value(), b.caps[i].cpu_cap.value())
+        << i;
+    EXPECT_EQ(a.caps[i].explored, b.caps[i].explored) << i;
+  }
+  EXPECT_DOUBLE_EQ(a.replay.total_time.value(), b.replay.total_time.value());
+  EXPECT_EQ(a.stats.moves, b.stats.moves);
+  EXPECT_EQ(a.stats.explorations, b.stats.explorations);
+}
+
+// ISSUE property 1: on a stationary trace, cumulative average regret
+// (vs the best fixed split on the controller's own lattice) is monotone
+// non-increasing across observation-count checkpoints — more telemetry
+// never makes the average worse.
+TEST(CtrlProperty, RegretMonotoneNonIncreasingOnStationaryTraces) {
+  const auto machine = hw::ivybridge_node();
+  for (const auto& wl : {workload::npb_ft(), workload::npb_bt()}) {
+    const sim::PhaseNodeSet nodes(machine, wl);
+    for (std::size_t phase = 0; phase < nodes.phase_count(); ++phase) {
+      for (const double budget : {150.0, 180.0}) {
+        const ctrl::ControllerConfig cfg;
+        const auto trace = stationary_trace(phase, 400);
+        const auto run =
+            ctrl::run_closed_loop(nodes, trace, Watts{budget}, cfg);
+        const auto oracle =
+            lattice_oracle(nodes, phase, Watts{budget}, cfg);
+        ASSERT_GT(oracle.rate, 0.0);
+        ASSERT_EQ(run.replay.segments.size(), trace.size());
+
+        // Cumulative average regret at quarter checkpoints.
+        std::vector<double> checkpoints;
+        double regret_sum = 0.0;
+        for (std::size_t i = 0; i < run.replay.segments.size(); ++i) {
+          const double r = run.replay.segments[i].rate_gunits;
+          regret_sum += std::max(0.0, (oracle.rate - r) / oracle.rate);
+          if ((i + 1) % 100 == 0) {
+            checkpoints.push_back(regret_sum / static_cast<double>(i + 1));
+          }
+        }
+        ASSERT_EQ(checkpoints.size(), 4u);
+        for (std::size_t k = 1; k < checkpoints.size(); ++k) {
+          // Exploration decays, so each later window dilutes the early
+          // learning cost; 1e-9 absorbs FP summation noise only.
+          EXPECT_LE(checkpoints[k], checkpoints[k - 1] + 1e-9)
+              << wl.name << " phase " << phase << " budget " << budget
+              << " checkpoint " << k;
+        }
+      }
+    }
+  }
+}
+
+// ISSUE property 2: the converged split performs within the documented
+// tolerance of the lattice oracle. Tolerance: the controller's own
+// hysteresis margin (arms inside it are treated as equal by design) plus
+// 1% slack for EMA noise — docs/online.md states the same bound.
+TEST(CtrlProperty, ConvergedSplitWithinToleranceOfOracle) {
+  const auto machine = hw::ivybridge_node();
+  for (const auto& wl : {workload::npb_ft(), workload::npb_bt()}) {
+    const sim::PhaseNodeSet nodes(machine, wl);
+    for (std::size_t phase = 0; phase < nodes.phase_count(); ++phase) {
+      for (const double budget : {150.0, 180.0}) {
+        const ctrl::ControllerConfig cfg;
+        const auto trace = stationary_trace(phase, 400);
+        const auto run =
+            ctrl::run_closed_loop(nodes, trace, Watts{budget}, cfg);
+        const auto oracle =
+            lattice_oracle(nodes, phase, Watts{budget}, cfg);
+        ASSERT_FALSE(run.caps.empty());
+        const auto& last = run.caps.back();
+        const auto converged = nodes.phase(phase).steady_state(
+            last.cpu_cap, last.mem_cap);
+        EXPECT_GE(converged.rate_gunits,
+                  oracle.rate * (1.0 - cfg.hysteresis_margin - 0.01))
+            << wl.name << " phase " << phase << " budget " << budget
+            << ": converged to " << last.cpu_cap.value() << " W vs oracle "
+            << oracle.cpu << " W";
+      }
+    }
+  }
+}
+
+// ISSUE property 3: on a two-phase square wave the hysteresis/jump
+// policy keeps the split from thrashing. Once both phases have been
+// seen (first full cycle), the split changes at most K times per dwell:
+// one jump at the boundary plus a small climb-and-probe allowance — far
+// below the dwell length, which is what an oscillating controller would
+// burn.
+TEST(CtrlProperty, HysteresisBoundsSquareWaveOscillation) {
+  const auto machine = hw::ivybridge_node();
+  const std::size_t dwell = 30;
+  constexpr std::size_t kMaxChangesPerDwell = 10;
+  for (const auto& wl : {workload::npb_ft(), workload::npb_bt()}) {
+    const sim::PhaseNodeSet nodes(machine, wl);
+    ASSERT_GE(nodes.phase_count(), 2u);
+    for (const double budget : {150.0, 180.0}) {
+      const auto trace = square_wave(0, 1, dwell, 20 * dwell);
+      const auto run =
+          ctrl::run_closed_loop(nodes, trace, Watts{budget}, {});
+      ASSERT_EQ(run.caps.size(), trace.size());
+      for (std::size_t start = 2 * dwell; start + dwell <= run.caps.size();
+           start += dwell) {
+        std::size_t changes = 0;
+        for (std::size_t k = 1; k < dwell; ++k) {
+          if (run.caps[start + k].cpu_cap.value() !=
+              run.caps[start + k - 1].cpu_cap.value()) {
+            ++changes;
+          }
+        }
+        EXPECT_LE(changes, kMaxChangesPerDwell)
+            << wl.name << " budget " << budget << " dwell at " << start;
+      }
+      // And revisiting a learned phase is one jump, not a fresh climb:
+      // every phase change after the first cycle lands on the remembered
+      // best arm immediately, so moves stay near one per boundary.
+      EXPECT_EQ(run.stats.phase_changes, 19u) << wl.name << " " << budget;
+    }
+  }
+}
+
+TEST(CtrlClosedLoop, AccountingMatchesSegmentSums) {
+  const auto machine = hw::ivybridge_node();
+  const sim::PhaseNodeSet nodes(machine, workload::npb_ft());
+  const auto trace = workload::generate_trace(
+      nodes.wl(), {/*total_units=*/150.0, /*segment_units=*/1.0,
+                   /*irregularity=*/0.5, /*seed=*/3});
+  const auto run = ctrl::run_closed_loop(nodes, trace, Watts{170.0}, {});
+  double time = 0.0, proc_e = 0.0, mem_e = 0.0;
+  for (const auto& s : run.replay.segments) {
+    time += s.duration.value();
+    proc_e += s.proc_power.value() * s.duration.value();
+    mem_e += s.mem_power.value() * s.duration.value();
+  }
+  EXPECT_NEAR(run.replay.total_time.value(), time, 1e-9 * time);
+  EXPECT_NEAR(run.replay.proc_energy.value(), proc_e, 1e-6 * proc_e);
+  EXPECT_NEAR(run.replay.mem_energy.value(), mem_e, 1e-6 * mem_e);
+  EXPECT_TRUE(run.replay.aggregate.proc_cap_respected);
+  EXPECT_TRUE(run.replay.aggregate.mem_cap_respected);
+  // The time-weighted mean caps still sum to the budget: every segment's
+  // split does, so any convex combination does too.
+  EXPECT_NEAR(run.replay.aggregate.proc_cap.value() +
+                  run.replay.aggregate.mem_cap.value(),
+              170.0, 1e-6);
+}
+
+TEST(CtrlClosedLoop, CheckedRejectsBadTraceAndConfig) {
+  const auto machine = hw::ivybridge_node();
+  const sim::PhaseNodeSet nodes(machine, workload::npb_ft());
+  const workload::PhaseTrace good = stationary_trace(0, 4);
+
+  workload::PhaseTrace bad_phase = good;
+  bad_phase[2].phase_index = 99;
+  EXPECT_EQ(ctrl::run_closed_loop_checked(nodes, bad_phase, Watts{170.0}, {})
+                .status()
+                .code(),
+            ErrorCode::kOutOfRange);
+
+  workload::PhaseTrace bad_work = good;
+  bad_work[1].work_units = -2.0;
+  EXPECT_EQ(ctrl::run_closed_loop_checked(nodes, bad_work, Watts{170.0}, {})
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+
+  EXPECT_EQ(ctrl::run_closed_loop_checked(nodes, good, Watts{10.0}, {})
+                .status()
+                .code(),
+            ErrorCode::kFailedPrecondition);
+
+  const auto ok = ctrl::run_closed_loop_checked(nodes, good, Watts{170.0}, {});
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+  // Checked and unchecked agree bit-for-bit on valid input.
+  const auto raw = ctrl::run_closed_loop(nodes, good, Watts{170.0}, {});
+  EXPECT_DOUBLE_EQ(ok.value().replay.total_time.value(),
+                   raw.replay.total_time.value());
+}
+
+TEST(CtrlController, PublishesCountersToConfiguredRegistry) {
+  obs::MetricsRegistry reg;
+  const auto machine = hw::ivybridge_node();
+  const sim::PhaseNodeSet nodes(machine, workload::npb_ft());
+  ctrl::ControllerConfig cfg;
+  cfg.registry = &reg;
+  const auto trace = stationary_trace(0, 50);
+  const auto run = ctrl::run_closed_loop(nodes, trace, Watts{170.0}, cfg);
+  EXPECT_EQ(reg.counter("pbc_ctrl_observations_total", "").value(),
+            run.stats.observations);
+  EXPECT_EQ(reg.counter("pbc_ctrl_explorations_total", "").value(),
+            run.stats.explorations);
+  EXPECT_EQ(reg.counter("pbc_ctrl_moves_total", "").value(),
+            run.stats.moves);
+  EXPECT_EQ(run.stats.observations, 50u);
+}
+
+}  // namespace
+}  // namespace pbc

@@ -1,0 +1,329 @@
+// Deterministic fuzzing of the online controller and the checked error
+// paths around it. Every case is a pure function of its seed, so a
+// failure reproduces exactly from the logged seed. Iteration counts
+// honor PBC_TEST_ITERS (tests/support/test_env.hpp) for slow sanitizer
+// boxes; the defaults push well past a thousand distinct
+// (machine, workload, trace, budget) cases through the controller.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "../support/test_env.hpp"
+#include "../svc/svc_test_util.hpp"
+#include "core/cluster_sim.hpp"
+#include "core/dynamic.hpp"
+#include "ctrl/closed_loop.hpp"
+#include "ctrl/controller.hpp"
+#include "sim/phase_nodes.hpp"
+#include "sim/trace_replay.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace pbc {
+namespace {
+
+struct PreparedPair {
+  hw::CpuMachine machine;
+  std::shared_ptr<const sim::PhaseNodeSet> nodes;
+};
+
+/// A fixed pool of randomized (machine, workload) pairs shared by every
+/// fuzz case — table preparation dominates a PhaseNodeSet build, so the
+/// thousand-case sweeps cycle over prepared pairs instead of rebuilding.
+const std::vector<PreparedPair>& pairs() {
+  static const std::vector<PreparedPair> p = [] {
+    std::vector<PreparedPair> out;
+    for (int t = 0; t < 12; ++t) {
+      Xoshiro256 rng(0xC0FFEE, static_cast<std::uint64_t>(t));
+      PreparedPair pp;
+      pp.machine = svc_test::random_cpu_machine(rng);
+      pp.nodes = std::make_shared<sim::PhaseNodeSet>(
+          pp.machine, svc_test::random_cpu_workload(rng, t));
+      out.push_back(std::move(pp));
+    }
+    return out;
+  }();
+  return p;
+}
+
+workload::PhaseTrace random_trace(const workload::Workload& wl,
+                                  std::uint64_t seed, Xoshiro256& rng) {
+  workload::TraceOptions opt;
+  opt.total_units = rng.uniform(25.0, 60.0);
+  opt.segment_units = rng.uniform(0.5, 2.0);
+  opt.irregularity = rng.uniform(0.0, 1.0);
+  opt.seed = seed;
+  return workload::generate_trace(wl, opt);
+}
+
+TEST(CtrlFuzz, ControllerInvariantsOnRandomTracesMatchShifter) {
+  const int cases = test::iters(1200);
+  const double steps[] = {2.0, 4.0, 8.0};
+  for (int i = 0; i < cases; ++i) {
+    const auto& pp = pairs()[static_cast<std::size_t>(i) % pairs().size()];
+    Xoshiro256 rng(0xFACE, static_cast<std::uint64_t>(i));
+    const auto trace =
+        random_trace(pp.nodes->wl(), 9000 + static_cast<std::uint64_t>(i),
+                     rng);
+
+    ctrl::ControllerConfig cfg;
+    cfg.step = Watts{steps[rng.below(3)]};
+    cfg.seed = static_cast<std::uint64_t>(i);
+    const auto [cpu_min, mem_min] =
+        ctrl::controller_floors(cfg, pp.machine);
+    const double floors = cpu_min.value() + mem_min.value();
+    // Mostly feasible budgets, with an infeasible tail exercising the
+    // tolerated degrade path (pin at cpu_min, like the shifter's clamp).
+    const Watts budget{floors + rng.uniform(-10.0, 120.0)};
+    const bool feasible = budget.value() >= floors;
+
+    const auto run =
+        ctrl::run_closed_loop(*pp.nodes, trace, budget, cfg);
+    ASSERT_EQ(run.stats.observations, run.caps.size()) << "case " << i;
+    for (const auto& c : run.caps) {
+      ASSERT_DOUBLE_EQ(c.cpu_cap.value() + c.mem_cap.value(),
+                       budget.value())
+          << "case " << i;
+      ASSERT_GE(c.cpu_cap.value(), cpu_min.value() - 1e-9) << "case " << i;
+      if (feasible) {
+        ASSERT_GE(c.mem_cap.value(), mem_min.value() - 1e-9)
+            << "case " << i;
+      }
+    }
+    ASSERT_TRUE(std::isfinite(run.replay.total_time.value()))
+        << "case " << i;
+    ASSERT_GE(run.replay.total_time.value(), 0.0) << "case " << i;
+
+    // Every 4th feasible case: the offline shifter on the identical
+    // (nodes, trace, budget, step, floors) must obey the identical
+    // budget/floor invariants — the two engines share one feasible band.
+    if (feasible && i % 4 == 0) {
+      core::ShiftingConfig scfg;
+      scfg.step = cfg.step;
+      scfg.cpu_min = cpu_min;
+      scfg.mem_min = mem_min;
+      const auto shifted =
+          core::replay_with_shifting(*pp.nodes, trace, budget, scfg);
+      for (const auto& c : shifted.caps) {
+        ASSERT_LE(c.cpu_cap.value() + c.mem_cap.value(),
+                  budget.value() + 1e-9)
+            << "case " << i;
+        ASSERT_GE(c.cpu_cap.value(), cpu_min.value() - 1e-9)
+            << "case " << i;
+        ASSERT_GE(c.mem_cap.value(), mem_min.value() - 1e-9)
+            << "case " << i;
+      }
+      ASSERT_EQ(shifted.caps.size(), run.caps.size()) << "case " << i;
+    }
+  }
+}
+
+TEST(CtrlFuzz, FloorsAgreeWithShifterOnRandomMachines) {
+  const int cases = test::iters(300);
+  for (int i = 0; i < cases; ++i) {
+    Xoshiro256 rng(0xF100D5, static_cast<std::uint64_t>(i));
+    const hw::CpuMachine m = svc_test::random_cpu_machine(rng);
+    ctrl::ControllerConfig ccfg;
+    core::ShiftingConfig scfg;
+    if (rng.below(2) == 0) {
+      const Watts c{rng.uniform(30.0, 90.0)};
+      ccfg.cpu_min = c;
+      scfg.cpu_min = c;
+    }
+    if (rng.below(2) == 0) {
+      const Watts mm{rng.uniform(40.0, 100.0)};
+      ccfg.mem_min = mm;
+      scfg.mem_min = mm;
+    }
+    const auto online = ctrl::controller_floors(ccfg, m);
+    const auto offline = core::shifting_floors(scfg, m);
+    ASSERT_DOUBLE_EQ(online.first.value(), offline.first.value())
+        << "case " << i;
+    ASSERT_DOUBLE_EQ(online.second.value(), offline.second.value())
+        << "case " << i;
+  }
+}
+
+// The checked closed loop and the checked shifter expose one error
+// vocabulary: the same malformed input yields the same ErrorCode from
+// both, so svc callers can switch engines without re-mapping errors.
+TEST(CtrlFuzz, CheckedErrorCodesMatchShifterOnMalformedInput) {
+  const int cases = test::iters(300);
+  for (int i = 0; i < cases; ++i) {
+    const auto& pp = pairs()[static_cast<std::size_t>(i) % pairs().size()];
+    Xoshiro256 rng(0xBAD, static_cast<std::uint64_t>(i));
+    auto trace =
+        random_trace(pp.nodes->wl(), 7000 + static_cast<std::uint64_t>(i),
+                     rng);
+    ASSERT_FALSE(trace.empty());
+    Watts budget{200.0};
+    ErrorCode expected = ErrorCode::kOk;
+    switch (i % 3) {
+      case 0:
+        trace[rng.below(trace.size())].phase_index =
+            pp.nodes->phase_count() + rng.below(5);
+        expected = ErrorCode::kOutOfRange;
+        break;
+      case 1:
+        trace[rng.below(trace.size())].work_units = -rng.uniform(0.0, 3.0);
+        expected = ErrorCode::kInvalidArgument;
+        break;
+      default:
+        budget = Watts{rng.uniform(0.0, 40.0)};  // below any floor pair
+        expected = ErrorCode::kFailedPrecondition;
+        break;
+    }
+    const auto online =
+        ctrl::run_closed_loop_checked(*pp.nodes, trace, budget, {});
+    const auto offline =
+        core::replay_with_shifting_checked(*pp.nodes, trace, budget, {});
+    ASSERT_FALSE(online.ok()) << "case " << i;
+    ASSERT_FALSE(offline.ok()) << "case " << i;
+    ASSERT_EQ(online.status().code(), expected)
+        << "case " << i << ": " << online.status().to_string();
+    ASSERT_EQ(offline.status().code(), expected)
+        << "case " << i << ": " << offline.status().to_string();
+  }
+}
+
+TEST(CtrlFuzz, ObserveCheckedRejectsRandomBadTelemetry) {
+  const auto machine = hw::ivybridge_node();
+  const int cases = test::iters(200);
+  auto made =
+      ctrl::OnlineController::make_checked(machine, Watts{180.0}, {});
+  ASSERT_TRUE(made.ok());
+  ctrl::OnlineController& c = made.value();
+  const double bads[] = {-1.0, std::nan(""),
+                         std::numeric_limits<double>::infinity()};
+  for (int i = 0; i < cases; ++i) {
+    Xoshiro256 r(0x7E1E, static_cast<std::uint64_t>(i));
+    ctrl::Observation o;
+    o.work_units = r.uniform(0.5, 2.0);
+    o.rate_gunits = r.uniform(0.1, 5.0);
+    o.proc_power = Watts{r.uniform(40.0, 120.0)};
+    o.mem_power = Watts{r.uniform(40.0, 100.0)};
+    o.achieved_bw = GBps{r.uniform(1.0, 40.0)};
+    const double bad = bads[r.below(3)];
+    switch (r.below(5)) {
+      case 0: o.work_units = bad; break;
+      case 1: o.rate_gunits = bad; break;
+      case 2: o.proc_power = Watts{bad}; break;
+      case 3: o.mem_power = Watts{bad}; break;
+      default: o.achieved_bw = GBps{bad}; break;
+    }
+    const auto before = c.stats().observations;
+    ASSERT_EQ(c.observe_checked(o).code(), ErrorCode::kInvalidArgument)
+        << "case " << i;
+    ASSERT_EQ(c.stats().observations, before) << "case " << i;
+  }
+}
+
+TEST(CtrlFuzz, CheckTraceFindsFirstViolationOnRandomCorruption) {
+  const int cases = test::iters(400);
+  for (int i = 0; i < cases; ++i) {
+    const auto& pp = pairs()[static_cast<std::size_t>(i) % pairs().size()];
+    Xoshiro256 rng(0xC8EC, static_cast<std::uint64_t>(i));
+    auto trace =
+        random_trace(pp.nodes->wl(), 5000 + static_cast<std::uint64_t>(i),
+                     rng);
+    const std::size_t phase_count = pp.nodes->phase_count();
+
+    // Corrupt 0-2 random segments, then derive the expected first
+    // violation in trace order independently of check_trace.
+    const std::size_t corruptions = rng.below(3);
+    for (std::size_t k = 0; k < corruptions; ++k) {
+      auto& seg = trace[rng.below(trace.size())];
+      if (rng.below(2) == 0) {
+        seg.phase_index = phase_count + rng.below(4);
+      } else {
+        seg.work_units = rng.below(2) == 0 ? 0.0 : -rng.uniform(0.0, 2.0);
+      }
+    }
+    ErrorCode expected = ErrorCode::kOk;
+    for (const auto& seg : trace) {
+      if (seg.phase_index >= phase_count) {
+        expected = ErrorCode::kOutOfRange;
+        break;
+      }
+      if (!(seg.work_units > 0.0)) {
+        expected = ErrorCode::kInvalidArgument;
+        break;
+      }
+    }
+    const Status s = sim::check_trace(trace, phase_count);
+    ASSERT_EQ(s.code(), expected) << "case " << i;
+    const auto replayed = sim::replay_trace_checked(
+        *pp.nodes, trace, Watts{90.0}, Watts{90.0});
+    ASSERT_EQ(replayed.status().code(), expected) << "case " << i;
+    if (expected == ErrorCode::kOk) {
+      ASSERT_TRUE(replayed.ok()) << "case " << i;
+    }
+  }
+}
+
+TEST(CtrlFuzz, SimulateClusterCheckedRejectsBadConfigsWithoutCrashing) {
+  const int cases = test::iters(48);
+  for (int i = 0; i < cases; ++i) {
+    Xoshiro256 rng(0xC105, static_cast<std::uint64_t>(i));
+    const hw::CpuMachine machine = svc_test::random_cpu_machine(rng);
+    std::vector<core::SimJob> jobs;
+    const std::size_t njobs = 1 + rng.below(3);
+    for (std::size_t j = 0; j < njobs; ++j) {
+      core::SimJob job;
+      job.name = "job" + std::to_string(j);
+      job.wl = svc_test::random_cpu_workload(rng, i * 8 + static_cast<int>(j));
+      job.arrival = Seconds{rng.uniform(0.0, 5.0)};
+      job.work_gunits = rng.uniform(0.5, 2.0);
+      jobs.push_back(std::move(job));
+    }
+    core::ClusterSimConfig config;
+    config.nodes = 2;
+    config.global_budget = Watts{rng.uniform(300.0, 600.0)};
+
+    switch (i % 4) {
+      case 0:
+        config.nodes = 0;
+        break;
+      case 1:
+        config.global_budget = Watts{-rng.uniform(0.0, 100.0)};
+        break;
+      case 2:
+        config.admission_control = false;
+        config.min_grant =
+            Watts{config.global_budget.value() + rng.uniform(1.0, 50.0)};
+        break;
+      default: {
+        // GPU job on a CPU-only cluster.
+        core::SimJob gpu_job;
+        gpu_job.name = "gpu";
+        gpu_job.wl = svc_test::random_gpu_workload(rng, i);
+        gpu_job.work_gunits = 1.0;
+        jobs.push_back(std::move(gpu_job));
+        break;
+      }
+    }
+    const auto run =
+        core::simulate_cluster_checked(machine, jobs, config);
+    ASSERT_FALSE(run.ok()) << "case " << i;
+    ASSERT_EQ(run.status().code(), ErrorCode::kInvalidArgument)
+        << "case " << i << ": " << run.status().to_string();
+  }
+  // And a well-formed configuration still goes through the same door.
+  Xoshiro256 rng(0xC105, 999);
+  const hw::CpuMachine machine = svc_test::random_cpu_machine(rng);
+  std::vector<core::SimJob> jobs;
+  core::SimJob job;
+  job.name = "ok";
+  job.wl = svc_test::random_cpu_workload(rng, 999);
+  job.work_gunits = 1.0;
+  jobs.push_back(std::move(job));
+  const auto run = core::simulate_cluster_checked(machine, jobs, {});
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  ASSERT_EQ(run.value().jobs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pbc

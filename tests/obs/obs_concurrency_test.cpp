@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "../support/test_env.hpp"
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -20,7 +21,9 @@ namespace {
 TEST(ObsConcurrency, RegistryHammerWithConcurrentSnapshots) {
   MetricsRegistry reg;
   constexpr int kWriters = 4;
-  constexpr int kItersPerWriter = 20000;
+  // PBC_TEST_ITERS caps the per-writer count on slow boxes; the exact-
+  // count assertions below are computed from the runtime value.
+  const int iters_per_writer = test::iters(20000);
 
   Counter& counter = reg.counter("pbc_hammer_total", "hammered counter");
   Gauge& gauge = reg.gauge("pbc_hammer_gauge", "hammered gauge");
@@ -32,7 +35,7 @@ TEST(ObsConcurrency, RegistryHammerWithConcurrentSnapshots) {
   threads.reserve(kWriters + 2);
   for (int w = 0; w < kWriters; ++w) {
     threads.emplace_back([&, w] {
-      for (int i = 0; i < kItersPerWriter; ++i) {
+      for (int i = 0; i < iters_per_writer; ++i) {
         counter.add(1);
         gauge.add(1.0);
         hist.observe(static_cast<double>((w * 7 + i) % 600));
@@ -61,8 +64,9 @@ TEST(ObsConcurrency, RegistryHammerWithConcurrentSnapshots) {
   stop.store(true, std::memory_order_relaxed);
   for (std::size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
 
-  constexpr std::uint64_t kTotal =
-      static_cast<std::uint64_t>(kWriters) * kItersPerWriter;
+  const std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kWriters) *
+      static_cast<std::uint64_t>(iters_per_writer);
   EXPECT_EQ(counter.value(), kTotal);
   EXPECT_EQ(gauge.value(), static_cast<double>(kTotal));
   const HistogramSnapshot hs = hist.snapshot();
@@ -81,14 +85,14 @@ TEST(ObsConcurrency, TracerHammerWithConcurrentSnapshots) {
   Tracer tracer(256);
   SlowQueryLog slow_log(64);
   constexpr int kWriters = 4;
-  constexpr int kItersPerWriter = 10000;
+  const int iters_per_writer = test::iters(10000);
 
   std::atomic<bool> stop{false};
   std::vector<std::thread> threads;
   threads.reserve(kWriters + 1);
   for (int w = 0; w < kWriters; ++w) {
     threads.emplace_back([&, w] {
-      for (int i = 0; i < kItersPerWriter; ++i) {
+      for (int i = 0; i < iters_per_writer; ++i) {
         {
           PBC_TRACE_SPAN(&tracer, "hammer.span",
                          static_cast<std::uint64_t>(w));
@@ -112,10 +116,12 @@ TEST(ObsConcurrency, TracerHammerWithConcurrentSnapshots) {
 
 #if PBC_TRACING_ENABLED
   EXPECT_EQ(tracer.recorded(),
-            static_cast<std::uint64_t>(kWriters) * kItersPerWriter);
+            static_cast<std::uint64_t>(kWriters) *
+                static_cast<std::uint64_t>(iters_per_writer));
 #endif
   EXPECT_EQ(slow_log.total(),
-            static_cast<std::uint64_t>(kWriters) * (kItersPerWriter / 100));
+            static_cast<std::uint64_t>(kWriters) *
+                static_cast<std::uint64_t>(iters_per_writer / 100));
   EXPECT_LE(slow_log.snapshot().size(), 64u);
 }
 

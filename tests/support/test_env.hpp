@@ -1,0 +1,31 @@
+// Environment knobs shared by the heavier test binaries.
+//
+// The concurrency hammers, stress loops, and fuzz sweeps run with fixed
+// default iteration counts chosen for CI; locally (or under a slow
+// sanitizer box) PBC_TEST_ITERS caps them without editing the tests:
+//
+//   PBC_TEST_ITERS=500 ctest --preset tsan -R Obs
+//
+// The override only ever *lowers* a loop count — defaults are the
+// contract the suites are tuned for, so an oversized value cannot turn a
+// bounded test into a multi-minute one by accident.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace pbc::test {
+
+/// `def` capped by the PBC_TEST_ITERS environment variable when it is set
+/// to a positive integer; `def` unchanged otherwise (unset, empty, junk).
+[[nodiscard]] inline int iters(int def) {
+  const char* env = std::getenv("PBC_TEST_ITERS");
+  if (env == nullptr || *env == '\0') return def;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0) return def;
+  return std::min(def, static_cast<int>(std::min<long>(v, 1 << 30)));
+}
+
+}  // namespace pbc::test

@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include "core/dynamic.hpp"
+#include "ctrl/closed_loop.hpp"
 #include "hw/platforms.hpp"
+#include "obs/trace.hpp"
 #include "sim/phase_nodes.hpp"
 #include "sim/trace_replay.hpp"
 #include "svc/engine.hpp"
@@ -124,6 +126,58 @@ TEST(EngineReplay, BatchMatchesSinglesAndCountsQueries) {
   EXPECT_EQ(s.replay_misses, shift_batch.size() + replay_batch.size());
   EXPECT_EQ(s.replay_hits, shift_batch.size() + replay_batch.size());
   EXPECT_GE(s.queries, shift_batch.size() + replay_batch.size());
+}
+
+TEST(EngineReplay, OnlineQueriesMatchDirectCallsAndCache) {
+  QueryEngine engine;
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const auto wl = workload::npb_ft();
+  const auto trace = ft_trace(21);
+
+  const auto via_engine =
+      engine.run_online(machine, wl, trace, Watts{170.0});
+  const auto nodes = sim::make_prepared_phase_nodes(machine, wl);
+  const auto direct =
+      ctrl::run_closed_loop(*nodes, trace, Watts{170.0});
+  EXPECT_EQ(via_engine.replay.aggregate, direct.replay.aggregate);
+  EXPECT_EQ(via_engine.stats.moves, direct.stats.moves);
+  ASSERT_EQ(via_engine.caps.size(), direct.caps.size());
+  for (std::size_t i = 0; i < via_engine.caps.size(); ++i) {
+    EXPECT_EQ(via_engine.caps[i].cpu_cap.value(),
+              direct.caps[i].cpu_cap.value());
+  }
+
+  // Online results fold into the replay hit/miss accounting.
+  const auto s1 = engine.stats();
+  EXPECT_EQ(s1.replay_misses, 1u);
+  EXPECT_EQ(s1.replay_hits, 0u);
+  const auto again = engine.run_online(machine, wl, trace, Watts{170.0});
+  EXPECT_EQ(again.replay.aggregate, via_engine.replay.aggregate);
+  const auto s2 = engine.stats();
+  EXPECT_EQ(s2.replay_misses, 1u);
+  EXPECT_EQ(s2.replay_hits, 1u);
+  EXPECT_GT(s2.replay_cache_size, 0u);
+
+  // A different controller seed is a different key (different
+  // exploration sequence, different result).
+  ctrl::ControllerConfig seeded;
+  seeded.seed = 7;
+  (void)engine.run_online(machine, wl, trace, Watts{170.0}, seeded);
+  EXPECT_EQ(engine.stats().replay_misses, 2u);
+
+  // The config's observability sinks are NOT part of the key: a tracer
+  // attached to an identical query still hits.
+  obs::Tracer tracer;
+  ctrl::ControllerConfig traced;
+  traced.tracer = &tracer;
+  (void)engine.run_online(machine, wl, trace, Watts{170.0}, traced);
+  EXPECT_EQ(engine.stats().replay_misses, 2u);
+  EXPECT_EQ(engine.stats().replay_hits, 2u);
+
+  // clear() drops online entries with the rest of the replay tier.
+  engine.clear();
+  (void)engine.run_online(machine, wl, trace, Watts{170.0});
+  EXPECT_EQ(engine.stats().replay_misses, 3u);
 }
 
 TEST(EngineReplay, ClearDropsCachedResults) {

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "../support/test_env.hpp"
 #include "core/coord.hpp"
 #include "core/critical.hpp"
 #include "sim/cpu_node.hpp"
@@ -122,11 +123,14 @@ TEST(EngineStress, ContentionWithEvictionKeepsInvariants) {
     wls.push_back(svc_test::random_cpu_workload(seed_rng, i));
   }
 
+  // PBC_TEST_ITERS caps the per-thread query count on slow boxes; the
+  // exact-count assertion below is computed from the runtime value.
+  const int per_thread = test::iters(300);
   std::vector<std::thread> threads;
   for (int t = 0; t < 6; ++t) {
     threads.emplace_back([&, t] {
       Xoshiro256 rng(9, static_cast<std::uint64_t>(t));
-      for (int i = 0; i < 300; ++i) {
+      for (int i = 0; i < per_thread; ++i) {
         const auto d = static_cast<std::size_t>(rng.below(kDescriptors));
         const auto a = engine.query_cpu(machines[d], wls[d],
                                         Watts{rng.uniform(140.0, 280.0)});
@@ -137,7 +141,7 @@ TEST(EngineStress, ContentionWithEvictionKeepsInvariants) {
   for (auto& th : threads) th.join();
 
   const auto s = engine.stats();
-  EXPECT_EQ(s.queries, 6u * 300u);
+  EXPECT_EQ(s.queries, 6u * static_cast<std::uint64_t>(per_thread));
   EXPECT_EQ(s.hits + s.misses, s.queries);
   EXPECT_EQ(s.misses, s.computes + s.coalesced);
   EXPECT_LE(s.profile_cache_size, opt.profile_cache_capacity);
@@ -178,9 +182,10 @@ TEST(EngineStress, BatchAndScalarInterleaveSafely) {
   }
 
   svc::QueryEngine engine;
+  const int scalar_iters = test::iters(400);
   std::thread scalar([&] {
     Xoshiro256 pick(11, 0);
-    for (int i = 0; i < 400; ++i) {
+    for (int i = 0; i < scalar_iters; ++i) {
       const auto& q = batch[static_cast<std::size_t>(
           pick.below(batch.size()))];
       (void)engine.query_cpu(q.machine, q.wl, q.budget, q.variant);
@@ -202,7 +207,8 @@ TEST(EngineStress, BatchAndScalarInterleaveSafely) {
     EXPECT_EQ(answers[i].mem.value(), want.mem.value()) << i;
   }
   const auto s = engine.stats();
-  EXPECT_EQ(s.queries, 400u + 3u * batch.size());
+  EXPECT_EQ(s.queries,
+            static_cast<std::uint64_t>(scalar_iters) + 3u * batch.size());
   EXPECT_EQ(s.misses, s.computes + s.coalesced);
   EXPECT_LE(s.computes, batch.size());
 }
