@@ -12,9 +12,11 @@
 //     gate certifies the algorithmic speedup — prepared nodes + split /
 //     climb memoization — not core count), verifies replay and shifting
 //     grids are bit-identical across the paths, and exits 1 when the
-//     smaller of the two speedups falls below --min-speedup (default 10;
+//     smaller of the two speedups falls below --min-speedup (default 12;
 //     --min-speedup=0 turns the run into a smoke test). --smoke shrinks
-//     the traces so debug/sanitizer ctest configurations stay quick.
+//     the traces so debug/sanitizer ctest configurations stay quick, and
+//     --force-generic pins the SIMD dispatch to the portable tier so CI
+//     can hold the no-SIMD configuration to the pre-SIMD floor.
 //   * --csv=FILE: per-segment dump of a fixed shifting run at full
 //     precision for the golden-file regression
 //     (tests/golden/replay_throughput.csv).
@@ -31,6 +33,7 @@
 #include "core/dynamic.hpp"
 #include "hw/platforms.hpp"
 #include "sim/phase_nodes.hpp"
+#include "sim/simd.hpp"
 #include "sim/trace_replay.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -267,6 +270,8 @@ int run_gate_mode(const std::string& json_path, double min_speedup, int reps,
   out << "{\n"
       << "  \"bench\": \"replay_throughput\",\n"
       << "  \"mode\": \"gate\",\n"
+      << "  \"simd_tier\": \"" << sim::simd::to_string(sim::simd::active_tier())
+      << "\",\n"
       << "  \"grid\": {\n"
       << "    \"workload\": \"" << wl.name << "\",\n"
       << "    \"traces\": " << n_traces << ",\n"
@@ -311,11 +316,12 @@ int run_gate_mode(const std::string& json_path, double min_speedup, int reps,
   bench::dump_global_metrics_json(json_path);
 
   std::printf(
-      "replay_throughput --json: %zu cells (%zu segs), replay ref %.3fs vs "
-      "fast %.4fs (%.1fx), shifting ref %.3fs vs fast %.4fs (%.1fx, "
-      "parallel %.4fs), paths %s -> %s\n",
-      cells, segments, ref_replay_s, fast_replay_s, replay_speedup,
-      ref_shift_s, fast_shift_s, shift_speedup, fast_shift_mt_s,
+      "replay_throughput --json [%s]: %zu cells (%zu segs), replay ref "
+      "%.3fs vs fast %.4fs (%.1fx), shifting ref %.3fs vs fast %.4fs "
+      "(%.1fx, parallel %.4fs), paths %s -> %s\n",
+      sim::simd::to_string(sim::simd::active_tier()), cells, segments,
+      ref_replay_s, fast_replay_s, replay_speedup, ref_shift_s, fast_shift_s,
+      shift_speedup, fast_shift_mt_s,
       identical ? "identical" : "DIVERGED", json_path.c_str());
 
   if (!identical) {
@@ -396,19 +402,22 @@ int main(int argc, char** argv) {
   }
   const CliArgs& args = parsed.value();
   if (const auto unknown = args.unknown_options(
-          {"json", "csv", "min-speedup", "reps", "smoke"});
+          {"json", "csv", "min-speedup", "reps", "smoke", "force-generic"});
       !unknown.empty()) {
     std::cerr << "unknown option --" << unknown.front()
               << " (supported: --json[=FILE] --csv=FILE --min-speedup=N "
-                 "--reps=N --smoke)\n";
+                 "--reps=N --smoke --force-generic)\n";
     return 2;
+  }
+  if (args.has("force-generic")) {
+    pbc::sim::simd::force_simd_tier(pbc::sim::simd::SimdTier::kGeneric);
   }
 
   if (const auto csv_path = args.value("csv")) return run_csv_mode(*csv_path);
   if (args.has("json")) {
     const std::string json_path =
         args.value("json").value_or("BENCH_replay.json");
-    const double min_speedup = args.value_num("min-speedup", 10.0);
+    const double min_speedup = args.value_num("min-speedup", 12.0);
     const int reps =
         std::max(1, static_cast<int>(args.value_num("reps", 3.0)));
     return run_gate_mode(json_path, min_speedup, reps, args.has("smoke"));

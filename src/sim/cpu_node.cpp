@@ -9,6 +9,7 @@
 
 #include "rapl/ladder.hpp"
 #include "sim/instrumentation.hpp"
+#include "sim/solve_arena.hpp"
 
 // Both solver paths must feed bit-identical operands to the workload model.
 // Keeping the state evaluator and the throttle-bandwidth formula out of line
@@ -240,6 +241,152 @@ AllocationSample CpuNodeSim::solve_fast(const CpuOpTable& table, Watts cpu_cap,
   return s;
 }
 
+void CpuNodeSim::solve_fast_batch(const CpuOpTable& table,
+                                  std::span<const CapPair> caps,
+                                  std::span<AllocationSample> out,
+                                  [[maybe_unused]] int active_cores,
+                                  SolveArena& arena) const {
+  assert(out.size() == caps.size());
+  const std::size_t n = caps.size();
+  if (n == 0) return;
+  const std::size_t states = table.ladder_states();  // sleep row == states
+  const std::size_t levels = table.level_count();
+  const double cpu_floor = machine_.cpu.floor.value();
+  const double mem_floor = machine_.dram.floor.value();
+  const double peak_bw = machine_.dram.peak_bw.value();
+
+  const auto scope = arena.scope();
+  // Per-cell lanes (indexed by cell), live across iterations.
+  const auto proc_thr = arena.get<double>(n);
+  const auto mem_thr = arena.get<double>(n);
+  const auto bw = arena.get<double>(n);
+  const auto state = arena.get<std::int32_t>(n);
+  const auto level = arena.get<std::int32_t>(n);
+  const auto next_state = arena.get<std::int32_t>(n);
+  const auto next_level = arena.get<std::int32_t>(n);
+  const auto below_floor = arena.get<std::uint8_t>(n);
+  // Work queues and per-bucket gather buffers, rewritten every iteration.
+  const auto pending = arena.get<std::int32_t>(n);
+  const auto grouped = arena.get<std::int32_t>(n);
+  const auto gthr = arena.get<double>(n);
+  const auto gans = arena.get<std::int32_t>(n);
+  // Bucket boundaries: mem buckets key on state (states + 1 values incl.
+  // sleep), proc buckets on next_level (levels values).
+  const std::size_t buckets = std::max(states + 1, levels);
+  const auto off = arena.get<std::int32_t>(buckets + 1);
+  const auto cur = arena.get<std::int32_t>(buckets + 1);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Same initial iterate and thresholds as solve_fast, per cell.
+    proc_thr[i] = caps[i].cpu_cap.value() + kCapSlackW;
+    mem_thr[i] = std::max(caps[i].mem_cap.value(), mem_floor) + kCapSlackW;
+    bw[i] = peak_bw;
+    state[i] = static_cast<std::int32_t>(states) - 1;
+    level[i] = static_cast<std::int32_t>(levels) - 1;
+    below_floor[i] = caps[i].cpu_cap.value() < cpu_floor ? 1 : 0;
+    pending[i] = static_cast<std::int32_t>(i);
+  }
+
+  // Counting sort of `pending` into `grouped` by `key`, bucket b spanning
+  // grouped[off[b], off[b + 1]). Stable, so lanes keep sweep order.
+  const auto group_by = [&](std::size_t npend, std::size_t nbuckets,
+                            std::span<const std::int32_t> key) {
+    std::fill(off.begin(), off.begin() + static_cast<std::ptrdiff_t>(
+                                             nbuckets + 1), 0);
+    for (std::size_t k = 0; k < npend; ++k) {
+      ++off[static_cast<std::size_t>(key[static_cast<std::size_t>(
+                pending[k])]) + 1];
+    }
+    for (std::size_t b = 0; b < nbuckets; ++b) off[b + 1] += off[b];
+    std::copy(off.begin(),
+              off.begin() + static_cast<std::ptrdiff_t>(nbuckets),
+              cur.begin());
+    for (std::size_t k = 0; k < npend; ++k) {
+      const std::int32_t idx = pending[k];
+      grouped[static_cast<std::size_t>(
+          cur[static_cast<std::size_t>(key[static_cast<std::size_t>(
+              idx)])]++)] = idx;
+    }
+  };
+
+  std::size_t npend = n;
+  for (int iter = 0; iter < kMaxRelaxationIters && npend > 0; ++iter) {
+    // Memory governor: one batched curve scan per distinct current state.
+    group_by(npend, states + 1, state);
+    for (std::size_t s = 0; s <= states; ++s) {
+      const auto b0 = static_cast<std::size_t>(off[s]);
+      const auto b1 = static_cast<std::size_t>(off[s + 1]);
+      if (b0 == b1) continue;
+      const std::size_t c = b1 - b0;
+      for (std::size_t j = 0; j < c; ++j) {
+        gthr[j] = mem_thr[static_cast<std::size_t>(grouped[b0 + j])];
+      }
+      table.mem_batch(s).max_index_within(gthr.first(c), gans.first(c));
+      for (std::size_t j = 0; j < c; ++j) {
+        const auto idx = static_cast<std::size_t>(grouped[b0 + j]);
+        next_level[idx] = gans[j] < 0 ? 0 : gans[j];
+      }
+    }
+
+    // Processor governor: one batched scan per distinct next level.
+    group_by(npend, levels, next_level);
+    for (std::size_t l = 0; l < levels; ++l) {
+      const auto b0 = static_cast<std::size_t>(off[l]);
+      const auto b1 = static_cast<std::size_t>(off[l + 1]);
+      if (b0 == b1) continue;
+      const std::size_t c = b1 - b0;
+      for (std::size_t j = 0; j < c; ++j) {
+        gthr[j] = proc_thr[static_cast<std::size_t>(grouped[b0 + j])];
+      }
+      table.proc_batch(l).max_index_within(gthr.first(c), gans.first(c));
+      for (std::size_t j = 0; j < c; ++j) {
+        const auto idx = static_cast<std::size_t>(grouped[b0 + j]);
+        // solve_fast's no-state-fits fallback, verbatim.
+        next_state[idx] =
+            gans[j] >= 0 ? gans[j]
+            : below_floor[idx] != 0
+                ? static_cast<std::int32_t>(table.sleep_state())
+                : 0;
+      }
+    }
+
+    // Advance every pending cell and retire the stable ones. Matches the
+    // scalar loop exactly: stability is judged on the pre-update iterate,
+    // and the final assignment happens either way.
+    std::size_t w = 0;
+    for (std::size_t k = 0; k < npend; ++k) {
+      const auto idx = static_cast<std::size_t>(pending[k]);
+      const double next_bw =
+          table.level_bw(static_cast<std::size_t>(next_level[idx]));
+      const bool stable =
+          next_bw == bw[idx] && next_state[idx] == state[idx];
+      state[idx] = next_state[idx];
+      level[idx] = next_level[idx];
+      bw[idx] = next_bw;
+      if (!stable) pending[w++] = pending[k];
+    }
+    npend = w;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // The solve_fast epilogue, per cell.
+    AllocationSample s = table.sample(static_cast<std::size_t>(state[i]),
+                                      static_cast<std::size_t>(level[i]));
+    s.proc_cap = caps[i].cpu_cap;
+    s.mem_cap = caps[i].mem_cap;
+    s.proc_cap_respected =
+        s.proc_power.value() <= caps[i].cpu_cap.value() + kCapSlackW;
+    s.mem_cap_respected =
+        s.mem_power.value() <= caps[i].mem_cap.value() + kCapSlackW;
+    s.mem_region = caps[i].mem_cap.value() < mem_floor ? MemRegion::kFloor
+                   : bw[i] < peak_bw - 1e-9 ? MemRegion::kThrottled
+                                            : MemRegion::kUnthrottled;
+    out[i] = s;
+    assert(out[i] == solve_fast(table, caps[i].cpu_cap, caps[i].mem_cap,
+                                active_cores, nullptr));
+  }
+}
+
 std::unique_ptr<const CpuOpTable> CpuNodeSim::build_table(
     int active_cores) const {
   const int cores = std::clamp(active_cores, 1, machine_.cpu.total_cores());
@@ -302,6 +449,19 @@ AllocationSample CpuNodeSim::steady_state_hinted(Watts cpu_cap, Watts mem_cap,
   return solve_fast(table_for(cores), cpu_cap, mem_cap, cores, hint);
 }
 
+void CpuNodeSim::steady_state_batch(std::span<const CapPair> caps,
+                                    std::span<AllocationSample> out,
+                                    SolveArena& arena) const {
+  steady_state_packed_batch(machine_.cpu.total_cores(), caps, out, arena);
+}
+
+void CpuNodeSim::steady_state_packed_batch(int active_cores,
+                                           std::span<const CapPair> caps,
+                                           std::span<AllocationSample> out,
+                                           SolveArena& arena) const {
+  solve_fast_batch(table_for(active_cores), caps, out, active_cores, arena);
+}
+
 std::vector<AllocationSample> CpuNodeSim::steady_state_batch(
     std::span<const CapPair> caps) const {
   return steady_state_packed_batch(machine_.cpu.total_cores(), caps);
@@ -309,14 +469,10 @@ std::vector<AllocationSample> CpuNodeSim::steady_state_batch(
 
 std::vector<AllocationSample> CpuNodeSim::steady_state_packed_batch(
     int active_cores, std::span<const CapPair> caps) const {
-  const CpuOpTable& table = table_for(active_cores);
-  std::vector<AllocationSample> out;
-  out.reserve(caps.size());
-  SolveHint hint;
-  for (const CapPair& c : caps) {
-    out.push_back(
-        solve_fast(table, c.cpu_cap, c.mem_cap, active_cores, &hint));
-  }
+  std::vector<AllocationSample> out(caps.size());
+  SolveArena& arena = thread_solve_arena();
+  const auto scope = arena.scope();
+  steady_state_packed_batch(active_cores, caps, out, arena);
   return out;
 }
 

@@ -30,6 +30,8 @@
 
 namespace pbc::sim {
 
+class SolveArena;
+
 namespace detail {
 struct CpuSolverCache;
 }  // namespace detail
@@ -71,14 +73,27 @@ class CpuNodeSim {
   [[nodiscard]] AllocationSample steady_state_hinted(
       Watts cpu_cap, Watts mem_cap, SolveHint* hint) const noexcept;
 
-  /// Batched solves over many (cpu_cap, mem_cap) splits: fetches the
-  /// operating-point table once and warm-starts each solve's bisections
-  /// from the previous fixed point. out[i] is bit-identical to
-  /// steady_state(caps[i]...).
+  /// Batched solves over many (cpu_cap, mem_cap) splits, written into
+  /// `out` (out.size() == caps.size()) with scratch carved from `arena` —
+  /// zero allocation once the arena is warm. Runs the SoA batch solver:
+  /// cells advance in lockstep through the relaxation, grouped by current
+  /// state so each governor query is one vectorized curve scan per
+  /// distinct state. out[i] is bit-identical to steady_state(caps[i]...).
+  void steady_state_batch(std::span<const CapPair> caps,
+                          std::span<AllocationSample> out,
+                          SolveArena& arena) const;
+
+  /// The packed-execution batch variant.
+  void steady_state_packed_batch(int active_cores,
+                                 std::span<const CapPair> caps,
+                                 std::span<AllocationSample> out,
+                                 SolveArena& arena) const;
+
+  /// Convenience wrappers over the span entry points, borrowing the
+  /// calling thread's arena and returning a fresh vector.
   [[nodiscard]] std::vector<AllocationSample> steady_state_batch(
       std::span<const CapPair> caps) const;
 
-  /// The packed-execution batch variant.
   [[nodiscard]] std::vector<AllocationSample> steady_state_packed_batch(
       int active_cores, std::span<const CapPair> caps) const;
 
@@ -138,6 +153,16 @@ class CpuNodeSim {
                                             Watts cpu_cap, Watts mem_cap,
                                             int active_cores,
                                             SolveHint* hint) const noexcept;
+
+  /// SoA batch fixed-point loop: all cells relax in lockstep; each
+  /// iteration buckets the still-unstable cells by state / next level and
+  /// issues one ResponseCurveBatch query per bucket. Every cell replays
+  /// the exact solve_fast trajectory (same iterates, same iteration
+  /// count, same epilogue), so results are bit-identical to it.
+  void solve_fast_batch(const CpuOpTable& table,
+                        std::span<const CapPair> caps,
+                        std::span<AllocationSample> out, int active_cores,
+                        SolveArena& arena) const;
 
   /// The lazily built, thread-shared table for an active-core count.
   [[nodiscard]] const CpuOpTable& table_for(int active_cores) const;

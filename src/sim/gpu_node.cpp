@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "sim/instrumentation.hpp"
+#include "sim/solve_arena.hpp"
 
 // Pin the state evaluator to one instantiation so both solver paths feed
 // bit-identical operands to the workload model (see cpu_node.cpp).
@@ -154,16 +155,51 @@ AllocationSample GpuNodeSim::steady_state_no_reclaim(
                     nullptr);
 }
 
+void GpuNodeSim::steady_state_batch(std::size_t mem_clock_index,
+                                    std::span<const Watts> caps,
+                                    std::span<AllocationSample> out,
+                                    SolveArena& arena) const {
+  assert(out.size() == caps.size());
+  const GpuOpTable& t = table();
+  const std::size_t n = caps.size();
+  if (n == 0) return;
+  const auto& spec = machine_.gpu;
+  const std::size_t mem_idx = std::min(mem_clock_index, t.clock_count() - 1);
+  const Watts est_mem = t.est_mem(mem_idx);
+
+  const auto scope = arena.scope();
+  const auto clamped = arena.get<double>(n);
+  const auto thr = arena.get<double>(n);
+  const auto idx = arena.get<std::int32_t>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Same clamp and threshold as solve_fast (reclaim path), per cell.
+    clamped[i] =
+        clamp(caps[i], spec.board_min_cap, spec.board_max_cap).value();
+    thr[i] = clamped[i] + kCapSlackW;
+  }
+  t.board_batch(mem_idx).max_index_within(thr, idx);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t step =
+        idx[i] < 0 ? 0 : static_cast<std::size_t>(idx[i]);
+    // The solve_fast (reclaim) epilogue, per cell.
+    AllocationSample s = t.sample(step, mem_idx);
+    s.mem_cap = est_mem;
+    s.proc_cap = Watts{std::max(clamped[i] - est_mem.value(), 0.0)};
+    s.proc_cap_respected = true;  // board capper always converges
+    s.mem_cap_respected =
+        s.mem_power.value() <= est_mem.value() + kCapSlackW;
+    out[i] = s;
+    assert(out[i] == steady_state(mem_clock_index, caps[i]));
+  }
+}
+
 std::vector<AllocationSample> GpuNodeSim::steady_state_batch(
     std::size_t mem_clock_index, std::span<const Watts> caps) const {
-  const GpuOpTable& t = table();
-  std::vector<AllocationSample> out;
-  out.reserve(caps.size());
-  SolveHint hint;
-  for (const Watts cap : caps) {
-    out.push_back(
-        solve_fast(t, mem_clock_index, cap, /*reclaim=*/true, &hint));
-  }
+  std::vector<AllocationSample> out(caps.size());
+  SolveArena& arena = thread_solve_arena();
+  const auto scope = arena.scope();
+  steady_state_batch(mem_clock_index, caps, out, arena);
   return out;
 }
 

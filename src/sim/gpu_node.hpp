@@ -26,6 +26,8 @@
 
 namespace pbc::sim {
 
+class SolveArena;
+
 namespace detail {
 struct GpuSolverCache;
 }  // namespace detail
@@ -59,10 +61,18 @@ class GpuNodeSim {
   [[nodiscard]] AllocationSample steady_state_no_reclaim(
       std::size_t mem_clock_index, Watts board_cap) const noexcept;
 
-  /// Batched solves at one memory clock over many board caps, sharing the
-  /// operating-point table and warm-starting each bisection from the
-  /// previous answer. out[i] is bit-identical to
-  /// steady_state(mem_clock_index, caps[i]).
+  /// Batched solves at one memory clock over many board caps, written into
+  /// `out` (out.size() == caps.size()) with scratch carved from `arena` —
+  /// zero allocation once the arena is warm. The whole cap span resolves
+  /// with a single vectorized scan of the clock's board-power curve.
+  /// out[i] is bit-identical to steady_state(mem_clock_index, caps[i]).
+  void steady_state_batch(std::size_t mem_clock_index,
+                          std::span<const Watts> caps,
+                          std::span<AllocationSample> out,
+                          SolveArena& arena) const;
+
+  /// Convenience wrapper over the span entry point, borrowing the calling
+  /// thread's arena and returning a fresh vector.
   [[nodiscard]] std::vector<AllocationSample> steady_state_batch(
       std::size_t mem_clock_index, std::span<const Watts> caps) const;
 

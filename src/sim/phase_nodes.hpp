@@ -13,11 +13,15 @@
 // dimension (docs/dynamic.md).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "sim/cpu_node.hpp"
+#include "sim/solve_arena.hpp"
 #include "workload/workload.hpp"
 
 namespace pbc::sim {
@@ -61,6 +65,45 @@ class PhaseNodeSet {
 
   PreparedCpuNode full_;
   std::vector<PreparedCpuNode> phases_;
+};
+
+/// Lazy per-phase solve memo for one (PhaseNodeSet, cpu_cap, mem_cap),
+/// backed by arena scratch instead of a per-call
+/// vector<optional<AllocationSample>> — the allocation hotspot of the old
+/// replay loop. Each distinct phase is solved at most once; one SolveHint
+/// carries the previous fixed point across phases (hints can only speed
+/// the bisections up, never change the answer). Must not outlive the
+/// arena scope it was carved from.
+class PhaseSolveMemo {
+ public:
+  PhaseSolveMemo(const PhaseNodeSet& nodes, Watts cpu_cap, Watts mem_cap,
+                 SolveArena& arena)
+      : nodes_(&nodes),
+        cpu_cap_(cpu_cap),
+        mem_cap_(mem_cap),
+        memo_(arena.get<AllocationSample>(nodes.phase_count())),
+        solved_(arena.get<std::uint8_t>(nodes.phase_count())) {
+    std::fill(solved_.begin(), solved_.end(), std::uint8_t{0});
+  }
+
+  /// The steady state of phase `p` under the memo's caps; solves on first
+  /// use, then returns the cached sample.
+  const AllocationSample& sample(std::size_t p) {
+    if (solved_[p] == 0) {
+      memo_[p] = nodes_->phase(p).steady_state_hinted(cpu_cap_, mem_cap_,
+                                                      &hint_);
+      solved_[p] = 1;
+    }
+    return memo_[p];
+  }
+
+ private:
+  const PhaseNodeSet* nodes_;
+  Watts cpu_cap_;
+  Watts mem_cap_;
+  std::span<AllocationSample> memo_;
+  std::span<std::uint8_t> solved_;
+  SolveHint hint_;
 };
 
 /// Shared handle to an immutable phase-node set, mirroring

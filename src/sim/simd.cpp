@@ -1,0 +1,179 @@
+#include "sim/simd.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+namespace pbc::sim::simd {
+
+namespace detail {
+
+void batch_max_index_generic(const double* power, std::size_t n,
+                             const double* thr, std::size_t m,
+                             std::int32_t* out) noexcept {
+  // Scalar bisection per threshold — the exact logic of the monotone
+  // branch of ResponseCurve::max_index_within, so the generic tier is
+  // bit-identical to the scalar oracle by construction.
+  for (std::size_t j = 0; j < m; ++j) {
+    const double t = thr[j];
+    std::size_t lo = 0;
+    std::size_t hi = n;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (power[mid] <= t) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    out[j] = static_cast<std::int32_t>(lo) - 1;
+  }
+}
+
+double lane_sum_generic(const double* x, std::size_t n) noexcept {
+  // The generic tier mirrors the vector tiers' lane-split accumulation
+  // (4 partial sums folded at the end) so every tier satisfies the same
+  // documented ULP bound against a sequential sum — "generic" means
+  // portable, not differently rounded.
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += x[i];
+    s1 += x[i + 1];
+    s2 += x[i + 2];
+    s3 += x[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += x[i];
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+}  // namespace detail
+
+namespace {
+
+using BatchMaxIndexFn = void (*)(const double*, std::size_t, const double*,
+                                 std::size_t, std::int32_t*) noexcept;
+using LaneSumFn = double (*)(const double*, std::size_t) noexcept;
+
+struct KernelSet {
+  SimdTier tier = SimdTier::kGeneric;
+  BatchMaxIndexFn batch_max_index = detail::batch_max_index_generic;
+  LaneSumFn lane_sum = detail::lane_sum_generic;
+};
+
+[[nodiscard]] KernelSet kernels_for(SimdTier tier) noexcept {
+  KernelSet k;
+  k.tier = SimdTier::kGeneric;
+#if defined(PBC_SIMD_X86)
+  if (tier >= SimdTier::kAvx2) {
+    k.tier = SimdTier::kAvx2;
+    k.batch_max_index = detail::batch_max_index_avx2;
+    k.lane_sum = detail::lane_sum_avx2;
+  }
+  if (tier >= SimdTier::kAvx512) {
+    k.tier = SimdTier::kAvx512;
+    k.batch_max_index = detail::batch_max_index_avx512;
+    k.lane_sum = detail::lane_sum_avx512;
+  }
+#else
+  (void)tier;
+#endif
+  return k;
+}
+
+[[nodiscard]] SimdTier detect_max_tier() noexcept {
+#if defined(PBC_SIMD_X86)
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return SimdTier::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+#endif
+  return SimdTier::kGeneric;
+}
+
+[[nodiscard]] SimdTier env_clamp(SimdTier best) noexcept {
+  const char* env = std::getenv("PBC_SIMD");
+  if (env == nullptr || *env == '\0') return best;
+  if (std::strcmp(env, "generic") == 0 || std::strcmp(env, "scalar") == 0) {
+    return SimdTier::kGeneric;
+  }
+  if (std::strcmp(env, "avx2") == 0) {
+    return std::min(best, SimdTier::kAvx2);
+  }
+  // Unknown values (including "avx512" and "native") keep the detected
+  // best: the override can only lower the tier, never enable an
+  // unsupported one.
+  return best;
+}
+
+// The resolved dispatch table. `tier_override` holds the forced tier + 1
+// (0 = no force) so force_simd_tier can be reset-free and lock-free.
+std::atomic<int> g_forced{0};
+
+struct Dispatch {
+  SimdTier max_tier;
+  KernelSet active;
+  Dispatch() : max_tier(detect_max_tier()),
+               active(kernels_for(env_clamp(max_tier))) {}
+};
+
+[[nodiscard]] Dispatch& dispatch() noexcept {
+  static Dispatch d;
+  return d;
+}
+
+[[nodiscard]] KernelSet active_kernels() noexcept {
+  Dispatch& d = dispatch();
+  const int forced = g_forced.load(std::memory_order_acquire);
+  if (forced != 0) {
+    return kernels_for(std::min(static_cast<SimdTier>(forced - 1),
+                                d.max_tier));
+  }
+  return d.active;
+}
+
+}  // namespace
+
+const char* to_string(SimdTier tier) noexcept {
+  switch (tier) {
+    case SimdTier::kGeneric:
+      return "generic";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+SimdTier active_tier() noexcept { return active_kernels().tier; }
+
+SimdTier max_supported_tier() noexcept { return dispatch().max_tier; }
+
+void force_simd_tier(SimdTier tier) noexcept {
+  g_forced.store(static_cast<int>(tier) + 1, std::memory_order_release);
+}
+
+void reset_simd_tier() noexcept {
+  g_forced.store(0, std::memory_order_release);
+}
+
+void batch_max_index_within(std::span<const double> power,
+                            std::span<const double> thresholds,
+                            std::span<std::int32_t> out) noexcept {
+  assert(out.size() == thresholds.size());
+  active_kernels().batch_max_index(power.data(), power.size(),
+                                   thresholds.data(), thresholds.size(),
+                                   out.data());
+}
+
+double lane_sum(std::span<const double> x) noexcept {
+  return active_kernels().lane_sum(x.data(), x.size());
+}
+
+}  // namespace pbc::sim::simd

@@ -1,0 +1,93 @@
+// Runtime-dispatched SIMD kernels for the batch solver layer.
+//
+// The solver's hot loops reduce to two primitive shapes:
+//
+//  * max-index-within over a sorted monotone power curve, evaluated for a
+//    whole batch of thresholds at once — the vector form of
+//    ResponseCurve::max_index_within. Comparisons and index arithmetic
+//    only, so every tier returns bit-identical indices to the scalar
+//    bisection (docs/solver.md: the bit-identity-vs-ULP policy table).
+//  * lane-split horizontal reduction (lane_sum) — vector accumulation
+//    reassociates the adds, so this kernel is *not* bit-identical to a
+//    left-to-right scalar sum; it carries a documented ULP bound instead
+//    and is only used for reporting statistics, never for solver state.
+//
+// Dispatch is resolved once per process: the best tier the CPU supports,
+// clamped by what was compiled in (CMake option PBC_SIMD, x86-64 only)
+// and by the PBC_SIMD environment variable ("generic", "avx2",
+// "avx512"). Tests pin the tier with force_simd_tier to run the same
+// inputs through every tier and compare.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace pbc::sim::simd {
+
+enum class SimdTier : int {
+  kGeneric = 0,  ///< portable scalar fallback (always available)
+  kAvx2 = 1,     ///< 4 x double lanes
+  kAvx512 = 2,   ///< 8 x double lanes
+};
+
+[[nodiscard]] const char* to_string(SimdTier tier) noexcept;
+
+/// The tier batch kernels currently dispatch to. Resolved on first call:
+/// min(best tier the CPU reports, best tier compiled in, PBC_SIMD env
+/// override when set).
+[[nodiscard]] SimdTier active_tier() noexcept;
+
+/// Highest tier this binary could run on this machine (ignores the env
+/// override and any forced tier).
+[[nodiscard]] SimdTier max_supported_tier() noexcept;
+
+/// Pins dispatch to `tier` (clamped to max_supported_tier) until the next
+/// call. Test/bench hook; not intended for concurrent use with in-flight
+/// kernels — callers pin once up front.
+void force_simd_tier(SimdTier tier) noexcept;
+
+/// Removes a force_simd_tier pin, returning dispatch to the process
+/// default (detected tier clamped by the PBC_SIMD env override).
+void reset_simd_tier() noexcept;
+
+/// For each thresholds[j], the answer of the top-down first-fit walk over
+/// a *sorted non-decreasing* curve: max{ i : power[i] <= thresholds[j] },
+/// or -1 when no index fits. Exact on every tier — the kernels only
+/// compare the same stored doubles against the same thresholds with <=,
+/// so out[j] is bit-identical to ResponseCurve::max_index_within on the
+/// same curve. Preconditions: power sorted non-decreasing (the monotone
+/// case checked at table build), out.size() == thresholds.size().
+void batch_max_index_within(std::span<const double> power,
+                            std::span<const double> thresholds,
+                            std::span<std::int32_t> out) noexcept;
+
+/// Horizontal sum with lane-split accumulation. NOT bit-identical to a
+/// sequential left-to-right sum: vector tiers keep W independent partial
+/// sums (W = lane width) and fold them at the end, which reassociates the
+/// additions. The result is ULP-bounded against the scalar sum by
+/// |lane_sum(x) - scalar_sum(x)| <= n * eps * sum(|x_i|) with
+/// eps = 2^-52 (property-tested in tests/sim/simd_kernels_test.cpp).
+/// Reporting/statistics use only — solver state never flows through it.
+[[nodiscard]] double lane_sum(std::span<const double> x) noexcept;
+
+namespace detail {
+// Per-tier kernel entry points, exposed so the differential tests can run
+// every compiled tier on one machine regardless of the active dispatch.
+void batch_max_index_generic(const double* power, std::size_t n,
+                             const double* thr, std::size_t m,
+                             std::int32_t* out) noexcept;
+double lane_sum_generic(const double* x, std::size_t n) noexcept;
+#if defined(PBC_SIMD_X86)
+void batch_max_index_avx2(const double* power, std::size_t n,
+                          const double* thr, std::size_t m,
+                          std::int32_t* out) noexcept;
+double lane_sum_avx2(const double* x, std::size_t n) noexcept;
+void batch_max_index_avx512(const double* power, std::size_t n,
+                            const double* thr, std::size_t m,
+                            std::int32_t* out) noexcept;
+double lane_sum_avx512(const double* x, std::size_t n) noexcept;
+#endif
+}  // namespace detail
+
+}  // namespace pbc::sim::simd

@@ -1,0 +1,61 @@
+// AVX2 kernel TU. This file (and simd_avx512.cpp) are the only TUs built
+// with ISA flags above the project baseline (-mavx2 here, set in
+// src/sim/CMakeLists.txt); nothing outside the two kernel functions may
+// live here, so the rest of the build stays portable and the functions
+// are only reachable through the runtime dispatch in simd.cpp.
+#include "sim/simd.hpp"
+
+#if defined(PBC_SIMD_X86) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace pbc::sim::simd::detail {
+
+void batch_max_index_avx2(const double* power, std::size_t n,
+                          const double* thr, std::size_t m,
+                          std::int32_t* out) noexcept {
+  // Branch-free count over the sorted curve, 4 thresholds per vector:
+  // for a non-decreasing curve, max{ i : power[i] <= t } is exactly
+  // (number of entries <= t) - 1. The compares use the same stored
+  // doubles and the same <= predicate as the scalar bisection, so the
+  // counts are bit-identical to it. Once every lane has seen its first
+  // entry above its threshold the remaining entries can only compare
+  // greater (monotonicity), so the scan early-exits on an all-zero mask.
+  std::size_t j = 0;
+  for (; j + 4 <= m; j += 4) {
+    const __m256d t = _mm256_loadu_pd(thr + j);
+    __m256i count = _mm256_setzero_si256();
+    for (std::size_t i = 0; i < n; ++i) {
+      const __m256d p = _mm256_set1_pd(power[i]);
+      const __m256d le = _mm256_cmp_pd(p, t, _CMP_LE_OQ);
+      if (_mm256_movemask_pd(le) == 0) break;
+      // A true compare is all-ones (-1 as int64): subtracting it
+      // increments the lane's count.
+      count = _mm256_sub_epi64(count, _mm256_castpd_si256(le));
+    }
+    alignas(32) std::int64_t c[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(c), count);
+    out[j] = static_cast<std::int32_t>(c[0]) - 1;
+    out[j + 1] = static_cast<std::int32_t>(c[1]) - 1;
+    out[j + 2] = static_cast<std::int32_t>(c[2]) - 1;
+    out[j + 3] = static_cast<std::int32_t>(c[3]) - 1;
+  }
+  if (j < m) batch_max_index_generic(power, n, thr + j, m - j, out + j);
+}
+
+double lane_sum_avx2(const double* x, std::size_t n) noexcept {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i));
+  }
+  alignas(32) double s[4];
+  _mm256_store_pd(s, acc);
+  double tail = 0.0;
+  for (; i < n; ++i) tail += x[i];
+  return ((s[0] + s[1]) + (s[2] + s[3])) + tail;
+}
+
+}  // namespace pbc::sim::simd::detail
+
+#endif  // PBC_SIMD_X86 && __AVX2__

@@ -1,0 +1,48 @@
+// AVX-512 kernel TU — same contract and confinement rules as
+// simd_avx2.cpp, built with -mavx512f/dq/vl and reachable only through
+// the runtime dispatch in simd.cpp.
+#include "sim/simd.hpp"
+
+#if defined(PBC_SIMD_X86) && defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace pbc::sim::simd::detail {
+
+void batch_max_index_avx512(const double* power, std::size_t n,
+                            const double* thr, std::size_t m,
+                            std::int32_t* out) noexcept {
+  // 8 thresholds per vector; see the AVX2 kernel for the
+  // count-is-the-answer argument and the monotone early exit.
+  std::size_t j = 0;
+  const __m512i one = _mm512_set1_epi64(1);
+  for (; j + 8 <= m; j += 8) {
+    const __m512d t = _mm512_loadu_pd(thr + j);
+    __m512i count = _mm512_setzero_si512();
+    for (std::size_t i = 0; i < n; ++i) {
+      const __m512d p = _mm512_set1_pd(power[i]);
+      const __mmask8 le = _mm512_cmp_pd_mask(p, t, _CMP_LE_OQ);
+      if (le == 0) break;
+      count = _mm512_mask_add_epi64(count, le, count, one);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j),
+                        _mm256_sub_epi32(_mm512_cvtepi64_epi32(count),
+                                         _mm256_set1_epi32(1)));
+  }
+  if (j < m) batch_max_index_generic(power, n, thr + j, m - j, out + j);
+}
+
+double lane_sum_avx512(const double* x, std::size_t n) noexcept {
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_pd(acc, _mm512_loadu_pd(x + i));
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += x[i];
+  return _mm512_reduce_add_pd(acc) + tail;
+}
+
+}  // namespace pbc::sim::simd::detail
+
+#endif  // PBC_SIMD_X86 && __AVX512F__

@@ -1,0 +1,10 @@
+#include "sim/solve_arena.hpp"
+
+namespace pbc::sim {
+
+SolveArena& thread_solve_arena() noexcept {
+  thread_local SolveArena arena;
+  return arena;
+}
+
+}  // namespace pbc::sim

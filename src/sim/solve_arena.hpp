@@ -1,0 +1,121 @@
+// Reusable scratch for the batch solver kernels and grid sweeps.
+//
+// The batch entry points need a handful of transient arrays per call
+// (thresholds, lane indices, grouped gather buffers, sample staging).
+// Allocating them per call dominated small-grid solves, so callers keep
+// one SolveArena per thread (typically `thread_local`) and the solver
+// borrows spans from it:
+//
+//   * get<T>(n) hands out a span backed by a grow-only block. Blocks are
+//     stable heap vectors behind unique_ptrs, so earlier spans stay valid
+//     while later ones are carved — only Scope destruction recycles them.
+//   * scope() marks the per-type pools and rewinds them when the Scope
+//     dies, so nested entry points (a sweep calling the batch solver)
+//     share one arena without clobbering each other's spans.
+//
+// After warm-up the arena performs zero allocations: blocks are reused
+// and std::vector::resize never shrinks capacity. Spans are handed out
+// value-uninitialized (whatever the previous use left behind); kernels
+// must fully write before reading, and the reuse-across-calls
+// determinism tests exist to keep that true. The arena is intentionally
+// not thread-safe — one arena per thread, never shared.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/measurement.hpp"
+#include "sim/solver_table.hpp"
+
+namespace pbc::sim {
+
+class SolveArena {
+  template <class T>
+  struct Pool {
+    std::vector<std::unique_ptr<std::vector<T>>> blocks;
+    std::size_t next = 0;
+
+    std::span<T> get(std::size_t n) {
+      if (next == blocks.size()) {
+        blocks.push_back(std::make_unique<std::vector<T>>());
+      }
+      std::vector<T>& b = *blocks[next++];
+      if (b.size() < n) b.resize(n);
+      return {b.data(), n};
+    }
+  };
+
+ public:
+  SolveArena() = default;
+  SolveArena(const SolveArena&) = delete;
+  SolveArena& operator=(const SolveArena&) = delete;
+
+  /// Borrows an uninitialized span of n elements, valid until the
+  /// enclosing Scope (or the arena) is destroyed.
+  template <class T>
+  [[nodiscard]] std::span<T> get(std::size_t n) {
+    return pool<T>().get(n);
+  }
+
+  /// RAII rewind point: blocks carved after scope() are recycled when the
+  /// Scope dies; spans carved before it stay valid.
+  class Scope {
+   public:
+    explicit Scope(SolveArena& arena) noexcept
+        : arena_(arena),
+          doubles_(arena.doubles_.next),
+          indices_(arena.indices_.next),
+          bytes_(arena.bytes_.next),
+          caps_(arena.caps_.next),
+          samples_(arena.samples_.next) {}
+    ~Scope() {
+      arena_.doubles_.next = doubles_;
+      arena_.indices_.next = indices_;
+      arena_.bytes_.next = bytes_;
+      arena_.caps_.next = caps_;
+      arena_.samples_.next = samples_;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    SolveArena& arena_;
+    std::size_t doubles_, indices_, bytes_, caps_, samples_;
+  };
+
+  [[nodiscard]] Scope scope() noexcept { return Scope(*this); }
+
+ private:
+  template <class T>
+  [[nodiscard]] Pool<T>& pool() noexcept {
+    if constexpr (std::is_same_v<T, double>) {
+      return doubles_;
+    } else if constexpr (std::is_same_v<T, std::int32_t>) {
+      return indices_;
+    } else if constexpr (std::is_same_v<T, std::uint8_t>) {
+      return bytes_;
+    } else if constexpr (std::is_same_v<T, CapPair>) {
+      return caps_;
+    } else {
+      static_assert(std::is_same_v<T, AllocationSample>,
+                    "SolveArena: unsupported element type");
+      return samples_;
+    }
+  }
+
+  Pool<double> doubles_;
+  Pool<std::int32_t> indices_;
+  Pool<std::uint8_t> bytes_;
+  Pool<CapPair> caps_;
+  Pool<AllocationSample> samples_;
+};
+
+/// The per-thread arena the convenience wrappers (vector-returning batch
+/// entry points, sweeps, replay memos) borrow from. Entry points must
+/// carve inside an arena.scope() so nested use composes.
+[[nodiscard]] SolveArena& thread_solve_arena() noexcept;
+
+}  // namespace pbc::sim

@@ -4,7 +4,30 @@
 #include <cassert>
 #include <numeric>
 
+#include "sim/simd.hpp"
+
 namespace pbc::sim {
+
+void ResponseCurveBatch::max_index_within(
+    std::span<const double> thresholds,
+    std::span<std::int32_t> out) const noexcept {
+  assert(out.size() == thresholds.size());
+  if (curve_->monotone()) {
+    simd::batch_max_index_within(power_, thresholds, out);
+  } else {
+    // Non-monotone fallback: the exact sorted-order + prefix-max query,
+    // one lane at a time. Rare by construction (physical curves are
+    // monotone), so vectorizing it isn't worth the extra code path.
+    for (std::size_t j = 0; j < thresholds.size(); ++j) {
+      out[j] = curve_->max_index_within(thresholds[j]);
+    }
+  }
+#ifndef NDEBUG
+  for (std::size_t j = 0; j < thresholds.size(); ++j) {
+    assert(out[j] == curve_->max_index_within(thresholds[j]));
+  }
+#endif
+}
 
 ResponseCurve::ResponseCurve(std::vector<double> power)
     : power_(std::move(power)) {
@@ -158,6 +181,18 @@ CpuOpTable::CpuOpTable(std::size_t ladder_states,
     mem_curves_.emplace_back(std::move(powers));
     fully_monotone_ &= mem_curves_.back().monotone();
   }
+  // Pack the SoA lanes the batch kernels stream over: straight copies of
+  // the curve values, so the batched compares see bit-identical doubles.
+  proc_power_soa_.reserve(levels * states_);
+  for (const ResponseCurve& c : proc_curves_) {
+    proc_power_soa_.insert(proc_power_soa_.end(), c.powers().begin(),
+                           c.powers().end());
+  }
+  mem_power_soa_.reserve((states_ + 1) * levels);
+  for (const ResponseCurve& c : mem_curves_) {
+    mem_power_soa_.insert(mem_power_soa_.end(), c.powers().begin(),
+                          c.powers().end());
+  }
 }
 
 int CpuOpTable::proc_response(double threshold, std::size_t level,
@@ -193,6 +228,15 @@ GpuOpTable::GpuOpTable(std::size_t sm_steps, std::size_t mem_clocks,
     sm_curves_.emplace_back(std::move(sm));
     fully_monotone_ &= total_curves_.back().monotone();
     fully_monotone_ &= sm_curves_.back().monotone();
+  }
+  total_power_soa_.reserve(mem_clocks * steps_);
+  sm_power_soa_.reserve(mem_clocks * steps_);
+  for (std::size_t c = 0; c < mem_clocks; ++c) {
+    total_power_soa_.insert(total_power_soa_.end(),
+                            total_curves_[c].powers().begin(),
+                            total_curves_[c].powers().end());
+    sm_power_soa_.insert(sm_power_soa_.end(), sm_curves_[c].powers().begin(),
+                         sm_curves_[c].powers().end());
   }
 }
 

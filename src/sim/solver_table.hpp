@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "sim/measurement.hpp"
@@ -62,6 +63,11 @@ class ResponseCurve {
   [[nodiscard]] double power_at(std::size_t i) const noexcept {
     return power_[i];
   }
+  /// The stored curve values, contiguous — what the SIMD batch kernels
+  /// stream over. Same doubles the scalar queries compare against.
+  [[nodiscard]] std::span<const double> powers() const noexcept {
+    return power_;
+  }
 
  private:
   /// The literal top-down first-fit walk; debug builds cross-check every
@@ -76,6 +82,37 @@ class ResponseCurve {
   std::vector<std::int32_t> order_;
   std::vector<std::int32_t> prefix_max_;
   std::vector<double> sorted_power_;
+};
+
+/// Batched view over one response curve: answers the exact
+/// max-index-within query for a whole span of thresholds per call.
+/// Monotone curves (the physical case) route through the runtime-
+/// dispatched SIMD count kernel — bit-identical to the scalar bisection
+/// because both compare the same stored doubles with the same <=
+/// predicate (docs/solver.md: exactness policy). The rare non-monotone
+/// curve falls back to the scalar prefix-max query per lane.
+class ResponseCurveBatch {
+ public:
+  explicit ResponseCurveBatch(const ResponseCurve& curve) noexcept
+      : power_(curve.powers()), curve_(&curve) {}
+
+  /// View over an SoA row holding bit-identical copies of `exact`'s
+  /// values (how the op tables hand out cache-contiguous lanes).
+  ResponseCurveBatch(std::span<const double> power,
+                     const ResponseCurve& exact) noexcept
+      : power_(power), curve_(&exact) {}
+
+  /// out[j] = max{ i : power[i] <= thresholds[j] }, or -1. Requires
+  /// out.size() == thresholds.size().
+  void max_index_within(std::span<const double> thresholds,
+                        std::span<std::int32_t> out) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return power_.size(); }
+  [[nodiscard]] bool monotone() const noexcept { return curve_->monotone(); }
+
+ private:
+  std::span<const double> power_;
+  const ResponseCurve* curve_;
 };
 
 /// Warm-start carry between consecutive solves of a batch/sweep: the
@@ -136,6 +173,20 @@ class CpuOpTable {
   [[nodiscard]] int mem_response(double threshold, std::size_t state,
                                  int hint = -1) const noexcept;
 
+  /// Batched governors over the SoA power rows: one contiguous lane per
+  /// curve, answering whole threshold spans per call. Bit-identical to
+  /// the scalar proc_response / mem_response queries.
+  [[nodiscard]] ResponseCurveBatch proc_batch(
+      std::size_t level) const noexcept {
+    return {{proc_power_soa_.data() + level * states_, states_},
+            proc_curves_[level]};
+  }
+  [[nodiscard]] ResponseCurveBatch mem_batch(
+      std::size_t state) const noexcept {
+    return {{mem_power_soa_.data() + state * level_count(), level_count()},
+            mem_curves_[state]};
+  }
+
   /// True when every best-response curve was monotone at build time (the
   /// expected case; non-monotone curves still answer exactly).
   [[nodiscard]] bool fully_monotone() const noexcept {
@@ -152,6 +203,10 @@ class CpuOpTable {
   std::vector<AllocationSample> cells_;     // (states_ + 1) x levels
   std::vector<ResponseCurve> proc_curves_;  // one per level, over states
   std::vector<ResponseCurve> mem_curves_;   // one per state (incl. sleep)
+  // SoA power lanes for the batch kernels: bit-identical copies of the
+  // curve values, packed so each curve's lane is one contiguous row.
+  std::vector<double> proc_power_soa_;  // [level][state], levels x states
+  std::vector<double> mem_power_soa_;   // [state][level], (states+1) x levels
   bool fully_monotone_ = true;
 };
 
@@ -187,6 +242,18 @@ class GpuOpTable {
   [[nodiscard]] int sm_response(double threshold, std::size_t clock,
                                 int hint = -1) const noexcept;
 
+  /// Batched cappers over the SoA power rows; bit-identical to the
+  /// scalar board_response / sm_response queries.
+  [[nodiscard]] ResponseCurveBatch board_batch(
+      std::size_t clock) const noexcept {
+    return {{total_power_soa_.data() + clock * steps_, steps_},
+            total_curves_[clock]};
+  }
+  [[nodiscard]] ResponseCurveBatch sm_batch(std::size_t clock) const noexcept {
+    return {{sm_power_soa_.data() + clock * steps_, steps_},
+            sm_curves_[clock]};
+  }
+
   [[nodiscard]] bool fully_monotone() const noexcept {
     return fully_monotone_;
   }
@@ -196,6 +263,9 @@ class GpuOpTable {
   std::vector<AllocationSample> cells_;      // steps x clocks
   std::vector<ResponseCurve> total_curves_;  // one per clock, over steps
   std::vector<ResponseCurve> sm_curves_;     // one per clock, over steps
+  // SoA power lanes, one contiguous row per clock (see CpuOpTable).
+  std::vector<double> total_power_soa_;  // [clock][step], clocks x steps
+  std::vector<double> sm_power_soa_;     // [clock][step], clocks x steps
   std::vector<Watts> est_mem_;
   bool fully_monotone_ = true;
 };

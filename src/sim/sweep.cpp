@@ -2,37 +2,83 @@
 
 #include <algorithm>
 
+#include "sim/simd.hpp"
+#include "sim/solve_arena.hpp"
+
 namespace pbc::sim {
+
+namespace {
+
+// The one split-grid loop. Counting and filling run the exact same FP
+// recurrence (m += step from the same start), so the two passes the arena
+// variant makes visit bit-identical grid points — this loop is
+// golden-file critical and must not be reordered.
+template <class Emit>
+void for_each_split(Watts budget, const CpuSweepOptions& opt, Emit&& emit) {
+  const double hi = budget.value() - opt.proc_lo.value();
+  for (double m = opt.mem_lo.value(); m <= hi + 1e-9; m += opt.step.value()) {
+    emit(CapPair{Watts{budget.value() - m}, Watts{m}});
+  }
+}
+
+std::span<const CapPair> cpu_split_grid_into(Watts budget,
+                                             const CpuSweepOptions& opt,
+                                             SolveArena& arena) {
+  std::size_t count = 0;
+  for_each_split(budget, opt, [&](const CapPair&) { ++count; });
+  const std::span<CapPair> caps = arena.get<CapPair>(count);
+  std::size_t k = 0;
+  for_each_split(budget, opt, [&](const CapPair& c) { caps[k++] = c; });
+  return caps;
+}
+
+}  // namespace
 
 std::vector<CapPair> cpu_split_grid(Watts budget,
                                     const CpuSweepOptions& opt) {
   std::vector<CapPair> caps;
-  const double hi = budget.value() - opt.proc_lo.value();
-  for (double m = opt.mem_lo.value(); m <= hi + 1e-9; m += opt.step.value()) {
-    caps.push_back(CapPair{Watts{budget.value() - m}, Watts{m}});
-  }
+  for_each_split(budget, opt,
+                 [&](const CapPair& c) { caps.push_back(c); });
   return caps;
 }
 
 std::vector<AllocationSample> sweep_cpu_split(const CpuNodeSim& node,
                                               Watts budget,
                                               const CpuSweepOptions& opt) {
-  const std::vector<CapPair> caps = cpu_split_grid(budget, opt);
+  SolveArena& arena = thread_solve_arena();
+  const auto scope = arena.scope();
+  const std::span<const CapPair> caps =
+      cpu_split_grid_into(budget, opt, arena);
+  std::vector<AllocationSample> samples(caps.size());
   if (opt.path == SolverPath::kFast) {
-    return node.steady_state_batch(caps);
-  }
-  std::vector<AllocationSample> samples;
-  samples.reserve(caps.size());
-  for (const CapPair& c : caps) {
-    samples.push_back(node.reference_steady_state(c.cpu_cap, c.mem_cap));
+    node.steady_state_batch(caps, samples, arena);
+  } else {
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      samples[i] =
+          node.reference_steady_state(caps[i].cpu_cap, caps[i].mem_cap);
+    }
   }
   return samples;
 }
 
 std::optional<AllocationSample> sweep_cpu_split_best(
     const CpuNodeSim& node, Watts budget, const CpuSweepOptions& opt) {
-  const std::vector<AllocationSample> samples =
-      sweep_cpu_split(node, budget, opt);
+  // Fully arena-backed: grid, samples, and solver scratch all come from
+  // the thread's arena, so a warm frontier/bench loop allocates nothing.
+  SolveArena& arena = thread_solve_arena();
+  const auto scope = arena.scope();
+  const std::span<const CapPair> caps =
+      cpu_split_grid_into(budget, opt, arena);
+  const std::span<AllocationSample> samples =
+      arena.get<AllocationSample>(caps.size());
+  if (opt.path == SolverPath::kFast) {
+    node.steady_state_batch(caps, samples, arena);
+  } else {
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      samples[i] =
+          node.reference_steady_state(caps[i].cpu_cap, caps[i].mem_cap);
+    }
+  }
   std::optional<AllocationSample> best;
   for (const AllocationSample& s : samples) {
     // Strict > keeps the first of equal-perf splits, matching
@@ -85,9 +131,31 @@ std::vector<BudgetSweep> sweep_gpu_budgets(const GpuNodeSim& node,
                                            std::span<const Watts> board_caps,
                                            SolverPath path,
                                            ThreadPool* pool) {
-  if (path == SolverPath::kFast) node.prepare();
   std::vector<BudgetSweep> out(board_caps.size());
   ThreadPool& tp = pool ? *pool : global_pool();
+  if (path == SolverPath::kFast) {
+    // Grid-level batching: the (cap x clock) grid is solved one clock at
+    // a time, each clock resolving every board cap with a single
+    // vectorized scan of that clock's board-power curve, then scattered
+    // back into the per-budget ascending-clock sample rows.
+    node.prepare();
+    const std::size_t clocks = node.gpu_model().mem_clock_count();
+    for (std::size_t i = 0; i < board_caps.size(); ++i) {
+      out[i].budget = board_caps[i];
+      out[i].samples.resize(clocks);
+    }
+    tp.parallel_for_index(clocks, [&](std::size_t c) {
+      SolveArena& arena = thread_solve_arena();
+      const auto scope = arena.scope();
+      const std::span<AllocationSample> lane =
+          arena.get<AllocationSample>(board_caps.size());
+      node.steady_state_batch(c, board_caps, lane, arena);
+      for (std::size_t i = 0; i < board_caps.size(); ++i) {
+        out[i].samples[c] = lane[i];
+      }
+    });
+    return out;
+  }
   tp.parallel_for_index(board_caps.size(), [&](std::size_t i) {
     out[i].budget = board_caps[i];
     out[i].samples = sweep_gpu_split(node, board_caps[i], path);
@@ -107,6 +175,25 @@ std::vector<Watts> budget_grid(Watts lo, Watts hi, Watts step) {
   // upper endpoint to be sampled even when the step does not land on it.
   if (grid.back().value() < hi.value() - 1e-9) grid.push_back(hi);
   return grid;
+}
+
+SweepStats sweep_stats(std::span<const AllocationSample> samples) {
+  SweepStats st;
+  st.count = samples.size();
+  if (samples.empty()) return st;
+  SolveArena& arena = thread_solve_arena();
+  const auto scope = arena.scope();
+  const std::span<double> perf = arena.get<double>(samples.size());
+  const std::span<double> power = arena.get<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    perf[i] = samples[i].perf;
+    power[i] = samples[i].proc_power.value() + samples[i].mem_power.value();
+    st.max_perf = std::max(st.max_perf, samples[i].perf);
+  }
+  st.total_perf = simd::lane_sum(perf);
+  st.total_power_w = simd::lane_sum(power);
+  st.mean_perf = st.total_perf / static_cast<double>(st.count);
+  return st;
 }
 
 }  // namespace pbc::sim

@@ -80,4 +80,20 @@ struct BudgetSweep {
 /// empty grid.
 [[nodiscard]] std::vector<Watts> budget_grid(Watts lo, Watts hi, Watts step);
 
+/// Aggregate reporting statistics over a sweep's samples. The sums run
+/// through simd::lane_sum — the one ULP-waived kernel (docs/solver.md
+/// policy table) — so totals may differ from a sequential sum within the
+/// documented bound. Reporting only: nothing here feeds solver state.
+struct SweepStats {
+  std::size_t count = 0;
+  double total_perf = 0.0;
+  double mean_perf = 0.0;
+  double max_perf = 0.0;
+  /// Sum over samples of proc_power + mem_power, in watts.
+  double total_power_w = 0.0;
+};
+
+[[nodiscard]] SweepStats sweep_stats(
+    std::span<const AllocationSample> samples);
+
 }  // namespace pbc::sim

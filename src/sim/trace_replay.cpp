@@ -127,19 +127,15 @@ TraceReplayResult replay_trace(const PhaseNodeSet& nodes,
                                Watts cpu_cap, Watts mem_cap) {
   // Under fixed caps a phase's steady state is segment-independent, so
   // each distinct phase is solved exactly once; repeat segments are memo
-  // hits. One SolveHint carries the previous fixed point across phases —
-  // neighbouring phases usually land on nearby operating points, and
-  // hints can only speed the bisection up, never change its answer.
-  std::vector<std::optional<AllocationSample>> memo(nodes.phase_count());
-  SolveHint hint;
+  // hits. The memo lives in the thread's solve arena, so the batched
+  // replay loops (many traces x many caps on pool workers) allocate
+  // nothing per replay once their arenas are warm.
+  SolveArena& arena = thread_solve_arena();
+  const auto scope = arena.scope();
+  PhaseSolveMemo memo(nodes, cpu_cap, mem_cap, arena);
   return replay_loop(nodes.wl(), trace, nodes.phase_count(), cpu_cap,
-                     mem_cap, [&](std::size_t p) {
-                       if (!memo[p]) {
-                         memo[p] = nodes.phase(p).steady_state_hinted(
-                             cpu_cap, mem_cap, &hint);
-                       }
-                       return *memo[p];
-                     });
+                     mem_cap,
+                     [&](std::size_t p) { return memo.sample(p); });
 }
 
 Result<TraceReplayResult> replay_trace_checked(const CpuNodeSim& node,

@@ -1,0 +1,317 @@
+// Differential and property coverage for the SIMD batch kernels and the
+// SolveArena scratch layer.
+//
+// Exactness contract (docs/solver.md): batch_max_index_within must be
+// bit-identical to the scalar ResponseCurve query — and hence the linear
+// first-fit walk — on every tier, for every curve/threshold, including
+// boundary-exact thresholds, empty/single-cell curves, and NaN. lane_sum
+// is the one ULP-waived kernel; its property test pins the documented
+// bound instead.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "hw/platforms.hpp"
+#include "sim/cpu_node.hpp"
+#include "sim/simd.hpp"
+#include "sim/solve_arena.hpp"
+#include "sim/solver_table.hpp"
+#include "sim/sweep.hpp"
+#include "sim/trace_replay.hpp"
+#include "util/rng.hpp"
+#include "workload/cpu_suite.hpp"
+#include "../support/test_env.hpp"
+
+namespace pbc::sim {
+namespace {
+
+using simd::SimdTier;
+
+// Every kernel implementation compiled into this binary that the machine
+// can actually run, as (name, fn) pairs exercised against the oracle.
+struct TierKernel {
+  const char* name;
+  void (*batch)(const double*, std::size_t, const double*, std::size_t,
+                std::int32_t*) noexcept;
+  double (*sum)(const double*, std::size_t) noexcept;
+};
+
+std::vector<TierKernel> runnable_kernels() {
+  std::vector<TierKernel> out;
+  out.push_back({"generic", simd::detail::batch_max_index_generic,
+                 simd::detail::lane_sum_generic});
+#if defined(PBC_SIMD_X86)
+  if (simd::max_supported_tier() >= SimdTier::kAvx2) {
+    out.push_back({"avx2", simd::detail::batch_max_index_avx2,
+                   simd::detail::lane_sum_avx2});
+  }
+  if (simd::max_supported_tier() >= SimdTier::kAvx512) {
+    out.push_back({"avx512", simd::detail::batch_max_index_avx512,
+                   simd::detail::lane_sum_avx512});
+  }
+#endif
+  return out;
+}
+
+int linear_walk(const std::vector<double>& power, double thr) {
+  for (std::size_t i = power.size(); i-- > 0;) {
+    if (power[i] <= thr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<double> random_monotone_curve(Xoshiro256& rng, std::size_t n) {
+  std::vector<double> curve(n);
+  double acc = rng.uniform(0.0, 50.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Frequent zero-width steps create runs of equal values, the tie
+    // cases the downward-closed <= predicate must handle.
+    acc += rng.below(3) == 0 ? 0.0 : rng.uniform(0.0, 8.0);
+    curve[i] = acc;
+  }
+  return curve;
+}
+
+TEST(SimdKernels, AllTiersMatchLinearWalkOnRandomizedCurves) {
+  Xoshiro256 rng(0x51D0, 1);
+  const auto kernels = runnable_kernels();
+  ASSERT_FALSE(kernels.empty());
+  const int curves = pbc::test::iters(1200);
+  for (int c = 0; c < curves; ++c) {
+    const std::size_t n = rng.below(40);  // includes empty curves
+    const std::vector<double> curve = random_monotone_curve(rng, n);
+    const std::size_t m = 1 + rng.below(21);  // odd sizes hit vector tails
+    std::vector<double> thr(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (n > 0 && rng.below(3) == 0) {
+        // Threshold exactly on a cell boundary: <= must include it.
+        thr[j] = curve[rng.below(n)];
+      } else {
+        thr[j] = rng.uniform(-10.0, curve.empty() ? 10.0 : curve.back() + 10.0);
+      }
+    }
+    std::vector<std::int32_t> out(m);
+    for (const TierKernel& k : kernels) {
+      std::fill(out.begin(), out.end(), -7);
+      k.batch(curve.data(), n, thr.data(), m, out.data());
+      for (std::size_t j = 0; j < m; ++j) {
+        ASSERT_EQ(out[j], linear_walk(curve, thr[j]))
+            << k.name << " curve " << c << " lane " << j << " thr "
+            << thr[j];
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, EdgeCurvesAndNanThresholds) {
+  const auto kernels = runnable_kernels();
+  const std::vector<double> empty;
+  const std::vector<double> single{42.0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // 8 lanes so even the AVX-512 full-vector path runs (no tail).
+  const std::vector<double> thr{41.999999, 42.0, 42.000001, nan,
+                                -1e300,    1e300, 42.0,     nan};
+  for (const TierKernel& k : kernels) {
+    std::vector<std::int32_t> out(thr.size(), -7);
+    k.batch(empty.data(), 0, thr.data(), thr.size(), out.data());
+    for (std::size_t j = 0; j < thr.size(); ++j) {
+      EXPECT_EQ(out[j], -1) << k.name << " empty curve lane " << j;
+    }
+    k.batch(single.data(), 1, thr.data(), thr.size(), out.data());
+    const std::vector<std::int32_t> want{-1, 0, 0, -1, -1, 0, 0, -1};
+    for (std::size_t j = 0; j < thr.size(); ++j) {
+      // NaN never satisfies <= (ordered compare), matching the scalar
+      // bisection, so NaN thresholds yield -1 on every tier.
+      EXPECT_EQ(out[j], want[j]) << k.name << " single-cell lane " << j;
+    }
+  }
+}
+
+TEST(SimdKernels, BatchViewFallsBackExactlyOnNonMonotoneCurves) {
+  Xoshiro256 rng(0x51D0, 2);
+  const int curves = pbc::test::iters(300);
+  for (int c = 0; c < curves; ++c) {
+    const std::size_t n = 2 + rng.below(30);
+    std::vector<double> power = random_monotone_curve(rng, n);
+    // Break monotonicity deliberately: one random interior dip forces the
+    // sorted-order + prefix-max fallback.
+    power[1 + rng.below(n - 1)] = -rng.uniform(1.0, 5.0);
+    const ResponseCurve curve(power);
+    ASSERT_FALSE(curve.monotone());
+    const ResponseCurveBatch batch(curve);
+    const std::size_t m = 1 + rng.below(17);
+    std::vector<double> thr(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      thr[j] = rng.below(2) == 0 ? power[rng.below(n)]
+                                 : rng.uniform(-5.0, 105.0);
+    }
+    std::vector<std::int32_t> out(m);
+    batch.max_index_within(thr, out);
+    for (std::size_t j = 0; j < m; ++j) {
+      ASSERT_EQ(out[j], linear_walk(power, thr[j]))
+          << "curve " << c << " lane " << j;
+    }
+  }
+}
+
+TEST(SimdKernels, ForcedTiersAgreeThroughPublicDispatch) {
+  Xoshiro256 rng(0x51D0, 3);
+  const std::vector<double> curve = random_monotone_curve(rng, 24);
+  std::vector<double> thr(37);
+  for (auto& t : thr) t = rng.uniform(-5.0, curve.back() + 5.0);
+  std::vector<std::int32_t> want(thr.size());
+  simd::force_simd_tier(SimdTier::kGeneric);
+  EXPECT_EQ(simd::active_tier(), SimdTier::kGeneric);
+  simd::batch_max_index_within(curve, thr, want);
+  for (const SimdTier tier : {SimdTier::kAvx2, SimdTier::kAvx512}) {
+    simd::force_simd_tier(tier);
+    // Forcing clamps to what this machine supports; whatever tier that
+    // resolves to must agree with the generic answers bit for bit.
+    EXPECT_LE(simd::active_tier(), simd::max_supported_tier());
+    std::vector<std::int32_t> got(thr.size(), -7);
+    simd::batch_max_index_within(curve, thr, got);
+    EXPECT_EQ(got, want) << "tier " << simd::to_string(tier);
+  }
+  simd::reset_simd_tier();
+}
+
+TEST(SimdKernels, LaneSumHonoursDocumentedUlpBound) {
+  Xoshiro256 rng(0x51D0, 4);
+  const auto kernels = runnable_kernels();
+  const int cases = pbc::test::iters(500);
+  for (int c = 0; c < cases; ++c) {
+    const std::size_t n = rng.below(200);
+    std::vector<double> x(n);
+    double abs_sum = 0.0;
+    double seq = 0.0;
+    for (auto& v : x) {
+      v = rng.uniform(-1e6, 1e6);
+      abs_sum += std::abs(v);
+    }
+    for (const double v : x) seq += v;
+    // |lane_sum - sequential| <= n * eps * sum|x_i|, eps = 2^-52 — the
+    // bound docs/solver.md grants the one reassociating kernel.
+    const double bound =
+        static_cast<double>(n) * std::ldexp(1.0, -52) * abs_sum;
+    for (const TierKernel& k : kernels) {
+      const double got = k.sum(x.data(), n);
+      ASSERT_LE(std::abs(got - seq), bound)
+          << k.name << " n=" << n << " got " << got << " want " << seq;
+    }
+  }
+  EXPECT_EQ(simd::lane_sum({}), 0.0);
+}
+
+TEST(SolveArenaTest, ScopedReuseRecyclesBlocksDeterministically) {
+  SolveArena arena;
+  double* first = nullptr;
+  {
+    const auto scope = arena.scope();
+    const auto a = arena.get<double>(64);
+    first = a.data();
+    std::fill(a.begin(), a.end(), 1.0);
+    {
+      const auto inner = arena.scope();
+      const auto b = arena.get<double>(16);
+      // Nested scopes carve fresh blocks — never the outer span's.
+      EXPECT_NE(b.data(), a.data());
+      std::fill(b.begin(), b.end(), 2.0);
+    }
+    // Inner scope rewound: the next carve reuses the inner block.
+    const auto c = arena.get<double>(16);
+    std::fill(c.begin(), c.end(), 3.0);
+    for (const double v : a) EXPECT_EQ(v, 1.0);
+  }
+  // Outer scope rewound: same request returns the same storage.
+  const auto scope = arena.scope();
+  const auto again = arena.get<double>(64);
+  EXPECT_EQ(again.data(), first);
+}
+
+TEST(SolveArenaTest, BatchSolverIsDeterministicAcrossArenaReuse) {
+  // Dirty arena blocks must never leak into results: the same batch run
+  // repeatedly through one warm arena — interleaved with different-sized
+  // carves — always yields the first answer.
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const CpuNodeSim node(machine, workload::npb_mg());
+  Xoshiro256 rng(0x51D0, 5);
+  std::vector<CapPair> caps;
+  for (int i = 0; i < 64; ++i) {
+    caps.push_back(
+        CapPair{Watts{rng.uniform(20.0, 320.0)}, Watts{rng.uniform(10.0, 220.0)}});
+  }
+  SolveArena arena;
+  std::vector<AllocationSample> want(caps.size());
+  {
+    const auto scope = arena.scope();
+    node.steady_state_batch(caps, want, arena);
+  }
+  const int reps = pbc::test::iters(20);
+  for (int r = 0; r < reps; ++r) {
+    {
+      // Poison the pools with a differently shaped carve.
+      const auto scope = arena.scope();
+      const auto junk = arena.get<double>(17 + 31 * r);
+      std::fill(junk.begin(), junk.end(), -1e300);
+    }
+    const auto scope = arena.scope();
+    std::vector<AllocationSample> got(caps.size());
+    node.steady_state_batch(caps, got, arena);
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      ASSERT_TRUE(got[i] == want[i]) << "rep " << r << " cap " << i;
+    }
+  }
+}
+
+TEST(SolveArenaTest, ReplayAndSweepReuseThreadArenaDeterministically) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const workload::Workload wl = workload::npb_mg();
+  const PhaseNodeSet nodes(machine, wl);
+  workload::PhaseTrace trace;
+  for (std::size_t i = 0; i < 24; ++i) {
+    trace.push_back({i % wl.phases.size(), 40.0 + static_cast<double>(i)});
+  }
+  const auto first = replay_trace(nodes, trace, Watts{150.0}, Watts{70.0});
+  const CpuNodeSim node(machine, wl);
+  const auto best_first = sweep_cpu_split_best(node, Watts{210.0}, {});
+  const int reps = pbc::test::iters(10);
+  for (int r = 0; r < reps; ++r) {
+    // Interleaving replays and sweeps shares one thread arena between
+    // differently shaped scopes; results must not drift.
+    const auto replay = replay_trace(nodes, trace, Watts{150.0}, Watts{70.0});
+    ASSERT_TRUE(replay.aggregate == first.aggregate) << "rep " << r;
+    ASSERT_EQ(replay.segments.size(), first.segments.size());
+    const auto best = sweep_cpu_split_best(node, Watts{210.0}, {});
+    ASSERT_EQ(best.has_value(), best_first.has_value());
+    ASSERT_TRUE(*best == *best_first) << "rep " << r;
+  }
+}
+
+TEST(SweepStatsTest, MatchesSequentialAggregationWithinUlpBound) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const CpuNodeSim node(machine, workload::npb_mg());
+  const auto samples = sweep_cpu_split(node, Watts{220.0}, {});
+  ASSERT_FALSE(samples.empty());
+  const SweepStats st = sweep_stats(samples);
+  EXPECT_EQ(st.count, samples.size());
+  double seq_perf = 0.0, seq_pow = 0.0, max_perf = 0.0, abs_perf = 0.0,
+         abs_pow = 0.0;
+  for (const auto& s : samples) {
+    seq_perf += s.perf;
+    seq_pow += s.proc_power.value() + s.mem_power.value();
+    abs_perf += std::abs(s.perf);
+    abs_pow += std::abs(s.proc_power.value() + s.mem_power.value());
+    max_perf = std::max(max_perf, s.perf);
+  }
+  const double eps = std::ldexp(1.0, -52) * static_cast<double>(st.count);
+  EXPECT_NEAR(st.total_perf, seq_perf, eps * abs_perf);
+  EXPECT_NEAR(st.total_power_w, seq_pow, eps * abs_pow);
+  EXPECT_EQ(st.max_perf, max_perf);
+  EXPECT_EQ(sweep_stats({}).count, 0u);
+}
+
+}  // namespace
+}  // namespace pbc::sim
