@@ -12,7 +12,15 @@
 //     gate measures the algorithmic speedup, not core count), verifies
 //     the two runs are identical, and fails the process (exit 1) when the
 //     end-to-end speedup falls below --min-speedup (default 10;
-//     --min-speedup=0 turns the run into a smoke test). --smoke shrinks
+//     --min-speedup=0 turns the run into a smoke test). The event path
+//     (ClusterPath::kEvent over an implicit flat tree) runs the same
+//     trace and must also be bit-identical to the reference. The record
+//     further carries a hierarchical event-path scaling sweep up to 100k
+//     nodes / 1M jobs (32-node racks under 32-rack rows, the regime the
+//     flat paths cannot reach: their ledger release walks every active
+//     grant) gated by --min-event-jps on the largest point, and a
+//     GrantLedger micro-bench of the incremental release against the
+//     retained full rescan (4096 peak slots, 64 live). --smoke shrinks
 //     every trace so debug/sanitizer ctest configurations stay quick.
 //   * --csv=FILE: dumps the per-job outcomes of a fixed 16-node trace at
 //     full precision for the golden-file regression
@@ -29,7 +37,9 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/cluster_hier.hpp"
 #include "core/cluster_sim.hpp"
+#include "core/grant_ledger.hpp"
 #include "hw/platforms.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -161,6 +171,103 @@ struct ScalePoint {
   return p;
 }
 
+/// Event-path scale point over a uniform budget tree (32-node racks,
+/// 32-rack rows). Redistribution stays on — this is the configuration
+/// the paper's cross-component coordination argument targets.
+[[nodiscard]] ScalePoint run_event_scale_point(std::size_t nodes,
+                                               std::size_t gpu_nodes,
+                                               std::size_t n_jobs,
+                                               std::uint64_t seed) {
+  const hw::CpuMachine cpu_machine = hw::ivybridge_node();
+  const hw::GpuMachine gpu_machine = hw::titan_xp();
+  const auto jobs =
+      make_trace(cpu_machine, gpu_machine, n_jobs, nodes, 0.15, seed);
+  auto config = make_config(nodes, gpu_nodes);
+  config.path = core::ClusterPath::kEvent;
+  const core::HierarchySpec hier = core::uniform_hierarchy(
+      nodes, gpu_nodes, config.global_budget, {32, 32});
+  config.hierarchy = &hier;
+
+  ScalePoint p{nodes, gpu_nodes, n_jobs};
+  core::ClusterRun run;
+  p.wall_s = time_once_s([&] {
+    run = core::simulate_cluster(cpu_machine, gpu_machine, jobs, config);
+  });
+  p.jobs_per_sec =
+      p.wall_s > 0.0 ? static_cast<double>(n_jobs) / p.wall_s : 0.0;
+  p.makespan_s = run.makespan.value();
+  p.work_per_joule = run.work_per_joule;
+  return p;
+}
+
+struct LedgerBench {
+  std::size_t peak_slots = 0;
+  std::size_t active_grants = 0;
+  double incremental_ns = 0.0;
+  double full_rescan_ns = 0.0;
+  double speedup = 0.0;
+};
+
+/// Release cost after a concurrency burst has drained: the ledger once
+/// carried `peak` simultaneous grants but only `active` remain (spread
+/// across the slot space), and the bench cycles release + re-hold over
+/// the survivors. The incremental release walks the active slots only;
+/// the retained full rescan re-sums every slot ever allocated — the
+/// per-completion cost that tied the flat paths to peak concurrency.
+[[nodiscard]] LedgerBench run_ledger_bench(std::size_t peak,
+                                           std::size_t active, int iters) {
+  LedgerBench b;
+  b.peak_slots = peak;
+  b.active_grants = active;
+  Xoshiro256 rng(1, /*stream=*/23);
+  std::vector<double> grants(peak);
+  double total = 0.0;
+  for (double& g : grants) {
+    g = rng.uniform(10.0, 200.0);
+    total += g;
+  }
+  core::GrantLedger inc(total * 1.05);
+  core::GrantLedger full(total * 1.05);
+  std::vector<std::size_t> inc_slot(peak);
+  std::vector<std::size_t> full_slot(peak);
+  for (std::size_t i = 0; i < peak; ++i) {
+    inc_slot[i] = inc.hold(grants[i]);
+    full_slot[i] = full.hold(grants[i]);
+  }
+  // Drain the burst, keeping every (peak/active)-th grant alive.
+  const std::size_t stride = std::max<std::size_t>(1, peak / active);
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < peak; ++i) {
+    if (i % stride == 0 && live.size() < active) {
+      live.push_back(i);
+    } else {
+      (void)inc.release(inc_slot[i]);
+      (void)full.release_full_rescan(full_slot[i]);
+    }
+  }
+  double sink = 0.0;
+  const double inc_s = time_once_s([&] {
+    for (int i = 0; i < iters; ++i) {
+      const std::size_t idx = live[static_cast<std::size_t>(i) % live.size()];
+      sink += inc.release(inc_slot[idx]);
+      inc_slot[idx] = inc.hold(grants[idx]);
+    }
+  });
+  const double full_s = time_once_s([&] {
+    for (int i = 0; i < iters; ++i) {
+      const std::size_t idx = live[static_cast<std::size_t>(i) % live.size()];
+      sink += full.release_full_rescan(full_slot[idx]);
+      full_slot[idx] = full.hold(grants[idx]);
+    }
+  });
+  if (!(sink == sink)) std::abort();  // keep the loops observable
+  b.incremental_ns = inc_s / iters * 1e9;
+  b.full_rescan_ns = full_s / iters * 1e9;
+  b.speedup = b.incremental_ns > 0.0 ? b.full_rescan_ns / b.incremental_ns
+                                     : 0.0;
+  return b;
+}
+
 [[nodiscard]] bool runs_identical(const core::ClusterRun& a,
                                   const core::ClusterRun& b) {
   if (a.jobs.size() != b.jobs.size()) return false;
@@ -182,8 +289,9 @@ struct ScalePoint {
          a.work_per_joule == b.work_per_joule;
 }
 
-int run_gate_mode(const std::string& json_path, double min_speedup, int reps,
-                  bool smoke, std::uint64_t seed) {
+int run_gate_mode(const std::string& json_path, double min_speedup,
+                  double min_event_jps, int reps, bool smoke,
+                  std::uint64_t seed) {
   const hw::CpuMachine cpu_machine = hw::ivybridge_node();
   const hw::GpuMachine gpu_machine = hw::titan_xp();
 
@@ -214,14 +322,25 @@ int run_gate_mode(const std::string& json_path, double min_speedup, int reps,
 
   const bool identical = runs_identical(ref_run, fast_run);
 
+  // Event path over the implicit flat tree, same trace and pool: must be
+  // bit-identical to the reference too (the flat-mode contract the
+  // differential tests hold at ≤4096 nodes).
+  core::ClusterRun event_run;
+  config.path = core::ClusterPath::kEvent;
+  const double event_s = time_best_s(reps, [&] {
+    event_run = core::simulate_cluster(cpu_machine, gpu_machine, jobs, config);
+  });
+  const bool event_identical = runs_identical(ref_run, event_run);
+
   // Full-pool fast run: adds the parallel pre-profiling on top.
+  config.path = core::ClusterPath::kFast;
   config.pool = nullptr;
   const double fast_mt_s = time_best_s(reps, [&] {
     fast_run = core::simulate_cluster(cpu_machine, gpu_machine, jobs, config);
   });
 
   const double speedup = fast_s > 0.0 ? ref_s / fast_s : 0.0;
-  const bool gate_pass = identical && speedup + 1e-12 >= min_speedup;
+  const double event_speedup = event_s > 0.0 ? ref_s / event_s : 0.0;
 
   // Fast-path scaling sweep for the record.
   std::vector<ScalePoint> scaling;
@@ -234,6 +353,27 @@ int run_gate_mode(const std::string& json_path, double min_speedup, int reps,
     scaling.push_back(run_scale_point(1024, 128, 20000, seed));
     scaling.push_back(run_scale_point(4096, 512, 50000, seed));
   }
+
+  // Event-path sweep over the hierarchy, into the regime the flat paths
+  // cannot reach (their per-completion ledger rescan is O(active
+  // grants)). The largest point is the scaling gate.
+  std::vector<ScalePoint> event_scaling;
+  if (smoke) {
+    event_scaling.push_back(run_event_scale_point(256, 32, 2000, seed));
+  } else {
+    event_scaling.push_back(run_event_scale_point(4096, 512, 50000, seed));
+    event_scaling.push_back(run_event_scale_point(16384, 2048, 200000, seed));
+    event_scaling.push_back(
+        run_event_scale_point(100000, 12500, 1000000, seed));
+  }
+  const double event_jps = event_scaling.back().jobs_per_sec;
+
+  const LedgerBench ledger = run_ledger_bench(
+      /*peak=*/4096, /*active=*/64, /*iters=*/smoke ? 20000 : 200000);
+
+  const bool gate_pass = identical && event_identical &&
+                         speedup + 1e-12 >= min_speedup &&
+                         event_jps + 1e-12 >= min_event_jps;
 
   std::ofstream out(json_path);
   if (!out) {
@@ -262,8 +402,19 @@ int run_gate_mode(const std::string& json_path, double min_speedup, int reps,
       << "    \"fast_jobs_per_sec\": "
       << (fast_s > 0.0 ? static_cast<double>(n_jobs) / fast_s : 0.0) << ",\n"
       << "    \"end_to_end_speedup\": " << speedup << ",\n"
+      << "    \"event_wall_s\": " << event_s << ",\n"
+      << "    \"event_speedup\": " << event_speedup << ",\n"
       << "    \"paths_identical\": " << (identical ? "true" : "false")
-      << "\n"
+      << ",\n"
+      << "    \"event_path_identical\": "
+      << (event_identical ? "true" : "false") << "\n"
+      << "  },\n"
+      << "  \"ledger\": {\n"
+      << "    \"peak_slots\": " << ledger.peak_slots << ",\n"
+      << "    \"active_grants\": " << ledger.active_grants << ",\n"
+      << "    \"incremental_release_ns\": " << ledger.incremental_ns << ",\n"
+      << "    \"full_rescan_release_ns\": " << ledger.full_rescan_ns << ",\n"
+      << "    \"release_speedup\": " << ledger.speedup << "\n"
       << "  },\n"
       << "  \"scaling\": [\n";
   for (std::size_t i = 0; i < scaling.size(); ++i) {
@@ -275,12 +426,35 @@ int run_gate_mode(const std::string& json_path, double min_speedup, int reps,
         << (i + 1 < scaling.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
+      << "  \"event_scaling\": [\n";
+  for (std::size_t i = 0; i < event_scaling.size(); ++i) {
+    const ScalePoint& p = event_scaling[i];
+    out << "    {\"nodes\": " << p.nodes << ", \"gpu_nodes\": " << p.gpu_nodes
+        << ", \"jobs\": " << p.jobs << ", \"wall_s\": " << p.wall_s
+        << ", \"jobs_per_sec\": " << p.jobs_per_sec
+        << ", \"makespan_s\": " << p.makespan_s << "}"
+        << (i + 1 < event_scaling.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
       << "  \"gate\": {\n"
       << "    \"name\": \"cluster_end_to_end_speedup\",\n"
       << "    \"min\": " << min_speedup << ",\n"
       << "    \"actual\": " << speedup << ",\n"
       << "    \"identical\": " << (identical ? "true" : "false") << ",\n"
       << "    \"pass\": " << (gate_pass ? "true" : "false") << "\n"
+      << "  },\n"
+      << "  \"event_gate\": {\n"
+      << "    \"name\": \"event_scale_jobs_per_sec\",\n"
+      << "    \"nodes\": " << event_scaling.back().nodes << ",\n"
+      << "    \"jobs\": " << event_scaling.back().jobs << ",\n"
+      << "    \"min_jobs_per_sec\": " << min_event_jps << ",\n"
+      << "    \"actual_jobs_per_sec\": " << event_jps << ",\n"
+      << "    \"identical\": " << (event_identical ? "true" : "false")
+      << ",\n"
+      << "    \"pass\": "
+      << (event_identical && event_jps + 1e-12 >= min_event_jps ? "true"
+                                                                : "false")
+      << "\n"
       << "  }\n"
       << "}\n";
   out.close();
@@ -290,9 +464,18 @@ int run_gate_mode(const std::string& json_path, double min_speedup, int reps,
 
   std::printf(
       "cluster_throughput --json: %zu nodes / %zu jobs, ref %.2fs vs fast "
-      "%.3fs -> %.1fx speedup (parallel profiling: %.3fs), paths %s -> %s\n",
-      nodes, n_jobs, ref_s, fast_s, speedup, fast_mt_s,
-      identical ? "identical" : "DIVERGED", json_path.c_str());
+      "%.3fs -> %.1fx speedup (parallel profiling: %.3fs, event path "
+      "%.3fs), paths %s/%s -> %s\n",
+      nodes, n_jobs, ref_s, fast_s, speedup, fast_mt_s, event_s,
+      identical ? "identical" : "DIVERGED",
+      event_identical ? "identical" : "DIVERGED", json_path.c_str());
+  std::printf(
+      "cluster_throughput --json: event sweep %zu nodes / %zu jobs at "
+      "%.0f jobs/s (floor %.0f), ledger release %.0f ns vs %.0f ns rescan "
+      "(%.1fx)\n",
+      event_scaling.back().nodes, event_scaling.back().jobs, event_jps,
+      min_event_jps, ledger.incremental_ns, ledger.full_rescan_ns,
+      ledger.speedup);
 
   if (!identical) {
     std::fprintf(stderr,
@@ -300,11 +483,18 @@ int run_gate_mode(const std::string& json_path, double min_speedup, int reps,
                  "diverged\n");
     return 1;
   }
+  if (!event_identical) {
+    std::fprintf(stderr,
+                 "cluster_throughput: GATE FAILED — event and reference "
+                 "runs diverged on the flat tree\n");
+    return 1;
+  }
   if (!gate_pass) {
     std::fprintf(stderr,
                  "cluster_throughput: GATE FAILED — end-to-end speedup "
-                 "%.2fx < required %.2fx\n",
-                 speedup, min_speedup);
+                 "%.2fx < required %.2fx, or event throughput %.0f jobs/s "
+                 "< required %.0f\n",
+                 speedup, min_speedup, event_jps, min_event_jps);
     return 1;
   }
   return 0;
@@ -362,11 +552,12 @@ int main(int argc, char** argv) {
   }
   const CliArgs& args = parsed.value();
   if (const auto unknown = args.unknown_options(
-          {"json", "csv", "min-speedup", "reps", "smoke", "seed"});
+          {"json", "csv", "min-speedup", "min-event-jps", "reps", "smoke",
+           "seed"});
       !unknown.empty()) {
     std::cerr << "unknown option --" << unknown.front()
               << " (supported: --json[=FILE] --csv=FILE --min-speedup=N "
-                 "--reps=N --smoke --seed=N)\n";
+                 "--min-event-jps=N --reps=N --smoke --seed=N)\n";
     return 2;
   }
 
@@ -380,10 +571,14 @@ int main(int argc, char** argv) {
     const std::string json_path =
         args.value("json").value_or("BENCH_cluster.json");
     const double min_speedup = args.value_num("min-speedup", 10.0);
+    // Conservative floor on the 100k-node / 1M-job event sweep (smoke
+    // mode shrinks the sweep, so the floor only applies off --smoke).
+    const double min_event_jps = args.value_num(
+        "min-event-jps", args.has("smoke") ? 0.0 : 20000.0);
     const int reps =
         std::max(1, static_cast<int>(args.value_num("reps", 3.0)));
-    return run_gate_mode(json_path, min_speedup, reps, args.has("smoke"),
-                         seed);
+    return run_gate_mode(json_path, min_speedup, min_event_jps, reps,
+                         args.has("smoke"), seed);
   }
   return run_scaling_table(seed);
 }

@@ -1,0 +1,882 @@
+// Event-driven hierarchical cluster engine (ClusterPath::kEvent).
+//
+// The flat engines walk the whole queue and a whole-cluster ledger on
+// every event, so their cost grows with nodes × jobs. This engine keeps
+// per-event cost independent of cluster size: a time-ordered event queue
+// (arrival, completion, cap change, node failure) drives a hierarchical
+// budget tree (cluster_hier.hpp) in which each vertex caches an
+// admissibility aggregate — the best grant reachable through its subtree
+// per domain — and only the subtree path dirtied by an event is
+// re-solved (O(depth × fanout)). Placement descends the tree by that
+// aggregate; a grant must fit below every ancestor's free budget
+// simultaneously, which is exactly the flat decision procedure when the
+// tree is a single rack.
+//
+// Flat-mode bit-identity (tests/core/cluster_event_test.cpp): with a
+// single-vertex hierarchy and no scenario, this engine replays the flat
+// fast path exactly — same stable sort, same shared profiling, same
+// try_start_job check and counter order, same FIFO/backfill queue pass,
+// same completion heap comparator, same ledger hold/release sequence,
+// and the energy product computed once at start. Every deviation below
+// (preemption, donation, cap deficits) is unreachable in that mode.
+//
+// Scenario semantics (docs/cluster.md):
+//  * cap change: the vertex is re-capped; if the power held under it now
+//    exceeds the cap (a power emergency), the newest-started jobs under
+//    it are shed — preempted with their remaining work back to their
+//    original queue position — until the subtree fits, then the queue is
+//    re-granted immediately. Sheds ≤ jobs running under the vertex and
+//    re-grants ≤ sheds + queued jobs, so the emergency settles within a
+//    bounded number of events, before the next event is processed.
+//  * node failure: a rack loses slots; overflow jobs (newest first) are
+//    preempted and re-queued.
+//  * redistribution: when a start is squeezed by an intermediate cap but
+//    the root has headroom, sibling subtrees donate unused budget
+//    through the common ancestor (persistent cap transfers; the root
+//    budget — the facility feed — is conserved).
+#include "core/cluster_event.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/cluster_hier.hpp"
+#include "core/cluster_profile.hpp"
+#include "core/critical.hpp"
+#include "core/grant_ledger.hpp"
+#include "obs/metrics.hpp"
+
+namespace pbc::core::detail {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNever = 1e300;
+constexpr std::uint32_t kNoVertex = std::numeric_limits<std::uint32_t>::max();
+
+/// The admission counters shared with the flat engines (get-or-create on
+/// the same names, so all paths bump the same counters) plus the
+/// event-engine-only series.
+struct EventMetrics {
+  obs::Counter& attempts;
+  obs::Counter& rejects;
+  obs::Counter& starts;
+  obs::Counter& events;
+  obs::Counter& resolves;
+  obs::Counter& preempted;
+  obs::Counter& shed_regrant;
+  obs::Gauge& redistributed;
+  obs::Histogram& latency_us;
+};
+
+[[nodiscard]] EventMetrics& event_metrics() {
+  auto& reg = obs::global_registry();
+  static EventMetrics m{
+      reg.counter("pbc_cluster_start_attempts_total",
+                  "Job-start attempts considered by the scheduler"),
+      reg.counter("pbc_cluster_admission_rejects_total",
+                  "Start attempts rejected by power admission (grant below "
+                  "threshold or min_grant)"),
+      reg.counter("pbc_cluster_jobs_started_total",
+                  "Jobs granted power and started"),
+      reg.counter("pbc_cluster_events_total",
+                  "Events processed by the event-driven cluster engine"),
+      reg.counter("pbc_cluster_subtree_resolves_total",
+                  "Dirty-subtree aggregate refreshes in the budget tree"),
+      reg.counter("pbc_cluster_jobs_preempted_total",
+                  "Jobs preempted by cap emergencies or node failures"),
+      reg.counter("pbc_cluster_emergency_shed_regrant_events_total",
+                  "Shed and re-grant events caused by power emergencies"),
+      reg.gauge("pbc_cluster_watts_redistributed",
+                "Cumulative watts moved between sibling subtrees by power "
+                "redistribution"),
+      reg.histogram("pbc_cluster_event_latency_us",
+                    "Wall-clock latency of one engine event (sampled)",
+                    obs::default_latency_bounds_us()),
+  };
+  return m;
+}
+
+struct HeapEntry {
+  double finish = 0.0;
+  std::uint32_t job = 0;
+  std::uint32_t epoch = 0;
+};
+
+/// Min-heap on finish time only — the flat engines' FinishOrder, so the
+/// pop order among equal finish times matches them bit-for-bit.
+struct HeapOrder {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return a.finish > b.finish;
+  }
+};
+
+/// One budget-tree vertex at runtime.
+struct Vertex {
+  std::int32_t parent = -1;
+  std::vector<std::uint32_t> children;
+  bool rack = false;
+  double cap = 0.0;   ///< current budget (moves under redistribution)
+  double held = 0.0;  ///< power held under this vertex (see refresh rules)
+  std::unique_ptr<GrantLedger> ledger;  ///< racks only
+  std::size_t cpu_slots = 0, gpu_slots = 0;
+  std::size_t cpu_busy = 0, gpu_busy = 0;
+  /// Best admissible grant through this subtree per domain (0 = CPU,
+  /// 1 = GPU): racks report free ledger power when a slot is free
+  /// (else -inf); inner vertices min their own slack with the best
+  /// child.
+  double adm[2] = {-kInf, -kInf};
+  double kids_best[2] = {-kInf, -kInf};
+  std::uint64_t grants = 0;  ///< starts placed through this vertex
+  const std::string* level = nullptr;
+};
+
+struct RunState {
+  std::uint32_t rack = 0;
+  bool gpu = false;
+  bool running = false;
+  bool started = false;  ///< outcome.start recorded (first segment)
+  std::uint32_t epoch = 0;       ///< invalidates stale heap entries
+  std::uint64_t seq = 0;         ///< global start order (newest = largest)
+  std::size_t ledger_slot = 0;
+  double remaining = 0.0;        ///< work left, Gunits
+  double rate = 0.0;
+  double power = 0.0;            ///< actual draw of the current segment, W
+  double seg_start = 0.0;
+  double energy_acc = 0.0;       ///< energy of finished segments, J
+  double pending_energy = 0.0;   ///< precomputed current-segment product, J
+  JobOutcome outcome;
+};
+
+struct Control {
+  double at = 0.0;
+  bool failure = false;  ///< false = cap change
+  std::uint32_t vertex = 0;
+  double budget = 0.0;           ///< cap change
+  std::uint32_t cpu_lost = 0, gpu_lost = 0;  ///< node failure
+};
+
+class EventEngine {
+ public:
+  EventEngine(const hw::CpuMachine& node_type, const hw::GpuMachine* gpu_type,
+              std::vector<SimJob> jobs, const ClusterSimConfig& config,
+              const ClusterNodeProvider* provider)
+      : node_type_(node_type),
+        gpu_type_(gpu_type),
+        jobs_(std::move(jobs)),
+        config_(config),
+        provider_(provider) {}
+
+  ClusterRun run() {
+    std::stable_sort(jobs_.begin(), jobs_.end(),
+                     [](const SimJob& a, const SimJob& b) {
+                       return a.arrival.value() < b.arrival.value();
+                     });
+    if (config_.hierarchy != nullptr && !config_.hierarchy->empty()) {
+      spec_ = config_.hierarchy;
+    } else {
+      owned_spec_ = flat_hierarchy(
+          config_.nodes, gpu_type_ != nullptr ? config_.gpu_nodes : 0,
+          config_.global_budget);
+      spec_ = &owned_spec_;
+    }
+    build_tree();
+    profiles_ = build_cluster_profiles(node_type_, gpu_type_, jobs_, config_,
+                                       provider_);
+    build_controls();
+    state_.resize(jobs_.size());
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      state_[j].remaining = jobs_[j].work_gunits;
+    }
+    event_loop();
+    finalize();
+    return std::move(run_);
+  }
+
+ private:
+  // --- tree ----------------------------------------------------------
+
+  void build_tree() {
+    const auto& vs = spec_->vertices;
+    verts_.resize(vs.size());
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      Vertex& v = verts_[i];
+      v.parent = vs[i].parent;
+      v.rack = !vs[i].cpu_nodes.empty() || !vs[i].gpu_nodes.empty();
+      v.cap = vs[i].budget.value();
+      v.level = &vs[i].level;
+      if (v.parent >= 0) {
+        verts_[static_cast<std::size_t>(v.parent)].children.push_back(
+            static_cast<std::uint32_t>(i));
+      }
+      if (v.rack) {
+        v.ledger = std::make_unique<GrantLedger>(v.cap);
+        v.cpu_slots = vs[i].cpu_nodes.size();
+        v.gpu_slots = gpu_type_ != nullptr ? vs[i].gpu_nodes.size() : 0;
+      }
+    }
+    // A tree whose root is itself a rack (the flat spec) has no inner
+    // vertices; otherwise every rack must sit under the root.
+    recompute_totals();
+    full_refresh();
+  }
+
+  [[nodiscard]] double slack(std::size_t v) const {
+    const Vertex& V = verts_[v];
+    return V.rack ? V.ledger->free_power() : V.cap - V.held;
+  }
+
+  void refresh_vertex(std::size_t v) {
+    Vertex& V = verts_[v];
+    if (V.rack) {
+      const double free = V.ledger->free_power();
+      V.adm[0] = V.cpu_busy < V.cpu_slots ? free : -kInf;
+      V.adm[1] = V.gpu_busy < V.gpu_slots ? free : -kInf;
+    } else {
+      const double s = V.cap - V.held;
+      for (int d = 0; d < 2; ++d) {
+        V.adm[d] = std::min(s, V.kids_best[d]);
+      }
+    }
+  }
+
+  /// Re-solves the dirty path from `from` to the root: the vertex's own
+  /// aggregate, then each ancestor's best-child cache from a child scan.
+  void refresh_up(std::size_t from) {
+    refresh_vertex(from);
+    for (std::int32_t a = verts_[from].parent; a >= 0;
+         a = verts_[static_cast<std::size_t>(a)].parent) {
+      Vertex& A = verts_[static_cast<std::size_t>(a)];
+      for (int d = 0; d < 2; ++d) {
+        double best = -kInf;
+        for (const std::uint32_t c : A.children) {
+          best = std::max(best, verts_[c].adm[d]);
+        }
+        A.kids_best[d] = best;
+      }
+      refresh_vertex(static_cast<std::size_t>(a));
+    }
+    ++stats_.subtree_resolves;
+  }
+
+  /// Exact bottom-up recompute of every held aggregate and admissibility
+  /// cache (children precede parents in reverse spec order). Control
+  /// events use this; steady-state events use the incremental path walk.
+  void full_refresh() {
+    for (std::size_t i = verts_.size(); i-- > 0;) {
+      Vertex& V = verts_[i];
+      if (V.rack) {
+        V.held = V.ledger->held_power();
+      } else {
+        double h = 0.0;
+        for (const std::uint32_t c : V.children) h += verts_[c].held;
+        V.held = h;
+        for (int d = 0; d < 2; ++d) {
+          double best = -kInf;
+          for (const std::uint32_t c : V.children) {
+            best = std::max(best, verts_[c].adm[d]);
+          }
+          V.kids_best[d] = best;
+        }
+      }
+      refresh_vertex(i);
+    }
+    ++stats_.subtree_resolves;
+  }
+
+  void recompute_totals() {
+    total_free_[0] = total_free_[1] = 0;
+    for (const Vertex& v : verts_) {
+      if (!v.rack) continue;
+      total_free_[0] += v.cpu_slots - std::min(v.cpu_busy, v.cpu_slots);
+      total_free_[1] += v.gpu_slots - std::min(v.gpu_busy, v.gpu_slots);
+    }
+  }
+
+  [[nodiscard]] bool under(std::uint32_t rack, std::uint32_t ancestor) const {
+    for (std::int32_t v = static_cast<std::int32_t>(rack); v >= 0;
+         v = verts_[static_cast<std::size_t>(v)].parent) {
+      if (static_cast<std::uint32_t>(v) == ancestor) return true;
+    }
+    return false;
+  }
+
+  /// Releases a grant at `rack` and restores the exact held aggregates
+  /// up the path (the rack's from the ledger recompute, each ancestor's
+  /// from a child sum).
+  void release_at(std::uint32_t rack, std::size_t slot) {
+    verts_[rack].held = verts_[rack].ledger->release(slot);
+    for (std::int32_t a = verts_[rack].parent; a >= 0;
+         a = verts_[static_cast<std::size_t>(a)].parent) {
+      Vertex& A = verts_[static_cast<std::size_t>(a)];
+      double h = 0.0;
+      for (const std::uint32_t c : A.children) h += verts_[c].held;
+      A.held = h;
+    }
+  }
+
+  // --- placement and redistribution ----------------------------------
+
+  /// Descends the tree by the per-domain admissibility aggregate and
+  /// returns (rack, min path slack). Requires total_free_[d] > 0, which
+  /// guarantees the descent terminates at a rack with a free slot.
+  [[nodiscard]] std::pair<std::uint32_t, double> place(int d) const {
+    std::size_t v = 0;
+    double g = kInf;
+    for (;;) {
+      const Vertex& V = verts_[v];
+      g = std::min(g, slack(v));
+      if (V.rack) break;
+      std::size_t best = 0;
+      double best_adm = -kInf;
+      for (const std::uint32_t c : V.children) {
+        if (verts_[c].adm[d] > best_adm) {  // ties keep the lowest index
+          best_adm = verts_[c].adm[d];
+          best = c;
+        }
+      }
+      v = best;
+    }
+    return {static_cast<std::uint32_t>(v), g};
+  }
+
+  /// Inter-rack power redistribution: raise the slack of every vertex on
+  /// the placement path toward min(demand, root slack) by pulling unused
+  /// budget from sibling subtrees through the common ancestor (ascending
+  /// sibling order; transfers keep child caps within the parent's and
+  /// never touch the root). Returns the recomputed path slack.
+  double donate(std::uint32_t rack, double demand) {
+    const double target = std::min(demand, slack(0));
+    for (std::int32_t v = static_cast<std::int32_t>(rack);
+         verts_[static_cast<std::size_t>(v)].parent >= 0;
+         v = verts_[static_cast<std::size_t>(v)].parent) {
+      Vertex& V = verts_[static_cast<std::size_t>(v)];
+      double need = target - slack(static_cast<std::size_t>(v));
+      if (need <= 0.0) continue;
+      Vertex& P = verts_[static_cast<std::size_t>(V.parent)];
+      for (const std::uint32_t s : P.children) {
+        if (s == static_cast<std::uint32_t>(v)) continue;
+        Vertex& S = verts_[s];
+        const double avail =
+            std::min(slack(s), P.cap - V.cap);  // keep cap(v) <= cap(parent)
+        if (avail <= 0.0) continue;
+        const double give = std::min(need, avail);
+        S.cap -= give;
+        if (S.rack) S.ledger->set_budget(S.cap);
+        V.cap += give;
+        if (V.rack) V.ledger->set_budget(V.cap);
+        refresh_vertex(s);
+        ++stats_.donations;
+        stats_.watts_redistributed += give;
+        need -= give;
+        if (need <= 1e-9) break;
+      }
+    }
+    refresh_up(rack);
+    double g = kInf;
+    for (std::int32_t v = static_cast<std::int32_t>(rack); v >= 0;
+         v = verts_[static_cast<std::size_t>(v)].parent) {
+      g = std::min(g, slack(static_cast<std::size_t>(v)));
+    }
+    return g;
+  }
+
+  // --- job starts ----------------------------------------------------
+
+  void start_running(std::size_t j, std::uint32_t rack, Watts held,
+                     double rate, double perf, Watts actual_power, bool gpu) {
+    RunState& rs = state_[j];
+    Vertex& R = verts_[rack];
+    const double duration = rs.remaining / rate;
+    rs.rack = rack;
+    rs.gpu = gpu;
+    rs.running = true;
+    rs.rate = rate;
+    rs.power = actual_power.value();
+    rs.seg_start = now_;
+    rs.pending_energy = (actual_power * Seconds{duration}).value();
+    if (!rs.started) {
+      rs.started = true;
+      rs.outcome.name = jobs_[j].name;
+      rs.outcome.arrival = jobs_[j].arrival;
+      rs.outcome.start = Seconds{now_};
+    }
+    rs.outcome.finish = Seconds{now_ + duration};
+    rs.outcome.budget = held;
+    rs.outcome.perf = perf;
+    rs.ledger_slot = R.ledger->hold(held.value());
+    R.held += held.value();
+    for (std::int32_t a = R.parent; a >= 0;
+         a = verts_[static_cast<std::size_t>(a)].parent) {
+      verts_[static_cast<std::size_t>(a)].held += held.value();
+    }
+    if (gpu) {
+      ++R.gpu_busy;
+      --total_free_[1];
+    } else {
+      ++R.cpu_busy;
+      --total_free_[0];
+    }
+    ++rs.epoch;
+    rs.seq = next_seq_++;
+    running_map_.emplace(rs.seq, static_cast<std::uint32_t>(j));
+    ++active_running_;
+    heap_.push({now_ + duration, static_cast<std::uint32_t>(j), rs.epoch});
+    for (std::int32_t v = static_cast<std::int32_t>(rack); v >= 0;
+         v = verts_[static_cast<std::size_t>(v)].parent) {
+      ++verts_[static_cast<std::size_t>(v)].grants;
+    }
+    if (in_emergency_regrant_) ++stats_.emergency_regrants;
+    refresh_up(rack);
+  }
+
+  /// The flat engines' decision procedure over the tree: same check and
+  /// counter order, with "free power" generalized to min path slack at
+  /// the placement rack (identical when the tree is one rack).
+  bool try_start_job(std::size_t j) {
+    EventMetrics& m = event_metrics();
+    m.attempts.add(1);
+    const ClusterJobMeta& meta = profiles_.meta[j];
+    if (meta.gpu) {
+      if (gpu_type_ == nullptr || total_free_[1] == 0) return false;
+      const GpuProfileParams& profile = profiles_.slots[meta.slot].gpu_profile;
+      const double demand = std::min(profile.tot_max.value(),
+                                     gpu_type_->gpu.board_max_cap.value());
+      const double threshold = gpu_type_->gpu.board_min_cap.value();
+      auto [rack, g] = place(1);
+      if (spec_->redistribution && std::min(demand, g) < threshold) {
+        g = donate(rack, demand);
+      }
+      const double grant = std::min(demand, std::max(0.0, g));
+      if (grant < threshold) {  // driver rejects lower caps
+        m.rejects.add(1);
+        return false;
+      }
+      const sim::GpuNodeSim& node = *profiles_.slots[meta.slot].gpu_node;
+      const GpuAllocation alloc =
+          coord_gpu(profile, node.gpu_model(), Watts{grant});
+      const sim::AllocationSample s =
+          node.steady_state(alloc.mem_clock_index, Watts{grant});
+      if (s.rate_gunits <= 0.0) return false;
+      start_running(j, rack, Watts{grant - alloc.surplus.value()},
+                    s.rate_gunits, s.perf, s.total_power(), /*gpu=*/true);
+      m.starts.add(1);
+      return true;
+    }
+
+    if (total_free_[0] == 0) return false;
+    const CpuCriticalPowers& profile = profiles_.slots[meta.slot].cpu_profile;
+    const double demand = profile.max_demand().value();
+    const double threshold = profile.productive_threshold().value();
+    auto [rack, g] = place(0);
+    const double floor = config_.admission_control
+                             ? threshold
+                             : config_.min_grant.value();
+    if (spec_->redistribution && std::min(demand, g) < floor) {
+      g = donate(rack, demand);
+    }
+    const double grant = std::min(demand, std::max(0.0, g));
+    if (config_.admission_control) {
+      if (grant < threshold) {
+        m.rejects.add(1);
+        return false;
+      }
+    } else if (grant < config_.min_grant.value()) {
+      m.rejects.add(1);
+      return false;
+    }
+
+    CpuAllocation alloc;
+    if (config_.policy == SplitPolicy::kCoord) {
+      alloc = coord_cpu(profile, Watts{grant});
+    } else {
+      alloc = fixed_ratio_split(Watts{grant}, 0.5);
+    }
+    const sim::AllocationSample s =
+        profiles_.slots[meta.slot].cpu_node->steady_state(alloc.cpu,
+                                                          alloc.mem);
+    if (s.rate_gunits <= 0.0) return false;
+    // Only the power COORD actually allocated is held; surplus stays in
+    // the pool.
+    start_running(j, rack, Watts{grant - alloc.surplus.value()},
+                  s.rate_gunits, s.perf, s.total_power(), /*gpu=*/false);
+    m.starts.add(1);
+    return true;
+  }
+
+  // --- queue (the flat fast path's admission index, verbatim) --------
+
+  void queue_push(std::size_t j) {
+    queue_.insert(j);
+    const ClusterJobMeta& meta = profiles_.meta[j];
+    if (std::isfinite(meta.threshold)) {
+      buckets_[meta.gpu ? 1 : 0][meta.threshold].insert(j);
+    }
+  }
+
+  void bucket_remove(std::size_t j) {
+    const ClusterJobMeta& meta = profiles_.meta[j];
+    if (!std::isfinite(meta.threshold)) return;
+    auto& domain = buckets_[meta.gpu ? 1 : 0];
+    const auto it = domain.find(meta.threshold);
+    it->second.erase(j);
+    if (it->second.empty()) domain.erase(it);
+  }
+
+  void queue_erase(std::size_t j) {
+    queue_.erase(j);
+    bucket_remove(j);
+  }
+
+  /// Lowest-indexed queued job whose pre-solve start checks could pass
+  /// right now. Without redistribution the root aggregate is exact;
+  /// with it, the root's own slack is the (optimistic) upper bound on
+  /// what donations can assemble — an over-admitted job simply fails
+  /// try_start_job and is parked for the rest of the pass.
+  [[nodiscard]] std::size_t min_eligible() const {
+    std::size_t best = kClusterNoSlot;
+    for (int d = 0; d < 2; ++d) {
+      double avail;
+      if (total_free_[d] == 0) {
+        avail = -kInf;
+      } else {
+        avail = spec_->redistribution ? slack(0) : verts_[0].adm[d];
+      }
+      for (const auto& [threshold, members] : buckets_[d]) {
+        if (threshold > avail) break;
+        best = std::min(best, *members.begin());
+      }
+    }
+    return best;
+  }
+
+  void drop_queue_head() { queue_erase(*queue_.begin()); }
+
+  void try_start_queue_head() {
+    while (!queue_.empty()) {
+      const std::size_t head = *queue_.begin();
+      if (!try_start_job(head)) break;
+      queue_erase(head);
+    }
+    if (config_.queue_policy != QueuePolicy::kBackfill) return;
+    if (queue_.size() < 2) return;
+    const std::size_t head = *queue_.begin();
+
+    // Backfill: repeatedly start the lowest-indexed eligible job (see
+    // cluster_sim.cpp for why this reproduces the linear rescan). The
+    // blocked head and jobs whose attempt fails are parked outside the
+    // buckets until the pass ends.
+    std::vector<std::size_t> parked;
+    for (;;) {
+      const std::size_t j = min_eligible();
+      if (j == kClusterNoSlot) break;
+      if (j == head) {  // the blocked head keeps its place
+        bucket_remove(j);
+        parked.push_back(j);
+        continue;
+      }
+      if (try_start_job(j)) {
+        queue_erase(j);
+      } else {
+        bucket_remove(j);
+        parked.push_back(j);
+      }
+    }
+    for (const std::size_t j : parked) {
+      const ClusterJobMeta& meta = profiles_.meta[j];
+      buckets_[meta.gpu ? 1 : 0][meta.threshold].insert(j);
+    }
+  }
+
+  // --- preemption and control events ---------------------------------
+
+  void preempt(std::uint32_t j, bool emergency) {
+    RunState& rs = state_[j];
+    Vertex& R = verts_[rs.rack];
+    const double elapsed = now_ - rs.seg_start;
+    rs.remaining = std::max(0.0, rs.remaining - rs.rate * elapsed);
+    rs.energy_acc += rs.power * elapsed;
+    release_at(rs.rack, rs.ledger_slot);
+    if (rs.gpu) {
+      --R.gpu_busy;
+    } else {
+      --R.cpu_busy;
+    }
+    rs.running = false;
+    ++rs.epoch;  // the heap entry for this segment is now stale
+    running_map_.erase(rs.seq);
+    --active_running_;
+    queue_push(j);  // original index → original FIFO position
+    ++stats_.jobs_preempted;
+    if (emergency) ++stats_.emergency_sheds;
+  }
+
+  /// Returns true when the event was a cap drop that shed jobs (the
+  /// caller's immediate queue pass is then the emergency re-grant pass).
+  bool process_control(const Control& c) {
+    bool emergency = false;
+    if (!c.failure) {
+      Vertex& V = verts_[c.vertex];
+      V.cap = c.budget;
+      const double tol = 1e-6 * std::max(1.0, c.budget);
+      if (V.held > c.budget + tol) {
+        // Shed newest-started jobs under the vertex until it fits.
+        std::vector<std::uint32_t> victims;
+        for (auto it = running_map_.rbegin(); it != running_map_.rend();
+             ++it) {
+          if (under(state_[it->second].rack, c.vertex)) {
+            victims.push_back(it->second);
+          }
+        }
+        for (const std::uint32_t j : victims) {
+          if (V.held <= c.budget + tol) break;
+          preempt(j, /*emergency=*/true);
+          emergency = true;
+        }
+      }
+      // Re-cap the rack's ledger only after shedding: the sheds above
+      // release grants through it, and a ledger already in deficit would
+      // trip the release-path drift assert. Post-shed the held power
+      // fits the new budget (within tol), so set_budget's clamp covers
+      // at most the tolerance band.
+      if (V.rack) V.ledger->set_budget(c.budget);
+      stats_.caps_respected =
+          stats_.caps_respected && V.held <= c.budget + tol;
+    } else {
+      Vertex& V = verts_[c.vertex];
+      V.cpu_slots -= std::min<std::size_t>(c.cpu_lost, V.cpu_slots);
+      V.gpu_slots -= std::min<std::size_t>(c.gpu_lost, V.gpu_slots);
+      for (int d = 0; d < 2; ++d) {
+        const bool gpu = d == 1;
+        while ((gpu ? V.gpu_busy : V.cpu_busy) >
+               (gpu ? V.gpu_slots : V.cpu_slots)) {
+          // Newest-started job of this domain on the failed rack.
+          std::uint32_t victim = kNoVertex;
+          for (auto it = running_map_.rbegin(); it != running_map_.rend();
+               ++it) {
+            const RunState& rs = state_[it->second];
+            if (rs.rack == c.vertex && rs.gpu == gpu) {
+              victim = it->second;
+              break;
+            }
+          }
+          if (victim == kNoVertex) break;
+          preempt(victim, /*emergency=*/false);
+        }
+      }
+    }
+    // Control events are rare; pay one exact bottom-up re-solve so every
+    // aggregate (and the slot totals) is clean before the re-grant pass.
+    recompute_totals();
+    full_refresh();
+    return emergency;
+  }
+
+  void build_controls() {
+    if (config_.scenario == nullptr) return;
+    for (const CapChangeEvent& e : config_.scenario->cap_changes) {
+      Control c;
+      c.at = e.at.value();
+      c.vertex = e.vertex;
+      c.budget = e.budget.value();
+      controls_.push_back(c);
+    }
+    for (const NodeFailureEvent& e : config_.scenario->failures) {
+      Control c;
+      c.at = e.at.value();
+      c.failure = true;
+      c.vertex = e.vertex;
+      c.cpu_lost = e.cpu_lost;
+      c.gpu_lost = e.gpu_lost;
+      controls_.push_back(c);
+    }
+    std::stable_sort(controls_.begin(), controls_.end(),
+                     [](const Control& a, const Control& b) {
+                       return a.at < b.at;
+                     });
+  }
+
+  // --- event loop ----------------------------------------------------
+
+  /// Earliest live completion; lazily pops entries invalidated by
+  /// preemption.
+  [[nodiscard]] double peek_completion() {
+    while (!heap_.empty()) {
+      const HeapEntry& e = heap_.top();
+      const RunState& rs = state_[e.job];
+      if (rs.running && rs.epoch == e.epoch) return e.finish;
+      heap_.pop();
+    }
+    return kNever;
+  }
+
+  void complete_top() {
+    const HeapEntry e = heap_.top();
+    heap_.pop();
+    now_ = e.finish;
+    RunState& rs = state_[e.job];
+    Vertex& R = verts_[rs.rack];
+    release_at(rs.rack, rs.ledger_slot);
+    if (rs.gpu) {
+      --R.gpu_busy;
+      ++total_free_[1];
+    } else {
+      --R.cpu_busy;
+      ++total_free_[0];
+    }
+    rs.running = false;
+    running_map_.erase(rs.seq);
+    --active_running_;
+    rs.outcome.energy = Joules{rs.energy_acc + rs.pending_energy};
+    run_.jobs.push_back(rs.outcome);
+    run_.total_energy += rs.outcome.energy;
+    refresh_up(rs.rack);
+  }
+
+  void event_loop() {
+    EventMetrics& m = event_metrics();
+    while (next_arrival_ < jobs_.size() || active_running_ > 0 ||
+           !queue_.empty() || next_control_ < controls_.size()) {
+      // Latency histogram: sample one event in 256 to keep the timing
+      // cost off the hot path.
+      const bool sample = (stats_.events & 0xFF) == 0;
+      const auto t0 = sample ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
+
+      const double t_control = next_control_ < controls_.size()
+                                   ? controls_[next_control_].at
+                                   : kNever;
+      const double t_arrive = next_arrival_ < jobs_.size()
+                                  ? jobs_[next_arrival_].arrival.value()
+                                  : kNever;
+      const double t_finish = peek_completion();
+
+      bool emergency = false;
+      if (next_control_ < controls_.size() && t_control <= t_arrive &&
+          t_control <= t_finish) {
+        // Control events win ties: a cap that drops "at" an arrival is
+        // already in force when the arrival is considered.
+        now_ = t_control;
+        emergency = process_control(controls_[next_control_++]);
+      } else if (t_arrive <= t_finish && next_arrival_ < jobs_.size()) {
+        now_ = t_arrive;
+        queue_push(next_arrival_);
+        ++next_arrival_;
+      } else if (active_running_ > 0) {
+        complete_top();
+      } else {
+        // Queue non-empty but nothing running, no arrivals, no controls:
+        // the head can never start. Drop it so the rest can drain.
+        drop_queue_head();
+      }
+      ++stats_.events;
+      in_emergency_regrant_ = emergency;
+      try_start_queue_head();
+      in_emergency_regrant_ = false;
+
+      if (sample) {
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        m.latency_us.observe(
+            std::chrono::duration<double, std::micro>(dt).count());
+      }
+    }
+  }
+
+  void finalize() {
+    // Identical to the flat engines' finalize_stats (work sums over ALL
+    // jobs, including dropped ones).
+    if (!run_.jobs.empty()) {
+      double wait = 0.0;
+      double response = 0.0;
+      double work = 0.0;
+      double makespan = 0.0;
+      for (const auto& o : run_.jobs) {
+        wait += o.wait().value();
+        response += o.response().value();
+        makespan = std::max(makespan, o.finish.value());
+      }
+      for (const auto& job : jobs_) work += job.work_gunits;
+      const auto n = static_cast<double>(run_.jobs.size());
+      run_.mean_wait = Seconds{wait / n};
+      run_.mean_response = Seconds{response / n};
+      run_.makespan = Seconds{makespan};
+      run_.work_per_joule = run_.total_energy.value() > 0.0
+                                ? work / run_.total_energy.value()
+                                : 0.0;
+    }
+    run_.event_stats = stats_;
+
+    EventMetrics& m = event_metrics();
+    m.events.add(stats_.events);
+    m.resolves.add(stats_.subtree_resolves);
+    m.preempted.add(stats_.jobs_preempted);
+    m.shed_regrant.add(stats_.emergency_sheds + stats_.emergency_regrants);
+    if (stats_.watts_redistributed > 0.0) {
+      m.redistributed.add(stats_.watts_redistributed);
+    }
+    // Per-level grant counters, flushed once per run.
+    std::map<std::string, std::uint64_t> by_level;
+    for (const Vertex& v : verts_) {
+      if (v.grants > 0) by_level[*v.level] += v.grants;
+    }
+    for (const auto& [level, count] : by_level) {
+      obs::global_registry()
+          .counter("pbc_cluster_level_grants_total",
+                   "Grants placed through budget-tree vertices, by level",
+                   {{"level", level}})
+          .add(count);
+    }
+  }
+
+  const hw::CpuMachine& node_type_;
+  const hw::GpuMachine* gpu_type_;
+  std::vector<SimJob> jobs_;
+  const ClusterSimConfig& config_;
+  const ClusterNodeProvider* provider_;
+
+  HierarchySpec owned_spec_;
+  const HierarchySpec* spec_ = nullptr;
+  std::vector<Vertex> verts_;
+  ClusterProfiles profiles_;
+  std::vector<RunState> state_;
+  std::vector<Control> controls_;
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapOrder> heap_;
+  std::map<std::uint64_t, std::uint32_t> running_map_;  ///< start seq → job
+  std::set<std::size_t> queue_;
+  /// threshold → queued job indices, per domain (0 = CPU, 1 = GPU); jobs
+  /// with a +inf threshold stay out (they only leave via drop-head).
+  std::map<double, std::set<std::size_t>> buckets_[2];
+  std::size_t total_free_[2] = {0, 0};
+  std::size_t next_arrival_ = 0;
+  std::size_t next_control_ = 0;
+  std::size_t active_running_ = 0;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+  bool in_emergency_regrant_ = false;
+  ClusterEventStats stats_;
+  ClusterRun run_;
+};
+
+}  // namespace
+
+ClusterRun simulate_cluster_events(const hw::CpuMachine& node_type,
+                                   const hw::GpuMachine* gpu_type,
+                                   std::vector<SimJob> jobs,
+                                   const ClusterSimConfig& config,
+                                   const ClusterNodeProvider* provider) {
+  return EventEngine(node_type, gpu_type, std::move(jobs), config, provider)
+      .run();
+}
+
+}  // namespace pbc::core::detail

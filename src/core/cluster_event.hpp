@@ -1,0 +1,24 @@
+// Entry point for the event-driven hierarchical cluster engine
+// (ClusterPath::kEvent). simulate_cluster dispatches here; callers use
+// the public simulate_cluster / simulate_cluster_checked API in
+// cluster_sim.hpp. Semantics and the flat-mode bit-identity contract
+// are documented in docs/cluster.md.
+#pragma once
+
+#include <vector>
+
+#include "core/cluster_sim.hpp"
+
+namespace pbc::core::detail {
+
+/// Runs `jobs` through the event engine over config.hierarchy (or a
+/// flat single-rack tree over config.nodes / config.gpu_nodes /
+/// config.global_budget when null), applying config.scenario's cap
+/// changes and node failures. With a flat tree and no scenario the run
+/// is bit-identical to ClusterPath::kFast / kReference.
+[[nodiscard]] ClusterRun simulate_cluster_events(
+    const hw::CpuMachine& node_type, const hw::GpuMachine* gpu_type,
+    std::vector<SimJob> jobs, const ClusterSimConfig& config,
+    const ClusterNodeProvider* provider);
+
+}  // namespace pbc::core::detail

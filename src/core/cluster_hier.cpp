@@ -1,0 +1,351 @@
+#include "core/cluster_hier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace pbc::core {
+
+namespace {
+
+[[nodiscard]] std::string vertex_label(const HierVertexSpec& v,
+                                       std::size_t index) {
+  if (!v.name.empty()) return "'" + v.name + "'";
+  return "#" + std::to_string(index);
+}
+
+/// Membership check for one domain: every id in [0, count) exactly once.
+[[nodiscard]] Status check_membership(const HierarchySpec& spec,
+                                      std::size_t count, bool gpu) {
+  const char* const domain = gpu ? "GPU" : "CPU";
+  std::vector<std::uint8_t> seen(count, 0);
+  std::size_t members = 0;
+  for (std::size_t i = 0; i < spec.vertices.size(); ++i) {
+    const HierVertexSpec& v = spec.vertices[i];
+    for (const std::uint32_t id : gpu ? v.gpu_nodes : v.cpu_nodes) {
+      if (id >= count) {
+        return invalid_argument(
+            std::string(domain) + " node id " + std::to_string(id) +
+            " in rack " + vertex_label(v, i) + " is out of range (cluster has " +
+            std::to_string(count) + ")");
+      }
+      if (seen[id]) {
+        return invalid_argument("duplicate node membership: " +
+                                std::string(domain) + " node " +
+                                std::to_string(id) +
+                                " appears in more than one rack (second: " +
+                                vertex_label(v, i) + ")");
+      }
+      seen[id] = 1;
+      ++members;
+    }
+  }
+  if (members != count) {
+    return invalid_argument("hierarchy covers " + std::to_string(members) +
+                            " of " + std::to_string(count) + " " + domain +
+                            " nodes — every node must belong to exactly one "
+                            "rack");
+  }
+  return Status{};
+}
+
+}  // namespace
+
+HierarchySpec flat_hierarchy(std::size_t cpu_nodes, std::size_t gpu_nodes,
+                             Watts budget) {
+  HierarchySpec spec;
+  HierVertexSpec root;
+  root.parent = -1;
+  root.budget = budget;
+  root.level = "dc";
+  root.name = "flat";
+  root.cpu_nodes.resize(cpu_nodes);
+  for (std::size_t i = 0; i < cpu_nodes; ++i) {
+    root.cpu_nodes[i] = static_cast<std::uint32_t>(i);
+  }
+  root.gpu_nodes.resize(gpu_nodes);
+  for (std::size_t i = 0; i < gpu_nodes; ++i) {
+    root.gpu_nodes[i] = static_cast<std::uint32_t>(i);
+  }
+  spec.vertices.push_back(std::move(root));
+  // A single vertex has no siblings; the flag is inert but kept off so a
+  // flat spec compares cleanly against the builder default.
+  spec.redistribution = false;
+  return spec;
+}
+
+HierarchySpec uniform_hierarchy(std::size_t cpu_nodes, std::size_t gpu_nodes,
+                                Watts root_budget,
+                                const std::vector<std::size_t>& group_sizes,
+                                double oversubscription) {
+  if (cpu_nodes == 0 || group_sizes.empty()) {
+    return flat_hierarchy(cpu_nodes, gpu_nodes, root_budget);
+  }
+  // Vertex counts per level, bottom-up: level 0 = racks.
+  std::vector<std::size_t> level_count;
+  std::size_t racks =
+      (cpu_nodes + group_sizes[0] - 1) / std::max<std::size_t>(1, group_sizes[0]);
+  level_count.push_back(std::max<std::size_t>(1, racks));
+  for (std::size_t l = 1; l < group_sizes.size(); ++l) {
+    const std::size_t g = std::max<std::size_t>(1, group_sizes[l]);
+    const std::size_t above = (level_count.back() + g - 1) / g;
+    if (above >= level_count.back()) break;  // level would be a no-op
+    level_count.push_back(above);
+  }
+
+  const std::size_t n_levels = level_count.size();
+  const double total_nodes = static_cast<double>(cpu_nodes + gpu_nodes);
+
+  HierarchySpec spec;
+  spec.redistribution = true;
+  HierVertexSpec root;
+  root.parent = -1;
+  root.budget = root_budget;
+  root.level = "dc";
+  root.name = "dc";
+  spec.vertices.push_back(std::move(root));
+
+  // Emit levels top-down so parents precede children; remember the index
+  // of the first vertex of the previous (upper) level.
+  std::vector<std::size_t> upper_first = {0};
+  std::vector<std::size_t> upper_count = {1};
+  std::size_t first_rack = 0;
+  for (std::size_t l = n_levels; l-- > 0;) {
+    const bool is_rack_level = l == 0;
+    const std::size_t count = level_count[l];
+    const std::size_t first = spec.vertices.size();
+    if (is_rack_level) first_rack = first;
+    const std::size_t parents = upper_count.back();
+    const std::size_t per_parent = (count + parents - 1) / parents;
+    for (std::size_t i = 0; i < count; ++i) {
+      HierVertexSpec v;
+      v.parent = static_cast<std::int32_t>(upper_first.back() +
+                                           std::min(i / per_parent,
+                                                    parents - 1));
+      v.level = is_rack_level
+                    ? "rack"
+                    : "row" + (n_levels > 2
+                                   ? std::to_string(n_levels - 1 - l)
+                                   : std::string{});
+      v.name = v.level + std::to_string(i);
+      spec.vertices.push_back(std::move(v));
+    }
+    upper_first.push_back(first);
+    upper_count.push_back(count);
+  }
+
+  // Membership: CPU nodes block-wise, GPU nodes round-robin over racks.
+  const std::size_t n_racks = level_count[0];
+  for (std::size_t id = 0; id < cpu_nodes; ++id) {
+    const std::size_t r = std::min(id / group_sizes[0], n_racks - 1);
+    spec.vertices[first_rack + r].cpu_nodes.push_back(
+        static_cast<std::uint32_t>(id));
+  }
+  for (std::size_t id = 0; id < gpu_nodes; ++id) {
+    spec.vertices[first_rack + id % n_racks].gpu_nodes.push_back(
+        static_cast<std::uint32_t>(id));
+  }
+
+  // Budgets: oversubscribed node-share of the root, capped by the parent.
+  // Computed leaf-up so an inner vertex weighs the nodes below it.
+  std::vector<double> nodes_below(spec.vertices.size(), 0.0);
+  for (std::size_t i = spec.vertices.size(); i-- > 1;) {
+    const HierVertexSpec& v = spec.vertices[i];
+    nodes_below[i] +=
+        static_cast<double>(v.cpu_nodes.size() + v.gpu_nodes.size());
+    nodes_below[static_cast<std::size_t>(v.parent)] += nodes_below[i];
+  }
+  for (std::size_t i = 1; i < spec.vertices.size(); ++i) {
+    HierVertexSpec& v = spec.vertices[i];
+    const double share = nodes_below[i] / total_nodes;
+    const double parent_budget =
+        spec.vertices[static_cast<std::size_t>(v.parent)].budget.value();
+    v.budget = Watts{std::min(parent_budget,
+                              oversubscription * root_budget.value() * share)};
+  }
+  return spec;
+}
+
+Status validate_hierarchy(const HierarchySpec& spec, std::size_t cpu_nodes,
+                          std::size_t gpu_nodes) {
+  if (spec.vertices.empty()) {
+    return invalid_argument(
+        "hierarchy has no vertices — at least a root rack is required "
+        "(empty level)");
+  }
+  std::vector<std::uint32_t> children(spec.vertices.size(), 0);
+  for (std::size_t i = 0; i < spec.vertices.size(); ++i) {
+    const HierVertexSpec& v = spec.vertices[i];
+    if (i == 0) {
+      if (v.parent != -1) {
+        return invalid_argument("vertex #0 must be the root (parent == -1)");
+      }
+    } else {
+      if (v.parent < 0 || static_cast<std::size_t>(v.parent) >= i) {
+        return invalid_argument(
+            "vertex " + vertex_label(v, i) +
+            " must name an earlier vertex as parent (got " +
+            std::to_string(v.parent) + ")");
+      }
+      ++children[static_cast<std::size_t>(v.parent)];
+    }
+    if (!std::isfinite(v.budget.value()) || v.budget.value() <= 0.0) {
+      return invalid_argument("vertex " + vertex_label(v, i) +
+                              " budget must be positive and finite, got " +
+                              std::to_string(v.budget.value()) + " W");
+    }
+    if (i > 0) {
+      const HierVertexSpec& p =
+          spec.vertices[static_cast<std::size_t>(v.parent)];
+      if (v.budget.value() > p.budget.value()) {
+        return failed_precondition(
+            "child budget exceeds parent: vertex " + vertex_label(v, i) +
+            " (" + std::to_string(v.budget.value()) + " W) > " +
+            vertex_label(p, static_cast<std::size_t>(v.parent)) + " (" +
+            std::to_string(p.budget.value()) + " W)");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < spec.vertices.size(); ++i) {
+    const HierVertexSpec& v = spec.vertices[i];
+    const bool is_rack = !v.cpu_nodes.empty() || !v.gpu_nodes.empty();
+    if (is_rack && children[i] != 0) {
+      return invalid_argument("rack " + vertex_label(v, i) +
+                              " cannot also have child vertices");
+    }
+    if (!is_rack && children[i] == 0) {
+      return invalid_argument(
+          "empty level: vertex " + vertex_label(v, i) +
+          " aggregates nothing (no children, no member nodes)");
+    }
+  }
+  if (Status s = check_membership(spec, cpu_nodes, /*gpu=*/false); !s.ok()) {
+    return s;
+  }
+  return check_membership(spec, gpu_nodes, /*gpu=*/true);
+}
+
+Status validate_scenario(const ClusterScenario& scenario,
+                         const HierarchySpec& spec) {
+  for (const CapChangeEvent& e : scenario.cap_changes) {
+    if (!std::isfinite(e.at.value()) || e.at.value() < 0.0) {
+      return invalid_argument("cap change time must be finite and >= 0");
+    }
+    if (e.vertex >= spec.vertices.size()) {
+      return invalid_argument("cap change targets vertex " +
+                              std::to_string(e.vertex) +
+                              " but the hierarchy has " +
+                              std::to_string(spec.vertices.size()));
+    }
+    if (!std::isfinite(e.budget.value()) || e.budget.value() < 0.0) {
+      return invalid_argument("cap change budget must be finite and >= 0, got " +
+                              std::to_string(e.budget.value()) + " W");
+    }
+  }
+  for (const NodeFailureEvent& e : scenario.failures) {
+    if (!std::isfinite(e.at.value()) || e.at.value() < 0.0) {
+      return invalid_argument("node failure time must be finite and >= 0");
+    }
+    if (e.vertex >= spec.vertices.size()) {
+      return invalid_argument("node failure targets vertex " +
+                              std::to_string(e.vertex) +
+                              " but the hierarchy has " +
+                              std::to_string(spec.vertices.size()));
+    }
+    const HierVertexSpec& v = spec.vertices[e.vertex];
+    if (v.cpu_nodes.empty() && v.gpu_nodes.empty()) {
+      return invalid_argument("node failure targets vertex " +
+                              vertex_label(v, e.vertex) +
+                              ", which is not a rack");
+    }
+    if (e.cpu_lost > v.cpu_nodes.size() || e.gpu_lost > v.gpu_nodes.size()) {
+      return invalid_argument(
+          "node failure at rack " + vertex_label(v, e.vertex) + " removes " +
+          std::to_string(e.cpu_lost) + " CPU / " + std::to_string(e.gpu_lost) +
+          " GPU slots but the rack has " + std::to_string(v.cpu_nodes.size()) +
+          " / " + std::to_string(v.gpu_nodes.size()));
+    }
+  }
+  return Status{};
+}
+
+std::vector<Seconds> diurnal_arrivals(std::size_t n, Seconds span, Seconds day,
+                                      double peak_to_trough,
+                                      std::uint64_t seed) {
+  std::vector<Seconds> arrivals;
+  arrivals.reserve(n);
+  if (n == 0 || span.value() <= 0.0) return arrivals;
+  const double ratio = std::max(1.0, peak_to_trough);
+  const double a = (ratio - 1.0) / (ratio + 1.0);  // modulation depth
+  const double period = day.value() > 0.0 ? day.value() : span.value();
+  const double omega = 2.0 * std::numbers::pi / period;
+  // Cumulative rate Λ(t) = t − (a/ω)(cos ωt − 1); invert per arrival by
+  // bisection (Λ is strictly increasing).
+  const auto cumulative = [&](double t) {
+    return t - a / omega * (std::cos(omega * t) - 1.0);
+  };
+  const double total = cumulative(span.value());
+  Xoshiro256 rng(seed, /*stream=*/13);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Jittered stratified targets keep the load curve smooth while every
+    // arrival stays independent-ish and the set stays sorted.
+    const double target = total * (static_cast<double>(i) + rng.uniform()) /
+                          static_cast<double>(n);
+    double lo = 0.0;
+    double hi = span.value();
+    for (int it = 0; it < 48; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      (cumulative(mid) < target ? lo : hi) = mid;
+    }
+    arrivals.push_back(Seconds{0.5 * (lo + hi)});
+  }
+  return arrivals;
+}
+
+ClusterScenario make_emergency_scenario(Watts root_budget, Seconds drop_at,
+                                        double drop_fraction,
+                                        Seconds restore_after) {
+  ClusterScenario scenario;
+  scenario.cap_changes.push_back(
+      {drop_at, 0, Watts{root_budget.value() * drop_fraction}});
+  if (restore_after.value() > 0.0) {
+    scenario.cap_changes.push_back(
+        {Seconds{drop_at.value() + restore_after.value()}, 0, root_budget});
+  }
+  return scenario;
+}
+
+ClusterScenario make_failure_scenario(const HierarchySpec& spec,
+                                      std::size_t failures, Seconds span,
+                                      std::uint64_t seed) {
+  ClusterScenario scenario;
+  std::vector<std::uint32_t> racks;
+  for (std::size_t i = 0; i < spec.vertices.size(); ++i) {
+    const HierVertexSpec& v = spec.vertices[i];
+    if (!v.cpu_nodes.empty() || !v.gpu_nodes.empty()) {
+      racks.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  if (racks.empty()) return scenario;
+  Xoshiro256 rng(seed, /*stream=*/17);
+  for (std::size_t f = 0; f < failures; ++f) {
+    const std::uint32_t rack = racks[rng.below(racks.size())];
+    const HierVertexSpec& v = spec.vertices[rack];
+    NodeFailureEvent e;
+    e.at = Seconds{rng.uniform(0.0, span.value())};
+    e.vertex = rack;
+    e.cpu_lost = static_cast<std::uint32_t>((v.cpu_nodes.size() + 1) / 2);
+    e.gpu_lost = static_cast<std::uint32_t>(v.gpu_nodes.size() / 2);
+    scenario.failures.push_back(e);
+  }
+  std::stable_sort(scenario.failures.begin(), scenario.failures.end(),
+                   [](const NodeFailureEvent& x, const NodeFailureEvent& y) {
+                     return x.at.value() < y.at.value();
+                   });
+  return scenario;
+}
+
+}  // namespace pbc::core

@@ -1,0 +1,143 @@
+// Hierarchical budget-tree specification for the event-driven cluster
+// engine (ClusterPath::kEvent), plus the timed control events that turn a
+// run into a scenario: cap changes ("power emergencies") and node
+// failures. docs/cluster.md describes the semantics; cluster_event.cpp
+// executes them.
+//
+// The tree mirrors a datacenter: a root (the facility feed), optional
+// aggregation levels (rows), and rack leaves that own compute nodes.
+// Every vertex carries a power budget; a job's grant must fit below every
+// ancestor's free budget simultaneously. Racks list their member node
+// ids explicitly so validation can reject duplicate or missing
+// membership instead of asserting mid-run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace pbc::core {
+
+/// One vertex of the budget tree. Vertices are stored root-first and
+/// parents precede children. A vertex with member nodes is a rack
+/// (leaf); a vertex without members is an aggregation level and must
+/// have at least one child.
+struct HierVertexSpec {
+  std::int32_t parent = -1;  ///< index into vertices; -1 only for the root
+  Watts budget{0.0};         ///< this vertex's power cap
+  std::vector<std::uint32_t> cpu_nodes;  ///< member CPU node ids (racks only)
+  std::vector<std::uint32_t> gpu_nodes;  ///< member GPU node ids (racks only)
+  std::string level;  ///< level label for metrics ("dc", "row", "rack")
+  std::string name;   ///< display name ("rack17")
+};
+
+struct HierarchySpec {
+  std::vector<HierVertexSpec> vertices;
+  /// When true, a start attempt squeezed by an intermediate cap may pull
+  /// unused budget from sibling subtrees through their common ancestor
+  /// (Medhat-style inter-node power redistribution). The transfer is
+  /// persistent: donated watts stay with the recipient until donated
+  /// back. The root budget never changes — redistribution conserves the
+  /// facility feed.
+  bool redistribution = true;
+
+  [[nodiscard]] bool empty() const noexcept { return vertices.empty(); }
+};
+
+/// Single-vertex tree: one rack holding every node, budget = the global
+/// budget. The event engine runs this shape bit-identically to the flat
+/// reference path (docs/cluster.md).
+[[nodiscard]] HierarchySpec flat_hierarchy(std::size_t cpu_nodes,
+                                           std::size_t gpu_nodes,
+                                           Watts budget);
+
+/// Uniform tree built bottom-up from group sizes: group_sizes[0] CPU
+/// nodes per rack, group_sizes[1] racks per next level, and so on; a
+/// root is added on top. GPU nodes spread round-robin over racks. Each
+/// vertex's budget is min(parent budget, oversubscription × root ×
+/// node share), so sibling budgets intentionally sum past their parent —
+/// that slack is what redistribution moves around.
+[[nodiscard]] HierarchySpec uniform_hierarchy(
+    std::size_t cpu_nodes, std::size_t gpu_nodes, Watts root_budget,
+    const std::vector<std::size_t>& group_sizes,
+    double oversubscription = 1.15);
+
+/// Structural validation, run by simulate_cluster_checked before the
+/// event engine touches the tree. kInvalidArgument: no vertices, a
+/// non-root vertex whose parent is not an earlier vertex, an aggregation
+/// vertex with no children ("empty level"), a rack with children, a
+/// non-finite or non-positive budget, and duplicate / missing / unknown
+/// node membership (cpu ids must cover 0..cpu_nodes-1 exactly once; gpu
+/// ids likewise). kFailedPrecondition: a child budget exceeding its
+/// parent's — structurally valid, but the tree could never honor it.
+[[nodiscard]] Status validate_hierarchy(const HierarchySpec& spec,
+                                        std::size_t cpu_nodes,
+                                        std::size_t gpu_nodes);
+
+/// Re-caps a vertex at `at` sim-seconds. Dropping a budget below the
+/// power held under that vertex is the "power emergency": the engine
+/// sheds newest-started jobs until the subtree fits, then re-grants from
+/// the queue within a bounded number of events (docs/cluster.md).
+struct CapChangeEvent {
+  Seconds at{0.0};
+  std::uint32_t vertex = 0;  ///< index into HierarchySpec::vertices
+  Watts budget{0.0};
+};
+
+/// Removes slots from a rack at `at` sim-seconds. Jobs running on the
+/// lost nodes (newest started first) are preempted and re-queued at
+/// their original queue position with their remaining work.
+struct NodeFailureEvent {
+  Seconds at{0.0};
+  std::uint32_t vertex = 0;   ///< must be a rack
+  std::uint32_t cpu_lost = 0;
+  std::uint32_t gpu_lost = 0;
+};
+
+struct ClusterScenario {
+  std::vector<CapChangeEvent> cap_changes;
+  std::vector<NodeFailureEvent> failures;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return cap_changes.empty() && failures.empty();
+  }
+};
+
+/// Scenario validation against the tree it will run over: event times
+/// must be finite and non-negative, cap-change vertices must exist with
+/// finite non-negative budgets, failure vertices must be racks, and a
+/// failure cannot remove more slots than the rack has.
+[[nodiscard]] Status validate_scenario(const ClusterScenario& scenario,
+                                       const HierarchySpec& spec);
+
+/// Diurnal arrival times: `n` arrivals over `span` whose instantaneous
+/// rate follows 1 + a·sin(2πt/day) with a = (peak−1)/(peak+1) scaled so
+/// peak/trough rate ratio equals `peak_to_trough` — generated by
+/// inverse-transform sampling of the cumulative rate, then jittered
+/// uniformly within each slot. Deterministic in `seed`.
+[[nodiscard]] std::vector<Seconds> diurnal_arrivals(std::size_t n,
+                                                    Seconds span,
+                                                    Seconds day,
+                                                    double peak_to_trough,
+                                                    std::uint64_t seed);
+
+/// A sudden facility-feed drop at `drop_at` to `drop_fraction` of
+/// `root_budget`, restored `restore_after` seconds later (restore_after
+/// <= 0 means the drop is permanent).
+[[nodiscard]] ClusterScenario make_emergency_scenario(Watts root_budget,
+                                                      Seconds drop_at,
+                                                      double drop_fraction,
+                                                      Seconds restore_after);
+
+/// `failures` rack failures spread uniformly over [0, span): each failed
+/// rack loses half its CPU slots (rounded up) and half its GPU slots.
+/// Deterministic in `seed`.
+[[nodiscard]] ClusterScenario make_failure_scenario(const HierarchySpec& spec,
+                                                    std::size_t failures,
+                                                    Seconds span,
+                                                    std::uint64_t seed);
+
+}  // namespace pbc::core

@@ -1,0 +1,83 @@
+#include "core/cluster_profile.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "workload/serialize.hpp"
+
+namespace pbc::core::detail {
+
+ClusterProfiles build_cluster_profiles(const hw::CpuMachine& node_type,
+                                       const hw::GpuMachine* gpu_type,
+                                       const std::vector<SimJob>& jobs,
+                                       const ClusterSimConfig& config,
+                                       const ClusterNodeProvider* provider) {
+  ClusterProfiles out;
+  out.meta.resize(jobs.size());
+  std::unordered_map<std::string, std::size_t> seen[2];
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const bool gpu = jobs[i].wl.domain == workload::Domain::kGpu;
+    out.meta[i].gpu = gpu;
+    if (gpu && gpu_type == nullptr) continue;  // never starts; no slot
+    auto [it, inserted] = seen[gpu ? 1 : 0].try_emplace(
+        workload::to_text(jobs[i].wl), out.slots.size());
+    if (inserted) {
+      ClusterDistinctSlot slot;
+      slot.gpu = gpu;
+      slot.first_job = i;
+      out.slots.push_back(std::move(slot));
+    }
+    out.meta[i].slot = it->second;
+  }
+
+  const auto build = [&](std::size_t s) {
+    ClusterDistinctSlot& slot = out.slots[s];
+    const workload::Workload& wl = jobs[slot.first_job].wl;
+    if (slot.gpu) {
+      slot.gpu_node = provider != nullptr && provider->gpu
+                          ? provider->gpu(*gpu_type, wl)
+                          : sim::make_prepared_gpu_node(*gpu_type, wl);
+      slot.gpu_profile = profile_gpu_params(*slot.gpu_node);
+    } else {
+      slot.cpu_node = provider != nullptr && provider->cpu
+                          ? provider->cpu(node_type, wl)
+                          : sim::make_prepared_cpu_node(node_type, wl);
+      slot.cpu_profile = profile_critical_powers(*slot.cpu_node);
+    }
+  };
+  ThreadPool& pool = config.pool != nullptr ? *config.pool : global_pool();
+  // Serial fallback when already on a pool worker (an svc engine solving
+  // a cluster query from its own pool): a nested parallel_for_index
+  // against the same pool would deadlock.
+  if (out.slots.size() < 2 || pool.is_worker_thread()) {
+    for (std::size_t s = 0; s < out.slots.size(); ++s) build(s);
+  } else {
+    pool.parallel_for_index(out.slots.size(), build);
+  }
+
+  // Start thresholds: free_power >= threshold ⟺ the grant check in
+  // try_start_job passes (grant = min(demand, free)), so the queue index
+  // can skip jobs that would deterministically be refused.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ClusterJobMeta& m = out.meta[i];
+    if (m.slot == kClusterNoSlot) continue;  // threshold stays +inf
+    if (m.gpu) {
+      const auto& p = out.slots[m.slot].gpu_profile;
+      const double demand =
+          std::min(p.tot_max.value(), gpu_type->gpu.board_max_cap.value());
+      const double floor = gpu_type->gpu.board_min_cap.value();
+      m.threshold = demand >= floor ? floor : kClusterInf;
+    } else {
+      const auto& p = out.slots[m.slot].cpu_profile;
+      const double demand = p.max_demand().value();
+      const double floor = config.admission_control
+                               ? p.productive_threshold().value()
+                               : config.min_grant.value();
+      m.threshold = demand >= floor ? floor : kClusterInf;
+    }
+  }
+  return out;
+}
+
+}  // namespace pbc::core::detail

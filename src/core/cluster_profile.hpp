@@ -1,0 +1,60 @@
+// Shared pre-profiling for the prepared-node cluster engines (kFast and
+// kEvent): deduplicate workloads, build one prepared simulator node and
+// one critical-power profile per distinct (domain, workload) pair —
+// fanned out over a ThreadPool — and derive each job's start threshold
+// for the admission index. Extracted from the fast path's profiling
+// stage so the event engine shares it verbatim; identical inputs
+// produce bit-identical profiles (pinned solves only), which is half of
+// the flat-mode bit-identity contract (docs/cluster.md).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/cluster_sim.hpp"
+#include "core/critical.hpp"
+
+namespace pbc::core::detail {
+
+inline constexpr double kClusterInf = std::numeric_limits<double>::infinity();
+inline constexpr std::size_t kClusterNoSlot =
+    std::numeric_limits<std::size_t>::max();
+
+struct ClusterJobMeta {
+  bool gpu = false;
+  std::size_t slot = kClusterNoSlot;  ///< distinct-workload slot
+  /// Minimum free power at which the pre-solve start checks pass; +inf
+  /// when they never can (GPU job without GPU nodes, demand below the
+  /// admission floor).
+  double threshold = kClusterInf;
+};
+
+/// One distinct (domain, workload) pair: its prepared node and profile,
+/// built once per run and shared by every job carrying that workload.
+struct ClusterDistinctSlot {
+  bool gpu = false;
+  std::size_t first_job = 0;
+  sim::PreparedCpuNode cpu_node;
+  sim::PreparedGpuNode gpu_node;
+  CpuCriticalPowers cpu_profile;
+  GpuProfileParams gpu_profile;
+};
+
+struct ClusterProfiles {
+  std::vector<ClusterJobMeta> meta;    ///< one entry per job, job order
+  std::vector<ClusterDistinctSlot> slots;
+};
+
+/// Deduplicates workloads by their exact text form (to_text round-trips
+/// every double, so equal text ⟺ equal workload), then builds one
+/// prepared node and one profile per distinct pair across config.pool
+/// (global_pool() when null; serial when already on a pool worker).
+/// `jobs` must already be in the engine's run order (stable-sorted by
+/// arrival) so slot numbering matches between engines.
+[[nodiscard]] ClusterProfiles build_cluster_profiles(
+    const hw::CpuMachine& node_type, const hw::GpuMachine* gpu_type,
+    const std::vector<SimJob>& jobs, const ClusterSimConfig& config,
+    const ClusterNodeProvider* provider);
+
+}  // namespace pbc::core::detail

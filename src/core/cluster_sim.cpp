@@ -1,7 +1,6 @@
 #include "core/cluster_sim.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <deque>
 #include <limits>
@@ -9,11 +8,14 @@
 #include <optional>
 #include <queue>
 #include <set>
-#include <unordered_map>
 #include <utility>
 
 #include "core/baselines.hpp"
+#include "core/cluster_event.hpp"
+#include "core/cluster_hier.hpp"
+#include "core/cluster_profile.hpp"
 #include "core/critical.hpp"
+#include "core/grant_ledger.hpp"
 #include "obs/metrics.hpp"
 #include "workload/serialize.hpp"
 
@@ -22,7 +24,7 @@ namespace pbc::core {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+constexpr std::size_t kNoSlot = detail::kClusterNoSlot;
 
 /// Scheduler admission counters, shared by both engine paths so the
 /// bit-identity contract between them also covers the metrics. Resolved
@@ -63,56 +65,9 @@ struct FinishOrder {
   }
 };
 
-/// Tracks the free share of the global budget as budget − Σ(held grants)
-/// instead of a running add/subtract balance. The old accumulator drifted:
-/// every start/finish pair contributed one rounding error, and over tens of
-/// thousands of jobs the "free" figure wandered away from what the held
-/// grants actually implied (occasionally below zero, admitting or refusing
-/// jobs the exact balance would not). Recomputing from the held slots on
-/// every release bounds the error by one summation regardless of trace
-/// length. Slots are summed in index order so both engine paths — which
-/// perform identical hold/release sequences — see bit-identical balances.
-class GrantLedger {
- public:
-  explicit GrantLedger(double budget) : budget_(budget), free_(budget) {}
-
-  [[nodiscard]] double free_power() const noexcept { return free_; }
-
-  /// Records a grant and returns the slot to release it with. The caller
-  /// guarantees watts <= free_power(), so the subtraction cannot go
-  /// negative.
-  [[nodiscard]] std::size_t hold(double watts) {
-    std::size_t slot;
-    if (!spare_slots_.empty()) {
-      slot = spare_slots_.back();
-      spare_slots_.pop_back();
-      held_[slot] = watts;
-    } else {
-      slot = held_.size();
-      held_.push_back(watts);
-    }
-    free_ -= watts;
-    return slot;
-  }
-
-  void release(std::size_t slot) {
-    held_[slot] = 0.0;
-    spare_slots_.push_back(slot);
-    double in_use = 0.0;
-    for (const double h : held_) in_use += h;
-    free_ = budget_ - in_use;
-    // One summation's worth of rounding at most; anything larger is a
-    // bookkeeping bug, not float drift.
-    assert(free_ >= -1e-7 * std::max(1.0, budget_));
-    if (free_ < 0.0) free_ = 0.0;
-  }
-
- private:
-  double budget_;
-  double free_;
-  std::vector<double> held_;           ///< active grants, 0 when released
-  std::vector<std::size_t> spare_slots_;
-};
+// GrantLedger lives in core/grant_ledger.hpp since PR 8 (shared with the
+// event-driven engine, and with an incremental O(active grants) release
+// that is bit-identical to the original full rescan).
 
 /// One discrete-event run. Both paths share the event loop, the grant
 /// ledger, and try_start_job's decision sequence; they differ only in how
@@ -152,25 +107,8 @@ class ClusterEngine {
   }
 
  private:
-  struct JobMeta {
-    bool gpu = false;
-    std::size_t slot = kNoSlot;  ///< distinct-workload slot (fast path)
-    /// Minimum free power at which the pre-solve start checks pass; +inf
-    /// when they never can (GPU job without GPU nodes, demand below the
-    /// admission floor).
-    double threshold = kInf;
-  };
-
-  /// One distinct (domain, workload) pair: its prepared node and profile,
-  /// built once per run and shared by every job carrying that workload.
-  struct DistinctSlot {
-    bool gpu = false;
-    std::size_t first_job = 0;
-    sim::PreparedCpuNode cpu_node;
-    sim::PreparedGpuNode gpu_node;
-    CpuCriticalPowers cpu_profile;
-    GpuProfileParams gpu_profile;
-  };
+  using JobMeta = detail::ClusterJobMeta;
+  using DistinctSlot = detail::ClusterDistinctSlot;
 
   // --- profiling -----------------------------------------------------
 
@@ -195,77 +133,14 @@ class ClusterEngine {
     }
   }
 
-  /// Deduplicates workloads by their exact text form (to_text round-trips
-  /// every double, so equal text ⟺ equal workload), then builds one
-  /// prepared node and one profile per distinct pair, fanned out across
-  /// the pool. Profiles use pinned solves only, so a shared prepared node
-  /// yields bit-identical profiles to the reference path's fresh nodes.
+  /// Deduplicates, prepares, and profiles via the shared helper (also
+  /// used verbatim by the event engine — half of the flat-mode
+  /// bit-identity contract). See cluster_profile.hpp.
   void profile_fast() {
-    meta_.resize(jobs_.size());
-    std::unordered_map<std::string, std::size_t> seen[2];
-    for (std::size_t i = 0; i < jobs_.size(); ++i) {
-      const bool gpu = jobs_[i].wl.domain == workload::Domain::kGpu;
-      meta_[i].gpu = gpu;
-      if (gpu && gpu_type_ == nullptr) continue;  // never starts; no slot
-      auto [it, inserted] =
-          seen[gpu ? 1 : 0].try_emplace(workload::to_text(jobs_[i].wl),
-                                        slots_.size());
-      if (inserted) {
-        DistinctSlot slot;
-        slot.gpu = gpu;
-        slot.first_job = i;
-        slots_.push_back(std::move(slot));
-      }
-      meta_[i].slot = it->second;
-    }
-
-    const auto build = [this](std::size_t s) {
-      DistinctSlot& slot = slots_[s];
-      const workload::Workload& wl = jobs_[slot.first_job].wl;
-      if (slot.gpu) {
-        slot.gpu_node = provider_ != nullptr && provider_->gpu
-                            ? provider_->gpu(*gpu_type_, wl)
-                            : sim::make_prepared_gpu_node(*gpu_type_, wl);
-        slot.gpu_profile = profile_gpu_params(*slot.gpu_node);
-      } else {
-        slot.cpu_node = provider_ != nullptr && provider_->cpu
-                            ? provider_->cpu(node_type_, wl)
-                            : sim::make_prepared_cpu_node(node_type_, wl);
-        slot.cpu_profile = profile_critical_powers(*slot.cpu_node);
-      }
-    };
-    ThreadPool& pool =
-        config_.pool != nullptr ? *config_.pool : global_pool();
-    // Serial fallback when already on a pool worker (an svc engine solving
-    // a cluster query from its own pool): a nested parallel_for_index
-    // against the same pool would deadlock.
-    if (slots_.size() < 2 || pool.is_worker_thread()) {
-      for (std::size_t s = 0; s < slots_.size(); ++s) build(s);
-    } else {
-      pool.parallel_for_index(slots_.size(), build);
-    }
-
-    // Start thresholds: free_power >= threshold ⟺ the grant check in
-    // try_start_job passes (grant = min(demand, free)), so the queue index
-    // can skip jobs that would deterministically be refused.
-    for (std::size_t i = 0; i < jobs_.size(); ++i) {
-      JobMeta& m = meta_[i];
-      if (m.slot == kNoSlot) continue;  // threshold stays +inf
-      if (m.gpu) {
-        const auto& p = slots_[m.slot].gpu_profile;
-        const double demand = std::min(p.tot_max.value(),
-                                       gpu_type_->gpu.board_max_cap.value());
-        const double floor = gpu_type_->gpu.board_min_cap.value();
-        m.threshold = demand >= floor ? floor : kInf;
-      } else {
-        const auto& p = slots_[m.slot].cpu_profile;
-        const double demand = p.max_demand().value();
-        const double floor = config_.admission_control
-                                 ? p.productive_threshold().value()
-                                 : config_.min_grant.value();
-        m.threshold = demand >= floor ? floor : kInf;
-      }
-    }
+    detail::ClusterProfiles p = detail::build_cluster_profiles(
+        node_type_, gpu_type_, jobs_, config_, provider_);
+    meta_ = std::move(p.meta);
+    slots_ = std::move(p.slots);
   }
 
   [[nodiscard]] const CpuCriticalPowers& cpu_profile(std::size_t j) const {
@@ -619,6 +494,32 @@ class ClusterEngine {
                               "' submitted but config.gpu_nodes == 0");
     }
   }
+  if (config.path != ClusterPath::kEvent) {
+    if (config.hierarchy != nullptr || config.scenario != nullptr) {
+      return invalid_argument(
+          "config.hierarchy/config.scenario require ClusterPath::kEvent — "
+          "the flat paths ignore them, which would silently change the run");
+    }
+    return Status{};
+  }
+  const std::size_t gpus = gpu_type != nullptr ? config.gpu_nodes : 0;
+  if (config.hierarchy != nullptr) {
+    if (Status s = validate_hierarchy(*config.hierarchy, config.nodes, gpus);
+        !s.ok()) {
+      return s;
+    }
+  }
+  if (config.scenario != nullptr) {
+    const HierarchySpec flat =
+        config.hierarchy == nullptr
+            ? flat_hierarchy(config.nodes, gpus, config.global_budget)
+            : HierarchySpec{};
+    const HierarchySpec& spec =
+        config.hierarchy != nullptr ? *config.hierarchy : flat;
+    if (Status s = validate_scenario(*config.scenario, spec); !s.ok()) {
+      return s;
+    }
+  }
   return Status{};
 }
 
@@ -628,6 +529,10 @@ ClusterRun simulate_cluster(const hw::CpuMachine& node_type,
                             std::vector<SimJob> jobs,
                             const ClusterSimConfig& config,
                             const ClusterNodeProvider* provider) {
+  if (config.path == ClusterPath::kEvent) {
+    return detail::simulate_cluster_events(node_type, nullptr,
+                                           std::move(jobs), config, provider);
+  }
   return ClusterEngine(node_type, nullptr, std::move(jobs), config, provider)
       .run();
 }
@@ -637,6 +542,10 @@ ClusterRun simulate_cluster(const hw::CpuMachine& node_type,
                             std::vector<SimJob> jobs,
                             const ClusterSimConfig& config,
                             const ClusterNodeProvider* provider) {
+  if (config.path == ClusterPath::kEvent) {
+    return detail::simulate_cluster_events(node_type, &gpu_type,
+                                           std::move(jobs), config, provider);
+  }
   return ClusterEngine(node_type, &gpu_type, std::move(jobs), config, provider)
       .run();
 }

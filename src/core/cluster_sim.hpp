@@ -10,7 +10,7 @@
 // (COORD vs a naive fixed ratio) and whether unproductive grants are
 // refused (admission control).
 //
-// Two engine paths produce bit-identical runs (docs/cluster.md):
+// Three engine paths (docs/cluster.md):
 //  * the fast path (default) builds one prepared simulator per distinct
 //    (machine, workload) pair — reused across every job-start attempt —
 //    pre-profiles distinct workloads in parallel over a ThreadPool, and
@@ -19,12 +19,20 @@
 //  * the reference path (ClusterPath::kReference) retains the original
 //    serial implementation — per-job profiling, a fresh node constructed
 //    on every attempt, a linear queue scan — and is the baseline the
-//    bench/cluster_throughput speedup gate measures against.
-// Both paths share one event loop, one grant ledger, and one job-start
-// decision procedure; tests/core/cluster_engine_test.cpp holds them to
-// the bit-identical contract over randomized traces.
+//    bench/cluster_throughput speedup gate measures against;
+//  * the event path (ClusterPath::kEvent, cluster_event.cpp) runs the
+//    same decision procedure over a hierarchical budget tree
+//    (cluster_hier.hpp) with per-event cost independent of cluster size,
+//    plus inter-rack power redistribution, cap-change emergencies, and
+//    node failures. With a flat (single-vertex) hierarchy and no
+//    scenario it is bit-identical to the other two.
+// All paths share one grant ledger type, one job-start decision
+// procedure, and one set of admission counters;
+// tests/core/cluster_engine_test.cpp and cluster_event_test.cpp hold
+// them to the bit-identical contract over randomized traces.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -62,7 +70,11 @@ enum class QueuePolicy {
 enum class ClusterPath {
   kFast,       ///< prepared-node reuse + parallel profiling + admission index
   kReference,  ///< the retained serial implementation (bench baseline)
+  kEvent,      ///< hierarchical event-driven engine (cluster_event.cpp)
 };
+
+struct HierarchySpec;   // cluster_hier.hpp
+struct ClusterScenario; // cluster_hier.hpp
 
 struct ClusterSimConfig {
   std::size_t nodes = 4;
@@ -93,6 +105,14 @@ struct ClusterSimConfig {
   /// Pool for the fast path's parallel pre-profiling (null = global_pool()).
   /// The reference path is serial by construction and ignores it.
   ThreadPool* pool = nullptr;
+  /// Budget tree for the event path (null = flat_hierarchy over nodes /
+  /// gpu_nodes / global_budget, which matches the flat paths
+  /// bit-identically). Ignored — and rejected by the checked entry
+  /// points — on the flat paths. Must outlive the simulate call.
+  const HierarchySpec* hierarchy = nullptr;
+  /// Timed cap changes and node failures for the event path (null =
+  /// none). Same lifetime and path rules as `hierarchy`.
+  const ClusterScenario* scenario = nullptr;
 };
 
 /// Per-job outcome.
@@ -113,6 +133,22 @@ struct JobOutcome {
   }
 };
 
+/// Event-path accounting, zero on the flat paths. Mirrors the
+/// pbc_cluster_* metrics published to the global obs registry, exposed
+/// here per-run so tests can assert scenario semantics directly.
+struct ClusterEventStats {
+  std::uint64_t events = 0;            ///< events processed (all kinds)
+  std::uint64_t subtree_resolves = 0;  ///< dirty-subtree aggregate refreshes
+  std::uint64_t donations = 0;         ///< inter-rack budget transfers
+  std::uint64_t jobs_preempted = 0;    ///< sheds (emergency + node failure)
+  std::uint64_t emergency_sheds = 0;   ///< preemptions caused by cap drops
+  std::uint64_t emergency_regrants = 0;  ///< starts in post-shed re-grant passes
+  double watts_redistributed = 0.0;    ///< Σ donated watts (absolute)
+  /// Every control event left each vertex's held power within its cap
+  /// (up to FP tolerance) once its shed/re-grant pass settled.
+  bool caps_respected = true;
+};
+
 struct ClusterRun {
   std::vector<JobOutcome> jobs;  ///< completed jobs, in finish order
   Seconds makespan{0.0};
@@ -121,6 +157,8 @@ struct ClusterRun {
   Joules total_energy{0.0};
   /// Aggregate work completed per joule.
   double work_per_joule = 0.0;
+  /// Event-path accounting (all zero on kFast/kReference).
+  ClusterEventStats event_stats;
 };
 
 /// Supplies prepared simulator nodes to the fast path. The svc query

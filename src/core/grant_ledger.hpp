@@ -1,0 +1,130 @@
+// Power-grant ledger: tracks the free share of a budget as
+// budget − Σ(held grants) instead of a running add/subtract balance.
+//
+// A running accumulator drifts: every start/finish pair contributes one
+// rounding error, and over tens of thousands of jobs the "free" figure
+// wanders away from what the held grants actually imply (occasionally
+// below zero, admitting or refusing jobs the exact balance would not).
+// Recomputing from the held slots on every release bounds the error by
+// one summation regardless of trace length.
+//
+// PR 3 introduced the ledger with a full rescan of every slot ever
+// allocated on each release — O(peak concurrent grants) even when most
+// slots are idle. This version walks only the *active* slots, in slot
+// index order, which is bit-identical to the full rescan: released slots
+// hold exactly 0.0, partial sums of non-negative grants are never -0.0,
+// and IEEE-754 guarantees x + (+0.0) == x for every such partial sum, so
+// skipping the zeros cannot change a single bit of the result. The old
+// rescan is retained as release_full_rescan() for the equivalence test
+// and the cluster_throughput ledger micro-bench.
+//
+// Shared by the flat cluster engines (one ledger for the global budget)
+// and the event-driven hierarchical engine (one ledger per rack, whose
+// budget moves under redistribution and power emergencies — see
+// set_budget and docs/cluster.md).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <set>
+#include <vector>
+
+namespace pbc::core {
+
+class GrantLedger {
+ public:
+  explicit GrantLedger(double budget) : budget_(budget), free_(budget) {}
+
+  [[nodiscard]] double budget() const noexcept { return budget_; }
+  [[nodiscard]] double free_power() const noexcept { return free_; }
+  [[nodiscard]] std::size_t active_grants() const noexcept {
+    return active_.size();
+  }
+
+  /// Exact sum of the held grants, in slot index order (the same order
+  /// release() recomputes with).
+  [[nodiscard]] double held_power() const {
+    double in_use = 0.0;
+    for (const std::size_t s : active_) in_use += held_[s];
+    return in_use;
+  }
+
+  /// Records a grant and returns the slot to release it with. The caller
+  /// guarantees watts <= free_power(), so the subtraction cannot go
+  /// negative.
+  [[nodiscard]] std::size_t hold(double watts) {
+    std::size_t slot;
+    if (!spare_slots_.empty()) {
+      slot = spare_slots_.back();
+      spare_slots_.pop_back();
+      held_[slot] = watts;
+    } else {
+      slot = held_.size();
+      held_.push_back(watts);
+    }
+    active_.insert(slot);
+    free_ -= watts;
+    return slot;
+  }
+
+  /// Incremental release: zero the slot, then recompute free power over
+  /// the remaining active grants only — O(active grants). Returns the
+  /// recomputed held power so hierarchical callers can refresh their
+  /// per-vertex aggregates without a second pass.
+  double release(std::size_t slot) {
+    retire(slot);
+    const double in_use = held_power();
+    settle(in_use);
+    return in_use;
+  }
+
+  /// The pre-PR-8 release: rescans every slot ever allocated, including
+  /// the released ones holding 0.0. Bit-identical to release() (see the
+  /// header comment); kept for the equivalence test and the ledger
+  /// micro-bench in bench/cluster_throughput.
+  double release_full_rescan(std::size_t slot) {
+    retire(slot);
+    double in_use = 0.0;
+    for (const double h : held_) in_use += h;
+    settle(in_use);
+    return in_use;
+  }
+
+  /// Re-caps the ledger (hierarchical redistribution moves budget between
+  /// racks; a power emergency drops it). Free power is recomputed from
+  /// the active grants and clamps at zero — a new budget below the held
+  /// power is legal and simply admits nothing until the engine sheds
+  /// (the held grants stay valid; held_power() still reports them).
+  void set_budget(double budget) {
+    budget_ = budget;
+    free_ = budget_ - held_power();
+    if (free_ < 0.0) free_ = 0.0;
+  }
+
+ private:
+  void retire(std::size_t slot) {
+    held_[slot] = 0.0;
+    active_.erase(slot);
+    spare_slots_.push_back(slot);
+  }
+
+  void settle(double in_use) {
+    free_ = budget_ - in_use;
+    // One summation's worth of rounding at most; anything larger is a
+    // bookkeeping bug, not float drift. (An emergency re-cap below the
+    // held power goes through set_budget, which clamps without the
+    // assert — by the time grants release, the engine has shed back
+    // under the cap.)
+    assert(free_ >= -1e-7 * std::max(1.0, budget_));
+    if (free_ < 0.0) free_ = 0.0;
+  }
+
+  double budget_;
+  double free_;
+  std::vector<double> held_;            ///< active grants, 0 when released
+  std::vector<std::size_t> spare_slots_;
+  std::set<std::size_t> active_;        ///< live slots, ascending
+};
+
+}  // namespace pbc::core

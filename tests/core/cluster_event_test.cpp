@@ -1,0 +1,583 @@
+// The event-driven hierarchical engine's contract: bit-identical runs to
+// the flat reference path over 512 randomized traces when the tree is
+// flat, hierarchy/scenario validation through the checked entry points,
+// inter-rack power redistribution, bounded shed/re-grant power
+// emergencies, node-failure preemption, seeded determinism across pool
+// sizes, and the grant ledger's incremental-release equivalence.
+#include "core/cluster_event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cluster_hier.hpp"
+#include "core/cluster_sim.hpp"
+#include "core/grant_ledger.hpp"
+#include "hw/platforms.hpp"
+#include "util/rng.hpp"
+#include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
+
+namespace pbc::core {
+namespace {
+
+/// Exact (bitwise) equality of two runs — the event/flat contract.
+/// event_stats is intentionally not compared: the flat paths report
+/// zeros there by construction.
+void expect_identical(const ClusterRun& a, const ClusterRun& b,
+                      const std::string& context) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size()) << context;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const JobOutcome& x = a.jobs[i];
+    const JobOutcome& y = b.jobs[i];
+    EXPECT_EQ(x.name, y.name) << context << " job " << i;
+    EXPECT_EQ(x.arrival.value(), y.arrival.value()) << context << " " << x.name;
+    EXPECT_EQ(x.start.value(), y.start.value()) << context << " " << x.name;
+    EXPECT_EQ(x.finish.value(), y.finish.value()) << context << " " << x.name;
+    EXPECT_EQ(x.budget.value(), y.budget.value()) << context << " " << x.name;
+    EXPECT_EQ(x.perf, y.perf) << context << " " << x.name;
+    EXPECT_EQ(x.energy.value(), y.energy.value()) << context << " " << x.name;
+  }
+  EXPECT_EQ(a.makespan.value(), b.makespan.value()) << context;
+  EXPECT_EQ(a.mean_wait.value(), b.mean_wait.value()) << context;
+  EXPECT_EQ(a.mean_response.value(), b.mean_response.value()) << context;
+  EXPECT_EQ(a.total_energy.value(), b.total_energy.value()) << context;
+  EXPECT_EQ(a.work_per_joule, b.work_per_joule) << context;
+}
+
+void expect_same_event_stats(const ClusterEventStats& a,
+                             const ClusterEventStats& b,
+                             const std::string& context) {
+  EXPECT_EQ(a.events, b.events) << context;
+  EXPECT_EQ(a.subtree_resolves, b.subtree_resolves) << context;
+  EXPECT_EQ(a.donations, b.donations) << context;
+  EXPECT_EQ(a.jobs_preempted, b.jobs_preempted) << context;
+  EXPECT_EQ(a.emergency_sheds, b.emergency_sheds) << context;
+  EXPECT_EQ(a.emergency_regrants, b.emergency_regrants) << context;
+  EXPECT_EQ(a.watts_redistributed, b.watts_redistributed) << context;
+  EXPECT_EQ(a.caps_respected, b.caps_respected) << context;
+}
+
+std::vector<SimJob> random_trace(Xoshiro256& rng, bool with_gpu) {
+  static const std::vector<workload::Workload> cpu_wls = workload::cpu_suite();
+  static const std::vector<workload::Workload> gpu_wls = workload::gpu_suite();
+  const std::size_t n = 3 + rng.below(16);
+  std::vector<SimJob> jobs;
+  jobs.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    SimJob job;
+    const bool gpu = with_gpu && rng.uniform() < 0.4;
+    if (gpu) {
+      job.wl = gpu_wls[rng.below(gpu_wls.size())];
+      job.work_gunits = rng.uniform(100.0, 50000.0);
+    } else {
+      job.wl = cpu_wls[rng.below(cpu_wls.size())];
+      job.work_gunits = rng.uniform(1.0, 3000.0);
+    }
+    job.name = (gpu ? "g" : "c") + std::to_string(j);
+    job.arrival = Seconds{rng.uniform(0.0, 50.0)};
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+ClusterSimConfig random_config(Xoshiro256& rng, bool with_gpu,
+                               QueuePolicy queue_policy, bool admission) {
+  ClusterSimConfig config;
+  config.nodes = 1 + rng.below(5);
+  config.gpu_nodes = with_gpu ? 1 + rng.below(3) : 0;
+  config.global_budget = Watts{rng.uniform(150.0, 1200.0)};
+  config.queue_policy = queue_policy;
+  config.admission_control = admission;
+  config.policy =
+      rng.uniform() < 0.5 ? SplitPolicy::kCoord : SplitPolicy::kEvenSplit;
+  return config;
+}
+
+/// A three-rack tree with one deliberately power-starved rack: rack0's
+/// cap sits below a DGEMM job's productive threshold, so a job placed
+/// there can only start by pulling budget from its siblings.
+HierarchySpec starved_rack_spec(bool redistribution) {
+  HierarchySpec spec;
+  spec.redistribution = redistribution;
+  HierVertexSpec root;
+  root.parent = -1;
+  root.budget = Watts{700.0};
+  root.level = "dc";
+  root.name = "dc";
+  spec.vertices.push_back(root);
+  for (int r = 0; r < 2; ++r) {
+    HierVertexSpec rack;
+    rack.parent = 0;
+    rack.budget = r == 0 ? Watts{120.0} : Watts{560.0};
+    rack.level = "rack";
+    rack.name = "rack" + std::to_string(r);
+    rack.cpu_nodes = r == 0 ? std::vector<std::uint32_t>{0, 1}
+                            : std::vector<std::uint32_t>{2, 3};
+    spec.vertices.push_back(std::move(rack));
+  }
+  return spec;
+}
+
+// 2 domain mixes × 2 queue policies × 2 admission settings × 64 seeds =
+// 512 randomized traces: the event path over a flat tree must replay the
+// reference path bit-for-bit. Even seeds exercise the implicit flat tree
+// (hierarchy == nullptr); odd seeds pass an explicit flat_hierarchy.
+TEST(ClusterEventDiff, EventMatchesReferenceOnRandomTraces) {
+  const hw::CpuMachine cpu_machine = hw::ivybridge_node();
+  const hw::GpuMachine gpu_machine = hw::titan_xp();
+  int traces = 0;
+  for (const bool with_gpu : {false, true}) {
+    for (const QueuePolicy qp : {QueuePolicy::kFifo, QueuePolicy::kBackfill}) {
+      for (const bool admission : {true, false}) {
+        for (std::uint64_t seed = 0; seed < 64; ++seed) {
+          Xoshiro256 rng(seed, /*stream=*/with_gpu ? 11 : 3);
+          const auto jobs = random_trace(rng, with_gpu);
+          auto config = random_config(rng, with_gpu, qp, admission);
+          const std::string context =
+              "seed=" + std::to_string(seed) +
+              " gpu=" + std::to_string(with_gpu) +
+              " backfill=" + std::to_string(qp == QueuePolicy::kBackfill) +
+              " admission=" + std::to_string(admission);
+
+          const HierarchySpec flat = flat_hierarchy(
+              config.nodes, with_gpu ? config.gpu_nodes : 0,
+              config.global_budget);
+          config.path = ClusterPath::kEvent;
+          config.hierarchy = seed % 2 == 1 ? &flat : nullptr;
+          const ClusterRun event =
+              with_gpu
+                  ? simulate_cluster(cpu_machine, gpu_machine, jobs, config)
+                  : simulate_cluster(cpu_machine, jobs, config);
+          config.hierarchy = nullptr;
+          config.path = ClusterPath::kReference;
+          const ClusterRun ref =
+              with_gpu
+                  ? simulate_cluster(cpu_machine, gpu_machine, jobs, config)
+                  : simulate_cluster(cpu_machine, jobs, config);
+          expect_identical(event, ref, context);
+          EXPECT_GT(event.event_stats.events, 0u) << context;
+          ++traces;
+          if (HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(traces, 512);
+}
+
+TEST(ClusterEventHierarchy, RedistributionUnblocksStarvedRack) {
+  // Four simultaneous DGEMM jobs on 2+2 nodes: two fill the big rack;
+  // the other two land on rack0, whose 120 W cap is below DGEMM's
+  // productive threshold. With redistribution the big rack donates its
+  // leftover headroom through the root and the starved jobs start early;
+  // without it they must wait for the big rack to drain.
+  std::vector<SimJob> jobs;
+  for (int j = 0; j < 4; ++j) {
+    jobs.push_back({"d" + std::to_string(j), workload::dgemm(),
+                    Seconds{static_cast<double>(j) * 0.25}, 20000.0});
+  }
+  ClusterSimConfig config;
+  config.nodes = 4;
+  config.global_budget = Watts{700.0};  // overridden by the tree's root
+  config.path = ClusterPath::kEvent;
+
+  const HierarchySpec with = starved_rack_spec(true);
+  config.hierarchy = &with;
+  const auto run_with =
+      simulate_cluster_checked(hw::ivybridge_node(), jobs, config);
+  ASSERT_TRUE(run_with.ok()) << run_with.error().message;
+
+  const HierarchySpec without = starved_rack_spec(false);
+  config.hierarchy = &without;
+  const auto run_without =
+      simulate_cluster_checked(hw::ivybridge_node(), jobs, config);
+  ASSERT_TRUE(run_without.ok()) << run_without.error().message;
+
+  EXPECT_EQ(run_with.value().jobs.size(), 4u);
+  EXPECT_EQ(run_without.value().jobs.size(), 4u);
+  EXPECT_GT(run_with.value().event_stats.donations, 0u);
+  EXPECT_GT(run_with.value().event_stats.watts_redistributed, 0.0);
+  EXPECT_EQ(run_without.value().event_stats.donations, 0u);
+  // Donated headroom lets the starved jobs overlap the big rack's,
+  // instead of queueing behind them.
+  EXPECT_LT(run_with.value().mean_wait.value(),
+            run_without.value().mean_wait.value());
+  EXPECT_TRUE(run_with.value().event_stats.caps_respected);
+}
+
+TEST(ClusterEventEmergency, CapDropShedsAndRegrantsWithinBounds) {
+  // Three long DGEMMs saturate a 600 W cluster; mid-run the facility
+  // feed halves. The engine must shed newest-first until the tree fits,
+  // re-grant immediately, respect the cap afterwards, and still finish
+  // every job once the feed is restored. The documented bound: sheds ≤
+  // jobs running at the drop, re-grants ≤ sheds + queued jobs — all
+  // settled within the drop event itself.
+  std::vector<SimJob> jobs;
+  for (int j = 0; j < 3; ++j) {
+    jobs.push_back({"d" + std::to_string(j), workload::dgemm(),
+                    Seconds{static_cast<double>(j)}, 30000.0});
+  }
+  ClusterSimConfig config;
+  config.nodes = 3;
+  config.global_budget = Watts{600.0};
+  config.path = ClusterPath::kEvent;
+  const ClusterScenario scenario = make_emergency_scenario(
+      Watts{600.0}, /*drop_at=*/Seconds{30.0}, /*drop_fraction=*/0.5,
+      /*restore_after=*/Seconds{60.0});
+  config.scenario = &scenario;
+
+  const auto checked =
+      simulate_cluster_checked(hw::ivybridge_node(), jobs, config);
+  ASSERT_TRUE(checked.ok()) << checked.error().message;
+  const ClusterRun& run = checked.value();
+  const ClusterEventStats& s = run.event_stats;
+
+  EXPECT_EQ(run.jobs.size(), 3u);  // everything finishes eventually
+  EXPECT_GE(s.emergency_sheds, 1u);
+  EXPECT_LE(s.emergency_sheds, 3u);  // ≤ jobs running at the drop
+  // ≤ sheds + queue (the whole trace had arrived by t=30).
+  EXPECT_LE(s.emergency_regrants, s.emergency_sheds + 3u);
+  EXPECT_TRUE(s.caps_respected);
+  EXPECT_GT(s.jobs_preempted, 0u);
+  // A preempted-and-resumed job accrues energy across both segments and
+  // finishes after the restore.
+  for (const auto& o : run.jobs) {
+    EXPECT_GT(o.energy.value(), 0.0) << o.name;
+  }
+}
+
+TEST(ClusterEventFailure, LostSlotsPreemptAndRequeue) {
+  // Four jobs on a 4-node flat rack; at t=20 the rack loses two nodes.
+  // Two newest-started jobs must be preempted, re-queued, and finish
+  // later on the surviving slots.
+  std::vector<SimJob> jobs;
+  for (int j = 0; j < 4; ++j) {
+    jobs.push_back({"j" + std::to_string(j), workload::stream_cpu(),
+                    Seconds{static_cast<double>(j)}, 2000.0});
+  }
+  ClusterSimConfig config;
+  config.nodes = 4;
+  config.global_budget = Watts{900.0};
+  config.path = ClusterPath::kEvent;
+  ClusterScenario scenario;
+  scenario.failures.push_back({Seconds{20.0}, 0, /*cpu_lost=*/2,
+                               /*gpu_lost=*/0});
+  config.scenario = &scenario;
+
+  const auto checked =
+      simulate_cluster_checked(hw::ivybridge_node(), jobs, config);
+  ASSERT_TRUE(checked.ok()) << checked.error().message;
+  const ClusterRun& run = checked.value();
+  EXPECT_EQ(run.jobs.size(), 4u);
+  EXPECT_EQ(run.event_stats.jobs_preempted, 2u);
+  EXPECT_EQ(run.event_stats.emergency_sheds, 0u);  // failure, not cap drop
+  EXPECT_TRUE(run.event_stats.caps_respected);
+
+  // Against the same trace with no failure: losing half the rack must
+  // delay completion (the preempted pair re-runs on the survivors), and
+  // the preempted jobs pay for the work done in both segments.
+  config.scenario = nullptr;
+  const auto baseline = simulate_cluster(hw::ivybridge_node(), jobs, config);
+  EXPECT_EQ(baseline.event_stats.jobs_preempted, 0u);
+  EXPECT_GT(run.makespan.value(), baseline.makespan.value());
+  EXPECT_GT(run.total_energy.value(), 0.0);
+  // Outcome.start is the first segment's start, finish the last
+  // segment's end: a preempted job's response time spans its suspension.
+  EXPECT_GT(run.mean_response.value(), baseline.mean_response.value());
+}
+
+TEST(ClusterEventDeterminism, ScenarioRunsIdenticalAcrossPoolSizes) {
+  // Seeded determinism for a hierarchy + diurnal-load + failure +
+  // emergency run: the profiling pool size (1/2/7) must not leak into
+  // the result, and re-running with the same seed must reproduce it.
+  const HierarchySpec spec =
+      uniform_hierarchy(12, 0, Watts{1400.0}, {4, 2}, 1.2);
+  const ClusterScenario failures =
+      make_failure_scenario(spec, /*failures=*/2, Seconds{400.0}, /*seed=*/5);
+  ClusterScenario scenario = failures;
+  const ClusterScenario emergency = make_emergency_scenario(
+      Watts{1400.0}, Seconds{120.0}, 0.45, Seconds{150.0});
+  scenario.cap_changes = emergency.cap_changes;
+
+  const auto arrivals =
+      diurnal_arrivals(40, Seconds{500.0}, Seconds{250.0}, 3.0, /*seed=*/9);
+  static const std::vector<workload::Workload> wls = workload::cpu_suite();
+  std::vector<SimJob> jobs;
+  Xoshiro256 rng(21, 2);
+  for (std::size_t j = 0; j < arrivals.size(); ++j) {
+    jobs.push_back({"j" + std::to_string(j), wls[rng.below(wls.size())],
+                    arrivals[j], rng.uniform(100.0, 2000.0)});
+  }
+
+  ClusterSimConfig config;
+  config.nodes = 12;
+  config.global_budget = Watts{1400.0};
+  config.queue_policy = QueuePolicy::kBackfill;
+  config.path = ClusterPath::kEvent;
+  config.hierarchy = &spec;
+  config.scenario = &scenario;
+
+  ThreadPool pool1(1);
+  ThreadPool pool2(2);
+  ThreadPool pool7(7);
+  config.pool = &pool1;
+  const auto run1 = simulate_cluster(hw::ivybridge_node(), jobs, config);
+  const auto run1b = simulate_cluster(hw::ivybridge_node(), jobs, config);
+  config.pool = &pool2;
+  const auto run2 = simulate_cluster(hw::ivybridge_node(), jobs, config);
+  config.pool = &pool7;
+  const auto run7 = simulate_cluster(hw::ivybridge_node(), jobs, config);
+
+  expect_identical(run1, run1b, "seeded-rerun");
+  expect_identical(run1, run2, "pool-1-vs-2");
+  expect_identical(run1, run7, "pool-1-vs-7");
+  expect_same_event_stats(run1.event_stats, run1b.event_stats, "rerun-stats");
+  expect_same_event_stats(run1.event_stats, run2.event_stats, "pool-2-stats");
+  expect_same_event_stats(run1.event_stats, run7.event_stats, "pool-7-stats");
+  EXPECT_TRUE(run1.event_stats.caps_respected);
+}
+
+// --- hierarchy / scenario validation ---------------------------------
+
+TEST(ClusterEventChecked, RejectsHierarchyOnFlatPaths) {
+  const HierarchySpec flat = flat_hierarchy(2, 0, Watts{400.0});
+  ClusterSimConfig config;
+  config.nodes = 2;
+  config.hierarchy = &flat;  // path stays kFast
+  const auto result = simulate_cluster_checked(
+      hw::ivybridge_node(), {{"j", workload::sra(), Seconds{0.0}, 1.0}},
+      config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(ClusterEventChecked, RejectsEmptyAndStructurallyBrokenHierarchies) {
+  ClusterSimConfig config;
+  config.nodes = 2;
+  config.path = ClusterPath::kEvent;
+  const std::vector<SimJob> jobs{{"j", workload::sra(), Seconds{0.0}, 1.0}};
+
+  // Explicitly empty spec (a null pointer would mean the implicit flat
+  // tree; an empty one is a mistake and is rejected).
+  {
+    HierarchySpec spec;
+    config.hierarchy = &spec;
+    const auto result =
+        simulate_cluster_checked(hw::ivybridge_node(), jobs, config);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::kInvalidArgument);
+  }
+
+  // The root has neither members nor children: an empty level.
+  {
+    HierarchySpec spec;
+    spec.vertices.push_back({-1, Watts{400.0}, {}, {}, "dc", "dc"});
+    config.hierarchy = &spec;
+    const auto result =
+        simulate_cluster_checked(hw::ivybridge_node(), jobs, config);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::kInvalidArgument);
+    EXPECT_NE(result.error().message.find("empty level"), std::string::npos);
+  }
+
+  // Duplicate node membership across racks.
+  {
+    HierarchySpec spec;
+    spec.vertices.push_back({-1, Watts{400.0}, {}, {}, "dc", "dc"});
+    spec.vertices.push_back({0, Watts{200.0}, {0, 1}, {}, "rack", "r0"});
+    spec.vertices.push_back({0, Watts{200.0}, {1}, {}, "rack", "r1"});
+    config.hierarchy = &spec;
+    const auto result =
+        simulate_cluster_checked(hw::ivybridge_node(), jobs, config);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::kInvalidArgument);
+    EXPECT_NE(result.error().message.find("duplicate"), std::string::npos);
+  }
+
+  // Membership not covering every node exactly once.
+  {
+    HierarchySpec spec;
+    spec.vertices.push_back({-1, Watts{400.0}, {0}, {}, "dc", "dc"});
+    config.hierarchy = &spec;
+    const auto result =
+        simulate_cluster_checked(hw::ivybridge_node(), jobs, config);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::kInvalidArgument);
+  }
+}
+
+TEST(ClusterEventChecked, ChildBudgetAboveParentIsFailedPrecondition) {
+  ClusterSimConfig config;
+  config.nodes = 2;
+  config.path = ClusterPath::kEvent;
+  HierarchySpec spec;
+  spec.vertices.push_back({-1, Watts{300.0}, {}, {}, "dc", "dc"});
+  spec.vertices.push_back({0, Watts{400.0}, {0, 1}, {}, "rack", "r0"});
+  config.hierarchy = &spec;
+  const auto result = simulate_cluster_checked(
+      hw::ivybridge_node(), {{"j", workload::sra(), Seconds{0.0}, 1.0}},
+      config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kFailedPrecondition);
+}
+
+TEST(ClusterEventChecked, RejectsBrokenScenarios) {
+  ClusterSimConfig config;
+  config.nodes = 2;
+  config.path = ClusterPath::kEvent;
+  const std::vector<SimJob> jobs{{"j", workload::sra(), Seconds{0.0}, 1.0}};
+
+  // Cap change on a vertex the (implicit flat) tree does not have.
+  {
+    ClusterScenario scenario;
+    scenario.cap_changes.push_back({Seconds{1.0}, 7, Watts{100.0}});
+    config.scenario = &scenario;
+    const auto result =
+        simulate_cluster_checked(hw::ivybridge_node(), jobs, config);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::kInvalidArgument);
+  }
+  // Node failure on a non-rack vertex.
+  {
+    HierarchySpec spec;
+    spec.vertices.push_back({-1, Watts{400.0}, {}, {}, "dc", "dc"});
+    spec.vertices.push_back({0, Watts{300.0}, {0, 1}, {}, "rack", "r0"});
+    ClusterScenario scenario;
+    scenario.failures.push_back({Seconds{1.0}, 0, 1, 0});  // vertex 0 = dc
+    config.hierarchy = &spec;
+    config.scenario = &scenario;
+    const auto result =
+        simulate_cluster_checked(hw::ivybridge_node(), jobs, config);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::kInvalidArgument);
+    EXPECT_NE(result.error().message.find("not a rack"), std::string::npos);
+  }
+  // Losing more slots than the rack has.
+  {
+    HierarchySpec spec;
+    spec.vertices.push_back({-1, Watts{400.0}, {0, 1}, {}, "dc", "root-rack"});
+    ClusterScenario scenario;
+    scenario.failures.push_back({Seconds{1.0}, 0, 3, 0});
+    config.hierarchy = &spec;
+    config.scenario = &scenario;
+    const auto result =
+        simulate_cluster_checked(hw::ivybridge_node(), jobs, config);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::kInvalidArgument);
+  }
+}
+
+TEST(ClusterEventChecked, AcceptsValidHierarchyAndMatchesUnchecked) {
+  const HierarchySpec spec = uniform_hierarchy(4, 0, Watts{800.0}, {2});
+  std::vector<SimJob> jobs{
+      {"c0", workload::dgemm(), Seconds{0.0}, 1000.0},
+      {"c1", workload::stream_cpu(), Seconds{1.0}, 500.0},
+  };
+  ClusterSimConfig config;
+  config.nodes = 4;
+  config.global_budget = Watts{800.0};
+  config.path = ClusterPath::kEvent;
+  config.hierarchy = &spec;
+  const auto checked =
+      simulate_cluster_checked(hw::ivybridge_node(), jobs, config);
+  ASSERT_TRUE(checked.ok()) << checked.error().message;
+  const auto plain = simulate_cluster(hw::ivybridge_node(), jobs, config);
+  expect_identical(checked.value(), plain, "checked-event");
+}
+
+// --- scenario generators ---------------------------------------------
+
+TEST(ClusterEventScenario, GeneratorsAreDeterministicAndValid) {
+  const HierarchySpec spec = uniform_hierarchy(64, 8, Watts{9000.0}, {8, 4});
+  EXPECT_TRUE(validate_hierarchy(spec, 64, 8).ok());
+
+  const ClusterScenario f1 =
+      make_failure_scenario(spec, 5, Seconds{1000.0}, 3);
+  const ClusterScenario f2 =
+      make_failure_scenario(spec, 5, Seconds{1000.0}, 3);
+  ASSERT_EQ(f1.failures.size(), 5u);
+  for (std::size_t i = 0; i < f1.failures.size(); ++i) {
+    EXPECT_EQ(f1.failures[i].at.value(), f2.failures[i].at.value());
+    EXPECT_EQ(f1.failures[i].vertex, f2.failures[i].vertex);
+    EXPECT_LE(i == 0 ? 0.0 : f1.failures[i - 1].at.value(),
+              f1.failures[i].at.value());
+  }
+  EXPECT_TRUE(validate_scenario(f1, spec).ok());
+
+  const auto a1 = diurnal_arrivals(200, Seconds{1000.0}, Seconds{500.0},
+                                   4.0, 7);
+  const auto a2 = diurnal_arrivals(200, Seconds{1000.0}, Seconds{500.0},
+                                   4.0, 7);
+  ASSERT_EQ(a1.size(), 200u);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < a1.size(); ++i) {
+    EXPECT_EQ(a1[i].value(), a2[i].value());
+    EXPECT_GE(a1[i].value(), prev);  // sorted by construction
+    EXPECT_LE(a1[i].value(), 1000.0);
+    prev = a1[i].value();
+  }
+  // The diurnal profile actually modulates: more arrivals land in the
+  // first half-day (the sine peak) than in the second.
+  const std::size_t first_half =
+      static_cast<std::size_t>(std::count_if(a1.begin(), a1.end(),
+                                             [](Seconds t) {
+                                               return t.value() < 250.0;
+                                             }));
+  EXPECT_GT(first_half, 60u);
+}
+
+// --- grant ledger ----------------------------------------------------
+
+TEST(ClusterLedgerIncremental, MatchesFullRescanBitwise) {
+  // Random hold/release churn on twin ledgers, one using the incremental
+  // release and one the original full rescan: the free balance must stay
+  // bitwise equal at every step (the x + 0.0 == x argument in
+  // grant_ledger.hpp).
+  Xoshiro256 rng(13, 1);
+  GrantLedger fast(5000.0);
+  GrantLedger slow(5000.0);
+  std::vector<std::pair<std::size_t, std::size_t>> live;  // (fast, slow)
+  for (int step = 0; step < 20000; ++step) {
+    const bool can_hold = fast.free_power() > 0.0;
+    if (live.empty() || (can_hold && rng.uniform() < 0.55)) {
+      const double w = rng.uniform(0.0, fast.free_power());
+      live.emplace_back(fast.hold(w), slow.hold(w));
+    } else {
+      const std::size_t pick = rng.below(live.size());
+      const auto [fs, ss] = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      EXPECT_EQ(fast.release(fs), slow.release_full_rescan(ss));
+    }
+    ASSERT_EQ(fast.free_power(), slow.free_power()) << "step " << step;
+    ASSERT_EQ(fast.active_grants(), slow.active_grants()) << "step " << step;
+  }
+}
+
+TEST(ClusterLedgerIncremental, SetBudgetClampsAndRecovers) {
+  GrantLedger ledger(100.0);
+  const std::size_t a = ledger.hold(60.0);
+  const std::size_t b = ledger.hold(30.0);
+  EXPECT_DOUBLE_EQ(ledger.free_power(), 10.0);
+  // An emergency re-cap below the held power is legal: free clamps to 0
+  // and the grants stay on the books.
+  ledger.set_budget(50.0);
+  EXPECT_EQ(ledger.free_power(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.held_power(), 90.0);
+  EXPECT_EQ(ledger.active_grants(), 2u);
+  // Restoring the budget restores the exact balance.
+  ledger.set_budget(100.0);
+  EXPECT_DOUBLE_EQ(ledger.free_power(), 10.0);
+  ledger.release(a);
+  ledger.release(b);
+  EXPECT_DOUBLE_EQ(ledger.free_power(), 100.0);
+  EXPECT_EQ(ledger.active_grants(), 0u);
+}
+
+}  // namespace
+}  // namespace pbc::core

@@ -8,12 +8,16 @@
 #include <string>
 #include <vector>
 
+#include "core/cluster_hier.hpp"
+#include "core/cluster_sim.hpp"
+#include "hw/platforms.hpp"
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "sim/trace_replay.hpp"
 #include "svc/engine.hpp"
 #include "svc/stats.hpp"
 #include "svc_test_util.hpp"
+#include "workload/cpu_suite.hpp"
 
 namespace pbc {
 namespace {
@@ -285,6 +289,65 @@ TEST(ObsStatsView, SimTableBuildsReachGlobalRegistry) {
       after.find("pbc_sim_table_build_us", cpu_label);
   ASSERT_NE(build_us, nullptr);
   EXPECT_GE(build_us->hist.count, 1u);
+}
+
+// The event-driven cluster engine publishes its pbc_cluster_* series to
+// the global registry, and running through the service engine routes
+// profiling through the sim-node cache without changing that.
+TEST(ObsStatsView, ClusterEventMetricsReachGlobalRegistry) {
+  const obs::MetricsSnapshot before = obs::global_registry().snapshot();
+  const std::uint64_t events_before =
+      before.counter("pbc_cluster_events_total");
+  const std::uint64_t resolves_before =
+      before.counter("pbc_cluster_subtree_resolves_total");
+  const std::uint64_t preempted_before =
+      before.counter("pbc_cluster_jobs_preempted_total");
+  const std::uint64_t shed_before =
+      before.counter("pbc_cluster_emergency_shed_regrant_events_total");
+  const std::uint64_t rack_grants_before = before.counter(
+      "pbc_cluster_level_grants_total", {{"level", "dc"}});
+
+  std::vector<core::SimJob> jobs;
+  for (int j = 0; j < 3; ++j) {
+    jobs.push_back({"d" + std::to_string(j), workload::dgemm(),
+                    Seconds{static_cast<double>(j)}, 30000.0});
+  }
+  core::ClusterSimConfig config;
+  config.nodes = 3;
+  config.global_budget = Watts{600.0};
+  config.path = core::ClusterPath::kEvent;
+  const core::ClusterScenario scenario = core::make_emergency_scenario(
+      Watts{600.0}, Seconds{30.0}, 0.5, Seconds{60.0});
+  config.scenario = &scenario;
+
+  svc::QueryEngine engine;
+  const core::ClusterRun run =
+      engine.simulate_cluster(hw::ivybridge_node(), jobs, config);
+  ASSERT_EQ(run.jobs.size(), 3u);
+  ASSERT_GT(run.event_stats.events, 0u);
+  ASSERT_GE(run.event_stats.emergency_sheds, 1u);
+
+  const obs::MetricsSnapshot after = obs::global_registry().snapshot();
+  EXPECT_GE(after.counter("pbc_cluster_events_total"),
+            events_before + run.event_stats.events);
+  EXPECT_GE(after.counter("pbc_cluster_subtree_resolves_total"),
+            resolves_before + run.event_stats.subtree_resolves);
+  EXPECT_GE(after.counter("pbc_cluster_jobs_preempted_total"),
+            preempted_before + run.event_stats.jobs_preempted);
+  EXPECT_GE(
+      after.counter("pbc_cluster_emergency_shed_regrant_events_total"),
+      shed_before + run.event_stats.emergency_sheds +
+          run.event_stats.emergency_regrants);
+  // Every start flows through the (flat) tree's single "dc"-level rack.
+  EXPECT_GE(after.counter("pbc_cluster_level_grants_total",
+                          {{"level", "dc"}}),
+            rack_grants_before + 3);
+  // The redistribution gauge and the event-latency histogram exist even
+  // when this run moved no watts between racks.
+  EXPECT_NE(after.find("pbc_cluster_watts_redistributed"), nullptr);
+  const auto* latency = after.find("pbc_cluster_event_latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GE(latency->hist.count, 1u);
 }
 
 }  // namespace
