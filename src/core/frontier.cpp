@@ -1,14 +1,19 @@
 #include "core/frontier.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
+
+#include "sim/instrumentation.hpp"
 
 namespace pbc::core {
 
 namespace {
-FrontierPoint to_point(const sim::BudgetSweep& sweep) {
+FrontierPoint to_point(Watts budget,
+                       const std::optional<sim::AllocationSample>& best) {
   FrontierPoint fp;
-  fp.budget = sweep.budget;
-  if (const sim::AllocationSample* best = sweep.best()) {
+  fp.budget = budget;
+  if (best) {
     fp.perf_max = best->perf;
     fp.best_proc_cap = best->proc_cap;
     fp.best_mem_cap = best->mem_cap;
@@ -22,34 +27,38 @@ std::vector<FrontierPoint> perf_frontier_cpu(const sim::CpuNodeSim& node,
                                              std::span<const Watts> budgets,
                                              const sim::CpuSweepOptions& opt,
                                              ThreadPool* pool) {
-  // Build the node's operating-point table once up front, then reduce each
-  // budget to its best split directly — the frontier never needs the full
-  // per-budget sample vectors materialized.
-  if (opt.path == sim::SolverPath::kFast) node.prepare();
-  std::vector<FrontierPoint> frontier(budgets.size());
-  ThreadPool& tp = pool ? *pool : global_pool();
-  tp.parallel_for_index(budgets.size(), [&](std::size_t i) {
-    FrontierPoint fp;
-    fp.budget = budgets[i];
-    if (const auto best = sim::sweep_cpu_split_best(node, budgets[i], opt)) {
-      fp.perf_max = best->perf;
-      fp.best_proc_cap = best->proc_cap;
-      fp.best_mem_cap = best->mem_cap;
-      fp.consumed = best->total_power();
-    }
-    frontier[i] = fp;
-  });
+  // The blocked frontier driver: budgets tile into (budget x split)
+  // blocks, each relaxed in one batched pass that materializes only the
+  // per-budget winners — the frontier never needs the full sample
+  // vectors, and each SoA table row streams once per block instead of
+  // once per budget. Bit-identical to the per-budget sweep reduction.
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<std::optional<sim::AllocationSample>> best =
+      sim::sweep_cpu_budgets_best(node, budgets, opt, pool);
+  std::vector<FrontierPoint> frontier;
+  frontier.reserve(budgets.size());
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    frontier.push_back(to_point(budgets[i], best[i]));
+  }
+  sim::detail::record_frontier_build("cpu", t0);
   return frontier;
 }
 
 std::vector<FrontierPoint> perf_frontier_gpu(const sim::GpuNodeSim& node,
                                              std::span<const Watts> board_caps,
                                              ThreadPool* pool) {
-  const auto sweeps =
-      sim::sweep_gpu_budgets(node, board_caps, sim::SolverPath::kFast, pool);
+  // Batched best-clock reduction per board cap (one vectorized scan per
+  // memory clock, winners only) — same samples BudgetSweep::best picks.
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<std::optional<sim::AllocationSample>> best =
+      sim::sweep_gpu_budgets_best(node, board_caps, sim::SolverPath::kFast,
+                                  pool);
   std::vector<FrontierPoint> frontier;
-  frontier.reserve(sweeps.size());
-  for (const auto& sw : sweeps) frontier.push_back(to_point(sw));
+  frontier.reserve(board_caps.size());
+  for (std::size_t i = 0; i < board_caps.size(); ++i) {
+    frontier.push_back(to_point(board_caps[i], best[i]));
+  }
+  sim::detail::record_frontier_build("gpu", t0);
   return frontier;
 }
 

@@ -1,21 +1,38 @@
 #include "core/interpolation.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "sim/solve_arena.hpp"
 
 namespace pbc::core {
 
-InterpolationResult interpolated_best(const sim::CpuNodeSim& node,
-                                      Watts budget, Watts stride,
-                                      Watts mem_lo, Watts proc_lo) {
-  InterpolationResult out;
+namespace {
 
-  std::vector<std::pair<double, double>> knots;
+// The one knot-grid loop. The scalar and batched entry points both run
+// this exact FP recurrence (m += stride from the same start), so every
+// caller visits bit-identical knot positions — same discipline as
+// sweep.cpp's for_each_split.
+template <class Emit>
+void for_each_knot(Watts budget, Watts stride, Watts mem_lo, Watts proc_lo,
+                   Emit&& emit) {
   const double hi = budget.value() - proc_lo.value();
   for (double m = mem_lo.value(); m <= hi + 1e-9; m += stride.value()) {
-    const auto s = node.steady_state(Watts{budget.value() - m}, Watts{m});
-    knots.emplace_back(m, s.perf);
-    ++out.samples_used;
+    emit(m);
   }
+}
+
+// Fits the sampled knots and searches the interpolant on the 1 W grid.
+// Fills everything except achieved_perf; *fitted reports whether a
+// confirmation run is owed (false for an empty grid or a failed fit,
+// where the scalar path also stops early).
+InterpolationResult fit_knots(Watts budget,
+                              std::vector<std::pair<double, double>> knots,
+                              bool* fitted) {
+  InterpolationResult out;
+  out.samples_used = knots.size();
+  *fitted = false;
   if (knots.empty()) return out;
 
   auto curve = PiecewiseLinear::from_points(std::move(knots));
@@ -36,10 +53,81 @@ InterpolationResult interpolated_best(const sim::CpuNodeSim& node,
   out.best_mem_cap = Watts{best_m};
   out.best_proc_cap = Watts{budget.value() - best_m};
   out.predicted_perf = best_perf;
-  out.achieved_perf =
-      node.steady_state(out.best_proc_cap, out.best_mem_cap).perf;
-  ++out.samples_used;  // the confirmation run
+  *fitted = true;
   return out;
+}
+
+}  // namespace
+
+std::vector<InterpolationResult> interpolated_best_batch(
+    const sim::CpuNodeSim& node, std::span<const Watts> budgets,
+    Watts stride, Watts mem_lo, Watts proc_lo) {
+  std::vector<InterpolationResult> out(budgets.size());
+  if (budgets.empty()) return out;
+
+  // Every budget's knot grid, concatenated, and all profiling runs
+  // resolved in one batched solve — each sample bit-identical to the
+  // steady_state call the scalar loop makes at that knot.
+  sim::SolveArena& arena = sim::thread_solve_arena();
+  const auto scope = arena.scope();
+  const auto bounds = arena.get<std::int32_t>(budgets.size() + 1);
+  std::size_t total = 0;
+  bounds[0] = 0;
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    for_each_knot(budgets[b], stride, mem_lo, proc_lo,
+                  [&](double) { ++total; });
+    bounds[b + 1] = static_cast<std::int32_t>(total);
+  }
+  const auto caps = arena.get<sim::CapPair>(total);
+  std::size_t k = 0;
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    for_each_knot(budgets[b], stride, mem_lo, proc_lo, [&](double m) {
+      caps[k++] = sim::CapPair{Watts{budgets[b].value() - m}, Watts{m}};
+    });
+  }
+  const auto samples = arena.get<sim::AllocationSample>(total);
+  node.steady_state_batch(caps, samples, arena);
+
+  // Fit each budget's model and queue its confirmation run.
+  const auto confirm = arena.get<sim::CapPair>(budgets.size());
+  const auto confirm_idx = arena.get<std::int32_t>(budgets.size());
+  std::size_t nconf = 0;
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    std::vector<std::pair<double, double>> knots;
+    knots.reserve(static_cast<std::size_t>(bounds[b + 1] - bounds[b]));
+    std::size_t j = static_cast<std::size_t>(bounds[b]);
+    for_each_knot(budgets[b], stride, mem_lo, proc_lo, [&](double m) {
+      knots.emplace_back(m, samples[j++].perf);
+    });
+    bool fitted = false;
+    out[b] = fit_knots(budgets[b], std::move(knots), &fitted);
+    if (fitted) {
+      confirm[nconf] =
+          sim::CapPair{out[b].best_proc_cap, out[b].best_mem_cap};
+      confirm_idx[nconf] = static_cast<std::int32_t>(b);
+      ++nconf;
+    }
+  }
+
+  // One batched pass over the model optima — the confirmation runs.
+  const auto achieved = arena.get<sim::AllocationSample>(nconf);
+  node.steady_state_batch(confirm.first(nconf), achieved, arena);
+  for (std::size_t i = 0; i < nconf; ++i) {
+    const auto b = static_cast<std::size_t>(confirm_idx[i]);
+    out[b].achieved_perf = achieved[i].perf;
+    ++out[b].samples_used;
+  }
+  return out;
+}
+
+InterpolationResult interpolated_best(const sim::CpuNodeSim& node,
+                                      Watts budget, Watts stride,
+                                      Watts mem_lo, Watts proc_lo) {
+  // The batched driver with a single budget — identical knot grid, fit,
+  // and confirmation, so results match the historical scalar loop bit
+  // for bit.
+  return interpolated_best_batch(node, std::span<const Watts>{&budget, 1},
+                                 stride, mem_lo, proc_lo)[0];
 }
 
 }  // namespace pbc::core

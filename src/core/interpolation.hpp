@@ -9,6 +9,9 @@
 // methods.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "sim/cpu_node.hpp"
 #include "util/interp.hpp"
 
@@ -32,5 +35,16 @@ struct InterpolationResult {
 [[nodiscard]] InterpolationResult interpolated_best(
     const sim::CpuNodeSim& node, Watts budget, Watts stride = Watts{16.0},
     Watts mem_lo = Watts{48.0}, Watts proc_lo = Watts{40.0});
+
+/// Batched multi-budget variant: every budget's knot grid is solved in
+/// one batched pass, and the model optima are confirmed in a second, so
+/// the profiling runs vectorize across budgets instead of issuing one
+/// scalar solve each. out[i] is bit-identical to
+/// interpolated_best(node, budgets[i], stride, mem_lo, proc_lo) — same
+/// knot recurrence, same fit, same confirmation.
+[[nodiscard]] std::vector<InterpolationResult> interpolated_best_batch(
+    const sim::CpuNodeSim& node, std::span<const Watts> budgets,
+    Watts stride = Watts{16.0}, Watts mem_lo = Watts{48.0},
+    Watts proc_lo = Watts{40.0});
 
 }  // namespace pbc::core

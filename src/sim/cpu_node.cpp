@@ -9,6 +9,7 @@
 
 #include "rapl/ladder.hpp"
 #include "sim/instrumentation.hpp"
+#include "sim/simd.hpp"
 #include "sim/solve_arena.hpp"
 
 // Both solver paths must feed bit-identical operands to the workload model.
@@ -387,6 +388,276 @@ void CpuNodeSim::solve_fast_batch(const CpuOpTable& table,
   }
 }
 
+void CpuNodeSim::solve_fast_batch_best(const CpuOpTable& table,
+                                       std::span<const CapPair> caps,
+                                       std::span<const std::int32_t> bounds,
+                                       std::span<AllocationSample> best,
+                                       [[maybe_unused]] int active_cores,
+                                       SolveArena& arena) const {
+  assert(bounds.size() == best.size() + 1);
+  assert(bounds.front() == 0 &&
+         static_cast<std::size_t>(bounds.back()) == caps.size());
+  const std::size_t n = caps.size();
+  const std::size_t nseg = best.size();
+  if (n == 0) {
+    std::fill(best.begin(), best.end(), AllocationSample{});
+    return;
+  }
+  const std::size_t states = table.ladder_states();  // sleep row == states
+  const std::size_t levels = table.level_count();
+  const double cpu_floor = machine_.cpu.floor.value();
+  const double mem_floor = machine_.dram.floor.value();
+  const double peak_bw = machine_.dram.peak_bw.value();
+  const auto sleep_c = static_cast<std::int32_t>(table.sleep_state());
+  const std::span<const double> mem_rows = table.mem_power_rows();
+  const std::span<const double> proc_rows = table.proc_power_rows();
+  const std::span<const double> perf = table.perf_rows();
+
+  const auto scope = arena.scope();
+  const auto proc_thr = arena.get<double>(n);
+  const auto mem_thr = arena.get<double>(n);
+  const auto state = arena.get<std::int32_t>(n);
+  const auto level = arena.get<std::int32_t>(n);
+  const auto next_state = arena.get<std::int32_t>(n);
+  const auto next_level = arena.get<std::int32_t>(n);
+  // Per-cell no-state-fits value (sleep below the package floor, else
+  // notch 0) — precomputed so the fix-up after a proc scan is one move.
+  const auto fallback = arena.get<std::int32_t>(n);
+  const auto pending = arena.get<std::int32_t>(n);
+  const auto grouped = arena.get<std::int32_t>(n);
+  const auto unconf = arena.get<std::int32_t>(n);
+  // Staging for buckets whose curve is non-monotone (prefix-max kernel
+  // wants contiguous thresholds); untouched on fully monotone tables.
+  const auto gthr = arena.get<double>(n);
+  const auto gans = arena.get<std::int32_t>(n);
+  const std::size_t buckets = std::max(states + 1, levels);
+  const auto off = arena.get<std::int32_t>(buckets + 1);
+  const auto cur = arena.get<std::int32_t>(buckets + 1);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    proc_thr[i] = caps[i].cpu_cap.value() + kCapSlackW;
+    mem_thr[i] = std::max(caps[i].mem_cap.value(), mem_floor) + kCapSlackW;
+    fallback[i] = caps[i].cpu_cap.value() < cpu_floor ? sleep_c : 0;
+    pending[i] = static_cast<std::int32_t>(i);
+  }
+
+  // Counting sort of `list[0, m)` into `grouped` by `key`, bucket b
+  // spanning grouped[off[b], off[b + 1]). Stable, so lanes keep sweep
+  // order within a bucket.
+  const auto group_by = [&](std::size_t m, const std::int32_t* list,
+                            std::size_t nbuckets,
+                            std::span<const std::int32_t> key) {
+    std::fill(off.begin(),
+              off.begin() + static_cast<std::ptrdiff_t>(nbuckets + 1), 0);
+    for (std::size_t k = 0; k < m; ++k) {
+      ++off[static_cast<std::size_t>(
+                key[static_cast<std::size_t>(list[k])]) + 1];
+    }
+    for (std::size_t b = 0; b < nbuckets; ++b) off[b + 1] += off[b];
+    std::copy(off.begin(),
+              off.begin() + static_cast<std::ptrdiff_t>(nbuckets),
+              cur.begin());
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::int32_t idx = list[k];
+      grouped[static_cast<std::size_t>(
+          cur[static_cast<std::size_t>(key[static_cast<std::size_t>(
+              idx)])]++)] = idx;
+    }
+  };
+
+  // One grouped governor pass over the cells in `list[0, m)`. Monotone
+  // buckets run the fused gather/scan/scatter kernel straight over the
+  // SoA row; non-monotone buckets stage thresholds and answer through
+  // the (batched, equally exact) prefix-max view. Raw answers land in
+  // next_level / next_state; callers apply the clamp / fallback.
+  const auto mem_pass = [&](std::size_t m, const std::int32_t* list) {
+    group_by(m, list, states + 1, state);
+    for (std::size_t s = 0; s <= states; ++s) {
+      const auto b0 = static_cast<std::size_t>(off[s]);
+      const auto b1 = static_cast<std::size_t>(off[s + 1]);
+      if (b0 == b1) continue;
+      const std::span<const std::int32_t> idx{grouped.data() + b0, b1 - b0};
+      if (table.mem_batch(s).monotone()) {
+        simd::batch_max_index_indexed({mem_rows.data() + s * levels, levels},
+                                      mem_thr.data(), idx,
+                                      next_level.data());
+      } else {
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+          gthr[j] = mem_thr[static_cast<std::size_t>(idx[j])];
+        }
+        table.mem_batch(s).max_index_within(gthr.first(idx.size()),
+                                            gans.first(idx.size()));
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+          next_level[static_cast<std::size_t>(idx[j])] = gans[j];
+        }
+      }
+    }
+  };
+  const auto proc_pass = [&](std::size_t m, const std::int32_t* list) {
+    group_by(m, list, levels, next_level);
+    for (std::size_t l = 0; l < levels; ++l) {
+      const auto b0 = static_cast<std::size_t>(off[l]);
+      const auto b1 = static_cast<std::size_t>(off[l + 1]);
+      if (b0 == b1) continue;
+      const std::span<const std::int32_t> idx{grouped.data() + b0, b1 - b0};
+      if (table.proc_batch(l).monotone()) {
+        simd::batch_max_index_indexed({proc_rows.data() + l * states, states},
+                                      proc_thr.data(), idx,
+                                      next_state.data());
+      } else {
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+          gthr[j] = proc_thr[static_cast<std::size_t>(idx[j])];
+        }
+        table.proc_batch(l).max_index_within(gthr.first(idx.size()),
+                                             gans.first(idx.size()));
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+          next_state[static_cast<std::size_t>(idx[j])] = gans[j];
+        }
+      }
+    }
+  };
+
+  // Iteration 0, dense: every cell starts at the top ladder state, so
+  // the memory governor is a single contiguous scan of the shared
+  // top-state row — the block's whole point: one row load services all
+  // budgets' probes. No stability check here: a cell whose iterate is
+  // already a fixed point reproduces it in iteration 1 and retires
+  // there, with identical final values (a stable iterate is a fixed
+  // point of both governors, so extra iterations cannot move it) and
+  // within the same kMaxRelaxationIters budget.
+  table.mem_batch(states - 1).max_index_within(mem_thr.first(n),
+                                               next_level.first(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (next_level[i] < 0) next_level[i] = 0;
+  }
+  proc_pass(n, pending.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (next_state[i] < 0) next_state[i] = fallback[i];
+  }
+  std::copy(next_state.begin(), next_state.end(), state.begin());
+  std::copy(next_level.begin(), next_level.end(), level.begin());
+
+  // Iteration 1: on frontier-shaped grids ~95% of iteration-0 answers
+  // reproduce themselves, so confirm each governor with two gathered
+  // compares per cell and rescan only the exceptions. Requires every
+  // row monotone (the confirm predicate brackets the answer); tables
+  // with a non-monotone curve rescan everything instead — same
+  // fixed points, just without the shortcut.
+  std::size_t npend = 0;
+  const bool use_confirm = table.fully_monotone();
+  if (use_confirm) {
+    // Memory governor: does `level` reproduce against row `state`?
+    std::size_t nu =
+        simd::batch_confirm(mem_rows.data(), levels, state.data(),
+                            level.data(), mem_thr.data(), n, nullptr,
+                            sleep_c, unconf.data());
+    std::copy(level.begin(), level.end(), next_level.begin());
+    if (nu > 0) {
+      mem_pass(nu, unconf.data());
+      for (std::size_t k = 0; k < nu; ++k) {
+        const auto idx = static_cast<std::size_t>(unconf[k]);
+        if (next_level[idx] < 0) next_level[idx] = 0;
+      }
+    }
+    // Processor governor: does `state` reproduce against row
+    // `next_level`?
+    nu = simd::batch_confirm(proc_rows.data(), states, next_level.data(),
+                             state.data(), proc_thr.data(), n,
+                             fallback.data(), sleep_c, unconf.data());
+    std::copy(state.begin(), state.end(), next_state.begin());
+    if (nu > 0) {
+      proc_pass(nu, unconf.data());
+      for (std::size_t k = 0; k < nu; ++k) {
+        const auto idx = static_cast<std::size_t>(unconf[k]);
+        if (next_state[idx] < 0) next_state[idx] = fallback[idx];
+      }
+    }
+    // Dense advance. From iteration 1 on the previous bandwidth is
+    // level_bw(level) by construction (iteration 0 assigned it), so the
+    // reference's next_bw == bw stability test is exactly a level_bw
+    // lookup equality — no per-cell bw lane needed.
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool stable =
+          table.level_bw(static_cast<std::size_t>(next_level[i])) ==
+              table.level_bw(static_cast<std::size_t>(level[i])) &&
+          next_state[i] == state[i];
+      state[i] = next_state[i];
+      level[i] = next_level[i];
+      if (!stable) pending[npend++] = static_cast<std::int32_t>(i);
+    }
+  } else {
+    npend = n;  // pending already holds the identity list
+  }
+
+  // Tail iterations over the (small) still-moving set.
+  for (int iter = use_confirm ? 2 : 1;
+       iter < kMaxRelaxationIters && npend > 0; ++iter) {
+    mem_pass(npend, pending.data());
+    for (std::size_t k = 0; k < npend; ++k) {
+      const auto idx = static_cast<std::size_t>(pending[k]);
+      if (next_level[idx] < 0) next_level[idx] = 0;
+    }
+    proc_pass(npend, pending.data());
+    for (std::size_t k = 0; k < npend; ++k) {
+      const auto idx = static_cast<std::size_t>(pending[k]);
+      if (next_state[idx] < 0) next_state[idx] = fallback[idx];
+    }
+    std::size_t w = 0;
+    for (std::size_t k = 0; k < npend; ++k) {
+      const auto idx = static_cast<std::size_t>(pending[k]);
+      const bool stable =
+          table.level_bw(static_cast<std::size_t>(next_level[idx])) ==
+              table.level_bw(static_cast<std::size_t>(level[idx])) &&
+          next_state[idx] == state[idx];
+      state[idx] = next_state[idx];
+      level[idx] = next_level[idx];
+      if (!stable) pending[w++] = pending[k];
+    }
+    npend = w;
+  }
+
+  // Per-segment best via the perf lane (strict > keeps the first of
+  // equal perf — the max_element semantics of the per-budget path),
+  // then materialize only the winners through the solve_fast epilogue.
+  for (std::size_t b = 0; b < nseg; ++b) {
+    const auto c0 = static_cast<std::size_t>(bounds[b]);
+    const auto c1 = static_cast<std::size_t>(bounds[b + 1]);
+    std::int32_t bi = -1;
+    double bp = 0.0;
+    for (std::size_t i = c0; i < c1; ++i) {
+      const double p = perf[static_cast<std::size_t>(state[i]) * levels +
+                            static_cast<std::size_t>(level[i])];
+      if (bi < 0 || p > bp) {
+        bp = p;
+        bi = static_cast<std::int32_t>(i);
+      }
+    }
+    if (bi < 0) {
+      best[b] = AllocationSample{};
+      continue;
+    }
+    const auto w = static_cast<std::size_t>(bi);
+    AllocationSample s =
+        table.sample(static_cast<std::size_t>(state[w]),
+                     static_cast<std::size_t>(level[w]));
+    s.proc_cap = caps[w].cpu_cap;
+    s.mem_cap = caps[w].mem_cap;
+    s.proc_cap_respected =
+        s.proc_power.value() <= caps[w].cpu_cap.value() + kCapSlackW;
+    s.mem_cap_respected =
+        s.mem_power.value() <= caps[w].mem_cap.value() + kCapSlackW;
+    // The final bandwidth is always level_bw(level): the loop assigns it
+    // on every advance, including a cell's last.
+    const double bwf = table.level_bw(static_cast<std::size_t>(level[w]));
+    s.mem_region = caps[w].mem_cap.value() < mem_floor ? MemRegion::kFloor
+                   : bwf < peak_bw - 1e-9 ? MemRegion::kThrottled
+                                          : MemRegion::kUnthrottled;
+    best[b] = s;
+    assert(best[b] == solve_fast(table, caps[w].cpu_cap, caps[w].mem_cap,
+                                 active_cores, nullptr));
+  }
+}
+
 std::unique_ptr<const CpuOpTable> CpuNodeSim::build_table(
     int active_cores) const {
   const int cores = std::clamp(active_cores, 1, machine_.cpu.total_cores());
@@ -460,6 +731,14 @@ void CpuNodeSim::steady_state_packed_batch(int active_cores,
                                            std::span<AllocationSample> out,
                                            SolveArena& arena) const {
   solve_fast_batch(table_for(active_cores), caps, out, active_cores, arena);
+}
+
+void CpuNodeSim::steady_state_batch_best(std::span<const CapPair> caps,
+                                         std::span<const std::int32_t> bounds,
+                                         std::span<AllocationSample> best,
+                                         SolveArena& arena) const {
+  const int cores = machine_.cpu.total_cores();
+  solve_fast_batch_best(table_for(cores), caps, bounds, best, cores, arena);
 }
 
 std::vector<AllocationSample> CpuNodeSim::steady_state_batch(

@@ -89,6 +89,20 @@ class CpuNodeSim {
                                  std::span<AllocationSample> out,
                                  SolveArena& arena) const;
 
+  /// Blocked best-split solves — the frontier engine. `caps` holds the
+  /// split grids of several budgets concatenated (segment b spans
+  /// caps[bounds[b], bounds[b + 1]); bounds.size() == best.size() + 1)
+  /// and the whole block relaxes in one batched pass, so each SoA table
+  /// row is streamed once per block instead of once per budget. Only the
+  /// winner of each segment is materialized: best[b] is bit-identical to
+  /// taking steady_state over that segment's caps in order and keeping
+  /// the first sample of maximal perf (what sweep_cpu_split_best
+  /// computes); empty segments leave a default-constructed sample.
+  void steady_state_batch_best(std::span<const CapPair> caps,
+                               std::span<const std::int32_t> bounds,
+                               std::span<AllocationSample> best,
+                               SolveArena& arena) const;
+
   /// Convenience wrappers over the span entry points, borrowing the
   /// calling thread's arena and returning a fresh vector.
   [[nodiscard]] std::vector<AllocationSample> steady_state_batch(
@@ -163,6 +177,20 @@ class CpuNodeSim {
                         std::span<const CapPair> caps,
                         std::span<AllocationSample> out, int active_cores,
                         SolveArena& arena) const;
+
+  /// Blocked relaxation + per-segment best reduction behind
+  /// steady_state_batch_best. Restructured for block-scale batches: the
+  /// uniform iteration 0 runs dense (contiguous kernel over the shared
+  /// top-state row), iteration 1 confirms the iteration-0 answers with
+  /// two gathered compares per governor (simd::batch_confirm) and
+  /// rescans only the exceptions, and the rare still-moving cells drain
+  /// through the grouped pending loop. Fixed points are bit-identical to
+  /// solve_fast per cell (docs/solver.md: the blocked-sweep argument).
+  void solve_fast_batch_best(const CpuOpTable& table,
+                             std::span<const CapPair> caps,
+                             std::span<const std::int32_t> bounds,
+                             std::span<AllocationSample> best,
+                             int active_cores, SolveArena& arena) const;
 
   /// The lazily built, thread-shared table for an active-core count.
   [[nodiscard]] const CpuOpTable& table_for(int active_cores) const;

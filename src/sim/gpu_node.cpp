@@ -194,6 +194,75 @@ void GpuNodeSim::steady_state_batch(std::size_t mem_clock_index,
   }
 }
 
+void GpuNodeSim::steady_state_batch_best(std::span<const Watts> caps,
+                                         std::span<AllocationSample> best,
+                                         SolveArena& arena) const {
+  assert(best.size() == caps.size());
+  const GpuOpTable& t = table();
+  const std::size_t n = caps.size();
+  if (n == 0) return;
+  const auto& spec = machine_.gpu;
+  const std::size_t clocks = t.clock_count();
+  const std::size_t steps = t.step_count();
+  const std::span<const double> perf = t.perf_rows();  // [clock][step]
+
+  const auto scope = arena.scope();
+  const auto clamped = arena.get<double>(n);
+  const auto thr = arena.get<double>(n);
+  const auto idx = arena.get<std::int32_t>(n);
+  const auto best_perf = arena.get<double>(n);
+  const auto best_clock = arena.get<std::int32_t>(n);
+  const auto best_step = arena.get<std::int32_t>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Same clamp and threshold as solve_fast (reclaim path), per cell —
+    // the clamp is clock-independent, so one pass serves every clock.
+    clamped[i] =
+        clamp(caps[i], spec.board_min_cap, spec.board_max_cap).value();
+    thr[i] = clamped[i] + kCapSlackW;
+    best_clock[i] = -1;
+  }
+
+  // One vectorized curve scan per clock; the running reduction keeps the
+  // first clock of maximal perf. Strict > with the first-clock seed
+  // replicates BudgetSweep::best()'s max_element over ascending clocks,
+  // and the SoA perf lane holds the exact doubles sample(...).perf holds.
+  for (std::size_t c = 0; c < clocks; ++c) {
+    t.board_batch(c).max_index_within(thr, idx);
+    const double* lane = perf.data() + c * steps;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t step =
+          idx[i] < 0 ? 0 : static_cast<std::size_t>(idx[i]);
+      const double p = lane[step];
+      if (best_clock[i] < 0 || p > best_perf[i]) {
+        best_perf[i] = p;
+        best_clock[i] = static_cast<std::int32_t>(c);
+        best_step[i] = static_cast<std::int32_t>(step);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // The solve_fast (reclaim) epilogue for the winning clock only.
+    const auto c = static_cast<std::size_t>(best_clock[i]);
+    const Watts est_mem = t.est_mem(c);
+    AllocationSample s = t.sample(static_cast<std::size_t>(best_step[i]), c);
+    s.mem_cap = est_mem;
+    s.proc_cap = Watts{std::max(clamped[i] - est_mem.value(), 0.0)};
+    s.proc_cap_respected = true;  // board capper always converges
+    s.mem_cap_respected =
+        s.mem_power.value() <= est_mem.value() + kCapSlackW;
+    best[i] = s;
+#ifndef NDEBUG
+    AllocationSample ref = steady_state(0, caps[i]);
+    for (std::size_t k = 1; k < clocks; ++k) {
+      const AllocationSample cand = steady_state(k, caps[i]);
+      if (cand.perf > ref.perf) ref = cand;
+    }
+    assert(best[i] == ref);
+#endif
+  }
+}
+
 std::vector<AllocationSample> GpuNodeSim::steady_state_batch(
     std::size_t mem_clock_index, std::span<const Watts> caps) const {
   std::vector<AllocationSample> out(caps.size());

@@ -76,6 +76,15 @@ class GpuNodeSim {
   [[nodiscard]] std::vector<AllocationSample> steady_state_batch(
       std::size_t mem_clock_index, std::span<const Watts> caps) const;
 
+  /// Batched best-clock solves — the GPU frontier engine. For every board
+  /// cap, resolves all memory clocks through the per-clock batched capper
+  /// and keeps the first clock (ascending) of maximal perf, comparing
+  /// through the table's SoA perf lane. best[i] is bit-identical to
+  /// sweeping steady_state over the clocks and taking BudgetSweep::best.
+  void steady_state_batch_best(std::span<const Watts> caps,
+                               std::span<AllocationSample> best,
+                               SolveArena& arena) const;
+
   /// Reference solvers: the original top-down linear walks with a fresh
   /// workload evaluation per probed SM step. The fast path must match them
   /// bit for bit.

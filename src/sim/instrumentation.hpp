@@ -8,6 +8,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 #include "obs/metrics.hpp"
 
@@ -34,6 +35,44 @@ inline void record_table_build(const char* component,
                 "Operating-point table build time, microseconds",
                 obs::default_latency_bounds_us(), {{"component", component}})
       .observe(elapsed_us(t0));
+}
+
+/// Counts blocked (budget x split) sweep tiles — one batched relaxation
+/// per tile. Tiles fire per block inside sweep drivers, so unlike the
+/// build hooks above the handle is resolved once and cached: Counter::add
+/// is a relaxed atomic, safe at tile rate.
+inline void add_blocked_sweep_tiles(std::uint64_t n) {
+  static obs::Counter& tiles = obs::global_registry().counter(
+      "pbc_sim_blocked_sweep_tiles_total",
+      "Blocked (budget x split) sweep tiles relaxed");
+  tiles.add(n);
+}
+
+/// Records one performance-frontier build (component: "cpu" or "gpu").
+/// A warm frontier build over the blocked engine takes tens of
+/// microseconds, so unlike the build hooks above the labelled handles
+/// are resolved once and cached — registry references are stable, and
+/// Counter::add / Histogram::observe are relaxed atomics.
+inline void record_frontier_build(const char* component,
+                                  std::chrono::steady_clock::time_point t0) {
+  struct Handles {
+    obs::Counter& builds;
+    obs::Histogram& build_us;
+  };
+  static constexpr auto handles_for = [](const char* c) -> Handles {
+    obs::MetricsRegistry& reg = obs::global_registry();
+    return {reg.counter("pbc_sim_frontier_builds_total",
+                        "Performance frontiers built", {{"component", c}}),
+            reg.histogram("pbc_sim_frontier_build_us",
+                          "Performance-frontier build time, microseconds",
+                          obs::default_latency_bounds_us(),
+                          {{"component", c}})};
+  };
+  static Handles cpu = handles_for("cpu");
+  static Handles gpu = handles_for("gpu");
+  Handles& h = component[0] == 'g' ? gpu : cpu;
+  h.builds.add(1);
+  h.build_us.observe(elapsed_us(t0));
 }
 
 /// Records one PhaseNodeSet build (per-phase prepared nodes).

@@ -32,6 +32,96 @@ void batch_max_index_generic(const double* power, std::size_t n,
   }
 }
 
+void batch_max_index_prefix_generic(const double* sorted_power,
+                                    const std::int32_t* prefix_max,
+                                    std::size_t n, const double* thr,
+                                    std::size_t m, std::int32_t* out) noexcept {
+  // Scalar upper-bound walk + prefix-max lookup — the exact logic of the
+  // non-monotone branch of ResponseCurve::max_index_within.
+  for (std::size_t j = 0; j < m; ++j) {
+    const double t = thr[j];
+    std::size_t lo = 0;
+    std::size_t hi = n;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (sorted_power[mid] <= t) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    out[j] = lo == 0 ? -1 : prefix_max[lo - 1];
+  }
+}
+
+void batch_max_index_indexed_generic(const double* power, std::size_t n,
+                                     const double* thr_base,
+                                     const std::int32_t* idx, std::size_t m,
+                                     std::int32_t* out_base) noexcept {
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto cell = static_cast<std::size_t>(idx[j]);
+    const double t = thr_base[cell];
+    std::size_t lo = 0;
+    std::size_t hi = n;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (power[mid] <= t) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    out_base[cell] = static_cast<std::int32_t>(lo) - 1;
+  }
+}
+
+std::size_t batch_confirm_generic(const double* soa, std::size_t stride,
+                                  const std::int32_t* key,
+                                  const std::int32_t* val, const double* thr,
+                                  std::size_t n, const std::int32_t* fallback,
+                                  std::int32_t sleep_state,
+                                  std::int32_t* unconf) noexcept {
+  // Case analysis over the value a monotone max-index query can map to
+  // after the caller's fallback rule. With row monotone non-decreasing:
+  //   v == sleep_state (proc only): the rescan must return -1 and the
+  //     fallback must be sleep — true iff row[0] > thr.
+  //   v == 0 with a zero fallback: rescan returned 0 or -1 — true iff
+  //     row[1] > thr (stride >= 2 here; the degenerate stride <= 1 case
+  //     is handled separately below).
+  //   v == stride - 1 (top): true iff row[v] <= thr.
+  //   interior: true iff row[v] <= thr && row[v + 1] > thr.
+  // Each test is decided by at most two compares of the same stored
+  // doubles a rescan would compare, so confirm <=> rescan returns v.
+  std::size_t u = 0;
+  if (stride <= 1) {
+    // Degenerate one-entry rows: the rescan answer is 0 or the fallback.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a = soa[static_cast<std::size_t>(key[i]) * stride];
+      const std::int32_t ans =
+          a <= thr[i] ? 0 : (fallback != nullptr ? fallback[i] : 0);
+      if (ans != val[i]) unconf[u++] = static_cast<std::int32_t>(i);
+    }
+    return u;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t v = val[i];
+    const double* row = soa + static_cast<std::size_t>(key[i]) * stride;
+    bool ok;
+    if (fallback != nullptr && v == sleep_state) {
+      ok = !(row[0] <= thr[i]);
+    } else if (v == 0 && (fallback == nullptr || fallback[i] == 0)) {
+      ok = row[1] > thr[i];
+    } else if (static_cast<std::size_t>(v) >= stride - 1) {
+      ok = row[static_cast<std::size_t>(v)] <= thr[i];
+    } else {
+      ok = row[static_cast<std::size_t>(v)] <= thr[i] &&
+           row[static_cast<std::size_t>(v) + 1] > thr[i];
+    }
+    if (!ok) unconf[u++] = static_cast<std::int32_t>(i);
+  }
+  return u;
+}
+
 double lane_sum_generic(const double* x, std::size_t n) noexcept {
   // The generic tier mirrors the vector tiers' lane-split accumulation
   // (4 partial sums folded at the end) so every tier satisfies the same
@@ -56,11 +146,27 @@ namespace {
 
 using BatchMaxIndexFn = void (*)(const double*, std::size_t, const double*,
                                  std::size_t, std::int32_t*) noexcept;
+using BatchMaxIndexPrefixFn = void (*)(const double*, const std::int32_t*,
+                                       std::size_t, const double*, std::size_t,
+                                       std::int32_t*) noexcept;
+using BatchMaxIndexIndexedFn = void (*)(const double*, std::size_t,
+                                        const double*, const std::int32_t*,
+                                        std::size_t, std::int32_t*) noexcept;
+using BatchConfirmFn = std::size_t (*)(const double*, std::size_t,
+                                       const std::int32_t*,
+                                       const std::int32_t*, const double*,
+                                       std::size_t, const std::int32_t*,
+                                       std::int32_t, std::int32_t*) noexcept;
 using LaneSumFn = double (*)(const double*, std::size_t) noexcept;
 
 struct KernelSet {
   SimdTier tier = SimdTier::kGeneric;
   BatchMaxIndexFn batch_max_index = detail::batch_max_index_generic;
+  BatchMaxIndexPrefixFn batch_max_index_prefix =
+      detail::batch_max_index_prefix_generic;
+  BatchMaxIndexIndexedFn batch_max_index_indexed =
+      detail::batch_max_index_indexed_generic;
+  BatchConfirmFn batch_confirm = detail::batch_confirm_generic;
   LaneSumFn lane_sum = detail::lane_sum_generic;
 };
 
@@ -71,11 +177,19 @@ struct KernelSet {
   if (tier >= SimdTier::kAvx2) {
     k.tier = SimdTier::kAvx2;
     k.batch_max_index = detail::batch_max_index_avx2;
+    k.batch_max_index_prefix = detail::batch_max_index_prefix_avx2;
+    k.batch_max_index_indexed = detail::batch_max_index_indexed_avx2;
+    // The confirm predicate is two scalar compares per cell; the AVX2
+    // tier keeps the (exact either way) generic evaluation rather than
+    // growing the 256-bit ISA surface for a pass the 512-bit tier owns.
     k.lane_sum = detail::lane_sum_avx2;
   }
   if (tier >= SimdTier::kAvx512) {
     k.tier = SimdTier::kAvx512;
     k.batch_max_index = detail::batch_max_index_avx512;
+    k.batch_max_index_prefix = detail::batch_max_index_prefix_avx512;
+    k.batch_max_index_indexed = detail::batch_max_index_indexed_avx512;
+    k.batch_confirm = detail::batch_confirm_avx512;
     k.lane_sum = detail::lane_sum_avx512;
   }
 #else
@@ -170,6 +284,38 @@ void batch_max_index_within(std::span<const double> power,
   active_kernels().batch_max_index(power.data(), power.size(),
                                    thresholds.data(), thresholds.size(),
                                    out.data());
+}
+
+void batch_max_index_prefix(std::span<const double> sorted_power,
+                            std::span<const std::int32_t> prefix_max,
+                            std::span<const double> thresholds,
+                            std::span<std::int32_t> out) noexcept {
+  assert(prefix_max.size() == sorted_power.size());
+  assert(out.size() == thresholds.size());
+  active_kernels().batch_max_index_prefix(sorted_power.data(),
+                                          prefix_max.data(),
+                                          sorted_power.size(),
+                                          thresholds.data(),
+                                          thresholds.size(), out.data());
+}
+
+void batch_max_index_indexed(std::span<const double> power,
+                             const double* thr_base,
+                             std::span<const std::int32_t> idx,
+                             std::int32_t* out_base) noexcept {
+  active_kernels().batch_max_index_indexed(power.data(), power.size(),
+                                           thr_base, idx.data(), idx.size(),
+                                           out_base);
+}
+
+std::size_t batch_confirm(const double* soa, std::size_t stride,
+                          const std::int32_t* key, const std::int32_t* val,
+                          const double* thr, std::size_t n,
+                          const std::int32_t* fallback,
+                          std::int32_t sleep_state,
+                          std::int32_t* unconf) noexcept {
+  return active_kernels().batch_confirm(soa, stride, key, val, thr, n,
+                                        fallback, sleep_state, unconf);
 }
 
 double lane_sum(std::span<const double> x) noexcept {

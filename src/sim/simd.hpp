@@ -1,12 +1,20 @@
 // Runtime-dispatched SIMD kernels for the batch solver layer.
 //
-// The solver's hot loops reduce to two primitive shapes:
+// The solver's hot loops reduce to a handful of primitive shapes:
 //
 //  * max-index-within over a sorted monotone power curve, evaluated for a
 //    whole batch of thresholds at once — the vector form of
 //    ResponseCurve::max_index_within. Comparisons and index arithmetic
 //    only, so every tier returns bit-identical indices to the scalar
 //    bisection (docs/solver.md: the bit-identity-vs-ULP policy table).
+//  * the same query through one level of indirection: gather the
+//    thresholds of a grouped bucket (batch_max_index_indexed) or answer a
+//    non-monotone curve through its sorted-order + prefix-max index
+//    (batch_max_index_prefix). Both stay pure compare/index kernels and
+//    inherit the bit-identity argument.
+//  * a fixed-point confirm pass (batch_confirm): two gathered compares
+//    per cell decide whether a governor answer reproduces itself, so the
+//    blocked relaxation rescans only the cells that actually move.
 //  * lane-split horizontal reduction (lane_sum) — vector accumulation
 //    reassociates the adds, so this kernel is *not* bit-identical to a
 //    left-to-right scalar sum; it carries a documented ULP bound instead
@@ -62,6 +70,55 @@ void batch_max_index_within(std::span<const double> power,
                             std::span<const double> thresholds,
                             std::span<std::int32_t> out) noexcept;
 
+/// Non-monotone fallback, batched: for each thresholds[j],
+/// out[j] = prefix_max[u - 1] where u is the number of entries of the
+/// *sorted non-decreasing* `sorted_power` that are <= thresholds[j]
+/// (i.e. the upper-bound index), or -1 when u == 0. With `sorted_power`
+/// / `prefix_max` taken from a ResponseCurve's sorted-order index this
+/// answers the exact top-down first-fit walk over the original
+/// (non-monotone) curve — bit-identical on every tier, because every
+/// tier compares the same stored doubles with the same <= predicate and
+/// then reads the same precomputed int32 prefix-max lane (vector tiers
+/// via a gather). NaN thresholds yield -1. Preconditions: sorted_power
+/// non-decreasing, prefix_max.size() == sorted_power.size(),
+/// out.size() == thresholds.size().
+void batch_max_index_prefix(std::span<const double> sorted_power,
+                            std::span<const std::int32_t> prefix_max,
+                            std::span<const double> thresholds,
+                            std::span<std::int32_t> out) noexcept;
+
+/// Indexed (grouped) form of batch_max_index_within: for each j in
+/// [0, idx.size()), out_base[idx[j]] = max{ i : power[i] <=
+/// thr_base[idx[j]] } or -1. Vector tiers fuse the threshold gather, the
+/// monotone count scan, and the answer scatter into one pass; the result
+/// is bit-identical to looping batch_max_index_within over gathered
+/// thresholds (same doubles, same <=). The index list must not contain
+/// duplicates (each out slot is written once).
+void batch_max_index_indexed(std::span<const double> power,
+                             const double* thr_base,
+                             std::span<const std::int32_t> idx,
+                             std::int32_t* out_base) noexcept;
+
+/// Fixed-point confirm pass for the blocked relaxation. For each cell
+/// i in [0, n): row = soa + key[i] * stride is a *monotone* power lane
+/// of length `stride`; tests whether the previous governor answer
+/// val[i] reproduces itself against that row at threshold thr[i], i.e.
+/// whether re-running the max-index query (with the caller's fallback
+/// mapping applied: negative answers clamp to 0 when fallback ==
+/// nullptr, else map to fallback[i], where fallback values are 0 or
+/// `sleep_state`) would return val[i] again. Indices of cells that do
+/// NOT reproduce are appended to `unconf`; returns how many. Exact on
+/// every tier: the predicate is two <=/> compares of the same stored
+/// doubles per cell (one at val[i], one at val[i] + 1), so confirm(i)
+/// holds iff a full rescan would return val[i]. Callers must guarantee
+/// every referenced row is monotone (CpuOpTable::fully_monotone).
+std::size_t batch_confirm(const double* soa, std::size_t stride,
+                          const std::int32_t* key, const std::int32_t* val,
+                          const double* thr, std::size_t n,
+                          const std::int32_t* fallback,
+                          std::int32_t sleep_state,
+                          std::int32_t* unconf) noexcept;
+
 /// Horizontal sum with lane-split accumulation. NOT bit-identical to a
 /// sequential left-to-right sum: vector tiers keep W independent partial
 /// sums (W = lane width) and fold them at the end, which reassociates the
@@ -77,15 +134,51 @@ namespace detail {
 void batch_max_index_generic(const double* power, std::size_t n,
                              const double* thr, std::size_t m,
                              std::int32_t* out) noexcept;
+void batch_max_index_prefix_generic(const double* sorted_power,
+                                    const std::int32_t* prefix_max,
+                                    std::size_t n, const double* thr,
+                                    std::size_t m, std::int32_t* out) noexcept;
+void batch_max_index_indexed_generic(const double* power, std::size_t n,
+                                     const double* thr_base,
+                                     const std::int32_t* idx, std::size_t m,
+                                     std::int32_t* out_base) noexcept;
+std::size_t batch_confirm_generic(const double* soa, std::size_t stride,
+                                  const std::int32_t* key,
+                                  const std::int32_t* val, const double* thr,
+                                  std::size_t n, const std::int32_t* fallback,
+                                  std::int32_t sleep_state,
+                                  std::int32_t* unconf) noexcept;
 double lane_sum_generic(const double* x, std::size_t n) noexcept;
 #if defined(PBC_SIMD_X86)
 void batch_max_index_avx2(const double* power, std::size_t n,
                           const double* thr, std::size_t m,
                           std::int32_t* out) noexcept;
+void batch_max_index_prefix_avx2(const double* sorted_power,
+                                 const std::int32_t* prefix_max,
+                                 std::size_t n, const double* thr,
+                                 std::size_t m, std::int32_t* out) noexcept;
+void batch_max_index_indexed_avx2(const double* power, std::size_t n,
+                                  const double* thr_base,
+                                  const std::int32_t* idx, std::size_t m,
+                                  std::int32_t* out_base) noexcept;
 double lane_sum_avx2(const double* x, std::size_t n) noexcept;
 void batch_max_index_avx512(const double* power, std::size_t n,
                             const double* thr, std::size_t m,
                             std::int32_t* out) noexcept;
+void batch_max_index_prefix_avx512(const double* sorted_power,
+                                   const std::int32_t* prefix_max,
+                                   std::size_t n, const double* thr,
+                                   std::size_t m, std::int32_t* out) noexcept;
+void batch_max_index_indexed_avx512(const double* power, std::size_t n,
+                                    const double* thr_base,
+                                    const std::int32_t* idx, std::size_t m,
+                                    std::int32_t* out_base) noexcept;
+std::size_t batch_confirm_avx512(const double* soa, std::size_t stride,
+                                 const std::int32_t* key,
+                                 const std::int32_t* val, const double* thr,
+                                 std::size_t n, const std::int32_t* fallback,
+                                 std::int32_t sleep_state,
+                                 std::int32_t* unconf) noexcept;
 double lane_sum_avx512(const double* x, std::size_t n) noexcept;
 #endif
 }  // namespace detail

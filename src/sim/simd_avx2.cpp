@@ -43,6 +43,73 @@ void batch_max_index_avx2(const double* power, std::size_t n,
   if (j < m) batch_max_index_generic(power, n, thr + j, m - j, out + j);
 }
 
+void batch_max_index_prefix_avx2(const double* sorted_power,
+                                 const std::int32_t* prefix_max,
+                                 std::size_t n, const double* thr,
+                                 std::size_t m, std::int32_t* out) noexcept {
+  // Count over the sorted curve exactly as batch_max_index_avx2, then
+  // resolve each lane's upper-bound count through the int32 prefix-max
+  // lane with one masked gather (count == 0 lanes keep -1 and never
+  // touch memory). Same compares, same precomputed indices as the
+  // scalar non-monotone walk, so the answers are bit-identical to it.
+  std::size_t j = 0;
+  const __m256i pack = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  for (; j + 4 <= m; j += 4) {
+    const __m256d t = _mm256_loadu_pd(thr + j);
+    __m256i count = _mm256_setzero_si256();
+    for (std::size_t i = 0; i < n; ++i) {
+      const __m256d p = _mm256_set1_pd(sorted_power[i]);
+      const __m256d le = _mm256_cmp_pd(p, t, _CMP_LE_OQ);
+      if (_mm256_movemask_pd(le) == 0) break;
+      count = _mm256_sub_epi64(count, _mm256_castpd_si256(le));
+    }
+    const __m128i cnt32 =
+        _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(count, pack));
+    const __m128i vidx = _mm_sub_epi32(cnt32, _mm_set1_epi32(1));
+    const __m128i mask = _mm_cmpgt_epi32(cnt32, _mm_setzero_si128());
+    const __m128i res =
+        _mm_mask_i32gather_epi32(_mm_set1_epi32(-1), prefix_max, vidx, mask, 4);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + j), res);
+  }
+  if (j < m) {
+    batch_max_index_prefix_generic(sorted_power, prefix_max, n, thr + j,
+                                   m - j, out + j);
+  }
+}
+
+void batch_max_index_indexed_avx2(const double* power, std::size_t n,
+                                  const double* thr_base,
+                                  const std::int32_t* idx, std::size_t m,
+                                  std::int32_t* out_base) noexcept {
+  // Gathered-threshold form of batch_max_index_avx2: one vector gather
+  // pulls the bucket's thresholds, the count scan is unchanged, and the
+  // answers scatter back through the same indices (scalar stores — AVX2
+  // has no scatter). Bit-identical to the contiguous kernel per lane.
+  std::size_t j = 0;
+  for (; j + 4 <= m; j += 4) {
+    const __m128i vi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + j));
+    const __m256d t = _mm256_i32gather_pd(thr_base, vi, 8);
+    __m256i count = _mm256_setzero_si256();
+    for (std::size_t i = 0; i < n; ++i) {
+      const __m256d p = _mm256_set1_pd(power[i]);
+      const __m256d le = _mm256_cmp_pd(p, t, _CMP_LE_OQ);
+      if (_mm256_movemask_pd(le) == 0) break;
+      count = _mm256_sub_epi64(count, _mm256_castpd_si256(le));
+    }
+    alignas(32) std::int64_t c[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(c), count);
+    out_base[idx[j]] = static_cast<std::int32_t>(c[0]) - 1;
+    out_base[idx[j + 1]] = static_cast<std::int32_t>(c[1]) - 1;
+    out_base[idx[j + 2]] = static_cast<std::int32_t>(c[2]) - 1;
+    out_base[idx[j + 3]] = static_cast<std::int32_t>(c[3]) - 1;
+  }
+  if (j < m) {
+    batch_max_index_indexed_generic(power, n, thr_base, idx + j, m - j,
+                                    out_base);
+  }
+}
+
 double lane_sum_avx2(const double* x, std::size_t n) noexcept {
   __m256d acc = _mm256_setzero_pd();
   std::size_t i = 0;

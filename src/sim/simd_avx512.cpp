@@ -9,27 +9,177 @@
 
 namespace pbc::sim::simd::detail {
 
+namespace {
+
+// 8-lane adaptive count scan over a sorted non-decreasing curve: returns
+// per lane max{ i : power[i] <= t } or -1. A single midpoint probe picks
+// the scan direction — when most lanes' answers sit in the upper half,
+// counting the (usually short) suffix of entries > t from the top beats
+// counting the prefix of entries <= t from the bottom. Both directions
+// compute the same upper-bound count u (answer = u - 1) from the same
+// <= / > compares of the same doubles, so the choice never changes a
+// result. Unordered (NaN) thresholds satisfy neither compare: the
+// bottom-up count yields -1 naturally; the top-down path forces it.
+inline __m256i scan8(const double* power, std::size_t n, __m512d t) noexcept {
+  if (n == 0) return _mm256_set1_epi32(-1);
+  const __m512i one = _mm512_set1_epi64(1);
+  const __mmask8 upper =
+      _mm512_cmp_pd_mask(_mm512_set1_pd(power[n / 2]), t, _CMP_LE_OQ);
+  __m512i count = _mm512_setzero_si512();
+  if (__builtin_popcount(upper) >= 4) {
+    for (std::size_t i = n; i-- > 0;) {
+      const __mmask8 gt =
+          _mm512_cmp_pd_mask(_mm512_set1_pd(power[i]), t, _CMP_GT_OQ);
+      if (gt == 0) break;
+      count = _mm512_mask_add_epi64(count, gt, count, one);
+    }
+    const __m256i ans =
+        _mm256_sub_epi32(_mm256_set1_epi32(static_cast<int>(n) - 1),
+                         _mm512_cvtepi64_epi32(count));
+    const __mmask8 nan = _mm512_cmp_pd_mask(t, t, _CMP_UNORD_Q);
+    return _mm256_mask_mov_epi32(ans, nan, _mm256_set1_epi32(-1));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const __mmask8 le =
+        _mm512_cmp_pd_mask(_mm512_set1_pd(power[i]), t, _CMP_LE_OQ);
+    if (le == 0) break;
+    count = _mm512_mask_add_epi64(count, le, count, one);
+  }
+  return _mm256_sub_epi32(_mm512_cvtepi64_epi32(count),
+                          _mm256_set1_epi32(1));
+}
+
+}  // namespace
+
 void batch_max_index_avx512(const double* power, std::size_t n,
                             const double* thr, std::size_t m,
                             std::int32_t* out) noexcept {
   // 8 thresholds per vector; see the AVX2 kernel for the
-  // count-is-the-answer argument and the monotone early exit.
+  // count-is-the-answer argument and scan8 for the adaptive direction.
   std::size_t j = 0;
-  const __m512i one = _mm512_set1_epi64(1);
   for (; j + 8 <= m; j += 8) {
-    const __m512d t = _mm512_loadu_pd(thr + j);
-    __m512i count = _mm512_setzero_si512();
-    for (std::size_t i = 0; i < n; ++i) {
-      const __m512d p = _mm512_set1_pd(power[i]);
-      const __mmask8 le = _mm512_cmp_pd_mask(p, t, _CMP_LE_OQ);
-      if (le == 0) break;
-      count = _mm512_mask_add_epi64(count, le, count, one);
-    }
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j),
-                        _mm256_sub_epi32(_mm512_cvtepi64_epi32(count),
-                                         _mm256_set1_epi32(1)));
+                        scan8(power, n, _mm512_loadu_pd(thr + j)));
   }
   if (j < m) batch_max_index_generic(power, n, thr + j, m - j, out + j);
+}
+
+void batch_max_index_prefix_avx512(const double* sorted_power,
+                                   const std::int32_t* prefix_max,
+                                   std::size_t n, const double* thr,
+                                   std::size_t m, std::int32_t* out) noexcept {
+  // scan8 over the sorted curve gives u - 1 per lane (u = upper-bound
+  // count); one masked gather resolves it through the int32 prefix-max
+  // lane, with u == 0 lanes pinned to -1. Bit-identical to the scalar
+  // non-monotone walk: same compares, same precomputed indices.
+  std::size_t j = 0;
+  for (; j + 8 <= m; j += 8) {
+    const __m256i r = scan8(sorted_power, n, _mm512_loadu_pd(thr + j));
+    const __mmask8 valid =
+        _mm256_cmp_epi32_mask(r, _mm256_setzero_si256(), _MM_CMPINT_NLT);
+    const __m256i res = _mm256_mmask_i32gather_epi32(
+        _mm256_set1_epi32(-1), valid, r, prefix_max, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j), res);
+  }
+  if (j < m) {
+    batch_max_index_prefix_generic(sorted_power, prefix_max, n, thr + j,
+                                   m - j, out + j);
+  }
+}
+
+void batch_max_index_indexed_avx512(const double* power, std::size_t n,
+                                    const double* thr_base,
+                                    const std::int32_t* idx, std::size_t m,
+                                    std::int32_t* out_base) noexcept {
+  // Fused gather/scan/scatter: lane j answers thr_base[idx[j]] and
+  // writes out_base[idx[j]].
+  std::size_t j = 0;
+  for (; j + 8 <= m; j += 8) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + j));
+    const __m512d t = _mm512_i32gather_pd(vi, thr_base, 8);
+    _mm256_i32scatter_epi32(out_base, vi, scan8(power, n, t), 4);
+  }
+  if (j < m) {
+    batch_max_index_indexed_generic(power, n, thr_base, idx + j, m - j,
+                                    out_base);
+  }
+}
+
+std::size_t batch_confirm_avx512(const double* soa, std::size_t stride,
+                                 const std::int32_t* key,
+                                 const std::int32_t* val, const double* thr,
+                                 std::size_t n, const std::int32_t* fallback,
+                                 std::int32_t sleep_state,
+                                 std::int32_t* unconf) noexcept {
+  // Vector form of batch_confirm_generic's case analysis: two gathered
+  // row reads per 8 cells (row[v] and row[min(v + 1, stride - 1)], with
+  // sleep lanes remapped to probe row[0]) decide every case with the
+  // exact compares the scalar evaluation makes. Masks compose in
+  // priority order sleep > zero-fallback > top > interior.
+  if (stride <= 1) {
+    return batch_confirm_generic(soa, stride, key, val, thr, n, fallback,
+                                 sleep_state, unconf);
+  }
+  std::size_t u = 0;
+  const __m256i vstride = _mm256_set1_epi32(static_cast<int>(stride));
+  const __m256i vtop = _mm256_set1_epi32(static_cast<int>(stride) - 1);
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vone = _mm256_set1_epi32(1);
+  const __m256i vsleep = _mm256_set1_epi32(sleep_state);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(val + i));
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(key + i));
+    const __mmask8 m_sleep =
+        fallback != nullptr ? _mm256_cmp_epi32_mask(v, vsleep, _MM_CMPINT_EQ)
+                            : static_cast<__mmask8>(0);
+    const __m256i lo = _mm256_mask_mov_epi32(v, m_sleep, vzero);
+    const __m256i hi = _mm256_min_epi32(_mm256_add_epi32(lo, vone), vtop);
+    const __m256i base = _mm256_mullo_epi32(k, vstride);
+    const __m512d t = _mm512_loadu_pd(thr + i);
+    const __m512d a = _mm512_i32gather_pd(_mm256_add_epi32(base, lo), soa, 8);
+    const __m512d b = _mm512_i32gather_pd(_mm256_add_epi32(base, hi), soa, 8);
+    const __mmask8 c_le = _mm512_cmp_pd_mask(a, t, _CMP_LE_OQ);
+    const __mmask8 c_gt = _mm512_cmp_pd_mask(b, t, _CMP_GT_OQ);
+    __mmask8 m_zero = _mm256_cmp_epi32_mask(v, vzero, _MM_CMPINT_EQ);
+    if (fallback != nullptr) {
+      const __m256i fb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(fallback + i));
+      m_zero &= _mm256_cmp_epi32_mask(fb, vzero, _MM_CMPINT_EQ);
+    }
+    const __mmask8 at_top = _mm256_cmp_epi32_mask(lo, vtop, _MM_CMPINT_NLT);
+    __mmask8 confirm = c_le & c_gt;                               // interior
+    confirm = (confirm & ~at_top) | (at_top & c_le);              // top
+    confirm = (confirm & ~m_zero) | (m_zero & c_gt);              // zero
+    confirm = static_cast<__mmask8>((confirm & ~m_sleep) |
+                                    (m_sleep & static_cast<__mmask8>(~c_le)));
+    __mmask8 miss = static_cast<__mmask8>(~confirm);
+    while (miss) {
+      const int lane = __builtin_ctz(miss);
+      unconf[u++] = static_cast<std::int32_t>(i + static_cast<std::size_t>(lane));
+      miss = static_cast<__mmask8>(miss & (miss - 1));
+    }
+  }
+  for (; i < n; ++i) {
+    const std::int32_t v = val[i];
+    const double* row = soa + static_cast<std::size_t>(key[i]) * stride;
+    bool ok;
+    if (fallback != nullptr && v == sleep_state) {
+      ok = !(row[0] <= thr[i]);
+    } else if (v == 0 && (fallback == nullptr || fallback[i] == 0)) {
+      ok = row[1] > thr[i];
+    } else if (static_cast<std::size_t>(v) >= stride - 1) {
+      ok = row[static_cast<std::size_t>(v)] <= thr[i];
+    } else {
+      ok = row[static_cast<std::size_t>(v)] <= thr[i] &&
+           row[static_cast<std::size_t>(v) + 1] > thr[i];
+    }
+    if (!ok) unconf[u++] = static_cast<std::int32_t>(i);
+  }
+  return u;
 }
 
 double lane_sum_avx512(const double* x, std::size_t n) noexcept {

@@ -16,11 +16,10 @@ void ResponseCurveBatch::max_index_within(
     simd::batch_max_index_within(power_, thresholds, out);
   } else {
     // Non-monotone fallback: the exact sorted-order + prefix-max query,
-    // one lane at a time. Rare by construction (physical curves are
-    // monotone), so vectorizing it isn't worth the extra code path.
-    for (std::size_t j = 0; j < thresholds.size(); ++j) {
-      out[j] = curve_->max_index_within(thresholds[j]);
-    }
+    // batched — count over the sorted lane, then gather the answer from
+    // the prefix-max lane. Bit-identical to the scalar query per lane.
+    simd::batch_max_index_prefix(curve_->sorted_powers(),
+                                 curve_->prefix_max(), thresholds, out);
   }
 #ifndef NDEBUG
   for (std::size_t j = 0; j < thresholds.size(); ++j) {
@@ -193,6 +192,12 @@ CpuOpTable::CpuOpTable(std::size_t ladder_states,
     mem_power_soa_.insert(mem_power_soa_.end(), c.powers().begin(),
                           c.powers().end());
   }
+  perf_soa_.reserve((states_ + 1) * levels);
+  for (std::size_t s = 0; s <= states_; ++s) {
+    for (std::size_t l = 0; l < levels; ++l) {
+      perf_soa_.push_back(this->sample(s, l).perf);
+    }
+  }
 }
 
 int CpuOpTable::proc_response(double threshold, std::size_t level,
@@ -231,12 +236,16 @@ GpuOpTable::GpuOpTable(std::size_t sm_steps, std::size_t mem_clocks,
   }
   total_power_soa_.reserve(mem_clocks * steps_);
   sm_power_soa_.reserve(mem_clocks * steps_);
+  perf_soa_.reserve(mem_clocks * steps_);
   for (std::size_t c = 0; c < mem_clocks; ++c) {
     total_power_soa_.insert(total_power_soa_.end(),
                             total_curves_[c].powers().begin(),
                             total_curves_[c].powers().end());
     sm_power_soa_.insert(sm_power_soa_.end(), sm_curves_[c].powers().begin(),
                          sm_curves_[c].powers().end());
+    for (std::size_t s = 0; s < steps_; ++s) {
+      perf_soa_.push_back(this->sample(s, c).perf);
+    }
   }
 }
 

@@ -68,6 +68,15 @@ class ResponseCurve {
   [[nodiscard]] std::span<const double> powers() const noexcept {
     return power_;
   }
+  /// Non-monotone fallback index (empty for monotone curves): the curve
+  /// values sorted non-decreasing, and the running max of their original
+  /// indices — the lanes simd::batch_max_index_prefix gathers over.
+  [[nodiscard]] std::span<const double> sorted_powers() const noexcept {
+    return sorted_power_;
+  }
+  [[nodiscard]] std::span<const std::int32_t> prefix_max() const noexcept {
+    return prefix_max_;
+  }
 
  private:
   /// The literal top-down first-fit walk; debug builds cross-check every
@@ -89,8 +98,9 @@ class ResponseCurve {
 /// Monotone curves (the physical case) route through the runtime-
 /// dispatched SIMD count kernel — bit-identical to the scalar bisection
 /// because both compare the same stored doubles with the same <=
-/// predicate (docs/solver.md: exactness policy). The rare non-monotone
-/// curve falls back to the scalar prefix-max query per lane.
+/// predicate (docs/solver.md: exactness policy). Non-monotone curves
+/// route through the gather-based prefix-max kernel
+/// (simd::batch_max_index_prefix), equally exact on every tier.
 class ResponseCurveBatch {
  public:
   explicit ResponseCurveBatch(const ResponseCurve& curve) noexcept
@@ -197,6 +207,20 @@ class CpuOpTable {
     return cells_.size();
   }
 
+  /// Raw SoA lanes for the blocked relaxation (cpu_node.cpp): the same
+  /// bit-identical power copies the batch views wrap, plus a perf lane
+  /// (cells_[...].perf in [state][level] order, sleep row included) so
+  /// the per-budget best reduction never touches the wide sample cells.
+  [[nodiscard]] std::span<const double> proc_power_rows() const noexcept {
+    return proc_power_soa_;  // [level][state]
+  }
+  [[nodiscard]] std::span<const double> mem_power_rows() const noexcept {
+    return mem_power_soa_;  // [state][level], incl. sleep row
+  }
+  [[nodiscard]] std::span<const double> perf_rows() const noexcept {
+    return perf_soa_;  // [state][level], incl. sleep row
+  }
+
  private:
   std::size_t states_ = 0;
   std::vector<double> level_bw_;
@@ -207,6 +231,7 @@ class CpuOpTable {
   // curve values, packed so each curve's lane is one contiguous row.
   std::vector<double> proc_power_soa_;  // [level][state], levels x states
   std::vector<double> mem_power_soa_;   // [state][level], (states+1) x levels
+  std::vector<double> perf_soa_;        // [state][level], (states+1) x levels
   bool fully_monotone_ = true;
 };
 
@@ -258,6 +283,13 @@ class GpuOpTable {
     return fully_monotone_;
   }
 
+  /// Perf lane in [clock][step] order (cells_ are step-major, so this is
+  /// the transposed copy the batched frontier best-reduction streams
+  /// over without touching the wide sample cells).
+  [[nodiscard]] std::span<const double> perf_rows() const noexcept {
+    return perf_soa_;
+  }
+
  private:
   std::size_t steps_ = 0;
   std::vector<AllocationSample> cells_;      // steps x clocks
@@ -266,6 +298,7 @@ class GpuOpTable {
   // SoA power lanes, one contiguous row per clock (see CpuOpTable).
   std::vector<double> total_power_soa_;  // [clock][step], clocks x steps
   std::vector<double> sm_power_soa_;     // [clock][step], clocks x steps
+  std::vector<double> perf_soa_;         // [clock][step], clocks x steps
   std::vector<Watts> est_mem_;
   bool fully_monotone_ = true;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/instrumentation.hpp"
 #include "sim/simd.hpp"
 #include "sim/solve_arena.hpp"
 
@@ -30,6 +31,43 @@ std::span<const CapPair> cpu_split_grid_into(Watts budget,
   std::size_t k = 0;
   for_each_split(budget, opt, [&](const CapPair& c) { caps[k++] = c; });
   return caps;
+}
+
+/// One blocked-sweep tile: the split grids of budgets[b0, b1) laid back to
+/// back in arena storage, with bounds[k] marking segment starts (the
+/// shape CpuNodeSim::steady_state_batch_best consumes). Each grid is
+/// emitted by the same for_each_split recurrence the per-budget drivers
+/// run, in the same budget order, so tiling never changes a grid point.
+struct BlockGrid {
+  std::span<const CapPair> caps;
+  std::span<const std::int32_t> bounds;  // (b1 - b0) + 1 entries
+};
+
+BlockGrid block_split_grid_into(std::span<const Watts> budgets,
+                                std::size_t b0, std::size_t b1,
+                                const CpuSweepOptions& opt,
+                                SolveArena& arena) {
+  const std::size_t nb = b1 - b0;
+  const std::span<std::int32_t> bounds = arena.get<std::int32_t>(nb + 1);
+  std::size_t total = 0;
+  bounds[0] = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    for_each_split(budgets[b0 + b], opt, [&](const CapPair&) { ++total; });
+    bounds[b + 1] = static_cast<std::int32_t>(total);
+  }
+  const std::span<CapPair> caps = arena.get<CapPair>(total);
+  std::size_t k = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    for_each_split(budgets[b0 + b], opt,
+                   [&](const CapPair& c) { caps[k++] = c; });
+  }
+  return {caps, bounds};
+}
+
+/// Budget-block tiling shared by the blocked drivers; budget_block < 1
+/// degrades to one budget per tile.
+std::size_t block_size(const CpuSweepOptions& opt) noexcept {
+  return std::max<std::size_t>(opt.budget_block, 1);
 }
 
 }  // namespace
@@ -115,14 +153,76 @@ std::vector<BudgetSweep> sweep_cpu_budgets(const CpuNodeSim& node,
                                            std::span<const Watts> budgets,
                                            const CpuSweepOptions& opt,
                                            ThreadPool* pool) {
-  // Build the operating-point table before fanning out, so workers start
-  // solving immediately instead of serializing on the build lock.
-  if (opt.path == SolverPath::kFast) node.prepare();
   std::vector<BudgetSweep> out(budgets.size());
   ThreadPool& tp = pool ? *pool : global_pool();
+  if (opt.path == SolverPath::kFast) {
+    // Build the operating-point table before fanning out, so workers
+    // start solving immediately instead of serializing on the build lock.
+    node.prepare();
+    // Cache-blocked tiling: each tile concatenates a block of budgets'
+    // split grids and relaxes them in one batched pass, so every SoA
+    // table row the solver streams services the whole block instead of
+    // one budget. Per-cell results are bit-identical to the per-budget
+    // sweep — batching never changes a cell's trajectory.
+    const std::size_t block = block_size(opt);
+    const std::size_t nblocks = (budgets.size() + block - 1) / block;
+    tp.parallel_for_index(nblocks, [&](std::size_t blk) {
+      const std::size_t b0 = blk * block;
+      const std::size_t b1 = std::min(b0 + block, budgets.size());
+      SolveArena& arena = thread_solve_arena();
+      const auto scope = arena.scope();
+      const BlockGrid grid =
+          block_split_grid_into(budgets, b0, b1, opt, arena);
+      const std::span<AllocationSample> samples =
+          arena.get<AllocationSample>(grid.caps.size());
+      node.steady_state_batch(grid.caps, samples, arena);
+      detail::add_blocked_sweep_tiles(1);
+      for (std::size_t b = b0; b < b1; ++b) {
+        const auto s0 = static_cast<std::size_t>(grid.bounds[b - b0]);
+        const auto s1 = static_cast<std::size_t>(grid.bounds[b - b0 + 1]);
+        out[b].budget = budgets[b];
+        out[b].samples.assign(samples.begin() + s0, samples.begin() + s1);
+      }
+    });
+    return out;
+  }
   tp.parallel_for_index(budgets.size(), [&](std::size_t i) {
     out[i].budget = budgets[i];
     out[i].samples = sweep_cpu_split(node, budgets[i], opt);
+  });
+  return out;
+}
+
+std::vector<std::optional<AllocationSample>> sweep_cpu_budgets_best(
+    const CpuNodeSim& node, std::span<const Watts> budgets,
+    const CpuSweepOptions& opt, ThreadPool* pool) {
+  std::vector<std::optional<AllocationSample>> out(budgets.size());
+  ThreadPool& tp = pool ? *pool : global_pool();
+  if (opt.path != SolverPath::kFast) {
+    tp.parallel_for_index(budgets.size(), [&](std::size_t i) {
+      out[i] = sweep_cpu_split_best(node, budgets[i], opt);
+    });
+    return out;
+  }
+  node.prepare();
+  const std::size_t block = block_size(opt);
+  const std::size_t nblocks = (budgets.size() + block - 1) / block;
+  tp.parallel_for_index(nblocks, [&](std::size_t blk) {
+    const std::size_t b0 = blk * block;
+    const std::size_t b1 = std::min(b0 + block, budgets.size());
+    SolveArena& arena = thread_solve_arena();
+    const auto scope = arena.scope();
+    const BlockGrid grid = block_split_grid_into(budgets, b0, b1, opt, arena);
+    const std::span<AllocationSample> best =
+        arena.get<AllocationSample>(b1 - b0);
+    node.steady_state_batch_best(grid.caps, grid.bounds, best, arena);
+    detail::add_blocked_sweep_tiles(1);
+    for (std::size_t b = b0; b < b1; ++b) {
+      // Empty segments stay nullopt, matching sweep_cpu_split_best on an
+      // empty grid.
+      if (grid.bounds[b - b0] == grid.bounds[b - b0 + 1]) continue;
+      out[b] = best[b - b0];
+    }
   });
   return out;
 }
@@ -159,6 +259,45 @@ std::vector<BudgetSweep> sweep_gpu_budgets(const GpuNodeSim& node,
   tp.parallel_for_index(board_caps.size(), [&](std::size_t i) {
     out[i].budget = board_caps[i];
     out[i].samples = sweep_gpu_split(node, board_caps[i], path);
+  });
+  return out;
+}
+
+std::vector<std::optional<AllocationSample>> sweep_gpu_budgets_best(
+    const GpuNodeSim& node, std::span<const Watts> board_caps,
+    SolverPath path, ThreadPool* pool) {
+  std::vector<std::optional<AllocationSample>> out(board_caps.size());
+  ThreadPool& tp = pool ? *pool : global_pool();
+  if (path != SolverPath::kFast) {
+    tp.parallel_for_index(board_caps.size(), [&](std::size_t i) {
+      std::optional<AllocationSample> best;
+      for (const AllocationSample& s :
+           sweep_gpu_split(node, board_caps[i], path)) {
+        // Strict > keeps the first (lowest) clock of equal-perf samples,
+        // matching BudgetSweep::best()'s max_element semantics.
+        if (!best || s.perf > best->perf) best = s;
+      }
+      out[i] = best;
+    });
+    return out;
+  }
+  node.prepare();
+  // The batched best-clock engine resolves a whole cap span with one
+  // vectorized scan per clock; caps are chunked across the pool so large
+  // grids still fan out.
+  constexpr std::size_t kCapChunk = 256;
+  const std::size_t nchunks =
+      (board_caps.size() + kCapChunk - 1) / kCapChunk;
+  tp.parallel_for_index(nchunks, [&](std::size_t ch) {
+    const std::size_t i0 = ch * kCapChunk;
+    const std::size_t i1 = std::min(i0 + kCapChunk, board_caps.size());
+    SolveArena& arena = thread_solve_arena();
+    const auto scope = arena.scope();
+    const std::span<AllocationSample> best =
+        arena.get<AllocationSample>(i1 - i0);
+    node.steady_state_batch_best(board_caps.subspan(i0, i1 - i0), best,
+                                 arena);
+    for (std::size_t i = i0; i < i1; ++i) out[i] = best[i - i0];
   });
   return out;
 }

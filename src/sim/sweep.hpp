@@ -31,6 +31,14 @@ struct CpuSweepOptions {
   Watts step{4.0};
   /// Which solver implementation runs the splits.
   SolverPath path = SolverPath::kFast;
+  /// Budgets per blocked-relaxation tile in the budget-sweep drivers: the
+  /// (budget x split) grid is cut into blocks of this many budgets, each
+  /// block's split grids concatenated and relaxed in one batched pass so
+  /// every SoA table row streamed by the solver services a whole block of
+  /// budgets. Purely a scheduling knob — results are bit-identical for
+  /// every value (the tile-invariance test pins this). Values < 1 tile
+  /// one budget at a time.
+  std::size_t budget_block = 32;
 };
 
 /// The (cpu_cap, mem_cap) split grid a CPU sweep probes for one budget, in
@@ -66,6 +74,9 @@ struct BudgetSweep {
 };
 
 /// Sweeps several budgets in parallel on `pool` (global pool if null).
+/// The fast path tiles the (budget x split) grid by opt.budget_block —
+/// one concatenated batch solve per tile — and is bit-identical to the
+/// per-budget sweep for every block size.
 [[nodiscard]] std::vector<BudgetSweep> sweep_cpu_budgets(
     const CpuNodeSim& node, std::span<const Watts> budgets,
     const CpuSweepOptions& opt = {}, ThreadPool* pool = nullptr);
@@ -73,6 +84,29 @@ struct BudgetSweep {
 [[nodiscard]] std::vector<BudgetSweep> sweep_gpu_budgets(
     const GpuNodeSim& node, std::span<const Watts> board_caps,
     SolverPath path = SolverPath::kFast, ThreadPool* pool = nullptr);
+
+/// Best split per budget without materializing any sweep: the blocked
+/// frontier driver. Budgets are tiled by opt.budget_block; each tile's
+/// split grids are concatenated and handed to the blocked best-split
+/// engine (CpuNodeSim::steady_state_batch_best), which relaxes the whole
+/// tile in one batched pass and materializes only each budget's winner.
+/// out[i] is bit-identical to sweep_cpu_split_best(node, budgets[i], opt)
+/// for every block size (nullopt for empty grids).
+[[nodiscard]] std::vector<std::optional<AllocationSample>>
+sweep_cpu_budgets_best(const CpuNodeSim& node, std::span<const Watts> budgets,
+                       const CpuSweepOptions& opt = {},
+                       ThreadPool* pool = nullptr);
+
+/// Best memory clock per board cap without materializing any sweep; the
+/// batched GPU frontier driver (GpuNodeSim::steady_state_batch_best).
+/// out[i] is bit-identical to sweep_gpu_budgets' BudgetSweep::best() for
+/// board_caps[i]. GPU clock grids are never empty, so every entry is
+/// engaged; the optional keeps the two frontier drivers' shapes aligned.
+[[nodiscard]] std::vector<std::optional<AllocationSample>>
+sweep_gpu_budgets_best(const GpuNodeSim& node,
+                       std::span<const Watts> board_caps,
+                       SolverPath path = SolverPath::kFast,
+                       ThreadPool* pool = nullptr);
 
 /// Evenly spaced budget grid over [lo, hi]. Both endpoints are always
 /// included: when the step does not land on hi, hi is appended as a final

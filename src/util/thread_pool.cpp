@@ -51,6 +51,14 @@ void ThreadPool::wait_idle() {
 void ThreadPool::parallel_for_index(
     std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // Serial fast path: a single index, or a pool that cannot actually fan
+  // out, runs inline on the caller — the cross-thread handoff (queue
+  // allocation, condvar wake, completion wait) costs more than small
+  // batched work items themselves.
+  if (n == 1 || thread_count() == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   // Static chunking: indices are handed out via a shared atomic counter in
   // chunks to balance load without per-index queue traffic.
   const std::size_t chunk =

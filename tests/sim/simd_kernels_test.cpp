@@ -9,13 +9,18 @@
 // bound instead.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <vector>
 
+#include "core/frontier.hpp"
+#include "core/interpolation.hpp"
 #include "hw/platforms.hpp"
 #include "sim/cpu_node.hpp"
+#include "sim/gpu_node.hpp"
 #include "sim/simd.hpp"
 #include "sim/solve_arena.hpp"
 #include "sim/solver_table.hpp"
@@ -23,6 +28,7 @@
 #include "sim/trace_replay.hpp"
 #include "util/rng.hpp"
 #include "workload/cpu_suite.hpp"
+#include "workload/gpu_suite.hpp"
 #include "../support/test_env.hpp"
 
 namespace pbc::sim {
@@ -203,6 +209,480 @@ TEST(SimdKernels, LaneSumHonoursDocumentedUlpBound) {
     }
   }
   EXPECT_EQ(simd::lane_sum({}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// GatherKernels: the indirect kernels behind the blocked sweep — the
+// non-monotone prefix-max gather, the grouped indexed scan, and the
+// fixed-point confirm pass. All must be bit-identical to the scalar
+// evaluation on every tier.
+// ---------------------------------------------------------------------------
+
+struct GatherTierKernel {
+  const char* name;
+  void (*prefix)(const double*, const std::int32_t*, std::size_t,
+                 const double*, std::size_t, std::int32_t*) noexcept;
+  void (*indexed)(const double*, std::size_t, const double*,
+                  const std::int32_t*, std::size_t, std::int32_t*) noexcept;
+  std::size_t (*confirm)(const double*, std::size_t, const std::int32_t*,
+                         const std::int32_t*, const double*, std::size_t,
+                         const std::int32_t*, std::int32_t,
+                         std::int32_t*) noexcept;  // null: tier has none
+};
+
+std::vector<GatherTierKernel> runnable_gather_kernels() {
+  std::vector<GatherTierKernel> out;
+  out.push_back({"generic", simd::detail::batch_max_index_prefix_generic,
+                 simd::detail::batch_max_index_indexed_generic,
+                 simd::detail::batch_confirm_generic});
+#if defined(PBC_SIMD_X86)
+  if (simd::max_supported_tier() >= SimdTier::kAvx2) {
+    out.push_back({"avx2", simd::detail::batch_max_index_prefix_avx2,
+                   simd::detail::batch_max_index_indexed_avx2, nullptr});
+  }
+  if (simd::max_supported_tier() >= SimdTier::kAvx512) {
+    out.push_back({"avx512", simd::detail::batch_max_index_prefix_avx512,
+                   simd::detail::batch_max_index_indexed_avx512,
+                   simd::detail::batch_confirm_avx512});
+  }
+#endif
+  return out;
+}
+
+TEST(GatherKernels, PrefixMaxMatchesLinearWalkOnRandomizedCurves) {
+  Xoshiro256 rng(0x51D0, 10);
+  const auto kernels = runnable_gather_kernels();
+  ASSERT_FALSE(kernels.empty());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const int curves = pbc::test::iters(600);
+  for (int c = 0; c < curves; ++c) {
+    // Random non-monotone curve with frequent duplicate powers: monotone
+    // base, then one guaranteed interior dip plus optional extra dips.
+    const std::size_t n = 2 + rng.below(38);
+    std::vector<double> power = random_monotone_curve(rng, n);
+    if (rng.below(2) == 0) power[1 + rng.below(n - 1)] = power[0];
+    // The dip goes last so no other mutation can restore monotonicity
+    // (the base curve never goes negative).
+    power[1 + rng.below(n - 1)] = -rng.uniform(1.0, 5.0);
+    const ResponseCurve curve(power);
+    ASSERT_FALSE(curve.monotone());
+    const auto sorted = curve.sorted_powers();
+    const auto pmax = curve.prefix_max();
+    ASSERT_EQ(sorted.size(), n);
+
+    const std::size_t m = 1 + rng.below(21);  // odd sizes hit vector tails
+    std::vector<double> thr(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto r = rng.below(8);
+      if (r == 0) {
+        thr[j] = nan;
+      } else if (r <= 2) {
+        // Exactly on a stored power: the upper bound must include it.
+        thr[j] = power[rng.below(n)];
+      } else {
+        thr[j] = rng.uniform(-10.0, 110.0);
+      }
+    }
+    std::vector<std::int32_t> out(m);
+    for (const GatherTierKernel& k : kernels) {
+      std::fill(out.begin(), out.end(), -7);
+      k.prefix(sorted.data(), pmax.data(), n, thr.data(), m, out.data());
+      for (std::size_t j = 0; j < m; ++j) {
+        ASSERT_EQ(out[j], linear_walk(power, thr[j]))
+            << k.name << " curve " << c << " lane " << j << " thr "
+            << thr[j];
+      }
+    }
+  }
+}
+
+TEST(GatherKernels, PrefixMaxEdgeCurvesAndNanThresholds) {
+  const auto kernels = runnable_gather_kernels();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // 8 lanes so even the AVX-512 full-vector path runs (no tail).
+  const std::vector<double> thr{41.999999, 42.0, 42.000001, nan,
+                                -1e300,    1e300, 42.0,     nan};
+  const std::vector<double> empty_pow;
+  const std::vector<std::int32_t> empty_idx;
+  const std::vector<double> single_pow{42.0};
+  const std::vector<std::int32_t> single_idx{0};
+  // Duplicate-power curve: three equal entries mapping to original
+  // indices 2, 0, 1 in sorted order — prefix max must resolve ties to
+  // the largest original index at or below the bound.
+  const std::vector<double> dup_pow{42.0, 42.0, 42.0};
+  const std::vector<std::int32_t> dup_idx{2, 2, 2};
+  for (const GatherTierKernel& k : kernels) {
+    std::vector<std::int32_t> out(thr.size(), -7);
+    k.prefix(empty_pow.data(), empty_idx.data(), 0, thr.data(), thr.size(),
+             out.data());
+    for (std::size_t j = 0; j < thr.size(); ++j) {
+      EXPECT_EQ(out[j], -1) << k.name << " empty curve lane " << j;
+    }
+    k.prefix(single_pow.data(), single_idx.data(), 1, thr.data(),
+             thr.size(), out.data());
+    const std::vector<std::int32_t> want{-1, 0, 0, -1, -1, 0, 0, -1};
+    for (std::size_t j = 0; j < thr.size(); ++j) {
+      EXPECT_EQ(out[j], want[j]) << k.name << " single-cell lane " << j;
+    }
+    k.prefix(dup_pow.data(), dup_idx.data(), dup_pow.size(), thr.data(),
+             thr.size(), out.data());
+    const std::vector<std::int32_t> want_dup{-1, 2, 2, -1, -1, 2, 2, -1};
+    for (std::size_t j = 0; j < thr.size(); ++j) {
+      EXPECT_EQ(out[j], want_dup[j]) << k.name << " dup-power lane " << j;
+    }
+  }
+}
+
+TEST(GatherKernels, IndexedMatchesScalarScanOnScatteredSlots) {
+  Xoshiro256 rng(0x51D0, 11);
+  const auto kernels = runnable_gather_kernels();
+  const int cases = pbc::test::iters(400);
+  for (int c = 0; c < cases; ++c) {
+    const std::size_t n = rng.below(30);  // includes empty curves
+    const std::vector<double> curve = random_monotone_curve(rng, n);
+    const std::size_t slots = 1 + rng.below(48);
+    std::vector<double> thr_base(slots);
+    for (auto& t : thr_base) {
+      t = rng.uniform(-10.0, curve.empty() ? 10.0 : curve.back() + 10.0);
+    }
+    // A shuffled subset of the slots: no duplicates, scattered order.
+    std::vector<std::int32_t> all(slots);
+    for (std::size_t i = 0; i < slots; ++i) {
+      all[i] = static_cast<std::int32_t>(i);
+    }
+    for (std::size_t i = slots; i-- > 1;) {
+      std::swap(all[i], all[rng.below(i + 1)]);
+    }
+    const std::size_t m = rng.below(slots + 1);
+    std::vector<std::int32_t> out_base(slots, -7);
+    for (const GatherTierKernel& k : kernels) {
+      std::fill(out_base.begin(), out_base.end(), -7);
+      k.indexed(curve.data(), n, thr_base.data(), all.data(), m,
+                out_base.data());
+      std::vector<bool> touched(slots, false);
+      for (std::size_t j = 0; j < m; ++j) {
+        const auto cell = static_cast<std::size_t>(all[j]);
+        touched[cell] = true;
+        ASSERT_EQ(out_base[cell], linear_walk(curve, thr_base[cell]))
+            << k.name << " case " << c << " slot " << cell;
+      }
+      for (std::size_t i = 0; i < slots; ++i) {
+        if (!touched[i]) {
+          ASSERT_EQ(out_base[i], -7)
+              << k.name << " case " << c << " untouched slot " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(GatherKernels, ConfirmAgreesWithFullRescanOnMonotoneRows) {
+  Xoshiro256 rng(0x51D0, 12);
+  const auto kernels = runnable_gather_kernels();
+  const int cases = pbc::test::iters(400);
+  for (int c = 0; c < cases; ++c) {
+    const std::size_t stride = 1 + rng.below(12);
+    const std::size_t nrows = 1 + rng.below(6);
+    std::vector<double> soa;
+    soa.reserve(stride * nrows);
+    for (std::size_t r = 0; r < nrows; ++r) {
+      const auto row = random_monotone_curve(rng, stride);
+      soa.insert(soa.end(), row.begin(), row.end());
+    }
+    const auto sleep_state = static_cast<std::int32_t>(stride);
+    const bool with_fallback = rng.below(2) == 0;
+    const std::size_t n = 1 + rng.below(40);
+    std::vector<std::int32_t> key(n), val(n), fallback(n);
+    std::vector<double> thr(n);
+    // The answer-with-fallback mapping a real rescan applies.
+    const auto mapped = [&](std::size_t i, double t) {
+      std::vector<double> row(soa.begin() + key[i] * stride,
+                              soa.begin() + (key[i] + 1) * stride);
+      const int ans = linear_walk(row, t);
+      if (ans >= 0) return static_cast<std::int32_t>(ans);
+      return with_fallback ? fallback[i] : std::int32_t{0};
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      key[i] = static_cast<std::int32_t>(rng.below(nrows));
+      fallback[i] = rng.below(2) == 0 ? sleep_state : 0;
+      // val is a previous governor answer: the mapped result of some
+      // earlier threshold (often the same one, so most cells confirm).
+      const double prev = rng.uniform(-5.0, 105.0);
+      thr[i] = rng.below(2) == 0 ? prev : rng.uniform(-5.0, 105.0);
+      val[i] = mapped(i, prev);
+    }
+    std::vector<std::int32_t> want;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mapped(i, thr[i]) != val[i]) {
+        want.push_back(static_cast<std::int32_t>(i));
+      }
+    }
+    for (const GatherTierKernel& k : kernels) {
+      if (k.confirm == nullptr) continue;
+      std::vector<std::int32_t> unconf(n, -7);
+      const std::size_t u = k.confirm(
+          soa.data(), stride, key.data(), val.data(), thr.data(), n,
+          with_fallback ? fallback.data() : nullptr, sleep_state,
+          unconf.data());
+      ASSERT_EQ(u, want.size()) << k.name << " case " << c;
+      for (std::size_t j = 0; j < u; ++j) {
+        ASSERT_EQ(unconf[j], want[j]) << k.name << " case " << c;
+      }
+    }
+  }
+}
+
+TEST(GatherKernels, ForcedTiersAgreeThroughPublicDispatch) {
+  Xoshiro256 rng(0x51D0, 13);
+  // Non-monotone curve for the prefix kernel.
+  std::vector<double> power = random_monotone_curve(rng, 24);
+  power[7] = -2.5;
+  const ResponseCurve curve(power);
+  ASSERT_FALSE(curve.monotone());
+  std::vector<double> thr(37);
+  for (auto& t : thr) t = rng.uniform(-5.0, 105.0);
+  // Grouped-scan inputs over a monotone curve.
+  const std::vector<double> mono = random_monotone_curve(rng, 16);
+  std::vector<std::int32_t> idx(thr.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    idx[i] = static_cast<std::int32_t>(i);
+  }
+  // Confirm inputs: val from the dispatch-independent scalar answer.
+  std::vector<std::int32_t> key(thr.size(), 0), val(thr.size());
+  for (std::size_t i = 0; i < thr.size(); ++i) {
+    const int ans = linear_walk(mono, thr[i]);
+    val[i] = ans < 0 ? 0 : ans;
+    if (rng.below(4) == 0) val[i] = static_cast<std::int32_t>(rng.below(16));
+  }
+
+  simd::force_simd_tier(SimdTier::kGeneric);
+  std::vector<std::int32_t> want_prefix(thr.size());
+  simd::batch_max_index_prefix(curve.sorted_powers(), curve.prefix_max(),
+                               thr, want_prefix);
+  std::vector<std::int32_t> want_indexed(thr.size(), -7);
+  simd::batch_max_index_indexed(mono, thr.data(), idx, want_indexed.data());
+  std::vector<std::int32_t> want_unconf(thr.size(), -7);
+  const std::size_t want_u = simd::batch_confirm(
+      mono.data(), mono.size(), key.data(), val.data(), thr.data(),
+      thr.size(), nullptr, static_cast<std::int32_t>(mono.size()),
+      want_unconf.data());
+
+  for (const SimdTier tier : {SimdTier::kAvx2, SimdTier::kAvx512}) {
+    simd::force_simd_tier(tier);
+    EXPECT_LE(simd::active_tier(), simd::max_supported_tier());
+    std::vector<std::int32_t> got(thr.size(), -7);
+    simd::batch_max_index_prefix(curve.sorted_powers(), curve.prefix_max(),
+                                 thr, got);
+    EXPECT_EQ(got, want_prefix) << "prefix tier " << simd::to_string(tier);
+    std::fill(got.begin(), got.end(), -7);
+    simd::batch_max_index_indexed(mono, thr.data(), idx, got.data());
+    EXPECT_EQ(got, want_indexed) << "indexed tier " << simd::to_string(tier);
+    std::vector<std::int32_t> unconf(thr.size(), -7);
+    const std::size_t u = simd::batch_confirm(
+        mono.data(), mono.size(), key.data(), val.data(), thr.data(),
+        thr.size(), nullptr, static_cast<std::int32_t>(mono.size()),
+        unconf.data());
+    EXPECT_EQ(u, want_u) << "confirm tier " << simd::to_string(tier);
+    for (std::size_t j = 0; j < u; ++j) {
+      EXPECT_EQ(unconf[j], want_unconf[j])
+          << "confirm tier " << simd::to_string(tier) << " slot " << j;
+    }
+  }
+  simd::reset_simd_tier();
+}
+
+// ---------------------------------------------------------------------------
+// BlockedSweep: the cache-blocked (budget x split) drivers and the
+// best-segment engines they ride on. Tiling and batching are scheduling
+// choices only — results must be bit-identical to the per-budget path
+// for every block size, pool size, and SIMD tier.
+// ---------------------------------------------------------------------------
+
+TEST(BlockedSweep, TileSizeAndPoolInvarianceBitIdentical) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const CpuNodeSim node(machine, workload::npb_mg());
+  const auto budgets =
+      budget_grid(Watts{140.0}, Watts{280.0}, Watts{12.0});
+  // Per-budget reference reduction.
+  std::vector<std::optional<AllocationSample>> want(budgets.size());
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    want[i] = sweep_cpu_split_best(node, budgets[i], {});
+  }
+  for (const std::size_t block : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{64}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{7}}) {
+      ThreadPool pool(threads);
+      CpuSweepOptions opt;
+      opt.budget_block = block;
+      const auto got = sweep_cpu_budgets_best(node, budgets, opt, &pool);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].has_value(), want[i].has_value())
+            << "block " << block << " threads " << threads << " budget "
+            << i;
+        if (got[i]) {
+          ASSERT_TRUE(*got[i] == *want[i])
+              << "block " << block << " threads " << threads << " budget "
+              << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockedSweep, FullSweepTilingMatchesPerBudgetSamples) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const CpuNodeSim node(machine, workload::npb_ft());
+  const auto budgets =
+      budget_grid(Watts{150.0}, Watts{270.0}, Watts{20.0});
+  std::vector<std::vector<AllocationSample>> want(budgets.size());
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    want[i] = sweep_cpu_split(node, budgets[i], {});
+  }
+  ThreadPool pool(2);
+  for (const std::size_t block : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{64}}) {
+    CpuSweepOptions opt;
+    opt.budget_block = block;
+    const auto sweeps = sweep_cpu_budgets(node, budgets, opt, &pool);
+    ASSERT_EQ(sweeps.size(), budgets.size());
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+      ASSERT_EQ(sweeps[i].samples.size(), want[i].size())
+          << "block " << block << " budget " << i;
+      for (std::size_t j = 0; j < want[i].size(); ++j) {
+        ASSERT_TRUE(sweeps[i].samples[j] == want[i][j])
+            << "block " << block << " budget " << i << " split " << j;
+      }
+    }
+  }
+}
+
+TEST(BlockedSweep, BatchBestMatchesScalarSolvesOnRandomizedSegments) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const CpuNodeSim node(machine, workload::npb_mg());
+  node.prepare();
+  Xoshiro256 rng(0x51D0, 14);
+  SolveArena arena;
+  const int grids = pbc::test::iters(512);
+  for (int g = 0; g < grids; ++g) {
+    const std::size_t nseg = 1 + rng.below(6);
+    std::vector<std::int32_t> bounds(nseg + 1, 0);
+    std::vector<CapPair> caps;
+    for (std::size_t b = 0; b < nseg; ++b) {
+      const std::size_t len = rng.below(9);  // includes empty segments
+      for (std::size_t j = 0; j < len; ++j) {
+        caps.push_back(CapPair{Watts{rng.uniform(15.0, 330.0)},
+                               Watts{rng.uniform(10.0, 230.0)}});
+      }
+      bounds[b + 1] = static_cast<std::int32_t>(caps.size());
+    }
+    std::vector<AllocationSample> best(nseg);
+    {
+      const auto scope = arena.scope();
+      node.steady_state_batch_best(caps, bounds, best, arena);
+    }
+    for (std::size_t b = 0; b < nseg; ++b) {
+      std::optional<AllocationSample> want;
+      for (std::int32_t i = bounds[b]; i < bounds[b + 1]; ++i) {
+        const auto s = node.steady_state(caps[static_cast<std::size_t>(i)].cpu_cap,
+                                         caps[static_cast<std::size_t>(i)].mem_cap);
+        if (!want || s.perf > want->perf) want = s;
+      }
+      if (want) {
+        ASSERT_TRUE(best[b] == *want) << "grid " << g << " segment " << b;
+      } else {
+        ASSERT_TRUE(best[b] == AllocationSample{})
+            << "grid " << g << " empty segment " << b;
+      }
+    }
+  }
+}
+
+TEST(BlockedSweep, GpuBatchBestMatchesClockSweepReduction) {
+  const GpuNodeSim node(hw::titan_xp(), workload::minife());
+  node.prepare();
+  Xoshiro256 rng(0x51D0, 15);
+  std::vector<Watts> caps;
+  for (int i = 0; i < 64; ++i) {
+    // Includes caps outside the driver range: the clamp must match.
+    caps.push_back(Watts{rng.uniform(50.0, 400.0)});
+  }
+  SolveArena arena;
+  std::vector<AllocationSample> best(caps.size());
+  {
+    const auto scope = arena.scope();
+    node.steady_state_batch_best(caps, best, arena);
+  }
+  const std::size_t clocks = node.gpu_model().mem_clock_count();
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    AllocationSample want = node.steady_state(0, caps[i]);
+    for (std::size_t c = 1; c < clocks; ++c) {
+      const auto s = node.steady_state(c, caps[i]);
+      if (s.perf > want.perf) want = s;
+    }
+    ASSERT_TRUE(best[i] == want) << "cap " << i;
+  }
+  // And through the sweep driver + frontier, against BudgetSweep::best.
+  const auto sweeps = sweep_gpu_budgets(node, caps);
+  const auto via_driver = sweep_gpu_budgets_best(node, caps);
+  const auto frontier = core::perf_frontier_gpu(node, caps);
+  ASSERT_EQ(via_driver.size(), caps.size());
+  ASSERT_EQ(frontier.size(), caps.size());
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    const AllocationSample* want = sweeps[i].best();
+    ASSERT_NE(want, nullptr);
+    ASSERT_TRUE(via_driver[i].has_value());
+    ASSERT_TRUE(*via_driver[i] == *want) << "cap " << i;
+    ASSERT_EQ(frontier[i].perf_max, want->perf) << "cap " << i;
+  }
+}
+
+TEST(BlockedSweep, ResultsIndependentOfSimdTier) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const CpuNodeSim node(machine, workload::sra());
+  const auto budgets =
+      budget_grid(Watts{150.0}, Watts{260.0}, Watts{16.0});
+  ThreadPool pool(2);
+  const auto native = sweep_cpu_budgets_best(node, budgets, {}, &pool);
+  simd::force_simd_tier(SimdTier::kGeneric);
+  const auto generic = sweep_cpu_budgets_best(node, budgets, {}, &pool);
+  simd::reset_simd_tier();
+  ASSERT_EQ(native.size(), generic.size());
+  for (std::size_t i = 0; i < native.size(); ++i) {
+    ASSERT_EQ(native[i].has_value(), generic[i].has_value()) << i;
+    if (native[i]) {
+      ASSERT_TRUE(*native[i] == *generic[i]) << i;
+    }
+  }
+}
+
+TEST(BlockedSweep, FrontierAndInterpolationRouteThroughBatchExactly) {
+  const hw::CpuMachine machine = hw::ivybridge_node();
+  const CpuNodeSim node(machine, workload::npb_mg());
+  const auto budgets =
+      budget_grid(Watts{140.0}, Watts{260.0}, Watts{24.0});
+  ThreadPool pool(2);
+  const auto frontier = core::perf_frontier_cpu(node, budgets, {}, &pool);
+  ASSERT_EQ(frontier.size(), budgets.size());
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    const auto want = sweep_cpu_split_best(node, budgets[i], {});
+    ASSERT_TRUE(want.has_value());
+    EXPECT_EQ(frontier[i].perf_max, want->perf) << i;
+    EXPECT_EQ(frontier[i].best_mem_cap.value(), want->mem_cap.value()) << i;
+  }
+  // The multi-budget interpolation batch must agree with the per-budget
+  // entry point field for field.
+  const auto batch = core::interpolated_best_batch(node, budgets);
+  ASSERT_EQ(batch.size(), budgets.size());
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    const auto one = core::interpolated_best(node, budgets[i]);
+    EXPECT_EQ(batch[i].best_proc_cap.value(), one.best_proc_cap.value());
+    EXPECT_EQ(batch[i].best_mem_cap.value(), one.best_mem_cap.value());
+    EXPECT_EQ(batch[i].predicted_perf, one.predicted_perf);
+    EXPECT_EQ(batch[i].achieved_perf, one.achieved_perf);
+    EXPECT_EQ(batch[i].samples_used, one.samples_used);
+  }
 }
 
 TEST(SolveArenaTest, ScopedReuseRecyclesBlocksDeterministically) {

@@ -10,9 +10,12 @@
 
 #include "core/cluster_hier.hpp"
 #include "core/cluster_sim.hpp"
+#include "core/frontier.hpp"
 #include "hw/platforms.hpp"
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
+#include "sim/cpu_node.hpp"
+#include "sim/sweep.hpp"
 #include "sim/trace_replay.hpp"
 #include "svc/engine.hpp"
 #include "svc/stats.hpp"
@@ -287,6 +290,33 @@ TEST(ObsStatsView, SimTableBuildsReachGlobalRegistry) {
             before + 1);
   const auto* build_us =
       after.find("pbc_sim_table_build_us", cpu_label);
+  ASSERT_NE(build_us, nullptr);
+  EXPECT_GE(build_us->hist.count, 1u);
+}
+
+// The frontier drivers publish build counters, the sampled build-latency
+// histogram, and the blocked-sweep tile counter to the global registry.
+TEST(ObsStatsView, FrontierBuildsAndBlockedTilesReachGlobalRegistry) {
+  const obs::Labels cpu_label = {{"component", "cpu"}};
+  const obs::MetricsSnapshot before = obs::global_registry().snapshot();
+  const std::uint64_t builds_before =
+      before.counter("pbc_sim_frontier_builds_total", cpu_label);
+  const std::uint64_t tiles_before =
+      before.counter("pbc_sim_blocked_sweep_tiles_total");
+
+  const sim::CpuNodeSim node(hw::ivybridge_node(), workload::npb_mg());
+  const auto budgets =
+      sim::budget_grid(Watts{150.0}, Watts{250.0}, Watts{20.0});
+  const auto frontier = core::perf_frontier_cpu(node, budgets);
+  ASSERT_EQ(frontier.size(), budgets.size());
+
+  const obs::MetricsSnapshot after = obs::global_registry().snapshot();
+  EXPECT_GE(after.counter("pbc_sim_frontier_builds_total", cpu_label),
+            builds_before + 1);
+  // One frontier over 6 budgets relaxes at least one blocked tile.
+  EXPECT_GE(after.counter("pbc_sim_blocked_sweep_tiles_total"),
+            tiles_before + 1);
+  const auto* build_us = after.find("pbc_sim_frontier_build_us", cpu_label);
   ASSERT_NE(build_us, nullptr);
   EXPECT_GE(build_us->hist.count, 1u);
 }
