@@ -1,17 +1,20 @@
 // coord_server: a node-manager front end for the coordination query
-// engine. It loads a user workload descriptor, answers budget questions
-// for it through svc::QueryEngine, derives the frontier-backed budgeting
-// guardrails (saturation / productive budgets), then replays a mixed
-// CPU+GPU request stream from several client threads against one shared
-// engine — the deployment shape the service layer is built for: many
-// concurrent requesters, few distinct (machine, workload) descriptors.
+// engine, served over the wire. It starts an in-process pbcd daemon
+// (net::Daemon — two QueryEngine shards behind the consistent-hash
+// router, shared metrics registry, admission control), then talks to it
+// exclusively through loopback TCP clients: budget questions for a user
+// workload descriptor, the frontier-backed budgeting guardrails
+// (saturation / productive budgets), and a mixed CPU+GPU request stream
+// replayed from several client connections — the deployment shape the
+// service layer is built for: many concurrent requesters, few distinct
+// (machine, workload) descriptors.
 //
 // Usage: ./build/examples/coord_server WORKLOAD_FILE [clients] [requests]
 //                                        [--seed=N]
 //   WORKLOAD_FILE  descriptor in the serialize.hpp dialect
 //                  (e.g. examples/sample.workload)
-//   clients        concurrent client threads       (default 4)
-//   requests       requests issued per client      (default 5000)
+//   clients        concurrent client connections    (default 4)
+//   requests       requests issued per client       (default 5000)
 //   --seed=N       base seed for the client request streams (default
 //                  2016); each client derives its own stream from it,
 //                  so a run is reproducible for a given (seed, clients,
@@ -23,13 +26,15 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "core/frontier.hpp"
 #include "hw/platforms.hpp"
-#include "obs/exposition.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "sim/sweep.hpp"
-#include "svc/engine.hpp"
+#include "svc/request.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -84,32 +89,74 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  svc::QueryEngine engine;
+  // --- 0. The daemon: two engine shards on an ephemeral loopback port.
+  net::DaemonOptions dopt;
+  dopt.shards = 2;
+  net::Daemon daemon(dopt);
+  if (const auto st = daemon.start(); !st.ok()) {
+    std::cerr << st.error().to_string() << '\n';
+    return 1;
+  }
+  const std::string host = dopt.host;
+  const std::uint16_t port = daemon.port();
   const hw::CpuMachine node = hw::ivybridge_node();
 
-  // --- 1. Budget questions for the loaded workload. ---
-  std::cout << "serving " << custom.name << " on " << node.name << ":\n";
+  // --- 1. Budget questions for the loaded workload, over the JSON debug
+  // codec (the control-plane choice: inspectable frames, same results).
+  auto control = net::Client::connect(host, port, net::Codec::kJson);
+  if (!control.ok()) {
+    std::cerr << control.error().to_string() << '\n';
+    return 1;
+  }
+  std::cout << "serving " << custom.name << " on " << node.name
+            << " via pbcd loopback :" << port << ":\n";
   TableWriter table({"budget_w", "cpu_w", "mem_w", "status", "surplus_w"});
+  std::uint64_t next_id = 1;
   for (const double b : {120.0, 150.0, 180.0, 210.0, 240.0, 270.0}) {
-    const auto a = engine.query_cpu(node, custom, Watts{b});
+    svc::Request req;
+    req.id = next_id++;
+    req.op = svc::QueryCpuOp{node, custom, Watts{b},
+                             core::CpuCoordVariant::kProportional};
+    const auto resp = control.value().call(req);
+    if (!resp.ok()) {
+      std::cerr << resp.error().to_string() << '\n';
+      return 1;
+    }
+    const auto& a = std::get<core::CpuAllocation>(resp.value().result);
     table.add_row({TableWriter::num(b, 0), TableWriter::num(a.cpu.value(), 1),
                    TableWriter::num(a.mem.value(), 1), to_string(a.status),
                    TableWriter::num(a.surplus.value(), 1)});
   }
   table.render(std::cout);
 
-  // --- 2. Frontier-backed guardrails (cached: asking twice is free). ---
-  const auto grid = sim::budget_grid(Watts{110.0}, Watts{280.0}, Watts{10.0});
-  const auto frontier = engine.cpu_frontier(node, custom, grid);
-  std::cout << "\nguardrails from the cached frontier ("
-            << frontier->size() << " budgets):\n"
-            << "  saturation budget: "
-            << core::saturation_budget(*frontier).value() << " W\n"
-            << "  productive budget: "
-            << core::productive_budget(*frontier).value() << " W\n";
+  // --- 2. Frontier-backed guardrails (cached server-side: asking twice
+  // is free and lands on the same shard thanks to descriptor routing).
+  {
+    svc::Request req;
+    req.id = next_id++;
+    svc::FrontierOp op;
+    op.machine = node;
+    op.wl = custom;
+    op.budgets = sim::budget_grid(Watts{110.0}, Watts{280.0}, Watts{10.0});
+    req.op = std::move(op);
+    const auto resp = control.value().call(req);
+    if (!resp.ok()) {
+      std::cerr << resp.error().to_string() << '\n';
+      return 1;
+    }
+    const auto& frontier =
+        std::get<std::vector<core::FrontierPoint>>(resp.value().result);
+    std::cout << "\nguardrails from the cached frontier (" << frontier.size()
+              << " budgets):\n"
+              << "  saturation budget: "
+              << core::saturation_budget(frontier).value() << " W\n"
+              << "  productive budget: "
+              << core::productive_budget(frontier).value() << " W\n";
+  }
 
-  // --- 3. The request stream: every client replays a random mix of the
-  // custom workload and both suites over both CPU nodes and a GPU. ---
+  // --- 3. The request stream: every client connection replays a random
+  // mix of the custom workload and both suites over both CPU nodes and a
+  // GPU, on the compact binary codec.
   std::vector<workload::Workload> cpu_mix = workload::cpu_suite();
   cpu_mix.push_back(custom);
   const std::vector<hw::CpuMachine> cpu_nodes{hw::ivybridge_node(),
@@ -119,21 +166,44 @@ int main(int argc, char** argv) {
 
   std::mutex mu;
   double perf_proxy = 0.0;  // accumulated cpu watts, to keep work observable
+  int client_errors = 0;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
+      auto conn = net::Client::connect(host, port);
+      if (!conn.ok()) {
+        const std::lock_guard lock(mu);
+        ++client_errors;
+        return;
+      }
       Xoshiro256 rng(seed, static_cast<std::uint64_t>(c));
       double local = 0.0;
       for (int i = 0; i < requests; ++i) {
         const Watts budget{rng.uniform(110.0, 280.0)};
+        svc::Request req;
+        req.id = static_cast<std::uint64_t>(i) + 1;
         if (i % 4 == 3) {  // every fourth request is a GPU question
           const auto& wl = gpu_mix[rng.below(gpu_mix.size())];
-          local += engine.query_gpu(gpu_node, wl, budget).sm.value();
+          req.op = svc::QueryGpuOp{gpu_node, wl, budget, 0.5};
         } else {
           const auto& wl = cpu_mix[rng.below(cpu_mix.size())];
           const auto& machine = cpu_nodes[rng.below(cpu_nodes.size())];
-          local += engine.query_cpu(machine, wl, budget).cpu.value();
+          req.op = svc::QueryCpuOp{machine, wl, budget,
+                                   core::CpuCoordVariant::kProportional};
+        }
+        const auto resp = conn.value().call(req);
+        if (!resp.ok()) {
+          const std::lock_guard lock(mu);
+          ++client_errors;
+          return;
+        }
+        if (const auto* cpu =
+                std::get_if<core::CpuAllocation>(&resp.value().result)) {
+          local += cpu->cpu.value();
+        } else if (const auto* gpu = std::get_if<core::GpuAllocation>(
+                       &resp.value().result)) {
+          local += gpu->sm.value();
         }
       }
       const std::lock_guard lock(mu);
@@ -141,11 +211,16 @@ int main(int argc, char** argv) {
     });
   }
   for (auto& t : threads) t.join();
+  if (client_errors != 0) {
+    std::cerr << client_errors << " client(s) failed\n";
+    return 1;
+  }
 
-  // --- 4. Service counters. ---
-  const auto s = engine.stats();
+  // --- 4. Service counters: the shards publish into one shared registry,
+  // so any shard's stats() view is the aggregate across the daemon.
+  const auto s = daemon.shard(0).stats();
   std::cout << "\nreplayed " << s.queries << " queries from " << clients
-            << " clients (mean allocated cpu+sm "
+            << " client connections (mean allocated cpu+sm "
             << TableWriter::num(perf_proxy / static_cast<double>(s.queries), 1)
             << " W):\n";
   TableWriter stats_table({"queries", "hits", "misses", "coalesced",
@@ -165,15 +240,28 @@ int main(int argc, char** argv) {
   }
 
   // --- 5. The scrape endpoint's payload: what a Prometheus collector
-  // pointed at this server would ingest (docs/observability.md). ---
-  std::cout << "\n# metrics (Prometheus text format 0.0.4)\n"
-            << obs::render_prometheus(engine.metrics_snapshot());
-  const auto slow = engine.slow_queries().snapshot();
-  if (!slow.empty()) {
-    std::cout << "# slow queries (> "
-              << engine.options().slow_query_us / 1000.0 << " ms): "
-              << slow.size() << " retained of "
-              << engine.slow_queries().total() << " total\n";
+  // pointed at this daemon's /metrics would ingest (docs/observability.md).
+  // Scraped over HTTP like a real collector, not read from memory.
+  const auto metrics = net::scrape_metrics(host, port);
+  if (!metrics.ok()) {
+    std::cerr << metrics.error().to_string() << '\n';
+    return 1;
   }
+  std::cout << "\n# metrics (Prometheus text format 0.0.4)\n"
+            << metrics.value();
+
+  std::size_t slow_retained = 0;
+  std::uint64_t slow_total = 0;
+  for (std::size_t i = 0; i < daemon.shard_count(); ++i) {
+    slow_retained += daemon.shard(i).slow_queries().snapshot().size();
+    slow_total += daemon.shard(i).slow_queries().total();
+  }
+  if (slow_retained != 0) {
+    std::cout << "# slow queries (> "
+              << daemon.shard(0).options().slow_query_us / 1000.0
+              << " ms): " << slow_retained << " retained of " << slow_total
+              << " total\n";
+  }
+  daemon.stop();
   return 0;
 }

@@ -1,0 +1,71 @@
+// pbc_client: the minimal pbcd client — connect, ask one CPU budget
+// question, print the split. Start-to-finish wire usage in ~40 lines;
+// see examples/coord_server.cpp for the full deployment shape.
+//
+// Usage: ./build/examples/pbc_client [budget_w] [--port=N] [--json]
+//   budget_w   node power budget in watts        (default 208)
+//   --port=N   pbcd port; unset starts an in-process loopback daemon
+//   --json     use the JSON debug codec instead of binary
+#include <iostream>
+#include <variant>
+
+#include "hw/platforms.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "svc/request.hpp"
+#include "util/cli.hpp"
+#include "workload/cpu_suite.hpp"
+
+using namespace pbc;
+
+int main(int argc, char** argv) {
+  const auto parsed = CliArgs::parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error().to_string() << '\n';
+    return 2;
+  }
+  const CliArgs& args = parsed.value();
+  if (const auto unknown = args.unknown_options({"port", "json"});
+      !unknown.empty()) {
+    std::cerr << "unknown option --" << unknown.front()
+              << " (supported: --port=N --json)\n";
+    return 2;
+  }
+  const double budget = args.positional_num(0, 208.0);
+  const auto codec =
+      args.has("json") ? net::Codec::kJson : net::Codec::kBinary;
+
+  // No --port: serve ourselves on an ephemeral loopback port.
+  net::Daemon daemon;
+  std::uint16_t port = static_cast<std::uint16_t>(args.value_num("port", 0.0));
+  if (port == 0) {
+    if (const auto st = daemon.start(); !st.ok()) {
+      std::cerr << st.error().to_string() << '\n';
+      return 1;
+    }
+    port = daemon.port();
+  }
+
+  auto client = net::Client::connect("127.0.0.1", port, codec);
+  if (!client.ok()) {
+    std::cerr << client.error().to_string() << '\n';
+    return 1;
+  }
+
+  svc::Request req;
+  req.id = 1;
+  req.op = svc::QueryCpuOp{hw::ivybridge_node(), workload::cpu_suite().front(),
+                           Watts{budget},
+                           core::CpuCoordVariant::kProportional};
+  const auto resp = client.value().call(req);
+  if (!resp.ok()) {
+    std::cerr << resp.error().to_string() << '\n';
+    return 1;
+  }
+  const auto& a = std::get<core::CpuAllocation>(resp.value().result);
+  std::cout << "budget " << budget << " W over " << to_string(codec)
+            << " -> cpu " << a.cpu.value() << " W, mem " << a.mem.value()
+            << " W, status " << to_string(a.status) << ", surplus "
+            << a.surplus.value() << " W\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "net/admission.hpp"
+
+#include <algorithm>
+
+namespace pbc::net {
+
+AdmissionController::AdmissionController(AdmissionOptions opt)
+    : opt_(opt), rate_(opt.max_rate) {}
+
+bool AdmissionController::try_admit(std::uint64_t client_id,
+                                    Clock::time_point now) {
+  std::scoped_lock lock(mu_);
+  expire_idle_locked(now);
+  auto [it, inserted] = buckets_.try_emplace(client_id);
+  Bucket& b = it->second;
+  const double n = static_cast<double>(buckets_.size());
+  const double fair_rate = rate_ / n;
+  const double burst = std::max(1.0, fair_rate * opt_.burst_s);
+  if (inserted) {
+    // A new client starts with a full burst so short connections are not
+    // starved by an empty bucket.
+    b.tokens = burst;
+    b.last_refill = now;
+  } else {
+    const double dt =
+        std::chrono::duration<double>(now - b.last_refill).count();
+    if (dt > 0.0) {
+      b.tokens = std::min(burst, b.tokens + fair_rate * dt);
+      b.last_refill = now;
+    }
+  }
+  b.last_seen = now;
+  if (b.tokens < 1.0) return false;
+  b.tokens -= 1.0;
+  return true;
+}
+
+void AdmissionController::report_p99(double p99_us) {
+  std::scoped_lock lock(mu_);
+  if (p99_us > opt_.target_p99_us) {
+    rate_ = std::max(opt_.min_rate, rate_ * opt_.decrease);
+  } else {
+    rate_ = std::min(opt_.max_rate,
+                     rate_ + opt_.increase_frac * opt_.max_rate);
+  }
+}
+
+void AdmissionController::forget_client(std::uint64_t client_id) {
+  std::scoped_lock lock(mu_);
+  buckets_.erase(client_id);
+}
+
+double AdmissionController::rate() const {
+  std::scoped_lock lock(mu_);
+  return rate_;
+}
+
+void AdmissionController::expire_idle_locked(Clock::time_point now) {
+  // Sweep at most once per expiry window — the map is small (one entry
+  // per live client), so the sweep itself is cheap, but there is no
+  // reason to scan it on every request.
+  const auto window = std::chrono::duration<double>(opt_.client_expiry_s);
+  if (now - last_expiry_sweep_ < window) return;
+  last_expiry_sweep_ = now;
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    if (now - it->second.last_seen >= window) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double DeltaP99Tracker::update(const obs::MetricsSnapshot& snapshot) {
+  double worst = 0.0;
+  for (const auto& m : snapshot.metrics) {
+    if (m.name != "pbc_svc_query_latency_us") continue;
+    std::string key;
+    for (const auto& [lk, lv] : m.labels) {
+      key += lk;
+      key += '=';
+      key += lv;
+      key += ';';
+    }
+    Prev& prev = prev_[key];
+    const auto& cur = m.hist;
+    obs::HistogramSnapshot delta;
+    delta.bounds = cur.bounds;
+    delta.buckets = cur.buckets;
+    delta.max = cur.max;  // window max is unknowable; the all-time max
+                          // only loosens the interpolation clamp upward
+    if (prev.buckets.size() == cur.buckets.size()) {
+      for (std::size_t i = 0; i < delta.buckets.size(); ++i) {
+        delta.buckets[i] -= prev.buckets[i];
+      }
+      delta.count = cur.count - prev.count;
+      delta.sum = cur.sum - prev.sum;
+    } else {
+      delta.count = cur.count;
+      delta.sum = cur.sum;
+    }
+    prev.buckets = cur.buckets;
+    prev.count = cur.count;
+    prev.sum = cur.sum;
+    if (delta.count == 0) continue;
+    worst = std::max(worst, delta.percentile(99.0));
+  }
+  return worst;
+}
+
+}  // namespace pbc::net

@@ -1,0 +1,118 @@
+// Admission control for pbcd: AIMD load-shedding with per-client
+// fairness, in the spirit of FastCap's fair degradation under a cap.
+//
+// The control signal is the served-request p99 computed from the
+// engines' per-kind obs latency histograms (DeltaP99Tracker turns two
+// registry snapshots into the p99 *of the last window*, not all-time).
+// The actuator is one global admission rate in requests/second:
+//
+//   p99 over target  ->  rate *= decrease   (multiplicative decrease)
+//   p99 within target -> rate += increase_frac * max_rate (additive)
+//
+// so the daemon sheds hard when latency degrades and recovers linearly,
+// the classic AIMD shape that converges instead of oscillating.
+//
+// Fairness: the global rate is split into equal per-client token
+// buckets, refilled every refill tick with (rate / active clients) and
+// capped at one burst window. Under 2x overload every client keeps the
+// same accept rate (within bucket-granularity noise) regardless of how
+// aggressively it offers load — the bench gate holds per-client accept
+// rates within 10% of each other. A client idle past the expiry window
+// stops counting toward the split.
+//
+// Thread safety: all methods may be called concurrently; state is one
+// mutex (per-request cost is a short critical section — the daemon's
+// request path is dominated by engine work and socket IO).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace pbc::net {
+
+struct AdmissionOptions {
+  /// Shed until the served p99 is back under this bound (microseconds).
+  double target_p99_us = 5000.0;
+  /// Rate floor: even a saturated daemon admits this many req/s, so the
+  /// control loop keeps observing fresh latencies and can recover.
+  double min_rate = 2000.0;
+  /// Rate ceiling; at the ceiling the limiter is effectively open.
+  double max_rate = 2.0e6;
+  /// Multiplicative decrease factor on a p99 breach.
+  double decrease = 0.7;
+  /// Additive increase per healthy update, as a fraction of max_rate.
+  double increase_frac = 0.02;
+  /// Token-bucket burst capacity, in seconds of a client's fair rate.
+  double burst_s = 0.05;
+  /// A client unseen for this long stops counting toward the fair split.
+  double client_expiry_s = 1.0;
+};
+
+class AdmissionController {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit AdmissionController(AdmissionOptions opt = {});
+
+  /// Admits or sheds one request from `client_id` (the daemon's
+  /// per-connection id). Refills the client's bucket lazily from the
+  /// elapsed time, so no background thread is needed for token flow.
+  [[nodiscard]] bool try_admit(std::uint64_t client_id, Clock::time_point now);
+
+  /// Feeds the latest windowed p99 (microseconds); steps the AIMD rate.
+  void report_p99(double p99_us);
+
+  /// Drops a disconnected client's bucket immediately.
+  void forget_client(std::uint64_t client_id);
+
+  /// The current global admission rate (req/s).
+  [[nodiscard]] double rate() const;
+
+  [[nodiscard]] const AdmissionOptions& options() const noexcept {
+    return opt_;
+  }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    Clock::time_point last_refill{};
+    Clock::time_point last_seen{};
+  };
+
+  void expire_idle_locked(Clock::time_point now);
+
+  AdmissionOptions opt_;
+  mutable std::mutex mu_;
+  double rate_;
+  std::unordered_map<std::uint64_t, Bucket> buckets_;
+  Clock::time_point last_expiry_sweep_{};
+};
+
+/// Turns successive registry snapshots into the max per-kind p99 over
+/// the window between them, by differencing the
+/// pbc_svc_query_latency_us{kind=...} histogram bucket counts. The
+/// all-time histogram p99 goes stale as soon as load changes; the delta
+/// is the control signal the shedder needs.
+class DeltaP99Tracker {
+ public:
+  /// Max p99 (µs) across query kinds for observations recorded since the
+  /// previous update; 0 when the window saw no requests.
+  [[nodiscard]] double update(const obs::MetricsSnapshot& snapshot);
+
+ private:
+  struct Prev {
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, Prev> prev_;
+};
+
+}  // namespace pbc::net

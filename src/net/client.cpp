@@ -1,0 +1,155 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pbc::net {
+
+namespace {
+
+[[nodiscard]] bool write_all(int fd, const std::uint8_t* data,
+                             std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+[[nodiscard]] int connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      codec_(other.codec_),
+      decoder_(std::move(other.decoder_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    codec_ = other.codec_;
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+Result<Client> Client::connect(const std::string& host, std::uint16_t port,
+                               Codec codec) {
+  const int fd = connect_tcp(host, port);
+  if (fd < 0) {
+    return unavailable("pbc_client: cannot connect to " + host + ":" +
+                       std::to_string(port));
+  }
+  Client c;
+  c.fd_ = fd;
+  c.codec_ = codec;
+  return c;
+}
+
+Status Client::send(const svc::Request& req) {
+  if (fd_ < 0) return failed_precondition("pbc_client: not connected");
+  const auto bytes = frame_request(req, codec_);
+  if (!write_all(fd_, bytes.data(), bytes.size())) {
+    return unavailable("pbc_client: send failed");
+  }
+  return {};
+}
+
+Result<svc::Response> Client::receive() {
+  if (fd_ < 0) return failed_precondition("pbc_client: not connected");
+  while (true) {
+    auto next = decoder_.next();
+    if (!next.ok()) return next.error();
+    if (next.value().has_value()) {
+      const Frame& f = *next.value();
+      return decode_response(f.payload, f.header.codec);
+    }
+    std::uint8_t buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return unavailable("pbc_client: connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return unavailable("pbc_client: recv failed");
+    }
+    decoder_.feed(
+        std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+Result<svc::Response> Client::call(const svc::Request& req) {
+  if (auto s = send(req); !s.ok()) return s.error();
+  return receive();
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::string> scrape_metrics(const std::string& host,
+                                   std::uint16_t port) {
+  const int fd = connect_tcp(host, port);
+  if (fd < 0) {
+    return unavailable("scrape_metrics: cannot connect to " + host + ":" +
+                       std::to_string(port));
+  }
+  const std::string req =
+      "GET /metrics HTTP/1.1\r\nHost: " + host + "\r\n\r\n";
+  if (!write_all(fd, reinterpret_cast<const std::uint8_t*>(req.data()),
+                 req.size())) {
+    ::close(fd);
+    return unavailable("scrape_metrics: send failed");
+  }
+  std::string raw;
+  char buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // server closes after one response
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t body = raw.find("\r\n\r\n");
+  if (body == std::string::npos) {
+    return unavailable("scrape_metrics: malformed HTTP response");
+  }
+  return raw.substr(body + 4);
+}
+
+}  // namespace pbc::net

@@ -1,0 +1,67 @@
+// Blocking pbcd client: framed Request/Response over one TCP connection.
+//
+// The client is deliberately small — connect, send, receive — because
+// the protocol is symmetric and self-describing: responses come back in
+// request order on a connection (the daemon executes frames in arrival
+// order), so pipelining is just calling send() k times before draining
+// k receive() calls. call() is the one-shot convenience.
+//
+// Server-reported errors and transport failures surface through the one
+// Result vocabulary: receive() returns the carried Error for an ok=0
+// payload (kUnavailable when shed, kDeadlineExceeded when the deadline
+// elapsed server-side, kInvalidArgument for validation) exactly as it
+// returns decode errors for a corrupt stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/codec.hpp"
+#include "net/wire.hpp"
+#include "svc/request.hpp"
+#include "util/status.hpp"
+
+namespace pbc::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a pbcd daemon. `codec` selects the payload encoding for
+  /// every request this client sends.
+  [[nodiscard]] static Result<Client> connect(const std::string& host,
+                                              std::uint16_t port,
+                                              Codec codec = Codec::kBinary);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] Codec codec() const noexcept { return codec_; }
+
+  /// Writes one framed request. Pair with receive(); responses arrive in
+  /// send order.
+  [[nodiscard]] Status send(const svc::Request& req);
+
+  /// Blocks for the next response frame and decodes it.
+  [[nodiscard]] Result<svc::Response> receive();
+
+  /// send() + receive().
+  [[nodiscard]] Result<svc::Response> call(const svc::Request& req);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  Codec codec_ = Codec::kBinary;
+  FrameDecoder decoder_;
+};
+
+/// One-shot HTTP GET against the daemon's /metrics endpoint; returns the
+/// Prometheus exposition body.
+[[nodiscard]] Result<std::string> scrape_metrics(const std::string& host,
+                                                 std::uint16_t port);
+
+}  // namespace pbc::net

@@ -1,0 +1,1216 @@
+#include "net/codec.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+#include "net/json.hpp"
+
+namespace pbc::net {
+
+namespace {
+
+using svc::QueryKind;
+
+template <class T>
+struct is_quantity : std::false_type {};
+template <class Tag>
+struct is_quantity<Quantity<Tag>> : std::true_type {};
+template <class T>
+inline constexpr bool is_quantity_v = is_quantity<T>::value;
+
+/// Shared decode-failure state: the first failure wins, later archive
+/// operations become no-ops, and the top-level decode returns the error.
+struct Err {
+  bool failed = false;
+  std::string msg;
+
+  void fail(const char* field, const char* what) {
+    if (failed) return;
+    failed = true;
+    msg = what;
+    if (field != nullptr && field[0] != '\0') {
+      msg += std::string(" (field '") + field + "')";
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// JSON number helpers shared by the writer/reader archives: finite doubles
+// are JSON numbers (%.17g round-trips them exactly), non-finite doubles and
+// all u64 values ride as strings.
+
+[[nodiscard]] json::Value json_double(double d) {
+  if (std::isfinite(d)) return json::Value(d);
+  if (std::isnan(d)) return json::Value("nan");
+  return json::Value(d > 0 ? "inf" : "-inf");
+}
+
+[[nodiscard]] bool json_read_double(const json::Value& v, double& out) {
+  if (v.is_number()) {
+    out = v.as_number();
+    return true;
+  }
+  if (v.is_string()) {
+    const std::string& s = v.as_string();
+    if (s == "nan") {
+      out = std::nan("");
+      return true;
+    }
+    if (s == "inf") {
+      out = HUGE_VAL;
+      return true;
+    }
+    if (s == "-inf") {
+      out = -HUGE_VAL;
+      return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] bool json_read_u64(const json::Value& v, std::uint64_t& out) {
+  if (v.is_string()) {
+    const std::string& s = v.as_string();
+    if (s.empty()) return false;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long x = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size()) return false;
+    out = static_cast<std::uint64_t>(x);
+    return true;
+  }
+  if (v.is_number()) {
+    const double d = v.as_number();
+    if (!(d >= 0.0) || d > 9007199254740992.0 ||
+        d != std::floor(d)) {
+      return false;
+    }
+    out = static_cast<std::uint64_t>(d);
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// The four archives. Each exposes the same surface, consumed by the io()
+// field enumerations below, so one enumeration per struct serves encode and
+// decode in both codecs:
+//   prim(name, double|bool|string|u64&)     leaf fields
+//   enum_u8(name, u8&)                      enum representation
+//   object(name, T&)                        nested struct (io() recursion)
+//   list(name, vector<T>&)                  length-prefixed sequence
+//   opt(name, optional<T>&)                 presence-tagged value
+//   fail_field(name, what)                  decode-error reporting
+
+class BinWriter {
+ public:
+  /// Write archives never store through the field references they are
+  /// handed; the adapters key on this so encode_request can serve a
+  /// const (possibly shared-across-threads) Request without mutation.
+  static constexpr bool kLoads = false;
+
+  explicit BinWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void raw_u8(std::uint8_t v) { out_.push_back(v); }
+  void raw_u32(std::uint32_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v >> 16));
+    out_.push_back(static_cast<std::uint8_t>(v >> 24));
+  }
+  void raw_u64(std::uint64_t v) {
+    raw_u32(static_cast<std::uint32_t>(v));
+    raw_u32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  void prim(const char*, double& v) {
+    raw_u64(std::bit_cast<std::uint64_t>(v));
+  }
+  void prim(const char*, bool& v) { raw_u8(v ? 1 : 0); }
+  void prim(const char*, std::uint64_t& v) { raw_u64(v); }
+  void prim(const char*, std::string& v) {
+    raw_u32(static_cast<std::uint32_t>(v.size()));
+    out_.insert(out_.end(), v.begin(), v.end());
+  }
+  void enum_u8(const char*, std::uint8_t& v) { raw_u8(v); }
+  void fail_field(const char*, const char*) {}
+
+  template <class T>
+  void object(const char*, T& v) {
+    io(*this, v);
+  }
+  template <class T>
+  void list(const char*, std::vector<T>& v) {
+    raw_u32(static_cast<std::uint32_t>(v.size()));
+    for (auto& e : v) elem_io(*this, e);
+  }
+  template <class T>
+  void opt(const char*, std::optional<T>& v) {
+    raw_u8(v.has_value() ? 1 : 0);
+    if (v.has_value()) elem_io(*this, *v);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class BinReader {
+ public:
+  static constexpr bool kLoads = true;
+
+  BinReader(std::span<const std::uint8_t> data, Err& err)
+      : data_(data), err_(&err) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool fully_consumed() const noexcept {
+    return pos_ == data_.size();
+  }
+
+  [[nodiscard]] bool take(void* dst, std::size_t n, const char* field) {
+    if (err_->failed) return false;
+    if (remaining() < n) {
+      err_->fail(field, "payload truncated");
+      return false;
+    }
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  [[nodiscard]] std::uint8_t raw_u8(const char* field) {
+    std::uint8_t b = 0;
+    (void)take(&b, 1, field);
+    return b;
+  }
+  [[nodiscard]] std::uint32_t raw_u32(const char* field) {
+    std::uint8_t b[4] = {};
+    if (!take(b, 4, field)) return 0;
+    return static_cast<std::uint32_t>(b[0]) |
+           (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) |
+           (static_cast<std::uint32_t>(b[3]) << 24);
+  }
+  [[nodiscard]] std::uint64_t raw_u64(const char* field) {
+    const std::uint64_t lo = raw_u32(field);
+    const std::uint64_t hi = raw_u32(field);
+    return lo | (hi << 32);
+  }
+
+  void prim(const char* n, double& v) {
+    v = std::bit_cast<double>(raw_u64(n));
+  }
+  void prim(const char* n, bool& v) {
+    const std::uint8_t b = raw_u8(n);
+    if (b > 1) {
+      err_->fail(n, "bad bool byte");
+      v = false;
+      return;
+    }
+    v = b != 0;
+  }
+  void prim(const char* n, std::uint64_t& v) { v = raw_u64(n); }
+  void prim(const char* n, std::string& v) {
+    const std::uint32_t len = raw_u32(n);
+    if (err_->failed) return;
+    if (len > remaining()) {
+      err_->fail(n, "string length over remaining payload");
+      return;
+    }
+    v.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+  }
+  void enum_u8(const char* n, std::uint8_t& v) { v = raw_u8(n); }
+  void fail_field(const char* n, const char* what) { err_->fail(n, what); }
+
+  template <class T>
+  void object(const char*, T& v) {
+    io(*this, v);
+  }
+  template <class T>
+  void list(const char* n, std::vector<T>& v) {
+    const std::uint32_t count = raw_u32(n);
+    if (err_->failed) return;
+    // Every encoded element occupies at least one byte, so a count over
+    // the remaining payload is a lie — reject before allocating.
+    if (count > remaining()) {
+      err_->fail(n, "element count over remaining payload");
+      return;
+    }
+    v.clear();
+    v.reserve(count);
+    for (std::uint32_t i = 0; i < count && !err_->failed; ++i) {
+      T e{};
+      elem_io(*this, e);
+      v.push_back(std::move(e));
+    }
+  }
+  template <class T>
+  void opt(const char* n, std::optional<T>& v) {
+    const std::uint8_t p = raw_u8(n);
+    if (err_->failed) return;
+    if (p == 0) {
+      v.reset();
+      return;
+    }
+    if (p != 1) {
+      err_->fail(n, "bad optional tag");
+      return;
+    }
+    v.emplace();
+    elem_io(*this, *v);
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  Err* err_;
+};
+
+class JsonWriter {
+ public:
+  static constexpr bool kLoads = false;
+
+  explicit JsonWriter(json::Object& obj) : obj_(&obj) {}
+
+  void prim(const char* n, double& v) { obj_->emplace_back(n, json_double(v)); }
+  void prim(const char* n, bool& v) {
+    obj_->emplace_back(n, json::Value(v));
+  }
+  void prim(const char* n, std::uint64_t& v) {
+    obj_->emplace_back(n, json::Value(std::to_string(v)));
+  }
+  void prim(const char* n, std::string& v) {
+    obj_->emplace_back(n, json::Value(v));
+  }
+  void enum_u8(const char* n, std::uint8_t& v) {
+    obj_->emplace_back(n, json::Value(static_cast<double>(v)));
+  }
+  void fail_field(const char*, const char*) {}
+
+  template <class T>
+  void object(const char* n, T& v) {
+    json::Value sub{json::Object{}};
+    JsonWriter w(sub.as_object());
+    io(w, v);
+    obj_->emplace_back(n, std::move(sub));
+  }
+  template <class T>
+  void list(const char* n, std::vector<T>& v) {
+    json::Array arr;
+    arr.reserve(v.size());
+    for (auto& e : v) arr.push_back(make_elem(e));
+    obj_->emplace_back(n, json::Value(std::move(arr)));
+  }
+  template <class T>
+  void opt(const char* n, std::optional<T>& v) {
+    if (!v.has_value()) {
+      obj_->emplace_back(n, json::Value(nullptr));
+      return;
+    }
+    obj_->emplace_back(n, make_elem(*v));
+  }
+
+ private:
+  template <class T>
+  [[nodiscard]] json::Value make_elem(T& e) {
+    if constexpr (std::is_same_v<T, double>) {
+      return json_double(e);
+    } else if constexpr (is_quantity_v<T>) {
+      return json_double(e.value());
+    } else {
+      json::Value sub{json::Object{}};
+      JsonWriter w(sub.as_object());
+      io(w, e);
+      return sub;
+    }
+  }
+
+  json::Object* obj_;
+};
+
+class JsonReader {
+ public:
+  static constexpr bool kLoads = true;
+
+  JsonReader(const json::Object& obj, Err& err) : obj_(&obj), err_(&err) {}
+
+  void prim(const char* n, double& v) {
+    const json::Value* val = find(n);
+    if (val == nullptr) return;
+    if (!json_read_double(*val, v)) err_->fail(n, "expected number");
+  }
+  void prim(const char* n, bool& v) {
+    const json::Value* val = find(n);
+    if (val == nullptr) return;
+    if (!val->is_bool()) {
+      err_->fail(n, "expected bool");
+      return;
+    }
+    v = val->as_bool();
+  }
+  void prim(const char* n, std::uint64_t& v) {
+    const json::Value* val = find(n);
+    if (val == nullptr) return;
+    if (!json_read_u64(*val, v)) err_->fail(n, "expected u64");
+  }
+  void prim(const char* n, std::string& v) {
+    const json::Value* val = find(n);
+    if (val == nullptr) return;
+    if (!val->is_string()) {
+      err_->fail(n, "expected string");
+      return;
+    }
+    v = val->as_string();
+  }
+  void enum_u8(const char* n, std::uint8_t& v) {
+    std::uint64_t t = 0;
+    const json::Value* val = find(n);
+    if (val == nullptr) return;
+    if (!json_read_u64(*val, t) || t > 255) {
+      err_->fail(n, "expected enum byte");
+      return;
+    }
+    v = static_cast<std::uint8_t>(t);
+  }
+  void fail_field(const char* n, const char* what) { err_->fail(n, what); }
+
+  template <class T>
+  void object(const char* n, T& v) {
+    const json::Value* val = find(n);
+    if (val == nullptr) return;
+    if (!val->is_object()) {
+      err_->fail(n, "expected object");
+      return;
+    }
+    JsonReader r(val->as_object(), *err_);
+    io(r, v);
+  }
+  template <class T>
+  void list(const char* n, std::vector<T>& v) {
+    const json::Value* val = find(n);
+    if (val == nullptr) return;
+    if (!val->is_array()) {
+      err_->fail(n, "expected array");
+      return;
+    }
+    const json::Array& arr = val->as_array();
+    v.clear();
+    v.reserve(arr.size());
+    for (const auto& e : arr) {
+      if (err_->failed) return;
+      T t{};
+      read_elem(n, e, t);
+      v.push_back(std::move(t));
+    }
+  }
+  template <class T>
+  void opt(const char* n, std::optional<T>& v) {
+    const json::Value* val = find(n);
+    if (val == nullptr) return;
+    if (val->is_null()) {
+      v.reset();
+      return;
+    }
+    v.emplace();
+    read_elem(n, *val, *v);
+  }
+
+ private:
+  [[nodiscard]] const json::Value* find(const char* n) {
+    if (err_->failed) return nullptr;
+    for (const auto& [k, v] : *obj_) {
+      if (k == n) return &v;
+    }
+    err_->fail(n, "missing field");
+    return nullptr;
+  }
+
+  template <class T>
+  void read_elem(const char* n, const json::Value& e, T& v) {
+    if constexpr (std::is_same_v<T, double>) {
+      if (!json_read_double(e, v)) err_->fail(n, "expected number element");
+    } else if constexpr (is_quantity_v<T>) {
+      double d = 0.0;
+      if (!json_read_double(e, d)) {
+        err_->fail(n, "expected number element");
+        return;
+      }
+      v = T{d};
+    } else {
+      if (!e.is_object()) {
+        err_->fail(n, "expected object element");
+        return;
+      }
+      JsonReader r(e.as_object(), *err_);
+      io(r, v);
+    }
+  }
+
+  const json::Object* obj_;
+  Err* err_;
+};
+
+// ---------------------------------------------------------------------------
+// Field adapters over the archive prim() core.
+
+template <class A>
+void fld(A& a, const char* n, double& v) {
+  a.prim(n, v);
+}
+template <class A>
+void fld(A& a, const char* n, bool& v) {
+  a.prim(n, v);
+}
+template <class A>
+void fld(A& a, const char* n, std::string& v) {
+  a.prim(n, v);
+}
+template <class A>
+void fld(A& a, const char* n, std::uint64_t& v) {
+  a.prim(n, v);
+}
+template <class A>
+void fld(A& a, const char* n, std::uint32_t& v) {
+  std::uint64_t t = v;
+  a.prim(n, t);
+  if constexpr (A::kLoads) {
+    if (t > 0xFFFFFFFFull) {
+      a.fail_field(n, "u32 out of range");
+      t = 0;
+    }
+    v = static_cast<std::uint32_t>(t);
+  }
+}
+template <class A>
+void fld(A& a, const char* n, int& v) {
+  std::uint64_t t =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+  a.prim(n, t);
+  if constexpr (A::kLoads) {
+    v = static_cast<int>(static_cast<std::int64_t>(t));
+  }
+}
+template <class A, class Tag>
+void fld(A& a, const char* n, Quantity<Tag>& v) {
+  double d = v.value();
+  a.prim(n, d);
+  if constexpr (A::kLoads) v = Quantity<Tag>{d};
+}
+
+/// Enum as a range-checked byte. `count` is the number of enumerators;
+/// decoding anything >= count fails instead of smuggling an out-of-range
+/// value into a switch downstream.
+template <class A, class E>
+void efld(A& a, const char* n, E& v, std::uint8_t count) {
+  std::uint8_t t = static_cast<std::uint8_t>(v);
+  a.enum_u8(n, t);
+  if constexpr (A::kLoads) {
+    if (t >= count) {
+      a.fail_field(n, "enum value out of range");
+      t = 0;
+    }
+    v = static_cast<E>(t);
+  }
+}
+
+/// List/optional element dispatch for the binary archives (the JSON
+/// archives carry their own element handling — arrays have no names).
+template <class A, class T>
+void elem_io(A& a, T& v) {
+  if constexpr (std::is_same_v<T, double>) {
+    a.prim("", v);
+  } else if constexpr (is_quantity_v<T>) {
+    double d = v.value();
+    a.prim("", d);
+    if constexpr (A::kLoads) v = T{d};
+  } else {
+    io(a, v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-struct field enumerations. Field order is canonical (it IS the
+// binary layout) and mirrors svc/key.cpp's cache-key hash enumeration of
+// the same descriptors.
+
+template <class A>
+void io(A& a, hw::PState& v) {
+  fld(a, "frequency", v.frequency);
+  fld(a, "voltage", v.voltage);
+}
+
+template <class A>
+void io(A& a, hw::CpuSpec& v) {
+  fld(a, "name", v.name);
+  fld(a, "sockets", v.sockets);
+  fld(a, "cores_per_socket", v.cores_per_socket);
+  a.list("pstates", v.pstates);
+  fld(a, "flops_per_cycle", v.flops_per_cycle);
+  fld(a, "dyn_coeff_w_per_ghz_v2", v.dyn_coeff_w_per_ghz_v2);
+  fld(a, "static_w_per_core_per_volt", v.static_w_per_core_per_volt);
+  fld(a, "uncore_power", v.uncore_power);
+  fld(a, "floor", v.floor);
+  fld(a, "tstate_levels", v.tstate_levels);
+  fld(a, "per_core_dvfs", v.per_core_dvfs);
+}
+
+template <class A>
+void io(A& a, hw::DramSpec& v) {
+  fld(a, "name", v.name);
+  fld(a, "capacity_gb", v.capacity_gb);
+  fld(a, "background_w_per_gb", v.background_w_per_gb);
+  fld(a, "dyn_w_per_gbps", v.dyn_w_per_gbps);
+  fld(a, "peak_bw", v.peak_bw);
+  fld(a, "min_bw", v.min_bw);
+  fld(a, "throttle_levels", v.throttle_levels);
+  fld(a, "floor", v.floor);
+}
+
+template <class A>
+void io(A& a, hw::CpuMachine& v) {
+  fld(a, "name", v.name);
+  a.object("cpu", v.cpu);
+  a.object("dram", v.dram);
+}
+
+template <class A>
+void io(A& a, hw::GpuSpec& v) {
+  fld(a, "name", v.name);
+  fld(a, "sm_min_mhz", v.sm_min_mhz);
+  fld(a, "sm_max_mhz", v.sm_max_mhz);
+  fld(a, "sm_steps", v.sm_steps);
+  fld(a, "sm_pairing_min_mhz", v.sm_pairing_min_mhz);
+  fld(a, "sm_idle", v.sm_idle);
+  fld(a, "sm_max_dyn", v.sm_max_dyn);
+  fld(a, "peak_gflops", v.peak_gflops);
+  a.list("mem_clocks_mhz", v.mem_clocks_mhz);
+  fld(a, "bw_per_mhz", v.bw_per_mhz);
+  fld(a, "mem_idle", v.mem_idle);
+  fld(a, "mem_w_per_mhz", v.mem_w_per_mhz);
+  fld(a, "mem_dyn_w_per_gbps", v.mem_dyn_w_per_gbps);
+  fld(a, "other_power", v.other_power);
+  fld(a, "board_min_cap", v.board_min_cap);
+  fld(a, "board_default_cap", v.board_default_cap);
+  fld(a, "board_max_cap", v.board_max_cap);
+}
+
+template <class A>
+void io(A& a, hw::GpuMachine& v) {
+  fld(a, "name", v.name);
+  a.object("gpu", v.gpu);
+}
+
+template <class A>
+void io(A& a, workload::Phase& v) {
+  fld(a, "name", v.name);
+  fld(a, "weight", v.weight);
+  fld(a, "flops_per_unit", v.flops_per_unit);
+  fld(a, "bytes_per_unit", v.bytes_per_unit);
+  fld(a, "compute_eff", v.compute_eff);
+  fld(a, "overlap", v.overlap);
+  fld(a, "max_bw_frac", v.max_bw_frac);
+  fld(a, "freq_scaling", v.freq_scaling);
+  fld(a, "activity", v.activity);
+  fld(a, "mem_energy_scale", v.mem_energy_scale);
+}
+
+template <class A>
+void io(A& a, workload::Workload& v) {
+  fld(a, "name", v.name);
+  fld(a, "description", v.description);
+  efld(a, "domain", v.domain, 2);
+  efld(a, "nominal_intensity", v.nominal_intensity, 3);
+  fld(a, "metric_name", v.metric_name);
+  fld(a, "metric_per_gunit", v.metric_per_gunit);
+  a.list("phases", v.phases);
+}
+
+template <class A>
+void io(A& a, workload::TraceSegment& v) {
+  fld(a, "phase_index", v.phase_index);
+  fld(a, "work_units", v.work_units);
+}
+
+template <class A>
+void io(A& a, core::SimJob& v) {
+  fld(a, "name", v.name);
+  a.object("wl", v.wl);
+  fld(a, "arrival", v.arrival);
+  fld(a, "work_gunits", v.work_gunits);
+}
+
+template <class A>
+void io(A& a, svc::CallOptions& v) {
+  efld(a, "solver_path", v.solver_path, 2);
+  efld(a, "replay_path", v.replay_path, 2);
+  efld(a, "cluster_path", v.cluster_path, 3);
+  fld(a, "seed", v.seed);
+  fld(a, "deadline_us", v.deadline_us);
+  fld(a, "budget_block", v.budget_block);
+}
+
+// --- request op bodies ---
+
+template <class A>
+void io(A& a, svc::QueryCpuOp& v) {
+  a.object("machine", v.machine);
+  a.object("wl", v.wl);
+  fld(a, "budget", v.budget);
+  efld(a, "variant", v.variant, 2);
+}
+
+template <class A>
+void io(A& a, svc::QueryGpuOp& v) {
+  a.object("machine", v.machine);
+  a.object("wl", v.wl);
+  fld(a, "budget", v.budget);
+  fld(a, "gamma", v.gamma);
+}
+
+template <class A>
+void io(A& a, svc::SampleOp& v) {
+  a.object("machine", v.machine);
+  a.object("wl", v.wl);
+  fld(a, "cpu_cap", v.cpu_cap);
+  fld(a, "mem_cap", v.mem_cap);
+}
+
+template <class A>
+void io(A& a, svc::FrontierOp& v) {
+  a.object("machine", v.machine);
+  a.object("wl", v.wl);
+  a.list("budgets", v.budgets);
+  fld(a, "mem_lo", v.mem_lo);
+  fld(a, "proc_lo", v.proc_lo);
+  fld(a, "step", v.step);
+}
+
+template <class A>
+void io(A& a, svc::ReplayOp& v) {
+  a.object("machine", v.machine);
+  a.object("wl", v.wl);
+  a.list("trace", v.trace);
+  fld(a, "cpu_cap", v.cpu_cap);
+  fld(a, "mem_cap", v.mem_cap);
+}
+
+template <class A>
+void io(A& a, svc::ShiftOp& v) {
+  a.object("machine", v.machine);
+  a.object("wl", v.wl);
+  a.list("trace", v.trace);
+  fld(a, "total_budget", v.total_budget);
+  fld(a, "step", v.step);
+  fld(a, "max_steps_per_segment", v.max_steps_per_segment);
+  a.opt("cpu_min", v.cpu_min);
+  a.opt("mem_min", v.mem_min);
+}
+
+template <class A>
+void io(A& a, svc::ClusterOp& v) {
+  a.object("node_type", v.node_type);
+  a.opt("gpu_type", v.gpu_type);
+  a.list("jobs", v.jobs);
+  fld(a, "nodes", v.nodes);
+  fld(a, "gpu_nodes", v.gpu_nodes);
+  fld(a, "global_budget", v.global_budget);
+  efld(a, "policy", v.policy, 2);
+  efld(a, "queue_policy", v.queue_policy, 2);
+  fld(a, "admission_control", v.admission_control);
+  fld(a, "min_grant", v.min_grant);
+}
+
+template <class A>
+void io(A& a, svc::OnlineOp& v) {
+  a.object("machine", v.machine);
+  a.object("wl", v.wl);
+  a.list("trace", v.trace);
+  fld(a, "total_budget", v.total_budget);
+  fld(a, "step", v.step);
+  a.opt("cpu_min", v.cpu_min);
+  a.opt("mem_min", v.mem_min);
+  fld(a, "explore_rate", v.explore_rate);
+  fld(a, "explore_decay", v.explore_decay);
+  fld(a, "explore_floor", v.explore_floor);
+  fld(a, "ema_alpha", v.ema_alpha);
+  fld(a, "hysteresis_margin", v.hysteresis_margin);
+}
+
+// --- response result bodies ---
+
+template <class A>
+void io(A& a, core::CpuAllocation& v) {
+  fld(a, "cpu", v.cpu);
+  fld(a, "mem", v.mem);
+  efld(a, "status", v.status, 3);
+  fld(a, "surplus", v.surplus);
+}
+
+template <class A>
+void io(A& a, core::GpuAllocation& v) {
+  fld(a, "sm", v.sm);
+  fld(a, "mem", v.mem);
+  efld(a, "status", v.status, 3);
+  fld(a, "surplus", v.surplus);
+  fld(a, "mem_clock_index", v.mem_clock_index);
+}
+
+template <class A>
+void io(A& a, sim::AllocationSample& v) {
+  fld(a, "proc_cap", v.proc_cap);
+  fld(a, "mem_cap", v.mem_cap);
+  fld(a, "proc_power", v.proc_power);
+  fld(a, "mem_power", v.mem_power);
+  fld(a, "perf", v.perf);
+  fld(a, "rate_gunits", v.rate_gunits);
+  fld(a, "proc_cap_respected", v.proc_cap_respected);
+  fld(a, "mem_cap_respected", v.mem_cap_respected);
+  efld(a, "proc_region", v.proc_region, 3);
+  efld(a, "mem_region", v.mem_region, 3);
+  fld(a, "pstate_index", v.pstate_index);
+  fld(a, "duty", v.duty);
+  fld(a, "sm_step", v.sm_step);
+  fld(a, "mem_clock_index", v.mem_clock_index);
+  fld(a, "compute_util", v.compute_util);
+  fld(a, "mem_util", v.mem_util);
+  fld(a, "avail_bw", v.avail_bw);
+  fld(a, "achieved_bw", v.achieved_bw);
+}
+
+template <class A>
+void io(A& a, core::FrontierPoint& v) {
+  fld(a, "budget", v.budget);
+  fld(a, "perf_max", v.perf_max);
+  fld(a, "best_proc_cap", v.best_proc_cap);
+  fld(a, "best_mem_cap", v.best_mem_cap);
+  fld(a, "consumed", v.consumed);
+}
+
+/// The frontier result is a bare vector; wrap it as one "points" list so
+/// every response body shares the object shape.
+template <class A>
+void io(A& a, std::vector<core::FrontierPoint>& v) {
+  a.list("points", v);
+}
+
+template <class A>
+void io(A& a, sim::SegmentResult& v) {
+  fld(a, "phase_index", v.phase_index);
+  fld(a, "work_units", v.work_units);
+  fld(a, "duration", v.duration);
+  fld(a, "proc_power", v.proc_power);
+  fld(a, "mem_power", v.mem_power);
+  fld(a, "rate_gunits", v.rate_gunits);
+}
+
+template <class A>
+void io(A& a, sim::TraceReplayResult& v) {
+  a.list("segments", v.segments);
+  a.object("aggregate", v.aggregate);
+  fld(a, "total_time", v.total_time);
+  fld(a, "proc_energy", v.proc_energy);
+  fld(a, "mem_energy", v.mem_energy);
+}
+
+template <class A>
+void io(A& a, core::SegmentCaps& v) {
+  fld(a, "phase_index", v.phase_index);
+  fld(a, "cpu_cap", v.cpu_cap);
+  fld(a, "mem_cap", v.mem_cap);
+}
+
+template <class A>
+void io(A& a, core::ShiftingResult& v) {
+  a.object("replay", v.replay);
+  a.list("caps", v.caps);
+  fld(a, "shifts", v.shifts);
+}
+
+template <class A>
+void io(A& a, ctrl::ClosedLoopSegment& v) {
+  fld(a, "phase_index", v.phase_index);
+  fld(a, "cpu_cap", v.cpu_cap);
+  fld(a, "mem_cap", v.mem_cap);
+  fld(a, "explored", v.explored);
+  fld(a, "phase_change", v.phase_change);
+}
+
+template <class A>
+void io(A& a, ctrl::ControllerStats& v) {
+  fld(a, "observations", v.observations);
+  fld(a, "explorations", v.explorations);
+  fld(a, "moves", v.moves);
+  fld(a, "phase_changes", v.phase_changes);
+  fld(a, "signatures", v.signatures);
+}
+
+template <class A>
+void io(A& a, ctrl::ClosedLoopResult& v) {
+  a.object("replay", v.replay);
+  a.list("caps", v.caps);
+  a.object("stats", v.stats);
+}
+
+template <class A>
+void io(A& a, core::JobOutcome& v) {
+  fld(a, "name", v.name);
+  fld(a, "arrival", v.arrival);
+  fld(a, "start", v.start);
+  fld(a, "finish", v.finish);
+  fld(a, "budget", v.budget);
+  fld(a, "perf", v.perf);
+  fld(a, "energy", v.energy);
+}
+
+template <class A>
+void io(A& a, core::ClusterEventStats& v) {
+  fld(a, "events", v.events);
+  fld(a, "subtree_resolves", v.subtree_resolves);
+  fld(a, "donations", v.donations);
+  fld(a, "jobs_preempted", v.jobs_preempted);
+  fld(a, "emergency_sheds", v.emergency_sheds);
+  fld(a, "emergency_regrants", v.emergency_regrants);
+  fld(a, "watts_redistributed", v.watts_redistributed);
+  fld(a, "caps_respected", v.caps_respected);
+}
+
+template <class A>
+void io(A& a, core::ClusterRun& v) {
+  a.list("jobs", v.jobs);
+  fld(a, "makespan", v.makespan);
+  fld(a, "mean_wait", v.mean_wait);
+  fld(a, "mean_response", v.mean_response);
+  fld(a, "total_energy", v.total_energy);
+  fld(a, "work_per_joule", v.work_per_joule);
+  a.object("event_stats", v.event_stats);
+}
+
+// ---------------------------------------------------------------------------
+// Top-level message layouts.
+
+/// Default-constructs the op alternative for a kind tag.
+void set_op_for_kind(svc::Request& req, QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kQueryCpu:
+      req.op = svc::QueryCpuOp{};
+      return;
+    case QueryKind::kQueryGpu:
+      req.op = svc::QueryGpuOp{};
+      return;
+    case QueryKind::kSample:
+      req.op = svc::SampleOp{};
+      return;
+    case QueryKind::kFrontier:
+      req.op = svc::FrontierOp{};
+      return;
+    case QueryKind::kReplay:
+      req.op = svc::ReplayOp{};
+      return;
+    case QueryKind::kShift:
+      req.op = svc::ShiftOp{};
+      return;
+    case QueryKind::kCluster:
+      req.op = svc::ClusterOp{};
+      return;
+    case QueryKind::kOnline:
+      req.op = svc::OnlineOp{};
+      return;
+  }
+}
+
+void set_result_for_kind(svc::Response& resp, QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kQueryCpu:
+      resp.result = core::CpuAllocation{};
+      return;
+    case QueryKind::kQueryGpu:
+      resp.result = core::GpuAllocation{};
+      return;
+    case QueryKind::kSample:
+      resp.result = sim::AllocationSample{};
+      return;
+    case QueryKind::kFrontier:
+      resp.result = std::vector<core::FrontierPoint>{};
+      return;
+    case QueryKind::kReplay:
+      resp.result = sim::TraceReplayResult{};
+      return;
+    case QueryKind::kShift:
+      resp.result = core::ShiftingResult{};
+      return;
+    case QueryKind::kCluster:
+      resp.result = core::ClusterRun{};
+      return;
+    case QueryKind::kOnline:
+      resp.result = ctrl::ClosedLoopResult{};
+      return;
+  }
+}
+
+[[nodiscard]] bool kind_from_name(const std::string& name, QueryKind& out) {
+  for (std::size_t i = 0; i < svc::kQueryKindCount; ++i) {
+    const auto k = static_cast<QueryKind>(i);
+    if (name == svc::to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] bool code_from_name(const std::string& name, ErrorCode& out) {
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
+    const auto c = static_cast<ErrorCode>(i);
+    if (name == to_string(c)) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+void append_text(const std::string& text, std::vector<std::uint8_t>& out) {
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+}  // namespace
+
+void encode_request(const svc::Request& req, Codec codec,
+                    std::vector<std::uint8_t>& out) {
+  // The archives mutate nothing on the write path; the shared io()
+  // enumeration just takes T& so one signature serves read and write.
+  auto& r = const_cast<svc::Request&>(req);
+  const auto kind = svc::request_kind(req);
+  if (codec == Codec::kBinary) {
+    BinWriter a(out);
+    fld(a, "id", r.id);
+    io(a, r.options);
+    std::uint8_t tag = static_cast<std::uint8_t>(kind);
+    a.enum_u8("kind", tag);
+    std::visit([&](auto& op) { io(a, op); }, r.op);
+    return;
+  }
+  json::Value root{json::Object{}};
+  JsonWriter a(root.as_object());
+  fld(a, "id", r.id);
+  a.object("options", r.options);
+  std::string kind_name = svc::to_string(kind);
+  a.prim("kind", kind_name);
+  std::visit([&](auto& op) { a.object("op", op); }, r.op);
+  append_text(json::render(root), out);
+}
+
+Result<svc::Request> decode_request(std::span<const std::uint8_t> payload,
+                                    Codec codec) {
+  svc::Request req;
+  Err err;
+  if (codec == Codec::kBinary) {
+    BinReader a(payload, err);
+    fld(a, "id", req.id);
+    io(a, req.options);
+    std::uint8_t tag = 0;
+    a.enum_u8("kind", tag);
+    if (!err.failed && tag >= svc::kQueryKindCount) {
+      err.fail("kind", "unknown request kind");
+    }
+    if (!err.failed) {
+      set_op_for_kind(req, static_cast<QueryKind>(tag));
+      std::visit([&](auto& op) { io(a, op); }, req.op);
+    }
+    if (!err.failed && !a.fully_consumed()) {
+      err.fail("", "trailing bytes after request payload");
+    }
+  } else {
+    auto doc = json::parse(std::string_view(
+        reinterpret_cast<const char*>(payload.data()), payload.size()));
+    if (!doc.ok()) return doc.error();
+    if (!doc.value().is_object()) {
+      return invalid_argument("request: top-level JSON is not an object");
+    }
+    JsonReader a(doc.value().as_object(), err);
+    fld(a, "id", req.id);
+    a.object("options", req.options);
+    std::string kind_name;
+    a.prim("kind", kind_name);
+    QueryKind kind = QueryKind::kQueryCpu;
+    if (!err.failed && !kind_from_name(kind_name, kind)) {
+      err.fail("kind", "unknown request kind");
+    }
+    if (!err.failed) {
+      set_op_for_kind(req, kind);
+      std::visit([&](auto& op) { a.object("op", op); }, req.op);
+    }
+  }
+  if (err.failed) return invalid_argument("request: " + err.msg);
+  return req;
+}
+
+void encode_response(const svc::Response& resp, Codec codec,
+                     std::vector<std::uint8_t>& out) {
+  auto& r = const_cast<svc::Response&>(resp);
+  const auto kind = svc::response_kind(resp);
+  if (codec == Codec::kBinary) {
+    BinWriter a(out);
+    fld(a, "id", r.id);
+    a.raw_u8(1);  // ok
+    std::uint8_t tag = static_cast<std::uint8_t>(kind);
+    a.enum_u8("kind", tag);
+    std::visit([&](auto& res) { io(a, res); }, r.result);
+    return;
+  }
+  json::Value root{json::Object{}};
+  JsonWriter a(root.as_object());
+  fld(a, "id", r.id);
+  bool ok = true;
+  fld(a, "ok", ok);
+  std::string kind_name = svc::to_string(kind);
+  a.prim("kind", kind_name);
+  std::visit([&](auto& res) { a.object("result", res); }, r.result);
+  append_text(json::render(root), out);
+}
+
+void encode_error_response(std::uint64_t id, const Error& err, Codec codec,
+                           std::vector<std::uint8_t>& out) {
+  if (codec == Codec::kBinary) {
+    BinWriter a(out);
+    fld(a, "id", id);
+    a.raw_u8(0);  // not ok
+    std::uint8_t code = static_cast<std::uint8_t>(err.code);
+    a.enum_u8("code", code);
+    std::string msg = err.message;
+    a.prim("message", msg);
+    return;
+  }
+  json::Value root{json::Object{}};
+  JsonWriter a(root.as_object());
+  fld(a, "id", id);
+  bool ok = false;
+  fld(a, "ok", ok);
+  json::Value sub{json::Object{}};
+  JsonWriter e(sub.as_object());
+  std::string code_name = to_string(err.code);
+  e.prim("code", code_name);
+  std::string msg = err.message;
+  e.prim("message", msg);
+  root.as_object().emplace_back("error", std::move(sub));
+  append_text(json::render(root), out);
+}
+
+Result<svc::Response> decode_response(std::span<const std::uint8_t> payload,
+                                      Codec codec, std::uint64_t* error_id) {
+  svc::Response resp;
+  Err err;
+  if (codec == Codec::kBinary) {
+    BinReader a(payload, err);
+    fld(a, "id", resp.id);
+    std::uint8_t ok = 0;
+    ok = static_cast<std::uint8_t>(a.raw_u8("ok"));
+    if (!err.failed && ok > 1) err.fail("ok", "bad ok byte");
+    if (!err.failed && ok == 0) {
+      std::uint8_t code = 0;
+      a.enum_u8("code", code);
+      if (!err.failed && code > static_cast<std::uint8_t>(ErrorCode::kInternal)) {
+        err.fail("code", "unknown error code");
+      }
+      std::string msg;
+      a.prim("message", msg);
+      if (err.failed) return invalid_argument("response: " + err.msg);
+      if (error_id != nullptr) *error_id = resp.id;
+      return Error{static_cast<ErrorCode>(code), std::move(msg)};
+    }
+    if (!err.failed) {
+      std::uint8_t tag = 0;
+      a.enum_u8("kind", tag);
+      if (!err.failed && tag >= svc::kQueryKindCount) {
+        err.fail("kind", "unknown response kind");
+      }
+      if (!err.failed) {
+        set_result_for_kind(resp, static_cast<QueryKind>(tag));
+        std::visit([&](auto& res) { io(a, res); }, resp.result);
+      }
+      if (!err.failed && !a.fully_consumed()) {
+        err.fail("", "trailing bytes after response payload");
+      }
+    }
+  } else {
+    auto doc = json::parse(std::string_view(
+        reinterpret_cast<const char*>(payload.data()), payload.size()));
+    if (!doc.ok()) return doc.error();
+    if (!doc.value().is_object()) {
+      return invalid_argument("response: top-level JSON is not an object");
+    }
+    JsonReader a(doc.value().as_object(), err);
+    fld(a, "id", resp.id);
+    bool ok = false;
+    fld(a, "ok", ok);
+    if (!err.failed && !ok) {
+      const json::Value* e = doc.value().find("error");
+      if (e == nullptr || !e->is_object()) {
+        return invalid_argument("response: error payload without error object");
+      }
+      JsonReader er(e->as_object(), err);
+      std::string code_name;
+      er.prim("code", code_name);
+      std::string msg;
+      er.prim("message", msg);
+      ErrorCode code = ErrorCode::kInternal;
+      if (!err.failed && !code_from_name(code_name, code)) {
+        err.fail("code", "unknown error code");
+      }
+      if (err.failed) return invalid_argument("response: " + err.msg);
+      if (error_id != nullptr) *error_id = resp.id;
+      return Error{code, std::move(msg)};
+    }
+    if (!err.failed) {
+      std::string kind_name;
+      a.prim("kind", kind_name);
+      QueryKind kind = QueryKind::kQueryCpu;
+      if (!err.failed && !kind_from_name(kind_name, kind)) {
+        err.fail("kind", "unknown response kind");
+      }
+      if (!err.failed) {
+        set_result_for_kind(resp, kind);
+        std::visit([&](auto& res) { a.object("result", res); }, resp.result);
+      }
+    }
+  }
+  if (err.failed) return invalid_argument("response: " + err.msg);
+  return resp;
+}
+
+std::vector<std::uint8_t> frame_request(const svc::Request& req, Codec codec) {
+  std::vector<std::uint8_t> payload;
+  encode_request(req, codec, payload);
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  append_frame(out, codec, payload);
+  return out;
+}
+
+std::vector<std::uint8_t> frame_response(const svc::Response& resp,
+                                         Codec codec) {
+  std::vector<std::uint8_t> payload;
+  encode_response(resp, codec, payload);
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  append_frame(out, codec, payload);
+  return out;
+}
+
+std::vector<std::uint8_t> frame_error_response(std::uint64_t id,
+                                               const Error& err,
+                                               Codec codec) {
+  std::vector<std::uint8_t> payload;
+  encode_error_response(id, err, codec, payload);
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  append_frame(out, codec, payload);
+  return out;
+}
+
+}  // namespace pbc::net

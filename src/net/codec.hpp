@@ -1,0 +1,79 @@
+// pbcd payload codecs: svc::Request / svc::Response <-> bytes.
+//
+// Two encodings share one field enumeration (codec.cpp's io() overloads,
+// mirroring the canonical field order of svc/key.cpp's cache-key hashes):
+//
+//  * binary (Codec::kBinary) — the compact production encoding. All
+//    integers little-endian; doubles bit-cast to u64 (exact round-trip,
+//    NaN payloads included); strings and vectors length-prefixed (u32);
+//    optionals a presence byte; enums one byte.
+//  * JSON (Codec::kJson) — the debug encoding, human-readable with
+//    field names. Doubles print with %.17g (exact for finite values);
+//    non-finite doubles and all u64 fields ride as strings so nothing is
+//    truncated through the double-typed JSON number space.
+//
+// Payload layout (inside a net/wire.hpp frame):
+//
+//   request  := id:u64  options:CallOptions  kind:u8  op-body
+//   response := id:u64  ok:u8
+//               ok=1 -> kind:u8  result-body
+//               ok=0 -> code:u8  message:string
+//
+// (JSON spells the same shape as {"id","options","kind","op"} and
+// {"id","ok","kind","result"} / {"id","ok","error":{"code","message"}};
+// kind and code are their to_string names.) The kind tag is the
+// svc::QueryKind value — index-aligned with the Request/Response
+// variants. Decoders never trust the input: truncated, oversized, or
+// garbage payloads return kInvalidArgument, and no length field is
+// believed until it fits in the remaining bytes.
+//
+// tests/net/codec_test.cpp holds both codecs to golden round-trips over
+// every kind; the binary encoding doubles as the bit-exact equality
+// witness in the execute() differential test.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "svc/request.hpp"
+#include "util/status.hpp"
+
+namespace pbc::net {
+
+/// Appends the encoded request payload (no frame header) to `out`.
+void encode_request(const svc::Request& req, Codec codec,
+                    std::vector<std::uint8_t>& out);
+
+/// Decodes one request payload.
+[[nodiscard]] Result<svc::Request> decode_request(
+    std::span<const std::uint8_t> payload, Codec codec);
+
+/// Appends the encoded success-response payload to `out`.
+void encode_response(const svc::Response& resp, Codec codec,
+                     std::vector<std::uint8_t>& out);
+
+/// Appends an error-response payload (ok=0) carrying `err` for request
+/// `id` to `out`.
+void encode_error_response(std::uint64_t id, const Error& err, Codec codec,
+                           std::vector<std::uint8_t>& out);
+
+/// Decodes one response payload. An ok=0 payload decodes to the Error it
+/// carries (so a client treats transport-level decode failures and
+/// server-reported errors through the one Result vocabulary); the
+/// response id of an error payload is reported via `error_id` when
+/// non-null.
+[[nodiscard]] Result<svc::Response> decode_response(
+    std::span<const std::uint8_t> payload, Codec codec,
+    std::uint64_t* error_id = nullptr);
+
+/// Convenience: one fully framed request / response message.
+[[nodiscard]] std::vector<std::uint8_t> frame_request(const svc::Request& req,
+                                                      Codec codec);
+[[nodiscard]] std::vector<std::uint8_t> frame_response(
+    const svc::Response& resp, Codec codec);
+[[nodiscard]] std::vector<std::uint8_t> frame_error_response(
+    std::uint64_t id, const Error& err, Codec codec);
+
+}  // namespace pbc::net

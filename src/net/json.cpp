@@ -1,0 +1,319 @@
+#include "net/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pbc::net::json {
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void render_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void render_into(const Value& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    const double d = v.as_number();
+    if (!std::isfinite(d)) {
+      out += "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  } else if (v.is_string()) {
+    render_string(v.as_string(), out);
+  } else if (v.is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const auto& e : v.as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      render_into(e, out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, e] : v.as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      render_string(k, out);
+      out.push_back(':');
+      render_into(e, out);
+    }
+    out.push_back('}');
+  }
+}
+
+/// Recursive-descent parser with explicit depth and size guards.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] Result<Value> run() {
+    skip_ws();
+    Value v;
+    if (auto s = parse_value(v, 0); !s.ok()) return s.error();
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return v;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  [[nodiscard]] Error fail(const char* what) const {
+    return invalid_argument(std::string("json: ") + what + " at offset " +
+                            std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool consume_lit(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  [[nodiscard]] Status parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return {};
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("dangling escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          // Codec strings are ASCII; encode BMP code points as UTF-8 so
+          // arbitrary input still round-trips without loss of bytes.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0u | (code >> 6)));
+            out.push_back(static_cast<char>(0x80u | (code & 0x3Fu)));
+          } else {
+            out.push_back(static_cast<char>(0xE0u | (code >> 12)));
+            out.push_back(static_cast<char>(0x80u | ((code >> 6) & 0x3Fu)));
+            out.push_back(static_cast<char>(0x80u | (code & 0x3Fu)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  [[nodiscard]] Status parse_value(Value& out, std::size_t depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      Object obj;
+      skip_ws();
+      if (consume('}')) {
+        out = Value(std::move(obj));
+        return {};
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (auto s = parse_string(key); !s.ok()) return s;
+        skip_ws();
+        if (!consume(':')) return fail("expected ':'");
+        Value v;
+        if (auto s = parse_value(v, depth + 1); !s.ok()) return s;
+        obj.emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) break;
+        return fail("expected ',' or '}'");
+      }
+      out = Value(std::move(obj));
+      return {};
+    }
+    if (c == '[') {
+      ++pos_;
+      Array arr;
+      skip_ws();
+      if (consume(']')) {
+        out = Value(std::move(arr));
+        return {};
+      }
+      while (true) {
+        Value v;
+        if (auto s = parse_value(v, depth + 1); !s.ok()) return s;
+        arr.push_back(std::move(v));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) break;
+        return fail("expected ',' or ']'");
+      }
+      out = Value(std::move(arr));
+      return {};
+    }
+    if (c == '"') {
+      std::string s;
+      if (auto st = parse_string(s); !st.ok()) return st;
+      out = Value(std::move(s));
+      return {};
+    }
+    if (consume_lit("true")) {
+      out = Value(true);
+      return {};
+    }
+    if (consume_lit("false")) {
+      out = Value(false);
+      return {};
+    }
+    if (consume_lit("null")) {
+      out = Value(nullptr);
+      return {};
+    }
+    // Number: delegate to strtod over the longest plausible span.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char n = text_[pos_];
+      if ((n >= '0' && n <= '9') || n == '-' || n == '+' || n == '.' ||
+          n == 'e' || n == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("unexpected character");
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    out = Value(d);
+    return {};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string render(const Value& v) {
+  std::string out;
+  render_into(v, out);
+  return out;
+}
+
+Result<Value> parse(std::string_view text) {
+  if (text.size() > (16u << 20)) {
+    return invalid_argument("json: input over 16 MiB");
+  }
+  return Parser(text).run();
+}
+
+}  // namespace pbc::net::json

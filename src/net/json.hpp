@@ -1,0 +1,96 @@
+// Minimal JSON document model for the debug codec.
+//
+// The wire's JSON flavour (src/net/codec.hpp) needs a DOM it can build
+// and walk, a renderer, and a parser that fails with pbc::Status instead
+// of throwing — nothing the library already has covers that
+// (obs::render_json writes strings directly and never parses). The model
+// is deliberately small: objects preserve insertion order (so rendered
+// requests are stable for golden tests) and numbers are doubles — the
+// codec layer is responsible for anything a double cannot carry
+// losslessly (it writes u64 fields and non-finite doubles as strings).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace pbc::net::json {
+
+class Value;
+
+/// Order-preserving object representation. Lookup is linear — wire
+/// payload objects are small (tens of keys), and preserving insertion
+/// order keeps rendered output deterministic.
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;
+
+/// One JSON value. The default-constructed Value is null.
+class Value {
+ public:
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}        // NOLINT
+  Value(bool b) : v_(b) {}                      // NOLINT
+  Value(double d) : v_(d) {}                    // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}    // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}  // NOLINT
+  Value(Array a) : v_(std::move(a)) {}          // NOLINT
+  Value(Object o) : v_(std::move(o)) {}         // NOLINT
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(v_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return std::holds_alternative<Array>(v_);
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<Object>(v_);
+  }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(v_);
+  }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(v_); }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(v_); }
+  [[nodiscard]] const Object& as_object() const {
+    return std::get<Object>(v_);
+  }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(v_); }
+
+  /// First member with the key, or null when absent / not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+
+ private:
+  Storage v_;
+};
+
+/// Renders compactly (no whitespace). Numbers print with %.17g, which
+/// round-trips every finite double exactly; non-finite doubles render as
+/// null (the codec never emits them as numbers — see header comment).
+[[nodiscard]] std::string render(const Value& v);
+
+/// Parses one JSON document. Trailing non-whitespace, depth over 64,
+/// inputs over 16 MiB, and every grammar violation return
+/// kInvalidArgument with a byte offset — never throws, never crashes on
+/// garbage (the frame fuzz test feeds this arbitrary bytes).
+[[nodiscard]] Result<Value> parse(std::string_view text);
+
+}  // namespace pbc::net::json

@@ -1,0 +1,33 @@
+#include "net/router.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+
+namespace pbc::net {
+
+ShardRouter::ShardRouter(std::size_t shards, std::size_t vnodes)
+    : shards_(shards == 0 ? 1 : shards) {
+  if (vnodes == 0) vnodes = 1;
+  ring_.reserve(shards_ * vnodes);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    for (std::size_t r = 0; r < vnodes; ++r) {
+      Fnv1a64 h(0x9e3779b9u);
+      h.u64(static_cast<std::uint64_t>(s));
+      h.u64(static_cast<std::uint64_t>(r));
+      ring_.emplace_back(h.digest(), static_cast<std::uint32_t>(s));
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t ShardRouter::route(std::uint64_t key) const noexcept {
+  // First ring point at or after the key, wrapping to the lowest point.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const auto& point, std::uint64_t k) { return point.first < k; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+}  // namespace pbc::net

@@ -1,0 +1,40 @@
+// Consistent-hash routing of request descriptors onto engine shards.
+//
+// The pbcd daemon runs N in-process QueryEngine shards so cache shards,
+// single-flight maps, and LRU locks scale with cores. Requests route by
+// svc::descriptor_hash — the (machine, workload) digest — so all traffic
+// for one descriptor lands on one shard and its profile/sim/replay
+// caches stay hot, instead of every shard cold-computing every pair.
+//
+// The ring is the textbook construction: each shard owns `vnodes`
+// pseudo-random points on the u64 circle; a key routes to the owner of
+// the first point at or after it. Virtual nodes keep the load split
+// within a few percent of uniform, and adding a shard only moves ~1/N of
+// the keyspace — the property that matters if shard counts ever become
+// dynamic. Routing is a binary search over an immutable ring: no locks,
+// safe from every connection thread.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pbc::net {
+
+class ShardRouter {
+ public:
+  /// A ring over `shards` shards (>= 1; 0 is promoted to 1) with
+  /// `vnodes` points per shard.
+  explicit ShardRouter(std::size_t shards, std::size_t vnodes = 64);
+
+  /// The shard owning `key` (svc::descriptor_hash of the request).
+  [[nodiscard]] std::size_t route(std::uint64_t key) const noexcept;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_; }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+  std::size_t shards_;
+};
+
+}  // namespace pbc::net

@@ -1,0 +1,440 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#define PBC_NET_HAVE_EPOLL 1
+#else
+#define PBC_NET_HAVE_EPOLL 0
+#endif
+
+#include "net/codec.hpp"
+#include "obs/exposition.hpp"
+#include "svc/request.hpp"
+
+namespace pbc::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Writes the whole buffer on a possibly-nonblocking socket, polling for
+/// writability on EAGAIN. Returns false on a hard error.
+[[nodiscard]] bool write_all(int fd, const std::uint8_t* data,
+                             std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd, POLLOUT, 0};
+      if (::poll(&p, 1, 1000) <= 0) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+[[nodiscard]] bool starts_with_get(const std::vector<std::uint8_t>& buf) {
+  static constexpr char kGet[] = {'G', 'E', 'T', ' '};
+  return buf.size() >= 4 && std::memcmp(buf.data(), kGet, 4) == 0;
+}
+
+[[nodiscard]] bool http_request_complete(const std::vector<std::uint8_t>& b) {
+  static constexpr char kEnd[] = "\r\n\r\n";
+  if (b.size() < 4) return false;
+  for (std::size_t i = 0; i + 4 <= b.size(); ++i) {
+    if (std::memcmp(b.data() + i, kEnd, 4) == 0) return true;
+  }
+  return false;
+}
+
+[[nodiscard]] std::string http_metrics_response(const std::string& body) {
+  std::string out = "HTTP/1.1 200 OK\r\n";
+  out += "Content-Type: text/plain; version=0.0.4\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+/// Per-connection state for both serving modes.
+struct Daemon::Conn {
+  int fd = -1;
+  std::uint64_t client_id = 0;
+  enum class Mode { kUnknown, kFrame, kHttp } mode = Mode::kUnknown;
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> sniff;  ///< bytes held until the mode is known
+  std::vector<std::uint8_t> http_buf;
+};
+
+Daemon::Daemon(DaemonOptions opt)
+    : opt_(std::move(opt)),
+      router_(opt_.shards == 0 ? 1 : opt_.shards, opt_.vnodes),
+      admission_(opt_.admission),
+      requests_total_(&registry_.counter("pbc_net_requests_total",
+                                         "Frames received as requests")),
+      responses_total_(&registry_.counter("pbc_net_responses_total",
+                                          "Successful responses sent")),
+      errors_total_(&registry_.counter(
+          "pbc_net_errors_total",
+          "Error responses sent (decode, validation, execution)")),
+      shed_total_(&registry_.counter("pbc_net_shed_total",
+                                     "Requests shed by admission control")),
+      deadline_rejected_total_(&registry_.counter(
+          "pbc_net_deadline_rejected_total",
+          "Requests whose deadline elapsed before compute")),
+      connections_total_(&registry_.counter("pbc_net_connections_total",
+                                            "Connections accepted")),
+      open_connections_(&registry_.gauge("pbc_net_open_connections",
+                                         "Currently open connections")),
+      admission_rate_(&registry_.gauge("pbc_net_admission_rate",
+                                       "Current admission rate, req/s")) {
+  const std::size_t n = opt_.shards == 0 ? 1 : opt_.shards;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    svc::EngineOptions eo = opt_.engine;
+    eo.registry = &registry_;
+    shards_.push_back(std::make_unique<svc::QueryEngine>(eo));
+  }
+}
+
+Daemon::~Daemon() { stop(); }
+
+Status Daemon::start() {
+  if (running_.load()) return {};
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return unavailable("pbcd: socket() failed");
+  int one = 1;
+  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt_.port);
+  if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return invalid_argument("pbcd: bad host " + opt_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return unavailable("pbcd: bind failed: " +
+                       std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, opt_.backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return unavailable("pbcd: listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  running_.store(true);
+#if PBC_NET_HAVE_EPOLL
+  const bool epoll_mode = opt_.use_epoll;
+#else
+  const bool epoll_mode = false;
+#endif
+  if (epoll_mode) {
+#if PBC_NET_HAVE_EPOLL
+    // Created here, before the serve thread exists, and closed in stop()
+    // after it is joined: wake_fd_ is never touched concurrently, so
+    // stop() can write the wake token without racing the loop's reads
+    // (or a close()) on the other thread.
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+    if (wake_fd_ < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      running_.store(false);
+      return unavailable("pbcd: eventfd failed");
+    }
+#endif
+    serve_thread_ = std::thread([this] { event_loop(); });
+  } else {
+    if (!set_nonblocking(listen_fd_)) {
+      // accept_loop polls, so nonblocking accept is required there too.
+    }
+    serve_thread_ = std::thread([this] { accept_loop(); });
+  }
+  monitor_thread_ = std::thread([this] { monitor_loop(); });
+  return {};
+}
+
+void Daemon::stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::scoped_lock lock(stop_mu_);
+    stop_cv_.notify_all();
+  }
+#if PBC_NET_HAVE_EPOLL
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    (void)!::write(wake_fd_, &one, sizeof(one));
+  }
+#endif
+  if (serve_thread_.joinable()) serve_thread_.join();
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  {
+    std::scoped_lock lock(conn_threads_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> joinees;
+  {
+    std::scoped_lock lock(conn_threads_mu_);
+    joinees.swap(conn_threads_);
+  }
+  for (auto& t : joinees) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+std::string Daemon::metrics_payload() {
+  // metrics_snapshot() refreshes each shard's cache gauges into the
+  // shared registry; with several shards the entry gauges report the
+  // last shard refreshed (counters aggregate exactly — see docs).
+  for (auto& s : shards_) (void)s->metrics_snapshot();
+  admission_rate_->set(admission_.rate());
+  return obs::render_prometheus(registry_.snapshot());
+}
+
+std::vector<std::uint8_t> Daemon::process_frame(const Frame& frame,
+                                                std::uint64_t client_id,
+                                                Clock::time_point arrival) {
+  const Codec codec = frame.header.codec;
+  requests_total_->add(1);
+  auto req = decode_request(frame.payload, codec);
+  if (!req.ok()) {
+    errors_total_->add(1);
+    return frame_error_response(0, req.error(), codec);
+  }
+  const std::uint64_t id = req.value().id;
+  const auto now = Clock::now();
+  if (opt_.admission_enabled && !admission_.try_admit(client_id, now)) {
+    shed_total_->add(1);
+    return frame_error_response(
+        id, unavailable("pbcd: shed by admission control"), codec);
+  }
+  const std::uint64_t deadline_us = req.value().options.deadline_us;
+  if (deadline_us > 0) {
+    const auto elapsed_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now - arrival)
+            .count();
+    if (elapsed_us >= static_cast<std::int64_t>(deadline_us)) {
+      deadline_rejected_total_->add(1);
+      return frame_error_response(
+          id,
+          deadline_exceeded("pbcd: deadline " + std::to_string(deadline_us) +
+                            "us elapsed before compute (" +
+                            std::to_string(elapsed_us) + "us in queue)"),
+          codec);
+    }
+  }
+  const std::size_t shard = router_.route(svc::descriptor_hash(req.value()));
+  auto resp = shards_[shard]->execute(req.value());
+  if (!resp.ok()) {
+    errors_total_->add(1);
+    return frame_error_response(id, resp.error(), codec);
+  }
+  responses_total_->add(1);
+  return frame_response(resp.value(), codec);
+}
+
+bool Daemon::on_readable(Conn& c) {
+  std::uint8_t buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n == 0) return false;  // peer closed
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    const auto arrival = Clock::now();
+    std::span<const std::uint8_t> bytes(buf, static_cast<std::size_t>(n));
+    if (c.mode == Conn::Mode::kUnknown) {
+      c.sniff.insert(c.sniff.end(), bytes.begin(), bytes.end());
+      if (c.sniff.size() < 4) continue;
+      c.mode = starts_with_get(c.sniff) ? Conn::Mode::kHttp
+                                        : Conn::Mode::kFrame;
+      bytes = std::span<const std::uint8_t>(c.sniff);
+    }
+    if (c.mode == Conn::Mode::kHttp) {
+      c.http_buf.insert(c.http_buf.end(), bytes.begin(), bytes.end());
+      c.sniff.clear();
+      if (c.http_buf.size() > (1u << 16)) return false;
+      if (!http_request_complete(c.http_buf)) continue;
+      const std::string body = http_metrics_response(metrics_payload());
+      (void)write_all(c.fd,
+                      reinterpret_cast<const std::uint8_t*>(body.data()),
+                      body.size());
+      return false;  // one-shot endpoint: close after the scrape
+    }
+    c.decoder.feed(bytes);
+    c.sniff.clear();
+    while (true) {
+      auto next = c.decoder.next();
+      if (!next.ok()) return false;  // corrupt stream: drop the connection
+      if (!next.value().has_value()) break;
+      const auto out = process_frame(*next.value(), c.client_id, arrival);
+      if (!write_all(c.fd, out.data(), out.size())) return false;
+    }
+  }
+  return true;
+}
+
+#if PBC_NET_HAVE_EPOLL
+void Daemon::event_loop() {
+  const int ep = ::epoll_create1(0);
+  if (ep < 0) return;
+  (void)set_nonblocking(listen_fd_);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  (void)epoll_ctl(ep, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  (void)epoll_ctl(ep, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  std::unordered_map<int, Conn> conns;
+  epoll_event events[128];
+  while (running_.load()) {
+    const int n = ::epoll_wait(ep, events, 128, 100);
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drain = 0;
+        (void)!::read(wake_fd_, &drain, sizeof(drain));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        while (true) {
+          const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+          if (cfd < 0) break;
+          (void)set_nonblocking(cfd);
+          set_nodelay(cfd);
+          Conn c;
+          c.fd = cfd;
+          c.client_id = next_client_id_.fetch_add(1);
+          conns.emplace(cfd, std::move(c));
+          connections_total_->add(1);
+          open_connections_->set(static_cast<double>(conns.size()));
+          epoll_event cev{};
+          cev.events = EPOLLIN;
+          cev.data.fd = cfd;
+          (void)epoll_ctl(ep, EPOLL_CTL_ADD, cfd, &cev);
+        }
+        continue;
+      }
+      auto it = conns.find(fd);
+      if (it == conns.end()) continue;
+      bool keep = (events[i].events & (EPOLLHUP | EPOLLERR)) == 0;
+      if (keep) keep = on_readable(it->second);
+      if (!keep) {
+        admission_.forget_client(it->second.client_id);
+        (void)epoll_ctl(ep, EPOLL_CTL_DEL, fd, nullptr);
+        ::close(fd);
+        conns.erase(it);
+        open_connections_->set(static_cast<double>(conns.size()));
+      }
+    }
+  }
+  for (auto& [fd, c] : conns) ::close(fd);
+  ::close(ep);  // wake_fd_ is owned by start()/stop(), not the loop
+}
+#else
+void Daemon::event_loop() { accept_loop(); }
+#endif
+
+void Daemon::accept_loop() {
+  (void)set_nonblocking(listen_fd_);
+  while (running_.load()) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&p, 1, 100);
+    if (r <= 0) continue;
+    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    if (cfd < 0) continue;
+    set_nodelay(cfd);
+    const std::uint64_t id = next_client_id_.fetch_add(1);
+    connections_total_->add(1);
+    std::scoped_lock lock(conn_threads_mu_);
+    conn_fds_.push_back(cfd);
+    open_connections_->set(static_cast<double>(conn_fds_.size()));
+    conn_threads_.emplace_back(
+        [this, cfd, id] { serve_connection(cfd, id); });
+  }
+}
+
+void Daemon::serve_connection(int fd, std::uint64_t client_id) {
+  Conn c;
+  c.fd = fd;
+  c.client_id = client_id;
+  // Blocking reads; on_readable's recv loop exits via EAGAIN only for
+  // nonblocking sockets, so flip the socket nonblocking and poll here.
+  (void)set_nonblocking(fd);
+  while (running_.load()) {
+    pollfd p{fd, POLLIN, 0};
+    const int r = ::poll(&p, 1, 100);
+    if (r < 0 && errno != EINTR) break;
+    if (r <= 0) continue;
+    if (!on_readable(c)) break;
+  }
+  admission_.forget_client(client_id);
+  ::close(fd);
+  std::scoped_lock lock(conn_threads_mu_);
+  std::erase(conn_fds_, fd);
+  open_connections_->set(static_cast<double>(conn_fds_.size()));
+}
+
+void Daemon::monitor_loop() {
+  const auto interval = std::chrono::duration<double>(opt_.monitor_interval_s);
+  std::unique_lock lock(stop_mu_);
+  while (running_.load()) {
+    stop_cv_.wait_for(lock, interval, [this] { return !running_.load(); });
+    if (!running_.load()) break;
+    const double p99 = p99_tracker_.update(registry_.snapshot());
+    if (p99 > 0.0) admission_.report_p99(p99);
+    admission_rate_->set(admission_.rate());
+  }
+}
+
+}  // namespace pbc::net

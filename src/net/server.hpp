@@ -1,0 +1,161 @@
+// pbcd: the TCP daemon serving svc::QueryEngine over the wire protocol.
+//
+// One Daemon owns N QueryEngine shards (consistent-hash routed by
+// svc::descriptor_hash, so a descriptor's cache traffic stays on one
+// shard), one shared obs::MetricsRegistry the shards publish into, an
+// AdmissionController fed by the per-kind latency histogram p99s, and
+// the listening socket. Two serving modes, selected by
+// DaemonOptions::use_epoll:
+//
+//  * epoll event loop (the default on Linux): one event thread owns
+//    accept + read + write on nonblocking sockets and executes requests
+//    inline — engine work per request is microseconds warm, so a single
+//    loop sustains the bench gate while keeping connection state
+//    single-threaded.
+//  * thread-per-connection fallback: an accept thread spawns one
+//    blocking-IO thread per connection; requests on different
+//    connections execute in parallel (the engine is thread-safe). This
+//    is also the portable mode for non-Linux builds.
+//
+// Request lifecycle per frame, in order:
+//   1. decode (net/codec.hpp)          -> kInvalidArgument on garbage
+//   2. admission (net/admission.hpp)   -> kUnavailable when shed
+//   3. deadline check: CallOptions::deadline_us is a relative budget
+//      whose clock starts when the frame's bytes arrived; if it has
+//      already elapsed (queueing behind earlier frames counts), the
+//      request is rejected with kDeadlineExceeded BEFORE any compute.
+//   4. route + QueryEngine::execute    -> result or engine error
+// Every outcome is answered on the same connection in arrival order.
+//
+// A connection whose first bytes are "GET " is served as HTTP instead:
+// the daemon answers one request with the Prometheus exposition of the
+// shared registry (obs::render_prometheus) and closes — a live /metrics
+// endpoint without an HTTP stack.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/admission.hpp"
+#include "net/router.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "svc/engine.hpp"
+#include "util/status.hpp"
+
+namespace pbc::net {
+
+struct DaemonOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back via Daemon::port().
+  std::uint16_t port = 0;
+  /// QueryEngine shards behind the consistent-hash router.
+  std::size_t shards = 1;
+  /// Virtual nodes per shard on the hash ring.
+  std::size_t vnodes = 64;
+  /// epoll event loop when true (Linux); thread-per-connection otherwise.
+  /// Non-Linux builds always use the thread-per-connection fallback.
+  bool use_epoll = true;
+  int backlog = 128;
+  /// Per-shard engine options. The registry field is ignored: every
+  /// shard publishes into the daemon's shared registry so /metrics and
+  /// the admission p99s see aggregate traffic.
+  svc::EngineOptions engine;
+  bool admission_enabled = true;
+  AdmissionOptions admission;
+  /// Cadence of the monitor loop that feeds histogram p99s to the
+  /// admission controller.
+  double monitor_interval_s = 0.005;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions opt = {});
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds, listens, and starts the serving + monitor threads.
+  [[nodiscard]] Status start();
+
+  /// Stops serving and joins every thread. Idempotent.
+  void stop();
+
+  /// The bound port (after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return registry_; }
+  [[nodiscard]] svc::QueryEngine& shard(std::size_t i) { return *shards_[i]; }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] AdmissionController& admission() noexcept {
+    return admission_;
+  }
+  [[nodiscard]] const DaemonOptions& options() const noexcept { return opt_; }
+
+  /// The Prometheus payload /metrics serves: the shared registry with
+  /// every shard's cache gauges freshly refreshed.
+  [[nodiscard]] std::string metrics_payload();
+
+ private:
+  struct Conn;
+
+  /// Decodes, admits, deadline-checks, routes, executes; returns the
+  /// fully framed response (success or error) to write back.
+  [[nodiscard]] std::vector<std::uint8_t> process_frame(
+      const Frame& frame, std::uint64_t client_id,
+      std::chrono::steady_clock::time_point arrival);
+
+  void event_loop();
+  void accept_loop();
+  void serve_connection(int fd, std::uint64_t client_id);
+  void monitor_loop();
+
+  /// Handles readable bytes on a connection; returns false when the
+  /// connection should close.
+  [[nodiscard]] bool on_readable(Conn& c);
+
+  DaemonOptions opt_;
+  obs::MetricsRegistry registry_;
+  std::vector<std::unique_ptr<svc::QueryEngine>> shards_;
+  ShardRouter router_;
+  AdmissionController admission_;
+  DeltaP99Tracker p99_tracker_;
+
+  obs::Counter* requests_total_;
+  obs::Counter* responses_total_;
+  obs::Counter* errors_total_;
+  obs::Counter* shed_total_;
+  obs::Counter* deadline_rejected_total_;
+  obs::Counter* connections_total_;
+  obs::Gauge* open_connections_;
+  obs::Gauge* admission_rate_;
+
+  int listen_fd_ = -1;
+  /// eventfd that wakes the epoll loop for stop(). Owned by start()/
+  /// stop() (created before the serve thread, closed after its join),
+  /// so no two threads ever touch it concurrently.
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> next_client_id_{1};
+
+  std::thread serve_thread_;
+  std::thread monitor_thread_;
+  std::mutex conn_threads_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+};
+
+}  // namespace pbc::net

@@ -1,0 +1,105 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace pbc::net {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void append_frame_header(std::vector<std::uint8_t>& out, Codec codec,
+                         std::uint32_t payload_len) {
+  put_u32(out, kFrameMagic);
+  out.push_back(kFrameVersion);
+  out.push_back(static_cast<std::uint8_t>(codec));
+  out.push_back(0);  // flags lo
+  out.push_back(0);  // flags hi
+  put_u32(out, payload_len);
+}
+
+void append_frame(std::vector<std::uint8_t>& out, Codec codec,
+                  std::span<const std::uint8_t> payload) {
+  append_frame_header(out, codec,
+                      static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+Result<FrameHeader> parse_frame_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kFrameHeaderSize) {
+    return invalid_argument("frame: header truncated");
+  }
+  if (get_u32(bytes.data()) != kFrameMagic) {
+    return invalid_argument("frame: bad magic");
+  }
+  FrameHeader h;
+  h.version = bytes[4];
+  if (h.version != kFrameVersion) {
+    return invalid_argument("frame: unsupported version " +
+                            std::to_string(h.version));
+  }
+  const std::uint8_t codec = bytes[5];
+  if (codec != static_cast<std::uint8_t>(Codec::kBinary) &&
+      codec != static_cast<std::uint8_t>(Codec::kJson)) {
+    return invalid_argument("frame: unknown codec " + std::to_string(codec));
+  }
+  h.codec = static_cast<Codec>(codec);
+  h.flags = static_cast<std::uint16_t>(
+      bytes[6] | (static_cast<std::uint16_t>(bytes[7]) << 8));
+  if (h.flags != 0) {
+    return invalid_argument("frame: reserved flags set");
+  }
+  h.payload_len = get_u32(bytes.data() + 8);
+  if (h.payload_len > kMaxFramePayload) {
+    return invalid_argument("frame: payload length " +
+                            std::to_string(h.payload_len) + " over limit");
+  }
+  return h;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection does not grow the buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+Result<std::optional<Frame>> FrameDecoder::next() {
+  if (poisoned_) return *poisoned_;
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < kFrameHeaderSize) return std::optional<Frame>{};
+  auto header = parse_frame_header(
+      std::span<const std::uint8_t>(buf_.data() + consumed_, avail));
+  if (!header.ok()) {
+    poisoned_ = header.error();
+    return *poisoned_;
+  }
+  const std::size_t total = kFrameHeaderSize + header.value().payload_len;
+  if (avail < total) return std::optional<Frame>{};
+  Frame f;
+  f.header = header.value();
+  const std::uint8_t* p = buf_.data() + consumed_ + kFrameHeaderSize;
+  f.payload.assign(p, p + header.value().payload_len);
+  consumed_ += total;
+  return std::optional<Frame>{std::move(f)};
+}
+
+}  // namespace pbc::net

@@ -1,0 +1,104 @@
+// pbcd wire framing: the length-prefixed envelope around codec payloads.
+//
+// Every message on a pbcd connection — request or response, either
+// direction — is one frame:
+//
+//   offset  size  field
+//   0       4     magic "PBCF" (bytes 'P','B','C','F')
+//   4       1     version (currently 1)
+//   5       1     codec   (1 = binary, 2 = JSON debug)
+//   6       2     flags   (reserved, must be 0), little-endian
+//   8       4     payload length in bytes, little-endian, <= 16 MiB
+//   12      N     payload (see net/codec.hpp)
+//
+// The parser never trusts the peer: bad magic, unknown version/codec,
+// nonzero flags, and oversized lengths are clean kInvalidArgument errors
+// before any payload allocation, and a FrameDecoder fed arbitrary bytes
+// either produces frames or fails — it never crashes or over-allocates
+// (tests/net/frame_fuzz_test.cpp runs it under ASan on garbage).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace pbc::net {
+
+/// Payload encoding carried in the frame header.
+enum class Codec : std::uint8_t {
+  kBinary = 1,
+  kJson = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(Codec c) noexcept {
+  switch (c) {
+    case Codec::kBinary:
+      return "binary";
+    case Codec::kJson:
+      return "json";
+  }
+  return "unknown";
+}
+
+inline constexpr std::size_t kFrameHeaderSize = 12;
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+/// "PBCF" read as a little-endian u32 from the first four bytes.
+inline constexpr std::uint32_t kFrameMagic = 0x46434250u;
+
+struct FrameHeader {
+  std::uint8_t version = kFrameVersion;
+  Codec codec = Codec::kBinary;
+  std::uint16_t flags = 0;
+  std::uint32_t payload_len = 0;
+};
+
+/// Appends a frame header for a payload of `payload_len` bytes.
+void append_frame_header(std::vector<std::uint8_t>& out, Codec codec,
+                         std::uint32_t payload_len);
+
+/// Appends header + payload in one go.
+void append_frame(std::vector<std::uint8_t>& out, Codec codec,
+                  std::span<const std::uint8_t> payload);
+
+/// Validates and decodes the first kFrameHeaderSize bytes. Rejects bad
+/// magic, unknown version or codec, nonzero reserved flags, and payload
+/// lengths over kMaxFramePayload.
+[[nodiscard]] Result<FrameHeader> parse_frame_header(
+    std::span<const std::uint8_t> bytes);
+
+/// One complete frame as returned by FrameDecoder.
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Incremental frame extractor over a TCP byte stream. Feed whatever the
+/// socket produced; next() yields complete frames in order. The first
+/// malformed header poisons the decoder (a byte stream with a corrupt
+/// frame boundary cannot be resynchronized), and every later next()
+/// returns the same error.
+class FrameDecoder {
+ public:
+  /// Appends received bytes to the internal buffer.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// The next complete frame: a Frame when one is buffered, std::nullopt
+  /// when more bytes are needed, an Error when the stream is corrupt.
+  [[nodiscard]] Result<std::optional<Frame>> next();
+
+  /// Bytes buffered but not yet returned as frames.
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return buf_.size() - consumed_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_ = 0;
+  std::optional<Error> poisoned_;
+};
+
+}  // namespace pbc::net

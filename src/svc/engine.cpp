@@ -611,12 +611,82 @@ void QueryEngine::refresh_gauges() const {
 
 EngineStats QueryEngine::stats() const {
   refresh_gauges();
+  // stats() is the supported compatibility shim over the deprecated free
+  // function, so this one call site opts out of the deprecation warning.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   return engine_stats_from(registry_->snapshot());
+#pragma GCC diagnostic pop
 }
 
 obs::MetricsSnapshot QueryEngine::metrics_snapshot() const {
   refresh_gauges();
   return registry_->snapshot();
+}
+
+pbc::Result<Response> QueryEngine::execute(const Request& req) {
+  if (auto s = validate(req); !s.ok()) return s.error();
+  // Each arm calls the per-kind method with the op's fields plus the
+  // CallOptions knobs mapped onto that kind's config struct, so the
+  // response is bit-identical to the direct call (execute_diff_test).
+  const CallOptions& o = req.options;
+  ResponseOp result = std::visit(
+      [&](const auto& op) -> ResponseOp {
+        using T = std::decay_t<decltype(op)>;
+        if constexpr (std::is_same_v<T, QueryCpuOp>) {
+          return query_cpu(op.machine, op.wl, op.budget, op.variant);
+        } else if constexpr (std::is_same_v<T, QueryGpuOp>) {
+          return query_gpu(op.machine, op.wl, op.budget, op.gamma);
+        } else if constexpr (std::is_same_v<T, SampleOp>) {
+          return sample_cpu(op.machine, op.wl, op.cpu_cap, op.mem_cap);
+        } else if constexpr (std::is_same_v<T, FrontierOp>) {
+          const sim::CpuSweepOptions sweep{op.mem_lo, op.proc_lo, op.step,
+                                           o.solver_path, o.budget_block};
+          return *cpu_frontier(op.machine, op.wl, op.budgets, sweep);
+        } else if constexpr (std::is_same_v<T, ReplayOp>) {
+          return replay_trace(op.machine, op.wl, op.trace, op.cpu_cap,
+                              op.mem_cap);
+        } else if constexpr (std::is_same_v<T, ShiftOp>) {
+          core::ShiftingConfig cfg;
+          cfg.step = op.step;
+          cfg.max_steps_per_segment = op.max_steps_per_segment;
+          cfg.cpu_min = op.cpu_min;
+          cfg.mem_min = op.mem_min;
+          cfg.path = o.replay_path;
+          return replay_with_shifting(op.machine, op.wl, op.trace,
+                                      op.total_budget, cfg);
+        } else if constexpr (std::is_same_v<T, ClusterOp>) {
+          core::ClusterSimConfig cfg;
+          cfg.nodes = op.nodes;
+          cfg.gpu_nodes = op.gpu_nodes;
+          cfg.global_budget = op.global_budget;
+          cfg.policy = op.policy;
+          cfg.queue_policy = op.queue_policy;
+          cfg.admission_control = op.admission_control;
+          cfg.min_grant = op.min_grant;
+          cfg.path = o.cluster_path;
+          if (op.gpu_type.has_value()) {
+            return simulate_cluster(op.node_type, *op.gpu_type, op.jobs, cfg);
+          }
+          return simulate_cluster(op.node_type, op.jobs, cfg);
+        } else {
+          static_assert(std::is_same_v<T, OnlineOp>);
+          ctrl::ControllerConfig cfg;
+          cfg.step = op.step;
+          cfg.cpu_min = op.cpu_min;
+          cfg.mem_min = op.mem_min;
+          cfg.explore_rate = op.explore_rate;
+          cfg.explore_decay = op.explore_decay;
+          cfg.explore_floor = op.explore_floor;
+          cfg.ema_alpha = op.ema_alpha;
+          cfg.hysteresis_margin = op.hysteresis_margin;
+          cfg.seed = o.seed;
+          return run_online(op.machine, op.wl, op.trace, op.total_budget,
+                            cfg);
+        }
+      },
+      req.op);
+  return Response{req.id, std::move(result)};
 }
 
 void QueryEngine::clear() {

@@ -32,6 +32,7 @@
 #include "obs/trace.hpp"
 #include "sim/phase_nodes.hpp"
 #include "svc/cache.hpp"
+#include "svc/request.hpp"
 #include "svc/single_flight.hpp"
 #include "svc/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -91,8 +92,20 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
+  /// The unified entry point over the Request/Response surface
+  /// (svc/request.hpp): validates the request's descriptors, applies its
+  /// CallOptions (engine-path selection, the controller seed, the
+  /// blocked-sweep tile), and routes to the per-kind method below. The
+  /// result is bit-identical to the corresponding direct call — the
+  /// per-kind methods are the same code, now thin typed wrappers over
+  /// this surface for in-process callers that know their kind statically.
+  /// Deadline enforcement is transport-level (the pbcd daemon rejects
+  /// expired requests before calling execute; see docs/service.md).
+  [[nodiscard]] pbc::Result<Response> execute(const Request& req);
+
   /// Algorithm 1 behind the cache. Equivalent to profiling the node and
   /// calling core::coord_cpu, at warm-cache cost of a hash + lookup.
+  /// Thin wrapper over the Request surface (see execute()).
   [[nodiscard]] core::CpuAllocation query_cpu(
       const hw::CpuMachine& machine, const workload::Workload& wl,
       Watts budget,

@@ -1,0 +1,107 @@
+#include "svc/request.hpp"
+
+#include "sim/trace_replay.hpp"
+#include "svc/key.hpp"
+#include "util/hash.hpp"
+
+namespace pbc::svc {
+
+namespace {
+
+constexpr QueryKind kKindByIndex[] = {
+    QueryKind::kQueryCpu, QueryKind::kQueryGpu, QueryKind::kSample,
+    QueryKind::kFrontier, QueryKind::kReplay,   QueryKind::kShift,
+    QueryKind::kCluster,  QueryKind::kOnline,
+};
+static_assert(sizeof(kKindByIndex) / sizeof(kKindByIndex[0]) ==
+                  kQueryKindCount,
+              "RequestOp variant and QueryKind must stay index-aligned");
+static_assert(std::variant_size_v<RequestOp> == kQueryKindCount);
+static_assert(std::variant_size_v<ResponseOp> == kQueryKindCount);
+
+[[nodiscard]] Status check_pair(const workload::Workload& wl) {
+  const auto v = wl.validate();
+  if (!v.ok()) return v.error();
+  return {};
+}
+
+[[nodiscard]] Status check_traced(const workload::Workload& wl,
+                                  const workload::PhaseTrace& trace) {
+  if (auto s = check_pair(wl); !s.ok()) return s;
+  return sim::check_trace(trace, wl.phases.size());
+}
+
+}  // namespace
+
+QueryKind request_kind(const Request& req) noexcept {
+  return kKindByIndex[req.op.index()];
+}
+
+QueryKind response_kind(const Response& resp) noexcept {
+  return kKindByIndex[resp.result.index()];
+}
+
+std::uint64_t descriptor_hash(const Request& req) {
+  return std::visit(
+      [](const auto& op) -> std::uint64_t {
+        using T = std::decay_t<decltype(op)>;
+        if constexpr (std::is_same_v<T, QueryGpuOp>) {
+          return gpu_profile_key(op.machine, op.wl).hi;
+        } else if constexpr (std::is_same_v<T, ClusterOp>) {
+          // Cluster runs have no single (machine, workload) pair; route by
+          // the node type so repeat runs over one fleet share a shard's
+          // sim-node cache.
+          Fnv1a64 h(0x5bd1e995u);
+          h.str(op.node_type.name);
+          h.str(op.node_type.cpu.name);
+          h.str(op.node_type.dram.name);
+          h.size(op.nodes);
+          return h.digest();
+        } else {
+          return cpu_profile_key(op.machine, op.wl).hi;
+        }
+      },
+      req.op);
+}
+
+Status validate(const Request& req) {
+  return std::visit(
+      [](const auto& op) -> Status {
+        using T = std::decay_t<decltype(op)>;
+        if constexpr (std::is_same_v<T, QueryCpuOp> ||
+                      std::is_same_v<T, QueryGpuOp> ||
+                      std::is_same_v<T, SampleOp>) {
+          return check_pair(op.wl);
+        } else if constexpr (std::is_same_v<T, FrontierOp>) {
+          if (auto s = check_pair(op.wl); !s.ok()) return s;
+          if (op.budgets.empty()) {
+            return invalid_argument("frontier: empty budget grid");
+          }
+          if (op.step.value() <= 0.0) {
+            return invalid_argument("frontier: non-positive sweep step");
+          }
+          return {};
+        } else if constexpr (std::is_same_v<T, ReplayOp> ||
+                             std::is_same_v<T, ShiftOp> ||
+                             std::is_same_v<T, OnlineOp>) {
+          return check_traced(op.wl, op.trace);
+        } else {
+          static_assert(std::is_same_v<T, ClusterOp>);
+          if (op.nodes == 0) return invalid_argument("cluster: zero nodes");
+          if (op.global_budget.value() <= 0.0) {
+            return invalid_argument("cluster: non-positive global budget");
+          }
+          if (op.gpu_nodes > 0 && !op.gpu_type.has_value()) {
+            return invalid_argument(
+                "cluster: gpu_nodes set without a gpu_type descriptor");
+          }
+          for (const auto& job : op.jobs) {
+            if (auto s = check_pair(job.wl); !s.ok()) return s;
+          }
+          return {};
+        }
+      },
+      req.op);
+}
+
+}  // namespace pbc::svc

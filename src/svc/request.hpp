@@ -1,0 +1,202 @@
+// The unified request surface of the coordination query engine.
+//
+// Every query kind the engine serves — query_cpu, query_gpu, sample,
+// frontier, replay, shift, cluster, online — is expressible as one
+// svc::Request: a tagged variant of per-kind operation descriptors plus
+// the CallOptions that used to be scattered across call sites
+// (SolverPath / ReplayPath / ClusterPath selection, the online seed, the
+// deadline budget, the blocked-sweep tile size). QueryEngine::execute()
+// is the single entry point over this surface; it routes to the existing
+// per-kind methods, so an executed Request is bit-identical to the
+// corresponding direct call (tests/svc/execute_diff_test.cpp holds it to
+// that contract over a >= 512-case randomized differential).
+//
+// The same types ride the wire: src/net's binary and JSON codecs
+// serialize Request/Response exactly as in-process callers construct
+// them, so the pbcd daemon (src/net/server.hpp) is a transport around
+// execute(), not a second API.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "core/cluster_sim.hpp"
+#include "core/coord.hpp"
+#include "core/dynamic.hpp"
+#include "core/frontier.hpp"
+#include "ctrl/closed_loop.hpp"
+#include "hw/machine.hpp"
+#include "sim/measurement.hpp"
+#include "svc/stats.hpp"
+#include "workload/trace.hpp"
+#include "workload/workload.hpp"
+
+namespace pbc::svc {
+
+/// Per-call knobs shared by every query kind. Collects what used to be
+/// per-signature parameters: engine-path selection, the controller seed,
+/// the deadline budget, and the blocked-sweep tile size.
+struct CallOptions {
+  /// Frontier sweeps: which solver implementation runs the splits. Both
+  /// are bit-identical; the selection never splits the result cache.
+  sim::SolverPath solver_path = sim::SolverPath::kFast;
+  /// Replay / shifting: engine selection, same bit-identity contract.
+  sim::ReplayPath replay_path = sim::ReplayPath::kFast;
+  /// Cluster runs: kFast / kReference / kEvent (kEvent with the default
+  /// flat hierarchy; scenario scripts do not ride the wire).
+  core::ClusterPath cluster_path = core::ClusterPath::kFast;
+  /// Seed for seeded kinds (today: the online controller's RNG stream).
+  std::uint64_t seed = 2016;
+  /// Deadline budget in microseconds; 0 means none. The clock starts when
+  /// the serving side receives the request (no client/server clock sync
+  /// is assumed), so it covers queueing, admission, and compute: the pbcd
+  /// daemon rejects a request whose budget elapsed before compute starts
+  /// with ErrorCode::kDeadlineExceeded — see docs/service.md.
+  std::uint64_t deadline_us = 0;
+  /// Budgets per blocked-relaxation tile in frontier sweeps (see
+  /// sim::CpuSweepOptions::budget_block). Purely a scheduling knob —
+  /// results are bit-identical for every value.
+  std::uint32_t budget_block = 32;
+};
+
+/// Algorithm 1 behind the cache: one CPU budget question.
+struct QueryCpuOp {
+  hw::CpuMachine machine;
+  workload::Workload wl;
+  Watts budget{0.0};
+  core::CpuCoordVariant variant = core::CpuCoordVariant::kProportional;
+};
+
+/// Algorithm 2 behind the cache: one GPU budget question.
+struct QueryGpuOp {
+  hw::GpuMachine machine;
+  workload::Workload wl;
+  Watts budget{0.0};
+  double gamma = 0.5;
+};
+
+/// One steady-state sample through the cached, table-prepared simulator.
+struct SampleOp {
+  hw::CpuMachine machine;
+  workload::Workload wl;
+  Watts cpu_cap{0.0};
+  Watts mem_cap{0.0};
+};
+
+/// A perf_max frontier over a budget grid. The sweep grid knobs live
+/// here; the solver path and tile size come from CallOptions.
+struct FrontierOp {
+  hw::CpuMachine machine;
+  workload::Workload wl;
+  std::vector<Watts> budgets;
+  Watts mem_lo{40.0};
+  Watts proc_lo{32.0};
+  Watts step{4.0};
+};
+
+/// Trace replay under fixed caps.
+struct ReplayOp {
+  hw::CpuMachine machine;
+  workload::Workload wl;
+  workload::PhaseTrace trace;
+  Watts cpu_cap{0.0};
+  Watts mem_cap{0.0};
+};
+
+/// Dynamic shifting from COORD's static split. The engine path comes
+/// from CallOptions::replay_path.
+struct ShiftOp {
+  hw::CpuMachine machine;
+  workload::Workload wl;
+  workload::PhaseTrace trace;
+  Watts total_budget{0.0};
+  Watts step{4.0};
+  int max_steps_per_segment = 8;
+  /// Unset derives the floors from the machine (core::shifting_floors).
+  std::optional<Watts> cpu_min;
+  std::optional<Watts> mem_min;
+};
+
+/// A cluster trace run. Carries the wire-safe subset of
+/// core::ClusterSimConfig — the engine path comes from
+/// CallOptions::cluster_path; pool, hierarchy, and scenario pointers are
+/// serving-side resources and do not ride a Request.
+struct ClusterOp {
+  hw::CpuMachine node_type;
+  /// Present when the cluster has GPU nodes.
+  std::optional<hw::GpuMachine> gpu_type;
+  std::vector<core::SimJob> jobs;
+  std::size_t nodes = 4;
+  std::size_t gpu_nodes = 0;
+  Watts global_budget{800.0};
+  core::SplitPolicy policy = core::SplitPolicy::kCoord;
+  core::QueuePolicy queue_policy = core::QueuePolicy::kFifo;
+  bool admission_control = true;
+  Watts min_grant{100.0};
+};
+
+/// Closed-loop online-controller run. The controller seed comes from
+/// CallOptions::seed; registry/tracer sinks are serving-side wiring.
+struct OnlineOp {
+  hw::CpuMachine machine;
+  workload::Workload wl;
+  workload::PhaseTrace trace;
+  Watts total_budget{0.0};
+  Watts step{4.0};
+  std::optional<Watts> cpu_min;
+  std::optional<Watts> mem_min;
+  double explore_rate = 0.25;
+  double explore_decay = 24.0;
+  double explore_floor = 0.0;
+  double ema_alpha = 0.35;
+  double hysteresis_margin = 0.02;
+};
+
+/// Variant order matches QueryKind (stats.hpp) and the wire kind tags.
+using RequestOp = std::variant<QueryCpuOp, QueryGpuOp, SampleOp, FrontierOp,
+                               ReplayOp, ShiftOp, ClusterOp, OnlineOp>;
+
+/// One request over the unified surface. `id` correlates responses on
+/// pipelined transports; in-process callers may leave it 0.
+struct Request {
+  std::uint64_t id = 0;
+  CallOptions options;
+  RequestOp op;
+};
+
+/// Result payloads, index-aligned with RequestOp.
+using ResponseOp =
+    std::variant<core::CpuAllocation, core::GpuAllocation,
+                 sim::AllocationSample, std::vector<core::FrontierPoint>,
+                 sim::TraceReplayResult, core::ShiftingResult,
+                 core::ClusterRun, ctrl::ClosedLoopResult>;
+
+/// One response. `id` echoes the request's.
+struct Response {
+  std::uint64_t id = 0;
+  ResponseOp result;
+};
+
+/// The QueryKind a request dispatches to (variant index mapping).
+[[nodiscard]] QueryKind request_kind(const Request& req) noexcept;
+
+/// The QueryKind a response carries (variant index mapping).
+[[nodiscard]] QueryKind response_kind(const Response& resp) noexcept;
+
+/// Well-mixed 64-bit digest of the request's routing descriptor — the
+/// (machine, workload) pair for node-level kinds, the node type for
+/// cluster runs. Requests for the same descriptor hash identically, so a
+/// consistent-hash router (net::ShardRouter) keeps each descriptor's
+/// cache traffic on one shard.
+[[nodiscard]] std::uint64_t descriptor_hash(const Request& req);
+
+/// Cheap structural validation shared by execute() and the daemon:
+/// workload well-formed, trace segments inside the phase table, grids
+/// non-empty where required. Deep semantic validation (budget floors,
+/// admission deadlocks) keeps the tolerant unchecked semantics of the
+/// per-kind methods so execute() stays bit-identical to them.
+[[nodiscard]] Status validate(const Request& req);
+
+}  // namespace pbc::svc

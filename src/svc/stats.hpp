@@ -136,8 +136,17 @@ struct EngineMetrics {
 /// from an EngineMetrics-instrumented registry. Latency fields merge the
 /// per-kind histograms (estimated percentiles, exact max); counters keep
 /// their historical meaning exactly.
-[[nodiscard]] EngineStats engine_stats_from(
-    const obs::MetricsSnapshot& snapshot);
+///
+/// Deprecated: the flat view loses the per-kind histograms and per-cache
+/// counters that the daemon's admission controller and /metrics endpoint
+/// rely on. Read QueryEngine::metrics_snapshot() (and render it with
+/// obs::render_prometheus / obs::render_json) instead; QueryEngine::stats()
+/// remains as the supported shim for dashboards that still want the flat
+/// shape.
+[[deprecated(
+    "use QueryEngine::metrics_snapshot(); the flat EngineStats view loses "
+    "per-kind latency histograms")]] [[nodiscard]] EngineStats
+engine_stats_from(const obs::MetricsSnapshot& snapshot);
 
 /// Ring buffer of the most recent service latencies, in nanoseconds.
 /// Percentiles are computed over the recorded samples only — a partially

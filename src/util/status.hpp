@@ -31,6 +31,7 @@ enum class ErrorCode {
   kFailedPrecondition,
   kNotFound,
   kUnavailable,
+  kDeadlineExceeded,
   kInternal,
 };
 
@@ -49,6 +50,8 @@ enum class ErrorCode {
       return "not_found";
     case ErrorCode::kUnavailable:
       return "unavailable";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
     case ErrorCode::kInternal:
       return "internal";
   }
@@ -163,6 +166,9 @@ class Result {
 }
 [[nodiscard]] inline Error unavailable(std::string msg) {
   return Error{ErrorCode::kUnavailable, std::move(msg)};
+}
+[[nodiscard]] inline Error deadline_exceeded(std::string msg) {
+  return Error{ErrorCode::kDeadlineExceeded, std::move(msg)};
 }
 
 }  // namespace pbc

@@ -1,0 +1,229 @@
+// Codec round-trip suite: every query kind, both codecs, requests and
+// responses. The binary codec must be byte-stable (encode(decode(x)) ==
+// x's bytes) and the JSON debug codec must be value-exact (a request
+// that round-trips through JSON re-encodes to the same binary bytes as
+// the original — %.17g doubles and u64-as-string make that lossless).
+// Golden structural checks pin the wire layout so accidental format
+// drift fails loudly instead of silently breaking cross-version peers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "net/json.hpp"
+#include "net/wire.hpp"
+#include "svc/engine.hpp"
+#include "util/rng.hpp"
+
+#include "net_test_util.hpp"
+
+namespace pbc {
+namespace {
+
+using net_test::random_request;
+using net_test::request_bytes;
+using net_test::response_bytes;
+
+constexpr svc::QueryKind kAllKinds[svc::kQueryKindCount] = {
+    svc::QueryKind::kQueryCpu, svc::QueryKind::kQueryGpu,
+    svc::QueryKind::kSample,   svc::QueryKind::kFrontier,
+    svc::QueryKind::kReplay,   svc::QueryKind::kShift,
+    svc::QueryKind::kCluster,  svc::QueryKind::kOnline,
+};
+
+// Binary request round-trip, all kinds: decode(encode(req)) re-encodes
+// to the identical byte string, several randomized instances per kind.
+TEST(CodecRoundTrip, BinaryRequestsAllKinds) {
+  Xoshiro256 rng(20260809, 1);
+  for (const auto kind : kAllKinds) {
+    for (int i = 0; i < 8; ++i) {
+      const auto req = random_request(kind, rng, i);
+      const auto bytes = request_bytes(req, net::Codec::kBinary);
+      const auto decoded = net::decode_request(bytes, net::Codec::kBinary);
+      ASSERT_TRUE(decoded.ok())
+          << to_string(kind) << ": " << decoded.error().to_string();
+      EXPECT_EQ(request_kind(decoded.value()), kind);
+      EXPECT_EQ(request_bytes(decoded.value(), net::Codec::kBinary), bytes)
+          << to_string(kind) << " case " << i;
+    }
+  }
+}
+
+// JSON request round-trip, all kinds: the JSON text must decode back to
+// a request whose *binary* encoding matches the original's — i.e. the
+// debug codec loses nothing, doubles and u64s included.
+TEST(CodecRoundTrip, JsonRequestsAllKinds) {
+  Xoshiro256 rng(20260809, 2);
+  for (const auto kind : kAllKinds) {
+    for (int i = 0; i < 8; ++i) {
+      const auto req = random_request(kind, rng, i);
+      const auto text = request_bytes(req, net::Codec::kJson);
+      const auto decoded = net::decode_request(text, net::Codec::kJson);
+      ASSERT_TRUE(decoded.ok())
+          << to_string(kind) << ": " << decoded.error().to_string();
+      EXPECT_EQ(request_bytes(decoded.value(), net::Codec::kBinary),
+                request_bytes(req, net::Codec::kBinary))
+          << to_string(kind) << " case " << i;
+    }
+  }
+}
+
+// Response round-trip, all kinds, both codecs. Responses come from real
+// engine executions so every result struct is exercised with live field
+// values (including the doubles that interpolation produces).
+TEST(CodecRoundTrip, ResponsesAllKindsBothCodecs) {
+  Xoshiro256 rng(20260809, 3);
+  svc::QueryEngine engine;
+  for (const auto kind : kAllKinds) {
+    const auto req = random_request(kind, rng, 99);
+    const auto executed = engine.execute(req);
+    ASSERT_TRUE(executed.ok())
+        << to_string(kind) << ": " << executed.error().to_string();
+    const svc::Response& resp = executed.value();
+    EXPECT_EQ(response_kind(resp), kind);
+
+    const auto bin = response_bytes(resp);
+    const auto bin_decoded = net::decode_response(bin, net::Codec::kBinary);
+    ASSERT_TRUE(bin_decoded.ok()) << bin_decoded.error().to_string();
+    EXPECT_EQ(response_bytes(bin_decoded.value()), bin) << to_string(kind);
+    EXPECT_EQ(bin_decoded.value().id, req.id);
+
+    std::vector<std::uint8_t> text;
+    net::encode_response(resp, net::Codec::kJson, text);
+    const auto json_decoded = net::decode_response(text, net::Codec::kJson);
+    ASSERT_TRUE(json_decoded.ok()) << json_decoded.error().to_string();
+    EXPECT_EQ(response_bytes(json_decoded.value()), bin) << to_string(kind);
+  }
+}
+
+// Error responses carry (id, code, message) through both codecs and
+// surface as the carried Error on decode.
+TEST(CodecRoundTrip, ErrorResponsesBothCodecs) {
+  const Error err = deadline_exceeded("queued 7ms past a 5ms budget");
+  for (const auto codec : {net::Codec::kBinary, net::Codec::kJson}) {
+    std::vector<std::uint8_t> out;
+    net::encode_error_response(42, err, codec, out);
+    std::uint64_t id = 0;
+    const auto decoded = net::decode_response(out, codec, &id);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(id, 42u);
+    EXPECT_EQ(decoded.error().code, ErrorCode::kDeadlineExceeded);
+    EXPECT_EQ(decoded.error().message, "queued 7ms past a 5ms budget");
+  }
+}
+
+// Golden binary layout: the request payload opens with the id (u64 LE)
+// followed by CallOptions in canonical order (solver u8, replay u8,
+// cluster u8, seed u64, deadline u64, budget_block u32) and the kind
+// tag. Pinning the prefix catches accidental field reordering.
+TEST(CodecGolden, BinaryRequestPrefixLayout) {
+  svc::Request req;
+  req.id = 0x1122334455667788ULL;
+  req.options.solver_path = sim::SolverPath::kReference;
+  req.options.replay_path = sim::ReplayPath::kFast;
+  req.options.cluster_path = core::ClusterPath::kEvent;
+  req.options.seed = 7;
+  req.options.deadline_us = 5000;
+  req.options.budget_block = 32;
+  req.op = svc::QueryCpuOp{hw::ivybridge_node(),
+                           workload::cpu_suite().front(), Watts{208.0},
+                           core::CpuCoordVariant::kProportional};
+  const auto bytes = request_bytes(req, net::Codec::kBinary);
+  ASSERT_GE(bytes.size(), 32u);
+  const std::vector<std::uint8_t> want_prefix = {
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // id LE
+      0x01,                                            // solver: reference
+      0x00,                                            // replay: fast
+      0x02,                                            // cluster: event
+      0x07, 0, 0, 0, 0, 0, 0, 0,                       // seed
+      0x88, 0x13, 0, 0, 0, 0, 0, 0,                    // deadline 5000
+      0x20, 0, 0, 0,                                   // budget_block 32
+      0x00,                                            // kind: query_cpu
+  };
+  EXPECT_EQ(std::vector<std::uint8_t>(
+                bytes.begin(),
+                bytes.begin() + static_cast<long>(want_prefix.size())),
+            want_prefix);
+}
+
+// Golden JSON shape: field names, enum spellings, and the
+// u64-as-decimal-string convention are part of the wire contract.
+TEST(CodecGolden, JsonRequestShape) {
+  svc::Request req;
+  req.id = 18446744073709551615ULL;  // 2^64-1 must survive as a string
+  req.options.seed = 9007199254740993ULL;  // 2^53+1: not double-exact
+  req.op = svc::QueryCpuOp{hw::ivybridge_node(),
+                           workload::cpu_suite().front(), Watts{208.0},
+                           core::CpuCoordVariant::kProportional};
+  const auto text = request_bytes(req, net::Codec::kJson);
+  const auto parsed = net::json::parse(std::string_view(
+      reinterpret_cast<const char*>(text.data()), text.size()));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const net::json::Value& root = parsed.value();
+
+  const auto* id = root.find("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->as_string(), "18446744073709551615");
+
+  const auto* kind = root.find("kind");
+  ASSERT_NE(kind, nullptr);
+  EXPECT_EQ(kind->as_string(), "query_cpu");
+
+  const auto* options = root.find("options");
+  ASSERT_NE(options, nullptr);
+  // Nested enums ride as their numeric byte; only the top-level kind and
+  // error code are spelled as names.
+  EXPECT_EQ(options->find("solver_path")->as_number(), 0.0);
+  EXPECT_EQ(options->find("seed")->as_string(), "9007199254740993");
+
+  const auto* op = root.find("op");
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(op->find("budget")->as_number(), 208.0);
+  ASSERT_NE(op->find("machine"), nullptr);
+  ASSERT_NE(op->find("wl"), nullptr);
+}
+
+// Non-finite doubles ride JSON as strings and return bit-exact.
+TEST(CodecRoundTrip, JsonNonFiniteDoubles) {
+  svc::Request req;
+  req.id = 1;
+  svc::QueryCpuOp op;
+  op.machine = hw::ivybridge_node();
+  op.wl = workload::cpu_suite().front();
+  op.budget = Watts{std::numeric_limits<double>::infinity()};
+  op.variant = core::CpuCoordVariant::kProportional;
+  req.op = op;
+  const auto text = request_bytes(req, net::Codec::kJson);
+  const auto decoded = net::decode_request(text, net::Codec::kJson);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(request_bytes(decoded.value(), net::Codec::kBinary),
+            request_bytes(req, net::Codec::kBinary));
+}
+
+// A frame wraps the payload verbatim: frame_request == header + payload,
+// and the decoder returns exactly the payload bytes.
+TEST(CodecRoundTrip, FramedRequestCarriesPayloadVerbatim) {
+  Xoshiro256 rng(20260809, 4);
+  const auto req = random_request(svc::QueryKind::kQueryGpu, rng, 0);
+  const auto framed = net::frame_request(req, net::Codec::kBinary);
+  const auto payload = request_bytes(req, net::Codec::kBinary);
+  ASSERT_EQ(framed.size(), net::kFrameHeaderSize + payload.size());
+
+  net::FrameDecoder decoder;
+  decoder.feed(framed);
+  auto next = decoder.next();
+  ASSERT_TRUE(next.ok()) << next.error().to_string();
+  ASSERT_TRUE(next.value().has_value());
+  EXPECT_EQ(next.value()->header.codec, net::Codec::kBinary);
+  EXPECT_EQ(next.value()->payload, payload);
+  auto drained = decoder.next();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_FALSE(drained.value().has_value());
+}
+
+}  // namespace
+}  // namespace pbc

@@ -1,0 +1,315 @@
+// End-to-end daemon suite over real loopback TCP: every query kind
+// through the full stack (client -> frame -> codec -> admission ->
+// router -> QueryEngine::execute -> response), wire answers bit-identical
+// to in-process execution, shard-routed identical to single-shard, both
+// serving modes, deadline rejection for queued-past-budget requests,
+// admission shedding, the /metrics scrape, and connection resilience
+// after an error response.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/codec.hpp"
+#include "net/server.hpp"
+#include "svc/engine.hpp"
+#include "util/rng.hpp"
+
+#include "net_test_util.hpp"
+
+namespace pbc {
+namespace {
+
+using net_test::random_request;
+using net_test::response_bytes;
+
+constexpr svc::QueryKind kAllKinds[svc::kQueryKindCount] = {
+    svc::QueryKind::kQueryCpu, svc::QueryKind::kQueryGpu,
+    svc::QueryKind::kSample,   svc::QueryKind::kFrontier,
+    svc::QueryKind::kReplay,   svc::QueryKind::kShift,
+    svc::QueryKind::kCluster,  svc::QueryKind::kOnline,
+};
+
+[[nodiscard]] net::Daemon& started(net::Daemon& d) {
+  const auto st = d.start();
+  EXPECT_TRUE(st.ok()) << st.to_string();
+  return d;
+}
+
+// All eight kinds over TCP: the wire answer must be byte-identical to
+// executing the same Request on a local engine.
+TEST(Daemon, AllKindsOverTcpMatchInProcessExecution) {
+  net::Daemon daemon;
+  started(daemon);
+  auto client = net::Client::connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(client.ok()) << client.error().to_string();
+
+  svc::QueryEngine local;
+  Xoshiro256 rng(20260810, 1);
+  for (const auto kind : kAllKinds) {
+    const auto req = random_request(kind, rng, 0);
+    const auto over_wire = client.value().call(req);
+    ASSERT_TRUE(over_wire.ok())
+        << to_string(kind) << ": " << over_wire.error().to_string();
+    const auto in_process = local.execute(req);
+    ASSERT_TRUE(in_process.ok());
+    EXPECT_EQ(response_bytes(over_wire.value()),
+              response_bytes(in_process.value()))
+        << to_string(kind);
+    EXPECT_EQ(over_wire.value().id, req.id);
+  }
+}
+
+// The same request set against a 3-shard daemon and a 1-shard daemon:
+// consistent-hash routing must be invisible in the answers.
+TEST(Daemon, ShardedReproducesSingleShardResults) {
+  net::DaemonOptions sharded_opt;
+  sharded_opt.shards = 3;
+  net::Daemon sharded(sharded_opt);
+  net::Daemon single;
+  started(sharded);
+  started(single);
+  auto c_sharded = net::Client::connect("127.0.0.1", sharded.port());
+  auto c_single = net::Client::connect("127.0.0.1", single.port());
+  ASSERT_TRUE(c_sharded.ok());
+  ASSERT_TRUE(c_single.ok());
+
+  Xoshiro256 rng(20260810, 2);
+  std::vector<svc::Request> requests;
+  for (const auto kind : kAllKinds) {
+    requests.push_back(random_request(kind, rng, 1));
+  }
+  // Repeat a few: the second pass hits shard caches on both daemons.
+  requests.push_back(requests[0]);
+  requests.push_back(requests[3]);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto a = c_sharded.value().call(requests[i]);
+    const auto b = c_single.value().call(requests[i]);
+    ASSERT_TRUE(a.ok()) << i << ": " << a.error().to_string();
+    ASSERT_TRUE(b.ok()) << i << ": " << b.error().to_string();
+    EXPECT_EQ(response_bytes(a.value()), response_bytes(b.value()))
+        << "request " << i;
+  }
+}
+
+// JSON debug codec returns the same values as binary.
+TEST(Daemon, JsonCodecMatchesBinary) {
+  net::Daemon daemon;
+  started(daemon);
+  auto bin = net::Client::connect("127.0.0.1", daemon.port(),
+                                  net::Codec::kBinary);
+  auto json = net::Client::connect("127.0.0.1", daemon.port(),
+                                   net::Codec::kJson);
+  ASSERT_TRUE(bin.ok());
+  ASSERT_TRUE(json.ok());
+  Xoshiro256 rng(20260810, 3);
+  for (const auto kind :
+       {svc::QueryKind::kQueryCpu, svc::QueryKind::kSample,
+        svc::QueryKind::kOnline}) {
+    const auto req = random_request(kind, rng, 2);
+    const auto a = bin.value().call(req);
+    const auto b = json.value().call(req);
+    ASSERT_TRUE(a.ok()) << a.error().to_string();
+    ASSERT_TRUE(b.ok()) << b.error().to_string();
+    EXPECT_EQ(response_bytes(a.value()), response_bytes(b.value()))
+        << to_string(kind);
+  }
+}
+
+// Thread-per-connection fallback serves the same protocol.
+TEST(Daemon, ThreadPerConnectionModeServes) {
+  net::DaemonOptions opt;
+  opt.use_epoll = false;
+  net::Daemon daemon(opt);
+  started(daemon);
+  auto client = net::Client::connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(client.ok());
+  svc::QueryEngine local;
+  Xoshiro256 rng(20260810, 4);
+  const auto req = random_request(svc::QueryKind::kQueryCpu, rng, 5);
+  const auto got = client.value().call(req);
+  ASSERT_TRUE(got.ok()) << got.error().to_string();
+  const auto want = local.execute(req);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(response_bytes(got.value()), response_bytes(want.value()));
+}
+
+// Deadline semantics: the budget clock starts when the frame's bytes
+// arrive. Two requests written in ONE TCP send share an arrival
+// timestamp; the first (a cold frontier sweep, milliseconds of compute)
+// eats the second's 1us budget in the queue, so the second must be
+// rejected with kDeadlineExceeded before compute.
+TEST(Daemon, DeadlineExpiredInQueueIsRejected) {
+  net::Daemon daemon;
+  started(daemon);
+
+  Xoshiro256 rng(20260810, 5);
+  auto slow = random_request(svc::QueryKind::kFrontier, rng, 6);
+  // Widen the sweep so the cold compute is comfortably slower than the
+  // second request's budget.
+  auto& frontier = std::get<svc::FrontierOp>(slow.op);
+  frontier.budgets.clear();
+  for (int i = 0; i < 24; ++i) {
+    frontier.budgets.push_back(Watts{110.0 + 6.0 * i});
+  }
+  slow.id = 1;
+  auto quick = random_request(svc::QueryKind::kQueryCpu, rng, 7);
+  quick.id = 2;
+  quick.options.deadline_us = 1;
+
+  auto batch = net::frame_request(slow, net::Codec::kBinary);
+  const auto second = net::frame_request(quick, net::Codec::kBinary);
+  batch.insert(batch.end(), second.begin(), second.end());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(daemon.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ASSERT_EQ(::send(fd, batch.data(), batch.size(), 0),
+            static_cast<ssize_t>(batch.size()));
+
+  net::FrameDecoder decoder;
+  std::vector<net::Frame> frames;
+  std::uint8_t buf[65536];
+  while (frames.size() < 2) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    decoder.feed(
+        std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+    while (true) {
+      auto next = decoder.next();
+      ASSERT_TRUE(next.ok()) << next.error().to_string();
+      if (!next.value().has_value()) break;
+      frames.push_back(std::move(*next.value()));
+    }
+  }
+  ::close(fd);
+
+  const auto first =
+      net::decode_response(frames[0].payload, frames[0].header.codec);
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+  EXPECT_EQ(first.value().id, 1u);
+
+  std::uint64_t error_id = 0;
+  const auto rejected = net::decode_response(
+      frames[1].payload, frames[1].header.codec, &error_id);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(error_id, 2u);
+
+  // The rejection is observable in the daemon's counters too.
+  const auto metrics = daemon.metrics_payload();
+  EXPECT_NE(metrics.find("pbc_net_deadline_rejected_total 1"),
+            std::string::npos);
+}
+
+// A generous deadline on an idle connection is NOT rejected.
+TEST(Daemon, GenerousDeadlinePasses) {
+  net::Daemon daemon;
+  started(daemon);
+  auto client = net::Client::connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(client.ok());
+  Xoshiro256 rng(20260810, 6);
+  auto req = random_request(svc::QueryKind::kQueryCpu, rng, 8);
+  req.options.deadline_us = 30'000'000;
+  const auto resp = client.value().call(req);
+  EXPECT_TRUE(resp.ok()) << resp.error().to_string();
+}
+
+// With the admission ceiling turned down to a few req/s, a burst is
+// shed with kUnavailable — and every client still gets its fair first
+// token (new clients start with a full burst).
+TEST(Daemon, AdmissionShedsBurstsFairly) {
+  net::DaemonOptions opt;
+  opt.admission.max_rate = 5.0;
+  opt.admission.min_rate = 1.0;
+  net::Daemon daemon(opt);
+  started(daemon);
+
+  Xoshiro256 rng(20260810, 7);
+  const auto req = random_request(svc::QueryKind::kQueryCpu, rng, 9);
+  int accepted[2] = {0, 0};
+  int shed[2] = {0, 0};
+  net::Client clients[2];
+  for (int c = 0; c < 2; ++c) {
+    auto conn = net::Client::connect("127.0.0.1", daemon.port());
+    ASSERT_TRUE(conn.ok());
+    clients[c] = std::move(conn.value());
+  }
+  for (int i = 0; i < 20; ++i) {
+    for (int c = 0; c < 2; ++c) {
+      const auto resp = clients[c].call(req);
+      if (resp.ok()) {
+        ++accepted[c];
+      } else {
+        ASSERT_EQ(resp.error().code, ErrorCode::kUnavailable)
+            << resp.error().to_string();
+        ++shed[c];
+      }
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_GE(accepted[c], 1) << "client " << c;
+    EXPECT_GE(shed[c], 10) << "client " << c;
+  }
+  const auto metrics = daemon.metrics_payload();
+  EXPECT_NE(metrics.find("pbc_net_shed_total"), std::string::npos);
+}
+
+// /metrics over plain HTTP: engine and daemon metric families are both
+// in the payload a Prometheus collector would scrape.
+TEST(Daemon, MetricsEndpointServesPrometheus) {
+  net::Daemon daemon;
+  started(daemon);
+  auto client = net::Client::connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(client.ok());
+  Xoshiro256 rng(20260810, 8);
+  const auto resp =
+      client.value().call(random_request(svc::QueryKind::kQueryCpu, rng, 10));
+  ASSERT_TRUE(resp.ok());
+
+  const auto body = net::scrape_metrics("127.0.0.1", daemon.port());
+  ASSERT_TRUE(body.ok()) << body.error().to_string();
+  EXPECT_NE(body.value().find("pbc_net_requests_total 1"),
+            std::string::npos);
+  EXPECT_NE(body.value().find("pbc_net_responses_total 1"),
+            std::string::npos);
+  EXPECT_NE(body.value().find("pbc_svc_query_latency_us"),
+            std::string::npos);
+  EXPECT_NE(body.value().find("# TYPE pbc_net_admission_rate gauge"),
+            std::string::npos);
+}
+
+// An invalid request draws a clean error response and leaves the
+// connection usable for the next request.
+TEST(Daemon, ValidationErrorDoesNotPoisonConnection) {
+  net::Daemon daemon;
+  started(daemon);
+  auto client = net::Client::connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(client.ok());
+
+  Xoshiro256 rng(20260810, 9);
+  auto bad = random_request(svc::QueryKind::kFrontier, rng, 11);
+  std::get<svc::FrontierOp>(bad.op).budgets.clear();
+  const auto rejected = client.value().call(bad);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, ErrorCode::kInvalidArgument);
+
+  const auto good =
+      client.value().call(random_request(svc::QueryKind::kQueryCpu, rng, 12));
+  EXPECT_TRUE(good.ok()) << good.error().to_string();
+}
+
+}  // namespace
+}  // namespace pbc

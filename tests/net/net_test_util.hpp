@@ -1,0 +1,197 @@
+// Shared randomized-request helpers for the net codec / daemon / diff
+// suites: a deterministic generator of svc::Request values across all
+// eight query kinds (pure functions of the RNG, so a seeded test replays
+// the same requests everywhere), plus the binary-encoding equality
+// witness used to compare Responses bit-for-bit without writing a
+// field-by-field comparator per result type.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "svc/request.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+#include "../svc/svc_test_util.hpp"
+
+namespace pbc::net_test {
+
+/// Exact-equality witness: two Responses are bit-identical iff their
+/// binary encodings are byte-identical (the codec is injective — every
+/// field rides the wire, doubles bit-cast).
+[[nodiscard]] inline std::vector<std::uint8_t> response_bytes(
+    const svc::Response& resp) {
+  std::vector<std::uint8_t> out;
+  net::encode_response(resp, net::Codec::kBinary, out);
+  return out;
+}
+
+[[nodiscard]] inline std::vector<std::uint8_t> request_bytes(
+    const svc::Request& req, net::Codec codec) {
+  std::vector<std::uint8_t> out;
+  net::encode_request(req, codec, out);
+  return out;
+}
+
+[[nodiscard]] inline svc::CallOptions random_options(Xoshiro256& rng) {
+  svc::CallOptions o;
+  o.solver_path = rng.below(2) == 0 ? sim::SolverPath::kFast
+                                    : sim::SolverPath::kReference;
+  o.replay_path = rng.below(2) == 0 ? sim::ReplayPath::kFast
+                                    : sim::ReplayPath::kReference;
+  switch (rng.below(3)) {
+    case 0: o.cluster_path = core::ClusterPath::kFast; break;
+    case 1: o.cluster_path = core::ClusterPath::kReference; break;
+    default: o.cluster_path = core::ClusterPath::kEvent; break;
+  }
+  o.seed = rng();
+  o.deadline_us = 0;
+  o.budget_block = static_cast<std::uint32_t>(8u << rng.below(4));
+  return o;
+}
+
+[[nodiscard]] inline workload::PhaseTrace short_trace(
+    const workload::Workload& wl, Xoshiro256& rng) {
+  workload::TraceOptions opt;
+  opt.total_units = rng.uniform(4.0, 10.0);
+  opt.segment_units = 1.0;
+  opt.irregularity = rng.uniform(0.0, 1.0);
+  opt.seed = rng();
+  return workload::generate_trace(wl, opt);
+}
+
+[[nodiscard]] inline svc::QueryCpuOp random_query_cpu_op(Xoshiro256& rng,
+                                                         int tag) {
+  svc::QueryCpuOp op;
+  op.machine = svc_test::random_cpu_machine(rng);
+  op.wl = svc_test::random_cpu_workload(rng, tag);
+  op.budget = Watts{rng.uniform(90.0, 300.0)};
+  op.variant = rng.below(2) == 0 ? core::CpuCoordVariant::kProportional
+                                 : core::CpuCoordVariant::kMemoryBiased;
+  return op;
+}
+
+[[nodiscard]] inline svc::QueryGpuOp random_query_gpu_op(Xoshiro256& rng,
+                                                         int tag) {
+  svc::QueryGpuOp op;
+  op.machine = svc_test::random_gpu_machine(rng);
+  op.wl = svc_test::random_gpu_workload(rng, tag);
+  op.budget = Watts{rng.uniform(80.0, 260.0)};
+  op.gamma = rng.uniform(0.1, 0.9);
+  return op;
+}
+
+[[nodiscard]] inline svc::SampleOp random_sample_op(Xoshiro256& rng,
+                                                    int tag) {
+  svc::SampleOp op;
+  op.machine = svc_test::random_cpu_machine(rng);
+  op.wl = svc_test::random_cpu_workload(rng, tag);
+  op.cpu_cap = Watts{rng.uniform(40.0, 160.0)};
+  op.mem_cap = Watts{rng.uniform(40.0, 160.0)};
+  return op;
+}
+
+[[nodiscard]] inline svc::FrontierOp random_frontier_op(Xoshiro256& rng,
+                                                        int tag) {
+  svc::FrontierOp op;
+  op.machine = svc_test::random_cpu_machine(rng);
+  op.wl = svc_test::random_cpu_workload(rng, tag);
+  const double lo = rng.uniform(110.0, 140.0);
+  const std::size_t n = 3 + rng.below(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    op.budgets.push_back(Watts{lo + 30.0 * static_cast<double>(i)});
+  }
+  return op;
+}
+
+[[nodiscard]] inline svc::ReplayOp random_replay_op(Xoshiro256& rng,
+                                                    int tag) {
+  svc::ReplayOp op;
+  op.machine = svc_test::random_cpu_machine(rng);
+  op.wl = svc_test::random_cpu_workload(rng, tag);
+  op.trace = short_trace(op.wl, rng);
+  op.cpu_cap = Watts{rng.uniform(50.0, 160.0)};
+  op.mem_cap = Watts{rng.uniform(50.0, 160.0)};
+  return op;
+}
+
+[[nodiscard]] inline svc::ShiftOp random_shift_op(Xoshiro256& rng, int tag) {
+  svc::ShiftOp op;
+  op.machine = svc_test::random_cpu_machine(rng);
+  op.wl = svc_test::random_cpu_workload(rng, tag);
+  op.trace = short_trace(op.wl, rng);
+  op.total_budget = Watts{rng.uniform(130.0, 280.0)};
+  op.step = Watts{rng.uniform(2.0, 8.0)};
+  op.max_steps_per_segment = static_cast<int>(2 + rng.below(6));
+  if (rng.below(3) == 0) op.cpu_min = Watts{rng.uniform(25.0, 45.0)};
+  if (rng.below(3) == 0) op.mem_min = Watts{rng.uniform(25.0, 45.0)};
+  return op;
+}
+
+[[nodiscard]] inline svc::ClusterOp random_cluster_op(Xoshiro256& rng,
+                                                      int tag) {
+  svc::ClusterOp op;
+  op.node_type = svc_test::random_cpu_machine(rng);
+  op.nodes = 2 + rng.below(2);
+  if (rng.below(2) == 0) {
+    op.gpu_type = svc_test::random_gpu_machine(rng);
+    op.gpu_nodes = 1;
+  }
+  const std::size_t jobs = 2 + rng.below(2);
+  for (std::size_t j = 0; j < jobs; ++j) {
+    core::SimJob job;
+    job.name = "job" + std::to_string(tag) + "_" + std::to_string(j);
+    job.wl = svc_test::random_cpu_workload(
+        rng, tag * 16 + static_cast<int>(j));
+    job.arrival = Seconds{rng.uniform(0.0, 2.0)};
+    job.work_gunits = rng.uniform(0.5, 2.0);
+    op.jobs.push_back(std::move(job));
+  }
+  op.global_budget = Watts{rng.uniform(350.0, 900.0)};
+  op.policy = rng.below(2) == 0 ? core::SplitPolicy::kCoord
+                                : core::SplitPolicy::kEvenSplit;
+  op.queue_policy = rng.below(2) == 0 ? core::QueuePolicy::kFifo
+                                      : core::QueuePolicy::kBackfill;
+  op.admission_control = rng.below(2) == 0;
+  op.min_grant = Watts{rng.uniform(80.0, 120.0)};
+  return op;
+}
+
+[[nodiscard]] inline svc::OnlineOp random_online_op(Xoshiro256& rng,
+                                                    int tag) {
+  svc::OnlineOp op;
+  op.machine = svc_test::random_cpu_machine(rng);
+  op.wl = svc_test::random_cpu_workload(rng, tag);
+  op.trace = short_trace(op.wl, rng);
+  op.total_budget = Watts{rng.uniform(130.0, 280.0)};
+  op.step = Watts{rng.uniform(2.0, 8.0)};
+  op.explore_rate = rng.uniform(0.05, 0.5);
+  op.explore_decay = rng.uniform(8.0, 48.0);
+  op.explore_floor = rng.uniform(0.0, 0.05);
+  op.ema_alpha = rng.uniform(0.1, 0.7);
+  op.hysteresis_margin = rng.uniform(0.0, 0.08);
+  return op;
+}
+
+/// One random request of the given kind (variant index = kind index).
+[[nodiscard]] inline svc::Request random_request(svc::QueryKind kind,
+                                                 Xoshiro256& rng, int tag) {
+  svc::Request req;
+  req.id = rng();
+  req.options = random_options(rng);
+  switch (kind) {
+    case svc::QueryKind::kQueryCpu: req.op = random_query_cpu_op(rng, tag); break;
+    case svc::QueryKind::kQueryGpu: req.op = random_query_gpu_op(rng, tag); break;
+    case svc::QueryKind::kSample: req.op = random_sample_op(rng, tag); break;
+    case svc::QueryKind::kFrontier: req.op = random_frontier_op(rng, tag); break;
+    case svc::QueryKind::kReplay: req.op = random_replay_op(rng, tag); break;
+    case svc::QueryKind::kShift: req.op = random_shift_op(rng, tag); break;
+    case svc::QueryKind::kCluster: req.op = random_cluster_op(rng, tag); break;
+    default: req.op = random_online_op(rng, tag); break;
+  }
+  return req;
+}
+
+}  // namespace pbc::net_test

@@ -1,0 +1,201 @@
+// Unit suites for the daemon's two policy components: the
+// consistent-hash shard router (stability, coverage, low disruption on
+// resize) and the admission controller (AIMD stepping, per-client
+// fairness on a synthetic clock, idle expiry) plus the windowed-p99
+// tracker that feeds it.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "net/admission.hpp"
+#include "net/router.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace pbc {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(NetRouter, SameKeyAlwaysSameShard) {
+  net::ShardRouter router(4);
+  Xoshiro256 rng(1, 1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t key = rng();
+    const std::size_t shard = router.route(key);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(router.route(key), shard);
+  }
+}
+
+TEST(NetRouter, EveryShardGetsTraffic) {
+  const std::size_t shards = 8;
+  net::ShardRouter router(shards);
+  std::vector<std::size_t> hits(shards, 0);
+  Xoshiro256 rng(2, 1);
+  const int keys = 20000;
+  for (int i = 0; i < keys; ++i) ++hits[router.route(rng())];
+  for (std::size_t s = 0; s < shards; ++s) {
+    // With 64 vnodes/shard the load imbalance is modest; the hard
+    // requirement is coverage, the soft one a sane spread.
+    EXPECT_GT(hits[s], static_cast<std::size_t>(keys) / shards / 4)
+        << "shard " << s;
+  }
+}
+
+TEST(NetRouter, SingleShardRoutesEverythingToZero) {
+  net::ShardRouter router(1);
+  Xoshiro256 rng(3, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(router.route(rng()), 0u);
+}
+
+// Consistent hashing's point: growing the fleet remaps only ~1/(n+1) of
+// the keyspace. A modulo router would remap ~n/(n+1).
+TEST(NetRouter, ResizeMovesFewKeys) {
+  net::ShardRouter before(4);
+  net::ShardRouter after(5);
+  Xoshiro256 rng(4, 1);
+  const int keys = 20000;
+  int moved = 0;
+  for (int i = 0; i < keys; ++i) {
+    const std::uint64_t key = rng();
+    if (before.route(key) != after.route(key)) ++moved;
+  }
+  EXPECT_LT(static_cast<double>(moved) / keys, 0.40);
+  EXPECT_GT(moved, 0);
+}
+
+TEST(NetAdmission, AimdStepsRateDownOnBreachUpWhenHealthy) {
+  net::AdmissionOptions opt;
+  opt.target_p99_us = 1000.0;
+  opt.max_rate = 1000.0;
+  opt.min_rate = 10.0;
+  opt.decrease = 0.5;
+  opt.increase_frac = 0.1;
+  net::AdmissionController ctl(opt);
+  EXPECT_DOUBLE_EQ(ctl.rate(), 1000.0);
+
+  ctl.report_p99(5000.0);  // breach: halve
+  EXPECT_DOUBLE_EQ(ctl.rate(), 500.0);
+  ctl.report_p99(5000.0);
+  EXPECT_DOUBLE_EQ(ctl.rate(), 250.0);
+  for (int i = 0; i < 20; ++i) ctl.report_p99(5000.0);
+  EXPECT_DOUBLE_EQ(ctl.rate(), 10.0);  // clamped at the floor
+
+  ctl.report_p99(100.0);  // healthy: +10% of max
+  EXPECT_DOUBLE_EQ(ctl.rate(), 110.0);
+  for (int i = 0; i < 200; ++i) ctl.report_p99(100.0);
+  EXPECT_DOUBLE_EQ(ctl.rate(), 1000.0);  // clamped at the ceiling
+}
+
+// Two clients offering wildly asymmetric load on a synthetic clock get
+// accept counts within 10% of each other — the fair-split contract.
+TEST(NetAdmission, FairSplitUnderAsymmetricOverload) {
+  net::AdmissionOptions opt;
+  opt.max_rate = 100.0;  // rate starts here: 50/s per client
+  opt.burst_s = 0.05;
+  net::AdmissionController ctl(opt);
+
+  const auto t0 = net::AdmissionController::Clock::time_point{} + 1h;
+  int accepted_a = 0;
+  int accepted_b = 0;
+  // 10 simulated seconds in 1ms ticks. A offers 10 requests per tick
+  // (10k/s), B offers 1 per tick (1k/s) — both far over their 50/s fair
+  // share, A 10x more aggressive.
+  for (int ms = 0; ms < 10000; ++ms) {
+    const auto now = t0 + std::chrono::milliseconds(ms);
+    for (int k = 0; k < 10; ++k) {
+      if (ctl.try_admit(1, now)) ++accepted_a;
+    }
+    if (ctl.try_admit(2, now)) ++accepted_b;
+  }
+  ASSERT_GT(accepted_a, 0);
+  ASSERT_GT(accepted_b, 0);
+  const double ratio = std::abs(accepted_a - accepted_b) /
+                       static_cast<double>(std::max(accepted_a, accepted_b));
+  EXPECT_LT(ratio, 0.10) << "A=" << accepted_a << " B=" << accepted_b;
+  // And both are near the 50/s fair share over 10s = ~500.
+  EXPECT_NEAR(accepted_a, 500, 100);
+  EXPECT_NEAR(accepted_b, 500, 100);
+}
+
+TEST(NetAdmission, IdleClientStopsCountingTowardTheSplit) {
+  net::AdmissionOptions opt;
+  opt.max_rate = 100.0;
+  opt.client_expiry_s = 1.0;
+  net::AdmissionController ctl(opt);
+
+  const auto t0 = net::AdmissionController::Clock::time_point{} + 1h;
+  // Both clients active: fair share is 50/s each.
+  (void)ctl.try_admit(1, t0);
+  (void)ctl.try_admit(2, t0);
+  // Client 2 goes silent; client 1 keeps asking. After the expiry window
+  // client 1's refill rate doubles to the full 100/s.
+  int accepted_before = 0;
+  for (int ms = 1; ms <= 1000; ++ms) {
+    if (ctl.try_admit(1, t0 + std::chrono::milliseconds(ms))) {
+      ++accepted_before;
+    }
+  }
+  int accepted_after = 0;
+  for (int ms = 2001; ms <= 3000; ++ms) {
+    if (ctl.try_admit(1, t0 + std::chrono::milliseconds(ms))) {
+      ++accepted_after;
+    }
+  }
+  // ~50 accepts in the shared second vs ~100 once client 2 expired.
+  EXPECT_GT(accepted_after, accepted_before + 20);
+}
+
+TEST(NetAdmission, ForgetClientFreesItsShare) {
+  net::AdmissionOptions opt;
+  opt.max_rate = 100.0;
+  net::AdmissionController ctl(opt);
+  const auto t0 = net::AdmissionController::Clock::time_point{} + 1h;
+  (void)ctl.try_admit(1, t0);
+  (void)ctl.try_admit(2, t0);
+  ctl.forget_client(2);
+  int accepted = 0;
+  for (int ms = 1; ms <= 1000; ++ms) {
+    if (ctl.try_admit(1, t0 + std::chrono::milliseconds(ms))) ++accepted;
+  }
+  EXPECT_GT(accepted, 70);  // full rate, not the half share
+}
+
+TEST(NetDeltaP99, TracksWindowNotAllTime) {
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram(
+      "pbc_svc_query_latency_us", "test latencies",
+      {10.0, 100.0, 1000.0, 10000.0}, {{"kind", "query_cpu"}});
+  net::DeltaP99Tracker tracker;
+
+  // Window 1: all observations fast (<=10us bucket).
+  for (int i = 0; i < 1000; ++i) h.observe(5.0);
+  const double p1 = tracker.update(registry.snapshot());
+  EXPECT_LE(p1, 10.0);
+  EXPECT_GT(p1, 0.0);
+
+  // Window 2: all slow. The all-time p99 would still sit in a fast
+  // bucket (1000 fast vs 100 slow); the windowed p99 must not.
+  for (int i = 0; i < 100; ++i) h.observe(5000.0);
+  const double p2 = tracker.update(registry.snapshot());
+  EXPECT_GT(p2, 1000.0);
+
+  // Window 3: no traffic at all -> 0 (no stale signal).
+  EXPECT_EQ(tracker.update(registry.snapshot()), 0.0);
+}
+
+TEST(NetDeltaP99, IgnoresOtherMetrics) {
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram("pbc_other_latency_us", "unrelated",
+                               {10.0, 100.0}, {});
+  for (int i = 0; i < 50; ++i) h.observe(90.0);
+  net::DeltaP99Tracker tracker;
+  EXPECT_EQ(tracker.update(registry.snapshot()), 0.0);
+}
+
+}  // namespace
+}  // namespace pbc

@@ -1,0 +1,206 @@
+// execute() differential: the unified Request surface must be an exact
+// drop-in for the per-kind methods — bit-for-bit, across every kind,
+// every CallOptions path selection, on separate engines (so neither
+// side's cache state can mask a routing or options-mapping bug). The
+// equality witness is the binary wire encoding: two responses are
+// bit-identical iff their encodings are byte-identical, which spares a
+// hand-written comparator per result struct and simultaneously pins the
+// codec to the live result values.
+//
+// 512+ randomized cases total, weighted toward the cheap closed-form
+// kinds; the sweep/replay/cluster kinds get enough coverage to exercise
+// every CallOptions knob they consume.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cluster_sim.hpp"
+#include "core/dynamic.hpp"
+#include "ctrl/closed_loop.hpp"
+#include "sim/sweep.hpp"
+#include "svc/engine.hpp"
+#include "util/rng.hpp"
+
+#include "../net/net_test_util.hpp"
+
+namespace pbc {
+namespace {
+
+using net_test::random_request;
+using net_test::response_bytes;
+
+class ExecuteDiff : public ::testing::Test {
+ protected:
+  /// Runs req through execute() on one engine and through the direct
+  /// per-kind call on another; returns true when byte-identical.
+  void expect_identical(const svc::Request& req, const char* ctx) {
+    const auto via_execute = exec_engine_.execute(req);
+    ASSERT_TRUE(via_execute.ok())
+        << ctx << ": " << via_execute.error().to_string();
+    const svc::Response direct{req.id, direct_dispatch(req)};
+    EXPECT_EQ(response_bytes(via_execute.value()), response_bytes(direct))
+        << ctx;
+    ++cases_;
+  }
+
+  /// The pre-redesign call pattern: per-kind method + hand-assembled
+  /// config structs. Mirrors what execute() promises to be identical to.
+  [[nodiscard]] svc::ResponseOp direct_dispatch(const svc::Request& req) {
+    const svc::CallOptions& o = req.options;
+    svc::QueryEngine& e = direct_engine_;
+    if (const auto* op = std::get_if<svc::QueryCpuOp>(&req.op)) {
+      return e.query_cpu(op->machine, op->wl, op->budget, op->variant);
+    }
+    if (const auto* op = std::get_if<svc::QueryGpuOp>(&req.op)) {
+      return e.query_gpu(op->machine, op->wl, op->budget, op->gamma);
+    }
+    if (const auto* op = std::get_if<svc::SampleOp>(&req.op)) {
+      return e.sample_cpu(op->machine, op->wl, op->cpu_cap, op->mem_cap);
+    }
+    if (const auto* op = std::get_if<svc::FrontierOp>(&req.op)) {
+      const sim::CpuSweepOptions sweep{op->mem_lo, op->proc_lo, op->step,
+                                       o.solver_path, o.budget_block};
+      return *e.cpu_frontier(op->machine, op->wl, op->budgets, sweep);
+    }
+    if (const auto* op = std::get_if<svc::ReplayOp>(&req.op)) {
+      return e.replay_trace(op->machine, op->wl, op->trace, op->cpu_cap,
+                            op->mem_cap);
+    }
+    if (const auto* op = std::get_if<svc::ShiftOp>(&req.op)) {
+      core::ShiftingConfig cfg;
+      cfg.step = op->step;
+      cfg.max_steps_per_segment = op->max_steps_per_segment;
+      cfg.cpu_min = op->cpu_min;
+      cfg.mem_min = op->mem_min;
+      cfg.path = o.replay_path;
+      return e.replay_with_shifting(op->machine, op->wl, op->trace,
+                                    op->total_budget, cfg);
+    }
+    if (const auto* op = std::get_if<svc::ClusterOp>(&req.op)) {
+      core::ClusterSimConfig cfg;
+      cfg.nodes = op->nodes;
+      cfg.gpu_nodes = op->gpu_nodes;
+      cfg.global_budget = op->global_budget;
+      cfg.policy = op->policy;
+      cfg.queue_policy = op->queue_policy;
+      cfg.admission_control = op->admission_control;
+      cfg.min_grant = op->min_grant;
+      cfg.path = o.cluster_path;
+      if (op->gpu_type.has_value()) {
+        return e.simulate_cluster(op->node_type, *op->gpu_type, op->jobs,
+                                  cfg);
+      }
+      return e.simulate_cluster(op->node_type, op->jobs, cfg);
+    }
+    const auto& op = std::get<svc::OnlineOp>(req.op);
+    ctrl::ControllerConfig cfg;
+    cfg.step = op.step;
+    cfg.cpu_min = op.cpu_min;
+    cfg.mem_min = op.mem_min;
+    cfg.explore_rate = op.explore_rate;
+    cfg.explore_decay = op.explore_decay;
+    cfg.explore_floor = op.explore_floor;
+    cfg.ema_alpha = op.ema_alpha;
+    cfg.hysteresis_margin = op.hysteresis_margin;
+    cfg.seed = o.seed;
+    return e.run_online(op.machine, op.wl, op.trace, op.total_budget, cfg);
+  }
+
+  svc::QueryEngine exec_engine_;
+  svc::QueryEngine direct_engine_;
+  int cases_ = 0;
+};
+
+// 256 closed-form cases (176 CPU + 80 GPU), every case also re-asked so
+// the cached answer is held to the same identity.
+TEST_F(ExecuteDiff, ClosedFormKinds) {
+  Xoshiro256 rng(81416, 1);
+  for (int i = 0; i < 176; ++i) {
+    const auto req = random_request(svc::QueryKind::kQueryCpu, rng, i);
+    expect_identical(req, "query_cpu");
+    if (i % 8 == 0) expect_identical(req, "query_cpu (cached)");
+  }
+  for (int i = 0; i < 80; ++i) {
+    const auto req = random_request(svc::QueryKind::kQueryGpu, rng, i);
+    expect_identical(req, "query_gpu");
+  }
+  EXPECT_GE(cases_, 256 + 22);
+}
+
+TEST_F(ExecuteDiff, SampleKind) {
+  Xoshiro256 rng(81416, 2);
+  for (int i = 0; i < 64; ++i) {
+    expect_identical(random_request(svc::QueryKind::kSample, rng, i),
+                     "sample");
+  }
+  EXPECT_EQ(cases_, 64);
+}
+
+// Frontier: exercises solver_path and budget_block from CallOptions.
+TEST_F(ExecuteDiff, FrontierKind) {
+  Xoshiro256 rng(81416, 3);
+  for (int i = 0; i < 24; ++i) {
+    expect_identical(random_request(svc::QueryKind::kFrontier, rng, i),
+                     "frontier");
+  }
+  EXPECT_EQ(cases_, 24);
+}
+
+// Replay + shift: exercises replay_path and the shifting config mapping.
+TEST_F(ExecuteDiff, ReplayAndShiftKinds) {
+  Xoshiro256 rng(81416, 4);
+  for (int i = 0; i < 64; ++i) {
+    expect_identical(random_request(svc::QueryKind::kReplay, rng, i),
+                     "replay");
+  }
+  for (int i = 0; i < 48; ++i) {
+    expect_identical(random_request(svc::QueryKind::kShift, rng, i),
+                     "shift");
+  }
+  EXPECT_EQ(cases_, 112);
+}
+
+// Cluster: exercises cluster_path (fast / reference / event), both
+// policies, both queue disciplines, CPU-only and CPU+GPU fleets.
+TEST_F(ExecuteDiff, ClusterKind) {
+  Xoshiro256 rng(81416, 5);
+  for (int i = 0; i < 24; ++i) {
+    expect_identical(random_request(svc::QueryKind::kCluster, rng, i),
+                     "cluster");
+  }
+  EXPECT_EQ(cases_, 24);
+}
+
+// Online: exercises CallOptions::seed threading into the controller.
+TEST_F(ExecuteDiff, OnlineKind) {
+  Xoshiro256 rng(81416, 6);
+  for (int i = 0; i < 32; ++i) {
+    expect_identical(random_request(svc::QueryKind::kOnline, rng, i),
+                     "online");
+  }
+  EXPECT_EQ(cases_, 32);
+}
+
+// Validation failures surface as errors from execute(), not crashes or
+// silent best-effort results.
+TEST_F(ExecuteDiff, InvalidRequestsAreRejected) {
+  Xoshiro256 rng(81416, 7);
+  auto req = random_request(svc::QueryKind::kFrontier, rng, 0);
+  std::get<svc::FrontierOp>(req.op).budgets.clear();
+  const auto r = exec_engine_.execute(req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+
+  auto bad_trace = random_request(svc::QueryKind::kReplay, rng, 1);
+  auto& replay = std::get<svc::ReplayOp>(bad_trace.op);
+  ASSERT_FALSE(replay.trace.empty());
+  replay.trace[0].phase_index = replay.wl.phases.size() + 7;
+  const auto r2 = exec_engine_.execute(bad_trace);
+  ASSERT_FALSE(r2.ok());
+  // Index-out-of-table violations use the library's kOutOfRange bucket
+  // (docs/api.md), not kInvalidArgument.
+  EXPECT_EQ(r2.error().code, ErrorCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace pbc
